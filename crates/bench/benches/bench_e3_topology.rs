@@ -1,0 +1,82 @@
+//! E3 (Fig. 2 / List 5): coordinate-free topology operations and
+//! realization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use grdf_geometry::coord::Coord;
+use grdf_topology::model::{DirectedEdge, NodeId, TopologyModel};
+use grdf_topology::realize::Realization;
+
+fn grid_mesh(n: usize) -> (TopologyModel, Vec<Vec<NodeId>>) {
+    let mut m = TopologyModel::new();
+    let nodes: Vec<Vec<_>> = (0..=n).map(|_| (0..=n).map(|_| m.add_node()).collect()).collect();
+    let mut h = vec![vec![None; n]; n + 1];
+    let mut v = vec![vec![None; n + 1]; n];
+    for (r, row) in nodes.iter().enumerate() {
+        for c in 0..n {
+            h[r][c] = Some(m.add_edge(row[c], row[c + 1]).unwrap());
+        }
+    }
+    for r in 0..n {
+        for c in 0..=n {
+            v[r][c] = Some(m.add_edge(nodes[r][c], nodes[r + 1][c]).unwrap());
+        }
+    }
+    for r in 0..n {
+        for c in 0..n {
+            m.add_face(vec![
+                DirectedEdge::forward(h[r][c].unwrap()),
+                DirectedEdge::forward(v[r][c + 1].unwrap()),
+                DirectedEdge::reverse(h[r + 1][c].unwrap()),
+                DirectedEdge::reverse(v[r][c].unwrap()),
+            ])
+            .unwrap();
+        }
+    }
+    (m, nodes)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3/mesh_build");
+    for n in [10usize, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, &n| {
+            b.iter(|| black_box(grid_mesh(n).0.face_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let (m, nodes) = grid_mesh(40);
+    c.bench_function("e3/connectivity_query", |b| {
+        b.iter(|| black_box(m.connected(nodes[0][0], nodes[40][40])))
+    });
+    c.bench_function("e3/shortest_path", |b| {
+        b.iter(|| black_box(m.shortest_path(nodes[0][0], nodes[40][40]).unwrap().len()))
+    });
+}
+
+fn bench_realization(c: &mut Criterion) {
+    let (m, nodes) = grid_mesh(25);
+    let coords: HashMap<NodeId, Coord> = nodes
+        .iter()
+        .enumerate()
+        .flat_map(|(r, row)| {
+            row.iter().enumerate().map(move |(col, id)| (*id, Coord::xy(col as f64, r as f64)))
+        })
+        .collect();
+    c.bench_function("e3/realize_straight", |b| {
+        b.iter(|| {
+            black_box(
+                Realization::realize_graph_straight(&m, &coords)
+                    .unwrap()
+                    .total_edge_length(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_connectivity, bench_realization);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E4 (Lists 6–7): heterogeneous aggregation, inference ablation, and the
+//! cross-domain query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use grdf_bench::incident_store;
+use grdf_owl::reasoner::Reasoner;
+use grdf_rdf::vocab::grdf;
+
+fn cross_query() -> String {
+    format!(
+        "PREFIX app: <{}>\nSELECT ?site ?stream WHERE {{\n  ?site a app:ChemSite . ?stream a app:Stream .\n  FILTER(grdf:distance(?site, ?stream) < 20000)\n}}",
+        grdf::APP_NS
+    )
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/merge_sources");
+    group.sample_size(10);
+    for size in [100usize, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            b.iter(|| black_box(incident_store(s, s, 11).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reasoning_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/reasoning");
+    group.sample_size(10);
+    // Full OWL-Horst vs RDFS-only on the same merged dataset.
+    for (name, reasoner) in [("owl_horst", Reasoner::default()), ("rdfs_only", Reasoner::rdfs_only())]
+    {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || incident_store(150, 150, 11),
+                |mut store| black_box(store.materialize_with(&reasoner).inferred),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_cross_domain_query(c: &mut Criterion) {
+    let mut store = incident_store(150, 150, 11);
+    store.materialize();
+    let q = cross_query();
+    c.bench_function("e4/cross_domain_query", |b| {
+        b.iter(|| black_box(store.query(&q).unwrap().select_rows().len()))
+    });
+}
+
+fn bench_spatial_index_ablation(c: &mut Criterion) {
+    use grdf_geometry::coord::Coord;
+    use grdf_geometry::envelope::Envelope;
+    let mut store = incident_store(400, 400, 11);
+    store.materialize();
+    let index = store.spatial_index();
+    let window = Envelope::new(
+        Coord::xy(2_520_000.0, 7_060_000.0),
+        Coord::xy(2_560_000.0, 7_100_000.0),
+    );
+    // Both paths must agree before we time them.
+    assert_eq!(index.count_in(&window), store.features_in_window_scan(&window).len());
+
+    let mut group = c.benchmark_group("e4/spatial_window");
+    group.bench_function("rtree_query", |b| {
+        b.iter(|| black_box(index.count_in(&window)))
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| black_box(store.features_in_window_scan(&window).len()))
+    });
+    group.bench_function("rtree_build", |b| {
+        b.iter(|| black_box(store.spatial_index().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge,
+    bench_reasoning_ablation,
+    bench_cross_domain_query,
+    bench_spatial_index_ablation
+);
+criterion_main!(benches);

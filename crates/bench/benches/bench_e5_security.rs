@@ -1,0 +1,61 @@
+//! E5 (List 8 / §7.1): fine-grained (GRDF) vs object-level (GeoXACML)
+//! view construction, plus the per-probe decision cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use grdf_bench::{incident_store, roles, scenario_policies, xacml_policies};
+use grdf_rdf::term::Term;
+use grdf_rdf::vocab::grdf;
+use grdf_security::policy::Action;
+use grdf_security::views::secure_view;
+
+fn bench_view_build(c: &mut Criterion) {
+    let mut store = incident_store(100, 100, 13);
+    store.materialize();
+    let data = store.graph().clone();
+    let grdf_ps = scenario_policies();
+    let xacml_ps = xacml_policies();
+
+    let mut group = c.benchmark_group("e5/view_build");
+    group.sample_size(10);
+    group.bench_function("grdf_fine_grained", |b| {
+        b.iter(|| black_box(secure_view(&data, &grdf_ps, &roles::main_repair()).0.len()))
+    });
+    group.bench_function("geoxacml_object_level", |b| {
+        b.iter(|| black_box(xacml_ps.view(&data, &roles::main_repair()).0.len()))
+    });
+    group.finish();
+}
+
+fn bench_single_decision(c: &mut Criterion) {
+    let mut store = incident_store(50, 50, 13);
+    store.materialize();
+    let data = store.graph().clone();
+    let grdf_ps = scenario_policies();
+    let xacml_ps = xacml_policies();
+    // One concrete site subject.
+    let site = data
+        .subjects(
+            &Term::iri(grdf_rdf::vocab::rdf::TYPE),
+            &Term::iri(&grdf::app("ChemSite")),
+        )
+        .into_iter()
+        .next()
+        .expect("a site exists");
+    let prop = grdf::app("hasChemicalInfo");
+
+    let mut group = c.benchmark_group("e5/single_decision");
+    group.bench_function("grdf_property_probe", |b| {
+        b.iter(|| {
+            black_box(grdf_ps.evaluate(&data, &roles::main_repair(), &site, &prop, Action::View))
+        })
+    });
+    group.bench_function("geoxacml_object_probe", |b| {
+        b.iter(|| black_box(xacml_ps.decide(&data, &roles::main_repair(), &site)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_view_build, bench_single_decision);
+criterion_main!(benches);

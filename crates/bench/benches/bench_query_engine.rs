@@ -1,0 +1,91 @@
+//! Query-engine microbenchmarks: BGP join ordering, property-path
+//! closures, aggregates, and filter evaluation over the incident dataset.
+//! Not tied to a paper figure; these guard the engine the experiments run
+//! on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use grdf_bench::incident_store;
+use grdf_core::store::GrdfStore;
+use grdf_rdf::vocab::grdf;
+
+fn store() -> GrdfStore {
+    let mut s = incident_store(200, 200, 31);
+    s.materialize();
+    s
+}
+
+fn bench_bgp_join(c: &mut Criterion) {
+    let s = store();
+    let q = format!(
+        "PREFIX app: <{}>\nSELECT ?site ?i ?code WHERE {{\n  ?site a app:ChemSite ; app:hasChemicalInfo ?i .\n  ?i app:hasChemCode ?code .\n}}",
+        grdf::APP_NS
+    );
+    c.bench_function("query/bgp_three_way_join", |b| {
+        b.iter(|| black_box(s.query(&q).unwrap().select_rows().len()))
+    });
+}
+
+fn bench_path_closure(c: &mut Criterion) {
+    let s = store();
+    // flowsInto chains: transitive closure from every stream.
+    let q = format!(
+        "PREFIX app: <{}>\nSELECT ?a ?b WHERE {{ ?a app:flowsInto+ ?b }}",
+        grdf::APP_NS
+    );
+    let mut group = c.benchmark_group("query/path");
+    group.sample_size(10);
+    group.bench_function("flows_into_plus_unbounded", |b| {
+        b.iter(|| black_box(s.query(&q).unwrap().select_rows().len()))
+    });
+    // Bound-subject variant (the common navigational probe).
+    let one = s
+        .query(&format!(
+            "PREFIX app: <{}>\nSELECT ?s WHERE {{ ?s a app:Stream }} LIMIT 1",
+            grdf::APP_NS
+        ))
+        .unwrap()
+        .select_rows()[0]["s"]
+        .clone();
+    let q2 = format!(
+        "PREFIX app: <{}>\nSELECT ?b WHERE {{ {} app:flowsInto+ ?b }}",
+        grdf::APP_NS, one
+    );
+    group.bench_function("flows_into_plus_bound_subject", |b| {
+        b.iter(|| black_box(s.query(&q2).unwrap().select_rows().len()))
+    });
+    group.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let s = store();
+    let q = format!(
+        "PREFIX app: <{}>\nSELECT ?t (COUNT(?s) AS ?n) WHERE {{ ?s a ?t }} GROUP BY ?t",
+        grdf::APP_NS
+    );
+    c.bench_function("query/group_by_count", |b| {
+        b.iter(|| black_box(s.query(&q).unwrap().select_rows().len()))
+    });
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let s = store();
+    let q = format!(
+        "PREFIX app: <{}>\nSELECT ?s WHERE {{\n  ?s a app:ChemSite ; app:hasSiteName ?n .\n  FILTER(CONTAINS(?n, \"Energy\") || CONTAINS(?n, \"Chemical\"))\n}}",
+        grdf::APP_NS
+    );
+    c.bench_function("query/string_filters", |b| {
+        b.iter(|| black_box(s.query(&q).unwrap().select_rows().len()))
+    });
+    let q2 = format!(
+        "PREFIX app: <{}>\nSELECT ?s WHERE {{\n  ?s a app:ChemSite .\n  FILTER(NOT EXISTS {{ ?s app:sourceState ?st }})\n}}",
+        grdf::APP_NS
+    );
+    c.bench_function("query/not_exists", |b| {
+        b.iter(|| black_box(s.query(&q2).unwrap().select_rows().len()))
+    });
+}
+
+criterion_group!(benches, bench_bgp_join, bench_path_closure, bench_aggregates, bench_filters);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Shared scenario builders for the experiment harness.
+//!
+//! Every benchmark and the `figures` report binary build their inputs from
+//! these functions so that Criterion runs and the printed tables measure
+//! the same workloads. The scenario is §7.1's water-contamination
+//! incident: synthetic hydrology (List 6 shape) + synthetic chemical sites
+//! (List 7 shape) + the three roles' policies (List 8 shape).
+
+use grdf_core::store::GrdfStore;
+use grdf_feature::rdf_codec::encode_feature;
+use grdf_rdf::graph::Graph;
+use grdf_rdf::vocab::grdf;
+use grdf_security::geoxacml::{XacmlPolicySet, XacmlRule};
+use grdf_security::policy::{Policy, PolicySet};
+use grdf_workload::chemical::{alignment_axioms, generate_chemical_sites, ChemicalConfig};
+use grdf_workload::hydrology::{generate_hydrology, HydrologyConfig};
+
+/// Role IRIs of the §7.1 scenario.
+pub mod roles {
+    use grdf_rdf::vocab::grdf;
+
+    /// 'main repair': wastewater pipe crews — extent-only access.
+    pub fn main_repair() -> String {
+        grdf::sec("MainRep")
+    }
+
+    /// 'hazmat personnel': chemical clean-up — chemicals + extents.
+    pub fn hazmat() -> String {
+        grdf::sec("Hazmat")
+    }
+
+    /// 'emergency response': administrative — full access.
+    pub fn emergency() -> String {
+        grdf::sec("Emergency")
+    }
+}
+
+/// Build the merged incident dataset: `streams` hydrology features plus
+/// `sites` chemical sites (with linked ChemInfo records and ~10%
+/// duplicates), plus the alignment axioms. Deterministic per `seed`.
+pub fn incident_graph(streams: usize, sites: usize, seed: u64) -> Graph {
+    let hydro = generate_hydrology(&HydrologyConfig { streams, seed, ..Default::default() });
+    let chem = generate_chemical_sites(&ChemicalConfig { sites, seed: seed + 1, ..Default::default() });
+    let mut g = grdf_rdf::turtle::parse(alignment_axioms()).expect("axioms parse");
+    for f in hydro.features.iter().chain(chem.features.iter()) {
+        encode_feature(&mut g, f);
+    }
+    g
+}
+
+/// An incident store (GRDF ontology + incident data), not yet materialized.
+pub fn incident_store(streams: usize, sites: usize, seed: u64) -> GrdfStore {
+    let mut store = GrdfStore::new();
+    store.merge_graph(&incident_graph(streams, sites, seed));
+    store
+}
+
+/// The three-role GRDF policy set of §7.1 (fine-grained, List 8 style).
+pub fn scenario_policies() -> PolicySet {
+    PolicySet::new(vec![
+        // 'main repair': low-security role; extent only on chemical data,
+        // full hydrology.
+        Policy::permit_properties(
+            &grdf::sec("MainRepPolicy1"),
+            &roles::main_repair(),
+            &grdf::app("ChemSite"),
+            &[&grdf::iri("isBoundedBy"), &grdf::iri("hasGeometry")],
+        ),
+        Policy::permit(&grdf::sec("MainRepPolicy2"), &roles::main_repair(), &grdf::app("Stream")),
+        // 'hazmat personnel': chemicals and locations, but no contacts.
+        Policy::permit_properties(
+            &grdf::sec("HazmatPolicy1"),
+            &roles::hazmat(),
+            &grdf::app("ChemSite"),
+            &[
+                &grdf::iri("isBoundedBy"),
+                &grdf::iri("hasGeometry"),
+                &grdf::app("hasChemicalInfo"),
+                &grdf::app("hasSiteName"),
+            ],
+        ),
+        Policy::permit(&grdf::sec("HazmatPolicy2"), &roles::hazmat(), &grdf::app("ChemInfo")),
+        Policy::permit(&grdf::sec("HazmatPolicy3"), &roles::hazmat(), &grdf::app("Stream")),
+        // 'emergency response': administrative role, full access.
+        Policy::permit(&grdf::sec("EmPolicy1"), &roles::emergency(), &grdf::app("ChemSite")),
+        Policy::permit(&grdf::sec("EmPolicy2"), &roles::emergency(), &grdf::app("ChemInfo")),
+        Policy::permit(&grdf::sec("EmPolicy3"), &roles::emergency(), &grdf::app("Stream")),
+    ])
+}
+
+/// The closest object-level (GeoXACML-style) approximation of the same
+/// intent: 'main repair' must be granted whole ChemSites (it needs their
+/// extents) — which is exactly the over-grant the paper criticizes.
+pub fn xacml_policies() -> XacmlPolicySet {
+    XacmlPolicySet::new(vec![
+        XacmlRule::permit(&roles::main_repair(), &grdf::app("ChemSite")),
+        XacmlRule::permit(&roles::main_repair(), &grdf::app("Stream")),
+        XacmlRule::permit(&roles::hazmat(), &grdf::app("ChemSite")),
+        XacmlRule::permit(&roles::hazmat(), &grdf::app("ChemInfo")),
+        XacmlRule::permit(&roles::hazmat(), &grdf::app("Stream")),
+        XacmlRule::permit(&roles::emergency(), &grdf::app("ChemSite")),
+        XacmlRule::permit(&roles::emergency(), &grdf::app("ChemInfo")),
+        XacmlRule::permit(&roles::emergency(), &grdf::app("Stream")),
+    ])
+}
+
+/// Properties the 'main repair' role must never see — the leak probes of
+/// experiment E5.
+pub fn sensitive_properties() -> Vec<String> {
+    vec![
+        grdf::app("hasChemicalInfo"),
+        grdf::app("hasContactPhone"),
+        grdf::app("hasSiteId"),
+        grdf::app("hasChemCode"),
+        grdf::app("hasChemName"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_security::views::{secure_view, view_property_count};
+
+    #[test]
+    fn incident_graph_scales_with_inputs() {
+        let small = incident_graph(10, 10, 1);
+        let large = incident_graph(50, 50, 1);
+        assert!(large.len() > 3 * small.len());
+    }
+
+    #[test]
+    fn scenario_roles_have_expected_visibility() {
+        let mut store = incident_store(20, 20, 7);
+        store.materialize();
+        let ps = scenario_policies();
+        let chem_prop = grdf::app("hasChemicalInfo");
+
+        let (mr_view, _) = secure_view(store.graph(), &ps, &roles::main_repair());
+        assert_eq!(view_property_count(&mr_view, &chem_prop), 0, "main repair: no chemistry");
+        assert!(view_property_count(&mr_view, &grdf::iri("isBoundedBy")) > 0);
+
+        let (hz_view, _) = secure_view(store.graph(), &ps, &roles::hazmat());
+        assert!(view_property_count(&hz_view, &chem_prop) > 0, "hazmat sees chemicals");
+        assert_eq!(
+            view_property_count(&hz_view, &grdf::app("hasContactPhone")),
+            0,
+            "hazmat must not see contacts"
+        );
+
+        let (em_view, _) = secure_view(store.graph(), &ps, &roles::emergency());
+        assert!(view_property_count(&em_view, &grdf::app("hasContactPhone")) > 0);
+    }
+
+    #[test]
+    fn xacml_baseline_leaks_for_main_repair() {
+        let mut store = incident_store(10, 20, 7);
+        store.materialize();
+        let (view, _) = xacml_policies().view(store.graph(), &roles::main_repair());
+        // The object-level grant exposes the chemical link it was supposed
+        // to hide — the measurable granularity gap.
+        assert!(view_property_count(&view, &grdf::app("hasChemicalInfo")) > 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! GRDF core: the ontology of Fig. 1 and the aggregation store.
+//!
+//! This crate is the paper's primary artifact. [`ontology`] constructs the
+//! complete GRDF ontology — feature model (§4), geometry model (§5),
+//! topology model (§6, Fig. 2), and the §3.3 support types (Value,
+//! Observation, CRS, TimeObject, Coverage) — as OWL axioms, including the
+//! restriction listings (Lists 2–5). [`store`] provides the high-level
+//! API the paper motivates: load heterogeneous sources (GML, Turtle,
+//! RDF/XML, native features), merge them into one semantics-bearing graph,
+//! materialize inferences, and query across what used to be information
+//! silos.
+//!
+//! # Example
+//!
+//! ```
+//! use grdf_core::store::GrdfStore;
+//!
+//! let mut store = GrdfStore::new();
+//! store.load_turtle(
+//!     "@prefix app: <http://grdf.org/app#> .
+//!      app:s1 a app:ChemSite ; app:hasSiteName \"NT Energy\" .",
+//! ).unwrap();
+//! let rows = store.query(
+//!     "PREFIX app: <http://grdf.org/app#>
+//!      SELECT ?n WHERE { ?s a app:ChemSite ; app:hasSiteName ?n }",
+//! ).unwrap();
+//! assert_eq!(rows.select_rows().len(), 1);
+//! ```
+
+pub mod ontology;
+pub mod store;
+
+pub use ontology::{grdf_ontology, OntologyStats};
+pub use store::{GrdfStore, StoreError};

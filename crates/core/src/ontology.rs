@@ -1,0 +1,365 @@
+//! The GRDF ontology (Fig. 1): "the main elements of the hierarchy are the
+//! feature and geometry model", rooted at `RootGRDFObject`, with the
+//! topology branch of Fig. 2 and the §3.3 support types.
+
+use grdf_owl::model::{Characteristic, OntologyBuilder, RestrictionKind};
+use grdf_rdf::graph::Graph;
+use grdf_rdf::vocab::{grdf, xsd};
+
+/// Counts describing the constructed ontology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OntologyStats {
+    /// Declared named classes.
+    pub classes: usize,
+    /// Declared object properties.
+    pub object_properties: usize,
+    /// Declared datatype properties.
+    pub datatype_properties: usize,
+    /// Total axiom triples.
+    pub triples: usize,
+}
+
+/// Build the complete GRDF ontology graph.
+pub fn grdf_ontology() -> Graph {
+    let mut b = OntologyBuilder::new(grdf::NS);
+
+    // ---- root -----------------------------------------------------------
+    b.class("RootGRDFObject", None);
+    b.comment("RootGRDFObject", "Base class of every GRDF construct (paper §6).");
+
+    // ---- feature model (§4, §3.3) ---------------------------------------
+    b.class("Feature", Some("RootGRDFObject"));
+    b.comment("Feature", "An application object such as 'landfill' or 'building' (§3.3.1).");
+    b.class("FeatureCollection", Some("Feature"));
+    b.class("Observation", Some("Feature"));
+    b.comment(
+        "Observation",
+        "Recording/observing of a feature; itself a Feature type (§3.3.5).",
+    );
+    b.class("Coverage", Some("Feature"));
+    b.comment(
+        "Coverage",
+        "Distribution of quantitative or qualitative properties of an object (§3.3.8).",
+    );
+    b.class("Value", Some("RootGRDFObject"));
+    b.comment("Value", "Aggregate concept for real-world property values (§3.3.4).");
+    b.class("CRS", Some("RootGRDFObject"));
+    b.comment("CRS", "Coordinate Reference System (§3.3.6).");
+
+    // Temporal branch (§3.3.7).
+    b.class("TimeObject", Some("RootGRDFObject"));
+    b.class("TimeInstant", Some("TimeObject"));
+    b.class("TimePeriod", Some("TimeObject"));
+
+    // Extent classes (§4).
+    b.class("BoundingShape", Some("RootGRDFObject"));
+    b.class("Envelope", Some("BoundingShape"));
+    b.comment(
+        "Envelope",
+        "A pair of coordinates corresponding to the opposite corners of a feature (§4).",
+    );
+    b.class("EnvelopeWithTimePeriod", Some("Envelope"));
+    b.class("Null", Some("BoundingShape"));
+    b.comment("Null", "Extent not applicable or not available (§4).");
+
+    // List 3: EnvelopeWithTimePeriod carries exactly two time positions.
+    b.object_property("hasTimePosition", Some("EnvelopeWithTimePeriod"), Some("TimeInstant"));
+    b.restrict("EnvelopeWithTimePeriod", "hasTimePosition", RestrictionKind::Exactly(2));
+
+    // ---- geometry model (§5) ---------------------------------------------
+    b.class("Geometry", Some("RootGRDFObject"));
+    b.comment("Geometry", "Spatial aspects of a feature (§3.3.2).");
+    b.class("Point", Some("Geometry"));
+    b.comment("Point", "The most basic and indecomposable form of geometry (§5).");
+    b.class("Curve", Some("Geometry"));
+    b.comment("Curve", "One-dimensional form defined in terms of anchor points (§5).");
+    b.class("LineString", Some("Curve"));
+    b.class("Arc", Some("Curve"));
+    b.class("Ring", Some("Curve"));
+    b.comment("Ring", "Closed aggregate restricted to straight-lines or curves (§5).");
+    b.class("Surface", Some("Geometry"));
+    b.comment("Surface", "Two-dimensional form with three or more anchor points (§5).");
+    b.class("Polygon", Some("Surface"));
+    b.class("Solid", Some("Geometry"));
+    b.comment(
+        "Solid",
+        "Three-dimensional shape; relies on two-dimensional classes, no composite of its own (§5).",
+    );
+
+    // Multipart forms: Multi (flat), Composite (contiguous), Complex (any).
+    for (multi, base, member) in [
+        ("MultiPoint", "Point", "pointMember"),
+        ("MultiCurve", "Curve", "curveMember"),
+        ("MultiSurface", "Surface", "surfaceMember"),
+    ] {
+        b.class(multi, Some("Geometry"));
+        b.object_property(member, Some(multi), Some(base));
+    }
+    // List 4's curve aggregate family.
+    b.class("CompositeCurve", Some("Geometry"));
+    b.class("CompositeSurface", Some("Geometry"));
+    b.class("GeometryComplex", Some("Geometry"));
+    b.comment(
+        "GeometryComplex",
+        "Arbitrary combination of Multi, Composite and Complex parts (§5). There is no ComplexCurve: a curve cannot take on a non-curve form.",
+    );
+    b.object_property("compositeCurveMember", Some("CompositeCurve"), Some("Curve"));
+    b.object_property("compositeSurfaceMember", Some("CompositeSurface"), Some("Surface"));
+    b.object_property("complexMember", Some("GeometryComplex"), Some("Geometry"));
+
+    // ---- topology model (§6, Fig. 2) --------------------------------------
+    b.class("Topology", Some("RootGRDFObject"));
+    b.comment(
+        "Topology",
+        "Coordinate-free constructions; connectivity is enough for many GIS operations (§6).",
+    );
+    for c in ["TopoPrimitive", "TopoCurve", "TopoSurface", "TopoVolume", "TopoComplex"] {
+        b.class(c, Some("Topology"));
+    }
+    for c in ["Node", "Edge", "Face", "TopoSolid"] {
+        b.class(c, Some("TopoPrimitive"));
+    }
+    b.comment(
+        "Face",
+        "A 2-dimensional primitive bounded by a set of directed edges, with positive (clockwise) or negative (counter-clockwise) orientation (§6).",
+    );
+    // Geometry and Topology are distinct branches.
+    b.disjoint_with("Geometry", "Topology");
+
+    // List 5: Face cardinalities.
+    b.object_property("hasTopoSolid", Some("Face"), Some("TopoSolid"));
+    b.object_property("hasSurface", Some("Face"), Some("Surface"));
+    b.object_property("hasEdge", Some("Face"), Some("Edge"));
+    b.restrict("Face", "hasTopoSolid", RestrictionKind::AtMost(2));
+    b.restrict("Face", "hasSurface", RestrictionKind::AtMost(1));
+    b.restrict("Face", "hasEdge", RestrictionKind::AtLeast(1));
+
+    // Realization (§6): topology realized by geometry.
+    b.object_property("realizedBy", Some("Topology"), Some("Geometry"));
+    b.object_property("realizes", Some("Geometry"), Some("Topology"));
+    b.inverse_of("realizedBy", "realizes");
+    // Edge connectivity (coordinate-free structure).
+    b.object_property("startNode", Some("Edge"), Some("Node"));
+    b.object_property("endNode", Some("Edge"), Some("Node"));
+    b.object_property("connectedTo", Some("Node"), Some("Node"));
+    b.characteristic("connectedTo", Characteristic::Symmetric);
+    b.object_property("reachableFrom", Some("Node"), Some("Node"));
+    b.characteristic("reachableFrom", Characteristic::Transitive);
+    b.sub_property_of("connectedTo", "reachableFrom");
+
+    // ---- feature↔geometry linking (List 2 + codec vocabulary) -------------
+    b.object_property("hasGeometry", Some("Feature"), Some("Geometry"));
+    for p in ["hasCenterLineOf", "hasCenterOf", "hasEdgeOf", "hasEnvelope", "hasExtentOf"] {
+        b.object_property(p, Some("Feature"), Some("Geometry"));
+        b.sub_property_of(p, "hasGeometry");
+    }
+    b.object_property("isBoundedBy", Some("Feature"), Some("BoundingShape"));
+    b.object_property("hasCRS", Some("Feature"), Some("CRS"));
+    b.object_property("observedFeature", Some("Observation"), Some("Feature"));
+    // Provenance: which aggregated source contributed a resource.
+    b.object_property("fromSource", None, None);
+    b.comment("fromSource", "Provenance link to the aggregated source a resource was loaded from.");
+
+    // Datatype properties (§3.2: extension-of-simple-type becomes a
+    // datatype property with the base type as range).
+    b.datatype_property("coordinates", Some("Geometry"), Some(xsd::STRING));
+    b.datatype_property("asWKT", Some("Geometry"), Some(xsd::STRING));
+    b.datatype_property("srsName", Some("Geometry"), Some(xsd::ANY_URI));
+    b.datatype_property("nullReason", Some("Null"), Some(xsd::STRING));
+    b.datatype_property("measureValue", Some("Value"), Some(xsd::DOUBLE));
+    b.datatype_property("uom", Some("Value"), Some(xsd::ANY_URI));
+    b.datatype_property("timePosition", Some("TimeObject"), Some(xsd::DATE_TIME));
+
+    // Labels for the headline classes (documentation payload).
+    for c in [
+        "Feature", "Geometry", "Topology", "Value", "Observation", "CRS", "TimeObject",
+        "Coverage",
+    ] {
+        b.label(c, c);
+    }
+
+    b.into_graph()
+}
+
+/// Compute summary statistics of an ontology graph.
+pub fn stats(g: &Graph) -> OntologyStats {
+    use grdf_rdf::term::Term;
+    use grdf_rdf::vocab::{owl, rdf};
+    let count_type = |class: &str| {
+        g.match_pattern(None, Some(&Term::iri(rdf::TYPE)), Some(&Term::iri(class)))
+            .iter()
+            .filter(|t| !t.subject.is_blank())
+            .count()
+    };
+    OntologyStats {
+        classes: count_type(owl::CLASS),
+        object_properties: count_type(owl::OBJECT_PROPERTY),
+        datatype_properties: count_type(owl::DATATYPE_PROPERTY),
+        triples: g.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_owl::consistency::check_consistency;
+    use grdf_owl::hierarchy::Hierarchy;
+    use grdf_owl::reasoner::Reasoner;
+    use grdf_rdf::term::Term;
+    use grdf_rdf::vocab::{owl, rdf};
+
+    fn iri(local: &str) -> Term {
+        Term::iri(&grdf::iri(local))
+    }
+
+    #[test]
+    fn fig1_hierarchy_is_present() {
+        let g = grdf_ontology();
+        let h = Hierarchy::new(&g);
+        // The two main branches of Fig. 1 hang under the root.
+        for leaf in ["Feature", "Geometry", "Topology", "Value", "CRS", "TimeObject"] {
+            assert!(
+                h.is_subclass_of(&iri(leaf), &iri("RootGRDFObject")),
+                "{leaf} must descend from RootGRDFObject"
+            );
+        }
+        // Geometry chain: LineString ⊑ Curve ⊑ Geometry.
+        assert!(h.is_subclass_of(&iri("LineString"), &iri("Geometry")));
+        // Topology chain: Face ⊑ TopoPrimitive ⊑ Topology.
+        assert!(h.is_subclass_of(&iri("Face"), &iri("Topology")));
+        // §3.3.5: Observation is a Feature.
+        assert!(h.is_subclass_of(&iri("Observation"), &iri("Feature")));
+        // List 3 context: EnvelopeWithTimePeriod ⊑ Envelope.
+        assert!(h.is_subclass_of(&iri("EnvelopeWithTimePeriod"), &iri("Envelope")));
+    }
+
+    #[test]
+    fn ontology_size_is_substantial() {
+        let g = grdf_ontology();
+        let s = stats(&g);
+        assert!(s.classes >= 35, "classes = {}", s.classes);
+        assert!(s.object_properties >= 20, "object props = {}", s.object_properties);
+        assert!(s.datatype_properties >= 5, "datatype props = {}", s.datatype_properties);
+        assert!(s.triples >= 200, "triples = {}", s.triples);
+    }
+
+    #[test]
+    fn list2_properties_are_geometry_subproperties() {
+        let g = grdf_ontology();
+        use grdf_rdf::vocab::rdfs;
+        for p in ["hasCenterLineOf", "hasCenterOf", "hasEdgeOf", "hasEnvelope", "hasExtentOf"] {
+            assert!(
+                g.has(
+                    &iri(p),
+                    &Term::iri(rdfs::SUB_PROPERTY_OF),
+                    &iri("hasGeometry")
+                ),
+                "{p} ⊑ hasGeometry"
+            );
+        }
+    }
+
+    #[test]
+    fn list5_face_restrictions_enforced_on_instances() {
+        let mut g = grdf_ontology();
+        let face = Term::iri("urn:f1");
+        g.add(face.clone(), Term::iri(rdf::TYPE), iri("Face"));
+        g.add(face.clone(), iri("hasEdge").clone(), Term::iri("urn:e1"));
+        g.add(face.clone(), iri("hasSurface").clone(), Term::iri("urn:s1"));
+        Reasoner::default().materialize(&mut g);
+        assert!(check_consistency(&g).is_empty());
+        // A second surface violates maxCardinality 1.
+        g.add(face.clone(), iri("hasSurface").clone(), Term::iri("urn:s2"));
+        let v = check_consistency(&g);
+        assert!(!v.is_empty(), "expected a cardinality violation");
+    }
+
+    #[test]
+    fn list3_envelope_restriction_enforced() {
+        let mut g = grdf_ontology();
+        let env = Term::iri("urn:env");
+        g.add(env.clone(), Term::iri(rdf::TYPE), iri("EnvelopeWithTimePeriod"));
+        g.add(env.clone(), iri("hasTimePosition").clone(), Term::iri("urn:t0"));
+        Reasoner::default().materialize(&mut g);
+        let v = check_consistency(&g);
+        assert!(!v.is_empty(), "one time position violates =2");
+        g.add(env, iri("hasTimePosition").clone(), Term::iri("urn:t1"));
+        assert!(check_consistency(&g).is_empty());
+    }
+
+    #[test]
+    fn geometry_topology_disjointness() {
+        let mut g = grdf_ontology();
+        let x = Term::iri("urn:x");
+        g.add(x.clone(), Term::iri(rdf::TYPE), iri("Point"));
+        g.add(x, Term::iri(rdf::TYPE), iri("Node"));
+        Reasoner::default().materialize(&mut g);
+        let v = check_consistency(&g);
+        assert!(!v.is_empty(), "a Point that is also a Node is inconsistent");
+    }
+
+    #[test]
+    fn realization_inverse_fires() {
+        let mut g = grdf_ontology();
+        g.add(Term::iri("urn:node1"), iri("realizedBy").clone(), Term::iri("urn:pt1"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&Term::iri("urn:pt1"), &iri("realizes"), &Term::iri("urn:node1")));
+    }
+
+    #[test]
+    fn connectivity_reasoning() {
+        // connectedTo ⊑ reachableFrom (transitive): a chain of adjacent
+        // nodes becomes mutually reachable — the §6 claim that connectivity
+        // alone supports GIS modelling operations, here via inference.
+        let mut g = grdf_ontology();
+        for (a, b) in [("n1", "n2"), ("n2", "n3"), ("n3", "n4")] {
+            g.add(
+                Term::iri(&format!("urn:{a}")),
+                iri("connectedTo").clone(),
+                Term::iri(&format!("urn:{b}")),
+            );
+        }
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&Term::iri("urn:n1"), &iri("reachableFrom"), &Term::iri("urn:n4")));
+        assert!(
+            g.has(&Term::iri("urn:n4"), &iri("reachableFrom"), &Term::iri("urn:n1")),
+            "symmetry of connectedTo propagates"
+        );
+    }
+
+    #[test]
+    fn ontology_is_consistent_after_materialization() {
+        let mut g = grdf_ontology();
+        let stats = Reasoner::default().materialize(&mut g);
+        assert!(stats.inferred > 0);
+        assert!(check_consistency(&g).is_empty());
+    }
+
+    #[test]
+    fn ontology_header_present() {
+        let g = grdf_ontology();
+        assert!(g.has(
+            &Term::iri(grdf::NS.trim_end_matches('#')),
+            &Term::iri(rdf::TYPE),
+            &Term::iri(owl::ONTOLOGY)
+        ));
+    }
+
+    #[test]
+    fn serializes_to_turtle_and_back() {
+        let g = grdf_ontology();
+        let ttl = grdf_rdf::turtle::serialize(&g, &grdf_rdf::namespace::PrefixMap::common());
+        let g2 = grdf_rdf::turtle::parse(&ttl).unwrap();
+        assert_eq!(g.len(), g2.len());
+    }
+
+    #[test]
+    fn serializes_to_rdfxml_and_back() {
+        let g = grdf_ontology();
+        let xml =
+            grdf_rdf::rdfxml::serialize(&g, &grdf_rdf::namespace::PrefixMap::common()).unwrap();
+        let g2 = grdf_rdf::rdfxml::parse(&xml).unwrap();
+        // Blank restriction nodes may be relabelled; compare modulo blanks.
+        assert!(grdf_rdf::isomorphism::isomorphic(&g, &g2));
+    }
+}

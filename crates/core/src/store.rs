@@ -1,0 +1,627 @@
+//! `GrdfStore` — the aggregation API the paper motivates: "to take
+//! advantage of the huge amount of geospatial data available … we need to
+//! organize and structure the data in a more seamless manner … GRDF
+//! provides the basic framework for a geospatial web that understands
+//! semantics and can aggregate information on the fly" (§9).
+
+use std::fmt;
+
+use grdf_feature::feature::{Feature, FeatureCollection};
+use grdf_feature::rdf_codec::{decode_features, encode_feature};
+use grdf_gml::read::GmlError;
+use grdf_owl::consistency::{check_consistency, Violation};
+use grdf_owl::reasoner::{Reasoner, ReasonerStats};
+use grdf_query::eval::{execute, QueryError, QueryResult};
+use grdf_rdf::error::RdfError;
+use grdf_rdf::graph::Graph;
+use grdf_rdf::namespace::PrefixMap;
+use grdf_rdf::term::Term;
+use grdf_rdf::vocab::{grdf as ns, owl, rdf};
+
+use crate::ontology::grdf_ontology;
+
+/// Errors raised by store operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// GML input failed to parse.
+    Gml(String),
+    /// RDF input failed to parse.
+    Rdf(String),
+    /// A query failed.
+    Query(String),
+    /// The store is inconsistent after materialization.
+    Inconsistent(Vec<Violation>),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Gml(e) => write!(f, "GML error: {e}"),
+            StoreError::Rdf(e) => write!(f, "RDF error: {e}"),
+            StoreError::Query(e) => write!(f, "query error: {e}"),
+            StoreError::Inconsistent(v) => write!(f, "store is inconsistent ({} violations)", v.len()),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<GmlError> for StoreError {
+    fn from(e: GmlError) -> Self {
+        StoreError::Gml(e.to_string())
+    }
+}
+
+impl From<RdfError> for StoreError {
+    fn from(e: RdfError) -> Self {
+        StoreError::Rdf(e.to_string())
+    }
+}
+
+impl From<QueryError> for StoreError {
+    fn from(e: QueryError) -> Self {
+        StoreError::Query(e.to_string())
+    }
+}
+
+/// An aggregating GRDF store: ontology + instance data in one graph.
+pub struct GrdfStore {
+    graph: Graph,
+    prefixes: PrefixMap,
+    /// Number of sources merged so far.
+    sources: usize,
+}
+
+impl Default for GrdfStore {
+    fn default() -> Self {
+        GrdfStore::new()
+    }
+}
+
+impl GrdfStore {
+    /// A store preloaded with the GRDF ontology.
+    pub fn new() -> GrdfStore {
+        GrdfStore {
+            graph: grdf_ontology(),
+            prefixes: PrefixMap::common(),
+            sources: 0,
+        }
+    }
+
+    /// A store without the ontology (for ablation benchmarks).
+    pub fn empty() -> GrdfStore {
+        GrdfStore { graph: Graph::new(), prefixes: PrefixMap::common(), sources: 0 }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Mutable access to the underlying graph (escape hatch).
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    /// Total triple count (ontology + data + inferences).
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True when even the ontology is absent.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Number of merged sources.
+    pub fn source_count(&self) -> usize {
+        self.sources
+    }
+
+    /// Prefixes used for serialization.
+    pub fn prefixes(&self) -> &PrefixMap {
+        &self.prefixes
+    }
+
+    /// Insert a native feature; returns its subject term.
+    pub fn insert_feature(&mut self, feature: &Feature) -> Result<Term, StoreError> {
+        Ok(encode_feature(&mut self.graph, feature))
+    }
+
+    /// Load a GML document (one heterogeneous source).
+    pub fn load_gml(&mut self, gml: &str) -> Result<usize, StoreError> {
+        let fc = grdf_gml::read::parse_gml(gml)?;
+        for f in &fc.features {
+            encode_feature(&mut self.graph, f);
+        }
+        self.sources += 1;
+        Ok(fc.len())
+    }
+
+    /// Like [`GrdfStore::load_gml`], additionally asserting
+    /// `grdf:fromSource <source_iri>` provenance on every loaded feature —
+    /// queryable lineage for aggregated data.
+    pub fn load_gml_from(&mut self, source_iri: &str, gml: &str) -> Result<usize, StoreError> {
+        let fc = grdf_gml::read::parse_gml(gml)?;
+        let prov = Term::iri(&ns::iri("fromSource"));
+        let src = Term::iri(source_iri);
+        for f in &fc.features {
+            let subject = encode_feature(&mut self.graph, f);
+            self.graph.add(subject, prov.clone(), src.clone());
+        }
+        self.sources += 1;
+        Ok(fc.len())
+    }
+
+    /// Load Turtle data; blank nodes are renamed to stay hygienic across
+    /// sources. Returns the number of triples added.
+    pub fn load_turtle(&mut self, turtle: &str) -> Result<usize, StoreError> {
+        let g = grdf_rdf::turtle::parse(turtle)?;
+        self.sources += 1;
+        Ok(self.graph.merge_renaming(&g))
+    }
+
+    /// Like [`GrdfStore::load_turtle`] with `grdf:fromSource` provenance on
+    /// every loaded subject.
+    pub fn load_turtle_from(&mut self, source_iri: &str, turtle: &str) -> Result<usize, StoreError> {
+        let g = grdf_rdf::turtle::parse(turtle)?;
+        self.sources += 1;
+        let added = self.graph.merge_renaming(&g);
+        self.assert_provenance(&g, source_iri);
+        Ok(added)
+    }
+
+    /// Load RDF/XML data (the paper's listing syntax).
+    pub fn load_rdfxml(&mut self, xml: &str) -> Result<usize, StoreError> {
+        let g = grdf_rdf::rdfxml::parse(xml)?;
+        self.sources += 1;
+        Ok(self.graph.merge_renaming(&g))
+    }
+
+    /// Like [`GrdfStore::load_rdfxml`] with `grdf:fromSource` provenance.
+    pub fn load_rdfxml_from(&mut self, source_iri: &str, xml: &str) -> Result<usize, StoreError> {
+        let g = grdf_rdf::rdfxml::parse(xml)?;
+        self.sources += 1;
+        let added = self.graph.merge_renaming(&g);
+        self.assert_provenance(&g, source_iri);
+        Ok(added)
+    }
+
+    /// Record provenance for every non-blank subject of `loaded`.
+    fn assert_provenance(&mut self, loaded: &Graph, source_iri: &str) {
+        let prov = Term::iri(&ns::iri("fromSource"));
+        let src = Term::iri(source_iri);
+        for subject in loaded.all_subjects() {
+            if !subject.is_blank() {
+                self.graph.add(subject, prov.clone(), src.clone());
+            }
+        }
+    }
+
+    /// Subjects loaded from `source_iri` (requires the `*_from` loaders).
+    pub fn subjects_from(&self, source_iri: &str) -> Vec<Term> {
+        self.graph
+            .subjects(&Term::iri(&ns::iri("fromSource")), &Term::iri(source_iri))
+    }
+
+    /// The recorded sources of a subject.
+    pub fn sources_of(&self, subject: &Term) -> Vec<Term> {
+        self.graph.objects(subject, &Term::iri(&ns::iri("fromSource")))
+    }
+
+    /// Merge another graph (e.g. a domain ontology extending GRDF).
+    pub fn merge_graph(&mut self, other: &Graph) -> usize {
+        self.sources += 1;
+        self.graph.merge_renaming(other)
+    }
+
+    /// Materialize inferences with the default reasoner.
+    pub fn materialize(&mut self) -> ReasonerStats {
+        Reasoner::default().materialize(&mut self.graph)
+    }
+
+    /// Materialize with a custom reasoner configuration.
+    pub fn materialize_with(&mut self, reasoner: &Reasoner) -> ReasonerStats {
+        reasoner.materialize(&mut self.graph)
+    }
+
+    /// Check OWL-DL consistency; `Ok(())` when clean.
+    pub fn check(&self) -> Result<(), StoreError> {
+        let v = check_consistency(&self.graph);
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(StoreError::Inconsistent(v))
+        }
+    }
+
+    /// Run a SPARQL-subset query.
+    pub fn query(&self, text: &str) -> Result<QueryResult, StoreError> {
+        Ok(execute(&self.graph, text)?)
+    }
+
+    /// Decode all features currently in the store.
+    pub fn features(&self) -> FeatureCollection {
+        decode_features(&self.graph)
+    }
+
+    /// Number of subjects typed `grdf:Feature` (asserted or inferred).
+    pub fn feature_count(&self) -> usize {
+        self.graph
+            .subjects(&Term::iri(rdf::TYPE), &Term::iri(&ns::iri("Feature")))
+            .len()
+    }
+
+    /// Cross-domain links discovered by inference: `owl:sameAs` pairs
+    /// between distinct named individuals. Before reasoning this is
+    /// typically empty; after `materialize` it surfaces the identities
+    /// that make aggregation useful (§1's "a lot of intelligence data can
+    /// be extracted or inferred by combining the data").
+    pub fn same_as_links(&self) -> Vec<(Term, Term)> {
+        let mut out = Vec::new();
+        self.graph.for_each_match(None, Some(&Term::iri(owl::SAME_AS)), None, |t| {
+            if !t.subject.is_blank() && !t.object.is_blank() && t.subject < t.object {
+                out.push((t.subject, t.object));
+            }
+        });
+        out
+    }
+
+    /// Build an R-tree over the spatial extents of every feature subject
+    /// currently in the store (subjects with a geometry or bounded-by
+    /// node). Rebuild after loading new data.
+    pub fn spatial_index(&self) -> grdf_geometry::rtree::RTree<Term> {
+        let mut items = Vec::new();
+        for subject in self.graph.all_subjects() {
+            if subject.is_blank() {
+                continue;
+            }
+            if let Some(env) = grdf_query::spatial::feature_envelope(&self.graph, &subject) {
+                items.push((env, subject));
+            }
+        }
+        grdf_geometry::rtree::RTree::bulk_load(items)
+    }
+
+    /// Feature subjects whose extent intersects `window`, by linear scan
+    /// (the ablation baseline for [`GrdfStore::spatial_index`]).
+    pub fn features_in_window_scan(
+        &self,
+        window: &grdf_geometry::envelope::Envelope,
+    ) -> Vec<Term> {
+        self.graph
+            .all_subjects()
+            .into_iter()
+            .filter(|s| !s.is_blank())
+            .filter(|s| {
+                grdf_query::spatial::feature_envelope(&self.graph, s)
+                    .is_some_and(|e| e.intersects(window))
+            })
+            .collect()
+    }
+
+    /// Export as a dataset: triples whose subject carries `grdf:fromSource`
+    /// provenance go into a named graph per source (a subject recorded from
+    /// several sources appears in each); everything else stays in the
+    /// default graph. Requires the `*_from` loaders for named graphs to be
+    /// non-empty.
+    pub fn to_dataset(&self) -> grdf_rdf::dataset::Dataset {
+        let mut ds = grdf_rdf::dataset::Dataset::new();
+        let prov = Term::iri(&ns::iri("fromSource"));
+        for subject in self.graph.all_subjects() {
+            let sources = self.graph.objects(&subject, &prov);
+            let triples = self.graph.match_pattern(Some(&subject), None, None);
+            if sources.is_empty() {
+                for t in triples {
+                    ds.default_graph_mut().insert(t);
+                }
+            } else {
+                for src in &sources {
+                    let Some(name) = src.as_iri() else { continue };
+                    let target = ds.graph_mut(name);
+                    for t in &triples {
+                        target.insert(t.clone());
+                    }
+                }
+            }
+        }
+        ds
+    }
+
+    /// Serialize the whole store as Turtle.
+    pub fn to_turtle(&self) -> String {
+        grdf_rdf::turtle::serialize(&self.graph, &self.prefixes)
+    }
+
+    /// Serialize the whole store as RDF/XML.
+    pub fn to_rdfxml(&self) -> Result<String, StoreError> {
+        Ok(grdf_rdf::rdfxml::serialize(&self.graph, &self.prefixes)?)
+    }
+
+    /// Export the instance features as GML.
+    pub fn to_gml(&self) -> String {
+        grdf_gml::write::write_gml(&self.features())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_geometry::coord::Coord;
+    use grdf_geometry::primitives::{LineString, Point};
+    use grdf_rdf::vocab::rdfs;
+
+    const HYDRO_GML: &str = r#"<gml:FeatureCollection xmlns:gml="http://www.opengis.net/gml"
+        xmlns:app="http://grdf.org/app#">
+      <gml:featureMember>
+        <app:Stream gml:id="HYDRO_1">
+          <app:hasObjectID>11070</app:hasObjectID>
+          <app:centerLineOf>
+            <gml:LineString srsName="http://grdf.org/crs/TX83-NCF">
+              <gml:posList>0 0 50 50</gml:posList>
+            </gml:LineString>
+          </app:centerLineOf>
+        </app:Stream>
+      </gml:featureMember>
+    </gml:FeatureCollection>"#;
+
+    const CHEM_TTL: &str = r#"@prefix app: <http://grdf.org/app#> .
+      @prefix grdf: <http://grdf.org/ontology#> .
+      app:NTEnergy a app:ChemSite , grdf:Feature ;
+        app:hasSiteName "North Texas Energy" ;
+        app:hasSiteId "004221" .
+    "#;
+
+    #[test]
+    fn new_store_contains_ontology() {
+        let s = GrdfStore::new();
+        assert!(s.len() > 200);
+        assert_eq!(s.source_count(), 0);
+        assert!(GrdfStore::empty().is_empty());
+    }
+
+    #[test]
+    fn aggregates_heterogeneous_sources() {
+        // The paper's headline: GML hydrology + RDF chemical data in one
+        // queryable graph.
+        let mut s = GrdfStore::new();
+        assert_eq!(s.load_gml(HYDRO_GML).unwrap(), 1);
+        assert!(s.load_turtle(CHEM_TTL).unwrap() > 0);
+        assert_eq!(s.source_count(), 2);
+        let rows = s
+            .query(
+                "PREFIX app: <http://grdf.org/app#>
+                 SELECT ?s WHERE { { ?s a app:Stream } UNION { ?s a app:ChemSite } }",
+            )
+            .unwrap();
+        assert_eq!(rows.select_rows().len(), 2);
+    }
+
+    #[test]
+    fn inference_crosses_sources() {
+        let mut s = GrdfStore::new();
+        s.load_turtle(CHEM_TTL).unwrap();
+        // A second source types the same plant differently and aligns the
+        // vocabularies.
+        s.load_turtle(
+            r#"@prefix app: <http://grdf.org/app#> .
+               @prefix other: <urn:other#> .
+               @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+               other:Facility rdfs:subClassOf app:ChemSite .
+               app:NTEnergy a other:Facility .
+            "#,
+        )
+        .unwrap();
+        s.materialize();
+        let rows = s
+            .query(
+                "PREFIX app: <http://grdf.org/app#>
+                 SELECT ?s WHERE { ?s a app:ChemSite }",
+            )
+            .unwrap();
+        assert_eq!(rows.select_rows().len(), 1, "one individual, two source views");
+    }
+
+    #[test]
+    fn same_as_links_surface_after_reasoning() {
+        let mut s = GrdfStore::new();
+        s.load_turtle(
+            r#"@prefix app: <http://grdf.org/app#> .
+               @prefix owl: <http://www.w3.org/2002/07/owl#> .
+               app:hasSiteId a owl:InverseFunctionalProperty .
+               app:siteA app:hasSiteId app:id1 .
+               app:siteB app:hasSiteId app:id1 .
+            "#,
+        )
+        .unwrap();
+        assert!(s.same_as_links().is_empty());
+        s.materialize();
+        let links = s.same_as_links();
+        assert_eq!(links.len(), 1);
+    }
+
+    #[test]
+    fn feature_roundtrip_through_store() {
+        let mut s = GrdfStore::new();
+        let mut f = Feature::new("urn:app#p1", "Plant");
+        f.set_geometry(Point::new(3.0, 4.0).into());
+        s.insert_feature(&f).unwrap();
+        let fc = s.features();
+        let back = fc.find("urn:app#p1").unwrap();
+        assert_eq!(back.geometry, f.geometry);
+        assert_eq!(s.feature_count(), 1);
+    }
+
+    #[test]
+    fn feature_count_uses_inference() {
+        let mut s = GrdfStore::new();
+        // An Observation is a Feature only by subclass inference.
+        s.load_turtle(
+            r#"@prefix grdf: <http://grdf.org/ontology#> .
+               <urn:obs1> a grdf:Observation .
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.feature_count(), 0, "not yet materialized");
+        s.materialize();
+        assert_eq!(s.feature_count(), 1);
+    }
+
+    #[test]
+    fn consistency_check_flags_violations() {
+        let mut s = GrdfStore::new();
+        s.load_turtle(
+            r#"@prefix grdf: <http://grdf.org/ontology#> .
+               <urn:x> a grdf:Point , grdf:Node .
+            "#,
+        )
+        .unwrap();
+        s.materialize();
+        let err = s.check().unwrap_err();
+        assert!(matches!(err, StoreError::Inconsistent(_)));
+    }
+
+    #[test]
+    fn exports_roundtrip() {
+        let mut s = GrdfStore::new();
+        let mut f = Feature::new("http://grdf.org/app#line9", "Stream");
+        f.set_geometry(
+            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(2.0, 2.0)]).unwrap().into(),
+        );
+        s.insert_feature(&f).unwrap();
+        // Turtle roundtrip.
+        let ttl = s.to_turtle();
+        let g = grdf_rdf::turtle::parse(&ttl).unwrap();
+        assert_eq!(g.len(), s.len());
+        // GML export contains the feature.
+        let gml = s.to_gml();
+        assert!(gml.contains("line9"), "{gml}");
+        // RDF/XML export parses back.
+        let xml = s.to_rdfxml().unwrap();
+        assert!(grdf_rdf::rdfxml::parse(&xml).is_ok());
+    }
+
+    #[test]
+    fn bad_inputs_surface_errors() {
+        let mut s = GrdfStore::new();
+        assert!(matches!(s.load_gml("<oops"), Err(StoreError::Gml(_))));
+        assert!(matches!(s.load_turtle("@prefix broken"), Err(StoreError::Rdf(_))));
+        assert!(matches!(s.query("NOT SPARQL"), Err(StoreError::Query(_))));
+    }
+
+    #[test]
+    fn provenance_tracks_sources_and_survives_identity_merge() {
+        let mut s = GrdfStore::new();
+        s.load_turtle_from(
+            "urn:source:stateA",
+            r#"@prefix app: <http://grdf.org/app#> .
+               @prefix owl: <http://www.w3.org/2002/07/owl#> .
+               app:hasSiteId a owl:InverseFunctionalProperty .
+               app:siteA a app:ChemSite ; app:hasSiteId "004221" .
+            "#,
+        )
+        .unwrap();
+        s.load_turtle_from(
+            "urn:source:stateB",
+            r#"@prefix app: <http://grdf.org/app#> .
+               app:siteB a app:ChemSite ; app:hasSiteId "004221" .
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.subjects_from("urn:source:stateA").len(), 2); // site + property decl
+        assert_eq!(s.subjects_from("urn:source:stateB").len(), 1);
+        s.materialize();
+        // After sameAs smushing, the merged individual carries BOTH
+        // provenance facts — lineage survives aggregation.
+        let site_a = Term::iri("http://grdf.org/app#siteA");
+        let sources = s.sources_of(&site_a);
+        assert_eq!(sources.len(), 2, "{sources:?}");
+    }
+
+    #[test]
+    fn dataset_export_partitions_by_source() {
+        let mut s = GrdfStore::empty();
+        s.load_turtle_from(
+            "urn:source:a",
+            "@prefix e: <urn:e#> . e:x a e:T ; e:p \"va\" .",
+        )
+        .unwrap();
+        s.load_turtle_from("urn:source:b", "@prefix e: <urn:e#> . e:y a e:T .")
+            .unwrap();
+        let ds = s.to_dataset();
+        assert_eq!(ds.graph_names(), vec!["urn:source:a", "urn:source:b"]);
+        assert!(ds.graph("urn:source:a").unwrap().len() >= 3);
+        assert!(ds
+            .graph("urn:source:b")
+            .unwrap()
+            .has(&Term::iri("urn:e#y"), &Term::iri(rdf::TYPE), &Term::iri("urn:e#T")));
+        // Round-trips through N-Quads.
+        let back = grdf_rdf::dataset::Dataset::from_nquads(&ds.to_nquads()).unwrap();
+        assert_eq!(back.len(), ds.len());
+    }
+
+    #[test]
+    fn gml_provenance_loader() {
+        let mut s = GrdfStore::new();
+        s.load_gml_from("urn:source:nctcog", HYDRO_GML).unwrap();
+        let subjects = s.subjects_from("urn:source:nctcog");
+        assert_eq!(subjects.len(), 1);
+        assert!(subjects[0].as_iri().unwrap().contains("HYDRO_1"));
+    }
+
+    #[test]
+    fn spatial_index_agrees_with_scan() {
+        use grdf_geometry::envelope::Envelope;
+        let mut s = GrdfStore::new();
+        for i in 0..30 {
+            let mut f = Feature::new(&format!("urn:app#pt{i}"), "Site");
+            f.set_geometry(Point::new(i as f64 * 10.0, i as f64 * 5.0).into());
+            s.insert_feature(&f).unwrap();
+        }
+        let index = s.spatial_index();
+        assert_eq!(index.len(), 30);
+        let window = Envelope::new(Coord::xy(45.0, 0.0), Coord::xy(155.0, 1000.0));
+        let mut via_index: Vec<Term> = index.query(&window).into_iter().cloned().collect();
+        let mut via_scan = s.features_in_window_scan(&window);
+        via_index.sort();
+        via_scan.sort();
+        assert_eq!(via_index, via_scan);
+        assert!(!via_index.is_empty());
+    }
+
+    #[test]
+    fn blank_nodes_stay_hygienic_across_sources() {
+        let mut s = GrdfStore::empty();
+        s.load_turtle("@prefix e: <urn:e#> . _:n e:p \"left\" .").unwrap();
+        s.load_turtle("@prefix e: <urn:e#> . _:n e:p \"right\" .").unwrap();
+        // Two distinct blank subjects, not one merged node.
+        assert_eq!(s.graph().all_subjects().len(), 2);
+    }
+
+    #[test]
+    fn domain_ontology_extends_grdf() {
+        // "The intent of GRDF is to allow the lower-level ontologies to
+        // bootstrap them from a common semantic platform" (§2).
+        let mut s = GrdfStore::new();
+        s.load_turtle(
+            r#"@prefix app: <http://grdf.org/app#> .
+               @prefix grdf: <http://grdf.org/ontology#> .
+               @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+               app:ChemSite rdfs:subClassOf grdf:Feature .
+               app:NTEnergy a app:ChemSite .
+            "#,
+        )
+        .unwrap();
+        s.materialize();
+        // The site is now a Feature and a RootGRDFObject.
+        let rows = s
+            .query(
+                "PREFIX grdf: <http://grdf.org/ontology#>
+                 PREFIX app: <http://grdf.org/app#>
+                 ASK { app:NTEnergy a grdf:RootGRDFObject }",
+            )
+            .unwrap();
+        assert_eq!(rows.as_bool(), Some(true));
+        let _ = rdfs::NS;
+    }
+}

@@ -1,0 +1,97 @@
+//! `grdf:BoundingShape` (§4): "It can specify the shape in terms of either
+//! of two aforementioned envelope classes. A value of GRDF:Null will appear
+//! if an extent is not applicable or not available for some reason."
+
+use grdf_geometry::envelope::Envelope;
+
+use crate::time::TimePeriod;
+
+/// The extent of a feature.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundingShape {
+    /// No extent — with the reason GML-style (`unknown`, `inapplicable`,
+    /// `missing`, `withheld`...).
+    Null(String),
+    /// Spatial extent only.
+    Envelope(Envelope),
+    /// Spatial extent with a temporal dimension — the paper's
+    /// `EnvelopeWithTimePeriod` with its **exactly two** time positions
+    /// (begin and end — List 3's cardinality-2 restriction is what
+    /// `TimePeriod`'s two fields encode structurally).
+    EnvelopeWithTimePeriod(Envelope, TimePeriod),
+}
+
+impl BoundingShape {
+    /// `grdf:Null` with the conventional `unknown` reason.
+    pub fn unknown() -> BoundingShape {
+        BoundingShape::Null("unknown".to_string())
+    }
+
+    /// The spatial envelope, when present.
+    pub fn envelope(&self) -> Option<&Envelope> {
+        match self {
+            BoundingShape::Null(_) => None,
+            BoundingShape::Envelope(e) => Some(e),
+            BoundingShape::EnvelopeWithTimePeriod(e, _) => Some(e),
+        }
+    }
+
+    /// The temporal extent, when present.
+    pub fn time_period(&self) -> Option<&TimePeriod> {
+        match self {
+            BoundingShape::EnvelopeWithTimePeriod(_, p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Whether the extent is absent.
+    pub fn is_null(&self) -> bool {
+        matches!(self, BoundingShape::Null(_))
+    }
+
+    /// GRDF class name for RDF encoding.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            BoundingShape::Null(_) => "Null",
+            BoundingShape::Envelope(_) => "Envelope",
+            BoundingShape::EnvelopeWithTimePeriod(..) => "EnvelopeWithTimePeriod",
+        }
+    }
+}
+
+impl From<Envelope> for BoundingShape {
+    fn from(e: Envelope) -> BoundingShape {
+        BoundingShape::Envelope(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeInstant;
+    use grdf_geometry::coord::Coord;
+
+    #[test]
+    fn accessors() {
+        let e = Envelope::new(Coord::xy(0.0, 0.0), Coord::xy(2.0, 2.0));
+        let p = TimePeriod::new(
+            TimeInstant::from_epoch(0),
+            TimeInstant::from_epoch(100),
+        )
+        .unwrap();
+        let null = BoundingShape::unknown();
+        assert!(null.is_null());
+        assert!(null.envelope().is_none());
+        assert_eq!(null.class_name(), "Null");
+
+        let plain: BoundingShape = e.into();
+        assert_eq!(plain.envelope().unwrap().area(), 4.0);
+        assert!(plain.time_period().is_none());
+        assert_eq!(plain.class_name(), "Envelope");
+
+        let temporal = BoundingShape::EnvelopeWithTimePeriod(e, p);
+        assert!(temporal.envelope().is_some());
+        assert_eq!(temporal.time_period().unwrap().duration_seconds(), 100);
+        assert_eq!(temporal.class_name(), "EnvelopeWithTimePeriod");
+    }
+}

@@ -1,0 +1,169 @@
+//! `grdf:Coverage` (§3.3.8): "the ability to represent the distribution of
+//! some quantitative or qualitative properties of an arbitrary object. The
+//! object may or may not be geospatial in nature. For example, a series of
+//! sensor temperatures could be captured by the Coverage type."
+//!
+//! Implemented as a discrete point coverage: a sampled domain of positions
+//! with one range value per sample, plus nearest-neighbour evaluation and
+//! simple statistics.
+
+use grdf_geometry::coord::Coord;
+use grdf_geometry::envelope::Envelope;
+
+use crate::value::Value;
+
+/// A discrete point coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coverage {
+    /// What the range values measure (e.g. `temperature`).
+    pub range_property: String,
+    /// Sample positions.
+    domain: Vec<Coord>,
+    /// One value per position.
+    values: Vec<Value>,
+}
+
+impl Coverage {
+    /// Build a coverage; `None` when domain and range lengths differ or are
+    /// empty.
+    pub fn new(range_property: &str, domain: Vec<Coord>, values: Vec<Value>) -> Option<Coverage> {
+        if domain.is_empty() || domain.len() != values.len() {
+            return None;
+        }
+        Some(Coverage { range_property: range_property.to_string(), domain, values })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// Whether there are no samples (cannot occur for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.domain.is_empty()
+    }
+
+    /// The sample positions.
+    pub fn domain(&self) -> &[Coord] {
+        &self.domain
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Spatial extent of the domain.
+    pub fn envelope(&self) -> Envelope {
+        Envelope::of_coords(&self.domain).expect("non-empty by construction")
+    }
+
+    /// Nearest-neighbour evaluation at an arbitrary position.
+    pub fn evaluate(&self, at: &Coord) -> &Value {
+        let (idx, _) = self
+            .domain
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.distance_2d(at)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+            .expect("non-empty by construction");
+        &self.values[idx]
+    }
+
+    /// Mean of the numeric range values (ignores non-numeric samples);
+    /// `None` when no sample is numeric.
+    pub fn mean(&self) -> Option<f64> {
+        let nums: Vec<f64> = self.values.iter().filter_map(Value::as_f64).collect();
+        if nums.is_empty() {
+            return None;
+        }
+        Some(nums.iter().sum::<f64>() / nums.len() as f64)
+    }
+
+    /// Minimum and maximum of numeric range values.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        let mut it = self.values.iter().filter_map(Value::as_f64);
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v))))
+    }
+
+    /// Samples whose position falls inside `env`.
+    pub fn samples_in(&self, env: &Envelope) -> Vec<(&Coord, &Value)> {
+        self.domain
+            .iter()
+            .zip(&self.values)
+            .filter(|(c, _)| env.contains(c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor_grid() -> Coverage {
+        // A 2×2 grid of temperature sensors.
+        Coverage::new(
+            "temperature",
+            vec![
+                Coord::xy(0.0, 0.0),
+                Coord::xy(10.0, 0.0),
+                Coord::xy(0.0, 10.0),
+                Coord::xy(10.0, 10.0),
+            ],
+            vec![
+                Value::Double(20.0),
+                Value::Double(22.0),
+                Value::Double(24.0),
+                Value::Double(30.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        assert!(Coverage::new("t", vec![], vec![]).is_none());
+        assert!(Coverage::new("t", vec![Coord::xy(0.0, 0.0)], vec![]).is_none());
+        assert!(
+            Coverage::new("t", vec![Coord::xy(0.0, 0.0)], vec![Value::Integer(1)]).is_some()
+        );
+    }
+
+    #[test]
+    fn nearest_neighbour_evaluation() {
+        let c = sensor_grid();
+        assert_eq!(c.evaluate(&Coord::xy(1.0, 1.0)), &Value::Double(20.0));
+        assert_eq!(c.evaluate(&Coord::xy(9.0, 9.0)), &Value::Double(30.0));
+        assert_eq!(c.evaluate(&Coord::xy(9.0, 1.0)), &Value::Double(22.0));
+    }
+
+    #[test]
+    fn statistics() {
+        let c = sensor_grid();
+        assert_eq!(c.mean(), Some(24.0));
+        assert_eq!(c.min_max(), Some((20.0, 30.0)));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn qualitative_values_allowed() {
+        // "quantitative or qualitative properties".
+        let c = Coverage::new(
+            "landuse",
+            vec![Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)],
+            vec![Value::from("residential"), Value::from("industrial")],
+        )
+        .unwrap();
+        assert_eq!(c.mean(), None);
+        assert_eq!(c.evaluate(&Coord::xy(0.9, 0.9)).as_str(), Some("industrial"));
+    }
+
+    #[test]
+    fn spatial_queries() {
+        let c = sensor_grid();
+        assert_eq!(c.envelope().area(), 100.0);
+        let window = Envelope::new(Coord::xy(-1.0, -1.0), Coord::xy(5.0, 5.0));
+        assert_eq!(c.samples_in(&window).len(), 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! `grdf:Feature` — "an application object such as 'landfill' and
+//! 'building'" (§3.3.1) — and feature collections.
+
+use grdf_geometry::envelope::Envelope;
+use grdf_geometry::geometry::Geometry;
+
+use crate::bounding::BoundingShape;
+use crate::value::Value;
+
+/// A typed application object with properties, geometry and extent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feature {
+    /// The feature's IRI.
+    pub iri: String,
+    /// Its application type — a full IRI, or a local name resolved against
+    /// the `app:` namespace by the codec (e.g. `ChemSite`).
+    pub feature_type: String,
+    /// Domain properties in insertion order (property IRI/local name,
+    /// value). A property may repeat.
+    pub properties: Vec<(String, Value)>,
+    /// Concrete geometry, when any.
+    pub geometry: Option<Geometry>,
+    /// Extent (`grdf:isBoundedBy`).
+    pub bounded_by: BoundingShape,
+    /// The CRS of coordinates (`grdf:srsName`).
+    pub srs_name: Option<String>,
+}
+
+impl Feature {
+    /// New feature with no properties and an unknown extent.
+    pub fn new(iri: &str, feature_type: &str) -> Feature {
+        Feature {
+            iri: iri.to_string(),
+            feature_type: feature_type.to_string(),
+            properties: Vec::new(),
+            geometry: None,
+            bounded_by: BoundingShape::unknown(),
+            srs_name: None,
+        }
+    }
+
+    /// Add a property (builder style).
+    pub fn with_property(mut self, name: &str, value: impl Into<Value>) -> Feature {
+        self.set_property(name, value);
+        self
+    }
+
+    /// Add a property.
+    pub fn set_property(&mut self, name: &str, value: impl Into<Value>) {
+        self.properties.push((name.to_string(), value.into()));
+    }
+
+    /// First value of a property.
+    pub fn property(&self, name: &str) -> Option<&Value> {
+        self.properties.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// All values of a property.
+    pub fn property_values(&self, name: &str) -> Vec<&Value> {
+        self.properties.iter().filter(|(n, _)| n == name).map(|(_, v)| v).collect()
+    }
+
+    /// Attach geometry and refresh the envelope-based extent.
+    pub fn set_geometry(&mut self, g: Geometry) {
+        if let Some(env) = g.envelope() {
+            if self.bounded_by.is_null() {
+                self.bounded_by = BoundingShape::Envelope(env);
+            }
+        }
+        self.geometry = Some(g);
+    }
+
+    /// The effective spatial extent: explicit bound, else the geometry's.
+    pub fn envelope(&self) -> Option<Envelope> {
+        self.bounded_by
+            .envelope()
+            .copied()
+            .or_else(|| self.geometry.as_ref().and_then(Geometry::envelope))
+    }
+}
+
+/// A collection of features — itself conceptually a feature in GML/GRDF.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureCollection {
+    /// Members in order.
+    pub features: Vec<Feature>,
+}
+
+impl FeatureCollection {
+    /// Empty collection.
+    pub fn new() -> FeatureCollection {
+        FeatureCollection::default()
+    }
+
+    /// Add a member.
+    pub fn push(&mut self, f: Feature) {
+        self.features.push(f);
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether there are no members.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Find a member by IRI.
+    pub fn find(&self, iri: &str) -> Option<&Feature> {
+        self.features.iter().find(|f| f.iri == iri)
+    }
+
+    /// Union envelope of all members with extents.
+    pub fn envelope(&self) -> Option<Envelope> {
+        self.features
+            .iter()
+            .filter_map(Feature::envelope)
+            .reduce(|a, b| a.union(&b))
+    }
+
+    /// Members whose extent intersects `query`.
+    pub fn in_envelope(&self, query: &Envelope) -> Vec<&Feature> {
+        self.features
+            .iter()
+            .filter(|f| f.envelope().is_some_and(|e| e.intersects(query)))
+            .collect()
+    }
+
+    /// Members of a given type.
+    pub fn of_type(&self, feature_type: &str) -> Vec<&Feature> {
+        self.features.iter().filter(|f| f.feature_type == feature_type).collect()
+    }
+}
+
+impl FromIterator<Feature> for FeatureCollection {
+    fn from_iter<I: IntoIterator<Item = Feature>>(iter: I) -> Self {
+        FeatureCollection { features: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_geometry::coord::Coord;
+    use grdf_geometry::primitives::{LineString, Point};
+
+    #[test]
+    fn properties_accumulate_and_repeat() {
+        let mut f = Feature::new("urn:f1", "ChemSite");
+        f.set_property("hasChemName", "Sulfuric Acid");
+        f.set_property("hasChemName", "Chlorine");
+        f.set_property("hasSiteId", 4221i64);
+        assert_eq!(f.property("hasSiteId"), Some(&Value::Integer(4221)));
+        assert_eq!(f.property_values("hasChemName").len(), 2);
+        assert_eq!(f.property("missing"), None);
+    }
+
+    #[test]
+    fn geometry_sets_extent() {
+        let mut f = Feature::new("urn:f1", "Stream");
+        assert!(f.envelope().is_none());
+        f.set_geometry(
+            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(10.0, 5.0)]).unwrap().into(),
+        );
+        let env = f.envelope().unwrap();
+        assert_eq!(env.max, Coord::xy(10.0, 5.0));
+        assert!(!f.bounded_by.is_null());
+    }
+
+    #[test]
+    fn explicit_bound_wins_over_geometry() {
+        let mut f = Feature::new("urn:f1", "Site");
+        f.bounded_by = BoundingShape::Envelope(Envelope::new(
+            Coord::xy(-5.0, -5.0),
+            Coord::xy(5.0, 5.0),
+        ));
+        f.set_geometry(Point::new(1.0, 1.0).into());
+        assert_eq!(f.envelope().unwrap().area(), 100.0);
+    }
+
+    #[test]
+    fn collection_queries() {
+        let mut c = FeatureCollection::new();
+        let mut a = Feature::new("urn:a", "Stream");
+        a.set_geometry(Point::new(0.0, 0.0).into());
+        let mut b = Feature::new("urn:b", "ChemSite");
+        b.set_geometry(Point::new(10.0, 10.0).into());
+        c.push(a);
+        c.push(b);
+        assert_eq!(c.len(), 2);
+        assert!(c.find("urn:a").is_some());
+        assert!(c.find("urn:z").is_none());
+        assert_eq!(c.of_type("Stream").len(), 1);
+        let q = Envelope::new(Coord::xy(-1.0, -1.0), Coord::xy(1.0, 1.0));
+        assert_eq!(c.in_envelope(&q).len(), 1);
+        let full = c.envelope().unwrap();
+        assert_eq!(full.max, Coord::xy(10.0, 10.0));
+    }
+
+    #[test]
+    fn builder_style() {
+        let f = Feature::new("urn:f", "T")
+            .with_property("a", 1i64)
+            .with_property("b", "x");
+        assert_eq!(f.properties.len(), 2);
+    }
+
+    #[test]
+    fn collection_from_iterator() {
+        let c: FeatureCollection =
+            (0..3).map(|i| Feature::new(&format!("urn:f{i}"), "T")).collect();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(c.envelope().is_none(), "no extents yet");
+    }
+}

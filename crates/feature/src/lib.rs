@@ -1,0 +1,39 @@
+//! The GRDF feature model (paper §4) and the supporting types of §3.3.
+//!
+//! "A feature is a concrete object belonging to a particular domain. A
+//! complex object builds on smaller features. A feature is defined using
+//! the 'Feature' class and usually associated with its extent through
+//! properties." This crate provides:
+//!
+//! * [`feature`] — [`feature::Feature`] and [`feature::FeatureCollection`]:
+//!   typed application objects with properties, geometry and extent.
+//! * [`bounding`] — `BoundingShape`: `Envelope`,
+//!   `EnvelopeWithTimePeriod`, or `Null` ("a value of GRDF:Null will appear
+//!   if an extent is not applicable or not available").
+//! * [`time`] — `TimeObject` (§3.3.7): instants and periods with an
+//!   ISO-8601 subset parser (no external time crates).
+//! * [`value`] — `Value` (§3.3.4): "an aggregate concept for real-world
+//!   values assignable to feature properties".
+//! * [`observation`] — `Observation` (§3.3.5): "recording/observing of a
+//!   feature. Observation itself is a Feature type."
+//! * [`coverage`] — `Coverage` (§3.3.8): "the distribution of some
+//!   quantitative or qualitative properties of an arbitrary object", e.g. a
+//!   series of sensor temperatures.
+//! * [`rdf_codec`] — encoding features to GRDF RDF triples and decoding
+//!   them back (the shape shown in the paper's Lists 6–7).
+
+pub mod bounding;
+pub mod coverage;
+pub mod feature;
+pub mod observation;
+pub mod rdf_codec;
+pub mod time;
+pub mod value;
+
+pub use bounding::BoundingShape;
+pub use coverage::Coverage;
+pub use feature::{Feature, FeatureCollection};
+pub use observation::Observation;
+pub use rdf_codec::{decode_feature, decode_features, encode_feature};
+pub use time::{TimeInstant, TimeObject, TimePeriod};
+pub use value::Value;

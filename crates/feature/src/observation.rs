@@ -1,0 +1,99 @@
+//! `grdf:Observation` (§3.3.5): "represents recording/observing of a
+//! feature. Observation itself is a Feature type and therefore can be used
+//! as such in a transaction that accepts a Feature type."
+
+use crate::feature::Feature;
+use crate::time::TimeObject;
+use crate::value::Value;
+
+/// An observation of a target feature at a time, producing a result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// The observation *is a* feature (per the paper); its IRI, type and
+    /// extra properties live here.
+    pub feature: Feature,
+    /// IRI of the observed feature.
+    pub target: String,
+    /// When the observation was made.
+    pub time: TimeObject,
+    /// The recorded result.
+    pub result: Value,
+    /// What was measured (free-form, e.g. `turbidity`, `ph`).
+    pub observed_property: String,
+}
+
+impl Observation {
+    /// Create an observation; the carrier feature is typed
+    /// `grdf:Observation`-compatible (`Observation` local name).
+    pub fn new(
+        iri: &str,
+        target: &str,
+        time: TimeObject,
+        observed_property: &str,
+        result: Value,
+    ) -> Observation {
+        Observation {
+            feature: Feature::new(iri, "Observation"),
+            target: target.to_string(),
+            time,
+            result,
+            observed_property: observed_property.to_string(),
+        }
+    }
+
+    /// Convert into the carrier feature with the observation facts folded
+    /// in as properties — this is what "Observation is a Feature" buys: any
+    /// transaction that accepts features accepts observations.
+    pub fn into_feature(mut self) -> Feature {
+        self.feature.set_property("observedFeature", Value::Uri(self.target.clone()));
+        self.feature.set_property("observedProperty", self.observed_property.as_str());
+        self.feature
+            .set_property("phenomenonTime", Value::Time(self.time.begin()));
+        if self.time.end() != self.time.begin() {
+            self.feature
+                .set_property("phenomenonTimeEnd", Value::Time(self.time.end()));
+        }
+        self.feature.set_property("result", self.result.clone());
+        self.feature
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{TimeInstant, TimePeriod};
+
+    #[test]
+    fn instant_observation_folds_to_feature() {
+        let t = TimeInstant::parse("2026-07-06T08:00:00Z").unwrap();
+        let obs = Observation::new(
+            "urn:obs1",
+            "urn:stream7",
+            TimeObject::Instant(t),
+            "turbidity",
+            Value::Double(4.2),
+        );
+        let f = obs.into_feature();
+        assert_eq!(f.feature_type, "Observation");
+        assert_eq!(f.property("observedFeature"), Some(&Value::Uri("urn:stream7".into())));
+        assert_eq!(f.property("result"), Some(&Value::Double(4.2)));
+        assert_eq!(f.property("phenomenonTime"), Some(&Value::Time(t)));
+        assert!(f.property("phenomenonTimeEnd").is_none(), "instants have no end");
+    }
+
+    #[test]
+    fn period_observation_keeps_both_bounds() {
+        let begin = TimeInstant::from_epoch(100);
+        let end = TimeInstant::from_epoch(200);
+        let obs = Observation::new(
+            "urn:obs2",
+            "urn:site",
+            TimeObject::Period(TimePeriod::new(begin, end).unwrap()),
+            "discharge",
+            Value::Integer(7),
+        );
+        let f = obs.into_feature();
+        assert_eq!(f.property("phenomenonTime"), Some(&Value::Time(begin)));
+        assert_eq!(f.property("phenomenonTimeEnd"), Some(&Value::Time(end)));
+    }
+}

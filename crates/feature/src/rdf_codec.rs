@@ -1,0 +1,420 @@
+//! Encoding features as GRDF triples and decoding them back.
+//!
+//! The triple shape mirrors the paper's Lists 6–7:
+//!
+//! ```text
+//! app:NTEnergy  a app:ChemSite ;
+//!     app:hasSiteName "North Texas Energy" ;
+//!     grdf:hasGeometry [ a grdf:LineString ;
+//!                        grdf:srsName  "http://…/TX83-NCF" ;
+//!                        grdf:coordinates "2533822.17,7108248.82 …" ;
+//!                        grdf:asWKT    "LINESTRING (…)" ] ;
+//!     grdf:isBoundedBy [ a grdf:Envelope ; grdf:coordinates "…" ] .
+//! ```
+//!
+//! Round-trip fidelity: exact for the WKT subset (Point, LineString,
+//! Polygon, MultiPoint, MultiCurve); other geometry kinds are encoded by
+//! envelope (documented substitution — DESIGN.md §2).
+
+use grdf_geometry::coord::{format_coord_list, parse_coord_list, Coord};
+use grdf_geometry::envelope::Envelope;
+use grdf_geometry::geometry::Geometry;
+use grdf_geometry::wkt;
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::{Literal, Term};
+use grdf_rdf::vocab::{grdf as ns, rdf};
+
+use crate::bounding::BoundingShape;
+use crate::feature::{Feature, FeatureCollection};
+use crate::time::{TimeInstant, TimePeriod};
+use crate::value::Value;
+
+/// Resolve a feature-type or property name to a full IRI (local names live
+/// in the `app:` namespace).
+fn resolve_app(name: &str) -> String {
+    if name.contains("://") || name.starts_with("urn:") {
+        name.to_string()
+    } else {
+        ns::app(name)
+    }
+}
+
+/// Compact an IRI back to a local name when it is in the `app:` namespace.
+fn compact_app(iri: &str) -> String {
+    iri.strip_prefix(ns::APP_NS).map(str::to_string).unwrap_or_else(|| iri.to_string())
+}
+
+/// Encode one feature into `graph`; returns the subject term.
+pub fn encode_feature(graph: &mut Graph, feature: &Feature) -> Term {
+    let subject = Term::iri(&feature.iri);
+    graph.add(
+        subject.clone(),
+        Term::iri(rdf::TYPE),
+        Term::iri(&resolve_app(&feature.feature_type)),
+    );
+    // Every GRDF feature is also a grdf:Feature.
+    graph.add(subject.clone(), Term::iri(rdf::TYPE), Term::iri(&ns::iri("Feature")));
+
+    for (prop, value) in &feature.properties {
+        let p = Term::iri(&resolve_app(prop));
+        for t in value.to_terms() {
+            graph.add(subject.clone(), p.clone(), t);
+        }
+    }
+
+    if let Some(geom) = &feature.geometry {
+        let gnode = graph.fresh_blank();
+        graph.add(subject.clone(), Term::iri(&ns::iri("hasGeometry")), gnode.clone());
+        graph.add(
+            gnode.clone(),
+            Term::iri(rdf::TYPE),
+            Term::iri(&ns::iri(geom.class_name())),
+        );
+        if let Some(srs) = &feature.srs_name {
+            graph.add(gnode.clone(), Term::iri(&ns::iri("srsName")), Term::string(srs));
+        }
+        graph.add(
+            gnode.clone(),
+            Term::iri(&ns::iri("asWKT")),
+            Term::string(&wkt::to_wkt(geom)),
+        );
+        if let Some(coords) = flat_coords(geom) {
+            graph.add(
+                gnode,
+                Term::iri(&ns::iri("coordinates")),
+                Term::string(&format_coord_list(&coords)),
+            );
+        }
+    }
+
+    encode_bounding(graph, &subject, &feature.bounded_by, feature.srs_name.as_deref());
+    subject
+}
+
+fn encode_bounding(graph: &mut Graph, subject: &Term, b: &BoundingShape, srs: Option<&str>) {
+    let p_bounded = Term::iri(&ns::iri("isBoundedBy"));
+    match b {
+        BoundingShape::Null(reason) => {
+            let node = graph.fresh_blank();
+            graph.add(subject.clone(), p_bounded, node.clone());
+            graph.add(node.clone(), Term::iri(rdf::TYPE), Term::iri(&ns::iri("Null")));
+            graph.add(node, Term::iri(&ns::iri("nullReason")), Term::string(reason));
+        }
+        BoundingShape::Envelope(env) => {
+            let node = encode_envelope(graph, env, srs, "Envelope");
+            graph.add(subject.clone(), p_bounded, node);
+        }
+        BoundingShape::EnvelopeWithTimePeriod(env, period) => {
+            let node = encode_envelope(graph, env, srs, "EnvelopeWithTimePeriod");
+            // List 3: exactly two grdf:hasTimePosition values.
+            for t in [period.begin, period.end] {
+                graph.add(
+                    node.clone(),
+                    Term::iri(&ns::iri("hasTimePosition")),
+                    Term::Literal(Literal::date_time(&t.to_iso8601())),
+                );
+            }
+            graph.add(subject.clone(), p_bounded, node);
+        }
+    }
+}
+
+fn encode_envelope(graph: &mut Graph, env: &Envelope, srs: Option<&str>, class: &str) -> Term {
+    let node = graph.fresh_blank();
+    graph.add(node.clone(), Term::iri(rdf::TYPE), Term::iri(&ns::iri(class)));
+    if let Some(srs) = srs {
+        graph.add(node.clone(), Term::iri(&ns::iri("srsName")), Term::string(srs));
+    }
+    graph.add(
+        node.clone(),
+        Term::iri(&ns::iri("coordinates")),
+        Term::string(&format_coord_list(&[env.min, env.max])),
+    );
+    node
+}
+
+/// Coordinates for the `grdf:coordinates` literal (primitive shapes only).
+fn flat_coords(g: &Geometry) -> Option<Vec<Coord>> {
+    match g {
+        Geometry::Point(p) => Some(vec![p.coord]),
+        Geometry::LineString(l) => Some(l.coords.clone()),
+        Geometry::Ring(r) => Some(r.coords.clone()),
+        Geometry::Polygon(p) => Some(p.exterior.coords.clone()),
+        _ => None,
+    }
+}
+
+/// Decode the feature rooted at `subject` from `graph`; `None` when the
+/// subject has no `app:`/typed description.
+pub fn decode_feature(graph: &Graph, subject: &Term) -> Option<Feature> {
+    let types = graph.objects(subject, &Term::iri(rdf::TYPE));
+    // The application type is any non-grdf, non-blank type.
+    let app_type = types.iter().find_map(|t| {
+        let iri = t.as_iri()?;
+        (!iri.starts_with(ns::NS)
+            && !iri.starts_with(grdf_rdf::vocab::owl::NS)
+            && !iri.starts_with(grdf_rdf::vocab::rdfs::NS))
+        .then(|| compact_app(iri))
+    })?;
+
+    let iri = subject.as_iri()?.to_string();
+    let mut feature = Feature::new(&iri, &app_type);
+
+    for t in graph.match_pattern(Some(subject), None, None) {
+        let Some(pred) = t.predicate.as_iri() else { continue };
+        if pred == rdf::TYPE {
+            continue;
+        }
+        if pred == ns::iri("hasGeometry") {
+            if let Some((geom, srs)) = decode_geometry(graph, &t.object) {
+                feature.srs_name = srs.or(feature.srs_name);
+                feature.geometry = Some(geom);
+            }
+            continue;
+        }
+        if pred == ns::iri("isBoundedBy") {
+            if let Some(b) = decode_bounding(graph, &t.object) {
+                feature.bounded_by = b;
+            }
+            continue;
+        }
+        if pred.starts_with(ns::NS) {
+            continue; // other grdf-internal bookkeeping
+        }
+        feature
+            .properties
+            .push((compact_app(pred), Value::from_term(&t.object)));
+    }
+    Some(feature)
+}
+
+fn decode_geometry(graph: &Graph, node: &Term) -> Option<(Geometry, Option<String>)> {
+    let srs = graph
+        .object(node, &Term::iri(&ns::iri("srsName")))
+        .and_then(|t| t.as_literal().map(|l| l.lexical().to_string()));
+    // Prefer WKT (full fidelity for the subset), fall back to coordinates.
+    if let Some(w) = graph.object(node, &Term::iri(&ns::iri("asWKT"))) {
+        if let Some(g) = w.as_literal().and_then(|l| wkt::parse_wkt(l.lexical())) {
+            return Some((g, srs));
+        }
+    }
+    let coords_text = graph.object(node, &Term::iri(&ns::iri("coordinates")))?;
+    let coords = parse_coord_list(coords_text.as_literal()?.lexical(), 2)?;
+    let class = graph
+        .object(node, &Term::iri(rdf::TYPE))
+        .and_then(|t| t.as_iri().map(|i| i.trim_start_matches(ns::NS).to_string()))
+        .unwrap_or_default();
+    let geom = match class.as_str() {
+        "Point" => Geometry::Point(grdf_geometry::primitives::Point::at(*coords.first()?)),
+        "Polygon" | "Ring" | "Surface" => Geometry::Polygon(
+            grdf_geometry::primitives::Polygon::new(grdf_geometry::primitives::Ring::new(
+                coords,
+            )?),
+        ),
+        _ => Geometry::LineString(grdf_geometry::primitives::LineString::new(coords)?),
+    };
+    Some((geom, srs))
+}
+
+fn decode_bounding(graph: &Graph, node: &Term) -> Option<BoundingShape> {
+    let class = graph
+        .object(node, &Term::iri(rdf::TYPE))
+        .and_then(|t| t.as_iri().map(|i| i.trim_start_matches(ns::NS).to_string()))?;
+    match class.as_str() {
+        "Null" => {
+            let reason = graph
+                .object(node, &Term::iri(&ns::iri("nullReason")))
+                .and_then(|t| t.as_literal().map(|l| l.lexical().to_string()))
+                .unwrap_or_else(|| "unknown".to_string());
+            Some(BoundingShape::Null(reason))
+        }
+        "Envelope" | "EnvelopeWithTimePeriod" => {
+            let coords_text = graph.object(node, &Term::iri(&ns::iri("coordinates")))?;
+            let coords = parse_coord_list(coords_text.as_literal()?.lexical(), 2)?;
+            if coords.len() < 2 {
+                return None;
+            }
+            let env = Envelope::new(coords[0], coords[1]);
+            if class == "Envelope" {
+                return Some(BoundingShape::Envelope(env));
+            }
+            let mut times: Vec<TimeInstant> = graph
+                .objects(node, &Term::iri(&ns::iri("hasTimePosition")))
+                .into_iter()
+                .filter_map(|t| t.as_literal().and_then(|l| TimeInstant::parse(l.lexical())))
+                .collect();
+            times.sort();
+            match times.as_slice() {
+                [begin, .., end] => Some(BoundingShape::EnvelopeWithTimePeriod(
+                    env,
+                    TimePeriod::new(*begin, *end)?,
+                )),
+                _ => Some(BoundingShape::Envelope(env)),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Decode every feature in a graph (each subject carrying an `app:` type).
+pub fn decode_features(graph: &Graph) -> FeatureCollection {
+    let mut out = FeatureCollection::new();
+    for subject in graph.all_subjects() {
+        if subject.is_blank() {
+            continue; // geometry / envelope nodes
+        }
+        if let Some(f) = decode_feature(graph, &subject) {
+            out.push(f);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_geometry::primitives::{LineString, Point, Polygon, Ring};
+
+    fn list6_feature() -> Feature {
+        // Mirrors List 6: a hydrology stream centerline.
+        let mut f = Feature::new(
+            "http://grdf.org/app#VECTOR.HYDRO_STREAMS_CENSUS_line.11070",
+            "Stream",
+        );
+        f.set_property("hasObjectID", 11070i64);
+        f.srs_name = Some("http://grdf.org/crs/TX83-NCF".to_string());
+        f.set_geometry(
+            LineString::new(vec![
+                Coord::xy(2533822.17263276, 7108248.82783879),
+                Coord::xy(2533900.5, 7108300.25),
+                Coord::xy(2534011.0, 7108352.5),
+            ])
+            .unwrap()
+            .into(),
+        );
+        f
+    }
+
+    #[test]
+    fn encode_produces_list6_shape() {
+        let mut g = Graph::new();
+        let subject = encode_feature(&mut g, &list6_feature());
+        // Typed both as app:Stream and grdf:Feature.
+        assert!(g.has(&subject, &Term::iri(rdf::TYPE), &Term::iri(&ns::app("Stream"))));
+        assert!(g.has(&subject, &Term::iri(rdf::TYPE), &Term::iri(&ns::iri("Feature"))));
+        // Property keeps its integer type.
+        let oid = g.object(&subject, &Term::iri(&ns::app("hasObjectID"))).unwrap();
+        assert_eq!(oid.as_literal().unwrap().as_integer(), Some(11070));
+        // Geometry node with class, srsName, coordinates and WKT.
+        let gnode = g.object(&subject, &Term::iri(&ns::iri("hasGeometry"))).unwrap();
+        assert!(g.has(&gnode, &Term::iri(rdf::TYPE), &Term::iri(&ns::iri("LineString"))));
+        let coords = g.object(&gnode, &Term::iri(&ns::iri("coordinates"))).unwrap();
+        assert!(coords.as_literal().unwrap().lexical().starts_with("2533822.17263276,"));
+    }
+
+    #[test]
+    fn roundtrip_linestring_feature() {
+        let f = list6_feature();
+        let mut g = Graph::new();
+        let subject = encode_feature(&mut g, &f);
+        let back = decode_feature(&g, &subject).unwrap();
+        assert_eq!(back.iri, f.iri);
+        assert_eq!(back.feature_type, "Stream");
+        assert_eq!(back.property("hasObjectID"), Some(&Value::Integer(11070)));
+        assert_eq!(back.geometry, f.geometry);
+        assert_eq!(back.srs_name, f.srs_name);
+    }
+
+    #[test]
+    fn roundtrip_point_and_polygon() {
+        for geom in [
+            Geometry::Point(Point::new(1.5, 2.5)),
+            Geometry::Polygon(Polygon::new(
+                Ring::new(vec![
+                    Coord::xy(0.0, 0.0),
+                    Coord::xy(4.0, 0.0),
+                    Coord::xy(4.0, 4.0),
+                    Coord::xy(0.0, 4.0),
+                ])
+                .unwrap(),
+            )),
+        ] {
+            let mut f = Feature::new("urn:f", "Site");
+            f.set_geometry(geom.clone());
+            let mut g = Graph::new();
+            let s = encode_feature(&mut g, &f);
+            let back = decode_feature(&g, &s).unwrap();
+            assert_eq!(back.geometry, Some(geom));
+        }
+    }
+
+    #[test]
+    fn roundtrip_null_and_temporal_extents() {
+        // Null extent.
+        let f = Feature::new("urn:n", "Thing");
+        let mut g = Graph::new();
+        let s = encode_feature(&mut g, &f);
+        let back = decode_feature(&g, &s).unwrap();
+        assert_eq!(back.bounded_by, BoundingShape::Null("unknown".into()));
+
+        // EnvelopeWithTimePeriod (List 3 shape: two time positions).
+        let mut f2 = Feature::new("urn:t", "Thing");
+        let env = Envelope::new(Coord::xy(0.0, 0.0), Coord::xy(5.0, 5.0));
+        let period = TimePeriod::new(
+            TimeInstant::parse("2020-01-01").unwrap(),
+            TimeInstant::parse("2020-06-01").unwrap(),
+        )
+        .unwrap();
+        f2.bounded_by = BoundingShape::EnvelopeWithTimePeriod(env, period);
+        let mut g2 = Graph::new();
+        let s2 = encode_feature(&mut g2, &f2);
+        // Exactly two hasTimePosition triples on the envelope node.
+        let bnode = g2.object(&s2, &Term::iri(&ns::iri("isBoundedBy"))).unwrap();
+        assert_eq!(
+            g2.objects(&bnode, &Term::iri(&ns::iri("hasTimePosition"))).len(),
+            2
+        );
+        let back2 = decode_feature(&g2, &s2).unwrap();
+        assert_eq!(back2.bounded_by, f2.bounded_by);
+    }
+
+    #[test]
+    fn decode_features_finds_all_and_skips_blanks() {
+        let mut g = Graph::new();
+        encode_feature(&mut g, &list6_feature());
+        let mut f2 = Feature::new("urn:site", "ChemSite");
+        f2.set_property("hasSiteName", "North Texas Energy");
+        encode_feature(&mut g, &f2);
+        let all = decode_features(&g);
+        assert_eq!(all.len(), 2);
+        assert!(all.find("urn:site").is_some());
+    }
+
+    #[test]
+    fn absolute_type_iris_pass_through() {
+        let f = Feature::new("urn:x", "http://other.org/vocab#Factory");
+        let mut g = Graph::new();
+        let s = encode_feature(&mut g, &f);
+        assert!(g.has(
+            &s,
+            &Term::iri(rdf::TYPE),
+            &Term::iri("http://other.org/vocab#Factory")
+        ));
+        let back = decode_feature(&g, &s).unwrap();
+        assert_eq!(back.feature_type, "http://other.org/vocab#Factory");
+    }
+
+    #[test]
+    fn composite_values_flatten_to_repeated_properties() {
+        let mut f = Feature::new("urn:c", "Site");
+        f.set_property(
+            "hasChemical",
+            Value::Composite(vec![Value::from("Sulfuric Acid"), Value::from("Chlorine")]),
+        );
+        let mut g = Graph::new();
+        let s = encode_feature(&mut g, &f);
+        assert_eq!(g.objects(&s, &Term::iri(&ns::app("hasChemical"))).len(), 2);
+        let back = decode_feature(&g, &s).unwrap();
+        assert_eq!(back.property_values("hasChemical").len(), 2);
+    }
+}

@@ -1,0 +1,316 @@
+//! Temporal types — `grdf:TimeObject` (§3.3.7): "a standardized way to
+//! capture the timing elements of a feature or observation."
+//!
+//! Implemented without external time crates: instants are seconds since the
+//! Unix epoch, converted to/from an ISO-8601 subset (`YYYY-MM-DD` and
+//! `YYYY-MM-DDTHH:MM:SS` with optional `Z`) using the proleptic Gregorian
+//! civil-day algorithm.
+
+use std::fmt;
+
+/// A point in time, seconds since 1970-01-01T00:00:00Z.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimeInstant {
+    /// Seconds since the Unix epoch (may be negative).
+    pub epoch_seconds: i64,
+}
+
+impl TimeInstant {
+    /// Instant from epoch seconds.
+    pub fn from_epoch(epoch_seconds: i64) -> TimeInstant {
+        TimeInstant { epoch_seconds }
+    }
+
+    /// Instant from calendar components (UTC).
+    pub fn from_ymd_hms(y: i64, m: u32, d: u32, hh: u32, mm: u32, ss: u32) -> Option<TimeInstant> {
+        if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return None;
+        }
+        if hh > 23 || mm > 59 || ss > 59 {
+            return None;
+        }
+        let days = days_from_civil(y, m, d);
+        Some(TimeInstant {
+            epoch_seconds: days * 86_400 + i64::from(hh) * 3600 + i64::from(mm) * 60
+                + i64::from(ss),
+        })
+    }
+
+    /// Parse an ISO-8601 subset: `YYYY-MM-DD` or `YYYY-MM-DDTHH:MM:SS`
+    /// (optional trailing `Z`).
+    pub fn parse(s: &str) -> Option<TimeInstant> {
+        let s = s.trim().trim_end_matches('Z');
+        let (date, time) = match s.split_once('T') {
+            Some((d, t)) => (d, Some(t)),
+            None => (s, None),
+        };
+        let mut dp = date.splitn(3, '-');
+        // A leading '-' would make the year part empty; negative years are
+        // out of scope.
+        let y: i64 = dp.next()?.parse().ok()?;
+        let m: u32 = dp.next()?.parse().ok()?;
+        let d: u32 = dp.next()?.parse().ok()?;
+        let (hh, mm, ss) = match time {
+            None => (0, 0, 0),
+            Some(t) => {
+                let mut tp = t.splitn(3, ':');
+                (
+                    tp.next()?.parse().ok()?,
+                    tp.next()?.parse().ok()?,
+                    tp.next().unwrap_or("0").parse().ok()?,
+                )
+            }
+        };
+        TimeInstant::from_ymd_hms(y, m, d, hh, mm, ss)
+    }
+
+    /// Calendar components `(year, month, day, hour, minute, second)` (UTC).
+    pub fn to_ymd_hms(&self) -> (i64, u32, u32, u32, u32, u32) {
+        let days = self.epoch_seconds.div_euclid(86_400);
+        let secs = self.epoch_seconds.rem_euclid(86_400);
+        let (y, m, d) = civil_from_days(days);
+        (
+            y,
+            m,
+            d,
+            (secs / 3600) as u32,
+            ((secs % 3600) / 60) as u32,
+            (secs % 60) as u32,
+        )
+    }
+
+    /// ISO-8601 rendering with a `Z` suffix.
+    pub fn to_iso8601(&self) -> String {
+        let (y, m, d, hh, mm, ss) = self.to_ymd_hms();
+        format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
+    }
+}
+
+impl fmt::Display for TimeInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_iso8601())
+    }
+}
+
+/// Days from the epoch for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // Mar=0 … Feb=11
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn is_leap(y: i64) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+fn days_in_month(y: i64, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(y) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+/// A closed time interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimePeriod {
+    /// Period start.
+    pub begin: TimeInstant,
+    /// Period end (≥ begin).
+    pub end: TimeInstant,
+}
+
+impl TimePeriod {
+    /// Build a period; `None` when `end < begin`.
+    pub fn new(begin: TimeInstant, end: TimeInstant) -> Option<TimePeriod> {
+        (end >= begin).then_some(TimePeriod { begin, end })
+    }
+
+    /// Duration in seconds.
+    pub fn duration_seconds(&self) -> i64 {
+        self.end.epoch_seconds - self.begin.epoch_seconds
+    }
+
+    /// Whether `t` falls inside (inclusive).
+    pub fn contains(&self, t: TimeInstant) -> bool {
+        t >= self.begin && t <= self.end
+    }
+
+    /// Whether two periods share any instant.
+    pub fn overlaps(&self, other: &TimePeriod) -> bool {
+        self.begin <= other.end && other.begin <= self.end
+    }
+}
+
+/// `grdf:TimeObject`: either an instant or a period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeObject {
+    /// A single instant.
+    Instant(TimeInstant),
+    /// An interval.
+    Period(TimePeriod),
+}
+
+impl TimeObject {
+    /// Earliest instant covered.
+    pub fn begin(&self) -> TimeInstant {
+        match self {
+            TimeObject::Instant(t) => *t,
+            TimeObject::Period(p) => p.begin,
+        }
+    }
+
+    /// Latest instant covered.
+    pub fn end(&self) -> TimeInstant {
+        match self {
+            TimeObject::Instant(t) => *t,
+            TimeObject::Period(p) => p.end,
+        }
+    }
+
+    /// Whether this time object intersects another.
+    pub fn intersects(&self, other: &TimeObject) -> bool {
+        self.begin() <= other.end() && other.begin() <= self.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        let t = TimeInstant::parse("1970-01-01T00:00:00Z").unwrap();
+        assert_eq!(t.epoch_seconds, 0);
+    }
+
+    #[test]
+    fn known_timestamps() {
+        // 2008-01-22 (the paper's online date) 00:00 UTC.
+        let t = TimeInstant::parse("2008-01-22").unwrap();
+        assert_eq!(t.epoch_seconds, 1_200_960_000);
+        let t2 = TimeInstant::parse("2000-03-01T12:00:00").unwrap();
+        assert_eq!(t2.epoch_seconds, 951_912_000);
+    }
+
+    #[test]
+    fn roundtrip_iso8601() {
+        for s in [
+            "1970-01-01T00:00:00Z",
+            "1999-12-31T23:59:59Z",
+            "2000-02-29T12:30:45Z",
+            "2026-07-06T08:00:00Z",
+            "1960-06-15T01:02:03Z",
+        ] {
+            let t = TimeInstant::parse(s).unwrap();
+            assert_eq!(t.to_iso8601(), s, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(TimeInstant::parse("2000-02-29").is_some(), "400-year leap");
+        assert!(TimeInstant::parse("1900-02-29").is_none(), "100-year non-leap");
+        assert!(TimeInstant::parse("2024-02-29").is_some());
+        assert!(TimeInstant::parse("2023-02-29").is_none());
+    }
+
+    #[test]
+    fn invalid_components_rejected() {
+        assert!(TimeInstant::parse("2020-13-01").is_none());
+        assert!(TimeInstant::parse("2020-00-01").is_none());
+        assert!(TimeInstant::parse("2020-04-31").is_none());
+        assert!(TimeInstant::parse("2020-01-01T24:00:00").is_none());
+        assert!(TimeInstant::parse("garbage").is_none());
+        assert!(TimeInstant::parse("2020").is_none());
+    }
+
+    #[test]
+    fn instants_order() {
+        let a = TimeInstant::parse("2020-01-01").unwrap();
+        let b = TimeInstant::parse("2020-01-02").unwrap();
+        assert!(a < b);
+        assert_eq!(b.epoch_seconds - a.epoch_seconds, 86_400);
+    }
+
+    #[test]
+    fn period_construction_and_queries() {
+        let a = TimeInstant::parse("2020-01-01").unwrap();
+        let b = TimeInstant::parse("2020-01-10").unwrap();
+        let p = TimePeriod::new(a, b).unwrap();
+        assert_eq!(p.duration_seconds(), 9 * 86_400);
+        assert!(p.contains(TimeInstant::parse("2020-01-05").unwrap()));
+        assert!(!p.contains(TimeInstant::parse("2020-02-01").unwrap()));
+        assert!(TimePeriod::new(b, a).is_none(), "reversed bounds rejected");
+    }
+
+    #[test]
+    fn period_overlap() {
+        let p1 = TimePeriod::new(
+            TimeInstant::parse("2020-01-01").unwrap(),
+            TimeInstant::parse("2020-01-10").unwrap(),
+        )
+        .unwrap();
+        let p2 = TimePeriod::new(
+            TimeInstant::parse("2020-01-10").unwrap(),
+            TimeInstant::parse("2020-01-20").unwrap(),
+        )
+        .unwrap();
+        let p3 = TimePeriod::new(
+            TimeInstant::parse("2020-02-01").unwrap(),
+            TimeInstant::parse("2020-02-02").unwrap(),
+        )
+        .unwrap();
+        assert!(p1.overlaps(&p2), "touching endpoints overlap");
+        assert!(!p1.overlaps(&p3));
+    }
+
+    #[test]
+    fn time_object_intersection() {
+        let i = TimeObject::Instant(TimeInstant::parse("2020-01-05").unwrap());
+        let p = TimeObject::Period(
+            TimePeriod::new(
+                TimeInstant::parse("2020-01-01").unwrap(),
+                TimeInstant::parse("2020-01-10").unwrap(),
+            )
+            .unwrap(),
+        );
+        assert!(i.intersects(&p));
+        assert!(p.intersects(&i));
+        let later = TimeObject::Instant(TimeInstant::parse("2021-01-01").unwrap());
+        assert!(!later.intersects(&p));
+    }
+
+    #[test]
+    fn display_matches_iso() {
+        let t = TimeInstant::parse("2026-07-06T10:30:00Z").unwrap();
+        assert_eq!(t.to_string(), "2026-07-06T10:30:00Z");
+    }
+
+    #[test]
+    fn pre_epoch_dates() {
+        let t = TimeInstant::parse("1969-12-31T23:59:59Z").unwrap();
+        assert_eq!(t.epoch_seconds, -1);
+        assert_eq!(t.to_iso8601(), "1969-12-31T23:59:59Z");
+    }
+}

@@ -1,0 +1,203 @@
+//! `grdf:Value` (§3.3.4): "an aggregate concept for real-world values
+//! assignable to feature properties … useful in encapsulating a set of
+//! concrete values (e.g., string, integer) as one object, thus enabling
+//! passing it around in a coherent fashion."
+
+use std::fmt;
+
+use grdf_rdf::term::{Literal, Term};
+use grdf_rdf::vocab::xsd;
+
+use crate::time::TimeInstant;
+
+/// A property value: concrete scalar kinds plus the aggregate form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Text.
+    String(String),
+    /// Whole number.
+    Integer(i64),
+    /// Floating point.
+    Double(f64),
+    /// Truth value.
+    Boolean(bool),
+    /// Reference to another resource.
+    Uri(String),
+    /// A time stamp.
+    Time(TimeInstant),
+    /// "A set of concrete values as one object."
+    Composite(Vec<Value>),
+}
+
+impl Value {
+    /// Convert to an RDF term (composites are not directly representable —
+    /// the codec flattens them into repeated properties; this returns the
+    /// first element's term for a composite, `None` when empty).
+    pub fn to_term(&self) -> Option<Term> {
+        match self {
+            Value::String(s) => Some(Term::string(s)),
+            Value::Integer(i) => Some(Term::integer(*i)),
+            Value::Double(d) => Some(Term::double(*d)),
+            Value::Boolean(b) => Some(Term::boolean(*b)),
+            Value::Uri(u) => Some(Term::iri(u)),
+            Value::Time(t) => Some(Term::Literal(Literal::date_time(&t.to_iso8601()))),
+            Value::Composite(vs) => vs.first().and_then(Value::to_term),
+        }
+    }
+
+    /// Every RDF term this value maps to (composites expand, recursively).
+    pub fn to_terms(&self) -> Vec<Term> {
+        match self {
+            Value::Composite(vs) => vs.iter().flat_map(Value::to_terms).collect(),
+            other => other.to_term().into_iter().collect(),
+        }
+    }
+
+    /// Reconstruct a value from an RDF term.
+    pub fn from_term(term: &Term) -> Value {
+        match term {
+            Term::Iri(iri) => Value::Uri(iri.to_string()),
+            Term::Blank(b) => Value::Uri(format!("_:{b}")),
+            Term::Literal(l) => match l.datatype() {
+                xsd::INTEGER | xsd::LONG | xsd::INT | xsd::NON_NEGATIVE_INTEGER => l
+                    .as_integer()
+                    .map(Value::Integer)
+                    .unwrap_or_else(|| Value::String(l.lexical().to_string())),
+                xsd::DOUBLE | xsd::FLOAT | xsd::DECIMAL => l
+                    .as_double()
+                    .map(Value::Double)
+                    .unwrap_or_else(|| Value::String(l.lexical().to_string())),
+                xsd::BOOLEAN => l
+                    .as_boolean()
+                    .map(Value::Boolean)
+                    .unwrap_or_else(|| Value::String(l.lexical().to_string())),
+                xsd::DATE_TIME | xsd::DATE => TimeInstant::parse(l.lexical())
+                    .map(Value::Time)
+                    .unwrap_or_else(|| Value::String(l.lexical().to_string())),
+                _ => Value::String(l.lexical().to_string()),
+            },
+        }
+    }
+
+    /// Numeric view (integers widen to doubles).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Integer(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            Value::Uri(u) => Some(u),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::String(s) => f.write_str(s),
+            Value::Integer(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Uri(u) => write!(f, "<{u}>"),
+            Value::Time(t) => write!(f, "{t}"),
+            Value::Composite(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Integer(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(d: f64) -> Value {
+        Value::Double(d)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Boolean(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_term_roundtrips() {
+        for v in [
+            Value::String("x".into()),
+            Value::Integer(7),
+            Value::Double(2.5),
+            Value::Boolean(true),
+            Value::Uri("urn:a".into()),
+            Value::Time(TimeInstant::parse("2020-01-01T00:00:00Z").unwrap()),
+        ] {
+            let t = v.to_term().unwrap();
+            assert_eq!(Value::from_term(&t), v, "roundtrip of {v}");
+        }
+    }
+
+    #[test]
+    fn composite_expands_to_terms() {
+        let v = Value::Composite(vec![
+            Value::Integer(1),
+            Value::Composite(vec![Value::Integer(2), Value::Integer(3)]),
+        ]);
+        assert_eq!(v.to_terms().len(), 3);
+        assert_eq!(v.to_term(), Some(Term::integer(1)));
+        assert_eq!(Value::Composite(vec![]).to_term(), None);
+    }
+
+    #[test]
+    fn numeric_and_string_views() {
+        assert_eq!(Value::Integer(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Double(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::String("x".into()).as_f64(), None);
+        assert_eq!(Value::String("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Uri("urn:a".into()).as_str(), Some("urn:a"));
+        assert_eq!(Value::Integer(1).as_str(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(Value::from(42i64).to_string(), "42");
+        assert_eq!(
+            Value::Composite(vec![Value::from(1i64), Value::from("a")]).to_string(),
+            "[1, a]"
+        );
+    }
+
+    #[test]
+    fn blank_terms_become_labelled_uris() {
+        let v = Value::from_term(&Term::blank("n1"));
+        assert_eq!(v, Value::Uri("_:n1".into()));
+    }
+}

@@ -1,0 +1,341 @@
+//! Planar computational geometry used across the workspace: shoelace area,
+//! centroids, distances, point-in-polygon, segment intersection, convex
+//! hull, and Douglas–Peucker simplification.
+
+use crate::coord::Coord;
+
+/// Signed (shoelace) area of a closed coordinate loop (first == last or
+/// implicitly closed); positive for counter-clockwise winding.
+pub fn shoelace(coords: &[Coord]) -> f64 {
+    if coords.len() < 3 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for i in 0..coords.len() {
+        let a = coords[i];
+        let b = coords[(i + 1) % coords.len()];
+        sum += a.x * b.y - b.x * a.y;
+    }
+    sum / 2.0
+}
+
+/// Area centroid of a closed loop; degenerate loops fall back to the vertex
+/// mean.
+pub fn ring_centroid(coords: &[Coord]) -> Coord {
+    let a = shoelace(coords);
+    if a.abs() < 1e-12 {
+        let n = coords.len().max(1) as f64;
+        let (sx, sy) = coords.iter().fold((0.0, 0.0), |(sx, sy), c| (sx + c.x, sy + c.y));
+        return Coord::xy(sx / n, sy / n);
+    }
+    let (mut cx, mut cy) = (0.0, 0.0);
+    for i in 0..coords.len() {
+        let p = coords[i];
+        let q = coords[(i + 1) % coords.len()];
+        let f = p.x * q.y - q.x * p.y;
+        cx += (p.x + q.x) * f;
+        cy += (p.y + q.y) * f;
+    }
+    Coord::xy(cx / (6.0 * a), cy / (6.0 * a))
+}
+
+/// Minimum distance from point `p` to segment `a`–`b`.
+pub fn point_segment_distance(p: &Coord, a: &Coord, b: &Coord) -> f64 {
+    let ab = (b.x - a.x, b.y - a.y);
+    let len2 = ab.0 * ab.0 + ab.1 * ab.1;
+    if len2 == 0.0 {
+        return p.distance_2d(a);
+    }
+    let t = (((p.x - a.x) * ab.0 + (p.y - a.y) * ab.1) / len2).clamp(0.0, 1.0);
+    let proj = Coord::xy(a.x + t * ab.0, a.y + t * ab.1);
+    p.distance_2d(&proj)
+}
+
+/// Ray-casting point-in-ring test; points on the boundary count as inside.
+/// `ring` may be open or closed (first == last).
+pub fn point_in_ring(p: &Coord, ring: &[Coord]) -> bool {
+    let n = ring.len();
+    if n < 3 {
+        return false;
+    }
+    // Boundary check first (makes the test deterministic on edges).
+    for i in 0..n {
+        let a = ring[i];
+        let b = ring[(i + 1) % n];
+        if point_segment_distance(p, &a, &b) < 1e-9 {
+            return true;
+        }
+    }
+    let mut inside = false;
+    let mut j = n - 1;
+    for i in 0..n {
+        let (pi, pj) = (ring[i], ring[j]);
+        if ((pi.y > p.y) != (pj.y > p.y))
+            && (p.x < (pj.x - pi.x) * (p.y - pi.y) / (pj.y - pi.y) + pi.x)
+        {
+            inside = !inside;
+        }
+        j = i;
+    }
+    inside
+}
+
+/// Whether segments `a1`–`a2` and `b1`–`b2` intersect (touching counts).
+pub fn segments_intersect(a1: &Coord, a2: &Coord, b1: &Coord, b2: &Coord) -> bool {
+    fn orient(p: &Coord, q: &Coord, r: &Coord) -> f64 {
+        (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x)
+    }
+    fn on_segment(p: &Coord, q: &Coord, r: &Coord) -> bool {
+        q.x >= p.x.min(r.x) && q.x <= p.x.max(r.x) && q.y >= p.y.min(r.y) && q.y <= p.y.max(r.y)
+    }
+    let d1 = orient(b1, b2, a1);
+    let d2 = orient(b1, b2, a2);
+    let d3 = orient(a1, a2, b1);
+    let d4 = orient(a1, a2, b2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1 == 0.0 && on_segment(b1, a1, b2))
+        || (d2 == 0.0 && on_segment(b1, a2, b2))
+        || (d3 == 0.0 && on_segment(a1, b1, a2))
+        || (d4 == 0.0 && on_segment(a1, b2, a2))
+}
+
+/// Intersection point of two segments when they properly cross.
+pub fn segment_intersection(a1: &Coord, a2: &Coord, b1: &Coord, b2: &Coord) -> Option<Coord> {
+    let d = (a2.x - a1.x) * (b2.y - b1.y) - (a2.y - a1.y) * (b2.x - b1.x);
+    if d.abs() < 1e-12 {
+        return None; // parallel or collinear
+    }
+    let t = ((b1.x - a1.x) * (b2.y - b1.y) - (b1.y - a1.y) * (b2.x - b1.x)) / d;
+    let u = ((b1.x - a1.x) * (a2.y - a1.y) - (b1.y - a1.y) * (a2.x - a1.x)) / d;
+    if (0.0..=1.0).contains(&t) && (0.0..=1.0).contains(&u) {
+        Some(Coord::xy(a1.x + t * (a2.x - a1.x), a1.y + t * (a2.y - a1.y)))
+    } else {
+        None
+    }
+}
+
+/// Whether a polyline crosses (or touches) another polyline anywhere.
+pub fn polylines_intersect(a: &[Coord], b: &[Coord]) -> bool {
+    for wa in a.windows(2) {
+        for wb in b.windows(2) {
+            if segments_intersect(&wa[0], &wa[1], &wb[0], &wb[1]) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Andrew's monotone-chain convex hull; returns the hull counter-clockwise
+/// without repeating the first point. Inputs with < 3 points return the
+/// (deduplicated, sorted) input.
+pub fn convex_hull(points: &[Coord]) -> Vec<Coord> {
+    let mut pts: Vec<Coord> = points.to_vec();
+    pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    pts.dedup_by(|a, b| a.approx_eq(b, 1e-12));
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+    let mut hull: Vec<Coord> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 {
+            let q = hull[hull.len() - 1];
+            let r = hull[hull.len() - 2];
+            if r.cross(&q, &p) <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len {
+            let q = hull[hull.len() - 1];
+            let r = hull[hull.len() - 2];
+            if r.cross(&q, &p) <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+/// Douglas–Peucker polyline simplification with tolerance `eps`.
+pub fn simplify(coords: &[Coord], eps: f64) -> Vec<Coord> {
+    if coords.len() < 3 {
+        return coords.to_vec();
+    }
+    let mut keep = vec![false; coords.len()];
+    keep[0] = true;
+    keep[coords.len() - 1] = true;
+    let mut stack = vec![(0usize, coords.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut best, mut best_d) = (lo, -1.0f64);
+        for i in (lo + 1)..hi {
+            let d = point_segment_distance(&coords[i], &coords[lo], &coords[hi]);
+            if d > best_d {
+                best = i;
+                best_d = d;
+            }
+        }
+        if best_d > eps {
+            keep[best] = true;
+            stack.push((lo, best));
+            stack.push((best, hi));
+        }
+    }
+    coords
+        .iter()
+        .zip(keep)
+        .filter_map(|(c, k)| k.then_some(*c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: f64, y: f64) -> Coord {
+        Coord::xy(x, y)
+    }
+
+    #[test]
+    fn shoelace_square() {
+        let sq = [c(0.0, 0.0), c(2.0, 0.0), c(2.0, 2.0), c(0.0, 2.0)];
+        assert_eq!(shoelace(&sq), 4.0);
+        let mut cw = sq.to_vec();
+        cw.reverse();
+        assert_eq!(shoelace(&cw), -4.0);
+        assert_eq!(shoelace(&sq[..2]), 0.0);
+    }
+
+    #[test]
+    fn centroid_of_l_shape() {
+        // L-shaped hexagon: centroid must be area-weighted, not vertex mean.
+        let l = [
+            c(0.0, 0.0),
+            c(2.0, 0.0),
+            c(2.0, 1.0),
+            c(1.0, 1.0),
+            c(1.0, 2.0),
+            c(0.0, 2.0),
+        ];
+        let g = ring_centroid(&l);
+        // Two unit-area squares: (1.0,0.5) and (0.5,1.5) → mean weighted by
+        // areas 2 and 1: actually squares [0,2]x[0,1] (area 2, c=(1,.5)) and
+        // [0,1]x[1,2] (area 1, c=(.5,1.5)) → ((2*1+1*.5)/3, (2*.5+1*1.5)/3).
+        assert!(g.approx_eq(&c(2.5 / 3.0, 2.5 / 3.0), 1e-9), "{g:?}");
+    }
+
+    #[test]
+    fn degenerate_centroid_falls_back() {
+        let line = [c(0.0, 0.0), c(2.0, 0.0)];
+        assert!(ring_centroid(&line).approx_eq(&c(1.0, 0.0), 1e-9));
+    }
+
+    #[test]
+    fn point_segment_distance_cases() {
+        let a = c(0.0, 0.0);
+        let b = c(10.0, 0.0);
+        assert_eq!(point_segment_distance(&c(5.0, 2.0), &a, &b), 2.0);
+        assert_eq!(point_segment_distance(&c(-3.0, 4.0), &a, &b), 5.0);
+        assert_eq!(point_segment_distance(&c(13.0, 4.0), &a, &b), 5.0);
+        assert_eq!(point_segment_distance(&c(4.0, 0.0), &a, &a), 4.0, "zero-length segment");
+    }
+
+    #[test]
+    fn point_in_ring_basic() {
+        let sq = [c(0.0, 0.0), c(4.0, 0.0), c(4.0, 4.0), c(0.0, 4.0)];
+        assert!(point_in_ring(&c(2.0, 2.0), &sq));
+        assert!(!point_in_ring(&c(5.0, 2.0), &sq));
+        assert!(point_in_ring(&c(4.0, 2.0), &sq), "boundary is inside");
+        assert!(point_in_ring(&c(0.0, 0.0), &sq), "vertex is inside");
+    }
+
+    #[test]
+    fn point_in_concave_ring() {
+        let l = [
+            c(0.0, 0.0),
+            c(4.0, 0.0),
+            c(4.0, 1.0),
+            c(1.0, 1.0),
+            c(1.0, 4.0),
+            c(0.0, 4.0),
+        ];
+        assert!(point_in_ring(&c(0.5, 3.0), &l));
+        assert!(!point_in_ring(&c(3.0, 3.0), &l), "in the notch");
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        assert!(segments_intersect(&c(0.0, 0.0), &c(4.0, 4.0), &c(0.0, 4.0), &c(4.0, 0.0)));
+        assert!(!segments_intersect(&c(0.0, 0.0), &c(1.0, 1.0), &c(2.0, 2.0), &c(3.0, 3.0)));
+        // Touching at an endpoint counts.
+        assert!(segments_intersect(&c(0.0, 0.0), &c(2.0, 0.0), &c(2.0, 0.0), &c(3.0, 5.0)));
+        let x = segment_intersection(&c(0.0, 0.0), &c(4.0, 4.0), &c(0.0, 4.0), &c(4.0, 0.0))
+            .unwrap();
+        assert!(x.approx_eq(&c(2.0, 2.0), 1e-9));
+        assert!(segment_intersection(&c(0.0, 0.0), &c(1.0, 0.0), &c(0.0, 1.0), &c(1.0, 1.0))
+            .is_none());
+    }
+
+    #[test]
+    fn polylines_intersect_checks_all_pairs() {
+        let a = [c(0.0, 0.0), c(10.0, 0.0)];
+        let b = [c(5.0, -1.0), c(5.0, 1.0)];
+        let d = [c(5.0, 2.0), c(5.0, 3.0)];
+        assert!(polylines_intersect(&a, &b));
+        assert!(!polylines_intersect(&a, &d));
+    }
+
+    #[test]
+    fn convex_hull_square_with_interior_points() {
+        let pts = [
+            c(0.0, 0.0),
+            c(4.0, 0.0),
+            c(4.0, 4.0),
+            c(0.0, 4.0),
+            c(2.0, 2.0),
+            c(1.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(shoelace(&hull) > 0.0, "CCW hull");
+    }
+
+    #[test]
+    fn convex_hull_collinear_and_tiny() {
+        let collinear = [c(0.0, 0.0), c(1.0, 1.0), c(2.0, 2.0)];
+        let hull = convex_hull(&collinear);
+        assert_eq!(hull.len(), 2, "degenerate hull keeps the extremes");
+        assert_eq!(convex_hull(&[c(1.0, 1.0)]).len(), 1);
+    }
+
+    #[test]
+    fn simplify_drops_near_collinear_points() {
+        let line = [c(0.0, 0.0), c(1.0, 0.01), c(2.0, -0.01), c(3.0, 0.0), c(3.0, 5.0)];
+        let s = simplify(&line, 0.1);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], c(0.0, 0.0));
+        assert_eq!(s[1], c(3.0, 0.0));
+        assert_eq!(s[2], c(3.0, 5.0));
+        // Tolerance zero keeps everything.
+        assert_eq!(simplify(&line, 0.0).len(), 5);
+    }
+}

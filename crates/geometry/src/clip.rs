@@ -1,0 +1,325 @@
+//! Clipping geometry to rectangular windows — the middleware "layered
+//! view" operation in its geometric form: presenting only the portion of a
+//! stream network or site polygon that falls inside the incident window.
+//!
+//! * [`clip_segment`] — Liang–Barsky parametric segment clipping.
+//! * [`clip_polyline`] — a polyline clipped to a window, split into the
+//!   pieces that lie inside.
+//! * [`clip_polygon`] — Sutherland–Hodgman polygon clipping (convex
+//!   window).
+
+use crate::coord::Coord;
+use crate::envelope::Envelope;
+use crate::primitives::{LineString, Polygon, Ring};
+
+/// Clip segment `a`–`b` to `window` (Liang–Barsky). Returns the clipped
+/// endpoints, or `None` when the segment misses the window entirely.
+pub fn clip_segment(a: &Coord, b: &Coord, window: &Envelope) -> Option<(Coord, Coord)> {
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    let mut t0 = 0.0f64;
+    let mut t1 = 1.0f64;
+
+    // Each (p, q) pair encodes one window edge constraint p·t ≤ q.
+    let checks = [
+        (-dx, a.x - window.min.x),
+        (dx, window.max.x - a.x),
+        (-dy, a.y - window.min.y),
+        (dy, window.max.y - a.y),
+    ];
+    for (p, q) in checks {
+        if p == 0.0 {
+            if q < 0.0 {
+                return None; // parallel and outside
+            }
+        } else {
+            let r = q / p;
+            if p < 0.0 {
+                if r > t1 {
+                    return None;
+                }
+                if r > t0 {
+                    t0 = r;
+                }
+            } else {
+                if r < t0 {
+                    return None;
+                }
+                if r < t1 {
+                    t1 = r;
+                }
+            }
+        }
+    }
+    let p0 = Coord::xy(a.x + t0 * dx, a.y + t0 * dy);
+    let p1 = Coord::xy(a.x + t1 * dx, a.y + t1 * dy);
+    Some((p0, p1))
+}
+
+/// Clip a polyline to a window; returns the maximal in-window pieces (each
+/// with ≥ 2 points). Pieces are split where the line leaves the window.
+pub fn clip_polyline(line: &LineString, window: &Envelope) -> Vec<LineString> {
+    let mut pieces: Vec<Vec<Coord>> = Vec::new();
+    let mut current: Vec<Coord> = Vec::new();
+    for w in line.coords.windows(2) {
+        match clip_segment(&w[0], &w[1], window) {
+            None => {
+                if current.len() >= 2 {
+                    pieces.push(std::mem::take(&mut current));
+                } else {
+                    current.clear();
+                }
+            }
+            Some((p0, p1)) => {
+                if let Some(last) = current.last() {
+                    if !last.approx_eq(&p0, 1e-9) {
+                        // The line left the window and re-entered.
+                        if current.len() >= 2 {
+                            pieces.push(std::mem::take(&mut current));
+                        } else {
+                            current.clear();
+                        }
+                        current.push(p0);
+                    }
+                } else {
+                    current.push(p0);
+                }
+                // Avoid duplicating the shared point of touching segments.
+                if current.last().is_none_or(|l| !l.approx_eq(&p1, 1e-9)) {
+                    current.push(p1);
+                }
+            }
+        }
+    }
+    if current.len() >= 2 {
+        pieces.push(current);
+    }
+    pieces
+        .into_iter()
+        .filter_map(LineString::new)
+        .collect()
+}
+
+/// Clip a polygon's exterior ring to a rectangular window
+/// (Sutherland–Hodgman). Holes are clipped too; degenerate results drop
+/// out. Returns `None` when nothing of the polygon lies inside.
+pub fn clip_polygon(polygon: &Polygon, window: &Envelope) -> Option<Polygon> {
+    let exterior = clip_ring(&polygon.exterior, window)?;
+    let interiors = polygon
+        .interiors
+        .iter()
+        .filter_map(|h| clip_ring(h, window))
+        .collect();
+    Some(Polygon::with_holes(exterior, interiors))
+}
+
+fn clip_ring(ring: &Ring, window: &Envelope) -> Option<Ring> {
+    // Sutherland–Hodgman against each of the four window half-planes.
+    // `inside` and `intersect` per edge; subject starts as the open ring.
+    let mut subject: Vec<Coord> = ring.coords[..ring.coords.len() - 1].to_vec();
+
+    type EdgeFns = (fn(&Coord, &Envelope) -> bool, fn(&Coord, &Coord, &Envelope) -> Coord);
+    let edges: [EdgeFns; 4] = [
+        // Left: x >= min.x
+        (
+            |c, w| c.x >= w.min.x,
+            |a, b, w| intersect_vertical(a, b, w.min.x),
+        ),
+        // Right: x <= max.x
+        (
+            |c, w| c.x <= w.max.x,
+            |a, b, w| intersect_vertical(a, b, w.max.x),
+        ),
+        // Bottom: y >= min.y
+        (
+            |c, w| c.y >= w.min.y,
+            |a, b, w| intersect_horizontal(a, b, w.min.y),
+        ),
+        // Top: y <= max.y
+        (
+            |c, w| c.y <= w.max.y,
+            |a, b, w| intersect_horizontal(a, b, w.max.y),
+        ),
+    ];
+
+    for (inside, intersect) in edges {
+        if subject.is_empty() {
+            return None;
+        }
+        let mut output: Vec<Coord> = Vec::with_capacity(subject.len() + 4);
+        for i in 0..subject.len() {
+            let cur = subject[i];
+            let prev = subject[(i + subject.len() - 1) % subject.len()];
+            let cur_in = inside(&cur, window);
+            let prev_in = inside(&prev, window);
+            if cur_in {
+                if !prev_in {
+                    output.push(intersect(&prev, &cur, window));
+                }
+                output.push(cur);
+            } else if prev_in {
+                output.push(intersect(&prev, &cur, window));
+            }
+        }
+        subject = output;
+    }
+    // Remove consecutive duplicates introduced by corner touches.
+    subject.dedup_by(|a, b| a.approx_eq(b, 1e-9));
+    Ring::new(subject)
+}
+
+fn intersect_vertical(a: &Coord, b: &Coord, x: f64) -> Coord {
+    let t = (x - a.x) / (b.x - a.x);
+    Coord::xy(x, a.y + t * (b.y - a.y))
+}
+
+fn intersect_horizontal(a: &Coord, b: &Coord, y: f64) -> Coord {
+    let t = (y - a.y) / (b.y - a.y);
+    Coord::xy(a.x + t * (b.x - a.x), y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> Envelope {
+        Envelope::new(Coord::xy(0.0, 0.0), Coord::xy(10.0, 10.0))
+    }
+
+    #[test]
+    fn segment_fully_inside_unchanged() {
+        let (a, b) =
+            clip_segment(&Coord::xy(1.0, 1.0), &Coord::xy(9.0, 9.0), &window()).unwrap();
+        assert_eq!(a, Coord::xy(1.0, 1.0));
+        assert_eq!(b, Coord::xy(9.0, 9.0));
+    }
+
+    #[test]
+    fn segment_crossing_clipped_to_border() {
+        let (a, b) =
+            clip_segment(&Coord::xy(-5.0, 5.0), &Coord::xy(15.0, 5.0), &window()).unwrap();
+        assert_eq!(a, Coord::xy(0.0, 5.0));
+        assert_eq!(b, Coord::xy(10.0, 5.0));
+    }
+
+    #[test]
+    fn segment_outside_is_none() {
+        assert!(clip_segment(&Coord::xy(-5.0, -5.0), &Coord::xy(-1.0, -1.0), &window()).is_none());
+        assert!(clip_segment(&Coord::xy(20.0, 0.0), &Coord::xy(20.0, 10.0), &window()).is_none());
+    }
+
+    #[test]
+    fn diagonal_corner_cut() {
+        let (a, b) =
+            clip_segment(&Coord::xy(-2.0, 8.0), &Coord::xy(4.0, 14.0), &window()).unwrap();
+        assert!(a.approx_eq(&Coord::xy(0.0, 10.0), 1e-9), "{a:?}");
+        assert!(b.approx_eq(&Coord::xy(0.0, 10.0), 1e-9), "{b:?}");
+    }
+
+    #[test]
+    fn polyline_split_into_pieces() {
+        // Zig-zag: enters, leaves, re-enters.
+        let line = LineString::new(vec![
+            Coord::xy(-5.0, 5.0),
+            Coord::xy(5.0, 5.0),   // inside
+            Coord::xy(5.0, 15.0),  // leaves through the top
+            Coord::xy(8.0, 15.0),  // outside
+            Coord::xy(8.0, 5.0),   // re-enters
+            Coord::xy(9.0, 5.0),
+        ])
+        .unwrap();
+        let pieces = clip_polyline(&line, &window());
+        assert_eq!(pieces.len(), 2, "{pieces:?}");
+        // Each piece is fully inside the window.
+        for p in &pieces {
+            for c in &p.coords {
+                assert!(window().contains(c), "{c:?}");
+            }
+        }
+        // Total clipped length is shorter than the original.
+        let total: f64 = pieces.iter().map(LineString::length).sum();
+        assert!(total < line.length());
+    }
+
+    #[test]
+    fn polyline_fully_outside_empty() {
+        let line =
+            LineString::new(vec![Coord::xy(-5.0, -5.0), Coord::xy(-1.0, -9.0)]).unwrap();
+        assert!(clip_polyline(&line, &window()).is_empty());
+    }
+
+    #[test]
+    fn polyline_fully_inside_single_piece() {
+        let line = LineString::new(vec![
+            Coord::xy(1.0, 1.0),
+            Coord::xy(5.0, 5.0),
+            Coord::xy(9.0, 1.0),
+        ])
+        .unwrap();
+        let pieces = clip_polyline(&line, &window());
+        assert_eq!(pieces.len(), 1);
+        assert!((pieces[0].length() - line.length()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polygon_clip_halves_a_spanning_square() {
+        // A square extending past the right window edge.
+        let poly = Polygon::rectangle(Coord::xy(5.0, 2.0), Coord::xy(15.0, 8.0));
+        let clipped = clip_polygon(&poly, &window()).unwrap();
+        assert!((clipped.area() - 30.0).abs() < 1e-9, "area {}", clipped.area());
+        assert!(clipped.envelope().max.x <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn polygon_fully_inside_keeps_area() {
+        let poly = Polygon::rectangle(Coord::xy(2.0, 2.0), Coord::xy(4.0, 4.0));
+        let clipped = clip_polygon(&poly, &window()).unwrap();
+        assert!((clipped.area() - poly.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polygon_outside_is_none() {
+        let poly = Polygon::rectangle(Coord::xy(20.0, 20.0), Coord::xy(30.0, 30.0));
+        assert!(clip_polygon(&poly, &window()).is_none());
+    }
+
+    #[test]
+    fn polygon_hole_clipped_too() {
+        let outer = Ring::new(vec![
+            Coord::xy(2.0, 2.0),
+            Coord::xy(14.0, 2.0),
+            Coord::xy(14.0, 8.0),
+            Coord::xy(2.0, 8.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![
+            Coord::xy(8.0, 4.0),
+            Coord::xy(12.0, 4.0),
+            Coord::xy(12.0, 6.0),
+            Coord::xy(8.0, 6.0),
+        ])
+        .unwrap();
+        let poly = Polygon::with_holes(outer, vec![hole]);
+        let clipped = clip_polygon(&poly, &window()).unwrap();
+        // Exterior clipped to [2,10]×[2,8] = 48; hole clipped to [8,10]×[4,6] = 4.
+        assert!((clipped.area() - 44.0).abs() < 1e-9, "area {}", clipped.area());
+        assert_eq!(clipped.interiors.len(), 1);
+    }
+
+    #[test]
+    fn concave_polygon_clip() {
+        // L-shape partially outside on the left.
+        let l = Ring::new(vec![
+            Coord::xy(-4.0, 0.0),
+            Coord::xy(6.0, 0.0),
+            Coord::xy(6.0, 2.0),
+            Coord::xy(-2.0, 2.0),
+            Coord::xy(-2.0, 6.0),
+            Coord::xy(-4.0, 6.0),
+        ])
+        .unwrap();
+        let clipped = clip_polygon(&Polygon::new(l), &window()).unwrap();
+        // Only the [0,6]×[0,2] slab lies in the window.
+        assert!((clipped.area() - 12.0).abs() < 1e-9, "area {}", clipped.area());
+    }
+}

@@ -1,0 +1,256 @@
+//! Coordinate Reference Systems — `grdf:CRS`, "used to reference the
+//! decimal values of a geometric object that represent the position of the
+//! object on the Earth" (paper §3.3.6).
+//!
+//! The paper's data uses the Texas state-plane CRS (`TX83-NCF`, a Lambert
+//! projection, coordinates in US survey feet). Real projection machinery
+//! (EPSG database, datum shifts) is out of scope; this module substitutes a
+//! registry of *geographic* (lon/lat degrees) and *projected* systems whose
+//! projection is an equirectangular approximation around a named origin —
+//! enough to exercise every CRS-dependent code path (srsName bookkeeping,
+//! unit handling, reprojection before aggregation) with realistic numbers.
+
+use std::collections::HashMap;
+
+use crate::coord::Coord;
+
+/// Mean Earth radius in meters, used by the equirectangular projection.
+const EARTH_RADIUS_M: f64 = 6_371_000.0;
+/// US survey feet per meter.
+const FEET_PER_METER: f64 = 3.280_833_333;
+
+/// The kind of a CRS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrsKind {
+    /// Angular coordinates: x = longitude, y = latitude, in degrees.
+    Geographic,
+    /// Planar coordinates produced by an equirectangular projection around
+    /// `(origin_lon, origin_lat)`, scaled to the CRS's linear unit.
+    Projected {
+        /// Projection origin longitude (degrees).
+        origin_lon: f64,
+        /// Projection origin latitude (degrees).
+        origin_lat: f64,
+        /// Linear units per meter (1.0 = meters, ~3.28 = feet).
+        units_per_meter: f64,
+        /// False easting added to x, in CRS units.
+        false_easting: f64,
+        /// False northing added to y, in CRS units.
+        false_northing: f64,
+    },
+}
+
+/// A coordinate reference system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crs {
+    /// The srsName IRI used in data (e.g. `http://grdf.org/crs/TX83-NCF`).
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Kind and parameters.
+    pub kind: CrsKind,
+}
+
+impl Crs {
+    /// Project a geographic (lon, lat) coordinate into this CRS.
+    /// Geographic CRSs return the input unchanged.
+    pub fn from_lon_lat(&self, lon: f64, lat: f64) -> Coord {
+        match self.kind {
+            CrsKind::Geographic => Coord::xy(lon, lat),
+            CrsKind::Projected {
+                origin_lon,
+                origin_lat,
+                units_per_meter,
+                false_easting,
+                false_northing,
+            } => {
+                let lat0 = origin_lat.to_radians();
+                let x_m =
+                    (lon - origin_lon).to_radians() * lat0.cos() * EARTH_RADIUS_M;
+                let y_m = (lat - origin_lat).to_radians() * EARTH_RADIUS_M;
+                Coord::xy(
+                    x_m * units_per_meter + false_easting,
+                    y_m * units_per_meter + false_northing,
+                )
+            }
+        }
+    }
+
+    /// Inverse: CRS coordinate back to geographic (lon, lat).
+    pub fn to_lon_lat(&self, c: &Coord) -> (f64, f64) {
+        match self.kind {
+            CrsKind::Geographic => (c.x, c.y),
+            CrsKind::Projected {
+                origin_lon,
+                origin_lat,
+                units_per_meter,
+                false_easting,
+                false_northing,
+            } => {
+                let lat0 = origin_lat.to_radians();
+                let x_m = (c.x - false_easting) / units_per_meter;
+                let y_m = (c.y - false_northing) / units_per_meter;
+                let lon = origin_lon + (x_m / (EARTH_RADIUS_M * lat0.cos())).to_degrees();
+                let lat = origin_lat + (y_m / EARTH_RADIUS_M).to_degrees();
+                (lon, lat)
+            }
+        }
+    }
+
+    /// Length of one CRS unit in meters (0 for geographic CRSs, whose units
+    /// are angular).
+    pub fn unit_in_meters(&self) -> f64 {
+        match self.kind {
+            CrsKind::Geographic => 0.0,
+            CrsKind::Projected { units_per_meter, .. } => 1.0 / units_per_meter,
+        }
+    }
+}
+
+/// A registry of known CRSs keyed by srsName.
+#[derive(Debug, Default)]
+pub struct CrsRegistry {
+    systems: HashMap<String, Crs>,
+}
+
+/// srsName of the built-in WGS84 geographic CRS.
+pub const WGS84: &str = "http://grdf.org/crs/WGS84";
+/// srsName of the built-in Texas-North-Central-feet projected CRS — the
+/// system the paper's hydrology data (List 6) references as `TX83-NCF`.
+pub const TX83_NCF: &str = "http://grdf.org/crs/TX83-NCF";
+
+impl CrsRegistry {
+    /// Registry preloaded with [`WGS84`] and [`TX83_NCF`].
+    pub fn with_defaults() -> CrsRegistry {
+        let mut r = CrsRegistry::default();
+        r.register(Crs {
+            id: WGS84.to_string(),
+            name: "WGS 84 geographic".to_string(),
+            kind: CrsKind::Geographic,
+        });
+        // Origin near the DFW metroplex; false offsets put typical metro
+        // coordinates into the millions of feet like real TX83-NCF data
+        // (compare List 6: 2533822.17, 7108248.82).
+        r.register(Crs {
+            id: TX83_NCF.to_string(),
+            name: "Texas North Central (ft), equirectangular substitute".to_string(),
+            kind: CrsKind::Projected {
+                origin_lon: -97.0,
+                origin_lat: 32.8,
+                units_per_meter: FEET_PER_METER,
+                false_easting: 2_400_000.0,
+                false_northing: 7_000_000.0,
+            },
+        });
+        r
+    }
+
+    /// Register (or replace) a CRS.
+    pub fn register(&mut self, crs: Crs) {
+        self.systems.insert(crs.id.clone(), crs);
+    }
+
+    /// Look up a CRS by srsName.
+    pub fn get(&self, id: &str) -> Option<&Crs> {
+        self.systems.get(id)
+    }
+
+    /// Number of registered systems.
+    pub fn len(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// True when no systems are registered.
+    pub fn is_empty(&self) -> bool {
+        self.systems.is_empty()
+    }
+
+    /// Transform a coordinate from one registered CRS to another, going
+    /// through geographic coordinates. Returns `None` when either CRS is
+    /// unknown.
+    pub fn transform(&self, from: &str, to: &str, c: &Coord) -> Option<Coord> {
+        let from = self.get(from)?;
+        let to = self.get(to)?;
+        let (lon, lat) = from.to_lon_lat(c);
+        Some(to.from_lon_lat(lon, lat))
+    }
+
+    /// Transform a whole coordinate slice.
+    pub fn transform_all(&self, from: &str, to: &str, coords: &[Coord]) -> Option<Vec<Coord>> {
+        coords.iter().map(|c| self.transform(from, to, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_registered() {
+        let r = CrsRegistry::with_defaults();
+        assert_eq!(r.len(), 2);
+        assert!(r.get(WGS84).is_some());
+        assert!(r.get(TX83_NCF).is_some());
+        assert!(r.get("urn:nope").is_none());
+    }
+
+    #[test]
+    fn projection_roundtrips() {
+        let r = CrsRegistry::with_defaults();
+        let tx = r.get(TX83_NCF).unwrap();
+        let c = tx.from_lon_lat(-96.8, 32.9);
+        let (lon, lat) = tx.to_lon_lat(&c);
+        assert!((lon - -96.8).abs() < 1e-9, "{lon}");
+        assert!((lat - 32.9).abs() < 1e-9, "{lat}");
+    }
+
+    #[test]
+    fn tx_coordinates_look_like_list6() {
+        // Dallas-area point should land in the coordinate magnitude range
+        // the paper's hydrology sample shows.
+        let r = CrsRegistry::with_defaults();
+        let tx = r.get(TX83_NCF).unwrap();
+        let c = tx.from_lon_lat(-96.8, 32.9);
+        assert!(c.x > 2_400_000.0 && c.x < 2_700_000.0, "{c:?}");
+        assert!(c.y > 7_000_000.0 && c.y < 7_200_000.0, "{c:?}");
+    }
+
+    #[test]
+    fn cross_crs_transform() {
+        let r = CrsRegistry::with_defaults();
+        let geo = Coord::xy(-96.8, 32.9);
+        let projected = r.transform(WGS84, TX83_NCF, &geo).unwrap();
+        let back = r.transform(TX83_NCF, WGS84, &projected).unwrap();
+        assert!(back.approx_eq(&geo, 1e-9));
+        assert!(r.transform("urn:nope", WGS84, &geo).is_none());
+    }
+
+    #[test]
+    fn one_degree_lat_is_about_111km() {
+        let r = CrsRegistry::with_defaults();
+        let tx = r.get(TX83_NCF).unwrap();
+        let a = tx.from_lon_lat(-97.0, 32.0);
+        let b = tx.from_lon_lat(-97.0, 33.0);
+        let dist_m = a.distance_2d(&b) * tx.unit_in_meters();
+        assert!((dist_m - 111_195.0).abs() < 500.0, "{dist_m}");
+    }
+
+    #[test]
+    fn transform_all_slices() {
+        let r = CrsRegistry::with_defaults();
+        let pts = vec![Coord::xy(-96.8, 32.9), Coord::xy(-96.7, 32.95)];
+        let out = r.transform_all(WGS84, TX83_NCF, &pts).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out[0].x < out[1].x, "east increases");
+        assert!(out[0].y < out[1].y, "north increases");
+    }
+
+    #[test]
+    fn geographic_is_identity() {
+        let r = CrsRegistry::with_defaults();
+        let g = r.get(WGS84).unwrap();
+        let c = g.from_lon_lat(10.0, 20.0);
+        assert_eq!(c, Coord::xy(10.0, 20.0));
+        assert_eq!(g.unit_in_meters(), 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Axis-aligned bounding boxes — `grdf:Envelope`, "a pair of coordinates
+//! corresponding to the opposite corners of a feature" (paper §4).
+
+use crate::coord::Coord;
+
+/// An axis-aligned rectangle given by its lower-left and upper-right
+/// corners.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// Lower-left corner (minimum x and y).
+    pub min: Coord,
+    /// Upper-right corner (maximum x and y).
+    pub max: Coord,
+}
+
+impl Envelope {
+    /// Envelope from two opposite corners (any order).
+    pub fn new(a: Coord, b: Coord) -> Envelope {
+        Envelope {
+            min: Coord::xyz(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z)),
+            max: Coord::xyz(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z)),
+        }
+    }
+
+    /// Degenerate envelope containing exactly one point.
+    pub fn of_point(c: Coord) -> Envelope {
+        Envelope { min: c, max: c }
+    }
+
+    /// Smallest envelope containing all `coords`; `None` when empty.
+    pub fn of_coords(coords: &[Coord]) -> Option<Envelope> {
+        let first = *coords.first()?;
+        let mut env = Envelope::of_point(first);
+        for c in &coords[1..] {
+            env.expand_to(c);
+        }
+        Some(env)
+    }
+
+    /// Grow to include `c`.
+    pub fn expand_to(&mut self, c: &Coord) {
+        self.min.x = self.min.x.min(c.x);
+        self.min.y = self.min.y.min(c.y);
+        self.min.z = self.min.z.min(c.z);
+        self.max.x = self.max.x.max(c.x);
+        self.max.y = self.max.y.max(c.y);
+        self.max.z = self.max.z.max(c.z);
+    }
+
+    /// Smallest envelope containing both.
+    pub fn union(&self, other: &Envelope) -> Envelope {
+        let mut e = *self;
+        e.expand_to(&other.min);
+        e.expand_to(&other.max);
+        e
+    }
+
+    /// Width along x.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Planar area.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Coord {
+        self.min.midpoint(&self.max)
+    }
+
+    /// Whether `c` lies inside or on the boundary (planar test).
+    pub fn contains(&self, c: &Coord) -> bool {
+        c.x >= self.min.x && c.x <= self.max.x && c.y >= self.min.y && c.y <= self.max.y
+    }
+
+    /// Whether `other` lies entirely within this envelope.
+    pub fn contains_envelope(&self, other: &Envelope) -> bool {
+        self.contains(&other.min) && self.contains(&other.max)
+    }
+
+    /// Whether the two rectangles share any point (boundary touch counts).
+    pub fn intersects(&self, other: &Envelope) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// The overlapping rectangle, when any.
+    pub fn intersection(&self, other: &Envelope) -> Option<Envelope> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Envelope {
+            min: Coord::xy(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Coord::xy(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// Envelope expanded by `margin` on every side.
+    pub fn buffered(&self, margin: f64) -> Envelope {
+        Envelope {
+            min: Coord::xyz(self.min.x - margin, self.min.y - margin, self.min.z),
+            max: Coord::xyz(self.max.x + margin, self.max.y + margin, self.max.z),
+        }
+    }
+
+    /// Minimum planar distance from `c` to this rectangle (0 when inside).
+    pub fn distance_to(&self, c: &Coord) -> f64 {
+        let dx = (self.min.x - c.x).max(0.0).max(c.x - self.max.x);
+        let dy = (self.min.y - c.y).max(0.0).max(c.y - self.max.y);
+        dx.hypot(dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(x0: f64, y0: f64, x1: f64, y1: f64) -> Envelope {
+        Envelope::new(Coord::xy(x0, y0), Coord::xy(x1, y1))
+    }
+
+    #[test]
+    fn corners_normalize() {
+        let e = Envelope::new(Coord::xy(5.0, 1.0), Coord::xy(2.0, 7.0));
+        assert_eq!(e.min, Coord::xy(2.0, 1.0));
+        assert_eq!(e.max, Coord::xy(5.0, 7.0));
+    }
+
+    #[test]
+    fn of_coords_spans_all() {
+        let e = Envelope::of_coords(&[
+            Coord::xy(1.0, 1.0),
+            Coord::xy(-2.0, 4.0),
+            Coord::xy(3.0, 0.5),
+        ])
+        .unwrap();
+        assert_eq!(e.min, Coord::xy(-2.0, 0.5));
+        assert_eq!(e.max, Coord::xy(3.0, 4.0));
+        assert!(Envelope::of_coords(&[]).is_none());
+    }
+
+    #[test]
+    fn geometry_predicates() {
+        let a = env(0.0, 0.0, 10.0, 10.0);
+        let b = env(5.0, 5.0, 15.0, 15.0);
+        let c = env(11.0, 11.0, 12.0, 12.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.contains(&Coord::xy(10.0, 10.0)), "boundary inclusive");
+        assert!(!a.contains(&Coord::xy(10.1, 0.0)));
+        assert!(a.contains_envelope(&env(1.0, 1.0, 2.0, 2.0)));
+        assert!(!a.contains_envelope(&b));
+    }
+
+    #[test]
+    fn intersection_rectangle() {
+        let a = env(0.0, 0.0, 10.0, 10.0);
+        let b = env(5.0, 5.0, 15.0, 15.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, env(5.0, 5.0, 10.0, 10.0));
+        assert!(a.intersection(&env(20.0, 20.0, 30.0, 30.0)).is_none());
+    }
+
+    #[test]
+    fn union_area_center() {
+        let a = env(0.0, 0.0, 2.0, 2.0);
+        let b = env(4.0, 4.0, 6.0, 6.0);
+        let u = a.union(&b);
+        assert_eq!(u, env(0.0, 0.0, 6.0, 6.0));
+        assert_eq!(u.area(), 36.0);
+        assert_eq!(u.center(), Coord::xy(3.0, 3.0));
+    }
+
+    #[test]
+    fn touching_envelopes_intersect() {
+        let a = env(0.0, 0.0, 1.0, 1.0);
+        let b = env(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).unwrap().area(), 0.0);
+    }
+
+    #[test]
+    fn buffer_and_distance() {
+        let a = env(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.buffered(1.0), env(-1.0, -1.0, 3.0, 3.0));
+        assert_eq!(a.distance_to(&Coord::xy(1.0, 1.0)), 0.0);
+        assert_eq!(a.distance_to(&Coord::xy(5.0, 2.0)), 3.0);
+        assert_eq!(a.distance_to(&Coord::xy(5.0, 6.0)), 5.0);
+    }
+}

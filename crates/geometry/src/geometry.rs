@@ -1,0 +1,296 @@
+//! The [`Geometry`] sum type: every form of the GRDF geometry ontology
+//! behind one enum with shared operations.
+
+use crate::coord::Coord;
+use crate::envelope::Envelope;
+use crate::multi::{
+    CompositeCurve, CompositeSurface, GeometryComplex, MultiCurve, MultiPoint, MultiSurface,
+};
+use crate::primitives::{Curve, LineString, Point, Polygon, Ring, Solid, Surface};
+
+/// Any GRDF geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Geometry {
+    /// 0-D point.
+    Point(Point),
+    /// Polyline.
+    LineString(LineString),
+    /// Segment chain (lines/arcs).
+    Curve(Curve),
+    /// Closed loop.
+    Ring(Ring),
+    /// Patch with holes.
+    Polygon(Polygon),
+    /// Patch collection.
+    Surface(Surface),
+    /// 3-D solid.
+    Solid(Solid),
+    /// Flat point aggregate.
+    MultiPoint(MultiPoint),
+    /// Flat curve aggregate.
+    MultiCurve(MultiCurve),
+    /// Flat surface aggregate.
+    MultiSurface(MultiSurface),
+    /// Contiguous curve chain.
+    CompositeCurve(CompositeCurve),
+    /// Contiguous surface set.
+    CompositeSurface(CompositeSurface),
+    /// Arbitrary mixed aggregate.
+    Complex(GeometryComplex),
+}
+
+impl Geometry {
+    /// Topological dimension of the geometry (highest member dimension for
+    /// aggregates; `None` for an empty complex).
+    pub fn dimension(&self) -> Option<u8> {
+        match self {
+            Geometry::Point(_) | Geometry::MultiPoint(_) => Some(0),
+            Geometry::LineString(_)
+            | Geometry::Curve(_)
+            | Geometry::Ring(_)
+            | Geometry::MultiCurve(_)
+            | Geometry::CompositeCurve(_) => Some(1),
+            Geometry::Polygon(_)
+            | Geometry::Surface(_)
+            | Geometry::MultiSurface(_)
+            | Geometry::CompositeSurface(_) => Some(2),
+            Geometry::Solid(_) => Some(3),
+            Geometry::Complex(c) => c.members.iter().filter_map(Geometry::dimension).max(),
+        }
+    }
+
+    /// Bounding envelope; `None` only for empty aggregates.
+    pub fn envelope(&self) -> Option<Envelope> {
+        match self {
+            Geometry::Point(p) => Some(p.envelope()),
+            Geometry::LineString(l) => Some(l.envelope()),
+            Geometry::Curve(c) => Some(c.envelope()),
+            Geometry::Ring(r) => Some(r.envelope()),
+            Geometry::Polygon(p) => Some(p.envelope()),
+            Geometry::Surface(s) => Some(s.envelope()),
+            Geometry::Solid(s) => Some(s.envelope()),
+            Geometry::MultiPoint(m) => m.envelope(),
+            Geometry::MultiCurve(m) => m.envelope(),
+            Geometry::MultiSurface(m) => m.envelope(),
+            Geometry::CompositeCurve(c) => {
+                Envelope::of_coords(&[c.start(), c.end()]).map(|mut e| {
+                    // Conservative: also include every member's span.
+                    for m in c.members() {
+                        if let CompositeMemberEnvelope::Some(me) = member_envelope(m) {
+                            e = e.union(&me);
+                        }
+                    }
+                    e
+                })
+            }
+            Geometry::CompositeSurface(c) => Some(c.envelope()),
+            Geometry::Complex(c) => c.envelope(),
+        }
+    }
+
+    /// Number of atomic geometries (1 for primitives; recursive for
+    /// aggregates).
+    pub fn atomic_count(&self) -> usize {
+        match self {
+            Geometry::MultiPoint(m) => m.members.len(),
+            Geometry::MultiCurve(m) => m.members.len(),
+            Geometry::MultiSurface(m) => m.members.len(),
+            Geometry::CompositeCurve(c) => c.members().len(),
+            Geometry::CompositeSurface(c) => c.members().len(),
+            Geometry::Complex(c) => c.atomic_count(),
+            _ => 1,
+        }
+    }
+
+    /// The GRDF ontology class name for this geometry (used when encoding
+    /// features to RDF).
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            Geometry::Point(_) => "Point",
+            Geometry::LineString(_) => "LineString",
+            Geometry::Curve(_) => "Curve",
+            Geometry::Ring(_) => "Ring",
+            Geometry::Polygon(_) => "Polygon",
+            Geometry::Surface(_) => "Surface",
+            Geometry::Solid(_) => "Solid",
+            Geometry::MultiPoint(_) => "MultiPoint",
+            Geometry::MultiCurve(_) => "MultiCurve",
+            Geometry::MultiSurface(_) => "MultiSurface",
+            Geometry::CompositeCurve(_) => "CompositeCurve",
+            Geometry::CompositeSurface(_) => "CompositeSurface",
+            Geometry::Complex(_) => "GeometryComplex",
+        }
+    }
+
+    /// Whether the point lies on/in the geometry (2-D semantics; for 0/1-D
+    /// geometries uses a small tolerance on distance).
+    pub fn contains_point(&self, c: &Coord, tolerance: f64) -> bool {
+        match self {
+            Geometry::Point(p) => p.coord.approx_eq(c, tolerance),
+            Geometry::LineString(l) => l.distance_to(c) <= tolerance,
+            Geometry::Curve(curve) => curve.to_linestring().distance_to(c) <= tolerance,
+            Geometry::Ring(r) => r.contains(c),
+            Geometry::Polygon(p) => p.contains(c),
+            Geometry::Surface(s) => s.contains(c),
+            Geometry::Solid(s) => s.shell.iter().any(|p| p.contains(c)),
+            Geometry::MultiPoint(m) => m.members.iter().any(|p| p.coord.approx_eq(c, tolerance)),
+            Geometry::MultiCurve(m) => {
+                m.members.iter().any(|cv| cv.to_linestring().distance_to(c) <= tolerance)
+            }
+            Geometry::MultiSurface(m) => m.contains(c),
+            Geometry::CompositeCurve(cc) => cc
+                .members()
+                .iter()
+                .any(|m| match m {
+                    crate::multi::CompositeCurveMember::Curve(cv) => {
+                        cv.to_linestring().distance_to(c) <= tolerance
+                    }
+                    crate::multi::CompositeCurveMember::Composite(inner) => {
+                        Geometry::CompositeCurve(inner.clone()).contains_point(c, tolerance)
+                    }
+                }),
+            Geometry::CompositeSurface(cs) => cs.members().iter().any(|s| s.contains(c)),
+            Geometry::Complex(cx) => cx.members.iter().any(|g| g.contains_point(c, tolerance)),
+        }
+    }
+}
+
+enum CompositeMemberEnvelope {
+    Some(Envelope),
+    None,
+}
+
+fn member_envelope(m: &crate::multi::CompositeCurveMember) -> CompositeMemberEnvelope {
+    match m {
+        crate::multi::CompositeCurveMember::Curve(c) => CompositeMemberEnvelope::Some(c.envelope()),
+        crate::multi::CompositeCurveMember::Composite(c) => {
+            match Geometry::CompositeCurve(c.clone()).envelope() {
+                Some(e) => CompositeMemberEnvelope::Some(e),
+                None => CompositeMemberEnvelope::None,
+            }
+        }
+    }
+}
+
+impl From<Point> for Geometry {
+    fn from(p: Point) -> Geometry {
+        Geometry::Point(p)
+    }
+}
+
+impl From<LineString> for Geometry {
+    fn from(l: LineString) -> Geometry {
+        Geometry::LineString(l)
+    }
+}
+
+impl From<Polygon> for Geometry {
+    fn from(p: Polygon) -> Geometry {
+        Geometry::Polygon(p)
+    }
+}
+
+impl From<Surface> for Geometry {
+    fn from(s: Surface) -> Geometry {
+        Geometry::Surface(s)
+    }
+}
+
+impl From<Curve> for Geometry {
+    fn from(c: Curve) -> Geometry {
+        Geometry::Curve(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linestring(points: &[(f64, f64)]) -> LineString {
+        LineString::new(points.iter().map(|&(x, y)| Coord::xy(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn dimensions_follow_the_paper() {
+        assert_eq!(Geometry::Point(Point::new(0.0, 0.0)).dimension(), Some(0));
+        assert_eq!(
+            Geometry::LineString(linestring(&[(0.0, 0.0), (1.0, 1.0)])).dimension(),
+            Some(1)
+        );
+        assert_eq!(
+            Geometry::Polygon(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)))
+                .dimension(),
+            Some(2)
+        );
+        assert_eq!(
+            Geometry::Solid(Solid::extrude(
+                Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)),
+                2.0
+            ))
+            .dimension(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn complex_dimension_is_max_of_members() {
+        let cx = Geometry::Complex(GeometryComplex::new(vec![
+            Geometry::Point(Point::new(0.0, 0.0)),
+            Geometry::Polygon(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0))),
+        ]));
+        assert_eq!(cx.dimension(), Some(2));
+        assert_eq!(Geometry::Complex(GeometryComplex::default()).dimension(), None);
+    }
+
+    #[test]
+    fn envelopes_cover_members() {
+        let g = Geometry::MultiPoint(MultiPoint::new(vec![
+            Point::new(-1.0, -2.0),
+            Point::new(4.0, 5.0),
+        ]));
+        let env = g.envelope().unwrap();
+        assert_eq!(env.min, Coord::xy(-1.0, -2.0));
+        assert_eq!(env.max, Coord::xy(4.0, 5.0));
+        assert!(Geometry::MultiPoint(MultiPoint::default()).envelope().is_none());
+    }
+
+    #[test]
+    fn contains_point_dispatch() {
+        let line = Geometry::LineString(linestring(&[(0.0, 0.0), (10.0, 0.0)]));
+        assert!(line.contains_point(&Coord::xy(5.0, 0.05), 0.1));
+        assert!(!line.contains_point(&Coord::xy(5.0, 1.0), 0.1));
+        let poly =
+            Geometry::Polygon(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(2.0, 2.0)));
+        assert!(poly.contains_point(&Coord::xy(1.0, 1.0), 0.0));
+    }
+
+    #[test]
+    fn class_names_match_ontology() {
+        assert_eq!(Geometry::Point(Point::new(0.0, 0.0)).class_name(), "Point");
+        assert_eq!(
+            Geometry::MultiCurve(MultiCurve::default()).class_name(),
+            "MultiCurve"
+        );
+        assert_eq!(
+            Geometry::Complex(GeometryComplex::default()).class_name(),
+            "GeometryComplex"
+        );
+    }
+
+    #[test]
+    fn atomic_counts() {
+        assert_eq!(Geometry::Point(Point::new(0.0, 0.0)).atomic_count(), 1);
+        let mp = Geometry::MultiPoint(MultiPoint::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+        ]));
+        assert_eq!(mp.atomic_count(), 2);
+    }
+
+    #[test]
+    fn from_conversions() {
+        let _: Geometry = Point::new(0.0, 0.0).into();
+        let _: Geometry = linestring(&[(0.0, 0.0), (1.0, 1.0)]).into();
+        let _: Geometry = Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)).into();
+    }
+}

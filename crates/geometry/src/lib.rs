@@ -1,0 +1,48 @@
+//! The GRDF geometry model (paper §5).
+//!
+//! "A point is the most basic and indecomposable form of geometry. A curve
+//! is a one-dimensional form defined in terms of anchor points. A surface is
+//! a two-dimensional form that defines an area with three or more anchor
+//! points. The solid class denotes a three-dimensional object's shape [...]
+//! All of the forms can be defined as a singular entity or a multipart
+//! entity" — with the three multipart flavours *Multi* (bag of same base
+//! type, no nesting), *Composite* (contiguous, nesting allowed) and
+//! *Complex* (arbitrary combination), plus *Ring* (closed curve).
+//!
+//! Modules:
+//!
+//! * [`coord`] — coordinates and basic vector math.
+//! * [`envelope`] — axis-aligned bounding boxes (`grdf:Envelope`).
+//! * [`primitives`] — Point, LineString, Arc, Curve, Ring, Polygon,
+//!   Surface, Solid.
+//! * [`multi`] — Multi/Composite/Complex aggregates with the paper's
+//!   structural rules (Multi: flat; Composite: contiguous; Complex: mixed).
+//! * [`geometry`] — the [`geometry::Geometry`] sum type with shared
+//!   operations (dimension, envelope, validity, vertex count).
+//! * [`algorithms`] — planar computational geometry (length, area,
+//!   centroid, distances, point-in-polygon, segment intersection, convex
+//!   hull, polyline simplification).
+//! * [`crs`] — coordinate reference systems (`grdf:CRS`): a registry with
+//!   geographic and projected systems and transformations between them.
+//! * [`wkt`] — Well-Known-Text rendering and parsing for the primitive
+//!   shapes (used by examples and debug output).
+
+pub mod algorithms;
+pub mod clip;
+pub mod coord;
+pub mod crs;
+pub mod envelope;
+pub mod geometry;
+pub mod multi;
+pub mod primitives;
+pub mod rtree;
+pub mod wkt;
+
+pub use clip::{clip_polygon, clip_polyline, clip_segment};
+pub use coord::Coord;
+pub use crs::{Crs, CrsKind, CrsRegistry};
+pub use envelope::Envelope;
+pub use geometry::Geometry;
+pub use multi::{CompositeCurve, CompositeSurface, GeometryComplex, MultiCurve, MultiPoint, MultiSurface};
+pub use primitives::{Arc, Curve, CurveSegment, LineString, Point, Polygon, Ring, Solid, Surface};
+pub use rtree::RTree;

@@ -1,0 +1,372 @@
+//! Multipart geometries with the paper's three structural flavours (§5):
+//!
+//! * **Multi** — "composed of the same base type and no stipulation as to
+//!   their mutual relationship … does not allow nesting since it is a
+//!   straight enumeration of the individual parts."
+//! * **Composite** — "similar to Multi type except the individual parts
+//!   have to be contiguous and nesting is allowed."
+//! * **Complex** — "allows arbitrary combination of the types. The atomic
+//!   parts can be Multi type, Composite type and even Complex type."
+//!
+//! There is deliberately no `ComplexCurve`: "a curve cannot take on a
+//! non-curve form" — the type system here enforces that by construction.
+
+use crate::coord::Coord;
+use crate::envelope::Envelope;
+use crate::geometry::Geometry;
+use crate::primitives::{Curve, Point, Surface};
+
+/// Flat bag of points.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiPoint {
+    /// The member points.
+    pub members: Vec<Point>,
+}
+
+impl MultiPoint {
+    /// Build from members.
+    pub fn new(members: Vec<Point>) -> MultiPoint {
+        MultiPoint { members }
+    }
+
+    /// Bounding box over members.
+    pub fn envelope(&self) -> Option<Envelope> {
+        Envelope::of_coords(&self.members.iter().map(|p| p.coord).collect::<Vec<_>>())
+    }
+}
+
+/// Flat bag of curves (no contiguity requirement, no nesting).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiCurve {
+    /// The member curves.
+    pub members: Vec<Curve>,
+}
+
+impl MultiCurve {
+    /// Build from members.
+    pub fn new(members: Vec<Curve>) -> MultiCurve {
+        MultiCurve { members }
+    }
+
+    /// Total length over members.
+    pub fn length(&self) -> f64 {
+        self.members.iter().map(Curve::length).sum()
+    }
+
+    /// Bounding box over members.
+    pub fn envelope(&self) -> Option<Envelope> {
+        fold_envelopes(self.members.iter().map(Curve::envelope))
+    }
+}
+
+/// Flat bag of surfaces.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiSurface {
+    /// The member surfaces.
+    pub members: Vec<Surface>,
+}
+
+impl MultiSurface {
+    /// Build from members.
+    pub fn new(members: Vec<Surface>) -> MultiSurface {
+        MultiSurface { members }
+    }
+
+    /// Total area over members.
+    pub fn area(&self) -> f64 {
+        self.members.iter().map(Surface::area).sum()
+    }
+
+    /// Any member contains the point.
+    pub fn contains(&self, c: &Coord) -> bool {
+        self.members.iter().any(|s| s.contains(c))
+    }
+
+    /// Bounding box over members.
+    pub fn envelope(&self) -> Option<Envelope> {
+        fold_envelopes(self.members.iter().map(Surface::envelope))
+    }
+}
+
+/// A member of a composite curve: either a plain curve or a nested
+/// composite ("nesting is allowed").
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompositeCurveMember {
+    /// Atomic curve.
+    Curve(Curve),
+    /// Nested composite of the same base type.
+    Composite(CompositeCurve),
+}
+
+impl CompositeCurveMember {
+    fn start(&self) -> Coord {
+        match self {
+            CompositeCurveMember::Curve(c) => c.start(),
+            CompositeCurveMember::Composite(c) => c.start(),
+        }
+    }
+
+    fn end(&self) -> Coord {
+        match self {
+            CompositeCurveMember::Curve(c) => c.end(),
+            CompositeCurveMember::Composite(c) => c.end(),
+        }
+    }
+
+    fn length(&self) -> f64 {
+        match self {
+            CompositeCurveMember::Curve(c) => c.length(),
+            CompositeCurveMember::Composite(c) => c.length(),
+        }
+    }
+}
+
+/// Contiguous chain of curves; construction verifies each member starts
+/// where the previous one ends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositeCurve {
+    members: Vec<CompositeCurveMember>,
+}
+
+impl CompositeCurve {
+    /// Build a composite; `None` when empty or not contiguous (1e-9).
+    pub fn new(members: Vec<CompositeCurveMember>) -> Option<CompositeCurve> {
+        if members.is_empty() {
+            return None;
+        }
+        for w in members.windows(2) {
+            if !w[0].end().approx_eq(&w[1].start(), 1e-9) {
+                return None;
+            }
+        }
+        Some(CompositeCurve { members })
+    }
+
+    /// Convenience: composite from plain curves.
+    pub fn from_curves(curves: Vec<Curve>) -> Option<CompositeCurve> {
+        CompositeCurve::new(curves.into_iter().map(CompositeCurveMember::Curve).collect())
+    }
+
+    /// The members.
+    pub fn members(&self) -> &[CompositeCurveMember] {
+        &self.members
+    }
+
+    /// Start of the chain.
+    pub fn start(&self) -> Coord {
+        self.members[0].start()
+    }
+
+    /// End of the chain.
+    pub fn end(&self) -> Coord {
+        self.members.last().expect("non-empty").end()
+    }
+
+    /// Total length.
+    pub fn length(&self) -> f64 {
+        self.members.iter().map(CompositeCurveMember::length).sum()
+    }
+
+    /// Depth of nesting (1 when all members are atomic).
+    pub fn nesting_depth(&self) -> usize {
+        1 + self
+            .members
+            .iter()
+            .map(|m| match m {
+                CompositeCurveMember::Curve(_) => 0,
+                CompositeCurveMember::Composite(c) => c.nesting_depth(),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Contiguous set of surfaces: every member must share boundary extent with
+/// the union of the previous ones (checked via envelope adjacency — a
+/// pragmatic contiguity test for rectilinear data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositeSurface {
+    members: Vec<Surface>,
+}
+
+impl CompositeSurface {
+    /// Build; `None` when empty or a member is disconnected from all
+    /// members before it.
+    pub fn new(members: Vec<Surface>) -> Option<CompositeSurface> {
+        if members.is_empty() {
+            return None;
+        }
+        for i in 1..members.len() {
+            let env = members[i].envelope();
+            let touches_any =
+                members[..i].iter().any(|m| m.envelope().intersects(&env));
+            if !touches_any {
+                return None;
+            }
+        }
+        Some(CompositeSurface { members })
+    }
+
+    /// The members.
+    pub fn members(&self) -> &[Surface] {
+        &self.members
+    }
+
+    /// Total area.
+    pub fn area(&self) -> f64 {
+        self.members.iter().map(Surface::area).sum()
+    }
+
+    /// Bounding box.
+    pub fn envelope(&self) -> Envelope {
+        fold_envelopes(self.members.iter().map(Surface::envelope)).expect("non-empty")
+    }
+}
+
+/// "A Complex type is the most involved of the three because it allows
+/// arbitrary combination of the types" — a geometry complex holds any mix
+/// of geometries, including other complexes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GeometryComplex {
+    /// Arbitrary members.
+    pub members: Vec<Geometry>,
+}
+
+impl GeometryComplex {
+    /// Build from members.
+    pub fn new(members: Vec<Geometry>) -> GeometryComplex {
+        GeometryComplex { members }
+    }
+
+    /// Number of atomic (non-aggregate) geometries, recursively.
+    pub fn atomic_count(&self) -> usize {
+        self.members.iter().map(Geometry::atomic_count).sum()
+    }
+
+    /// Bounding box over all members.
+    pub fn envelope(&self) -> Option<Envelope> {
+        fold_envelopes(self.members.iter().filter_map(Geometry::envelope))
+    }
+}
+
+fn fold_envelopes<I: IntoIterator<Item = Envelope>>(iter: I) -> Option<Envelope> {
+    iter.into_iter().reduce(|a, b| a.union(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::{LineString, Polygon};
+
+    fn line(points: &[(f64, f64)]) -> Curve {
+        Curve::from_linestring(
+            LineString::new(points.iter().map(|&(x, y)| Coord::xy(x, y)).collect()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn multi_point_envelope() {
+        let mp = MultiPoint::new(vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)]);
+        let env = mp.envelope().unwrap();
+        assert_eq!(env.max, Coord::xy(3.0, 4.0));
+        assert!(MultiPoint::default().envelope().is_none());
+    }
+
+    #[test]
+    fn multi_curve_no_contiguity_needed() {
+        let mc = MultiCurve::new(vec![
+            line(&[(0.0, 0.0), (1.0, 0.0)]),
+            line(&[(10.0, 10.0), (10.0, 12.0)]),
+        ]);
+        assert_eq!(mc.length(), 3.0);
+        assert!(mc.envelope().unwrap().contains(&Coord::xy(10.0, 11.0)));
+    }
+
+    #[test]
+    fn composite_curve_requires_contiguity() {
+        let ok = CompositeCurve::from_curves(vec![
+            line(&[(0.0, 0.0), (1.0, 0.0)]),
+            line(&[(1.0, 0.0), (2.0, 2.0)]),
+        ]);
+        assert!(ok.is_some());
+        assert_eq!(ok.unwrap().length(), 1.0 + (1.0f64 + 4.0).sqrt());
+
+        let broken = CompositeCurve::from_curves(vec![
+            line(&[(0.0, 0.0), (1.0, 0.0)]),
+            line(&[(5.0, 5.0), (6.0, 5.0)]),
+        ]);
+        assert!(broken.is_none());
+        assert!(CompositeCurve::from_curves(vec![]).is_none());
+    }
+
+    #[test]
+    fn composite_curve_nesting() {
+        let inner = CompositeCurve::from_curves(vec![
+            line(&[(1.0, 0.0), (2.0, 0.0)]),
+            line(&[(2.0, 0.0), (3.0, 0.0)]),
+        ])
+        .unwrap();
+        let outer = CompositeCurve::new(vec![
+            CompositeCurveMember::Curve(line(&[(0.0, 0.0), (1.0, 0.0)])),
+            CompositeCurveMember::Composite(inner),
+        ])
+        .unwrap();
+        assert_eq!(outer.length(), 3.0);
+        assert_eq!(outer.nesting_depth(), 2);
+        assert_eq!(outer.start(), Coord::xy(0.0, 0.0));
+        assert_eq!(outer.end(), Coord::xy(3.0, 0.0));
+    }
+
+    #[test]
+    fn nested_composite_must_still_be_contiguous() {
+        let inner = CompositeCurve::from_curves(vec![line(&[(9.0, 9.0), (10.0, 9.0)])]).unwrap();
+        let broken = CompositeCurve::new(vec![
+            CompositeCurveMember::Curve(line(&[(0.0, 0.0), (1.0, 0.0)])),
+            CompositeCurveMember::Composite(inner),
+        ]);
+        assert!(broken.is_none());
+    }
+
+    #[test]
+    fn multi_surface_area_and_containment() {
+        let ms = MultiSurface::new(vec![
+            Surface::from_polygon(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(2.0, 2.0))),
+            Surface::from_polygon(Polygon::rectangle(Coord::xy(10.0, 0.0), Coord::xy(12.0, 1.0))),
+        ]);
+        assert_eq!(ms.area(), 6.0);
+        assert!(ms.contains(&Coord::xy(11.0, 0.5)));
+        assert!(!ms.contains(&Coord::xy(5.0, 5.0)));
+    }
+
+    #[test]
+    fn composite_surface_contiguity_via_shared_extent() {
+        let a = Surface::from_polygon(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(2.0, 2.0)));
+        let b = Surface::from_polygon(Polygon::rectangle(Coord::xy(2.0, 0.0), Coord::xy(4.0, 2.0)));
+        let far =
+            Surface::from_polygon(Polygon::rectangle(Coord::xy(10.0, 10.0), Coord::xy(11.0, 11.0)));
+        assert!(CompositeSurface::new(vec![a.clone(), b.clone()]).is_some());
+        assert!(CompositeSurface::new(vec![a.clone(), far.clone()]).is_none());
+        let cs = CompositeSurface::new(vec![a, b]).unwrap();
+        assert_eq!(cs.area(), 8.0);
+        assert_eq!(cs.envelope().width(), 4.0);
+        let _ = far;
+    }
+
+    #[test]
+    fn complex_mixes_types_and_counts_atoms() {
+        let complex = GeometryComplex::new(vec![
+            Geometry::Point(Point::new(0.0, 0.0)),
+            Geometry::MultiCurve(MultiCurve::new(vec![
+                line(&[(0.0, 0.0), (1.0, 0.0)]),
+                line(&[(5.0, 5.0), (6.0, 6.0)]),
+            ])),
+            Geometry::Complex(GeometryComplex::new(vec![Geometry::Point(Point::new(
+                9.0, 9.0,
+            ))])),
+        ]);
+        assert_eq!(complex.atomic_count(), 4);
+        let env = complex.envelope().unwrap();
+        assert!(env.contains(&Coord::xy(9.0, 9.0)));
+        assert!(env.contains(&Coord::xy(6.0, 6.0)));
+    }
+}

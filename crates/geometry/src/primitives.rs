@@ -1,0 +1,625 @@
+//! Geometric primitives: Point, LineString, Arc, Curve, Ring, Polygon,
+//! Surface, Solid — the singular forms of the paper's geometry ontology.
+
+use crate::algorithms;
+use crate::coord::Coord;
+use crate::envelope::Envelope;
+
+/// Zero-dimensional primitive: "the most basic and indecomposable form of
+/// geometry".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// The position.
+    pub coord: Coord,
+}
+
+impl Point {
+    /// Planar point.
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { coord: Coord::xy(x, y) }
+    }
+
+    /// Point from a coordinate.
+    pub fn at(coord: Coord) -> Point {
+        Point { coord }
+    }
+
+    /// Its (degenerate) envelope.
+    pub fn envelope(&self) -> Envelope {
+        Envelope::of_point(self.coord)
+    }
+}
+
+/// A polyline: straight segments through anchor points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineString {
+    /// At least two anchor points.
+    pub coords: Vec<Coord>,
+}
+
+impl LineString {
+    /// Build from coordinates; returns `None` with fewer than two points.
+    pub fn new(coords: Vec<Coord>) -> Option<LineString> {
+        (coords.len() >= 2).then_some(LineString { coords })
+    }
+
+    /// Total length in the plane.
+    pub fn length(&self) -> f64 {
+        self.coords.windows(2).map(|w| w[0].distance_2d(&w[1])).sum()
+    }
+
+    /// First anchor point.
+    pub fn start(&self) -> Coord {
+        self.coords[0]
+    }
+
+    /// Last anchor point.
+    pub fn end(&self) -> Coord {
+        *self.coords.last().expect("non-empty by construction")
+    }
+
+    /// Whether start equals end (within `eps`).
+    pub fn is_closed(&self, eps: f64) -> bool {
+        self.start().approx_eq(&self.end(), eps)
+    }
+
+    /// Bounding box.
+    pub fn envelope(&self) -> Envelope {
+        Envelope::of_coords(&self.coords).expect("non-empty by construction")
+    }
+
+    /// Point at parametric position `t ∈ [0,1]` along the arc length.
+    pub fn interpolate(&self, t: f64) -> Coord {
+        let t = t.clamp(0.0, 1.0);
+        let total = self.length();
+        if total == 0.0 {
+            return self.start();
+        }
+        let mut remaining = t * total;
+        for w in self.coords.windows(2) {
+            let seg = w[0].distance_2d(&w[1]);
+            if remaining <= seg {
+                if seg == 0.0 {
+                    return w[0];
+                }
+                let f = remaining / seg;
+                return Coord::xy(w[0].x + f * (w[1].x - w[0].x), w[0].y + f * (w[1].y - w[0].y));
+            }
+            remaining -= seg;
+        }
+        self.end()
+    }
+
+    /// Minimum planar distance from `c` to any segment.
+    pub fn distance_to(&self, c: &Coord) -> f64 {
+        self.coords
+            .windows(2)
+            .map(|w| algorithms::point_segment_distance(c, &w[0], &w[1]))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// A circular arc through three points (start, interior, end) — the curved
+/// segment kind GML's `Arc` provides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arc {
+    /// Arc start.
+    pub start: Coord,
+    /// Any interior point of the arc.
+    pub mid: Coord,
+    /// Arc end.
+    pub end: Coord,
+}
+
+impl Arc {
+    /// Construct an arc through three points.
+    pub fn new(start: Coord, mid: Coord, end: Coord) -> Arc {
+        Arc { start, mid, end }
+    }
+
+    /// Center and radius of the circumscribed circle; `None` when the three
+    /// points are collinear.
+    pub fn circle(&self) -> Option<(Coord, f64)> {
+        let (a, b, c) = (self.start, self.mid, self.end);
+        let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+        if d.abs() < 1e-12 {
+            return None;
+        }
+        let a2 = a.x * a.x + a.y * a.y;
+        let b2 = b.x * b.x + b.y * b.y;
+        let c2 = c.x * c.x + c.y * c.y;
+        let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+        let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+        let center = Coord::xy(ux, uy);
+        Some((center, center.distance_2d(&a)))
+    }
+
+    /// Approximate the arc as a polyline with `n` segments (falls back to a
+    /// straight line for collinear input).
+    pub fn to_linestring(&self, n: usize) -> LineString {
+        let n = n.max(1);
+        let Some((center, radius)) = self.circle() else {
+            return LineString::new(vec![self.start, self.end]).expect("two points");
+        };
+        let ang = |p: &Coord| (p.y - center.y).atan2(p.x - center.x);
+        let a0 = ang(&self.start);
+        let am = ang(&self.mid);
+        let a1 = ang(&self.end);
+        // Choose the sweep direction that passes through the mid angle.
+        let norm = |a: f64| {
+            let mut a = a;
+            while a < 0.0 {
+                a += std::f64::consts::TAU;
+            }
+            a % std::f64::consts::TAU
+        };
+        let ccw_dist = |from: f64, to: f64| norm(to - from);
+        let sweep = if ccw_dist(a0, am) <= ccw_dist(a0, a1) {
+            ccw_dist(a0, a1)
+        } else {
+            -(std::f64::consts::TAU - ccw_dist(a0, a1))
+        };
+        let mut coords = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let t = i as f64 / n as f64;
+            let a = a0 + sweep * t;
+            coords.push(Coord::xy(center.x + radius * a.cos(), center.y + radius * a.sin()));
+        }
+        LineString::new(coords).expect("n+1 >= 2 points")
+    }
+
+    /// Approximate arc length (polyline with 64 segments).
+    pub fn length(&self) -> f64 {
+        self.to_linestring(64).length()
+    }
+}
+
+/// One segment of a composite curve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CurveSegment {
+    /// Straight polyline segment.
+    Line(LineString),
+    /// Circular arc segment.
+    Arc(Arc),
+}
+
+impl CurveSegment {
+    /// Start coordinate of the segment.
+    pub fn start(&self) -> Coord {
+        match self {
+            CurveSegment::Line(l) => l.start(),
+            CurveSegment::Arc(a) => a.start,
+        }
+    }
+
+    /// End coordinate of the segment.
+    pub fn end(&self) -> Coord {
+        match self {
+            CurveSegment::Line(l) => l.end(),
+            CurveSegment::Arc(a) => a.end,
+        }
+    }
+
+    /// Planar length.
+    pub fn length(&self) -> f64 {
+        match self {
+            CurveSegment::Line(l) => l.length(),
+            CurveSegment::Arc(a) => a.length(),
+        }
+    }
+
+    /// Flatten to a polyline.
+    pub fn to_linestring(&self) -> LineString {
+        match self {
+            CurveSegment::Line(l) => l.clone(),
+            CurveSegment::Arc(a) => a.to_linestring(32),
+        }
+    }
+}
+
+/// "A curve can be as simple as a straight-line or multiple arcs connected
+/// at their terminal anchor points" (paper §5): a chain of segments, each
+/// starting where the previous one ended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Curve {
+    /// Connected segments.
+    pub segments: Vec<CurveSegment>,
+}
+
+impl Curve {
+    /// Build a curve; returns `None` when empty or segments are not
+    /// connected end-to-start (tolerance 1e-9).
+    pub fn new(segments: Vec<CurveSegment>) -> Option<Curve> {
+        if segments.is_empty() {
+            return None;
+        }
+        for w in segments.windows(2) {
+            if !w[0].end().approx_eq(&w[1].start(), 1e-9) {
+                return None;
+            }
+        }
+        Some(Curve { segments })
+    }
+
+    /// A curve made of a single polyline.
+    pub fn from_linestring(l: LineString) -> Curve {
+        Curve { segments: vec![CurveSegment::Line(l)] }
+    }
+
+    /// Start of the whole curve.
+    pub fn start(&self) -> Coord {
+        self.segments[0].start()
+    }
+
+    /// End of the whole curve.
+    pub fn end(&self) -> Coord {
+        self.segments.last().expect("non-empty").end()
+    }
+
+    /// Total length.
+    pub fn length(&self) -> f64 {
+        self.segments.iter().map(CurveSegment::length).sum()
+    }
+
+    /// Flatten into one polyline.
+    pub fn to_linestring(&self) -> LineString {
+        let mut coords: Vec<Coord> = Vec::new();
+        for (i, seg) in self.segments.iter().enumerate() {
+            let l = seg.to_linestring();
+            let skip = usize::from(i > 0); // joints shared between segments
+            coords.extend(l.coords.into_iter().skip(skip));
+        }
+        LineString::new(coords).expect("curve has >= 2 points")
+    }
+
+    /// Bounding box.
+    pub fn envelope(&self) -> Envelope {
+        self.to_linestring().envelope()
+    }
+}
+
+/// A closed loop of straight lines or curves — the paper's `Ring`: "similar
+/// to Multi type except it is restricted to have straight-lines or curves in
+/// its content model" and closed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ring {
+    /// The boundary, stored closed (first == last).
+    pub coords: Vec<Coord>,
+}
+
+impl Ring {
+    /// Build a ring from coordinates; closes it if open; requires at least
+    /// three distinct points.
+    pub fn new(mut coords: Vec<Coord>) -> Option<Ring> {
+        if coords.len() < 3 {
+            return None;
+        }
+        let first = coords[0];
+        if !coords.last().unwrap().approx_eq(&first, 1e-9) {
+            coords.push(first);
+        }
+        if coords.len() < 4 {
+            return None; // triangle needs 4 stored points when closed
+        }
+        Some(Ring { coords })
+    }
+
+    /// Signed area: positive when counter-clockwise.
+    pub fn signed_area(&self) -> f64 {
+        algorithms::shoelace(&self.coords)
+    }
+
+    /// Absolute enclosed area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// True when wound counter-clockwise.
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area() > 0.0
+    }
+
+    /// Reverse the winding.
+    pub fn reversed(&self) -> Ring {
+        let mut coords = self.coords.clone();
+        coords.reverse();
+        Ring { coords }
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.coords.windows(2).map(|w| w[0].distance_2d(&w[1])).sum()
+    }
+
+    /// Point-in-ring test (boundary counts as inside).
+    pub fn contains(&self, c: &Coord) -> bool {
+        algorithms::point_in_ring(c, &self.coords)
+    }
+
+    /// Bounding box.
+    pub fn envelope(&self) -> Envelope {
+        Envelope::of_coords(&self.coords).expect("non-empty")
+    }
+
+    /// Centroid of the enclosed area.
+    pub fn centroid(&self) -> Coord {
+        algorithms::ring_centroid(&self.coords)
+    }
+}
+
+/// A planar surface patch: an exterior ring with optional interior rings
+/// (holes). GRDF's 2-D primitive ("defines an area with three or more
+/// anchor points").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    /// Outer boundary.
+    pub exterior: Ring,
+    /// Holes.
+    pub interiors: Vec<Ring>,
+}
+
+impl Polygon {
+    /// Polygon without holes.
+    pub fn new(exterior: Ring) -> Polygon {
+        Polygon { exterior, interiors: Vec::new() }
+    }
+
+    /// Polygon with holes.
+    pub fn with_holes(exterior: Ring, interiors: Vec<Ring>) -> Polygon {
+        Polygon { exterior, interiors }
+    }
+
+    /// Axis-aligned rectangle polygon.
+    pub fn rectangle(min: Coord, max: Coord) -> Polygon {
+        let ring = Ring::new(vec![
+            Coord::xy(min.x, min.y),
+            Coord::xy(max.x, min.y),
+            Coord::xy(max.x, max.y),
+            Coord::xy(min.x, max.y),
+        ])
+        .expect("4 corners");
+        Polygon::new(ring)
+    }
+
+    /// Enclosed area minus holes.
+    pub fn area(&self) -> f64 {
+        let holes: f64 = self.interiors.iter().map(Ring::area).sum();
+        (self.exterior.area() - holes).max(0.0)
+    }
+
+    /// Point inside the exterior and outside every hole.
+    pub fn contains(&self, c: &Coord) -> bool {
+        self.exterior.contains(c) && !self.interiors.iter().any(|h| h.contains(c))
+    }
+
+    /// Bounding box (the exterior's).
+    pub fn envelope(&self) -> Envelope {
+        self.exterior.envelope()
+    }
+}
+
+/// A surface: one or more polygon patches (GML `Surface`/`PolygonPatch`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Surface {
+    /// The patches.
+    pub patches: Vec<Polygon>,
+}
+
+impl Surface {
+    /// Surface from patches; `None` when empty.
+    pub fn new(patches: Vec<Polygon>) -> Option<Surface> {
+        (!patches.is_empty()).then_some(Surface { patches })
+    }
+
+    /// A single-patch surface.
+    pub fn from_polygon(p: Polygon) -> Surface {
+        Surface { patches: vec![p] }
+    }
+
+    /// Total patch area.
+    pub fn area(&self) -> f64 {
+        self.patches.iter().map(Polygon::area).sum()
+    }
+
+    /// Contained in any patch.
+    pub fn contains(&self, c: &Coord) -> bool {
+        self.patches.iter().any(|p| p.contains(c))
+    }
+
+    /// Bounding box over all patches.
+    pub fn envelope(&self) -> Envelope {
+        let mut env = self.patches[0].envelope();
+        for p in &self.patches[1..] {
+            env = env.union(&p.envelope());
+        }
+        env
+    }
+}
+
+/// A solid: a 3-D shape bounded by surfaces. Per the paper, "solid does not
+/// have its own composite types; it relies on two-dimensional classes to
+/// construct the shape".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solid {
+    /// Boundary shell (surfaces in 3-D).
+    pub shell: Vec<Polygon>,
+    /// Extrusion height when the solid is a prism over its footprint; GRDF
+    /// solids in practice are extruded building footprints.
+    pub height: f64,
+}
+
+impl Solid {
+    /// Extruded prism over a footprint polygon.
+    pub fn extrude(footprint: Polygon, height: f64) -> Solid {
+        Solid { shell: vec![footprint], height }
+    }
+
+    /// Footprint area × height for prisms.
+    pub fn volume(&self) -> f64 {
+        self.shell.first().map(Polygon::area).unwrap_or(0.0) * self.height
+    }
+
+    /// Planar bounding box of the footprint.
+    pub fn envelope(&self) -> Envelope {
+        let mut env = self.shell[0].envelope();
+        for p in &self.shell[1..] {
+            env = env.union(&p.envelope());
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(points: &[(f64, f64)]) -> LineString {
+        LineString::new(points.iter().map(|&(x, y)| Coord::xy(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn linestring_needs_two_points() {
+        assert!(LineString::new(vec![Coord::xy(0.0, 0.0)]).is_none());
+        assert!(LineString::new(vec![]).is_none());
+    }
+
+    #[test]
+    fn linestring_length_and_interpolate() {
+        let l = ls(&[(0.0, 0.0), (3.0, 4.0), (3.0, 14.0)]);
+        assert_eq!(l.length(), 15.0);
+        assert_eq!(l.interpolate(0.0), Coord::xy(0.0, 0.0));
+        assert_eq!(l.interpolate(1.0), Coord::xy(3.0, 14.0));
+        let mid = l.interpolate(1.0 / 3.0);
+        assert!(mid.approx_eq(&Coord::xy(3.0, 4.0), 1e-9), "{mid:?}");
+    }
+
+    #[test]
+    fn linestring_distance_to_point() {
+        let l = ls(&[(0.0, 0.0), (10.0, 0.0)]);
+        assert_eq!(l.distance_to(&Coord::xy(5.0, 3.0)), 3.0);
+        assert_eq!(l.distance_to(&Coord::xy(-4.0, 3.0)), 5.0);
+    }
+
+    #[test]
+    fn arc_circle_and_flattening() {
+        // Half circle of radius 1 around origin.
+        let a = Arc::new(Coord::xy(1.0, 0.0), Coord::xy(0.0, 1.0), Coord::xy(-1.0, 0.0));
+        let (center, r) = a.circle().unwrap();
+        assert!(center.approx_eq(&Coord::xy(0.0, 0.0), 1e-9));
+        assert!((r - 1.0).abs() < 1e-9);
+        let len = a.length();
+        assert!((len - std::f64::consts::PI).abs() < 1e-2, "{len}");
+        // The flattened polyline passes near the mid point.
+        let flat = a.to_linestring(16);
+        assert!(flat.coords.iter().any(|c| c.approx_eq(&Coord::xy(0.0, 1.0), 1e-6)));
+    }
+
+    #[test]
+    fn collinear_arc_degrades_to_segment() {
+        let a = Arc::new(Coord::xy(0.0, 0.0), Coord::xy(1.0, 0.0), Coord::xy(2.0, 0.0));
+        assert!(a.circle().is_none());
+        assert_eq!(a.to_linestring(8).coords.len(), 2);
+    }
+
+    #[test]
+    fn curve_requires_connected_segments() {
+        let s1 = CurveSegment::Line(ls(&[(0.0, 0.0), (1.0, 0.0)]));
+        let s2 = CurveSegment::Line(ls(&[(1.0, 0.0), (2.0, 1.0)]));
+        let gap = CurveSegment::Line(ls(&[(5.0, 5.0), (6.0, 5.0)]));
+        assert!(Curve::new(vec![s1.clone(), s2.clone()]).is_some());
+        assert!(Curve::new(vec![s1, gap]).is_none());
+        assert!(Curve::new(vec![]).is_none());
+    }
+
+    #[test]
+    fn curve_flattening_dedups_joints() {
+        let c = Curve::new(vec![
+            CurveSegment::Line(ls(&[(0.0, 0.0), (1.0, 0.0)])),
+            CurveSegment::Line(ls(&[(1.0, 0.0), (2.0, 0.0)])),
+        ])
+        .unwrap();
+        assert_eq!(c.to_linestring().coords.len(), 3);
+        assert_eq!(c.length(), 2.0);
+    }
+
+    #[test]
+    fn ring_closes_itself_and_computes_area() {
+        let r = Ring::new(vec![
+            Coord::xy(0.0, 0.0),
+            Coord::xy(4.0, 0.0),
+            Coord::xy(4.0, 3.0),
+            Coord::xy(0.0, 3.0),
+        ])
+        .unwrap();
+        assert_eq!(r.coords.len(), 5, "closed");
+        assert_eq!(r.area(), 12.0);
+        assert!(r.is_ccw());
+        assert!(!r.reversed().is_ccw());
+        assert_eq!(r.perimeter(), 14.0);
+        assert!(Ring::new(vec![Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn ring_centroid_of_square() {
+        let r = Ring::new(vec![
+            Coord::xy(0.0, 0.0),
+            Coord::xy(2.0, 0.0),
+            Coord::xy(2.0, 2.0),
+            Coord::xy(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(r.centroid().approx_eq(&Coord::xy(1.0, 1.0), 1e-9));
+    }
+
+    #[test]
+    fn polygon_with_hole() {
+        let outer = Ring::new(vec![
+            Coord::xy(0.0, 0.0),
+            Coord::xy(10.0, 0.0),
+            Coord::xy(10.0, 10.0),
+            Coord::xy(0.0, 10.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![
+            Coord::xy(4.0, 4.0),
+            Coord::xy(6.0, 4.0),
+            Coord::xy(6.0, 6.0),
+            Coord::xy(4.0, 6.0),
+        ])
+        .unwrap();
+        let p = Polygon::with_holes(outer, vec![hole]);
+        assert_eq!(p.area(), 96.0);
+        assert!(p.contains(&Coord::xy(1.0, 1.0)));
+        assert!(!p.contains(&Coord::xy(5.0, 5.0)), "inside the hole");
+        assert!(!p.contains(&Coord::xy(11.0, 5.0)));
+    }
+
+    #[test]
+    fn rectangle_constructor() {
+        let p = Polygon::rectangle(Coord::xy(1.0, 1.0), Coord::xy(3.0, 5.0));
+        assert_eq!(p.area(), 8.0);
+        assert!(p.contains(&Coord::xy(2.0, 2.0)));
+    }
+
+    #[test]
+    fn surface_multiple_patches() {
+        let s = Surface::new(vec![
+            Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)),
+            Polygon::rectangle(Coord::xy(5.0, 5.0), Coord::xy(7.0, 7.0)),
+        ])
+        .unwrap();
+        assert_eq!(s.area(), 5.0);
+        assert!(s.contains(&Coord::xy(6.0, 6.0)));
+        assert!(!s.contains(&Coord::xy(3.0, 3.0)));
+        assert_eq!(s.envelope().max, Coord::xy(7.0, 7.0));
+        assert!(Surface::new(vec![]).is_none());
+    }
+
+    #[test]
+    fn solid_extrusion_volume() {
+        let footprint = Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(3.0, 4.0));
+        let s = Solid::extrude(footprint, 10.0);
+        assert_eq!(s.volume(), 120.0);
+        assert_eq!(s.envelope().width(), 3.0);
+    }
+}

@@ -1,0 +1,435 @@
+//! A packed R-tree over envelopes (Sort-Tile-Recursive bulk load plus
+//! incremental insertion), used by the GRDF store to answer spatial window
+//! and nearest-neighbour probes without scanning every feature.
+
+use crate::coord::Coord;
+use crate::envelope::Envelope;
+
+const MAX_ENTRIES: usize = 8;
+
+/// An R-tree mapping envelopes to caller-supplied values.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Option<Node<T>>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf {
+        bbox: Envelope,
+        entries: Vec<(Envelope, T)>,
+    },
+    Inner {
+        bbox: Envelope,
+        children: Vec<Node<T>>,
+    },
+}
+
+impl<T> Node<T> {
+    fn bbox(&self) -> Envelope {
+        match self {
+            Node::Leaf { bbox, .. } | Node::Inner { bbox, .. } => *bbox,
+        }
+    }
+
+    fn recompute_bbox(&mut self) {
+        match self {
+            Node::Leaf { bbox, entries } => {
+                *bbox = union_all(entries.iter().map(|(e, _)| *e));
+            }
+            Node::Inner { bbox, children } => {
+                *bbox = union_all(children.iter().map(Node::bbox));
+            }
+        }
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Inner { children, .. } => children.iter().map(Node::count).sum(),
+        }
+    }
+}
+
+fn union_all<I: IntoIterator<Item = Envelope>>(iter: I) -> Envelope {
+    iter.into_iter()
+        .reduce(|a, b| a.union(&b))
+        .unwrap_or(Envelope::of_point(Coord::xy(0.0, 0.0)))
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        RTree { root: None, len: 0 }
+    }
+}
+
+impl<T: Clone> RTree<T> {
+    /// Empty tree.
+    pub fn new() -> RTree<T> {
+        RTree::default()
+    }
+
+    /// Bulk-load with Sort-Tile-Recursive packing (better quality than
+    /// repeated insertion for static datasets).
+    pub fn bulk_load(mut items: Vec<(Envelope, T)>) -> RTree<T> {
+        let len = items.len();
+        if items.is_empty() {
+            return RTree::new();
+        }
+        // STR: sort by center x, slice, sort slices by center y, pack.
+        items.sort_by(|a, b| {
+            a.0.center().x.partial_cmp(&b.0.center().x).expect("finite coordinates")
+        });
+        let leaf_count = len.div_ceil(MAX_ENTRIES);
+        let slices = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_slice = len.div_ceil(slices.max(1));
+        let mut leaves: Vec<Node<T>> = Vec::new();
+        for slice in items.chunks(per_slice.max(1)) {
+            let mut slice: Vec<(Envelope, T)> = slice.to_vec();
+            slice.sort_by(|a, b| {
+                a.0.center().y.partial_cmp(&b.0.center().y).expect("finite coordinates")
+            });
+            for chunk in slice.chunks(MAX_ENTRIES) {
+                let entries: Vec<(Envelope, T)> = chunk.to_vec();
+                let mut leaf = Node::Leaf {
+                    bbox: Envelope::of_point(Coord::xy(0.0, 0.0)),
+                    entries,
+                };
+                leaf.recompute_bbox();
+                leaves.push(leaf);
+            }
+        }
+        // Pack upward.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next: Vec<Node<T>> = Vec::new();
+            for chunk in level.chunks(MAX_ENTRIES) {
+                let children: Vec<Node<T>> = chunk.to_vec();
+                let mut inner = Node::Inner {
+                    bbox: Envelope::of_point(Coord::xy(0.0, 0.0)),
+                    children,
+                };
+                inner.recompute_bbox();
+                next.push(inner);
+            }
+            level = next;
+        }
+        RTree { root: level.pop(), len }
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert one item (least-enlargement descent; node split at
+    /// `MAX_ENTRIES`).
+    pub fn insert(&mut self, envelope: Envelope, value: T) {
+        self.len += 1;
+        match self.root.take() {
+            None => {
+                self.root = Some(Node::Leaf { bbox: envelope, entries: vec![(envelope, value)] });
+            }
+            Some(mut root) => {
+                if let Some(sibling) = insert_rec(&mut root, envelope, value) {
+                    let mut new_root = Node::Inner {
+                        bbox: Envelope::of_point(Coord::xy(0.0, 0.0)),
+                        children: vec![root, sibling],
+                    };
+                    new_root.recompute_bbox();
+                    self.root = Some(new_root);
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+    }
+
+    /// All values whose envelope intersects `window`.
+    pub fn query(&self, window: &Envelope) -> Vec<&T> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            query_rec(root, window, &mut out);
+        }
+        out
+    }
+
+    /// Count of intersecting items (no materialization).
+    pub fn count_in(&self, window: &Envelope) -> usize {
+        self.query(window).len()
+    }
+
+    /// The value whose envelope center is nearest to `point`
+    /// (branch-and-bound on envelope distance).
+    pub fn nearest(&self, point: &Coord) -> Option<&T> {
+        let root = self.root.as_ref()?;
+        let mut best: Option<(f64, &T)> = None;
+        nearest_rec(root, point, &mut best);
+        best.map(|(_, v)| v)
+    }
+
+    /// Structural invariant check (used by property tests): every parent
+    /// bbox contains all child bboxes, and the item count matches.
+    pub fn validate(&self) -> bool {
+        match &self.root {
+            None => self.len == 0,
+            Some(root) => validate_rec(root) && root.count() == self.len,
+        }
+    }
+}
+
+fn insert_rec<T>(node: &mut Node<T>, envelope: Envelope, value: T) -> Option<Node<T>> {
+    match node {
+        Node::Leaf { bbox, entries } => {
+            entries.push((envelope, value));
+            *bbox = bbox.union(&envelope);
+            if entries.len() > MAX_ENTRIES {
+                // Split along the axis with the larger spread of centers.
+                let spread_x = spread(entries.iter().map(|(e, _)| e.center().x));
+                let spread_y = spread(entries.iter().map(|(e, _)| e.center().y));
+                if spread_x >= spread_y {
+                    entries.sort_by(|a, b| {
+                        a.0.center().x.partial_cmp(&b.0.center().x).expect("finite")
+                    });
+                } else {
+                    entries.sort_by(|a, b| {
+                        a.0.center().y.partial_cmp(&b.0.center().y).expect("finite")
+                    });
+                }
+                let right = entries.split_off(entries.len() / 2);
+                let mut sibling = Node::Leaf {
+                    bbox: Envelope::of_point(Coord::xy(0.0, 0.0)),
+                    entries: right,
+                };
+                sibling.recompute_bbox();
+                node.recompute_bbox();
+                return Some(sibling);
+            }
+            None
+        }
+        Node::Inner { bbox, children } => {
+            *bbox = bbox.union(&envelope);
+            // Least enlargement.
+            let idx = children
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let ea = enlargement(&a.bbox(), &envelope);
+                    let eb = enlargement(&b.bbox(), &envelope);
+                    ea.partial_cmp(&eb).expect("finite")
+                })
+                .map(|(i, _)| i)
+                .expect("inner nodes are non-empty");
+            if let Some(sibling) = insert_rec(&mut children[idx], envelope, value) {
+                children.push(sibling);
+                if children.len() > MAX_ENTRIES {
+                    children.sort_by(|a, b| {
+                        a.bbox()
+                            .center()
+                            .x
+                            .partial_cmp(&b.bbox().center().x)
+                            .expect("finite")
+                    });
+                    let right = children.split_off(children.len() / 2);
+                    let mut sibling = Node::Inner {
+                        bbox: Envelope::of_point(Coord::xy(0.0, 0.0)),
+                        children: right,
+                    };
+                    sibling.recompute_bbox();
+                    node.recompute_bbox();
+                    return Some(sibling);
+                }
+            }
+            node.recompute_bbox();
+            None
+        }
+    }
+}
+
+fn spread<I: Iterator<Item = f64>>(iter: I) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in iter {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (max - min).max(0.0)
+}
+
+fn enlargement(bbox: &Envelope, add: &Envelope) -> f64 {
+    bbox.union(add).area() - bbox.area()
+}
+
+fn query_rec<'a, T>(node: &'a Node<T>, window: &Envelope, out: &mut Vec<&'a T>) {
+    if !node.bbox().intersects(window) {
+        return;
+    }
+    match node {
+        Node::Leaf { entries, .. } => {
+            for (e, v) in entries {
+                if e.intersects(window) {
+                    out.push(v);
+                }
+            }
+        }
+        Node::Inner { children, .. } => {
+            for c in children {
+                query_rec(c, window, out);
+            }
+        }
+    }
+}
+
+fn nearest_rec<'a, T>(node: &'a Node<T>, point: &Coord, best: &mut Option<(f64, &'a T)>) {
+    if let Some((d, _)) = best {
+        if node.bbox().distance_to(point) > *d {
+            return;
+        }
+    }
+    match node {
+        Node::Leaf { entries, .. } => {
+            for (e, v) in entries {
+                let d = e.center().distance_2d(point);
+                if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+                    *best = Some((d, v));
+                }
+            }
+        }
+        Node::Inner { children, .. } => {
+            // Visit nearer children first for tighter pruning.
+            let mut order: Vec<&Node<T>> = children.iter().collect();
+            order.sort_by(|a, b| {
+                a.bbox()
+                    .distance_to(point)
+                    .partial_cmp(&b.bbox().distance_to(point))
+                    .expect("finite")
+            });
+            for c in order {
+                nearest_rec(c, point, best);
+            }
+        }
+    }
+}
+
+fn validate_rec<T>(node: &Node<T>) -> bool {
+    match node {
+        Node::Leaf { bbox, entries } => entries.iter().all(|(e, _)| bbox.contains_envelope(e)),
+        Node::Inner { bbox, children } => {
+            !children.is_empty()
+                && children.iter().all(|c| bbox.contains_envelope(&c.bbox()))
+                && children.iter().all(validate_rec)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_items(n: usize) -> Vec<(Envelope, usize)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 100) as f64 * 10.0;
+                let y = (i / 100) as f64 * 10.0;
+                (Envelope::new(Coord::xy(x, y), Coord::xy(x + 5.0, y + 5.0)), i)
+            })
+            .collect()
+    }
+
+    fn brute_force(items: &[(Envelope, usize)], window: &Envelope) -> Vec<usize> {
+        let mut v: Vec<usize> = items
+            .iter()
+            .filter(|(e, _)| e.intersects(window))
+            .map(|(_, i)| *i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn bulk_load_queries_match_brute_force() {
+        let items = grid_items(500);
+        let tree = RTree::bulk_load(items.clone());
+        assert!(tree.validate());
+        assert_eq!(tree.len(), 500);
+        for window in [
+            Envelope::new(Coord::xy(0.0, 0.0), Coord::xy(50.0, 50.0)),
+            Envelope::new(Coord::xy(333.0, 7.0), Coord::xy(444.0, 33.0)),
+            Envelope::new(Coord::xy(-100.0, -100.0), Coord::xy(-1.0, -1.0)),
+            Envelope::new(Coord::xy(0.0, 0.0), Coord::xy(10_000.0, 10_000.0)),
+        ] {
+            let mut got: Vec<usize> = tree.query(&window).into_iter().copied().collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&items, &window), "window {window:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_brute_force() {
+        let items = grid_items(300);
+        let mut tree = RTree::new();
+        for (e, i) in &items {
+            tree.insert(*e, *i);
+        }
+        assert!(tree.validate());
+        assert_eq!(tree.len(), 300);
+        let window = Envelope::new(Coord::xy(100.0, 0.0), Coord::xy(200.0, 30.0));
+        let mut got: Vec<usize> = tree.query(&window).into_iter().copied().collect();
+        got.sort_unstable();
+        assert_eq!(got, brute_force(&items, &window));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: RTree<u32> = RTree::new();
+        assert!(tree.is_empty());
+        assert!(tree.validate());
+        assert!(tree
+            .query(&Envelope::new(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)))
+            .is_empty());
+        assert!(tree.nearest(&Coord::xy(0.0, 0.0)).is_none());
+        let empty_bulk: RTree<u32> = RTree::bulk_load(vec![]);
+        assert!(empty_bulk.is_empty());
+    }
+
+    #[test]
+    fn nearest_finds_closest_center() {
+        let items = grid_items(400);
+        let tree = RTree::bulk_load(items);
+        // Envelope centers are at (x+2.5, y+2.5) for multiples of 10.
+        let got = *tree.nearest(&Coord::xy(52.0, 32.0)).unwrap();
+        // Closest center: x=52.5 (i%100==5), y=32.5 (i/100==3) → i=305.
+        assert_eq!(got, 305);
+    }
+
+    #[test]
+    fn single_item() {
+        let mut tree = RTree::new();
+        tree.insert(Envelope::of_point(Coord::xy(3.0, 4.0)), "only");
+        assert_eq!(tree.count_in(&Envelope::new(Coord::xy(0.0, 0.0), Coord::xy(5.0, 5.0))), 1);
+        assert_eq!(tree.nearest(&Coord::xy(0.0, 0.0)), Some(&"only"));
+    }
+
+    #[test]
+    fn mixed_bulk_then_insert() {
+        let items = grid_items(100);
+        let mut tree = RTree::bulk_load(items.clone());
+        for i in 100..150 {
+            let x = i as f64 * 3.0;
+            tree.insert(Envelope::of_point(Coord::xy(x, x)), i);
+        }
+        assert_eq!(tree.len(), 150);
+        assert!(tree.validate());
+        let all = tree.count_in(&Envelope::new(
+            Coord::xy(-1e6, -1e6),
+            Coord::xy(1e6, 1e6),
+        ));
+        assert_eq!(all, 150);
+    }
+}

@@ -1,0 +1,310 @@
+//! Well-Known Text rendering and parsing for the primitive shapes.
+//!
+//! WKT is the debugging/interchange format used by the examples; the
+//! supported subset is `POINT`, `LINESTRING`, `POLYGON`, `MULTIPOINT` and
+//! `MULTILINESTRING`.
+
+use crate::coord::Coord;
+use crate::geometry::Geometry;
+use crate::multi::{MultiCurve, MultiPoint};
+use crate::primitives::{Curve, LineString, Point, Polygon, Ring};
+
+/// Render a geometry as WKT. Aggregates not in the WKT subset are rendered
+/// as `GEOMETRYCOLLECTION` of their flattened members where possible, and
+/// curves are flattened to linestrings.
+pub fn to_wkt(g: &Geometry) -> String {
+    match g {
+        Geometry::Point(p) => format!("POINT ({} {})", fmt(p.coord.x), fmt(p.coord.y)),
+        Geometry::LineString(l) => format!("LINESTRING ({})", coords(&l.coords)),
+        Geometry::Curve(c) => to_wkt(&Geometry::LineString(c.to_linestring())),
+        Geometry::Ring(r) => format!("POLYGON (({}))", coords(&r.coords)),
+        Geometry::Polygon(p) => polygon_wkt(p),
+        Geometry::Surface(s) => {
+            let parts: Vec<String> =
+                s.patches.iter().map(polygon_body).collect();
+            format!("MULTIPOLYGON ({})", parts.join(", "))
+        }
+        Geometry::MultiPoint(m) => {
+            let parts: Vec<String> = m
+                .members
+                .iter()
+                .map(|p| format!("({} {})", fmt(p.coord.x), fmt(p.coord.y)))
+                .collect();
+            format!("MULTIPOINT ({})", parts.join(", "))
+        }
+        Geometry::MultiCurve(m) => {
+            let parts: Vec<String> =
+                m.members.iter().map(|c| format!("({})", coords(&c.to_linestring().coords))).collect();
+            format!("MULTILINESTRING ({})", parts.join(", "))
+        }
+        other => {
+            // Fallback: envelope as a polygon, tagged with the class name.
+            match other.envelope() {
+                Some(env) => {
+                    let p = Polygon::rectangle(env.min, env.max);
+                    polygon_wkt(&p)
+                }
+                None => "GEOMETRYCOLLECTION EMPTY".to_string(),
+            }
+        }
+    }
+}
+
+fn polygon_wkt(p: &Polygon) -> String {
+    format!("POLYGON {}", polygon_body(p))
+}
+
+fn polygon_body(p: &Polygon) -> String {
+    let mut rings = vec![format!("({})", coords(&p.exterior.coords))];
+    for hole in &p.interiors {
+        rings.push(format!("({})", coords(&hole.coords)));
+    }
+    format!("({})", rings.join(", "))
+}
+
+fn coords(cs: &[Coord]) -> String {
+    cs.iter()
+        .map(|c| format!("{} {}", fmt(c.x), fmt(c.y)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn fmt(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Parse a WKT string (the subset emitted by [`to_wkt`] for primitives).
+pub fn parse_wkt(text: &str) -> Option<Geometry> {
+    let text = text.trim();
+    let upper = text.to_ascii_uppercase();
+    if let Some(body) = tagged(&upper, text, "MULTILINESTRING") {
+        let groups = split_groups(body)?;
+        let mut members = Vec::new();
+        for g in groups {
+            members.push(Curve::from_linestring(LineString::new(parse_coords(&g)?)?));
+        }
+        return Some(Geometry::MultiCurve(MultiCurve::new(members)));
+    }
+    if let Some(body) = tagged(&upper, text, "MULTIPOINT") {
+        let groups = split_groups(body)?;
+        let mut members = Vec::new();
+        for g in groups {
+            let cs = parse_coords(&g)?;
+            members.push(Point::at(*cs.first()?));
+        }
+        return Some(Geometry::MultiPoint(MultiPoint::new(members)));
+    }
+    if let Some(body) = tagged(&upper, text, "LINESTRING") {
+        return Some(Geometry::LineString(LineString::new(parse_coords(body)?)?));
+    }
+    if let Some(body) = tagged(&upper, text, "POLYGON") {
+        let rings = split_groups(body)?;
+        let mut iter = rings.into_iter();
+        let exterior = Ring::new(parse_coords(&iter.next()?)?)?;
+        let mut interiors = Vec::new();
+        for r in iter {
+            interiors.push(Ring::new(parse_coords(&r)?)?);
+        }
+        return Some(Geometry::Polygon(Polygon::with_holes(exterior, interiors)));
+    }
+    if let Some(body) = tagged(&upper, text, "POINT") {
+        let cs = parse_coords(body)?;
+        return Some(Geometry::Point(Point::at(*cs.first()?)));
+    }
+    None
+}
+
+/// If `upper` starts with `tag`, return the original-text body inside the
+/// outermost parentheses.
+fn tagged<'a>(upper: &str, original: &'a str, tag: &str) -> Option<&'a str> {
+    if !upper.starts_with(tag) {
+        return None;
+    }
+    // Guard against prefix clashes (POINT vs POLYGON handled by order; but
+    // MULTIPOINT also starts with MULTI… — callers order the checks).
+    let after = &upper[tag.len()..];
+    if after.trim_start().starts_with(char::is_alphabetic) {
+        return None;
+    }
+    let open = original.find('(')?;
+    let close = original.rfind(')')?;
+    (close > open).then(|| &original[open + 1..close])
+}
+
+/// Split `(a), (b), (c)` into the inner bodies.
+fn split_groups(body: &str) -> Option<Vec<String>> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    let mut any_paren = false;
+    for ch in body.chars() {
+        match ch {
+            '(' => {
+                any_paren = true;
+                if depth > 0 {
+                    current.push(ch);
+                }
+                depth += 1;
+            }
+            ')' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    out.push(std::mem::take(&mut current));
+                } else {
+                    current.push(ch);
+                }
+            }
+            _ => {
+                if depth > 0 {
+                    current.push(ch);
+                }
+            }
+        }
+    }
+    if depth != 0 {
+        return None;
+    }
+    if !any_paren {
+        // `MULTIPOINT (1 2, 3 4)` style without inner parens.
+        for part in body.split(',') {
+            out.push(part.trim().to_string());
+        }
+    }
+    Some(out)
+}
+
+fn parse_coords(body: &str) -> Option<Vec<Coord>> {
+    let mut out = Vec::new();
+    for pair in body.split(',') {
+        let nums: Vec<f64> = pair
+            .split_whitespace()
+            .map(|s| s.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .ok()?;
+        match nums.as_slice() {
+            [x, y] => out.push(Coord::xy(*x, *y)),
+            [x, y, z] => out.push(Coord::xyz(*x, *y, *z)),
+            _ => return None,
+        }
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_roundtrip() {
+        let g = Geometry::Point(Point::new(1.5, -2.0));
+        let w = to_wkt(&g);
+        assert_eq!(w, "POINT (1.5 -2)");
+        assert_eq!(parse_wkt(&w).unwrap(), g);
+    }
+
+    #[test]
+    fn linestring_roundtrip() {
+        let g = Geometry::LineString(
+            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(1.0, 2.0), Coord::xy(3.0, 4.0)])
+                .unwrap(),
+        );
+        let w = to_wkt(&g);
+        assert_eq!(w, "LINESTRING (0 0, 1 2, 3 4)");
+        assert_eq!(parse_wkt(&w).unwrap(), g);
+    }
+
+    #[test]
+    fn polygon_with_hole_roundtrip() {
+        let outer = Ring::new(vec![
+            Coord::xy(0.0, 0.0),
+            Coord::xy(10.0, 0.0),
+            Coord::xy(10.0, 10.0),
+            Coord::xy(0.0, 10.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![
+            Coord::xy(4.0, 4.0),
+            Coord::xy(6.0, 4.0),
+            Coord::xy(6.0, 6.0),
+            Coord::xy(4.0, 6.0),
+        ])
+        .unwrap();
+        let g = Geometry::Polygon(Polygon::with_holes(outer, vec![hole]));
+        let w = to_wkt(&g);
+        assert!(w.starts_with("POLYGON (("), "{w}");
+        let parsed = parse_wkt(&w).unwrap();
+        match parsed {
+            Geometry::Polygon(p) => {
+                assert_eq!(p.interiors.len(), 1);
+                assert_eq!(p.area(), 96.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multipoint_roundtrip() {
+        let g = Geometry::MultiPoint(MultiPoint::new(vec![
+            Point::new(1.0, 2.0),
+            Point::new(3.0, 4.0),
+        ]));
+        let w = to_wkt(&g);
+        assert_eq!(w, "MULTIPOINT ((1 2), (3 4))");
+        assert_eq!(parse_wkt(&w).unwrap(), g);
+    }
+
+    #[test]
+    fn multilinestring_roundtrip() {
+        let mk = |pts: &[(f64, f64)]| {
+            Curve::from_linestring(
+                LineString::new(pts.iter().map(|&(x, y)| Coord::xy(x, y)).collect()).unwrap(),
+            )
+        };
+        let g = Geometry::MultiCurve(MultiCurve::new(vec![
+            mk(&[(0.0, 0.0), (1.0, 1.0)]),
+            mk(&[(5.0, 5.0), (6.0, 7.0)]),
+        ]));
+        let w = to_wkt(&g);
+        assert_eq!(w, "MULTILINESTRING ((0 0, 1 1), (5 5, 6 7))");
+        let parsed = parse_wkt(&w).unwrap();
+        match parsed {
+            Geometry::MultiCurve(mc) => assert_eq!(mc.members.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowercase_and_whitespace_tolerated() {
+        assert!(parse_wkt("  point (1 2)  ").is_some());
+        assert!(parse_wkt("linestring(0 0, 1 1)").is_some());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_wkt("CIRCLE (0 0, 5)").is_none());
+        assert!(parse_wkt("POINT 1 2").is_none());
+        assert!(parse_wkt("POINT (x y)").is_none());
+        assert!(parse_wkt("LINESTRING ((0 0)").is_none());
+    }
+
+    #[test]
+    fn curves_flatten_to_linestrings() {
+        let c = Curve::from_linestring(
+            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(2.0, 0.0)]).unwrap(),
+        );
+        assert_eq!(to_wkt(&Geometry::Curve(c)), "LINESTRING (0 0, 2 0)");
+    }
+
+    #[test]
+    fn three_d_coords_parse() {
+        let g = parse_wkt("LINESTRING (0 0 1, 2 2 3)").unwrap();
+        match g {
+            Geometry::LineString(l) => assert_eq!(l.coords[1].z, 3.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

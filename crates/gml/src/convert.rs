@@ -1,0 +1,97 @@
+//! The GML ⇄ GRDF bridge: "there is a direct correspondence between
+//! high-level GML schemas and GRDF ontologies" (paper §3).
+
+use grdf_feature::rdf_codec::{decode_features, encode_feature};
+use grdf_rdf::graph::Graph;
+
+use crate::read::{parse_gml, GmlError};
+use crate::write::write_gml;
+
+/// Convert a GML document to a GRDF graph. Each GML feature becomes a set
+/// of GRDF triples in the List 6/7 shape.
+pub fn gml_to_grdf(gml: &str) -> Result<Graph, GmlError> {
+    let fc = parse_gml(gml)?;
+    let mut graph = Graph::new();
+    for f in &fc.features {
+        encode_feature(&mut graph, f);
+    }
+    Ok(graph)
+}
+
+/// Convert a GRDF graph back to a GML document.
+pub fn grdf_to_gml(graph: &Graph) -> String {
+    write_gml(&decode_features(graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_rdf::term::Term;
+    use grdf_rdf::vocab::{grdf as ns, rdf};
+
+    const SRC: &str = r#"<gml:FeatureCollection xmlns:gml="http://www.opengis.net/gml"
+        xmlns:app="http://grdf.org/app#">
+      <gml:featureMember>
+        <app:Stream gml:id="HYDRO_11070">
+          <app:hasObjectID>11070</app:hasObjectID>
+          <app:centerLineOf>
+            <gml:LineString srsName="http://grdf.org/crs/TX83-NCF">
+              <gml:posList>2533822.17 7108248.82 2533900.5 7108300.25</gml:posList>
+            </gml:LineString>
+          </app:centerLineOf>
+        </app:Stream>
+      </gml:featureMember>
+      <gml:featureMember>
+        <app:ChemSite gml:id="NTEnergy">
+          <app:hasSiteName>North Texas Energy</app:hasSiteName>
+          <app:temperature uom="urn:uom:F">21.23</app:temperature>
+        </app:ChemSite>
+      </gml:featureMember>
+    </gml:FeatureCollection>"#;
+
+    #[test]
+    fn gml_becomes_typed_triples() {
+        let g = gml_to_grdf(SRC).unwrap();
+        let stream = Term::iri("http://grdf.org/app#HYDRO_11070");
+        assert!(g.has(&stream, &Term::iri(rdf::TYPE), &Term::iri(&ns::app("Stream"))));
+        assert!(g.has(&stream, &Term::iri(rdf::TYPE), &Term::iri(&ns::iri("Feature"))));
+        let oid = g.object(&stream, &Term::iri(&ns::app("hasObjectID"))).unwrap();
+        assert_eq!(oid.as_literal().unwrap().as_integer(), Some(11070));
+        // The geometry node carries class + srsName.
+        let gn = g.object(&stream, &Term::iri(&ns::iri("hasGeometry"))).unwrap();
+        assert!(g.has(&gn, &Term::iri(rdf::TYPE), &Term::iri(&ns::iri("LineString"))));
+    }
+
+    #[test]
+    fn measure_type_becomes_typed_double_triple() {
+        // §3.2: the extension-of-double maps to a property whose value is a
+        // typed double — not a subclass of xsd:double.
+        let g = gml_to_grdf(SRC).unwrap();
+        let site = Term::iri("http://grdf.org/app#NTEnergy");
+        let temp = g.object(&site, &Term::iri(&ns::app("temperature"))).unwrap();
+        assert_eq!(temp.as_literal().unwrap().as_double(), Some(21.23));
+        let uom = g.object(&site, &Term::iri(&ns::app("temperatureUom"))).unwrap();
+        assert_eq!(uom.as_literal().unwrap().lexical(), "urn:uom:F");
+    }
+
+    #[test]
+    fn full_roundtrip_gml_grdf_gml() {
+        let g = gml_to_grdf(SRC).unwrap();
+        let gml2 = grdf_to_gml(&g);
+        let g2 = gml_to_grdf(&gml2).unwrap();
+        // The second conversion is a fixpoint: same triple count and same
+        // ground facts.
+        assert_eq!(g.len(), g2.len(), "\nfirst:\n{gml2}");
+        assert!(grdf_rdf::isomorphism::isomorphic(&g, &g2));
+    }
+
+    #[test]
+    fn empty_collection_converts() {
+        let g = gml_to_grdf(
+            r#"<gml:FeatureCollection xmlns:gml="http://www.opengis.net/gml"/>"#,
+        )
+        .unwrap();
+        assert!(g.is_empty());
+        assert!(grdf_to_gml(&g).contains("FeatureCollection"));
+    }
+}

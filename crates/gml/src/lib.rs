@@ -1,0 +1,29 @@
+//! GML 3.1 subset and the GML↔GRDF converter.
+//!
+//! "Because of the world-wide adoption and standardization of GML, GRDF is
+//! designed to match GML in its content descriptions and feature
+//! relationships. For instance, a polygon in GRDF can be directly mapped to
+//! a polygon in GML" (paper §9). This crate provides that bridge:
+//!
+//! * [`read`] — parse GML documents (feature collections, features with
+//!   simple properties, `gml:Point`/`LineString`/`Polygon`/`MultiPoint`
+//!   geometry, `gml:boundedBy` envelopes, `srsName`, and `MeasureType`-style
+//!   values with a `uom` attribute — paper List 1).
+//! * [`mod@write`] — emit features back to GML.
+//! * [`convert`] — GML text ⇄ GRDF graph, implementing §3.2's rule for XML
+//!   extension types: *"the most intuitive way to model XML extension
+//!   constructs with bases referring to built-in data types is by creating
+//!   \[a\] property with range restriction set to the base type"* — a
+//!   `uom`-carrying measure becomes a typed double plus a companion
+//!   unit-of-measure property, not a subclass of `xsd:double`.
+
+pub mod convert;
+pub mod read;
+pub mod write;
+
+/// The GML namespace handled by this crate (GML 3.1).
+pub const GML_NS: &str = "http://www.opengis.net/gml";
+
+pub use convert::{gml_to_grdf, grdf_to_gml};
+pub use read::{parse_gml, GmlError};
+pub use write::write_gml;

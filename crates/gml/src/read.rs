@@ -1,0 +1,440 @@
+//! Parsing GML documents into feature collections.
+
+use std::fmt;
+
+use grdf_feature::bounding::BoundingShape;
+use grdf_feature::feature::{Feature, FeatureCollection};
+use grdf_feature::value::Value;
+use grdf_geometry::coord::{parse_coord_list, Coord};
+use grdf_geometry::envelope::Envelope;
+use grdf_geometry::geometry::Geometry;
+use grdf_geometry::multi::MultiPoint;
+use grdf_geometry::primitives::{LineString, Point, Polygon, Ring};
+use grdf_xml::tree::Element;
+
+use crate::GML_NS;
+
+/// Errors raised while reading GML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GmlError {
+    /// The underlying XML was malformed.
+    Xml(String),
+    /// Well-formed XML, but not the GML subset this crate handles.
+    Structure(String),
+}
+
+impl fmt::Display for GmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmlError::Xml(e) => write!(f, "XML error: {e}"),
+            GmlError::Structure(e) => write!(f, "GML structure error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GmlError {}
+
+impl From<grdf_xml::XmlError> for GmlError {
+    fn from(e: grdf_xml::XmlError) -> Self {
+        GmlError::Xml(e.to_string())
+    }
+}
+
+fn is_gml(elem: &Element) -> bool {
+    elem.namespace().is_some_and(|ns| ns.starts_with(GML_NS))
+}
+
+/// Parse a GML document (a `gml:FeatureCollection` or a single feature
+/// element) into a feature collection.
+pub fn parse_gml(input: &str) -> Result<FeatureCollection, GmlError> {
+    let doc = grdf_xml::parse(input)?;
+    let root = doc.root();
+    let mut out = FeatureCollection::new();
+    if is_gml(root) && root.local_name() == "FeatureCollection" {
+        for member in root.child_elements() {
+            if is_gml(member)
+                && (member.local_name() == "featureMember"
+                    || member.local_name() == "featureMembers")
+            {
+                for fe in member.child_elements() {
+                    out.push(parse_feature(fe)?);
+                }
+            }
+        }
+    } else {
+        out.push(parse_feature(root)?);
+    }
+    Ok(out)
+}
+
+/// Parse one feature element (`<app:Stream gml:id="...">...`).
+pub fn parse_feature(elem: &Element) -> Result<Feature, GmlError> {
+    if is_gml(elem) {
+        return Err(GmlError::Structure(format!(
+            "expected an application feature element, found gml:{}",
+            elem.local_name()
+        )));
+    }
+    let id = elem
+        .attribute_ns(GML_NS, "id")
+        .or_else(|| elem.attribute("id"))
+        .or_else(|| elem.attribute("fid"))
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("feature-{}", elem.subtree_size()));
+    let ns = elem.namespace().unwrap_or("http://grdf.org/app#");
+    let iri = format!("{ns}{id}");
+    let mut feature = Feature::new(&iri, elem.local_name());
+
+    for prop in elem.child_elements() {
+        if is_gml(prop) && prop.local_name() == "boundedBy" {
+            if let Some(env_elem) = prop.child_elements().next() {
+                if let Some((env, srs)) = parse_envelope(env_elem) {
+                    feature.bounded_by = BoundingShape::Envelope(env);
+                    if srs.is_some() {
+                        feature.srs_name = srs;
+                    }
+                }
+            }
+            continue;
+        }
+        if is_gml(prop) {
+            continue; // other gml bookkeeping (name, description) — skip
+        }
+        // A property element either wraps a geometry…
+        let gml_child = prop.child_elements().find(|c| is_gml(c));
+        if let Some(geom_elem) = gml_child {
+            if let Some((geom, srs)) = parse_geometry(geom_elem) {
+                if srs.is_some() {
+                    feature.srs_name = srs;
+                }
+                feature.set_geometry(geom);
+                continue;
+            }
+        }
+        // …or carries a simple value (possibly a MeasureType with `uom`).
+        let text = prop.text();
+        let value = parse_value(&text);
+        if let Some(uom) = prop.attribute("uom") {
+            // §3.2 / List 1: extension-of-double with a uom attribute.
+            let num = text
+                .trim()
+                .parse::<f64>()
+                .map(Value::Double)
+                .unwrap_or(value);
+            feature.set_property(prop.local_name(), num);
+            feature.set_property(&format!("{}Uom", prop.local_name()), uom);
+        } else {
+            feature.set_property(prop.local_name(), value);
+        }
+    }
+    Ok(feature)
+}
+
+fn parse_value(text: &str) -> Value {
+    let t = text.trim();
+    if let Ok(i) = t.parse::<i64>() {
+        // Preserve identifier-style zero-padded strings ("004221").
+        if !t.starts_with('0') || t == "0" {
+            return Value::Integer(i);
+        }
+    }
+    if let Ok(d) = t.parse::<f64>() {
+        if t.contains('.') || t.contains('e') || t.contains('E') {
+            return Value::Double(d);
+        }
+    }
+    match t {
+        "true" => Value::Boolean(true),
+        "false" => Value::Boolean(false),
+        _ => Value::String(t.to_string()),
+    }
+}
+
+/// Parse a `gml:Envelope` (lowerCorner/upperCorner or GML2 coordinates).
+pub fn parse_envelope(elem: &Element) -> Option<(Envelope, Option<String>)> {
+    let srs = elem.attribute("srsName").map(str::to_string);
+    let lower = elem.child("lowerCorner").map(|e| e.text());
+    let upper = elem.child("upperCorner").map(|e| e.text());
+    if let (Some(lo), Some(hi)) = (lower, upper) {
+        let lo = parse_coord_list(&lo, 2)?;
+        let hi = parse_coord_list(&hi, 2)?;
+        return Some((Envelope::new(*lo.first()?, *hi.first()?), srs));
+    }
+    let coords = elem.child("coordinates").map(|e| e.text())?;
+    let cs = parse_coord_list(&coords, 2)?;
+    if cs.len() < 2 {
+        return None;
+    }
+    Some((Envelope::new(cs[0], cs[1]), srs))
+}
+
+/// Parse a GML geometry element into a [`Geometry`].
+pub fn parse_geometry(elem: &Element) -> Option<(Geometry, Option<String>)> {
+    let srs = elem.attribute("srsName").map(str::to_string);
+    let geom = match elem.local_name() {
+        "Point" => {
+            let coords = position_text(elem)?;
+            Geometry::Point(Point::at(*parse_coord_list(&coords, 2)?.first()?))
+        }
+        "LineString" | "Curve" => {
+            let coords = position_text(elem)?;
+            Geometry::LineString(LineString::new(parse_coord_list(&coords, 2)?)?)
+        }
+        "Polygon" => {
+            let exterior = elem
+                .child("exterior")
+                .or_else(|| elem.child("outerBoundaryIs"))?
+                .child("LinearRing")?;
+            let ext_ring = Ring::new(parse_coord_list(&position_text(exterior)?, 2)?)?;
+            let mut holes = Vec::new();
+            for interior in elem
+                .child_elements()
+                .filter(|c| matches!(c.local_name(), "interior" | "innerBoundaryIs"))
+            {
+                let lr = interior.child("LinearRing")?;
+                holes.push(Ring::new(parse_coord_list(&position_text(lr)?, 2)?)?);
+            }
+            Geometry::Polygon(Polygon::with_holes(ext_ring, holes))
+        }
+        "MultiPoint" => {
+            let mut members = Vec::new();
+            for m in elem.descendants() {
+                if m.local_name() == "Point" {
+                    let coords = position_text(m)?;
+                    members.push(Point::at(*parse_coord_list(&coords, 2)?.first()?));
+                }
+            }
+            Geometry::MultiPoint(MultiPoint::new(members))
+        }
+        "MultiLineString" | "MultiCurve" => {
+            let mut members = Vec::new();
+            for m in elem.descendants() {
+                if matches!(m.local_name(), "LineString" | "Curve") {
+                    let coords = position_text(m)?;
+                    members.push(grdf_geometry::primitives::Curve::from_linestring(
+                        LineString::new(parse_coord_list(&coords, 2)?)?,
+                    ));
+                }
+            }
+            Geometry::MultiCurve(grdf_geometry::multi::MultiCurve::new(members))
+        }
+        _ => return None,
+    };
+    Some((geom, srs))
+}
+
+/// Extract coordinate text from `gml:pos`, `gml:posList` or
+/// `gml:coordinates` children.
+fn position_text(elem: &Element) -> Option<String> {
+    for name in ["pos", "posList", "coordinates"] {
+        if let Some(c) = elem.child(name) {
+            return Some(c.text());
+        }
+    }
+    None
+}
+
+/// Convenience used by tests: first coordinate of a geometry.
+pub fn first_coord(g: &Geometry) -> Option<Coord> {
+    g.envelope().map(|e| e.min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HYDRO: &str = r#"<gml:FeatureCollection xmlns:gml="http://www.opengis.net/gml"
+        xmlns:app="http://grdf.org/app#">
+      <gml:featureMember>
+        <app:Stream gml:id="HYDRO_11070">
+          <app:hasObjectID>11070</app:hasObjectID>
+          <app:centerLineOf>
+            <gml:LineString srsName="http://grdf.org/crs/TX83-NCF">
+              <gml:coordinates>2533822.17263276,7108248.82783879 2533900.5,7108300.25</gml:coordinates>
+            </gml:LineString>
+          </app:centerLineOf>
+        </app:Stream>
+      </gml:featureMember>
+      <gml:featureMember>
+        <app:ChemSite gml:id="NTEnergy">
+          <app:hasSiteName>North Texas Energy</app:hasSiteName>
+          <app:hasSiteId>004221</app:hasSiteId>
+          <app:temperature uom="http://grdf.org/uom/farenheit">21.23</app:temperature>
+          <gml:boundedBy>
+            <gml:Envelope srsName="http://grdf.org/crs/TX83-NCF">
+              <gml:lowerCorner>2533000 7108000</gml:lowerCorner>
+              <gml:upperCorner>2534000 7109000</gml:upperCorner>
+            </gml:Envelope>
+          </gml:boundedBy>
+        </app:ChemSite>
+      </gml:featureMember>
+    </gml:FeatureCollection>"#;
+
+    #[test]
+    fn parses_collection_with_two_members() {
+        let fc = parse_gml(HYDRO).unwrap();
+        assert_eq!(fc.len(), 2);
+    }
+
+    #[test]
+    fn stream_has_linestring_and_srs() {
+        let fc = parse_gml(HYDRO).unwrap();
+        let stream = fc.of_type("Stream")[0];
+        assert_eq!(stream.iri, "http://grdf.org/app#HYDRO_11070");
+        assert_eq!(stream.property("hasObjectID"), Some(&Value::Integer(11070)));
+        assert_eq!(stream.srs_name.as_deref(), Some("http://grdf.org/crs/TX83-NCF"));
+        match stream.geometry.as_ref().unwrap() {
+            Geometry::LineString(l) => {
+                assert_eq!(l.coords.len(), 2);
+                assert!((l.coords[0].x - 2533822.17263276).abs() < 1e-6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn measure_type_maps_to_double_plus_uom_list1() {
+        // Paper List 1: <temperature uom="…/farenheit">21.23</temperature>.
+        let fc = parse_gml(HYDRO).unwrap();
+        let site = fc.of_type("ChemSite")[0];
+        assert_eq!(site.property("temperature"), Some(&Value::Double(21.23)));
+        assert_eq!(
+            site.property("temperatureUom").and_then(|v| v.as_str()),
+            Some("http://grdf.org/uom/farenheit")
+        );
+    }
+
+    #[test]
+    fn zero_padded_ids_stay_strings() {
+        let fc = parse_gml(HYDRO).unwrap();
+        let site = fc.of_type("ChemSite")[0];
+        assert_eq!(site.property("hasSiteId"), Some(&Value::String("004221".into())));
+    }
+
+    #[test]
+    fn bounded_by_parses_to_envelope() {
+        let fc = parse_gml(HYDRO).unwrap();
+        let site = fc.of_type("ChemSite")[0];
+        let env = site.bounded_by.envelope().unwrap();
+        assert_eq!(env.min, Coord::xy(2533000.0, 7108000.0));
+        assert_eq!(env.max, Coord::xy(2534000.0, 7109000.0));
+    }
+
+    #[test]
+    fn single_feature_document() {
+        let src = r#"<app:Well xmlns:app="urn:app#" xmlns:gml="http://www.opengis.net/gml"
+                       gml:id="w1">
+            <app:depth>120.5</app:depth>
+            <app:location><gml:Point><gml:pos>5 6</gml:pos></gml:Point></app:location>
+          </app:Well>"#;
+        let fc = parse_gml(src).unwrap();
+        assert_eq!(fc.len(), 1);
+        let w = &fc.features[0];
+        assert_eq!(w.iri, "urn:app#w1");
+        assert_eq!(w.property("depth"), Some(&Value::Double(120.5)));
+        assert!(matches!(w.geometry, Some(Geometry::Point(_))));
+    }
+
+    #[test]
+    fn polygon_with_interior_ring() {
+        let src = r#"<app:Zone xmlns:app="urn:app#" xmlns:gml="http://www.opengis.net/gml" gml:id="z">
+          <app:extentOf>
+            <gml:Polygon>
+              <gml:exterior><gml:LinearRing><gml:posList>0 0 10 0 10 10 0 10 0 0</gml:posList></gml:LinearRing></gml:exterior>
+              <gml:interior><gml:LinearRing><gml:posList>4 4 6 4 6 6 4 6 4 4</gml:posList></gml:LinearRing></gml:interior>
+            </gml:Polygon>
+          </app:extentOf>
+        </app:Zone>"#;
+        let fc = parse_gml(src).unwrap();
+        match fc.features[0].geometry.as_ref().unwrap() {
+            Geometry::Polygon(p) => {
+                assert_eq!(p.interiors.len(), 1);
+                assert_eq!(p.area(), 96.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multipoint_geometry() {
+        let src = r#"<app:Sensors xmlns:app="urn:app#" xmlns:gml="http://www.opengis.net/gml" gml:id="s">
+          <app:positions>
+            <gml:MultiPoint>
+              <gml:pointMember><gml:Point><gml:pos>0 0</gml:pos></gml:Point></gml:pointMember>
+              <gml:pointMember><gml:Point><gml:pos>2 2</gml:pos></gml:Point></gml:pointMember>
+            </gml:MultiPoint>
+          </app:positions>
+        </app:Sensors>"#;
+        let fc = parse_gml(src).unwrap();
+        match fc.features[0].geometry.as_ref().unwrap() {
+            Geometry::MultiPoint(mp) => assert_eq!(mp.members.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multilinestring_geometry() {
+        let src = r#"<app:Network xmlns:app="urn:app#" xmlns:gml="http://www.opengis.net/gml" gml:id="n">
+          <app:branches>
+            <gml:MultiLineString>
+              <gml:lineStringMember><gml:LineString><gml:posList>0 0 1 1</gml:posList></gml:LineString></gml:lineStringMember>
+              <gml:lineStringMember><gml:LineString><gml:posList>5 5 6 6 7 7</gml:posList></gml:LineString></gml:lineStringMember>
+            </gml:MultiLineString>
+          </app:branches>
+        </app:Network>"#;
+        let fc = parse_gml(src).unwrap();
+        match fc.features[0].geometry.as_ref().unwrap() {
+            Geometry::MultiCurve(mc) => {
+                assert_eq!(mc.members.len(), 2);
+                assert!((mc.length() - (2f64.sqrt() * 3.0)).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multicurve_roundtrips_through_writer() {
+        use grdf_feature::feature::{Feature, FeatureCollection};
+        let mut fc = FeatureCollection::new();
+        let mut f = Feature::new("urn:app#net", "Network");
+        let mk = |pts: &[(f64, f64)]| {
+            grdf_geometry::primitives::Curve::from_linestring(
+                grdf_geometry::primitives::LineString::new(
+                    pts.iter().map(|&(x, y)| Coord::xy(x, y)).collect(),
+                )
+                .unwrap(),
+            )
+        };
+        f.set_geometry(Geometry::MultiCurve(grdf_geometry::multi::MultiCurve::new(vec![
+            mk(&[(0.0, 0.0), (1.0, 1.0)]),
+            mk(&[(5.0, 5.0), (7.0, 7.0)]),
+        ])));
+        fc.push(f);
+        let xml = crate::write::write_gml(&fc);
+        let back = parse_gml(&xml).unwrap();
+        match back.features[0].geometry.as_ref().unwrap() {
+            Geometry::MultiCurve(mc) => assert_eq!(mc.members.len(), 2),
+            other => panic!("unexpected {other:?} in\n{xml}"),
+        }
+    }
+
+    #[test]
+    fn gml_root_feature_is_rejected() {
+        let src = r#"<gml:Point xmlns:gml="http://www.opengis.net/gml"><gml:pos>0 0</gml:pos></gml:Point>"#;
+        assert!(matches!(parse_gml(src), Err(GmlError::Structure(_))));
+    }
+
+    #[test]
+    fn malformed_xml_is_reported() {
+        assert!(matches!(parse_gml("<oops"), Err(GmlError::Xml(_))));
+    }
+
+    #[test]
+    fn boolean_values_parse() {
+        let src = r#"<app:Site xmlns:app="urn:app#" xmlns:gml="http://www.opengis.net/gml" gml:id="b">
+          <app:active>true</app:active>
+        </app:Site>"#;
+        let fc = parse_gml(src).unwrap();
+        assert_eq!(fc.features[0].property("active"), Some(&Value::Boolean(true)));
+    }
+}

@@ -1,0 +1,288 @@
+//! Emitting feature collections as GML.
+
+use grdf_feature::bounding::BoundingShape;
+use grdf_feature::feature::{Feature, FeatureCollection};
+use grdf_feature::value::Value;
+use grdf_geometry::geometry::Geometry;
+use grdf_xml::tree::{Document, Element};
+use grdf_xml::writer::{write_document, WriteOptions};
+
+use crate::GML_NS;
+
+const APP_NS: &str = "http://grdf.org/app#";
+
+/// Serialize a feature collection as a `gml:FeatureCollection` document.
+pub fn write_gml(fc: &FeatureCollection) -> String {
+    let mut root = Element::in_ns(GML_NS, Some("gml"), "FeatureCollection");
+    root.ns_decls.push((Some("gml".into()), GML_NS.into()));
+    root.ns_decls.push((Some("app".into()), APP_NS.into()));
+    for f in &fc.features {
+        let mut member = Element::in_ns(GML_NS, Some("gml"), "featureMember");
+        member.push_element(feature_element(f));
+        root.push_element(member);
+    }
+    write_document(&Document::with_root(root), &WriteOptions::default())
+}
+
+fn local_type(feature: &Feature) -> String {
+    // Strip a namespace from absolute type IRIs for the element name.
+    match feature.feature_type.rfind(['#', '/']) {
+        Some(i) if feature.feature_type.contains("://") => {
+            feature.feature_type[i + 1..].to_string()
+        }
+        _ => feature.feature_type.clone(),
+    }
+}
+
+fn feature_id(feature: &Feature) -> String {
+    match feature.iri.rfind(['#', '/']) {
+        Some(i) => feature.iri[i + 1..].to_string(),
+        None => feature.iri.clone(),
+    }
+}
+
+fn feature_element(feature: &Feature) -> Element {
+    let mut el = Element::in_ns(APP_NS, Some("app"), &local_type(feature));
+    el.set_attribute_ns(GML_NS, "gml", "id", &feature_id(feature));
+
+    if let BoundingShape::Envelope(env) = &feature.bounded_by {
+        let mut bounded = Element::in_ns(GML_NS, Some("gml"), "boundedBy");
+        let mut envelope = Element::in_ns(GML_NS, Some("gml"), "Envelope");
+        if let Some(srs) = &feature.srs_name {
+            envelope.set_attribute("srsName", srs);
+        }
+        let mut lower = Element::in_ns(GML_NS, Some("gml"), "lowerCorner");
+        lower.push_text(&format!("{} {}", env.min.x, env.min.y));
+        let mut upper = Element::in_ns(GML_NS, Some("gml"), "upperCorner");
+        upper.push_text(&format!("{} {}", env.max.x, env.max.y));
+        envelope.push_element(lower);
+        envelope.push_element(upper);
+        bounded.push_element(envelope);
+        el.push_element(bounded);
+    }
+
+    // Simple properties. `<name>Uom` companions are re-folded into `uom`
+    // attributes on write (inverse of the List 1 mapping).
+    let uom_of = |name: &str| -> Option<&str> {
+        feature.property(&format!("{name}Uom")).and_then(Value::as_str)
+    };
+    for (name, value) in &feature.properties {
+        if name.ends_with("Uom") && feature.property(&name[..name.len() - 3]).is_some() {
+            continue; // folded into the base property
+        }
+        let mut prop = Element::in_ns(APP_NS, Some("app"), name);
+        if let Some(uom) = uom_of(name) {
+            prop.set_attribute("uom", uom);
+        }
+        prop.push_text(&value.to_string());
+        el.push_element(prop);
+    }
+
+    if let Some(geom) = &feature.geometry {
+        let mut prop = Element::in_ns(APP_NS, Some("app"), "hasGeometry");
+        if let Some(g) = geometry_element(geom, feature.srs_name.as_deref()) {
+            prop.push_element(g);
+            el.push_element(prop);
+        }
+    }
+    el
+}
+
+fn pos_list(coords: &[grdf_geometry::coord::Coord]) -> String {
+    coords
+        .iter()
+        .map(|c| format!("{} {}", c.x, c.y))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn geometry_element(geom: &Geometry, srs: Option<&str>) -> Option<Element> {
+    let mut el = match geom {
+        Geometry::Point(p) => {
+            let mut el = Element::in_ns(GML_NS, Some("gml"), "Point");
+            let mut pos = Element::in_ns(GML_NS, Some("gml"), "pos");
+            pos.push_text(&format!("{} {}", p.coord.x, p.coord.y));
+            el.push_element(pos);
+            el
+        }
+        Geometry::LineString(l) => {
+            let mut el = Element::in_ns(GML_NS, Some("gml"), "LineString");
+            let mut pl = Element::in_ns(GML_NS, Some("gml"), "posList");
+            pl.push_text(&pos_list(&l.coords));
+            el.push_element(pl);
+            el
+        }
+        Geometry::Curve(c) => return geometry_element(&Geometry::LineString(c.to_linestring()), srs),
+        Geometry::Polygon(p) => {
+            let mut el = Element::in_ns(GML_NS, Some("gml"), "Polygon");
+            let mut ext = Element::in_ns(GML_NS, Some("gml"), "exterior");
+            ext.push_element(linear_ring(&p.exterior.coords));
+            el.push_element(ext);
+            for hole in &p.interiors {
+                let mut int = Element::in_ns(GML_NS, Some("gml"), "interior");
+                int.push_element(linear_ring(&hole.coords));
+                el.push_element(int);
+            }
+            el
+        }
+        Geometry::MultiPoint(mp) => {
+            let mut el = Element::in_ns(GML_NS, Some("gml"), "MultiPoint");
+            for m in &mp.members {
+                let mut member = Element::in_ns(GML_NS, Some("gml"), "pointMember");
+                let mut point = Element::in_ns(GML_NS, Some("gml"), "Point");
+                let mut pos = Element::in_ns(GML_NS, Some("gml"), "pos");
+                pos.push_text(&format!("{} {}", m.coord.x, m.coord.y));
+                point.push_element(pos);
+                member.push_element(point);
+                el.push_element(member);
+            }
+            el
+        }
+        Geometry::MultiCurve(mc) => {
+            let mut el = Element::in_ns(GML_NS, Some("gml"), "MultiCurve");
+            for c in &mc.members {
+                let mut member = Element::in_ns(GML_NS, Some("gml"), "curveMember");
+                let mut ls = Element::in_ns(GML_NS, Some("gml"), "LineString");
+                let mut pl = Element::in_ns(GML_NS, Some("gml"), "posList");
+                pl.push_text(&pos_list(&c.to_linestring().coords));
+                ls.push_element(pl);
+                member.push_element(ls);
+                el.push_element(member);
+            }
+            el
+        }
+        // Other aggregate kinds: emit the envelope as a surrogate polygon.
+        other => {
+            let env = other.envelope()?;
+            let poly = grdf_geometry::primitives::Polygon::rectangle(env.min, env.max);
+            return geometry_element(&Geometry::Polygon(poly), srs);
+        }
+    };
+    if let Some(srs) = srs {
+        el.set_attribute("srsName", srs);
+    }
+    Some(el)
+}
+
+fn linear_ring(coords: &[grdf_geometry::coord::Coord]) -> Element {
+    let mut lr = Element::in_ns(GML_NS, Some("gml"), "LinearRing");
+    let mut pl = Element::in_ns(GML_NS, Some("gml"), "posList");
+    pl.push_text(&pos_list(coords));
+    lr.push_element(pl);
+    lr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::parse_gml;
+    use grdf_geometry::coord::Coord;
+    use grdf_geometry::envelope::Envelope;
+    use grdf_geometry::primitives::{LineString, Point, Polygon, Ring};
+
+    fn sample() -> FeatureCollection {
+        let mut fc = FeatureCollection::new();
+        let mut stream = Feature::new("http://grdf.org/app#HYDRO_1", "Stream");
+        stream.set_property("hasObjectID", 11070i64);
+        stream.srs_name = Some("http://grdf.org/crs/TX83-NCF".to_string());
+        stream.set_geometry(
+            LineString::new(vec![Coord::xy(10.0, 20.0), Coord::xy(30.0, 40.0)])
+                .unwrap()
+                .into(),
+        );
+        let mut site = Feature::new("http://grdf.org/app#NTEnergy", "ChemSite");
+        site.set_property("hasSiteName", "North Texas Energy");
+        site.set_property("temperature", 21.23f64);
+        site.set_property("temperatureUom", "http://grdf.org/uom/farenheit");
+        site.bounded_by = BoundingShape::Envelope(Envelope::new(
+            Coord::xy(0.0, 0.0),
+            Coord::xy(100.0, 100.0),
+        ));
+        fc.push(stream);
+        fc.push(site);
+        fc
+    }
+
+    #[test]
+    fn writes_parseable_gml() {
+        let fc = sample();
+        let xml = write_gml(&fc);
+        assert!(xml.contains("gml:FeatureCollection"), "{xml}");
+        let back = parse_gml(&xml).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_properties_and_geometry() {
+        let fc = sample();
+        let back = parse_gml(&write_gml(&fc)).unwrap();
+        let stream = back.of_type("Stream")[0];
+        assert_eq!(stream.iri, "http://grdf.org/app#HYDRO_1");
+        assert_eq!(
+            stream.property("hasObjectID"),
+            Some(&grdf_feature::value::Value::Integer(11070))
+        );
+        assert_eq!(stream.geometry, fc.of_type("Stream")[0].geometry);
+        assert_eq!(stream.srs_name, fc.of_type("Stream")[0].srs_name);
+    }
+
+    #[test]
+    fn uom_companion_folds_back_to_attribute() {
+        let fc = sample();
+        let xml = write_gml(&fc);
+        assert!(xml.contains(r#"uom="http://grdf.org/uom/farenheit""#), "{xml}");
+        let back = parse_gml(&xml).unwrap();
+        let site = back.of_type("ChemSite")[0];
+        assert_eq!(site.property("temperature"), Some(&grdf_feature::value::Value::Double(21.23)));
+        assert_eq!(
+            site.property("temperatureUom").and_then(|v| v.as_str()),
+            Some("http://grdf.org/uom/farenheit")
+        );
+    }
+
+    #[test]
+    fn envelope_roundtrips() {
+        let fc = sample();
+        let back = parse_gml(&write_gml(&fc)).unwrap();
+        let site = back.of_type("ChemSite")[0];
+        let env = site.bounded_by.envelope().unwrap();
+        assert_eq!(env.max, Coord::xy(100.0, 100.0));
+    }
+
+    #[test]
+    fn polygon_roundtrips_with_holes() {
+        let mut fc = FeatureCollection::new();
+        let mut f = Feature::new("urn:app#z", "Zone");
+        let ext = Ring::new(vec![
+            Coord::xy(0.0, 0.0),
+            Coord::xy(10.0, 0.0),
+            Coord::xy(10.0, 10.0),
+            Coord::xy(0.0, 10.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![
+            Coord::xy(4.0, 4.0),
+            Coord::xy(6.0, 4.0),
+            Coord::xy(6.0, 6.0),
+            Coord::xy(4.0, 6.0),
+        ])
+        .unwrap();
+        f.set_geometry(Polygon::with_holes(ext, vec![hole]).into());
+        fc.push(f);
+        let back = parse_gml(&write_gml(&fc)).unwrap();
+        match back.features[0].geometry.as_ref().unwrap() {
+            Geometry::Polygon(p) => assert_eq!(p.area(), 96.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn point_feature_roundtrip() {
+        let mut fc = FeatureCollection::new();
+        let mut f = Feature::new("urn:app#p", "Well");
+        f.set_geometry(Point::new(5.0, 6.0).into());
+        fc.push(f);
+        let back = parse_gml(&write_gml(&fc)).unwrap();
+        assert_eq!(back.features[0].geometry, fc.features[0].geometry);
+    }
+}

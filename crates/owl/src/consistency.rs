@@ -1,0 +1,412 @@
+//! OWL-DL consistency checking: disjointness clashes, cardinality
+//! restriction violations, `sameAs`/`differentFrom` conflicts, and
+//! memberships of `owl:Nothing`.
+//!
+//! Run after [`crate::reasoner::Reasoner::materialize`] so inferred
+//! memberships are visible to the checks. GRDF uses cardinality
+//! restrictions structurally (Lists 3 and 5), so a validator is required to
+//! make those restrictions mean anything for instance data.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::Term;
+use grdf_rdf::vocab::{owl, rdf, rdfs};
+
+/// One detected inconsistency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `instance` is a member of two classes declared `owl:disjointWith`.
+    Disjoint {
+        /// The offending individual.
+        instance: Term,
+        /// First class.
+        class_a: Term,
+        /// Second class (disjoint with the first).
+        class_b: Term,
+    },
+    /// A cardinality restriction is violated.
+    Cardinality {
+        /// The offending individual.
+        instance: Term,
+        /// The restricted property.
+        property: Term,
+        /// Expected bound description, e.g. `exactly 2` or `at most 1`.
+        expected: String,
+        /// The count actually observed.
+        actual: usize,
+    },
+    /// Two individuals are asserted both `owl:sameAs` and
+    /// `owl:differentFrom` each other.
+    SameAndDifferent {
+        /// First individual.
+        a: Term,
+        /// Second individual.
+        b: Term,
+    },
+    /// An individual is typed `owl:Nothing`.
+    NothingMember {
+        /// The impossible individual.
+        instance: Term,
+    },
+    /// A functional property maps one subject to two distinct literals —
+    /// literals cannot be `sameAs`-identified, so this is a hard clash.
+    FunctionalLiteralClash {
+        /// The subject with two values.
+        instance: Term,
+        /// The functional property.
+        property: Term,
+        /// First literal value.
+        value_a: Term,
+        /// Second literal value.
+        value_b: Term,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Disjoint { instance, class_a, class_b } => write!(
+                f,
+                "{instance} is a member of disjoint classes {class_a} and {class_b}"
+            ),
+            Violation::Cardinality { instance, property, expected, actual } => write!(
+                f,
+                "{instance} violates cardinality on {property}: expected {expected}, found {actual}"
+            ),
+            Violation::SameAndDifferent { a, b } => {
+                write!(f, "{a} and {b} are both sameAs and differentFrom")
+            }
+            Violation::NothingMember { instance } => {
+                write!(f, "{instance} is a member of owl:Nothing")
+            }
+            Violation::FunctionalLiteralClash { instance, property, value_a, value_b } => write!(
+                f,
+                "functional {property} of {instance} has two distinct literal values {value_a} and {value_b}"
+            ),
+        }
+    }
+}
+
+/// Check a (materialized) graph; returns all detected violations.
+pub fn check_consistency(g: &Graph) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_disjoint(g, &mut out);
+    check_cardinalities(g, &mut out);
+    check_same_different(g, &mut out);
+    check_nothing(g, &mut out);
+    check_functional_literals(g, &mut out);
+    out
+}
+
+/// Functional properties with two distinct literal values: unlike resource
+/// values (which the reasoner identifies via `sameAs`), literal values
+/// cannot be equated, so duplicates are inconsistencies.
+fn check_functional_literals(g: &Graph, out: &mut Vec<Violation>) {
+    g.for_each_match(
+        None,
+        Some(&Term::iri(rdf::TYPE)),
+        Some(&Term::iri(owl::FUNCTIONAL_PROPERTY)),
+        |decl| {
+            let property = decl.subject;
+            let mut by_subject: std::collections::HashMap<Term, Vec<Term>> =
+                std::collections::HashMap::new();
+            g.for_each_match(None, Some(&property), None, |t| {
+                if !t.object.is_resource() {
+                    by_subject.entry(t.subject).or_default().push(t.object);
+                }
+            });
+            for (instance, values) in by_subject {
+                for pair in values.windows(2) {
+                    if pair[0] != pair[1] {
+                        out.push(Violation::FunctionalLiteralClash {
+                            instance: instance.clone(),
+                            property: property.clone(),
+                            value_a: pair[0].clone(),
+                            value_b: pair[1].clone(),
+                        });
+                    }
+                }
+            }
+        },
+    );
+}
+
+fn check_disjoint(g: &Graph, out: &mut Vec<Violation>) {
+    let ty = Term::iri(rdf::TYPE);
+    g.for_each_match(None, Some(&Term::iri(owl::DISJOINT_WITH)), None, |t| {
+        let (a, b) = (t.subject, t.object);
+        let members_a: BTreeSet<Term> = g.subjects(&ty, &a).into_iter().collect();
+        if members_a.is_empty() {
+            return;
+        }
+        for m in g.subjects(&ty, &b) {
+            if members_a.contains(&m) {
+                out.push(Violation::Disjoint {
+                    instance: m,
+                    class_a: a.clone(),
+                    class_b: b.clone(),
+                });
+            }
+        }
+    });
+}
+
+fn check_cardinalities(g: &Graph, out: &mut Vec<Violation>) {
+    let ty = Term::iri(rdf::TYPE);
+    // For every restriction node with a cardinality facet, check members of
+    // every class declared below it (and direct members of the node).
+    g.for_each_match(None, Some(&ty), Some(&Term::iri(owl::RESTRICTION)), |t| {
+        let node = t.subject;
+        let Some(property) = g.object(&node, &Term::iri(owl::ON_PROPERTY)) else {
+            return;
+        };
+        let exact = card_value(g, &node, owl::CARDINALITY);
+        let min = card_value(g, &node, owl::MIN_CARDINALITY);
+        let max = card_value(g, &node, owl::MAX_CARDINALITY);
+        if exact.is_none() && min.is_none() && max.is_none() {
+            return;
+        }
+
+        let mut members: BTreeSet<Term> = g.subjects(&ty, &node).into_iter().collect();
+        for class in g.subjects(&Term::iri(rdfs::SUB_CLASS_OF), &node) {
+            members.extend(g.subjects(&ty, &class));
+        }
+
+        for m in members {
+            // Distinct values, treating sameAs-identified individuals as one.
+            let values = distinct_values(g, &m, &property);
+            let actual = values.len();
+            if let Some(n) = exact {
+                if actual != n as usize {
+                    out.push(Violation::Cardinality {
+                        instance: m.clone(),
+                        property: property.clone(),
+                        expected: format!("exactly {n}"),
+                        actual,
+                    });
+                }
+            }
+            if let Some(n) = min {
+                if actual < n as usize {
+                    out.push(Violation::Cardinality {
+                        instance: m.clone(),
+                        property: property.clone(),
+                        expected: format!("at least {n}"),
+                        actual,
+                    });
+                }
+            }
+            if let Some(n) = max {
+                if actual > n as usize {
+                    out.push(Violation::Cardinality {
+                        instance: m.clone(),
+                        property: property.clone(),
+                        expected: format!("at most {n}"),
+                        actual,
+                    });
+                }
+            }
+        }
+    });
+}
+
+fn card_value(g: &Graph, node: &Term, pred: &str) -> Option<u32> {
+    g.object(node, &Term::iri(pred))
+        .and_then(|v| v.as_literal().and_then(|l| l.as_integer()))
+        .and_then(|n| u32::try_from(n).ok())
+}
+
+/// Distinct objects of `(m, p, ?)`, collapsing `owl:sameAs` groups.
+fn distinct_values(g: &Graph, m: &Term, p: &Term) -> Vec<Term> {
+    let same = Term::iri(owl::SAME_AS);
+    let mut out: Vec<Term> = Vec::new();
+    for v in g.objects(m, p) {
+        let duplicate = out.iter().any(|u| *u == v || g.has(u, &same, &v));
+        if !duplicate {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn check_same_different(g: &Graph, out: &mut Vec<Violation>) {
+    let same = Term::iri(owl::SAME_AS);
+    g.for_each_match(None, Some(&Term::iri(owl::DIFFERENT_FROM)), None, |t| {
+        if g.has(&t.subject, &same, &t.object) || g.has(&t.object, &same, &t.subject) {
+            out.push(Violation::SameAndDifferent { a: t.subject, b: t.object });
+        }
+    });
+}
+
+fn check_nothing(g: &Graph, out: &mut Vec<Violation>) {
+    g.for_each_match(
+        None,
+        Some(&Term::iri(rdf::TYPE)),
+        Some(&Term::iri(owl::NOTHING)),
+        |t| out.push(Violation::NothingMember { instance: t.subject }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{OntologyBuilder, RestrictionKind};
+    use crate::reasoner::Reasoner;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+    fn ty() -> Term {
+        Term::iri(rdf::TYPE)
+    }
+
+    #[test]
+    fn clean_ontology_has_no_violations() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("A", None);
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#x"), ty(), iri("urn:t#A"));
+        assert!(check_consistency(&g).is_empty());
+    }
+
+    #[test]
+    fn disjoint_membership_detected() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Geometry", None);
+        b.class("Topology", None);
+        b.disjoint_with("Geometry", "Topology");
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#x"), ty(), iri("urn:t#Geometry"));
+        g.add(iri("urn:t#x"), ty(), iri("urn:t#Topology"));
+        let v = check_consistency(&g);
+        assert!(matches!(v.as_slice(), [Violation::Disjoint { .. }]));
+    }
+
+    #[test]
+    fn exact_cardinality_enforced_list3() {
+        // List 3: EnvelopeWithTimePeriod must have exactly 2 time positions.
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("EnvelopeWithTimePeriod", None);
+        b.object_property("hasTimePosition", None, None);
+        b.restrict("EnvelopeWithTimePeriod", "hasTimePosition", RestrictionKind::Exactly(2));
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#env"), ty(), iri("urn:t#EnvelopeWithTimePeriod"));
+        g.add(iri("urn:t#env"), iri("urn:t#hasTimePosition"), iri("urn:t#t0"));
+        let v = check_consistency(&g);
+        assert_eq!(v.len(), 1);
+        match &v[0] {
+            Violation::Cardinality { expected, actual, .. } => {
+                assert_eq!(expected, "exactly 2");
+                assert_eq!(*actual, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Adding the second position clears it.
+        g.add(iri("urn:t#env"), iri("urn:t#hasTimePosition"), iri("urn:t#t1"));
+        assert!(check_consistency(&g).is_empty());
+    }
+
+    #[test]
+    fn max_cardinality_enforced_list5() {
+        // List 5: a Face has at most 1 hasSurface.
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Face", None);
+        b.object_property("hasSurface", None, None);
+        b.restrict("Face", "hasSurface", RestrictionKind::AtMost(1));
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#f"), ty(), iri("urn:t#Face"));
+        g.add(iri("urn:t#f"), iri("urn:t#hasSurface"), iri("urn:t#s1"));
+        assert!(check_consistency(&g).is_empty());
+        g.add(iri("urn:t#f"), iri("urn:t#hasSurface"), iri("urn:t#s2"));
+        let v = check_consistency(&g);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn min_cardinality_enforced() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Face", None);
+        b.object_property("hasEdge", None, None);
+        b.restrict("Face", "hasEdge", RestrictionKind::AtLeast(1));
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#f"), ty(), iri("urn:t#Face"));
+        let v = check_consistency(&g);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn same_as_values_count_once() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("C", None);
+        b.object_property("p", None, None);
+        b.restrict("C", "p", RestrictionKind::AtMost(1));
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#x"), ty(), iri("urn:t#C"));
+        g.add(iri("urn:t#x"), iri("urn:t#p"), iri("urn:t#a"));
+        g.add(iri("urn:t#x"), iri("urn:t#p"), iri("urn:t#b"));
+        g.add(iri("urn:t#a"), Term::iri(owl::SAME_AS), iri("urn:t#b"));
+        Reasoner::default().materialize(&mut g);
+        assert!(
+            check_consistency(&g).is_empty(),
+            "sameAs-identified values must count as one"
+        );
+    }
+
+    #[test]
+    fn same_and_different_conflict() {
+        let mut g = Graph::new();
+        g.add(iri("urn:a"), Term::iri(owl::SAME_AS), iri("urn:b"));
+        g.add(iri("urn:a"), Term::iri(owl::DIFFERENT_FROM), iri("urn:b"));
+        let v = check_consistency(&g);
+        assert!(matches!(v.as_slice(), [Violation::SameAndDifferent { .. }]));
+    }
+
+    #[test]
+    fn nothing_membership_detected() {
+        let mut g = Graph::new();
+        g.add(iri("urn:x"), ty(), Term::iri(owl::NOTHING));
+        let v = check_consistency(&g);
+        assert!(matches!(v.as_slice(), [Violation::NothingMember { .. }]));
+    }
+
+    #[test]
+    fn functional_literal_clash_detected() {
+        use crate::model::Characteristic;
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.datatype_property("hasSiteId", None, None);
+        b.characteristic("hasSiteId", Characteristic::Functional);
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#s"), iri("urn:t#hasSiteId"), Term::string("004221"));
+        assert!(check_consistency(&g).is_empty(), "one value is fine");
+        g.add(iri("urn:t#s"), iri("urn:t#hasSiteId"), Term::string("999999"));
+        let v = check_consistency(&g);
+        assert!(
+            matches!(v.as_slice(), [Violation::FunctionalLiteralClash { .. }]),
+            "{v:?}"
+        );
+        // Two resources (not literals) are handled by sameAs, not flagged.
+        let mut g2 = Graph::new();
+        g2.add(
+            iri("urn:t#p"),
+            Term::iri(rdf::TYPE),
+            Term::iri(owl::FUNCTIONAL_PROPERTY),
+        );
+        g2.add(iri("urn:t#s"), iri("urn:t#p"), iri("urn:t#a"));
+        g2.add(iri("urn:t#s"), iri("urn:t#p"), iri("urn:t#b"));
+        assert!(check_consistency(&g2).is_empty());
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::Cardinality {
+            instance: iri("urn:x"),
+            property: iri("urn:p"),
+            expected: "at most 1".into(),
+            actual: 3,
+        };
+        let s = v.to_string();
+        assert!(s.contains("at most 1") && s.contains('3'), "{s}");
+    }
+}

@@ -1,0 +1,560 @@
+//! Post-hoc explanation of inferred triples.
+//!
+//! The paper's security architecture decides access on *inferred* facts
+//! ("a reasoning system can still enforce the policy … against the
+//! aggregated data"). For such decisions to be auditable, the system must
+//! be able to say *why* a triple holds. [`explain`] searches backwards
+//! from a triple in a materialized graph for a rule instantiation whose
+//! premises are themselves asserted or explainable, producing a
+//! derivation tree down to asserted facts.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::{Term, Triple};
+use grdf_rdf::vocab::{owl, rdf, rdfs};
+
+/// A derivation tree for one triple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Derivation {
+    /// The triple is in the base (asserted) graph.
+    Asserted(Triple),
+    /// The triple follows from `premises` by `rule`.
+    Derived {
+        /// The explained triple.
+        conclusion: Triple,
+        /// Human-readable rule name (e.g. `rdfs9-type-inheritance`).
+        rule: &'static str,
+        /// Sub-derivations of each premise.
+        premises: Vec<Derivation>,
+    },
+}
+
+impl Derivation {
+    /// The triple this derivation concludes.
+    pub fn conclusion(&self) -> &Triple {
+        match self {
+            Derivation::Asserted(t) => t,
+            Derivation::Derived { conclusion, .. } => conclusion,
+        }
+    }
+
+    /// Depth of the tree (1 for asserted facts).
+    pub fn depth(&self) -> usize {
+        match self {
+            Derivation::Asserted(_) => 1,
+            Derivation::Derived { premises, .. } => {
+                1 + premises.iter().map(Derivation::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The asserted leaves supporting this conclusion.
+    pub fn support(&self) -> Vec<&Triple> {
+        match self {
+            Derivation::Asserted(t) => vec![t],
+            Derivation::Derived { premises, .. } => {
+                premises.iter().flat_map(Derivation::support).collect()
+            }
+        }
+    }
+
+    fn render(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Derivation::Asserted(t) => {
+                out.push_str(&format!("{pad}{t}   [asserted]\n"));
+            }
+            Derivation::Derived { conclusion, rule, premises } => {
+                out.push_str(&format!("{pad}{conclusion}   [{rule}]\n"));
+                for p in premises {
+                    p.render(indent + 1, out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Derivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(0, &mut s);
+        f.write_str(s.trim_end())
+    }
+}
+
+/// Explain why `triple` holds in the materialized graph `g`, relative to
+/// the asserted `base`. Returns `None` when the triple is neither asserted
+/// nor derivable within `max_depth` rule steps.
+pub fn explain(g: &Graph, base: &Graph, triple: &Triple, max_depth: usize) -> Option<Derivation> {
+    let mut on_path = HashSet::new();
+    explain_rec(g, base, triple, max_depth, &mut on_path)
+}
+
+fn explain_rec(
+    g: &Graph,
+    base: &Graph,
+    triple: &Triple,
+    depth: usize,
+    on_path: &mut HashSet<Triple>,
+) -> Option<Derivation> {
+    if base.contains(triple) {
+        return Some(Derivation::Asserted(triple.clone()));
+    }
+    if depth == 0 || !g.contains(triple) || !on_path.insert(triple.clone()) {
+        return None;
+    }
+    let result = try_rules(g, base, triple, depth, on_path);
+    on_path.remove(triple);
+    result
+}
+
+/// Attempt each backward rule; premises must themselves be explainable.
+fn try_rules(
+    g: &Graph,
+    base: &Graph,
+    t: &Triple,
+    depth: usize,
+    on_path: &mut HashSet<Triple>,
+) -> Option<Derivation> {
+    let ty = Term::iri(rdf::TYPE);
+    let sub_class = Term::iri(rdfs::SUB_CLASS_OF);
+    let sub_prop = Term::iri(rdfs::SUB_PROPERTY_OF);
+
+    let attempt = |rule: &'static str,
+                       premises: Vec<Triple>,
+                       on_path: &mut HashSet<Triple>|
+     -> Option<Derivation> {
+        let mut derived = Vec::with_capacity(premises.len());
+        for p in &premises {
+            derived.push(explain_rec(g, base, p, depth - 1, on_path)?);
+        }
+        Some(Derivation::Derived { conclusion: t.clone(), rule, premises: derived })
+    };
+
+    // --- rdfs9: x type C, C ⊑ D ⇒ x type D -------------------------------
+    if t.predicate == ty {
+        for sub in g.subjects(&sub_class, &t.object) {
+            if sub == t.object {
+                continue;
+            }
+            let p1 = Triple::new(t.subject.clone(), ty.clone(), sub.clone());
+            let p2 = Triple::new(sub.clone(), sub_class.clone(), t.object.clone());
+            if g.contains(&p1) {
+                if let Some(d) = attempt("rdfs9-type-inheritance", vec![p1, p2], on_path) {
+                    return Some(d);
+                }
+            }
+        }
+        // rdfs2 (domain): p domain C, x p y ⇒ x type C.
+        for p in g.subjects(&Term::iri(rdfs::DOMAIN), &t.object) {
+            let uses = g.match_pattern(Some(&t.subject), Some(&p), None);
+            if let Some(use_triple) = uses.into_iter().next() {
+                let decl = Triple::new(p.clone(), Term::iri(rdfs::DOMAIN), t.object.clone());
+                if let Some(d) = attempt("rdfs2-domain", vec![decl, use_triple], on_path) {
+                    return Some(d);
+                }
+            }
+        }
+        // rdfs3 (range): p range C, y p x ⇒ x type C.
+        for p in g.subjects(&Term::iri(rdfs::RANGE), &t.object) {
+            let uses = g.match_pattern(None, Some(&p), Some(&t.subject));
+            if let Some(use_triple) = uses.into_iter().next() {
+                let decl = Triple::new(p.clone(), Term::iri(rdfs::RANGE), t.object.clone());
+                if let Some(d) = attempt("rdfs3-range", vec![decl, use_triple], on_path) {
+                    return Some(d);
+                }
+            }
+        }
+    }
+
+    // --- rdfs11: A ⊑ B, B ⊑ C ⇒ A ⊑ C -------------------------------------
+    if t.predicate == sub_class {
+        for mid in g.objects(&t.subject, &sub_class) {
+            if mid == t.object || mid == t.subject {
+                continue;
+            }
+            let p2 = Triple::new(mid.clone(), sub_class.clone(), t.object.clone());
+            if g.contains(&p2) {
+                let p1 = Triple::new(t.subject.clone(), sub_class.clone(), mid);
+                if let Some(d) = attempt("rdfs11-subclass-transitivity", vec![p1, p2], on_path) {
+                    return Some(d);
+                }
+            }
+        }
+        // owl equivalentClass ⇒ subClassOf (either orientation).
+        for (s, o) in [(&t.subject, &t.object), (&t.object, &t.subject)] {
+            let eq = Triple::new(s.clone(), Term::iri(owl::EQUIVALENT_CLASS), o.clone());
+            if g.contains(&eq) {
+                if let Some(d) = attempt("owl-equivalent-class", vec![eq], on_path) {
+                    return Some(d);
+                }
+            }
+        }
+    }
+
+    // --- rdfs7: x p y, p ⊑ q ⇒ x q y ---------------------------------------
+    for p in g.subjects(&sub_prop, &t.predicate) {
+        if p == t.predicate {
+            continue;
+        }
+        let p1 = Triple::new(t.subject.clone(), p.clone(), t.object.clone());
+        if g.contains(&p1) {
+            let p2 = Triple::new(p, sub_prop.clone(), t.predicate.clone());
+            if let Some(d) = attempt("rdfs7-subproperty", vec![p1, p2], on_path) {
+                return Some(d);
+            }
+        }
+    }
+
+    // --- owl: inverseOf ------------------------------------------------------
+    if t.object.is_resource() {
+        let mut inverses: Vec<Term> = g.objects(&t.predicate, &Term::iri(owl::INVERSE_OF));
+        inverses.extend(g.subjects(&Term::iri(owl::INVERSE_OF), &t.predicate));
+        for q in inverses {
+            let p1 = Triple::new(t.object.clone(), q.clone(), t.subject.clone());
+            if g.contains(&p1) {
+                // The declaration may be in either orientation.
+                let decl_a = Triple::new(t.predicate.clone(), Term::iri(owl::INVERSE_OF), q.clone());
+                let decl_b = Triple::new(q.clone(), Term::iri(owl::INVERSE_OF), t.predicate.clone());
+                let decl = if g.contains(&decl_a) { decl_a } else { decl_b };
+                if let Some(d) = attempt("owl-inverse-of", vec![p1, decl], on_path) {
+                    return Some(d);
+                }
+            }
+        }
+
+        // SymmetricProperty.
+        let sym_decl = Triple::new(
+            t.predicate.clone(),
+            ty.clone(),
+            Term::iri(owl::SYMMETRIC_PROPERTY),
+        );
+        if g.contains(&sym_decl) {
+            let p1 = Triple::new(t.object.clone(), t.predicate.clone(), t.subject.clone());
+            if g.contains(&p1) {
+                if let Some(d) = attempt("owl-symmetric", vec![p1, sym_decl.clone()], on_path) {
+                    return Some(d);
+                }
+            }
+        }
+
+        // TransitiveProperty: x p y, y p z ⇒ x p z.
+        let trans_decl = Triple::new(
+            t.predicate.clone(),
+            ty.clone(),
+            Term::iri(owl::TRANSITIVE_PROPERTY),
+        );
+        if g.contains(&trans_decl) {
+            for mid in g.objects(&t.subject, &t.predicate) {
+                if mid == t.object || mid == t.subject {
+                    continue;
+                }
+                let p2 = Triple::new(mid.clone(), t.predicate.clone(), t.object.clone());
+                if g.contains(&p2) {
+                    let p1 = Triple::new(t.subject.clone(), t.predicate.clone(), mid);
+                    if let Some(d) =
+                        attempt("owl-transitive", vec![p1, p2, trans_decl.clone()], on_path)
+                    {
+                        return Some(d);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- owl: sameAs substitution --------------------------------------------
+    let same = Term::iri(owl::SAME_AS);
+    if t.predicate != same {
+        // Subject substitution: a sameAs b, a P o ⇒ b P o.
+        for other in g.objects(&t.subject, &same) {
+            if other == t.subject {
+                continue;
+            }
+            let p1 = Triple::new(other.clone(), t.predicate.clone(), t.object.clone());
+            if g.contains(&p1) && !base.contains(t) {
+                let link = Triple::new(t.subject.clone(), same.clone(), other);
+                if let Some(d) = attempt("owl-sameas-subject", vec![p1, link], on_path) {
+                    return Some(d);
+                }
+            }
+        }
+        // Object substitution.
+        if t.object.is_resource() {
+            for other in g.objects(&t.object, &same) {
+                if other == t.object {
+                    continue;
+                }
+                let p1 = Triple::new(t.subject.clone(), t.predicate.clone(), other.clone());
+                if g.contains(&p1) {
+                    let link = Triple::new(t.object.clone(), same.clone(), other);
+                    if let Some(d) = attempt("owl-sameas-object", vec![p1, link], on_path) {
+                        return Some(d);
+                    }
+                }
+            }
+        }
+    } else {
+        // sameAs symmetry.
+        let rev = Triple::new(t.object.clone(), same.clone(), t.subject.clone());
+        if g.contains(&rev) {
+            if let Some(d) = attempt("owl-sameas-symmetry", vec![rev], on_path) {
+                return Some(d);
+            }
+        }
+        // sameAs transitivity.
+        for mid in g.objects(&t.subject, &same) {
+            if mid == t.object || mid == t.subject {
+                continue;
+            }
+            let p2 = Triple::new(mid.clone(), same.clone(), t.object.clone());
+            if g.contains(&p2) {
+                let p1 = Triple::new(t.subject.clone(), same.clone(), mid);
+                if let Some(d) = attempt("owl-sameas-transitivity", vec![p1, p2], on_path) {
+                    return Some(d);
+                }
+            }
+        }
+        // Functional property: x p a, x p b, p functional ⇒ a sameAs b.
+        for p in g
+            .subjects(&ty, &Term::iri(owl::INVERSE_FUNCTIONAL_PROPERTY))
+            .into_iter()
+        {
+            let subjects_a = g.match_pattern(Some(&t.subject), Some(&p), None);
+            for ta in &subjects_a {
+                let tb = Triple::new(t.object.clone(), p.clone(), ta.object.clone());
+                if g.contains(&tb) {
+                    let decl =
+                        Triple::new(p.clone(), ty.clone(), Term::iri(owl::INVERSE_FUNCTIONAL_PROPERTY));
+                    if let Some(d) = attempt(
+                        "owl-inverse-functional",
+                        vec![ta.clone(), tb, decl],
+                        on_path,
+                    ) {
+                        return Some(d);
+                    }
+                }
+            }
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Characteristic, OntologyBuilder};
+    use crate::reasoner::Reasoner;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+    fn ty() -> Term {
+        Term::iri(rdf::TYPE)
+    }
+
+    fn setup(builder: impl FnOnce(&mut OntologyBuilder), data: &[(Term, Term, Term)]) -> (Graph, Graph) {
+        let mut b = OntologyBuilder::new("urn:t#");
+        builder(&mut b);
+        let mut base = b.into_graph();
+        for (s, p, o) in data {
+            base.add(s.clone(), p.clone(), o.clone());
+        }
+        let mut materialized = base.clone();
+        Reasoner::default().materialize(&mut materialized);
+        (base, materialized)
+    }
+
+    #[test]
+    fn asserted_triples_explain_trivially() {
+        let (base, g) = setup(
+            |b| {
+                b.class("A", None);
+            },
+            &[(iri("urn:t#x"), ty(), iri("urn:t#A"))],
+        );
+        let t = Triple::new(iri("urn:t#x"), ty(), iri("urn:t#A"));
+        let d = explain(&g, &base, &t, 5).unwrap();
+        assert_eq!(d, Derivation::Asserted(t));
+        assert_eq!(d.depth(), 1);
+    }
+
+    #[test]
+    fn type_inheritance_explained() {
+        let (base, g) = setup(
+            |b| {
+                b.class("A", None);
+                b.class("B", Some("A"));
+            },
+            &[(iri("urn:t#x"), ty(), iri("urn:t#B"))],
+        );
+        let t = Triple::new(iri("urn:t#x"), ty(), iri("urn:t#A"));
+        let d = explain(&g, &base, &t, 5).unwrap();
+        match &d {
+            Derivation::Derived { rule, premises, .. } => {
+                assert_eq!(*rule, "rdfs9-type-inheritance");
+                assert_eq!(premises.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Support is entirely asserted.
+        for leaf in d.support() {
+            assert!(base.contains(leaf), "non-asserted leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn deep_chain_explained_to_asserted_leaves() {
+        let (base, g) = setup(
+            |b| {
+                b.class("A", None);
+                b.class("B", Some("A"));
+                b.class("C", Some("B"));
+                b.class("D", Some("C"));
+            },
+            &[(iri("urn:t#x"), ty(), iri("urn:t#D"))],
+        );
+        let t = Triple::new(iri("urn:t#x"), ty(), iri("urn:t#A"));
+        let d = explain(&g, &base, &t, 10).unwrap();
+        assert!(d.depth() >= 3, "expected a multi-step derivation, got {d}");
+        for leaf in d.support() {
+            assert!(base.contains(leaf));
+        }
+    }
+
+    #[test]
+    fn domain_and_range_explained() {
+        let (base, g) = setup(
+            |b| {
+                b.class("Person", None);
+                b.class("City", None);
+                b.object_property("livesIn", Some("Person"), Some("City"));
+            },
+            &[(iri("urn:t#ann"), iri("urn:t#livesIn"), iri("urn:t#dallas"))],
+        );
+        let td = Triple::new(iri("urn:t#ann"), ty(), iri("urn:t#Person"));
+        assert!(matches!(
+            explain(&g, &base, &td, 5).unwrap(),
+            Derivation::Derived { rule: "rdfs2-domain", .. }
+        ));
+        let tr = Triple::new(iri("urn:t#dallas"), ty(), iri("urn:t#City"));
+        assert!(matches!(
+            explain(&g, &base, &tr, 5).unwrap(),
+            Derivation::Derived { rule: "rdfs3-range", .. }
+        ));
+    }
+
+    #[test]
+    fn inverse_and_symmetric_explained() {
+        let (base, g) = setup(
+            |b| {
+                b.object_property("contains", None, None);
+                b.object_property("within", None, None);
+                b.inverse_of("contains", "within");
+                b.object_property("touches", None, None);
+                b.characteristic("touches", Characteristic::Symmetric);
+            },
+            &[
+                (iri("urn:t#lake"), iri("urn:t#within"), iri("urn:t#park")),
+                (iri("urn:t#a"), iri("urn:t#touches"), iri("urn:t#b")),
+            ],
+        );
+        let inv = Triple::new(iri("urn:t#park"), iri("urn:t#contains"), iri("urn:t#lake"));
+        assert!(matches!(
+            explain(&g, &base, &inv, 5).unwrap(),
+            Derivation::Derived { rule: "owl-inverse-of", .. }
+        ));
+        let sym = Triple::new(iri("urn:t#b"), iri("urn:t#touches"), iri("urn:t#a"));
+        assert!(matches!(
+            explain(&g, &base, &sym, 5).unwrap(),
+            Derivation::Derived { rule: "owl-symmetric", .. }
+        ));
+    }
+
+    #[test]
+    fn transitive_chain_explained() {
+        let (base, g) = setup(
+            |b| {
+                b.object_property("flowsInto", None, None);
+                b.characteristic("flowsInto", Characteristic::Transitive);
+            },
+            &[
+                (iri("urn:t#r1"), iri("urn:t#flowsInto"), iri("urn:t#r2")),
+                (iri("urn:t#r2"), iri("urn:t#flowsInto"), iri("urn:t#r3")),
+                (iri("urn:t#r3"), iri("urn:t#flowsInto"), iri("urn:t#r4")),
+            ],
+        );
+        let t = Triple::new(iri("urn:t#r1"), iri("urn:t#flowsInto"), iri("urn:t#r4"));
+        let d = explain(&g, &base, &t, 8).unwrap();
+        assert!(matches!(&d, Derivation::Derived { rule: "owl-transitive", .. }), "{d}");
+        for leaf in d.support() {
+            assert!(base.contains(leaf));
+        }
+    }
+
+    #[test]
+    fn sameas_substitution_explained() {
+        let (base, g) = setup(
+            |b| {
+                b.object_property("hasSiteId", None, None);
+                b.characteristic("hasSiteId", Characteristic::InverseFunctional);
+            },
+            &[
+                (iri("urn:t#a"), iri("urn:t#hasSiteId"), iri("urn:t#id1")),
+                (iri("urn:t#b"), iri("urn:t#hasSiteId"), iri("urn:t#id1")),
+                (iri("urn:t#a"), iri("urn:t#name"), Term::string("Plant")),
+            ],
+        );
+        // b got the name by substitution through a sameAs b.
+        let t = Triple::new(iri("urn:t#b"), iri("urn:t#name"), Term::string("Plant"));
+        let d = explain(&g, &base, &t, 8).unwrap();
+        assert!(matches!(&d, Derivation::Derived { rule: "owl-sameas-subject", .. }), "{d}");
+        // And the sameAs link itself traces back to the IFP.
+        let link = Triple::new(iri("urn:t#a"), Term::iri(owl::SAME_AS), iri("urn:t#b"));
+        let dl = explain(&g, &base, &link, 8).unwrap();
+        let rendered = dl.to_string();
+        assert!(
+            rendered.contains("owl-inverse-functional") || rendered.contains("owl-sameas"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn unexplainable_triples_return_none() {
+        let (base, g) = setup(
+            |b| {
+                b.class("A", None);
+            },
+            &[],
+        );
+        let t = Triple::new(iri("urn:t#x"), ty(), iri("urn:t#A"));
+        assert!(explain(&g, &base, &t, 5).is_none(), "not in graph at all");
+        // In the graph but depth exhausted.
+        let (base2, g2) = setup(
+            |b| {
+                b.class("A", None);
+                b.class("B", Some("A"));
+            },
+            &[(iri("urn:t#x"), ty(), iri("urn:t#B"))],
+        );
+        let t2 = Triple::new(iri("urn:t#x"), ty(), iri("urn:t#A"));
+        assert!(explain(&g2, &base2, &t2, 0).is_none());
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let (base, g) = setup(
+            |b| {
+                b.class("A", None);
+                b.class("B", Some("A"));
+            },
+            &[(iri("urn:t#x"), ty(), iri("urn:t#B"))],
+        );
+        let t = Triple::new(iri("urn:t#x"), ty(), iri("urn:t#A"));
+        let rendered = explain(&g, &base, &t, 5).unwrap().to_string();
+        assert!(rendered.contains("[rdfs9-type-inheritance]"), "{rendered}");
+        assert!(rendered.contains("[asserted]"), "{rendered}");
+    }
+}

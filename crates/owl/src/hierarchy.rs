@@ -1,0 +1,245 @@
+//! Class- and property-hierarchy queries over an (optionally materialized)
+//! graph — the "mid-level ontology bootstrap" view of Fig. 1: lower-level
+//! domain ontologies extend GRDF classes, and clients ask for subclass
+//! cones, instances, and roots.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::Term;
+use grdf_rdf::vocab::{owl, rdf, rdfs};
+
+/// A read-only hierarchy view over a graph.
+pub struct Hierarchy<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> Hierarchy<'g> {
+    /// Wrap a graph.
+    pub fn new(graph: &'g Graph) -> Hierarchy<'g> {
+        Hierarchy { graph }
+    }
+
+    /// All declared `owl:Class`es (named classes only — restriction blanks
+    /// are skipped), sorted.
+    pub fn classes(&self) -> Vec<Term> {
+        let mut out: BTreeSet<Term> = BTreeSet::new();
+        self.graph.for_each_match(
+            None,
+            Some(&Term::iri(rdf::TYPE)),
+            Some(&Term::iri(owl::CLASS)),
+            |t| {
+                if !t.subject.is_blank() {
+                    out.insert(t.subject);
+                }
+            },
+        );
+        out.into_iter().collect()
+    }
+
+    /// Direct superclasses of `class`.
+    pub fn direct_superclasses(&self, class: &Term) -> Vec<Term> {
+        self.graph
+            .objects(class, &Term::iri(rdfs::SUB_CLASS_OF))
+            .into_iter()
+            .filter(|t| !t.is_blank())
+            .collect()
+    }
+
+    /// All (transitive) superclasses of `class`, excluding itself.
+    pub fn superclasses(&self, class: &Term) -> Vec<Term> {
+        self.closure(class, |h, c| h.direct_superclasses(c))
+    }
+
+    /// Direct subclasses of `class`.
+    pub fn direct_subclasses(&self, class: &Term) -> Vec<Term> {
+        self.graph
+            .subjects(&Term::iri(rdfs::SUB_CLASS_OF), class)
+            .into_iter()
+            .filter(|t| !t.is_blank())
+            .collect()
+    }
+
+    /// All (transitive) subclasses of `class`, excluding itself.
+    pub fn subclasses(&self, class: &Term) -> Vec<Term> {
+        self.closure(class, |h, c| h.direct_subclasses(c))
+    }
+
+    /// Whether `sub` is a (transitive, reflexive) subclass of `sup`.
+    pub fn is_subclass_of(&self, sub: &Term, sup: &Term) -> bool {
+        if sub == sup {
+            return true;
+        }
+        self.superclasses(sub).contains(sup)
+    }
+
+    /// Instances of `class`, using only asserted `rdf:type` triples (run the
+    /// reasoner first for inferred membership).
+    pub fn instances(&self, class: &Term) -> Vec<Term> {
+        self.graph.subjects(&Term::iri(rdf::TYPE), class)
+    }
+
+    /// Instances of `class` or any of its subclasses (works without prior
+    /// materialization).
+    pub fn instances_transitive(&self, class: &Term) -> Vec<Term> {
+        let mut classes = vec![class.clone()];
+        classes.extend(self.subclasses(class));
+        let mut seen: BTreeSet<Term> = BTreeSet::new();
+        for c in classes {
+            for i in self.instances(&c) {
+                seen.insert(i);
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// The asserted types of `instance`.
+    pub fn types_of(&self, instance: &Term) -> Vec<Term> {
+        self.graph
+            .objects(instance, &Term::iri(rdf::TYPE))
+            .into_iter()
+            .filter(|t| !t.is_blank())
+            .collect()
+    }
+
+    /// Root classes: declared classes with no named superclass.
+    pub fn roots(&self) -> Vec<Term> {
+        self.classes()
+            .into_iter()
+            .filter(|c| self.direct_superclasses(c).is_empty())
+            .collect()
+    }
+
+    /// Depth of `class` below the deepest root (0 for a root).
+    pub fn depth(&self, class: &Term) -> usize {
+        self.superclasses(class).len().min(
+            // In a tree the count equals the depth; with multiple parents use
+            // a BFS shortest path to any root instead.
+            self.bfs_depth(class),
+        )
+    }
+
+    fn bfs_depth(&self, class: &Term) -> usize {
+        let mut q: VecDeque<(Term, usize)> = VecDeque::new();
+        let mut seen: HashSet<Term> = HashSet::new();
+        q.push_back((class.clone(), 0));
+        while let Some((c, d)) = q.pop_front() {
+            let supers = self.direct_superclasses(&c);
+            if supers.is_empty() {
+                return d;
+            }
+            for s in supers {
+                if seen.insert(s.clone()) {
+                    q.push_back((s, d + 1));
+                }
+            }
+        }
+        0
+    }
+
+    fn closure<F>(&self, start: &Term, step: F) -> Vec<Term>
+    where
+        F: Fn(&Hierarchy<'g>, &Term) -> Vec<Term>,
+    {
+        let mut seen: BTreeSet<Term> = BTreeSet::new();
+        let mut queue: VecDeque<Term> = VecDeque::new();
+        queue.push_back(start.clone());
+        while let Some(c) = queue.pop_front() {
+            for next in step(self, &c) {
+                if next != *start && seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OntologyBuilder;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    fn sample() -> Graph {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Root", None);
+        b.class("Geometry", Some("Root"));
+        b.class("Curve", Some("Geometry"));
+        b.class("LineString", Some("Curve"));
+        b.class("Surface", Some("Geometry"));
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#l1"), Term::iri(rdf::TYPE), iri("urn:t#LineString"));
+        g.add(iri("urn:t#s1"), Term::iri(rdf::TYPE), iri("urn:t#Surface"));
+        g
+    }
+
+    #[test]
+    fn classes_listed_sorted_without_blanks() {
+        let g = sample();
+        let h = Hierarchy::new(&g);
+        let names: Vec<String> = h.classes().iter().map(|c| c.to_string()).collect();
+        assert_eq!(names.len(), 5);
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn transitive_super_and_subclasses() {
+        let g = sample();
+        let h = Hierarchy::new(&g);
+        let supers = h.superclasses(&iri("urn:t#LineString"));
+        assert!(supers.contains(&iri("urn:t#Curve")));
+        assert!(supers.contains(&iri("urn:t#Geometry")));
+        assert!(supers.contains(&iri("urn:t#Root")));
+        let subs = h.subclasses(&iri("urn:t#Geometry"));
+        assert!(subs.contains(&iri("urn:t#LineString")));
+        assert!(subs.contains(&iri("urn:t#Surface")));
+        assert!(!subs.contains(&iri("urn:t#Root")));
+    }
+
+    #[test]
+    fn is_subclass_of_is_reflexive_and_transitive() {
+        let g = sample();
+        let h = Hierarchy::new(&g);
+        assert!(h.is_subclass_of(&iri("urn:t#Curve"), &iri("urn:t#Curve")));
+        assert!(h.is_subclass_of(&iri("urn:t#LineString"), &iri("urn:t#Root")));
+        assert!(!h.is_subclass_of(&iri("urn:t#Root"), &iri("urn:t#LineString")));
+        assert!(!h.is_subclass_of(&iri("urn:t#Surface"), &iri("urn:t#Curve")));
+    }
+
+    #[test]
+    fn instances_transitive_without_materialization() {
+        let g = sample();
+        let h = Hierarchy::new(&g);
+        assert_eq!(h.instances(&iri("urn:t#Geometry")).len(), 0, "not asserted");
+        let all = h.instances_transitive(&iri("urn:t#Geometry"));
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn roots_and_depth() {
+        let g = sample();
+        let h = Hierarchy::new(&g);
+        assert_eq!(h.roots(), vec![iri("urn:t#Root")]);
+        assert_eq!(h.depth(&iri("urn:t#Root")), 0);
+        assert_eq!(h.depth(&iri("urn:t#LineString")), 3);
+    }
+
+    #[test]
+    fn cycle_safe() {
+        let mut g = Graph::new();
+        let sub = Term::iri(rdfs::SUB_CLASS_OF);
+        g.add(iri("urn:t#A"), sub.clone(), iri("urn:t#B"));
+        g.add(iri("urn:t#B"), sub.clone(), iri("urn:t#A"));
+        let h = Hierarchy::new(&g);
+        let supers = h.superclasses(&iri("urn:t#A"));
+        assert_eq!(supers, vec![iri("urn:t#B")]);
+        assert!(h.is_subclass_of(&iri("urn:t#A"), &iri("urn:t#B")));
+        assert!(h.is_subclass_of(&iri("urn:t#B"), &iri("urn:t#A")));
+    }
+}

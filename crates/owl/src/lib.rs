@@ -1,0 +1,54 @@
+//! OWL-DL subset for GRDF: ontology construction, reasoning, consistency.
+//!
+//! The paper writes GRDF in OWL-DL and leans on three capabilities that this
+//! crate provides (no OWL reasoner exists in the allowed dependency set, so
+//! all of it is built here):
+//!
+//! * [`model`] — a structural API for building ontologies (classes,
+//!   object/datatype properties, property characteristics, and the
+//!   restriction forms the paper uses: `owl:cardinality`,
+//!   `owl:minCardinality`, `owl:maxCardinality`, `owl:someValuesFrom`,
+//!   `owl:allValuesFrom`, `owl:hasValue`) that emits plain RDF triples.
+//! * [`reasoner`] — a forward-chaining materializer implementing the
+//!   RDFS + OWL-Horst rule subset (subclass/subproperty transitivity,
+//!   domain/range, inverse/symmetric/transitive/functional properties,
+//!   `owl:sameAs` smushing, equivalence, and restriction semantics).
+//! * [`hierarchy`] — class/property hierarchy queries over a (possibly
+//!   materialized) graph.
+//! * [`consistency`] — OWL-DL constraint checking: disjointness,
+//!   cardinality restriction violations, `sameAs`/`differentFrom` clashes.
+//!
+//! # Example
+//!
+//! ```
+//! use grdf_owl::model::OntologyBuilder;
+//! use grdf_owl::reasoner::Reasoner;
+//! use grdf_rdf::term::Term;
+//! use grdf_rdf::vocab::rdf;
+//!
+//! let mut b = OntologyBuilder::new("urn:ex#");
+//! b.class("Animal", None);
+//! b.class("Dog", Some("Animal"));
+//! let mut g = b.into_graph();
+//! g.add(Term::iri("urn:ex#rex"), Term::iri(rdf::TYPE), Term::iri("urn:ex#Dog"));
+//!
+//! let stats = Reasoner::default().materialize(&mut g);
+//! assert!(stats.inferred > 0);
+//! assert!(g.has(
+//!     &Term::iri("urn:ex#rex"),
+//!     &Term::iri(rdf::TYPE),
+//!     &Term::iri("urn:ex#Animal"),
+//! ));
+//! ```
+
+pub mod consistency;
+pub mod explain;
+pub mod hierarchy;
+pub mod model;
+pub mod reasoner;
+
+pub use consistency::{check_consistency, Violation};
+pub use explain::{explain, Derivation};
+pub use hierarchy::Hierarchy;
+pub use model::OntologyBuilder;
+pub use reasoner::{Reasoner, ReasonerStats};

@@ -1,0 +1,387 @@
+//! Structural ontology construction: a builder that assembles OWL axioms as
+//! plain RDF triples, mirroring how the paper's listings declare classes,
+//! properties and restrictions (Lists 2–5).
+
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::{Term, Triple};
+use grdf_rdf::vocab::{owl, rdf, rdfs};
+
+/// Property characteristics that can be asserted on an object property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Characteristic {
+    /// `owl:TransitiveProperty`.
+    Transitive,
+    /// `owl:SymmetricProperty`.
+    Symmetric,
+    /// `owl:FunctionalProperty`.
+    Functional,
+    /// `owl:InverseFunctionalProperty`.
+    InverseFunctional,
+}
+
+impl Characteristic {
+    fn class_iri(self) -> &'static str {
+        match self {
+            Characteristic::Transitive => owl::TRANSITIVE_PROPERTY,
+            Characteristic::Symmetric => owl::SYMMETRIC_PROPERTY,
+            Characteristic::Functional => owl::FUNCTIONAL_PROPERTY,
+            Characteristic::InverseFunctional => owl::INVERSE_FUNCTIONAL_PROPERTY,
+        }
+    }
+}
+
+/// The restriction forms GRDF uses (paper Lists 3 and 5).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestrictionKind {
+    /// `owl:cardinality n`.
+    Exactly(u32),
+    /// `owl:minCardinality n`.
+    AtLeast(u32),
+    /// `owl:maxCardinality n`.
+    AtMost(u32),
+    /// `owl:someValuesFrom C`.
+    SomeValuesFrom(String),
+    /// `owl:allValuesFrom C`.
+    AllValuesFrom(String),
+    /// `owl:hasValue v`.
+    HasValue(Term),
+}
+
+/// Builder that accumulates ontology axioms into an RDF graph.
+///
+/// Local names are resolved against the builder's base namespace; absolute
+/// IRIs (containing `://` or starting with `urn:`) pass through unchanged,
+/// so axioms can reference external vocabularies (e.g. XSD datatypes).
+#[derive(Debug)]
+pub struct OntologyBuilder {
+    base: String,
+    graph: Graph,
+    restriction_counter: u64,
+}
+
+impl OntologyBuilder {
+    /// Start a builder for the ontology rooted at `base` (e.g.
+    /// `http://grdf.org/ontology#`).
+    pub fn new(base: &str) -> OntologyBuilder {
+        let mut graph = Graph::new();
+        let onto = Term::iri(base.trim_end_matches(['#', '/']));
+        graph.add(onto, Term::iri(rdf::TYPE), Term::iri(owl::ONTOLOGY));
+        OntologyBuilder { base: base.to_string(), graph, restriction_counter: 0 }
+    }
+
+    /// Resolve a possibly-local name against the base namespace.
+    pub fn resolve(&self, name: &str) -> String {
+        if name.contains("://") || name.starts_with("urn:") {
+            name.to_string()
+        } else {
+            format!("{}{name}", self.base)
+        }
+    }
+
+    fn term(&self, name: &str) -> Term {
+        Term::iri(&self.resolve(name))
+    }
+
+    /// Declare an `owl:Class`, optionally a subclass of `parent`.
+    pub fn class(&mut self, name: &str, parent: Option<&str>) -> Term {
+        let c = self.term(name);
+        self.graph.add(c.clone(), Term::iri(rdf::TYPE), Term::iri(owl::CLASS));
+        if let Some(p) = parent {
+            let p = self.term(p);
+            self.graph.add(c.clone(), Term::iri(rdfs::SUB_CLASS_OF), p);
+        }
+        c
+    }
+
+    /// Add an `rdfs:label` to any named entity.
+    pub fn label(&mut self, name: &str, label: &str) {
+        let s = self.term(name);
+        self.graph.add(s, Term::iri(rdfs::LABEL), Term::string(label));
+    }
+
+    /// Add an `rdfs:comment` to any named entity.
+    pub fn comment(&mut self, name: &str, comment: &str) {
+        let s = self.term(name);
+        self.graph.add(s, Term::iri(rdfs::COMMENT), Term::string(comment));
+    }
+
+    /// Assert `child rdfs:subClassOf parent` for already-declared classes.
+    pub fn sub_class_of(&mut self, child: &str, parent: &str) {
+        let c = self.term(child);
+        let p = self.term(parent);
+        self.graph.add(c, Term::iri(rdfs::SUB_CLASS_OF), p);
+    }
+
+    /// Declare an `owl:ObjectProperty` with optional domain/range.
+    pub fn object_property(
+        &mut self,
+        name: &str,
+        domain: Option<&str>,
+        range: Option<&str>,
+    ) -> Term {
+        let p = self.term(name);
+        self.graph.add(p.clone(), Term::iri(rdf::TYPE), Term::iri(owl::OBJECT_PROPERTY));
+        if let Some(d) = domain {
+            let d = self.term(d);
+            self.graph.add(p.clone(), Term::iri(rdfs::DOMAIN), d);
+        }
+        if let Some(r) = range {
+            let r = self.term(r);
+            self.graph.add(p.clone(), Term::iri(rdfs::RANGE), r);
+        }
+        p
+    }
+
+    /// Declare an `owl:DatatypeProperty` with optional domain and a datatype
+    /// range (this is the paper's §3.2 mapping for GML extension types whose
+    /// base is a built-in simple type, e.g. `MeasureType`/`double`).
+    pub fn datatype_property(
+        &mut self,
+        name: &str,
+        domain: Option<&str>,
+        range_datatype: Option<&str>,
+    ) -> Term {
+        let p = self.term(name);
+        self.graph.add(p.clone(), Term::iri(rdf::TYPE), Term::iri(owl::DATATYPE_PROPERTY));
+        if let Some(d) = domain {
+            let d = self.term(d);
+            self.graph.add(p.clone(), Term::iri(rdfs::DOMAIN), d);
+        }
+        if let Some(r) = range_datatype {
+            self.graph.add(p.clone(), Term::iri(rdfs::RANGE), Term::iri(r));
+        }
+        p
+    }
+
+    /// Assert `child rdfs:subPropertyOf parent`.
+    pub fn sub_property_of(&mut self, child: &str, parent: &str) {
+        let c = self.term(child);
+        let p = self.term(parent);
+        self.graph.add(c, Term::iri(rdfs::SUB_PROPERTY_OF), p);
+    }
+
+    /// Assert a property characteristic.
+    pub fn characteristic(&mut self, property: &str, ch: Characteristic) {
+        let p = self.term(property);
+        self.graph.add(p, Term::iri(rdf::TYPE), Term::iri(ch.class_iri()));
+    }
+
+    /// Assert `p owl:inverseOf q`.
+    pub fn inverse_of(&mut self, p: &str, q: &str) {
+        let p = self.term(p);
+        let q = self.term(q);
+        self.graph.add(p, Term::iri(owl::INVERSE_OF), q);
+    }
+
+    /// Assert `a owl:equivalentClass b`.
+    pub fn equivalent_class(&mut self, a: &str, b: &str) {
+        let a = self.term(a);
+        let b = self.term(b);
+        self.graph.add(a, Term::iri(owl::EQUIVALENT_CLASS), b);
+    }
+
+    /// Assert `a owl:disjointWith b`.
+    pub fn disjoint_with(&mut self, a: &str, b: &str) {
+        let a = self.term(a);
+        let b = self.term(b);
+        self.graph.add(a, Term::iri(owl::DISJOINT_WITH), b);
+    }
+
+    /// Attach an anonymous `owl:Restriction` as a superclass of `class`,
+    /// constraining `property` — the construction in paper Lists 3 and 5
+    /// (e.g. `EnvelopeWithTimePeriod ⊑ =2 hasTimePosition`). Returns the
+    /// restriction node.
+    pub fn restrict(&mut self, class: &str, property: &str, kind: RestrictionKind) -> Term {
+        self.restriction_counter += 1;
+        let r = Term::blank(&format!("restr{}", self.restriction_counter));
+        let c = self.term(class);
+        let p = self.term(property);
+        self.graph.add(c, Term::iri(rdfs::SUB_CLASS_OF), r.clone());
+        self.graph.add(r.clone(), Term::iri(rdf::TYPE), Term::iri(owl::RESTRICTION));
+        self.graph.add(r.clone(), Term::iri(owl::ON_PROPERTY), p);
+        let (pred, obj) = match kind {
+            RestrictionKind::Exactly(n) => (owl::CARDINALITY, Term::typed(
+                &n.to_string(),
+                grdf_rdf::vocab::xsd::NON_NEGATIVE_INTEGER,
+            )),
+            RestrictionKind::AtLeast(n) => (owl::MIN_CARDINALITY, Term::typed(
+                &n.to_string(),
+                grdf_rdf::vocab::xsd::NON_NEGATIVE_INTEGER,
+            )),
+            RestrictionKind::AtMost(n) => (owl::MAX_CARDINALITY, Term::typed(
+                &n.to_string(),
+                grdf_rdf::vocab::xsd::NON_NEGATIVE_INTEGER,
+            )),
+            RestrictionKind::SomeValuesFrom(cls) => {
+                (owl::SOME_VALUES_FROM, self.term(&cls))
+            }
+            RestrictionKind::AllValuesFrom(cls) => (owl::ALL_VALUES_FROM, self.term(&cls)),
+            RestrictionKind::HasValue(v) => (owl::HAS_VALUE, v),
+        };
+        self.graph.add(r.clone(), Term::iri(pred), obj);
+        r
+    }
+
+    /// Declare `class` as the intersection of `parts`
+    /// (`owl:intersectionOf` over an RDF list). Returns the class term.
+    pub fn intersection_class(&mut self, class: &str, parts: &[&str]) -> Term {
+        let c = self.class(class, None);
+        let items: Vec<Term> = parts.iter().map(|p| self.term(p)).collect();
+        let head = self.graph.write_list(&items);
+        self.graph.add(c.clone(), Term::iri(owl::INTERSECTION_OF), head);
+        c
+    }
+
+    /// Declare `class` as the union of `parts` (`owl:unionOf` over an RDF
+    /// list). Returns the class term.
+    pub fn union_class(&mut self, class: &str, parts: &[&str]) -> Term {
+        let c = self.class(class, None);
+        let items: Vec<Term> = parts.iter().map(|p| self.term(p)).collect();
+        let head = self.graph.write_list(&items);
+        self.graph.add(c.clone(), Term::iri(owl::UNION_OF), head);
+        c
+    }
+
+    /// Insert an arbitrary triple (escape hatch for axioms the builder has
+    /// no helper for).
+    pub fn raw(&mut self, triple: Triple) {
+        self.graph.insert(triple);
+    }
+
+    /// Read access to the graph built so far.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Finish building and return the axiom graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    #[test]
+    fn class_declaration_and_hierarchy() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("A", None);
+        b.class("B", Some("A"));
+        let g = b.into_graph();
+        assert!(g.has(&iri("urn:t#A"), &iri(rdf::TYPE), &iri(owl::CLASS)));
+        assert!(g.has(&iri("urn:t#B"), &iri(rdfs::SUB_CLASS_OF), &iri("urn:t#A")));
+    }
+
+    #[test]
+    fn absolute_names_pass_through() {
+        let b = OntologyBuilder::new("urn:t#");
+        assert_eq!(b.resolve("Local"), "urn:t#Local");
+        assert_eq!(b.resolve("http://x.org/y"), "http://x.org/y");
+        assert_eq!(b.resolve("urn:other:z"), "urn:other:z");
+    }
+
+    #[test]
+    fn object_property_with_domain_range() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.object_property("hasPart", Some("Whole"), Some("Part"));
+        let g = b.into_graph();
+        let p = iri("urn:t#hasPart");
+        assert!(g.has(&p, &iri(rdf::TYPE), &iri(owl::OBJECT_PROPERTY)));
+        assert!(g.has(&p, &iri(rdfs::DOMAIN), &iri("urn:t#Whole")));
+        assert!(g.has(&p, &iri(rdfs::RANGE), &iri("urn:t#Part")));
+    }
+
+    #[test]
+    fn datatype_property_range_is_xsd() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.datatype_property("measure", Some("Thing"), Some(grdf_rdf::vocab::xsd::DOUBLE));
+        let g = b.into_graph();
+        assert!(g.has(
+            &iri("urn:t#measure"),
+            &iri(rdfs::RANGE),
+            &iri(grdf_rdf::vocab::xsd::DOUBLE)
+        ));
+    }
+
+    #[test]
+    fn characteristics_and_inverse() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.object_property("touches", None, None);
+        b.characteristic("touches", Characteristic::Symmetric);
+        b.object_property("contains", None, None);
+        b.object_property("within", None, None);
+        b.inverse_of("contains", "within");
+        let g = b.into_graph();
+        assert!(g.has(&iri("urn:t#touches"), &iri(rdf::TYPE), &iri(owl::SYMMETRIC_PROPERTY)));
+        assert!(g.has(&iri("urn:t#contains"), &iri(owl::INVERSE_OF), &iri("urn:t#within")));
+    }
+
+    #[test]
+    fn restriction_emits_list3_shape() {
+        // Paper List 3: EnvelopeWithTimePeriod ⊑ =2 hasTimePosition.
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("EnvelopeWithTimePeriod", Some("Envelope"));
+        b.object_property("hasTimePosition", None, None);
+        let r = b.restrict(
+            "EnvelopeWithTimePeriod",
+            "hasTimePosition",
+            RestrictionKind::Exactly(2),
+        );
+        let g = b.into_graph();
+        assert!(g.has(&iri("urn:t#EnvelopeWithTimePeriod"), &iri(rdfs::SUB_CLASS_OF), &r));
+        assert!(g.has(&r, &iri(rdf::TYPE), &iri(owl::RESTRICTION)));
+        assert!(g.has(&r, &iri(owl::ON_PROPERTY), &iri("urn:t#hasTimePosition")));
+        let card = g.object(&r, &iri(owl::CARDINALITY)).unwrap();
+        assert_eq!(card.as_literal().unwrap().as_integer(), Some(2));
+    }
+
+    #[test]
+    fn multiple_restrictions_get_distinct_nodes() {
+        // Paper List 5: Face with maxCardinality on two properties and a
+        // minCardinality on a third.
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Face", Some("TopoPrimitive"));
+        let r1 = b.restrict("Face", "hasTopoSolid", RestrictionKind::AtMost(2));
+        let r2 = b.restrict("Face", "hasSurface", RestrictionKind::AtMost(1));
+        let r3 = b.restrict("Face", "hasEdge", RestrictionKind::AtLeast(1));
+        assert_ne!(r1, r2);
+        assert_ne!(r2, r3);
+        let g = b.into_graph();
+        assert_eq!(g.objects(&iri("urn:t#Face"), &iri(rdfs::SUB_CLASS_OF)).len(), 4);
+    }
+
+    #[test]
+    fn has_value_restriction() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Texan", None);
+        let r = b.restrict(
+            "Texan",
+            "livesIn",
+            RestrictionKind::HasValue(Term::iri("urn:t#texas")),
+        );
+        let g = b.into_graph();
+        assert!(g.has(&r, &iri(owl::HAS_VALUE), &iri("urn:t#texas")));
+    }
+
+    #[test]
+    fn labels_and_comments() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Feature", None);
+        b.label("Feature", "Feature");
+        b.comment("Feature", "An application object such as landfill.");
+        let g = b.into_graph();
+        assert!(g.has(&iri("urn:t#Feature"), &iri(rdfs::LABEL), &Term::string("Feature")));
+    }
+
+    #[test]
+    fn ontology_header_is_emitted() {
+        let b = OntologyBuilder::new("urn:t#");
+        let g = b.into_graph();
+        assert!(g.has(&iri("urn:t"), &iri(rdf::TYPE), &iri(owl::ONTOLOGY)));
+    }
+}

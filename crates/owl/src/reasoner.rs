@@ -1,0 +1,833 @@
+//! Forward-chaining materialization of the RDFS + OWL-Horst rule subset.
+//!
+//! The reasoner repeatedly applies entailment rules until a fixpoint and
+//! inserts every derived triple into the graph ("materialization"), so that
+//! downstream query answering is a plain pattern match. This is the
+//! "logical inference" capability the paper claims as GRDF's main advantage
+//! over GML (§1, §9).
+//!
+//! Rule coverage:
+//!
+//! | group | rules |
+//! |-------|-------|
+//! | RDFS  | subClassOf/subPropertyOf transitivity, type inheritance, property inheritance, `rdfs:domain`, `rdfs:range` |
+//! | OWL   | `inverseOf`, `SymmetricProperty`, `TransitiveProperty`, `FunctionalProperty` → `sameAs`, `InverseFunctionalProperty` → `sameAs`, `equivalentClass`/`equivalentProperty`, `sameAs` closure + substitution |
+//! | Restrictions | `hasValue` (both directions), `someValuesFrom`, `allValuesFrom` |
+
+use std::collections::{HashMap, HashSet};
+
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::{Term, Triple};
+use grdf_rdf::vocab::{owl, rdf, rdfs};
+
+/// Statistics from one materialization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReasonerStats {
+    /// Number of fixpoint passes executed.
+    pub passes: usize,
+    /// Triples added by inference.
+    pub inferred: usize,
+}
+
+/// Configurable forward-chaining reasoner.
+#[derive(Debug, Clone, Copy)]
+pub struct Reasoner {
+    /// Apply the RDFS rule group.
+    pub rdfs: bool,
+    /// Apply the OWL property-semantics rule group.
+    pub owl: bool,
+    /// Apply restriction-class rules (`hasValue`, `someValuesFrom`,
+    /// `allValuesFrom`).
+    pub restrictions: bool,
+    /// Safety valve for the fixpoint loop.
+    pub max_passes: usize,
+}
+
+impl Default for Reasoner {
+    fn default() -> Self {
+        Reasoner { rdfs: true, owl: true, restrictions: true, max_passes: 64 }
+    }
+}
+
+impl Reasoner {
+    /// RDFS-only configuration (ablation arm).
+    pub fn rdfs_only() -> Reasoner {
+        Reasoner { rdfs: true, owl: false, restrictions: false, ..Reasoner::default() }
+    }
+
+    /// Materialize all entailments into `graph`; returns statistics.
+    pub fn materialize(&self, graph: &mut Graph) -> ReasonerStats {
+        let mut stats = ReasonerStats::default();
+        loop {
+            stats.passes += 1;
+            let additions = self.one_pass(graph);
+            let mut added = 0;
+            for t in additions {
+                if graph.insert(t) {
+                    added += 1;
+                }
+            }
+            stats.inferred += added;
+            if added == 0 || stats.passes >= self.max_passes {
+                return stats;
+            }
+        }
+    }
+
+    fn one_pass(&self, g: &Graph) -> Vec<Triple> {
+        let mut out: Vec<Triple> = Vec::new();
+        let schema = Schema::collect(g);
+
+        if self.rdfs {
+            rule_subclass_transitivity(g, &mut out);
+            rule_type_inheritance(g, &schema, &mut out);
+            rule_subproperty_transitivity(g, &mut out);
+            rule_property_inheritance(g, &schema, &mut out);
+            rule_domain_range(g, &schema, &mut out);
+        }
+        if self.owl {
+            rule_equivalences(g, &mut out);
+            rule_inverse(g, &schema, &mut out);
+            rule_symmetric(g, &schema, &mut out);
+            rule_transitive(g, &schema, &mut out);
+            rule_functional(g, &schema, &mut out);
+            rule_same_as(g, &mut out);
+        }
+        if self.restrictions {
+            rule_restrictions(g, &schema, &mut out);
+        }
+        if self.owl {
+            rule_boolean_classes(g, &mut out);
+        }
+        out
+    }
+}
+
+/// `owl:intersectionOf` / `owl:unionOf` semantics:
+///
+/// * intersection: members of every part are members of the intersection
+///   class, and vice versa (the class entails membership in every part —
+///   which also makes parts behave as superclasses);
+/// * union: members of any part are members of the union class.
+fn rule_boolean_classes(g: &Graph, out: &mut Vec<Triple>) {
+    let ty = Term::iri(rdf::TYPE);
+    g.for_each_match(None, Some(&Term::iri(owl::INTERSECTION_OF)), None, |decl| {
+        let class = decl.subject;
+        let Some(parts) = g.read_list(&decl.object) else { return };
+        if parts.is_empty() {
+            return;
+        }
+        // x ∈ all parts ⇒ x ∈ class.
+        for candidate in g.subjects(&ty, &parts[0]) {
+            if parts[1..].iter().all(|p| g.has(&candidate, &ty, p))
+                && !g.has(&candidate, &ty, &class)
+            {
+                out.push(Triple::new(candidate, ty.clone(), class.clone()));
+            }
+        }
+        // x ∈ class ⇒ x ∈ every part.
+        g.for_each_match(None, Some(&ty), Some(&class), |t| {
+            for p in &parts {
+                if !g.has(&t.subject, &ty, p) {
+                    out.push(Triple::new(t.subject.clone(), ty.clone(), p.clone()));
+                }
+            }
+        });
+    });
+    g.for_each_match(None, Some(&Term::iri(owl::UNION_OF)), None, |decl| {
+        let class = decl.subject;
+        let Some(parts) = g.read_list(&decl.object) else { return };
+        for p in &parts {
+            g.for_each_match(None, Some(&ty), Some(p), |t| {
+                if !g.has(&t.subject, &ty, &class) {
+                    out.push(Triple::new(t.subject.clone(), ty.clone(), class.clone()));
+                }
+            });
+        }
+    });
+}
+
+/// Schema triples collected once per pass for fast rule application.
+struct Schema {
+    /// subclass → superclasses (direct).
+    sub_class: HashMap<Term, Vec<Term>>,
+    /// subproperty → superproperties (direct).
+    sub_prop: HashMap<Term, Vec<Term>>,
+    /// property → domain classes.
+    domain: HashMap<Term, Vec<Term>>,
+    /// property → range classes (object ranges only meaningfully typed).
+    range: HashMap<Term, Vec<Term>>,
+    /// property → inverse properties.
+    inverse: HashMap<Term, Vec<Term>>,
+    symmetric: HashSet<Term>,
+    transitive: HashSet<Term>,
+    functional: HashSet<Term>,
+    inverse_functional: HashSet<Term>,
+    /// Restriction node → (onProperty, detail).
+    restrictions: Vec<Restriction>,
+}
+
+struct Restriction {
+    node: Term,
+    property: Term,
+    kind: RKind,
+    /// Named classes declared as subclasses of the restriction.
+    subclasses: Vec<Term>,
+}
+
+enum RKind {
+    HasValue(Term),
+    SomeValuesFrom(Term),
+    AllValuesFrom(Term),
+}
+
+impl Schema {
+    fn collect(g: &Graph) -> Schema {
+        let mut s = Schema {
+            sub_class: HashMap::new(),
+            sub_prop: HashMap::new(),
+            domain: HashMap::new(),
+            range: HashMap::new(),
+            inverse: HashMap::new(),
+            symmetric: HashSet::new(),
+            transitive: HashSet::new(),
+            functional: HashSet::new(),
+            inverse_functional: HashSet::new(),
+            restrictions: Vec::new(),
+        };
+        g.for_each_match(None, Some(&Term::iri(rdfs::SUB_CLASS_OF)), None, |t| {
+            s.sub_class.entry(t.subject).or_default().push(t.object);
+        });
+        g.for_each_match(None, Some(&Term::iri(rdfs::SUB_PROPERTY_OF)), None, |t| {
+            s.sub_prop.entry(t.subject).or_default().push(t.object);
+        });
+        g.for_each_match(None, Some(&Term::iri(rdfs::DOMAIN)), None, |t| {
+            s.domain.entry(t.subject).or_default().push(t.object);
+        });
+        g.for_each_match(None, Some(&Term::iri(rdfs::RANGE)), None, |t| {
+            s.range.entry(t.subject).or_default().push(t.object);
+        });
+        g.for_each_match(None, Some(&Term::iri(owl::INVERSE_OF)), None, |t| {
+            s.inverse.entry(t.subject.clone()).or_default().push(t.object.clone());
+            s.inverse.entry(t.object).or_default().push(t.subject);
+        });
+        for (class_iri, set) in [
+            (owl::SYMMETRIC_PROPERTY, &mut s.symmetric),
+            (owl::TRANSITIVE_PROPERTY, &mut s.transitive),
+            (owl::FUNCTIONAL_PROPERTY, &mut s.functional),
+            (owl::INVERSE_FUNCTIONAL_PROPERTY, &mut s.inverse_functional),
+        ] {
+            g.for_each_match(None, Some(&Term::iri(rdf::TYPE)), Some(&Term::iri(class_iri)), |t| {
+                set.insert(t.subject);
+            });
+        }
+
+        // Restrictions: nodes typed owl:Restriction with owl:onProperty.
+        g.for_each_match(
+            None,
+            Some(&Term::iri(rdf::TYPE)),
+            Some(&Term::iri(owl::RESTRICTION)),
+            |t| {
+                let node = t.subject;
+                let Some(property) = g.object(&node, &Term::iri(owl::ON_PROPERTY)) else {
+                    return;
+                };
+                let kind = if let Some(v) = g.object(&node, &Term::iri(owl::HAS_VALUE)) {
+                    Some(RKind::HasValue(v))
+                } else if let Some(c) = g.object(&node, &Term::iri(owl::SOME_VALUES_FROM)) {
+                    Some(RKind::SomeValuesFrom(c))
+                } else { g.object(&node, &Term::iri(owl::ALL_VALUES_FROM)).map(RKind::AllValuesFrom) };
+                if let Some(kind) = kind {
+                    let subclasses =
+                        g.subjects(&Term::iri(rdfs::SUB_CLASS_OF), &node);
+                    s.restrictions.push(Restriction { node, property, kind, subclasses });
+                }
+            },
+        );
+        s
+    }
+}
+
+fn rule_subclass_transitivity(g: &Graph, out: &mut Vec<Triple>) {
+    let p = Term::iri(rdfs::SUB_CLASS_OF);
+    transitivity_over(g, &p, out);
+}
+
+fn rule_subproperty_transitivity(g: &Graph, out: &mut Vec<Triple>) {
+    let p = Term::iri(rdfs::SUB_PROPERTY_OF);
+    transitivity_over(g, &p, out);
+}
+
+fn transitivity_over(g: &Graph, p: &Term, out: &mut Vec<Triple>) {
+    // (a p b), (b p c) → (a p c)
+    let mut edges: HashMap<Term, Vec<Term>> = HashMap::new();
+    g.for_each_match(None, Some(p), None, |t| {
+        edges.entry(t.subject).or_default().push(t.object);
+    });
+    for (a, bs) in &edges {
+        for b in bs {
+            if let Some(cs) = edges.get(b) {
+                for c in cs {
+                    if c != a && !g.has(a, p, c) {
+                        out.push(Triple::new(a.clone(), p.clone(), c.clone()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn rule_type_inheritance(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
+    let ty = Term::iri(rdf::TYPE);
+    g.for_each_match(None, Some(&ty), None, |t| {
+        if let Some(supers) = s.sub_class.get(&t.object) {
+            for sup in supers {
+                if !g.has(&t.subject, &ty, sup) {
+                    out.push(Triple::new(t.subject.clone(), ty.clone(), sup.clone()));
+                }
+            }
+        }
+    });
+}
+
+fn rule_property_inheritance(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
+    for (p, supers) in &s.sub_prop {
+        g.for_each_match(None, Some(p), None, |t| {
+            for q in supers {
+                if !g.has(&t.subject, q, &t.object) {
+                    out.push(Triple::new(t.subject.clone(), q.clone(), t.object.clone()));
+                }
+            }
+        });
+    }
+}
+
+fn rule_domain_range(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
+    let ty = Term::iri(rdf::TYPE);
+    for (p, classes) in &s.domain {
+        g.for_each_match(None, Some(p), None, |t| {
+            for c in classes {
+                if !g.has(&t.subject, &ty, c) {
+                    out.push(Triple::new(t.subject.clone(), ty.clone(), c.clone()));
+                }
+            }
+        });
+    }
+    for (p, classes) in &s.range {
+        g.for_each_match(None, Some(p), None, |t| {
+            if !t.object.is_resource() {
+                return;
+            }
+            for c in classes {
+                // Datatype ranges aren't class memberships.
+                if c.as_iri().is_some_and(|i| i.starts_with(grdf_rdf::vocab::xsd::NS)) {
+                    continue;
+                }
+                if !g.has(&t.object, &ty, c) {
+                    out.push(Triple::new(t.object.clone(), ty.clone(), c.clone()));
+                }
+            }
+        });
+    }
+}
+
+fn rule_equivalences(g: &Graph, out: &mut Vec<Triple>) {
+    let eqc = Term::iri(owl::EQUIVALENT_CLASS);
+    let sub = Term::iri(rdfs::SUB_CLASS_OF);
+    g.for_each_match(None, Some(&eqc), None, |t| {
+        for (s, o) in [(&t.subject, &t.object), (&t.object, &t.subject)] {
+            if o.is_resource() && !g.has(s, &sub, o) {
+                out.push(Triple::new(s.clone(), sub.clone(), o.clone()));
+            }
+        }
+    });
+    let eqp = Term::iri(owl::EQUIVALENT_PROPERTY);
+    let subp = Term::iri(rdfs::SUB_PROPERTY_OF);
+    g.for_each_match(None, Some(&eqp), None, |t| {
+        for (s, o) in [(&t.subject, &t.object), (&t.object, &t.subject)] {
+            if !g.has(s, &subp, o) {
+                out.push(Triple::new(s.clone(), subp.clone(), o.clone()));
+            }
+        }
+    });
+}
+
+fn rule_inverse(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
+    for (p, qs) in &s.inverse {
+        g.for_each_match(None, Some(p), None, |t| {
+            if !t.object.is_resource() {
+                return;
+            }
+            for q in qs {
+                if !g.has(&t.object, q, &t.subject) {
+                    out.push(Triple::new(t.object.clone(), q.clone(), t.subject.clone()));
+                }
+            }
+        });
+    }
+}
+
+fn rule_symmetric(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
+    for p in &s.symmetric {
+        g.for_each_match(None, Some(p), None, |t| {
+            if t.object.is_resource() && !g.has(&t.object, p, &t.subject) {
+                out.push(Triple::new(t.object.clone(), p.clone(), t.subject.clone()));
+            }
+        });
+    }
+}
+
+fn rule_transitive(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
+    for p in &s.transitive {
+        let mut edges: HashMap<Term, Vec<Term>> = HashMap::new();
+        g.for_each_match(None, Some(p), None, |t| {
+            edges.entry(t.subject).or_default().push(t.object);
+        });
+        for (a, bs) in &edges {
+            for b in bs {
+                if let Some(cs) = edges.get(b) {
+                    for c in cs {
+                        if c != a && !g.has(a, p, c) {
+                            out.push(Triple::new(a.clone(), p.clone(), c.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn rule_functional(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
+    let same = Term::iri(owl::SAME_AS);
+    for p in &s.functional {
+        let mut by_subject: HashMap<Term, Vec<Term>> = HashMap::new();
+        g.for_each_match(None, Some(p), None, |t| {
+            if t.object.is_resource() {
+                by_subject.entry(t.subject).or_default().push(t.object);
+            }
+        });
+        for objs in by_subject.values() {
+            for pair in objs.windows(2) {
+                if pair[0] != pair[1] && !g.has(&pair[0], &same, &pair[1]) {
+                    out.push(Triple::new(pair[0].clone(), same.clone(), pair[1].clone()));
+                }
+            }
+        }
+    }
+    for p in &s.inverse_functional {
+        let mut by_object: HashMap<Term, Vec<Term>> = HashMap::new();
+        g.for_each_match(None, Some(p), None, |t| {
+            by_object.entry(t.object).or_default().push(t.subject);
+        });
+        for subs in by_object.values() {
+            for pair in subs.windows(2) {
+                if pair[0] != pair[1] && !g.has(&pair[0], &same, &pair[1]) {
+                    out.push(Triple::new(pair[0].clone(), same.clone(), pair[1].clone()));
+                }
+            }
+        }
+    }
+}
+
+fn rule_same_as(g: &Graph, out: &mut Vec<Triple>) {
+    let same = Term::iri(owl::SAME_AS);
+    // Union-find over sameAs assertions.
+    let mut parent: HashMap<Term, Term> = HashMap::new();
+    fn find(parent: &mut HashMap<Term, Term>, x: &Term) -> Term {
+        let p = parent.get(x).cloned();
+        match p {
+            None => x.clone(),
+            Some(p) if &p == x => x.clone(),
+            Some(p) => {
+                let root = find(parent, &p);
+                parent.insert(x.clone(), root.clone());
+                root
+            }
+        }
+    }
+    let mut members: HashMap<Term, Vec<Term>> = HashMap::new();
+    let mut pairs: Vec<(Term, Term)> = Vec::new();
+    g.for_each_match(None, Some(&same), None, |t| {
+        if t.object.is_resource() {
+            pairs.push((t.subject, t.object));
+        }
+    });
+    if pairs.is_empty() {
+        return;
+    }
+    for (a, b) in &pairs {
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            parent.insert(ra, rb);
+        }
+        parent.entry(a.clone()).or_insert_with(|| a.clone());
+        parent.entry(b.clone()).or_insert_with(|| b.clone());
+    }
+    let keys: Vec<Term> = parent.keys().cloned().collect();
+    for k in keys {
+        let r = find(&mut parent, &k);
+        members.entry(r).or_default().push(k);
+    }
+
+    for group in members.values() {
+        if group.len() < 2 {
+            continue;
+        }
+        // Emit the full sameAs clique (symmetry + transitivity).
+        for a in group {
+            for b in group {
+                if a != b && !g.has(a, &same, b) {
+                    out.push(Triple::new(a.clone(), same.clone(), b.clone()));
+                }
+            }
+        }
+        // Substitution: every triple mentioning a member holds for all.
+        for a in group {
+            g.for_each_match(Some(a), None, None, |t| {
+                if t.predicate.as_iri() == Some(owl::SAME_AS) {
+                    return;
+                }
+                for b in group {
+                    if b != a && !g.has(b, &t.predicate, &t.object) {
+                        out.push(Triple::new(b.clone(), t.predicate.clone(), t.object.clone()));
+                    }
+                }
+            });
+            g.for_each_match(None, None, Some(a), |t| {
+                if t.predicate.as_iri() == Some(owl::SAME_AS) {
+                    return;
+                }
+                for b in group {
+                    if b != a && !g.has(&t.subject, &t.predicate, b) {
+                        out.push(Triple::new(t.subject.clone(), t.predicate.clone(), b.clone()));
+                    }
+                }
+            });
+        }
+    }
+}
+
+fn rule_restrictions(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
+    let ty = Term::iri(rdf::TYPE);
+    for r in &s.restrictions {
+        match &r.kind {
+            RKind::HasValue(v) => {
+                // x ∈ C (⊑ r) → x p v ; and x p v → x ∈ r.
+                for c in r.subclasses.iter().chain(std::iter::once(&r.node)) {
+                    g.for_each_match(None, Some(&ty), Some(c), |t| {
+                        if !g.has(&t.subject, &r.property, v) {
+                            out.push(Triple::new(t.subject.clone(), r.property.clone(), v.clone()));
+                        }
+                    });
+                }
+                g.for_each_match(None, Some(&r.property), Some(v), |t| {
+                    if !g.has(&t.subject, &ty, &r.node) {
+                        out.push(Triple::new(t.subject.clone(), ty.clone(), r.node.clone()));
+                    }
+                });
+            }
+            RKind::SomeValuesFrom(class) => {
+                // x p y ∧ y ∈ D → x ∈ r.
+                g.for_each_match(None, Some(&r.property), None, |t| {
+                    if t.object.is_resource()
+                        && g.has(&t.object, &ty, class)
+                        && !g.has(&t.subject, &ty, &r.node)
+                    {
+                        out.push(Triple::new(t.subject.clone(), ty.clone(), r.node.clone()));
+                    }
+                });
+            }
+            RKind::AllValuesFrom(class) => {
+                // x ∈ r ∧ x p y → y ∈ D.
+                g.for_each_match(None, Some(&ty), Some(&r.node), |t| {
+                    for y in g.objects(&t.subject, &r.property) {
+                        if y.is_resource() && !g.has(&y, &ty, class) {
+                            out.push(Triple::new(y, ty.clone(), class.clone()));
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Characteristic, OntologyBuilder, RestrictionKind};
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+    fn ty() -> Term {
+        Term::iri(rdf::TYPE)
+    }
+
+    #[test]
+    fn subclass_chain_materializes() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("A", None);
+        b.class("B", Some("A"));
+        b.class("C", Some("B"));
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#x"), ty(), iri("urn:t#C"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#x"), &ty(), &iri("urn:t#B")));
+        assert!(g.has(&iri("urn:t#x"), &ty(), &iri("urn:t#A")));
+        assert!(g.has(&iri("urn:t#C"), &iri(rdfs::SUB_CLASS_OF), &iri("urn:t#A")));
+    }
+
+    #[test]
+    fn subproperty_inheritance() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.object_property("hasMother", None, None);
+        b.object_property("hasParent", None, None);
+        b.sub_property_of("hasMother", "hasParent");
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#x"), iri("urn:t#hasMother"), iri("urn:t#m"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#x"), &iri("urn:t#hasParent"), &iri("urn:t#m")));
+    }
+
+    #[test]
+    fn domain_and_range_typing() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Person", None);
+        b.class("City", None);
+        b.object_property("livesIn", Some("Person"), Some("City"));
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#ann"), iri("urn:t#livesIn"), iri("urn:t#dallas"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#ann"), &ty(), &iri("urn:t#Person")));
+        assert!(g.has(&iri("urn:t#dallas"), &ty(), &iri("urn:t#City")));
+    }
+
+    #[test]
+    fn datatype_range_does_not_type_literals() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.datatype_property("age", None, Some(grdf_rdf::vocab::xsd::INTEGER));
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#ann"), iri("urn:t#age"), Term::integer(30));
+        let before = g.len();
+        Reasoner::default().materialize(&mut g);
+        // No rdf:type triples about the literal.
+        assert_eq!(
+            g.len(),
+            before,
+            "datatype range must not produce class-membership triples"
+        );
+    }
+
+    #[test]
+    fn inverse_of_fires_both_ways() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.object_property("contains", None, None);
+        b.object_property("within", None, None);
+        b.inverse_of("contains", "within");
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#lake"), iri("urn:t#within"), iri("urn:t#park"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#park"), &iri("urn:t#contains"), &iri("urn:t#lake")));
+    }
+
+    #[test]
+    fn symmetric_and_transitive() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.object_property("touches", None, None);
+        b.characteristic("touches", Characteristic::Symmetric);
+        b.object_property("upstreamOf", None, None);
+        b.characteristic("upstreamOf", Characteristic::Transitive);
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#a"), iri("urn:t#touches"), iri("urn:t#b"));
+        g.add(iri("urn:t#r1"), iri("urn:t#upstreamOf"), iri("urn:t#r2"));
+        g.add(iri("urn:t#r2"), iri("urn:t#upstreamOf"), iri("urn:t#r3"));
+        g.add(iri("urn:t#r3"), iri("urn:t#upstreamOf"), iri("urn:t#r4"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#b"), &iri("urn:t#touches"), &iri("urn:t#a")));
+        assert!(g.has(&iri("urn:t#r1"), &iri("urn:t#upstreamOf"), &iri("urn:t#r4")));
+    }
+
+    #[test]
+    fn functional_property_derives_same_as_and_smushes() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.object_property("hasSiteId", None, None);
+        b.characteristic("hasSiteId", Characteristic::InverseFunctional);
+        let mut g = b.into_graph();
+        // Two records for one chemical site in different datasets.
+        g.add(iri("urn:t#siteA"), iri("urn:t#hasSiteId"), iri("urn:t#id4221"));
+        g.add(iri("urn:t#siteB"), iri("urn:t#hasSiteId"), iri("urn:t#id4221"));
+        g.add(iri("urn:t#siteA"), iri("urn:t#name"), Term::string("NT Energy"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#siteA"), &iri(owl::SAME_AS), &iri("urn:t#siteB")));
+        // Substitution carried the name to the other identifier.
+        assert!(g.has(&iri("urn:t#siteB"), &iri("urn:t#name"), &Term::string("NT Energy")));
+    }
+
+    #[test]
+    fn equivalent_class_gives_mutual_membership() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Stream", None);
+        b.class("Creek", None);
+        b.equivalent_class("Stream", "Creek");
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#x"), ty(), iri("urn:t#Creek"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#x"), &ty(), &iri("urn:t#Stream")));
+    }
+
+    #[test]
+    fn has_value_restriction_fires_both_directions() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("TexasSite", None);
+        b.object_property("inState", None, None);
+        let r = b.restrict(
+            "TexasSite",
+            "inState",
+            RestrictionKind::HasValue(Term::iri("urn:t#texas")),
+        );
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#s1"), ty(), iri("urn:t#TexasSite"));
+        g.add(iri("urn:t#s2"), iri("urn:t#inState"), iri("urn:t#texas"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#s1"), &iri("urn:t#inState"), &iri("urn:t#texas")));
+        assert!(g.has(&iri("urn:t#s2"), &ty(), &r), "value ⇒ restriction membership");
+    }
+
+    #[test]
+    fn some_values_from_classifies_subject() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Hazardous", None);
+        b.class("Chemical", None);
+        b.object_property("stores", None, None);
+        let r = b.restrict(
+            "Hazardous",
+            "stores",
+            RestrictionKind::SomeValuesFrom("Chemical".into()),
+        );
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#plant"), iri("urn:t#stores"), iri("urn:t#acid"));
+        g.add(iri("urn:t#acid"), ty(), iri("urn:t#Chemical"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#plant"), &ty(), &r));
+    }
+
+    #[test]
+    fn all_values_from_types_objects() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("StreamNetwork", None);
+        b.class("Stream", None);
+        b.object_property("hasMember", None, None);
+        b.restrict(
+            "StreamNetwork",
+            "hasMember",
+            RestrictionKind::AllValuesFrom("Stream".into()),
+        );
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#net"), ty(), iri("urn:t#StreamNetwork"));
+        g.add(iri("urn:t#net"), iri("urn:t#hasMember"), iri("urn:t#s1"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#s1"), &ty(), &iri("urn:t#Stream")));
+    }
+
+    #[test]
+    fn rdfs_only_skips_owl_rules() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.object_property("touches", None, None);
+        b.characteristic("touches", Characteristic::Symmetric);
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#a"), iri("urn:t#touches"), iri("urn:t#b"));
+        Reasoner::rdfs_only().materialize(&mut g);
+        assert!(!g.has(&iri("urn:t#b"), &iri("urn:t#touches"), &iri("urn:t#a")));
+    }
+
+    #[test]
+    fn materialization_is_idempotent() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("A", None);
+        b.class("B", Some("A"));
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#x"), ty(), iri("urn:t#B"));
+        let first = Reasoner::default().materialize(&mut g);
+        assert!(first.inferred > 0);
+        let second = Reasoner::default().materialize(&mut g);
+        assert_eq!(second.inferred, 0, "second run must be a no-op");
+        assert_eq!(second.passes, 1);
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_cyclic_schema() {
+        let mut g = Graph::new();
+        // A ⊑ B ⊑ C ⊑ A (legal, means equivalence).
+        let sub = Term::iri(rdfs::SUB_CLASS_OF);
+        g.add(iri("urn:t#A"), sub.clone(), iri("urn:t#B"));
+        g.add(iri("urn:t#B"), sub.clone(), iri("urn:t#C"));
+        g.add(iri("urn:t#C"), sub.clone(), iri("urn:t#A"));
+        g.add(iri("urn:t#x"), ty(), iri("urn:t#A"));
+        let stats = Reasoner::default().materialize(&mut g);
+        assert!(stats.passes < 10);
+        assert!(g.has(&iri("urn:t#x"), &ty(), &iri("urn:t#C")));
+    }
+
+    #[test]
+    fn intersection_class_membership_both_ways() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Hazardous", None);
+        b.class("Riverside", None);
+        b.intersection_class("HazardousRiverside", &["Hazardous", "Riverside"]);
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#p1"), ty(), iri("urn:t#Hazardous"));
+        g.add(iri("urn:t#p1"), ty(), iri("urn:t#Riverside"));
+        g.add(iri("urn:t#p2"), ty(), iri("urn:t#Hazardous")); // only one part
+        g.add(iri("urn:t#p3"), ty(), iri("urn:t#HazardousRiverside")); // asserted directly
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#p1"), &ty(), &iri("urn:t#HazardousRiverside")));
+        assert!(!g.has(&iri("urn:t#p2"), &ty(), &iri("urn:t#HazardousRiverside")));
+        // Direction 2: direct members belong to every part.
+        assert!(g.has(&iri("urn:t#p3"), &ty(), &iri("urn:t#Hazardous")));
+        assert!(g.has(&iri("urn:t#p3"), &ty(), &iri("urn:t#Riverside")));
+    }
+
+    #[test]
+    fn union_class_membership() {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Stream", None);
+        b.class("Lake", None);
+        b.union_class("WaterBody", &["Stream", "Lake"]);
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#creek"), ty(), iri("urn:t#Stream"));
+        g.add(iri("urn:t#pond"), ty(), iri("urn:t#Lake"));
+        g.add(iri("urn:t#rock"), ty(), iri("urn:t#Other"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#creek"), &ty(), &iri("urn:t#WaterBody")));
+        assert!(g.has(&iri("urn:t#pond"), &ty(), &iri("urn:t#WaterBody")));
+        assert!(!g.has(&iri("urn:t#rock"), &ty(), &iri("urn:t#WaterBody")));
+    }
+
+    #[test]
+    fn union_interacts_with_subclass_rules() {
+        // WaterBody = Stream ∪ Lake, and WaterBody ⊑ Feature.
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Stream", None);
+        b.class("Lake", None);
+        b.class("Feature", None);
+        b.union_class("WaterBody", &["Stream", "Lake"]);
+        b.sub_class_of("WaterBody", "Feature");
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#creek"), ty(), iri("urn:t#Stream"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:t#creek"), &ty(), &iri("urn:t#Feature")));
+    }
+
+    #[test]
+    fn same_as_clique_closure() {
+        let mut g = Graph::new();
+        let same = Term::iri(owl::SAME_AS);
+        g.add(iri("urn:a"), same.clone(), iri("urn:b"));
+        g.add(iri("urn:b"), same.clone(), iri("urn:c"));
+        Reasoner::default().materialize(&mut g);
+        assert!(g.has(&iri("urn:c"), &same, &iri("urn:a")));
+        assert!(g.has(&iri("urn:a"), &same, &iri("urn:c")));
+        assert!(g.has(&iri("urn:b"), &same, &iri("urn:a")));
+    }
+}

@@ -1,0 +1,283 @@
+//! Query abstract syntax.
+
+use grdf_rdf::term::Term;
+
+/// A term position in a pattern: concrete term or variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermOrVar {
+    /// A concrete RDF term.
+    Term(Term),
+    /// A variable (name without `?`).
+    Var(String),
+}
+
+impl TermOrVar {
+    /// Variable helper.
+    pub fn var(name: &str) -> TermOrVar {
+        TermOrVar::Var(name.to_string())
+    }
+
+    /// IRI helper.
+    pub fn iri(iri: &str) -> TermOrVar {
+        TermOrVar::Term(Term::iri(iri))
+    }
+
+    /// Is this a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, TermOrVar::Var(_))
+    }
+}
+
+/// One triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub subject: TermOrVar,
+    /// Predicate position.
+    pub predicate: TermOrVar,
+    /// Object position.
+    pub object: TermOrVar,
+}
+
+impl TriplePattern {
+    /// Build a pattern.
+    pub fn new(subject: TermOrVar, predicate: TermOrVar, object: TermOrVar) -> TriplePattern {
+        TriplePattern { subject, predicate, object }
+    }
+
+    /// Number of concrete (non-variable) positions — a cheap selectivity
+    /// proxy used for join ordering.
+    pub fn bound_count(&self) -> usize {
+        [&self.subject, &self.predicate, &self.object]
+            .iter()
+            .filter(|t| !t.is_var())
+            .count()
+    }
+
+    /// Variables mentioned by this pattern.
+    pub fn variables(&self) -> Vec<&str> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(|t| match t {
+                TermOrVar::Var(v) => Some(v.as_str()),
+                TermOrVar::Term(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// Filter / expression language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A constant term.
+    Const(Term),
+    /// A variable reference.
+    Var(String),
+    /// `a = b`.
+    Eq(Box<Expr>, Box<Expr>),
+    /// `a != b`.
+    Ne(Box<Expr>, Box<Expr>),
+    /// `a < b` (numeric when both sides are numeric, else lexical).
+    Lt(Box<Expr>, Box<Expr>),
+    /// `a <= b`.
+    Le(Box<Expr>, Box<Expr>),
+    /// `a > b`.
+    Gt(Box<Expr>, Box<Expr>),
+    /// `a >= b`.
+    Ge(Box<Expr>, Box<Expr>),
+    /// `a && b`.
+    And(Box<Expr>, Box<Expr>),
+    /// `a || b`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `!a`.
+    Not(Box<Expr>),
+    /// `BOUND(?v)`.
+    Bound(String),
+    /// `CONTAINS(STR(?v), "needle")` collapsed to a builtin.
+    Contains(Box<Expr>, Box<Expr>),
+    /// `STRSTARTS(STR(?v), "prefix")`.
+    StrStarts(Box<Expr>, Box<Expr>),
+    /// `grdf:intersectsBox(?f, x0, y0, x1, y1)` — does the feature's
+    /// spatial extent intersect the box?
+    IntersectsBox {
+        /// Variable bound to the feature subject.
+        feature: String,
+        /// Box west edge.
+        x0: f64,
+        /// Box south edge.
+        y0: f64,
+        /// Box east edge.
+        x1: f64,
+        /// Box north edge.
+        y1: f64,
+    },
+    /// `grdf:within(?a, ?b)` — is `?a`'s extent within `?b`'s?
+    Within {
+        /// Inner feature variable.
+        inner: String,
+        /// Outer feature variable.
+        outer: String,
+    },
+    /// `grdf:distance(?a, ?b)` — planar distance between feature extents'
+    /// centers (numeric-valued, used inside comparisons).
+    Distance {
+        /// First feature variable.
+        a: String,
+        /// Second feature variable.
+        b: String,
+    },
+    /// `EXISTS { ... }` — true when the pattern has at least one solution
+    /// under the current bindings.
+    Exists(Box<Pattern>),
+    /// `NOT EXISTS { ... }`.
+    NotExists(Box<Pattern>),
+}
+
+/// A SPARQL property path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyPath {
+    /// A direct predicate IRI.
+    Iri(Term),
+    /// `^p` — traverse backwards.
+    Inverse(Box<PropertyPath>),
+    /// `p/q` — sequence.
+    Sequence(Box<PropertyPath>, Box<PropertyPath>),
+    /// `p|q` — alternative.
+    Alternative(Box<PropertyPath>, Box<PropertyPath>),
+    /// `p+` — one or more steps.
+    OneOrMore(Box<PropertyPath>),
+    /// `p*` — zero or more steps.
+    ZeroOrMore(Box<PropertyPath>),
+}
+
+impl PropertyPath {
+    /// The predicate IRI when this path is a single direct step.
+    pub fn as_iri(&self) -> Option<&Term> {
+        match self {
+            PropertyPath::Iri(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Graph patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// A conjunction of triple patterns.
+    Bgp(Vec<TriplePattern>),
+    /// A property-path constraint between two terms.
+    Path {
+        /// Subject position.
+        subject: TermOrVar,
+        /// The path expression.
+        path: PropertyPath,
+        /// Object position.
+        object: TermOrVar,
+    },
+    /// Nested group (sequence of patterns, all must hold).
+    Group(Vec<Pattern>),
+    /// Left join.
+    Optional(Box<Pattern>),
+    /// Alternation.
+    Union(Box<Pattern>, Box<Pattern>),
+    /// Constraint on bindings.
+    Filter(Expr),
+}
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT`.
+    Count,
+    /// `SUM`.
+    Sum,
+    /// `AVG`.
+    Avg,
+    /// `MIN`.
+    Min,
+    /// `MAX`.
+    Max,
+}
+
+/// One aggregate projection: `(FUNC(DISTINCT? ?v) AS ?alias)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// The function.
+    pub func: AggFunc,
+    /// Deduplicate the aggregated values first.
+    pub distinct: bool,
+    /// The aggregated variable; `None` means `COUNT(*)`.
+    pub var: Option<String>,
+    /// Output variable name.
+    pub alias: String,
+}
+
+/// Kind of query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// Projection; empty `vars` + empty `aggregates` means `SELECT *`.
+    Select {
+        /// Projected plain variable names (must appear in GROUP BY when
+        /// aggregates are present).
+        vars: Vec<String>,
+        /// Aggregate projections.
+        aggregates: Vec<Aggregate>,
+        /// Deduplicate rows.
+        distinct: bool,
+    },
+    /// Boolean query.
+    Ask,
+    /// Graph template instantiation.
+    Construct {
+        /// The template triple patterns.
+        template: Vec<TriplePattern>,
+    },
+}
+
+/// Sort key direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Order {
+    /// Ascending by variable.
+    Asc(String),
+    /// Descending by variable.
+    Desc(String),
+}
+
+/// A complete query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Select/Ask/Construct.
+    pub kind: QueryKind,
+    /// The WHERE clause.
+    pub pattern: Pattern,
+    /// GROUP BY variables (meaningful only with aggregates).
+    pub group_by: Vec<String>,
+    /// ORDER BY keys.
+    pub order: Vec<Order>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+    /// OFFSET.
+    pub offset: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_count_and_variables() {
+        let p = TriplePattern::new(
+            TermOrVar::var("s"),
+            TermOrVar::iri("urn:p"),
+            TermOrVar::var("o"),
+        );
+        assert_eq!(p.bound_count(), 1);
+        assert_eq!(p.variables(), vec!["s", "o"]);
+    }
+
+    #[test]
+    fn term_or_var_helpers() {
+        assert!(TermOrVar::var("x").is_var());
+        assert!(!TermOrVar::iri("urn:x").is_var());
+    }
+}

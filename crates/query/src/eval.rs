@@ -1,0 +1,1175 @@
+//! Query evaluation: BGP joins, filters, optional/union, solution
+//! modifiers, and the three result forms.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::{Term, Triple};
+
+use crate::ast::{Expr, Order, Pattern, Query, QueryKind, TermOrVar, TriplePattern};
+use crate::parser::{parse_query, ParseError};
+use crate::spatial::{feature_distance, feature_envelope};
+
+/// One solution: variable name → bound term.
+pub type Bindings = BTreeMap<String, Term>;
+
+/// Errors from parsing or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query text did not parse.
+    Parse(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(m) => write!(f, "query parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e.to_string())
+    }
+}
+
+/// Result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// SELECT: projected variable names and solution rows.
+    Select {
+        /// Projection (resolved; `SELECT *` lists all seen variables).
+        vars: Vec<String>,
+        /// Solutions in order.
+        rows: Vec<Bindings>,
+    },
+    /// ASK.
+    Boolean(bool),
+    /// CONSTRUCT.
+    Graph(Graph),
+}
+
+impl QueryResult {
+    /// The SELECT rows (empty for other result kinds).
+    pub fn select_rows(&self) -> &[Bindings] {
+        match self {
+            QueryResult::Select { rows, .. } => rows,
+            _ => &[],
+        }
+    }
+
+    /// The boolean of an ASK (`None` otherwise).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            QueryResult::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The constructed graph, when this was a CONSTRUCT.
+    pub fn into_graph(self) -> Option<Graph> {
+        match self {
+            QueryResult::Graph(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// Parse and execute `query_text` over `graph`.
+pub fn execute(graph: &Graph, query_text: &str) -> Result<QueryResult, QueryError> {
+    let q = parse_query(query_text)?;
+    Ok(execute_query(graph, &q))
+}
+
+/// Sort rows in place by the ORDER BY keys.
+fn apply_order(rows: &mut [Bindings], order: &[Order]) {
+    if order.is_empty() {
+        return;
+    }
+    rows.sort_by(|a, b| {
+        for key in order {
+            let (var, desc) = match key {
+                Order::Asc(v) => (v, false),
+                Order::Desc(v) => (v, true),
+            };
+            let ord = compare_terms(a.get(var), b.get(var));
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+}
+
+/// Apply OFFSET/LIMIT.
+fn apply_slice(rows: Vec<Bindings>, offset: usize, limit: Option<usize>) -> Vec<Bindings> {
+    rows.into_iter().skip(offset).take(limit.unwrap_or(usize::MAX)).collect()
+}
+
+/// Execute a pre-parsed query.
+pub fn execute_query(graph: &Graph, query: &Query) -> QueryResult {
+    let raw = eval_pattern(graph, &query.pattern, vec![Bindings::new()]);
+
+    // Aggregate queries: grouping happens first; ORDER/OFFSET/LIMIT apply
+    // to the aggregated rows.
+    if let QueryKind::Select { vars, aggregates, .. } = &query.kind {
+        if !aggregates.is_empty() {
+            let QueryResult::Select { vars: out_vars, mut rows } =
+                aggregate_select(vars, aggregates, &query.group_by, raw)
+            else {
+                unreachable!("aggregate_select returns Select");
+            };
+            apply_order(&mut rows, &query.order);
+            let rows = apply_slice(rows, query.offset, query.limit);
+            return QueryResult::Select { vars: out_vars, rows };
+        }
+    }
+
+    // Non-aggregate path: modifiers apply to the solution sequence.
+    let mut solutions = raw;
+    apply_order(&mut solutions, &query.order);
+    let solutions = apply_slice(solutions, query.offset, query.limit);
+
+    match &query.kind {
+        QueryKind::Ask => QueryResult::Boolean(!solutions.is_empty()),
+        QueryKind::Select { vars, distinct, .. } => {
+            let vars = if vars.is_empty() {
+                // SELECT *: every variable seen, sorted for determinism.
+                let mut all: Vec<String> = solutions
+                    .iter()
+                    .flat_map(|b| b.keys().cloned())
+                    .collect::<HashSet<_>>()
+                    .into_iter()
+                    .collect();
+                all.sort();
+                all
+            } else {
+                vars.clone()
+            };
+            let mut rows: Vec<Bindings> = solutions
+                .into_iter()
+                .map(|b| {
+                    vars.iter()
+                        .filter_map(|v| b.get(v).map(|t| (v.clone(), t.clone())))
+                        .collect()
+                })
+                .collect();
+            if *distinct {
+                let mut seen: HashSet<String> = HashSet::new();
+                rows.retain(|r| seen.insert(format!("{r:?}")));
+            }
+            QueryResult::Select { vars, rows }
+        }
+        QueryKind::Construct { template } => {
+            let mut g = Graph::new();
+            for b in &solutions {
+                for t in template {
+                    let (Some(s), Some(p), Some(o)) = (
+                        resolve(&t.subject, b),
+                        resolve(&t.predicate, b),
+                        resolve(&t.object, b),
+                    ) else {
+                        continue;
+                    };
+                    if s.is_resource() && matches!(p, Term::Iri(_)) {
+                        g.insert(Triple::new(s, p, o));
+                    }
+                }
+            }
+            QueryResult::Graph(g)
+        }
+    }
+}
+
+/// Grouped aggregation: partition solutions by the GROUP BY key (one
+/// global group when absent) and compute each aggregate per group.
+fn aggregate_select(
+    vars: &[String],
+    aggregates: &[crate::ast::Aggregate],
+    group_by: &[String],
+    solutions: Vec<Bindings>,
+) -> QueryResult {
+    use crate::ast::AggFunc;
+    use std::collections::BTreeMap;
+
+    let mut groups: BTreeMap<Vec<Option<Term>>, Vec<Bindings>> = BTreeMap::new();
+    if group_by.is_empty() {
+        groups.insert(Vec::new(), solutions);
+    } else {
+        for b in solutions {
+            let key: Vec<Option<Term>> = group_by.iter().map(|v| b.get(v).cloned()).collect();
+            groups.entry(key).or_default().push(b);
+        }
+    }
+
+    let mut out_vars: Vec<String> = vars.to_vec();
+    out_vars.extend(aggregates.iter().map(|a| a.alias.clone()));
+
+    let mut rows: Vec<Bindings> = Vec::with_capacity(groups.len());
+    for (key, members) in groups {
+        let mut row = Bindings::new();
+        for (v, k) in group_by.iter().zip(key) {
+            if let (true, Some(term)) = (vars.contains(v), k) {
+                row.insert(v.clone(), term);
+            }
+        }
+        for agg in aggregates {
+            // Collect the aggregated values of this group.
+            let mut values: Vec<Term> = match &agg.var {
+                None => members.iter().map(|_| Term::boolean(true)).collect(), // COUNT(*)
+                Some(v) => members.iter().filter_map(|b| b.get(v).cloned()).collect(),
+            };
+            if agg.distinct {
+                let mut seen = HashSet::new();
+                values.retain(|t| seen.insert(t.clone()));
+            }
+            let numeric: Vec<f64> = values
+                .iter()
+                .filter_map(|t| t.as_literal().and_then(|l| l.as_double()))
+                .collect();
+            let result = match agg.func {
+                AggFunc::Count => Some(Term::integer(values.len() as i64)),
+                AggFunc::Sum => Some(Term::double(numeric.iter().sum())),
+                AggFunc::Avg => {
+                    if numeric.is_empty() {
+                        None
+                    } else {
+                        Some(Term::double(numeric.iter().sum::<f64>() / numeric.len() as f64))
+                    }
+                }
+                // MIN/MAX compare numerically when values are numeric;
+                // plain term order otherwise.
+                AggFunc::Min => values.iter().min_by(|a, b| compare_terms(Some(a), Some(b))).cloned(),
+                AggFunc::Max => values.iter().max_by(|a, b| compare_terms(Some(a), Some(b))).cloned(),
+            };
+            if let Some(r) = result {
+                row.insert(agg.alias.clone(), r);
+            }
+        }
+        rows.push(row);
+    }
+    QueryResult::Select { vars: out_vars, rows }
+}
+
+fn resolve(t: &TermOrVar, b: &Bindings) -> Option<Term> {
+    match t {
+        TermOrVar::Term(t) => Some(t.clone()),
+        TermOrVar::Var(v) => b.get(v).cloned(),
+    }
+}
+
+fn eval_pattern(graph: &Graph, pattern: &Pattern, input: Vec<Bindings>) -> Vec<Bindings> {
+    match pattern {
+        Pattern::Bgp(triples) => eval_bgp(graph, triples, input),
+        Pattern::Path { subject, path, object } => {
+            let mut out = Vec::new();
+            for binding in input {
+                let s = resolve(subject, &binding);
+                let o = resolve(object, &binding);
+                for (ps, po) in path_pairs(graph, path, s.as_ref(), o.as_ref()) {
+                    let mut b = binding.clone();
+                    if bind(&mut b, subject, &ps) && bind(&mut b, object, &po) {
+                        out.push(b);
+                    }
+                }
+            }
+            out
+        }
+        Pattern::Group(parts) => parts
+            .iter()
+            .fold(input, |acc, part| eval_pattern(graph, part, acc)),
+        Pattern::Optional(inner) => {
+            let mut out = Vec::new();
+            for b in input {
+                let extended = eval_pattern(graph, inner, vec![b.clone()]);
+                if extended.is_empty() {
+                    out.push(b);
+                } else {
+                    out.extend(extended);
+                }
+            }
+            out
+        }
+        Pattern::Union(l, r) => {
+            let mut out = eval_pattern(graph, l, input.clone());
+            out.extend(eval_pattern(graph, r, input));
+            out
+        }
+        Pattern::Filter(e) => input
+            .into_iter()
+            .filter(|b| eval_expr(graph, e, b).and_then(EvalValue::truthy) == Some(true))
+            .collect(),
+    }
+}
+
+fn eval_bgp(graph: &Graph, triples: &[TriplePattern], input: Vec<Bindings>) -> Vec<Bindings> {
+    // Greedy join order: repeatedly pick the pattern with the most bound
+    // positions given the variables bound so far.
+    let mut remaining: Vec<&TriplePattern> = triples.iter().collect();
+    let mut solutions = input;
+    // Track variables bound by prior patterns (input bindings also count,
+    // conservatively using the first solution's keys).
+    let mut bound_vars: HashSet<String> =
+        solutions.first().map(|b| b.keys().cloned().collect()).unwrap_or_default();
+
+    while !remaining.is_empty() {
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let score = t.bound_count()
+                    + t.variables().iter().filter(|v| bound_vars.contains(**v)).count();
+                (i, score)
+            })
+            .max_by_key(|&(_, s)| s)
+            .expect("non-empty");
+        let pattern = remaining.swap_remove(idx);
+        for v in pattern.variables() {
+            bound_vars.insert(v.to_string());
+        }
+
+        let mut next = Vec::new();
+        for binding in &solutions {
+            match_one(graph, pattern, binding, &mut next);
+        }
+        solutions = next;
+        if solutions.is_empty() {
+            return solutions;
+        }
+    }
+    solutions
+}
+
+fn match_one(graph: &Graph, t: &TriplePattern, binding: &Bindings, out: &mut Vec<Bindings>) {
+    let s = resolve(&t.subject, binding);
+    let p = resolve(&t.predicate, binding);
+    let o = resolve(&t.object, binding);
+    graph.for_each_match(s.as_ref(), p.as_ref(), o.as_ref(), |found| {
+        let mut b = binding.clone();
+        let ok = bind(&mut b, &t.subject, &found.subject)
+            && bind(&mut b, &t.predicate, &found.predicate)
+            && bind(&mut b, &t.object, &found.object);
+        if ok {
+            out.push(b);
+        }
+    });
+}
+
+/// Enumerate `(start, end)` pairs satisfying a property path, under
+/// optional endpoint constraints. Recursive closure operators use BFS when
+/// one endpoint is bound and pair-set iteration otherwise.
+fn path_pairs(
+    graph: &Graph,
+    path: &crate::ast::PropertyPath,
+    s: Option<&Term>,
+    o: Option<&Term>,
+) -> Vec<(Term, Term)> {
+    use crate::ast::PropertyPath as P;
+    match path {
+        P::Iri(p) => {
+            let mut out = Vec::new();
+            graph.for_each_match(s, Some(p), o, |t| out.push((t.subject, t.object)));
+            out
+        }
+        P::Inverse(inner) => path_pairs(graph, inner, o, s)
+            .into_iter()
+            .map(|(a, b)| (b, a))
+            .collect(),
+        P::Alternative(l, r) => {
+            let mut out = path_pairs(graph, l, s, o);
+            let seen: HashSet<(Term, Term)> = out.iter().cloned().collect();
+            out.extend(path_pairs(graph, r, s, o).into_iter().filter(|p| !seen.contains(p)));
+            out
+        }
+        P::Sequence(a, b) => {
+            let mut out = Vec::new();
+            let mut seen = HashSet::new();
+            if s.is_some() || o.is_none() {
+                // Forward: expand `a` from the (possibly unbound) start.
+                for (sa, mid) in path_pairs(graph, a, s, None) {
+                    if !mid.is_resource() {
+                        continue;
+                    }
+                    for (_, ob) in path_pairs(graph, b, Some(&mid), o) {
+                        if seen.insert((sa.clone(), ob.clone())) {
+                            out.push((sa.clone(), ob));
+                        }
+                    }
+                }
+            } else {
+                // Backward: only the object is bound.
+                for (mid, ob) in path_pairs(graph, b, None, o) {
+                    for (sa, _) in path_pairs(graph, a, None, Some(&mid)) {
+                        if seen.insert((sa.clone(), ob.clone())) {
+                            out.push((sa, ob.clone()));
+                        }
+                    }
+                }
+            }
+            out
+        }
+        P::OneOrMore(inner) => closure_pairs(graph, inner, s, o, false),
+        P::ZeroOrMore(inner) => closure_pairs(graph, inner, s, o, true),
+    }
+}
+
+/// Transitive closure of a path, optionally reflexive.
+fn closure_pairs(
+    graph: &Graph,
+    inner: &crate::ast::PropertyPath,
+    s: Option<&Term>,
+    o: Option<&Term>,
+    reflexive: bool,
+) -> Vec<(Term, Term)> {
+    let mut out: Vec<(Term, Term)> = Vec::new();
+    let emit_from = |start: &Term, out: &mut Vec<(Term, Term)>| {
+        // BFS over the inner path from `start`.
+        let mut reached: HashSet<Term> = HashSet::new();
+        let mut frontier = vec![start.clone()];
+        if reflexive {
+            reached.insert(start.clone());
+        }
+        while let Some(cur) = frontier.pop() {
+            for (_, next) in path_pairs(graph, inner, Some(&cur), None) {
+                if reached.insert(next.clone()) && next.is_resource() {
+                    frontier.push(next);
+                }
+            }
+        }
+        for r in reached {
+            if o.is_none_or(|oo| *oo == r) {
+                out.push((start.clone(), r));
+            }
+        }
+    };
+
+    match (s, o) {
+        (Some(start), _) => emit_from(start, &mut out),
+        (None, Some(end)) => {
+            // Reverse BFS via the inverse path, then flip.
+            let inv = crate::ast::PropertyPath::Inverse(Box::new(inner.clone()));
+            for (e, sfound) in closure_pairs(graph, &inv, Some(end), None, reflexive) {
+                debug_assert_eq!(&e, end);
+                out.push((sfound, e));
+            }
+        }
+        (None, None) => {
+            // All starting points: every subject of an inner step.
+            let mut starts: HashSet<Term> = HashSet::new();
+            for (a, _) in path_pairs(graph, inner, None, None) {
+                starts.insert(a);
+            }
+            for start in starts {
+                emit_from(&start, &mut out);
+            }
+        }
+    }
+    out
+}
+
+fn bind(b: &mut Bindings, slot: &TermOrVar, value: &Term) -> bool {
+    match slot {
+        TermOrVar::Term(_) => true,
+        TermOrVar::Var(v) => match b.get(v) {
+            Some(existing) => existing == value,
+            None => {
+                b.insert(v.clone(), value.clone());
+                true
+            }
+        },
+    }
+}
+
+/// Expression evaluation values.
+enum EvalValue {
+    Bool(bool),
+    Num(f64),
+    Term(Term),
+}
+
+impl EvalValue {
+    fn truthy(self) -> Option<bool> {
+        match self {
+            EvalValue::Bool(b) => Some(b),
+            EvalValue::Num(n) => Some(n != 0.0),
+            EvalValue::Term(t) => t.as_literal().and_then(|l| l.as_boolean()),
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            EvalValue::Num(n) => Some(*n),
+            EvalValue::Term(t) => {
+                let l = t.as_literal()?;
+                // xsd:dateTime/xsd:date compare chronologically, via epoch
+                // seconds.
+                if matches!(
+                    l.datatype(),
+                    grdf_rdf::vocab::xsd::DATE_TIME | grdf_rdf::vocab::xsd::DATE
+                ) {
+                    return grdf_feature::time::TimeInstant::parse(l.lexical())
+                        .map(|t| t.epoch_seconds as f64);
+                }
+                l.as_double()
+            }
+            EvalValue::Bool(_) => None,
+        }
+    }
+
+    fn as_text(&self) -> Option<String> {
+        match self {
+            EvalValue::Term(Term::Literal(l)) => Some(l.lexical().to_string()),
+            EvalValue::Term(Term::Iri(i)) => Some(i.to_string()),
+            EvalValue::Term(Term::Blank(b)) => Some(format!("_:{b}")),
+            EvalValue::Num(n) => Some(n.to_string()),
+            EvalValue::Bool(b) => Some(b.to_string()),
+        }
+    }
+}
+
+fn eval_expr(graph: &Graph, e: &Expr, b: &Bindings) -> Option<EvalValue> {
+    match e {
+        Expr::Const(t) => Some(EvalValue::Term(t.clone())),
+        Expr::Var(v) => b.get(v).cloned().map(EvalValue::Term),
+        Expr::Bound(v) => Some(EvalValue::Bool(b.contains_key(v))),
+        Expr::Not(inner) => {
+            let v = eval_expr(graph, inner, b)?.truthy()?;
+            Some(EvalValue::Bool(!v))
+        }
+        Expr::And(l, r) => {
+            let lv = eval_expr(graph, l, b)?.truthy()?;
+            if !lv {
+                return Some(EvalValue::Bool(false));
+            }
+            Some(EvalValue::Bool(eval_expr(graph, r, b)?.truthy()?))
+        }
+        Expr::Or(l, r) => {
+            let lv = eval_expr(graph, l, b)?.truthy()?;
+            if lv {
+                return Some(EvalValue::Bool(true));
+            }
+            Some(EvalValue::Bool(eval_expr(graph, r, b)?.truthy()?))
+        }
+        Expr::Eq(l, r) => compare(graph, l, r, b, |o| o == Ordering::Equal),
+        Expr::Ne(l, r) => compare(graph, l, r, b, |o| o != Ordering::Equal),
+        Expr::Lt(l, r) => compare(graph, l, r, b, |o| o == Ordering::Less),
+        Expr::Le(l, r) => compare(graph, l, r, b, |o| o != Ordering::Greater),
+        Expr::Gt(l, r) => compare(graph, l, r, b, |o| o == Ordering::Greater),
+        Expr::Ge(l, r) => compare(graph, l, r, b, |o| o != Ordering::Less),
+        Expr::Contains(l, r) => {
+            let hay = eval_expr(graph, l, b)?.as_text()?;
+            let needle = eval_expr(graph, r, b)?.as_text()?;
+            Some(EvalValue::Bool(hay.contains(&needle)))
+        }
+        Expr::StrStarts(l, r) => {
+            let hay = eval_expr(graph, l, b)?.as_text()?;
+            let prefix = eval_expr(graph, r, b)?.as_text()?;
+            Some(EvalValue::Bool(hay.starts_with(&prefix)))
+        }
+        Expr::IntersectsBox { feature, x0, y0, x1, y1 } => {
+            let f = b.get(feature)?;
+            let env = feature_envelope(graph, f)?;
+            let query = grdf_geometry::envelope::Envelope::new(
+                grdf_geometry::coord::Coord::xy(*x0, *y0),
+                grdf_geometry::coord::Coord::xy(*x1, *y1),
+            );
+            Some(EvalValue::Bool(env.intersects(&query)))
+        }
+        Expr::Within { inner, outer } => {
+            let fi = b.get(inner)?;
+            let fo = b.get(outer)?;
+            let ei = feature_envelope(graph, fi)?;
+            let eo = feature_envelope(graph, fo)?;
+            Some(EvalValue::Bool(eo.contains_envelope(&ei)))
+        }
+        Expr::Distance { a, b: bb } => {
+            let fa = b.get(a)?;
+            let fb = b.get(bb)?;
+            Some(EvalValue::Num(feature_distance(graph, fa, fb)?))
+        }
+        Expr::Exists(p) => {
+            let found = !eval_pattern(graph, p, vec![b.clone()]).is_empty();
+            Some(EvalValue::Bool(found))
+        }
+        Expr::NotExists(p) => {
+            let found = !eval_pattern(graph, p, vec![b.clone()]).is_empty();
+            Some(EvalValue::Bool(!found))
+        }
+    }
+}
+
+fn compare(
+    graph: &Graph,
+    l: &Expr,
+    r: &Expr,
+    b: &Bindings,
+    test: fn(Ordering) -> bool,
+) -> Option<EvalValue> {
+    let lv = eval_expr(graph, l, b)?;
+    let rv = eval_expr(graph, r, b)?;
+    // Numeric comparison when both sides are numeric.
+    if let (Some(ln), Some(rn)) = (lv.as_num(), rv.as_num()) {
+        return Some(EvalValue::Bool(test(ln.partial_cmp(&rn)?)));
+    }
+    let ls = lv.as_text()?;
+    let rs = rv.as_text()?;
+    Some(EvalValue::Bool(test(ls.cmp(&rs))))
+}
+
+fn compare_terms(a: Option<&Term>, b: Option<&Term>) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => {
+            let nx = x.as_literal().and_then(|l| l.as_double());
+            let ny = y.as_literal().and_then(|l| l.as_double());
+            match (nx, ny) {
+                (Some(nx), Some(ny)) => nx.partial_cmp(&ny).unwrap_or(Ordering::Equal),
+                _ => x.cmp(y),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_rdf::turtle;
+
+    fn data() -> Graph {
+        turtle::parse(
+            r#"@prefix app: <http://grdf.org/app#> .
+               @prefix grdf: <http://grdf.org/ontology#> .
+               app:s1 a app:ChemSite ; app:hasSiteName "North Texas Energy" ; app:risk 7 .
+               app:s2 a app:ChemSite ; app:hasSiteName "Trinity Chemical" ; app:risk 3 .
+               app:s3 a app:Stream ; app:hasSiteName "White Rock Creek" .
+               app:s1 app:near app:s3 .
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_select() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?n WHERE { ?s a app:ChemSite ; app:hasSiteName ?n . }",
+        )
+        .unwrap();
+        assert_eq!(r.select_rows().len(), 2);
+    }
+
+    #[test]
+    fn join_across_patterns() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?sname ?tname WHERE {
+               ?s app:near ?t .
+               ?s app:hasSiteName ?sname .
+               ?t app:hasSiteName ?tname .
+             }",
+        )
+        .unwrap();
+        let rows = r.select_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["sname"], Term::string("North Texas Energy"));
+        assert_eq!(rows[0]["tname"], Term::string("White Rock Creek"));
+    }
+
+    #[test]
+    fn filter_numeric() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?s WHERE { ?s app:risk ?r . FILTER(?r > 5) }",
+        )
+        .unwrap();
+        assert_eq!(r.select_rows().len(), 1);
+    }
+
+    #[test]
+    fn filter_string_builtins() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?s WHERE { ?s app:hasSiteName ?n . FILTER(CONTAINS(?n, \"Creek\")) }",
+        )
+        .unwrap();
+        assert_eq!(r.select_rows().len(), 1);
+        let r2 = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?s WHERE { ?s app:hasSiteName ?n . FILTER(STRSTARTS(?n, \"North\")) }",
+        )
+        .unwrap();
+        assert_eq!(r2.select_rows().len(), 1);
+    }
+
+    #[test]
+    fn optional_keeps_unmatched() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?s ?r WHERE { ?s app:hasSiteName ?n . OPTIONAL { ?s app:risk ?r } }",
+        )
+        .unwrap();
+        let rows = r.select_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.iter().filter(|b| b.contains_key("r")).count(), 2);
+    }
+
+    #[test]
+    fn union_combines() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?s WHERE { { ?s a app:ChemSite } UNION { ?s a app:Stream } }",
+        )
+        .unwrap();
+        assert_eq!(r.select_rows().len(), 3);
+    }
+
+    #[test]
+    fn ask_true_false() {
+        let g = data();
+        assert_eq!(
+            execute(&g, "PREFIX app: <http://grdf.org/app#> ASK { app:s1 a app:ChemSite }")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        assert_eq!(
+            execute(&g, "PREFIX app: <http://grdf.org/app#> ASK { app:s1 a app:Stream }")
+                .unwrap()
+                .as_bool(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn construct_builds_graph() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             CONSTRUCT { ?s app:label ?n } WHERE { ?s app:hasSiteName ?n }",
+        )
+        .unwrap();
+        let g = r.into_graph().unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn order_limit_offset() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?n WHERE { ?s app:hasSiteName ?n } ORDER BY ?n LIMIT 2",
+        )
+        .unwrap();
+        let rows = r.select_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["n"], Term::string("North Texas Energy"));
+        let r2 = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?n WHERE { ?s app:hasSiteName ?n } ORDER BY DESC(?n) OFFSET 1 LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(r2.select_rows()[0]["n"], Term::string("Trinity Chemical"));
+    }
+
+    #[test]
+    fn numeric_order_by() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?r WHERE { ?s app:risk ?r } ORDER BY DESC(?r)",
+        )
+        .unwrap();
+        let rows = r.select_rows();
+        assert_eq!(rows[0]["r"].as_literal().unwrap().as_integer(), Some(7));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT DISTINCT ?t WHERE { ?s a ?t }",
+        )
+        .unwrap();
+        assert_eq!(r.select_rows().len(), 2);
+    }
+
+    #[test]
+    fn select_star_collects_vars() {
+        let r = execute(&data(), "SELECT * WHERE { ?s ?p ?o } LIMIT 1").unwrap();
+        match r {
+            QueryResult::Select { vars, rows } => {
+                assert_eq!(vars, vec!["o", "p", "s"]);
+                assert_eq!(rows.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spatial_filter_end_to_end() {
+        use grdf_feature::feature::Feature;
+        use grdf_feature::rdf_codec::encode_feature;
+        use grdf_geometry::coord::Coord;
+        use grdf_geometry::primitives::{LineString, Point};
+
+        let mut g = Graph::new();
+        let mut stream = Feature::new("urn:stream", "Stream");
+        stream.set_geometry(
+            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(50.0, 50.0)]).unwrap().into(),
+        );
+        encode_feature(&mut g, &stream);
+        let mut far_site = Feature::new("urn:far", "ChemSite");
+        far_site.set_geometry(Point::new(500.0, 500.0).into());
+        encode_feature(&mut g, &far_site);
+        let mut near_site = Feature::new("urn:near", "ChemSite");
+        near_site.set_geometry(Point::new(30.0, 20.0).into());
+        encode_feature(&mut g, &near_site);
+
+        let r = execute(
+            &g,
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?f WHERE { ?f a app:ChemSite . FILTER(grdf:intersectsBox(?f, 0, 0, 100, 100)) }",
+        )
+        .unwrap();
+        let rows = r.select_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["f"], Term::iri("urn:near"));
+
+        // Distance filter: the near site is within 60 of the stream.
+        let r2 = execute(
+            &g,
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?f WHERE {
+               ?s a app:Stream . ?f a app:ChemSite .
+               FILTER(grdf:distance(?f, ?s) < 60)
+             }",
+        )
+        .unwrap();
+        assert_eq!(r2.select_rows().len(), 1);
+    }
+
+    #[test]
+    fn bound_filter() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?s WHERE { ?s app:hasSiteName ?n . OPTIONAL { ?s app:risk ?r } FILTER(!BOUND(?r)) }",
+        )
+        .unwrap();
+        assert_eq!(r.select_rows().len(), 1, "only the stream lacks risk");
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(matches!(execute(&data(), "NOT A QUERY"), Err(QueryError::Parse(_))));
+    }
+
+    #[test]
+    fn datetime_filters_compare_chronologically() {
+        let g = turtle::parse(
+            r#"@prefix app: <http://grdf.org/app#> .
+               @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+               app:o1 app:at "2026-07-06T08:00:00Z"^^xsd:dateTime .
+               app:o2 app:at "2026-07-06T09:30:00Z"^^xsd:dateTime .
+               app:o3 app:at "2026-07-05T23:00:00Z"^^xsd:dateTime .
+            "#,
+        )
+        .unwrap();
+        let r = execute(
+            &g,
+            r#"PREFIX app: <http://grdf.org/app#>
+               PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+               SELECT ?o WHERE {
+                 ?o app:at ?t .
+                 FILTER(?t >= "2026-07-06T00:00:00Z"^^xsd:dateTime)
+               }"#,
+        )
+        .unwrap();
+        assert_eq!(r.select_rows().len(), 2, "only same-day observations");
+    }
+
+    #[test]
+    fn count_star_and_count_var() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT (COUNT(*) AS ?n) WHERE { ?s a app:ChemSite }",
+        )
+        .unwrap();
+        let rows = r.select_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["n"], Term::integer(2));
+
+        let r2 = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT (COUNT(DISTINCT ?t) AS ?kinds) WHERE { ?s a ?t }",
+        )
+        .unwrap();
+        assert_eq!(r2.select_rows()[0]["kinds"], Term::integer(2));
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT (SUM(?r) AS ?total) (AVG(?r) AS ?mean) (MIN(?r) AS ?lo) (MAX(?r) AS ?hi)
+             WHERE { ?s app:risk ?r }",
+        )
+        .unwrap();
+        let row = &r.select_rows()[0];
+        assert_eq!(row["total"].as_literal().unwrap().as_double(), Some(10.0));
+        assert_eq!(row["mean"].as_literal().unwrap().as_double(), Some(5.0));
+        assert_eq!(row["lo"].as_literal().unwrap().as_integer(), Some(3));
+        assert_eq!(row["hi"].as_literal().unwrap().as_integer(), Some(7));
+    }
+
+    #[test]
+    fn order_and_limit_apply_after_aggregation() {
+        // Regression: LIMIT must bound the aggregated rows, not truncate
+        // the solution multiset before grouping.
+        let g = turtle::parse(
+            r#"@prefix e: <urn:e#> .
+               e:o1 e:of e:g1 ; e:v 1 . e:o2 e:of e:g1 ; e:v 2 .
+               e:o3 e:of e:g1 ; e:v 3 . e:o4 e:of e:g2 ; e:v 10 .
+               e:o5 e:of e:g2 ; e:v 20 .
+            "#,
+        )
+        .unwrap();
+        let r = execute(
+            &g,
+            "PREFIX e: <urn:e#>
+             SELECT ?grp (COUNT(?o) AS ?n) (AVG(?v) AS ?mean)
+             WHERE { ?o e:of ?grp ; e:v ?v }
+             GROUP BY ?grp ORDER BY DESC(?mean) LIMIT 1",
+        )
+        .unwrap();
+        let rows = r.select_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["grp"], Term::iri("urn:e#g2"));
+        assert_eq!(rows[0]["n"].as_literal().unwrap().as_integer(), Some(2));
+        assert_eq!(rows[0]["mean"].as_literal().unwrap().as_double(), Some(15.0));
+    }
+
+    #[test]
+    fn group_by_partitions() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?t (COUNT(?s) AS ?n) WHERE { ?s a ?t } GROUP BY ?t ORDER BY DESC(?n)",
+        )
+        .unwrap();
+        let rows = r.select_rows();
+        assert_eq!(rows.len(), 2);
+        let by_type: std::collections::HashMap<String, i64> = rows
+            .iter()
+            .map(|r| {
+                (
+                    r["t"].as_iri().unwrap().to_string(),
+                    r["n"].as_literal().unwrap().as_integer().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(by_type["http://grdf.org/app#ChemSite"], 2);
+        assert_eq!(by_type["http://grdf.org/app#Stream"], 1);
+    }
+
+    fn river_graph() -> Graph {
+        turtle::parse(
+            r#"@prefix e: <urn:e#> .
+               e:r1 e:flowsInto e:r2 . e:r2 e:flowsInto e:r3 . e:r3 e:flowsInto e:sea .
+               e:r4 e:flowsInto e:r3 .
+               e:r1 e:name "Headwater" . e:sea e:name "Gulf" .
+               e:obsA e:observes e:r1 .
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn path_one_or_more_transitive() {
+        let g = river_graph();
+        let r = execute(
+            &g,
+            "PREFIX e: <urn:e#> SELECT ?x WHERE { e:r1 e:flowsInto+ ?x }",
+        )
+        .unwrap();
+        let mut got: Vec<&Term> = r.select_rows().iter().map(|b| &b["x"]).collect();
+        got.sort();
+        assert_eq!(got.len(), 3, "{got:?}"); // r2, r3, sea
+        assert!(got.contains(&&Term::iri("urn:e#sea")));
+        assert!(!got.contains(&&Term::iri("urn:e#r1")), "not reflexive");
+    }
+
+    #[test]
+    fn path_zero_or_more_is_reflexive() {
+        let g = river_graph();
+        let r = execute(
+            &g,
+            "PREFIX e: <urn:e#> SELECT ?x WHERE { e:r1 e:flowsInto* ?x }",
+        )
+        .unwrap();
+        assert_eq!(r.select_rows().len(), 4); // r1 + 3 downstream
+    }
+
+    #[test]
+    fn path_inverse() {
+        let g = river_graph();
+        let r = execute(
+            &g,
+            "PREFIX e: <urn:e#> SELECT ?up WHERE { e:r3 ^e:flowsInto ?up }",
+        )
+        .unwrap();
+        assert_eq!(r.select_rows().len(), 2); // r2 and r4
+    }
+
+    #[test]
+    fn path_sequence_and_alternative() {
+        let g = river_graph();
+        // Name of whatever r2 flows into.
+        let r = execute(
+            &g,
+            "PREFIX e: <urn:e#> SELECT ?n WHERE { e:r3 e:flowsInto/e:name ?n }",
+        )
+        .unwrap();
+        assert_eq!(r.select_rows()[0]["n"], Term::string("Gulf"));
+        // Alternative: things related to r1 by either property.
+        let r2 = execute(
+            &g,
+            "PREFIX e: <urn:e#> SELECT ?x WHERE { ?x (e:observes|e:flowsInto) e:r1 }",
+        )
+        .unwrap();
+        assert_eq!(r2.select_rows().len(), 1); // obsA observes r1; nothing flows into r1
+    }
+
+    #[test]
+    fn path_bound_object_reverse_closure() {
+        let g = river_graph();
+        let r = execute(
+            &g,
+            "PREFIX e: <urn:e#> SELECT ?src WHERE { ?src e:flowsInto+ e:sea }",
+        )
+        .unwrap();
+        assert_eq!(r.select_rows().len(), 4, "every river reaches the sea");
+    }
+
+    #[test]
+    fn path_composes_with_bgp() {
+        let g = river_graph();
+        // Which named feature is transitively downstream of r1?
+        let r = execute(
+            &g,
+            "PREFIX e: <urn:e#> SELECT ?n WHERE { e:r1 e:flowsInto+ ?x . ?x e:name ?n }",
+        )
+        .unwrap();
+        assert_eq!(r.select_rows().len(), 1);
+        assert_eq!(r.select_rows()[0]["n"], Term::string("Gulf"));
+    }
+
+    #[test]
+    fn exists_and_not_exists() {
+        // Streams with no risk assessment (NOT EXISTS) — the kind of
+        // completeness probe middleware runs after aggregation.
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?s WHERE {
+               ?s app:hasSiteName ?n .
+               FILTER(NOT EXISTS { ?s app:risk ?r })
+             }",
+        )
+        .unwrap();
+        let rows = r.select_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["s"], Term::iri("http://grdf.org/app#s3"));
+
+        let r2 = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?s WHERE {
+               ?s app:hasSiteName ?n .
+               FILTER(EXISTS { ?s app:near ?t })
+             }",
+        )
+        .unwrap();
+        assert_eq!(r2.select_rows().len(), 1);
+        assert_eq!(r2.select_rows()[0]["s"], Term::iri("http://grdf.org/app#s1"));
+    }
+
+    #[test]
+    fn exists_uses_outer_bindings() {
+        // The inner pattern must be correlated with the outer ?s, not a
+        // free-floating ask.
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?s WHERE {
+               ?s a app:ChemSite .
+               FILTER(NOT EXISTS { ?s app:near ?x })
+             }",
+        )
+        .unwrap();
+        // s1 is near s3; s2 is near nothing.
+        assert_eq!(r.select_rows().len(), 1);
+        assert_eq!(r.select_rows()[0]["s"], Term::iri("http://grdf.org/app#s2"));
+    }
+
+    #[test]
+    fn min_max_compare_numerically_not_lexically() {
+        let g = turtle::parse(
+            "@prefix e: <urn:e#> . e:a e:v 9.6 . e:b e:v 10.1 . e:c e:v 2.0 .",
+        )
+        .unwrap();
+        let r = execute(
+            &g,
+            "PREFIX e: <urn:e#> SELECT (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE { ?s e:v ?v }",
+        )
+        .unwrap();
+        let row = &r.select_rows()[0];
+        assert_eq!(row["lo"].as_literal().unwrap().as_double(), Some(2.0));
+        assert_eq!(
+            row["hi"].as_literal().unwrap().as_double(),
+            Some(10.1),
+            "lexical comparison would pick 9.6"
+        );
+    }
+
+    #[test]
+    fn empty_group_aggregates() {
+        let r = execute(
+            &data(),
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT (COUNT(?s) AS ?n) WHERE { ?s a app:Nonexistent }",
+        )
+        .unwrap();
+        assert_eq!(r.select_rows()[0]["n"], Term::integer(0));
+    }
+
+    #[test]
+    fn projecting_ungrouped_vars_with_aggregates_is_an_error() {
+        assert!(execute(
+            &data(),
+            "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o }",
+        )
+        .is_err());
+        assert!(execute(&data(), "SELECT ?s WHERE { ?s ?p ?o } GROUP BY ?s").is_err());
+    }
+}

@@ -1,0 +1,1044 @@
+//! Recursive-descent parser for the SPARQL subset.
+
+use std::fmt;
+
+use grdf_rdf::namespace::PrefixMap;
+use grdf_rdf::term::{Literal, Term};
+use grdf_rdf::vocab::{rdf, xsd};
+
+use crate::ast::{AggFunc, Aggregate, Expr, Order, Pattern, Query, QueryKind, TermOrVar, TriplePattern};
+
+/// Parse error with a byte-offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Approximate byte offset.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Solution modifiers: `(group_by, order, limit, offset)`.
+type Modifiers = (Vec<String>, Vec<Order>, Option<usize>, usize);
+
+/// Parse a query string.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut p = Parser { input, pos: 0, prefixes: PrefixMap::common() };
+    p.query()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    prefixes: PrefixMap,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset: self.pos }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let r = self.rest();
+            let trimmed = r.trim_start();
+            self.pos += r.len() - trimmed.len();
+            if self.rest().starts_with('#') {
+                match self.rest().find('\n') {
+                    Some(i) => self.pos += i + 1,
+                    None => self.pos = self.input.len(),
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.input.len()
+    }
+
+    /// Case-insensitive keyword match.
+    fn keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let r = self.rest();
+        if r.len() >= kw.len() && r[..kw.len()].eq_ignore_ascii_case(kw) {
+            let after = r[kw.len()..].chars().next();
+            if after.is_none_or(|c| !c.is_alphanumeric() && c != '_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn punct(&mut self, p: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(p) {
+            self.pos += p.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {p:?}")))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        // Prologue.
+        while self.keyword("PREFIX") {
+            self.skip_ws();
+            let name_end = self
+                .rest()
+                .find(':')
+                .ok_or_else(|| self.err("expected ':' in PREFIX"))?;
+            let name = self.rest()[..name_end].trim().to_string();
+            self.pos += name_end + 1;
+            let iri = self.iri_ref()?;
+            self.prefixes.insert(&name, &iri);
+        }
+
+        let query = if self.keyword("SELECT") {
+            let distinct = self.keyword("DISTINCT");
+            let mut vars = Vec::new();
+            let mut aggregates = Vec::new();
+            self.skip_ws();
+            if self.punct("*") {
+                // SELECT * — empty projection list.
+            } else {
+                loop {
+                    self.skip_ws();
+                    if self.rest().starts_with('(') {
+                        aggregates.push(self.aggregate()?);
+                        continue;
+                    }
+                    match self.try_variable() {
+                        Some(v) => vars.push(v),
+                        None => break,
+                    }
+                }
+                if vars.is_empty() && aggregates.is_empty() {
+                    return Err(self.err("SELECT needs '*', variables, or aggregates"));
+                }
+            }
+            let _ = self.keyword("WHERE");
+            let pattern = self.group()?;
+            let (group_by, order, limit, offset) = self.modifiers()?;
+            if !group_by.is_empty() && aggregates.is_empty() {
+                return Err(self.err("GROUP BY requires aggregate projections"));
+            }
+            for v in &vars {
+                if !aggregates.is_empty() && !group_by.contains(v) {
+                    return Err(self.err(format!(
+                        "projected variable ?{v} must appear in GROUP BY alongside aggregates"
+                    )));
+                }
+            }
+            Query {
+                kind: QueryKind::Select { vars, aggregates, distinct },
+                pattern,
+                group_by,
+                order,
+                limit,
+                offset,
+            }
+        } else if self.keyword("ASK") {
+            let _ = self.keyword("WHERE");
+            let pattern = self.group()?;
+            Query {
+                kind: QueryKind::Ask,
+                pattern,
+                group_by: Vec::new(),
+                order: Vec::new(),
+                limit: None,
+                offset: 0,
+            }
+        } else if self.keyword("CONSTRUCT") {
+            self.expect_punct("{")?;
+            let template = self.triples_until_close()?;
+            let _ = self.keyword("WHERE");
+            let pattern = self.group()?;
+            let (group_by, order, limit, offset) = self.modifiers()?;
+            if !group_by.is_empty() {
+                return Err(self.err("GROUP BY is not supported in CONSTRUCT"));
+            }
+            Query {
+                kind: QueryKind::Construct { template },
+                pattern,
+                group_by,
+                order,
+                limit,
+                offset,
+            }
+        } else {
+            return Err(self.err("expected SELECT, ASK or CONSTRUCT"));
+        };
+
+        if !self.at_end() {
+            return Err(self.err(format!("unexpected trailing input: {:?}", &self.rest()[..self.rest().len().min(20)])));
+        }
+        Ok(query)
+    }
+
+    /// `(FUNC(DISTINCT? ?v | *) AS ?alias)`.
+    fn aggregate(&mut self) -> Result<Aggregate, ParseError> {
+        self.expect_punct("(")?;
+        let func = if self.keyword("COUNT") {
+            AggFunc::Count
+        } else if self.keyword("SUM") {
+            AggFunc::Sum
+        } else if self.keyword("AVG") {
+            AggFunc::Avg
+        } else if self.keyword("MIN") {
+            AggFunc::Min
+        } else if self.keyword("MAX") {
+            AggFunc::Max
+        } else {
+            return Err(self.err("expected an aggregate function"));
+        };
+        self.expect_punct("(")?;
+        let distinct = self.keyword("DISTINCT");
+        self.skip_ws();
+        let var = if self.punct("*") {
+            if func != AggFunc::Count {
+                return Err(self.err("'*' is only valid in COUNT"));
+            }
+            None
+        } else {
+            Some(
+                self.try_variable()
+                    .ok_or_else(|| self.err("expected a variable in aggregate"))?,
+            )
+        };
+        self.expect_punct(")")?;
+        if !self.keyword("AS") {
+            return Err(self.err("expected AS in aggregate projection"));
+        }
+        let alias = self
+            .try_variable()
+            .ok_or_else(|| self.err("expected an alias variable after AS"))?;
+        self.expect_punct(")")?;
+        Ok(Aggregate { func, distinct, var, alias })
+    }
+
+    fn modifiers(&mut self) -> Result<Modifiers, ParseError> {
+        let mut group_by = Vec::new();
+        if self.keyword("GROUP") {
+            if !self.keyword("BY") {
+                return Err(self.err("expected BY after GROUP"));
+            }
+            while let Some(v) = self.try_variable() {
+                group_by.push(v);
+            }
+            if group_by.is_empty() {
+                return Err(self.err("GROUP BY needs at least one variable"));
+            }
+        }
+        let mut order = Vec::new();
+        if self.keyword("ORDER") {
+            if !self.keyword("BY") {
+                return Err(self.err("expected BY after ORDER"));
+            }
+            loop {
+                if self.keyword("DESC") {
+                    self.expect_punct("(")?;
+                    let v = self.try_variable().ok_or_else(|| self.err("expected variable"))?;
+                    self.expect_punct(")")?;
+                    order.push(Order::Desc(v));
+                } else if self.keyword("ASC") {
+                    self.expect_punct("(")?;
+                    let v = self.try_variable().ok_or_else(|| self.err("expected variable"))?;
+                    self.expect_punct(")")?;
+                    order.push(Order::Asc(v));
+                } else if let Some(v) = self.try_variable() {
+                    order.push(Order::Asc(v));
+                } else {
+                    break;
+                }
+            }
+            if order.is_empty() {
+                return Err(self.err("ORDER BY needs at least one key"));
+            }
+        }
+        let mut limit = None;
+        let mut offset = 0;
+        loop {
+            if self.keyword("LIMIT") {
+                limit = Some(self.number_usize()?);
+            } else if self.keyword("OFFSET") {
+                offset = self.number_usize()?;
+            } else {
+                break;
+            }
+        }
+        Ok((group_by, order, limit, offset))
+    }
+
+    fn number_usize(&mut self) -> Result<usize, ParseError> {
+        self.skip_ws();
+        let end = self
+            .rest()
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(self.rest().len());
+        if end == 0 {
+            return Err(self.err("expected a number"));
+        }
+        let n = self.rest()[..end].parse().map_err(|_| self.err("bad number"))?;
+        self.pos += end;
+        Ok(n)
+    }
+
+    fn group(&mut self) -> Result<Pattern, ParseError> {
+        self.expect_punct("{")?;
+        let mut parts: Vec<Pattern> = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.punct("}") {
+                break;
+            }
+            if self.keyword("OPTIONAL") {
+                let inner = self.group()?;
+                parts.push(Pattern::Optional(Box::new(inner)));
+                let _ = self.punct(".");
+                continue;
+            }
+            if self.keyword("FILTER") {
+                self.expect_punct("(")?;
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                parts.push(Pattern::Filter(e));
+                let _ = self.punct(".");
+                continue;
+            }
+            self.skip_ws();
+            if self.rest().starts_with('{') {
+                let left = self.group()?;
+                if self.keyword("UNION") {
+                    let mut node = left;
+                    loop {
+                        let right = self.group()?;
+                        node = Pattern::Union(Box::new(node), Box::new(right));
+                        if !self.keyword("UNION") {
+                            break;
+                        }
+                    }
+                    parts.push(node);
+                } else {
+                    parts.push(left);
+                }
+                let _ = self.punct(".");
+                continue;
+            }
+            // A triples block (may contain property-path patterns).
+            parts.extend(self.triples_block()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Pattern::Group(parts) })
+    }
+
+    /// Triple patterns up to (not consuming) `}` or the next keyword clause.
+    /// Plain triples are collected into one BGP; property-path constraints
+    /// become separate [`Pattern::Path`] parts.
+    fn triples_block(&mut self) -> Result<Vec<Pattern>, ParseError> {
+        let mut bgp = Vec::new();
+        let mut paths = Vec::new();
+        loop {
+            let subject = self.term_or_var()?;
+            self.pred_obj_list(&subject, &mut bgp, Some(&mut paths))?;
+            let had_dot = self.punct(".");
+            self.skip_ws();
+            if self.rest().starts_with('}')
+                || self.rest().starts_with('{')
+                || self.peek_keyword("OPTIONAL")
+                || self.peek_keyword("FILTER")
+                || !had_dot
+            {
+                break;
+            }
+            if self.rest().is_empty() {
+                break;
+            }
+        }
+        let mut parts = Vec::new();
+        if !bgp.is_empty() || paths.is_empty() {
+            parts.push(Pattern::Bgp(bgp));
+        }
+        parts.extend(paths);
+        Ok(parts)
+    }
+
+    /// Template triples inside `CONSTRUCT { ... }` — consumes the `}`.
+    /// Property paths are not allowed in templates.
+    fn triples_until_close(&mut self) -> Result<Vec<TriplePattern>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.punct("}") {
+                return Ok(out);
+            }
+            let subject = self.term_or_var()?;
+            self.pred_obj_list(&subject, &mut out, None)?;
+            let _ = self.punct(".");
+        }
+    }
+
+    /// Parse `predicate object (, object)* (; ...)*`. When `paths` is
+    /// `Some`, the predicate position accepts property-path syntax;
+    /// non-trivial paths are emitted there instead of into `out`.
+    fn pred_obj_list(
+        &mut self,
+        subject: &TermOrVar,
+        out: &mut Vec<TriplePattern>,
+        mut paths: Option<&mut Vec<Pattern>>,
+    ) -> Result<(), ParseError> {
+        use crate::ast::PropertyPath;
+        loop {
+            // Predicate: a variable, or a (possibly one-step) path.
+            enum Pred {
+                Plain(TermOrVar),
+                Path(PropertyPath),
+            }
+            let predicate = if self.keyword("a") {
+                Pred::Plain(TermOrVar::iri(rdf::TYPE))
+            } else if let Some(v) = self.try_variable() {
+                Pred::Plain(TermOrVar::Var(v))
+            } else if paths.is_some() {
+                match self.property_path()? {
+                    PropertyPath::Iri(t) => Pred::Plain(TermOrVar::Term(t)),
+                    complex => Pred::Path(complex),
+                }
+            } else {
+                Pred::Plain(self.term_or_var()?)
+            };
+            loop {
+                let object = self.term_or_var()?;
+                match &predicate {
+                    Pred::Plain(p) => {
+                        out.push(TriplePattern::new(subject.clone(), p.clone(), object));
+                    }
+                    Pred::Path(path) => {
+                        paths
+                            .as_deref_mut()
+                            .expect("complex paths only parsed when allowed")
+                            .push(Pattern::Path {
+                                subject: subject.clone(),
+                                path: path.clone(),
+                                object,
+                            });
+                    }
+                }
+                if !self.punct(",") {
+                    break;
+                }
+            }
+            if !self.punct(";") {
+                return Ok(());
+            }
+            self.skip_ws();
+            if self.rest().starts_with(['.', '}']) {
+                return Ok(()); // dangling ';'
+            }
+        }
+    }
+
+    // --- property paths ----------------------------------------------------
+
+    /// `path := seq ('|' seq)*`
+    fn property_path(&mut self) -> Result<crate::ast::PropertyPath, ParseError> {
+        use crate::ast::PropertyPath;
+        let mut left = self.path_sequence()?;
+        loop {
+            self.skip_ws();
+            // Don't confuse `|` with `||` (filters never reach here, but be
+            // strict anyway).
+            if self.rest().starts_with('|') && !self.rest().starts_with("||") {
+                self.pos += 1;
+                let right = self.path_sequence()?;
+                left = PropertyPath::Alternative(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// `seq := elt ('/' elt)*`
+    fn path_sequence(&mut self) -> Result<crate::ast::PropertyPath, ParseError> {
+        use crate::ast::PropertyPath;
+        let mut left = self.path_elt()?;
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with('/') {
+                self.pos += 1;
+                let right = self.path_elt()?;
+                left = PropertyPath::Sequence(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// `elt := '^'? primary ('+'|'*')?`
+    fn path_elt(&mut self) -> Result<crate::ast::PropertyPath, ParseError> {
+        use crate::ast::PropertyPath;
+        self.skip_ws();
+        let inverse = if self.rest().starts_with('^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut p = self.path_primary()?;
+        self.skip_ws();
+        if self.rest().starts_with('+') {
+            self.pos += 1;
+            p = PropertyPath::OneOrMore(Box::new(p));
+        } else if self.rest().starts_with('*') {
+            self.pos += 1;
+            p = PropertyPath::ZeroOrMore(Box::new(p));
+        }
+        if inverse {
+            p = PropertyPath::Inverse(Box::new(p));
+        }
+        Ok(p)
+    }
+
+    /// `primary := 'a' | <iri> | prefixed | '(' path ')'`
+    fn path_primary(&mut self) -> Result<crate::ast::PropertyPath, ParseError> {
+        use crate::ast::PropertyPath;
+        self.skip_ws();
+        if self.rest().starts_with('(') {
+            self.pos += 1;
+            let inner = self.property_path()?;
+            self.expect_punct(")")?;
+            return Ok(inner);
+        }
+        if self.keyword("a") {
+            return Ok(PropertyPath::Iri(Term::iri(rdf::TYPE)));
+        }
+        if self.rest().starts_with('<') {
+            return Ok(PropertyPath::Iri(Term::iri(&self.iri_ref()?)));
+        }
+        // Prefixed name, stopping at path operators too.
+        let end = self
+            .rest()
+            .find(|c: char| {
+                c.is_whitespace()
+                    || matches!(
+                        c,
+                        ';' | ',' | '.' | ')' | '}' | '{' | '(' | '/' | '|' | '+' | '*' | '^'
+                    )
+            })
+            .unwrap_or(self.rest().len());
+        let token = self.rest()[..end].trim_end_matches('.');
+        if token.is_empty() || !token.contains(':') {
+            return Err(self.err("expected a property path element"));
+        }
+        match self.prefixes.expand(token) {
+            Some(iri) => {
+                self.pos += token.len();
+                Ok(PropertyPath::Iri(Term::iri(&iri)))
+            }
+            None => Err(self.err(format!("unknown prefix in {token:?}"))),
+        }
+    }
+
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let r = self.rest();
+        r.len() >= kw.len()
+            && r[..kw.len()].eq_ignore_ascii_case(kw)
+            && r[kw.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+    }
+
+    fn try_variable(&mut self) -> Option<String> {
+        self.skip_ws();
+        let r = self.rest();
+        if !r.starts_with('?') && !r.starts_with('$') {
+            return None;
+        }
+        let body = &r[1..];
+        let end = body
+            .find(|c: char| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(body.len());
+        if end == 0 {
+            return None;
+        }
+        let name = body[..end].to_string();
+        self.pos += 1 + end;
+        Some(name)
+    }
+
+    fn iri_ref(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        if !self.rest().starts_with('<') {
+            return Err(self.err("expected '<'"));
+        }
+        let close = self.rest().find('>').ok_or_else(|| self.err("unterminated IRI"))?;
+        let iri = self.rest()[1..close].to_string();
+        self.pos += close + 1;
+        Ok(iri)
+    }
+
+    fn term_or_var(&mut self) -> Result<TermOrVar, ParseError> {
+        self.skip_ws();
+        if let Some(v) = self.try_variable() {
+            return Ok(TermOrVar::Var(v));
+        }
+        Ok(TermOrVar::Term(self.term()?))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        let r = self.rest();
+        if r.starts_with('<') {
+            return Ok(Term::iri(&self.iri_ref()?));
+        }
+        if r.starts_with('"') {
+            return self.string_literal();
+        }
+        if r.starts_with(|c: char| c.is_ascii_digit() || c == '-' || c == '+') {
+            return self.numeric_literal();
+        }
+        if self.keyword("true") {
+            return Ok(Term::boolean(true));
+        }
+        if self.keyword("false") {
+            return Ok(Term::boolean(false));
+        }
+        if r.starts_with("_:") {
+            self.pos += 2;
+            let end = self
+                .rest()
+                .find(|c: char| !c.is_alphanumeric() && c != '_')
+                .unwrap_or(self.rest().len());
+            let label = self.rest()[..end].to_string();
+            self.pos += end;
+            return Ok(Term::blank(&label));
+        }
+        // Prefixed name.
+        let end = self
+            .rest()
+            .find(|c: char| {
+                c.is_whitespace() || matches!(c, ';' | ',' | '.' | ')' | '}' | '{' | '(')
+            })
+            .unwrap_or(self.rest().len());
+        let token = &self.rest()[..end];
+        // Allow trailing '.' as statement end.
+        let token = token.trim_end_matches('.');
+        if token.contains(':') {
+            if let Some(iri) = self.prefixes.expand(token) {
+                self.pos += token.len();
+                return Ok(Term::iri(&iri));
+            }
+            return Err(self.err(format!("unknown prefix in {token:?}")));
+        }
+        Err(self.err(format!("expected a term, found {token:?}")))
+    }
+
+    fn string_literal(&mut self) -> Result<Term, ParseError> {
+        debug_assert!(self.rest().starts_with('"'));
+        self.pos += 1;
+        let mut s = String::new();
+        loop {
+            let c = self
+                .rest()
+                .chars()
+                .next()
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += c.len_utf8();
+            match c {
+                '"' => break,
+                '\\' => {
+                    let e = self
+                        .rest()
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += e.len_utf8();
+                    s.push(match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    });
+                }
+                other => s.push(other),
+            }
+        }
+        // Suffix.
+        if self.rest().starts_with("^^") {
+            self.pos += 2;
+            let dt = if self.rest().starts_with('<') {
+                self.iri_ref()?
+            } else {
+                match self.term()? {
+                    Term::Iri(i) => i.to_string(),
+                    _ => return Err(self.err("datatype must be an IRI")),
+                }
+            };
+            return Ok(Term::typed(&s, &dt));
+        }
+        if self.rest().starts_with('@') {
+            self.pos += 1;
+            let end = self
+                .rest()
+                .find(|c: char| !c.is_ascii_alphanumeric() && c != '-')
+                .unwrap_or(self.rest().len());
+            let tag = self.rest()[..end].to_string();
+            self.pos += end;
+            return Ok(Term::Literal(Literal::lang_string(&s, &tag)));
+        }
+        Ok(Term::string(&s))
+    }
+
+    fn numeric_literal(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.rest().starts_with(['+', '-']) {
+            self.pos += 1;
+        }
+        let mut saw_dot = false;
+        while let Some(c) = self.rest().chars().next() {
+            match c {
+                '0'..='9' => self.pos += 1,
+                '.' if !saw_dot
+                    && self.rest()[1..].chars().next().is_some_and(|d| d.is_ascii_digit()) =>
+                {
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let lex = &self.input[start..self.pos];
+        if lex.is_empty() || lex == "-" || lex == "+" {
+            return Err(self.err("bad number"));
+        }
+        Ok(if saw_dot {
+            Term::typed(lex, xsd::DECIMAL)
+        } else {
+            Term::typed(lex, xsd::INTEGER)
+        })
+    }
+
+    fn parse_f64(&mut self) -> Result<f64, ParseError> {
+        let t = self.numeric_literal()?;
+        t.as_literal()
+            .and_then(|l| l.lexical().parse::<f64>().ok())
+            .ok_or_else(|| self.err("expected numeric"))
+    }
+
+    // --- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.punct("||") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.rel_expr()?;
+        while self.punct("&&") {
+            let right = self.rel_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.unary_expr()?;
+        // Two-char operators first.
+        for (op, ctor) in [
+            ("!=", Expr::Ne as fn(Box<Expr>, Box<Expr>) -> Expr),
+            ("<=", Expr::Le),
+            (">=", Expr::Ge),
+            ("=", Expr::Eq),
+            ("<", Expr::Lt),
+            (">", Expr::Gt),
+        ] {
+            if self.punct(op) {
+                let right = self.unary_expr()?;
+                return Ok(ctor(Box::new(left), Box::new(right)));
+            }
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        if self.rest().starts_with('!') && !self.rest().starts_with("!=") {
+            self.pos += 1;
+            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        if self.punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        if self.keyword("BOUND") {
+            self.expect_punct("(")?;
+            let v = self.try_variable().ok_or_else(|| self.err("BOUND needs a variable"))?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Bound(v));
+        }
+        if self.keyword("NOT") {
+            if !self.keyword("EXISTS") {
+                return Err(self.err("expected EXISTS after NOT"));
+            }
+            let inner = self.group()?;
+            return Ok(Expr::NotExists(Box::new(inner)));
+        }
+        if self.keyword("EXISTS") {
+            let inner = self.group()?;
+            return Ok(Expr::Exists(Box::new(inner)));
+        }
+        if self.keyword("STR") {
+            // STR(x) is the identity in this engine's comparison semantics.
+            self.expect_punct("(")?;
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        if self.keyword("CONTAINS") {
+            self.expect_punct("(")?;
+            let a = self.expr()?;
+            self.expect_punct(",")?;
+            let b = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Contains(Box::new(a), Box::new(b)));
+        }
+        if self.keyword("STRSTARTS") {
+            self.expect_punct("(")?;
+            let a = self.expr()?;
+            self.expect_punct(",")?;
+            let b = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::StrStarts(Box::new(a), Box::new(b)));
+        }
+        // Spatial builtins (accept `grdf:` prefix form).
+        for (name, which) in [
+            ("grdf:intersectsBox", 0u8),
+            ("grdf:within", 1),
+            ("grdf:distance", 2),
+        ] {
+            self.skip_ws();
+            if self.rest().starts_with(name) {
+                self.pos += name.len();
+                self.expect_punct("(")?;
+                match which {
+                    0 => {
+                        let f = self
+                            .try_variable()
+                            .ok_or_else(|| self.err("intersectsBox needs a variable"))?;
+                        self.expect_punct(",")?;
+                        let x0 = self.parse_f64()?;
+                        self.expect_punct(",")?;
+                        let y0 = self.parse_f64()?;
+                        self.expect_punct(",")?;
+                        let x1 = self.parse_f64()?;
+                        self.expect_punct(",")?;
+                        let y1 = self.parse_f64()?;
+                        self.expect_punct(")")?;
+                        return Ok(Expr::IntersectsBox { feature: f, x0, y0, x1, y1 });
+                    }
+                    1 => {
+                        let inner = self
+                            .try_variable()
+                            .ok_or_else(|| self.err("within needs variables"))?;
+                        self.expect_punct(",")?;
+                        let outer = self
+                            .try_variable()
+                            .ok_or_else(|| self.err("within needs variables"))?;
+                        self.expect_punct(")")?;
+                        return Ok(Expr::Within { inner, outer });
+                    }
+                    _ => {
+                        let a = self
+                            .try_variable()
+                            .ok_or_else(|| self.err("distance needs variables"))?;
+                        self.expect_punct(",")?;
+                        let b = self
+                            .try_variable()
+                            .ok_or_else(|| self.err("distance needs variables"))?;
+                        self.expect_punct(")")?;
+                        return Ok(Expr::Distance { a, b });
+                    }
+                }
+            }
+        }
+        if let Some(v) = self.try_variable() {
+            return Ok(Expr::Var(v));
+        }
+        Ok(Expr::Const(self.term()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_with_bgp() {
+        let q = parse_query(
+            "PREFIX app: <urn:app#>\nSELECT ?s ?n WHERE { ?s a app:ChemSite ; app:name ?n . }",
+        )
+        .unwrap();
+        match &q.kind {
+            QueryKind::Select { vars, distinct, .. } => {
+                assert_eq!(vars, &["s", "n"]);
+                assert!(!distinct);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &q.pattern {
+            Pattern::Bgp(ts) => assert_eq!(ts.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_star_distinct() {
+        let q = parse_query("SELECT DISTINCT * WHERE { ?s ?p ?o }").unwrap();
+        assert!(matches!(q.kind, QueryKind::Select { ref vars, distinct: true, .. } if vars.is_empty()));
+    }
+
+    #[test]
+    fn filter_expression() {
+        let q = parse_query(
+            "SELECT ?s WHERE { ?s <urn:age> ?a . FILTER(?a >= 18 && ?a < 65) }",
+        )
+        .unwrap();
+        match q.pattern {
+            Pattern::Group(parts) => {
+                assert!(matches!(parts[1], Pattern::Filter(Expr::And(..))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optional_and_union() {
+        let q = parse_query(
+            "SELECT ?s WHERE { ?s a <urn:T> . OPTIONAL { ?s <urn:p> ?v } { ?s <urn:q> ?w } UNION { ?s <urn:r> ?w } }",
+        )
+        .unwrap();
+        match q.pattern {
+            Pattern::Group(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert!(matches!(parts[1], Pattern::Optional(_)));
+                assert!(matches!(parts[2], Pattern::Union(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn modifiers_parse() {
+        let q = parse_query(
+            "SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) ?p LIMIT 10 OFFSET 5",
+        )
+        .unwrap();
+        assert_eq!(q.order.len(), 2);
+        assert_eq!(q.order[0], Order::Desc("s".into()));
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, 5);
+    }
+
+    #[test]
+    fn ask_and_construct() {
+        assert!(matches!(
+            parse_query("ASK { <urn:s> <urn:p> <urn:o> }").unwrap().kind,
+            QueryKind::Ask
+        ));
+        let q = parse_query(
+            "CONSTRUCT { ?s <urn:linked> ?o } WHERE { ?s <urn:p> ?o }",
+        )
+        .unwrap();
+        match q.kind {
+            QueryKind::Construct { template } => assert_eq!(template.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spatial_builtins_parse() {
+        let q = parse_query(
+            "SELECT ?f WHERE { ?f a <urn:T> . FILTER(grdf:intersectsBox(?f, 0, 0, 10, 10.5)) }",
+        )
+        .unwrap();
+        let found = format!("{:?}", q.pattern);
+        assert!(found.contains("IntersectsBox"), "{found}");
+
+        let q2 = parse_query(
+            "SELECT ?a WHERE { ?a a <urn:T> . ?b a <urn:T> . FILTER(grdf:distance(?a, ?b) < 100) }",
+        )
+        .unwrap();
+        assert!(format!("{:?}", q2.pattern).contains("Distance"));
+
+        let q3 =
+            parse_query("SELECT ?a WHERE { FILTER(grdf:within(?a, ?b)) }").unwrap();
+        assert!(format!("{:?}", q3.pattern).contains("Within"));
+    }
+
+    #[test]
+    fn literals_in_patterns() {
+        let q = parse_query(
+            r#"SELECT ?s WHERE { ?s <urn:name> "Dallas" ; <urn:pop> 1300000 ; <urn:area> 882.9 . }"#,
+        )
+        .unwrap();
+        match q.pattern {
+            Pattern::Bgp(ts) => {
+                assert_eq!(ts.len(), 3);
+                assert!(matches!(&ts[0].object, TermOrVar::Term(Term::Literal(_))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_have_context() {
+        let err = parse_query("SELECT WHERE { }").unwrap_err();
+        assert!(err.to_string().contains("SELECT"), "{err}");
+        assert!(parse_query("FROB { }").is_err());
+        assert!(parse_query("SELECT ?s WHERE { ?s <urn:p> nope:x }").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let q = parse_query("# find things\nSELECT ?s WHERE { ?s ?p ?o } # done").unwrap();
+        assert!(matches!(q.kind, QueryKind::Select { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("ASK { ?s ?p ?o } garbage").is_err());
+    }
+}

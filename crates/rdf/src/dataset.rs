@@ -1,0 +1,405 @@
+//! RDF datasets: a default graph plus named graphs, with N-Quads and TriG
+//! serialization.
+//!
+//! Aggregation middleware needs to keep sources apart even after merging —
+//! "in the case of multiple geospatial data servers, each node may enforce
+//! its own set of policies" (§7). A [`Dataset`] keeps one named graph per
+//! source while still offering a merged view for query/inference.
+
+use std::collections::BTreeMap;
+
+use crate::error::{RdfError, RdfResult};
+use crate::graph::Graph;
+use crate::namespace::PrefixMap;
+use crate::term::Triple;
+#[cfg(test)]
+use crate::term::Term;
+
+/// A collection of graphs: one default graph and any number of named ones.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dataset {
+    default: Graph,
+    named: BTreeMap<String, Graph>,
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// The default graph.
+    pub fn default_graph(&self) -> &Graph {
+        &self.default
+    }
+
+    /// Mutable default graph.
+    pub fn default_graph_mut(&mut self) -> &mut Graph {
+        &mut self.default
+    }
+
+    /// The named graph under `name`, if present.
+    pub fn graph(&self, name: &str) -> Option<&Graph> {
+        self.named.get(name)
+    }
+
+    /// The named graph under `name`, created on first use.
+    pub fn graph_mut(&mut self, name: &str) -> &mut Graph {
+        self.named.entry(name.to_string()).or_default()
+    }
+
+    /// Insert a whole graph under a name (replacing any previous content).
+    pub fn insert_graph(&mut self, name: &str, graph: Graph) {
+        self.named.insert(name.to_string(), graph);
+    }
+
+    /// Remove a named graph, returning it.
+    pub fn remove_graph(&mut self, name: &str) -> Option<Graph> {
+        self.named.remove(name)
+    }
+
+    /// Names of the named graphs, sorted.
+    pub fn graph_names(&self) -> Vec<&str> {
+        self.named.keys().map(String::as_str).collect()
+    }
+
+    /// Total triples across all graphs.
+    pub fn len(&self) -> usize {
+        self.default.len() + self.named.values().map(Graph::len).sum::<usize>()
+    }
+
+    /// True when every graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merge every graph (default + named) into one graph — the aggregated
+    /// view handed to the reasoner and query engine.
+    pub fn union(&self) -> Graph {
+        let mut g = Graph::new();
+        g.extend_from(&self.default);
+        for named in self.named.values() {
+            g.extend_from(named);
+        }
+        g
+    }
+
+    /// Which graphs contain the triple (None = default graph).
+    pub fn graphs_containing(&self, triple: &Triple) -> Vec<Option<&str>> {
+        let mut out = Vec::new();
+        if self.default.contains(triple) {
+            out.push(None);
+        }
+        for (name, g) in &self.named {
+            if g.contains(triple) {
+                out.push(Some(name.as_str()));
+            }
+        }
+        out
+    }
+
+    // --- N-Quads ---------------------------------------------------------
+
+    /// Serialize as N-Quads: default-graph triples as triples, named-graph
+    /// triples with their graph IRI as the fourth term.
+    pub fn to_nquads(&self) -> String {
+        let mut out = String::new();
+        for t in self.default.iter() {
+            out.push_str(&format!("{} {} {} .\n", t.subject, t.predicate, t.object));
+        }
+        for (name, g) in &self.named {
+            for t in g.iter() {
+                out.push_str(&format!(
+                    "{} {} {} <{name}> .\n",
+                    t.subject, t.predicate, t.object
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parse an N-Quads document.
+    pub fn from_nquads(input: &str) -> RdfResult<Dataset> {
+        let mut ds = Dataset::new();
+        for (idx, raw) in input.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // Reuse the N-Triples line parser by splitting off an optional
+            // trailing graph term: find the final ` <graph> .` suffix.
+            let (triple_part, graph_name) = split_quad_line(line)
+                .ok_or_else(|| RdfError::Syntax {
+                    line: line_no,
+                    message: "malformed N-Quads line".to_string(),
+                })?;
+            let parsed = crate::ntriples::parse(&format!("{triple_part} ."))
+                .map_err(|e| match e {
+                    RdfError::Syntax { message, .. } => RdfError::Syntax { line: line_no, message },
+                    other => other,
+                })?;
+            let target = match graph_name {
+                Some(name) => ds.graph_mut(&name),
+                None => &mut ds.default,
+            };
+            for t in parsed.iter() {
+                target.insert(t);
+            }
+        }
+        Ok(ds)
+    }
+
+    // --- TriG ------------------------------------------------------------
+
+    /// Serialize as TriG: the default graph at the top level, each named
+    /// graph inside a `<name> { ... }` block.
+    pub fn to_trig(&self, prefixes: &PrefixMap) -> String {
+        let mut out = String::new();
+        for (p, ns) in prefixes.iter() {
+            out.push_str(&format!("@prefix {p}: <{ns}> .\n"));
+        }
+        if !prefixes.is_empty() {
+            out.push('\n');
+        }
+        // Default graph body without its own prefix header.
+        out.push_str(&graph_body(&self.default, prefixes));
+        for (name, g) in &self.named {
+            let compacted = prefixes
+                .compact(name)
+                .unwrap_or_else(|| format!("<{name}>"));
+            out.push_str(&format!("{compacted} {{\n"));
+            for line in graph_body(g, prefixes).lines() {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Parse a TriG document (the subset emitted by [`Dataset::to_trig`]:
+    /// prefix header, top-level triples, and `name { ... }` blocks with no
+    /// nested braces).
+    pub fn from_trig(input: &str) -> RdfResult<Dataset> {
+        let mut ds = Dataset::new();
+        let mut header = String::new();
+        let mut default_body = String::new();
+        let mut rest = input;
+        let mut line_base = 0u32;
+
+        // Pass 1: extract prefix lines (they apply to every graph).
+        for line in input.lines() {
+            let t = line.trim();
+            if t.starts_with("@prefix") || t.to_ascii_lowercase().starts_with("prefix") {
+                header.push_str(line);
+                header.push('\n');
+            }
+        }
+
+        while !rest.is_empty() {
+            // Find the next graph block opener `{` that is not inside a
+            // statement (heuristic: '{' preceded on its line by a term).
+            match rest.find('{') {
+                None => {
+                    default_body.push_str(rest);
+                    rest = "";
+                }
+                Some(open) => {
+                    let before = &rest[..open];
+                    let close = rest[open..].find('}').ok_or(RdfError::Syntax {
+                        line: line_base,
+                        message: "unterminated graph block".to_string(),
+                    })? + open;
+                    // The graph name is the last token before '{'.
+                    let name_token = before
+                        .rsplit(|c: char| c.is_whitespace())
+                        .find(|t| !t.is_empty())
+                        .ok_or(RdfError::Syntax {
+                            line: line_base,
+                            message: "graph block without a name".to_string(),
+                        })?;
+                    // Everything before the name token is default-graph body.
+                    let name_start = before.rfind(name_token).expect("token came from before");
+                    default_body.push_str(&before[..name_start]);
+
+                    let name = if let Some(stripped) =
+                        name_token.strip_prefix('<').and_then(|t| t.strip_suffix('>'))
+                    {
+                        stripped.to_string()
+                    } else {
+                        // Prefixed name: expand with the header prefixes.
+                        let probe = format!("{header}\n{name_token} <urn:x#p> <urn:x#o> .");
+                        let g = crate::turtle::parse(&probe)?;
+                        let resolved = g
+                            .iter()
+                            .next()
+                            .and_then(|t| t.subject.as_iri().map(str::to_string));
+                        resolved.ok_or(RdfError::Syntax {
+                            line: line_base,
+                            message: format!("cannot resolve graph name {name_token}"),
+                        })?
+                    };
+                    let body = &rest[open + 1..close];
+                    let g = crate::turtle::parse(&format!("{header}\n{body}"))?;
+                    ds.graph_mut(&name).extend_from(&g);
+                    rest = &rest[close + 1..];
+                    line_base += 1;
+                }
+            }
+        }
+        let g = crate::turtle::parse(&format!("{header}\n{default_body}"))?;
+        // The header lines were already parsed once; extend keeps set
+        // semantics so duplicates collapse.
+        ds.default.extend_from(&g);
+        Ok(ds)
+    }
+}
+
+/// Turtle body of a graph without the `@prefix` header.
+fn graph_body(g: &Graph, prefixes: &PrefixMap) -> String {
+    let full = crate::turtle::serialize(g, prefixes);
+    full.lines()
+        .filter(|l| !l.trim_start().starts_with("@prefix") && !l.trim().is_empty())
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// Split an N-Quads line into (triple text without final dot, optional
+/// graph IRI).
+fn split_quad_line(line: &str) -> Option<(String, Option<String>)> {
+    let line = line.strip_suffix('.')?.trim_end();
+    // A graph label is a final `<...>` term; check whether removing it
+    // still leaves three terms by asking the N-Triples parser.
+    if line.ends_with('>') {
+        if let Some(open) = line.rfind('<') {
+            let head = line[..open].trim_end();
+            let graph = &line[open + 1..line.len() - 1];
+            // The head must itself parse as a triple; otherwise the final
+            // IRI was the object of a 3-term line.
+            if crate::ntriples::parse(&format!("{head} .")).is_ok() {
+                return Some((head.to_string(), Some(graph.to_string())));
+            }
+        }
+    }
+    Some((line.to_string(), None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.default_graph_mut().insert(t("urn:a", "urn:p", "urn:b"));
+        ds.graph_mut("urn:src:hydro").insert(t("urn:stream1", "urn:p", "urn:x"));
+        ds.graph_mut("urn:src:hydro")
+            .add(Term::iri("urn:stream1"), Term::iri("urn:q"), Term::string("White Rock"));
+        ds.graph_mut("urn:src:chem").insert(t("urn:site1", "urn:p", "urn:y"));
+        ds
+    }
+
+    #[test]
+    fn union_merges_all_graphs() {
+        let ds = sample();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.union().len(), 4);
+        assert_eq!(ds.graph_names(), vec!["urn:src:chem", "urn:src:hydro"]);
+    }
+
+    #[test]
+    fn provenance_lookup() {
+        let ds = sample();
+        let probe = t("urn:stream1", "urn:p", "urn:x");
+        assert_eq!(ds.graphs_containing(&probe), vec![Some("urn:src:hydro")]);
+        let missing = t("urn:z", "urn:z", "urn:z");
+        assert!(ds.graphs_containing(&missing).is_empty());
+        let default_only = t("urn:a", "urn:p", "urn:b");
+        assert_eq!(ds.graphs_containing(&default_only), vec![None]);
+    }
+
+    #[test]
+    fn nquads_roundtrip() {
+        let ds = sample();
+        let nq = ds.to_nquads();
+        assert!(nq.contains("<urn:src:hydro> ."), "{nq}");
+        let back = Dataset::from_nquads(&nq).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn nquads_distinguishes_object_iri_from_graph() {
+        // A 3-term line ending in an IRI object must stay in the default
+        // graph.
+        let ds = Dataset::from_nquads("<urn:s> <urn:p> <urn:o> .\n").unwrap();
+        assert_eq!(ds.default_graph().len(), 1);
+        assert!(ds.graph_names().is_empty());
+        // A 4-term line goes to the named graph.
+        let ds2 = Dataset::from_nquads("<urn:s> <urn:p> <urn:o> <urn:g> .\n").unwrap();
+        assert_eq!(ds2.default_graph().len(), 0);
+        assert_eq!(ds2.graph("urn:g").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn nquads_literals_roundtrip() {
+        let mut ds = Dataset::new();
+        ds.graph_mut("urn:g").add(
+            Term::iri("urn:s"),
+            Term::iri("urn:p"),
+            Term::string("hello \"world\""),
+        );
+        let back = Dataset::from_nquads(&ds.to_nquads()).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn nquads_rejects_garbage() {
+        assert!(Dataset::from_nquads("not a quad line\n").is_err());
+        assert!(Dataset::from_nquads("<urn:s> <urn:p> .\n").is_err());
+    }
+
+    #[test]
+    fn trig_roundtrip() {
+        let ds = sample();
+        let trig = ds.to_trig(&PrefixMap::common());
+        assert!(trig.contains("<urn:src:hydro> {"), "{trig}");
+        let back = Dataset::from_trig(&trig).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.graph_names(), ds.graph_names());
+        for t in ds.union().iter() {
+            assert!(back.union().contains(&t), "missing {t} in\n{trig}");
+        }
+    }
+
+    #[test]
+    fn trig_with_prefixed_graph_names() {
+        let trig = r#"@prefix app: <http://grdf.org/app#> .
+app:x app:p app:y .
+app:hydroGraph {
+    app:stream1 app:name "White Rock" .
+}
+"#;
+        let ds = Dataset::from_trig(trig).unwrap();
+        assert_eq!(ds.default_graph().len(), 1);
+        assert_eq!(
+            ds.graph("http://grdf.org/app#hydroGraph").unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_dataset_serializes_cleanly() {
+        let ds = Dataset::new();
+        assert!(ds.is_empty());
+        assert_eq!(ds.to_nquads(), "");
+        let back = Dataset::from_nquads("").unwrap();
+        assert!(back.is_empty());
+        let back2 = Dataset::from_trig("").unwrap();
+        assert!(back2.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared by the RDF syntaxes.
+
+use std::fmt;
+
+/// Errors produced while parsing or serializing RDF documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// Syntax error in a textual format (Turtle / N-Triples).
+    Syntax {
+        /// 1-based line of the error.
+        line: u32,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A prefixed name used an undeclared prefix.
+    UndefinedPrefix {
+        /// The offending prefix (without the colon).
+        prefix: String,
+        /// 1-based line of the use.
+        line: u32,
+    },
+    /// The underlying XML document was malformed (RDF/XML input).
+    Xml(String),
+    /// The XML was well-formed but not valid RDF/XML.
+    RdfXml {
+        /// Human-readable description.
+        message: String,
+    },
+    /// An IRI failed basic validation (relative with no base, illegal chars).
+    BadIri {
+        /// The offending IRI text.
+        iri: String,
+    },
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            RdfError::UndefinedPrefix { prefix, line } => {
+                write!(f, "line {line}: undefined prefix '{prefix}:'")
+            }
+            RdfError::Xml(e) => write!(f, "XML error: {e}"),
+            RdfError::RdfXml { message } => write!(f, "RDF/XML error: {message}"),
+            RdfError::BadIri { iri } => write!(f, "invalid IRI: {iri}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+impl From<grdf_xml::XmlError> for RdfError {
+    fn from(e: grdf_xml::XmlError) -> Self {
+        RdfError::Xml(e.to_string())
+    }
+}
+
+/// Result alias for RDF operations.
+pub type RdfResult<T> = Result<T, RdfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = RdfError::Syntax { line: 4, message: "bad token".into() };
+        assert_eq!(e.to_string(), "line 4: bad token");
+        let e = RdfError::UndefinedPrefix { prefix: "gml".into(), line: 2 };
+        assert!(e.to_string().contains("gml"));
+    }
+
+    #[test]
+    fn xml_errors_convert() {
+        let xe = grdf_xml::parse("<a>").unwrap_err();
+        let re: RdfError = xe.into();
+        assert!(matches!(re, RdfError::Xml(_)));
+    }
+}

@@ -1,0 +1,661 @@
+//! In-memory triple store with term interning and three access-path indexes.
+//!
+//! Terms are interned into dense `u32` ids; triples are id-tuples kept in
+//! ordered sets for the three access paths a basic graph pattern can need:
+//! `SPO`, `POS` and `OSP`. Range scans over those sets answer any
+//! subject/predicate/object pattern without a full scan.
+//!
+//! [`IndexMode::SpoOnly`] disables the two secondary indexes; it exists for
+//! the index ablation in the benchmark suite (experiment E1c) and falls back
+//! to scanning.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound;
+
+use crate::term::{Term, Triple};
+
+/// Dense id assigned to an interned term.
+type Id = u32;
+
+/// Bidirectional term ↔ id table.
+#[derive(Debug, Default, Clone)]
+struct Interner {
+    terms: Vec<Term>,
+    ids: HashMap<Term, Id>,
+}
+
+impl Interner {
+    fn intern(&mut self, term: &Term) -> Id {
+        match self.ids.entry(term.clone()) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = self.terms.len() as Id;
+                self.terms.push(term.clone());
+                e.insert(id);
+                id
+            }
+        }
+    }
+
+    fn get(&self, term: &Term) -> Option<Id> {
+        self.ids.get(term).copied()
+    }
+
+    fn resolve(&self, id: Id) -> &Term {
+        &self.terms[id as usize]
+    }
+}
+
+/// Which indexes the graph maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMode {
+    /// SPO + POS + OSP (the default; any pattern is a range scan).
+    Full,
+    /// SPO only; `?s p o`-style patterns degrade to scans. For ablation.
+    SpoOnly,
+}
+
+/// An in-memory RDF graph.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    interner: Interner,
+    spo: BTreeSet<(Id, Id, Id)>,
+    pos: BTreeSet<(Id, Id, Id)>,
+    osp: BTreeSet<(Id, Id, Id)>,
+    mode: IndexMode,
+    blank_counter: u64,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new()
+    }
+}
+
+impl Graph {
+    /// Empty graph with all three indexes.
+    pub fn new() -> Graph {
+        Graph::with_index_mode(IndexMode::Full)
+    }
+
+    /// Empty graph with an explicit index configuration.
+    pub fn with_index_mode(mode: IndexMode) -> Graph {
+        Graph {
+            interner: Interner::default(),
+            spo: BTreeSet::new(),
+            pos: BTreeSet::new(),
+            osp: BTreeSet::new(),
+            mode,
+            blank_counter: 0,
+        }
+    }
+
+    /// The index configuration of this graph.
+    pub fn index_mode(&self) -> IndexMode {
+        self.mode
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Insert a triple; returns true if it was not already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        let s = self.interner.intern(&triple.subject);
+        let p = self.interner.intern(&triple.predicate);
+        let o = self.interner.intern(&triple.object);
+        let added = self.spo.insert((s, p, o));
+        if added && self.mode == IndexMode::Full {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    /// Convenience: insert from three terms.
+    pub fn add(&mut self, subject: Term, predicate: Term, object: Term) -> bool {
+        self.insert(Triple::new(subject, predicate, object))
+    }
+
+    /// Remove a triple; returns true if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.interner.get(&triple.subject),
+            self.interner.get(&triple.predicate),
+            self.interner.get(&triple.object),
+        ) else {
+            return false;
+        };
+        let removed = self.spo.remove(&(s, p, o));
+        if removed && self.mode == IndexMode::Full {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// Whether the graph contains the triple.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        match (
+            self.interner.get(&triple.subject),
+            self.interner.get(&triple.predicate),
+            self.interner.get(&triple.object),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Whether `(subject, predicate, object)` is in the graph.
+    pub fn has(&self, subject: &Term, predicate: &Term, object: &Term) -> bool {
+        match (
+            self.interner.get(subject),
+            self.interner.get(predicate),
+            self.interner.get(object),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Mint a blank node label that is fresh for this graph.
+    pub fn fresh_blank(&mut self) -> Term {
+        loop {
+            self.blank_counter += 1;
+            let t = Term::blank(&format!("g{}", self.blank_counter));
+            if self.interner.get(&t).is_none() {
+                return t;
+            }
+        }
+    }
+
+    /// Iterate all triples (in SPO id order — deterministic for a given
+    /// insertion history).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(move |&(s, p, o)| {
+            Triple::new(
+                self.interner.resolve(s).clone(),
+                self.interner.resolve(p).clone(),
+                self.interner.resolve(o).clone(),
+            )
+        })
+    }
+
+    /// All triples matching the pattern; `None` is a wildcard.
+    pub fn match_pattern(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Term>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        let mut out = Vec::new();
+        self.for_each_match(subject, predicate, object, |t| out.push(t));
+        out
+    }
+
+    /// Count triples matching the pattern without materializing them.
+    pub fn count_pattern(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Term>,
+        object: Option<&Term>,
+    ) -> usize {
+        let mut n = 0;
+        self.for_each_match(subject, predicate, object, |_| n += 1);
+        n
+    }
+
+    /// Visit every triple matching the pattern.
+    pub fn for_each_match<F: FnMut(Triple)>(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Term>,
+        object: Option<&Term>,
+        mut f: F,
+    ) {
+        // Resolve bound terms; an unknown bound term matches nothing.
+        let s = match subject {
+            Some(t) => match self.interner.get(t) {
+                Some(id) => Some(id),
+                None => return,
+            },
+            None => None,
+        };
+        let p = match predicate {
+            Some(t) => match self.interner.get(t) {
+                Some(id) => Some(id),
+                None => return,
+            },
+            None => None,
+        };
+        let o = match object {
+            Some(t) => match self.interner.get(t) {
+                Some(id) => Some(id),
+                None => return,
+            },
+            None => None,
+        };
+
+        let emit = |this: &Graph, s: Id, p: Id, o: Id, f: &mut F| {
+            f(Triple::new(
+                this.interner.resolve(s).clone(),
+                this.interner.resolve(p).clone(),
+                this.interner.resolve(o).clone(),
+            ))
+        };
+
+        match (s, p, o, self.mode) {
+            (Some(s), Some(p), Some(o), _) => {
+                if self.spo.contains(&(s, p, o)) {
+                    emit(self, s, p, o, &mut f);
+                }
+            }
+            (Some(s), Some(p), None, _) => {
+                for &(s2, p2, o2) in range2(&self.spo, s, p) {
+                    f(Triple::new(
+                        self.interner.resolve(s2).clone(),
+                        self.interner.resolve(p2).clone(),
+                        self.interner.resolve(o2).clone(),
+                    ));
+                }
+            }
+            (Some(s), None, None, _) => {
+                for &(s2, p2, o2) in range1(&self.spo, s) {
+                    f(Triple::new(
+                        self.interner.resolve(s2).clone(),
+                        self.interner.resolve(p2).clone(),
+                        self.interner.resolve(o2).clone(),
+                    ));
+                }
+            }
+            (Some(s), None, Some(o), IndexMode::Full) => {
+                for &(o2, s2, p2) in range2(&self.osp, o, s) {
+                    emit(self, s2, p2, o2, &mut f);
+                }
+            }
+            (None, Some(p), Some(o), IndexMode::Full) => {
+                for &(p2, o2, s2) in range2(&self.pos, p, o) {
+                    emit(self, s2, p2, o2, &mut f);
+                }
+            }
+            (None, Some(p), None, IndexMode::Full) => {
+                for &(p2, o2, s2) in range1(&self.pos, p) {
+                    emit(self, s2, p2, o2, &mut f);
+                }
+            }
+            (None, None, Some(o), IndexMode::Full) => {
+                for &(o2, s2, p2) in range1(&self.osp, o) {
+                    emit(self, s2, p2, o2, &mut f);
+                }
+            }
+            (None, None, None, _) => {
+                for &(s2, p2, o2) in self.spo.iter() {
+                    emit(self, s2, p2, o2, &mut f);
+                }
+            }
+            // SpoOnly fallbacks: scan the primary index.
+            (s, p, o, IndexMode::SpoOnly) => {
+                for &(s2, p2, o2) in self.spo.iter() {
+                    if s.is_some_and(|x| x != s2)
+                        || p.is_some_and(|x| x != p2)
+                        || o.is_some_and(|x| x != o2)
+                    {
+                        continue;
+                    }
+                    emit(self, s2, p2, o2, &mut f);
+                }
+            }
+        }
+    }
+
+    /// Objects of all `(subject, predicate, ?)` triples.
+    pub fn objects(&self, subject: &Term, predicate: &Term) -> Vec<Term> {
+        let mut out = Vec::new();
+        self.for_each_match(Some(subject), Some(predicate), None, |t| out.push(t.object));
+        out
+    }
+
+    /// The single object of `(subject, predicate, ?)` if exactly one exists,
+    /// else the first in index order, else `None`.
+    pub fn object(&self, subject: &Term, predicate: &Term) -> Option<Term> {
+        self.objects(subject, predicate).into_iter().next()
+    }
+
+    /// Subjects of all `(?, predicate, object)` triples.
+    pub fn subjects(&self, predicate: &Term, object: &Term) -> Vec<Term> {
+        let mut out = Vec::new();
+        self.for_each_match(None, Some(predicate), Some(object), |t| out.push(t.subject));
+        out
+    }
+
+    /// Distinct subjects occurring anywhere in the graph, in index order.
+    pub fn all_subjects(&self) -> Vec<Term> {
+        let mut last: Option<Id> = None;
+        let mut out = Vec::new();
+        for &(s, _, _) in self.spo.iter() {
+            if last != Some(s) {
+                out.push(self.interner.resolve(s).clone());
+                last = Some(s);
+            }
+        }
+        out
+    }
+
+    /// Add every triple of `other` (blank labels kept as-is; callers that
+    /// need hygienic merge use [`Graph::merge_renaming`]).
+    pub fn extend_from(&mut self, other: &Graph) {
+        for t in other.iter() {
+            self.insert(t);
+        }
+    }
+
+    /// Merge `other` into `self`, renaming `other`'s blank nodes to fresh
+    /// labels so that accidental label collisions cannot conflate nodes.
+    /// Returns the number of triples added.
+    pub fn merge_renaming(&mut self, other: &Graph) -> usize {
+        let mut rename: HashMap<String, Term> = HashMap::new();
+        let mut added = 0;
+        // Collect first: fresh_blank needs &mut self.
+        let triples: Vec<Triple> = other.iter().collect();
+        for t in triples {
+            let map = |this: &mut Graph, rename: &mut HashMap<String, Term>, term: &Term| match term
+            {
+                Term::Blank(b) => rename
+                    .entry(b.to_string())
+                    .or_insert_with(|| this.fresh_blank())
+                    .clone(),
+                other => other.clone(),
+            };
+            let s = map(self, &mut rename, &t.subject);
+            let o = map(self, &mut rename, &t.object);
+            if self.insert(Triple::new(s, t.predicate.clone(), o)) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Read an RDF collection (`rdf:first`/`rdf:rest` chain) starting at
+    /// `head` into a vector. Returns `None` on malformed lists (missing
+    /// `first`/`rest`, cycles); `rdf:nil` yields an empty list.
+    pub fn read_list(&self, head: &Term) -> Option<Vec<Term>> {
+        use crate::vocab::rdf;
+        let mut out = Vec::new();
+        let mut cur = head.clone();
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            if cur.as_iri() == Some(rdf::NIL) {
+                return Some(out);
+            }
+            if !seen.insert(cur.clone()) {
+                return None; // cycle
+            }
+            out.push(self.object(&cur, &Term::iri(rdf::FIRST))?);
+            cur = self.object(&cur, &Term::iri(rdf::REST))?;
+        }
+    }
+
+    /// Write `items` as an RDF collection; returns the head term
+    /// (`rdf:nil` for an empty list).
+    pub fn write_list(&mut self, items: &[Term]) -> Term {
+        use crate::vocab::rdf;
+        let mut tail = Term::iri(rdf::NIL);
+        for item in items.iter().rev() {
+            let cell = self.fresh_blank();
+            self.add(cell.clone(), Term::iri(rdf::FIRST), item.clone());
+            self.add(cell.clone(), Term::iri(rdf::REST), tail);
+            tail = cell;
+        }
+        tail
+    }
+
+    /// Remove all triples whose subject is `subject`; returns how many.
+    pub fn remove_subject(&mut self, subject: &Term) -> usize {
+        let doomed = self.match_pattern(Some(subject), None, None);
+        let n = doomed.len();
+        for t in &doomed {
+            self.remove(t);
+        }
+        n
+    }
+}
+
+/// Equality is triple-set equality (interner ids and index mode are
+/// representation details).
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|t| other.contains(&t))
+    }
+}
+
+impl Eq for Graph {}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        let mut g = Graph::new();
+        for t in iter {
+            g.insert(t);
+        }
+        g
+    }
+}
+
+impl Extend<Triple> for Graph {
+    fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+/// Range over entries whose first component equals `a`.
+fn range1(set: &BTreeSet<(Id, Id, Id)>, a: Id) -> impl Iterator<Item = &(Id, Id, Id)> {
+    set.range((Bound::Included((a, 0, 0)), Bound::Included((a, Id::MAX, Id::MAX))))
+}
+
+/// Range over entries whose first two components equal `(a, b)`.
+fn range2(set: &BTreeSet<(Id, Id, Id)>, a: Id, b: Id) -> impl Iterator<Item = &(Id, Id, Id)> {
+    set.range((Bound::Included((a, b, 0)), Bound::Included((a, b, Id::MAX))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert(t("urn:a", "urn:p", "urn:x"));
+        g.insert(t("urn:a", "urn:p", "urn:y"));
+        g.insert(t("urn:a", "urn:q", "urn:x"));
+        g.insert(t("urn:b", "urn:p", "urn:x"));
+        g
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut g = Graph::new();
+        assert!(g.insert(t("urn:a", "urn:p", "urn:x")));
+        assert!(!g.insert(t("urn:a", "urn:p", "urn:x")));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn all_eight_patterns_match() {
+        let g = sample();
+        let a = Term::iri("urn:a");
+        let p = Term::iri("urn:p");
+        let x = Term::iri("urn:x");
+        assert_eq!(g.match_pattern(None, None, None).len(), 4);
+        assert_eq!(g.match_pattern(Some(&a), None, None).len(), 3);
+        assert_eq!(g.match_pattern(None, Some(&p), None).len(), 3);
+        assert_eq!(g.match_pattern(None, None, Some(&x)).len(), 3);
+        assert_eq!(g.match_pattern(Some(&a), Some(&p), None).len(), 2);
+        assert_eq!(g.match_pattern(Some(&a), None, Some(&x)).len(), 2);
+        assert_eq!(g.match_pattern(None, Some(&p), Some(&x)).len(), 2);
+        assert_eq!(g.match_pattern(Some(&a), Some(&p), Some(&x)).len(), 1);
+    }
+
+    #[test]
+    fn spo_only_mode_gives_identical_answers() {
+        let full = sample();
+        let mut lean = Graph::with_index_mode(IndexMode::SpoOnly);
+        lean.extend_from(&full);
+        let a = Term::iri("urn:a");
+        let p = Term::iri("urn:p");
+        let x = Term::iri("urn:x");
+        for (s, pp, o) in [
+            (None, None, None),
+            (Some(&a), None, None),
+            (None, Some(&p), None),
+            (None, None, Some(&x)),
+            (Some(&a), Some(&p), None),
+            (Some(&a), None, Some(&x)),
+            (None, Some(&p), Some(&x)),
+            (Some(&a), Some(&p), Some(&x)),
+        ] {
+            let mut f: Vec<_> = full.match_pattern(s, pp, o);
+            let mut l: Vec<_> = lean.match_pattern(s, pp, o);
+            f.sort();
+            l.sort();
+            assert_eq!(f, l);
+        }
+    }
+
+    #[test]
+    fn unknown_bound_term_matches_nothing() {
+        let g = sample();
+        assert!(g.match_pattern(Some(&Term::iri("urn:zzz")), None, None).is_empty());
+    }
+
+    #[test]
+    fn remove_updates_all_indexes() {
+        let mut g = sample();
+        assert!(g.remove(&t("urn:a", "urn:p", "urn:x")));
+        assert!(!g.remove(&t("urn:a", "urn:p", "urn:x")));
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.match_pattern(None, None, Some(&Term::iri("urn:x"))).len(), 2);
+        assert_eq!(g.match_pattern(None, Some(&Term::iri("urn:p")), None).len(), 2);
+    }
+
+    #[test]
+    fn objects_and_subjects_helpers() {
+        let g = sample();
+        let objs = g.objects(&Term::iri("urn:a"), &Term::iri("urn:p"));
+        assert_eq!(objs.len(), 2);
+        let subs = g.subjects(&Term::iri("urn:p"), &Term::iri("urn:x"));
+        assert_eq!(subs.len(), 2);
+        assert!(g.object(&Term::iri("urn:b"), &Term::iri("urn:p")).is_some());
+        assert!(g.object(&Term::iri("urn:b"), &Term::iri("urn:q")).is_none());
+    }
+
+    #[test]
+    fn all_subjects_is_distinct() {
+        let g = sample();
+        assert_eq!(g.all_subjects().len(), 2);
+    }
+
+    #[test]
+    fn literals_participate_in_patterns() {
+        let mut g = Graph::new();
+        g.add(Term::iri("urn:s"), Term::iri("urn:p"), Term::integer(5));
+        g.add(Term::iri("urn:s"), Term::iri("urn:p"), Term::string("5"));
+        // Typed integer and plain string are distinct terms.
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.match_pattern(None, None, Some(&Term::integer(5))).len(), 1);
+    }
+
+    #[test]
+    fn fresh_blank_avoids_collisions() {
+        let mut g = Graph::new();
+        g.add(Term::blank("g1"), Term::iri("urn:p"), Term::iri("urn:x"));
+        let b = g.fresh_blank();
+        assert_ne!(b, Term::blank("g1"));
+    }
+
+    #[test]
+    fn merge_renaming_keeps_blank_nodes_distinct() {
+        let mut g1 = Graph::new();
+        g1.add(Term::blank("n"), Term::iri("urn:p"), Term::string("left"));
+        let mut g2 = Graph::new();
+        g2.add(Term::blank("n"), Term::iri("urn:p"), Term::string("right"));
+
+        let mut merged = Graph::new();
+        merged.merge_renaming(&g1);
+        merged.merge_renaming(&g2);
+        assert_eq!(merged.len(), 2);
+        // The two _:n must not have been conflated into one subject.
+        assert_eq!(merged.all_subjects().len(), 2);
+    }
+
+    #[test]
+    fn merge_renaming_preserves_internal_coreference() {
+        let mut g = Graph::new();
+        g.add(Term::blank("n"), Term::iri("urn:p"), Term::string("v"));
+        g.add(Term::blank("n"), Term::iri("urn:q"), Term::blank("m"));
+        let mut target = Graph::new();
+        let added = target.merge_renaming(&g);
+        assert_eq!(added, 2);
+        // _:n still has both properties under its new name.
+        let subjects = target.all_subjects();
+        let renamed_n = subjects
+            .iter()
+            .find(|s| !target.match_pattern(Some(s), Some(&Term::iri("urn:p")), None).is_empty())
+            .unwrap();
+        assert!(!target
+            .match_pattern(Some(renamed_n), Some(&Term::iri("urn:q")), None)
+            .is_empty());
+    }
+
+    #[test]
+    fn remove_subject_drops_all_its_triples() {
+        let mut g = sample();
+        assert_eq!(g.remove_subject(&Term::iri("urn:a")), 3);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn list_roundtrip() {
+        let mut g = Graph::new();
+        let items = vec![Term::iri("urn:a"), Term::integer(2), Term::string("c")];
+        let head = g.write_list(&items);
+        assert_eq!(g.read_list(&head), Some(items));
+        assert_eq!(g.len(), 6);
+        // Empty list is rdf:nil and reads back empty.
+        let nil = g.write_list(&[]);
+        assert_eq!(nil, Term::iri(crate::vocab::rdf::NIL));
+        assert_eq!(g.read_list(&nil), Some(vec![]));
+    }
+
+    #[test]
+    fn malformed_lists_are_none() {
+        let mut g = Graph::new();
+        // Missing rest.
+        g.add(Term::blank("c"), Term::iri(crate::vocab::rdf::FIRST), Term::iri("urn:x"));
+        assert_eq!(g.read_list(&Term::blank("c")), None);
+        // Cycle.
+        let mut g2 = Graph::new();
+        g2.add(Term::blank("c"), Term::iri(crate::vocab::rdf::FIRST), Term::iri("urn:x"));
+        g2.add(Term::blank("c"), Term::iri(crate::vocab::rdf::REST), Term::blank("c"));
+        assert_eq!(g2.read_list(&Term::blank("c")), None);
+    }
+
+    #[test]
+    fn from_and_extend_iterators() {
+        let g: Graph = vec![t("urn:a", "urn:p", "urn:x")].into_iter().collect();
+        assert_eq!(g.len(), 1);
+        let mut g2 = Graph::new();
+        g2.extend(g.iter());
+        assert_eq!(g2.len(), 1);
+    }
+}

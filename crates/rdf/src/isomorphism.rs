@@ -1,0 +1,230 @@
+//! Blank-node-insensitive graph equality.
+//!
+//! Two RDF graphs are isomorphic when a bijection between their blank nodes
+//! maps one triple set onto the other. The algorithm here is iterative
+//! signature refinement (hash of the ground neighbourhood, repeated) with a
+//! backtracking search within the residual signature classes — ample for the
+//! graph sizes this workspace round-trips in tests.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+
+use crate::graph::Graph;
+use crate::term::{Term, Triple};
+
+/// True when `a` and `b` are isomorphic (equal up to blank node renaming).
+pub fn isomorphic(a: &Graph, b: &Graph) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let ta: Vec<Triple> = a.iter().collect();
+    let tb: Vec<Triple> = b.iter().collect();
+
+    // Ground triples (no blanks) must match exactly.
+    fn ground(ts: &[Triple]) -> Vec<&Triple> {
+        ts.iter().filter(|t| !has_blank(t)).collect()
+    }
+    let mut ga: Vec<&Triple> = ground(&ta);
+    let mut gb: Vec<&Triple> = ground(&tb);
+    ga.sort();
+    gb.sort();
+    if ga != gb {
+        return false;
+    }
+
+    let blanks_a = blank_labels(&ta);
+    let blanks_b = blank_labels(&tb);
+    if blanks_a.len() != blanks_b.len() {
+        return false;
+    }
+    if blanks_a.is_empty() {
+        return true;
+    }
+
+    // Refine signatures for both sides.
+    let sig_a = refine(&ta, &blanks_a);
+    let sig_b = refine(&tb, &blanks_b);
+
+    // Group by signature; candidate sets must have equal sizes.
+    let mut groups: BTreeMap<u64, (Vec<String>, Vec<String>)> = BTreeMap::new();
+    for (label, sig) in &sig_a {
+        groups.entry(*sig).or_default().0.push(label.clone());
+    }
+    for (label, sig) in &sig_b {
+        groups.entry(*sig).or_default().1.push(label.clone());
+    }
+    for (left, right) in groups.values() {
+        if left.len() != right.len() {
+            return false;
+        }
+    }
+
+    // Backtracking within groups.
+    let ordered: Vec<(Vec<String>, Vec<String>)> = groups.into_values().collect();
+    let mut mapping: HashMap<String, String> = HashMap::new();
+    backtrack(&ta, &tb, &ordered, 0, 0, &mut mapping)
+}
+
+fn has_blank(t: &Triple) -> bool {
+    t.subject.is_blank() || t.object.is_blank()
+}
+
+fn blank_labels(ts: &[Triple]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for t in ts {
+        for term in [&t.subject, &t.object] {
+            if let Term::Blank(b) = term {
+                if !out.iter().any(|x| x == b.as_ref()) {
+                    out.push(b.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Iteratively refine a signature per blank node from its incident triples.
+fn refine(ts: &[Triple], blanks: &[String]) -> HashMap<String, u64> {
+    let mut sig: HashMap<String, u64> = blanks.iter().map(|b| (b.clone(), 0)).collect();
+    for _round in 0..3 {
+        let mut next: HashMap<String, u64> = HashMap::new();
+        for b in blanks {
+            let mut parts: Vec<u64> = Vec::new();
+            for t in ts {
+                let s_is = t.subject.as_blank() == Some(b);
+                let o_is = t.object.as_blank() == Some(b);
+                if !s_is && !o_is {
+                    continue;
+                }
+                let mut h = DefaultHasher::new();
+                (s_is, o_is).hash(&mut h);
+                t.predicate.to_string().hash(&mut h);
+                // Other end: ground terms by value, blanks by current sig.
+                let other = if s_is { &t.object } else { &t.subject };
+                match other {
+                    Term::Blank(ob) => sig.get(ob.as_ref()).copied().unwrap_or(0).hash(&mut h),
+                    ground => ground.to_string().hash(&mut h),
+                }
+                parts.push(h.finish());
+            }
+            parts.sort_unstable();
+            let mut h = DefaultHasher::new();
+            parts.hash(&mut h);
+            next.insert(b.clone(), h.finish());
+        }
+        sig = next;
+    }
+    sig
+}
+
+fn backtrack(
+    ta: &[Triple],
+    tb: &[Triple],
+    groups: &[(Vec<String>, Vec<String>)],
+    gi: usize,
+    li: usize,
+    mapping: &mut HashMap<String, String>,
+) -> bool {
+    if gi == groups.len() {
+        return check_mapping(ta, tb, mapping);
+    }
+    let (left, right) = &groups[gi];
+    if li == left.len() {
+        return backtrack(ta, tb, groups, gi + 1, 0, mapping);
+    }
+    let l = &left[li];
+    for r in right {
+        if mapping.values().any(|v| v == r) {
+            continue;
+        }
+        mapping.insert(l.clone(), r.clone());
+        if backtrack(ta, tb, groups, gi, li + 1, mapping) {
+            return true;
+        }
+        mapping.remove(l);
+    }
+    false
+}
+
+fn check_mapping(ta: &[Triple], tb: &[Triple], mapping: &HashMap<String, String>) -> bool {
+    let rename = |t: &Term| -> Term {
+        match t {
+            Term::Blank(b) => match mapping.get(b.as_ref()) {
+                Some(to) => Term::blank(to),
+                None => t.clone(),
+            },
+            other => other.clone(),
+        }
+    };
+    let mut mapped: Vec<Triple> = ta
+        .iter()
+        .map(|t| Triple::new(rename(&t.subject), t.predicate.clone(), rename(&t.object)))
+        .collect();
+    let mut target: Vec<Triple> = tb.to_vec();
+    mapped.sort();
+    target.sort();
+    mapped == target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(turtle: &str) -> Graph {
+        crate::turtle::parse(&format!("@prefix e: <urn:e#> .\n{turtle}")).unwrap()
+    }
+
+    #[test]
+    fn identical_ground_graphs_are_isomorphic() {
+        assert!(isomorphic(&g("e:a e:p e:b ."), &g("e:a e:p e:b .")));
+    }
+
+    #[test]
+    fn differing_ground_graphs_are_not() {
+        assert!(!isomorphic(&g("e:a e:p e:b ."), &g("e:a e:p e:c .")));
+    }
+
+    #[test]
+    fn blank_renaming_is_isomorphic() {
+        assert!(isomorphic(&g("_:x e:p e:b ."), &g("_:y e:p e:b .")));
+    }
+
+    #[test]
+    fn blank_structure_must_match() {
+        // x→y chain vs two independent nodes.
+        let a = g("_:x e:p _:y . _:y e:p _:x .");
+        let b = g("_:x e:p _:y . _:x e:p _:z .");
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn symmetric_pair_needs_backtracking() {
+        // Two blanks with identical signatures; only one assignment works
+        // for the asymmetric literal attachment.
+        let a = g("_:x e:p _:y . _:x e:v \"1\" . _:y e:v \"2\" .");
+        let b = g("_:m e:p _:n . _:m e:v \"1\" . _:n e:v \"2\" .");
+        let c = g("_:m e:p _:n . _:n e:v \"1\" . _:m e:v \"2\" .");
+        assert!(isomorphic(&a, &b));
+        assert!(!isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn size_mismatch_fast_path() {
+        assert!(!isomorphic(&g("e:a e:p e:b ."), &g("e:a e:p e:b . e:a e:p e:c .")));
+    }
+
+    #[test]
+    fn cycle_of_blanks_isomorphic_under_rotation() {
+        let a = g("_:a e:n _:b . _:b e:n _:c . _:c e:n _:a .");
+        let b = g("_:p e:n _:q . _:q e:n _:r . _:r e:n _:p .");
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn blank_count_mismatch() {
+        let a = g("_:x e:p _:x .");
+        let b = g("_:x e:p _:y .");
+        assert!(!isomorphic(&a, &b));
+    }
+}

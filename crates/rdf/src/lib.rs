@@ -1,0 +1,49 @@
+//! RDF substrate for GRDF: data model, indexed triple store, and syntaxes.
+//!
+//! The paper expresses GRDF in OWL over RDF. No mature RDF crate is in the
+//! allowed dependency set, so this crate implements the needed stack from
+//! scratch:
+//!
+//! * [`term`] — IRIs, blank nodes, plain/lang/typed literals.
+//! * [`vocab`] — RDF/RDFS/OWL/XSD vocabulary constants.
+//! * [`graph`] — an interning, triply-indexed (SPO/POS/OSP) in-memory
+//!   triple store with pattern matching.
+//! * [`namespace`] — prefix maps and CURIE expansion/compaction.
+//! * [`ntriples`] / [`turtle`] — line-based and Turtle syntax.
+//! * [`rdfxml`] — the RDF/XML subset used by the paper's listings.
+//! * [`isomorphism`] — blank-node-insensitive graph equality.
+//! * [`dataset`] — named graphs with N-Quads/TriG (per-source provenance).
+//!
+//! # Example
+//!
+//! ```
+//! use grdf_rdf::graph::Graph;
+//! use grdf_rdf::term::{Term, Triple};
+//!
+//! let mut g = Graph::new();
+//! g.insert(Triple::new(
+//!     Term::iri("http://example.org/dallas"),
+//!     Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+//!     Term::iri("http://example.org/City"),
+//! ));
+//! assert_eq!(g.len(), 1);
+//! let hits = g.match_pattern(Some(&Term::iri("http://example.org/dallas")), None, None);
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub mod dataset;
+pub mod error;
+pub mod graph;
+pub mod isomorphism;
+pub mod namespace;
+pub mod ntriples;
+pub mod rdfxml;
+pub mod term;
+pub mod turtle;
+pub mod vocab;
+
+pub use dataset::Dataset;
+pub use error::{RdfError, RdfResult};
+pub use graph::Graph;
+pub use namespace::PrefixMap;
+pub use term::{Literal, Term, Triple};

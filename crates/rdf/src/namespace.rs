@@ -1,0 +1,138 @@
+//! Prefix maps: CURIE expansion and IRI compaction for the textual syntaxes.
+
+use std::collections::BTreeMap;
+
+use crate::vocab::{grdf, owl, rdf, rdfs, xsd};
+
+/// An ordered prefix → namespace map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefixMap {
+    // BTreeMap keeps serialization deterministic.
+    map: BTreeMap<String, String>,
+}
+
+impl PrefixMap {
+    /// Empty prefix map.
+    pub fn new() -> PrefixMap {
+        PrefixMap::default()
+    }
+
+    /// Prefix map preloaded with the namespaces this workspace uses
+    /// everywhere: `rdf`, `rdfs`, `owl`, `xsd`, `grdf`, `sec`, `app`.
+    pub fn common() -> PrefixMap {
+        let mut m = PrefixMap::new();
+        m.insert("rdf", rdf::NS);
+        m.insert("rdfs", rdfs::NS);
+        m.insert("owl", owl::NS);
+        m.insert("xsd", xsd::NS);
+        m.insert("grdf", grdf::NS);
+        m.insert("sec", grdf::SEC_NS);
+        m.insert("app", grdf::APP_NS);
+        m
+    }
+
+    /// Bind `prefix` to `namespace`, replacing any previous binding.
+    pub fn insert(&mut self, prefix: &str, namespace: &str) {
+        self.map.insert(prefix.to_string(), namespace.to_string());
+    }
+
+    /// The namespace bound to `prefix`.
+    pub fn get(&self, prefix: &str) -> Option<&str> {
+        self.map.get(prefix).map(String::as_str)
+    }
+
+    /// Expand a `prefix:local` CURIE to a full IRI.
+    pub fn expand(&self, curie: &str) -> Option<String> {
+        let (prefix, local) = curie.split_once(':')?;
+        Some(format!("{}{local}", self.map.get(prefix)?))
+    }
+
+    /// Compact an IRI to `prefix:local` using the longest matching
+    /// namespace; returns `None` when no binding matches or the local part
+    /// would be empty/invalid for a Turtle prefixed name.
+    pub fn compact(&self, iri: &str) -> Option<String> {
+        let mut best: Option<(&str, &str)> = None;
+        for (prefix, ns) in &self.map {
+            if let Some(local) = iri.strip_prefix(ns.as_str()) {
+                if best.is_none_or(|(_, bns)| ns.len() > bns.len()) {
+                    best = Some((prefix, ns));
+                    let _ = local;
+                }
+            }
+        }
+        let (prefix, ns) = best?;
+        let local = &iri[ns.len()..];
+        if local.is_empty() || !is_pn_local(local) {
+            return None;
+        }
+        Some(format!("{prefix}:{local}"))
+    }
+
+    /// Iterate bindings in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.map.iter().map(|(p, n)| (p.as_str(), n.as_str()))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no prefixes are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Conservative check for a Turtle PN_LOCAL we are willing to emit without
+/// escaping: alphanumerics, `_`, `-`, `.` (not at the ends).
+fn is_pn_local(s: &str) -> bool {
+    if s.starts_with('.') || s.ends_with('.') {
+        return false;
+    }
+    s.chars().all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_and_compact_roundtrip() {
+        let m = PrefixMap::common();
+        let iri = m.expand("grdf:Feature").unwrap();
+        assert_eq!(iri, "http://grdf.org/ontology#Feature");
+        assert_eq!(m.compact(&iri).unwrap(), "grdf:Feature");
+    }
+
+    #[test]
+    fn expand_unknown_prefix_is_none() {
+        let m = PrefixMap::common();
+        assert!(m.expand("nope:x").is_none());
+        assert!(m.expand("nocolon").is_none());
+    }
+
+    #[test]
+    fn compact_prefers_longest_namespace() {
+        let mut m = PrefixMap::new();
+        m.insert("a", "urn:x/");
+        m.insert("b", "urn:x/deep/");
+        assert_eq!(m.compact("urn:x/deep/leaf").unwrap(), "b:leaf");
+    }
+
+    #[test]
+    fn compact_rejects_bad_locals() {
+        let m = PrefixMap::common();
+        assert!(m.compact("http://grdf.org/ontology#").is_none(), "empty local");
+        assert!(m.compact("http://grdf.org/ontology#a/b").is_none(), "slash in local");
+        assert!(m.compact("http://grdf.org/ontology#ends.").is_none(), "trailing dot");
+    }
+
+    #[test]
+    fn common_map_has_expected_bindings() {
+        let m = PrefixMap::common();
+        assert_eq!(m.get("rdf"), Some(crate::vocab::rdf::NS));
+        assert_eq!(m.len(), 7);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! N-Triples: the line-oriented exchange syntax.
+
+use crate::error::{RdfError, RdfResult};
+use crate::graph::Graph;
+use crate::term::{escape_literal, Literal, Term, Triple};
+use crate::vocab::xsd;
+
+/// Serialize a graph as N-Triples, one triple per line, in index order.
+pub fn serialize(graph: &Graph) -> String {
+    let mut out = String::new();
+    for t in graph.iter() {
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse an N-Triples document into a graph.
+pub fn parse(input: &str) -> RdfResult<Graph> {
+    let mut g = Graph::new();
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut p = LineParser { line, pos: 0, line_no };
+        let subject = p.term()?;
+        p.skip_ws();
+        let predicate = p.term()?;
+        p.skip_ws();
+        let object = p.term()?;
+        p.skip_ws();
+        p.expect('.')?;
+        p.skip_ws();
+        if !p.at_end() {
+            return Err(p.err("trailing content after '.'"));
+        }
+        if !subject.is_resource() {
+            return Err(p.err("subject must be an IRI or blank node"));
+        }
+        if subject.is_blank() && subject.as_blank() == Some("") {
+            return Err(p.err("empty blank node label"));
+        }
+        if predicate.as_iri().is_none() {
+            return Err(p.err("predicate must be an IRI"));
+        }
+        g.insert(Triple::new(subject, predicate, object));
+    }
+    Ok(g)
+}
+
+struct LineParser<'a> {
+    line: &'a str,
+    pos: usize,
+    line_no: u32,
+}
+
+impl<'a> LineParser<'a> {
+    fn err(&self, message: &str) -> RdfError {
+        RdfError::Syntax { line: self.line_no, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.line[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.line.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c == ' ' || c == '\t') {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> RdfResult<()> {
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {c:?}")))
+        }
+    }
+
+    fn term(&mut self) -> RdfResult<Term> {
+        match self.peek() {
+            Some('<') => {
+                self.bump();
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '>' {
+                        let iri = &self.line[start..self.pos];
+                        self.bump();
+                        return Ok(Term::iri(iri));
+                    }
+                    self.bump();
+                }
+                Err(self.err("unterminated IRI"))
+            }
+            Some('_') => {
+                self.bump();
+                self.expect(':')?;
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-')
+                {
+                    self.bump();
+                }
+                Ok(Term::blank(&self.line[start..self.pos]))
+            }
+            Some('"') => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        None => return Err(self.err("unterminated string literal")),
+                        Some('"') => break,
+                        Some('\\') => match self.bump() {
+                            Some('n') => s.push('\n'),
+                            Some('r') => s.push('\r'),
+                            Some('t') => s.push('\t'),
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('u') => s.push(self.unicode_escape(4)?),
+                            Some('U') => s.push(self.unicode_escape(8)?),
+                            other => {
+                                return Err(self.err(&format!("bad escape \\{other:?}")));
+                            }
+                        },
+                        Some(c) => s.push(c),
+                    }
+                }
+                match self.peek() {
+                    Some('@') => {
+                        self.bump();
+                        let start = self.pos;
+                        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-')
+                        {
+                            self.bump();
+                        }
+                        if self.pos == start {
+                            return Err(self.err("empty language tag"));
+                        }
+                        Ok(Term::Literal(Literal::lang_string(&s, &self.line[start..self.pos])))
+                    }
+                    Some('^') => {
+                        self.bump();
+                        self.expect('^')?;
+                        self.expect('<')?;
+                        let start = self.pos;
+                        while matches!(self.peek(), Some(c) if c != '>') {
+                            self.bump();
+                        }
+                        let dt = self.line[start..self.pos].to_string();
+                        self.expect('>')?;
+                        Ok(Term::typed(&s, &dt))
+                    }
+                    _ => Ok(Term::Literal(Literal::typed(&s, xsd::STRING))),
+                }
+            }
+            other => Err(self.err(&format!("unexpected {other:?} at start of term"))),
+        }
+    }
+
+    fn unicode_escape(&mut self, digits: usize) -> RdfResult<char> {
+        let start = self.pos;
+        for _ in 0..digits {
+            if self.bump().is_none() {
+                return Err(self.err("truncated unicode escape"));
+            }
+        }
+        let hex = &self.line[start..self.pos];
+        u32::from_str_radix(hex, 16)
+            .ok()
+            .and_then(char::from_u32)
+            .ok_or_else(|| self.err(&format!("bad unicode escape \\u{hex}")))
+    }
+}
+
+/// Re-export of the literal escaping used by `Display` (kept here so both
+/// directions live in one module conceptually).
+pub fn escape(s: &str) -> String {
+    escape_literal(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_graph() {
+        let mut g = Graph::new();
+        g.add(Term::iri("urn:s"), Term::iri("urn:p"), Term::string("hello \"world\"\n"));
+        g.add(Term::iri("urn:s"), Term::iri("urn:p"), Term::integer(42));
+        g.add(Term::blank("b1"), Term::iri("urn:p"), Term::iri("urn:o"));
+        let text = serialize(&g);
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g.len(), g2.len());
+        for t in g.iter() {
+            assert!(g2.contains(&t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let g = parse("# a comment\n\n<urn:s> <urn:p> _:x .\n").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn parses_lang_literal() {
+        let g = parse("<urn:s> <urn:p> \"chat\"@fr .").unwrap();
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.object.as_literal().unwrap().lang(), Some("fr"));
+    }
+
+    #[test]
+    fn parses_typed_literal() {
+        let g = parse(&format!("<urn:s> <urn:p> \"5\"^^<{}> .", xsd::INTEGER)).unwrap();
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.object.as_literal().unwrap().as_integer(), Some(5));
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        let g = parse(r#"<urn:s> <urn:p> "A\U0001F600" ."#).unwrap();
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.object.as_literal().unwrap().lexical(), "A😀");
+    }
+
+    #[test]
+    fn rejects_literal_subject() {
+        assert!(parse("\"lit\" <urn:p> <urn:o> .").is_err());
+    }
+
+    #[test]
+    fn rejects_blank_predicate() {
+        assert!(parse("<urn:s> _:p <urn:o> .").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        assert!(parse("<urn:s> <urn:p> <urn:o>").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("<urn:s> <urn:p> <urn:o> . extra").is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse("<urn:s> <urn:p> <urn:o> .\nbad line .").unwrap_err();
+        match err {
+            RdfError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

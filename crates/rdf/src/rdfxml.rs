@@ -1,0 +1,485 @@
+//! RDF/XML — the serialization used by the paper's listings (Lists 2–8).
+//!
+//! Supported subset: `rdf:RDF` roots, `rdf:Description` and typed node
+//! elements, `rdf:about`/`rdf:ID`/`rdf:nodeID`, property elements with
+//! `rdf:resource`, `rdf:datatype`, `rdf:nodeID` or nested node elements,
+//! `rdf:parseType="Resource"`, property attributes, and `xml:lang`.
+
+use grdf_xml::tree::{Child, Element, XML_NS};
+use grdf_xml::writer::{write_document, WriteOptions};
+use grdf_xml::Document;
+
+use crate::error::{RdfError, RdfResult};
+use crate::graph::Graph;
+use crate::namespace::PrefixMap;
+use crate::term::{Literal, Term, Triple};
+use crate::vocab::rdf;
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Parse an RDF/XML document into a graph.
+pub fn parse(input: &str) -> RdfResult<Graph> {
+    let doc = grdf_xml::parse(input)?;
+    let root = doc.root();
+    let mut ctx = ReaderCtx { graph: Graph::new(), blank_counter: 0 };
+    if root.is(rdf::NS, "RDF") {
+        for node in root.child_elements() {
+            ctx.node_element(node, None)?;
+        }
+    } else {
+        ctx.node_element(root, None)?;
+    }
+    Ok(ctx.graph)
+}
+
+struct ReaderCtx {
+    graph: Graph,
+    blank_counter: u64,
+}
+
+impl ReaderCtx {
+    fn err(&self, message: impl Into<String>) -> RdfError {
+        RdfError::RdfXml { message: message.into() }
+    }
+
+    fn fresh_blank(&mut self) -> Term {
+        self.blank_counter += 1;
+        Term::blank(&format!("x{}", self.blank_counter))
+    }
+
+    fn rdf_attr<'e>(&self, elem: &'e Element, local: &str) -> Option<&'e str> {
+        // Accept both properly namespaced (rdf:about) and — like the paper's
+        // loosely namespaced listings — unprefixed `about` attributes.
+        elem.attribute_ns(rdf::NS, local).or_else(|| {
+            elem.attributes
+                .iter()
+                .find(|a| a.prefix.is_none() && a.local == local)
+                .map(|a| a.value.as_str())
+        })
+    }
+
+    /// Process a node element; returns the subject term it denotes.
+    fn node_element(&mut self, elem: &Element, _base: Option<&str>) -> RdfResult<Term> {
+        let subject = if let Some(about) = self.rdf_attr(elem, "about") {
+            Term::iri(about)
+        } else if let Some(id) = self.rdf_attr(elem, "ID") {
+            Term::iri(&format!("#{id}"))
+        } else if let Some(node_id) = self.rdf_attr(elem, "nodeID") {
+            Term::blank(node_id)
+        } else {
+            self.fresh_blank()
+        };
+
+        // Typed node element: the element name is the rdf:type.
+        if !elem.is(rdf::NS, "Description") {
+            let ns = elem
+                .namespace()
+                .ok_or_else(|| self.err(format!("node element <{}> has no namespace", elem.local)))?;
+            self.graph.insert(Triple::new(
+                subject.clone(),
+                Term::iri(rdf::TYPE),
+                Term::iri(&format!("{ns}{}", elem.local)),
+            ));
+        }
+
+        // Property attributes (anything except rdf:* control attrs and xml:*).
+        for a in &elem.attributes {
+            let ns = a.namespace.as_deref();
+            if ns == Some(rdf::NS) || ns == Some(XML_NS) {
+                continue;
+            }
+            if a.prefix.is_none() && matches!(a.local.as_str(), "about" | "ID" | "nodeID") {
+                continue;
+            }
+            let Some(ns) = ns else {
+                return Err(self.err(format!("property attribute {:?} has no namespace", a.local)));
+            };
+            self.graph.insert(Triple::new(
+                subject.clone(),
+                Term::iri(&format!("{ns}{}", a.local)),
+                Term::string(&a.value),
+            ));
+        }
+
+        for prop in elem.child_elements() {
+            self.property_element(&subject, prop)?;
+        }
+        Ok(subject)
+    }
+
+    fn property_element(&mut self, subject: &Term, elem: &Element) -> RdfResult<()> {
+        let ns = elem
+            .namespace()
+            .ok_or_else(|| self.err(format!("property element <{}> has no namespace", elem.local)))?;
+        let predicate = Term::iri(&format!("{ns}{}", elem.local));
+
+        // rdf:resource / rdf:nodeID shortcut.
+        if let Some(resource) = self.rdf_attr(elem, "resource") {
+            self.graph.insert(Triple::new(subject.clone(), predicate, Term::iri(resource)));
+            return Ok(());
+        }
+        if let Some(node_id) = self.rdf_attr(elem, "nodeID") {
+            self.graph.insert(Triple::new(subject.clone(), predicate, Term::blank(node_id)));
+            return Ok(());
+        }
+        if self.rdf_attr(elem, "parseType") == Some("Resource") {
+            // The property element body is itself a property list on a new
+            // blank node.
+            let node = self.fresh_blank();
+            self.graph.insert(Triple::new(subject.clone(), predicate, node.clone()));
+            for p in elem.child_elements() {
+                self.property_element(&node, p)?;
+            }
+            return Ok(());
+        }
+
+        let nested: Vec<&Element> = elem.child_elements().collect();
+        if nested.is_empty() {
+            // Literal content.
+            let text = direct_text(elem);
+            let object = if let Some(dt) = self.rdf_attr(elem, "datatype") {
+                Term::typed(&text, dt)
+            } else if let Some(lang) = elem.attribute_ns(XML_NS, "lang") {
+                Term::Literal(Literal::lang_string(&text, lang))
+            } else {
+                Term::string(&text)
+            };
+            self.graph.insert(Triple::new(subject.clone(), predicate, object));
+            Ok(())
+        } else if nested.len() == 1 {
+            let object = self.node_element(nested[0], None)?;
+            self.graph.insert(Triple::new(subject.clone(), predicate, object));
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "property element <{}> has {} child node elements (expected 0 or 1)",
+                elem.local,
+                nested.len()
+            )))
+        }
+    }
+}
+
+/// Concatenated text of an element. Bodies containing newlines (the
+/// pretty-printed style of the paper's listings) are trimmed; single-line
+/// bodies are preserved verbatim so literals round-trip exactly.
+fn direct_text(elem: &Element) -> String {
+    let mut s = String::new();
+    for c in &elem.children {
+        if let Child::Text(t) = c {
+            s.push_str(t);
+        }
+    }
+    if s.contains('\n') {
+        s.trim().to_string()
+    } else {
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Serialize a graph as RDF/XML. `prefixes` supplies preferred prefixes;
+/// predicates outside any declared namespace get generated `ns1:`-style
+/// prefixes.
+pub fn serialize(graph: &Graph, prefixes: &PrefixMap) -> RdfResult<String> {
+    let mut pm = prefixes.clone();
+    if pm.get("rdf") != Some(rdf::NS) {
+        pm.insert("rdf", rdf::NS);
+    }
+    let mut gen_counter = 0u32;
+
+    // Make sure every predicate can be written as a QName.
+    let preds: Vec<Term> = {
+        let mut seen = std::collections::BTreeSet::new();
+        for t in graph.iter() {
+            seen.insert(t.predicate.clone());
+        }
+        seen.into_iter().collect()
+    };
+    for p in &preds {
+        let iri = p.as_iri().expect("predicates are IRIs");
+        if split_iri(iri).is_none() {
+            return Err(RdfError::RdfXml {
+                message: format!("predicate {iri} cannot be written as an XML QName"),
+            });
+        }
+        ensure_prefix(&mut pm, iri, &mut gen_counter);
+    }
+
+    let mut root = Element::in_ns(rdf::NS, Some("rdf"), "RDF");
+    for (prefix, ns) in pm.iter() {
+        root.ns_decls.push((Some(prefix.to_string()), ns.to_string()));
+    }
+
+    let mut subjects = graph.all_subjects();
+    subjects.sort();
+    for subject in subjects {
+        let mut node = Element::in_ns(rdf::NS, Some("rdf"), "Description");
+        match &subject {
+            Term::Iri(iri) => node.set_attribute_ns(rdf::NS, "rdf", "about", iri),
+            Term::Blank(b) => node.set_attribute_ns(rdf::NS, "rdf", "nodeID", b),
+            Term::Literal(_) => unreachable!("subjects are resources"),
+        }
+        let mut triples = graph.match_pattern(Some(&subject), None, None);
+        triples.sort();
+        for t in triples {
+            let pred_iri = t.predicate.as_iri().unwrap();
+            let (ns, local) = split_iri(pred_iri).unwrap();
+            let prefix = lookup_prefix(&pm, ns).expect("prefix ensured above").to_string();
+            let mut prop = Element::in_ns(ns, Some(&prefix), local);
+            match &t.object {
+                Term::Iri(iri) => prop.set_attribute_ns(rdf::NS, "rdf", "resource", iri),
+                Term::Blank(b) => prop.set_attribute_ns(rdf::NS, "rdf", "nodeID", b),
+                Term::Literal(l) => {
+                    if let Some(lang) = l.lang() {
+                        prop.set_attribute_ns(XML_NS, "xml", "lang", lang);
+                    } else if l.datatype() != crate::vocab::xsd::STRING {
+                        prop.set_attribute_ns(rdf::NS, "rdf", "datatype", l.datatype());
+                    }
+                    prop.push_text(l.lexical());
+                }
+            }
+            node.push_element(prop);
+        }
+        root.push_element(node);
+    }
+
+    Ok(write_document(&Document::with_root(root), &WriteOptions::default()))
+}
+
+/// Split an IRI into (namespace, local) at the last `#` or `/` such that the
+/// local part is a valid NCName.
+fn split_iri(iri: &str) -> Option<(&str, &str)> {
+    let cut = iri.rfind(['#', '/'])? + 1;
+    let local = &iri[cut..];
+    if grdf_xml::name::is_ncname(local) {
+        Some((&iri[..cut], local))
+    } else {
+        None
+    }
+}
+
+fn lookup_prefix<'a>(pm: &'a PrefixMap, ns: &str) -> Option<&'a str> {
+    pm.iter().find(|(_, n)| *n == ns).map(|(p, _)| p)
+}
+
+fn ensure_prefix(pm: &mut PrefixMap, pred_iri: &str, counter: &mut u32) {
+    let Some((ns, _)) = split_iri(pred_iri) else { return };
+    if lookup_prefix(pm, ns).is_some() {
+        return;
+    }
+    loop {
+        *counter += 1;
+        let candidate = format!("ns{counter}");
+        if pm.get(&candidate).is_none() {
+            pm.insert(&candidate, ns);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::xsd;
+
+    #[test]
+    fn parses_description_with_about() {
+        let g = parse(
+            r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:e="urn:e#">
+                 <rdf:Description rdf:about="urn:s"><e:p rdf:resource="urn:o"/></rdf:Description>
+               </rdf:RDF>"#,
+        )
+        .unwrap();
+        assert!(g.has(&Term::iri("urn:s"), &Term::iri("urn:e#p"), &Term::iri("urn:o")));
+    }
+
+    #[test]
+    fn typed_node_elements_assert_rdf_type() {
+        let g = parse(
+            r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:e="urn:e#">
+                 <e:City rdf:about="urn:dallas"/>
+               </rdf:RDF>"#,
+        )
+        .unwrap();
+        assert!(g.has(&Term::iri("urn:dallas"), &Term::iri(rdf::TYPE), &Term::iri("urn:e#City")));
+    }
+
+    #[test]
+    fn literal_properties_with_datatype_and_lang() {
+        let g = parse(
+            r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:e="urn:e#">
+                 <rdf:Description rdf:about="urn:s">
+                   <e:n rdf:datatype="http://www.w3.org/2001/XMLSchema#integer">7</e:n>
+                   <e:l xml:lang="en">hello</e:l>
+                   <e:plain>text</e:plain>
+                 </rdf:Description>
+               </rdf:RDF>"#,
+        )
+        .unwrap();
+        let s = Term::iri("urn:s");
+        assert_eq!(
+            g.object(&s, &Term::iri("urn:e#n")).unwrap().as_literal().unwrap().as_integer(),
+            Some(7)
+        );
+        assert_eq!(
+            g.object(&s, &Term::iri("urn:e#l")).unwrap().as_literal().unwrap().lang(),
+            Some("en")
+        );
+        assert_eq!(
+            g.object(&s, &Term::iri("urn:e#plain")).unwrap().as_literal().unwrap().lexical(),
+            "text"
+        );
+    }
+
+    #[test]
+    fn nested_node_elements() {
+        let g = parse(
+            r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:e="urn:e#">
+                 <e:Site rdf:about="urn:site">
+                   <e:hasInfo><e:Info rdf:about="urn:info"><e:code>121NR</e:code></e:Info></e:hasInfo>
+                 </e:Site>
+               </rdf:RDF>"#,
+        )
+        .unwrap();
+        assert!(g.has(&Term::iri("urn:site"), &Term::iri("urn:e#hasInfo"), &Term::iri("urn:info")));
+        assert!(g.has(&Term::iri("urn:info"), &Term::iri(rdf::TYPE), &Term::iri("urn:e#Info")));
+        assert_eq!(
+            g.object(&Term::iri("urn:info"), &Term::iri("urn:e#code"))
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .lexical(),
+            "121NR"
+        );
+    }
+
+    #[test]
+    fn anonymous_nodes_get_blanks() {
+        let g = parse(
+            r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:e="urn:e#">
+                 <rdf:Description rdf:about="urn:s">
+                   <e:p><rdf:Description><e:q>v</e:q></rdf:Description></e:p>
+                 </rdf:Description>
+               </rdf:RDF>"#,
+        )
+        .unwrap();
+        let o = g.object(&Term::iri("urn:s"), &Term::iri("urn:e#p")).unwrap();
+        assert!(o.is_blank());
+        assert!(g.has(&o, &Term::iri("urn:e#q"), &Term::string("v")));
+    }
+
+    #[test]
+    fn node_id_links_share_a_blank() {
+        let g = parse(
+            r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:e="urn:e#">
+                 <rdf:Description rdf:about="urn:s"><e:p rdf:nodeID="n"/></rdf:Description>
+                 <rdf:Description rdf:nodeID="n"><e:q>v</e:q></rdf:Description>
+               </rdf:RDF>"#,
+        )
+        .unwrap();
+        let o = g.object(&Term::iri("urn:s"), &Term::iri("urn:e#p")).unwrap();
+        assert!(g.has(&o, &Term::iri("urn:e#q"), &Term::string("v")));
+    }
+
+    #[test]
+    fn parse_type_resource() {
+        let g = parse(
+            r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:e="urn:e#">
+                 <rdf:Description rdf:about="urn:s">
+                   <e:p rdf:parseType="Resource"><e:q>v</e:q></e:p>
+                 </rdf:Description>
+               </rdf:RDF>"#,
+        )
+        .unwrap();
+        let o = g.object(&Term::iri("urn:s"), &Term::iri("urn:e#p")).unwrap();
+        assert!(o.is_blank());
+        assert!(g.has(&o, &Term::iri("urn:e#q"), &Term::string("v")));
+    }
+
+    #[test]
+    fn property_attributes_become_string_triples() {
+        let g = parse(
+            r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:e="urn:e#">
+                 <e:Site rdf:about="urn:s" e:name="North Texas Energy"/>
+               </rdf:RDF>"#,
+        )
+        .unwrap();
+        assert!(g.has(
+            &Term::iri("urn:s"),
+            &Term::iri("urn:e#name"),
+            &Term::string("North Texas Energy")
+        ));
+    }
+
+    #[test]
+    fn single_node_without_rdf_root() {
+        let g = parse(r#"<e:Thing xmlns:e="urn:e#" rdf:about="urn:t"
+                          xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"/>"#)
+            .unwrap();
+        assert!(g.has(&Term::iri("urn:t"), &Term::iri(rdf::TYPE), &Term::iri("urn:e#Thing")));
+    }
+
+    #[test]
+    fn roundtrip_via_writer() {
+        let mut g = Graph::new();
+        g.add(Term::iri("urn:e#s"), Term::iri("urn:e#p"), Term::iri("urn:e#o"));
+        g.add(Term::iri("urn:e#s"), Term::iri(rdf::TYPE), Term::iri("urn:e#Class"));
+        g.add(Term::iri("urn:e#s"), Term::iri("urn:e#n"), Term::typed("7", xsd::INTEGER));
+        g.add(
+            Term::iri("urn:e#s"),
+            Term::iri("urn:e#l"),
+            Term::Literal(Literal::lang_string("hi", "en")),
+        );
+        g.add(Term::blank("b"), Term::iri("urn:e#p"), Term::string("x"));
+        let xml = serialize(&g, &PrefixMap::new()).unwrap();
+        let g2 = parse(&xml).unwrap();
+        assert_eq!(g2.len(), g.len(), "{xml}");
+        for t in g.iter() {
+            if t.subject.is_blank() {
+                continue;
+            }
+            assert!(g2.contains(&t), "missing {t} in\n{xml}");
+        }
+    }
+
+    #[test]
+    fn writer_rejects_unqname_predicates() {
+        let mut g = Graph::new();
+        g.add(Term::iri("urn:s"), Term::iri("urn:e#1bad"), Term::string("x"));
+        assert!(serialize(&g, &PrefixMap::new()).is_err());
+    }
+
+    #[test]
+    fn paper_list7_chemsite_shape_parses() {
+        // Mirrors List 7 of the paper (sample chemical site data in GRDF).
+        let g = parse(
+            r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                        xmlns:app="http://grdf.org/app#"
+                        xmlns:grdf="http://grdf.org/ontology#">
+                <app:ChemSite rdf:about="http://grdf.org/app#NTEnergy">
+                  <app:hasSiteName>North Texas Energy</app:hasSiteName>
+                  <app:hasSiteId>004221</app:hasSiteId>
+                  <app:hasChemicalInfo rdf:resource="http://grdf.org/app#NTChemInfo"/>
+                </app:ChemSite>
+                <app:ChemInfo rdf:about="http://grdf.org/app#NTChemInfo">
+                  <app:hasChemName>Sulfuric Acid</app:hasChemName>
+                  <app:hasChemCode>121NR</app:hasChemCode>
+                </app:ChemInfo>
+              </rdf:RDF>"#,
+        )
+        .unwrap();
+        assert_eq!(g.len(), 7);
+        let site = Term::iri("http://grdf.org/app#NTEnergy");
+        assert!(g.has(
+            &site,
+            &Term::iri("http://grdf.org/app#hasChemicalInfo"),
+            &Term::iri("http://grdf.org/app#NTChemInfo")
+        ));
+    }
+}

@@ -1,0 +1,136 @@
+//! Well-known vocabulary IRIs: RDF, RDFS, OWL, XSD, and the GRDF namespaces
+//! defined by this reproduction.
+
+/// The RDF syntax namespace.
+pub mod rdf {
+    /// Namespace IRI.
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    pub const PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+    pub const LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+    pub const FIRST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#first";
+    pub const REST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#rest";
+    pub const NIL: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil";
+    pub const XML_LITERAL: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#XMLLiteral";
+}
+
+/// The RDF Schema namespace.
+pub mod rdfs {
+    /// Namespace IRI.
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    pub const CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    pub const SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+    pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    pub const COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+    pub const RESOURCE: &str = "http://www.w3.org/2000/01/rdf-schema#Resource";
+    pub const LITERAL: &str = "http://www.w3.org/2000/01/rdf-schema#Literal";
+    pub const DATATYPE: &str = "http://www.w3.org/2000/01/rdf-schema#Datatype";
+    pub const SEE_ALSO: &str = "http://www.w3.org/2000/01/rdf-schema#seeAlso";
+    pub const IS_DEFINED_BY: &str = "http://www.w3.org/2000/01/rdf-schema#isDefinedBy";
+}
+
+/// The OWL namespace (the OWL-DL subset GRDF uses).
+pub mod owl {
+    /// Namespace IRI.
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    pub const CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+    pub const OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
+    pub const DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
+    pub const ONTOLOGY: &str = "http://www.w3.org/2002/07/owl#Ontology";
+    pub const THING: &str = "http://www.w3.org/2002/07/owl#Thing";
+    pub const NOTHING: &str = "http://www.w3.org/2002/07/owl#Nothing";
+    pub const RESTRICTION: &str = "http://www.w3.org/2002/07/owl#Restriction";
+    pub const ON_PROPERTY: &str = "http://www.w3.org/2002/07/owl#onProperty";
+    pub const CARDINALITY: &str = "http://www.w3.org/2002/07/owl#cardinality";
+    pub const MIN_CARDINALITY: &str = "http://www.w3.org/2002/07/owl#minCardinality";
+    pub const MAX_CARDINALITY: &str = "http://www.w3.org/2002/07/owl#maxCardinality";
+    pub const SOME_VALUES_FROM: &str = "http://www.w3.org/2002/07/owl#someValuesFrom";
+    pub const ALL_VALUES_FROM: &str = "http://www.w3.org/2002/07/owl#allValuesFrom";
+    pub const HAS_VALUE: &str = "http://www.w3.org/2002/07/owl#hasValue";
+    pub const INVERSE_OF: &str = "http://www.w3.org/2002/07/owl#inverseOf";
+    pub const EQUIVALENT_CLASS: &str = "http://www.w3.org/2002/07/owl#equivalentClass";
+    pub const EQUIVALENT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#equivalentProperty";
+    pub const SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+    pub const DIFFERENT_FROM: &str = "http://www.w3.org/2002/07/owl#differentFrom";
+    pub const DISJOINT_WITH: &str = "http://www.w3.org/2002/07/owl#disjointWith";
+    pub const TRANSITIVE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#TransitiveProperty";
+    pub const SYMMETRIC_PROPERTY: &str = "http://www.w3.org/2002/07/owl#SymmetricProperty";
+    pub const FUNCTIONAL_PROPERTY: &str = "http://www.w3.org/2002/07/owl#FunctionalProperty";
+    pub const INVERSE_FUNCTIONAL_PROPERTY: &str =
+        "http://www.w3.org/2002/07/owl#InverseFunctionalProperty";
+    pub const UNION_OF: &str = "http://www.w3.org/2002/07/owl#unionOf";
+    pub const INTERSECTION_OF: &str = "http://www.w3.org/2002/07/owl#intersectionOf";
+    pub const COMPLEMENT_OF: &str = "http://www.w3.org/2002/07/owl#complementOf";
+    pub const IMPORTS: &str = "http://www.w3.org/2002/07/owl#imports";
+    pub const VERSION_INFO: &str = "http://www.w3.org/2002/07/owl#versionInfo";
+}
+
+/// The XML Schema datatypes namespace.
+pub mod xsd {
+    /// Namespace IRI.
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    pub const NON_NEGATIVE_INTEGER: &str =
+        "http://www.w3.org/2001/XMLSchema#nonNegativeInteger";
+    pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    pub const ANY_URI: &str = "http://www.w3.org/2001/XMLSchema#anyURI";
+}
+
+/// Namespaces minted by this GRDF reproduction (the paper uses
+/// `http://localhost/...`; we use stable example IRIs).
+pub mod grdf {
+    /// The core GRDF ontology namespace (feature + geometry + topology +
+    /// value/observation/CRS/time/coverage models).
+    pub const NS: &str = "http://grdf.org/ontology#";
+    /// The GRDF security ontology namespace (`SecOnto` in the paper).
+    pub const SEC_NS: &str = "http://grdf.org/security#";
+    /// Namespace for instance data produced by examples and workloads
+    /// (`app:` in the paper's listings).
+    pub const APP_NS: &str = "http://grdf.org/app#";
+
+    /// IRI in the core namespace.
+    pub fn iri(local: &str) -> String {
+        format!("{NS}{local}")
+    }
+
+    /// IRI in the security namespace.
+    pub fn sec(local: &str) -> String {
+        format!("{SEC_NS}{local}")
+    }
+
+    /// IRI in the application/instance namespace.
+    pub fn app(local: &str) -> String {
+        format!("{APP_NS}{local}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_are_prefixes_of_their_terms() {
+        assert!(rdf::TYPE.starts_with(rdf::NS));
+        assert!(rdfs::SUB_CLASS_OF.starts_with(rdfs::NS));
+        assert!(owl::ON_PROPERTY.starts_with(owl::NS));
+        assert!(xsd::DOUBLE.starts_with(xsd::NS));
+    }
+
+    #[test]
+    fn grdf_iri_builders() {
+        assert_eq!(grdf::iri("Feature"), "http://grdf.org/ontology#Feature");
+        assert_eq!(grdf::sec("Policy"), "http://grdf.org/security#Policy");
+        assert_eq!(grdf::app("site1"), "http://grdf.org/app#site1");
+    }
+}

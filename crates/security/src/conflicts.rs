@@ -1,0 +1,455 @@
+//! Policy conflict detection and combining algorithms.
+//!
+//! Paper §7: "In the case of multiple geospatial data servers, each node
+//! may enforce its own set of policies … If the combination of policies
+//! from participating systems is inconsistent, additional rules may be
+//! needed to resolve conflicts." This module makes that concrete:
+//! [`detect_conflicts`] finds the inconsistencies in a combined
+//! [`PolicySet`], and [`CombiningAlgorithm`] supplies the "additional
+//! rules" that resolve them deterministically.
+
+use std::fmt;
+
+use grdf_owl::hierarchy::Hierarchy;
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::Term;
+
+use crate::policy::{Condition, Decision, Policy, PolicySet};
+
+/// How Permit/Deny collisions are resolved during evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CombiningAlgorithm {
+    /// Any applicable Deny wins (the XACML default; what
+    /// [`PolicySet::evaluate`] implements).
+    #[default]
+    DenyOverrides,
+    /// Any applicable Permit wins.
+    PermitOverrides,
+    /// The policy whose resource designation is most specific wins: an
+    /// instance-level policy beats a class-level one; a subclass-level
+    /// policy beats a superclass-level one. Ties fall back to
+    /// deny-overrides.
+    MostSpecific,
+}
+
+/// A detected inconsistency between two policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyConflict {
+    /// The same role gets Permit from one policy and Deny from another
+    /// over overlapping resources (identical, or related by subclassing).
+    PermitDenyOverlap {
+        /// The permitting policy's id.
+        permit: String,
+        /// The denying policy's id.
+        deny: String,
+        /// The role both apply to.
+        role: String,
+        /// Description of the overlap (e.g. the shared resource).
+        overlap: String,
+    },
+    /// Two Permit policies for the same role/resource disagree about the
+    /// property conditions (one unconditional, one restricted): the
+    /// restriction is unenforceable because the broader grant subsumes it.
+    ShadowedRestriction {
+        /// The broad (unconditional) policy's id.
+        broad: String,
+        /// The restricted policy's id, whose conditions have no effect.
+        restricted: String,
+        /// The role both apply to.
+        role: String,
+    },
+    /// Two policies reference the same id with different content (merge
+    /// artifact of combining clearinghouse policy sets).
+    DuplicateId {
+        /// The shared policy id.
+        id: String,
+    },
+}
+
+impl fmt::Display for PolicyConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyConflict::PermitDenyOverlap { permit, deny, role, overlap } => write!(
+                f,
+                "role {role}: permit {permit} and deny {deny} overlap on {overlap}"
+            ),
+            PolicyConflict::ShadowedRestriction { broad, restricted, role } => write!(
+                f,
+                "role {role}: unconditional {broad} shadows the property conditions of {restricted}"
+            ),
+            PolicyConflict::DuplicateId { id } => {
+                write!(f, "two distinct policies share the id {id}")
+            }
+        }
+    }
+}
+
+/// Whether two resource designations overlap under the (materialized)
+/// class hierarchy of `data`: equal, one a subclass of the other, or an
+/// instance of the class.
+fn resources_overlap(data: &Graph, a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    let h = Hierarchy::new(data);
+    let (ta, tb) = (Term::iri(a), Term::iri(b));
+    if h.is_subclass_of(&ta, &tb) || h.is_subclass_of(&tb, &ta) {
+        return true;
+    }
+    // Instance-of relations in either direction.
+    let types_a = h.types_of(&ta);
+    let types_b = h.types_of(&tb);
+    types_a.iter().any(|t| t == &tb || h.is_subclass_of(t, &tb))
+        || types_b.iter().any(|t| t == &ta || h.is_subclass_of(t, &ta))
+}
+
+/// Detect conflicts in a combined policy set, using `data` for the class
+/// hierarchy (materialize it first for full subclass coverage).
+pub fn detect_conflicts(data: &Graph, policies: &PolicySet) -> Vec<PolicyConflict> {
+    let mut out = Vec::new();
+    let ps = &policies.policies;
+
+    for (i, a) in ps.iter().enumerate() {
+        for b in &ps[i + 1..] {
+            if a.id == b.id && a != b {
+                out.push(PolicyConflict::DuplicateId { id: a.id.clone() });
+                continue;
+            }
+            if a.role != b.role || a.action != b.action {
+                continue;
+            }
+            if !resources_overlap(data, &a.resource, &b.resource) {
+                continue;
+            }
+            match (a.decision, b.decision) {
+                (Decision::Permit, Decision::Deny) => {
+                    out.push(PolicyConflict::PermitDenyOverlap {
+                        permit: a.id.clone(),
+                        deny: b.id.clone(),
+                        role: a.role.clone(),
+                        overlap: overlap_desc(a, b),
+                    });
+                }
+                (Decision::Deny, Decision::Permit) => {
+                    out.push(PolicyConflict::PermitDenyOverlap {
+                        permit: b.id.clone(),
+                        deny: a.id.clone(),
+                        role: a.role.clone(),
+                        overlap: overlap_desc(a, b),
+                    });
+                }
+                (Decision::Permit, Decision::Permit) => {
+                    // Unconditional + conditioned on the SAME resource: the
+                    // condition is dead letter.
+                    if a.resource == b.resource {
+                        match (a.conditions.is_empty(), b.conditions.is_empty()) {
+                            (true, false) => out.push(PolicyConflict::ShadowedRestriction {
+                                broad: a.id.clone(),
+                                restricted: b.id.clone(),
+                                role: a.role.clone(),
+                            }),
+                            (false, true) => out.push(PolicyConflict::ShadowedRestriction {
+                                broad: b.id.clone(),
+                                restricted: a.id.clone(),
+                                role: a.role.clone(),
+                            }),
+                            _ => {}
+                        }
+                    }
+                }
+                (Decision::Deny, Decision::Deny) => {}
+            }
+        }
+    }
+    out
+}
+
+fn overlap_desc(a: &Policy, b: &Policy) -> String {
+    if a.resource == b.resource {
+        a.resource.clone()
+    } else {
+        format!("{} / {}", a.resource, b.resource)
+    }
+}
+
+/// Resolve a Permit/Deny collision per the chosen algorithm; returns the
+/// decision that should stand for probes in the overlap.
+pub fn resolve(
+    data: &Graph,
+    algorithm: CombiningAlgorithm,
+    permit: &Policy,
+    deny: &Policy,
+) -> Decision {
+    match algorithm {
+        CombiningAlgorithm::DenyOverrides => Decision::Deny,
+        CombiningAlgorithm::PermitOverrides => Decision::Permit,
+        CombiningAlgorithm::MostSpecific => {
+            match specificity(data, &permit.resource).cmp(&specificity(data, &deny.resource)) {
+                std::cmp::Ordering::Greater => Decision::Permit,
+                std::cmp::Ordering::Less => Decision::Deny,
+                std::cmp::Ordering::Equal => Decision::Deny, // tie → deny
+            }
+        }
+    }
+}
+
+/// Resource specificity: instances (things with a type) rank above
+/// classes; deeper classes rank above shallower ones.
+fn specificity(data: &Graph, resource: &str) -> usize {
+    let h = Hierarchy::new(data);
+    let t = Term::iri(resource);
+    if !h.types_of(&t).is_empty() {
+        return 1000; // an individual
+    }
+    h.depth(&t) + 1
+}
+
+/// A policy set after conflict resolution: shadowed restrictions removed
+/// (keeping the restrictive version, per least-privilege) and losing sides
+/// of Permit/Deny overlaps dropped.
+pub fn resolved_policy_set(
+    data: &Graph,
+    policies: &PolicySet,
+    algorithm: CombiningAlgorithm,
+) -> PolicySet {
+    let conflicts = detect_conflicts(data, policies);
+    let mut dropped: Vec<String> = Vec::new();
+    for c in &conflicts {
+        match c {
+            PolicyConflict::PermitDenyOverlap { permit, deny, .. } => {
+                let p = policies.policies.iter().find(|p| &p.id == permit);
+                let d = policies.policies.iter().find(|p| &p.id == deny);
+                if let (Some(p), Some(d)) = (p, d) {
+                    match resolve(data, algorithm, p, d) {
+                        Decision::Permit => dropped.push(deny.clone()),
+                        Decision::Deny => dropped.push(permit.clone()),
+                    }
+                }
+            }
+            PolicyConflict::ShadowedRestriction { broad, .. } => {
+                // Least privilege: drop the broad grant so the property
+                // conditions take effect.
+                dropped.push(broad.clone());
+            }
+            PolicyConflict::DuplicateId { .. } => {}
+        }
+    }
+    PolicySet::new(
+        policies
+            .policies
+            .iter()
+            .filter(|p| !dropped.contains(&p.id))
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Quick structural sanity of a policy set independent of data: empty
+/// property lists, empty roles, and policies with no resource.
+pub fn lint(policies: &PolicySet) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in &policies.policies {
+        if p.role.is_empty() {
+            out.push(format!("{}: empty role", p.id));
+        }
+        if p.resource.is_empty() {
+            out.push(format!("{}: empty resource", p.id));
+        }
+        for c in &p.conditions {
+            let Condition::PropertyAccess(props) = c;
+            if props.is_empty() {
+                out.push(format!("{}: property condition grants nothing", p.id));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Action;
+    use grdf_rdf::vocab::{grdf, rdf, rdfs};
+
+    fn data_with_hierarchy() -> Graph {
+        let mut g = Graph::new();
+        g.add(
+            Term::iri(&grdf::app("Refinery")),
+            Term::iri(rdfs::SUB_CLASS_OF),
+            Term::iri(&grdf::app("ChemSite")),
+        );
+        g.add(
+            Term::iri(&grdf::app("plant1")),
+            Term::iri(rdf::TYPE),
+            Term::iri(&grdf::app("Refinery")),
+        );
+        g
+    }
+
+    #[test]
+    fn clean_sets_have_no_conflicts() {
+        let data = data_with_hierarchy();
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:p1", "urn:roleA", &grdf::app("ChemSite")),
+            Policy::permit("urn:p2", "urn:roleB", &grdf::app("ChemSite")),
+            Policy::deny("urn:p3", "urn:roleA", &grdf::app("Stream")),
+        ]);
+        assert!(detect_conflicts(&data, &ps).is_empty());
+    }
+
+    #[test]
+    fn permit_deny_overlap_on_same_class() {
+        let data = data_with_hierarchy();
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:permit", "urn:r", &grdf::app("ChemSite")),
+            Policy::deny("urn:deny", "urn:r", &grdf::app("ChemSite")),
+        ]);
+        let conflicts = detect_conflicts(&data, &ps);
+        assert!(matches!(
+            conflicts.as_slice(),
+            [PolicyConflict::PermitDenyOverlap { .. }]
+        ));
+    }
+
+    #[test]
+    fn subclass_overlap_detected() {
+        // Two clearinghouses: one permits ChemSite, one denies Refinery ⊑
+        // ChemSite — an overlap only visible through the hierarchy.
+        let data = data_with_hierarchy();
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:permit", "urn:r", &grdf::app("ChemSite")),
+            Policy::deny("urn:deny", "urn:r", &grdf::app("Refinery")),
+        ]);
+        assert_eq!(detect_conflicts(&data, &ps).len(), 1);
+    }
+
+    #[test]
+    fn instance_class_overlap_detected() {
+        let data = data_with_hierarchy();
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:permit", "urn:r", &grdf::app("plant1")),
+            Policy::deny("urn:deny", "urn:r", &grdf::app("ChemSite")),
+        ]);
+        assert_eq!(detect_conflicts(&data, &ps).len(), 1);
+    }
+
+    #[test]
+    fn different_roles_or_actions_do_not_conflict() {
+        let data = data_with_hierarchy();
+        let mut edit = Policy::deny("urn:deny", "urn:r", &grdf::app("ChemSite"));
+        edit.action = Action::Edit;
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:permit", "urn:r", &grdf::app("ChemSite")),
+            edit,
+            Policy::deny("urn:other", "urn:r2", &grdf::app("ChemSite")),
+        ]);
+        assert!(detect_conflicts(&data, &ps).is_empty());
+    }
+
+    #[test]
+    fn shadowed_restriction_detected_and_resolved_least_privilege() {
+        let data = data_with_hierarchy();
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:broad", "urn:r", &grdf::app("ChemSite")),
+            Policy::permit_properties(
+                "urn:narrow",
+                "urn:r",
+                &grdf::app("ChemSite"),
+                &[&grdf::iri("isBoundedBy")],
+            ),
+        ]);
+        let conflicts = detect_conflicts(&data, &ps);
+        assert!(matches!(
+            conflicts.as_slice(),
+            [PolicyConflict::ShadowedRestriction { broad, .. }] if broad == "urn:broad"
+        ));
+        let resolved = resolved_policy_set(&data, &ps, CombiningAlgorithm::DenyOverrides);
+        assert_eq!(resolved.policies.len(), 1);
+        assert_eq!(resolved.policies[0].id, "urn:narrow");
+        // The resolved set now actually restricts.
+        let probe = Term::iri(&grdf::app("plant1"));
+        let mut data2 = data.clone();
+        grdf_owl::reasoner::Reasoner::default().materialize(&mut data2);
+        assert_eq!(
+            resolved.evaluate(&data2, "urn:r", &probe, &grdf::app("hasChemCode"), Action::View),
+            crate::policy::Access::Denied
+        );
+    }
+
+    #[test]
+    fn combining_algorithms_differ() {
+        let data = data_with_hierarchy();
+        let permit_instance = Policy::permit("urn:pi", "urn:r", &grdf::app("plant1"));
+        let deny_class = Policy::deny("urn:dc", "urn:r", &grdf::app("ChemSite"));
+        assert_eq!(
+            resolve(&data, CombiningAlgorithm::DenyOverrides, &permit_instance, &deny_class),
+            Decision::Deny
+        );
+        assert_eq!(
+            resolve(&data, CombiningAlgorithm::PermitOverrides, &permit_instance, &deny_class),
+            Decision::Permit
+        );
+        // Most-specific: the instance-level permit beats the class deny.
+        assert_eq!(
+            resolve(&data, CombiningAlgorithm::MostSpecific, &permit_instance, &deny_class),
+            Decision::Permit
+        );
+        // …but a subclass deny beats a superclass permit.
+        let permit_super = Policy::permit("urn:ps", "urn:r", &grdf::app("ChemSite"));
+        let deny_sub = Policy::deny("urn:ds", "urn:r", &grdf::app("Refinery"));
+        assert_eq!(
+            resolve(&data, CombiningAlgorithm::MostSpecific, &permit_super, &deny_sub),
+            Decision::Deny
+        );
+    }
+
+    #[test]
+    fn resolved_set_respects_permit_overrides() {
+        let data = data_with_hierarchy();
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:permit", "urn:r", &grdf::app("ChemSite")),
+            Policy::deny("urn:deny", "urn:r", &grdf::app("ChemSite")),
+        ]);
+        let resolved = resolved_policy_set(&data, &ps, CombiningAlgorithm::PermitOverrides);
+        assert_eq!(resolved.policies.len(), 1);
+        assert_eq!(resolved.policies[0].id, "urn:permit");
+    }
+
+    #[test]
+    fn duplicate_ids_flagged() {
+        let data = Graph::new();
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:same", "urn:r", &grdf::app("A")),
+            Policy::permit("urn:same", "urn:r2", &grdf::app("B")),
+        ]);
+        assert!(matches!(
+            detect_conflicts(&data, &ps).as_slice(),
+            [PolicyConflict::DuplicateId { .. }]
+        ));
+    }
+
+    #[test]
+    fn lint_finds_structural_problems() {
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:ok", "urn:r", &grdf::app("A")),
+            Policy { role: String::new(), ..Policy::permit("urn:bad1", "x", "urn:res") },
+            Policy {
+                conditions: vec![Condition::PropertyAccess(vec![])],
+                ..Policy::permit("urn:bad2", "urn:r", "urn:res")
+            },
+        ]);
+        let problems = lint(&ps);
+        assert_eq!(problems.len(), 2);
+    }
+
+    #[test]
+    fn conflict_display() {
+        let c = PolicyConflict::PermitDenyOverlap {
+            permit: "urn:p".into(),
+            deny: "urn:d".into(),
+            role: "urn:r".into(),
+            overlap: "urn:x".into(),
+        };
+        assert!(c.to_string().contains("urn:p"));
+    }
+}

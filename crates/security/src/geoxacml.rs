@@ -1,0 +1,222 @@
+//! The GeoXACML-style baseline: object-level access control.
+//!
+//! Paper §7: GeoXACML "views geographic resources as objects that can be
+//! associated with either a class or instance of the class. As such, it is
+//! unable to provide a fine-grain access control. For instance, consider
+//! granting access to a Building object to a user. The conferred privilege
+//! is going to allow a user to access all the Building properties…".
+//!
+//! This module reproduces that model faithfully so the benchmarks can
+//! measure the two gaps the paper claims GRDF closes:
+//!
+//! * **granularity** — a grant exposes *every* property of the object
+//!   (no `hasPropertyAccess` conditions exist in the model), and
+//! * **merge fragility** — resource matching is *syntactic*: a rule for
+//!   class `C` matches only objects whose asserted `rdf:type` is literally
+//!   `C`. Types contributed by another source's vocabulary (aligned via
+//!   `rdfs:subClassOf` / `owl:equivalentClass`) are invisible because the
+//!   XACML parser does no reasoning.
+
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::Term;
+use grdf_rdf::vocab::rdf;
+
+use crate::policy::Decision;
+use crate::views::ViewStats;
+
+/// One object-level rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XacmlRule {
+    /// The role the rule applies to.
+    pub role: String,
+    /// Exact class IRI or instance IRI the rule targets.
+    pub resource: String,
+    /// Permit or Deny.
+    pub decision: Decision,
+}
+
+impl XacmlRule {
+    /// A permit rule.
+    pub fn permit(role: &str, resource: &str) -> XacmlRule {
+        XacmlRule { role: role.to_string(), resource: resource.to_string(), decision: Decision::Permit }
+    }
+
+    /// A deny rule.
+    pub fn deny(role: &str, resource: &str) -> XacmlRule {
+        XacmlRule { role: role.to_string(), resource: resource.to_string(), decision: Decision::Deny }
+    }
+}
+
+/// An object-level policy set.
+#[derive(Debug, Clone, Default)]
+pub struct XacmlPolicySet {
+    /// The rules.
+    pub rules: Vec<XacmlRule>,
+}
+
+impl XacmlPolicySet {
+    /// Build from rules.
+    pub fn new(rules: Vec<XacmlRule>) -> XacmlPolicySet {
+        XacmlPolicySet { rules }
+    }
+
+    /// Object-level decision for `(role, object)`: deny-overrides, then
+    /// permit, else deny-by-default. Matching is syntactic on the asserted
+    /// `rdf:type` IRIs and the object IRI — deliberately no inference.
+    pub fn decide(&self, data: &Graph, role: &str, object: &Term) -> Decision {
+        let types: Vec<String> = data
+            .objects(object, &Term::iri(rdf::TYPE))
+            .into_iter()
+            .filter_map(|t| t.as_iri().map(str::to_string))
+            .collect();
+        let mut permitted = false;
+        for rule in &self.rules {
+            if rule.role != role {
+                continue;
+            }
+            let matches = object.as_iri() == Some(rule.resource.as_str())
+                || types.iter().any(|t| t == &rule.resource);
+            if matches {
+                match rule.decision {
+                    Decision::Deny => return Decision::Deny,
+                    Decision::Permit => permitted = true,
+                }
+            }
+        }
+        if permitted {
+            Decision::Permit
+        } else {
+            Decision::Deny
+        }
+    }
+
+    /// Build the role's view: whole objects in or out. A permitted object
+    /// contributes **all** of its triples (including blank-node subtrees) —
+    /// the granularity limitation under measurement.
+    pub fn view(&self, data: &Graph, role: &str) -> (Graph, ViewStats) {
+        let mut view = Graph::new();
+        let mut stats = ViewStats::default();
+        for subject in data.all_subjects() {
+            if subject.is_blank() {
+                continue;
+            }
+            let triples = data.match_pattern(Some(&subject), None, None);
+            if triples.is_empty() {
+                continue;
+            }
+            // Only consider instance subjects (same scoping as secure_view).
+            let is_instance = data.objects(&subject, &Term::iri(rdf::TYPE)).iter().any(|t| {
+                t.as_iri().is_some_and(|i| {
+                    !i.starts_with(grdf_rdf::vocab::owl::NS)
+                        && !i.starts_with(grdf_rdf::vocab::rdfs::NS)
+                })
+            });
+            if !is_instance {
+                continue;
+            }
+            match self.decide(data, role, &subject) {
+                Decision::Permit => {
+                    let mut frontier = vec![subject.clone()];
+                    let mut seen = std::collections::HashSet::new();
+                    while let Some(node) = frontier.pop() {
+                        if !seen.insert(node.clone()) {
+                            continue;
+                        }
+                        for t in data.match_pattern(Some(&node), None, None) {
+                            if t.object.is_blank() {
+                                frontier.push(t.object.clone());
+                            }
+                            stats.granted += 1;
+                            view.insert(t);
+                        }
+                    }
+                }
+                Decision::Deny => {
+                    stats.suppressed += triples.len();
+                    stats.unmatched_subjects += 1;
+                }
+            }
+        }
+        (view, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::view_exposes;
+    use grdf_feature::feature::Feature;
+    use grdf_feature::rdf_codec::encode_feature;
+    use grdf_rdf::vocab::{grdf, rdfs};
+
+    fn data() -> Graph {
+        let mut g = Graph::new();
+        let mut site = Feature::new(&grdf::app("NTEnergy"), "ChemSite");
+        site.set_property("hasSiteName", "NT Energy");
+        site.set_property("hasChemCode", "121NR");
+        encode_feature(&mut g, &site);
+        g
+    }
+
+    #[test]
+    fn permit_exposes_all_properties() {
+        // The granularity gap: an object-level grant leaks every property.
+        let g = data();
+        let ps = XacmlPolicySet::new(vec![XacmlRule::permit("main-repair", &grdf::app("ChemSite"))]);
+        let (view, _) = ps.view(&g, "main-repair");
+        assert!(view_exposes(&view, &grdf::app("NTEnergy"), &grdf::app("hasChemCode")),
+            "object-level control cannot suppress a single property");
+    }
+
+    #[test]
+    fn deny_by_default_and_deny_overrides() {
+        let g = data();
+        let ps = XacmlPolicySet::new(vec![
+            XacmlRule::permit("r", &grdf::app("ChemSite")),
+            XacmlRule::deny("r", &grdf::app("NTEnergy")),
+        ]);
+        assert_eq!(ps.decide(&g, "r", &Term::iri(&grdf::app("NTEnergy"))), Decision::Deny);
+        assert_eq!(ps.decide(&g, "other", &Term::iri(&grdf::app("NTEnergy"))), Decision::Deny);
+    }
+
+    #[test]
+    fn no_inference_over_merged_vocabularies() {
+        // Merge fragility: an aligned subclass from another source is not
+        // matched by the syntactic rule, even though reasoning would cover
+        // it.
+        let mut g = data();
+        g.add(
+            Term::iri("urn:wx#station"),
+            Term::iri(rdf::TYPE),
+            Term::iri("urn:wx#MonitoredSite"),
+        );
+        g.add(
+            Term::iri("urn:wx#MonitoredSite"),
+            Term::iri(rdfs::SUB_CLASS_OF),
+            Term::iri(&grdf::app("ChemSite")),
+        );
+        let ps = XacmlPolicySet::new(vec![XacmlRule::permit("r", &grdf::app("ChemSite"))]);
+        assert_eq!(
+            ps.decide(&g, "r", &Term::iri("urn:wx#station")),
+            Decision::Deny,
+            "syntactic matcher cannot see the subclass alignment"
+        );
+    }
+
+    #[test]
+    fn instance_rules_match_exactly() {
+        let g = data();
+        let ps = XacmlPolicySet::new(vec![XacmlRule::permit("r", &grdf::app("NTEnergy"))]);
+        assert_eq!(ps.decide(&g, "r", &Term::iri(&grdf::app("NTEnergy"))), Decision::Permit);
+    }
+
+    #[test]
+    fn view_stats_track_suppression() {
+        let g = data();
+        let ps = XacmlPolicySet::default();
+        let (view, stats) = ps.view(&g, "anyone");
+        assert!(view.is_empty());
+        assert!(stats.suppressed > 0);
+        assert_eq!(stats.unmatched_subjects, 1);
+    }
+}

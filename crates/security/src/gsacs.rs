@@ -1,0 +1,762 @@
+//! G-SACS — the Geospatial Security Access Control System of Fig. 3.
+//!
+//! "G-SACS provides the front-end interface to accept client requests and
+//! respond back. This module only defines communication points and hides
+//! the internal details of the system from clients." Behind the front-end
+//! sit the decision engine (policy evaluation + view filtering), a query
+//! cache ("having a caching mechanism that stores the queries and
+//! corresponding answers would provide a significant performance boost"),
+//! a plug-and-play reasoning engine ("any OWL reasoning engine could be
+//! plugged into the system"), and the ontology repository ("a database of
+//! ontologies needed to perform the reasoning; GRDF would reside in this
+//! repository").
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use grdf_owl::reasoner::Reasoner;
+use grdf_query::eval::{execute, QueryError, QueryResult};
+use grdf_rdf::graph::Graph;
+
+use crate::policy::PolicySet;
+use crate::views::{secure_view, ViewStats};
+
+/// The pluggable reasoning component (Fig. 3 "Reasoning engine").
+pub trait ReasoningEngine: Send + Sync {
+    /// Materialize entailments into the graph; returns the number of
+    /// inferred triples.
+    fn materialize(&self, graph: &mut Graph) -> usize;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The built-in OWL-Horst reasoner.
+#[derive(Debug, Default)]
+pub struct OwlHorstEngine {
+    reasoner: Reasoner,
+}
+
+impl OwlHorstEngine {
+    /// Engine with a custom reasoner configuration.
+    pub fn with(reasoner: Reasoner) -> OwlHorstEngine {
+        OwlHorstEngine { reasoner }
+    }
+}
+
+impl ReasoningEngine for OwlHorstEngine {
+    fn materialize(&self, graph: &mut Graph) -> usize {
+        self.reasoner.materialize(graph).inferred
+    }
+
+    fn name(&self) -> &'static str {
+        "owl-horst"
+    }
+}
+
+/// A no-op engine — the "reasoning off" ablation arm.
+#[derive(Debug, Default)]
+pub struct NoReasoning;
+
+impl ReasoningEngine for NoReasoning {
+    fn materialize(&self, _graph: &mut Graph) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// The ontology repository: named ontology graphs (GRDF itself, the
+/// security ontology, domain ontologies).
+#[derive(Debug, Default)]
+pub struct OntoRepository {
+    ontologies: HashMap<String, Graph>,
+}
+
+impl OntoRepository {
+    /// Empty repository.
+    pub fn new() -> OntoRepository {
+        OntoRepository::default()
+    }
+
+    /// Store (or replace) an ontology under a name.
+    pub fn register(&mut self, name: &str, ontology: Graph) {
+        self.ontologies.insert(name.to_string(), ontology);
+    }
+
+    /// Fetch an ontology by name.
+    pub fn get(&self, name: &str) -> Option<&Graph> {
+        self.ontologies.get(name)
+    }
+
+    /// Names in the repository.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.ontologies.keys().map(String::as_str).collect();
+        names.sort();
+        names
+    }
+
+    /// Merge every registered ontology into one graph.
+    pub fn merged(&self) -> Graph {
+        let mut g = Graph::new();
+        for onto in self.ontologies.values() {
+            g.extend_from(onto);
+        }
+        g
+    }
+}
+
+/// LRU query cache (Fig. 3 "Query Cache").
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    entries: HashMap<(String, String), QueryResult>,
+    /// Usage order: least-recently-used first.
+    order: Vec<(String, String)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// Cache with the given capacity (0 disables caching).
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity,
+            entries: HashMap::new(),
+            order: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &(String, String)) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+
+    /// Look up a cached result.
+    pub fn get(&mut self, role: &str, query: &str) -> Option<QueryResult> {
+        if self.capacity == 0 {
+            self.misses += 1;
+            return None;
+        }
+        let key = (role.to_string(), query.to_string());
+        match self.entries.get(&key).cloned() {
+            Some(v) => {
+                self.hits += 1;
+                self.touch(&key);
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a result, evicting the least recently used entry if full.
+    pub fn put(&mut self, role: &str, query: &str, result: QueryResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (role.to_string(), query.to_string());
+        if self.entries.contains_key(&key) {
+            self.entries.insert(key.clone(), result);
+            self.touch(&key);
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            let lru = self.order.remove(0);
+            self.entries.remove(&lru);
+        }
+        self.entries.insert(key.clone(), result);
+        self.order.push(key);
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all entries (e.g. after data changes).
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+}
+
+/// A client request (Fig. 3 "Client system" → G-SACS).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClientRequest {
+    /// The requesting role's IRI.
+    pub role: String,
+    /// A SPARQL-subset query to run against the role's secure view.
+    pub query: String,
+}
+
+/// One mutation in an update request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Add a triple (requires `sec:Edit` on the subject's resource).
+    Insert(grdf_rdf::term::Triple),
+    /// Remove a triple (requires `sec:Delete`).
+    Delete(grdf_rdf::term::Triple),
+}
+
+/// A mutation request: all operations are checked first; the request is
+/// applied only when every operation is permitted (atomic deny).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRequest {
+    /// The requesting role's IRI.
+    pub role: String,
+    /// The operations, applied in order.
+    pub ops: Vec<UpdateOp>,
+}
+
+/// Outcome of an update request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// All operations applied; count of triples actually changed.
+    Applied(usize),
+    /// Denied; the 1-based index and reason of the first refused op.
+    Denied {
+        /// Index of the eager refusal.
+        op_index: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// One audit record — every security-relevant decision G-SACS makes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// The requesting role.
+    pub role: String,
+    /// `query`, `update-insert`, or `update-delete`.
+    pub action: String,
+    /// The affected resource (subject IRI) or query text.
+    pub target: String,
+    /// Whether it was allowed.
+    pub allowed: bool,
+}
+
+/// The G-SACS service: front-end + decision engine + caches + reasoner +
+/// ontology repository.
+pub struct GSacs {
+    /// Ontology repository (Fig. 3).
+    pub repository: OntoRepository,
+    policies: PolicySet,
+    reasoner: Box<dyn ReasoningEngine>,
+    /// Materialized data + ontologies.
+    data: Graph,
+    /// Inferred-triple count from the last materialization.
+    pub inferred: usize,
+    query_cache: Mutex<QueryCache>,
+    /// Per-role secure views, built lazily.
+    view_cache: Mutex<HashMap<String, Arc<Graph>>>,
+    /// View construction statistics per role.
+    view_stats: Mutex<HashMap<String, ViewStats>>,
+    /// Security decision log.
+    audit: Mutex<Vec<AuditEntry>>,
+}
+
+impl GSacs {
+    /// Assemble the service: the instance `data` is merged with every
+    /// ontology in `repository` and materialized with `reasoner`.
+    pub fn new(
+        repository: OntoRepository,
+        policies: PolicySet,
+        reasoner: Box<dyn ReasoningEngine>,
+        data: Graph,
+        cache_capacity: usize,
+    ) -> GSacs {
+        let mut merged = repository.merged();
+        merged.extend_from(&data);
+        let inferred = reasoner.materialize(&mut merged);
+        GSacs {
+            repository,
+            policies,
+            reasoner,
+            data: merged,
+            inferred,
+            query_cache: Mutex::new(QueryCache::new(cache_capacity)),
+            view_cache: Mutex::new(HashMap::new()),
+            view_stats: Mutex::new(HashMap::new()),
+            audit: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Name of the plugged-in reasoning engine.
+    pub fn reasoner_name(&self) -> &'static str {
+        self.reasoner.name()
+    }
+
+    /// The materialized dataset (ontologies + instance data + inferences).
+    pub fn dataset(&self) -> &Graph {
+        &self.data
+    }
+
+    /// The secure view for a role (cached).
+    pub fn view_for(&self, role: &str) -> Arc<Graph> {
+        if let Some(v) = self.view_cache.lock().get(role) {
+            return Arc::clone(v);
+        }
+        let (view, stats) = secure_view(&self.data, &self.policies, role);
+        let view = Arc::new(view);
+        self.view_cache.lock().insert(role.to_string(), Arc::clone(&view));
+        self.view_stats.lock().insert(role.to_string(), stats);
+        view
+    }
+
+    /// View construction statistics for a role (if its view was built).
+    pub fn view_stats_for(&self, role: &str) -> Option<ViewStats> {
+        self.view_stats.lock().get(role).copied()
+    }
+
+    /// Handle a client request: cache lookup → secure view → query.
+    pub fn handle(&self, request: &ClientRequest) -> Result<QueryResult, QueryError> {
+        if let Some(hit) = self.query_cache.lock().get(&request.role, &request.query) {
+            return Ok(hit);
+        }
+        let view = self.view_for(&request.role);
+        let result = execute(&view, &request.query)?;
+        self.query_cache.lock().put(&request.role, &request.query, result.clone());
+        self.audit.lock().push(AuditEntry {
+            role: request.role.clone(),
+            action: "query".to_string(),
+            target: request.query.clone(),
+            allowed: true,
+        });
+        Ok(result)
+    }
+
+    /// Handle a mutation: every operation is policy-checked with the
+    /// matching action (`Edit` for inserts, `Delete` for deletions); on the
+    /// first refusal nothing is applied. Successful updates invalidate the
+    /// caches and re-materialize inference.
+    pub fn handle_update(&mut self, request: &UpdateRequest) -> UpdateOutcome {
+        use crate::policy::{Access, Action};
+        // Phase 1: check all ops.
+        for (i, op) in request.ops.iter().enumerate() {
+            let (triple, action, action_name) = match op {
+                UpdateOp::Insert(t) => (t, Action::Edit, "update-insert"),
+                UpdateOp::Delete(t) => (t, Action::Delete, "update-delete"),
+            };
+            let pred = triple.predicate.as_iri().unwrap_or_default().to_string();
+            let access =
+                self.policies.evaluate(&self.data, &request.role, &triple.subject, &pred, action);
+            let allowed = access == Access::Granted;
+            self.audit.lock().push(AuditEntry {
+                role: request.role.clone(),
+                action: action_name.to_string(),
+                target: triple.subject.to_string(),
+                allowed,
+            });
+            if !allowed {
+                return UpdateOutcome::Denied {
+                    op_index: i + 1,
+                    reason: format!(
+                        "{action_name} on {} denied for role {} ({access:?})",
+                        triple.subject, request.role
+                    ),
+                };
+            }
+        }
+        // Phase 2: apply.
+        let mut changed = 0;
+        for op in &request.ops {
+            match op {
+                UpdateOp::Insert(t) => {
+                    if self.data.insert(t.clone()) {
+                        changed += 1;
+                    }
+                }
+                UpdateOp::Delete(t) => {
+                    if self.data.remove(t) {
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        if changed > 0 {
+            self.inferred += self.reasoner.materialize(&mut self.data);
+            self.invalidate();
+        }
+        UpdateOutcome::Applied(changed)
+    }
+
+    /// The audit log so far (clone; the log keeps growing).
+    pub fn audit_log(&self) -> Vec<AuditEntry> {
+        self.audit.lock().clone()
+    }
+
+    /// Denied entries in the audit log.
+    pub fn audit_denials(&self) -> Vec<AuditEntry> {
+        self.audit.lock().iter().filter(|e| !e.allowed).cloned().collect()
+    }
+
+    /// Query-cache `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.query_cache.lock().stats()
+    }
+
+    /// Query-cache hit rate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.query_cache.lock().hit_rate()
+    }
+
+    /// Invalidate caches (after a data change).
+    pub fn invalidate(&self) {
+        self.query_cache.lock().invalidate();
+        self.view_cache.lock().clear();
+        self.view_stats.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::security_ontology;
+    use crate::policy::Policy;
+    use grdf_feature::feature::Feature;
+    use grdf_feature::rdf_codec::encode_feature;
+    use grdf_rdf::vocab::grdf;
+
+    fn service(cache: usize) -> GSacs {
+        let mut data = Graph::new();
+        let mut site = Feature::new(&grdf::app("NTEnergy"), "ChemSite");
+        site.set_property("hasSiteName", "NT Energy");
+        site.set_property("hasChemCode", "121NR");
+        encode_feature(&mut data, &site);
+        let mut stream = Feature::new(&grdf::app("WhiteRock"), "Stream");
+        stream.set_property("hasObjectID", 11070i64);
+        encode_feature(&mut data, &stream);
+
+        let mut repo = OntoRepository::new();
+        repo.register("seconto", security_ontology());
+
+        let policies = PolicySet::new(vec![
+            Policy::permit_properties(
+                &grdf::sec("MainRepPolicy1"),
+                &grdf::sec("MainRep"),
+                &grdf::app("ChemSite"),
+                &[&grdf::iri("isBoundedBy")],
+            ),
+            Policy::permit(&grdf::sec("MainRepPolicy2"), &grdf::sec("MainRep"), &grdf::app("Stream")),
+            Policy::permit(&grdf::sec("E1"), &grdf::sec("Emergency"), &grdf::app("ChemSite")),
+            Policy::permit(&grdf::sec("E2"), &grdf::sec("Emergency"), &grdf::app("Stream")),
+        ]);
+        GSacs::new(repo, policies, Box::<OwlHorstEngine>::default(), data, cache)
+    }
+
+    fn chem_query() -> String {
+        format!(
+            "PREFIX app: <{}>\nSELECT ?c WHERE {{ ?s app:hasChemCode ?c }}",
+            grdf::APP_NS
+        )
+    }
+
+    #[test]
+    fn roles_get_different_answers() {
+        let svc = service(16);
+        let main_repair = ClientRequest { role: grdf::sec("MainRep"), query: chem_query() };
+        let emergency = ClientRequest { role: grdf::sec("Emergency"), query: chem_query() };
+        assert_eq!(svc.handle(&main_repair).unwrap().select_rows().len(), 0);
+        assert_eq!(svc.handle(&emergency).unwrap().select_rows().len(), 1);
+    }
+
+    #[test]
+    fn cache_hits_on_repeat() {
+        let svc = service(16);
+        let req = ClientRequest { role: grdf::sec("Emergency"), query: chem_query() };
+        svc.handle(&req).unwrap();
+        svc.handle(&req).unwrap();
+        svc.handle(&req).unwrap();
+        let (hits, misses) = svc.cache_stats();
+        assert_eq!(hits, 2);
+        assert_eq!(misses, 1);
+        assert!(svc.cache_hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let svc = service(0);
+        let req = ClientRequest { role: grdf::sec("Emergency"), query: chem_query() };
+        svc.handle(&req).unwrap();
+        svc.handle(&req).unwrap();
+        let (hits, _) = svc.cache_stats();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut cache = QueryCache::new(2);
+        cache.put("r", "q1", QueryResult::Boolean(true));
+        cache.put("r", "q2", QueryResult::Boolean(true));
+        assert!(cache.get("r", "q1").is_some()); // q1 now most recent
+        cache.put("r", "q3", QueryResult::Boolean(true)); // evicts q2
+        assert!(cache.get("r", "q2").is_none());
+        assert!(cache.get("r", "q1").is_some());
+        assert!(cache.get("r", "q3").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_keys_include_role() {
+        let mut cache = QueryCache::new(4);
+        cache.put("role-a", "q", QueryResult::Boolean(true));
+        assert!(cache.get("role-b", "q").is_none(), "another role must not see it");
+    }
+
+    #[test]
+    fn pluggable_reasoner() {
+        use grdf_rdf::term::Term;
+        use grdf_rdf::vocab::{rdf, rdfs};
+        // Data whose class hierarchy implies extra memberships.
+        let mut data = Graph::new();
+        data.add(
+            Term::iri(&grdf::app("Creek")),
+            Term::iri(rdfs::SUB_CLASS_OF),
+            Term::iri(&grdf::app("Stream")),
+        );
+        data.add(
+            Term::iri(&grdf::app("c1")),
+            Term::iri(rdf::TYPE),
+            Term::iri(&grdf::app("Creek")),
+        );
+
+        let svc = GSacs::new(
+            OntoRepository::new(),
+            PolicySet::default(),
+            Box::<OwlHorstEngine>::default(),
+            data.clone(),
+            4,
+        );
+        assert_eq!(svc.reasoner_name(), "owl-horst");
+        assert!(svc.inferred > 0, "Creek ⊑ Stream must fire");
+
+        let svc2 = GSacs::new(
+            OntoRepository::new(),
+            PolicySet::default(),
+            Box::new(NoReasoning),
+            data,
+            4,
+        );
+        assert_eq!(svc2.reasoner_name(), "none");
+        assert_eq!(svc2.inferred, 0);
+    }
+
+    #[test]
+    fn repository_merges() {
+        let mut repo = OntoRepository::new();
+        repo.register("sec", security_ontology());
+        let mut g = Graph::new();
+        g.add(
+            grdf_rdf::term::Term::iri("urn:a"),
+            grdf_rdf::term::Term::iri("urn:p"),
+            grdf_rdf::term::Term::iri("urn:b"),
+        );
+        repo.register("app", g);
+        assert_eq!(repo.names(), vec!["app", "sec"]);
+        assert!(repo.get("sec").is_some());
+        let merged = repo.merged();
+        assert!(merged.len() > security_ontology().len());
+    }
+
+    #[test]
+    fn view_stats_recorded() {
+        let svc = service(4);
+        let _ = svc.view_for(&grdf::sec("MainRep"));
+        let stats = svc.view_stats_for(&grdf::sec("MainRep")).unwrap();
+        assert!(stats.suppressed > 0, "chem data suppressed for main repair");
+    }
+
+    #[test]
+    fn invalidate_clears_caches() {
+        let svc = service(8);
+        let req = ClientRequest { role: grdf::sec("Emergency"), query: chem_query() };
+        svc.handle(&req).unwrap();
+        svc.invalidate();
+        svc.handle(&req).unwrap();
+        let (hits, misses) = svc.cache_stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn updates_enforced_per_action() {
+        use crate::policy::Action;
+        use grdf_rdf::term::{Term, Triple};
+        let mut data = Graph::new();
+        let site = Term::iri(&grdf::app("NTEnergy"));
+        data.add(
+            site.clone(),
+            Term::iri(grdf_rdf::vocab::rdf::TYPE),
+            Term::iri(&grdf::app("ChemSite")),
+        );
+        let editor_policy = crate::policy::Policy {
+            action: Action::Edit,
+            ..crate::policy::Policy::permit("urn:pe", &grdf::sec("Editor"), &grdf::app("ChemSite"))
+        };
+        let mut svc = GSacs::new(
+            OntoRepository::new(),
+            PolicySet::new(vec![editor_policy]),
+            Box::new(NoReasoning),
+            data,
+            4,
+        );
+        let insert = UpdateOp::Insert(Triple::new(
+            site.clone(),
+            Term::iri(&grdf::app("hasSiteName")),
+            Term::string("NT Energy"),
+        ));
+        // Editor may insert.
+        let out = svc.handle_update(&UpdateRequest {
+            role: grdf::sec("Editor"),
+            ops: vec![insert.clone()],
+        });
+        assert_eq!(out, UpdateOutcome::Applied(1));
+        // …but not delete (no Delete policy).
+        let out = svc.handle_update(&UpdateRequest {
+            role: grdf::sec("Editor"),
+            ops: vec![UpdateOp::Delete(Triple::new(
+                site.clone(),
+                Term::iri(&grdf::app("hasSiteName")),
+                Term::string("NT Energy"),
+            ))],
+        });
+        assert!(matches!(out, UpdateOutcome::Denied { op_index: 1, .. }));
+        // The denied delete left the data intact.
+        assert!(svc.dataset().has(
+            &site,
+            &Term::iri(&grdf::app("hasSiteName")),
+            &Term::string("NT Energy")
+        ));
+        // Strangers may do nothing.
+        let out = svc.handle_update(&UpdateRequest {
+            role: "urn:nobody".into(),
+            ops: vec![insert],
+        });
+        assert!(matches!(out, UpdateOutcome::Denied { .. }));
+    }
+
+    #[test]
+    fn update_batches_are_atomic_on_denial() {
+        use crate::policy::Action;
+        use grdf_rdf::term::{Term, Triple};
+        let mut data = Graph::new();
+        let a = Term::iri(&grdf::app("a"));
+        let b = Term::iri(&grdf::app("b"));
+        data.add(a.clone(), Term::iri(grdf_rdf::vocab::rdf::TYPE), Term::iri(&grdf::app("Open")));
+        data.add(b.clone(), Term::iri(grdf_rdf::vocab::rdf::TYPE), Term::iri(&grdf::app("Locked")));
+        let edit_open = crate::policy::Policy {
+            action: Action::Edit,
+            ..crate::policy::Policy::permit("urn:pe", "urn:r", &grdf::app("Open"))
+        };
+        let mut svc = GSacs::new(
+            OntoRepository::new(),
+            PolicySet::new(vec![edit_open]),
+            Box::new(NoReasoning),
+            data,
+            0,
+        );
+        let ok_op = UpdateOp::Insert(Triple::new(a.clone(), Term::iri("urn:p"), Term::string("v")));
+        let bad_op = UpdateOp::Insert(Triple::new(b, Term::iri("urn:p"), Term::string("v")));
+        let out = svc.handle_update(&UpdateRequest {
+            role: "urn:r".into(),
+            ops: vec![ok_op, bad_op],
+        });
+        assert!(matches!(out, UpdateOutcome::Denied { op_index: 2, .. }));
+        // The permitted first op must NOT have been applied.
+        assert!(!svc.dataset().has(&a, &Term::iri("urn:p"), &Term::string("v")));
+    }
+
+    #[test]
+    fn audit_log_records_decisions() {
+        let svc = service(4);
+        svc.handle(&ClientRequest { role: grdf::sec("Emergency"), query: chem_query() })
+            .unwrap();
+        let log = svc.audit_log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].allowed);
+        assert_eq!(log[0].action, "query");
+        assert!(svc.audit_denials().is_empty());
+    }
+
+    #[test]
+    fn successful_update_invalidates_query_cache() {
+        use crate::policy::Action;
+        use grdf_rdf::term::{Term, Triple};
+        let mut data = Graph::new();
+        let site = Term::iri(&grdf::app("s1"));
+        data.add(
+            site.clone(),
+            Term::iri(grdf_rdf::vocab::rdf::TYPE),
+            Term::iri(&grdf::app("ChemSite")),
+        );
+        let view_all =
+            crate::policy::Policy::permit("urn:v", "urn:r", &grdf::app("ChemSite"));
+        let edit_all = crate::policy::Policy {
+            action: Action::Edit,
+            ..crate::policy::Policy::permit("urn:e", "urn:r", &grdf::app("ChemSite"))
+        };
+        let mut svc = GSacs::new(
+            OntoRepository::new(),
+            PolicySet::new(vec![view_all, edit_all]),
+            Box::new(NoReasoning),
+            data,
+            8,
+        );
+        let q = format!(
+            "PREFIX app: <{}>\nSELECT ?n WHERE {{ ?s app:hasSiteName ?n }}",
+            grdf::APP_NS
+        );
+        let before = svc
+            .handle(&ClientRequest { role: "urn:r".into(), query: q.clone() })
+            .unwrap();
+        assert_eq!(before.select_rows().len(), 0);
+        svc.handle_update(&UpdateRequest {
+            role: "urn:r".into(),
+            ops: vec![UpdateOp::Insert(Triple::new(
+                site,
+                Term::iri(&grdf::app("hasSiteName")),
+                Term::string("New Name"),
+            ))],
+        });
+        let after = svc.handle(&ClientRequest { role: "urn:r".into(), query: q }).unwrap();
+        assert_eq!(after.select_rows().len(), 1, "stale cache must have been dropped");
+    }
+
+    #[test]
+    fn bad_query_surfaces_error() {
+        let svc = service(4);
+        let req = ClientRequest { role: grdf::sec("Emergency"), query: "NOT SPARQL".into() };
+        assert!(svc.handle(&req).is_err());
+    }
+}

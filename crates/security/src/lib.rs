@@ -1,0 +1,45 @@
+//! GRDF security constructs (paper §7) and the G-SACS architecture (§8,
+//! Fig. 3).
+//!
+//! The paper's security claim is threefold:
+//!
+//! 1. **Fine-grained access control.** GeoXACML "views geographic
+//!    resources as objects that can be associated with either a class or
+//!    instance of the class; as such, it is unable to provide fine-grain
+//!    access control" — granting a Building grants its exit doors and
+//!    telecom towers too. GRDF's security ontology conditions policies on
+//!    *properties* (List 8's `hasPropertyAccess grdf:BoundedBy`), so the
+//!    'main repair' role sees a site's extent but not its chemistry.
+//! 2. **Merge robustness.** "If base data model changes or \[is\] aggregated
+//!    with other data sources, the same security framework will continue to
+//!    work" — because policy applicability is decided by a reasoner
+//!    (subclass/equivalence inference), not by exact schema matching.
+//! 3. **An architecture** (Fig. 3): client → G-SACS front-end → decision
+//!    engine + query cache + pluggable reasoning engine + ontology
+//!    repository.
+//!
+//! Modules:
+//!
+//! * [`ontology`] — the `SecOnto` vocabulary as an OWL ontology.
+//! * [`policy`] — policies (native structs ⇄ List 8 RDF encoding) and the
+//!   semantics-aware evaluator.
+//! * [`views`] — middleware "layered views": filtering a merged graph down
+//!   to what a role may see.
+//! * [`geoxacml`] — the object-level baseline comparator.
+//! * [`gsacs`] — the Fig. 3 runtime: front-end, decision engine, LRU query
+//!   cache, pluggable [`gsacs::ReasoningEngine`], ontology repository.
+
+pub mod conflicts;
+pub mod geoxacml;
+pub mod gsacs;
+pub mod ontology;
+pub mod policy;
+pub mod views;
+
+pub use conflicts::{detect_conflicts, resolved_policy_set, CombiningAlgorithm, PolicyConflict};
+pub use gsacs::{
+    AuditEntry, ClientRequest, GSacs, OntoRepository, QueryCache, ReasoningEngine, UpdateOp,
+    UpdateOutcome, UpdateRequest,
+};
+pub use policy::{Action, Condition, Decision, Policy, PolicySet};
+pub use views::{secure_view, ViewStats};

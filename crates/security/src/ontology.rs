@@ -1,0 +1,105 @@
+//! The `SecOnto` security ontology: the OWL vocabulary List 8's policies
+//! are written in.
+
+use grdf_owl::model::OntologyBuilder;
+use grdf_rdf::graph::Graph;
+use grdf_rdf::vocab::grdf;
+
+/// Build the security ontology graph (classes: `Subject`, `Role`,
+/// `Policy`, `Action`, `ConditionValue`, `PolicyDecision`, `Resource`;
+/// the actions `View`/`Edit`/`Delete` and decisions `Permit`/`Deny` as
+/// individuals; and the linking properties used by List 8).
+pub fn security_ontology() -> Graph {
+    let mut b = OntologyBuilder::new(grdf::SEC_NS);
+    b.class("Subject", None);
+    b.comment("Subject", "A requesting principal (user or group).");
+    b.class("Role", Some("Subject"));
+    b.comment("Role", "A named role grouping subjects, e.g. 'main repair'.");
+    b.class("Policy", None);
+    b.comment("Policy", "An access control rule over resources.");
+    b.class("Action", None);
+    b.class("ConditionValue", None);
+    b.comment(
+        "ConditionValue",
+        "A condition limiting a policy, e.g. property-level access (List 8).",
+    );
+    b.class("PolicyDecision", None);
+    b.class("Resource", None);
+
+    b.object_property("hasPolicy", Some("Subject"), Some("Policy"));
+    b.object_property("hasAction", Some("Policy"), Some("Action"));
+    b.object_property("hasCondition", Some("Policy"), Some("ConditionValue"));
+    b.object_property("hasPolicyDecision", Some("Policy"), Some("PolicyDecision"));
+    b.object_property("hasResource", Some("Policy"), Some("Resource"));
+    b.object_property("condValDefinition", Some("ConditionValue"), None);
+    b.object_property("hasPropertyAccess", Some("ConditionValue"), None);
+    b.object_property("hasSpatialExtent", Some("ConditionValue"), None);
+
+    // Individuals used by every policy document.
+    use grdf_rdf::term::Term;
+    use grdf_rdf::vocab::rdf;
+    let mut g = b.into_graph();
+    for (name, class) in [
+        ("View", "Action"),
+        ("Edit", "Action"),
+        ("Delete", "Action"),
+        ("Permit", "PolicyDecision"),
+        ("Deny", "PolicyDecision"),
+    ] {
+        g.add(
+            Term::iri(&grdf::sec(name)),
+            Term::iri(rdf::TYPE),
+            Term::iri(&grdf::sec(class)),
+        );
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_owl::consistency::check_consistency;
+    use grdf_owl::hierarchy::Hierarchy;
+    use grdf_rdf::term::Term;
+    use grdf_rdf::vocab::rdf;
+
+    #[test]
+    fn ontology_declares_expected_classes() {
+        let g = security_ontology();
+        let h = Hierarchy::new(&g);
+        let classes = h.classes();
+        for name in ["Subject", "Role", "Policy", "Action", "ConditionValue", "PolicyDecision"] {
+            assert!(
+                classes.contains(&Term::iri(&grdf::sec(name))),
+                "missing {name}"
+            );
+        }
+        // Role is a Subject.
+        assert!(h.is_subclass_of(
+            &Term::iri(&grdf::sec("Role")),
+            &Term::iri(&grdf::sec("Subject"))
+        ));
+    }
+
+    #[test]
+    fn actions_and_decisions_are_individuals() {
+        let g = security_ontology();
+        assert!(g.has(
+            &Term::iri(&grdf::sec("View")),
+            &Term::iri(rdf::TYPE),
+            &Term::iri(&grdf::sec("Action"))
+        ));
+        assert!(g.has(
+            &Term::iri(&grdf::sec("Permit")),
+            &Term::iri(rdf::TYPE),
+            &Term::iri(&grdf::sec("PolicyDecision"))
+        ));
+    }
+
+    #[test]
+    fn ontology_is_consistent() {
+        let mut g = security_ontology();
+        grdf_owl::reasoner::Reasoner::default().materialize(&mut g);
+        assert!(check_consistency(&g).is_empty());
+    }
+}

@@ -1,0 +1,374 @@
+//! The higher topology constructs of Fig. 2: TopoCurve, TopoSurface,
+//! TopoVolume, and TopoComplex.
+//!
+//! "Then there is a set of topological constructs that are isomorphic to
+//! their corresponding geometric concrete types. A TopoCurve is isomorphic
+//! to a geometric curve, whereas a TopoSurface is isomorphic to a geometric
+//! surface." TopoComplex "contains other types of primitives connected in a
+//! discontinuous fashion … the sub-complexes and primitives have lesser
+//! dimension than the TopoComplex itself."
+
+use crate::model::{DirectedEdge, FaceId, NodeId, SolidId, TopologyModel};
+
+/// A chain of directed edges isomorphic to a geometric curve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoCurve {
+    /// The chained directed edges.
+    pub edges: Vec<DirectedEdge>,
+}
+
+impl TopoCurve {
+    /// Build a TopoCurve; `None` when empty or the directed edges do not
+    /// chain end-to-start in `model`.
+    pub fn new(model: &TopologyModel, edges: Vec<DirectedEdge>) -> Option<TopoCurve> {
+        if edges.is_empty() {
+            return None;
+        }
+        for w in edges.windows(2) {
+            if model.directed_end(w[0])? != model.directed_start(w[1])? {
+                return None;
+            }
+        }
+        // All edges must exist.
+        for d in &edges {
+            model.edge_nodes(d.edge)?;
+        }
+        Some(TopoCurve { edges })
+    }
+
+    /// Start node of the chain.
+    pub fn start(&self, model: &TopologyModel) -> Option<NodeId> {
+        model.directed_start(self.edges[0])
+    }
+
+    /// End node of the chain.
+    pub fn end(&self, model: &TopologyModel) -> Option<NodeId> {
+        model.directed_end(*self.edges.last()?)
+    }
+
+    /// Whether the chain returns to its start.
+    pub fn is_closed(&self, model: &TopologyModel) -> bool {
+        self.start(model).zip(self.end(model)).is_some_and(|(s, e)| s == e)
+    }
+
+    /// Hop length of the chain.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the chain has no edges (cannot occur for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// A set of faces isomorphic to a geometric surface; faces must be
+/// edge-connected to each other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoSurface {
+    /// The member faces.
+    pub faces: Vec<FaceId>,
+}
+
+impl TopoSurface {
+    /// Build a TopoSurface; `None` when empty, a face is unknown, or the
+    /// faces do not form an edge-connected set.
+    pub fn new(model: &TopologyModel, faces: Vec<FaceId>) -> Option<TopoSurface> {
+        if faces.is_empty() {
+            return None;
+        }
+        for f in &faces {
+            model.face_boundary(*f)?;
+        }
+        // Connectivity via shared edges.
+        for i in 1..faces.len() {
+            let edges_i: Vec<_> = model
+                .face_boundary(faces[i])?
+                .iter()
+                .map(|d| d.edge)
+                .collect();
+            let touches = faces[..i].iter().any(|f| {
+                model
+                    .face_boundary(*f)
+                    .is_some_and(|b| b.iter().any(|d| edges_i.contains(&d.edge)))
+            });
+            if !touches {
+                return None;
+            }
+        }
+        Some(TopoSurface { faces })
+    }
+
+    /// Number of member faces.
+    pub fn len(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Whether the surface has no faces (cannot occur for constructed
+    /// values).
+    pub fn is_empty(&self) -> bool {
+        self.faces.is_empty()
+    }
+}
+
+/// A set of TopoSolids isomorphic to a geometric solid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoVolume {
+    /// The member solids.
+    pub solids: Vec<SolidId>,
+}
+
+impl TopoVolume {
+    /// Build a TopoVolume; `None` when empty or a solid is unknown.
+    pub fn new(model: &TopologyModel, solids: Vec<SolidId>) -> Option<TopoVolume> {
+        if solids.is_empty() {
+            return None;
+        }
+        for s in &solids {
+            model.solid_shell(*s)?;
+        }
+        Some(TopoVolume { solids })
+    }
+}
+
+/// A member of a TopoComplex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopoMember {
+    /// An isolated node (dimension 0).
+    Node(NodeId),
+    /// A directed edge (dimension 1).
+    Edge(DirectedEdge),
+    /// A face (dimension 2).
+    Face(FaceId),
+    /// A TopoSolid (dimension 3).
+    Solid(SolidId),
+    /// A nested sub-complex.
+    Complex(TopoComplex),
+}
+
+impl TopoMember {
+    /// Topological dimension of the member.
+    pub fn dimension(&self) -> u8 {
+        match self {
+            TopoMember::Node(_) => 0,
+            TopoMember::Edge(_) => 1,
+            TopoMember::Face(_) => 2,
+            TopoMember::Solid(_) => 3,
+            TopoMember::Complex(c) => c.dimension,
+        }
+    }
+}
+
+/// "A TopoComplex is contained within a single maximal complex and might
+/// contain other sub-complexes and primitives. The sub-complexes and
+/// primitives have lesser dimension than the TopoComplex itself" — except
+/// that primitives of the complex's own dimension are its carriers, so the
+/// rule enforced is: members have dimension ≤ the complex dimension, and
+/// *sub-complexes* have strictly lesser dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoComplex {
+    /// Declared dimension of the complex.
+    pub dimension: u8,
+    /// Members (primitives and sub-complexes).
+    pub members: Vec<TopoMember>,
+}
+
+impl TopoComplex {
+    /// Build a complex; `None` when a member violates the dimension rules.
+    pub fn new(dimension: u8, members: Vec<TopoMember>) -> Option<TopoComplex> {
+        for m in &members {
+            match m {
+                TopoMember::Complex(c) => {
+                    if c.dimension >= dimension {
+                        return None;
+                    }
+                }
+                prim => {
+                    if prim.dimension() > dimension {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(TopoComplex { dimension, members })
+    }
+
+    /// Total primitive count, recursing into sub-complexes.
+    pub fn primitive_count(&self) -> usize {
+        self.members
+            .iter()
+            .map(|m| match m {
+                TopoMember::Complex(c) => c.primitive_count(),
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// Nesting depth (1 = no sub-complexes).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .members
+            .iter()
+            .map(|m| match m {
+                TopoMember::Complex(c) => c.depth(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TopologyModel;
+
+    fn chain_model(n: usize) -> (TopologyModel, Vec<NodeId>, Vec<DirectedEdge>) {
+        let mut m = TopologyModel::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| m.add_node()).collect();
+        let edges: Vec<DirectedEdge> = nodes
+            .windows(2)
+            .map(|w| DirectedEdge::forward(m.add_edge(w[0], w[1]).unwrap()))
+            .collect();
+        (m, nodes, edges)
+    }
+
+    #[test]
+    fn topo_curve_chains() {
+        let (m, nodes, edges) = chain_model(4);
+        let c = TopoCurve::new(&m, edges.clone()).unwrap();
+        assert_eq!(c.start(&m), Some(nodes[0]));
+        assert_eq!(c.end(&m), Some(nodes[3]));
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_closed(&m));
+        // Out-of-order chain rejected.
+        let broken = vec![edges[0], edges[2]];
+        assert!(TopoCurve::new(&m, broken).is_none());
+        assert!(TopoCurve::new(&m, vec![]).is_none());
+    }
+
+    #[test]
+    fn closed_topo_curve() {
+        let mut m = TopologyModel::new();
+        let a = m.add_node();
+        let b = m.add_node();
+        let c = m.add_node();
+        let e0 = DirectedEdge::forward(m.add_edge(a, b).unwrap());
+        let e1 = DirectedEdge::forward(m.add_edge(b, c).unwrap());
+        let e2 = DirectedEdge::forward(m.add_edge(c, a).unwrap());
+        let curve = TopoCurve::new(&m, vec![e0, e1, e2]).unwrap();
+        assert!(curve.is_closed(&m));
+    }
+
+    #[test]
+    fn reversed_edges_in_curve() {
+        let mut m = TopologyModel::new();
+        let a = m.add_node();
+        let b = m.add_node();
+        let c = m.add_node();
+        let ab = m.add_edge(a, b).unwrap();
+        let cb = m.add_edge(c, b).unwrap(); // points the "wrong" way
+        let curve = TopoCurve::new(
+            &m,
+            vec![DirectedEdge::forward(ab), DirectedEdge::reverse(cb)],
+        )
+        .unwrap();
+        assert_eq!(curve.end(&m), Some(c));
+    }
+
+    #[test]
+    fn topo_surface_requires_shared_edges() {
+        let mut m = TopologyModel::new();
+        // Two triangles sharing edge bc, plus one distant triangle.
+        let a = m.add_node();
+        let b = m.add_node();
+        let c = m.add_node();
+        let d = m.add_node();
+        let ab = m.add_edge(a, b).unwrap();
+        let bc = m.add_edge(b, c).unwrap();
+        let ca = m.add_edge(c, a).unwrap();
+        let bd = m.add_edge(b, d).unwrap();
+        let dc = m.add_edge(d, c).unwrap();
+        let f1 = m
+            .add_face(vec![
+                DirectedEdge::forward(ab),
+                DirectedEdge::forward(bc),
+                DirectedEdge::forward(ca),
+            ])
+            .unwrap();
+        let f2 = m
+            .add_face(vec![
+                DirectedEdge::forward(bd),
+                DirectedEdge::forward(dc),
+                DirectedEdge::reverse(bc),
+            ])
+            .unwrap();
+        // Distant triangle.
+        let x = m.add_node();
+        let y = m.add_node();
+        let z = m.add_node();
+        let xy = m.add_edge(x, y).unwrap();
+        let yz = m.add_edge(y, z).unwrap();
+        let zx = m.add_edge(z, x).unwrap();
+        let f3 = m
+            .add_face(vec![
+                DirectedEdge::forward(xy),
+                DirectedEdge::forward(yz),
+                DirectedEdge::forward(zx),
+            ])
+            .unwrap();
+
+        assert!(TopoSurface::new(&m, vec![f1, f2]).is_some());
+        assert!(TopoSurface::new(&m, vec![f1, f3]).is_none(), "disconnected");
+        assert!(TopoSurface::new(&m, vec![]).is_none());
+        let ts = TopoSurface::new(&m, vec![f1, f2]).unwrap();
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn topo_volume_checks_solids() {
+        let mut m = TopologyModel::new();
+        let a = m.add_node();
+        let b = m.add_node();
+        let c = m.add_node();
+        let e0 = m.add_edge(a, b).unwrap();
+        let e1 = m.add_edge(b, c).unwrap();
+        let e2 = m.add_edge(c, a).unwrap();
+        let f = m
+            .add_face(vec![
+                DirectedEdge::forward(e0),
+                DirectedEdge::forward(e1),
+                DirectedEdge::forward(e2),
+            ])
+            .unwrap();
+        let s = m.add_solid(vec![f]).unwrap();
+        assert!(TopoVolume::new(&m, vec![s]).is_some());
+        assert!(TopoVolume::new(&m, vec![SolidId(9)]).is_none());
+        assert!(TopoVolume::new(&m, vec![]).is_none());
+    }
+
+    #[test]
+    fn complex_dimension_rules() {
+        let (_, nodes, edges) = chain_model(3);
+        // A 1-complex may hold nodes and edges.
+        let c1 = TopoComplex::new(
+            1,
+            vec![TopoMember::Node(nodes[0]), TopoMember::Edge(edges[0])],
+        )
+        .unwrap();
+        assert_eq!(c1.primitive_count(), 2);
+        // … but not faces.
+        assert!(TopoComplex::new(1, vec![TopoMember::Face(FaceId(0))]).is_none());
+        // Sub-complex must have STRICTLY smaller dimension.
+        let sub0 = TopoComplex::new(0, vec![TopoMember::Node(nodes[1])]).unwrap();
+        let outer = TopoComplex::new(
+            1,
+            vec![TopoMember::Complex(sub0), TopoMember::Edge(edges[1])],
+        )
+        .unwrap();
+        assert_eq!(outer.depth(), 2);
+        assert_eq!(outer.primitive_count(), 2);
+        let same_dim_sub = TopoComplex::new(1, vec![TopoMember::Edge(edges[0])]).unwrap();
+        assert!(TopoComplex::new(1, vec![TopoMember::Complex(same_dim_sub)]).is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! The GRDF topology model (paper §6, Fig. 2).
+//!
+//! "There are many GIS modelling operations that do not assume a
+//! pre-requisite of the existence of coordinates; instead the connectivity
+//! information is enough." This crate provides exactly that: a coordinate-
+//! free arena of topology primitives (Node, Edge, Face, TopoSolid) with
+//! connectivity queries, the aggregate constructs that are *isomorphic* to
+//! geometric forms (TopoCurve ≅ Curve, TopoSurface ≅ Surface, TopoVolume ≅
+//! Solid, plus TopoComplex), and *realization*: binding primitives to
+//! concrete geometry ("a node is modelled as a point, an edge as a curve, a
+//! face as a surface, a TopoSolid as solid") with consistency checking.
+//!
+//! Structural rules from paper List 5 are enforced at construction time:
+//! a `Face` is bounded by ≥ 1 directed edges forming a closed loop, bounds
+//! at most 1 realized surface, and belongs to at most 2 TopoSolids.
+//!
+//! # Example
+//!
+//! ```
+//! use grdf_topology::model::TopologyModel;
+//!
+//! let mut m = TopologyModel::new();
+//! let a = m.add_node();
+//! let b = m.add_node();
+//! let e = m.add_edge(a, b).unwrap();
+//! assert_eq!(m.edges_at(a), vec![e]);
+//! assert!(m.connected(a, b));
+//! ```
+
+pub mod constructs;
+pub mod model;
+pub mod rdf_codec;
+pub mod realize;
+
+pub use constructs::{TopoComplex, TopoCurve, TopoSurface, TopoVolume};
+pub use model::{DirectedEdge, EdgeId, FaceId, NodeId, SolidId, TopologyError, TopologyModel};
+pub use rdf_codec::{decode_topology, encode_topology};
+pub use realize::{Realization, RealizationError};

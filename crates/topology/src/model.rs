@@ -1,0 +1,549 @@
+//! The topology arena: primitives, structural rules, and connectivity
+//! queries, all without coordinates.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Identifier of a node (0-dimensional primitive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge (1-dimensional primitive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+/// Identifier of a face (2-dimensional primitive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaceId(pub u32);
+
+/// Identifier of a TopoSolid (3-dimensional primitive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SolidId(pub u32);
+
+/// A directed use of an edge: "a face is a 2-dimensional primitive bounded
+/// by a set of directed edges" (paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirectedEdge {
+    /// The underlying edge.
+    pub edge: EdgeId,
+    /// True = traversed start→end, false = end→start.
+    pub forward: bool,
+}
+
+impl DirectedEdge {
+    /// Forward use of `edge`.
+    pub fn forward(edge: EdgeId) -> DirectedEdge {
+        DirectedEdge { edge, forward: true }
+    }
+
+    /// Reverse use of `edge`.
+    pub fn reverse(edge: EdgeId) -> DirectedEdge {
+        DirectedEdge { edge, forward: false }
+    }
+}
+
+/// Structural errors raised by topology construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A referenced primitive id does not exist in the model.
+    UnknownPrimitive(String),
+    /// An edge's endpoints are the same node (loops are disallowed here).
+    DegenerateEdge,
+    /// A face boundary is empty — List 5 requires ≥ 1 edge.
+    EmptyFaceBoundary,
+    /// A face boundary's directed edges do not chain into a closed loop.
+    OpenFaceBoundary {
+        /// Index of the directed edge where the chain breaks.
+        at: usize,
+    },
+    /// A face already bounds two TopoSolids — List 5's `maxCardinality 2`.
+    FaceSolidLimit(FaceId),
+    /// A solid needs at least one bounding face.
+    EmptySolidShell,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownPrimitive(which) => write!(f, "unknown primitive: {which}"),
+            TopologyError::DegenerateEdge => write!(f, "edge endpoints must differ"),
+            TopologyError::EmptyFaceBoundary => {
+                write!(f, "face boundary must contain at least one edge")
+            }
+            TopologyError::OpenFaceBoundary { at } => {
+                write!(f, "face boundary breaks at directed edge {at}")
+            }
+            TopologyError::FaceSolidLimit(id) => {
+                write!(f, "face {id:?} already bounds two TopoSolids")
+            }
+            TopologyError::EmptySolidShell => write!(f, "solid shell must contain a face"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    start: NodeId,
+    end: NodeId,
+}
+
+#[derive(Debug, Clone)]
+struct Face {
+    boundary: Vec<DirectedEdge>,
+}
+
+#[derive(Debug, Clone)]
+struct Solid {
+    shell: Vec<FaceId>,
+}
+
+/// The coordinate-free topology arena.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyModel {
+    nodes: u32,
+    edges: Vec<Edge>,
+    faces: Vec<Face>,
+    solids: Vec<Solid>,
+    /// node → incident edges (co-boundary of dimension 0→1).
+    node_edges: HashMap<NodeId, Vec<EdgeId>>,
+    /// edge → faces using it (co-boundary of dimension 1→2).
+    edge_faces: HashMap<EdgeId, Vec<FaceId>>,
+    /// face → solids it bounds (co-boundary of dimension 2→3).
+    face_solids: HashMap<FaceId, Vec<SolidId>>,
+}
+
+impl TopologyModel {
+    /// Empty model.
+    pub fn new() -> TopologyModel {
+        TopologyModel::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes as usize
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of faces.
+    pub fn face_count(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Number of solids.
+    pub fn solid_count(&self) -> usize {
+        self.solids.len()
+    }
+
+    /// Add an isolated node.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes);
+        self.nodes += 1;
+        id
+    }
+
+    /// Whether `n` exists.
+    pub fn has_node(&self, n: NodeId) -> bool {
+        n.0 < self.nodes
+    }
+
+    /// Add an edge between two distinct existing nodes.
+    pub fn add_edge(&mut self, start: NodeId, end: NodeId) -> Result<EdgeId, TopologyError> {
+        if !self.has_node(start) || !self.has_node(end) {
+            return Err(TopologyError::UnknownPrimitive("node".into()));
+        }
+        if start == end {
+            return Err(TopologyError::DegenerateEdge);
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { start, end });
+        self.node_edges.entry(start).or_default().push(id);
+        self.node_edges.entry(end).or_default().push(id);
+        Ok(id)
+    }
+
+    /// Endpoints `(start, end)` of an edge.
+    pub fn edge_nodes(&self, e: EdgeId) -> Option<(NodeId, NodeId)> {
+        self.edges.get(e.0 as usize).map(|edge| (edge.start, edge.end))
+    }
+
+    /// Origin node of a directed edge use.
+    pub fn directed_start(&self, d: DirectedEdge) -> Option<NodeId> {
+        let (s, e) = self.edge_nodes(d.edge)?;
+        Some(if d.forward { s } else { e })
+    }
+
+    /// Target node of a directed edge use.
+    pub fn directed_end(&self, d: DirectedEdge) -> Option<NodeId> {
+        let (s, e) = self.edge_nodes(d.edge)?;
+        Some(if d.forward { e } else { s })
+    }
+
+    /// Add a face bounded by a closed chain of directed edges.
+    pub fn add_face(&mut self, boundary: Vec<DirectedEdge>) -> Result<FaceId, TopologyError> {
+        if boundary.is_empty() {
+            return Err(TopologyError::EmptyFaceBoundary);
+        }
+        for d in &boundary {
+            if self.edge_nodes(d.edge).is_none() {
+                return Err(TopologyError::UnknownPrimitive("edge".into()));
+            }
+        }
+        // The chain must be connected end-to-start, and closed.
+        for i in 0..boundary.len() {
+            let cur_end = self.directed_end(boundary[i]).expect("checked above");
+            let next = boundary[(i + 1) % boundary.len()];
+            let next_start = self.directed_start(next).expect("checked above");
+            if cur_end != next_start {
+                return Err(TopologyError::OpenFaceBoundary { at: i });
+            }
+        }
+        let id = FaceId(self.faces.len() as u32);
+        for d in &boundary {
+            self.edge_faces.entry(d.edge).or_default().push(id);
+        }
+        self.faces.push(Face { boundary });
+        Ok(id)
+    }
+
+    /// The directed boundary of a face.
+    pub fn face_boundary(&self, f: FaceId) -> Option<&[DirectedEdge]> {
+        self.faces.get(f.0 as usize).map(|face| face.boundary.as_slice())
+    }
+
+    /// Add a TopoSolid bounded by faces; enforces List 5's limit of two
+    /// solids per face.
+    pub fn add_solid(&mut self, shell: Vec<FaceId>) -> Result<SolidId, TopologyError> {
+        if shell.is_empty() {
+            return Err(TopologyError::EmptySolidShell);
+        }
+        for f in &shell {
+            if self.faces.get(f.0 as usize).is_none() {
+                return Err(TopologyError::UnknownPrimitive("face".into()));
+            }
+            if self.face_solids.get(f).map_or(0, Vec::len) >= 2 {
+                return Err(TopologyError::FaceSolidLimit(*f));
+            }
+        }
+        let id = SolidId(self.solids.len() as u32);
+        for f in &shell {
+            self.face_solids.entry(*f).or_default().push(id);
+        }
+        self.solids.push(Solid { shell });
+        Ok(id)
+    }
+
+    /// The faces bounding a solid.
+    pub fn solid_shell(&self, s: SolidId) -> Option<&[FaceId]> {
+        self.solids.get(s.0 as usize).map(|solid| solid.shell.as_slice())
+    }
+
+    // --- co-boundary queries -------------------------------------------
+
+    /// Edges incident to a node.
+    pub fn edges_at(&self, n: NodeId) -> Vec<EdgeId> {
+        self.node_edges.get(&n).cloned().unwrap_or_default()
+    }
+
+    /// Faces that use an edge.
+    pub fn faces_of(&self, e: EdgeId) -> Vec<FaceId> {
+        self.edge_faces.get(&e).cloned().unwrap_or_default()
+    }
+
+    /// Solids a face bounds.
+    pub fn solids_of(&self, f: FaceId) -> Vec<SolidId> {
+        self.face_solids.get(&f).cloned().unwrap_or_default()
+    }
+
+    /// Degree (number of incident edges) of a node.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.edges_at(n).len()
+    }
+
+    // --- connectivity ----------------------------------------------------
+
+    /// Nodes adjacent to `n` through one edge.
+    pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for e in self.edges_at(n) {
+            let (s, t) = self.edge_nodes(e).expect("edge exists");
+            out.push(if s == n { t } else { s });
+        }
+        out
+    }
+
+    /// Whether a path of edges connects `a` and `b` — "the connectivity
+    /// information is enough to perform these operations".
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut q = VecDeque::new();
+        q.push_back(a);
+        seen.insert(a);
+        while let Some(n) = q.pop_front() {
+            for m in self.neighbors(n) {
+                if m == b {
+                    return true;
+                }
+                if seen.insert(m) {
+                    q.push_back(m);
+                }
+            }
+        }
+        false
+    }
+
+    /// Shortest path (by hop count) between two nodes.
+    pub fn shortest_path(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut q = VecDeque::new();
+        q.push_back(a);
+        prev.insert(a, a);
+        while let Some(n) = q.pop_front() {
+            for m in self.neighbors(n) {
+                if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(m) {
+                    e.insert(n);
+                    if m == b {
+                        let mut path = vec![b];
+                        let mut cur = b;
+                        while cur != a {
+                            cur = prev[&cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    q.push_back(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of connected components over nodes and edges.
+    pub fn connected_components(&self) -> usize {
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut components = 0;
+        for i in 0..self.nodes {
+            let n = NodeId(i);
+            if seen.contains(&n) {
+                continue;
+            }
+            components += 1;
+            let mut q = VecDeque::new();
+            q.push_back(n);
+            seen.insert(n);
+            while let Some(x) = q.pop_front() {
+                for m in self.neighbors(x) {
+                    if seen.insert(m) {
+                        q.push_back(m);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Euler characteristic `V − E + F` of the 2-skeleton.
+    pub fn euler_characteristic(&self) -> i64 {
+        self.node_count() as i64 - self.edge_count() as i64 + self.face_count() as i64
+    }
+
+    /// Validate all co-dimension facts recorded in the model (internal
+    /// consistency; used by property tests).
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        for (f_idx, face) in self.faces.iter().enumerate() {
+            for (i, d) in face.boundary.iter().enumerate() {
+                let end = self
+                    .directed_end(*d)
+                    .ok_or_else(|| TopologyError::UnknownPrimitive("edge".into()))?;
+                let next = face.boundary[(i + 1) % face.boundary.len()];
+                let start = self
+                    .directed_start(next)
+                    .ok_or_else(|| TopologyError::UnknownPrimitive("edge".into()))?;
+                if end != start {
+                    return Err(TopologyError::OpenFaceBoundary { at: i });
+                }
+            }
+            let _ = f_idx;
+        }
+        for solids in self.face_solids.values() {
+            if solids.len() > 2 {
+                return Err(TopologyError::FaceSolidLimit(FaceId(0)));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A triangle face: three nodes, three edges, one face.
+    fn triangle() -> (TopologyModel, [NodeId; 3], [EdgeId; 3], FaceId) {
+        let mut m = TopologyModel::new();
+        let a = m.add_node();
+        let b = m.add_node();
+        let c = m.add_node();
+        let e0 = m.add_edge(a, b).unwrap();
+        let e1 = m.add_edge(b, c).unwrap();
+        let e2 = m.add_edge(c, a).unwrap();
+        let f = m
+            .add_face(vec![
+                DirectedEdge::forward(e0),
+                DirectedEdge::forward(e1),
+                DirectedEdge::forward(e2),
+            ])
+            .unwrap();
+        (m, [a, b, c], [e0, e1, e2], f)
+    }
+
+    #[test]
+    fn edge_construction_rules() {
+        let mut m = TopologyModel::new();
+        let a = m.add_node();
+        let b = m.add_node();
+        assert!(m.add_edge(a, b).is_ok());
+        assert_eq!(m.add_edge(a, a), Err(TopologyError::DegenerateEdge));
+        assert!(matches!(
+            m.add_edge(a, NodeId(99)),
+            Err(TopologyError::UnknownPrimitive(_))
+        ));
+    }
+
+    #[test]
+    fn face_boundary_must_close() {
+        let mut m = TopologyModel::new();
+        let a = m.add_node();
+        let b = m.add_node();
+        let c = m.add_node();
+        let e0 = m.add_edge(a, b).unwrap();
+        let e1 = m.add_edge(b, c).unwrap();
+        // Open chain a→b→c.
+        let err = m
+            .add_face(vec![DirectedEdge::forward(e0), DirectedEdge::forward(e1)])
+            .unwrap_err();
+        assert!(matches!(err, TopologyError::OpenFaceBoundary { at: 1 }));
+        assert_eq!(m.add_face(vec![]), Err(TopologyError::EmptyFaceBoundary));
+    }
+
+    #[test]
+    fn reversed_edges_close_a_loop() {
+        let mut m = TopologyModel::new();
+        let a = m.add_node();
+        let b = m.add_node();
+        let c = m.add_node();
+        let e0 = m.add_edge(a, b).unwrap();
+        let e1 = m.add_edge(b, c).unwrap();
+        let e2 = m.add_edge(a, c).unwrap(); // note: a→c, must be reversed
+        let f = m.add_face(vec![
+            DirectedEdge::forward(e0),
+            DirectedEdge::forward(e1),
+            DirectedEdge::reverse(e2),
+        ]);
+        assert!(f.is_ok());
+    }
+
+    #[test]
+    fn coboundaries_track_uses() {
+        let (m, [a, _, _], [e0, _, e2], f) = triangle();
+        assert_eq!(m.edges_at(a).len(), 2);
+        assert!(m.edges_at(a).contains(&e0) && m.edges_at(a).contains(&e2));
+        assert_eq!(m.faces_of(e0), vec![f]);
+        assert_eq!(m.degree(a), 2);
+    }
+
+    #[test]
+    fn face_solid_cardinality_list5() {
+        let (mut m, _, _, f) = triangle();
+        let s1 = m.add_solid(vec![f]).unwrap();
+        let s2 = m.add_solid(vec![f]).unwrap();
+        assert_eq!(m.solids_of(f), vec![s1, s2]);
+        // Third use violates maxCardinality 2.
+        assert_eq!(m.add_solid(vec![f]), Err(TopologyError::FaceSolidLimit(f)));
+        assert_eq!(m.add_solid(vec![]), Err(TopologyError::EmptySolidShell));
+    }
+
+    #[test]
+    fn connectivity_without_coordinates() {
+        let mut m = TopologyModel::new();
+        let ns: Vec<NodeId> = (0..6).map(|_| m.add_node()).collect();
+        m.add_edge(ns[0], ns[1]).unwrap();
+        m.add_edge(ns[1], ns[2]).unwrap();
+        m.add_edge(ns[3], ns[4]).unwrap();
+        assert!(m.connected(ns[0], ns[2]));
+        assert!(!m.connected(ns[0], ns[3]));
+        assert!(m.connected(ns[5], ns[5]), "reflexive");
+        assert_eq!(m.connected_components(), 3); // {0,1,2} {3,4} {5}
+    }
+
+    #[test]
+    fn shortest_path_hops() {
+        let mut m = TopologyModel::new();
+        let ns: Vec<NodeId> = (0..4).map(|_| m.add_node()).collect();
+        m.add_edge(ns[0], ns[1]).unwrap();
+        m.add_edge(ns[1], ns[2]).unwrap();
+        m.add_edge(ns[2], ns[3]).unwrap();
+        m.add_edge(ns[0], ns[3]).unwrap(); // shortcut
+        let p = m.shortest_path(ns[0], ns[3]).unwrap();
+        assert_eq!(p, vec![ns[0], ns[3]]);
+        assert!(m.shortest_path(ns[0], NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn euler_characteristic_of_shapes() {
+        let (m, _, _, _) = triangle();
+        // Disc: V − E + F = 3 − 3 + 1 = 1.
+        assert_eq!(m.euler_characteristic(), 1);
+
+        // Tetrahedron boundary: V=4, E=6, F=4 → χ=2 (sphere).
+        let mut t = TopologyModel::new();
+        let n: Vec<NodeId> = (0..4).map(|_| t.add_node()).collect();
+        let mut e = HashMap::new();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                e.insert((i, j), t.add_edge(n[i], n[j]).unwrap());
+            }
+        }
+        let de = |i: usize, j: usize| {
+            if i < j {
+                DirectedEdge::forward(e[&(i, j)])
+            } else {
+                DirectedEdge::reverse(e[&(j, i)])
+            }
+        };
+        for tri in [[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]] {
+            t.add_face(vec![
+                de(tri[0], tri[1]),
+                de(tri[1], tri[2]),
+                de(tri[2], tri[0]),
+            ])
+            .unwrap();
+        }
+        assert_eq!(t.euler_characteristic(), 2);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_passes_on_well_formed_model() {
+        let (m, _, _, _) = triangle();
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TopologyError::OpenFaceBoundary { at: 2 };
+        assert!(e.to_string().contains('2'));
+    }
+}

@@ -1,0 +1,313 @@
+//! Realization: binding topology primitives to concrete geometry.
+//!
+//! "Topological constructions such as nodes or faces are said to be
+//! *realized* when they are modelled in terms of concrete geometric forms.
+//! A node is modelled as a point, an edge is modelled as a curve, a face is
+//! modelled as a surface, a TopoSolid is modelled as solid" (paper §6).
+//!
+//! A [`Realization`] is a partial map from primitive ids to geometry; it
+//! validates geometric consistency against the topology (an edge's curve
+//! must run between its nodes' points) and enforces List 5's
+//! `maxCardinality 1` on `hasSurface`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use grdf_geometry::coord::Coord;
+use grdf_geometry::primitives::{Curve, Point, Solid, Surface};
+
+use crate::model::{EdgeId, FaceId, NodeId, SolidId, TopologyModel};
+
+/// Tolerance for matching realized endpoints to node points.
+const EPS: f64 = 1e-6;
+
+/// Errors raised while realizing topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RealizationError {
+    /// The primitive does not exist in the model.
+    UnknownPrimitive(String),
+    /// An edge realization's endpoints do not coincide with its nodes'
+    /// realized points.
+    EndpointMismatch {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// A node an edge depends on has not been realized yet.
+    MissingNodeRealization(NodeId),
+    /// A face already has a surface — List 5's `maxCardinality 1` on
+    /// `hasSurface`.
+    FaceAlreadyRealized(FaceId),
+}
+
+impl fmt::Display for RealizationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RealizationError::UnknownPrimitive(w) => write!(f, "unknown primitive: {w}"),
+            RealizationError::EndpointMismatch { edge } => {
+                write!(f, "curve endpoints do not match nodes of edge {edge:?}")
+            }
+            RealizationError::MissingNodeRealization(n) => {
+                write!(f, "node {n:?} must be realized before its edges")
+            }
+            RealizationError::FaceAlreadyRealized(id) => {
+                write!(f, "face {id:?} already has a surface (maxCardinality 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RealizationError {}
+
+/// A (partial) geometric realization of a topology model.
+#[derive(Debug, Default)]
+pub struct Realization {
+    nodes: HashMap<NodeId, Point>,
+    edges: HashMap<EdgeId, Curve>,
+    faces: HashMap<FaceId, Surface>,
+    solids: HashMap<SolidId, Solid>,
+}
+
+impl Realization {
+    /// Empty realization.
+    pub fn new() -> Realization {
+        Realization::default()
+    }
+
+    /// Realize a node as a point.
+    pub fn realize_node(
+        &mut self,
+        model: &TopologyModel,
+        node: NodeId,
+        point: Point,
+    ) -> Result<(), RealizationError> {
+        if !model.has_node(node) {
+            return Err(RealizationError::UnknownPrimitive("node".into()));
+        }
+        self.nodes.insert(node, point);
+        Ok(())
+    }
+
+    /// Realize an edge as a curve; both endpoint nodes must be realized and
+    /// the curve must run from the start node's point to the end node's.
+    pub fn realize_edge(
+        &mut self,
+        model: &TopologyModel,
+        edge: EdgeId,
+        curve: Curve,
+    ) -> Result<(), RealizationError> {
+        let (s, e) = model
+            .edge_nodes(edge)
+            .ok_or_else(|| RealizationError::UnknownPrimitive("edge".into()))?;
+        let sp = self.nodes.get(&s).ok_or(RealizationError::MissingNodeRealization(s))?;
+        let ep = self.nodes.get(&e).ok_or(RealizationError::MissingNodeRealization(e))?;
+        if !curve.start().approx_eq(&sp.coord, EPS) || !curve.end().approx_eq(&ep.coord, EPS) {
+            return Err(RealizationError::EndpointMismatch { edge });
+        }
+        self.edges.insert(edge, curve);
+        Ok(())
+    }
+
+    /// Realize a face as a surface; a face can carry at most one surface.
+    pub fn realize_face(
+        &mut self,
+        model: &TopologyModel,
+        face: FaceId,
+        surface: Surface,
+    ) -> Result<(), RealizationError> {
+        if model.face_boundary(face).is_none() {
+            return Err(RealizationError::UnknownPrimitive("face".into()));
+        }
+        if self.faces.contains_key(&face) {
+            return Err(RealizationError::FaceAlreadyRealized(face));
+        }
+        self.faces.insert(face, surface);
+        Ok(())
+    }
+
+    /// Realize a TopoSolid as a solid.
+    pub fn realize_solid(
+        &mut self,
+        model: &TopologyModel,
+        solid: SolidId,
+        geometry: Solid,
+    ) -> Result<(), RealizationError> {
+        if model.solid_shell(solid).is_none() {
+            return Err(RealizationError::UnknownPrimitive("solid".into()));
+        }
+        self.solids.insert(solid, geometry);
+        Ok(())
+    }
+
+    /// The realized point of a node.
+    pub fn node_point(&self, n: NodeId) -> Option<&Point> {
+        self.nodes.get(&n)
+    }
+
+    /// The realized curve of an edge.
+    pub fn edge_curve(&self, e: EdgeId) -> Option<&Curve> {
+        self.edges.get(&e)
+    }
+
+    /// The realized surface of a face.
+    pub fn face_surface(&self, f: FaceId) -> Option<&Surface> {
+        self.faces.get(&f)
+    }
+
+    /// The realized solid geometry.
+    pub fn solid_geometry(&self, s: SolidId) -> Option<&Solid> {
+        self.solids.get(&s)
+    }
+
+    /// How many primitives have been realized.
+    pub fn realized_count(&self) -> usize {
+        self.nodes.len() + self.edges.len() + self.faces.len() + self.solids.len()
+    }
+
+    /// Total length of all realized edges — the kind of metric computation
+    /// that *requires* realization ("one cannot perform math on a topology
+    /// instance", §3.3.3).
+    pub fn total_edge_length(&self) -> f64 {
+        self.edges.values().map(Curve::length).sum()
+    }
+
+    /// Realize every node/edge of a model from a coordinate assignment,
+    /// connecting consecutive nodes with straight curves. Convenience for
+    /// workloads and tests.
+    pub fn realize_graph_straight(
+        model: &TopologyModel,
+        coords: &HashMap<NodeId, Coord>,
+    ) -> Result<Realization, RealizationError> {
+        use grdf_geometry::primitives::LineString;
+        let mut r = Realization::new();
+        for (n, c) in coords {
+            r.realize_node(model, *n, Point::at(*c))?;
+        }
+        for i in 0..model.edge_count() {
+            let e = EdgeId(i as u32);
+            let (s, t) = model.edge_nodes(e).expect("edge exists");
+            let (Some(sp), Some(tp)) = (coords.get(&s), coords.get(&t)) else {
+                return Err(RealizationError::MissingNodeRealization(s));
+            };
+            let line = LineString::new(vec![*sp, *tp]).expect("two points");
+            r.realize_edge(model, e, Curve::from_linestring(line))?;
+        }
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_geometry::primitives::{LineString, Polygon};
+
+    fn straight(a: Coord, b: Coord) -> Curve {
+        Curve::from_linestring(LineString::new(vec![a, b]).unwrap())
+    }
+
+    #[test]
+    fn node_then_edge_realization() {
+        let mut m = TopologyModel::new();
+        let a = m.add_node();
+        let b = m.add_node();
+        let e = m.add_edge(a, b).unwrap();
+        let mut r = Realization::new();
+        r.realize_node(&m, a, Point::new(0.0, 0.0)).unwrap();
+        r.realize_node(&m, b, Point::new(3.0, 4.0)).unwrap();
+        r.realize_edge(&m, e, straight(Coord::xy(0.0, 0.0), Coord::xy(3.0, 4.0)))
+            .unwrap();
+        assert_eq!(r.total_edge_length(), 5.0);
+        assert_eq!(r.realized_count(), 3);
+    }
+
+    #[test]
+    fn edge_before_nodes_fails() {
+        let mut m = TopologyModel::new();
+        let a = m.add_node();
+        let b = m.add_node();
+        let e = m.add_edge(a, b).unwrap();
+        let mut r = Realization::new();
+        let err = r
+            .realize_edge(&m, e, straight(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)))
+            .unwrap_err();
+        assert_eq!(err, RealizationError::MissingNodeRealization(a));
+    }
+
+    #[test]
+    fn endpoint_mismatch_rejected() {
+        let mut m = TopologyModel::new();
+        let a = m.add_node();
+        let b = m.add_node();
+        let e = m.add_edge(a, b).unwrap();
+        let mut r = Realization::new();
+        r.realize_node(&m, a, Point::new(0.0, 0.0)).unwrap();
+        r.realize_node(&m, b, Point::new(1.0, 1.0)).unwrap();
+        let err = r
+            .realize_edge(&m, e, straight(Coord::xy(0.0, 0.0), Coord::xy(9.0, 9.0)))
+            .unwrap_err();
+        assert_eq!(err, RealizationError::EndpointMismatch { edge: e });
+    }
+
+    #[test]
+    fn face_surface_cardinality_one() {
+        let mut m = TopologyModel::new();
+        let a = m.add_node();
+        let b = m.add_node();
+        let c = m.add_node();
+        let e0 = m.add_edge(a, b).unwrap();
+        let e1 = m.add_edge(b, c).unwrap();
+        let e2 = m.add_edge(c, a).unwrap();
+        let f = m
+            .add_face(vec![
+                crate::model::DirectedEdge::forward(e0),
+                crate::model::DirectedEdge::forward(e1),
+                crate::model::DirectedEdge::forward(e2),
+            ])
+            .unwrap();
+        let surf = Surface::from_polygon(Polygon::rectangle(
+            Coord::xy(0.0, 0.0),
+            Coord::xy(1.0, 1.0),
+        ));
+        let mut r = Realization::new();
+        r.realize_face(&m, f, surf.clone()).unwrap();
+        let err = r.realize_face(&m, f, surf).unwrap_err();
+        assert_eq!(err, RealizationError::FaceAlreadyRealized(f));
+    }
+
+    #[test]
+    fn unknown_primitives_rejected() {
+        let m = TopologyModel::new();
+        let mut r = Realization::new();
+        assert!(r.realize_node(&m, NodeId(0), Point::new(0.0, 0.0)).is_err());
+        assert!(r
+            .realize_face(
+                &m,
+                FaceId(0),
+                Surface::from_polygon(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)))
+            )
+            .is_err());
+        assert!(r
+            .realize_solid(
+                &m,
+                SolidId(0),
+                Solid::extrude(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)), 1.0)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn bulk_straight_realization() {
+        let mut m = TopologyModel::new();
+        let ns: Vec<NodeId> = (0..4).map(|_| m.add_node()).collect();
+        m.add_edge(ns[0], ns[1]).unwrap();
+        m.add_edge(ns[1], ns[2]).unwrap();
+        m.add_edge(ns[2], ns[3]).unwrap();
+        let coords: HashMap<NodeId, Coord> = ns
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (*n, Coord::xy(i as f64, 0.0)))
+            .collect();
+        let r = Realization::realize_graph_straight(&m, &coords).unwrap();
+        assert_eq!(r.total_edge_length(), 3.0);
+        assert_eq!(r.realized_count(), 7);
+    }
+}

@@ -1,0 +1,211 @@
+//! Synthetic chemical-facility repository in the List 7 shape.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use grdf_feature::bounding::BoundingShape;
+use grdf_feature::feature::{Feature, FeatureCollection};
+use grdf_feature::value::Value;
+use grdf_geometry::coord::Coord;
+use grdf_geometry::crs::TX83_NCF;
+use grdf_geometry::envelope::Envelope;
+
+/// Configuration for the chemical-site generator.
+#[derive(Debug, Clone)]
+pub struct ChemicalConfig {
+    /// Number of chemical sites.
+    pub sites: usize,
+    /// Chemicals stored per site (each becomes a linked ChemInfo record).
+    pub chemicals_per_site: usize,
+    /// Fraction of sites duplicated under a second IRI (same `hasSiteId`) —
+    /// cross-source records that `owl:sameAs` reasoning should identify.
+    pub duplicate_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Southwest corner of the area sites are placed in.
+    pub origin: Coord,
+    /// Side length of the square area.
+    pub extent: f64,
+}
+
+impl Default for ChemicalConfig {
+    fn default() -> Self {
+        ChemicalConfig {
+            sites: 50,
+            chemicals_per_site: 2,
+            duplicate_fraction: 0.1,
+            seed: 42,
+            origin: Coord::xy(2_500_000.0, 7_050_000.0),
+            extent: 100_000.0,
+        }
+    }
+}
+
+const CHEMICALS: &[(&str, &str)] = &[
+    ("Sulfuric Acid", "121NR"),
+    ("Chlorine", "017CL"),
+    ("Ammonia", "007NH"),
+    ("Benzene", "071BZ"),
+    ("Toluene", "108TL"),
+    ("Hydrochloric Acid", "647HA"),
+    ("Sodium Hydroxide", "310SH"),
+    ("Methanol", "067ME"),
+];
+
+const COMPANY_A: &[&str] =
+    &["North Texas", "Trinity", "Lone Star", "Metroplex", "Red River", "Blackland", "Caddo"];
+const COMPANY_B: &[&str] =
+    &["Energy", "Chemical", "Refining", "Polymers", "Industries", "Processing", "Solutions"];
+
+/// Generate chemical sites plus their linked `ChemInfo` features.
+/// `duplicate_fraction` of the sites get a *second* record (different IRI,
+/// same zero-padded `hasSiteId`) mimicking overlapping state repositories.
+pub fn generate_chemical_sites(config: &ChemicalConfig) -> FeatureCollection {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut fc = FeatureCollection::new();
+    for i in 0..config.sites {
+        let site_id = format!("{:06}", 4000 + i);
+        let name = format!(
+            "{} {}",
+            COMPANY_A[rng.gen_range(0..COMPANY_A.len())],
+            COMPANY_B[rng.gen_range(0..COMPANY_B.len())]
+        );
+        let cx = config.origin.x + rng.gen::<f64>() * config.extent;
+        let cy = config.origin.y + rng.gen::<f64>() * config.extent;
+        let half = rng.gen_range(100.0..800.0);
+
+        let site_iri = format!("http://grdf.org/app#ChemSite.{site_id}");
+        let mut site = build_site(&site_iri, &name, &site_id, cx, cy, half);
+        for c in 0..config.chemicals_per_site {
+            let (chem_name, chem_code) = CHEMICALS[rng.gen_range(0..CHEMICALS.len())];
+            let info_iri = format!("{site_iri}/chem{c}");
+            site.set_property("hasChemicalInfo", Value::Uri(info_iri.clone()));
+            let mut info = Feature::new(&info_iri, "ChemInfo");
+            info.set_property("hasChemName", chem_name);
+            info.set_property("hasChemCode", chem_code);
+            fc.push(info);
+        }
+        fc.push(site);
+
+        if rng.gen_bool(config.duplicate_fraction) {
+            // A second state's record of the same facility: new IRI, same
+            // site id, slightly different name casing.
+            let dup_iri = format!("http://grdf.org/app#StateB.ChemSite.{site_id}");
+            let mut dup = build_site(
+                &dup_iri,
+                &name.to_uppercase(),
+                &site_id,
+                cx,
+                cy,
+                half,
+            );
+            dup.set_property("sourceState", "B");
+            fc.push(dup);
+        }
+    }
+    fc
+}
+
+fn build_site(iri: &str, name: &str, site_id: &str, cx: f64, cy: f64, half: f64) -> Feature {
+    let mut site = Feature::new(iri, "ChemSite");
+    site.set_property("hasSiteName", name);
+    site.set_property("hasSiteId", site_id);
+    site.set_property(
+        "hasContactPhone",
+        format!("972-555-{:04}", site_id.len() * 817 % 10_000).as_str(),
+    );
+    site.srs_name = Some(TX83_NCF.to_string());
+    site.bounded_by = BoundingShape::Envelope(Envelope::new(
+        Coord::xy(cx - half, cy - half),
+        Coord::xy(cx + half, cy + half),
+    ));
+    site
+}
+
+/// Turtle alignment axioms making `hasSiteId` inverse-functional — the
+/// schema knowledge that lets the reasoner identify duplicate records.
+pub fn alignment_axioms() -> &'static str {
+    r#"@prefix app: <http://grdf.org/app#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix grdf: <http://grdf.org/ontology#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+app:hasSiteId a owl:InverseFunctionalProperty .
+app:ChemSite rdfs:subClassOf grdf:Feature .
+app:Stream rdfs:subClassOf grdf:Feature .
+app:flowsInto a owl:TransitiveProperty .
+"#
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let c = ChemicalConfig { sites: 20, ..Default::default() };
+        let a = generate_chemical_sites(&c);
+        assert_eq!(a, generate_chemical_sites(&c));
+        // sites + 2 ChemInfo per site + duplicates.
+        assert!(a.len() >= 20 * 3);
+    }
+
+    #[test]
+    fn list7_shape() {
+        let fc = generate_chemical_sites(&ChemicalConfig { sites: 5, ..Default::default() });
+        let sites = fc.of_type("ChemSite");
+        assert!(!sites.is_empty());
+        for s in &sites {
+            assert!(s.property("hasSiteName").is_some());
+            let id = s.property("hasSiteId").unwrap().as_str().unwrap();
+            assert_eq!(id.len(), 6, "zero-padded id, got {id}");
+            assert!(s.bounded_by.envelope().is_some(), "BoundedBy per List 7");
+        }
+        // ChemInfo records are linked.
+        let site = sites.iter().find(|s| s.property("hasChemicalInfo").is_some()).unwrap();
+        let info_iri = site.property("hasChemicalInfo").unwrap().as_str().unwrap();
+        let info = fc.find(info_iri).unwrap();
+        assert!(info.property("hasChemCode").is_some());
+    }
+
+    #[test]
+    fn duplicates_share_site_ids() {
+        let fc = generate_chemical_sites(&ChemicalConfig {
+            sites: 100,
+            duplicate_fraction: 0.5,
+            ..Default::default()
+        });
+        let dups: Vec<_> = fc
+            .features
+            .iter()
+            .filter(|f| f.iri.contains("StateB"))
+            .collect();
+        assert!(dups.len() > 20, "expected many duplicates, got {}", dups.len());
+        for d in dups {
+            let id = d.property("hasSiteId").unwrap().as_str().unwrap();
+            let original = fc
+                .features
+                .iter()
+                .find(|f| {
+                    !f.iri.contains("StateB")
+                        && f.property("hasSiteId").and_then(|v| v.as_str()) == Some(id)
+                });
+            assert!(original.is_some(), "duplicate without original: {id}");
+        }
+    }
+
+    #[test]
+    fn zero_duplicate_fraction() {
+        let fc = generate_chemical_sites(&ChemicalConfig {
+            sites: 30,
+            duplicate_fraction: 0.0,
+            ..Default::default()
+        });
+        assert!(fc.features.iter().all(|f| !f.iri.contains("StateB")));
+    }
+
+    #[test]
+    fn alignment_axioms_parse() {
+        let g = grdf_rdf::turtle::parse(alignment_axioms()).unwrap();
+        assert!(g.len() >= 4);
+    }
+}

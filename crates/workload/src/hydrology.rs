@@ -1,0 +1,154 @@
+//! Synthetic hydrology: stream centerlines in the List 6 shape.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use grdf_feature::feature::{Feature, FeatureCollection};
+use grdf_geometry::coord::Coord;
+use grdf_geometry::crs::TX83_NCF;
+use grdf_geometry::primitives::LineString;
+
+/// Configuration for the hydrology generator.
+#[derive(Debug, Clone)]
+pub struct HydrologyConfig {
+    /// Number of stream features.
+    pub streams: usize,
+    /// Vertices per stream centerline.
+    pub vertices_per_stream: usize,
+    /// RNG seed (generation is deterministic per seed).
+    pub seed: u64,
+    /// Southwest corner of the study area (TX83-NCF-like units).
+    pub origin: Coord,
+    /// Side length of the square study area.
+    pub extent: f64,
+}
+
+impl Default for HydrologyConfig {
+    fn default() -> Self {
+        // Coordinates in the magnitude range of the paper's List 6 sample.
+        HydrologyConfig {
+            streams: 100,
+            vertices_per_stream: 12,
+            seed: 42,
+            origin: Coord::xy(2_500_000.0, 7_050_000.0),
+            extent: 100_000.0,
+        }
+    }
+}
+
+/// Generate a stream network. Each feature is typed `Stream`, carries
+/// `hasObjectID` and `hasStreamName`, a `LineString` centerline in
+/// [`TX83_NCF`], and `flowsInto` links forming a forest of confluences
+/// (usable by transitive-property reasoning).
+pub fn generate_hydrology(config: &HydrologyConfig) -> FeatureCollection {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut fc = FeatureCollection::new();
+    for i in 0..config.streams {
+        let object_id = 10_000 + i as i64;
+        let mut f = Feature::new(
+            &format!("http://grdf.org/app#HYDRO_STREAMS_line.{object_id}"),
+            "Stream",
+        );
+        f.set_property("hasObjectID", object_id);
+        f.set_property("hasStreamName", stream_name(&mut rng, i).as_str());
+        f.srs_name = Some(TX83_NCF.to_string());
+
+        // Random-walk centerline drifting roughly north-east (so networks
+        // look like a drainage, not noise).
+        let mut x = config.origin.x + rng.gen::<f64>() * config.extent;
+        let mut y = config.origin.y + rng.gen::<f64>() * config.extent;
+        let mut coords = Vec::with_capacity(config.vertices_per_stream);
+        coords.push(Coord::xy(x, y));
+        for _ in 1..config.vertices_per_stream.max(2) {
+            x += rng.gen_range(50.0..500.0);
+            y += rng.gen_range(-200.0..400.0);
+            coords.push(Coord::xy(x, y));
+        }
+        f.set_geometry(LineString::new(coords).expect(">= 2 vertices").into());
+
+        // Most streams flow into an earlier one (confluence forest).
+        if i > 0 && rng.gen_bool(0.8) {
+            let target = rng.gen_range(0..i);
+            f.set_property(
+                "flowsInto",
+                grdf_feature::value::Value::Uri(format!(
+                    "http://grdf.org/app#HYDRO_STREAMS_line.{}",
+                    10_000 + target as i64
+                )),
+            );
+        }
+        fc.push(f);
+    }
+    fc
+}
+
+fn stream_name(rng: &mut StdRng, idx: usize) -> String {
+    const FIRST: &[&str] = &[
+        "White Rock", "Trinity", "Duck", "Bear", "Cedar", "Mountain", "Sand", "Turtle",
+        "Rowlett", "Spring", "Mustang", "Prairie",
+    ];
+    const KIND: &[&str] = &["Creek", "Branch", "Fork", "Bayou", "River", "Slough"];
+    format!(
+        "{} {} {}",
+        FIRST[rng.gen_range(0..FIRST.len())],
+        KIND[rng.gen_range(0..KIND.len())],
+        idx
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_geometry::geometry::Geometry;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = HydrologyConfig { streams: 10, ..Default::default() };
+        let a = generate_hydrology(&c);
+        let b = generate_hydrology(&c);
+        assert_eq!(a, b);
+        let c2 = HydrologyConfig { seed: 7, ..c };
+        assert_ne!(generate_hydrology(&c2), a);
+    }
+
+    #[test]
+    fn features_have_list6_shape() {
+        let fc = generate_hydrology(&HydrologyConfig { streams: 5, ..Default::default() });
+        assert_eq!(fc.len(), 5);
+        for f in &fc.features {
+            assert_eq!(f.feature_type, "Stream");
+            assert!(f.property("hasObjectID").is_some());
+            assert_eq!(f.srs_name.as_deref(), Some(TX83_NCF));
+            match f.geometry.as_ref().unwrap() {
+                Geometry::LineString(l) => {
+                    assert!(l.coords.len() >= 2);
+                    // Coordinates in the List 6 magnitude range.
+                    assert!(l.coords[0].x > 2_000_000.0);
+                    assert!(l.coords[0].y > 7_000_000.0);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flows_into_references_existing_streams() {
+        let fc = generate_hydrology(&HydrologyConfig { streams: 50, ..Default::default() });
+        let mut links = 0;
+        for f in &fc.features {
+            if let Some(v) = f.property("flowsInto") {
+                links += 1;
+                let target = v.as_str().unwrap();
+                assert!(fc.find(target).is_some(), "dangling flowsInto {target}");
+            }
+        }
+        assert!(links > 20, "most streams link somewhere, got {links}");
+    }
+
+    #[test]
+    fn names_are_readable() {
+        let fc = generate_hydrology(&HydrologyConfig { streams: 3, ..Default::default() });
+        let n = fc.features[0].property("hasStreamName").unwrap().as_str().unwrap();
+        assert!(n.contains(' '), "{n}");
+    }
+}

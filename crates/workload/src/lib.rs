@@ -1,0 +1,32 @@
+//! Synthetic workload generators.
+//!
+//! The paper's evaluation scenario (§7.1) uses two proprietary datasets:
+//! North Central Texas hydrology topology from the NCTCOG clearinghouse
+//! (List 6) and a 20-state chemical-facility repository behind erplan.net
+//! (List 7). Neither is publicly available, so — per the reproduction's
+//! substitution rule (DESIGN.md §2) — this crate generates datasets with
+//! the same schema and statistical shape:
+//!
+//! * [`hydrology`] — stream networks: seeded random-walk polylines in
+//!   TX83-NCF-like projected coordinates with `hasObjectID` attributes and
+//!   `flowsInto` connectivity.
+//! * [`chemical`] — chemical sites: names, zero-padded site ids, contact
+//!   data, bounded-by extents, and linked `ChemInfo` records (List 7's
+//!   shape), with a controlled fraction of cross-source duplicates for
+//!   `owl:sameAs` discovery.
+//! * [`requests`] — Zipf-skewed role/query request streams for the G-SACS
+//!   cache experiments (E6).
+//! * [`sensors`] — water-quality observation series and temperature
+//!   coverages (§3.3.5/§3.3.8 types as live data).
+//!
+//! All generators are deterministic under a caller-supplied seed.
+
+pub mod chemical;
+pub mod hydrology;
+pub mod requests;
+pub mod sensors;
+
+pub use chemical::{generate_chemical_sites, ChemicalConfig};
+pub use hydrology::{generate_hydrology, HydrologyConfig};
+pub use requests::{generate_requests, RequestConfig};
+pub use sensors::{generate_sensors, SensorConfig, SensorData};

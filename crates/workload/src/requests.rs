@@ -1,0 +1,178 @@
+//! Zipf-skewed request streams for the G-SACS cache experiments (E6).
+//!
+//! "In many systems, the same queries tend to occur frequently and as a
+//! result, having a caching mechanism … would provide a significant
+//! performance boost" (§8.4). The skew parameter controls how heavy that
+//! repetition is.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated request: a role IRI and a query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Requesting role.
+    pub role: String,
+    /// SPARQL-subset query text.
+    pub query: String,
+}
+
+/// Configuration for the request-stream generator.
+#[derive(Debug, Clone)]
+pub struct RequestConfig {
+    /// Number of requests to emit.
+    pub count: usize,
+    /// Number of distinct query templates in the pool.
+    pub distinct_queries: usize,
+    /// Zipf exponent (0 = uniform; ≥ 1 = heavily skewed).
+    pub zipf_s: f64,
+    /// Role IRIs to draw from (uniformly).
+    pub roles: Vec<String>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RequestConfig {
+    fn default() -> Self {
+        RequestConfig {
+            count: 1000,
+            distinct_queries: 100,
+            zipf_s: 1.0,
+            roles: vec![
+                "http://grdf.org/security#MainRep".to_string(),
+                "http://grdf.org/security#Hazmat".to_string(),
+                "http://grdf.org/security#Emergency".to_string(),
+            ],
+            seed: 42,
+        }
+    }
+}
+
+/// The query template pool: spatial window queries and attribute lookups
+/// over the §7.1 scenario vocabulary, parameterized by rank.
+pub fn query_pool(distinct: usize) -> Vec<String> {
+    (0..distinct)
+        .map(|i| {
+            let x0 = 2_500_000.0 + (i % 10) as f64 * 10_000.0;
+            let y0 = 7_050_000.0 + (i / 10 % 10) as f64 * 10_000.0;
+            match i % 3 {
+                0 => format!(
+                    "PREFIX app: <http://grdf.org/app#>\nSELECT ?f WHERE {{ ?f a app:ChemSite . FILTER(grdf:intersectsBox(?f, {x0}, {y0}, {}, {})) }}",
+                    x0 + 20_000.0,
+                    y0 + 20_000.0
+                ),
+                1 => format!(
+                    "PREFIX app: <http://grdf.org/app#>\nSELECT ?s ?n WHERE {{ ?s a app:Stream ; app:hasStreamName ?n }} LIMIT {}",
+                    (i % 20) + 1
+                ),
+                _ => format!(
+                    "PREFIX app: <http://grdf.org/app#>\nSELECT ?c WHERE {{ ?s app:hasChemicalInfo ?i . ?i app:hasChemCode ?c }} OFFSET {}",
+                    i % 7
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Generate a request stream. Query ranks are drawn from a Zipf
+/// distribution (rank 1 most popular); roles are drawn uniformly.
+pub fn generate_requests(config: &RequestConfig) -> Vec<Request> {
+    assert!(!config.roles.is_empty(), "need at least one role");
+    assert!(config.distinct_queries > 0, "need at least one query");
+    let pool = query_pool(config.distinct_queries);
+    let cdf = zipf_cdf(config.distinct_queries, config.zipf_s);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.count)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let rank = cdf.partition_point(|&c| c < u).min(pool.len() - 1);
+            Request {
+                role: config.roles[rng.gen_range(0..config.roles.len())].clone(),
+                query: pool[rank].clone(),
+            }
+        })
+        .collect()
+}
+
+/// Cumulative distribution over ranks 1..=n with exponent `s`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = RequestConfig { count: 50, ..Default::default() };
+        assert_eq!(generate_requests(&c), generate_requests(&c));
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_mass() {
+        let skewed = RequestConfig {
+            count: 5000,
+            distinct_queries: 100,
+            zipf_s: 1.2,
+            ..Default::default()
+        };
+        let uniform = RequestConfig { zipf_s: 0.0, ..skewed.clone() };
+        let top_share = |reqs: &[Request]| {
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for r in reqs {
+                *counts.entry(r.query.as_str()).or_default() += 1;
+            }
+            let max = counts.values().max().copied().unwrap_or(0);
+            max as f64 / reqs.len() as f64
+        };
+        let s = top_share(&generate_requests(&skewed));
+        let u = top_share(&generate_requests(&uniform));
+        assert!(s > 2.0 * u, "skewed top share {s} vs uniform {u}");
+        assert!(s > 0.15, "rank-1 should dominate: {s}");
+    }
+
+    #[test]
+    fn all_roles_appear() {
+        let reqs = generate_requests(&RequestConfig { count: 300, ..Default::default() });
+        for role in RequestConfig::default().roles {
+            assert!(reqs.iter().any(|r| r.role == role), "missing {role}");
+        }
+    }
+
+    #[test]
+    fn queries_come_from_the_pool() {
+        let c = RequestConfig { count: 100, distinct_queries: 10, ..Default::default() };
+        let pool = query_pool(10);
+        for r in generate_requests(&c) {
+            assert!(pool.contains(&r.query));
+        }
+    }
+
+    #[test]
+    fn pool_queries_parse() {
+        for q in query_pool(12) {
+            assert!(
+                grdf_query::parser::parse_query(&q).is_ok(),
+                "unparseable template: {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let cdf = zipf_cdf(10, 1.0);
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,217 @@
+//! Synthetic sensor observations and coverages.
+//!
+//! §3.3.5/§3.3.8 of the paper introduce `Observation` ("recording/observing
+//! of a feature") and `Coverage` ("a series of sensor temperatures could be
+//! captured by the Coverage type"). This generator produces water-quality
+//! observations along stream networks — the §7.1 incident's monitoring
+//! data — as features (so they flow through the same aggregation and
+//! security machinery) plus a temperature coverage over the sensor grid.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use grdf_feature::coverage::Coverage;
+use grdf_feature::feature::FeatureCollection;
+use grdf_feature::observation::Observation;
+use grdf_feature::time::{TimeInstant, TimeObject};
+use grdf_feature::value::Value;
+use grdf_geometry::coord::Coord;
+
+/// Configuration for the sensor generator.
+#[derive(Debug, Clone)]
+pub struct SensorConfig {
+    /// Number of sensor stations.
+    pub stations: usize,
+    /// Observations per station.
+    pub observations_per_station: usize,
+    /// IRIs of the stream features being observed (round-robin).
+    pub observed_streams: Vec<String>,
+    /// First observation time (epoch seconds).
+    pub start_epoch: i64,
+    /// Seconds between successive observations at one station.
+    pub interval_seconds: i64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Southwest corner of the station grid.
+    pub origin: Coord,
+    /// Side length of the station grid.
+    pub extent: f64,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig {
+            stations: 10,
+            observations_per_station: 24,
+            observed_streams: Vec::new(),
+            // 2026-07-06T00:00:00Z, the day of the incident.
+            start_epoch: 1_783_296_000,
+            interval_seconds: 3600,
+            seed: 42,
+            origin: Coord::xy(2_500_000.0, 7_050_000.0),
+            extent: 100_000.0,
+        }
+    }
+}
+
+/// Output of the generator.
+#[derive(Debug, Clone)]
+pub struct SensorData {
+    /// Observation features (turbidity readings), ready for encoding.
+    pub observations: FeatureCollection,
+    /// Station positions.
+    pub stations: Vec<Coord>,
+    /// A temperature coverage sampled at the stations.
+    pub temperature: Coverage,
+}
+
+/// Generate observations + coverage. Turbidity trends upward over time at
+/// stations observing a "contaminated" stream (the first one) — the signal
+/// the §7.1 responders would look for.
+pub fn generate_sensors(config: &SensorConfig) -> SensorData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut observations = FeatureCollection::new();
+    let mut stations = Vec::with_capacity(config.stations);
+    let mut temps = Vec::with_capacity(config.stations);
+
+    for s in 0..config.stations {
+        let pos = Coord::xy(
+            config.origin.x + rng.gen::<f64>() * config.extent,
+            config.origin.y + rng.gen::<f64>() * config.extent,
+        );
+        stations.push(pos);
+        temps.push(Value::Double(
+            ((18.0 + rng.gen::<f64>() * 14.0) * 100.0).round() / 100.0,
+        ));
+
+        let target = if config.observed_streams.is_empty() {
+            format!("http://grdf.org/app#stream{}", s % 7)
+        } else {
+            config.observed_streams[s % config.observed_streams.len()].clone()
+        };
+        let contaminated = s % config.observed_streams.len().max(7) == 0;
+
+        for o in 0..config.observations_per_station {
+            let t = TimeInstant::from_epoch(
+                config.start_epoch + o as i64 * config.interval_seconds,
+            );
+            // Baseline turbidity ~2 NTU; contaminated stations ramp up.
+            let mut turbidity = 2.0 + rng.gen::<f64>();
+            if contaminated {
+                turbidity += o as f64 * 0.8;
+            }
+            let obs = Observation::new(
+                &format!("http://grdf.org/app#obs/st{s}/r{o}"),
+                &target,
+                TimeObject::Instant(t),
+                "turbidity",
+                Value::Double((turbidity * 100.0).round() / 100.0),
+            );
+            let mut feature = obs.into_feature();
+            feature.set_geometry(grdf_geometry::primitives::Point::at(pos).into());
+            observations.push(feature);
+        }
+    }
+
+    let temperature =
+        Coverage::new("temperature", stations.clone(), temps).expect("parallel arrays");
+    SensorData { observations, stations, temperature }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SensorConfig {
+        SensorConfig {
+            stations: 6,
+            observations_per_station: 5,
+            observed_streams: vec![
+                "urn:s#a".to_string(),
+                "urn:s#b".to_string(),
+                "urn:s#c".to_string(),
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = generate_sensors(&small());
+        let b = generate_sensors(&small());
+        assert_eq!(a.observations, b.observations);
+        assert_eq!(a.observations.len(), 30);
+        assert_eq!(a.stations.len(), 6);
+        assert_eq!(a.temperature.len(), 6);
+    }
+
+    #[test]
+    fn observations_are_features_with_time_and_result() {
+        let data = generate_sensors(&small());
+        for f in &data.observations.features {
+            assert_eq!(f.feature_type, "Observation");
+            assert!(f.property("observedFeature").is_some());
+            assert!(matches!(f.property("phenomenonTime"), Some(Value::Time(_))));
+            assert!(matches!(f.property("result"), Some(Value::Double(_))));
+            assert!(f.geometry.is_some());
+        }
+    }
+
+    #[test]
+    fn observation_times_advance_per_station() {
+        let data = generate_sensors(&small());
+        let t0 = data.observations.features[0].property("phenomenonTime").unwrap();
+        let t1 = data.observations.features[1].property("phenomenonTime").unwrap();
+        match (t0, t1) {
+            (Value::Time(a), Value::Time(b)) => {
+                assert_eq!(b.epoch_seconds - a.epoch_seconds, 3600);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contaminated_station_trends_upward() {
+        let cfg = SensorConfig { observations_per_station: 10, ..small() };
+        let data = generate_sensors(&cfg);
+        // Station 0 observes the contaminated stream.
+        let station0: Vec<f64> = data
+            .observations
+            .features
+            .iter()
+            .filter(|f| f.iri.contains("/st0/"))
+            .filter_map(|f| f.property("result").and_then(Value::as_f64))
+            .collect();
+        assert!(station0.last().unwrap() > &(station0.first().unwrap() + 4.0));
+    }
+
+    #[test]
+    fn coverage_evaluates_at_stations() {
+        let data = generate_sensors(&small());
+        let v = data.temperature.evaluate(&data.stations[2]);
+        assert!(v.as_f64().is_some());
+        assert!(data.temperature.mean().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn observations_encode_to_rdf_and_reason_as_features() {
+        use grdf_rdf::term::Term;
+        let data = generate_sensors(&small());
+        let mut g = grdf_rdf::turtle::parse(
+            "@prefix app: <http://grdf.org/app#> .\n@prefix grdf: <http://grdf.org/ontology#> .\n@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\napp:Observation rdfs:subClassOf grdf:Observation .",
+        )
+        .unwrap();
+        for f in &data.observations.features {
+            grdf_feature::rdf_codec::encode_feature(&mut g, f);
+        }
+        grdf_owl::reasoner::Reasoner::default().materialize(&mut g);
+        // app:Observation ⊑ grdf:Observation ⇒ counts as grdf Observations.
+        let n = g
+            .subjects(
+                &Term::iri(grdf_rdf::vocab::rdf::TYPE),
+                &Term::iri("http://grdf.org/ontology#Observation"),
+            )
+            .len();
+        assert_eq!(n, 30);
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type for XML parsing.
+
+use std::fmt;
+
+/// Position of an error in the input, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters).
+    pub column: u32,
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Errors produced while tokenizing or building an XML tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended while a construct was still open.
+    UnexpectedEof { expected: &'static str, at: Position },
+    /// A character that is not legal at this point of the grammar.
+    UnexpectedChar { found: char, expected: &'static str, at: Position },
+    /// An `&name;` entity reference that is not one of the five predefined
+    /// entities and not a valid numeric reference.
+    UnknownEntity { name: String, at: Position },
+    /// A close tag whose name does not match the open tag.
+    MismatchedTag { open: String, close: String, at: Position },
+    /// A close tag with no matching open tag.
+    UnbalancedClose { name: String, at: Position },
+    /// The same attribute appears twice on one element.
+    DuplicateAttribute { name: String, at: Position },
+    /// A prefix was used without an in-scope `xmlns:prefix` declaration.
+    UnboundPrefix { prefix: String, at: Position },
+    /// The document has no root element, or content after the root.
+    BadDocumentStructure { detail: &'static str, at: Position },
+    /// DTD constructs (`<!DOCTYPE ...>`) are not supported.
+    DtdUnsupported { at: Position },
+    /// An XML name (element/attribute) is syntactically invalid.
+    InvalidName { name: String, at: Position },
+}
+
+impl XmlError {
+    /// The input position the error was detected at.
+    pub fn position(&self) -> Position {
+        match self {
+            XmlError::UnexpectedEof { at, .. }
+            | XmlError::UnexpectedChar { at, .. }
+            | XmlError::UnknownEntity { at, .. }
+            | XmlError::MismatchedTag { at, .. }
+            | XmlError::UnbalancedClose { at, .. }
+            | XmlError::DuplicateAttribute { at, .. }
+            | XmlError::UnboundPrefix { at, .. }
+            | XmlError::BadDocumentStructure { at, .. }
+            | XmlError::DtdUnsupported { at }
+            | XmlError::InvalidName { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { expected, at } => {
+                write!(f, "{at}: unexpected end of input, expected {expected}")
+            }
+            XmlError::UnexpectedChar { found, expected, at } => {
+                write!(f, "{at}: unexpected character {found:?}, expected {expected}")
+            }
+            XmlError::UnknownEntity { name, at } => {
+                write!(f, "{at}: unknown entity reference &{name};")
+            }
+            XmlError::MismatchedTag { open, close, at } => {
+                write!(f, "{at}: close tag </{close}> does not match open tag <{open}>")
+            }
+            XmlError::UnbalancedClose { name, at } => {
+                write!(f, "{at}: close tag </{name}> has no matching open tag")
+            }
+            XmlError::DuplicateAttribute { name, at } => {
+                write!(f, "{at}: duplicate attribute {name:?}")
+            }
+            XmlError::UnboundPrefix { prefix, at } => {
+                write!(f, "{at}: namespace prefix {prefix:?} is not bound")
+            }
+            XmlError::BadDocumentStructure { detail, at } => {
+                write!(f, "{at}: bad document structure: {detail}")
+            }
+            XmlError::DtdUnsupported { at } => {
+                write!(f, "{at}: DTD declarations are not supported")
+            }
+            XmlError::InvalidName { name, at } => {
+                write!(f, "{at}: invalid XML name {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Result alias used across the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError::UnknownEntity {
+            name: "nbsp".into(),
+            at: Position { line: 3, column: 7 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("3:7"), "{s}");
+        assert!(s.contains("nbsp"), "{s}");
+    }
+
+    #[test]
+    fn position_accessor_matches_variant() {
+        let at = Position { line: 1, column: 2 };
+        let e = XmlError::DtdUnsupported { at };
+        assert_eq!(e.position(), at);
+    }
+}

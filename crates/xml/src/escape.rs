@@ -1,0 +1,111 @@
+//! Escaping and unescaping of XML character data and attribute values.
+
+use std::borrow::Cow;
+
+/// Escape text content: `&`, `<`, `>` (the latter for `]]>` safety).
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, false)
+}
+
+/// Escape an attribute value for emission in double quotes: additionally
+/// escapes `"`, tab, CR and LF so the value round-trips exactly
+/// (attribute-value normalization would otherwise fold whitespace).
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_with(s, true)
+}
+
+fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = s.bytes().any(|b| {
+        matches!(b, b'&' | b'<' | b'>') || (attr && matches!(b, b'"' | b'\t' | b'\r' | b'\n'))
+    });
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\t' if attr => out.push_str("&#9;"),
+            '\n' if attr => out.push_str("&#10;"),
+            '\r' if attr => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve a predefined entity name (`lt`, `gt`, `amp`, `apos`, `quot`) or a
+/// numeric character reference body (`#10`, `#x1F`). Returns `None` when the
+/// name is not recognized.
+pub fn resolve_entity(name: &str) -> Option<char> {
+    match name {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ => {
+            let body = name.strip_prefix('#')?;
+            let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X'))
+            {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                body.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping_borrows_when_clean() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn text_escaping_replaces_specials() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn attr_escaping_handles_quotes_and_whitespace() {
+        assert_eq!(escape_attr("a\"b\nc\td\re"), "a&quot;b&#10;c&#9;d&#13;e");
+    }
+
+    #[test]
+    fn attr_escaping_borrows_when_clean() {
+        assert!(matches!(escape_attr("plain value"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn predefined_entities_resolve() {
+        assert_eq!(resolve_entity("lt"), Some('<'));
+        assert_eq!(resolve_entity("gt"), Some('>'));
+        assert_eq!(resolve_entity("amp"), Some('&'));
+        assert_eq!(resolve_entity("apos"), Some('\''));
+        assert_eq!(resolve_entity("quot"), Some('"'));
+    }
+
+    #[test]
+    fn numeric_references_resolve() {
+        assert_eq!(resolve_entity("#65"), Some('A'));
+        assert_eq!(resolve_entity("#x41"), Some('A'));
+        assert_eq!(resolve_entity("#X41"), Some('A'));
+        assert_eq!(resolve_entity("#x1F600"), Some('😀'));
+    }
+
+    #[test]
+    fn bad_references_are_none() {
+        assert_eq!(resolve_entity("nbsp"), None);
+        assert_eq!(resolve_entity("#xZZ"), None);
+        assert_eq!(resolve_entity("#xD800"), None, "surrogate is not a char");
+        assert_eq!(resolve_entity("#"), None);
+    }
+}

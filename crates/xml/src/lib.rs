@@ -1,0 +1,43 @@
+//! Minimal, dependency-free XML 1.0 substrate for GRDF.
+//!
+//! The GRDF reproduction needs XML twice: once to parse/emit GML documents
+//! and once for the RDF/XML serialization of ontologies. No XML crate is in
+//! the allowed dependency set, so this crate implements the subset of
+//! XML 1.0 + Namespaces that those formats require:
+//!
+//! * well-formed element trees with attributes, text, CDATA and comments,
+//! * character/entity references (the five predefined entities plus numeric
+//!   references),
+//! * namespace declarations (`xmlns`, `xmlns:p`) with lexical scoping and
+//!   prefix resolution,
+//! * a writer that produces canonical, optionally indented output.
+//!
+//! Deliberately out of scope: DTDs (rejected), processing instructions other
+//! than the XML declaration (skipped), and non-UTF-8 encodings.
+//!
+//! # Example
+//!
+//! ```
+//! use grdf_xml::parse;
+//!
+//! let doc = parse("<a xmlns:g='urn:g'><g:b attr='1'>hi</g:b></a>").unwrap();
+//! let root = doc.root();
+//! assert_eq!(root.local_name(), "a");
+//! let b = root.child_elements().next().unwrap();
+//! assert_eq!(b.namespace(), Some("urn:g"));
+//! assert_eq!(b.attribute("attr"), Some("1"));
+//! assert_eq!(b.text(), "hi");
+//! ```
+
+pub mod error;
+pub mod escape;
+pub mod name;
+pub mod reader;
+pub mod tree;
+pub mod writer;
+
+pub use error::{XmlError, XmlResult};
+pub use name::QName;
+pub use reader::{Event, Tokenizer};
+pub use tree::{parse, Document, Element};
+pub use writer::{write_document, WriteOptions};

@@ -1,0 +1,121 @@
+//! Qualified names and XML name syntax checks.
+
+use std::fmt;
+
+/// A qualified XML name: optional prefix plus local part, e.g. `gml:Point`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QName {
+    /// The namespace prefix, if any (`gml` in `gml:Point`).
+    pub prefix: Option<String>,
+    /// The local part (`Point` in `gml:Point`).
+    pub local: String,
+}
+
+impl QName {
+    /// Parse a raw tag/attribute name into prefix and local part.
+    /// Returns `None` for syntactically invalid names (empty parts, more
+    /// than one colon, illegal characters).
+    pub fn parse(raw: &str) -> Option<QName> {
+        let mut parts = raw.splitn(3, ':');
+        let first = parts.next()?;
+        match (parts.next(), parts.next()) {
+            (None, _) => {
+                if is_ncname(first) {
+                    Some(QName { prefix: None, local: first.to_string() })
+                } else {
+                    None
+                }
+            }
+            (Some(second), None) => {
+                if is_ncname(first) && is_ncname(second) {
+                    Some(QName { prefix: Some(first.to_string()), local: second.to_string() })
+                } else {
+                    None
+                }
+            }
+            (Some(_), Some(_)) => None,
+        }
+    }
+
+    /// Construct an unprefixed name. Panics in debug builds on invalid input.
+    pub fn local(local: &str) -> QName {
+        debug_assert!(is_ncname(local), "invalid NCName {local:?}");
+        QName { prefix: None, local: local.to_string() }
+    }
+
+    /// Construct a prefixed name. Panics in debug builds on invalid input.
+    pub fn prefixed(prefix: &str, local: &str) -> QName {
+        debug_assert!(is_ncname(prefix) && is_ncname(local));
+        QName { prefix: Some(prefix.to_string()), local: local.to_string() }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prefix {
+            Some(p) => write!(f, "{p}:{}", self.local),
+            None => f.write_str(&self.local),
+        }
+    }
+}
+
+/// Whether `c` can start an XML NCName (no-colon name).
+pub fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Whether `c` can continue an XML NCName.
+pub fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | '\u{B7}')
+}
+
+/// Whether `s` is a valid NCName (non-empty, valid start, valid continuation,
+/// no colon).
+pub fn is_ncname(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start(c) => chars.all(is_name_char),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_unprefixed() {
+        let q = QName::parse("Point").unwrap();
+        assert_eq!(q.prefix, None);
+        assert_eq!(q.local, "Point");
+        assert_eq!(q.to_string(), "Point");
+    }
+
+    #[test]
+    fn parses_prefixed() {
+        let q = QName::parse("gml:Point").unwrap();
+        assert_eq!(q.prefix.as_deref(), Some("gml"));
+        assert_eq!(q.local, "Point");
+        assert_eq!(q.to_string(), "gml:Point");
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!(QName::parse("").is_none());
+        assert!(QName::parse(":x").is_none());
+        assert!(QName::parse("x:").is_none());
+        assert!(QName::parse("a:b:c").is_none());
+        assert!(QName::parse("1abc").is_none());
+        assert!(QName::parse("a b").is_none());
+    }
+
+    #[test]
+    fn ncname_rules() {
+        assert!(is_ncname("_under"));
+        assert!(is_ncname("a-b.c"));
+        assert!(is_ncname("héllo"), "alphabetic unicode allowed");
+        assert!(!is_ncname("-a"));
+        assert!(!is_ncname(".a"));
+        assert!(!is_ncname(""));
+    }
+}

@@ -1,0 +1,416 @@
+//! Pull tokenizer producing a flat stream of XML events.
+//!
+//! The tokenizer works on a `&str` and yields [`Event`]s; the tree builder in
+//! [`crate::tree`] consumes them. Keeping the event layer public lets large
+//! GML documents be scanned without materializing a tree.
+
+use crate::error::{Position, XmlError, XmlResult};
+use crate::escape::resolve_entity;
+use crate::name::{is_name_char, is_name_start, QName};
+
+/// A single raw attribute as it appears in a start tag (entity references in
+/// the value are already resolved).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawAttribute {
+    /// Attribute name, possibly prefixed.
+    pub name: QName,
+    /// Attribute value with entities resolved.
+    pub value: String,
+}
+
+/// One tokenizer event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v" ...>` — `self_closing` is true for `<name/>`.
+    Start { name: QName, attributes: Vec<RawAttribute>, self_closing: bool },
+    /// `</name>`.
+    End { name: QName },
+    /// Character data between tags, with entities resolved and CDATA inlined.
+    /// Adjacent text pieces are merged by the tree builder, not here.
+    Text(String),
+    /// `<!-- ... -->` contents.
+    Comment(String),
+    /// End of input.
+    Eof,
+}
+
+/// Streaming tokenizer over an in-memory XML document.
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    /// Byte offset of the cursor.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Create a tokenizer over `input`. A leading UTF-8 BOM and the XML
+    /// declaration are consumed lazily by the first `next_event` call.
+    pub fn new(input: &'a str) -> Self {
+        let input = input.strip_prefix('\u{FEFF}').unwrap_or(input);
+        Tokenizer { input, pos: 0, line: 1, col: 1 }
+    }
+
+    /// Current position, for error reporting.
+    pub fn position(&self) -> Position {
+        Position { line: self.line, column: self.col }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_str(&mut self, s: &str) {
+        debug_assert!(self.starts_with(s));
+        for _ in s.chars() {
+            self.bump();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn eof_err(&self, expected: &'static str) -> XmlError {
+        XmlError::UnexpectedEof { expected, at: self.position() }
+    }
+
+    /// Consume input until `delim` is found; returns the consumed slice
+    /// (excluding the delimiter, which is also consumed).
+    fn take_until(&mut self, delim: &str, expected: &'static str) -> XmlResult<&'a str> {
+        match self.input[self.pos..].find(delim) {
+            Some(rel) => {
+                let start = self.pos;
+                let end = start + rel;
+                while self.pos < end {
+                    self.bump();
+                }
+                self.bump_str(delim);
+                Ok(&self.input[start..end])
+            }
+            None => Err(self.eof_err(expected)),
+        }
+    }
+
+    fn read_name(&mut self) -> XmlResult<QName> {
+        let at = self.position();
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            Some(c) => {
+                return Err(XmlError::UnexpectedChar { found: c, expected: "name start", at })
+            }
+            None => return Err(self.eof_err("name")),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c) || c == ':') {
+            self.bump();
+        }
+        let raw = &self.input[start..self.pos];
+        QName::parse(raw).ok_or_else(|| XmlError::InvalidName { name: raw.to_string(), at })
+    }
+
+    /// Resolve `&...;` starting just after the `&`.
+    fn read_entity(&mut self) -> XmlResult<char> {
+        let at = self.position();
+        let body = self.take_until(";", "';' terminating entity reference")?;
+        resolve_entity(body).ok_or_else(|| XmlError::UnknownEntity { name: body.to_string(), at })
+    }
+
+    fn read_attr_value(&mut self) -> XmlResult<String> {
+        let at = self.position();
+        let quote = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => {
+                return Err(XmlError::UnexpectedChar { found: c, expected: "quote", at });
+            }
+            None => return Err(self.eof_err("attribute value")),
+        };
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.eof_err("closing quote")),
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(value);
+                }
+                Some('&') => {
+                    self.bump();
+                    value.push(self.read_entity()?);
+                }
+                Some('<') => {
+                    return Err(XmlError::UnexpectedChar {
+                        found: '<',
+                        expected: "attribute value character",
+                        at: self.position(),
+                    });
+                }
+                Some(c) => {
+                    self.bump();
+                    value.push(c);
+                }
+            }
+        }
+    }
+
+    fn read_start_tag(&mut self) -> XmlResult<Event> {
+        // Cursor is just past '<'.
+        let name = self.read_name()?;
+        let mut attributes: Vec<RawAttribute> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.eof_err("'>' closing start tag")),
+                Some('>') => {
+                    self.bump();
+                    return Ok(Event::Start { name, attributes, self_closing: false });
+                }
+                Some('/') => {
+                    self.bump();
+                    let at = self.position();
+                    match self.bump() {
+                        Some('>') => {
+                            return Ok(Event::Start { name, attributes, self_closing: true })
+                        }
+                        Some(c) => {
+                            return Err(XmlError::UnexpectedChar { found: c, expected: "'>'", at })
+                        }
+                        None => return Err(self.eof_err("'>'")),
+                    }
+                }
+                Some(_) => {
+                    let at = self.position();
+                    let attr_name = self.read_name()?;
+                    if attributes.iter().any(|a| a.name == attr_name) {
+                        return Err(XmlError::DuplicateAttribute {
+                            name: attr_name.to_string(),
+                            at,
+                        });
+                    }
+                    self.skip_ws();
+                    let at_eq = self.position();
+                    match self.bump() {
+                        Some('=') => {}
+                        Some(c) => {
+                            return Err(XmlError::UnexpectedChar {
+                                found: c,
+                                expected: "'='",
+                                at: at_eq,
+                            })
+                        }
+                        None => return Err(self.eof_err("'='")),
+                    }
+                    self.skip_ws();
+                    let value = self.read_attr_value()?;
+                    attributes.push(RawAttribute { name: attr_name, value });
+                }
+            }
+        }
+    }
+
+    fn read_end_tag(&mut self) -> XmlResult<Event> {
+        // Cursor is just past '</'.
+        let name = self.read_name()?;
+        self.skip_ws();
+        let at = self.position();
+        match self.bump() {
+            Some('>') => Ok(Event::End { name }),
+            Some(c) => Err(XmlError::UnexpectedChar { found: c, expected: "'>'", at }),
+            None => Err(self.eof_err("'>' closing end tag")),
+        }
+    }
+
+    /// Produce the next event. After `Eof`, further calls keep returning
+    /// `Eof`.
+    pub fn next_event(&mut self) -> XmlResult<Event> {
+        loop {
+            if self.pos >= self.input.len() {
+                return Ok(Event::Eof);
+            }
+            if self.starts_with("<?") {
+                // XML declaration or processing instruction: skip.
+                self.bump_str("<?");
+                self.take_until("?>", "'?>' terminating processing instruction")?;
+                continue;
+            }
+            if self.starts_with("<!--") {
+                self.bump_str("<!--");
+                let body = self.take_until("-->", "'-->' terminating comment")?;
+                return Ok(Event::Comment(body.to_string()));
+            }
+            if self.starts_with("<![CDATA[") {
+                self.bump_str("<![CDATA[");
+                let body = self.take_until("]]>", "']]>' terminating CDATA")?;
+                return Ok(Event::Text(body.to_string()));
+            }
+            if self.starts_with("<!") {
+                return Err(XmlError::DtdUnsupported { at: self.position() });
+            }
+            if self.starts_with("</") {
+                self.bump_str("</");
+                return self.read_end_tag();
+            }
+            if self.starts_with("<") {
+                self.bump();
+                return self.read_start_tag();
+            }
+            // Text run up to the next '<'.
+            let mut text = String::new();
+            loop {
+                match self.peek() {
+                    None | Some('<') => break,
+                    Some('&') => {
+                        self.bump();
+                        text.push(self.read_entity()?);
+                    }
+                    Some(c) => {
+                        self.bump();
+                        text.push(c);
+                    }
+                }
+            }
+            return Ok(Event::Text(text));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<Event> {
+        let mut t = Tokenizer::new(input);
+        let mut out = Vec::new();
+        loop {
+            let e = t.next_event().unwrap();
+            let eof = e == Event::Eof;
+            out.push(e);
+            if eof {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn simple_element() {
+        let ev = events("<a>x</a>");
+        assert_eq!(ev.len(), 4);
+        assert!(matches!(&ev[0], Event::Start { name, self_closing: false, .. } if name.local == "a"));
+        assert_eq!(ev[1], Event::Text("x".into()));
+        assert!(matches!(&ev[2], Event::End { name } if name.local == "a"));
+    }
+
+    #[test]
+    fn self_closing_with_attributes() {
+        let ev = events(r#"<p a="1" b='two'/>"#);
+        match &ev[0] {
+            Event::Start { name, attributes, self_closing } => {
+                assert_eq!(name.local, "p");
+                assert!(*self_closing);
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0].value, "1");
+                assert_eq!(attributes[1].value, "two");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let ev = events(r#"<a t="&lt;&#65;&gt;">&amp;ok</a>"#);
+        match &ev[0] {
+            Event::Start { attributes, .. } => assert_eq!(attributes[0].value, "<A>"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ev[1], Event::Text("&ok".into()));
+    }
+
+    #[test]
+    fn cdata_passes_through_verbatim() {
+        let ev = events("<a><![CDATA[<raw> & stuff]]></a>");
+        assert_eq!(ev[1], Event::Text("<raw> & stuff".into()));
+    }
+
+    #[test]
+    fn comments_are_events() {
+        let ev = events("<a><!-- note --></a>");
+        assert_eq!(ev[1], Event::Comment(" note ".into()));
+    }
+
+    #[test]
+    fn xml_declaration_is_skipped() {
+        let ev = events("<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+        assert!(matches!(&ev[0], Event::Start { .. }));
+    }
+
+    #[test]
+    fn bom_is_stripped() {
+        let ev = events("\u{FEFF}<a/>");
+        assert!(matches!(&ev[0], Event::Start { .. }));
+    }
+
+    #[test]
+    fn unknown_entity_is_error() {
+        let mut t = Tokenizer::new("<a>&nope;</a>");
+        t.next_event().unwrap();
+        let err = t.next_event().unwrap_err();
+        assert!(matches!(err, XmlError::UnknownEntity { name, .. } if name == "nope"));
+    }
+
+    #[test]
+    fn duplicate_attribute_is_error() {
+        let mut t = Tokenizer::new(r#"<a x="1" x="2"/>"#);
+        let err = t.next_event().unwrap_err();
+        assert!(matches!(err, XmlError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn dtd_is_rejected() {
+        let mut t = Tokenizer::new("<!DOCTYPE html><a/>");
+        assert!(matches!(t.next_event(), Err(XmlError::DtdUnsupported { .. })));
+    }
+
+    #[test]
+    fn unterminated_tag_is_eof_error() {
+        let mut t = Tokenizer::new("<a attr=\"x\"");
+        assert!(matches!(t.next_event(), Err(XmlError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let mut t = Tokenizer::new("<a>\n  <b>&bad;</b></a>");
+        t.next_event().unwrap(); // <a>
+        t.next_event().unwrap(); // "\n  "
+        t.next_event().unwrap(); // <b>
+        let err = t.next_event().unwrap_err();
+        let at = err.position();
+        assert_eq!(at.line, 2);
+        assert!(at.column > 5, "column was {}", at.column);
+    }
+
+    #[test]
+    fn lt_in_attribute_value_is_error() {
+        let mut t = Tokenizer::new(r#"<a x="a<b"/>"#);
+        assert!(matches!(t.next_event(), Err(XmlError::UnexpectedChar { found: '<', .. })));
+    }
+}

@@ -1,0 +1,524 @@
+//! Tree (DOM) layer: builds namespace-resolved element trees from the
+//! tokenizer event stream.
+
+use std::collections::HashMap;
+
+use crate::error::{XmlError, XmlResult};
+use crate::name::QName;
+use crate::reader::{Event, Tokenizer};
+
+/// The reserved `xml` prefix namespace, always in scope.
+pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+
+/// A namespace-resolved attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Resolved namespace IRI. Unprefixed attributes have no namespace
+    /// (per the XML Namespaces spec they do *not* take the default one).
+    pub namespace: Option<String>,
+    /// Prefix as written, kept for round-tripping.
+    pub prefix: Option<String>,
+    /// Local name.
+    pub local: String,
+    /// Attribute value.
+    pub value: String,
+}
+
+/// A child of an element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Child {
+    /// Nested element.
+    Element(Element),
+    /// Character data.
+    Text(String),
+    /// Comment (preserved so documents round-trip).
+    Comment(String),
+}
+
+/// A namespace-resolved XML element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Resolved namespace IRI of the element, if any.
+    pub namespace: Option<String>,
+    /// Prefix as written in the source (kept for round-tripping).
+    pub prefix: Option<String>,
+    /// Local name.
+    pub local: String,
+    /// Attributes in document order (namespace declarations excluded).
+    pub attributes: Vec<Attribute>,
+    /// Namespace declarations written on this element (`None` key = default
+    /// namespace). An empty-string value undeclares the default namespace.
+    pub ns_decls: Vec<(Option<String>, String)>,
+    /// Children in document order.
+    pub children: Vec<Child>,
+}
+
+impl Element {
+    /// Create an element with no namespace and no content.
+    pub fn new(local: &str) -> Element {
+        Element {
+            namespace: None,
+            prefix: None,
+            local: local.to_string(),
+            attributes: Vec::new(),
+            ns_decls: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Create an element in `namespace` with the given `prefix` hint.
+    pub fn in_ns(namespace: &str, prefix: Option<&str>, local: &str) -> Element {
+        Element {
+            namespace: Some(namespace.to_string()),
+            prefix: prefix.map(str::to_string),
+            local: local.to_string(),
+            ..Element::new(local)
+        }
+    }
+
+    /// Local name of the element.
+    pub fn local_name(&self) -> &str {
+        &self.local
+    }
+
+    /// Resolved namespace IRI, if any.
+    pub fn namespace(&self) -> Option<&str> {
+        self.namespace.as_deref()
+    }
+
+    /// True when the element's `(namespace, local)` pair matches.
+    pub fn is(&self, namespace: &str, local: &str) -> bool {
+        self.namespace.as_deref() == Some(namespace) && self.local == local
+    }
+
+    /// Value of the first attribute with `local` name regardless of
+    /// namespace.
+    pub fn attribute(&self, local: &str) -> Option<&str> {
+        self.attributes.iter().find(|a| a.local == local).map(|a| a.value.as_str())
+    }
+
+    /// Value of the attribute with the given namespace and local name.
+    pub fn attribute_ns(&self, namespace: &str, local: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|a| a.namespace.as_deref() == Some(namespace) && a.local == local)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Append an attribute without a namespace.
+    pub fn set_attribute(&mut self, local: &str, value: &str) {
+        if let Some(a) = self.attributes.iter_mut().find(|a| a.local == local && a.prefix.is_none())
+        {
+            a.value = value.to_string();
+            return;
+        }
+        self.attributes.push(Attribute {
+            namespace: None,
+            prefix: None,
+            local: local.to_string(),
+            value: value.to_string(),
+        });
+    }
+
+    /// Append a namespaced attribute.
+    pub fn set_attribute_ns(&mut self, namespace: &str, prefix: &str, local: &str, value: &str) {
+        self.attributes.push(Attribute {
+            namespace: Some(namespace.to_string()),
+            prefix: Some(prefix.to_string()),
+            local: local.to_string(),
+            value: value.to_string(),
+        });
+    }
+
+    /// Append a child element; returns `&mut self` for chaining.
+    pub fn push_element(&mut self, child: Element) -> &mut Element {
+        self.children.push(Child::Element(child));
+        self
+    }
+
+    /// Append character data.
+    pub fn push_text(&mut self, text: &str) -> &mut Element {
+        self.children.push(Child::Text(text.to_string()));
+        self
+    }
+
+    /// Iterator over child elements only.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|c| match c {
+            Child::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// First child element with the given local name (any namespace).
+    pub fn child(&self, local: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.local == local)
+    }
+
+    /// First child element matching `(namespace, local)`.
+    pub fn child_ns(&self, namespace: &str, local: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.is(namespace, local))
+    }
+
+    /// All descendant elements in document order (depth-first), excluding
+    /// `self`.
+    pub fn descendants(&self) -> Vec<&Element> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&Element> = self.child_elements().collect();
+        stack.reverse();
+        while let Some(e) = stack.pop() {
+            out.push(e);
+            let mut kids: Vec<&Element> = e.child_elements().collect();
+            kids.reverse();
+            stack.extend(kids);
+        }
+        out
+    }
+
+    /// Concatenated direct text content (not recursive), trimmed.
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        for c in &self.children {
+            if let Child::Text(t) = c {
+                s.push_str(t);
+            }
+        }
+        s.trim().to_string()
+    }
+
+    /// Total number of elements in this subtree including `self`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.descendants().len()
+    }
+}
+
+/// A parsed XML document: a single root element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    root: Element,
+}
+
+impl Document {
+    /// Wrap an element as a document root.
+    pub fn with_root(root: Element) -> Document {
+        Document { root }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> &Element {
+        &self.root
+    }
+
+    /// Mutable access to the root element.
+    pub fn root_mut(&mut self) -> &mut Element {
+        &mut self.root
+    }
+
+    /// Consume the document, returning the root.
+    pub fn into_root(self) -> Element {
+        self.root
+    }
+}
+
+/// Lexically scoped namespace environment used during tree building.
+struct NsScope {
+    /// Stack of frames; each frame records the bindings it shadowed.
+    frames: Vec<Vec<(Option<String>, Option<String>)>>,
+    /// Current bindings: prefix (None = default) -> namespace IRI.
+    bindings: HashMap<Option<String>, String>,
+}
+
+impl NsScope {
+    fn new() -> NsScope {
+        let mut bindings = HashMap::new();
+        bindings.insert(Some("xml".to_string()), XML_NS.to_string());
+        NsScope { frames: Vec::new(), bindings }
+    }
+
+    fn push(&mut self, decls: &[(Option<String>, String)]) {
+        let mut shadowed = Vec::with_capacity(decls.len());
+        for (prefix, ns) in decls {
+            let old = if ns.is_empty() {
+                // xmlns="" undeclares the default namespace.
+                self.bindings.remove(prefix)
+            } else {
+                self.bindings.insert(prefix.clone(), ns.clone())
+            };
+            shadowed.push((prefix.clone(), old));
+        }
+        self.frames.push(shadowed);
+    }
+
+    fn pop(&mut self) {
+        if let Some(shadowed) = self.frames.pop() {
+            for (prefix, old) in shadowed.into_iter().rev() {
+                match old {
+                    Some(ns) => {
+                        self.bindings.insert(prefix, ns);
+                    }
+                    None => {
+                        self.bindings.remove(&prefix);
+                    }
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, prefix: Option<&str>) -> Option<&str> {
+        self.bindings.get(&prefix.map(str::to_string)).map(String::as_str)
+    }
+}
+
+/// Parse a complete XML document into a tree.
+pub fn parse(input: &str) -> XmlResult<Document> {
+    let mut tok = Tokenizer::new(input);
+    let mut scope = NsScope::new();
+    // Stack of partially built elements.
+    let mut stack: Vec<Element> = Vec::new();
+    let mut root: Option<Element> = None;
+
+    loop {
+        let at = tok.position();
+        match tok.next_event()? {
+            Event::Eof => break,
+            Event::Comment(c) => {
+                if let Some(top) = stack.last_mut() {
+                    top.children.push(Child::Comment(c));
+                }
+                // Comments outside the root are legal; drop them.
+            }
+            Event::Text(t) => {
+                if let Some(top) = stack.last_mut() {
+                    // Merge adjacent text nodes.
+                    if let Some(Child::Text(prev)) = top.children.last_mut() {
+                        prev.push_str(&t);
+                    } else {
+                        top.children.push(Child::Text(t));
+                    }
+                } else if !t.trim().is_empty() {
+                    return Err(XmlError::BadDocumentStructure {
+                        detail: "text outside the root element",
+                        at,
+                    });
+                }
+            }
+            Event::Start { name, attributes, self_closing } => {
+                if root.is_some() && stack.is_empty() {
+                    return Err(XmlError::BadDocumentStructure {
+                        detail: "multiple root elements",
+                        at,
+                    });
+                }
+                // Partition attributes into namespace declarations and
+                // ordinary attributes.
+                let mut ns_decls: Vec<(Option<String>, String)> = Vec::new();
+                let mut plain: Vec<(QName, String)> = Vec::new();
+                for a in attributes {
+                    match (&a.name.prefix, a.name.local.as_str()) {
+                        (None, "xmlns") => ns_decls.push((None, a.value)),
+                        (Some(p), local) if p == "xmlns" => {
+                            ns_decls.push((Some(local.to_string()), a.value))
+                        }
+                        _ => plain.push((a.name, a.value)),
+                    }
+                }
+                scope.push(&ns_decls);
+
+                let namespace = match &name.prefix {
+                    Some(p) => Some(
+                        scope
+                            .resolve(Some(p))
+                            .ok_or_else(|| XmlError::UnboundPrefix { prefix: p.clone(), at })?
+                            .to_string(),
+                    ),
+                    None => scope.resolve(None).map(str::to_string),
+                };
+                let mut resolved_attrs = Vec::with_capacity(plain.len());
+                for (qn, value) in plain {
+                    let ns = match &qn.prefix {
+                        Some(p) => Some(
+                            scope
+                                .resolve(Some(p))
+                                .ok_or_else(|| XmlError::UnboundPrefix {
+                                    prefix: p.clone(),
+                                    at,
+                                })?
+                                .to_string(),
+                        ),
+                        None => None,
+                    };
+                    resolved_attrs.push(Attribute {
+                        namespace: ns,
+                        prefix: qn.prefix,
+                        local: qn.local,
+                        value,
+                    });
+                }
+
+                let elem = Element {
+                    namespace,
+                    prefix: name.prefix.clone(),
+                    local: name.local.clone(),
+                    attributes: resolved_attrs,
+                    ns_decls,
+                    children: Vec::new(),
+                };
+
+                if self_closing {
+                    scope.pop();
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(Child::Element(elem)),
+                        None => root = Some(elem),
+                    }
+                } else {
+                    stack.push(elem);
+                }
+            }
+            Event::End { name } => {
+                let elem = stack.pop().ok_or_else(|| XmlError::UnbalancedClose {
+                    name: name.to_string(),
+                    at,
+                })?;
+                let open_name = match &elem.prefix {
+                    Some(p) => format!("{p}:{}", elem.local),
+                    None => elem.local.clone(),
+                };
+                if open_name != name.to_string() {
+                    return Err(XmlError::MismatchedTag {
+                        open: open_name,
+                        close: name.to_string(),
+                        at,
+                    });
+                }
+                scope.pop();
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(Child::Element(elem)),
+                    None => root = Some(elem),
+                }
+            }
+        }
+    }
+
+    if let Some(open) = stack.pop() {
+        return Err(XmlError::UnexpectedEof {
+            expected: "close tag",
+            at: tok.position(),
+        })
+        .inspect_err(|_e| {
+            // Preserve the name in the mismatch for clarity when debugging.
+            let _ = open;
+        });
+    }
+    root.ok_or(XmlError::BadDocumentStructure {
+        detail: "document has no root element",
+        at: tok.position(),
+    })
+    .map(Document::with_root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_tree() {
+        let doc = parse("<a><b><c/></b><b/></a>").unwrap();
+        let a = doc.root();
+        assert_eq!(a.local, "a");
+        assert_eq!(a.child_elements().count(), 2);
+        assert_eq!(a.descendants().len(), 3);
+        assert_eq!(a.subtree_size(), 4);
+    }
+
+    #[test]
+    fn default_namespace_applies_to_elements_not_attributes() {
+        let doc = parse(r#"<a xmlns="urn:x" k="v"><b/></a>"#).unwrap();
+        let a = doc.root();
+        assert_eq!(a.namespace(), Some("urn:x"));
+        assert_eq!(a.attributes[0].namespace, None);
+        assert_eq!(a.child("b").unwrap().namespace(), Some("urn:x"));
+    }
+
+    #[test]
+    fn prefixed_namespaces_resolve_with_scoping() {
+        let doc =
+            parse(r#"<a xmlns:p="urn:1"><p:b><c xmlns:p="urn:2"><p:d/></c></p:b><p:e/></a>"#)
+                .unwrap();
+        let a = doc.root();
+        let b = a.child("b").unwrap();
+        assert_eq!(b.namespace(), Some("urn:1"));
+        let d = b.child("c").unwrap().child("d").unwrap();
+        assert_eq!(d.namespace(), Some("urn:2"), "inner redeclaration wins");
+        assert_eq!(a.child("e").unwrap().namespace(), Some("urn:1"), "scope restored");
+    }
+
+    #[test]
+    fn default_namespace_can_be_undeclared() {
+        let doc = parse(r#"<a xmlns="urn:x"><b xmlns=""><c/></b></a>"#).unwrap();
+        let b = doc.root().child("b").unwrap();
+        assert_eq!(b.namespace(), None);
+        assert_eq!(b.child("c").unwrap().namespace(), None);
+    }
+
+    #[test]
+    fn xml_prefix_is_predeclared() {
+        let doc = parse(r#"<a xml:lang="en"/>"#).unwrap();
+        assert_eq!(doc.root().attribute_ns(XML_NS, "lang"), Some("en"));
+    }
+
+    #[test]
+    fn unbound_prefix_is_error() {
+        assert!(matches!(parse("<p:a/>"), Err(XmlError::UnboundPrefix { .. })));
+        assert!(matches!(parse(r#"<a q:k="v"/>"#), Err(XmlError::UnboundPrefix { .. })));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(matches!(parse("<a></b>"), Err(XmlError::MismatchedTag { .. })));
+    }
+
+    #[test]
+    fn unclosed_root_is_error() {
+        assert!(matches!(parse("<a><b></b>"), Err(XmlError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn multiple_roots_error() {
+        assert!(matches!(
+            parse("<a/><b/>"),
+            Err(XmlError::BadDocumentStructure { detail: "multiple root elements", .. })
+        ));
+    }
+
+    #[test]
+    fn text_outside_root_errors() {
+        assert!(matches!(parse("hello<a/>"), Err(XmlError::BadDocumentStructure { .. })));
+        // Whitespace outside the root is fine.
+        assert!(parse("  <a/>  ").is_ok());
+    }
+
+    #[test]
+    fn adjacent_text_is_merged() {
+        let doc = parse("<a>x<![CDATA[y]]>z</a>").unwrap();
+        assert_eq!(doc.root().children.len(), 1);
+        assert_eq!(doc.root().text(), "xyz");
+    }
+
+    #[test]
+    fn comments_are_preserved_inside_elements() {
+        let doc = parse("<a><!--c--></a>").unwrap();
+        assert_eq!(doc.root().children, vec![Child::Comment("c".into())]);
+    }
+
+    #[test]
+    fn mutation_api_builds_trees() {
+        let mut a = Element::new("a");
+        let mut b = Element::in_ns("urn:x", Some("p"), "b");
+        b.set_attribute("k", "v");
+        b.set_attribute("k", "v2"); // overwrite
+        b.push_text("body");
+        a.push_element(b);
+        assert_eq!(a.child("b").unwrap().attribute("k"), Some("v2"));
+        assert_eq!(a.child("b").unwrap().text(), "body");
+    }
+}

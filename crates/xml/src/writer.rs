@@ -1,0 +1,250 @@
+//! Serialization of element trees back to XML text.
+//!
+//! The writer re-emits namespace declarations exactly where they were
+//! recorded on elements (`Element::ns_decls`) and uses each node's recorded
+//! prefix; it does not invent prefixes. Builders that construct trees
+//! programmatically are responsible for declaring the namespaces they use —
+//! [`ensure_ns_decls`] can do that mechanically on a root element.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::escape::{escape_attr, escape_text};
+use crate::tree::{Child, Document, Element};
+
+/// Output options for the writer.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteOptions {
+    /// Emit `<?xml version="1.0" encoding="UTF-8"?>` first.
+    pub declaration: bool,
+    /// Pretty-print with the given indent width; `None` = compact output.
+    pub indent: Option<usize>,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { declaration: true, indent: Some(2) }
+    }
+}
+
+impl WriteOptions {
+    /// Compact output without an XML declaration (useful in tests).
+    pub fn compact() -> WriteOptions {
+        WriteOptions { declaration: false, indent: None }
+    }
+}
+
+/// Serialize a document.
+pub fn write_document(doc: &Document, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    write_elem(&mut out, doc.root(), opts, 0);
+    if opts.indent.is_some() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize a single element subtree.
+pub fn write_element(elem: &Element, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    write_elem(&mut out, elem, opts, 0);
+    out
+}
+
+fn qname(elem: &Element) -> String {
+    match &elem.prefix {
+        Some(p) => format!("{p}:{}", elem.local),
+        None => elem.local.clone(),
+    }
+}
+
+fn write_elem(out: &mut String, elem: &Element, opts: &WriteOptions, depth: usize) {
+    let name = qname(elem);
+    let _ = write!(out, "<{name}");
+    for (prefix, ns) in &elem.ns_decls {
+        match prefix {
+            None => {
+                let _ = write!(out, " xmlns=\"{}\"", escape_attr(ns));
+            }
+            Some(p) => {
+                let _ = write!(out, " xmlns:{p}=\"{}\"", escape_attr(ns));
+            }
+        }
+    }
+    for a in &elem.attributes {
+        match &a.prefix {
+            Some(p) => {
+                let _ = write!(out, " {p}:{}=\"{}\"", a.local, escape_attr(&a.value));
+            }
+            None => {
+                let _ = write!(out, " {}=\"{}\"", a.local, escape_attr(&a.value));
+            }
+        }
+    }
+    if elem.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+
+    // Mixed content (any non-whitespace text child) is written inline to
+    // preserve the text exactly; so is text-only content (even when the
+    // text is pure whitespace — it is a literal value, not formatting).
+    // Element-only content may be indented, with whitespace text dropped.
+    let has_child_elements = elem.children.iter().any(|c| matches!(c, Child::Element(_)));
+    let mixed = elem
+        .children
+        .iter()
+        .any(|c| matches!(c, Child::Text(t) if !t.trim().is_empty()))
+        || !has_child_elements;
+    let indent = if mixed { None } else { opts.indent };
+
+    for child in &elem.children {
+        match child {
+            Child::Text(t) => {
+                if indent.is_none() {
+                    out.push_str(&escape_text(t));
+                }
+                // In indented element-only content, whitespace text nodes
+                // are dropped and regenerated.
+            }
+            Child::Element(e) => {
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * (depth + 1)));
+                }
+                write_elem(out, e, opts, depth + 1);
+            }
+            Child::Comment(c) => {
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * (depth + 1)));
+                }
+                let _ = write!(out, "<!--{c}-->");
+            }
+        }
+    }
+    if let Some(w) = indent {
+        if elem.children.iter().any(|c| !matches!(c, Child::Text(_))) {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    let _ = write!(out, "</{name}>");
+}
+
+/// Ensure `root` carries `xmlns`/`xmlns:p` declarations for every namespace
+/// used (with the recorded prefixes) anywhere in its subtree. Intended for
+/// programmatically built trees before serialization.
+pub fn ensure_ns_decls(root: &mut Element) {
+    let mut needed: Vec<(Option<String>, String)> = Vec::new();
+    let mut seen: HashSet<(Option<String>, String)> = HashSet::new();
+    collect_ns(root, &mut needed, &mut seen);
+    for (prefix, ns) in needed {
+        let already = root.ns_decls.iter().any(|(p, _)| *p == prefix);
+        if !already {
+            root.ns_decls.push((prefix, ns));
+        }
+    }
+}
+
+fn collect_ns(
+    elem: &Element,
+    needed: &mut Vec<(Option<String>, String)>,
+    seen: &mut HashSet<(Option<String>, String)>,
+) {
+    if let Some(ns) = &elem.namespace {
+        let key = (elem.prefix.clone(), ns.clone());
+        if seen.insert(key.clone()) {
+            needed.push(key);
+        }
+    }
+    for a in &elem.attributes {
+        if let (Some(ns), Some(p)) = (&a.namespace, &a.prefix) {
+            let key = (Some(p.clone()), ns.clone());
+            if seen.insert(key.clone()) {
+                needed.push(key);
+            }
+        }
+    }
+    for c in elem.child_elements() {
+        collect_ns(c, needed, seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::parse;
+
+    fn roundtrip(src: &str) -> String {
+        let doc = parse(src).unwrap();
+        write_document(&doc, &WriteOptions::compact())
+    }
+
+    #[test]
+    fn compact_roundtrip_preserves_structure() {
+        let out = roundtrip(r#"<a xmlns:p="urn:1"><p:b k="v">text</p:b></a>"#);
+        let reparsed = parse(&out).unwrap();
+        let orig = parse(r#"<a xmlns:p="urn:1"><p:b k="v">text</p:b></a>"#).unwrap();
+        assert_eq!(reparsed, orig);
+    }
+
+    #[test]
+    fn escapes_on_output() {
+        let out = roundtrip("<a k=\"&quot;&lt;\">&amp;x</a>");
+        assert!(out.contains("&quot;"), "{out}");
+        assert!(out.contains("&lt;"), "{out}");
+        assert!(out.contains("&amp;x"), "{out}");
+        // And it reparses to the same values.
+        let doc = parse(&out).unwrap();
+        assert_eq!(doc.root().attribute("k"), Some("\"<"));
+        assert_eq!(doc.root().text(), "&x");
+    }
+
+    #[test]
+    fn empty_element_is_self_closed() {
+        assert_eq!(roundtrip("<a></a>"), "<a/>");
+    }
+
+    #[test]
+    fn indented_output_is_stable_under_reparse() {
+        let src = r#"<a><b><c k="1"/></b><d/></a>"#;
+        let doc = parse(src).unwrap();
+        let pretty = write_document(&doc, &WriteOptions { declaration: true, indent: Some(2) });
+        assert!(pretty.starts_with("<?xml"));
+        assert!(pretty.contains("\n  <b>"), "{pretty}");
+        let reparsed = parse(&pretty).unwrap();
+        // Structure preserved modulo whitespace text nodes.
+        assert_eq!(reparsed.root().descendants().len(), 3);
+    }
+
+    #[test]
+    fn mixed_content_is_not_reindented() {
+        let src = "<a>one<b/>two</a>";
+        let doc = parse(src).unwrap();
+        let pretty = write_document(&doc, &WriteOptions { declaration: false, indent: Some(2) });
+        assert_eq!(pretty.trim_end(), "<a>one<b/>two</a>");
+    }
+
+    #[test]
+    fn ensure_ns_decls_adds_missing_declarations() {
+        use crate::tree::Element;
+        let mut root = Element::in_ns("urn:root", None, "r");
+        let mut child = Element::in_ns("urn:c", Some("c"), "child");
+        child.set_attribute_ns("urn:a", "at", "id", "7");
+        root.push_element(child);
+        ensure_ns_decls(&mut root);
+        let out = write_element(&root, &WriteOptions::compact());
+        let doc = parse(&out).unwrap();
+        let c = doc.root().child("child").unwrap();
+        assert_eq!(c.namespace(), Some("urn:c"));
+        assert_eq!(c.attribute_ns("urn:a", "id"), Some("7"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Combining policies from multiple geospatial clearinghouses (paper §7:
+//! "each node may enforce its own set of policies … if the combination of
+//! policies from participating systems is inconsistent, additional rules
+//! may be needed to resolve conflicts").
+//!
+//! This example merges two clearinghouses' policy sets, detects the
+//! conflicts, resolves them with a combining algorithm, enforces
+//! Edit/Delete on updates, inspects the audit log, and uses the reasoner's
+//! explanation facility to justify a security-relevant inference.
+//!
+//! Run with: `cargo run --example secure_clearinghouse`
+
+use grdf::owl::explain::explain;
+use grdf::owl::reasoner::Reasoner;
+use grdf::rdf::term::{Term, Triple};
+use grdf::rdf::vocab::{grdf as ns, rdf};
+use grdf::rdf::Graph;
+use grdf::security::conflicts::{detect_conflicts, resolved_policy_set, CombiningAlgorithm};
+use grdf::security::gsacs::{GSacs, NoReasoning, OntoRepository, UpdateOp, UpdateOutcome, UpdateRequest};
+use grdf::security::policy::{Action, Policy, PolicySet};
+
+fn main() {
+    // --- data: one refinery, typed through a subclass ---------------------
+    let mut data = Graph::new();
+    data.add(
+        Term::iri(&ns::app("Refinery")),
+        Term::iri(grdf::rdf::vocab::rdfs::SUB_CLASS_OF),
+        Term::iri(&ns::app("ChemSite")),
+    );
+    let plant = Term::iri(&ns::app("plant1"));
+    data.add(plant.clone(), Term::iri(rdf::TYPE), Term::iri(&ns::app("Refinery")));
+    data.add(plant.clone(), Term::iri(&ns::app("hasChemCode")), Term::string("121NR"));
+    let base = data.clone();
+    Reasoner::default().materialize(&mut data);
+
+    // --- two clearinghouses contribute policies for the same role --------
+    let combined = PolicySet::new(vec![
+        // Clearinghouse A: contractors may view chemical sites' extents.
+        Policy::permit_properties(
+            "urn:chA#p1",
+            &ns::sec("Contractor"),
+            &ns::app("ChemSite"),
+            &[&ns::iri("isBoundedBy")],
+        ),
+        // Clearinghouse A (older rule): contractors may view chemical
+        // sites unconditionally — shadows the restriction above!
+        Policy::permit("urn:chA#p0", &ns::sec("Contractor"), &ns::app("ChemSite")),
+        // Clearinghouse B: contractors must NOT see refineries at all.
+        Policy::deny("urn:chB#p9", &ns::sec("Contractor"), &ns::app("Refinery")),
+    ]);
+
+    println!("combined policy set: {} policies", combined.policies.len());
+    let conflicts = detect_conflicts(&data, &combined);
+    println!("detected {} conflicts:", conflicts.len());
+    for c in &conflicts {
+        println!("  - {c}");
+    }
+
+    // --- resolve with deny-overrides (least privilege) ---------------------
+    let resolved = resolved_policy_set(&data, &combined, CombiningAlgorithm::DenyOverrides);
+    println!(
+        "after resolution (deny-overrides): {} policies remain: {:?}",
+        resolved.policies.len(),
+        resolved.policies.iter().map(|p| p.id.as_str()).collect::<Vec<_>>()
+    );
+    assert!(detect_conflicts(&data, &resolved).is_empty(), "resolution must converge");
+
+    // The refinery deny now governs the subclass-typed plant.
+    let access = resolved.evaluate(
+        &data,
+        &ns::sec("Contractor"),
+        &plant,
+        &ns::app("hasChemCode"),
+        Action::View,
+    );
+    println!("contractor → plant1.hasChemCode: {access:?}");
+
+    // Why is plant1 covered by a ChemSite policy at all? Ask the reasoner.
+    let membership = Triple::new(plant.clone(), Term::iri(rdf::TYPE), Term::iri(&ns::app("ChemSite")));
+    let derivation = explain(&data, &base, &membership, 6).expect("explainable");
+    println!("\njustification for the policy's applicability:\n{derivation}\n");
+
+    // --- updates are enforced per action and audited -----------------------
+    let mut svc = GSacs::new(
+        OntoRepository::new(),
+        resolved,
+        Box::new(NoReasoning),
+        data,
+        16,
+    );
+    let attempt = svc.handle_update(&UpdateRequest {
+        role: ns::sec("Contractor"),
+        ops: vec![UpdateOp::Delete(Triple::new(
+            plant.clone(),
+            Term::iri(&ns::app("hasChemCode")),
+            Term::string("121NR"),
+        ))],
+    });
+    match &attempt {
+        UpdateOutcome::Denied { reason, .. } => println!("update blocked: {reason}"),
+        UpdateOutcome::Applied(n) => println!("update applied ({n} triples)"),
+    }
+    assert!(matches!(attempt, UpdateOutcome::Denied { .. }));
+
+    println!("\naudit log:");
+    for entry in svc.audit_log() {
+        println!(
+            "  [{}] role={} target={} allowed={}",
+            entry.action,
+            entry.role.rsplit('#').next().unwrap_or(&entry.role),
+            entry.target,
+            entry.allowed
+        );
+    }
+    assert_eq!(svc.audit_denials().len(), 1);
+}

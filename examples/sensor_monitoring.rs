@@ -1,0 +1,117 @@
+//! Observations and coverages (§3.3.5 / §3.3.8) as live monitoring data:
+//! water-quality sensors along the incident streams, queried with
+//! aggregates and temporal filters to locate the contamination.
+//!
+//! Run with: `cargo run --example sensor_monitoring`
+
+use grdf::core::store::GrdfStore;
+use grdf::feature::Value;
+use grdf::geometry::Coord;
+use grdf::workload::hydrology::{generate_hydrology, HydrologyConfig};
+use grdf::workload::sensors::{generate_sensors, SensorConfig};
+
+fn main() {
+    // Streams being monitored.
+    let hydro = generate_hydrology(&HydrologyConfig { streams: 12, seed: 3, ..Default::default() });
+    let stream_iris: Vec<String> = hydro.features.iter().map(|f| f.iri.clone()).collect();
+
+    // A day of hourly readings from 8 stations.
+    let sensors = generate_sensors(&SensorConfig {
+        stations: 8,
+        observations_per_station: 24,
+        observed_streams: stream_iris.clone(),
+        ..Default::default()
+    });
+    println!(
+        "{} observations from {} stations over {} streams",
+        sensors.observations.len(),
+        sensors.stations.len(),
+        stream_iris.len()
+    );
+
+    // Everything goes into one GRDF store: streams, observations, and the
+    // subclass axiom that makes app:Observation a grdf:Observation.
+    let mut store = GrdfStore::new();
+    for f in hydro.features.iter().chain(sensors.observations.features.iter()) {
+        store.insert_feature(f).expect("insert");
+    }
+    store
+        .load_turtle(
+            "@prefix app: <http://grdf.org/app#> .
+             @prefix grdf: <http://grdf.org/ontology#> .
+             @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+             app:Observation rdfs:subClassOf grdf:Observation .",
+        )
+        .expect("axioms");
+    store.materialize();
+
+    // Aggregate query: mean turbidity per observed stream — the §7.1
+    // responders' first question. (GROUP BY + AVG over the merged graph.)
+    let rows = store
+        .query(
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT ?stream (AVG(?v) AS ?turbidity) (COUNT(?o) AS ?readings)
+             WHERE {
+               ?o app:observedFeature ?stream ; app:result ?v .
+             }
+             GROUP BY ?stream
+             ORDER BY DESC(?turbidity)
+             LIMIT 3",
+        )
+        .expect("aggregate query");
+    println!("\nworst streams by mean turbidity:");
+    for row in rows.select_rows() {
+        println!(
+            "  {}  avg={:.2} NTU over {} readings",
+            row["stream"],
+            row["turbidity"].as_literal().unwrap().as_double().unwrap(),
+            row["readings"].as_literal().unwrap().as_integer().unwrap(),
+        );
+    }
+    let worst = rows.select_rows()[0]["stream"].clone();
+
+    // Temporal filter: readings from the last six hours of the day only.
+    let recent = store
+        .query(
+            "PREFIX app: <http://grdf.org/app#>
+             PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+             SELECT (COUNT(?o) AS ?n) WHERE {
+               ?o app:observedFeature ?s ; app:phenomenonTime ?t .
+               FILTER(?t >= \"2026-07-06T18:00:00Z\"^^xsd:dateTime)
+             }",
+        )
+        .expect("temporal query");
+    println!(
+        "\nreadings after 18:00 UTC: {}",
+        recent.select_rows()[0]["n"].as_literal().unwrap().as_integer().unwrap()
+    );
+
+    // The temperature coverage answers point probes anywhere in the area.
+    let probe = Coord::xy(2_540_000.0, 7_080_000.0);
+    let temp = sensors.temperature.evaluate(&probe);
+    println!(
+        "\ntemperature coverage: {} samples, mean {:.1}, at probe point {}",
+        sensors.temperature.len(),
+        sensors.temperature.mean().unwrap(),
+        match temp {
+            Value::Double(d) => format!("{d:.1}"),
+            other => other.to_string(),
+        }
+    );
+
+    // Confirm the trend on the worst stream: first vs last reading.
+    let trend = store
+        .query(&format!(
+            "PREFIX app: <http://grdf.org/app#>
+             SELECT (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE {{
+               ?o app:observedFeature {worst} ; app:result ?v .
+             }}"
+        ))
+        .expect("trend query");
+    let row = &trend.select_rows()[0];
+    println!(
+        "contaminated stream turbidity range: {:.1} → {:.1} NTU",
+        row["lo"].as_literal().unwrap().as_double().unwrap(),
+        row["hi"].as_literal().unwrap().as_double().unwrap(),
+    );
+}

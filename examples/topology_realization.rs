@@ -1,0 +1,82 @@
+//! The topology model of Fig. 2: coordinate-free modelling of a small
+//! drainage network, then *realization* into concrete geometry, with the
+//! List 5 cardinality rules enforced both structurally and by the OWL
+//! consistency checker.
+//!
+//! Run with: `cargo run --example topology_realization`
+
+use std::collections::HashMap;
+
+use grdf::core::ontology::grdf_ontology;
+use grdf::geometry::Coord;
+use grdf::owl::consistency::check_consistency;
+use grdf::owl::reasoner::Reasoner;
+use grdf::rdf::term::Term;
+use grdf::rdf::vocab::{grdf as ns, rdf};
+use grdf::topology::model::{DirectedEdge, TopologyModel};
+use grdf::topology::realize::Realization;
+use grdf::topology::TopoCurve;
+
+fn main() {
+    // --- connectivity first, coordinates later ---------------------------
+    // A confluence: two headwaters meet at a junction and continue to an
+    // outflow. No coordinates exist yet — "the connectivity information is
+    // enough to perform these operations" (§6).
+    let mut m = TopologyModel::new();
+    let head_a = m.add_node();
+    let head_b = m.add_node();
+    let junction = m.add_node();
+    let outflow = m.add_node();
+    let e1 = m.add_edge(head_a, junction).expect("edge");
+    let e2 = m.add_edge(head_b, junction).expect("edge");
+    let e3 = m.add_edge(junction, outflow).expect("edge");
+
+    println!("nodes={}, edges={}, components={}", m.node_count(), m.edge_count(), m.connected_components());
+    println!("head A reaches outflow: {}", m.connected(head_a, outflow));
+    println!(
+        "path A→outflow: {} hops",
+        m.shortest_path(head_a, outflow).expect("connected").len() - 1
+    );
+
+    // A TopoCurve: isomorphic to a geometric curve, still no coordinates.
+    let main_stem = TopoCurve::new(&m, vec![DirectedEdge::forward(e1), DirectedEdge::forward(e3)])
+        .expect("contiguous chain");
+    println!("main stem: {} edges, closed = {}", main_stem.len(), main_stem.is_closed(&m));
+
+    // --- realization ------------------------------------------------------
+    // Now bind the nodes to points; edges get straight-line curves whose
+    // endpoints must coincide with the node points (checked).
+    let coords: HashMap<_, _> = [
+        (head_a, Coord::xy(0.0, 100.0)),
+        (head_b, Coord::xy(0.0, 0.0)),
+        (junction, Coord::xy(80.0, 50.0)),
+        (outflow, Coord::xy(200.0, 55.0)),
+    ]
+    .into_iter()
+    .collect();
+    let realization = Realization::realize_graph_straight(&m, &coords).expect("consistent");
+    println!(
+        "realized {} primitives; total stream length = {:.1} units",
+        realization.realized_count(),
+        realization.total_edge_length()
+    );
+    let _ = e2;
+
+    // --- the same rules, enforced by the ontology -------------------------
+    // Encode a Face instance in RDF and let the OWL layer enforce List 5:
+    // a Face needs ≥1 hasEdge and allows ≤1 hasSurface.
+    let mut g = grdf_ontology();
+    let face = Term::iri("urn:ex#face1");
+    g.add(face.clone(), Term::iri(rdf::TYPE), Term::iri(&ns::iri("Face")));
+    Reasoner::default().materialize(&mut g);
+    let violations = check_consistency(&g);
+    println!("face without edges: {} violation(s) — {}", violations.len(), violations[0]);
+
+    g.add(face.clone(), Term::iri(&ns::iri("hasEdge")), Term::iri("urn:ex#edge1"));
+    println!("after adding an edge: {} violation(s)", check_consistency(&g).len());
+
+    g.add(face.clone(), Term::iri(&ns::iri("hasSurface")), Term::iri("urn:ex#s1"));
+    g.add(face, Term::iri(&ns::iri("hasSurface")), Term::iri("urn:ex#s2"));
+    let v = check_consistency(&g);
+    println!("two surfaces on one face: {} violation(s) — {}", v.len(), v[0]);
+}

@@ -1,0 +1,295 @@
+//! `grdf-cli` — command-line front end for the GRDF library.
+//!
+//! ```text
+//! grdf-cli ontology [turtle|rdfxml]             emit the GRDF ontology
+//! grdf-cli convert  <file> [turtle|rdfxml|gml]  convert between formats
+//! grdf-cli query    <file> <sparql>             run a query (use @file for the query text)
+//! grdf-cli validate <file>                      materialize + OWL consistency check
+//! grdf-cli stats    <file>                      triple/feature/identity statistics
+//! ```
+//!
+//! Input format is detected from the extension: `.gml`, `.ttl`/`.turtle`,
+//! `.rdf`/`.xml`/`.owl` (RDF/XML), `.nt` (N-Triples).
+
+use std::process::ExitCode;
+
+use grdf::core::ontology::{grdf_ontology, stats as onto_stats};
+use grdf::core::store::GrdfStore;
+use grdf::query::QueryResult;
+use grdf::rdf::PrefixMap;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  grdf-cli ontology [turtle|rdfxml]
+  grdf-cli convert  <file> [turtle|rdfxml|gml]
+  grdf-cli query    <file> <sparql | @queryfile>
+  grdf-cli validate <file>
+  grdf-cli stats    <file>";
+
+/// Run a CLI invocation; returns the text to print.
+fn run(args: &[String]) -> Result<String, String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "ontology" => cmd_ontology(args.get(1).map(String::as_str).unwrap_or("turtle")),
+        "convert" => {
+            let file = args.get(1).ok_or("convert needs an input file")?;
+            let format = args.get(2).map(String::as_str).unwrap_or("turtle");
+            cmd_convert(file, format)
+        }
+        "query" => {
+            let file = args.get(1).ok_or("query needs a data file")?;
+            let query = args.get(2).ok_or("query needs a query string")?;
+            cmd_query(file, query)
+        }
+        "validate" => cmd_validate(args.get(1).ok_or("validate needs a data file")?),
+        "stats" => cmd_stats(args.get(1).ok_or("stats needs a data file")?),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_store(path: &str) -> Result<GrdfStore, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut store = GrdfStore::new();
+    let lower = path.to_ascii_lowercase();
+    let result = if lower.ends_with(".gml") {
+        store.load_gml(&text).map(|_| ())
+    } else if lower.ends_with(".ttl") || lower.ends_with(".turtle") {
+        store.load_turtle(&text).map(|_| ())
+    } else if lower.ends_with(".nt") {
+        match grdf::rdf::ntriples::parse(&text) {
+            Ok(g) => {
+                store.merge_graph(&g);
+                Ok(())
+            }
+            Err(e) => Err(grdf::core::store::StoreError::Rdf(e.to_string())),
+        }
+    } else if lower.ends_with(".rdf") || lower.ends_with(".xml") || lower.ends_with(".owl") {
+        store.load_rdfxml(&text).map(|_| ())
+    } else {
+        // Fall back to trying Turtle, then RDF/XML.
+        store
+            .load_turtle(&text)
+            .map(|_| ())
+            .or_else(|_| store.load_rdfxml(&text).map(|_| ()))
+    };
+    result.map_err(|e| format!("{path}: {e}"))?;
+    Ok(store)
+}
+
+fn emit(store: &GrdfStore, format: &str) -> Result<String, String> {
+    match format {
+        "turtle" | "ttl" => Ok(store.to_turtle()),
+        "rdfxml" | "rdf" | "xml" => store.to_rdfxml().map_err(|e| e.to_string()),
+        "gml" => Ok(store.to_gml()),
+        "ntriples" | "nt" => Ok(grdf::rdf::ntriples::serialize(store.graph())),
+        "nquads" | "nq" => Ok(store.to_dataset().to_nquads()),
+        "trig" => Ok(store.to_dataset().to_trig(store.prefixes())),
+        other => Err(format!("unknown output format {other:?}")),
+    }
+}
+
+fn cmd_ontology(format: &str) -> Result<String, String> {
+    let g = grdf_ontology();
+    match format {
+        "turtle" | "ttl" => Ok(grdf::rdf::turtle::serialize(&g, &PrefixMap::common())),
+        "rdfxml" | "rdf" | "xml" => {
+            grdf::rdf::rdfxml::serialize(&g, &PrefixMap::common()).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown output format {other:?}")),
+    }
+}
+
+fn cmd_convert(path: &str, format: &str) -> Result<String, String> {
+    let store = load_store(path)?;
+    emit(&store, format)
+}
+
+fn cmd_query(path: &str, query: &str) -> Result<String, String> {
+    let mut store = load_store(path)?;
+    store.materialize();
+    let text = if let Some(qfile) = query.strip_prefix('@') {
+        std::fs::read_to_string(qfile).map_err(|e| format!("{qfile}: {e}"))?
+    } else {
+        query.to_string()
+    };
+    let result = store.query(&text).map_err(|e| e.to_string())?;
+    Ok(render_result(&result))
+}
+
+fn render_result(result: &QueryResult) -> String {
+    match result {
+        QueryResult::Boolean(b) => b.to_string(),
+        QueryResult::Graph(g) => grdf::rdf::turtle::serialize(g, &PrefixMap::common()),
+        QueryResult::Select { vars, rows } => {
+            let mut out = String::new();
+            out.push_str(&vars.join("\t"));
+            out.push('\n');
+            for row in rows {
+                let cells: Vec<String> = vars
+                    .iter()
+                    .map(|v| row.get(v).map(|t| t.to_string()).unwrap_or_default())
+                    .collect();
+                out.push_str(&cells.join("\t"));
+                out.push('\n');
+            }
+            out.push_str(&format!("({} rows)", rows.len()));
+            out
+        }
+    }
+}
+
+fn cmd_validate(path: &str) -> Result<String, String> {
+    let mut store = load_store(path)?;
+    let stats = store.materialize();
+    match store.check() {
+        Ok(()) => Ok(format!(
+            "consistent ({} triples, {} inferred in {} passes)",
+            store.len(),
+            stats.inferred,
+            stats.passes
+        )),
+        Err(grdf::core::store::StoreError::Inconsistent(violations)) => {
+            let mut out = format!("INCONSISTENT: {} violation(s)\n", violations.len());
+            for v in violations.iter().take(20) {
+                out.push_str(&format!("  - {v}\n"));
+            }
+            Err(out)
+        }
+        Err(other) => Err(other.to_string()),
+    }
+}
+
+fn cmd_stats(path: &str) -> Result<String, String> {
+    let mut store = load_store(path)?;
+    let before = store.len();
+    let rs = store.materialize();
+    let s = onto_stats(store.graph());
+    Ok(format!(
+        "triples (loaded):    {before}\n\
+         triples (inferred):  {}\n\
+         reasoner passes:     {}\n\
+         classes:             {}\n\
+         object properties:   {}\n\
+         datatype properties: {}\n\
+         features:            {}\n\
+         sameAs identities:   {}",
+        rs.inferred,
+        rs.passes,
+        s.classes,
+        s.object_properties,
+        s.datatype_properties,
+        store.feature_count(),
+        store.same_as_links().len(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("grdf-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().to_string()
+    }
+
+    const TTL: &str = r#"@prefix app: <http://grdf.org/app#> .
+@prefix grdf: <http://grdf.org/ontology#> .
+app:s1 a app:ChemSite ; app:hasSiteName "NT Energy" .
+"#;
+
+    #[test]
+    fn ontology_emits_turtle_and_rdfxml() {
+        let ttl = run(&["ontology".into()]).unwrap();
+        assert!(ttl.contains("grdf:Feature"));
+        let xml = run(&["ontology".into(), "rdfxml".into()]).unwrap();
+        assert!(xml.contains("<rdf:RDF"));
+        assert!(run(&["ontology".into(), "wat".into()]).is_err());
+    }
+
+    #[test]
+    fn convert_turtle_to_ntriples() {
+        let path = write_temp("data.ttl", TTL);
+        let nt = run(&["convert".into(), path, "nt".into()]).unwrap();
+        assert!(nt.contains("<http://grdf.org/app#s1>"), "{nt}");
+    }
+
+    #[test]
+    fn query_selects_rows() {
+        let path = write_temp("q.ttl", TTL);
+        let out = run(&[
+            "query".into(),
+            path,
+            "PREFIX app: <http://grdf.org/app#> SELECT ?n WHERE { ?s app:hasSiteName ?n }".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("NT Energy"), "{out}");
+        assert!(out.contains("(1 rows)"), "{out}");
+    }
+
+    #[test]
+    fn query_from_file() {
+        let data = write_temp("qf.ttl", TTL);
+        let qfile = write_temp("query.rq", "ASK { ?s ?p ?o }");
+        let out = run(&["query".into(), data, format!("@{qfile}")]).unwrap();
+        assert_eq!(out, "true");
+    }
+
+    #[test]
+    fn validate_reports_consistency() {
+        let good = write_temp("good.ttl", TTL);
+        let out = run(&["validate".into(), good]).unwrap();
+        assert!(out.starts_with("consistent"), "{out}");
+
+        let bad = write_temp(
+            "bad.ttl",
+            "@prefix grdf: <http://grdf.org/ontology#> .\n<urn:x> a grdf:Point , grdf:Node .",
+        );
+        let err = run(&["validate".into(), bad]).unwrap_err();
+        assert!(err.contains("INCONSISTENT"), "{err}");
+    }
+
+    #[test]
+    fn stats_summarizes() {
+        let path = write_temp("stats.ttl", TTL);
+        let out = run(&["stats".into(), path]).unwrap();
+        assert!(out.contains("features:"), "{out}");
+        assert!(out.contains("classes:"), "{out}");
+    }
+
+    #[test]
+    fn errors_for_bad_usage() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate".into()]).is_err());
+        assert!(run(&["convert".into()]).is_err());
+        assert!(run(&["query".into(), "nonexistent.ttl".into(), "ASK {}".into()]).is_err());
+    }
+
+    #[test]
+    fn gml_input_detected_by_extension() {
+        let gml = write_temp(
+            "in.gml",
+            r#"<gml:FeatureCollection xmlns:gml="http://www.opengis.net/gml" xmlns:app="http://grdf.org/app#">
+              <gml:featureMember><app:Well gml:id="w1"><app:depth>12.5</app:depth></app:Well></gml:featureMember>
+            </gml:FeatureCollection>"#,
+        );
+        let out = run(&["convert".into(), gml, "turtle".into()]).unwrap();
+        assert!(out.contains("app:w1"), "{out}");
+    }
+}

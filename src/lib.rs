@@ -1,0 +1,45 @@
+//! # GRDF — Geospatial Resource Description Framework
+//!
+//! A from-scratch Rust reproduction of *"Geospatial Resource Description
+//! Framework (GRDF) and security constructs"* (Alam, Khan, Thuraisingham;
+//! ICDE 2008 / Computer Standards & Interfaces 33, 2011).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`xml`] — XML 1.0 substrate (parser/writer).
+//! * [`rdf`] — RDF data model, triple store, Turtle/N-Triples/RDF-XML.
+//! * [`owl`] — OWL-DL subset and forward-chaining reasoner.
+//! * [`geometry`] — GRDF geometry model (§5 of the paper).
+//! * [`topology`] — GRDF topology model (§6, Fig. 2).
+//! * [`feature`] — GRDF feature model (§4) + temporal/coverage types (§3.3).
+//! * [`gml`] — GML 3.1 subset and GML↔GRDF conversion (§3.2).
+//! * [`query`] — SPARQL-subset engine with geospatial builtins.
+//! * [`security`] — security ontology, policies, G-SACS (§7–§8, Fig. 3).
+//! * [`core`] — the GRDF ontology itself + the aggregation store.
+//! * [`workload`] — synthetic dataset generators (Lists 6–7 substitutes).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use grdf::core::store::GrdfStore;
+//! use grdf::feature::Feature;
+//! use grdf::geometry::Point;
+//!
+//! let mut store = GrdfStore::new();
+//! let mut f = Feature::new("http://example.org/site/1", "ChemSite");
+//! f.set_geometry(Point::new(2533822.1, 7108248.8).into());
+//! store.insert_feature(&f).unwrap();
+//! assert_eq!(store.feature_count(), 1);
+//! ```
+
+pub use grdf_core as core;
+pub use grdf_feature as feature;
+pub use grdf_geometry as geometry;
+pub use grdf_gml as gml;
+pub use grdf_owl as owl;
+pub use grdf_query as query;
+pub use grdf_rdf as rdf;
+pub use grdf_security as security;
+pub use grdf_topology as topology;
+pub use grdf_workload as workload;
+pub use grdf_xml as xml;

@@ -1,0 +1,193 @@
+//! Property-based tests on the reasoner's core invariants: idempotence,
+//! monotonicity, subclass-closure soundness/completeness, and the
+//! interaction between reasoning and consistency checking.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use grdf::owl::consistency::check_consistency;
+use grdf::owl::hierarchy::Hierarchy;
+use grdf::owl::reasoner::Reasoner;
+use grdf::rdf::term::Term;
+use grdf::rdf::vocab::{rdf, rdfs};
+use grdf::rdf::Graph;
+
+/// Random subclass forest over `n` classes: each class i > 0 gets at most
+/// one parent among classes 0..i, plus random instance assignments.
+#[derive(Debug, Clone)]
+struct Taxonomy {
+    /// parent[i] = Some(j) with j < i.
+    parents: Vec<Option<usize>>,
+    /// (instance, class) memberships.
+    memberships: Vec<(usize, usize)>,
+}
+
+fn arb_taxonomy(max_classes: usize, max_instances: usize) -> impl Strategy<Value = Taxonomy> {
+    (2..max_classes)
+        .prop_flat_map(move |n| {
+            let parents = (1..n)
+                .map(|i| proptest::option::of(0..i))
+                .collect::<Vec<_>>();
+            let memberships =
+                prop::collection::vec((0..max_instances, 0..n), 0..max_instances * 2);
+            (parents, memberships).prop_map(|(mut ps, memberships)| {
+                ps.insert(0, None);
+                Taxonomy { parents: ps, memberships }
+            })
+        })
+}
+
+fn class(i: usize) -> Term {
+    Term::iri(&format!("urn:tax#C{i}"))
+}
+
+fn instance(i: usize) -> Term {
+    Term::iri(&format!("urn:tax#i{i}"))
+}
+
+fn to_graph(t: &Taxonomy) -> Graph {
+    let mut g = Graph::new();
+    for (i, parent) in t.parents.iter().enumerate() {
+        if let Some(p) = parent {
+            g.add(class(i), Term::iri(rdfs::SUB_CLASS_OF), class(*p));
+        }
+    }
+    for (inst, cls) in &t.memberships {
+        g.add(instance(*inst), Term::iri(rdf::TYPE), class(*cls));
+    }
+    g
+}
+
+/// Ground-truth ancestors of class `i` by following parent links.
+fn ancestors(t: &Taxonomy, i: usize) -> HashSet<usize> {
+    let mut out = HashSet::new();
+    let mut cur = t.parents[i];
+    while let Some(p) = cur {
+        if !out.insert(p) {
+            break;
+        }
+        cur = t.parents[p];
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn materialization_is_idempotent(t in arb_taxonomy(12, 8)) {
+        let mut g = to_graph(&t);
+        Reasoner::default().materialize(&mut g);
+        let first = g.len();
+        let stats = Reasoner::default().materialize(&mut g);
+        prop_assert_eq!(stats.inferred, 0);
+        prop_assert_eq!(g.len(), first);
+    }
+
+    #[test]
+    fn type_closure_matches_ground_truth(t in arb_taxonomy(12, 8)) {
+        let mut g = to_graph(&t);
+        Reasoner::default().materialize(&mut g);
+        for (inst, cls) in &t.memberships {
+            // Soundness & completeness of inherited memberships.
+            for anc in ancestors(&t, *cls) {
+                prop_assert!(
+                    g.has(&instance(*inst), &Term::iri(rdf::TYPE), &class(anc)),
+                    "i{} should be a C{}", inst, anc
+                );
+            }
+        }
+        // Soundness: no membership in a non-ancestor class (unless asserted
+        // via a different membership).
+        for (inst, cls) in &t.memberships {
+            let legal: HashSet<usize> = t
+                .memberships
+                .iter()
+                .filter(|(i2, _)| i2 == inst)
+                .flat_map(|(_, c2)| {
+                    let mut s = ancestors(&t, *c2);
+                    s.insert(*c2);
+                    s
+                })
+                .collect();
+            for c in 0..t.parents.len() {
+                if !legal.contains(&c) {
+                    prop_assert!(
+                        !g.has(&instance(*inst), &Term::iri(rdf::TYPE), &class(c)),
+                        "i{} must NOT be C{} (asserted C{})", inst, c, cls
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn materialization_is_monotone(t in arb_taxonomy(10, 6), extra_cls in 0usize..6, extra_inst in 0usize..6) {
+        // Entailments of G are preserved when G grows.
+        let mut g1 = to_graph(&t);
+        Reasoner::default().materialize(&mut g1);
+        let before: Vec<_> = g1.iter().collect();
+
+        let mut g2 = to_graph(&t);
+        let n = t.parents.len();
+        g2.add(instance(extra_inst + 100), Term::iri(rdf::TYPE), class(extra_cls % n));
+        Reasoner::default().materialize(&mut g2);
+        for triple in before {
+            prop_assert!(g2.contains(&triple), "lost entailment {}", triple);
+        }
+    }
+
+    #[test]
+    fn hierarchy_queries_agree_with_reasoner(t in arb_taxonomy(10, 6)) {
+        // Hierarchy::instances_transitive (no materialization) must equal
+        // Hierarchy::instances (after materialization).
+        let g_raw = to_graph(&t);
+        let h_raw = Hierarchy::new(&g_raw);
+        let mut g_mat = to_graph(&t);
+        Reasoner::default().materialize(&mut g_mat);
+        let h_mat = Hierarchy::new(&g_mat);
+        for c in 0..t.parents.len() {
+            let mut lazy = h_raw.instances_transitive(&class(c));
+            let mut eager = h_mat.instances(&class(c));
+            lazy.sort();
+            eager.sort();
+            eager.dedup();
+            prop_assert_eq!(lazy, eager, "class C{}", c);
+        }
+    }
+
+    #[test]
+    fn consistent_taxonomies_stay_consistent(t in arb_taxonomy(10, 6)) {
+        let mut g = to_graph(&t);
+        Reasoner::default().materialize(&mut g);
+        prop_assert!(check_consistency(&g).is_empty());
+    }
+
+    #[test]
+    fn disjointness_violations_are_found_iff_shared_members(
+        t in arb_taxonomy(8, 5),
+        a in 0usize..8,
+        b in 0usize..8,
+    ) {
+        let n = t.parents.len();
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        let mut g = to_graph(&t);
+        g.add(
+            class(a),
+            Term::iri(grdf::rdf::vocab::owl::DISJOINT_WITH),
+            class(b),
+        );
+        Reasoner::default().materialize(&mut g);
+        let h = Hierarchy::new(&g);
+        let members_a: HashSet<Term> = h.instances(&class(a)).into_iter().collect();
+        let members_b: HashSet<Term> = h.instances(&class(b)).into_iter().collect();
+        let overlap = members_a.intersection(&members_b).count();
+        let violations = check_consistency(&g)
+            .into_iter()
+            .filter(|v| matches!(v, grdf::owl::consistency::Violation::Disjoint { .. }))
+            .count();
+        prop_assert_eq!(overlap > 0, violations > 0,
+            "overlap {} vs violations {}", overlap, violations);
+    }
+}

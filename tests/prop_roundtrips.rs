@@ -1,0 +1,253 @@
+//! Property-based tests: serialization round-trips across the stack.
+
+use proptest::prelude::*;
+
+use grdf::feature::{decode_feature, encode_feature, Feature, Value};
+use grdf::geometry::coord::{format_coord_list, parse_coord_list};
+use grdf::geometry::{Coord, Envelope, LineString, Point};
+use grdf::rdf::isomorphism::isomorphic;
+use grdf::rdf::term::{Literal, Term, Triple};
+use grdf::rdf::{Graph, PrefixMap};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn arb_iri() -> impl Strategy<Value = String> {
+    // Simple, URL-safe IRIs.
+    "[a-z]{1,8}".prop_map(|s| format!("http://example.org/{s}"))
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Avoid control characters that the writers escape asymmetrically
+        // only in pathological cases; printable text is the domain here.
+        "[ -~]{0,20}".prop_map(|s| Literal::string(&s)),
+        any::<i64>().prop_map(Literal::integer),
+        any::<bool>().prop_map(Literal::boolean),
+        (-1.0e9f64..1.0e9).prop_map(Literal::double),
+        ("[ -~]{0,10}", "[a-z]{2}").prop_map(|(s, l)| Literal::lang_string(&s, &l)),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_iri().prop_map(|i| Term::iri(&i)),
+        "[a-z][a-z0-9]{0,6}".prop_map(|b| Term::blank(&b)),
+        arb_literal().prop_map(Term::Literal),
+    ]
+}
+
+fn arb_subject() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_iri().prop_map(|i| Term::iri(&i)),
+        "[a-z][a-z0-9]{0,6}".prop_map(|b| Term::blank(&b)),
+    ]
+}
+
+fn arb_graph(max: usize) -> impl Strategy<Value = Graph> {
+    prop::collection::vec((arb_subject(), arb_iri(), arb_term()), 0..max).prop_map(|ts| {
+        ts.into_iter()
+            .map(|(s, p, o)| Triple::new(s, Term::iri(&p), o))
+            .collect()
+    })
+}
+
+fn arb_coord() -> impl Strategy<Value = Coord> {
+    // Values without float formatting surprises.
+    (-1_000_000i32..1_000_000, -1_000_000i32..1_000_000)
+        .prop_map(|(x, y)| Coord::xy(x as f64 / 16.0, y as f64 / 16.0))
+}
+
+// ---------------------------------------------------------------------------
+// RDF syntaxes
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ntriples_roundtrip(g in arb_graph(25)) {
+        let text = grdf::rdf::ntriples::serialize(&g);
+        let back = grdf::rdf::ntriples::parse(&text).unwrap();
+        prop_assert_eq!(&g, &back);
+    }
+
+    #[test]
+    fn turtle_roundtrip_is_isomorphic(g in arb_graph(25)) {
+        let text = grdf::rdf::turtle::serialize(&g, &PrefixMap::common());
+        let back = grdf::rdf::turtle::parse(&text).unwrap();
+        prop_assert!(isomorphic(&g, &back), "turtle:\n{}", text);
+    }
+
+    #[test]
+    fn rdfxml_roundtrip_is_isomorphic(g in arb_graph(15)) {
+        let xml = grdf::rdf::rdfxml::serialize(&g, &PrefixMap::common()).unwrap();
+        let back = grdf::rdf::rdfxml::parse(&xml).unwrap();
+        prop_assert!(isomorphic(&g, &back), "rdfxml:\n{}", xml);
+    }
+
+    #[test]
+    fn graph_insert_remove_is_identity(g in arb_graph(20), extra in (arb_subject(), arb_iri(), arb_term())) {
+        let mut g2 = g.clone();
+        let t = Triple::new(extra.0, Term::iri(&extra.1), extra.2);
+        let was_present = g2.contains(&t);
+        g2.insert(t.clone());
+        prop_assert!(g2.contains(&t));
+        if !was_present {
+            g2.remove(&t);
+            prop_assert_eq!(&g, &g2);
+        }
+    }
+
+    #[test]
+    fn pattern_match_agrees_with_filtering(g in arb_graph(20), probe in arb_subject()) {
+        let via_index = g.match_pattern(Some(&probe), None, None);
+        let via_scan: Vec<_> = g.iter().filter(|t| t.subject == probe).collect();
+        prop_assert_eq!(via_index.len(), via_scan.len());
+        for t in via_index {
+            prop_assert!(via_scan.contains(&t));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Geometry & coordinates
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn coord_list_roundtrip(coords in prop::collection::vec(arb_coord(), 1..30)) {
+        let text = format_coord_list(&coords);
+        let back = parse_coord_list(&text, 2).unwrap();
+        prop_assert_eq!(coords, back);
+    }
+
+    #[test]
+    fn envelope_contains_its_inputs(coords in prop::collection::vec(arb_coord(), 1..30)) {
+        let env = Envelope::of_coords(&coords).unwrap();
+        for c in &coords {
+            prop_assert!(env.contains(c));
+        }
+        prop_assert!(env.area() >= 0.0);
+    }
+
+    #[test]
+    fn envelope_union_is_commutative_and_covering(a in arb_coord(), b in arb_coord(), c in arb_coord(), d in arb_coord()) {
+        let e1 = Envelope::new(a, b);
+        let e2 = Envelope::new(c, d);
+        prop_assert_eq!(e1.union(&e2), e2.union(&e1));
+        let u = e1.union(&e2);
+        prop_assert!(u.contains_envelope(&e1));
+        prop_assert!(u.contains_envelope(&e2));
+    }
+
+    #[test]
+    fn envelope_intersection_is_within_both(a in arb_coord(), b in arb_coord(), c in arb_coord(), d in arb_coord()) {
+        let e1 = Envelope::new(a, b);
+        let e2 = Envelope::new(c, d);
+        if let Some(i) = e1.intersection(&e2) {
+            prop_assert!(e1.contains_envelope(&i));
+            prop_assert!(e2.contains_envelope(&i));
+        } else {
+            prop_assert!(!e1.intersects(&e2));
+        }
+    }
+
+    #[test]
+    fn linestring_length_is_translation_invariant(
+        coords in prop::collection::vec(arb_coord(), 2..20),
+        dx in -1000.0f64..1000.0,
+        dy in -1000.0f64..1000.0,
+    ) {
+        let l1 = LineString::new(coords.clone()).unwrap();
+        let moved: Vec<Coord> = coords.iter().map(|c| c.translate(dx, dy)).collect();
+        let l2 = LineString::new(moved).unwrap();
+        prop_assert!((l1.length() - l2.length()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn convex_hull_contains_all_points(coords in prop::collection::vec(arb_coord(), 3..40)) {
+        let hull = grdf::geometry::algorithms::convex_hull(&coords);
+        if hull.len() >= 3 {
+            for c in &coords {
+                prop_assert!(
+                    grdf::geometry::algorithms::point_in_ring(c, &hull),
+                    "point {:?} outside hull {:?}", c, hull
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simplification_never_grows(coords in prop::collection::vec(arb_coord(), 2..30), eps in 0.0f64..100.0) {
+        let s = grdf::geometry::algorithms::simplify(&coords, eps);
+        prop_assert!(s.len() <= coords.len());
+        prop_assert_eq!(s.first(), coords.first());
+        prop_assert_eq!(s.last(), coords.last());
+    }
+
+    #[test]
+    fn wkt_roundtrip_linestring(coords in prop::collection::vec(arb_coord(), 2..15)) {
+        let g = grdf::geometry::Geometry::LineString(LineString::new(coords).unwrap());
+        let text = grdf::geometry::wkt::to_wkt(&g);
+        let back = grdf::geometry::wkt::parse_wkt(&text).unwrap();
+        prop_assert_eq!(g, back);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Feature codec
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[ -~]{0,16}".prop_map(Value::String),
+        any::<i64>().prop_map(Value::Integer),
+        any::<bool>().prop_map(Value::Boolean),
+        (-1.0e6f64..1.0e6).prop_map(Value::Double),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn feature_codec_roundtrip(
+        props in prop::collection::vec(("[a-z]{1,8}", arb_value()), 0..8),
+        point in arb_coord(),
+        with_geometry in any::<bool>(),
+    ) {
+        let mut f = Feature::new("http://example.org/f1", "Thing");
+        for (name, v) in &props {
+            f.set_property(name, v.clone());
+        }
+        if with_geometry {
+            f.set_geometry(Point::at(point).into());
+        }
+        let mut g = Graph::new();
+        let subject = encode_feature(&mut g, &f);
+        let back = decode_feature(&g, &subject).unwrap();
+        prop_assert_eq!(&back.iri, &f.iri);
+        prop_assert_eq!(&back.feature_type, &f.feature_type);
+        prop_assert_eq!(&back.geometry, &f.geometry);
+        // Properties survive as a multiset (order is index order).
+        prop_assert_eq!(back.properties.len(), f.properties.len());
+        for (name, v) in &f.properties {
+            prop_assert!(
+                back.property_values(name).contains(&v),
+                "lost {}={:?}", name, v
+            );
+        }
+    }
+
+    #[test]
+    fn time_roundtrip(epoch in -2_000_000_000i64..4_000_000_000i64) {
+        let t = grdf::feature::TimeInstant::from_epoch(epoch);
+        let text = t.to_iso8601();
+        let back = grdf::feature::TimeInstant::parse(&text).unwrap();
+        prop_assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based security invariants: the secure view must be *sound*
+//! (never expose what the evaluator denies), monotone in privileges, and
+//! the fine-grained view must never exceed the object-level view built
+//! from the corresponding unconditional grants.
+
+use proptest::prelude::*;
+
+use grdf::feature::{encode_feature, Feature};
+use grdf::rdf::term::Term;
+use grdf::rdf::vocab::{grdf as ns, rdf};
+use grdf::rdf::Graph;
+use grdf::security::geoxacml::{XacmlPolicySet, XacmlRule};
+use grdf::security::policy::{Access, Action, Policy, PolicySet};
+use grdf::security::views::secure_view;
+
+const TYPES: &[&str] = &["ChemSite", "Stream", "ChemInfo", "Depot"];
+const PROPS: &[&str] = &["hasSiteName", "hasChemCode", "hasContactPhone", "hasObjectID"];
+
+/// A random instance dataset: features over a small type/property universe.
+fn arb_dataset() -> impl Strategy<Value = Graph> {
+    prop::collection::vec(
+        (0..TYPES.len(), prop::collection::vec((0..PROPS.len(), "[a-z]{1,6}"), 0..4)),
+        1..12,
+    )
+    .prop_map(|features| {
+        let mut g = Graph::new();
+        for (i, (ty, props)) in features.into_iter().enumerate() {
+            let mut f = Feature::new(&ns::app(&format!("x{i}")), TYPES[ty]);
+            for (p, v) in props {
+                f.set_property(PROPS[p], v.as_str());
+            }
+            encode_feature(&mut g, &f);
+        }
+        g
+    })
+}
+
+/// A random fine-grained policy set for one role.
+fn arb_policies(role: String) -> impl Strategy<Value = PolicySet> {
+    prop::collection::vec(
+        (
+            0..TYPES.len(),
+            prop::option::of(prop::collection::vec(0..PROPS.len(), 1..3)),
+            prop::bool::ANY,
+        ),
+        0..5,
+    )
+    .prop_map(move |rules| {
+        let policies = rules
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ty, props, deny))| {
+                let id = format!("urn:policy#{i}");
+                if deny {
+                    Policy::deny(&id, &role, &ns::app(TYPES[ty]))
+                } else {
+                    match props {
+                        None => Policy::permit(&id, &role, &ns::app(TYPES[ty])),
+                        Some(ps) => {
+                            let names: Vec<String> =
+                                ps.into_iter().map(|p| ns::app(PROPS[p])).collect();
+                            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                            Policy::permit_properties(&id, &role, &ns::app(TYPES[ty]), &refs)
+                        }
+                    }
+                }
+            })
+            .collect();
+        PolicySet::new(policies)
+    })
+}
+
+const ROLE: &str = "urn:role#tester";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: every triple in the view would be Granted by the
+    /// evaluator (checked for IRI subjects; blank subtree nodes are pulled
+    /// in by their granted parent property).
+    #[test]
+    fn view_is_sound(data in arb_dataset(), ps in arb_policies(ROLE.to_string())) {
+        let (view, _) = secure_view(&data, &ps, ROLE);
+        for t in view.iter() {
+            if t.subject.is_blank() {
+                continue;
+            }
+            let pred = t.predicate.as_iri().unwrap();
+            let access = ps.evaluate(&data, ROLE, &t.subject, pred, Action::View);
+            prop_assert_eq!(
+                access,
+                Access::Granted,
+                "view exposed {} though evaluator says {:?}", t, access
+            );
+        }
+    }
+
+    /// The view never invents triples: it is a subgraph of the data.
+    #[test]
+    fn view_is_a_subgraph(data in arb_dataset(), ps in arb_policies(ROLE.to_string())) {
+        let (view, _) = secure_view(&data, &ps, ROLE);
+        for t in view.iter() {
+            prop_assert!(data.contains(&t), "view invented {}", t);
+        }
+    }
+
+    /// Adding a Permit policy never shrinks the view (privilege
+    /// monotonicity) — provided no Deny is present, since Deny overrides.
+    #[test]
+    fn permits_are_monotone(data in arb_dataset(), ty in 0..TYPES.len()) {
+        let base = PolicySet::new(vec![Policy::permit_properties(
+            "urn:p#base",
+            ROLE,
+            &ns::app(TYPES[0]),
+            &[&ns::app(PROPS[0])],
+        )]);
+        let mut extended = base.clone();
+        extended.push(Policy::permit("urn:p#more", ROLE, &ns::app(TYPES[ty])));
+        let (v1, _) = secure_view(&data, &base, ROLE);
+        let (v2, _) = secure_view(&data, &extended, ROLE);
+        for t in v1.iter() {
+            prop_assert!(v2.contains(&t), "extended view lost {}", t);
+        }
+        prop_assert!(v2.len() >= v1.len());
+    }
+
+    /// The fine-grained view is contained in the object-level view built
+    /// from unconditional grants over the same resources (property
+    /// conditions can only remove, never add).
+    #[test]
+    fn fine_grained_is_within_object_level(data in arb_dataset()) {
+        let grdf_ps = PolicySet::new(vec![
+            Policy::permit_properties(
+                "urn:p#1",
+                ROLE,
+                &ns::app("ChemSite"),
+                &[&ns::app("hasSiteName")],
+            ),
+            Policy::permit("urn:p#2", ROLE, &ns::app("Stream")),
+        ]);
+        let xacml_ps = XacmlPolicySet::new(vec![
+            XacmlRule::permit(ROLE, &ns::app("ChemSite")),
+            XacmlRule::permit(ROLE, &ns::app("Stream")),
+        ]);
+        let (fine, _) = secure_view(&data, &grdf_ps, ROLE);
+        let (coarse, _) = xacml_ps.view(&data, ROLE);
+        for t in fine.iter() {
+            prop_assert!(coarse.contains(&t), "fine-grained exposed {} beyond object level", t);
+        }
+    }
+
+    /// Deny-by-default: with no policies the view is empty.
+    #[test]
+    fn empty_policy_empty_view(data in arb_dataset()) {
+        let (view, stats) = secure_view(&data, &PolicySet::default(), ROLE);
+        prop_assert!(view.is_empty());
+        prop_assert_eq!(stats.granted, 0);
+    }
+
+    /// An explicit Deny on a type removes every one of its property
+    /// triples from the view, regardless of other permits.
+    #[test]
+    fn deny_overrides_any_permit(data in arb_dataset()) {
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:p#all", ROLE, &ns::app("ChemSite")),
+            Policy::deny("urn:p#no", ROLE, &ns::app("ChemSite")),
+        ]);
+        let (view, _) = secure_view(&data, &ps, ROLE);
+        let sites = data.subjects(&Term::iri(rdf::TYPE), &Term::iri(&ns::app("ChemSite")));
+        for s in sites {
+            prop_assert!(
+                view.match_pattern(Some(&s), None, None).is_empty(),
+                "denied subject {} leaked", s
+            );
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the spatial structures: R-tree vs brute force,
+//! clipping invariants, and CRS transform round-trips.
+
+use proptest::prelude::*;
+
+use grdf::geometry::clip::{clip_polyline, clip_segment};
+use grdf::geometry::crs::{CrsRegistry, TX83_NCF, WGS84};
+use grdf::geometry::rtree::RTree;
+use grdf::geometry::{Coord, Envelope, LineString};
+
+fn arb_coord() -> impl Strategy<Value = Coord> {
+    (-10_000i32..10_000, -10_000i32..10_000)
+        .prop_map(|(x, y)| Coord::xy(x as f64 / 4.0, y as f64 / 4.0))
+}
+
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (arb_coord(), arb_coord()).prop_map(|(a, b)| Envelope::new(a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- R-tree ----------------------------------------------------------
+
+    #[test]
+    fn rtree_bulk_load_matches_brute_force(
+        items in prop::collection::vec(arb_envelope(), 0..120),
+        window in arb_envelope(),
+    ) {
+        let tagged: Vec<(Envelope, usize)> =
+            items.iter().cloned().zip(0..).collect();
+        let tree = RTree::bulk_load(tagged.clone());
+        prop_assert!(tree.validate());
+        let mut got: Vec<usize> = tree.query(&window).into_iter().copied().collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = tagged
+            .iter()
+            .filter(|(e, _)| e.intersects(&window))
+            .map(|(_, i)| *i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rtree_incremental_matches_bulk(
+        items in prop::collection::vec(arb_envelope(), 1..80),
+        window in arb_envelope(),
+    ) {
+        let tagged: Vec<(Envelope, usize)> =
+            items.iter().cloned().zip(0..).collect();
+        let bulk = RTree::bulk_load(tagged.clone());
+        let mut inc = RTree::new();
+        for (e, i) in &tagged {
+            inc.insert(*e, *i);
+        }
+        prop_assert!(inc.validate());
+        let mut a: Vec<usize> = bulk.query(&window).into_iter().copied().collect();
+        let mut b: Vec<usize> = inc.query(&window).into_iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rtree_nearest_is_truly_nearest(
+        items in prop::collection::vec(arb_envelope(), 1..80),
+        probe in arb_coord(),
+    ) {
+        let tagged: Vec<(Envelope, usize)> =
+            items.iter().cloned().zip(0..).collect();
+        let tree = RTree::bulk_load(tagged.clone());
+        let got = *tree.nearest(&probe).unwrap();
+        let got_d = tagged[got].0.center().distance_2d(&probe);
+        for (e, _) in &tagged {
+            prop_assert!(got_d <= e.center().distance_2d(&probe) + 1e-9);
+        }
+    }
+
+    // ---- clipping ----------------------------------------------------------
+
+    #[test]
+    fn clipped_segment_stays_in_window_and_on_line(
+        a in arb_coord(),
+        b in arb_coord(),
+        window in arb_envelope(),
+    ) {
+        if let Some((p0, p1)) = clip_segment(&a, &b, &window) {
+            let eps = 1e-6;
+            let fuzzy = window.buffered(eps);
+            prop_assert!(fuzzy.contains(&p0), "{p0:?} outside {window:?}");
+            prop_assert!(fuzzy.contains(&p1));
+            // Clipped points lie on the original segment.
+            let d = grdf::geometry::algorithms::point_segment_distance(&p0, &a, &b);
+            prop_assert!(d < 1e-6, "clipped point off the line by {d}");
+            // The clipped piece is no longer than the original.
+            prop_assert!(p0.distance_2d(&p1) <= a.distance_2d(&b) + eps);
+        }
+    }
+
+    #[test]
+    fn clip_polyline_preserves_inside_length(
+        coords in prop::collection::vec(arb_coord(), 2..12),
+        window in arb_envelope(),
+    ) {
+        let line = LineString::new(coords).unwrap();
+        let pieces = clip_polyline(&line, &window);
+        let total: f64 = pieces.iter().map(LineString::length).sum();
+        prop_assert!(total <= line.length() + 1e-6);
+        let fuzzy = window.buffered(1e-6);
+        for p in &pieces {
+            for c in &p.coords {
+                prop_assert!(fuzzy.contains(c), "{c:?} outside window");
+            }
+        }
+        // A line fully inside must survive unclipped.
+        if line.coords.iter().all(|c| window.contains(c)) {
+            prop_assert!((total - line.length()).abs() < 1e-6);
+        }
+    }
+
+    // ---- CRS ----------------------------------------------------------------
+
+    #[test]
+    fn crs_transform_roundtrips(lon in -100.0f64..-94.0, lat in 30.0f64..35.0) {
+        let reg = CrsRegistry::with_defaults();
+        let geo = Coord::xy(lon, lat);
+        let projected = reg.transform(WGS84, TX83_NCF, &geo).unwrap();
+        let back = reg.transform(TX83_NCF, WGS84, &projected).unwrap();
+        prop_assert!(back.approx_eq(&geo, 1e-9), "{back:?} vs {geo:?}");
+    }
+}
