@@ -53,5 +53,10 @@ fn bench_index_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ontology_build, bench_materialize, bench_index_ablation);
+criterion_group!(
+    benches,
+    bench_ontology_build,
+    bench_materialize,
+    bench_index_ablation
+);
 criterion_main!(benches);

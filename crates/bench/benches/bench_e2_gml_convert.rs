@@ -9,7 +9,11 @@ fn bench_convert(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2/gml_convert");
     group.sample_size(20);
     for features in [200usize, 1000] {
-        let fc = generate_hydrology(&HydrologyConfig { streams: features, seed: 3, ..Default::default() });
+        let fc = generate_hydrology(&HydrologyConfig {
+            streams: features,
+            seed: 3,
+            ..Default::default()
+        });
         let gml = grdf_gml::write::write_gml(&fc);
         let graph = grdf_gml::convert::gml_to_grdf(&gml).expect("convert");
 
@@ -19,9 +23,11 @@ fn bench_convert(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("grdf_to_gml", features), &graph, |b, g| {
             b.iter(|| black_box(grdf_gml::convert::grdf_to_gml(g).len()))
         });
-        group.bench_with_input(BenchmarkId::new("gml_parse_only", features), &gml, |b, gml| {
-            b.iter(|| black_box(grdf_gml::read::parse_gml(gml).unwrap().len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gml_parse_only", features),
+            &gml,
+            |b, gml| b.iter(|| black_box(grdf_gml::read::parse_gml(gml).unwrap().len())),
+        );
     }
     group.finish();
 }

@@ -11,7 +11,9 @@ use grdf_topology::realize::Realization;
 
 fn grid_mesh(n: usize) -> (TopologyModel, Vec<Vec<NodeId>>) {
     let mut m = TopologyModel::new();
-    let nodes: Vec<Vec<_>> = (0..=n).map(|_| (0..=n).map(|_| m.add_node()).collect()).collect();
+    let nodes: Vec<Vec<_>> = (0..=n)
+        .map(|_| (0..=n).map(|_| m.add_node()).collect())
+        .collect();
     let mut h = vec![vec![None; n]; n + 1];
     let mut v = vec![vec![None; n + 1]; n];
     for (r, row) in nodes.iter().enumerate() {
@@ -64,7 +66,9 @@ fn bench_realization(c: &mut Criterion) {
         .iter()
         .enumerate()
         .flat_map(|(r, row)| {
-            row.iter().enumerate().map(move |(col, id)| (*id, Coord::xy(col as f64, r as f64)))
+            row.iter()
+                .enumerate()
+                .map(move |(col, id)| (*id, Coord::xy(col as f64, r as f64)))
         })
         .collect();
     c.bench_function("e3/realize_straight", |b| {

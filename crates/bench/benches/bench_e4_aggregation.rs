@@ -30,8 +30,10 @@ fn bench_reasoning_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4/reasoning");
     group.sample_size(10);
     // Full OWL-Horst vs RDFS-only on the same merged dataset.
-    for (name, reasoner) in [("owl_horst", Reasoner::default()), ("rdfs_only", Reasoner::rdfs_only())]
-    {
+    for (name, reasoner) in [
+        ("owl_horst", Reasoner::default()),
+        ("rdfs_only", Reasoner::rdfs_only()),
+    ] {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || incident_store(150, 150, 11),
@@ -63,7 +65,10 @@ fn bench_spatial_index_ablation(c: &mut Criterion) {
         Coord::xy(2_560_000.0, 7_100_000.0),
     );
     // Both paths must agree before we time them.
-    assert_eq!(index.count_in(&window), store.features_in_window_scan(&window).len());
+    assert_eq!(
+        index.count_in(&window),
+        store.features_in_window_scan(&window).len()
+    );
 
     let mut group = c.benchmark_group("e4/spatial_window");
     group.bench_function("rtree_query", |b| {

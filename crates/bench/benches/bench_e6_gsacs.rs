@@ -39,7 +39,10 @@ fn bench_request_stream(c: &mut Criterion) {
             ..Default::default()
         })
         .into_iter()
-        .map(|r| ClientRequest { role: r.role, query: r.query })
+        .map(|r| ClientRequest {
+            role: r.role,
+            query: r.query,
+        })
         .collect();
         group.bench_with_input(BenchmarkId::from_parameter(cache), &cache, |b, _| {
             b.iter(|| {
@@ -84,7 +87,10 @@ fn bench_concurrency(c: &mut Criterion) {
         ..Default::default()
     })
     .into_iter()
-    .map(|r| ClientRequest { role: r.role, query: r.query })
+    .map(|r| ClientRequest {
+        role: r.role,
+        query: r.query,
+    })
     .collect();
 
     let mut group = c.benchmark_group("e6/concurrency");
@@ -92,11 +98,11 @@ fn bench_concurrency(c: &mut Criterion) {
     for threads in [1usize, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &n| {
             b.iter(|| {
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     let chunk = reqs.len().div_ceil(n);
                     for part in reqs.chunks(chunk) {
                         let svc = &svc;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let mut total = 0usize;
                             for r in part {
                                 total += svc.handle(r).unwrap().select_rows().len();
@@ -104,13 +110,17 @@ fn bench_concurrency(c: &mut Criterion) {
                             black_box(total)
                         });
                     }
-                })
-                .unwrap();
+                });
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_request_stream, bench_cold_vs_warm, bench_concurrency);
+criterion_group!(
+    benches,
+    bench_request_stream,
+    bench_cold_vs_warm,
+    bench_concurrency
+);
 criterion_main!(benches);

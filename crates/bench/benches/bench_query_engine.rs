@@ -50,7 +50,8 @@ fn bench_path_closure(c: &mut Criterion) {
         .clone();
     let q2 = format!(
         "PREFIX app: <{}>\nSELECT ?b WHERE {{ {} app:flowsInto+ ?b }}",
-        grdf::APP_NS, one
+        grdf::APP_NS,
+        one
     );
     group.bench_function("flows_into_plus_bound_subject", |b| {
         b.iter(|| black_box(s.query(&q2).unwrap().select_rows().len()))
@@ -87,5 +88,11 @@ fn bench_filters(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_bgp_join, bench_path_closure, bench_aggregates, bench_filters);
+criterion_group!(
+    benches,
+    bench_bgp_join,
+    bench_path_closure,
+    bench_aggregates,
+    bench_filters
+);
 criterion_main!(benches);

@@ -9,9 +9,9 @@
 
 use std::time::Instant;
 
-use serde::Serialize;
-
-use grdf_bench::{incident_graph, incident_store, roles, scenario_policies, sensitive_properties, xacml_policies};
+use grdf_bench::{
+    incident_graph, incident_store, roles, scenario_policies, sensitive_properties, xacml_policies,
+};
 use grdf_core::ontology::{grdf_ontology, stats};
 use grdf_core::store::GrdfStore;
 use grdf_rdf::graph::{Graph, IndexMode};
@@ -22,7 +22,7 @@ use grdf_security::views::{secure_view, view_property_count};
 use grdf_topology::model::{DirectedEdge, TopologyModel};
 use grdf_workload::requests::{generate_requests, RequestConfig};
 
-#[derive(Default, Serialize)]
+#[derive(Default)]
 struct Report {
     e1: Vec<E1Row>,
     e2: Vec<E2Row>,
@@ -33,9 +33,7 @@ struct Report {
 }
 
 fn main() {
-    let json_path = std::env::args()
-        .skip_while(|a| a != "--json")
-        .nth(1);
+    let json_path = std::env::args().skip_while(|a| a != "--json").nth(1);
     let mut report = Report::default();
 
     println!("# GRDF experiment tables (regenerated)\n");
@@ -54,15 +52,18 @@ fn main() {
 }
 
 fn to_json(report: &Report) -> String {
-    // Minimal hand-rolled JSON via serde's Serialize + a tiny writer would
-    // be overkill; serde_json is not in the allowed set, so emit a compact
-    // debug-ish JSON by hand from the typed rows.
+    // serde_json is not in the allowed set, so emit compact JSON by hand
+    // from the typed rows.
     let mut s = String::from("{\n");
     macro_rules! section {
         ($name:literal, $rows:expr, $fmt:expr) => {
             s.push_str(&format!("  \"{}\": [\n", $name));
             for (i, r) in $rows.iter().enumerate() {
-                s.push_str(&format!("    {}{}\n", $fmt(r), if i + 1 < $rows.len() { "," } else { "" }));
+                s.push_str(&format!(
+                    "    {}{}\n",
+                    $fmt(r),
+                    if i + 1 < $rows.len() { "," } else { "" }
+                ));
             }
             s.push_str("  ],\n");
         };
@@ -81,8 +82,14 @@ fn to_json(report: &Report) -> String {
     ));
     section!("e4", report.e4, |r: &E4Row| format!(
         r#"{{"streams": {}, "sites": {}, "silo_answers": {}, "merged_answers": {}, "identities_no_reasoning": {}, "identities_reasoning": {}, "materialize_ms": {:.1}, "query_ms": {:.2}}}"#,
-        r.streams, r.sites, r.silo_answers, r.merged_answers, r.identities_no_reasoning,
-        r.identities_reasoning, r.materialize_ms, r.query_ms
+        r.streams,
+        r.sites,
+        r.silo_answers,
+        r.merged_answers,
+        r.identities_no_reasoning,
+        r.identities_reasoning,
+        r.materialize_ms,
+        r.query_ms
     ));
     section!("e5", report.e5, |r: &E5Row| format!(
         r#"{{"role": "{}", "model": "{}", "view_triples": {}, "leaked_sensitive": {}, "aligned_covered": {}, "view_ms": {:.1}}}"#,
@@ -109,7 +116,6 @@ fn ms(t: Instant) -> f64 {
 // E1 — Fig. 1: the GRDF ontology; load/materialize scaling; index ablation.
 // ---------------------------------------------------------------------------
 
-#[derive(Serialize)]
 struct E1Row {
     features: usize,
     triples: usize,
@@ -142,7 +148,9 @@ fn e1_ontology(report: &mut Report) {
         let probe = Term::iri(&grdf::app("ChemSite"));
         let t = Instant::now();
         for _ in 0..50 {
-            store.graph().count_pattern(None, Some(&Term::iri(rdf::TYPE)), Some(&probe));
+            store
+                .graph()
+                .count_pattern(None, Some(&Term::iri(rdf::TYPE)), Some(&probe));
         }
         let match_full_ms = ms(t);
         let mut lean = Graph::with_index_mode(IndexMode::SpoOnly);
@@ -173,7 +181,6 @@ fn e1_ontology(report: &mut Report) {
 // E2 — List 1 / §3.2: GML↔GRDF conversion.
 // ---------------------------------------------------------------------------
 
-#[derive(Serialize)]
 struct E2Row {
     features: usize,
     gml_to_grdf_ms: f64,
@@ -187,7 +194,11 @@ fn e2_gml(report: &mut Report) {
     println!("|---|---|---|---|");
     for features in [200usize, 1_000, 4_000] {
         let hydro = grdf_workload::hydrology::generate_hydrology(
-            &grdf_workload::hydrology::HydrologyConfig { streams: features, seed: 3, ..Default::default() },
+            &grdf_workload::hydrology::HydrologyConfig {
+                streams: features,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let gml = grdf_gml::write::write_gml(&hydro);
         let t = Instant::now();
@@ -199,7 +210,12 @@ fn e2_gml(report: &mut Report) {
         let g2 = grdf_gml::convert::gml_to_grdf(&gml2).expect("convert back");
         let fixpoint = g.len() == g2.len();
         println!("| {features} | {gml_to_grdf_ms:.1} | {grdf_to_gml_ms:.1} | {fixpoint} |");
-        report.e2.push(E2Row { features, gml_to_grdf_ms, grdf_to_gml_ms, fixpoint });
+        report.e2.push(E2Row {
+            features,
+            gml_to_grdf_ms,
+            grdf_to_gml_ms,
+            fixpoint,
+        });
     }
     println!();
 }
@@ -208,7 +224,6 @@ fn e2_gml(report: &mut Report) {
 // E3 — Fig. 2 / List 5: topology without coordinates + realization.
 // ---------------------------------------------------------------------------
 
-#[derive(Serialize)]
 struct E3Row {
     faces: usize,
     build_ms: f64,
@@ -220,7 +235,9 @@ struct E3Row {
 /// Build an n×n grid mesh (each cell one square face).
 fn grid_mesh(n: usize) -> (TopologyModel, Vec<Vec<grdf_topology::model::NodeId>>) {
     let mut m = TopologyModel::new();
-    let nodes: Vec<Vec<_>> = (0..=n).map(|_| (0..=n).map(|_| m.add_node()).collect()).collect();
+    let nodes: Vec<Vec<_>> = (0..=n)
+        .map(|_| (0..=n).map(|_| m.add_node()).collect())
+        .collect();
     // Horizontal and vertical edges.
     let mut h = vec![vec![None; n]; n + 1];
     let mut v = vec![vec![None; n + 1]; n];
@@ -285,7 +302,13 @@ fn e3_topology(report: &mut Report) {
             "| {} | {build_ms:.2} | {connectivity_ms:.2} | {euler} | {realize_ms:.2} |",
             m.face_count()
         );
-        report.e3.push(E3Row { faces: m.face_count(), build_ms, connectivity_ms, euler, realize_ms });
+        report.e3.push(E3Row {
+            faces: m.face_count(),
+            build_ms,
+            connectivity_ms,
+            euler,
+            realize_ms,
+        });
     }
     println!();
 }
@@ -294,7 +317,6 @@ fn e3_topology(report: &mut Report) {
 // E4 — Lists 6–7: cross-domain aggregation and inference.
 // ---------------------------------------------------------------------------
 
-#[derive(Serialize)]
 struct E4Row {
     streams: usize,
     sites: usize,
@@ -319,7 +341,11 @@ fn e4_aggregation(report: &mut Report) {
         // question (no ChemSite bindings).
         let mut hydro_only = GrdfStore::new();
         let hydro = grdf_workload::hydrology::generate_hydrology(
-            &grdf_workload::hydrology::HydrologyConfig { streams, seed: 11, ..Default::default() },
+            &grdf_workload::hydrology::HydrologyConfig {
+                streams,
+                seed: 11,
+                ..Default::default()
+            },
         );
         for f in &hydro.features {
             hydro_only.insert_feature(f).unwrap();
@@ -384,7 +410,10 @@ fn e4b_spatial_index() {
             std::hint::black_box(store.features_in_window_scan(&window).len());
         }
         let scan_ms = ms(t);
-        println!("| {} | {hits} | {rtree_ms:.2} | {scan_ms:.2} | {build_ms:.2} |", index.len());
+        println!(
+            "| {} | {hits} | {rtree_ms:.2} | {scan_ms:.2} | {build_ms:.2} |",
+            index.len()
+        );
     }
     println!();
 }
@@ -393,7 +422,6 @@ fn e4b_spatial_index() {
 // E5 — List 8 / §7.1: fine-grained vs object-level access control.
 // ---------------------------------------------------------------------------
 
-#[derive(Serialize)]
 struct E5Row {
     role: String,
     model: String,
@@ -474,7 +502,9 @@ fn covered(view: &Graph, subject: &str, role: &str) -> bool {
     // sees at least its type. For the XACML baseline the aligned facility
     // simply vanishes (its asserted type is alien to the rules).
     let _ = role;
-    !view.match_pattern(Some(&Term::iri(subject)), None, None).is_empty()
+    !view
+        .match_pattern(Some(&Term::iri(subject)), None, None)
+        .is_empty()
 }
 
 fn print_e5(
@@ -487,7 +517,9 @@ fn print_e5(
     view_ms: f64,
 ) {
     let short = role.rsplit('#').next().unwrap_or(role);
-    println!("| {short} | {model} | {view_triples} | {leaked} | {aligned_covered} | {view_ms:.1} |");
+    println!(
+        "| {short} | {model} | {view_triples} | {leaked} | {aligned_covered} | {view_ms:.1} |"
+    );
     report.e5.push(E5Row {
         role: short.to_string(),
         model: model.to_string(),
@@ -502,7 +534,6 @@ fn print_e5(
 // E6 — Fig. 3: G-SACS query cache.
 // ---------------------------------------------------------------------------
 
-#[derive(Serialize)]
 struct E6Row {
     zipf_s: f64,
     cache: usize,
@@ -542,13 +573,19 @@ fn e6_gsacs(report: &mut Report) {
             }
             let t = Instant::now();
             for r in &reqs {
-                svc.handle(&ClientRequest { role: r.role.clone(), query: r.query.clone() })
-                    .expect("request succeeds");
+                svc.handle(&ClientRequest {
+                    role: r.role.clone(),
+                    query: r.query.clone(),
+                })
+                .expect("request succeeds");
             }
             let secs = t.elapsed().as_secs_f64();
             let hit_rate = svc.cache_hit_rate();
             let throughput = reqs.len() as f64 / secs;
-            println!("| {zipf_s} | {cache} | {} | {hit_rate:.3} | {throughput:.0} |", reqs.len());
+            println!(
+                "| {zipf_s} | {cache} | {} | {hit_rate:.3} | {throughput:.0} |",
+                reqs.len()
+            );
             report.e6.push(E6Row {
                 zipf_s,
                 cache,

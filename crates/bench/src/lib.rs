@@ -39,8 +39,16 @@ pub mod roles {
 /// `sites` chemical sites (with linked ChemInfo records and ~10%
 /// duplicates), plus the alignment axioms. Deterministic per `seed`.
 pub fn incident_graph(streams: usize, sites: usize, seed: u64) -> Graph {
-    let hydro = generate_hydrology(&HydrologyConfig { streams, seed, ..Default::default() });
-    let chem = generate_chemical_sites(&ChemicalConfig { sites, seed: seed + 1, ..Default::default() });
+    let hydro = generate_hydrology(&HydrologyConfig {
+        streams,
+        seed,
+        ..Default::default()
+    });
+    let chem = generate_chemical_sites(&ChemicalConfig {
+        sites,
+        seed: seed + 1,
+        ..Default::default()
+    });
     let mut g = grdf_rdf::turtle::parse(alignment_axioms()).expect("axioms parse");
     for f in hydro.features.iter().chain(chem.features.iter()) {
         encode_feature(&mut g, f);
@@ -66,7 +74,11 @@ pub fn scenario_policies() -> PolicySet {
             &grdf::app("ChemSite"),
             &[&grdf::iri("isBoundedBy"), &grdf::iri("hasGeometry")],
         ),
-        Policy::permit(&grdf::sec("MainRepPolicy2"), &roles::main_repair(), &grdf::app("Stream")),
+        Policy::permit(
+            &grdf::sec("MainRepPolicy2"),
+            &roles::main_repair(),
+            &grdf::app("Stream"),
+        ),
         // 'hazmat personnel': chemicals and locations, but no contacts.
         Policy::permit_properties(
             &grdf::sec("HazmatPolicy1"),
@@ -79,12 +91,32 @@ pub fn scenario_policies() -> PolicySet {
                 &grdf::app("hasSiteName"),
             ],
         ),
-        Policy::permit(&grdf::sec("HazmatPolicy2"), &roles::hazmat(), &grdf::app("ChemInfo")),
-        Policy::permit(&grdf::sec("HazmatPolicy3"), &roles::hazmat(), &grdf::app("Stream")),
+        Policy::permit(
+            &grdf::sec("HazmatPolicy2"),
+            &roles::hazmat(),
+            &grdf::app("ChemInfo"),
+        ),
+        Policy::permit(
+            &grdf::sec("HazmatPolicy3"),
+            &roles::hazmat(),
+            &grdf::app("Stream"),
+        ),
         // 'emergency response': administrative role, full access.
-        Policy::permit(&grdf::sec("EmPolicy1"), &roles::emergency(), &grdf::app("ChemSite")),
-        Policy::permit(&grdf::sec("EmPolicy2"), &roles::emergency(), &grdf::app("ChemInfo")),
-        Policy::permit(&grdf::sec("EmPolicy3"), &roles::emergency(), &grdf::app("Stream")),
+        Policy::permit(
+            &grdf::sec("EmPolicy1"),
+            &roles::emergency(),
+            &grdf::app("ChemSite"),
+        ),
+        Policy::permit(
+            &grdf::sec("EmPolicy2"),
+            &roles::emergency(),
+            &grdf::app("ChemInfo"),
+        ),
+        Policy::permit(
+            &grdf::sec("EmPolicy3"),
+            &roles::emergency(),
+            &grdf::app("Stream"),
+        ),
     ])
 }
 
@@ -136,11 +168,18 @@ mod tests {
         let chem_prop = grdf::app("hasChemicalInfo");
 
         let (mr_view, _) = secure_view(store.graph(), &ps, &roles::main_repair());
-        assert_eq!(view_property_count(&mr_view, &chem_prop), 0, "main repair: no chemistry");
+        assert_eq!(
+            view_property_count(&mr_view, &chem_prop),
+            0,
+            "main repair: no chemistry"
+        );
         assert!(view_property_count(&mr_view, &grdf::iri("isBoundedBy")) > 0);
 
         let (hz_view, _) = secure_view(store.graph(), &ps, &roles::hazmat());
-        assert!(view_property_count(&hz_view, &chem_prop) > 0, "hazmat sees chemicals");
+        assert!(
+            view_property_count(&hz_view, &chem_prop) > 0,
+            "hazmat sees chemicals"
+        );
         assert_eq!(
             view_property_count(&hz_view, &grdf::app("hasContactPhone")),
             0,

@@ -25,11 +25,17 @@ pub fn grdf_ontology() -> Graph {
 
     // ---- root -----------------------------------------------------------
     b.class("RootGRDFObject", None);
-    b.comment("RootGRDFObject", "Base class of every GRDF construct (paper §6).");
+    b.comment(
+        "RootGRDFObject",
+        "Base class of every GRDF construct (paper §6).",
+    );
 
     // ---- feature model (§4, §3.3) ---------------------------------------
     b.class("Feature", Some("RootGRDFObject"));
-    b.comment("Feature", "An application object such as 'landfill' or 'building' (§3.3.1).");
+    b.comment(
+        "Feature",
+        "An application object such as 'landfill' or 'building' (§3.3.1).",
+    );
     b.class("FeatureCollection", Some("Feature"));
     b.class("Observation", Some("Feature"));
     b.comment(
@@ -42,7 +48,10 @@ pub fn grdf_ontology() -> Graph {
         "Distribution of quantitative or qualitative properties of an object (§3.3.8).",
     );
     b.class("Value", Some("RootGRDFObject"));
-    b.comment("Value", "Aggregate concept for real-world property values (§3.3.4).");
+    b.comment(
+        "Value",
+        "Aggregate concept for real-world property values (§3.3.4).",
+    );
     b.class("CRS", Some("RootGRDFObject"));
     b.comment("CRS", "Coordinate Reference System (§3.3.6).");
 
@@ -63,22 +72,42 @@ pub fn grdf_ontology() -> Graph {
     b.comment("Null", "Extent not applicable or not available (§4).");
 
     // List 3: EnvelopeWithTimePeriod carries exactly two time positions.
-    b.object_property("hasTimePosition", Some("EnvelopeWithTimePeriod"), Some("TimeInstant"));
-    b.restrict("EnvelopeWithTimePeriod", "hasTimePosition", RestrictionKind::Exactly(2));
+    b.object_property(
+        "hasTimePosition",
+        Some("EnvelopeWithTimePeriod"),
+        Some("TimeInstant"),
+    );
+    b.restrict(
+        "EnvelopeWithTimePeriod",
+        "hasTimePosition",
+        RestrictionKind::Exactly(2),
+    );
 
     // ---- geometry model (§5) ---------------------------------------------
     b.class("Geometry", Some("RootGRDFObject"));
     b.comment("Geometry", "Spatial aspects of a feature (§3.3.2).");
     b.class("Point", Some("Geometry"));
-    b.comment("Point", "The most basic and indecomposable form of geometry (§5).");
+    b.comment(
+        "Point",
+        "The most basic and indecomposable form of geometry (§5).",
+    );
     b.class("Curve", Some("Geometry"));
-    b.comment("Curve", "One-dimensional form defined in terms of anchor points (§5).");
+    b.comment(
+        "Curve",
+        "One-dimensional form defined in terms of anchor points (§5).",
+    );
     b.class("LineString", Some("Curve"));
     b.class("Arc", Some("Curve"));
     b.class("Ring", Some("Curve"));
-    b.comment("Ring", "Closed aggregate restricted to straight-lines or curves (§5).");
+    b.comment(
+        "Ring",
+        "Closed aggregate restricted to straight-lines or curves (§5).",
+    );
     b.class("Surface", Some("Geometry"));
-    b.comment("Surface", "Two-dimensional form with three or more anchor points (§5).");
+    b.comment(
+        "Surface",
+        "Two-dimensional form with three or more anchor points (§5).",
+    );
     b.class("Polygon", Some("Surface"));
     b.class("Solid", Some("Geometry"));
     b.comment(
@@ -103,8 +132,16 @@ pub fn grdf_ontology() -> Graph {
         "GeometryComplex",
         "Arbitrary combination of Multi, Composite and Complex parts (§5). There is no ComplexCurve: a curve cannot take on a non-curve form.",
     );
-    b.object_property("compositeCurveMember", Some("CompositeCurve"), Some("Curve"));
-    b.object_property("compositeSurfaceMember", Some("CompositeSurface"), Some("Surface"));
+    b.object_property(
+        "compositeCurveMember",
+        Some("CompositeCurve"),
+        Some("Curve"),
+    );
+    b.object_property(
+        "compositeSurfaceMember",
+        Some("CompositeSurface"),
+        Some("Surface"),
+    );
     b.object_property("complexMember", Some("GeometryComplex"), Some("Geometry"));
 
     // ---- topology model (§6, Fig. 2) --------------------------------------
@@ -113,7 +150,13 @@ pub fn grdf_ontology() -> Graph {
         "Topology",
         "Coordinate-free constructions; connectivity is enough for many GIS operations (§6).",
     );
-    for c in ["TopoPrimitive", "TopoCurve", "TopoSurface", "TopoVolume", "TopoComplex"] {
+    for c in [
+        "TopoPrimitive",
+        "TopoCurve",
+        "TopoSurface",
+        "TopoVolume",
+        "TopoComplex",
+    ] {
         b.class(c, Some("Topology"));
     }
     for c in ["Node", "Edge", "Face", "TopoSolid"] {
@@ -149,7 +192,13 @@ pub fn grdf_ontology() -> Graph {
 
     // ---- feature↔geometry linking (List 2 + codec vocabulary) -------------
     b.object_property("hasGeometry", Some("Feature"), Some("Geometry"));
-    for p in ["hasCenterLineOf", "hasCenterOf", "hasEdgeOf", "hasEnvelope", "hasExtentOf"] {
+    for p in [
+        "hasCenterLineOf",
+        "hasCenterOf",
+        "hasEdgeOf",
+        "hasEnvelope",
+        "hasExtentOf",
+    ] {
         b.object_property(p, Some("Feature"), Some("Geometry"));
         b.sub_property_of(p, "hasGeometry");
     }
@@ -158,7 +207,10 @@ pub fn grdf_ontology() -> Graph {
     b.object_property("observedFeature", Some("Observation"), Some("Feature"));
     // Provenance: which aggregated source contributed a resource.
     b.object_property("fromSource", None, None);
-    b.comment("fromSource", "Provenance link to the aggregated source a resource was loaded from.");
+    b.comment(
+        "fromSource",
+        "Provenance link to the aggregated source a resource was loaded from.",
+    );
 
     // Datatype properties (§3.2: extension-of-simple-type becomes a
     // datatype property with the base type as range).
@@ -172,7 +224,13 @@ pub fn grdf_ontology() -> Graph {
 
     // Labels for the headline classes (documentation payload).
     for c in [
-        "Feature", "Geometry", "Topology", "Value", "Observation", "CRS", "TimeObject",
+        "Feature",
+        "Geometry",
+        "Topology",
+        "Value",
+        "Observation",
+        "CRS",
+        "TimeObject",
         "Coverage",
     ] {
         b.label(c, c);
@@ -217,7 +275,14 @@ mod tests {
         let g = grdf_ontology();
         let h = Hierarchy::new(&g);
         // The two main branches of Fig. 1 hang under the root.
-        for leaf in ["Feature", "Geometry", "Topology", "Value", "CRS", "TimeObject"] {
+        for leaf in [
+            "Feature",
+            "Geometry",
+            "Topology",
+            "Value",
+            "CRS",
+            "TimeObject",
+        ] {
             assert!(
                 h.is_subclass_of(&iri(leaf), &iri("RootGRDFObject")),
                 "{leaf} must descend from RootGRDFObject"
@@ -238,8 +303,16 @@ mod tests {
         let g = grdf_ontology();
         let s = stats(&g);
         assert!(s.classes >= 35, "classes = {}", s.classes);
-        assert!(s.object_properties >= 20, "object props = {}", s.object_properties);
-        assert!(s.datatype_properties >= 5, "datatype props = {}", s.datatype_properties);
+        assert!(
+            s.object_properties >= 20,
+            "object props = {}",
+            s.object_properties
+        );
+        assert!(
+            s.datatype_properties >= 5,
+            "datatype props = {}",
+            s.datatype_properties
+        );
         assert!(s.triples >= 200, "triples = {}", s.triples);
     }
 
@@ -247,7 +320,13 @@ mod tests {
     fn list2_properties_are_geometry_subproperties() {
         let g = grdf_ontology();
         use grdf_rdf::vocab::rdfs;
-        for p in ["hasCenterLineOf", "hasCenterOf", "hasEdgeOf", "hasEnvelope", "hasExtentOf"] {
+        for p in [
+            "hasCenterLineOf",
+            "hasCenterOf",
+            "hasEdgeOf",
+            "hasEnvelope",
+            "hasExtentOf",
+        ] {
             assert!(
                 g.has(
                     &iri(p),
@@ -278,8 +357,16 @@ mod tests {
     fn list3_envelope_restriction_enforced() {
         let mut g = grdf_ontology();
         let env = Term::iri("urn:env");
-        g.add(env.clone(), Term::iri(rdf::TYPE), iri("EnvelopeWithTimePeriod"));
-        g.add(env.clone(), iri("hasTimePosition").clone(), Term::iri("urn:t0"));
+        g.add(
+            env.clone(),
+            Term::iri(rdf::TYPE),
+            iri("EnvelopeWithTimePeriod"),
+        );
+        g.add(
+            env.clone(),
+            iri("hasTimePosition").clone(),
+            Term::iri("urn:t0"),
+        );
         Reasoner::default().materialize(&mut g);
         let v = check_consistency(&g);
         assert!(!v.is_empty(), "one time position violates =2");
@@ -301,9 +388,17 @@ mod tests {
     #[test]
     fn realization_inverse_fires() {
         let mut g = grdf_ontology();
-        g.add(Term::iri("urn:node1"), iri("realizedBy").clone(), Term::iri("urn:pt1"));
+        g.add(
+            Term::iri("urn:node1"),
+            iri("realizedBy").clone(),
+            Term::iri("urn:pt1"),
+        );
         Reasoner::default().materialize(&mut g);
-        assert!(g.has(&Term::iri("urn:pt1"), &iri("realizes"), &Term::iri("urn:node1")));
+        assert!(g.has(
+            &Term::iri("urn:pt1"),
+            &iri("realizes"),
+            &Term::iri("urn:node1")
+        ));
     }
 
     #[test]
@@ -320,9 +415,17 @@ mod tests {
             );
         }
         Reasoner::default().materialize(&mut g);
-        assert!(g.has(&Term::iri("urn:n1"), &iri("reachableFrom"), &Term::iri("urn:n4")));
+        assert!(g.has(
+            &Term::iri("urn:n1"),
+            &iri("reachableFrom"),
+            &Term::iri("urn:n4")
+        ));
         assert!(
-            g.has(&Term::iri("urn:n4"), &iri("reachableFrom"), &Term::iri("urn:n1")),
+            g.has(
+                &Term::iri("urn:n4"),
+                &iri("reachableFrom"),
+                &Term::iri("urn:n1")
+            ),
             "symmetry of connectedTo propagates"
         );
     }

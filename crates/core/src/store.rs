@@ -39,7 +39,9 @@ impl fmt::Display for StoreError {
             StoreError::Gml(e) => write!(f, "GML error: {e}"),
             StoreError::Rdf(e) => write!(f, "RDF error: {e}"),
             StoreError::Query(e) => write!(f, "query error: {e}"),
-            StoreError::Inconsistent(v) => write!(f, "store is inconsistent ({} violations)", v.len()),
+            StoreError::Inconsistent(v) => {
+                write!(f, "store is inconsistent ({} violations)", v.len())
+            }
         }
     }
 }
@@ -90,7 +92,11 @@ impl GrdfStore {
 
     /// A store without the ontology (for ablation benchmarks).
     pub fn empty() -> GrdfStore {
-        GrdfStore { graph: Graph::new(), prefixes: PrefixMap::common(), sources: 0 }
+        GrdfStore {
+            graph: Graph::new(),
+            prefixes: PrefixMap::common(),
+            sources: 0,
+        }
     }
 
     /// The underlying graph.
@@ -163,7 +169,11 @@ impl GrdfStore {
 
     /// Like [`GrdfStore::load_turtle`] with `grdf:fromSource` provenance on
     /// every loaded subject.
-    pub fn load_turtle_from(&mut self, source_iri: &str, turtle: &str) -> Result<usize, StoreError> {
+    pub fn load_turtle_from(
+        &mut self,
+        source_iri: &str,
+        turtle: &str,
+    ) -> Result<usize, StoreError> {
         let g = grdf_rdf::turtle::parse(turtle)?;
         self.sources += 1;
         let added = self.graph.merge_renaming(&g);
@@ -206,7 +216,8 @@ impl GrdfStore {
 
     /// The recorded sources of a subject.
     pub fn sources_of(&self, subject: &Term) -> Vec<Term> {
-        self.graph.objects(subject, &Term::iri(&ns::iri("fromSource")))
+        self.graph
+            .objects(subject, &Term::iri(&ns::iri("fromSource")))
     }
 
     /// Merge another graph (e.g. a domain ontology extending GRDF).
@@ -259,11 +270,12 @@ impl GrdfStore {
     /// be extracted or inferred by combining the data").
     pub fn same_as_links(&self) -> Vec<(Term, Term)> {
         let mut out = Vec::new();
-        self.graph.for_each_match(None, Some(&Term::iri(owl::SAME_AS)), None, |t| {
-            if !t.subject.is_blank() && !t.object.is_blank() && t.subject < t.object {
-                out.push((t.subject, t.object));
-            }
-        });
+        self.graph
+            .for_each_match(None, Some(&Term::iri(owl::SAME_AS)), None, |t| {
+                if !t.subject.is_blank() && !t.object.is_blank() && t.subject < t.object {
+                    out.push((t.subject, t.object));
+                }
+            });
         out
     }
 
@@ -285,10 +297,7 @@ impl GrdfStore {
 
     /// Feature subjects whose extent intersects `window`, by linear scan
     /// (the ablation baseline for [`GrdfStore::spatial_index`]).
-    pub fn features_in_window_scan(
-        &self,
-        window: &grdf_geometry::envelope::Envelope,
-    ) -> Vec<Term> {
+    pub fn features_in_window_scan(&self, window: &grdf_geometry::envelope::Envelope) -> Vec<Term> {
         self.graph
             .all_subjects()
             .into_iter()
@@ -419,7 +428,11 @@ mod tests {
                  SELECT ?s WHERE { ?s a app:ChemSite }",
             )
             .unwrap();
-        assert_eq!(rows.select_rows().len(), 1, "one individual, two source views");
+        assert_eq!(
+            rows.select_rows().len(),
+            1,
+            "one individual, two source views"
+        );
     }
 
     #[test]
@@ -486,7 +499,9 @@ mod tests {
         let mut s = GrdfStore::new();
         let mut f = Feature::new("http://grdf.org/app#line9", "Stream");
         f.set_geometry(
-            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(2.0, 2.0)]).unwrap().into(),
+            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(2.0, 2.0)])
+                .unwrap()
+                .into(),
         );
         s.insert_feature(&f).unwrap();
         // Turtle roundtrip.
@@ -505,7 +520,10 @@ mod tests {
     fn bad_inputs_surface_errors() {
         let mut s = GrdfStore::new();
         assert!(matches!(s.load_gml("<oops"), Err(StoreError::Gml(_))));
-        assert!(matches!(s.load_turtle("@prefix broken"), Err(StoreError::Rdf(_))));
+        assert!(matches!(
+            s.load_turtle("@prefix broken"),
+            Err(StoreError::Rdf(_))
+        ));
         assert!(matches!(s.query("NOT SPARQL"), Err(StoreError::Query(_))));
     }
 
@@ -551,10 +569,11 @@ mod tests {
         let ds = s.to_dataset();
         assert_eq!(ds.graph_names(), vec!["urn:source:a", "urn:source:b"]);
         assert!(ds.graph("urn:source:a").unwrap().len() >= 3);
-        assert!(ds
-            .graph("urn:source:b")
-            .unwrap()
-            .has(&Term::iri("urn:e#y"), &Term::iri(rdf::TYPE), &Term::iri("urn:e#T")));
+        assert!(ds.graph("urn:source:b").unwrap().has(
+            &Term::iri("urn:e#y"),
+            &Term::iri(rdf::TYPE),
+            &Term::iri("urn:e#T")
+        ));
         // Round-trips through N-Quads.
         let back = grdf_rdf::dataset::Dataset::from_nquads(&ds.to_nquads()).unwrap();
         assert_eq!(back.len(), ds.len());
@@ -592,8 +611,10 @@ mod tests {
     #[test]
     fn blank_nodes_stay_hygienic_across_sources() {
         let mut s = GrdfStore::empty();
-        s.load_turtle("@prefix e: <urn:e#> . _:n e:p \"left\" .").unwrap();
-        s.load_turtle("@prefix e: <urn:e#> . _:n e:p \"right\" .").unwrap();
+        s.load_turtle("@prefix e: <urn:e#> . _:n e:p \"left\" .")
+            .unwrap();
+        s.load_turtle("@prefix e: <urn:e#> . _:n e:p \"right\" .")
+            .unwrap();
         // Two distinct blank subjects, not one merged node.
         assert_eq!(s.graph().all_subjects().len(), 2);
     }

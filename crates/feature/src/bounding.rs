@@ -74,11 +74,7 @@ mod tests {
     #[test]
     fn accessors() {
         let e = Envelope::new(Coord::xy(0.0, 0.0), Coord::xy(2.0, 2.0));
-        let p = TimePeriod::new(
-            TimeInstant::from_epoch(0),
-            TimeInstant::from_epoch(100),
-        )
-        .unwrap();
+        let p = TimePeriod::new(TimeInstant::from_epoch(0), TimeInstant::from_epoch(100)).unwrap();
         let null = BoundingShape::unknown();
         assert!(null.is_null());
         assert!(null.envelope().is_none());

@@ -30,7 +30,11 @@ impl Coverage {
         if domain.is_empty() || domain.len() != values.len() {
             return None;
         }
-        Some(Coverage { range_property: range_property.to_string(), domain, values })
+        Some(Coverage {
+            range_property: range_property.to_string(),
+            domain,
+            values,
+        })
     }
 
     /// Number of samples.
@@ -125,9 +129,7 @@ mod tests {
     fn construction_validates_lengths() {
         assert!(Coverage::new("t", vec![], vec![]).is_none());
         assert!(Coverage::new("t", vec![Coord::xy(0.0, 0.0)], vec![]).is_none());
-        assert!(
-            Coverage::new("t", vec![Coord::xy(0.0, 0.0)], vec![Value::Integer(1)]).is_some()
-        );
+        assert!(Coverage::new("t", vec![Coord::xy(0.0, 0.0)], vec![Value::Integer(1)]).is_some());
     }
 
     #[test]
@@ -156,7 +158,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(c.mean(), None);
-        assert_eq!(c.evaluate(&Coord::xy(0.9, 0.9)).as_str(), Some("industrial"));
+        assert_eq!(
+            c.evaluate(&Coord::xy(0.9, 0.9)).as_str(),
+            Some("industrial")
+        );
     }
 
     #[test]

@@ -52,12 +52,19 @@ impl Feature {
 
     /// First value of a property.
     pub fn property(&self, name: &str) -> Option<&Value> {
-        self.properties.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.properties
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     /// All values of a property.
     pub fn property_values(&self, name: &str) -> Vec<&Value> {
-        self.properties.iter().filter(|(n, _)| n == name).map(|(_, v)| v).collect()
+        self.properties
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .collect()
     }
 
     /// Attach geometry and refresh the envelope-based extent.
@@ -130,13 +137,18 @@ impl FeatureCollection {
 
     /// Members of a given type.
     pub fn of_type(&self, feature_type: &str) -> Vec<&Feature> {
-        self.features.iter().filter(|f| f.feature_type == feature_type).collect()
+        self.features
+            .iter()
+            .filter(|f| f.feature_type == feature_type)
+            .collect()
     }
 }
 
 impl FromIterator<Feature> for FeatureCollection {
     fn from_iter<I: IntoIterator<Item = Feature>>(iter: I) -> Self {
-        FeatureCollection { features: iter.into_iter().collect() }
+        FeatureCollection {
+            features: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -162,7 +174,9 @@ mod tests {
         let mut f = Feature::new("urn:f1", "Stream");
         assert!(f.envelope().is_none());
         f.set_geometry(
-            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(10.0, 5.0)]).unwrap().into(),
+            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(10.0, 5.0)])
+                .unwrap()
+                .into(),
         );
         let env = f.envelope().unwrap();
         assert_eq!(env.max, Coord::xy(10.0, 5.0));
@@ -172,10 +186,8 @@ mod tests {
     #[test]
     fn explicit_bound_wins_over_geometry() {
         let mut f = Feature::new("urn:f1", "Site");
-        f.bounded_by = BoundingShape::Envelope(Envelope::new(
-            Coord::xy(-5.0, -5.0),
-            Coord::xy(5.0, 5.0),
-        ));
+        f.bounded_by =
+            BoundingShape::Envelope(Envelope::new(Coord::xy(-5.0, -5.0), Coord::xy(5.0, 5.0)));
         f.set_geometry(Point::new(1.0, 1.0).into());
         assert_eq!(f.envelope().unwrap().area(), 100.0);
     }
@@ -209,8 +221,9 @@ mod tests {
 
     #[test]
     fn collection_from_iterator() {
-        let c: FeatureCollection =
-            (0..3).map(|i| Feature::new(&format!("urn:f{i}"), "T")).collect();
+        let c: FeatureCollection = (0..3)
+            .map(|i| Feature::new(&format!("urn:f{i}"), "T"))
+            .collect();
         assert_eq!(c.len(), 3);
         assert!(!c.is_empty());
         assert!(c.envelope().is_none(), "no extents yet");

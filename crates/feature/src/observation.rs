@@ -45,8 +45,10 @@ impl Observation {
     /// in as properties — this is what "Observation is a Feature" buys: any
     /// transaction that accepts features accepts observations.
     pub fn into_feature(mut self) -> Feature {
-        self.feature.set_property("observedFeature", Value::Uri(self.target.clone()));
-        self.feature.set_property("observedProperty", self.observed_property.as_str());
+        self.feature
+            .set_property("observedFeature", Value::Uri(self.target.clone()));
+        self.feature
+            .set_property("observedProperty", self.observed_property.as_str());
         self.feature
             .set_property("phenomenonTime", Value::Time(self.time.begin()));
         if self.time.end() != self.time.begin() {
@@ -75,10 +77,16 @@ mod tests {
         );
         let f = obs.into_feature();
         assert_eq!(f.feature_type, "Observation");
-        assert_eq!(f.property("observedFeature"), Some(&Value::Uri("urn:stream7".into())));
+        assert_eq!(
+            f.property("observedFeature"),
+            Some(&Value::Uri("urn:stream7".into()))
+        );
         assert_eq!(f.property("result"), Some(&Value::Double(4.2)));
         assert_eq!(f.property("phenomenonTime"), Some(&Value::Time(t)));
-        assert!(f.property("phenomenonTimeEnd").is_none(), "instants have no end");
+        assert!(
+            f.property("phenomenonTimeEnd").is_none(),
+            "instants have no end"
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@ fn resolve_app(name: &str) -> String {
 
 /// Compact an IRI back to a local name when it is in the `app:` namespace.
 fn compact_app(iri: &str) -> String {
-    iri.strip_prefix(ns::APP_NS).map(str::to_string).unwrap_or_else(|| iri.to_string())
+    iri.strip_prefix(ns::APP_NS)
+        .map(str::to_string)
+        .unwrap_or_else(|| iri.to_string())
 }
 
 /// Encode one feature into `graph`; returns the subject term.
@@ -53,7 +55,11 @@ pub fn encode_feature(graph: &mut Graph, feature: &Feature) -> Term {
         Term::iri(&resolve_app(&feature.feature_type)),
     );
     // Every GRDF feature is also a grdf:Feature.
-    graph.add(subject.clone(), Term::iri(rdf::TYPE), Term::iri(&ns::iri("Feature")));
+    graph.add(
+        subject.clone(),
+        Term::iri(rdf::TYPE),
+        Term::iri(&ns::iri("Feature")),
+    );
 
     for (prop, value) in &feature.properties {
         let p = Term::iri(&resolve_app(prop));
@@ -64,14 +70,22 @@ pub fn encode_feature(graph: &mut Graph, feature: &Feature) -> Term {
 
     if let Some(geom) = &feature.geometry {
         let gnode = graph.fresh_blank();
-        graph.add(subject.clone(), Term::iri(&ns::iri("hasGeometry")), gnode.clone());
+        graph.add(
+            subject.clone(),
+            Term::iri(&ns::iri("hasGeometry")),
+            gnode.clone(),
+        );
         graph.add(
             gnode.clone(),
             Term::iri(rdf::TYPE),
             Term::iri(&ns::iri(geom.class_name())),
         );
         if let Some(srs) = &feature.srs_name {
-            graph.add(gnode.clone(), Term::iri(&ns::iri("srsName")), Term::string(srs));
+            graph.add(
+                gnode.clone(),
+                Term::iri(&ns::iri("srsName")),
+                Term::string(srs),
+            );
         }
         graph.add(
             gnode.clone(),
@@ -87,7 +101,12 @@ pub fn encode_feature(graph: &mut Graph, feature: &Feature) -> Term {
         }
     }
 
-    encode_bounding(graph, &subject, &feature.bounded_by, feature.srs_name.as_deref());
+    encode_bounding(
+        graph,
+        &subject,
+        &feature.bounded_by,
+        feature.srs_name.as_deref(),
+    );
     subject
 }
 
@@ -97,8 +116,16 @@ fn encode_bounding(graph: &mut Graph, subject: &Term, b: &BoundingShape, srs: Op
         BoundingShape::Null(reason) => {
             let node = graph.fresh_blank();
             graph.add(subject.clone(), p_bounded, node.clone());
-            graph.add(node.clone(), Term::iri(rdf::TYPE), Term::iri(&ns::iri("Null")));
-            graph.add(node, Term::iri(&ns::iri("nullReason")), Term::string(reason));
+            graph.add(
+                node.clone(),
+                Term::iri(rdf::TYPE),
+                Term::iri(&ns::iri("Null")),
+            );
+            graph.add(
+                node,
+                Term::iri(&ns::iri("nullReason")),
+                Term::string(reason),
+            );
         }
         BoundingShape::Envelope(env) => {
             let node = encode_envelope(graph, env, srs, "Envelope");
@@ -121,9 +148,17 @@ fn encode_bounding(graph: &mut Graph, subject: &Term, b: &BoundingShape, srs: Op
 
 fn encode_envelope(graph: &mut Graph, env: &Envelope, srs: Option<&str>, class: &str) -> Term {
     let node = graph.fresh_blank();
-    graph.add(node.clone(), Term::iri(rdf::TYPE), Term::iri(&ns::iri(class)));
+    graph.add(
+        node.clone(),
+        Term::iri(rdf::TYPE),
+        Term::iri(&ns::iri(class)),
+    );
     if let Some(srs) = srs {
-        graph.add(node.clone(), Term::iri(&ns::iri("srsName")), Term::string(srs));
+        graph.add(
+            node.clone(),
+            Term::iri(&ns::iri("srsName")),
+            Term::string(srs),
+        );
     }
     graph.add(
         node.clone(),
@@ -161,7 +196,9 @@ pub fn decode_feature(graph: &Graph, subject: &Term) -> Option<Feature> {
     let mut feature = Feature::new(&iri, &app_type);
 
     for t in graph.match_pattern(Some(subject), None, None) {
-        let Some(pred) = t.predicate.as_iri() else { continue };
+        let Some(pred) = t.predicate.as_iri() else {
+            continue;
+        };
         if pred == rdf::TYPE {
             continue;
         }
@@ -207,9 +244,7 @@ fn decode_geometry(graph: &Graph, node: &Term) -> Option<(Geometry, Option<Strin
     let geom = match class.as_str() {
         "Point" => Geometry::Point(grdf_geometry::primitives::Point::at(*coords.first()?)),
         "Polygon" | "Ring" | "Surface" => Geometry::Polygon(
-            grdf_geometry::primitives::Polygon::new(grdf_geometry::primitives::Ring::new(
-                coords,
-            )?),
+            grdf_geometry::primitives::Polygon::new(grdf_geometry::primitives::Ring::new(coords)?),
         ),
         _ => Geometry::LineString(grdf_geometry::primitives::LineString::new(coords)?),
     };
@@ -300,16 +335,38 @@ mod tests {
         let mut g = Graph::new();
         let subject = encode_feature(&mut g, &list6_feature());
         // Typed both as app:Stream and grdf:Feature.
-        assert!(g.has(&subject, &Term::iri(rdf::TYPE), &Term::iri(&ns::app("Stream"))));
-        assert!(g.has(&subject, &Term::iri(rdf::TYPE), &Term::iri(&ns::iri("Feature"))));
+        assert!(g.has(
+            &subject,
+            &Term::iri(rdf::TYPE),
+            &Term::iri(&ns::app("Stream"))
+        ));
+        assert!(g.has(
+            &subject,
+            &Term::iri(rdf::TYPE),
+            &Term::iri(&ns::iri("Feature"))
+        ));
         // Property keeps its integer type.
-        let oid = g.object(&subject, &Term::iri(&ns::app("hasObjectID"))).unwrap();
+        let oid = g
+            .object(&subject, &Term::iri(&ns::app("hasObjectID")))
+            .unwrap();
         assert_eq!(oid.as_literal().unwrap().as_integer(), Some(11070));
         // Geometry node with class, srsName, coordinates and WKT.
-        let gnode = g.object(&subject, &Term::iri(&ns::iri("hasGeometry"))).unwrap();
-        assert!(g.has(&gnode, &Term::iri(rdf::TYPE), &Term::iri(&ns::iri("LineString"))));
-        let coords = g.object(&gnode, &Term::iri(&ns::iri("coordinates"))).unwrap();
-        assert!(coords.as_literal().unwrap().lexical().starts_with("2533822.17263276,"));
+        let gnode = g
+            .object(&subject, &Term::iri(&ns::iri("hasGeometry")))
+            .unwrap();
+        assert!(g.has(
+            &gnode,
+            &Term::iri(rdf::TYPE),
+            &Term::iri(&ns::iri("LineString"))
+        ));
+        let coords = g
+            .object(&gnode, &Term::iri(&ns::iri("coordinates")))
+            .unwrap();
+        assert!(coords
+            .as_literal()
+            .unwrap()
+            .lexical()
+            .starts_with("2533822.17263276,"));
     }
 
     #[test]
@@ -371,7 +428,8 @@ mod tests {
         // Exactly two hasTimePosition triples on the envelope node.
         let bnode = g2.object(&s2, &Term::iri(&ns::iri("isBoundedBy"))).unwrap();
         assert_eq!(
-            g2.objects(&bnode, &Term::iri(&ns::iri("hasTimePosition"))).len(),
+            g2.objects(&bnode, &Term::iri(&ns::iri("hasTimePosition")))
+                .len(),
             2
         );
         let back2 = decode_feature(&g2, &s2).unwrap();

@@ -31,7 +31,9 @@ impl TimeInstant {
         }
         let days = days_from_civil(y, m, d);
         Some(TimeInstant {
-            epoch_seconds: days * 86_400 + i64::from(hh) * 3600 + i64::from(mm) * 60
+            epoch_seconds: days * 86_400
+                + i64::from(hh) * 3600
+                + i64::from(mm) * 60
                 + i64::from(ss),
         })
     }
@@ -230,7 +232,10 @@ mod tests {
     #[test]
     fn leap_year_rules() {
         assert!(TimeInstant::parse("2000-02-29").is_some(), "400-year leap");
-        assert!(TimeInstant::parse("1900-02-29").is_none(), "100-year non-leap");
+        assert!(
+            TimeInstant::parse("1900-02-29").is_none(),
+            "100-year non-leap"
+        );
         assert!(TimeInstant::parse("2024-02-29").is_some());
         assert!(TimeInstant::parse("2023-02-29").is_none());
     }

@@ -25,7 +25,9 @@ pub fn ring_centroid(coords: &[Coord]) -> Coord {
     let a = shoelace(coords);
     if a.abs() < 1e-12 {
         let n = coords.len().max(1) as f64;
-        let (sx, sy) = coords.iter().fold((0.0, 0.0), |(sx, sy), c| (sx + c.x, sy + c.y));
+        let (sx, sy) = coords
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), c| (sx + c.x, sy + c.y));
         return Coord::xy(sx / n, sy / n);
     }
     let (mut cx, mut cy) = (0.0, 0.0);
@@ -112,7 +114,10 @@ pub fn segment_intersection(a1: &Coord, a2: &Coord, b1: &Coord, b2: &Coord) -> O
     let t = ((b1.x - a1.x) * (b2.y - b1.y) - (b1.y - a1.y) * (b2.x - b1.x)) / d;
     let u = ((b1.x - a1.x) * (a2.y - a1.y) - (b1.y - a1.y) * (a2.x - a1.x)) / d;
     if (0.0..=1.0).contains(&t) && (0.0..=1.0).contains(&u) {
-        Some(Coord::xy(a1.x + t * (a2.x - a1.x), a1.y + t * (a2.y - a1.y)))
+        Some(Coord::xy(
+            a1.x + t * (a2.x - a1.x),
+            a1.y + t * (a2.y - a1.y),
+        ))
     } else {
         None
     }
@@ -135,7 +140,11 @@ pub fn polylines_intersect(a: &[Coord], b: &[Coord]) -> bool {
 /// (deduplicated, sorted) input.
 pub fn convex_hull(points: &[Coord]) -> Vec<Coord> {
     let mut pts: Vec<Coord> = points.to_vec();
-    pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
     pts.dedup_by(|a, b| a.approx_eq(b, 1e-12));
     let n = pts.len();
     if n < 3 {
@@ -256,7 +265,11 @@ mod tests {
         assert_eq!(point_segment_distance(&c(5.0, 2.0), &a, &b), 2.0);
         assert_eq!(point_segment_distance(&c(-3.0, 4.0), &a, &b), 5.0);
         assert_eq!(point_segment_distance(&c(13.0, 4.0), &a, &b), 5.0);
-        assert_eq!(point_segment_distance(&c(4.0, 0.0), &a, &a), 4.0, "zero-length segment");
+        assert_eq!(
+            point_segment_distance(&c(4.0, 0.0), &a, &a),
+            4.0,
+            "zero-length segment"
+        );
     }
 
     #[test]
@@ -284,15 +297,31 @@ mod tests {
 
     #[test]
     fn segment_intersection_cases() {
-        assert!(segments_intersect(&c(0.0, 0.0), &c(4.0, 4.0), &c(0.0, 4.0), &c(4.0, 0.0)));
-        assert!(!segments_intersect(&c(0.0, 0.0), &c(1.0, 1.0), &c(2.0, 2.0), &c(3.0, 3.0)));
+        assert!(segments_intersect(
+            &c(0.0, 0.0),
+            &c(4.0, 4.0),
+            &c(0.0, 4.0),
+            &c(4.0, 0.0)
+        ));
+        assert!(!segments_intersect(
+            &c(0.0, 0.0),
+            &c(1.0, 1.0),
+            &c(2.0, 2.0),
+            &c(3.0, 3.0)
+        ));
         // Touching at an endpoint counts.
-        assert!(segments_intersect(&c(0.0, 0.0), &c(2.0, 0.0), &c(2.0, 0.0), &c(3.0, 5.0)));
-        let x = segment_intersection(&c(0.0, 0.0), &c(4.0, 4.0), &c(0.0, 4.0), &c(4.0, 0.0))
-            .unwrap();
+        assert!(segments_intersect(
+            &c(0.0, 0.0),
+            &c(2.0, 0.0),
+            &c(2.0, 0.0),
+            &c(3.0, 5.0)
+        ));
+        let x =
+            segment_intersection(&c(0.0, 0.0), &c(4.0, 4.0), &c(0.0, 4.0), &c(4.0, 0.0)).unwrap();
         assert!(x.approx_eq(&c(2.0, 2.0), 1e-9));
-        assert!(segment_intersection(&c(0.0, 0.0), &c(1.0, 0.0), &c(0.0, 1.0), &c(1.0, 1.0))
-            .is_none());
+        assert!(
+            segment_intersection(&c(0.0, 0.0), &c(1.0, 0.0), &c(0.0, 1.0), &c(1.0, 1.0)).is_none()
+        );
     }
 
     #[test]
@@ -329,7 +358,13 @@ mod tests {
 
     #[test]
     fn simplify_drops_near_collinear_points() {
-        let line = [c(0.0, 0.0), c(1.0, 0.01), c(2.0, -0.01), c(3.0, 0.0), c(3.0, 5.0)];
+        let line = [
+            c(0.0, 0.0),
+            c(1.0, 0.01),
+            c(2.0, -0.01),
+            c(3.0, 0.0),
+            c(3.0, 5.0),
+        ];
         let s = simplify(&line, 0.1);
         assert_eq!(s.len(), 3);
         assert_eq!(s[0], c(0.0, 0.0));

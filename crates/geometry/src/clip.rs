@@ -94,10 +94,7 @@ pub fn clip_polyline(line: &LineString, window: &Envelope) -> Vec<LineString> {
     if current.len() >= 2 {
         pieces.push(current);
     }
-    pieces
-        .into_iter()
-        .filter_map(LineString::new)
-        .collect()
+    pieces.into_iter().filter_map(LineString::new).collect()
 }
 
 /// Clip a polygon's exterior ring to a rectangular window
@@ -118,7 +115,10 @@ fn clip_ring(ring: &Ring, window: &Envelope) -> Option<Ring> {
     // `inside` and `intersect` per edge; subject starts as the open ring.
     let mut subject: Vec<Coord> = ring.coords[..ring.coords.len() - 1].to_vec();
 
-    type EdgeFns = (fn(&Coord, &Envelope) -> bool, fn(&Coord, &Coord, &Envelope) -> Coord);
+    type EdgeFns = (
+        fn(&Coord, &Envelope) -> bool,
+        fn(&Coord, &Coord, &Envelope) -> Coord,
+    );
     let edges: [EdgeFns; 4] = [
         // Left: x >= min.x
         (
@@ -188,16 +188,14 @@ mod tests {
 
     #[test]
     fn segment_fully_inside_unchanged() {
-        let (a, b) =
-            clip_segment(&Coord::xy(1.0, 1.0), &Coord::xy(9.0, 9.0), &window()).unwrap();
+        let (a, b) = clip_segment(&Coord::xy(1.0, 1.0), &Coord::xy(9.0, 9.0), &window()).unwrap();
         assert_eq!(a, Coord::xy(1.0, 1.0));
         assert_eq!(b, Coord::xy(9.0, 9.0));
     }
 
     #[test]
     fn segment_crossing_clipped_to_border() {
-        let (a, b) =
-            clip_segment(&Coord::xy(-5.0, 5.0), &Coord::xy(15.0, 5.0), &window()).unwrap();
+        let (a, b) = clip_segment(&Coord::xy(-5.0, 5.0), &Coord::xy(15.0, 5.0), &window()).unwrap();
         assert_eq!(a, Coord::xy(0.0, 5.0));
         assert_eq!(b, Coord::xy(10.0, 5.0));
     }
@@ -210,8 +208,7 @@ mod tests {
 
     #[test]
     fn diagonal_corner_cut() {
-        let (a, b) =
-            clip_segment(&Coord::xy(-2.0, 8.0), &Coord::xy(4.0, 14.0), &window()).unwrap();
+        let (a, b) = clip_segment(&Coord::xy(-2.0, 8.0), &Coord::xy(4.0, 14.0), &window()).unwrap();
         assert!(a.approx_eq(&Coord::xy(0.0, 10.0), 1e-9), "{a:?}");
         assert!(b.approx_eq(&Coord::xy(0.0, 10.0), 1e-9), "{b:?}");
     }
@@ -221,10 +218,10 @@ mod tests {
         // Zig-zag: enters, leaves, re-enters.
         let line = LineString::new(vec![
             Coord::xy(-5.0, 5.0),
-            Coord::xy(5.0, 5.0),   // inside
-            Coord::xy(5.0, 15.0),  // leaves through the top
-            Coord::xy(8.0, 15.0),  // outside
-            Coord::xy(8.0, 5.0),   // re-enters
+            Coord::xy(5.0, 5.0),  // inside
+            Coord::xy(5.0, 15.0), // leaves through the top
+            Coord::xy(8.0, 15.0), // outside
+            Coord::xy(8.0, 5.0),  // re-enters
             Coord::xy(9.0, 5.0),
         ])
         .unwrap();
@@ -243,8 +240,7 @@ mod tests {
 
     #[test]
     fn polyline_fully_outside_empty() {
-        let line =
-            LineString::new(vec![Coord::xy(-5.0, -5.0), Coord::xy(-1.0, -9.0)]).unwrap();
+        let line = LineString::new(vec![Coord::xy(-5.0, -5.0), Coord::xy(-1.0, -9.0)]).unwrap();
         assert!(clip_polyline(&line, &window()).is_empty());
     }
 
@@ -266,7 +262,11 @@ mod tests {
         // A square extending past the right window edge.
         let poly = Polygon::rectangle(Coord::xy(5.0, 2.0), Coord::xy(15.0, 8.0));
         let clipped = clip_polygon(&poly, &window()).unwrap();
-        assert!((clipped.area() - 30.0).abs() < 1e-9, "area {}", clipped.area());
+        assert!(
+            (clipped.area() - 30.0).abs() < 1e-9,
+            "area {}",
+            clipped.area()
+        );
         assert!(clipped.envelope().max.x <= 10.0 + 1e-9);
     }
 
@@ -302,7 +302,11 @@ mod tests {
         let poly = Polygon::with_holes(outer, vec![hole]);
         let clipped = clip_polygon(&poly, &window()).unwrap();
         // Exterior clipped to [2,10]×[2,8] = 48; hole clipped to [8,10]×[4,6] = 4.
-        assert!((clipped.area() - 44.0).abs() < 1e-9, "area {}", clipped.area());
+        assert!(
+            (clipped.area() - 44.0).abs() < 1e-9,
+            "area {}",
+            clipped.area()
+        );
         assert_eq!(clipped.interiors.len(), 1);
     }
 
@@ -320,6 +324,10 @@ mod tests {
         .unwrap();
         let clipped = clip_polygon(&Polygon::new(l), &window()).unwrap();
         // Only the [0,6]×[0,2] slab lies in the window.
-        assert!((clipped.area() - 12.0).abs() < 1e-9, "area {}", clipped.area());
+        assert!(
+            (clipped.area() - 12.0).abs() < 1e-9,
+            "area {}",
+            clipped.area()
+        );
     }
 }

@@ -50,7 +50,11 @@ impl Coord {
 
     /// Component-wise translation.
     pub fn translate(&self, dx: f64, dy: f64) -> Coord {
-        Coord { x: self.x + dx, y: self.y + dy, z: self.z }
+        Coord {
+            x: self.x + dx,
+            y: self.y + dy,
+            z: self.z,
+        }
     }
 
     /// 2-D cross product (z of the 3-D cross) of `self→a` and `self→b`;
@@ -162,14 +166,21 @@ mod tests {
     #[test]
     fn parse_poslist_2d() {
         let cs = parse_coord_list("0 0 1 2 3 4", 2).unwrap();
-        assert_eq!(cs, vec![Coord::xy(0.0, 0.0), Coord::xy(1.0, 2.0), Coord::xy(3.0, 4.0)]);
+        assert_eq!(
+            cs,
+            vec![
+                Coord::xy(0.0, 0.0),
+                Coord::xy(1.0, 2.0),
+                Coord::xy(3.0, 4.0)
+            ]
+        );
     }
 
     #[test]
     fn parse_gml2_comma_style() {
         // The paper's List 6 coordinate style.
-        let cs = parse_coord_list("2533822.17263276,7108248.82783879 2533900.5,7108300.25", 2)
-            .unwrap();
+        let cs =
+            parse_coord_list("2533822.17263276,7108248.82783879 2533900.5,7108300.25", 2).unwrap();
         assert_eq!(cs.len(), 2);
         assert!((cs[0].x - 2533822.17263276).abs() < 1e-6);
     }
@@ -177,7 +188,10 @@ mod tests {
     #[test]
     fn parse_3d() {
         let cs = parse_coord_list("1 2 3 4 5 6", 3).unwrap();
-        assert_eq!(cs, vec![Coord::xyz(1.0, 2.0, 3.0), Coord::xyz(4.0, 5.0, 6.0)]);
+        assert_eq!(
+            cs,
+            vec![Coord::xyz(1.0, 2.0, 3.0), Coord::xyz(4.0, 5.0, 6.0)]
+        );
     }
 
     #[test]

@@ -65,8 +65,7 @@ impl Crs {
                 false_northing,
             } => {
                 let lat0 = origin_lat.to_radians();
-                let x_m =
-                    (lon - origin_lon).to_radians() * lat0.cos() * EARTH_RADIUS_M;
+                let x_m = (lon - origin_lon).to_radians() * lat0.cos() * EARTH_RADIUS_M;
                 let y_m = (lat - origin_lat).to_radians() * EARTH_RADIUS_M;
                 Coord::xy(
                     x_m * units_per_meter + false_easting,
@@ -102,7 +101,9 @@ impl Crs {
     pub fn unit_in_meters(&self) -> f64 {
         match self.kind {
             CrsKind::Geographic => 0.0,
-            CrsKind::Projected { units_per_meter, .. } => 1.0 / units_per_meter,
+            CrsKind::Projected {
+                units_per_meter, ..
+            } => 1.0 / units_per_meter,
         }
     }
 }

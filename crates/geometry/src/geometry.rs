@@ -134,21 +134,19 @@ impl Geometry {
             Geometry::Surface(s) => s.contains(c),
             Geometry::Solid(s) => s.shell.iter().any(|p| p.contains(c)),
             Geometry::MultiPoint(m) => m.members.iter().any(|p| p.coord.approx_eq(c, tolerance)),
-            Geometry::MultiCurve(m) => {
-                m.members.iter().any(|cv| cv.to_linestring().distance_to(c) <= tolerance)
-            }
-            Geometry::MultiSurface(m) => m.contains(c),
-            Geometry::CompositeCurve(cc) => cc
-                .members()
+            Geometry::MultiCurve(m) => m
+                .members
                 .iter()
-                .any(|m| match m {
-                    crate::multi::CompositeCurveMember::Curve(cv) => {
-                        cv.to_linestring().distance_to(c) <= tolerance
-                    }
-                    crate::multi::CompositeCurveMember::Composite(inner) => {
-                        Geometry::CompositeCurve(inner.clone()).contains_point(c, tolerance)
-                    }
-                }),
+                .any(|cv| cv.to_linestring().distance_to(c) <= tolerance),
+            Geometry::MultiSurface(m) => m.contains(c),
+            Geometry::CompositeCurve(cc) => cc.members().iter().any(|m| match m {
+                crate::multi::CompositeCurveMember::Curve(cv) => {
+                    cv.to_linestring().distance_to(c) <= tolerance
+                }
+                crate::multi::CompositeCurveMember::Composite(inner) => {
+                    Geometry::CompositeCurve(inner.clone()).contains_point(c, tolerance)
+                }
+            }),
             Geometry::CompositeSurface(cs) => cs.members().iter().any(|s| s.contains(c)),
             Geometry::Complex(cx) => cx.members.iter().any(|g| g.contains_point(c, tolerance)),
         }
@@ -239,7 +237,10 @@ mod tests {
             Geometry::Polygon(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0))),
         ]));
         assert_eq!(cx.dimension(), Some(2));
-        assert_eq!(Geometry::Complex(GeometryComplex::default()).dimension(), None);
+        assert_eq!(
+            Geometry::Complex(GeometryComplex::default()).dimension(),
+            None
+        );
     }
 
     #[test]
@@ -251,7 +252,9 @@ mod tests {
         let env = g.envelope().unwrap();
         assert_eq!(env.min, Coord::xy(-1.0, -2.0));
         assert_eq!(env.max, Coord::xy(4.0, 5.0));
-        assert!(Geometry::MultiPoint(MultiPoint::default()).envelope().is_none());
+        assert!(Geometry::MultiPoint(MultiPoint::default())
+            .envelope()
+            .is_none());
     }
 
     #[test]
@@ -259,8 +262,7 @@ mod tests {
         let line = Geometry::LineString(linestring(&[(0.0, 0.0), (10.0, 0.0)]));
         assert!(line.contains_point(&Coord::xy(5.0, 0.05), 0.1));
         assert!(!line.contains_point(&Coord::xy(5.0, 1.0), 0.1));
-        let poly =
-            Geometry::Polygon(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(2.0, 2.0)));
+        let poly = Geometry::Polygon(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(2.0, 2.0)));
         assert!(poly.contains_point(&Coord::xy(1.0, 1.0), 0.0));
     }
 

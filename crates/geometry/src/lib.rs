@@ -43,6 +43,8 @@ pub use coord::Coord;
 pub use crs::{Crs, CrsKind, CrsRegistry};
 pub use envelope::Envelope;
 pub use geometry::Geometry;
-pub use multi::{CompositeCurve, CompositeSurface, GeometryComplex, MultiCurve, MultiPoint, MultiSurface};
+pub use multi::{
+    CompositeCurve, CompositeSurface, GeometryComplex, MultiCurve, MultiPoint, MultiSurface,
+};
 pub use primitives::{Arc, Curve, CurveSegment, LineString, Point, Polygon, Ring, Solid, Surface};
 pub use rtree::RTree;

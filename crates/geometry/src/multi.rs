@@ -144,7 +144,12 @@ impl CompositeCurve {
 
     /// Convenience: composite from plain curves.
     pub fn from_curves(curves: Vec<Curve>) -> Option<CompositeCurve> {
-        CompositeCurve::new(curves.into_iter().map(CompositeCurveMember::Curve).collect())
+        CompositeCurve::new(
+            curves
+                .into_iter()
+                .map(CompositeCurveMember::Curve)
+                .collect(),
+        )
     }
 
     /// The members.
@@ -198,8 +203,7 @@ impl CompositeSurface {
         }
         for i in 1..members.len() {
             let env = members[i].envelope();
-            let touches_any =
-                members[..i].iter().any(|m| m.envelope().intersects(&env));
+            let touches_any = members[..i].iter().any(|m| m.envelope().intersects(&env));
             if !touches_any {
                 return None;
             }
@@ -331,7 +335,10 @@ mod tests {
     fn multi_surface_area_and_containment() {
         let ms = MultiSurface::new(vec![
             Surface::from_polygon(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(2.0, 2.0))),
-            Surface::from_polygon(Polygon::rectangle(Coord::xy(10.0, 0.0), Coord::xy(12.0, 1.0))),
+            Surface::from_polygon(Polygon::rectangle(
+                Coord::xy(10.0, 0.0),
+                Coord::xy(12.0, 1.0),
+            )),
         ]);
         assert_eq!(ms.area(), 6.0);
         assert!(ms.contains(&Coord::xy(11.0, 0.5)));
@@ -342,8 +349,10 @@ mod tests {
     fn composite_surface_contiguity_via_shared_extent() {
         let a = Surface::from_polygon(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(2.0, 2.0)));
         let b = Surface::from_polygon(Polygon::rectangle(Coord::xy(2.0, 0.0), Coord::xy(4.0, 2.0)));
-        let far =
-            Surface::from_polygon(Polygon::rectangle(Coord::xy(10.0, 10.0), Coord::xy(11.0, 11.0)));
+        let far = Surface::from_polygon(Polygon::rectangle(
+            Coord::xy(10.0, 10.0),
+            Coord::xy(11.0, 11.0),
+        ));
         assert!(CompositeSurface::new(vec![a.clone(), b.clone()]).is_some());
         assert!(CompositeSurface::new(vec![a.clone(), far.clone()]).is_none());
         let cs = CompositeSurface::new(vec![a, b]).unwrap();

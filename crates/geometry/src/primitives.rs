@@ -16,7 +16,9 @@ pub struct Point {
 impl Point {
     /// Planar point.
     pub fn new(x: f64, y: f64) -> Point {
-        Point { coord: Coord::xy(x, y) }
+        Point {
+            coord: Coord::xy(x, y),
+        }
     }
 
     /// Point from a coordinate.
@@ -45,7 +47,10 @@ impl LineString {
 
     /// Total length in the plane.
     pub fn length(&self) -> f64 {
-        self.coords.windows(2).map(|w| w[0].distance_2d(&w[1])).sum()
+        self.coords
+            .windows(2)
+            .map(|w| w[0].distance_2d(&w[1]))
+            .sum()
     }
 
     /// First anchor point.
@@ -83,7 +88,10 @@ impl LineString {
                     return w[0];
                 }
                 let f = remaining / seg;
-                return Coord::xy(w[0].x + f * (w[1].x - w[0].x), w[0].y + f * (w[1].y - w[0].y));
+                return Coord::xy(
+                    w[0].x + f * (w[1].x - w[0].x),
+                    w[0].y + f * (w[1].y - w[0].y),
+                );
             }
             remaining -= seg;
         }
@@ -163,7 +171,10 @@ impl Arc {
         for i in 0..=n {
             let t = i as f64 / n as f64;
             let a = a0 + sweep * t;
-            coords.push(Coord::xy(center.x + radius * a.cos(), center.y + radius * a.sin()));
+            coords.push(Coord::xy(
+                center.x + radius * a.cos(),
+                center.y + radius * a.sin(),
+            ));
         }
         LineString::new(coords).expect("n+1 >= 2 points")
     }
@@ -243,7 +254,9 @@ impl Curve {
 
     /// A curve made of a single polyline.
     pub fn from_linestring(l: LineString) -> Curve {
-        Curve { segments: vec![CurveSegment::Line(l)] }
+        Curve {
+            segments: vec![CurveSegment::Line(l)],
+        }
     }
 
     /// Start of the whole curve.
@@ -328,7 +341,10 @@ impl Ring {
 
     /// Perimeter length.
     pub fn perimeter(&self) -> f64 {
-        self.coords.windows(2).map(|w| w[0].distance_2d(&w[1])).sum()
+        self.coords
+            .windows(2)
+            .map(|w| w[0].distance_2d(&w[1]))
+            .sum()
     }
 
     /// Point-in-ring test (boundary counts as inside).
@@ -361,12 +377,18 @@ pub struct Polygon {
 impl Polygon {
     /// Polygon without holes.
     pub fn new(exterior: Ring) -> Polygon {
-        Polygon { exterior, interiors: Vec::new() }
+        Polygon {
+            exterior,
+            interiors: Vec::new(),
+        }
     }
 
     /// Polygon with holes.
     pub fn with_holes(exterior: Ring, interiors: Vec<Ring>) -> Polygon {
-        Polygon { exterior, interiors }
+        Polygon {
+            exterior,
+            interiors,
+        }
     }
 
     /// Axis-aligned rectangle polygon.
@@ -451,7 +473,10 @@ pub struct Solid {
 impl Solid {
     /// Extruded prism over a footprint polygon.
     pub fn extrude(footprint: Polygon, height: f64) -> Solid {
-        Solid { shell: vec![footprint], height }
+        Solid {
+            shell: vec![footprint],
+            height,
+        }
     }
 
     /// Footprint area × height for prisms.
@@ -503,7 +528,11 @@ mod tests {
     #[test]
     fn arc_circle_and_flattening() {
         // Half circle of radius 1 around origin.
-        let a = Arc::new(Coord::xy(1.0, 0.0), Coord::xy(0.0, 1.0), Coord::xy(-1.0, 0.0));
+        let a = Arc::new(
+            Coord::xy(1.0, 0.0),
+            Coord::xy(0.0, 1.0),
+            Coord::xy(-1.0, 0.0),
+        );
         let (center, r) = a.circle().unwrap();
         assert!(center.approx_eq(&Coord::xy(0.0, 0.0), 1e-9));
         assert!((r - 1.0).abs() < 1e-9);
@@ -511,12 +540,19 @@ mod tests {
         assert!((len - std::f64::consts::PI).abs() < 1e-2, "{len}");
         // The flattened polyline passes near the mid point.
         let flat = a.to_linestring(16);
-        assert!(flat.coords.iter().any(|c| c.approx_eq(&Coord::xy(0.0, 1.0), 1e-6)));
+        assert!(flat
+            .coords
+            .iter()
+            .any(|c| c.approx_eq(&Coord::xy(0.0, 1.0), 1e-6)));
     }
 
     #[test]
     fn collinear_arc_degrades_to_segment() {
-        let a = Arc::new(Coord::xy(0.0, 0.0), Coord::xy(1.0, 0.0), Coord::xy(2.0, 0.0));
+        let a = Arc::new(
+            Coord::xy(0.0, 0.0),
+            Coord::xy(1.0, 0.0),
+            Coord::xy(2.0, 0.0),
+        );
         assert!(a.circle().is_none());
         assert_eq!(a.to_linestring(8).coords.len(), 2);
     }

@@ -79,7 +79,10 @@ impl<T: Clone> RTree<T> {
         }
         // STR: sort by center x, slice, sort slices by center y, pack.
         items.sort_by(|a, b| {
-            a.0.center().x.partial_cmp(&b.0.center().x).expect("finite coordinates")
+            a.0.center()
+                .x
+                .partial_cmp(&b.0.center().x)
+                .expect("finite coordinates")
         });
         let leaf_count = len.div_ceil(MAX_ENTRIES);
         let slices = (leaf_count as f64).sqrt().ceil() as usize;
@@ -88,7 +91,10 @@ impl<T: Clone> RTree<T> {
         for slice in items.chunks(per_slice.max(1)) {
             let mut slice: Vec<(Envelope, T)> = slice.to_vec();
             slice.sort_by(|a, b| {
-                a.0.center().y.partial_cmp(&b.0.center().y).expect("finite coordinates")
+                a.0.center()
+                    .y
+                    .partial_cmp(&b.0.center().y)
+                    .expect("finite coordinates")
             });
             for chunk in slice.chunks(MAX_ENTRIES) {
                 let entries: Vec<(Envelope, T)> = chunk.to_vec();
@@ -115,7 +121,10 @@ impl<T: Clone> RTree<T> {
             }
             level = next;
         }
-        RTree { root: level.pop(), len }
+        RTree {
+            root: level.pop(),
+            len,
+        }
     }
 
     /// Number of stored items.
@@ -134,7 +143,10 @@ impl<T: Clone> RTree<T> {
         self.len += 1;
         match self.root.take() {
             None => {
-                self.root = Some(Node::Leaf { bbox: envelope, entries: vec![(envelope, value)] });
+                self.root = Some(Node::Leaf {
+                    bbox: envelope,
+                    entries: vec![(envelope, value)],
+                });
             }
             Some(mut root) => {
                 if let Some(sibling) = insert_rec(&mut root, envelope, value) {
@@ -337,7 +349,10 @@ mod tests {
             .map(|i| {
                 let x = (i % 100) as f64 * 10.0;
                 let y = (i / 100) as f64 * 10.0;
-                (Envelope::new(Coord::xy(x, y), Coord::xy(x + 5.0, y + 5.0)), i)
+                (
+                    Envelope::new(Coord::xy(x, y), Coord::xy(x + 5.0, y + 5.0)),
+                    i,
+                )
             })
             .collect()
     }
@@ -412,7 +427,10 @@ mod tests {
     fn single_item() {
         let mut tree = RTree::new();
         tree.insert(Envelope::of_point(Coord::xy(3.0, 4.0)), "only");
-        assert_eq!(tree.count_in(&Envelope::new(Coord::xy(0.0, 0.0), Coord::xy(5.0, 5.0))), 1);
+        assert_eq!(
+            tree.count_in(&Envelope::new(Coord::xy(0.0, 0.0), Coord::xy(5.0, 5.0))),
+            1
+        );
         assert_eq!(tree.nearest(&Coord::xy(0.0, 0.0)), Some(&"only"));
     }
 
@@ -426,10 +444,7 @@ mod tests {
         }
         assert_eq!(tree.len(), 150);
         assert!(tree.validate());
-        let all = tree.count_in(&Envelope::new(
-            Coord::xy(-1e6, -1e6),
-            Coord::xy(1e6, 1e6),
-        ));
+        let all = tree.count_in(&Envelope::new(Coord::xy(-1e6, -1e6), Coord::xy(1e6, 1e6)));
         assert_eq!(all, 150);
     }
 }

@@ -20,8 +20,7 @@ pub fn to_wkt(g: &Geometry) -> String {
         Geometry::Ring(r) => format!("POLYGON (({}))", coords(&r.coords)),
         Geometry::Polygon(p) => polygon_wkt(p),
         Geometry::Surface(s) => {
-            let parts: Vec<String> =
-                s.patches.iter().map(polygon_body).collect();
+            let parts: Vec<String> = s.patches.iter().map(polygon_body).collect();
             format!("MULTIPOLYGON ({})", parts.join(", "))
         }
         Geometry::MultiPoint(m) => {
@@ -33,8 +32,11 @@ pub fn to_wkt(g: &Geometry) -> String {
             format!("MULTIPOINT ({})", parts.join(", "))
         }
         Geometry::MultiCurve(m) => {
-            let parts: Vec<String> =
-                m.members.iter().map(|c| format!("({})", coords(&c.to_linestring().coords))).collect();
+            let parts: Vec<String> = m
+                .members
+                .iter()
+                .map(|c| format!("({})", coords(&c.to_linestring().coords)))
+                .collect();
             format!("MULTILINESTRING ({})", parts.join(", "))
         }
         other => {
@@ -209,8 +211,12 @@ mod tests {
     #[test]
     fn linestring_roundtrip() {
         let g = Geometry::LineString(
-            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(1.0, 2.0), Coord::xy(3.0, 4.0)])
-                .unwrap(),
+            LineString::new(vec![
+                Coord::xy(0.0, 0.0),
+                Coord::xy(1.0, 2.0),
+                Coord::xy(3.0, 4.0),
+            ])
+            .unwrap(),
         );
         let w = to_wkt(&g);
         assert_eq!(w, "LINESTRING (0 0, 1 2, 3 4)");

@@ -53,13 +53,29 @@ mod tests {
     fn gml_becomes_typed_triples() {
         let g = gml_to_grdf(SRC).unwrap();
         let stream = Term::iri("http://grdf.org/app#HYDRO_11070");
-        assert!(g.has(&stream, &Term::iri(rdf::TYPE), &Term::iri(&ns::app("Stream"))));
-        assert!(g.has(&stream, &Term::iri(rdf::TYPE), &Term::iri(&ns::iri("Feature"))));
-        let oid = g.object(&stream, &Term::iri(&ns::app("hasObjectID"))).unwrap();
+        assert!(g.has(
+            &stream,
+            &Term::iri(rdf::TYPE),
+            &Term::iri(&ns::app("Stream"))
+        ));
+        assert!(g.has(
+            &stream,
+            &Term::iri(rdf::TYPE),
+            &Term::iri(&ns::iri("Feature"))
+        ));
+        let oid = g
+            .object(&stream, &Term::iri(&ns::app("hasObjectID")))
+            .unwrap();
         assert_eq!(oid.as_literal().unwrap().as_integer(), Some(11070));
         // The geometry node carries class + srsName.
-        let gn = g.object(&stream, &Term::iri(&ns::iri("hasGeometry"))).unwrap();
-        assert!(g.has(&gn, &Term::iri(rdf::TYPE), &Term::iri(&ns::iri("LineString"))));
+        let gn = g
+            .object(&stream, &Term::iri(&ns::iri("hasGeometry")))
+            .unwrap();
+        assert!(g.has(
+            &gn,
+            &Term::iri(rdf::TYPE),
+            &Term::iri(&ns::iri("LineString"))
+        ));
     }
 
     #[test]
@@ -68,9 +84,13 @@ mod tests {
         // typed double — not a subclass of xsd:double.
         let g = gml_to_grdf(SRC).unwrap();
         let site = Term::iri("http://grdf.org/app#NTEnergy");
-        let temp = g.object(&site, &Term::iri(&ns::app("temperature"))).unwrap();
+        let temp = g
+            .object(&site, &Term::iri(&ns::app("temperature")))
+            .unwrap();
         assert_eq!(temp.as_literal().unwrap().as_double(), Some(21.23));
-        let uom = g.object(&site, &Term::iri(&ns::app("temperatureUom"))).unwrap();
+        let uom = g
+            .object(&site, &Term::iri(&ns::app("temperatureUom")))
+            .unwrap();
         assert_eq!(uom.as_literal().unwrap().lexical(), "urn:uom:F");
     }
 
@@ -87,10 +107,8 @@ mod tests {
 
     #[test]
     fn empty_collection_converts() {
-        let g = gml_to_grdf(
-            r#"<gml:FeatureCollection xmlns:gml="http://www.opengis.net/gml"/>"#,
-        )
-        .unwrap();
+        let g = gml_to_grdf(r#"<gml:FeatureCollection xmlns:gml="http://www.opengis.net/gml"/>"#)
+            .unwrap();
         assert!(g.is_empty());
         assert!(grdf_to_gml(&g).contains("FeatureCollection"));
     }

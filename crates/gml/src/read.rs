@@ -282,7 +282,10 @@ mod tests {
         let stream = fc.of_type("Stream")[0];
         assert_eq!(stream.iri, "http://grdf.org/app#HYDRO_11070");
         assert_eq!(stream.property("hasObjectID"), Some(&Value::Integer(11070)));
-        assert_eq!(stream.srs_name.as_deref(), Some("http://grdf.org/crs/TX83-NCF"));
+        assert_eq!(
+            stream.srs_name.as_deref(),
+            Some("http://grdf.org/crs/TX83-NCF")
+        );
         match stream.geometry.as_ref().unwrap() {
             Geometry::LineString(l) => {
                 assert_eq!(l.coords.len(), 2);
@@ -308,7 +311,10 @@ mod tests {
     fn zero_padded_ids_stay_strings() {
         let fc = parse_gml(HYDRO).unwrap();
         let site = fc.of_type("ChemSite")[0];
-        assert_eq!(site.property("hasSiteId"), Some(&Value::String("004221".into())));
+        assert_eq!(
+            site.property("hasSiteId"),
+            Some(&Value::String("004221".into()))
+        );
     }
 
     #[test]
@@ -405,10 +411,9 @@ mod tests {
                 .unwrap(),
             )
         };
-        f.set_geometry(Geometry::MultiCurve(grdf_geometry::multi::MultiCurve::new(vec![
-            mk(&[(0.0, 0.0), (1.0, 1.0)]),
-            mk(&[(5.0, 5.0), (7.0, 7.0)]),
-        ])));
+        f.set_geometry(Geometry::MultiCurve(grdf_geometry::multi::MultiCurve::new(
+            vec![mk(&[(0.0, 0.0), (1.0, 1.0)]), mk(&[(5.0, 5.0), (7.0, 7.0)])],
+        )));
         fc.push(f);
         let xml = crate::write::write_gml(&fc);
         let back = parse_gml(&xml).unwrap();
@@ -435,6 +440,9 @@ mod tests {
           <app:active>true</app:active>
         </app:Site>"#;
         let fc = parse_gml(src).unwrap();
-        assert_eq!(fc.features[0].property("active"), Some(&Value::Boolean(true)));
+        assert_eq!(
+            fc.features[0].property("active"),
+            Some(&Value::Boolean(true))
+        );
     }
 }

@@ -64,7 +64,9 @@ fn feature_element(feature: &Feature) -> Element {
     // Simple properties. `<name>Uom` companions are re-folded into `uom`
     // attributes on write (inverse of the List 1 mapping).
     let uom_of = |name: &str| -> Option<&str> {
-        feature.property(&format!("{name}Uom")).and_then(Value::as_str)
+        feature
+            .property(&format!("{name}Uom"))
+            .and_then(Value::as_str)
     };
     for (name, value) in &feature.properties {
         if name.ends_with("Uom") && feature.property(&name[..name.len() - 3]).is_some() {
@@ -112,7 +114,9 @@ fn geometry_element(geom: &Geometry, srs: Option<&str>) -> Option<Element> {
             el.push_element(pl);
             el
         }
-        Geometry::Curve(c) => return geometry_element(&Geometry::LineString(c.to_linestring()), srs),
+        Geometry::Curve(c) => {
+            return geometry_element(&Geometry::LineString(c.to_linestring()), srs)
+        }
         Geometry::Polygon(p) => {
             let mut el = Element::in_ns(GML_NS, Some("gml"), "Polygon");
             let mut ext = Element::in_ns(GML_NS, Some("gml"), "exterior");
@@ -194,10 +198,8 @@ mod tests {
         site.set_property("hasSiteName", "North Texas Energy");
         site.set_property("temperature", 21.23f64);
         site.set_property("temperatureUom", "http://grdf.org/uom/farenheit");
-        site.bounded_by = BoundingShape::Envelope(Envelope::new(
-            Coord::xy(0.0, 0.0),
-            Coord::xy(100.0, 100.0),
-        ));
+        site.bounded_by =
+            BoundingShape::Envelope(Envelope::new(Coord::xy(0.0, 0.0), Coord::xy(100.0, 100.0)));
         fc.push(stream);
         fc.push(site);
         fc
@@ -230,10 +232,16 @@ mod tests {
     fn uom_companion_folds_back_to_attribute() {
         let fc = sample();
         let xml = write_gml(&fc);
-        assert!(xml.contains(r#"uom="http://grdf.org/uom/farenheit""#), "{xml}");
+        assert!(
+            xml.contains(r#"uom="http://grdf.org/uom/farenheit""#),
+            "{xml}"
+        );
         let back = parse_gml(&xml).unwrap();
         let site = back.of_type("ChemSite")[0];
-        assert_eq!(site.property("temperature"), Some(&grdf_feature::value::Value::Double(21.23)));
+        assert_eq!(
+            site.property("temperature"),
+            Some(&grdf_feature::value::Value::Double(21.23))
+        );
         assert_eq!(
             site.property("temperatureUom").and_then(|v| v.as_str()),
             Some("http://grdf.org/uom/farenheit")

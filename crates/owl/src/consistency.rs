@@ -235,7 +235,10 @@ fn check_same_different(g: &Graph, out: &mut Vec<Violation>) {
     let same = Term::iri(owl::SAME_AS);
     g.for_each_match(None, Some(&Term::iri(owl::DIFFERENT_FROM)), None, |t| {
         if g.has(&t.subject, &same, &t.object) || g.has(&t.object, &same, &t.subject) {
-            out.push(Violation::SameAndDifferent { a: t.subject, b: t.object });
+            out.push(Violation::SameAndDifferent {
+                a: t.subject,
+                b: t.object,
+            });
         }
     });
 }
@@ -245,7 +248,11 @@ fn check_nothing(g: &Graph, out: &mut Vec<Violation>) {
         None,
         Some(&Term::iri(rdf::TYPE)),
         Some(&Term::iri(owl::NOTHING)),
-        |t| out.push(Violation::NothingMember { instance: t.subject }),
+        |t| {
+            out.push(Violation::NothingMember {
+                instance: t.subject,
+            })
+        },
     );
 }
 
@@ -290,21 +297,35 @@ mod tests {
         let mut b = OntologyBuilder::new("urn:t#");
         b.class("EnvelopeWithTimePeriod", None);
         b.object_property("hasTimePosition", None, None);
-        b.restrict("EnvelopeWithTimePeriod", "hasTimePosition", RestrictionKind::Exactly(2));
+        b.restrict(
+            "EnvelopeWithTimePeriod",
+            "hasTimePosition",
+            RestrictionKind::Exactly(2),
+        );
         let mut g = b.into_graph();
         g.add(iri("urn:t#env"), ty(), iri("urn:t#EnvelopeWithTimePeriod"));
-        g.add(iri("urn:t#env"), iri("urn:t#hasTimePosition"), iri("urn:t#t0"));
+        g.add(
+            iri("urn:t#env"),
+            iri("urn:t#hasTimePosition"),
+            iri("urn:t#t0"),
+        );
         let v = check_consistency(&g);
         assert_eq!(v.len(), 1);
         match &v[0] {
-            Violation::Cardinality { expected, actual, .. } => {
+            Violation::Cardinality {
+                expected, actual, ..
+            } => {
                 assert_eq!(expected, "exactly 2");
                 assert_eq!(*actual, 1);
             }
             other => panic!("unexpected {other:?}"),
         }
         // Adding the second position clears it.
-        g.add(iri("urn:t#env"), iri("urn:t#hasTimePosition"), iri("urn:t#t1"));
+        g.add(
+            iri("urn:t#env"),
+            iri("urn:t#hasTimePosition"),
+            iri("urn:t#t1"),
+        );
         assert!(check_consistency(&g).is_empty());
     }
 
@@ -378,9 +399,17 @@ mod tests {
         b.datatype_property("hasSiteId", None, None);
         b.characteristic("hasSiteId", Characteristic::Functional);
         let mut g = b.into_graph();
-        g.add(iri("urn:t#s"), iri("urn:t#hasSiteId"), Term::string("004221"));
+        g.add(
+            iri("urn:t#s"),
+            iri("urn:t#hasSiteId"),
+            Term::string("004221"),
+        );
         assert!(check_consistency(&g).is_empty(), "one value is fine");
-        g.add(iri("urn:t#s"), iri("urn:t#hasSiteId"), Term::string("999999"));
+        g.add(
+            iri("urn:t#s"),
+            iri("urn:t#hasSiteId"),
+            Term::string("999999"),
+        );
         let v = check_consistency(&g);
         assert!(
             matches!(v.as_slice(), [Violation::FunctionalLiteralClash { .. }]),

@@ -66,7 +66,11 @@ impl Derivation {
             Derivation::Asserted(t) => {
                 out.push_str(&format!("{pad}{t}   [asserted]\n"));
             }
-            Derivation::Derived { conclusion, rule, premises } => {
+            Derivation::Derived {
+                conclusion,
+                rule,
+                premises,
+            } => {
                 out.push_str(&format!("{pad}{conclusion}   [{rule}]\n"));
                 for p in premises {
                     p.render(indent + 1, out);
@@ -123,14 +127,18 @@ fn try_rules(
     let sub_prop = Term::iri(rdfs::SUB_PROPERTY_OF);
 
     let attempt = |rule: &'static str,
-                       premises: Vec<Triple>,
-                       on_path: &mut HashSet<Triple>|
+                   premises: Vec<Triple>,
+                   on_path: &mut HashSet<Triple>|
      -> Option<Derivation> {
         let mut derived = Vec::with_capacity(premises.len());
         for p in &premises {
             derived.push(explain_rec(g, base, p, depth - 1, on_path)?);
         }
-        Some(Derivation::Derived { conclusion: t.clone(), rule, premises: derived })
+        Some(Derivation::Derived {
+            conclusion: t.clone(),
+            rule,
+            premises: derived,
+        })
     };
 
     // --- rdfs9: x type C, C ⊑ D ⇒ x type D -------------------------------
@@ -216,8 +224,10 @@ fn try_rules(
             let p1 = Triple::new(t.object.clone(), q.clone(), t.subject.clone());
             if g.contains(&p1) {
                 // The declaration may be in either orientation.
-                let decl_a = Triple::new(t.predicate.clone(), Term::iri(owl::INVERSE_OF), q.clone());
-                let decl_b = Triple::new(q.clone(), Term::iri(owl::INVERSE_OF), t.predicate.clone());
+                let decl_a =
+                    Triple::new(t.predicate.clone(), Term::iri(owl::INVERSE_OF), q.clone());
+                let decl_b =
+                    Triple::new(q.clone(), Term::iri(owl::INVERSE_OF), t.predicate.clone());
                 let decl = if g.contains(&decl_a) { decl_a } else { decl_b };
                 if let Some(d) = attempt("owl-inverse-of", vec![p1, decl], on_path) {
                     return Some(d);
@@ -325,8 +335,11 @@ fn try_rules(
             for ta in &subjects_a {
                 let tb = Triple::new(t.object.clone(), p.clone(), ta.object.clone());
                 if g.contains(&tb) {
-                    let decl =
-                        Triple::new(p.clone(), ty.clone(), Term::iri(owl::INVERSE_FUNCTIONAL_PROPERTY));
+                    let decl = Triple::new(
+                        p.clone(),
+                        ty.clone(),
+                        Term::iri(owl::INVERSE_FUNCTIONAL_PROPERTY),
+                    );
                     if let Some(d) = attempt(
                         "owl-inverse-functional",
                         vec![ta.clone(), tb, decl],
@@ -355,7 +368,10 @@ mod tests {
         Term::iri(rdf::TYPE)
     }
 
-    fn setup(builder: impl FnOnce(&mut OntologyBuilder), data: &[(Term, Term, Term)]) -> (Graph, Graph) {
+    fn setup(
+        builder: impl FnOnce(&mut OntologyBuilder),
+        data: &[(Term, Term, Term)],
+    ) -> (Graph, Graph) {
         let mut b = OntologyBuilder::new("urn:t#");
         builder(&mut b);
         let mut base = b.into_graph();
@@ -437,12 +453,18 @@ mod tests {
         let td = Triple::new(iri("urn:t#ann"), ty(), iri("urn:t#Person"));
         assert!(matches!(
             explain(&g, &base, &td, 5).unwrap(),
-            Derivation::Derived { rule: "rdfs2-domain", .. }
+            Derivation::Derived {
+                rule: "rdfs2-domain",
+                ..
+            }
         ));
         let tr = Triple::new(iri("urn:t#dallas"), ty(), iri("urn:t#City"));
         assert!(matches!(
             explain(&g, &base, &tr, 5).unwrap(),
-            Derivation::Derived { rule: "rdfs3-range", .. }
+            Derivation::Derived {
+                rule: "rdfs3-range",
+                ..
+            }
         ));
     }
 
@@ -464,12 +486,18 @@ mod tests {
         let inv = Triple::new(iri("urn:t#park"), iri("urn:t#contains"), iri("urn:t#lake"));
         assert!(matches!(
             explain(&g, &base, &inv, 5).unwrap(),
-            Derivation::Derived { rule: "owl-inverse-of", .. }
+            Derivation::Derived {
+                rule: "owl-inverse-of",
+                ..
+            }
         ));
         let sym = Triple::new(iri("urn:t#b"), iri("urn:t#touches"), iri("urn:t#a"));
         assert!(matches!(
             explain(&g, &base, &sym, 5).unwrap(),
-            Derivation::Derived { rule: "owl-symmetric", .. }
+            Derivation::Derived {
+                rule: "owl-symmetric",
+                ..
+            }
         ));
     }
 
@@ -488,7 +516,16 @@ mod tests {
         );
         let t = Triple::new(iri("urn:t#r1"), iri("urn:t#flowsInto"), iri("urn:t#r4"));
         let d = explain(&g, &base, &t, 8).unwrap();
-        assert!(matches!(&d, Derivation::Derived { rule: "owl-transitive", .. }), "{d}");
+        assert!(
+            matches!(
+                &d,
+                Derivation::Derived {
+                    rule: "owl-transitive",
+                    ..
+                }
+            ),
+            "{d}"
+        );
         for leaf in d.support() {
             assert!(base.contains(leaf));
         }
@@ -510,7 +547,16 @@ mod tests {
         // b got the name by substitution through a sameAs b.
         let t = Triple::new(iri("urn:t#b"), iri("urn:t#name"), Term::string("Plant"));
         let d = explain(&g, &base, &t, 8).unwrap();
-        assert!(matches!(&d, Derivation::Derived { rule: "owl-sameas-subject", .. }), "{d}");
+        assert!(
+            matches!(
+                &d,
+                Derivation::Derived {
+                    rule: "owl-sameas-subject",
+                    ..
+                }
+            ),
+            "{d}"
+        );
         // And the sameAs link itself traces back to the IFP.
         let link = Triple::new(iri("urn:t#a"), Term::iri(owl::SAME_AS), iri("urn:t#b"));
         let dl = explain(&g, &base, &link, 8).unwrap();

@@ -172,7 +172,11 @@ mod tests {
         b.class("LineString", Some("Curve"));
         b.class("Surface", Some("Geometry"));
         let mut g = b.into_graph();
-        g.add(iri("urn:t#l1"), Term::iri(rdf::TYPE), iri("urn:t#LineString"));
+        g.add(
+            iri("urn:t#l1"),
+            Term::iri(rdf::TYPE),
+            iri("urn:t#LineString"),
+        );
         g.add(iri("urn:t#s1"), Term::iri(rdf::TYPE), iri("urn:t#Surface"));
         g
     }

@@ -66,7 +66,11 @@ impl OntologyBuilder {
         let mut graph = Graph::new();
         let onto = Term::iri(base.trim_end_matches(['#', '/']));
         graph.add(onto, Term::iri(rdf::TYPE), Term::iri(owl::ONTOLOGY));
-        OntologyBuilder { base: base.to_string(), graph, restriction_counter: 0 }
+        OntologyBuilder {
+            base: base.to_string(),
+            graph,
+            restriction_counter: 0,
+        }
     }
 
     /// Resolve a possibly-local name against the base namespace.
@@ -85,7 +89,8 @@ impl OntologyBuilder {
     /// Declare an `owl:Class`, optionally a subclass of `parent`.
     pub fn class(&mut self, name: &str, parent: Option<&str>) -> Term {
         let c = self.term(name);
-        self.graph.add(c.clone(), Term::iri(rdf::TYPE), Term::iri(owl::CLASS));
+        self.graph
+            .add(c.clone(), Term::iri(rdf::TYPE), Term::iri(owl::CLASS));
         if let Some(p) = parent {
             let p = self.term(p);
             self.graph.add(c.clone(), Term::iri(rdfs::SUB_CLASS_OF), p);
@@ -96,13 +101,15 @@ impl OntologyBuilder {
     /// Add an `rdfs:label` to any named entity.
     pub fn label(&mut self, name: &str, label: &str) {
         let s = self.term(name);
-        self.graph.add(s, Term::iri(rdfs::LABEL), Term::string(label));
+        self.graph
+            .add(s, Term::iri(rdfs::LABEL), Term::string(label));
     }
 
     /// Add an `rdfs:comment` to any named entity.
     pub fn comment(&mut self, name: &str, comment: &str) {
         let s = self.term(name);
-        self.graph.add(s, Term::iri(rdfs::COMMENT), Term::string(comment));
+        self.graph
+            .add(s, Term::iri(rdfs::COMMENT), Term::string(comment));
     }
 
     /// Assert `child rdfs:subClassOf parent` for already-declared classes.
@@ -120,7 +127,11 @@ impl OntologyBuilder {
         range: Option<&str>,
     ) -> Term {
         let p = self.term(name);
-        self.graph.add(p.clone(), Term::iri(rdf::TYPE), Term::iri(owl::OBJECT_PROPERTY));
+        self.graph.add(
+            p.clone(),
+            Term::iri(rdf::TYPE),
+            Term::iri(owl::OBJECT_PROPERTY),
+        );
         if let Some(d) = domain {
             let d = self.term(d);
             self.graph.add(p.clone(), Term::iri(rdfs::DOMAIN), d);
@@ -142,13 +153,18 @@ impl OntologyBuilder {
         range_datatype: Option<&str>,
     ) -> Term {
         let p = self.term(name);
-        self.graph.add(p.clone(), Term::iri(rdf::TYPE), Term::iri(owl::DATATYPE_PROPERTY));
+        self.graph.add(
+            p.clone(),
+            Term::iri(rdf::TYPE),
+            Term::iri(owl::DATATYPE_PROPERTY),
+        );
         if let Some(d) = domain {
             let d = self.term(d);
             self.graph.add(p.clone(), Term::iri(rdfs::DOMAIN), d);
         }
         if let Some(r) = range_datatype {
-            self.graph.add(p.clone(), Term::iri(rdfs::RANGE), Term::iri(r));
+            self.graph
+                .add(p.clone(), Term::iri(rdfs::RANGE), Term::iri(r));
         }
         p
     }
@@ -163,7 +179,8 @@ impl OntologyBuilder {
     /// Assert a property characteristic.
     pub fn characteristic(&mut self, property: &str, ch: Characteristic) {
         let p = self.term(property);
-        self.graph.add(p, Term::iri(rdf::TYPE), Term::iri(ch.class_iri()));
+        self.graph
+            .add(p, Term::iri(rdf::TYPE), Term::iri(ch.class_iri()));
     }
 
     /// Assert `p owl:inverseOf q`.
@@ -197,24 +214,23 @@ impl OntologyBuilder {
         let c = self.term(class);
         let p = self.term(property);
         self.graph.add(c, Term::iri(rdfs::SUB_CLASS_OF), r.clone());
-        self.graph.add(r.clone(), Term::iri(rdf::TYPE), Term::iri(owl::RESTRICTION));
+        self.graph
+            .add(r.clone(), Term::iri(rdf::TYPE), Term::iri(owl::RESTRICTION));
         self.graph.add(r.clone(), Term::iri(owl::ON_PROPERTY), p);
         let (pred, obj) = match kind {
-            RestrictionKind::Exactly(n) => (owl::CARDINALITY, Term::typed(
-                &n.to_string(),
-                grdf_rdf::vocab::xsd::NON_NEGATIVE_INTEGER,
-            )),
-            RestrictionKind::AtLeast(n) => (owl::MIN_CARDINALITY, Term::typed(
-                &n.to_string(),
-                grdf_rdf::vocab::xsd::NON_NEGATIVE_INTEGER,
-            )),
-            RestrictionKind::AtMost(n) => (owl::MAX_CARDINALITY, Term::typed(
-                &n.to_string(),
-                grdf_rdf::vocab::xsd::NON_NEGATIVE_INTEGER,
-            )),
-            RestrictionKind::SomeValuesFrom(cls) => {
-                (owl::SOME_VALUES_FROM, self.term(&cls))
-            }
+            RestrictionKind::Exactly(n) => (
+                owl::CARDINALITY,
+                Term::typed(&n.to_string(), grdf_rdf::vocab::xsd::NON_NEGATIVE_INTEGER),
+            ),
+            RestrictionKind::AtLeast(n) => (
+                owl::MIN_CARDINALITY,
+                Term::typed(&n.to_string(), grdf_rdf::vocab::xsd::NON_NEGATIVE_INTEGER),
+            ),
+            RestrictionKind::AtMost(n) => (
+                owl::MAX_CARDINALITY,
+                Term::typed(&n.to_string(), grdf_rdf::vocab::xsd::NON_NEGATIVE_INTEGER),
+            ),
+            RestrictionKind::SomeValuesFrom(cls) => (owl::SOME_VALUES_FROM, self.term(&cls)),
             RestrictionKind::AllValuesFrom(cls) => (owl::ALL_VALUES_FROM, self.term(&cls)),
             RestrictionKind::HasValue(v) => (owl::HAS_VALUE, v),
         };
@@ -228,7 +244,8 @@ impl OntologyBuilder {
         let c = self.class(class, None);
         let items: Vec<Term> = parts.iter().map(|p| self.term(p)).collect();
         let head = self.graph.write_list(&items);
-        self.graph.add(c.clone(), Term::iri(owl::INTERSECTION_OF), head);
+        self.graph
+            .add(c.clone(), Term::iri(owl::INTERSECTION_OF), head);
         c
     }
 
@@ -317,8 +334,16 @@ mod tests {
         b.object_property("within", None, None);
         b.inverse_of("contains", "within");
         let g = b.into_graph();
-        assert!(g.has(&iri("urn:t#touches"), &iri(rdf::TYPE), &iri(owl::SYMMETRIC_PROPERTY)));
-        assert!(g.has(&iri("urn:t#contains"), &iri(owl::INVERSE_OF), &iri("urn:t#within")));
+        assert!(g.has(
+            &iri("urn:t#touches"),
+            &iri(rdf::TYPE),
+            &iri(owl::SYMMETRIC_PROPERTY)
+        ));
+        assert!(g.has(
+            &iri("urn:t#contains"),
+            &iri(owl::INVERSE_OF),
+            &iri("urn:t#within")
+        ));
     }
 
     #[test]
@@ -333,7 +358,11 @@ mod tests {
             RestrictionKind::Exactly(2),
         );
         let g = b.into_graph();
-        assert!(g.has(&iri("urn:t#EnvelopeWithTimePeriod"), &iri(rdfs::SUB_CLASS_OF), &r));
+        assert!(g.has(
+            &iri("urn:t#EnvelopeWithTimePeriod"),
+            &iri(rdfs::SUB_CLASS_OF),
+            &r
+        ));
         assert!(g.has(&r, &iri(rdf::TYPE), &iri(owl::RESTRICTION)));
         assert!(g.has(&r, &iri(owl::ON_PROPERTY), &iri("urn:t#hasTimePosition")));
         let card = g.object(&r, &iri(owl::CARDINALITY)).unwrap();
@@ -352,7 +381,11 @@ mod tests {
         assert_ne!(r1, r2);
         assert_ne!(r2, r3);
         let g = b.into_graph();
-        assert_eq!(g.objects(&iri("urn:t#Face"), &iri(rdfs::SUB_CLASS_OF)).len(), 4);
+        assert_eq!(
+            g.objects(&iri("urn:t#Face"), &iri(rdfs::SUB_CLASS_OF))
+                .len(),
+            4
+        );
     }
 
     #[test]
@@ -375,7 +408,11 @@ mod tests {
         b.label("Feature", "Feature");
         b.comment("Feature", "An application object such as landfill.");
         let g = b.into_graph();
-        assert!(g.has(&iri("urn:t#Feature"), &iri(rdfs::LABEL), &Term::string("Feature")));
+        assert!(g.has(
+            &iri("urn:t#Feature"),
+            &iri(rdfs::LABEL),
+            &Term::string("Feature")
+        ));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::collections::{HashMap, HashSet};
 use grdf_rdf::graph::Graph;
 use grdf_rdf::term::{Term, Triple};
 use grdf_rdf::vocab::{owl, rdf, rdfs};
+use grdf_runtime::{Deadline, DeadlineExceeded};
 
 /// Statistics from one materialization run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,20 +46,45 @@ pub struct Reasoner {
 
 impl Default for Reasoner {
     fn default() -> Self {
-        Reasoner { rdfs: true, owl: true, restrictions: true, max_passes: 64 }
+        Reasoner {
+            rdfs: true,
+            owl: true,
+            restrictions: true,
+            max_passes: 64,
+        }
     }
 }
 
 impl Reasoner {
     /// RDFS-only configuration (ablation arm).
     pub fn rdfs_only() -> Reasoner {
-        Reasoner { rdfs: true, owl: false, restrictions: false, ..Reasoner::default() }
+        Reasoner {
+            rdfs: true,
+            owl: false,
+            restrictions: false,
+            ..Reasoner::default()
+        }
     }
 
     /// Materialize all entailments into `graph`; returns statistics.
     pub fn materialize(&self, graph: &mut Graph) -> ReasonerStats {
+        self.materialize_with_deadline(graph, &Deadline::never())
+            .expect("a never-expiring deadline cannot interrupt the fixpoint")
+    }
+
+    /// Materialize under a cooperative deadline, polled once per fixpoint
+    /// pass. On expiry the graph is left with whatever entailments the
+    /// completed passes added (each pass only adds sound inferences, so
+    /// the graph stays consistent — merely under-materialized) and the
+    /// caller decides how to degrade.
+    pub fn materialize_with_deadline(
+        &self,
+        graph: &mut Graph,
+        deadline: &Deadline,
+    ) -> Result<ReasonerStats, DeadlineExceeded> {
         let mut stats = ReasonerStats::default();
         loop {
+            deadline.check()?;
             stats.passes += 1;
             let additions = self.one_pass(graph);
             let mut added = 0;
@@ -69,7 +95,7 @@ impl Reasoner {
             }
             stats.inferred += added;
             if added == 0 || stats.passes >= self.max_passes {
-                return stats;
+                return Ok(stats);
             }
         }
     }
@@ -113,7 +139,9 @@ fn rule_boolean_classes(g: &Graph, out: &mut Vec<Triple>) {
     let ty = Term::iri(rdf::TYPE);
     g.for_each_match(None, Some(&Term::iri(owl::INTERSECTION_OF)), None, |decl| {
         let class = decl.subject;
-        let Some(parts) = g.read_list(&decl.object) else { return };
+        let Some(parts) = g.read_list(&decl.object) else {
+            return;
+        };
         if parts.is_empty() {
             return;
         }
@@ -136,7 +164,9 @@ fn rule_boolean_classes(g: &Graph, out: &mut Vec<Triple>) {
     });
     g.for_each_match(None, Some(&Term::iri(owl::UNION_OF)), None, |decl| {
         let class = decl.subject;
-        let Some(parts) = g.read_list(&decl.object) else { return };
+        let Some(parts) = g.read_list(&decl.object) else {
+            return;
+        };
         for p in &parts {
             g.for_each_match(None, Some(&ty), Some(p), |t| {
                 if !g.has(&t.subject, &ty, &class) {
@@ -208,7 +238,10 @@ impl Schema {
             s.range.entry(t.subject).or_default().push(t.object);
         });
         g.for_each_match(None, Some(&Term::iri(owl::INVERSE_OF)), None, |t| {
-            s.inverse.entry(t.subject.clone()).or_default().push(t.object.clone());
+            s.inverse
+                .entry(t.subject.clone())
+                .or_default()
+                .push(t.object.clone());
             s.inverse.entry(t.object).or_default().push(t.subject);
         });
         for (class_iri, set) in [
@@ -217,9 +250,14 @@ impl Schema {
             (owl::FUNCTIONAL_PROPERTY, &mut s.functional),
             (owl::INVERSE_FUNCTIONAL_PROPERTY, &mut s.inverse_functional),
         ] {
-            g.for_each_match(None, Some(&Term::iri(rdf::TYPE)), Some(&Term::iri(class_iri)), |t| {
-                set.insert(t.subject);
-            });
+            g.for_each_match(
+                None,
+                Some(&Term::iri(rdf::TYPE)),
+                Some(&Term::iri(class_iri)),
+                |t| {
+                    set.insert(t.subject);
+                },
+            );
         }
 
         // Restrictions: nodes typed owl:Restriction with owl:onProperty.
@@ -236,11 +274,18 @@ impl Schema {
                     Some(RKind::HasValue(v))
                 } else if let Some(c) = g.object(&node, &Term::iri(owl::SOME_VALUES_FROM)) {
                     Some(RKind::SomeValuesFrom(c))
-                } else { g.object(&node, &Term::iri(owl::ALL_VALUES_FROM)).map(RKind::AllValuesFrom) };
+                } else {
+                    g.object(&node, &Term::iri(owl::ALL_VALUES_FROM))
+                        .map(RKind::AllValuesFrom)
+                };
                 if let Some(kind) = kind {
-                    let subclasses =
-                        g.subjects(&Term::iri(rdfs::SUB_CLASS_OF), &node);
-                    s.restrictions.push(Restriction { node, property, kind, subclasses });
+                    let subclasses = g.subjects(&Term::iri(rdfs::SUB_CLASS_OF), &node);
+                    s.restrictions.push(Restriction {
+                        node,
+                        property,
+                        kind,
+                        subclasses,
+                    });
                 }
             },
         );
@@ -320,7 +365,9 @@ fn rule_domain_range(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
             }
             for c in classes {
                 // Datatype ranges aren't class memberships.
-                if c.as_iri().is_some_and(|i| i.starts_with(grdf_rdf::vocab::xsd::NS)) {
+                if c.as_iri()
+                    .is_some_and(|i| i.starts_with(grdf_rdf::vocab::xsd::NS))
+                {
                     continue;
                 }
                 if !g.has(&t.object, &ty, c) {
@@ -490,7 +537,11 @@ fn rule_same_as(g: &Graph, out: &mut Vec<Triple>) {
                 }
                 for b in group {
                     if b != a && !g.has(b, &t.predicate, &t.object) {
-                        out.push(Triple::new(b.clone(), t.predicate.clone(), t.object.clone()));
+                        out.push(Triple::new(
+                            b.clone(),
+                            t.predicate.clone(),
+                            t.object.clone(),
+                        ));
                     }
                 }
             });
@@ -500,7 +551,11 @@ fn rule_same_as(g: &Graph, out: &mut Vec<Triple>) {
                 }
                 for b in group {
                     if b != a && !g.has(&t.subject, &t.predicate, b) {
-                        out.push(Triple::new(t.subject.clone(), t.predicate.clone(), b.clone()));
+                        out.push(Triple::new(
+                            t.subject.clone(),
+                            t.predicate.clone(),
+                            b.clone(),
+                        ));
                     }
                 }
             });
@@ -517,7 +572,11 @@ fn rule_restrictions(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
                 for c in r.subclasses.iter().chain(std::iter::once(&r.node)) {
                     g.for_each_match(None, Some(&ty), Some(c), |t| {
                         if !g.has(&t.subject, &r.property, v) {
-                            out.push(Triple::new(t.subject.clone(), r.property.clone(), v.clone()));
+                            out.push(Triple::new(
+                                t.subject.clone(),
+                                r.property.clone(),
+                                v.clone(),
+                            ));
                         }
                     });
                 }
@@ -628,7 +687,11 @@ mod tests {
         let mut g = b.into_graph();
         g.add(iri("urn:t#lake"), iri("urn:t#within"), iri("urn:t#park"));
         Reasoner::default().materialize(&mut g);
-        assert!(g.has(&iri("urn:t#park"), &iri("urn:t#contains"), &iri("urn:t#lake")));
+        assert!(g.has(
+            &iri("urn:t#park"),
+            &iri("urn:t#contains"),
+            &iri("urn:t#lake")
+        ));
     }
 
     #[test]
@@ -655,13 +718,29 @@ mod tests {
         b.characteristic("hasSiteId", Characteristic::InverseFunctional);
         let mut g = b.into_graph();
         // Two records for one chemical site in different datasets.
-        g.add(iri("urn:t#siteA"), iri("urn:t#hasSiteId"), iri("urn:t#id4221"));
-        g.add(iri("urn:t#siteB"), iri("urn:t#hasSiteId"), iri("urn:t#id4221"));
-        g.add(iri("urn:t#siteA"), iri("urn:t#name"), Term::string("NT Energy"));
+        g.add(
+            iri("urn:t#siteA"),
+            iri("urn:t#hasSiteId"),
+            iri("urn:t#id4221"),
+        );
+        g.add(
+            iri("urn:t#siteB"),
+            iri("urn:t#hasSiteId"),
+            iri("urn:t#id4221"),
+        );
+        g.add(
+            iri("urn:t#siteA"),
+            iri("urn:t#name"),
+            Term::string("NT Energy"),
+        );
         Reasoner::default().materialize(&mut g);
         assert!(g.has(&iri("urn:t#siteA"), &iri(owl::SAME_AS), &iri("urn:t#siteB")));
         // Substitution carried the name to the other identifier.
-        assert!(g.has(&iri("urn:t#siteB"), &iri("urn:t#name"), &Term::string("NT Energy")));
+        assert!(g.has(
+            &iri("urn:t#siteB"),
+            &iri("urn:t#name"),
+            &Term::string("NT Energy")
+        ));
     }
 
     #[test]
@@ -691,7 +770,10 @@ mod tests {
         g.add(iri("urn:t#s2"), iri("urn:t#inState"), iri("urn:t#texas"));
         Reasoner::default().materialize(&mut g);
         assert!(g.has(&iri("urn:t#s1"), &iri("urn:t#inState"), &iri("urn:t#texas")));
-        assert!(g.has(&iri("urn:t#s2"), &ty(), &r), "value ⇒ restriction membership");
+        assert!(
+            g.has(&iri("urn:t#s2"), &ty(), &r),
+            "value ⇒ restriction membership"
+        );
     }
 
     #[test]

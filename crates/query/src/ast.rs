@@ -42,7 +42,11 @@ pub struct TriplePattern {
 impl TriplePattern {
     /// Build a pattern.
     pub fn new(subject: TermOrVar, predicate: TermOrVar, object: TermOrVar) -> TriplePattern {
-        TriplePattern { subject, predicate, object }
+        TriplePattern {
+            subject,
+            predicate,
+            object,
+        }
     }
 
     /// Number of concrete (non-variable) positions — a cheap selectivity

@@ -7,6 +7,7 @@ use std::fmt;
 
 use grdf_rdf::graph::Graph;
 use grdf_rdf::term::{Term, Triple};
+use grdf_runtime::{Deadline, DeadlineExceeded};
 
 use crate::ast::{Expr, Order, Pattern, Query, QueryKind, TermOrVar, TriplePattern};
 use crate::parser::{parse_query, ParseError};
@@ -20,12 +21,16 @@ pub type Bindings = BTreeMap<String, Term>;
 pub enum QueryError {
     /// The query text did not parse.
     Parse(String),
+    /// The request's deadline expired mid-evaluation; evaluation was
+    /// cancelled cooperatively and no partial result is returned.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::Parse(m) => write!(f, "query parse error: {m}"),
+            QueryError::DeadlineExceeded => f.write_str("query deadline exceeded"),
         }
     }
 }
@@ -35,6 +40,12 @@ impl std::error::Error for QueryError {}
 impl From<ParseError> for QueryError {
     fn from(e: ParseError) -> Self {
         QueryError::Parse(e.to_string())
+    }
+}
+
+impl From<DeadlineExceeded> for QueryError {
+    fn from(_: DeadlineExceeded) -> Self {
+        QueryError::DeadlineExceeded
     }
 }
 
@@ -80,10 +91,21 @@ impl QueryResult {
     }
 }
 
-/// Parse and execute `query_text` over `graph`.
+/// Parse and execute `query_text` over `graph` without a deadline.
 pub fn execute(graph: &Graph, query_text: &str) -> Result<QueryResult, QueryError> {
+    execute_with_deadline(graph, query_text, &Deadline::never())
+}
+
+/// Parse and execute `query_text` over `graph`, polling `deadline` inside
+/// the join and closure loops; returns [`QueryError::DeadlineExceeded`]
+/// once the budget is spent.
+pub fn execute_with_deadline(
+    graph: &Graph,
+    query_text: &str,
+    deadline: &Deadline,
+) -> Result<QueryResult, QueryError> {
     let q = parse_query(query_text)?;
-    Ok(execute_query(graph, &q))
+    execute_query_with_deadline(graph, &q, deadline)
 }
 
 /// Sort rows in place by the ORDER BY keys.
@@ -109,25 +131,46 @@ fn apply_order(rows: &mut [Bindings], order: &[Order]) {
 
 /// Apply OFFSET/LIMIT.
 fn apply_slice(rows: Vec<Bindings>, offset: usize, limit: Option<usize>) -> Vec<Bindings> {
-    rows.into_iter().skip(offset).take(limit.unwrap_or(usize::MAX)).collect()
+    rows.into_iter()
+        .skip(offset)
+        .take(limit.unwrap_or(usize::MAX))
+        .collect()
 }
 
-/// Execute a pre-parsed query.
+/// Execute a pre-parsed query without a deadline.
 pub fn execute_query(graph: &Graph, query: &Query) -> QueryResult {
-    let raw = eval_pattern(graph, &query.pattern, vec![Bindings::new()]);
+    execute_query_with_deadline(graph, query, &Deadline::never())
+        .expect("a never-expiring deadline cannot cancel evaluation")
+}
+
+/// Execute a pre-parsed query under a cooperative deadline.
+pub fn execute_query_with_deadline(
+    graph: &Graph,
+    query: &Query,
+    deadline: &Deadline,
+) -> Result<QueryResult, QueryError> {
+    let raw = eval_pattern(graph, &query.pattern, vec![Bindings::new()], deadline)?;
 
     // Aggregate queries: grouping happens first; ORDER/OFFSET/LIMIT apply
     // to the aggregated rows.
-    if let QueryKind::Select { vars, aggregates, .. } = &query.kind {
+    if let QueryKind::Select {
+        vars, aggregates, ..
+    } = &query.kind
+    {
         if !aggregates.is_empty() {
-            let QueryResult::Select { vars: out_vars, mut rows } =
-                aggregate_select(vars, aggregates, &query.group_by, raw)
+            let QueryResult::Select {
+                vars: out_vars,
+                mut rows,
+            } = aggregate_select(vars, aggregates, &query.group_by, raw)
             else {
                 unreachable!("aggregate_select returns Select");
             };
             apply_order(&mut rows, &query.order);
             let rows = apply_slice(rows, query.offset, query.limit);
-            return QueryResult::Select { vars: out_vars, rows };
+            return Ok(QueryResult::Select {
+                vars: out_vars,
+                rows,
+            });
         }
     }
 
@@ -136,7 +179,7 @@ pub fn execute_query(graph: &Graph, query: &Query) -> QueryResult {
     apply_order(&mut solutions, &query.order);
     let solutions = apply_slice(solutions, query.offset, query.limit);
 
-    match &query.kind {
+    Ok(match &query.kind {
         QueryKind::Ask => QueryResult::Boolean(!solutions.is_empty()),
         QueryKind::Select { vars, distinct, .. } => {
             let vars = if vars.is_empty() {
@@ -184,7 +227,7 @@ pub fn execute_query(graph: &Graph, query: &Query) -> QueryResult {
             }
             QueryResult::Graph(g)
         }
-    }
+    })
 }
 
 /// Grouped aggregation: partition solutions by the GROUP BY key (one
@@ -240,13 +283,21 @@ fn aggregate_select(
                     if numeric.is_empty() {
                         None
                     } else {
-                        Some(Term::double(numeric.iter().sum::<f64>() / numeric.len() as f64))
+                        Some(Term::double(
+                            numeric.iter().sum::<f64>() / numeric.len() as f64,
+                        ))
                     }
                 }
                 // MIN/MAX compare numerically when values are numeric;
                 // plain term order otherwise.
-                AggFunc::Min => values.iter().min_by(|a, b| compare_terms(Some(a), Some(b))).cloned(),
-                AggFunc::Max => values.iter().max_by(|a, b| compare_terms(Some(a), Some(b))).cloned(),
+                AggFunc::Min => values
+                    .iter()
+                    .min_by(|a, b| compare_terms(Some(a), Some(b)))
+                    .cloned(),
+                AggFunc::Max => values
+                    .iter()
+                    .max_by(|a, b| compare_terms(Some(a), Some(b)))
+                    .cloned(),
             };
             if let Some(r) = result {
                 row.insert(agg.alias.clone(), r);
@@ -254,7 +305,10 @@ fn aggregate_select(
         }
         rows.push(row);
     }
-    QueryResult::Select { vars: out_vars, rows }
+    QueryResult::Select {
+        vars: out_vars,
+        rows,
+    }
 }
 
 fn resolve(t: &TermOrVar, b: &Bindings) -> Option<Term> {
@@ -264,59 +318,90 @@ fn resolve(t: &TermOrVar, b: &Bindings) -> Option<Term> {
     }
 }
 
-fn eval_pattern(graph: &Graph, pattern: &Pattern, input: Vec<Bindings>) -> Vec<Bindings> {
+fn eval_pattern(
+    graph: &Graph,
+    pattern: &Pattern,
+    input: Vec<Bindings>,
+    deadline: &Deadline,
+) -> Result<Vec<Bindings>, DeadlineExceeded> {
     match pattern {
-        Pattern::Bgp(triples) => eval_bgp(graph, triples, input),
-        Pattern::Path { subject, path, object } => {
+        Pattern::Bgp(triples) => eval_bgp(graph, triples, input, deadline),
+        Pattern::Path {
+            subject,
+            path,
+            object,
+        } => {
             let mut out = Vec::new();
             for binding in input {
+                deadline.check()?;
                 let s = resolve(subject, &binding);
                 let o = resolve(object, &binding);
-                for (ps, po) in path_pairs(graph, path, s.as_ref(), o.as_ref()) {
+                for (ps, po) in path_pairs(graph, path, s.as_ref(), o.as_ref(), deadline)? {
                     let mut b = binding.clone();
                     if bind(&mut b, subject, &ps) && bind(&mut b, object, &po) {
                         out.push(b);
                     }
                 }
             }
-            out
+            Ok(out)
         }
-        Pattern::Group(parts) => parts
-            .iter()
-            .fold(input, |acc, part| eval_pattern(graph, part, acc)),
+        Pattern::Group(parts) => {
+            let mut acc = input;
+            for part in parts {
+                acc = eval_pattern(graph, part, acc, deadline)?;
+            }
+            Ok(acc)
+        }
         Pattern::Optional(inner) => {
             let mut out = Vec::new();
             for b in input {
-                let extended = eval_pattern(graph, inner, vec![b.clone()]);
+                deadline.check()?;
+                let extended = eval_pattern(graph, inner, vec![b.clone()], deadline)?;
                 if extended.is_empty() {
                     out.push(b);
                 } else {
                     out.extend(extended);
                 }
             }
-            out
+            Ok(out)
         }
         Pattern::Union(l, r) => {
-            let mut out = eval_pattern(graph, l, input.clone());
-            out.extend(eval_pattern(graph, r, input));
-            out
+            let mut out = eval_pattern(graph, l, input.clone(), deadline)?;
+            out.extend(eval_pattern(graph, r, input, deadline)?);
+            Ok(out)
         }
-        Pattern::Filter(e) => input
-            .into_iter()
-            .filter(|b| eval_expr(graph, e, b).and_then(EvalValue::truthy) == Some(true))
-            .collect(),
+        Pattern::Filter(e) => {
+            let rows: Vec<Bindings> = input
+                .into_iter()
+                .filter(|b| {
+                    eval_expr(graph, e, b, deadline).and_then(EvalValue::truthy) == Some(true)
+                })
+                .collect();
+            // EXISTS/NOT EXISTS sub-evaluation swallows expiry into a
+            // `None` filter value; expiry latches, so this check surfaces
+            // it before any partial row set escapes.
+            deadline.check()?;
+            Ok(rows)
+        }
     }
 }
 
-fn eval_bgp(graph: &Graph, triples: &[TriplePattern], input: Vec<Bindings>) -> Vec<Bindings> {
+fn eval_bgp(
+    graph: &Graph,
+    triples: &[TriplePattern],
+    input: Vec<Bindings>,
+    deadline: &Deadline,
+) -> Result<Vec<Bindings>, DeadlineExceeded> {
     // Greedy join order: repeatedly pick the pattern with the most bound
     // positions given the variables bound so far.
     let mut remaining: Vec<&TriplePattern> = triples.iter().collect();
     let mut solutions = input;
     // Track variables bound by prior patterns (input bindings also count,
     // conservatively using the first solution's keys).
-    let mut bound_vars: HashSet<String> =
-        solutions.first().map(|b| b.keys().cloned().collect()).unwrap_or_default();
+    let mut bound_vars: HashSet<String> = solutions
+        .first()
+        .map(|b| b.keys().cloned().collect())
+        .unwrap_or_default();
 
     while !remaining.is_empty() {
         let (idx, _) = remaining
@@ -324,7 +409,10 @@ fn eval_bgp(graph: &Graph, triples: &[TriplePattern], input: Vec<Bindings>) -> V
             .enumerate()
             .map(|(i, t)| {
                 let score = t.bound_count()
-                    + t.variables().iter().filter(|v| bound_vars.contains(**v)).count();
+                    + t.variables()
+                        .iter()
+                        .filter(|v| bound_vars.contains(**v))
+                        .count();
                 (i, score)
             })
             .max_by_key(|&(_, s)| s)
@@ -336,14 +424,15 @@ fn eval_bgp(graph: &Graph, triples: &[TriplePattern], input: Vec<Bindings>) -> V
 
         let mut next = Vec::new();
         for binding in &solutions {
+            deadline.check()?;
             match_one(graph, pattern, binding, &mut next);
         }
         solutions = next;
         if solutions.is_empty() {
-            return solutions;
+            return Ok(solutions);
         }
     }
-    solutions
+    Ok(solutions)
 }
 
 fn match_one(graph: &Graph, t: &TriplePattern, binding: &Bindings, out: &mut Vec<Bindings>) {
@@ -369,22 +458,27 @@ fn path_pairs(
     path: &crate::ast::PropertyPath,
     s: Option<&Term>,
     o: Option<&Term>,
-) -> Vec<(Term, Term)> {
+    deadline: &Deadline,
+) -> Result<Vec<(Term, Term)>, DeadlineExceeded> {
     use crate::ast::PropertyPath as P;
-    match path {
+    Ok(match path {
         P::Iri(p) => {
             let mut out = Vec::new();
             graph.for_each_match(s, Some(p), o, |t| out.push((t.subject, t.object)));
             out
         }
-        P::Inverse(inner) => path_pairs(graph, inner, o, s)
+        P::Inverse(inner) => path_pairs(graph, inner, o, s, deadline)?
             .into_iter()
             .map(|(a, b)| (b, a))
             .collect(),
         P::Alternative(l, r) => {
-            let mut out = path_pairs(graph, l, s, o);
+            let mut out = path_pairs(graph, l, s, o, deadline)?;
             let seen: HashSet<(Term, Term)> = out.iter().cloned().collect();
-            out.extend(path_pairs(graph, r, s, o).into_iter().filter(|p| !seen.contains(p)));
+            out.extend(
+                path_pairs(graph, r, s, o, deadline)?
+                    .into_iter()
+                    .filter(|p| !seen.contains(p)),
+            );
             out
         }
         P::Sequence(a, b) => {
@@ -392,11 +486,12 @@ fn path_pairs(
             let mut seen = HashSet::new();
             if s.is_some() || o.is_none() {
                 // Forward: expand `a` from the (possibly unbound) start.
-                for (sa, mid) in path_pairs(graph, a, s, None) {
+                for (sa, mid) in path_pairs(graph, a, s, None, deadline)? {
+                    deadline.check()?;
                     if !mid.is_resource() {
                         continue;
                     }
-                    for (_, ob) in path_pairs(graph, b, Some(&mid), o) {
+                    for (_, ob) in path_pairs(graph, b, Some(&mid), o, deadline)? {
                         if seen.insert((sa.clone(), ob.clone())) {
                             out.push((sa.clone(), ob));
                         }
@@ -404,8 +499,9 @@ fn path_pairs(
                 }
             } else {
                 // Backward: only the object is bound.
-                for (mid, ob) in path_pairs(graph, b, None, o) {
-                    for (sa, _) in path_pairs(graph, a, None, Some(&mid)) {
+                for (mid, ob) in path_pairs(graph, b, None, o, deadline)? {
+                    deadline.check()?;
+                    for (sa, _) in path_pairs(graph, a, None, Some(&mid), deadline)? {
                         if seen.insert((sa.clone(), ob.clone())) {
                             out.push((sa, ob.clone()));
                         }
@@ -414,9 +510,9 @@ fn path_pairs(
             }
             out
         }
-        P::OneOrMore(inner) => closure_pairs(graph, inner, s, o, false),
-        P::ZeroOrMore(inner) => closure_pairs(graph, inner, s, o, true),
-    }
+        P::OneOrMore(inner) => closure_pairs(graph, inner, s, o, false, deadline)?,
+        P::ZeroOrMore(inner) => closure_pairs(graph, inner, s, o, true, deadline)?,
+    })
 }
 
 /// Transitive closure of a path, optionally reflexive.
@@ -426,9 +522,10 @@ fn closure_pairs(
     s: Option<&Term>,
     o: Option<&Term>,
     reflexive: bool,
-) -> Vec<(Term, Term)> {
+    deadline: &Deadline,
+) -> Result<Vec<(Term, Term)>, DeadlineExceeded> {
     let mut out: Vec<(Term, Term)> = Vec::new();
-    let emit_from = |start: &Term, out: &mut Vec<(Term, Term)>| {
+    let emit_from = |start: &Term, out: &mut Vec<(Term, Term)>| -> Result<(), DeadlineExceeded> {
         // BFS over the inner path from `start`.
         let mut reached: HashSet<Term> = HashSet::new();
         let mut frontier = vec![start.clone()];
@@ -436,7 +533,8 @@ fn closure_pairs(
             reached.insert(start.clone());
         }
         while let Some(cur) = frontier.pop() {
-            for (_, next) in path_pairs(graph, inner, Some(&cur), None) {
+            deadline.check()?;
+            for (_, next) in path_pairs(graph, inner, Some(&cur), None, deadline)? {
                 if reached.insert(next.clone()) && next.is_resource() {
                     frontier.push(next);
                 }
@@ -447,14 +545,15 @@ fn closure_pairs(
                 out.push((start.clone(), r));
             }
         }
+        Ok(())
     };
 
     match (s, o) {
-        (Some(start), _) => emit_from(start, &mut out),
+        (Some(start), _) => emit_from(start, &mut out)?,
         (None, Some(end)) => {
             // Reverse BFS via the inverse path, then flip.
             let inv = crate::ast::PropertyPath::Inverse(Box::new(inner.clone()));
-            for (e, sfound) in closure_pairs(graph, &inv, Some(end), None, reflexive) {
+            for (e, sfound) in closure_pairs(graph, &inv, Some(end), None, reflexive, deadline)? {
                 debug_assert_eq!(&e, end);
                 out.push((sfound, e));
             }
@@ -462,15 +561,16 @@ fn closure_pairs(
         (None, None) => {
             // All starting points: every subject of an inner step.
             let mut starts: HashSet<Term> = HashSet::new();
-            for (a, _) in path_pairs(graph, inner, None, None) {
+            for (a, _) in path_pairs(graph, inner, None, None, deadline)? {
                 starts.insert(a);
             }
             for start in starts {
-                emit_from(&start, &mut out);
+                deadline.check()?;
+                emit_from(&start, &mut out)?;
             }
         }
     }
-    out
+    Ok(out)
 }
 
 fn bind(b: &mut Bindings, slot: &TermOrVar, value: &Term) -> bool {
@@ -533,46 +633,52 @@ impl EvalValue {
     }
 }
 
-fn eval_expr(graph: &Graph, e: &Expr, b: &Bindings) -> Option<EvalValue> {
+fn eval_expr(graph: &Graph, e: &Expr, b: &Bindings, deadline: &Deadline) -> Option<EvalValue> {
     match e {
         Expr::Const(t) => Some(EvalValue::Term(t.clone())),
         Expr::Var(v) => b.get(v).cloned().map(EvalValue::Term),
         Expr::Bound(v) => Some(EvalValue::Bool(b.contains_key(v))),
         Expr::Not(inner) => {
-            let v = eval_expr(graph, inner, b)?.truthy()?;
+            let v = eval_expr(graph, inner, b, deadline)?.truthy()?;
             Some(EvalValue::Bool(!v))
         }
         Expr::And(l, r) => {
-            let lv = eval_expr(graph, l, b)?.truthy()?;
+            let lv = eval_expr(graph, l, b, deadline)?.truthy()?;
             if !lv {
                 return Some(EvalValue::Bool(false));
             }
-            Some(EvalValue::Bool(eval_expr(graph, r, b)?.truthy()?))
+            Some(EvalValue::Bool(eval_expr(graph, r, b, deadline)?.truthy()?))
         }
         Expr::Or(l, r) => {
-            let lv = eval_expr(graph, l, b)?.truthy()?;
+            let lv = eval_expr(graph, l, b, deadline)?.truthy()?;
             if lv {
                 return Some(EvalValue::Bool(true));
             }
-            Some(EvalValue::Bool(eval_expr(graph, r, b)?.truthy()?))
+            Some(EvalValue::Bool(eval_expr(graph, r, b, deadline)?.truthy()?))
         }
-        Expr::Eq(l, r) => compare(graph, l, r, b, |o| o == Ordering::Equal),
-        Expr::Ne(l, r) => compare(graph, l, r, b, |o| o != Ordering::Equal),
-        Expr::Lt(l, r) => compare(graph, l, r, b, |o| o == Ordering::Less),
-        Expr::Le(l, r) => compare(graph, l, r, b, |o| o != Ordering::Greater),
-        Expr::Gt(l, r) => compare(graph, l, r, b, |o| o == Ordering::Greater),
-        Expr::Ge(l, r) => compare(graph, l, r, b, |o| o != Ordering::Less),
+        Expr::Eq(l, r) => compare(graph, l, r, b, deadline, |o| o == Ordering::Equal),
+        Expr::Ne(l, r) => compare(graph, l, r, b, deadline, |o| o != Ordering::Equal),
+        Expr::Lt(l, r) => compare(graph, l, r, b, deadline, |o| o == Ordering::Less),
+        Expr::Le(l, r) => compare(graph, l, r, b, deadline, |o| o != Ordering::Greater),
+        Expr::Gt(l, r) => compare(graph, l, r, b, deadline, |o| o == Ordering::Greater),
+        Expr::Ge(l, r) => compare(graph, l, r, b, deadline, |o| o != Ordering::Less),
         Expr::Contains(l, r) => {
-            let hay = eval_expr(graph, l, b)?.as_text()?;
-            let needle = eval_expr(graph, r, b)?.as_text()?;
+            let hay = eval_expr(graph, l, b, deadline)?.as_text()?;
+            let needle = eval_expr(graph, r, b, deadline)?.as_text()?;
             Some(EvalValue::Bool(hay.contains(&needle)))
         }
         Expr::StrStarts(l, r) => {
-            let hay = eval_expr(graph, l, b)?.as_text()?;
-            let prefix = eval_expr(graph, r, b)?.as_text()?;
+            let hay = eval_expr(graph, l, b, deadline)?.as_text()?;
+            let prefix = eval_expr(graph, r, b, deadline)?.as_text()?;
             Some(EvalValue::Bool(hay.starts_with(&prefix)))
         }
-        Expr::IntersectsBox { feature, x0, y0, x1, y1 } => {
+        Expr::IntersectsBox {
+            feature,
+            x0,
+            y0,
+            x1,
+            y1,
+        } => {
             let f = b.get(feature)?;
             let env = feature_envelope(graph, f)?;
             let query = grdf_geometry::envelope::Envelope::new(
@@ -594,11 +700,15 @@ fn eval_expr(graph: &Graph, e: &Expr, b: &Bindings) -> Option<EvalValue> {
             Some(EvalValue::Num(feature_distance(graph, fa, fb)?))
         }
         Expr::Exists(p) => {
-            let found = !eval_pattern(graph, p, vec![b.clone()]).is_empty();
+            let found = !eval_pattern(graph, p, vec![b.clone()], deadline)
+                .ok()?
+                .is_empty();
             Some(EvalValue::Bool(found))
         }
         Expr::NotExists(p) => {
-            let found = !eval_pattern(graph, p, vec![b.clone()]).is_empty();
+            let found = !eval_pattern(graph, p, vec![b.clone()], deadline)
+                .ok()?
+                .is_empty();
             Some(EvalValue::Bool(!found))
         }
     }
@@ -609,10 +719,11 @@ fn compare(
     l: &Expr,
     r: &Expr,
     b: &Bindings,
+    deadline: &Deadline,
     test: fn(Ordering) -> bool,
 ) -> Option<EvalValue> {
-    let lv = eval_expr(graph, l, b)?;
-    let rv = eval_expr(graph, r, b)?;
+    let lv = eval_expr(graph, l, b, deadline)?;
+    let rv = eval_expr(graph, r, b, deadline)?;
     // Numeric comparison when both sides are numeric.
     if let (Some(ln), Some(rn)) = (lv.as_num(), rv.as_num()) {
         return Some(EvalValue::Bool(test(ln.partial_cmp(&rn)?)));
@@ -742,15 +853,21 @@ mod tests {
     fn ask_true_false() {
         let g = data();
         assert_eq!(
-            execute(&g, "PREFIX app: <http://grdf.org/app#> ASK { app:s1 a app:ChemSite }")
-                .unwrap()
-                .as_bool(),
+            execute(
+                &g,
+                "PREFIX app: <http://grdf.org/app#> ASK { app:s1 a app:ChemSite }"
+            )
+            .unwrap()
+            .as_bool(),
             Some(true)
         );
         assert_eq!(
-            execute(&g, "PREFIX app: <http://grdf.org/app#> ASK { app:s1 a app:Stream }")
-                .unwrap()
-                .as_bool(),
+            execute(
+                &g,
+                "PREFIX app: <http://grdf.org/app#> ASK { app:s1 a app:Stream }"
+            )
+            .unwrap()
+            .as_bool(),
             Some(false)
         );
     }
@@ -832,7 +949,9 @@ mod tests {
         let mut g = Graph::new();
         let mut stream = Feature::new("urn:stream", "Stream");
         stream.set_geometry(
-            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(50.0, 50.0)]).unwrap().into(),
+            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(50.0, 50.0)])
+                .unwrap()
+                .into(),
         );
         encode_feature(&mut g, &stream);
         let mut far_site = Feature::new("urn:far", "ChemSite");
@@ -878,7 +997,10 @@ mod tests {
 
     #[test]
     fn parse_errors_surface() {
-        assert!(matches!(execute(&data(), "NOT A QUERY"), Err(QueryError::Parse(_))));
+        assert!(matches!(
+            execute(&data(), "NOT A QUERY"),
+            Err(QueryError::Parse(_))
+        ));
     }
 
     #[test]
@@ -966,7 +1088,10 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0]["grp"], Term::iri("urn:e#g2"));
         assert_eq!(rows[0]["n"].as_literal().unwrap().as_integer(), Some(2));
-        assert_eq!(rows[0]["mean"].as_literal().unwrap().as_double(), Some(15.0));
+        assert_eq!(
+            rows[0]["mean"].as_literal().unwrap().as_double(),
+            Some(15.0)
+        );
     }
 
     #[test]
@@ -1111,7 +1236,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r2.select_rows().len(), 1);
-        assert_eq!(r2.select_rows()[0]["s"], Term::iri("http://grdf.org/app#s1"));
+        assert_eq!(
+            r2.select_rows()[0]["s"],
+            Term::iri("http://grdf.org/app#s1")
+        );
     }
 
     #[test]
@@ -1134,10 +1262,8 @@ mod tests {
 
     #[test]
     fn min_max_compare_numerically_not_lexically() {
-        let g = turtle::parse(
-            "@prefix e: <urn:e#> . e:a e:v 9.6 . e:b e:v 10.1 . e:c e:v 2.0 .",
-        )
-        .unwrap();
+        let g = turtle::parse("@prefix e: <urn:e#> . e:a e:v 9.6 . e:b e:v 10.1 . e:c e:v 2.0 .")
+            .unwrap();
         let r = execute(
             &g,
             "PREFIX e: <urn:e#> SELECT (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE { ?s e:v ?v }",
@@ -1165,11 +1291,7 @@ mod tests {
 
     #[test]
     fn projecting_ungrouped_vars_with_aggregates_is_an_error() {
-        assert!(execute(
-            &data(),
-            "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o }",
-        )
-        .is_err());
+        assert!(execute(&data(), "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o }",).is_err());
         assert!(execute(&data(), "SELECT ?s WHERE { ?s ?p ?o } GROUP BY ?s").is_err());
     }
 }

@@ -39,4 +39,7 @@ pub mod parser;
 pub mod spatial;
 
 pub use ast::{Expr, Pattern, Query, QueryKind, TermOrVar, TriplePattern};
-pub use eval::{execute, execute_query, Bindings, QueryError, QueryResult};
+pub use eval::{
+    execute, execute_query, execute_query_with_deadline, execute_with_deadline, Bindings,
+    QueryError, QueryResult,
+};

@@ -6,7 +6,9 @@ use grdf_rdf::namespace::PrefixMap;
 use grdf_rdf::term::{Literal, Term};
 use grdf_rdf::vocab::{rdf, xsd};
 
-use crate::ast::{AggFunc, Aggregate, Expr, Order, Pattern, Query, QueryKind, TermOrVar, TriplePattern};
+use crate::ast::{
+    AggFunc, Aggregate, Expr, Order, Pattern, Query, QueryKind, TermOrVar, TriplePattern,
+};
 
 /// Parse error with a byte-offset context.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,7 +32,11 @@ type Modifiers = (Vec<String>, Vec<Order>, Option<usize>, usize);
 
 /// Parse a query string.
 pub fn parse_query(input: &str) -> Result<Query, ParseError> {
-    let mut p = Parser { input, pos: 0, prefixes: PrefixMap::common() };
+    let mut p = Parser {
+        input,
+        pos: 0,
+        prefixes: PrefixMap::common(),
+    };
     p.query()
 }
 
@@ -42,7 +48,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.pos }
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -153,7 +162,11 @@ impl<'a> Parser<'a> {
                 }
             }
             Query {
-                kind: QueryKind::Select { vars, aggregates, distinct },
+                kind: QueryKind::Select {
+                    vars,
+                    aggregates,
+                    distinct,
+                },
                 pattern,
                 group_by,
                 order,
@@ -193,7 +206,10 @@ impl<'a> Parser<'a> {
         };
 
         if !self.at_end() {
-            return Err(self.err(format!("unexpected trailing input: {:?}", &self.rest()[..self.rest().len().min(20)])));
+            return Err(self.err(format!(
+                "unexpected trailing input: {:?}",
+                &self.rest()[..self.rest().len().min(20)]
+            )));
         }
         Ok(query)
     }
@@ -236,7 +252,12 @@ impl<'a> Parser<'a> {
             .try_variable()
             .ok_or_else(|| self.err("expected an alias variable after AS"))?;
         self.expect_punct(")")?;
-        Ok(Aggregate { func, distinct, var, alias })
+        Ok(Aggregate {
+            func,
+            distinct,
+            var,
+            alias,
+        })
     }
 
     fn modifiers(&mut self) -> Result<Modifiers, ParseError> {
@@ -260,12 +281,16 @@ impl<'a> Parser<'a> {
             loop {
                 if self.keyword("DESC") {
                     self.expect_punct("(")?;
-                    let v = self.try_variable().ok_or_else(|| self.err("expected variable"))?;
+                    let v = self
+                        .try_variable()
+                        .ok_or_else(|| self.err("expected variable"))?;
                     self.expect_punct(")")?;
                     order.push(Order::Desc(v));
                 } else if self.keyword("ASC") {
                     self.expect_punct("(")?;
-                    let v = self.try_variable().ok_or_else(|| self.err("expected variable"))?;
+                    let v = self
+                        .try_variable()
+                        .ok_or_else(|| self.err("expected variable"))?;
                     self.expect_punct(")")?;
                     order.push(Order::Asc(v));
                 } else if let Some(v) = self.try_variable() {
@@ -301,7 +326,9 @@ impl<'a> Parser<'a> {
         if end == 0 {
             return Err(self.err("expected a number"));
         }
-        let n = self.rest()[..end].parse().map_err(|_| self.err("bad number"))?;
+        let n = self.rest()[..end]
+            .parse()
+            .map_err(|_| self.err("bad number"))?;
         self.pos += end;
         Ok(n)
     }
@@ -350,7 +377,11 @@ impl<'a> Parser<'a> {
             // A triples block (may contain property-path patterns).
             parts.extend(self.triples_block()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Pattern::Group(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Pattern::Group(parts)
+        })
     }
 
     /// Triple patterns up to (not consuming) `}` or the next keyword clause.
@@ -593,7 +624,10 @@ impl<'a> Parser<'a> {
         if !self.rest().starts_with('<') {
             return Err(self.err("expected '<'"));
         }
-        let close = self.rest().find('>').ok_or_else(|| self.err("unterminated IRI"))?;
+        let close = self
+            .rest()
+            .find('>')
+            .ok_or_else(|| self.err("unterminated IRI"))?;
         let iri = self.rest()[1..close].to_string();
         self.pos += close + 1;
         Ok(iri)
@@ -722,7 +756,10 @@ impl<'a> Parser<'a> {
             match c {
                 '0'..='9' => self.pos += 1,
                 '.' if !saw_dot
-                    && self.rest()[1..].chars().next().is_some_and(|d| d.is_ascii_digit()) =>
+                    && self.rest()[1..]
+                        .chars()
+                        .next()
+                        .is_some_and(|d| d.is_ascii_digit()) =>
                 {
                     saw_dot = true;
                     self.pos += 1;
@@ -805,7 +842,9 @@ impl<'a> Parser<'a> {
         }
         if self.keyword("BOUND") {
             self.expect_punct("(")?;
-            let v = self.try_variable().ok_or_else(|| self.err("BOUND needs a variable"))?;
+            let v = self
+                .try_variable()
+                .ok_or_else(|| self.err("BOUND needs a variable"))?;
             self.expect_punct(")")?;
             return Ok(Expr::Bound(v));
         }
@@ -867,7 +906,13 @@ impl<'a> Parser<'a> {
                         self.expect_punct(",")?;
                         let y1 = self.parse_f64()?;
                         self.expect_punct(")")?;
-                        return Ok(Expr::IntersectsBox { feature: f, x0, y0, x1, y1 });
+                        return Ok(Expr::IntersectsBox {
+                            feature: f,
+                            x0,
+                            y0,
+                            x1,
+                            y1,
+                        });
                     }
                     1 => {
                         let inner = self
@@ -927,15 +972,15 @@ mod tests {
     #[test]
     fn select_star_distinct() {
         let q = parse_query("SELECT DISTINCT * WHERE { ?s ?p ?o }").unwrap();
-        assert!(matches!(q.kind, QueryKind::Select { ref vars, distinct: true, .. } if vars.is_empty()));
+        assert!(
+            matches!(q.kind, QueryKind::Select { ref vars, distinct: true, .. } if vars.is_empty())
+        );
     }
 
     #[test]
     fn filter_expression() {
-        let q = parse_query(
-            "SELECT ?s WHERE { ?s <urn:age> ?a . FILTER(?a >= 18 && ?a < 65) }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?s WHERE { ?s <urn:age> ?a . FILTER(?a >= 18 && ?a < 65) }")
+            .unwrap();
         match q.pattern {
             Pattern::Group(parts) => {
                 assert!(matches!(parts[1], Pattern::Filter(Expr::And(..))));
@@ -962,10 +1007,8 @@ mod tests {
 
     #[test]
     fn modifiers_parse() {
-        let q = parse_query(
-            "SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) ?p LIMIT 10 OFFSET 5",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) ?p LIMIT 10 OFFSET 5")
+            .unwrap();
         assert_eq!(q.order.len(), 2);
         assert_eq!(q.order[0], Order::Desc("s".into()));
         assert_eq!(q.limit, Some(10));
@@ -978,10 +1021,7 @@ mod tests {
             parse_query("ASK { <urn:s> <urn:p> <urn:o> }").unwrap().kind,
             QueryKind::Ask
         ));
-        let q = parse_query(
-            "CONSTRUCT { ?s <urn:linked> ?o } WHERE { ?s <urn:p> ?o }",
-        )
-        .unwrap();
+        let q = parse_query("CONSTRUCT { ?s <urn:linked> ?o } WHERE { ?s <urn:p> ?o }").unwrap();
         match q.kind {
             QueryKind::Construct { template } => assert_eq!(template.len(), 1),
             other => panic!("unexpected {other:?}"),
@@ -1003,8 +1043,7 @@ mod tests {
         .unwrap();
         assert!(format!("{:?}", q2.pattern).contains("Distance"));
 
-        let q3 =
-            parse_query("SELECT ?a WHERE { FILTER(grdf:within(?a, ?b)) }").unwrap();
+        let q3 = parse_query("SELECT ?a WHERE { FILTER(grdf:within(?a, ?b)) }").unwrap();
         assert!(format!("{:?}", q3.pattern).contains("Within"));
     }
 

@@ -53,7 +53,9 @@ mod tests {
         let mut g = Graph::new();
         let mut a = Feature::new("urn:a", "Stream");
         a.set_geometry(
-            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(10.0, 10.0)]).unwrap().into(),
+            LineString::new(vec![Coord::xy(0.0, 0.0), Coord::xy(10.0, 10.0)])
+                .unwrap()
+                .into(),
         );
         let sa = encode_feature(&mut g, &a);
         let mut b = Feature::new("urn:b", "Site");
@@ -90,10 +92,8 @@ mod tests {
         use grdf_feature::bounding::BoundingShape;
         let mut g = Graph::new();
         let mut f = Feature::new("urn:c", "Zone");
-        f.bounded_by = BoundingShape::Envelope(Envelope::new(
-            Coord::xy(1.0, 1.0),
-            Coord::xy(3.0, 3.0),
-        ));
+        f.bounded_by =
+            BoundingShape::Envelope(Envelope::new(Coord::xy(1.0, 1.0), Coord::xy(3.0, 3.0)));
         let s = encode_feature(&mut g, &f);
         let env = feature_envelope(&g, &s).unwrap();
         assert_eq!(env.center(), Coord::xy(2.0, 2.0));

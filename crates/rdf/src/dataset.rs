@@ -11,9 +11,9 @@ use std::collections::BTreeMap;
 use crate::error::{RdfError, RdfResult};
 use crate::graph::Graph;
 use crate::namespace::PrefixMap;
-use crate::term::Triple;
 #[cfg(test)]
 use crate::term::Term;
+use crate::term::Triple;
 
 /// A collection of graphs: one default graph and any number of named ones.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -129,14 +129,17 @@ impl Dataset {
             }
             // Reuse the N-Triples line parser by splitting off an optional
             // trailing graph term: find the final ` <graph> .` suffix.
-            let (triple_part, graph_name) = split_quad_line(line)
-                .ok_or_else(|| RdfError::Syntax {
+            let (triple_part, graph_name) =
+                split_quad_line(line).ok_or_else(|| RdfError::Syntax {
                     line: line_no,
                     message: "malformed N-Quads line".to_string(),
                 })?;
-            let parsed = crate::ntriples::parse(&format!("{triple_part} ."))
-                .map_err(|e| match e {
-                    RdfError::Syntax { message, .. } => RdfError::Syntax { line: line_no, message },
+            let parsed =
+                crate::ntriples::parse(&format!("{triple_part} .")).map_err(|e| match e {
+                    RdfError::Syntax { message, .. } => RdfError::Syntax {
+                        line: line_no,
+                        message,
+                    },
                     other => other,
                 })?;
             let target = match graph_name {
@@ -224,8 +227,9 @@ impl Dataset {
                     let name_start = before.rfind(name_token).expect("token came from before");
                     default_body.push_str(&before[..name_start]);
 
-                    let name = if let Some(stripped) =
-                        name_token.strip_prefix('<').and_then(|t| t.strip_suffix('>'))
+                    let name = if let Some(stripped) = name_token
+                        .strip_prefix('<')
+                        .and_then(|t| t.strip_suffix('>'))
                     {
                         stripped.to_string()
                     } else {
@@ -297,10 +301,15 @@ mod tests {
     fn sample() -> Dataset {
         let mut ds = Dataset::new();
         ds.default_graph_mut().insert(t("urn:a", "urn:p", "urn:b"));
-        ds.graph_mut("urn:src:hydro").insert(t("urn:stream1", "urn:p", "urn:x"));
         ds.graph_mut("urn:src:hydro")
-            .add(Term::iri("urn:stream1"), Term::iri("urn:q"), Term::string("White Rock"));
-        ds.graph_mut("urn:src:chem").insert(t("urn:site1", "urn:p", "urn:y"));
+            .insert(t("urn:stream1", "urn:p", "urn:x"));
+        ds.graph_mut("urn:src:hydro").add(
+            Term::iri("urn:stream1"),
+            Term::iri("urn:q"),
+            Term::string("White Rock"),
+        );
+        ds.graph_mut("urn:src:chem")
+            .insert(t("urn:site1", "urn:p", "urn:y"));
         ds
     }
 
@@ -386,10 +395,7 @@ app:hydroGraph {
 "#;
         let ds = Dataset::from_trig(trig).unwrap();
         assert_eq!(ds.default_graph().len(), 1);
-        assert_eq!(
-            ds.graph("http://grdf.org/app#hydroGraph").unwrap().len(),
-            1
-        );
+        assert_eq!(ds.graph("http://grdf.org/app#hydroGraph").unwrap().len(), 1);
     }
 
     #[test]

@@ -64,9 +64,15 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = RdfError::Syntax { line: 4, message: "bad token".into() };
+        let e = RdfError::Syntax {
+            line: 4,
+            message: "bad token".into(),
+        };
         assert_eq!(e.to_string(), "line 4: bad token");
-        let e = RdfError::UndefinedPrefix { prefix: "gml".into(), line: 2 };
+        let e = RdfError::UndefinedPrefix {
+            prefix: "gml".into(),
+            line: 2,
+        };
         assert!(e.to_string().contains("gml"));
     }
 

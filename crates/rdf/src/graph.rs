@@ -457,7 +457,10 @@ impl Extend<Triple> for Graph {
 
 /// Range over entries whose first component equals `a`.
 fn range1(set: &BTreeSet<(Id, Id, Id)>, a: Id) -> impl Iterator<Item = &(Id, Id, Id)> {
-    set.range((Bound::Included((a, 0, 0)), Bound::Included((a, Id::MAX, Id::MAX))))
+    set.range((
+        Bound::Included((a, 0, 0)),
+        Bound::Included((a, Id::MAX, Id::MAX)),
+    ))
 }
 
 /// Range over entries whose first two components equal `(a, b)`.
@@ -535,7 +538,9 @@ mod tests {
     #[test]
     fn unknown_bound_term_matches_nothing() {
         let g = sample();
-        assert!(g.match_pattern(Some(&Term::iri("urn:zzz")), None, None).is_empty());
+        assert!(g
+            .match_pattern(Some(&Term::iri("urn:zzz")), None, None)
+            .is_empty());
     }
 
     #[test]
@@ -544,8 +549,14 @@ mod tests {
         assert!(g.remove(&t("urn:a", "urn:p", "urn:x")));
         assert!(!g.remove(&t("urn:a", "urn:p", "urn:x")));
         assert_eq!(g.len(), 3);
-        assert_eq!(g.match_pattern(None, None, Some(&Term::iri("urn:x"))).len(), 2);
-        assert_eq!(g.match_pattern(None, Some(&Term::iri("urn:p")), None).len(), 2);
+        assert_eq!(
+            g.match_pattern(None, None, Some(&Term::iri("urn:x"))).len(),
+            2
+        );
+        assert_eq!(
+            g.match_pattern(None, Some(&Term::iri("urn:p")), None).len(),
+            2
+        );
     }
 
     #[test]
@@ -572,7 +583,10 @@ mod tests {
         g.add(Term::iri("urn:s"), Term::iri("urn:p"), Term::string("5"));
         // Typed integer and plain string are distinct terms.
         assert_eq!(g.len(), 2);
-        assert_eq!(g.match_pattern(None, None, Some(&Term::integer(5))).len(), 1);
+        assert_eq!(
+            g.match_pattern(None, None, Some(&Term::integer(5))).len(),
+            1
+        );
     }
 
     #[test]
@@ -610,7 +624,11 @@ mod tests {
         let subjects = target.all_subjects();
         let renamed_n = subjects
             .iter()
-            .find(|s| !target.match_pattern(Some(s), Some(&Term::iri("urn:p")), None).is_empty())
+            .find(|s| {
+                !target
+                    .match_pattern(Some(s), Some(&Term::iri("urn:p")), None)
+                    .is_empty()
+            })
             .unwrap();
         assert!(!target
             .match_pattern(Some(renamed_n), Some(&Term::iri("urn:q")), None)
@@ -641,12 +659,24 @@ mod tests {
     fn malformed_lists_are_none() {
         let mut g = Graph::new();
         // Missing rest.
-        g.add(Term::blank("c"), Term::iri(crate::vocab::rdf::FIRST), Term::iri("urn:x"));
+        g.add(
+            Term::blank("c"),
+            Term::iri(crate::vocab::rdf::FIRST),
+            Term::iri("urn:x"),
+        );
         assert_eq!(g.read_list(&Term::blank("c")), None);
         // Cycle.
         let mut g2 = Graph::new();
-        g2.add(Term::blank("c"), Term::iri(crate::vocab::rdf::FIRST), Term::iri("urn:x"));
-        g2.add(Term::blank("c"), Term::iri(crate::vocab::rdf::REST), Term::blank("c"));
+        g2.add(
+            Term::blank("c"),
+            Term::iri(crate::vocab::rdf::FIRST),
+            Term::iri("urn:x"),
+        );
+        g2.add(
+            Term::blank("c"),
+            Term::iri(crate::vocab::rdf::REST),
+            Term::blank("c"),
+        );
         assert_eq!(g2.read_list(&Term::blank("c")), None);
     }
 

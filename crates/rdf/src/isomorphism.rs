@@ -211,7 +211,10 @@ mod tests {
 
     #[test]
     fn size_mismatch_fast_path() {
-        assert!(!isomorphic(&g("e:a e:p e:b ."), &g("e:a e:p e:b . e:a e:p e:c .")));
+        assert!(!isomorphic(
+            &g("e:a e:p e:b ."),
+            &g("e:a e:p e:b . e:a e:p e:c .")
+        ));
     }
 
     #[test]

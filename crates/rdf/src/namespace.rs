@@ -90,7 +90,8 @@ fn is_pn_local(s: &str) -> bool {
     if s.starts_with('.') || s.ends_with('.') {
         return false;
     }
-    s.chars().all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
+    s.chars()
+        .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
 }
 
 #[cfg(test)]
@@ -123,9 +124,18 @@ mod tests {
     #[test]
     fn compact_rejects_bad_locals() {
         let m = PrefixMap::common();
-        assert!(m.compact("http://grdf.org/ontology#").is_none(), "empty local");
-        assert!(m.compact("http://grdf.org/ontology#a/b").is_none(), "slash in local");
-        assert!(m.compact("http://grdf.org/ontology#ends.").is_none(), "trailing dot");
+        assert!(
+            m.compact("http://grdf.org/ontology#").is_none(),
+            "empty local"
+        );
+        assert!(
+            m.compact("http://grdf.org/ontology#a/b").is_none(),
+            "slash in local"
+        );
+        assert!(
+            m.compact("http://grdf.org/ontology#ends.").is_none(),
+            "trailing dot"
+        );
     }
 
     #[test]

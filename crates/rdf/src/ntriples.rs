@@ -24,7 +24,11 @@ pub fn parse(input: &str) -> RdfResult<Graph> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut p = LineParser { line, pos: 0, line_no };
+        let mut p = LineParser {
+            line,
+            pos: 0,
+            line_no,
+        };
         let subject = p.term()?;
         p.skip_ws();
         let predicate = p.term()?;
@@ -58,7 +62,10 @@ struct LineParser<'a> {
 
 impl<'a> LineParser<'a> {
     fn err(&self, message: &str) -> RdfError {
-        RdfError::Syntax { line: self.line_no, message: message.to_string() }
+        RdfError::Syntax {
+            line: self.line_no,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -147,7 +154,10 @@ impl<'a> LineParser<'a> {
                         if self.pos == start {
                             return Err(self.err("empty language tag"));
                         }
-                        Ok(Term::Literal(Literal::lang_string(&s, &self.line[start..self.pos])))
+                        Ok(Term::Literal(Literal::lang_string(
+                            &s,
+                            &self.line[start..self.pos],
+                        )))
                     }
                     Some('^') => {
                         self.bump();
@@ -196,7 +206,11 @@ mod tests {
     #[test]
     fn roundtrip_simple_graph() {
         let mut g = Graph::new();
-        g.add(Term::iri("urn:s"), Term::iri("urn:p"), Term::string("hello \"world\"\n"));
+        g.add(
+            Term::iri("urn:s"),
+            Term::iri("urn:p"),
+            Term::string("hello \"world\"\n"),
+        );
         g.add(Term::iri("urn:s"), Term::iri("urn:p"), Term::integer(42));
         g.add(Term::blank("b1"), Term::iri("urn:p"), Term::iri("urn:o"));
         let text = serialize(&g);

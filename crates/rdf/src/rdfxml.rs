@@ -23,7 +23,10 @@ use crate::vocab::rdf;
 pub fn parse(input: &str) -> RdfResult<Graph> {
     let doc = grdf_xml::parse(input)?;
     let root = doc.root();
-    let mut ctx = ReaderCtx { graph: Graph::new(), blank_counter: 0 };
+    let mut ctx = ReaderCtx {
+        graph: Graph::new(),
+        blank_counter: 0,
+    };
     if root.is(rdf::NS, "RDF") {
         for node in root.child_elements() {
             ctx.node_element(node, None)?;
@@ -41,7 +44,9 @@ struct ReaderCtx {
 
 impl ReaderCtx {
     fn err(&self, message: impl Into<String>) -> RdfError {
-        RdfError::RdfXml { message: message.into() }
+        RdfError::RdfXml {
+            message: message.into(),
+        }
     }
 
     fn fresh_blank(&mut self) -> Term {
@@ -74,9 +79,9 @@ impl ReaderCtx {
 
         // Typed node element: the element name is the rdf:type.
         if !elem.is(rdf::NS, "Description") {
-            let ns = elem
-                .namespace()
-                .ok_or_else(|| self.err(format!("node element <{}> has no namespace", elem.local)))?;
+            let ns = elem.namespace().ok_or_else(|| {
+                self.err(format!("node element <{}> has no namespace", elem.local))
+            })?;
             self.graph.insert(Triple::new(
                 subject.clone(),
                 Term::iri(rdf::TYPE),
@@ -110,25 +115,34 @@ impl ReaderCtx {
     }
 
     fn property_element(&mut self, subject: &Term, elem: &Element) -> RdfResult<()> {
-        let ns = elem
-            .namespace()
-            .ok_or_else(|| self.err(format!("property element <{}> has no namespace", elem.local)))?;
+        let ns = elem.namespace().ok_or_else(|| {
+            self.err(format!(
+                "property element <{}> has no namespace",
+                elem.local
+            ))
+        })?;
         let predicate = Term::iri(&format!("{ns}{}", elem.local));
 
         // rdf:resource / rdf:nodeID shortcut.
         if let Some(resource) = self.rdf_attr(elem, "resource") {
-            self.graph.insert(Triple::new(subject.clone(), predicate, Term::iri(resource)));
+            self.graph
+                .insert(Triple::new(subject.clone(), predicate, Term::iri(resource)));
             return Ok(());
         }
         if let Some(node_id) = self.rdf_attr(elem, "nodeID") {
-            self.graph.insert(Triple::new(subject.clone(), predicate, Term::blank(node_id)));
+            self.graph.insert(Triple::new(
+                subject.clone(),
+                predicate,
+                Term::blank(node_id),
+            ));
             return Ok(());
         }
         if self.rdf_attr(elem, "parseType") == Some("Resource") {
             // The property element body is itself a property list on a new
             // blank node.
             let node = self.fresh_blank();
-            self.graph.insert(Triple::new(subject.clone(), predicate, node.clone()));
+            self.graph
+                .insert(Triple::new(subject.clone(), predicate, node.clone()));
             for p in elem.child_elements() {
                 self.property_element(&node, p)?;
             }
@@ -146,11 +160,13 @@ impl ReaderCtx {
             } else {
                 Term::string(&text)
             };
-            self.graph.insert(Triple::new(subject.clone(), predicate, object));
+            self.graph
+                .insert(Triple::new(subject.clone(), predicate, object));
             Ok(())
         } else if nested.len() == 1 {
             let object = self.node_element(nested[0], None)?;
-            self.graph.insert(Triple::new(subject.clone(), predicate, object));
+            self.graph
+                .insert(Triple::new(subject.clone(), predicate, object));
             Ok(())
         } else {
             Err(self.err(format!(
@@ -213,7 +229,8 @@ pub fn serialize(graph: &Graph, prefixes: &PrefixMap) -> RdfResult<String> {
 
     let mut root = Element::in_ns(rdf::NS, Some("rdf"), "RDF");
     for (prefix, ns) in pm.iter() {
-        root.ns_decls.push((Some(prefix.to_string()), ns.to_string()));
+        root.ns_decls
+            .push((Some(prefix.to_string()), ns.to_string()));
     }
 
     let mut subjects = graph.all_subjects();
@@ -230,7 +247,9 @@ pub fn serialize(graph: &Graph, prefixes: &PrefixMap) -> RdfResult<String> {
         for t in triples {
             let pred_iri = t.predicate.as_iri().unwrap();
             let (ns, local) = split_iri(pred_iri).unwrap();
-            let prefix = lookup_prefix(&pm, ns).expect("prefix ensured above").to_string();
+            let prefix = lookup_prefix(&pm, ns)
+                .expect("prefix ensured above")
+                .to_string();
             let mut prop = Element::in_ns(ns, Some(&prefix), local);
             match &t.object {
                 Term::Iri(iri) => prop.set_attribute_ns(rdf::NS, "rdf", "resource", iri),
@@ -249,7 +268,10 @@ pub fn serialize(graph: &Graph, prefixes: &PrefixMap) -> RdfResult<String> {
         root.push_element(node);
     }
 
-    Ok(write_document(&Document::with_root(root), &WriteOptions::default()))
+    Ok(write_document(
+        &Document::with_root(root),
+        &WriteOptions::default(),
+    ))
 }
 
 /// Split an IRI into (namespace, local) at the last `#` or `/` such that the
@@ -269,7 +291,9 @@ fn lookup_prefix<'a>(pm: &'a PrefixMap, ns: &str) -> Option<&'a str> {
 }
 
 fn ensure_prefix(pm: &mut PrefixMap, pred_iri: &str, counter: &mut u32) {
-    let Some((ns, _)) = split_iri(pred_iri) else { return };
+    let Some((ns, _)) = split_iri(pred_iri) else {
+        return;
+    };
     if lookup_prefix(pm, ns).is_some() {
         return;
     }
@@ -296,7 +320,11 @@ mod tests {
                </rdf:RDF>"#,
         )
         .unwrap();
-        assert!(g.has(&Term::iri("urn:s"), &Term::iri("urn:e#p"), &Term::iri("urn:o")));
+        assert!(g.has(
+            &Term::iri("urn:s"),
+            &Term::iri("urn:e#p"),
+            &Term::iri("urn:o")
+        ));
     }
 
     #[test]
@@ -307,7 +335,11 @@ mod tests {
                </rdf:RDF>"#,
         )
         .unwrap();
-        assert!(g.has(&Term::iri("urn:dallas"), &Term::iri(rdf::TYPE), &Term::iri("urn:e#City")));
+        assert!(g.has(
+            &Term::iri("urn:dallas"),
+            &Term::iri(rdf::TYPE),
+            &Term::iri("urn:e#City")
+        ));
     }
 
     #[test]
@@ -324,15 +356,27 @@ mod tests {
         .unwrap();
         let s = Term::iri("urn:s");
         assert_eq!(
-            g.object(&s, &Term::iri("urn:e#n")).unwrap().as_literal().unwrap().as_integer(),
+            g.object(&s, &Term::iri("urn:e#n"))
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .as_integer(),
             Some(7)
         );
         assert_eq!(
-            g.object(&s, &Term::iri("urn:e#l")).unwrap().as_literal().unwrap().lang(),
+            g.object(&s, &Term::iri("urn:e#l"))
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .lang(),
             Some("en")
         );
         assert_eq!(
-            g.object(&s, &Term::iri("urn:e#plain")).unwrap().as_literal().unwrap().lexical(),
+            g.object(&s, &Term::iri("urn:e#plain"))
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .lexical(),
             "text"
         );
     }
@@ -347,8 +391,16 @@ mod tests {
                </rdf:RDF>"#,
         )
         .unwrap();
-        assert!(g.has(&Term::iri("urn:site"), &Term::iri("urn:e#hasInfo"), &Term::iri("urn:info")));
-        assert!(g.has(&Term::iri("urn:info"), &Term::iri(rdf::TYPE), &Term::iri("urn:e#Info")));
+        assert!(g.has(
+            &Term::iri("urn:site"),
+            &Term::iri("urn:e#hasInfo"),
+            &Term::iri("urn:info")
+        ));
+        assert!(g.has(
+            &Term::iri("urn:info"),
+            &Term::iri(rdf::TYPE),
+            &Term::iri("urn:e#Info")
+        ));
         assert_eq!(
             g.object(&Term::iri("urn:info"), &Term::iri("urn:e#code"))
                 .unwrap()
@@ -369,7 +421,9 @@ mod tests {
                </rdf:RDF>"#,
         )
         .unwrap();
-        let o = g.object(&Term::iri("urn:s"), &Term::iri("urn:e#p")).unwrap();
+        let o = g
+            .object(&Term::iri("urn:s"), &Term::iri("urn:e#p"))
+            .unwrap();
         assert!(o.is_blank());
         assert!(g.has(&o, &Term::iri("urn:e#q"), &Term::string("v")));
     }
@@ -383,7 +437,9 @@ mod tests {
                </rdf:RDF>"#,
         )
         .unwrap();
-        let o = g.object(&Term::iri("urn:s"), &Term::iri("urn:e#p")).unwrap();
+        let o = g
+            .object(&Term::iri("urn:s"), &Term::iri("urn:e#p"))
+            .unwrap();
         assert!(g.has(&o, &Term::iri("urn:e#q"), &Term::string("v")));
     }
 
@@ -397,7 +453,9 @@ mod tests {
                </rdf:RDF>"#,
         )
         .unwrap();
-        let o = g.object(&Term::iri("urn:s"), &Term::iri("urn:e#p")).unwrap();
+        let o = g
+            .object(&Term::iri("urn:s"), &Term::iri("urn:e#p"))
+            .unwrap();
         assert!(o.is_blank());
         assert!(g.has(&o, &Term::iri("urn:e#q"), &Term::string("v")));
     }
@@ -419,18 +477,36 @@ mod tests {
 
     #[test]
     fn single_node_without_rdf_root() {
-        let g = parse(r#"<e:Thing xmlns:e="urn:e#" rdf:about="urn:t"
-                          xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"/>"#)
-            .unwrap();
-        assert!(g.has(&Term::iri("urn:t"), &Term::iri(rdf::TYPE), &Term::iri("urn:e#Thing")));
+        let g = parse(
+            r#"<e:Thing xmlns:e="urn:e#" rdf:about="urn:t"
+                          xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"/>"#,
+        )
+        .unwrap();
+        assert!(g.has(
+            &Term::iri("urn:t"),
+            &Term::iri(rdf::TYPE),
+            &Term::iri("urn:e#Thing")
+        ));
     }
 
     #[test]
     fn roundtrip_via_writer() {
         let mut g = Graph::new();
-        g.add(Term::iri("urn:e#s"), Term::iri("urn:e#p"), Term::iri("urn:e#o"));
-        g.add(Term::iri("urn:e#s"), Term::iri(rdf::TYPE), Term::iri("urn:e#Class"));
-        g.add(Term::iri("urn:e#s"), Term::iri("urn:e#n"), Term::typed("7", xsd::INTEGER));
+        g.add(
+            Term::iri("urn:e#s"),
+            Term::iri("urn:e#p"),
+            Term::iri("urn:e#o"),
+        );
+        g.add(
+            Term::iri("urn:e#s"),
+            Term::iri(rdf::TYPE),
+            Term::iri("urn:e#Class"),
+        );
+        g.add(
+            Term::iri("urn:e#s"),
+            Term::iri("urn:e#n"),
+            Term::typed("7", xsd::INTEGER),
+        );
         g.add(
             Term::iri("urn:e#s"),
             Term::iri("urn:e#l"),
@@ -451,7 +527,11 @@ mod tests {
     #[test]
     fn writer_rejects_unqname_predicates() {
         let mut g = Graph::new();
-        g.add(Term::iri("urn:s"), Term::iri("urn:e#1bad"), Term::string("x"));
+        g.add(
+            Term::iri("urn:s"),
+            Term::iri("urn:e#1bad"),
+            Term::string("x"),
+        );
         assert!(serialize(&g, &PrefixMap::new()).is_err());
     }
 

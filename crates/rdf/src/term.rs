@@ -26,7 +26,11 @@ pub struct Literal {
 impl Literal {
     /// A plain (xsd:string) literal.
     pub fn string(lexical: &str) -> Literal {
-        Literal { lexical: lexical.into(), lang: None, datatype: None }
+        Literal {
+            lexical: lexical.into(),
+            lang: None,
+            datatype: None,
+        }
     }
 
     /// A language-tagged string. The tag is lower-cased (BCP 47 tags are
@@ -44,7 +48,11 @@ impl Literal {
         if datatype == xsd::STRING {
             return Literal::string(lexical);
         }
-        Literal { lexical: lexical.into(), lang: None, datatype: Some(datatype.into()) }
+        Literal {
+            lexical: lexical.into(),
+            lang: None,
+            datatype: Some(datatype.into()),
+        }
     }
 
     /// An `xsd:integer` literal.
@@ -265,12 +273,14 @@ impl Ord for Term {
                 Term::Literal(_) => 2,
             }
         }
-        rank(self).cmp(&rank(other)).then_with(|| match (self, other) {
-            (Term::Iri(a), Term::Iri(b)) => a.cmp(b),
-            (Term::Blank(a), Term::Blank(b)) => a.cmp(b),
-            (Term::Literal(a), Term::Literal(b)) => a.cmp(b),
-            _ => Ordering::Equal,
-        })
+        rank(self)
+            .cmp(&rank(other))
+            .then_with(|| match (self, other) {
+                (Term::Iri(a), Term::Iri(b)) => a.cmp(b),
+                (Term::Blank(a), Term::Blank(b)) => a.cmp(b),
+                (Term::Literal(a), Term::Literal(b)) => a.cmp(b),
+                _ => Ordering::Equal,
+            })
     }
 }
 
@@ -289,9 +299,19 @@ impl Triple {
     /// Construct a triple. Debug builds assert the RDF term constraints
     /// (subject not a literal, predicate an IRI).
     pub fn new(subject: Term, predicate: Term, object: Term) -> Triple {
-        debug_assert!(subject.is_resource(), "triple subject must not be a literal");
-        debug_assert!(matches!(predicate, Term::Iri(_)), "triple predicate must be an IRI");
-        Triple { subject, predicate, object }
+        debug_assert!(
+            subject.is_resource(),
+            "triple subject must not be a literal"
+        );
+        debug_assert!(
+            matches!(predicate, Term::Iri(_)),
+            "triple predicate must be an IRI"
+        );
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
     }
 }
 
@@ -333,7 +353,11 @@ mod tests {
         assert_eq!(Literal::double(2.5).as_integer(), None);
         assert_eq!(Literal::boolean(true).as_boolean(), Some(true));
         assert_eq!(Literal::typed("1", xsd::BOOLEAN).as_boolean(), Some(true));
-        assert_eq!(Literal::string("7").as_integer(), None, "untyped is not numeric");
+        assert_eq!(
+            Literal::string("7").as_integer(),
+            None,
+            "untyped is not numeric"
+        );
     }
 
     #[test]
@@ -359,7 +383,12 @@ mod tests {
 
     #[test]
     fn term_ordering_groups_kinds() {
-        let mut v = [Term::string("z"), Term::blank("a"), Term::iri("urn:b"), Term::iri("urn:a")];
+        let mut v = [
+            Term::string("z"),
+            Term::blank("a"),
+            Term::iri("urn:b"),
+            Term::iri("urn:a"),
+        ];
         v.sort();
         assert_eq!(v[0], Term::iri("urn:a"));
         assert_eq!(v[1], Term::iri("urn:b"));

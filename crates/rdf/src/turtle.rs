@@ -37,7 +37,9 @@ pub fn serialize(graph: &Graph, prefixes: &PrefixMap) -> String {
         triples.sort_by(|a, b| {
             let a_type = a.predicate.as_iri() == Some(rdf::TYPE);
             let b_type = b.predicate.as_iri() == Some(rdf::TYPE);
-            b_type.cmp(&a_type).then_with(|| (&a.predicate, &a.object).cmp(&(&b.predicate, &b.object)))
+            b_type
+                .cmp(&a_type)
+                .then_with(|| (&a.predicate, &a.object).cmp(&(&b.predicate, &b.object)))
         });
         out.push_str(&render_term(&subject, prefixes));
         let mut prev_pred: Option<Term> = None;
@@ -154,7 +156,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> RdfError {
-        RdfError::Syntax { line: self.line, message: message.into() }
+        RdfError::Syntax {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -298,7 +303,8 @@ impl<'a> Parser<'a> {
             };
             loop {
                 let object = self.object_term()?;
-                self.graph.insert(Triple::new(subject.clone(), predicate.clone(), object));
+                self.graph
+                    .insert(Triple::new(subject.clone(), predicate.clone(), object));
                 self.skip_ws();
                 if self.peek() == Some(',') {
                     self.bump();
@@ -393,12 +399,15 @@ impl<'a> Parser<'a> {
 
     fn prefixed_name(&mut self) -> RdfResult<Term> {
         let start = self.pos;
-        while matches!(self.peek(), Some(c) if !c.is_whitespace() && !matches!(c, ';' | ',' | ')' | ']' | '(' | '[' | '"' | '\'')) {
+        while matches!(self.peek(), Some(c) if !c.is_whitespace() && !matches!(c, ';' | ',' | ')' | ']' | '(' | '[' | '"' | '\''))
+        {
             // A '.' can terminate a statement; only consume it when followed
             // by a name character (dotted locals like `app:Site.004` are
             // legal PN_LOCALs).
             if self.peek() == Some('.')
-                && !self.peek2().is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                && !self
+                    .peek2()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '-')
             {
                 break;
             }
@@ -413,7 +422,10 @@ impl<'a> Parser<'a> {
         };
         match self.prefixes.expand(token) {
             Some(iri) => Ok(Term::iri(&iri)),
-            None => Err(RdfError::UndefinedPrefix { prefix: prefix.to_string(), line: self.line }),
+            None => Err(RdfError::UndefinedPrefix {
+                prefix: prefix.to_string(),
+                line: self.line,
+            }),
         }
     }
 
@@ -463,8 +475,10 @@ impl<'a> Parser<'a> {
         let mut tail = Term::iri(rdf::NIL);
         for item in items.into_iter().rev() {
             let cell = self.fresh_blank();
-            self.graph.insert(Triple::new(cell.clone(), Term::iri(rdf::FIRST), item));
-            self.graph.insert(Triple::new(cell.clone(), Term::iri(rdf::REST), tail));
+            self.graph
+                .insert(Triple::new(cell.clone(), Term::iri(rdf::FIRST), item));
+            self.graph
+                .insert(Triple::new(cell.clone(), Term::iri(rdf::REST), tail));
             tail = cell;
         }
         Ok(tail)
@@ -560,7 +574,10 @@ impl<'a> Parser<'a> {
                 if self.pos == start {
                     return Err(self.err("empty language tag"));
                 }
-                Ok(Term::Literal(Literal::lang_string(&value, &self.input[start..self.pos])))
+                Ok(Term::Literal(Literal::lang_string(
+                    &value,
+                    &self.input[start..self.pos],
+                )))
             }
             Some('^') => {
                 self.bump();
@@ -628,35 +645,59 @@ mod tests {
             &Term::iri(rdf::TYPE),
             &Term::iri("urn:ex#Animal")
         ));
-        assert!(g.has(&Term::iri("urn:ex#dog"), &Term::iri(rdfs::LABEL), &Term::string("Dog")));
+        assert!(g.has(
+            &Term::iri("urn:ex#dog"),
+            &Term::iri(rdfs::LABEL),
+            &Term::string("Dog")
+        ));
     }
 
     #[test]
     fn object_and_predicate_lists() {
         let g = parse("@prefix e: <urn:e#> . e:s e:p e:o1 , e:o2 ; e:q e:o3 .").unwrap();
         assert_eq!(g.len(), 3);
-        assert_eq!(g.objects(&Term::iri("urn:e#s"), &Term::iri("urn:e#p")).len(), 2);
+        assert_eq!(
+            g.objects(&Term::iri("urn:e#s"), &Term::iri("urn:e#p"))
+                .len(),
+            2
+        );
     }
 
     #[test]
     fn numeric_and_boolean_shorthand() {
-        let g = parse("@prefix e: <urn:e#> . e:s e:i 42 ; e:d 3.25 ; e:x 1.0e3 ; e:b true .")
-            .unwrap();
+        let g =
+            parse("@prefix e: <urn:e#> . e:s e:i 42 ; e:d 3.25 ; e:x 1.0e3 ; e:b true .").unwrap();
         let s = Term::iri("urn:e#s");
         assert_eq!(
-            g.object(&s, &Term::iri("urn:e#i")).unwrap().as_literal().unwrap().as_integer(),
+            g.object(&s, &Term::iri("urn:e#i"))
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .as_integer(),
             Some(42)
         );
         assert_eq!(
-            g.object(&s, &Term::iri("urn:e#d")).unwrap().as_literal().unwrap().datatype(),
+            g.object(&s, &Term::iri("urn:e#d"))
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .datatype(),
             xsd::DECIMAL
         );
         assert_eq!(
-            g.object(&s, &Term::iri("urn:e#x")).unwrap().as_literal().unwrap().datatype(),
+            g.object(&s, &Term::iri("urn:e#x"))
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .datatype(),
             xsd::DOUBLE
         );
         assert_eq!(
-            g.object(&s, &Term::iri("urn:e#b")).unwrap().as_literal().unwrap().as_boolean(),
+            g.object(&s, &Term::iri("urn:e#b"))
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .as_boolean(),
             Some(true)
         );
     }
@@ -666,11 +707,19 @@ mod tests {
         let g = parse("@prefix e: <urn:e#> . e:s e:p -7 ; e:q -2.5 .").unwrap();
         let s = Term::iri("urn:e#s");
         assert_eq!(
-            g.object(&s, &Term::iri("urn:e#p")).unwrap().as_literal().unwrap().as_integer(),
+            g.object(&s, &Term::iri("urn:e#p"))
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .as_integer(),
             Some(-7)
         );
         assert_eq!(
-            g.object(&s, &Term::iri("urn:e#q")).unwrap().as_literal().unwrap().as_double(),
+            g.object(&s, &Term::iri("urn:e#q"))
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .as_double(),
             Some(-2.5)
         );
     }
@@ -679,7 +728,9 @@ mod tests {
     fn blank_node_property_lists() {
         let g = parse("@prefix e: <urn:e#> . e:s e:p [ e:q e:o ; e:r \"v\" ] .").unwrap();
         assert_eq!(g.len(), 3);
-        let inner = g.object(&Term::iri("urn:e#s"), &Term::iri("urn:e#p")).unwrap();
+        let inner = g
+            .object(&Term::iri("urn:e#s"), &Term::iri("urn:e#p"))
+            .unwrap();
         assert!(inner.is_blank());
         assert!(g.has(&inner, &Term::iri("urn:e#q"), &Term::iri("urn:e#o")));
     }
@@ -693,20 +744,26 @@ mod tests {
     #[test]
     fn collections_build_first_rest_chains() {
         let g = parse("@prefix e: <urn:e#> . e:s e:list ( e:a e:b ) .").unwrap();
-        let head = g.object(&Term::iri("urn:e#s"), &Term::iri("urn:e#list")).unwrap();
+        let head = g
+            .object(&Term::iri("urn:e#s"), &Term::iri("urn:e#list"))
+            .unwrap();
         let first = g.object(&head, &Term::iri(rdf::FIRST)).unwrap();
         assert_eq!(first, Term::iri("urn:e#a"));
         let rest = g.object(&head, &Term::iri(rdf::REST)).unwrap();
         let second = g.object(&rest, &Term::iri(rdf::FIRST)).unwrap();
         assert_eq!(second, Term::iri("urn:e#b"));
-        assert_eq!(g.object(&rest, &Term::iri(rdf::REST)).unwrap(), Term::iri(rdf::NIL));
+        assert_eq!(
+            g.object(&rest, &Term::iri(rdf::REST)).unwrap(),
+            Term::iri(rdf::NIL)
+        );
     }
 
     #[test]
     fn empty_collection_is_nil() {
         let g = parse("@prefix e: <urn:e#> . e:s e:list () .").unwrap();
         assert_eq!(
-            g.object(&Term::iri("urn:e#s"), &Term::iri("urn:e#list")).unwrap(),
+            g.object(&Term::iri("urn:e#s"), &Term::iri("urn:e#list"))
+                .unwrap(),
             Term::iri(rdf::NIL)
         );
     }
@@ -741,8 +798,12 @@ mod tests {
         .unwrap();
         let objs = g.objects(&Term::iri("urn:e#s"), &Term::iri("urn:e#p"));
         assert_eq!(objs.len(), 2);
-        assert!(objs.iter().any(|o| o.as_literal().unwrap().lang() == Some("en-us")));
-        assert!(objs.iter().any(|o| o.as_literal().unwrap().as_integer() == Some(5)));
+        assert!(objs
+            .iter()
+            .any(|o| o.as_literal().unwrap().lang() == Some("en-us")));
+        assert!(objs
+            .iter()
+            .any(|o| o.as_literal().unwrap().as_integer() == Some(5)));
     }
 
     #[test]

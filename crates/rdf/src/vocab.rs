@@ -75,8 +75,7 @@ pub mod xsd {
     pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
     pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
     pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
-    pub const NON_NEGATIVE_INTEGER: &str =
-        "http://www.w3.org/2001/XMLSchema#nonNegativeInteger";
+    pub const NON_NEGATIVE_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#nonNegativeInteger";
     pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
     pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
     pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";

@@ -69,11 +69,20 @@ pub enum PolicyConflict {
 impl fmt::Display for PolicyConflict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PolicyConflict::PermitDenyOverlap { permit, deny, role, overlap } => write!(
+            PolicyConflict::PermitDenyOverlap {
+                permit,
+                deny,
+                role,
+                overlap,
+            } => write!(
                 f,
                 "role {role}: permit {permit} and deny {deny} overlap on {overlap}"
             ),
-            PolicyConflict::ShadowedRestriction { broad, restricted, role } => write!(
+            PolicyConflict::ShadowedRestriction {
+                broad,
+                restricted,
+                role,
+            } => write!(
                 f,
                 "role {role}: unconditional {broad} shadows the property conditions of {restricted}"
             ),
@@ -371,7 +380,13 @@ mod tests {
         let mut data2 = data.clone();
         grdf_owl::reasoner::Reasoner::default().materialize(&mut data2);
         assert_eq!(
-            resolved.evaluate(&data2, "urn:r", &probe, &grdf::app("hasChemCode"), Action::View),
+            resolved.evaluate(
+                &data2,
+                "urn:r",
+                &probe,
+                &grdf::app("hasChemCode"),
+                Action::View
+            ),
             crate::policy::Access::Denied
         );
     }
@@ -382,23 +397,43 @@ mod tests {
         let permit_instance = Policy::permit("urn:pi", "urn:r", &grdf::app("plant1"));
         let deny_class = Policy::deny("urn:dc", "urn:r", &grdf::app("ChemSite"));
         assert_eq!(
-            resolve(&data, CombiningAlgorithm::DenyOverrides, &permit_instance, &deny_class),
+            resolve(
+                &data,
+                CombiningAlgorithm::DenyOverrides,
+                &permit_instance,
+                &deny_class
+            ),
             Decision::Deny
         );
         assert_eq!(
-            resolve(&data, CombiningAlgorithm::PermitOverrides, &permit_instance, &deny_class),
+            resolve(
+                &data,
+                CombiningAlgorithm::PermitOverrides,
+                &permit_instance,
+                &deny_class
+            ),
             Decision::Permit
         );
         // Most-specific: the instance-level permit beats the class deny.
         assert_eq!(
-            resolve(&data, CombiningAlgorithm::MostSpecific, &permit_instance, &deny_class),
+            resolve(
+                &data,
+                CombiningAlgorithm::MostSpecific,
+                &permit_instance,
+                &deny_class
+            ),
             Decision::Permit
         );
         // …but a subclass deny beats a superclass permit.
         let permit_super = Policy::permit("urn:ps", "urn:r", &grdf::app("ChemSite"));
         let deny_sub = Policy::deny("urn:ds", "urn:r", &grdf::app("Refinery"));
         assert_eq!(
-            resolve(&data, CombiningAlgorithm::MostSpecific, &permit_super, &deny_sub),
+            resolve(
+                &data,
+                CombiningAlgorithm::MostSpecific,
+                &permit_super,
+                &deny_sub
+            ),
             Decision::Deny
         );
     }
@@ -432,7 +467,10 @@ mod tests {
     fn lint_finds_structural_problems() {
         let ps = PolicySet::new(vec![
             Policy::permit("urn:ok", "urn:r", &grdf::app("A")),
-            Policy { role: String::new(), ..Policy::permit("urn:bad1", "x", "urn:res") },
+            Policy {
+                role: String::new(),
+                ..Policy::permit("urn:bad1", "x", "urn:res")
+            },
             Policy {
                 conditions: vec![Condition::PropertyAccess(vec![])],
                 ..Policy::permit("urn:bad2", "urn:r", "urn:res")

@@ -38,12 +38,20 @@ pub struct XacmlRule {
 impl XacmlRule {
     /// A permit rule.
     pub fn permit(role: &str, resource: &str) -> XacmlRule {
-        XacmlRule { role: role.to_string(), resource: resource.to_string(), decision: Decision::Permit }
+        XacmlRule {
+            role: role.to_string(),
+            resource: resource.to_string(),
+            decision: Decision::Permit,
+        }
     }
 
     /// A deny rule.
     pub fn deny(role: &str, resource: &str) -> XacmlRule {
-        XacmlRule { role: role.to_string(), resource: resource.to_string(), decision: Decision::Deny }
+        XacmlRule {
+            role: role.to_string(),
+            resource: resource.to_string(),
+            decision: Decision::Deny,
+        }
     }
 }
 
@@ -105,12 +113,15 @@ impl XacmlPolicySet {
                 continue;
             }
             // Only consider instance subjects (same scoping as secure_view).
-            let is_instance = data.objects(&subject, &Term::iri(rdf::TYPE)).iter().any(|t| {
-                t.as_iri().is_some_and(|i| {
-                    !i.starts_with(grdf_rdf::vocab::owl::NS)
-                        && !i.starts_with(grdf_rdf::vocab::rdfs::NS)
-                })
-            });
+            let is_instance = data
+                .objects(&subject, &Term::iri(rdf::TYPE))
+                .iter()
+                .any(|t| {
+                    t.as_iri().is_some_and(|i| {
+                        !i.starts_with(grdf_rdf::vocab::owl::NS)
+                            && !i.starts_with(grdf_rdf::vocab::rdfs::NS)
+                    })
+                });
             if !is_instance {
                 continue;
             }
@@ -162,10 +173,15 @@ mod tests {
     fn permit_exposes_all_properties() {
         // The granularity gap: an object-level grant leaks every property.
         let g = data();
-        let ps = XacmlPolicySet::new(vec![XacmlRule::permit("main-repair", &grdf::app("ChemSite"))]);
+        let ps = XacmlPolicySet::new(vec![XacmlRule::permit(
+            "main-repair",
+            &grdf::app("ChemSite"),
+        )]);
         let (view, _) = ps.view(&g, "main-repair");
-        assert!(view_exposes(&view, &grdf::app("NTEnergy"), &grdf::app("hasChemCode")),
-            "object-level control cannot suppress a single property");
+        assert!(
+            view_exposes(&view, &grdf::app("NTEnergy"), &grdf::app("hasChemCode")),
+            "object-level control cannot suppress a single property"
+        );
     }
 
     #[test]
@@ -175,8 +191,14 @@ mod tests {
             XacmlRule::permit("r", &grdf::app("ChemSite")),
             XacmlRule::deny("r", &grdf::app("NTEnergy")),
         ]);
-        assert_eq!(ps.decide(&g, "r", &Term::iri(&grdf::app("NTEnergy"))), Decision::Deny);
-        assert_eq!(ps.decide(&g, "other", &Term::iri(&grdf::app("NTEnergy"))), Decision::Deny);
+        assert_eq!(
+            ps.decide(&g, "r", &Term::iri(&grdf::app("NTEnergy"))),
+            Decision::Deny
+        );
+        assert_eq!(
+            ps.decide(&g, "other", &Term::iri(&grdf::app("NTEnergy"))),
+            Decision::Deny
+        );
     }
 
     #[test]
@@ -207,7 +229,10 @@ mod tests {
     fn instance_rules_match_exactly() {
         let g = data();
         let ps = XacmlPolicySet::new(vec![XacmlRule::permit("r", &grdf::app("NTEnergy"))]);
-        assert_eq!(ps.decide(&g, "r", &Term::iri(&grdf::app("NTEnergy"))), Decision::Permit);
+        assert_eq!(
+            ps.decide(&g, "r", &Term::iri(&grdf::app("NTEnergy"))),
+            Decision::Permit
+        );
     }
 
     #[test]

@@ -10,24 +10,40 @@
 //! plugged into the system"), and the ontology repository ("a database of
 //! ontologies needed to perform the reasoning; GRDF would reside in this
 //! repository").
+//!
+//! The service is fail-closed (see [`crate::resilience`]): every request
+//! outcome — success, parse error, deadline expiry, load shed — is
+//! audited, internal failures deny rather than leak, the reasoning engine
+//! sits behind a circuit breaker, and when it is unavailable the service
+//! degrades to serving un-inferred data through conservative views.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use grdf_owl::reasoner::Reasoner;
-use grdf_query::eval::{execute, QueryError, QueryResult};
+use grdf_query::eval::{execute_with_deadline, QueryResult};
 use grdf_rdf::graph::Graph;
+use grdf_runtime::Deadline;
 
 use crate::policy::PolicySet;
-use crate::views::{secure_view, ViewStats};
+use crate::resilience::{
+    AdmissionGate, EngineError, GsacsError, HealthReport, LatencyHistogram, ResilienceConfig,
+    ResilientEngine, Stage,
+};
+use crate::views::{conservative_view, secure_view, ViewStats};
 
 /// The pluggable reasoning component (Fig. 3 "Reasoning engine").
+///
+/// Fallible by contract: a real engine can crash, run out of resources, or
+/// blow the request deadline, and the service must fail closed rather than
+/// trust its output.
 pub trait ReasoningEngine: Send + Sync {
-    /// Materialize entailments into the graph; returns the number of
-    /// inferred triples.
-    fn materialize(&self, graph: &mut Graph) -> usize;
+    /// Materialize entailments into the graph, polling `deadline`
+    /// cooperatively; returns the number of inferred triples.
+    fn materialize(&self, graph: &mut Graph, deadline: &Deadline) -> Result<usize, EngineError>;
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
@@ -47,8 +63,11 @@ impl OwlHorstEngine {
 }
 
 impl ReasoningEngine for OwlHorstEngine {
-    fn materialize(&self, graph: &mut Graph) -> usize {
-        self.reasoner.materialize(graph).inferred
+    fn materialize(&self, graph: &mut Graph, deadline: &Deadline) -> Result<usize, EngineError> {
+        self.reasoner
+            .materialize_with_deadline(graph, deadline)
+            .map(|stats| stats.inferred)
+            .map_err(|_| EngineError::DeadlineExceeded)
     }
 
     fn name(&self) -> &'static str {
@@ -61,8 +80,8 @@ impl ReasoningEngine for OwlHorstEngine {
 pub struct NoReasoning;
 
 impl ReasoningEngine for NoReasoning {
-    fn materialize(&self, _graph: &mut Graph) -> usize {
-        0
+    fn materialize(&self, _graph: &mut Graph, _deadline: &Deadline) -> Result<usize, EngineError> {
+        Ok(0)
     }
 
     fn name(&self) -> &'static str {
@@ -110,15 +129,35 @@ impl OntoRepository {
     }
 }
 
+/// Sentinel index for the LRU list's nil link.
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct CacheNode {
+    key: (String, String),
+    value: QueryResult,
+    prev: usize,
+    next: usize,
+}
+
 /// LRU query cache (Fig. 3 "Query Cache").
+///
+/// The recency list is an intrusive doubly-linked list over a slab, so
+/// `get`/`put` are O(1) — a hot cache no longer pays an O(n) scan per
+/// touch.
 #[derive(Debug)]
 pub struct QueryCache {
     capacity: usize,
-    entries: HashMap<(String, String), QueryResult>,
-    /// Usage order: least-recently-used first.
-    order: Vec<(String, String)>,
+    map: HashMap<(String, String), usize>,
+    nodes: Vec<Option<CacheNode>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used (eviction end).
+    tail: usize,
     hits: u64,
     misses: u64,
+    lookups: u64,
 }
 
 impl QueryCache {
@@ -126,32 +165,65 @@ impl QueryCache {
     pub fn new(capacity: usize) -> QueryCache {
         QueryCache {
             capacity,
-            entries: HashMap::new(),
-            order: Vec::new(),
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             hits: 0,
             misses: 0,
+            lookups: 0,
         }
     }
 
-    fn touch(&mut self, key: &(String, String)) {
-        if let Some(pos) = self.order.iter().position(|k| k == key) {
-            let k = self.order.remove(pos);
-            self.order.push(k);
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let n = self.nodes[idx].as_ref().expect("linked node present");
+            (n.prev, n.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].as_mut().expect("prev node present").next = next,
         }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].as_mut().expect("next node present").prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        {
+            let n = self.nodes[idx].as_mut().expect("node present");
+            n.prev = NIL;
+            n.next = self.head;
+        }
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.nodes[h].as_mut().expect("head node present").prev = idx,
+        }
+        self.head = idx;
     }
 
     /// Look up a cached result.
     pub fn get(&mut self, role: &str, query: &str) -> Option<QueryResult> {
+        self.lookups += 1;
         if self.capacity == 0 {
             self.misses += 1;
             return None;
         }
         let key = (role.to_string(), query.to_string());
-        match self.entries.get(&key).cloned() {
-            Some(v) => {
+        match self.map.get(&key).copied() {
+            Some(idx) => {
                 self.hits += 1;
-                self.touch(&key);
-                Some(v)
+                self.unlink(idx);
+                self.push_front(idx);
+                Some(
+                    self.nodes[idx]
+                        .as_ref()
+                        .expect("hit node present")
+                        .value
+                        .clone(),
+                )
             }
             None => {
                 self.misses += 1;
@@ -166,22 +238,44 @@ impl QueryCache {
             return;
         }
         let key = (role.to_string(), query.to_string());
-        if self.entries.contains_key(&key) {
-            self.entries.insert(key.clone(), result);
-            self.touch(&key);
+        if let Some(idx) = self.map.get(&key).copied() {
+            self.nodes[idx].as_mut().expect("node present").value = result;
+            self.unlink(idx);
+            self.push_front(idx);
             return;
         }
-        if self.entries.len() >= self.capacity {
-            let lru = self.order.remove(0);
-            self.entries.remove(&lru);
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            self.unlink(lru);
+            let node = self.nodes[lru].take().expect("tail node present");
+            self.map.remove(&node.key);
+            self.free.push(lru);
         }
-        self.entries.insert(key.clone(), result);
-        self.order.push(key);
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.nodes.push(None);
+                self.nodes.len() - 1
+            }
+        };
+        self.nodes[idx] = Some(CacheNode {
+            key: key.clone(),
+            value: result,
+            prev: NIL,
+            next: NIL,
+        });
+        self.map.insert(key, idx);
+        self.push_front(idx);
     }
 
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Total lookups; always equals hits + misses.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
     }
 
     /// Hit rate in `[0, 1]`; 0 when nothing was looked up.
@@ -196,18 +290,71 @@ impl QueryCache {
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.map.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.map.is_empty()
     }
 
-    /// Drop all entries (e.g. after data changes).
+    /// Drop all entries (e.g. after data changes); hit/miss counters are
+    /// retained.
     pub fn invalidate(&mut self) {
-        self.entries.clear();
-        self.order.clear();
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+/// Bounded audit log: a ring buffer that drops the oldest entries once
+/// full, counting what it dropped (capacity 0 = unbounded).
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    capacity: usize,
+    entries: VecDeque<AuditEntry>,
+    dropped: u64,
+}
+
+impl AuditLog {
+    /// Log retaining at most `capacity` entries.
+    pub fn new(capacity: usize) -> AuditLog {
+        AuditLog {
+            capacity,
+            entries: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Append an entry, dropping the oldest when at capacity.
+    pub fn push(&mut self, entry: AuditEntry) {
+        if self.capacity > 0 && self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<AuditEntry> {
+        self.entries.iter().cloned().collect()
+    }
+
+    /// Entries dropped by the ring buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -256,9 +403,9 @@ pub enum UpdateOutcome {
 /// One audit record — every security-relevant decision G-SACS makes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditEntry {
-    /// The requesting role.
+    /// The requesting role (`"system"` for service-level events).
     pub role: String,
-    /// `query`, `update-insert`, or `update-delete`.
+    /// `query`, `update-insert`, `update-delete`, or `degrade`/`recover`.
     pub action: String,
     /// The affected resource (subject IRI) or query text.
     pub target: String,
@@ -266,29 +413,48 @@ pub struct AuditEntry {
     pub allowed: bool,
 }
 
+/// Per-role view caches, guarded by one lock so concurrent first requests
+/// for the same role build its view exactly once.
+#[derive(Debug, Default)]
+struct ViewState {
+    views: HashMap<String, Arc<Graph>>,
+    stats: HashMap<String, ViewStats>,
+    /// Cumulative builds per role (survives invalidation).
+    builds: HashMap<String, u64>,
+}
+
 /// The G-SACS service: front-end + decision engine + caches + reasoner +
-/// ontology repository.
+/// ontology repository, wrapped in the fail-closed resilience layer.
 pub struct GSacs {
     /// Ontology repository (Fig. 3).
     pub repository: OntoRepository,
     policies: PolicySet,
-    reasoner: Box<dyn ReasoningEngine>,
-    /// Materialized data + ontologies.
+    engine: Arc<ResilientEngine>,
+    /// Un-inferred base: ontologies + instance data, no entailments. The
+    /// single source of truth that updates mutate.
+    base: Graph,
+    /// Served dataset: `base` plus entailments, rebuilt from `base` on
+    /// every re-materialization (or a plain copy of `base` when degraded).
     data: Graph,
     /// Inferred-triple count from the last materialization.
     pub inferred: usize,
+    /// Whether the service is running without reasoning (conservative
+    /// views over un-inferred data).
+    degraded: AtomicBool,
+    config: ResilienceConfig,
+    gate: AdmissionGate,
+    latency: LatencyHistogram,
+    requests: AtomicU64,
     query_cache: Mutex<QueryCache>,
-    /// Per-role secure views, built lazily.
-    view_cache: Mutex<HashMap<String, Arc<Graph>>>,
-    /// View construction statistics per role.
-    view_stats: Mutex<HashMap<String, ViewStats>>,
-    /// Security decision log.
-    audit: Mutex<Vec<AuditEntry>>,
+    views: Mutex<ViewState>,
+    /// Security decision log (bounded ring buffer).
+    audit: Mutex<AuditLog>,
 }
 
 impl GSacs {
-    /// Assemble the service: the instance `data` is merged with every
-    /// ontology in `repository` and materialized with `reasoner`.
+    /// Assemble the service with default resilience settings: the instance
+    /// `data` is merged with every ontology in `repository` and
+    /// materialized with `reasoner`.
     pub fn new(
         repository: OntoRepository,
         policies: PolicySet,
@@ -296,70 +462,189 @@ impl GSacs {
         data: Graph,
         cache_capacity: usize,
     ) -> GSacs {
-        let mut merged = repository.merged();
-        merged.extend_from(&data);
-        let inferred = reasoner.materialize(&mut merged);
-        GSacs {
+        GSacs::with_resilience(
             repository,
             policies,
             reasoner,
-            data: merged,
-            inferred,
+            data,
+            cache_capacity,
+            ResilienceConfig::default(),
+        )
+    }
+
+    /// Assemble the service with explicit resilience settings.
+    pub fn with_resilience(
+        repository: OntoRepository,
+        policies: PolicySet,
+        reasoner: Box<dyn ReasoningEngine>,
+        data: Graph,
+        cache_capacity: usize,
+        config: ResilienceConfig,
+    ) -> GSacs {
+        let mut base = repository.merged();
+        base.extend_from(&data);
+        let engine = Arc::new(ResilientEngine::new(
+            reasoner,
+            config.clock.clone(),
+            config.breaker,
+            config.retry,
+        ));
+        let gate = AdmissionGate::new(config.max_in_flight);
+        let audit = Mutex::new(AuditLog::new(config.audit_capacity));
+        let mut svc = GSacs {
+            repository,
+            policies,
+            engine,
+            base,
+            data: Graph::new(),
+            inferred: 0,
+            degraded: AtomicBool::new(false),
+            config,
+            gate,
+            latency: LatencyHistogram::default(),
+            requests: AtomicU64::new(0),
             query_cache: Mutex::new(QueryCache::new(cache_capacity)),
-            view_cache: Mutex::new(HashMap::new()),
-            view_stats: Mutex::new(HashMap::new()),
-            audit: Mutex::new(Vec::new()),
+            views: Mutex::new(ViewState::default()),
+            audit,
+        };
+        svc.rematerialize();
+        svc
+    }
+
+    /// Rebuild the served dataset from the un-inferred base through the
+    /// circuit-breaking engine. On failure the service degrades: it serves
+    /// the base graph with conservative views until a later
+    /// re-materialization succeeds. Every transition is audited.
+    fn rematerialize(&mut self) {
+        let deadline = Deadline::armed(self.config.clock.clone(), self.config.request_budget);
+        let mut materialized = self.base.clone();
+        match self.engine.materialize(&mut materialized, &deadline) {
+            Ok(inferred) => {
+                let was_degraded = self.degraded.swap(false, Ordering::AcqRel);
+                self.data = materialized;
+                self.inferred = inferred;
+                if was_degraded {
+                    self.audit.lock().push(AuditEntry {
+                        role: "system".to_string(),
+                        action: "recover".to_string(),
+                        target: format!("reasoner {} recovered", self.engine.name()),
+                        allowed: true,
+                    });
+                }
+            }
+            Err(e) => {
+                self.degraded.store(true, Ordering::Release);
+                self.data = self.base.clone();
+                self.inferred = 0;
+                self.audit.lock().push(AuditEntry {
+                    role: "system".to_string(),
+                    action: "degrade".to_string(),
+                    target: format!("reasoner unavailable ({e}); serving conservative views"),
+                    allowed: false,
+                });
+            }
         }
     }
 
     /// Name of the plugged-in reasoning engine.
     pub fn reasoner_name(&self) -> &'static str {
-        self.reasoner.name()
+        self.engine.name()
     }
 
-    /// The materialized dataset (ontologies + instance data + inferences).
+    /// The materialized dataset (ontologies + instance data + inferences;
+    /// un-inferred base when degraded).
     pub fn dataset(&self) -> &Graph {
         &self.data
     }
 
-    /// The secure view for a role (cached).
+    /// Whether the service is degraded (reasoner unavailable).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// The secure view for a role (cached). Concurrent first requests for
+    /// a role build its view once: the build happens under the cache lock.
     pub fn view_for(&self, role: &str) -> Arc<Graph> {
-        if let Some(v) = self.view_cache.lock().get(role) {
+        let mut state = self.views.lock();
+        if let Some(v) = state.views.get(role) {
             return Arc::clone(v);
         }
-        let (view, stats) = secure_view(&self.data, &self.policies, role);
+        *state.builds.entry(role.to_string()).or_insert(0) += 1;
+        let (view, stats) = if self.is_degraded() {
+            conservative_view(&self.data, &self.policies, role)
+        } else {
+            secure_view(&self.data, &self.policies, role)
+        };
         let view = Arc::new(view);
-        self.view_cache.lock().insert(role.to_string(), Arc::clone(&view));
-        self.view_stats.lock().insert(role.to_string(), stats);
+        state.views.insert(role.to_string(), Arc::clone(&view));
+        state.stats.insert(role.to_string(), stats);
         view
     }
 
     /// View construction statistics for a role (if its view was built).
     pub fn view_stats_for(&self, role: &str) -> Option<ViewStats> {
-        self.view_stats.lock().get(role).copied()
+        self.views.lock().stats.get(role).copied()
     }
 
-    /// Handle a client request: cache lookup → secure view → query.
-    pub fn handle(&self, request: &ClientRequest) -> Result<QueryResult, QueryError> {
-        if let Some(hit) = self.query_cache.lock().get(&request.role, &request.query) {
-            return Ok(hit);
+    /// Cumulative number of times a role's view was (re)built.
+    pub fn view_builds_for(&self, role: &str) -> u64 {
+        self.views.lock().builds.get(role).copied().unwrap_or(0)
+    }
+
+    fn inject(&self, stage: Stage) -> Result<(), GsacsError> {
+        match &self.config.fault_injector {
+            Some(f) => f.inject(stage, self.config.clock.as_ref()),
+            None => Ok(()),
         }
-        let view = self.view_for(&request.role);
-        let result = execute(&view, &request.query)?;
-        self.query_cache.lock().put(&request.role, &request.query, result.clone());
+    }
+
+    /// Handle a client request: admission → cache lookup → secure view →
+    /// deadline-bounded query. Fail-closed: every outcome, success or
+    /// failure, produces exactly one audit entry, and no error path
+    /// returns data.
+    pub fn handle(&self, request: &ClientRequest) -> Result<QueryResult, GsacsError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let start = self.config.clock.now();
+        let result = self.handle_inner(request);
+        self.latency
+            .record(self.config.clock.now().saturating_sub(start));
         self.audit.lock().push(AuditEntry {
             role: request.role.clone(),
             action: "query".to_string(),
             target: request.query.clone(),
-            allowed: true,
+            allowed: result.is_ok(),
         });
+        result
+    }
+
+    fn handle_inner(&self, request: &ClientRequest) -> Result<QueryResult, GsacsError> {
+        let _permit = self.gate.try_acquire()?;
+        let deadline = Deadline::armed(self.config.clock.clone(), self.config.request_budget);
+        self.inject(Stage::Admission)?;
+        deadline.check().map_err(|_| GsacsError::DeadlineExceeded {
+            stage: Stage::Admission,
+        })?;
+        if let Some(hit) = self.query_cache.lock().get(&request.role, &request.query) {
+            return Ok(hit);
+        }
+        self.inject(Stage::View)?;
+        deadline
+            .check()
+            .map_err(|_| GsacsError::DeadlineExceeded { stage: Stage::View })?;
+        let view = self.view_for(&request.role);
+        self.inject(Stage::Query)?;
+        let result = execute_with_deadline(&view, &request.query, &deadline)?;
+        self.query_cache
+            .lock()
+            .put(&request.role, &request.query, result.clone());
         Ok(result)
     }
 
     /// Handle a mutation: every operation is policy-checked with the
     /// matching action (`Edit` for inserts, `Delete` for deletions); on the
-    /// first refusal nothing is applied. Successful updates invalidate the
-    /// caches and re-materialize inference.
+    /// first refusal nothing is applied. Successful updates mutate the
+    /// un-inferred base, re-materialize from it (so deleted triples cannot
+    /// leave stale entailments behind), and invalidate the caches.
     pub fn handle_update(&mut self, request: &UpdateRequest) -> UpdateOutcome {
         use crate::policy::{Access, Action};
         // Phase 1: check all ops.
@@ -370,7 +655,8 @@ impl GSacs {
             };
             let pred = triple.predicate.as_iri().unwrap_or_default().to_string();
             let access =
-                self.policies.evaluate(&self.data, &request.role, &triple.subject, &pred, action);
+                self.policies
+                    .evaluate(&self.data, &request.role, &triple.subject, &pred, action);
             let allowed = access == Access::Granted;
             self.audit.lock().push(AuditEntry {
                 role: request.role.clone(),
@@ -388,42 +674,58 @@ impl GSacs {
                 };
             }
         }
-        // Phase 2: apply.
+        // Phase 2: apply to the un-inferred base.
         let mut changed = 0;
         for op in &request.ops {
             match op {
                 UpdateOp::Insert(t) => {
-                    if self.data.insert(t.clone()) {
+                    if self.base.insert(t.clone()) {
                         changed += 1;
                     }
                 }
                 UpdateOp::Delete(t) => {
-                    if self.data.remove(t) {
+                    if self.base.remove(t) {
                         changed += 1;
                     }
                 }
             }
         }
         if changed > 0 {
-            self.inferred += self.reasoner.materialize(&mut self.data);
+            self.rematerialize();
             self.invalidate();
         }
         UpdateOutcome::Applied(changed)
     }
 
-    /// The audit log so far (clone; the log keeps growing).
+    /// The retained audit log, oldest first.
     pub fn audit_log(&self) -> Vec<AuditEntry> {
-        self.audit.lock().clone()
+        self.audit.lock().snapshot()
     }
 
-    /// Denied entries in the audit log.
+    /// Audit entries dropped by the ring buffer.
+    pub fn audit_dropped(&self) -> u64 {
+        self.audit.lock().dropped()
+    }
+
+    /// Denied entries in the retained audit log.
     pub fn audit_denials(&self) -> Vec<AuditEntry> {
-        self.audit.lock().iter().filter(|e| !e.allowed).cloned().collect()
+        self.audit
+            .lock()
+            .entries
+            .iter()
+            .filter(|e| !e.allowed)
+            .cloned()
+            .collect()
     }
 
     /// Query-cache `(hits, misses)`.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.query_cache.lock().stats()
+    }
+
+    /// Query-cache lookups (always hits + misses).
+    pub fn cache_lookups(&self) -> u64 {
+        self.query_cache.lock().lookups()
     }
 
     /// Query-cache hit rate.
@@ -434,8 +736,36 @@ impl GSacs {
     /// Invalidate caches (after a data change).
     pub fn invalidate(&self) {
         self.query_cache.lock().invalidate();
-        self.view_cache.lock().clear();
-        self.view_stats.lock().clear();
+        let mut views = self.views.lock();
+        views.views.clear();
+        views.stats.clear();
+    }
+
+    /// A point-in-time health snapshot.
+    pub fn health(&self) -> HealthReport {
+        let (cache_hits, cache_misses) = self.cache_stats();
+        let (view_cache_entries, audit_entries, audit_dropped) = {
+            let views = self.views.lock();
+            let audit = self.audit.lock();
+            (views.views.len(), audit.len(), audit.dropped())
+        };
+        HealthReport {
+            reasoner: self.engine.name(),
+            breaker: self.engine.state(),
+            breaker_trips: self.engine.trips(),
+            degraded: self.is_degraded(),
+            requests: self.requests.load(Ordering::Relaxed),
+            shed: self.gate.shed_total(),
+            in_flight: self.gate.in_flight(),
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: self.cache_hit_rate(),
+            view_cache_entries,
+            audit_entries,
+            audit_dropped,
+            p50: self.latency.quantile(0.5),
+            p99: self.latency.quantile(0.99),
+        }
     }
 }
 
@@ -444,11 +774,26 @@ mod tests {
     use super::*;
     use crate::ontology::security_ontology;
     use crate::policy::Policy;
+    use crate::resilience::{BreakerConfig, BreakerState};
     use grdf_feature::feature::Feature;
     use grdf_feature::rdf_codec::encode_feature;
     use grdf_rdf::vocab::grdf;
+    use grdf_runtime::ManualClock;
+    use std::time::Duration;
 
     fn service(cache: usize) -> GSacs {
+        service_with(
+            cache,
+            ResilienceConfig::default(),
+            Box::<OwlHorstEngine>::default(),
+        )
+    }
+
+    fn service_with(
+        cache: usize,
+        config: ResilienceConfig,
+        engine: Box<dyn ReasoningEngine>,
+    ) -> GSacs {
         let mut data = Graph::new();
         let mut site = Feature::new(&grdf::app("NTEnergy"), "ChemSite");
         site.set_property("hasSiteName", "NT Energy");
@@ -468,11 +813,23 @@ mod tests {
                 &grdf::app("ChemSite"),
                 &[&grdf::iri("isBoundedBy")],
             ),
-            Policy::permit(&grdf::sec("MainRepPolicy2"), &grdf::sec("MainRep"), &grdf::app("Stream")),
-            Policy::permit(&grdf::sec("E1"), &grdf::sec("Emergency"), &grdf::app("ChemSite")),
-            Policy::permit(&grdf::sec("E2"), &grdf::sec("Emergency"), &grdf::app("Stream")),
+            Policy::permit(
+                &grdf::sec("MainRepPolicy2"),
+                &grdf::sec("MainRep"),
+                &grdf::app("Stream"),
+            ),
+            Policy::permit(
+                &grdf::sec("E1"),
+                &grdf::sec("Emergency"),
+                &grdf::app("ChemSite"),
+            ),
+            Policy::permit(
+                &grdf::sec("E2"),
+                &grdf::sec("Emergency"),
+                &grdf::app("Stream"),
+            ),
         ]);
-        GSacs::new(repo, policies, Box::<OwlHorstEngine>::default(), data, cache)
+        GSacs::with_resilience(repo, policies, engine, data, cache, config)
     }
 
     fn chem_query() -> String {
@@ -482,11 +839,34 @@ mod tests {
         )
     }
 
+    /// An engine that always fails — a permanently-down reasoner.
+    struct FailingEngine;
+
+    impl ReasoningEngine for FailingEngine {
+        fn materialize(
+            &self,
+            _graph: &mut Graph,
+            _deadline: &Deadline,
+        ) -> Result<usize, EngineError> {
+            Err(EngineError::Failed("reasoner down".to_string()))
+        }
+
+        fn name(&self) -> &'static str {
+            "failing"
+        }
+    }
+
     #[test]
     fn roles_get_different_answers() {
         let svc = service(16);
-        let main_repair = ClientRequest { role: grdf::sec("MainRep"), query: chem_query() };
-        let emergency = ClientRequest { role: grdf::sec("Emergency"), query: chem_query() };
+        let main_repair = ClientRequest {
+            role: grdf::sec("MainRep"),
+            query: chem_query(),
+        };
+        let emergency = ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: chem_query(),
+        };
         assert_eq!(svc.handle(&main_repair).unwrap().select_rows().len(), 0);
         assert_eq!(svc.handle(&emergency).unwrap().select_rows().len(), 1);
     }
@@ -494,7 +874,10 @@ mod tests {
     #[test]
     fn cache_hits_on_repeat() {
         let svc = service(16);
-        let req = ClientRequest { role: grdf::sec("Emergency"), query: chem_query() };
+        let req = ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: chem_query(),
+        };
         svc.handle(&req).unwrap();
         svc.handle(&req).unwrap();
         svc.handle(&req).unwrap();
@@ -502,12 +885,16 @@ mod tests {
         assert_eq!(hits, 2);
         assert_eq!(misses, 1);
         assert!(svc.cache_hit_rate() > 0.6);
+        assert_eq!(svc.cache_lookups(), hits + misses);
     }
 
     #[test]
     fn zero_capacity_disables_cache() {
         let svc = service(0);
-        let req = ClientRequest { role: grdf::sec("Emergency"), query: chem_query() };
+        let req = ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: chem_query(),
+        };
         svc.handle(&req).unwrap();
         svc.handle(&req).unwrap();
         let (hits, _) = svc.cache_stats();
@@ -528,10 +915,30 @@ mod tests {
     }
 
     #[test]
+    fn lru_is_correct_under_churn() {
+        // Slab indices are recycled through the free list; interleaved
+        // evictions and re-inserts must keep the recency list consistent.
+        let mut cache = QueryCache::new(3);
+        for i in 0..50 {
+            let q = format!("q{}", i % 7);
+            if cache.get("r", &q).is_none() {
+                cache.put("r", &q, QueryResult::Boolean(i % 2 == 0));
+            }
+            assert!(cache.len() <= 3);
+        }
+        assert_eq!(cache.lookups(), 50);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 50);
+    }
+
+    #[test]
     fn cache_keys_include_role() {
         let mut cache = QueryCache::new(4);
         cache.put("role-a", "q", QueryResult::Boolean(true));
-        assert!(cache.get("role-b", "q").is_none(), "another role must not see it");
+        assert!(
+            cache.get("role-b", "q").is_none(),
+            "another role must not see it"
+        );
     }
 
     #[test]
@@ -595,12 +1002,22 @@ mod tests {
         let _ = svc.view_for(&grdf::sec("MainRep"));
         let stats = svc.view_stats_for(&grdf::sec("MainRep")).unwrap();
         assert!(stats.suppressed > 0, "chem data suppressed for main repair");
+        assert_eq!(svc.view_builds_for(&grdf::sec("MainRep")), 1);
+        let _ = svc.view_for(&grdf::sec("MainRep"));
+        assert_eq!(
+            svc.view_builds_for(&grdf::sec("MainRep")),
+            1,
+            "cached view not rebuilt"
+        );
     }
 
     #[test]
     fn invalidate_clears_caches() {
         let svc = service(8);
-        let req = ClientRequest { role: grdf::sec("Emergency"), query: chem_query() };
+        let req = ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: chem_query(),
+        };
         svc.handle(&req).unwrap();
         svc.invalidate();
         svc.handle(&req).unwrap();
@@ -673,8 +1090,16 @@ mod tests {
         let mut data = Graph::new();
         let a = Term::iri(&grdf::app("a"));
         let b = Term::iri(&grdf::app("b"));
-        data.add(a.clone(), Term::iri(grdf_rdf::vocab::rdf::TYPE), Term::iri(&grdf::app("Open")));
-        data.add(b.clone(), Term::iri(grdf_rdf::vocab::rdf::TYPE), Term::iri(&grdf::app("Locked")));
+        data.add(
+            a.clone(),
+            Term::iri(grdf_rdf::vocab::rdf::TYPE),
+            Term::iri(&grdf::app("Open")),
+        );
+        data.add(
+            b.clone(),
+            Term::iri(grdf_rdf::vocab::rdf::TYPE),
+            Term::iri(&grdf::app("Locked")),
+        );
         let edit_open = crate::policy::Policy {
             action: Action::Edit,
             ..crate::policy::Policy::permit("urn:pe", "urn:r", &grdf::app("Open"))
@@ -686,7 +1111,11 @@ mod tests {
             data,
             0,
         );
-        let ok_op = UpdateOp::Insert(Triple::new(a.clone(), Term::iri("urn:p"), Term::string("v")));
+        let ok_op = UpdateOp::Insert(Triple::new(
+            a.clone(),
+            Term::iri("urn:p"),
+            Term::string("v"),
+        ));
         let bad_op = UpdateOp::Insert(Triple::new(b, Term::iri("urn:p"), Term::string("v")));
         let out = svc.handle_update(&UpdateRequest {
             role: "urn:r".into(),
@@ -694,19 +1123,110 @@ mod tests {
         });
         assert!(matches!(out, UpdateOutcome::Denied { op_index: 2, .. }));
         // The permitted first op must NOT have been applied.
-        assert!(!svc.dataset().has(&a, &Term::iri("urn:p"), &Term::string("v")));
+        assert!(!svc
+            .dataset()
+            .has(&a, &Term::iri("urn:p"), &Term::string("v")));
     }
 
     #[test]
     fn audit_log_records_decisions() {
         let svc = service(4);
-        svc.handle(&ClientRequest { role: grdf::sec("Emergency"), query: chem_query() })
-            .unwrap();
+        svc.handle(&ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: chem_query(),
+        })
+        .unwrap();
         let log = svc.audit_log();
         assert_eq!(log.len(), 1);
         assert!(log[0].allowed);
         assert_eq!(log[0].action, "query");
         assert!(svc.audit_denials().is_empty());
+    }
+
+    #[test]
+    fn errors_are_audited_as_denied() {
+        let svc = service(4);
+        let req = ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: "NOT SPARQL".into(),
+        };
+        assert!(matches!(svc.handle(&req), Err(GsacsError::Parse(_))));
+        let denials = svc.audit_denials();
+        assert_eq!(denials.len(), 1, "failed requests must be audited");
+        assert_eq!(denials[0].action, "query");
+        assert!(!denials[0].allowed);
+    }
+
+    #[test]
+    fn audit_ring_buffer_drops_oldest() {
+        let config = ResilienceConfig {
+            audit_capacity: 2,
+            ..ResilienceConfig::default()
+        };
+        let svc = service_with(4, config, Box::new(NoReasoning));
+        for i in 0..3 {
+            let _ = svc.handle(&ClientRequest {
+                role: grdf::sec("Emergency"),
+                query: format!("bad query {i}"),
+            });
+        }
+        let log = svc.audit_log();
+        assert_eq!(log.len(), 2, "ring buffer caps retention");
+        assert_eq!(svc.audit_dropped(), 1);
+        assert!(
+            log[0].target.contains("bad query 1"),
+            "oldest entry dropped first"
+        );
+    }
+
+    #[test]
+    fn stale_entailments_are_retracted_on_delete() {
+        use grdf_rdf::term::{Term, Triple};
+        use grdf_rdf::vocab::{rdf, rdfs};
+        let mut data = Graph::new();
+        let creek = Term::iri(&grdf::app("Creek"));
+        let stream = Term::iri(&grdf::app("Stream"));
+        let c1 = Term::iri(&grdf::app("c1"));
+        data.add(creek.clone(), Term::iri(rdfs::SUB_CLASS_OF), stream.clone());
+        data.add(c1.clone(), Term::iri(rdf::TYPE), creek.clone());
+        let delete_all = crate::policy::Policy {
+            action: crate::policy::Action::Delete,
+            ..crate::policy::Policy::permit("urn:pd", "urn:admin", &grdf::app("Creek"))
+        };
+        let mut svc = GSacs::new(
+            OntoRepository::new(),
+            PolicySet::new(vec![delete_all]),
+            Box::<OwlHorstEngine>::default(),
+            data,
+            4,
+        );
+        let inferred_triple = Triple::new(c1.clone(), Term::iri(rdf::TYPE), stream.clone());
+        assert!(
+            svc.dataset().has(&c1, &Term::iri(rdf::TYPE), &stream),
+            "entailment present"
+        );
+        // Deleting the asserted type must retract the inferred one too.
+        let out = svc.handle_update(&UpdateRequest {
+            role: "urn:admin".into(),
+            ops: vec![UpdateOp::Delete(Triple::new(
+                c1.clone(),
+                Term::iri(rdf::TYPE),
+                creek.clone(),
+            ))],
+        });
+        assert_eq!(out, UpdateOutcome::Applied(1));
+        assert!(
+            !svc.dataset().has(
+                &inferred_triple.subject,
+                &inferred_triple.predicate,
+                &inferred_triple.object
+            ),
+            "stale entailment must not survive re-materialization"
+        );
+        assert_eq!(
+            svc.inferred, 0,
+            "inferred counter reflects the rebuild, not a running sum"
+        );
     }
 
     #[test]
@@ -720,8 +1240,7 @@ mod tests {
             Term::iri(grdf_rdf::vocab::rdf::TYPE),
             Term::iri(&grdf::app("ChemSite")),
         );
-        let view_all =
-            crate::policy::Policy::permit("urn:v", "urn:r", &grdf::app("ChemSite"));
+        let view_all = crate::policy::Policy::permit("urn:v", "urn:r", &grdf::app("ChemSite"));
         let edit_all = crate::policy::Policy {
             action: Action::Edit,
             ..crate::policy::Policy::permit("urn:e", "urn:r", &grdf::app("ChemSite"))
@@ -738,7 +1257,10 @@ mod tests {
             grdf::APP_NS
         );
         let before = svc
-            .handle(&ClientRequest { role: "urn:r".into(), query: q.clone() })
+            .handle(&ClientRequest {
+                role: "urn:r".into(),
+                query: q.clone(),
+            })
             .unwrap();
         assert_eq!(before.select_rows().len(), 0);
         svc.handle_update(&UpdateRequest {
@@ -749,14 +1271,164 @@ mod tests {
                 Term::string("New Name"),
             ))],
         });
-        let after = svc.handle(&ClientRequest { role: "urn:r".into(), query: q }).unwrap();
-        assert_eq!(after.select_rows().len(), 1, "stale cache must have been dropped");
+        let after = svc
+            .handle(&ClientRequest {
+                role: "urn:r".into(),
+                query: q,
+            })
+            .unwrap();
+        assert_eq!(
+            after.select_rows().len(),
+            1,
+            "stale cache must have been dropped"
+        );
     }
 
     #[test]
     fn bad_query_surfaces_error() {
         let svc = service(4);
-        let req = ClientRequest { role: grdf::sec("Emergency"), query: "NOT SPARQL".into() };
+        let req = ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: "NOT SPARQL".into(),
+        };
         assert!(svc.handle(&req).is_err());
+    }
+
+    #[test]
+    fn failed_reasoner_degrades_but_still_serves() {
+        let clock = Arc::new(ManualClock::new());
+        let config = ResilienceConfig {
+            clock: clock.clone(),
+            breaker: BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_secs(30),
+                half_open_successes: 1,
+            },
+            ..ResilienceConfig::default()
+        };
+        let svc = service_with(8, config, Box::new(FailingEngine));
+        assert!(
+            svc.is_degraded(),
+            "construction-time engine failure degrades"
+        );
+        let health = svc.health();
+        assert!(health.degraded);
+        assert_eq!(
+            health.breaker,
+            BreakerState::Open,
+            "one failure trips threshold 1"
+        );
+        // The degradation itself is audited.
+        let denials = svc.audit_denials();
+        assert!(denials
+            .iter()
+            .any(|e| e.action == "degrade" && e.role == "system"));
+        // Direct (non-inferred) data is still served under conservative
+        // views: Emergency's permits need no inference here.
+        let req = ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: chem_query(),
+        };
+        assert_eq!(svc.handle(&req).unwrap().select_rows().len(), 1);
+    }
+
+    #[test]
+    fn degraded_service_recovers_when_engine_heals() {
+        use grdf_rdf::term::{Term, Triple};
+        /// Fails the first `n` calls, then works.
+        struct HealingEngine {
+            failures_left: Mutex<u32>,
+        }
+        impl ReasoningEngine for HealingEngine {
+            fn materialize(
+                &self,
+                graph: &mut Graph,
+                deadline: &Deadline,
+            ) -> Result<usize, EngineError> {
+                let mut left = self.failures_left.lock();
+                if *left > 0 {
+                    *left -= 1;
+                    return Err(EngineError::Failed("warming up".to_string()));
+                }
+                OwlHorstEngine::default().materialize(graph, deadline)
+            }
+            fn name(&self) -> &'static str {
+                "healing"
+            }
+        }
+
+        let clock = Arc::new(ManualClock::new());
+        let config = ResilienceConfig {
+            clock: clock.clone(),
+            retry: crate::resilience::RetryPolicy {
+                max_attempts: 1,
+                backoff_base: Duration::from_millis(1),
+            },
+            ..ResilienceConfig::default()
+        };
+        let mut data = Graph::new();
+        let site = Term::iri(&grdf::app("s1"));
+        data.add(
+            site.clone(),
+            Term::iri(grdf_rdf::vocab::rdf::TYPE),
+            Term::iri(&grdf::app("ChemSite")),
+        );
+        let edit_all = crate::policy::Policy {
+            action: crate::policy::Action::Edit,
+            ..crate::policy::Policy::permit("urn:e", "urn:r", &grdf::app("ChemSite"))
+        };
+        let mut svc = GSacs::with_resilience(
+            OntoRepository::new(),
+            PolicySet::new(vec![edit_all]),
+            Box::new(HealingEngine {
+                failures_left: Mutex::new(1),
+            }),
+            data,
+            4,
+            config,
+        );
+        assert!(svc.is_degraded());
+        // A successful update re-materializes through the healed engine.
+        let out = svc.handle_update(&UpdateRequest {
+            role: "urn:r".into(),
+            ops: vec![UpdateOp::Insert(Triple::new(
+                site,
+                Term::iri(&grdf::app("hasSiteName")),
+                Term::string("n"),
+            ))],
+        });
+        assert_eq!(out, UpdateOutcome::Applied(1));
+        assert!(
+            !svc.is_degraded(),
+            "successful re-materialization clears degradation"
+        );
+        let log = svc.audit_log();
+        assert!(log.iter().any(|e| e.action == "recover" && e.allowed));
+    }
+
+    #[test]
+    fn health_report_is_coherent() {
+        let svc = service(16);
+        let req = ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: chem_query(),
+        };
+        svc.handle(&req).unwrap();
+        svc.handle(&req).unwrap();
+        let _ = svc.handle(&ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: "NOT SPARQL".into(),
+        });
+        let h = svc.health();
+        assert_eq!(h.reasoner, "owl-horst");
+        assert_eq!(h.breaker, BreakerState::Closed);
+        assert!(!h.degraded);
+        assert_eq!(h.requests, 3);
+        assert_eq!(h.shed, 0);
+        assert_eq!(h.in_flight, 0);
+        assert_eq!(h.cache_hits + h.cache_misses, svc.cache_lookups());
+        assert_eq!(h.audit_entries, 3, "every request audited exactly once");
+        assert_eq!(h.audit_dropped, 0);
+        assert!(!h.render().is_empty());
     }
 }

@@ -28,18 +28,28 @@
 //! * [`geoxacml`] — the object-level baseline comparator.
 //! * [`gsacs`] — the Fig. 3 runtime: front-end, decision engine, LRU query
 //!   cache, pluggable [`gsacs::ReasoningEngine`], ontology repository.
+//! * [`resilience`] — the fail-closed service layer: unified error
+//!   taxonomy, per-request deadlines, circuit-breaking reasoner with
+//!   degraded conservative views, admission control, health reporting, and
+//!   a deterministic fault-injection harness.
 
 pub mod conflicts;
 pub mod geoxacml;
 pub mod gsacs;
 pub mod ontology;
 pub mod policy;
+pub mod resilience;
 pub mod views;
 
 pub use conflicts::{detect_conflicts, resolved_policy_set, CombiningAlgorithm, PolicyConflict};
 pub use gsacs::{
-    AuditEntry, ClientRequest, GSacs, OntoRepository, QueryCache, ReasoningEngine, UpdateOp,
-    UpdateOutcome, UpdateRequest,
+    AuditEntry, AuditLog, ClientRequest, GSacs, OntoRepository, QueryCache, ReasoningEngine,
+    UpdateOp, UpdateOutcome, UpdateRequest,
 };
 pub use policy::{Action, Condition, Decision, Policy, PolicySet};
-pub use views::{secure_view, ViewStats};
+pub use resilience::{
+    AdmissionGate, BreakerConfig, BreakerState, EngineError, FaultInjector, FaultKind, FaultPlan,
+    FaultyEngine, GsacsError, HealthReport, LatencyHistogram, NoFaults, ResilienceConfig,
+    ResilientEngine, RetryPolicy, Stage,
+};
+pub use views::{conservative_view, secure_view, ViewStats};

@@ -14,7 +14,10 @@ pub fn security_ontology() -> Graph {
     b.class("Subject", None);
     b.comment("Subject", "A requesting principal (user or group).");
     b.class("Role", Some("Subject"));
-    b.comment("Role", "A named role grouping subjects, e.g. 'main repair'.");
+    b.comment(
+        "Role",
+        "A named role grouping subjects, e.g. 'main repair'.",
+    );
     b.class("Policy", None);
     b.comment("Policy", "An access control rule over resources.");
     b.class("Action", None);
@@ -68,7 +71,14 @@ mod tests {
         let g = security_ontology();
         let h = Hierarchy::new(&g);
         let classes = h.classes();
-        for name in ["Subject", "Role", "Policy", "Action", "ConditionValue", "PolicyDecision"] {
+        for name in [
+            "Subject",
+            "Role",
+            "Policy",
+            "Action",
+            "ConditionValue",
+            "PolicyDecision",
+        ] {
             assert!(
                 classes.contains(&Term::iri(&grdf::sec(name))),
                 "missing {name}"

@@ -119,7 +119,10 @@ impl Policy {
 
     /// An explicit deny.
     pub fn deny(id: &str, role: &str, resource: &str) -> Policy {
-        Policy { decision: Decision::Deny, ..Policy::permit(id, role, resource) }
+        Policy {
+            decision: Decision::Deny,
+            ..Policy::permit(id, role, resource)
+        }
     }
 
     /// Encode this policy into `graph` in the List 8 shape.
@@ -132,8 +135,16 @@ impl Policy {
             Term::iri(&grdf::sec("Subject")),
         );
         graph.add(subject, Term::iri(&grdf::sec("hasPolicy")), policy.clone());
-        graph.add(policy.clone(), Term::iri(rdf::TYPE), Term::iri(&grdf::sec("Policy")));
-        graph.add(policy.clone(), Term::iri(&grdf::sec("hasAction")), Term::iri(&self.action.iri()));
+        graph.add(
+            policy.clone(),
+            Term::iri(rdf::TYPE),
+            Term::iri(&grdf::sec("Policy")),
+        );
+        graph.add(
+            policy.clone(),
+            Term::iri(&grdf::sec("hasAction")),
+            Term::iri(&self.action.iri()),
+        );
         graph.add(
             policy.clone(),
             Term::iri(&grdf::sec("hasPolicyDecision")),
@@ -146,7 +157,11 @@ impl Policy {
         );
         for (i, cond) in self.conditions.iter().enumerate() {
             let cnode = Term::iri(&format!("{}/cond{}", self.id, i));
-            graph.add(policy.clone(), Term::iri(&grdf::sec("hasCondition")), cnode.clone());
+            graph.add(
+                policy.clone(),
+                Term::iri(&grdf::sec("hasCondition")),
+                cnode.clone(),
+            );
             graph.add(
                 cnode.clone(),
                 Term::iri(rdf::TYPE),
@@ -155,7 +170,11 @@ impl Policy {
             match cond {
                 Condition::PropertyAccess(props) => {
                     let def = Term::iri(&format!("{}/cond{}/def", self.id, i));
-                    graph.add(cnode, Term::iri(&grdf::sec("condValDefinition")), def.clone());
+                    graph.add(
+                        cnode,
+                        Term::iri(&grdf::sec("condValDefinition")),
+                        def.clone(),
+                    );
                     for p in props {
                         graph.add(
                             def.clone(),
@@ -303,7 +322,9 @@ impl PolicySet {
             return true;
         }
         let target = Term::iri(&p.resource);
-        types.iter().any(|t| t == &target || h.is_subclass_of(t, &target))
+        types
+            .iter()
+            .any(|t| t == &target || h.is_subclass_of(t, &target))
     }
 
     /// Property conditions, semantics-aware: a listed property grants
@@ -318,10 +339,9 @@ impl PolicySet {
             return true;
         }
         p.conditions.iter().all(|c| match c {
-            Condition::PropertyAccess(props) => props.iter().any(|allowed| {
-                allowed == property
-                    || is_subproperty_of(data, property, allowed)
-            }),
+            Condition::PropertyAccess(props) => props
+                .iter()
+                .any(|allowed| allowed == property || is_subproperty_of(data, property, allowed)),
         })
     }
 }
@@ -360,9 +380,21 @@ mod tests {
     fn scenario() -> Graph {
         let mut g = Graph::new();
         let site = iri("http://grdf.org/app#NTEnergy");
-        g.add(site.clone(), Term::iri(rdf::TYPE), iri(&grdf::app("ChemSite")));
-        g.add(site.clone(), iri(&grdf::app("hasSiteName")), Term::string("NT Energy"));
-        g.add(site.clone(), iri(&grdf::iri("BoundedBy")), Term::string("0,0 10,10"));
+        g.add(
+            site.clone(),
+            Term::iri(rdf::TYPE),
+            iri(&grdf::app("ChemSite")),
+        );
+        g.add(
+            site.clone(),
+            iri(&grdf::app("hasSiteName")),
+            Term::string("NT Energy"),
+        );
+        g.add(
+            site.clone(),
+            iri(&grdf::iri("BoundedBy")),
+            Term::string("0,0 10,10"),
+        );
         g.add(site, iri(&grdf::app("hasChemCode")), Term::string("121NR"));
         g
     }
@@ -411,7 +443,13 @@ mod tests {
         )]);
         let site = iri("http://grdf.org/app#NTEnergy");
         assert_eq!(
-            ps.evaluate(&g, &grdf::sec("Emergency"), &site, &grdf::app("hasChemCode"), Action::View),
+            ps.evaluate(
+                &g,
+                &grdf::sec("Emergency"),
+                &site,
+                &grdf::app("hasChemCode"),
+                Action::View
+            ),
             Access::Granted
         );
     }
@@ -422,7 +460,13 @@ mod tests {
         let ps = PolicySet::default();
         let site = iri("http://grdf.org/app#NTEnergy");
         assert_eq!(
-            ps.evaluate(&g, "urn:role", &site, &grdf::app("hasSiteName"), Action::View),
+            ps.evaluate(
+                &g,
+                "urn:role",
+                &site,
+                &grdf::app("hasSiteName"),
+                Action::View
+            ),
             Access::NotApplicable
         );
     }
@@ -448,22 +492,42 @@ mod tests {
         // wx:MonitoredSite ⊑ app:ChemSite; the same policy keeps working.
         let mut g = scenario();
         let wx_site = iri("urn:wx#station9");
-        g.add(wx_site.clone(), Term::iri(rdf::TYPE), iri("urn:wx#MonitoredSite"));
+        g.add(
+            wx_site.clone(),
+            Term::iri(rdf::TYPE),
+            iri("urn:wx#MonitoredSite"),
+        );
         g.add(
             iri("urn:wx#MonitoredSite"),
             Term::iri(rdfs::SUB_CLASS_OF),
             iri(&grdf::app("ChemSite")),
         );
-        g.add(wx_site.clone(), iri(&grdf::app("hasChemCode")), Term::string("999"));
+        g.add(
+            wx_site.clone(),
+            iri(&grdf::app("hasChemCode")),
+            Term::string("999"),
+        );
         Reasoner::default().materialize(&mut g);
         let ps = PolicySet::new(vec![main_repair_policy()]);
         assert_eq!(
-            ps.evaluate(&g, &grdf::sec("MainRep"), &wx_site, &grdf::app("hasChemCode"), Action::View),
+            ps.evaluate(
+                &g,
+                &grdf::sec("MainRep"),
+                &wx_site,
+                &grdf::app("hasChemCode"),
+                Action::View
+            ),
             Access::Denied,
             "policy still applies (and still suppresses) after aggregation"
         );
         assert_eq!(
-            ps.evaluate(&g, &grdf::sec("MainRep"), &wx_site, &grdf::iri("BoundedBy"), Action::View),
+            ps.evaluate(
+                &g,
+                &grdf::sec("MainRep"),
+                &wx_site,
+                &grdf::iri("BoundedBy"),
+                Action::View
+            ),
             Access::Granted
         );
     }
@@ -480,7 +544,13 @@ mod tests {
         let ps = PolicySet::new(vec![main_repair_policy()]);
         let site = iri("http://grdf.org/app#NTEnergy");
         assert_eq!(
-            ps.evaluate(&g, &grdf::sec("MainRep"), &site, &grdf::app("hasPreciseExtent"), Action::View),
+            ps.evaluate(
+                &g,
+                &grdf::sec("MainRep"),
+                &site,
+                &grdf::app("hasPreciseExtent"),
+                Action::View
+            ),
             Access::Granted,
             "subproperty of a granted property is granted"
         );
@@ -492,7 +562,13 @@ mod tests {
         let ps = PolicySet::new(vec![main_repair_policy()]); // View only
         let site = iri("http://grdf.org/app#NTEnergy");
         assert_eq!(
-            ps.evaluate(&g, &grdf::sec("MainRep"), &site, &grdf::iri("BoundedBy"), Action::Edit),
+            ps.evaluate(
+                &g,
+                &grdf::sec("MainRep"),
+                &site,
+                &grdf::iri("BoundedBy"),
+                Action::Edit
+            ),
             Access::NotApplicable
         );
     }
@@ -507,11 +583,23 @@ mod tests {
             "http://grdf.org/app#NTEnergy",
         )]);
         assert_eq!(
-            ps.evaluate(&g, "urn:role", &site, &grdf::app("hasSiteName"), Action::View),
+            ps.evaluate(
+                &g,
+                "urn:role",
+                &site,
+                &grdf::app("hasSiteName"),
+                Action::View
+            ),
             Access::Granted
         );
         assert_eq!(
-            ps.evaluate(&g, "urn:role", &iri("urn:other"), &grdf::app("hasSiteName"), Action::View),
+            ps.evaluate(
+                &g,
+                "urn:role",
+                &iri("urn:other"),
+                &grdf::app("hasSiteName"),
+                Action::View
+            ),
             Access::NotApplicable
         );
     }
@@ -536,10 +624,18 @@ mod tests {
     fn decode_multiple_policies() {
         let mut g = Graph::new();
         main_repair_policy().encode(&mut g);
-        Policy::permit(&grdf::sec("P2"), &grdf::sec("Emergency"), &grdf::app("ChemSite"))
-            .encode(&mut g);
-        Policy::deny(&grdf::sec("P3"), &grdf::sec("Blocked"), &grdf::app("Stream"))
-            .encode(&mut g);
+        Policy::permit(
+            &grdf::sec("P2"),
+            &grdf::sec("Emergency"),
+            &grdf::app("ChemSite"),
+        )
+        .encode(&mut g);
+        Policy::deny(
+            &grdf::sec("P3"),
+            &grdf::sec("Blocked"),
+            &grdf::app("Stream"),
+        )
+        .encode(&mut g);
         let decoded = Policy::decode_all(&g);
         assert_eq!(decoded.len(), 3);
         assert!(decoded.iter().any(|p| p.decision == Decision::Deny));

@@ -1,0 +1,1037 @@
+//! Fault tolerance for the G-SACS service layer.
+//!
+//! The paper's Fig. 3 architecture assumes every component answers; this
+//! module makes the service survive components that don't:
+//!
+//! * [`GsacsError`] — the unified, fail-closed error taxonomy. Every
+//!   internal failure maps to a denied request plus an audit entry; no
+//!   error path returns data.
+//! * [`ResilientEngine`] — retry-with-backoff and a circuit breaker
+//!   around the pluggable [`ReasoningEngine`](crate::gsacs::ReasoningEngine).
+//!   After [`BreakerConfig::failure_threshold`] consecutive failures the
+//!   breaker opens and the service degrades to un-inferred data with
+//!   conservative secure views; after [`BreakerConfig::cooldown`] a
+//!   half-open trial may close it again.
+//! * [`AdmissionGate`] — a bounded in-flight gate that sheds load with
+//!   [`GsacsError::Overloaded`] instead of queueing without bound.
+//! * [`LatencyHistogram`] — fixed log-bucket request latencies for the
+//!   p50/p99 figures in [`HealthReport`].
+//! * [`FaultPlan`] / [`FaultyEngine`] — a deterministic, seeded fault
+//!   injection harness: per pipeline [`Stage`] the plan decides
+//!   error/latency faults reproducibly, and latency is expressed through
+//!   the injected [`Clock`] so deadline expiry is exercised without wall
+//!   sleeps.
+//!
+//! All time flows through [`grdf_runtime::Clock`], so every behavior here
+//! — backoff, cooldown, deadline expiry, latency percentiles — is testable
+//! with a [`ManualClock`](grdf_runtime::ManualClock).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use grdf_query::eval::QueryError;
+use grdf_rdf::graph::Graph;
+use grdf_runtime::{Budget, Clock, Deadline};
+
+use crate::gsacs::ReasoningEngine;
+
+// ---------------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------------
+
+/// The pipeline stage a fault or deadline is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Admission control, before any work.
+    Admission,
+    /// Secure-view construction.
+    View,
+    /// Query parse + evaluation.
+    Query,
+    /// Reasoner materialization.
+    Reasoning,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Admission => "admission",
+            Stage::View => "view",
+            Stage::Query => "query",
+            Stage::Reasoning => "reasoning",
+        })
+    }
+}
+
+/// Unified G-SACS service error. Fail-closed: every variant means the
+/// request was denied and audited; none carries result data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GsacsError {
+    /// The query text did not parse.
+    Parse(String),
+    /// The request's deadline budget was exhausted at `stage`.
+    DeadlineExceeded {
+        /// Where the budget ran out.
+        stage: Stage,
+    },
+    /// Admission control shed the request.
+    Overloaded {
+        /// Requests in flight when this one arrived.
+        in_flight: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The reasoning engine failed (and, when the breaker is open, keeps
+    /// being assumed failed until cooldown).
+    Engine(String),
+    /// Any other internal failure — including injected faults.
+    Internal(String),
+}
+
+impl fmt::Display for GsacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GsacsError::Parse(m) => write!(f, "query parse error: {m}"),
+            GsacsError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded during {stage}")
+            }
+            GsacsError::Overloaded { in_flight, limit } => {
+                write!(
+                    f,
+                    "overloaded: {in_flight} requests in flight (limit {limit})"
+                )
+            }
+            GsacsError::Engine(m) => write!(f, "reasoning engine failure: {m}"),
+            GsacsError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GsacsError {}
+
+impl From<QueryError> for GsacsError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::Parse(m) => GsacsError::Parse(m),
+            QueryError::DeadlineExceeded => GsacsError::DeadlineExceeded {
+                stage: Stage::Query,
+            },
+        }
+    }
+}
+
+/// Failure of one reasoning-engine call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request deadline expired inside materialization.
+    DeadlineExceeded,
+    /// The engine itself failed (crash, resource exhaustion, injected
+    /// fault). The string is diagnostic only.
+    Failed(String),
+    /// The circuit breaker is open; the call was not attempted.
+    CircuitOpen,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DeadlineExceeded => f.write_str("deadline exceeded"),
+            EngineError::Failed(m) => write!(f, "engine failed: {m}"),
+            EngineError::CircuitOpen => f.write_str("circuit breaker open"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<EngineError> for GsacsError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::DeadlineExceeded => GsacsError::DeadlineExceeded {
+                stage: Stage::Reasoning,
+            },
+            other => GsacsError::Engine(other.to_string()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker + retry around the reasoning engine
+// ---------------------------------------------------------------------------
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before allowing a half-open trial.
+    pub cooldown: Duration,
+    /// Successful half-open trials required to close again.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(30),
+            half_open_successes: 1,
+        }
+    }
+}
+
+/// Retry tuning for one engine call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub max_attempts: u32,
+    /// First backoff; doubles per retry. Slept on the injected clock, so
+    /// manual-clock tests pay no wall time.
+    pub backoff_base: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy; calls pass through.
+    Closed,
+    /// Tripped; calls fail fast until cooldown elapses.
+    Open,
+    /// Cooldown elapsed; the next call is a trial.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+#[derive(Debug)]
+struct BreakerCore {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Clock time the breaker opened (meaningful while `Open`).
+    opened_at: Duration,
+    half_open_successes: u32,
+}
+
+/// Retry + circuit breaker around a pluggable [`ReasoningEngine`].
+///
+/// The wrapper is itself an engine-shaped component, but it is *fallible
+/// by contract*: when the breaker is open it fails fast with
+/// [`EngineError::CircuitOpen`] instead of calling through, bounding the
+/// damage a broken reasoner can do to request latency.
+pub struct ResilientEngine {
+    inner: Box<dyn ReasoningEngine>,
+    clock: Arc<dyn Clock>,
+    breaker: BreakerConfig,
+    retry: RetryPolicy,
+    core: Mutex<BreakerCore>,
+    /// Times the breaker tripped open.
+    trips: AtomicU64,
+    /// Total failed attempts (including retries).
+    failed_attempts: AtomicU64,
+}
+
+impl ResilientEngine {
+    /// Wrap `inner` with breaker + retry behavior on `clock`.
+    pub fn new(
+        inner: Box<dyn ReasoningEngine>,
+        clock: Arc<dyn Clock>,
+        breaker: BreakerConfig,
+        retry: RetryPolicy,
+    ) -> ResilientEngine {
+        ResilientEngine {
+            inner,
+            clock,
+            breaker,
+            retry,
+            core: Mutex::new(BreakerCore {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: Duration::ZERO,
+                half_open_successes: 0,
+            }),
+            trips: AtomicU64::new(0),
+            failed_attempts: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped engine's name.
+    pub fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    /// Current breaker state, applying the open→half-open transition when
+    /// the cooldown has elapsed.
+    pub fn state(&self) -> BreakerState {
+        let mut core = self.core.lock();
+        if core.state == BreakerState::Open
+            && self.clock.now() >= core.opened_at + self.breaker.cooldown
+        {
+            core.state = BreakerState::HalfOpen;
+            core.half_open_successes = 0;
+        }
+        core.state
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Total failed engine attempts, retries included.
+    pub fn failed_attempts(&self) -> u64 {
+        self.failed_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Materialize entailments of `graph` through the breaker. Failures
+    /// are retried per [`RetryPolicy`] (except deadline expiry, which
+    /// retrying cannot fix); the final failure is counted against the
+    /// breaker.
+    pub fn materialize(
+        &self,
+        graph: &mut Graph,
+        deadline: &Deadline,
+    ) -> Result<usize, EngineError> {
+        let state = self.state();
+        if state == BreakerState::Open {
+            return Err(EngineError::CircuitOpen);
+        }
+        // Half-open allows exactly one attempt; closed allows retries.
+        let attempts = if state == BreakerState::HalfOpen {
+            1
+        } else {
+            self.retry.max_attempts
+        };
+        let mut last = EngineError::Failed("no attempt made".to_string());
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                let backoff = self.retry.backoff_base * 2u32.saturating_pow(attempt - 1);
+                self.clock.sleep(backoff);
+                if deadline.expired() {
+                    last = EngineError::DeadlineExceeded;
+                    break;
+                }
+            }
+            match self.inner.materialize(graph, deadline) {
+                Ok(n) => {
+                    self.record_success();
+                    return Ok(n);
+                }
+                Err(e) => {
+                    self.failed_attempts.fetch_add(1, Ordering::Relaxed);
+                    let fatal = e == EngineError::DeadlineExceeded;
+                    last = e;
+                    if fatal {
+                        break;
+                    }
+                }
+            }
+        }
+        self.record_failure();
+        Err(last)
+    }
+
+    fn record_success(&self) {
+        let mut core = self.core.lock();
+        match core.state {
+            BreakerState::Closed => core.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                core.half_open_successes += 1;
+                if core.half_open_successes >= self.breaker.half_open_successes {
+                    core.state = BreakerState::Closed;
+                    core.consecutive_failures = 0;
+                }
+            }
+            // A success can't be observed while open (no call went out).
+            BreakerState::Open => {}
+        }
+    }
+
+    fn record_failure(&self) {
+        let mut core = self.core.lock();
+        match core.state {
+            BreakerState::Closed => {
+                core.consecutive_failures += 1;
+                if core.consecutive_failures >= self.breaker.failure_threshold {
+                    core.state = BreakerState::Open;
+                    core.opened_at = self.clock.now();
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Failed trial: re-open for another cooldown.
+                core.state = BreakerState::Open;
+                core.opened_at = self.clock.now();
+                self.trips.fetch_add(1, Ordering::Relaxed);
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Bounded in-flight request gate. A limit of 0 means unbounded.
+#[derive(Debug, Default)]
+pub struct AdmissionGate {
+    limit: usize,
+    in_flight: AtomicUsize,
+    shed: AtomicU64,
+}
+
+impl AdmissionGate {
+    /// Gate admitting at most `limit` concurrent requests (0 = unbounded).
+    pub fn new(limit: usize) -> AdmissionGate {
+        AdmissionGate {
+            limit,
+            in_flight: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to admit a request; the permit releases its slot on drop.
+    pub fn try_acquire(&self) -> Result<Permit<'_>, GsacsError> {
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if self.limit > 0 && prev >= self.limit {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(GsacsError::Overloaded {
+                in_flight: prev,
+                limit: self.limit,
+            });
+        }
+        Ok(Permit { gate: self })
+    }
+
+    /// Requests currently admitted.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Requests shed so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII admission slot.
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------------
+
+/// Bucket `i` counts latencies in `[2^i, 2^(i+1))` microseconds; the last
+/// bucket absorbs everything longer (~ 9 hours and up).
+const HISTOGRAM_BUCKETS: usize = 45;
+
+/// Fixed log₂-bucket latency histogram with lock-free recording.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one request latency.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (63 - (us | 1).leading_zeros()) as usize;
+        self.buckets[idx.min(HISTOGRAM_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// holding the target rank; zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_micros(1u64 << (i + 1).min(62));
+            }
+        }
+        Duration::from_micros(1u64 << 62)
+    }
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Health reporting
+// ---------------------------------------------------------------------------
+
+/// A point-in-time health snapshot of a [`GSacs`](crate::gsacs::GSacs)
+/// service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Name of the plugged-in reasoning engine.
+    pub reasoner: &'static str,
+    /// Circuit-breaker state.
+    pub breaker: BreakerState,
+    /// Times the breaker has tripped.
+    pub breaker_trips: u64,
+    /// Whether the service is serving un-inferred data with conservative
+    /// views.
+    pub degraded: bool,
+    /// Requests handled (admitted or shed).
+    pub requests: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests currently in flight.
+    pub in_flight: usize,
+    /// Query-cache hits.
+    pub cache_hits: u64,
+    /// Query-cache misses.
+    pub cache_misses: u64,
+    /// Query-cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Secure views currently cached.
+    pub view_cache_entries: usize,
+    /// Audit entries currently retained.
+    pub audit_entries: usize,
+    /// Audit entries dropped by the ring buffer.
+    pub audit_dropped: u64,
+    /// Median request latency (log-bucket upper bound).
+    pub p50: Duration,
+    /// 99th-percentile request latency (log-bucket upper bound).
+    pub p99: Duration,
+}
+
+impl HealthReport {
+    /// Multi-line human-readable rendering (used by `grdf-cli health`).
+    pub fn render(&self) -> String {
+        format!(
+            "reasoner:        {}\n\
+             breaker:         {} (trips: {})\n\
+             degraded:        {}\n\
+             requests:        {} ({} shed, {} in flight)\n\
+             query cache:     {} hits / {} misses ({:.1}% hit rate)\n\
+             view cache:      {} entries\n\
+             audit log:       {} entries ({} dropped)\n\
+             latency:         p50 ≤ {:?}, p99 ≤ {:?}",
+            self.reasoner,
+            self.breaker,
+            self.breaker_trips,
+            if self.degraded {
+                "YES — serving un-inferred data, conservative views"
+            } else {
+                "no"
+            },
+            self.requests,
+            self.shed,
+            self.in_flight,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate * 100.0,
+            self.view_cache_entries,
+            self.audit_entries,
+            self.audit_dropped,
+            self.p50,
+            self.p99,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The stage fails with an error.
+    Error,
+    /// The stage stalls for the given duration (advanced on the injected
+    /// clock, so deadlines fire without wall time passing).
+    Latency(Duration),
+}
+
+/// A hook that may fail or stall a pipeline stage. The default
+/// implementation injects nothing.
+pub trait FaultInjector: Send + Sync {
+    /// Called before `stage` runs; an `Err` aborts the request.
+    fn inject(&self, stage: Stage, clock: &dyn Clock) -> Result<(), GsacsError>;
+}
+
+/// An injector that never injects (useful as an explicit default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn inject(&self, _stage: Stage, _clock: &dyn Clock) -> Result<(), GsacsError> {
+        Ok(())
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic, seeded fault plan. The decision for call `n` at a stage
+/// is a pure function of `(seed, stage, n)`, so a failing property-test
+/// case replays identically from its seed.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Probability a call errors.
+    error_rate: f64,
+    /// Probability a call stalls (checked after the error draw).
+    latency_rate: f64,
+    /// Stall duration for latency faults.
+    latency: Duration,
+    /// Per-stage call sequence numbers.
+    seq: Mutex<[u64; 4]>,
+    /// Faults actually injected, per kind.
+    injected_errors: AtomicU64,
+    injected_stalls: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan injecting errors and stalls at the given rates.
+    pub fn new(seed: u64, error_rate: f64, latency_rate: f64, latency: Duration) -> FaultPlan {
+        FaultPlan {
+            seed,
+            error_rate: error_rate.clamp(0.0, 1.0),
+            latency_rate: latency_rate.clamp(0.0, 1.0),
+            latency,
+            seq: Mutex::new([0; 4]),
+            injected_errors: AtomicU64::new(0),
+            injected_stalls: AtomicU64::new(0),
+        }
+    }
+
+    fn stage_index(stage: Stage) -> usize {
+        match stage {
+            Stage::Admission => 0,
+            Stage::View => 1,
+            Stage::Query => 2,
+            Stage::Reasoning => 3,
+        }
+    }
+
+    /// The fault (if any) for the next call at `stage`. Consumes one
+    /// sequence number per call.
+    pub fn decide(&self, stage: Stage) -> Option<FaultKind> {
+        let idx = Self::stage_index(stage);
+        let n = {
+            let mut seq = self.seq.lock();
+            let n = seq[idx];
+            seq[idx] += 1;
+            n
+        };
+        let word = splitmix64(self.seed ^ ((idx as u64) << 56) ^ n);
+        let draw = (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if draw < self.error_rate {
+            self.injected_errors.fetch_add(1, Ordering::Relaxed);
+            Some(FaultKind::Error)
+        } else if draw < self.error_rate + self.latency_rate {
+            self.injected_stalls.fetch_add(1, Ordering::Relaxed);
+            Some(FaultKind::Latency(self.latency))
+        } else {
+            None
+        }
+    }
+
+    /// `(errors, stalls)` injected so far.
+    pub fn injected(&self) -> (u64, u64) {
+        (
+            self.injected_errors.load(Ordering::Relaxed),
+            self.injected_stalls.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn inject(&self, stage: Stage, clock: &dyn Clock) -> Result<(), GsacsError> {
+        match self.decide(stage) {
+            None => Ok(()),
+            Some(FaultKind::Latency(d)) => {
+                clock.sleep(d);
+                Ok(())
+            }
+            Some(FaultKind::Error) => Err(GsacsError::Internal(format!(
+                "injected fault at {stage} stage"
+            ))),
+        }
+    }
+}
+
+/// A [`ReasoningEngine`] wrapper that injects faults from a [`FaultPlan`]
+/// before delegating — the engine-side half of the harness.
+pub struct FaultyEngine {
+    inner: Box<dyn ReasoningEngine>,
+    plan: Arc<FaultPlan>,
+    clock: Arc<dyn Clock>,
+}
+
+impl FaultyEngine {
+    /// Wrap `inner`, consulting `plan` on every materialization.
+    pub fn new(
+        inner: Box<dyn ReasoningEngine>,
+        plan: Arc<FaultPlan>,
+        clock: Arc<dyn Clock>,
+    ) -> FaultyEngine {
+        FaultyEngine { inner, plan, clock }
+    }
+}
+
+impl ReasoningEngine for FaultyEngine {
+    fn materialize(&self, graph: &mut Graph, deadline: &Deadline) -> Result<usize, EngineError> {
+        match self.plan.decide(Stage::Reasoning) {
+            Some(FaultKind::Error) => {
+                return Err(EngineError::Failed("injected reasoner fault".to_string()));
+            }
+            Some(FaultKind::Latency(d)) => {
+                self.clock.sleep(d);
+                if deadline.expired() {
+                    return Err(EngineError::DeadlineExceeded);
+                }
+            }
+            None => {}
+        }
+        self.inner.materialize(graph, deadline)
+    }
+
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service-level resilience configuration
+// ---------------------------------------------------------------------------
+
+/// Resilience knobs for a [`GSacs`](crate::gsacs::GSacs) instance.
+#[derive(Clone)]
+pub struct ResilienceConfig {
+    /// Time source for deadlines, backoff, and cooldowns.
+    pub clock: Arc<dyn Clock>,
+    /// Per-request budget; unlimited by default.
+    pub request_budget: Budget,
+    /// Circuit-breaker tuning for the reasoning engine.
+    pub breaker: BreakerConfig,
+    /// Retry tuning for the reasoning engine.
+    pub retry: RetryPolicy,
+    /// Maximum concurrent requests (0 = unbounded).
+    pub max_in_flight: usize,
+    /// Audit-log ring-buffer capacity (0 = unbounded, discouraged).
+    pub audit_capacity: usize,
+    /// Optional fault-injection hook (tests only).
+    pub fault_injector: Option<Arc<dyn FaultInjector>>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> ResilienceConfig {
+        ResilienceConfig {
+            clock: grdf_runtime::system_clock(),
+            request_budget: Budget::UNLIMITED,
+            breaker: BreakerConfig::default(),
+            retry: RetryPolicy::default(),
+            max_in_flight: 1024,
+            audit_capacity: 65_536,
+            fault_injector: None,
+        }
+    }
+}
+
+impl fmt::Debug for ResilienceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResilienceConfig")
+            .field("request_budget", &self.request_budget)
+            .field("breaker", &self.breaker)
+            .field("retry", &self.retry)
+            .field("max_in_flight", &self.max_in_flight)
+            .field("audit_capacity", &self.audit_capacity)
+            .field("fault_injector", &self.fault_injector.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsacs::NoReasoning;
+    use grdf_runtime::ManualClock;
+
+    /// An engine that fails a configurable number of times, then succeeds.
+    struct FlakyEngine {
+        failures_left: Mutex<u32>,
+    }
+
+    impl ReasoningEngine for FlakyEngine {
+        fn materialize(
+            &self,
+            _graph: &mut Graph,
+            _deadline: &Deadline,
+        ) -> Result<usize, EngineError> {
+            let mut left = self.failures_left.lock();
+            if *left > 0 {
+                *left -= 1;
+                Err(EngineError::Failed("flaky".to_string()))
+            } else {
+                Ok(7)
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+    }
+
+    fn resilient(failures: u32, clock: Arc<ManualClock>) -> ResilientEngine {
+        ResilientEngine::new(
+            Box::new(FlakyEngine {
+                failures_left: Mutex::new(failures),
+            }),
+            clock,
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(10),
+                half_open_successes: 1,
+            },
+            RetryPolicy {
+                max_attempts: 1,
+                backoff_base: Duration::from_millis(10),
+            },
+        )
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_recovers_after_cooldown() {
+        let clock = Arc::new(ManualClock::new());
+        let engine = resilient(2, clock.clone());
+        let mut g = Graph::new();
+        let d = Deadline::never();
+
+        // Two failures trip the breaker (threshold 2).
+        assert!(engine.materialize(&mut g, &d).is_err());
+        assert_eq!(engine.state(), BreakerState::Closed);
+        assert!(engine.materialize(&mut g, &d).is_err());
+        assert_eq!(engine.state(), BreakerState::Open);
+        assert_eq!(engine.trips(), 1);
+
+        // While open: fail fast without touching the engine.
+        assert_eq!(
+            engine.materialize(&mut g, &d),
+            Err(EngineError::CircuitOpen)
+        );
+
+        // Cooldown elapses → half-open → successful trial closes it.
+        clock.advance(Duration::from_secs(10));
+        assert_eq!(engine.state(), BreakerState::HalfOpen);
+        assert_eq!(engine.materialize(&mut g, &d), Ok(7));
+        assert_eq!(engine.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_half_open_trial_reopens() {
+        let clock = Arc::new(ManualClock::new());
+        let engine = resilient(3, clock.clone());
+        let mut g = Graph::new();
+        let d = Deadline::never();
+        assert!(engine.materialize(&mut g, &d).is_err());
+        assert!(engine.materialize(&mut g, &d).is_err());
+        assert_eq!(engine.state(), BreakerState::Open);
+        clock.advance(Duration::from_secs(10));
+        // Trial fails (third configured failure) → open again.
+        assert!(engine.materialize(&mut g, &d).is_err());
+        assert_eq!(engine.state(), BreakerState::Open);
+        assert_eq!(engine.trips(), 2);
+        // Second cooldown → trial succeeds.
+        clock.advance(Duration::from_secs(10));
+        assert_eq!(engine.materialize(&mut g, &d), Ok(7));
+        assert_eq!(engine.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn retries_succeed_within_one_call_and_backoff_uses_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let engine = ResilientEngine::new(
+            Box::new(FlakyEngine {
+                failures_left: Mutex::new(2),
+            }),
+            clock.clone(),
+            BreakerConfig::default(),
+            RetryPolicy {
+                max_attempts: 3,
+                backoff_base: Duration::from_millis(10),
+            },
+        );
+        let mut g = Graph::new();
+        assert_eq!(engine.materialize(&mut g, &Deadline::never()), Ok(7));
+        // Two retries: 10ms + 20ms of backoff on the manual clock.
+        assert_eq!(clock.now(), Duration::from_millis(30));
+        assert_eq!(engine.failed_attempts(), 2);
+        assert_eq!(engine.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn deadline_expiry_is_not_retried() {
+        struct DeadlineEater;
+        impl ReasoningEngine for DeadlineEater {
+            fn materialize(&self, _g: &mut Graph, _d: &Deadline) -> Result<usize, EngineError> {
+                Err(EngineError::DeadlineExceeded)
+            }
+            fn name(&self) -> &'static str {
+                "eater"
+            }
+        }
+        let clock = Arc::new(ManualClock::new());
+        let engine = ResilientEngine::new(
+            Box::new(DeadlineEater),
+            clock.clone(),
+            BreakerConfig::default(),
+            RetryPolicy {
+                max_attempts: 5,
+                backoff_base: Duration::from_millis(10),
+            },
+        );
+        let mut g = Graph::new();
+        assert_eq!(
+            engine.materialize(&mut g, &Deadline::never()),
+            Err(EngineError::DeadlineExceeded)
+        );
+        assert_eq!(
+            engine.failed_attempts(),
+            1,
+            "no retry after deadline expiry"
+        );
+        assert_eq!(clock.now(), Duration::ZERO, "no backoff slept");
+    }
+
+    #[test]
+    fn admission_gate_sheds_beyond_limit() {
+        let gate = AdmissionGate::new(2);
+        let p1 = gate.try_acquire().unwrap();
+        let _p2 = gate.try_acquire().unwrap();
+        assert!(matches!(
+            gate.try_acquire(),
+            Err(GsacsError::Overloaded {
+                in_flight: 2,
+                limit: 2
+            })
+        ));
+        assert_eq!(gate.shed_total(), 1);
+        drop(p1);
+        assert!(gate.try_acquire().is_ok());
+        assert_eq!(gate.in_flight(), 1, "permits release on drop");
+    }
+
+    #[test]
+    fn unbounded_gate_never_sheds() {
+        let gate = AdmissionGate::new(0);
+        let permits: Vec<_> = (0..100).map(|_| gate.try_acquire().unwrap()).collect();
+        assert_eq!(gate.in_flight(), 100);
+        assert_eq!(gate.shed_total(), 0);
+        drop(permits);
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(500));
+        assert_eq!(h.count(), 100);
+        assert!(h.quantile(0.5) <= Duration::from_micros(256));
+        assert!(h.quantile(0.99) >= Duration::from_micros(100));
+        assert!(h.quantile(1.0) >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic() {
+        let a = FaultPlan::new(42, 0.3, 0.2, Duration::from_millis(5));
+        let b = FaultPlan::new(42, 0.3, 0.2, Duration::from_millis(5));
+        for _ in 0..200 {
+            assert_eq!(a.decide(Stage::Query), b.decide(Stage::Query));
+            assert_eq!(a.decide(Stage::Reasoning), b.decide(Stage::Reasoning));
+        }
+        let c = FaultPlan::new(43, 0.3, 0.2, Duration::from_millis(5));
+        let differs = (0..200).any(|_| {
+            let x = FaultPlan::new(42, 0.3, 0.2, Duration::from_millis(5));
+            let _ = x;
+            a.decide(Stage::View) != c.decide(Stage::View)
+        });
+        assert!(differs, "different seeds must produce different plans");
+    }
+
+    #[test]
+    fn faulty_engine_latency_consumes_deadline() {
+        let clock = Arc::new(ManualClock::new());
+        let plan = Arc::new(FaultPlan::new(7, 0.0, 1.0, Duration::from_millis(100)));
+        let engine = FaultyEngine::new(Box::new(NoReasoning), plan, clock.clone());
+        let mut g = Graph::new();
+        let d = Deadline::armed(clock.clone(), Budget::with_time(Duration::from_millis(50)));
+        assert_eq!(
+            engine.materialize(&mut g, &d),
+            Err(EngineError::DeadlineExceeded)
+        );
+        assert_eq!(
+            clock.now(),
+            Duration::from_millis(100),
+            "stall advanced the clock"
+        );
+    }
+}

@@ -10,11 +10,11 @@ use std::collections::HashSet;
 
 use grdf_rdf::graph::Graph;
 use grdf_rdf::term::{Term, Triple};
-use grdf_rdf::vocab::rdf;
 #[cfg(test)]
 use grdf_rdf::vocab::grdf;
+use grdf_rdf::vocab::rdf;
 
-use crate::policy::{Access, Action, PolicySet};
+use crate::policy::{Access, Action, Decision, PolicySet};
 
 /// Statistics from building a view.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,7 +45,8 @@ pub fn secure_view(data: &Graph, policies: &PolicySet, role: &str) -> (Graph, Vi
         let types = data.objects(&subject, &Term::iri(rdf::TYPE));
         let is_instance = types.iter().any(|t| {
             t.as_iri().is_some_and(|i| {
-                !i.starts_with(grdf_rdf::vocab::owl::NS) && !i.starts_with(grdf_rdf::vocab::rdfs::NS)
+                !i.starts_with(grdf_rdf::vocab::owl::NS)
+                    && !i.starts_with(grdf_rdf::vocab::rdfs::NS)
             })
         });
         if !is_instance {
@@ -59,7 +60,9 @@ pub fn secure_view(data: &Graph, policies: &PolicySet, role: &str) -> (Graph, Vi
 
         let mut any_granted = false;
         for t in data.match_pattern(Some(&subject), None, None) {
-            let Some(pred) = t.predicate.as_iri() else { continue };
+            let Some(pred) = t.predicate.as_iri() else {
+                continue;
+            };
             match policies.evaluate(data, role, &subject, pred, Action::View) {
                 Access::Granted => {
                     any_granted = true;
@@ -96,6 +99,32 @@ pub fn secure_view(data: &Graph, policies: &PolicySet, role: &str) -> (Graph, Vi
     }
 
     (view, stats)
+}
+
+/// Most-restrictive view for degraded mode, where the reasoner is
+/// unavailable and `data` is un-inferred.
+///
+/// Deny policies may rely on entailments (a deny on a superclass must
+/// catch instances typed only with a subclass), so without inference they
+/// cannot be evaluated safely: a role subject to *any* Deny policy gets an
+/// empty view. Roles with only Permit policies fall through to
+/// [`secure_view`] over the un-inferred graph, which is already
+/// conservative — permits that need inference simply do not fire, and
+/// deny-by-default suppresses the rest.
+pub fn conservative_view(data: &Graph, policies: &PolicySet, role: &str) -> (Graph, ViewStats) {
+    let has_deny = policies
+        .for_role(role)
+        .iter()
+        .any(|p| p.decision == Decision::Deny);
+    if has_deny {
+        let stats = ViewStats {
+            granted: 0,
+            suppressed: data.len(),
+            unmatched_subjects: 0,
+        };
+        return (Graph::new(), stats);
+    }
+    secure_view(data, policies, role)
 }
 
 /// Convenience: is the literal/IRI value of `(subject, property)` visible
@@ -145,7 +174,11 @@ mod tests {
                 &[&grdf::iri("hasGeometry"), &grdf::iri("isBoundedBy")],
             ),
             // …and full access to the open hydrology layer.
-            Policy::permit(&grdf::sec("MainRepPolicy2"), &grdf::sec("MainRep"), &grdf::app("Stream")),
+            Policy::permit(
+                &grdf::sec("MainRepPolicy2"),
+                &grdf::sec("MainRep"),
+                &grdf::app("Stream"),
+            ),
         ])
     }
 
@@ -154,12 +187,28 @@ mod tests {
         let data = incident_data();
         let (view, stats) = secure_view(&data, &main_repair_policies(), &grdf::sec("MainRep"));
         // Geometry visible.
-        assert!(view_exposes(&view, &grdf::app("NTEnergy"), &grdf::iri("hasGeometry")));
+        assert!(view_exposes(
+            &view,
+            &grdf::app("NTEnergy"),
+            &grdf::iri("hasGeometry")
+        ));
         // Chemistry suppressed.
-        assert!(!view_exposes(&view, &grdf::app("NTEnergy"), &grdf::app("hasChemCode")));
-        assert!(!view_exposes(&view, &grdf::app("NTEnergy"), &grdf::app("hasSiteName")));
+        assert!(!view_exposes(
+            &view,
+            &grdf::app("NTEnergy"),
+            &grdf::app("hasChemCode")
+        ));
+        assert!(!view_exposes(
+            &view,
+            &grdf::app("NTEnergy"),
+            &grdf::app("hasSiteName")
+        ));
         // Stream fully visible.
-        assert!(view_exposes(&view, &grdf::app("WhiteRock"), &grdf::app("hasObjectID")));
+        assert!(view_exposes(
+            &view,
+            &grdf::app("WhiteRock"),
+            &grdf::app("hasObjectID")
+        ));
         assert!(stats.suppressed >= 2);
         assert!(stats.granted > 0);
     }
@@ -170,7 +219,10 @@ mod tests {
         let (view, _) = secure_view(&data, &main_repair_policies(), &grdf::sec("MainRep"));
         // The blank geometry node's own triples came along.
         let gnode = view
-            .object(&Term::iri(&grdf::app("NTEnergy")), &Term::iri(&grdf::iri("hasGeometry")))
+            .object(
+                &Term::iri(&grdf::app("NTEnergy")),
+                &Term::iri(&grdf::iri("hasGeometry")),
+            )
             .expect("geometry link visible");
         assert!(
             !view.match_pattern(Some(&gnode), None, None).is_empty(),
@@ -186,7 +238,11 @@ mod tests {
             Policy::permit("urn:pe2", &grdf::sec("Emergency"), &grdf::app("Stream")),
         ]);
         let (view, stats) = secure_view(&data, &ps, &grdf::sec("Emergency"));
-        assert!(view_exposes(&view, &grdf::app("NTEnergy"), &grdf::app("hasChemCode")));
+        assert!(view_exposes(
+            &view,
+            &grdf::app("NTEnergy"),
+            &grdf::app("hasChemCode")
+        ));
         assert_eq!(stats.suppressed, 0);
     }
 
@@ -219,8 +275,16 @@ mod tests {
             ],
         )]);
         let (view, _) = secure_view(&data, &ps, &grdf::sec("Hazmat"));
-        assert!(view_exposes(&view, &grdf::app("NTEnergy"), &grdf::app("hasChemCode")));
-        assert!(!view_exposes(&view, &grdf::app("NTEnergy"), &grdf::app("hasContactPhone")));
+        assert!(view_exposes(
+            &view,
+            &grdf::app("NTEnergy"),
+            &grdf::app("hasChemCode")
+        ));
+        assert!(!view_exposes(
+            &view,
+            &grdf::app("NTEnergy"),
+            &grdf::app("hasContactPhone")
+        ));
     }
 
     #[test]

@@ -48,7 +48,9 @@ impl TopoCurve {
 
     /// Whether the chain returns to its start.
     pub fn is_closed(&self, model: &TopologyModel) -> bool {
-        self.start(model).zip(self.end(model)).is_some_and(|(s, e)| s == e)
+        self.start(model)
+            .zip(self.end(model))
+            .is_some_and(|(s, e)| s == e)
     }
 
     /// Hop length of the chain.

@@ -33,12 +33,18 @@ pub struct DirectedEdge {
 impl DirectedEdge {
     /// Forward use of `edge`.
     pub fn forward(edge: EdgeId) -> DirectedEdge {
-        DirectedEdge { edge, forward: true }
+        DirectedEdge {
+            edge,
+            forward: true,
+        }
     }
 
     /// Reverse use of `edge`.
     pub fn reverse(edge: EdgeId) -> DirectedEdge {
-        DirectedEdge { edge, forward: false }
+        DirectedEdge {
+            edge,
+            forward: false,
+        }
     }
 }
 
@@ -169,7 +175,9 @@ impl TopologyModel {
 
     /// Endpoints `(start, end)` of an edge.
     pub fn edge_nodes(&self, e: EdgeId) -> Option<(NodeId, NodeId)> {
-        self.edges.get(e.0 as usize).map(|edge| (edge.start, edge.end))
+        self.edges
+            .get(e.0 as usize)
+            .map(|edge| (edge.start, edge.end))
     }
 
     /// Origin node of a directed edge use.
@@ -213,7 +221,9 @@ impl TopologyModel {
 
     /// The directed boundary of a face.
     pub fn face_boundary(&self, f: FaceId) -> Option<&[DirectedEdge]> {
-        self.faces.get(f.0 as usize).map(|face| face.boundary.as_slice())
+        self.faces
+            .get(f.0 as usize)
+            .map(|face| face.boundary.as_slice())
     }
 
     /// Add a TopoSolid bounded by faces; enforces List 5's limit of two
@@ -240,7 +250,9 @@ impl TopologyModel {
 
     /// The faces bounding a solid.
     pub fn solid_shell(&self, s: SolidId) -> Option<&[FaceId]> {
-        self.solids.get(s.0 as usize).map(|solid| solid.shell.as_slice())
+        self.solids
+            .get(s.0 as usize)
+            .map(|solid| solid.shell.as_slice())
     }
 
     // --- co-boundary queries -------------------------------------------

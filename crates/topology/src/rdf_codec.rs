@@ -49,7 +49,11 @@ pub fn encode_topology(graph: &mut Graph, base: &str, model: &TopologyModel) -> 
             Term::iri(&ns::iri("startNode")),
             Term::iri(&node_iri(base, s)),
         );
-        graph.add(edge, Term::iri(&ns::iri("endNode")), Term::iri(&node_iri(base, e)));
+        graph.add(
+            edge,
+            Term::iri(&ns::iri("endNode")),
+            Term::iri(&node_iri(base, e)),
+        );
         // Adjacency for connectivity reasoning.
         graph.add(
             Term::iri(&node_iri(base, s)),
@@ -104,7 +108,11 @@ pub fn decode_topology(graph: &Graph, base: &str) -> Option<TopologyModel> {
 
     // Nodes, in index order (IRIs encode the ids).
     let mut node_count = 0usize;
-    while graph.has(&Term::iri(&node_iri(base, NodeId(node_count as u32))), &ty, &Term::iri(&ns::iri("Node"))) {
+    while graph.has(
+        &Term::iri(&node_iri(base, NodeId(node_count as u32))),
+        &ty,
+        &Term::iri(&ns::iri("Node")),
+    ) {
         model.add_node();
         node_count += 1;
     }
@@ -117,8 +125,20 @@ pub fn decode_topology(graph: &Graph, base: &str) -> Option<TopologyModel> {
         if !graph.has(&edge, &ty, &Term::iri(&ns::iri("Edge"))) {
             break;
         }
-        let s = parse_id(graph.object(&edge, &Term::iri(&ns::iri("startNode")))?.as_iri()?, base, "node")?;
-        let e = parse_id(graph.object(&edge, &Term::iri(&ns::iri("endNode")))?.as_iri()?, base, "node")?;
+        let s = parse_id(
+            graph
+                .object(&edge, &Term::iri(&ns::iri("startNode")))?
+                .as_iri()?,
+            base,
+            "node",
+        )?;
+        let e = parse_id(
+            graph
+                .object(&edge, &Term::iri(&ns::iri("endNode")))?
+                .as_iri()?,
+            base,
+            "node",
+        )?;
         model.add_edge(NodeId(s), NodeId(e)).ok()?;
         edge_count += 1;
     }
@@ -141,22 +161,31 @@ pub fn decode_topology(graph: &Graph, base: &str) -> Option<TopologyModel> {
                 .object(&u, &Term::iri(&ns::iri("isForward")))?
                 .as_literal()?
                 .as_boolean()?;
-            boundary.push(DirectedEdge { edge: EdgeId(eid), forward });
+            boundary.push(DirectedEdge {
+                edge: EdgeId(eid),
+                forward,
+            });
         }
         model.add_face(boundary).ok()?;
         face_count += 1;
     }
 
     // Solids from the face→solid co-boundary.
-    let mut solids: std::collections::BTreeMap<u32, Vec<FaceId>> = std::collections::BTreeMap::new();
-    graph.for_each_match(None, Some(&Term::iri(&ns::iri("hasTopoSolid"))), None, |t| {
-        if let (Some(f), Some(s)) = (
-            t.subject.as_iri().and_then(|i| parse_id(i, base, "face")),
-            t.object.as_iri().and_then(|i| parse_id(i, base, "solid")),
-        ) {
-            solids.entry(s).or_default().push(FaceId(f));
-        }
-    });
+    let mut solids: std::collections::BTreeMap<u32, Vec<FaceId>> =
+        std::collections::BTreeMap::new();
+    graph.for_each_match(
+        None,
+        Some(&Term::iri(&ns::iri("hasTopoSolid"))),
+        None,
+        |t| {
+            if let (Some(f), Some(s)) = (
+                t.subject.as_iri().and_then(|i| parse_id(i, base, "face")),
+                t.object.as_iri().and_then(|i| parse_id(i, base, "solid")),
+            ) {
+                solids.entry(s).or_default().push(FaceId(f));
+            }
+        },
+    );
     for (_, mut shell) in solids {
         shell.sort();
         shell.dedup();

@@ -98,8 +98,14 @@ impl Realization {
         let (s, e) = model
             .edge_nodes(edge)
             .ok_or_else(|| RealizationError::UnknownPrimitive("edge".into()))?;
-        let sp = self.nodes.get(&s).ok_or(RealizationError::MissingNodeRealization(s))?;
-        let ep = self.nodes.get(&e).ok_or(RealizationError::MissingNodeRealization(e))?;
+        let sp = self
+            .nodes
+            .get(&s)
+            .ok_or(RealizationError::MissingNodeRealization(s))?;
+        let ep = self
+            .nodes
+            .get(&e)
+            .ok_or(RealizationError::MissingNodeRealization(e))?;
         if !curve.start().approx_eq(&sp.coord, EPS) || !curve.end().approx_eq(&ep.coord, EPS) {
             return Err(RealizationError::EndpointMismatch { edge });
         }
@@ -263,10 +269,8 @@ mod tests {
                 crate::model::DirectedEdge::forward(e2),
             ])
             .unwrap();
-        let surf = Surface::from_polygon(Polygon::rectangle(
-            Coord::xy(0.0, 0.0),
-            Coord::xy(1.0, 1.0),
-        ));
+        let surf =
+            Surface::from_polygon(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)));
         let mut r = Realization::new();
         r.realize_face(&m, f, surf.clone()).unwrap();
         let err = r.realize_face(&m, f, surf).unwrap_err();
@@ -289,7 +293,10 @@ mod tests {
             .realize_solid(
                 &m,
                 SolidId(0),
-                Solid::extrude(Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)), 1.0)
+                Solid::extrude(
+                    Polygon::rectangle(Coord::xy(0.0, 0.0), Coord::xy(1.0, 1.0)),
+                    1.0
+                )
             )
             .is_err());
     }

@@ -1,0 +1,883 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! reimplements the slice of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`;
+//! * strategies for integer and float ranges, `&str` regex-subset
+//!   patterns, tuples, `Vec<S>`, [`collection::vec`], [`option::of`],
+//!   [`bool::ANY`], [`Just`], and [`arbitrary::any`];
+//! * the [`proptest!`] / [`prop_oneof!`] / `prop_assert*!` /
+//!   [`prop_assume!`] macros;
+//! * a deterministic per-test, per-case RNG (no shrinking — failures
+//!   report the full generated inputs instead of a minimized case).
+//!
+//! The semantics intentionally favour determinism over coverage tricks:
+//! case `k` of test `t` always sees the same inputs, so CI failures
+//! reproduce locally without a persisted regression file.
+
+pub mod test_runner {
+    /// Run-time configuration for a [`proptest!`] block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases (the only knob this stand-in has).
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the message explains which.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Build a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Deterministic xoshiro256++ RNG, seeded from the test path + case
+    /// index so each case is reproducible in isolation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test identified by `path`.
+        pub fn for_case(path: &str, case: u32) -> TestRng {
+            // FNV-1a over the path, mixed with the case index.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng::from_seed(h ^ ((case as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)))
+        }
+
+        /// RNG from a raw 64-bit seed.
+        pub fn from_seed(seed: u64) -> TestRng {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            if s == [0, 0, 0, 0] {
+                s[0] = 1;
+            }
+            TestRng { s }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Fair coin.
+        pub fn coin(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+
+        /// Generate an intermediate value, then generate from the strategy
+        /// `f` builds out of it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap {
+                source: self,
+                flat: f,
+            }
+        }
+
+        /// Keep only values for which `f` returns true (resamples up to a
+        /// bounded number of times, then panics).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                source: self,
+                keep: f,
+                whence,
+            }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A heap-allocated, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) map: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) source: S,
+        pub(crate) flat: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.flat)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) source: S,
+        pub(crate) keep: F,
+        pub(crate) whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.source.generate(rng);
+                if (self.keep)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 candidates in a row: {}",
+                self.whence
+            );
+        }
+    }
+
+    /// Uniform choice among same-valued strategies (see [`prop_oneof!`]).
+    pub struct Union<T> {
+        branches: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// A union over `branches`; must be non-empty.
+        pub fn new(branches: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(
+                !branches.is_empty(),
+                "prop_oneof! needs at least one branch"
+            );
+            Union { branches }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.branches.len() as u64) as usize;
+            self.branches[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            (self.start as f64 + rng.unit_f64() * (self.end - self.start) as f64) as f32
+        }
+    }
+
+    /// `&str` strategies are regex-subset patterns: literals, `[...]`
+    /// classes with ranges, and `{n}` / `{m,n}` / `*` / `+` / `?`
+    /// quantifiers.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy, reachable via [`any`].
+    pub trait Arbitrary: Sized + Debug {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.coin()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        /// Finite doubles across a wide magnitude range (no NaN/inf —
+        /// matching how the workspace's tests use `any::<f64>()`).
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            let mantissa = rng.unit_f64() * 2.0 - 1.0;
+            let exp = (rng.below(61) as i32 - 30) as f64;
+            mantissa * exp.exp2()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        /// Printable ASCII plus a sprinkling of wider codepoints.
+        fn arbitrary(rng: &mut TestRng) -> char {
+            if rng.below(8) == 0 {
+                char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('¿')
+            } else {
+                (0x20u8 + rng.below(0x5F) as u8) as char
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with sizes drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy with between `size.start` and `size.end - 1`
+    /// elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.start < size.end,
+            "empty size range for collection::vec"
+        );
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option`s (see [`of`]).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some(inner)` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Fair-coin boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.coin()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+
+    /// Strategy choosing one element of a fixed list.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice from `options` (cloned per case).
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select needs options");
+        Select { options }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// One parsed pattern atom: the characters it may produce and how many
+    /// repetitions it allows.
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generate a string from the regex subset: literal characters,
+    /// `[...]` classes (with `a-z` ranges), and `{n}` / `{m,n}` / `*` /
+    /// `+` / `?` quantifiers.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                    let class = parse_class(&chars[i + 1..close], pattern);
+                    i = close + 1;
+                    class
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    i += 1;
+                    match c {
+                        'd' => ('0'..='9').collect(),
+                        'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').collect(),
+                        's' => vec![' '],
+                        other => vec![other],
+                    }
+                }
+                '.' => {
+                    i += 1;
+                    (' '..='~').collect()
+                }
+                literal => {
+                    i += 1;
+                    vec![literal]
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i], body[i + 2]);
+                assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                for c in lo..=hi {
+                    out.push(c);
+                }
+                i += 3;
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(
+            !out.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace alias (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// expands to a test running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                let __inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                    $(&$arg),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:\n{}",
+                            __case + 1,
+                            __config.cases,
+                            msg,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a [`proptest!`] body; failures report the generated
+/// inputs instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($branch:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($branch)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_patterns_generate_in_bounds() {
+        let mut rng = TestRng::for_case("self::smoke", 0);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3..9usize), &mut rng);
+            assert!((3..9).contains(&v));
+            let s = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = Strategy::generate(&"[a-z][a-z0-9]{0,6}", &mut rng);
+            assert!(!t.is_empty() && t.len() <= 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let s = (0..100usize, "[ -~]{0,20}");
+        let a = Strategy::generate(&s, &mut TestRng::for_case("x", 3));
+        let b = Strategy::generate(&s, &mut TestRng::for_case("x", 3));
+        assert_eq!(a, b);
+        let c = Strategy::generate(&s, &mut TestRng::for_case("x", 4));
+        assert!(a != c || Strategy::generate(&s, &mut TestRng::for_case("x", 5)) != a);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(v in prop::collection::vec(0..50i64, 0..10), flag in prop::bool::ANY) {
+            prop_assert!(v.len() < 10);
+            for x in &v {
+                prop_assert!((0..50).contains(x), "{} out of bounds", x);
+            }
+            prop_assert_eq!(flag || !flag, true);
+        }
+
+        #[test]
+        fn assume_skips(n in 0..10usize) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_option(x in prop_oneof![(0..5i64), (100..105i64)], o in prop::option::of(0..3usize)) {
+            prop_assert!((0..5).contains(&x) || (100..105).contains(&x));
+            if let Some(v) = o {
+                prop_assert!(v < 3);
+            }
+        }
+    }
+}

@@ -52,10 +52,24 @@ const CHEMICALS: &[(&str, &str)] = &[
     ("Methanol", "067ME"),
 ];
 
-const COMPANY_A: &[&str] =
-    &["North Texas", "Trinity", "Lone Star", "Metroplex", "Red River", "Blackland", "Caddo"];
-const COMPANY_B: &[&str] =
-    &["Energy", "Chemical", "Refining", "Polymers", "Industries", "Processing", "Solutions"];
+const COMPANY_A: &[&str] = &[
+    "North Texas",
+    "Trinity",
+    "Lone Star",
+    "Metroplex",
+    "Red River",
+    "Blackland",
+    "Caddo",
+];
+const COMPANY_B: &[&str] = &[
+    "Energy",
+    "Chemical",
+    "Refining",
+    "Polymers",
+    "Industries",
+    "Processing",
+    "Solutions",
+];
 
 /// Generate chemical sites plus their linked `ChemInfo` features.
 /// `duplicate_fraction` of the sites get a *second* record (different IRI,
@@ -91,14 +105,7 @@ pub fn generate_chemical_sites(config: &ChemicalConfig) -> FeatureCollection {
             // A second state's record of the same facility: new IRI, same
             // site id, slightly different name casing.
             let dup_iri = format!("http://grdf.org/app#StateB.ChemSite.{site_id}");
-            let mut dup = build_site(
-                &dup_iri,
-                &name.to_uppercase(),
-                &site_id,
-                cx,
-                cy,
-                half,
-            );
+            let mut dup = build_site(&dup_iri, &name.to_uppercase(), &site_id, cx, cy, half);
             dup.set_property("sourceState", "B");
             fc.push(dup);
         }
@@ -142,7 +149,10 @@ mod tests {
 
     #[test]
     fn deterministic_and_sized() {
-        let c = ChemicalConfig { sites: 20, ..Default::default() };
+        let c = ChemicalConfig {
+            sites: 20,
+            ..Default::default()
+        };
         let a = generate_chemical_sites(&c);
         assert_eq!(a, generate_chemical_sites(&c));
         // sites + 2 ChemInfo per site + duplicates.
@@ -151,7 +161,10 @@ mod tests {
 
     #[test]
     fn list7_shape() {
-        let fc = generate_chemical_sites(&ChemicalConfig { sites: 5, ..Default::default() });
+        let fc = generate_chemical_sites(&ChemicalConfig {
+            sites: 5,
+            ..Default::default()
+        });
         let sites = fc.of_type("ChemSite");
         assert!(!sites.is_empty());
         for s in &sites {
@@ -161,7 +174,10 @@ mod tests {
             assert!(s.bounded_by.envelope().is_some(), "BoundedBy per List 7");
         }
         // ChemInfo records are linked.
-        let site = sites.iter().find(|s| s.property("hasChemicalInfo").is_some()).unwrap();
+        let site = sites
+            .iter()
+            .find(|s| s.property("hasChemicalInfo").is_some())
+            .unwrap();
         let info_iri = site.property("hasChemicalInfo").unwrap().as_str().unwrap();
         let info = fc.find(info_iri).unwrap();
         assert!(info.property("hasChemCode").is_some());
@@ -179,16 +195,17 @@ mod tests {
             .iter()
             .filter(|f| f.iri.contains("StateB"))
             .collect();
-        assert!(dups.len() > 20, "expected many duplicates, got {}", dups.len());
+        assert!(
+            dups.len() > 20,
+            "expected many duplicates, got {}",
+            dups.len()
+        );
         for d in dups {
             let id = d.property("hasSiteId").unwrap().as_str().unwrap();
-            let original = fc
-                .features
-                .iter()
-                .find(|f| {
-                    !f.iri.contains("StateB")
-                        && f.property("hasSiteId").and_then(|v| v.as_str()) == Some(id)
-                });
+            let original = fc.features.iter().find(|f| {
+                !f.iri.contains("StateB")
+                    && f.property("hasSiteId").and_then(|v| v.as_str()) == Some(id)
+            });
             assert!(original.is_some(), "duplicate without original: {id}");
         }
     }

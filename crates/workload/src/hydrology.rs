@@ -84,8 +84,18 @@ pub fn generate_hydrology(config: &HydrologyConfig) -> FeatureCollection {
 
 fn stream_name(rng: &mut StdRng, idx: usize) -> String {
     const FIRST: &[&str] = &[
-        "White Rock", "Trinity", "Duck", "Bear", "Cedar", "Mountain", "Sand", "Turtle",
-        "Rowlett", "Spring", "Mustang", "Prairie",
+        "White Rock",
+        "Trinity",
+        "Duck",
+        "Bear",
+        "Cedar",
+        "Mountain",
+        "Sand",
+        "Turtle",
+        "Rowlett",
+        "Spring",
+        "Mustang",
+        "Prairie",
     ];
     const KIND: &[&str] = &["Creek", "Branch", "Fork", "Bayou", "River", "Slough"];
     format!(
@@ -103,7 +113,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let c = HydrologyConfig { streams: 10, ..Default::default() };
+        let c = HydrologyConfig {
+            streams: 10,
+            ..Default::default()
+        };
         let a = generate_hydrology(&c);
         let b = generate_hydrology(&c);
         assert_eq!(a, b);
@@ -113,7 +126,10 @@ mod tests {
 
     #[test]
     fn features_have_list6_shape() {
-        let fc = generate_hydrology(&HydrologyConfig { streams: 5, ..Default::default() });
+        let fc = generate_hydrology(&HydrologyConfig {
+            streams: 5,
+            ..Default::default()
+        });
         assert_eq!(fc.len(), 5);
         for f in &fc.features {
             assert_eq!(f.feature_type, "Stream");
@@ -133,7 +149,10 @@ mod tests {
 
     #[test]
     fn flows_into_references_existing_streams() {
-        let fc = generate_hydrology(&HydrologyConfig { streams: 50, ..Default::default() });
+        let fc = generate_hydrology(&HydrologyConfig {
+            streams: 50,
+            ..Default::default()
+        });
         let mut links = 0;
         for f in &fc.features {
             if let Some(v) = f.property("flowsInto") {
@@ -147,8 +166,15 @@ mod tests {
 
     #[test]
     fn names_are_readable() {
-        let fc = generate_hydrology(&HydrologyConfig { streams: 3, ..Default::default() });
-        let n = fc.features[0].property("hasStreamName").unwrap().as_str().unwrap();
+        let fc = generate_hydrology(&HydrologyConfig {
+            streams: 3,
+            ..Default::default()
+        });
+        let n = fc.features[0]
+            .property("hasStreamName")
+            .unwrap()
+            .as_str()
+            .unwrap();
         assert!(n.contains(' '), "{n}");
     }
 }

@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let c = RequestConfig { count: 50, ..Default::default() };
+        let c = RequestConfig {
+            count: 50,
+            ..Default::default()
+        };
         assert_eq!(generate_requests(&c), generate_requests(&c));
     }
 
@@ -127,7 +130,10 @@ mod tests {
             zipf_s: 1.2,
             ..Default::default()
         };
-        let uniform = RequestConfig { zipf_s: 0.0, ..skewed.clone() };
+        let uniform = RequestConfig {
+            zipf_s: 0.0,
+            ..skewed.clone()
+        };
         let top_share = |reqs: &[Request]| {
             let mut counts: HashMap<&str, usize> = HashMap::new();
             for r in reqs {
@@ -144,7 +150,10 @@ mod tests {
 
     #[test]
     fn all_roles_appear() {
-        let reqs = generate_requests(&RequestConfig { count: 300, ..Default::default() });
+        let reqs = generate_requests(&RequestConfig {
+            count: 300,
+            ..Default::default()
+        });
         for role in RequestConfig::default().roles {
             assert!(reqs.iter().any(|r| r.role == role), "missing {role}");
         }
@@ -152,7 +161,11 @@ mod tests {
 
     #[test]
     fn queries_come_from_the_pool() {
-        let c = RequestConfig { count: 100, distinct_queries: 10, ..Default::default() };
+        let c = RequestConfig {
+            count: 100,
+            distinct_queries: 10,
+            ..Default::default()
+        };
         let pool = query_pool(10);
         for r in generate_requests(&c) {
             assert!(pool.contains(&r.query));

@@ -92,9 +92,8 @@ pub fn generate_sensors(config: &SensorConfig) -> SensorData {
         let contaminated = s % config.observed_streams.len().max(7) == 0;
 
         for o in 0..config.observations_per_station {
-            let t = TimeInstant::from_epoch(
-                config.start_epoch + o as i64 * config.interval_seconds,
-            );
+            let t =
+                TimeInstant::from_epoch(config.start_epoch + o as i64 * config.interval_seconds);
             // Baseline turbidity ~2 NTU; contaminated stations ramp up.
             let mut turbidity = 2.0 + rng.gen::<f64>();
             if contaminated {
@@ -115,7 +114,11 @@ pub fn generate_sensors(config: &SensorConfig) -> SensorData {
 
     let temperature =
         Coverage::new("temperature", stations.clone(), temps).expect("parallel arrays");
-    SensorData { observations, stations, temperature }
+    SensorData {
+        observations,
+        stations,
+        temperature,
+    }
 }
 
 #[cfg(test)]
@@ -160,8 +163,12 @@ mod tests {
     #[test]
     fn observation_times_advance_per_station() {
         let data = generate_sensors(&small());
-        let t0 = data.observations.features[0].property("phenomenonTime").unwrap();
-        let t1 = data.observations.features[1].property("phenomenonTime").unwrap();
+        let t0 = data.observations.features[0]
+            .property("phenomenonTime")
+            .unwrap();
+        let t1 = data.observations.features[1]
+            .property("phenomenonTime")
+            .unwrap();
         match (t0, t1) {
             (Value::Time(a), Value::Time(b)) => {
                 assert_eq!(b.epoch_seconds - a.epoch_seconds, 3600);
@@ -172,7 +179,10 @@ mod tests {
 
     #[test]
     fn contaminated_station_trends_upward() {
-        let cfg = SensorConfig { observations_per_station: 10, ..small() };
+        let cfg = SensorConfig {
+            observations_per_station: 10,
+            ..small()
+        };
         let data = generate_sensors(&cfg);
         // Station 0 observes the contaminated stream.
         let station0: Vec<f64> = data

@@ -21,14 +21,25 @@ impl fmt::Display for Position {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum XmlError {
     /// Input ended while a construct was still open.
-    UnexpectedEof { expected: &'static str, at: Position },
+    UnexpectedEof {
+        expected: &'static str,
+        at: Position,
+    },
     /// A character that is not legal at this point of the grammar.
-    UnexpectedChar { found: char, expected: &'static str, at: Position },
+    UnexpectedChar {
+        found: char,
+        expected: &'static str,
+        at: Position,
+    },
     /// An `&name;` entity reference that is not one of the five predefined
     /// entities and not a valid numeric reference.
     UnknownEntity { name: String, at: Position },
     /// A close tag whose name does not match the open tag.
-    MismatchedTag { open: String, close: String, at: Position },
+    MismatchedTag {
+        open: String,
+        close: String,
+        at: Position,
+    },
     /// A close tag with no matching open tag.
     UnbalancedClose { name: String, at: Position },
     /// The same attribute appears twice on one element.
@@ -67,14 +78,24 @@ impl fmt::Display for XmlError {
             XmlError::UnexpectedEof { expected, at } => {
                 write!(f, "{at}: unexpected end of input, expected {expected}")
             }
-            XmlError::UnexpectedChar { found, expected, at } => {
-                write!(f, "{at}: unexpected character {found:?}, expected {expected}")
+            XmlError::UnexpectedChar {
+                found,
+                expected,
+                at,
+            } => {
+                write!(
+                    f,
+                    "{at}: unexpected character {found:?}, expected {expected}"
+                )
             }
             XmlError::UnknownEntity { name, at } => {
                 write!(f, "{at}: unknown entity reference &{name};")
             }
             XmlError::MismatchedTag { open, close, at } => {
-                write!(f, "{at}: close tag </{close}> does not match open tag <{open}>")
+                write!(
+                    f,
+                    "{at}: close tag </{close}> does not match open tag <{open}>"
+                )
             }
             XmlError::UnbalancedClose { name, at } => {
                 write!(f, "{at}: close tag </{name}> has no matching open tag")

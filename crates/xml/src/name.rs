@@ -21,14 +21,20 @@ impl QName {
         match (parts.next(), parts.next()) {
             (None, _) => {
                 if is_ncname(first) {
-                    Some(QName { prefix: None, local: first.to_string() })
+                    Some(QName {
+                        prefix: None,
+                        local: first.to_string(),
+                    })
                 } else {
                     None
                 }
             }
             (Some(second), None) => {
                 if is_ncname(first) && is_ncname(second) {
-                    Some(QName { prefix: Some(first.to_string()), local: second.to_string() })
+                    Some(QName {
+                        prefix: Some(first.to_string()),
+                        local: second.to_string(),
+                    })
                 } else {
                     None
                 }
@@ -40,13 +46,19 @@ impl QName {
     /// Construct an unprefixed name. Panics in debug builds on invalid input.
     pub fn local(local: &str) -> QName {
         debug_assert!(is_ncname(local), "invalid NCName {local:?}");
-        QName { prefix: None, local: local.to_string() }
+        QName {
+            prefix: None,
+            local: local.to_string(),
+        }
     }
 
     /// Construct a prefixed name. Panics in debug builds on invalid input.
     pub fn prefixed(prefix: &str, local: &str) -> QName {
         debug_assert!(is_ncname(prefix) && is_ncname(local));
-        QName { prefix: Some(prefix.to_string()), local: local.to_string() }
+        QName {
+            prefix: Some(prefix.to_string()),
+            local: local.to_string(),
+        }
     }
 }
 

@@ -22,7 +22,11 @@ pub struct RawAttribute {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// `<name attr="v" ...>` — `self_closing` is true for `<name/>`.
-    Start { name: QName, attributes: Vec<RawAttribute>, self_closing: bool },
+    Start {
+        name: QName,
+        attributes: Vec<RawAttribute>,
+        self_closing: bool,
+    },
     /// `</name>`.
     End { name: QName },
     /// Character data between tags, with entities resolved and CDATA inlined.
@@ -48,12 +52,20 @@ impl<'a> Tokenizer<'a> {
     /// declaration are consumed lazily by the first `next_event` call.
     pub fn new(input: &'a str) -> Self {
         let input = input.strip_prefix('\u{FEFF}').unwrap_or(input);
-        Tokenizer { input, pos: 0, line: 1, col: 1 }
+        Tokenizer {
+            input,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     /// Current position, for error reporting.
     pub fn position(&self) -> Position {
-        Position { line: self.line, column: self.col }
+        Position {
+            line: self.line,
+            column: self.col,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -90,7 +102,10 @@ impl<'a> Tokenizer<'a> {
     }
 
     fn eof_err(&self, expected: &'static str) -> XmlError {
-        XmlError::UnexpectedEof { expected, at: self.position() }
+        XmlError::UnexpectedEof {
+            expected,
+            at: self.position(),
+        }
     }
 
     /// Consume input until `delim` is found; returns the consumed slice
@@ -118,7 +133,11 @@ impl<'a> Tokenizer<'a> {
                 self.bump();
             }
             Some(c) => {
-                return Err(XmlError::UnexpectedChar { found: c, expected: "name start", at })
+                return Err(XmlError::UnexpectedChar {
+                    found: c,
+                    expected: "name start",
+                    at,
+                })
             }
             None => return Err(self.eof_err("name")),
         }
@@ -126,14 +145,20 @@ impl<'a> Tokenizer<'a> {
             self.bump();
         }
         let raw = &self.input[start..self.pos];
-        QName::parse(raw).ok_or_else(|| XmlError::InvalidName { name: raw.to_string(), at })
+        QName::parse(raw).ok_or_else(|| XmlError::InvalidName {
+            name: raw.to_string(),
+            at,
+        })
     }
 
     /// Resolve `&...;` starting just after the `&`.
     fn read_entity(&mut self) -> XmlResult<char> {
         let at = self.position();
         let body = self.take_until(";", "';' terminating entity reference")?;
-        resolve_entity(body).ok_or_else(|| XmlError::UnknownEntity { name: body.to_string(), at })
+        resolve_entity(body).ok_or_else(|| XmlError::UnknownEntity {
+            name: body.to_string(),
+            at,
+        })
     }
 
     fn read_attr_value(&mut self) -> XmlResult<String> {
@@ -141,7 +166,11 @@ impl<'a> Tokenizer<'a> {
         let quote = match self.bump() {
             Some(q @ ('"' | '\'')) => q,
             Some(c) => {
-                return Err(XmlError::UnexpectedChar { found: c, expected: "quote", at });
+                return Err(XmlError::UnexpectedChar {
+                    found: c,
+                    expected: "quote",
+                    at,
+                });
             }
             None => return Err(self.eof_err("attribute value")),
         };
@@ -182,17 +211,29 @@ impl<'a> Tokenizer<'a> {
                 None => return Err(self.eof_err("'>' closing start tag")),
                 Some('>') => {
                     self.bump();
-                    return Ok(Event::Start { name, attributes, self_closing: false });
+                    return Ok(Event::Start {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
                 }
                 Some('/') => {
                     self.bump();
                     let at = self.position();
                     match self.bump() {
                         Some('>') => {
-                            return Ok(Event::Start { name, attributes, self_closing: true })
+                            return Ok(Event::Start {
+                                name,
+                                attributes,
+                                self_closing: true,
+                            })
                         }
                         Some(c) => {
-                            return Err(XmlError::UnexpectedChar { found: c, expected: "'>'", at })
+                            return Err(XmlError::UnexpectedChar {
+                                found: c,
+                                expected: "'>'",
+                                at,
+                            })
                         }
                         None => return Err(self.eof_err("'>'")),
                     }
@@ -221,7 +262,10 @@ impl<'a> Tokenizer<'a> {
                     }
                     self.skip_ws();
                     let value = self.read_attr_value()?;
-                    attributes.push(RawAttribute { name: attr_name, value });
+                    attributes.push(RawAttribute {
+                        name: attr_name,
+                        value,
+                    });
                 }
             }
         }
@@ -234,7 +278,11 @@ impl<'a> Tokenizer<'a> {
         let at = self.position();
         match self.bump() {
             Some('>') => Ok(Event::End { name }),
-            Some(c) => Err(XmlError::UnexpectedChar { found: c, expected: "'>'", at }),
+            Some(c) => Err(XmlError::UnexpectedChar {
+                found: c,
+                expected: "'>'",
+                at,
+            }),
             None => Err(self.eof_err("'>' closing end tag")),
         }
     }
@@ -263,7 +311,9 @@ impl<'a> Tokenizer<'a> {
                 return Ok(Event::Text(body.to_string()));
             }
             if self.starts_with("<!") {
-                return Err(XmlError::DtdUnsupported { at: self.position() });
+                return Err(XmlError::DtdUnsupported {
+                    at: self.position(),
+                });
             }
             if self.starts_with("</") {
                 self.bump_str("</");
@@ -315,7 +365,9 @@ mod tests {
     fn simple_element() {
         let ev = events("<a>x</a>");
         assert_eq!(ev.len(), 4);
-        assert!(matches!(&ev[0], Event::Start { name, self_closing: false, .. } if name.local == "a"));
+        assert!(
+            matches!(&ev[0], Event::Start { name, self_closing: false, .. } if name.local == "a")
+        );
         assert_eq!(ev[1], Event::Text("x".into()));
         assert!(matches!(&ev[2], Event::End { name } if name.local == "a"));
     }
@@ -324,7 +376,11 @@ mod tests {
     fn self_closing_with_attributes() {
         let ev = events(r#"<p a="1" b='two'/>"#);
         match &ev[0] {
-            Event::Start { name, attributes, self_closing } => {
+            Event::Start {
+                name,
+                attributes,
+                self_closing,
+            } => {
                 assert_eq!(name.local, "p");
                 assert!(*self_closing);
                 assert_eq!(attributes.len(), 2);
@@ -387,13 +443,19 @@ mod tests {
     #[test]
     fn dtd_is_rejected() {
         let mut t = Tokenizer::new("<!DOCTYPE html><a/>");
-        assert!(matches!(t.next_event(), Err(XmlError::DtdUnsupported { .. })));
+        assert!(matches!(
+            t.next_event(),
+            Err(XmlError::DtdUnsupported { .. })
+        ));
     }
 
     #[test]
     fn unterminated_tag_is_eof_error() {
         let mut t = Tokenizer::new("<a attr=\"x\"");
-        assert!(matches!(t.next_event(), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(
+            t.next_event(),
+            Err(XmlError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]
@@ -411,6 +473,9 @@ mod tests {
     #[test]
     fn lt_in_attribute_value_is_error() {
         let mut t = Tokenizer::new(r#"<a x="a<b"/>"#);
-        assert!(matches!(t.next_event(), Err(XmlError::UnexpectedChar { found: '<', .. })));
+        assert!(matches!(
+            t.next_event(),
+            Err(XmlError::UnexpectedChar { found: '<', .. })
+        ));
     }
 }

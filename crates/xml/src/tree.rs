@@ -94,7 +94,10 @@ impl Element {
     /// Value of the first attribute with `local` name regardless of
     /// namespace.
     pub fn attribute(&self, local: &str) -> Option<&str> {
-        self.attributes.iter().find(|a| a.local == local).map(|a| a.value.as_str())
+        self.attributes
+            .iter()
+            .find(|a| a.local == local)
+            .map(|a| a.value.as_str())
     }
 
     /// Value of the attribute with the given namespace and local name.
@@ -107,7 +110,10 @@ impl Element {
 
     /// Append an attribute without a namespace.
     pub fn set_attribute(&mut self, local: &str, value: &str) {
-        if let Some(a) = self.attributes.iter_mut().find(|a| a.local == local && a.prefix.is_none())
+        if let Some(a) = self
+            .attributes
+            .iter_mut()
+            .find(|a| a.local == local && a.prefix.is_none())
         {
             a.value = value.to_string();
             return;
@@ -232,7 +238,10 @@ impl NsScope {
     fn new() -> NsScope {
         let mut bindings = HashMap::new();
         bindings.insert(Some("xml".to_string()), XML_NS.to_string());
-        NsScope { frames: Vec::new(), bindings }
+        NsScope {
+            frames: Vec::new(),
+            bindings,
+        }
     }
 
     fn push(&mut self, decls: &[(Option<String>, String)]) {
@@ -265,7 +274,9 @@ impl NsScope {
     }
 
     fn resolve(&self, prefix: Option<&str>) -> Option<&str> {
-        self.bindings.get(&prefix.map(str::to_string)).map(String::as_str)
+        self.bindings
+            .get(&prefix.map(str::to_string))
+            .map(String::as_str)
     }
 }
 
@@ -302,7 +313,11 @@ pub fn parse(input: &str) -> XmlResult<Document> {
                     });
                 }
             }
-            Event::Start { name, attributes, self_closing } => {
+            Event::Start {
+                name,
+                attributes,
+                self_closing,
+            } => {
                 if root.is_some() && stack.is_empty() {
                     return Err(XmlError::BadDocumentStructure {
                         detail: "multiple root elements",
@@ -328,7 +343,10 @@ pub fn parse(input: &str) -> XmlResult<Document> {
                     Some(p) => Some(
                         scope
                             .resolve(Some(p))
-                            .ok_or_else(|| XmlError::UnboundPrefix { prefix: p.clone(), at })?
+                            .ok_or_else(|| XmlError::UnboundPrefix {
+                                prefix: p.clone(),
+                                at,
+                            })?
                             .to_string(),
                     ),
                     None => scope.resolve(None).map(str::to_string),
@@ -441,15 +459,18 @@ mod tests {
 
     #[test]
     fn prefixed_namespaces_resolve_with_scoping() {
-        let doc =
-            parse(r#"<a xmlns:p="urn:1"><p:b><c xmlns:p="urn:2"><p:d/></c></p:b><p:e/></a>"#)
-                .unwrap();
+        let doc = parse(r#"<a xmlns:p="urn:1"><p:b><c xmlns:p="urn:2"><p:d/></c></p:b><p:e/></a>"#)
+            .unwrap();
         let a = doc.root();
         let b = a.child("b").unwrap();
         assert_eq!(b.namespace(), Some("urn:1"));
         let d = b.child("c").unwrap().child("d").unwrap();
         assert_eq!(d.namespace(), Some("urn:2"), "inner redeclaration wins");
-        assert_eq!(a.child("e").unwrap().namespace(), Some("urn:1"), "scope restored");
+        assert_eq!(
+            a.child("e").unwrap().namespace(),
+            Some("urn:1"),
+            "scope restored"
+        );
     }
 
     #[test]
@@ -468,31 +489,49 @@ mod tests {
 
     #[test]
     fn unbound_prefix_is_error() {
-        assert!(matches!(parse("<p:a/>"), Err(XmlError::UnboundPrefix { .. })));
-        assert!(matches!(parse(r#"<a q:k="v"/>"#), Err(XmlError::UnboundPrefix { .. })));
+        assert!(matches!(
+            parse("<p:a/>"),
+            Err(XmlError::UnboundPrefix { .. })
+        ));
+        assert!(matches!(
+            parse(r#"<a q:k="v"/>"#),
+            Err(XmlError::UnboundPrefix { .. })
+        ));
     }
 
     #[test]
     fn mismatched_tags_error() {
-        assert!(matches!(parse("<a></b>"), Err(XmlError::MismatchedTag { .. })));
+        assert!(matches!(
+            parse("<a></b>"),
+            Err(XmlError::MismatchedTag { .. })
+        ));
     }
 
     #[test]
     fn unclosed_root_is_error() {
-        assert!(matches!(parse("<a><b></b>"), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(
+            parse("<a><b></b>"),
+            Err(XmlError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]
     fn multiple_roots_error() {
         assert!(matches!(
             parse("<a/><b/>"),
-            Err(XmlError::BadDocumentStructure { detail: "multiple root elements", .. })
+            Err(XmlError::BadDocumentStructure {
+                detail: "multiple root elements",
+                ..
+            })
         ));
     }
 
     #[test]
     fn text_outside_root_errors() {
-        assert!(matches!(parse("hello<a/>"), Err(XmlError::BadDocumentStructure { .. })));
+        assert!(matches!(
+            parse("hello<a/>"),
+            Err(XmlError::BadDocumentStructure { .. })
+        ));
         // Whitespace outside the root is fine.
         assert!(parse("  <a/>  ").is_ok());
     }

@@ -23,14 +23,20 @@ pub struct WriteOptions {
 
 impl Default for WriteOptions {
     fn default() -> Self {
-        WriteOptions { declaration: true, indent: Some(2) }
+        WriteOptions {
+            declaration: true,
+            indent: Some(2),
+        }
     }
 }
 
 impl WriteOptions {
     /// Compact output without an XML declaration (useful in tests).
     pub fn compact() -> WriteOptions {
-        WriteOptions { declaration: false, indent: None }
+        WriteOptions {
+            declaration: false,
+            indent: None,
+        }
     }
 }
 
@@ -217,7 +223,13 @@ mod tests {
     fn indented_output_is_stable_under_reparse() {
         let src = r#"<a><b><c k="1"/></b><d/></a>"#;
         let doc = parse(src).unwrap();
-        let pretty = write_document(&doc, &WriteOptions { declaration: true, indent: Some(2) });
+        let pretty = write_document(
+            &doc,
+            &WriteOptions {
+                declaration: true,
+                indent: Some(2),
+            },
+        );
         assert!(pretty.starts_with("<?xml"));
         assert!(pretty.contains("\n  <b>"), "{pretty}");
         let reparsed = parse(&pretty).unwrap();
@@ -229,7 +241,13 @@ mod tests {
     fn mixed_content_is_not_reindented() {
         let src = "<a>one<b/>two</a>";
         let doc = parse(src).unwrap();
-        let pretty = write_document(&doc, &WriteOptions { declaration: false, indent: Some(2) });
+        let pretty = write_document(
+            &doc,
+            &WriteOptions {
+                declaration: false,
+                indent: Some(2),
+            },
+        );
         assert_eq!(pretty.trim_end(), "<a>one<b/>two</a>");
     }
 

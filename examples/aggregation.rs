@@ -57,14 +57,23 @@ fn main() {
     let n1 = store.load_gml(TRACKING_GML).expect("gml");
     let n2 = store.load_turtle(RECORDS_TTL).expect("turtle");
     let n3 = store.load_rdfxml(INFRA_RDFXML).expect("rdf/xml");
-    println!("loaded 3 sources ({n1} features, {n2} + {n3} triples); store = {} triples", store.len());
+    println!(
+        "loaded 3 sources ({n1} features, {n2} + {n3} triples); store = {} triples",
+        store.len()
+    );
 
     // Before reasoning, the silos do not talk to each other: the tracked
     // vehicle and the case vehicle are unrelated resources.
-    println!("identities before reasoning: {}", store.same_as_links().len());
+    println!(
+        "identities before reasoning: {}",
+        store.same_as_links().len()
+    );
 
     let stats = store.materialize();
-    println!("materialized {} inferences in {} passes", stats.inferred, stats.passes);
+    println!(
+        "materialized {} inferences in {} passes",
+        stats.inferred, stats.passes
+    );
 
     // The inverse-functional plate number identified the two records.
     for (a, b) in store.same_as_links() {
@@ -86,9 +95,16 @@ fn main() {
         )
         .expect("query");
     for row in rows.select_rows() {
-        println!("case {} involves vehicle with plate {} — position known", row["case"], row["plate"]);
+        println!(
+            "case {} involves vehicle with plate {} — position known",
+            row["case"], row["plate"]
+        );
     }
-    assert_eq!(rows.select_rows().len(), 1, "aggregation must connect the silos");
+    assert_eq!(
+        rows.select_rows().len(),
+        1,
+        "aggregation must connect the silos"
+    );
 
     // Everything can go back out as GML for legacy consumers.
     let gml = store.to_gml();

@@ -14,9 +14,16 @@ use grdf::workload::hydrology::{generate_hydrology, HydrologyConfig};
 
 fn main() {
     // --- data: hydrology topology + chemical repository (Lists 6–7) -----
-    let hydro = generate_hydrology(&HydrologyConfig { streams: 60, seed: 7, ..Default::default() });
-    let chem =
-        generate_chemical_sites(&ChemicalConfig { sites: 40, seed: 8, ..Default::default() });
+    let hydro = generate_hydrology(&HydrologyConfig {
+        streams: 60,
+        seed: 7,
+        ..Default::default()
+    });
+    let chem = generate_chemical_sites(&ChemicalConfig {
+        sites: 40,
+        seed: 8,
+        ..Default::default()
+    });
     let mut data = grdf::rdf::turtle::parse(alignment_axioms()).expect("axioms");
     for f in hydro.features.iter().chain(chem.features.iter()) {
         grdf::feature::encode_feature(&mut data, f);
@@ -33,7 +40,11 @@ fn main() {
             &ns::app("ChemSite"),
             &[&ns::iri("isBoundedBy"), &ns::iri("hasGeometry")],
         ),
-        Policy::permit(&ns::sec("MainRepPolicy2"), &ns::sec("MainRep"), &ns::app("Stream")),
+        Policy::permit(
+            &ns::sec("MainRepPolicy2"),
+            &ns::sec("MainRep"),
+            &ns::app("Stream"),
+        ),
         // 'hazmat personnel' — clean up the spill; need chemicals + places.
         Policy::permit_properties(
             &ns::sec("HazmatPolicy1"),
@@ -46,12 +57,32 @@ fn main() {
                 &ns::app("hasSiteName"),
             ],
         ),
-        Policy::permit(&ns::sec("HazmatPolicy2"), &ns::sec("Hazmat"), &ns::app("ChemInfo")),
-        Policy::permit(&ns::sec("HazmatPolicy3"), &ns::sec("Hazmat"), &ns::app("Stream")),
+        Policy::permit(
+            &ns::sec("HazmatPolicy2"),
+            &ns::sec("Hazmat"),
+            &ns::app("ChemInfo"),
+        ),
+        Policy::permit(
+            &ns::sec("HazmatPolicy3"),
+            &ns::sec("Hazmat"),
+            &ns::app("Stream"),
+        ),
         // 'emergency response' — administrative role, full access.
-        Policy::permit(&ns::sec("EmPolicy1"), &ns::sec("Emergency"), &ns::app("ChemSite")),
-        Policy::permit(&ns::sec("EmPolicy2"), &ns::sec("Emergency"), &ns::app("ChemInfo")),
-        Policy::permit(&ns::sec("EmPolicy3"), &ns::sec("Emergency"), &ns::app("Stream")),
+        Policy::permit(
+            &ns::sec("EmPolicy1"),
+            &ns::sec("Emergency"),
+            &ns::app("ChemSite"),
+        ),
+        Policy::permit(
+            &ns::sec("EmPolicy2"),
+            &ns::sec("Emergency"),
+            &ns::app("ChemInfo"),
+        ),
+        Policy::permit(
+            &ns::sec("EmPolicy3"),
+            &ns::sec("Emergency"),
+            &ns::app("Stream"),
+        ),
     ]);
 
     // --- assemble G-SACS (Fig. 3) ----------------------------------------
@@ -79,10 +110,16 @@ fn main() {
     for role in ["MainRep", "Hazmat", "Emergency"] {
         let role_iri = ns::sec(role);
         let chems = service
-            .handle(&ClientRequest { role: role_iri.clone(), query: chemicals_query.clone() })
+            .handle(&ClientRequest {
+                role: role_iri.clone(),
+                query: chemicals_query.clone(),
+            })
             .expect("query");
         let locs = service
-            .handle(&ClientRequest { role: role_iri.clone(), query: locations_query.clone() })
+            .handle(&ClientRequest {
+                role: role_iri.clone(),
+                query: locations_query.clone(),
+            })
             .expect("query");
         let stats = service.view_stats_for(&role_iri).expect("view built");
         println!(
@@ -97,9 +134,15 @@ fn main() {
     // --- the cache earns its keep on repeated requests --------------------
     for _ in 0..50 {
         service
-            .handle(&ClientRequest { role: ns::sec("Hazmat"), query: chemicals_query.clone() })
+            .handle(&ClientRequest {
+                role: ns::sec("Hazmat"),
+                query: chemicals_query.clone(),
+            })
             .expect("query");
     }
     let (hits, misses) = service.cache_stats();
-    println!("query cache: {hits} hits / {misses} misses ({:.0}% hit rate)", service.cache_hit_rate() * 100.0);
+    println!(
+        "query cache: {hits} hits / {misses} misses ({:.0}% hit rate)",
+        service.cache_hit_rate() * 100.0
+    );
 }

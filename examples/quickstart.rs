@@ -45,7 +45,10 @@ fn main() {
     // 3. Materialize inference: subclass knowledge makes both instances
     //    grdf:Features without anyone asserting it.
     let stats = store.materialize();
-    println!("inferred {} new triples in {} passes", stats.inferred, stats.passes);
+    println!(
+        "inferred {} new triples in {} passes",
+        stats.inferred, stats.passes
+    );
     println!("features known to the store: {}", store.feature_count());
 
     // 4. Query across the merged graph — including a spatial filter.

@@ -16,7 +16,9 @@ use grdf::rdf::term::{Term, Triple};
 use grdf::rdf::vocab::{grdf as ns, rdf};
 use grdf::rdf::Graph;
 use grdf::security::conflicts::{detect_conflicts, resolved_policy_set, CombiningAlgorithm};
-use grdf::security::gsacs::{GSacs, NoReasoning, OntoRepository, UpdateOp, UpdateOutcome, UpdateRequest};
+use grdf::security::gsacs::{
+    GSacs, NoReasoning, OntoRepository, UpdateOp, UpdateOutcome, UpdateRequest,
+};
 use grdf::security::policy::{Action, Policy, PolicySet};
 
 fn main() {
@@ -28,8 +30,16 @@ fn main() {
         Term::iri(&ns::app("ChemSite")),
     );
     let plant = Term::iri(&ns::app("plant1"));
-    data.add(plant.clone(), Term::iri(rdf::TYPE), Term::iri(&ns::app("Refinery")));
-    data.add(plant.clone(), Term::iri(&ns::app("hasChemCode")), Term::string("121NR"));
+    data.add(
+        plant.clone(),
+        Term::iri(rdf::TYPE),
+        Term::iri(&ns::app("Refinery")),
+    );
+    data.add(
+        plant.clone(),
+        Term::iri(&ns::app("hasChemCode")),
+        Term::string("121NR"),
+    );
     let base = data.clone();
     Reasoner::default().materialize(&mut data);
 
@@ -61,9 +71,16 @@ fn main() {
     println!(
         "after resolution (deny-overrides): {} policies remain: {:?}",
         resolved.policies.len(),
-        resolved.policies.iter().map(|p| p.id.as_str()).collect::<Vec<_>>()
+        resolved
+            .policies
+            .iter()
+            .map(|p| p.id.as_str())
+            .collect::<Vec<_>>()
     );
-    assert!(detect_conflicts(&data, &resolved).is_empty(), "resolution must converge");
+    assert!(
+        detect_conflicts(&data, &resolved).is_empty(),
+        "resolution must converge"
+    );
 
     // The refinery deny now governs the subclass-typed plant.
     let access = resolved.evaluate(
@@ -76,7 +93,11 @@ fn main() {
     println!("contractor → plant1.hasChemCode: {access:?}");
 
     // Why is plant1 covered by a ChemSite policy at all? Ask the reasoner.
-    let membership = Triple::new(plant.clone(), Term::iri(rdf::TYPE), Term::iri(&ns::app("ChemSite")));
+    let membership = Triple::new(
+        plant.clone(),
+        Term::iri(rdf::TYPE),
+        Term::iri(&ns::app("ChemSite")),
+    );
     let derivation = explain(&data, &base, &membership, 6).expect("explainable");
     println!("\njustification for the policy's applicability:\n{derivation}\n");
 

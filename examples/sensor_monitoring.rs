@@ -12,7 +12,11 @@ use grdf::workload::sensors::{generate_sensors, SensorConfig};
 
 fn main() {
     // Streams being monitored.
-    let hydro = generate_hydrology(&HydrologyConfig { streams: 12, seed: 3, ..Default::default() });
+    let hydro = generate_hydrology(&HydrologyConfig {
+        streams: 12,
+        seed: 3,
+        ..Default::default()
+    });
     let stream_iris: Vec<String> = hydro.features.iter().map(|f| f.iri.clone()).collect();
 
     // A day of hourly readings from 8 stations.
@@ -32,7 +36,11 @@ fn main() {
     // Everything goes into one GRDF store: streams, observations, and the
     // subclass axiom that makes app:Observation a grdf:Observation.
     let mut store = GrdfStore::new();
-    for f in hydro.features.iter().chain(sensors.observations.features.iter()) {
+    for f in hydro
+        .features
+        .iter()
+        .chain(sensors.observations.features.iter())
+    {
         store.insert_feature(f).expect("insert");
     }
     store
@@ -83,7 +91,11 @@ fn main() {
         .expect("temporal query");
     println!(
         "\nreadings after 18:00 UTC: {}",
-        recent.select_rows()[0]["n"].as_literal().unwrap().as_integer().unwrap()
+        recent.select_rows()[0]["n"]
+            .as_literal()
+            .unwrap()
+            .as_integer()
+            .unwrap()
     );
 
     // The temperature coverage answers point probes anywhere in the area.

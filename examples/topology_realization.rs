@@ -31,7 +31,12 @@ fn main() {
     let e2 = m.add_edge(head_b, junction).expect("edge");
     let e3 = m.add_edge(junction, outflow).expect("edge");
 
-    println!("nodes={}, edges={}, components={}", m.node_count(), m.edge_count(), m.connected_components());
+    println!(
+        "nodes={}, edges={}, components={}",
+        m.node_count(),
+        m.edge_count(),
+        m.connected_components()
+    );
     println!("head A reaches outflow: {}", m.connected(head_a, outflow));
     println!(
         "path A→outflow: {} hops",
@@ -39,9 +44,16 @@ fn main() {
     );
 
     // A TopoCurve: isomorphic to a geometric curve, still no coordinates.
-    let main_stem = TopoCurve::new(&m, vec![DirectedEdge::forward(e1), DirectedEdge::forward(e3)])
-        .expect("contiguous chain");
-    println!("main stem: {} edges, closed = {}", main_stem.len(), main_stem.is_closed(&m));
+    let main_stem = TopoCurve::new(
+        &m,
+        vec![DirectedEdge::forward(e1), DirectedEdge::forward(e3)],
+    )
+    .expect("contiguous chain");
+    println!(
+        "main stem: {} edges, closed = {}",
+        main_stem.len(),
+        main_stem.is_closed(&m)
+    );
 
     // --- realization ------------------------------------------------------
     // Now bind the nodes to points; edges get straight-line curves whose
@@ -67,16 +79,43 @@ fn main() {
     // a Face needs ≥1 hasEdge and allows ≤1 hasSurface.
     let mut g = grdf_ontology();
     let face = Term::iri("urn:ex#face1");
-    g.add(face.clone(), Term::iri(rdf::TYPE), Term::iri(&ns::iri("Face")));
+    g.add(
+        face.clone(),
+        Term::iri(rdf::TYPE),
+        Term::iri(&ns::iri("Face")),
+    );
     Reasoner::default().materialize(&mut g);
     let violations = check_consistency(&g);
-    println!("face without edges: {} violation(s) — {}", violations.len(), violations[0]);
+    println!(
+        "face without edges: {} violation(s) — {}",
+        violations.len(),
+        violations[0]
+    );
 
-    g.add(face.clone(), Term::iri(&ns::iri("hasEdge")), Term::iri("urn:ex#edge1"));
-    println!("after adding an edge: {} violation(s)", check_consistency(&g).len());
+    g.add(
+        face.clone(),
+        Term::iri(&ns::iri("hasEdge")),
+        Term::iri("urn:ex#edge1"),
+    );
+    println!(
+        "after adding an edge: {} violation(s)",
+        check_consistency(&g).len()
+    );
 
-    g.add(face.clone(), Term::iri(&ns::iri("hasSurface")), Term::iri("urn:ex#s1"));
-    g.add(face, Term::iri(&ns::iri("hasSurface")), Term::iri("urn:ex#s2"));
+    g.add(
+        face.clone(),
+        Term::iri(&ns::iri("hasSurface")),
+        Term::iri("urn:ex#s1"),
+    );
+    g.add(
+        face,
+        Term::iri(&ns::iri("hasSurface")),
+        Term::iri("urn:ex#s2"),
+    );
     let v = check_consistency(&g);
-    println!("two surfaces on one face: {} violation(s) — {}", v.len(), v[0]);
+    println!(
+        "two surfaces on one face: {} violation(s) — {}",
+        v.len(),
+        v[0]
+    );
 }

@@ -6,6 +6,7 @@
 //! grdf-cli query    <file> <sparql>             run a query (use @file for the query text)
 //! grdf-cli validate <file>                      materialize + OWL consistency check
 //! grdf-cli stats    <file>                      triple/feature/identity statistics
+//! grdf-cli health   <file>                      stand up G-SACS over the data and report service health
 //! ```
 //!
 //! Input format is detected from the extension: `.gml`, `.ttl`/`.turtle`,
@@ -38,7 +39,8 @@ const USAGE: &str = "usage:
   grdf-cli convert  <file> [turtle|rdfxml|gml]
   grdf-cli query    <file> <sparql | @queryfile>
   grdf-cli validate <file>
-  grdf-cli stats    <file>";
+  grdf-cli stats    <file>
+  grdf-cli health   <file>";
 
 /// Run a CLI invocation; returns the text to print.
 fn run(args: &[String]) -> Result<String, String> {
@@ -57,6 +59,7 @@ fn run(args: &[String]) -> Result<String, String> {
         }
         "validate" => cmd_validate(args.get(1).ok_or("validate needs a data file")?),
         "stats" => cmd_stats(args.get(1).ok_or("stats needs a data file")?),
+        "health" => cmd_health(args.get(1).ok_or("health needs a data file")?),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -197,6 +200,48 @@ fn cmd_stats(path: &str) -> Result<String, String> {
     ))
 }
 
+fn cmd_health(path: &str) -> Result<String, String> {
+    use grdf::rdf::term::Term;
+    use grdf::security::gsacs::{ClientRequest, GSacs, OntoRepository, OwlHorstEngine};
+    use grdf::security::policy::{Policy, PolicySet};
+
+    let store = load_store(path)?;
+    // Permit a probe role on every class present so the smoke queries
+    // exercise the full admission → view → query pipeline.
+    let probe = "urn:grdf:health#probe";
+    let mut types: Vec<String> = store
+        .graph()
+        .match_pattern(None, Some(&Term::iri(grdf::rdf::vocab::rdf::TYPE)), None)
+        .into_iter()
+        .filter_map(|t| t.object.as_iri().map(str::to_string))
+        .collect();
+    types.sort();
+    types.dedup();
+    let policies = PolicySet::new(
+        types
+            .iter()
+            .enumerate()
+            .map(|(i, ty)| Policy::permit(&format!("urn:grdf:health#p{i}"), probe, ty))
+            .collect(),
+    );
+    let svc = GSacs::new(
+        OntoRepository::new(),
+        policies,
+        Box::<OwlHorstEngine>::default(),
+        store.graph().clone(),
+        16,
+    );
+    // Smoke the pipeline twice so the report shows cache activity.
+    let req = ClientRequest {
+        role: probe.to_string(),
+        query: "ASK { ?s ?p ?o }".to_string(),
+    };
+    for _ in 0..2 {
+        svc.handle(&req).map_err(|e| e.to_string())?;
+    }
+    Ok(svc.health().render())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +316,19 @@ app:s1 a app:ChemSite ; app:hasSiteName "NT Energy" .
         let out = run(&["stats".into(), path]).unwrap();
         assert!(out.contains("features:"), "{out}");
         assert!(out.contains("classes:"), "{out}");
+    }
+
+    #[test]
+    fn health_reports_service_state() {
+        let path = write_temp("health.ttl", TTL);
+        let out = run(&["health".into(), path]).unwrap();
+        assert!(out.contains("reasoner:"), "{out}");
+        assert!(out.contains("breaker:"), "{out}");
+        assert!(out.contains("closed"), "{out}");
+        assert!(
+            out.contains("1 hits"),
+            "cache hit from the repeated probe: {out}"
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`feature`] — GRDF feature model (§4) + temporal/coverage types (§3.3).
 //! * [`gml`] — GML 3.1 subset and GML↔GRDF conversion (§3.2).
 //! * [`query`] — SPARQL-subset engine with geospatial builtins.
-//! * [`security`] — security ontology, policies, G-SACS (§7–§8, Fig. 3).
+//! * [`runtime`] — clocks, budgets, and cooperative deadlines.
+//! * [`security`] — security ontology, policies, G-SACS (§7–§8, Fig. 3)
+//!   and its fail-closed resilience layer.
 //! * [`core`] — the GRDF ontology itself + the aggregation store.
 //! * [`workload`] — synthetic dataset generators (Lists 6–7 substitutes).
 //!
@@ -39,6 +41,7 @@ pub use grdf_gml as gml;
 pub use grdf_owl as owl;
 pub use grdf_query as query;
 pub use grdf_rdf as rdf;
+pub use grdf_runtime as runtime;
 pub use grdf_security as security;
 pub use grdf_topology as topology;
 pub use grdf_workload as workload;

@@ -21,7 +21,11 @@ fn scenario_policies() -> PolicySet {
             &ns::app("ChemSite"),
             &[&ns::iri("isBoundedBy"), &ns::iri("hasGeometry")],
         ),
-        Policy::permit(&ns::sec("MainRepPolicy2"), &ns::sec("MainRep"), &ns::app("Stream")),
+        Policy::permit(
+            &ns::sec("MainRepPolicy2"),
+            &ns::sec("MainRep"),
+            &ns::app("Stream"),
+        ),
         Policy::permit(&ns::sec("E1"), &ns::sec("Emergency"), &ns::app("ChemSite")),
         Policy::permit(&ns::sec("E2"), &ns::sec("Emergency"), &ns::app("ChemInfo")),
         Policy::permit(&ns::sec("E3"), &ns::sec("Emergency"), &ns::app("Stream")),
@@ -29,8 +33,16 @@ fn scenario_policies() -> PolicySet {
 }
 
 fn incident_data(streams: usize, sites: usize) -> grdf::rdf::Graph {
-    let hydro = generate_hydrology(&HydrologyConfig { streams, seed: 5, ..Default::default() });
-    let chem = generate_chemical_sites(&ChemicalConfig { sites, seed: 6, ..Default::default() });
+    let hydro = generate_hydrology(&HydrologyConfig {
+        streams,
+        seed: 5,
+        ..Default::default()
+    });
+    let chem = generate_chemical_sites(&ChemicalConfig {
+        sites,
+        seed: 6,
+        ..Default::default()
+    });
     let mut g = grdf::rdf::turtle::parse(alignment_axioms()).unwrap();
     for f in hydro.features.iter().chain(chem.features.iter()) {
         encode_feature(&mut g, f);
@@ -41,11 +53,19 @@ fn incident_data(streams: usize, sites: usize) -> grdf::rdf::Graph {
 #[test]
 fn full_pipeline_gml_to_secure_answers() {
     // 1. Hydrology arrives as GML (simulating the NCTCOG clearinghouse).
-    let hydro = generate_hydrology(&HydrologyConfig { streams: 30, seed: 5, ..Default::default() });
+    let hydro = generate_hydrology(&HydrologyConfig {
+        streams: 30,
+        seed: 5,
+        ..Default::default()
+    });
     let gml_text = grdf::gml::write::write_gml(&hydro);
 
     // 2. Chemical data arrives as RDF (simulating the erplan repository).
-    let chem = generate_chemical_sites(&ChemicalConfig { sites: 20, seed: 6, ..Default::default() });
+    let chem = generate_chemical_sites(&ChemicalConfig {
+        sites: 20,
+        seed: 6,
+        ..Default::default()
+    });
     let mut chem_graph = grdf::rdf::Graph::new();
     for f in &chem.features {
         encode_feature(&mut chem_graph, f);
@@ -66,7 +86,10 @@ fn full_pipeline_gml_to_secure_answers() {
     assert!(feature_count >= 50, "features = {feature_count}");
 
     // 5. Duplicate chemical sites (same hasSiteId) were identified.
-    assert!(!store.same_as_links().is_empty(), "expected sameAs identities");
+    assert!(
+        !store.same_as_links().is_empty(),
+        "expected sameAs identities"
+    );
 
     // 6. A spatial cross-domain query runs over the merged graph.
     let rows = store
@@ -78,7 +101,10 @@ fn full_pipeline_gml_to_secure_answers() {
              } LIMIT 10",
         )
         .unwrap();
-    assert!(!rows.select_rows().is_empty(), "streams near sites must exist");
+    assert!(
+        !rows.select_rows().is_empty(),
+        "streams near sites must exist"
+    );
 }
 
 #[test]
@@ -106,23 +132,35 @@ fn gsacs_enforces_role_separation_end_to_end() {
 
     // main repair: no chemistry, full geography.
     let mr = svc
-        .handle(&ClientRequest { role: ns::sec("MainRep"), query: chem_q.clone() })
+        .handle(&ClientRequest {
+            role: ns::sec("MainRep"),
+            query: chem_q.clone(),
+        })
         .unwrap();
     assert_eq!(mr.select_rows().len(), 0);
     let mr_geo = svc
-        .handle(&ClientRequest { role: ns::sec("MainRep"), query: geo_q.clone() })
+        .handle(&ClientRequest {
+            role: ns::sec("MainRep"),
+            query: geo_q.clone(),
+        })
         .unwrap();
     assert!(!mr_geo.select_rows().is_empty());
 
     // emergency response: everything.
     let em = svc
-        .handle(&ClientRequest { role: ns::sec("Emergency"), query: chem_q.clone() })
+        .handle(&ClientRequest {
+            role: ns::sec("Emergency"),
+            query: chem_q.clone(),
+        })
         .unwrap();
     assert!(!em.select_rows().is_empty());
 
     // Cached repetition returns identical results.
     let em2 = svc
-        .handle(&ClientRequest { role: ns::sec("Emergency"), query: chem_q })
+        .handle(&ClientRequest {
+            role: ns::sec("Emergency"),
+            query: chem_q,
+        })
         .unwrap();
     assert_eq!(em.select_rows().len(), em2.select_rows().len());
     let (hits, _) = svc.cache_stats();
@@ -150,11 +188,8 @@ fn merge_then_policy_still_works() {
     store.materialize();
 
     let policies = scenario_policies();
-    let (view, _) = grdf::security::views::secure_view(
-        store.graph(),
-        &policies,
-        &ns::sec("MainRep"),
-    );
+    let (view, _) =
+        grdf::security::views::secure_view(store.graph(), &policies, &ns::sec("MainRep"));
     // The depot is governed: its chemical link is suppressed even though
     // no policy mentions wx:Depot.
     assert!(view
@@ -166,7 +201,11 @@ fn merge_then_policy_still_works() {
         .is_empty());
     // But it is still visible as a typed object.
     assert!(!view
-        .match_pattern(Some(&Term::iri("urn:wx#depot1")), Some(&Term::iri(rdf::TYPE)), None)
+        .match_pattern(
+            Some(&Term::iri("urn:wx#depot1")),
+            Some(&Term::iri(rdf::TYPE)),
+            None
+        )
         .is_empty());
 }
 
@@ -200,7 +239,10 @@ fn gsacs_serves_concurrent_clients_consistently() {
         ns::APP_NS
     );
     let expected = svc
-        .handle(&ClientRequest { role: ns::sec("Emergency"), query: chem_q.clone() })
+        .handle(&ClientRequest {
+            role: ns::sec("Emergency"),
+            query: chem_q.clone(),
+        })
         .unwrap()
         .select_rows()
         .len();
@@ -212,11 +254,18 @@ fn gsacs_serves_concurrent_clients_consistently() {
             let svc = &svc;
             let chem_q = chem_q.clone();
             handles.push(scope.spawn(move || {
-                let role = if i % 2 == 0 { ns::sec("Emergency") } else { ns::sec("MainRep") };
+                let role = if i % 2 == 0 {
+                    ns::sec("Emergency")
+                } else {
+                    ns::sec("MainRep")
+                };
                 let mut counts = Vec::new();
                 for _ in 0..20 {
                     let r = svc
-                        .handle(&ClientRequest { role: role.clone(), query: chem_q.clone() })
+                        .handle(&ClientRequest {
+                            role: role.clone(),
+                            query: chem_q.clone(),
+                        })
                         .unwrap();
                     counts.push(r.select_rows().len());
                 }
@@ -269,7 +318,11 @@ fn silo_answers_nothing_merged_answers_everything() {
          SELECT ?site ?stream WHERE { ?site a app:ChemSite . ?stream a app:Stream . } LIMIT 5";
 
     let mut hydro_only = GrdfStore::new();
-    let hydro = generate_hydrology(&HydrologyConfig { streams: 10, seed: 5, ..Default::default() });
+    let hydro = generate_hydrology(&HydrologyConfig {
+        streams: 10,
+        seed: 5,
+        ..Default::default()
+    });
     for f in &hydro.features {
         hydro_only.insert_feature(f).unwrap();
     }

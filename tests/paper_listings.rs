@@ -50,7 +50,13 @@ fn list2_property_types() {
     </rdf:RDF>"#;
     let g = grdf::rdf::rdfxml::parse(xml).unwrap();
     assert_eq!(g.len(), 5);
-    for p in ["hasCenterLineOf", "hasCenterOf", "hasEdgeOf", "hasEnvelope", "hasExtentOf"] {
+    for p in [
+        "hasCenterLineOf",
+        "hasCenterOf",
+        "hasEdgeOf",
+        "hasEnvelope",
+        "hasExtentOf",
+    ] {
         assert!(g.has(
             &iri(&format!("http://grdf.org/ontology#{p}")),
             &iri(rdf::TYPE),
@@ -103,8 +109,15 @@ fn list3_envelope_with_time_period() {
         iri("urn:test#t0"),
     );
     Reasoner::default().materialize(&mut g);
-    assert!(!check_consistency(&g).is_empty(), "one time position violates =2");
-    g.add(env, iri("http://grdf.org/temporal#hasTimePosition"), iri("urn:test#t1"));
+    assert!(
+        !check_consistency(&g).is_empty(),
+        "one time position violates =2"
+    );
+    g.add(
+        env,
+        iri("http://grdf.org/temporal#hasTimePosition"),
+        iri("urn:test#t1"),
+    );
     assert!(check_consistency(&g).is_empty());
 }
 
@@ -131,7 +144,11 @@ fn list4_curve_multiparts() {
     }
     // No ComplexCurve anywhere in the built ontology.
     assert!(!onto
-        .match_pattern(Some(&iri("http://grdf.org/ontology#ComplexCurve")), None, None)
+        .match_pattern(
+            Some(&iri("http://grdf.org/ontology#ComplexCurve")),
+            None,
+            None
+        )
         .iter()
         .any(|_| true));
 }
@@ -157,19 +174,43 @@ fn list5_face_restrictions() {
     "#;
     let mut g = grdf::rdf::turtle::parse(ttl).unwrap();
     let face = iri("urn:t#f1");
-    g.add(face.clone(), iri(rdf::TYPE), iri("http://grdf.org/ontology#Face"));
-    g.add(face.clone(), iri("http://grdf.org/ontology#hasEdge"), iri("urn:t#e1"));
+    g.add(
+        face.clone(),
+        iri(rdf::TYPE),
+        iri("http://grdf.org/ontology#Face"),
+    );
+    g.add(
+        face.clone(),
+        iri("http://grdf.org/ontology#hasEdge"),
+        iri("urn:t#e1"),
+    );
     Reasoner::default().materialize(&mut g);
     assert!(check_consistency(&g).is_empty());
     // Violate each facet in turn.
     for s in ["urn:t#s1", "urn:t#s2"] {
-        g.add(face.clone(), iri("http://grdf.org/ontology#hasSurface"), iri(s));
+        g.add(
+            face.clone(),
+            iri("http://grdf.org/ontology#hasSurface"),
+            iri(s),
+        );
     }
-    assert_eq!(check_consistency(&g).len(), 1, "maxCardinality 1 on hasSurface");
+    assert_eq!(
+        check_consistency(&g).len(),
+        1,
+        "maxCardinality 1 on hasSurface"
+    );
     for s in ["urn:t#v1", "urn:t#v2", "urn:t#v3"] {
-        g.add(face.clone(), iri("http://grdf.org/ontology#hasTopoSolid"), iri(s));
+        g.add(
+            face.clone(),
+            iri("http://grdf.org/ontology#hasTopoSolid"),
+            iri(s),
+        );
     }
-    assert_eq!(check_consistency(&g).len(), 2, "plus maxCardinality 2 on hasTopoSolid");
+    assert_eq!(
+        check_consistency(&g).len(),
+        2,
+        "plus maxCardinality 2 on hasTopoSolid"
+    );
 }
 
 /// List 6 — the hydrology stream sample. (The paper's listing closes a
@@ -193,8 +234,14 @@ fn list6_hydrology_sample() {
     let g = grdf::rdf::rdfxml::parse(xml).unwrap();
     let stream = iri("http://grdf.org/app#VECTOR.VECTOR.HYDRO_STREAMS_CENSUS_line");
     // Geometry node is a grdf:LineString with the TX83-NCF srsName.
-    let gnode = g.object(&stream, &iri("http://grdf.org/ontology#hasGeometry")).unwrap();
-    assert!(g.has(&gnode, &iri(rdf::TYPE), &iri("http://grdf.org/ontology#LineString")));
+    let gnode = g
+        .object(&stream, &iri("http://grdf.org/ontology#hasGeometry"))
+        .unwrap();
+    assert!(g.has(
+        &gnode,
+        &iri(rdf::TYPE),
+        &iri("http://grdf.org/ontology#LineString")
+    ));
     // The spatial layer can evaluate its extent directly from the listing.
     let env = grdf::query::spatial::feature_envelope(&g, &stream).unwrap();
     assert!(env.min.x > 2_533_000.0 && env.max.y > 7_108_000.0);
@@ -225,7 +272,9 @@ fn list7_chemical_site_sample() {
     let g = grdf::rdf::rdfxml::parse(xml).unwrap();
     let site = iri("http://grdf.org/app#NTEnergy");
     assert!(g.has(&site, &iri(rdf::TYPE), &iri("http://grdf.org/app#ChemSite")));
-    let info = g.object(&site, &iri("http://grdf.org/app#hasChemicalInfo")).unwrap();
+    let info = g
+        .object(&site, &iri("http://grdf.org/app#hasChemicalInfo"))
+        .unwrap();
     assert_eq!(
         g.object(&info, &iri("http://grdf.org/app#hasChemName"))
             .unwrap()
@@ -286,16 +335,40 @@ fn list8_main_repair_policy() {
     // Enforce it over List 7's data: extent viewable, chemistry not.
     let mut data = grdf::rdf::Graph::new();
     let site = iri("http://grdf.org/app#NTEnergy");
-    data.add(site.clone(), iri(rdf::TYPE), iri("http://grdf.org/app#ChemSite"));
-    data.add(site.clone(), iri("http://grdf.org/ontology#BoundedBy"), Term::string("…"));
-    data.add(site.clone(), iri("http://grdf.org/app#hasChemicalInfo"), iri("urn:x"));
+    data.add(
+        site.clone(),
+        iri(rdf::TYPE),
+        iri("http://grdf.org/app#ChemSite"),
+    );
+    data.add(
+        site.clone(),
+        iri("http://grdf.org/ontology#BoundedBy"),
+        Term::string("…"),
+    );
+    data.add(
+        site.clone(),
+        iri("http://grdf.org/app#hasChemicalInfo"),
+        iri("urn:x"),
+    );
     let ps = grdf::security::policy::PolicySet::new(policies);
     assert_eq!(
-        ps.evaluate(&data, &p.role, &site, "http://grdf.org/ontology#BoundedBy", Action::View),
+        ps.evaluate(
+            &data,
+            &p.role,
+            &site,
+            "http://grdf.org/ontology#BoundedBy",
+            Action::View
+        ),
         Access::Granted
     );
     assert_eq!(
-        ps.evaluate(&data, &p.role, &site, "http://grdf.org/app#hasChemicalInfo", Action::View),
+        ps.evaluate(
+            &data,
+            &p.role,
+            &site,
+            "http://grdf.org/app#hasChemicalInfo",
+            Action::View
+        ),
         Access::Denied
     );
 }

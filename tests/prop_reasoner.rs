@@ -23,18 +23,19 @@ struct Taxonomy {
 }
 
 fn arb_taxonomy(max_classes: usize, max_instances: usize) -> impl Strategy<Value = Taxonomy> {
-    (2..max_classes)
-        .prop_flat_map(move |n| {
-            let parents = (1..n)
-                .map(|i| proptest::option::of(0..i))
-                .collect::<Vec<_>>();
-            let memberships =
-                prop::collection::vec((0..max_instances, 0..n), 0..max_instances * 2);
-            (parents, memberships).prop_map(|(mut ps, memberships)| {
-                ps.insert(0, None);
-                Taxonomy { parents: ps, memberships }
-            })
+    (2..max_classes).prop_flat_map(move |n| {
+        let parents = (1..n)
+            .map(|i| proptest::option::of(0..i))
+            .collect::<Vec<_>>();
+        let memberships = prop::collection::vec((0..max_instances, 0..n), 0..max_instances * 2);
+        (parents, memberships).prop_map(|(mut ps, memberships)| {
+            ps.insert(0, None);
+            Taxonomy {
+                parents: ps,
+                memberships,
+            }
         })
+    })
 }
 
 fn class(i: usize) -> Term {

@@ -14,12 +14,20 @@ use grdf::security::policy::{Access, Action, Policy, PolicySet};
 use grdf::security::views::secure_view;
 
 const TYPES: &[&str] = &["ChemSite", "Stream", "ChemInfo", "Depot"];
-const PROPS: &[&str] = &["hasSiteName", "hasChemCode", "hasContactPhone", "hasObjectID"];
+const PROPS: &[&str] = &[
+    "hasSiteName",
+    "hasChemCode",
+    "hasContactPhone",
+    "hasObjectID",
+];
 
 /// A random instance dataset: features over a small type/property universe.
 fn arb_dataset() -> impl Strategy<Value = Graph> {
     prop::collection::vec(
-        (0..TYPES.len(), prop::collection::vec((0..PROPS.len(), "[a-z]{1,6}"), 0..4)),
+        (
+            0..TYPES.len(),
+            prop::collection::vec((0..PROPS.len(), "[a-z]{1,6}"), 0..4),
+        ),
         1..12,
     )
     .prop_map(|features| {

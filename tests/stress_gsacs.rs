@@ -1,0 +1,184 @@
+//! Concurrency stress for the G-SACS front-end: many threads, mixed roles
+//! and queries, shared service. Asserts the service neither deadlocks nor
+//! loses accounting:
+//!
+//! * every query-cache lookup is classified (hits + misses == lookups);
+//! * each role's secure view is built exactly once despite concurrent
+//!   first requests (the build happens under the view-cache lock);
+//! * every request is audited exactly once;
+//! * admission control, when enabled, sheds rather than queues without
+//!   bound, and shed requests are audited denials.
+
+use std::sync::Arc;
+
+use grdf::feature::{encode_feature, Feature};
+use grdf::rdf::vocab::grdf as ns;
+use grdf::rdf::Graph;
+use grdf::security::gsacs::{ClientRequest, GSacs, OntoRepository, OwlHorstEngine};
+use grdf::security::policy::{Policy, PolicySet};
+use grdf::security::resilience::ResilienceConfig;
+
+const THREADS: usize = 8;
+const REQUESTS_PER_THREAD: usize = 50;
+
+fn build_service(cache_capacity: usize, config: ResilienceConfig) -> GSacs {
+    let mut data = Graph::new();
+    for i in 0..20 {
+        let mut site = Feature::new(&ns::app(&format!("site{i}")), "ChemSite");
+        site.set_property("hasSiteName", format!("Site {i}").as_str());
+        site.set_property("hasChemCode", format!("C{i}").as_str());
+        encode_feature(&mut data, &site);
+        let mut stream = Feature::new(&ns::app(&format!("stream{i}")), "Stream");
+        stream.set_property("hasObjectID", i as i64);
+        encode_feature(&mut data, &stream);
+    }
+    let policies = PolicySet::new(vec![
+        Policy::permit_properties(
+            &ns::sec("MainRepPolicy1"),
+            &ns::sec("MainRep"),
+            &ns::app("ChemSite"),
+            &[&ns::iri("isBoundedBy")],
+        ),
+        Policy::permit(
+            &ns::sec("MainRepPolicy2"),
+            &ns::sec("MainRep"),
+            &ns::app("Stream"),
+        ),
+        Policy::permit(&ns::sec("E1"), &ns::sec("Emergency"), &ns::app("ChemSite")),
+        Policy::permit(&ns::sec("E2"), &ns::sec("Emergency"), &ns::app("Stream")),
+        Policy::permit(&ns::sec("H1"), &ns::sec("Hazmat"), &ns::app("ChemSite")),
+    ]);
+    GSacs::with_resilience(
+        OntoRepository::new(),
+        policies,
+        Box::<OwlHorstEngine>::default(),
+        data,
+        cache_capacity,
+        config,
+    )
+}
+
+const ROLES: &[&str] = &["MainRep", "Emergency", "Hazmat", "Nobody"];
+
+fn queries() -> Vec<String> {
+    vec![
+        format!(
+            "PREFIX app: <{}>\nSELECT ?c WHERE {{ ?s app:hasChemCode ?c }}",
+            ns::APP_NS
+        ),
+        format!(
+            "PREFIX app: <{}>\nSELECT ?n WHERE {{ ?s app:hasSiteName ?n }}",
+            ns::APP_NS
+        ),
+        format!(
+            "PREFIX app: <{}>\nSELECT ?o WHERE {{ ?s app:hasObjectID ?o }}",
+            ns::APP_NS
+        ),
+        format!(
+            "PREFIX app: <{}>\nSELECT ?s WHERE {{ ?s a app:Stream }}",
+            ns::APP_NS
+        ),
+        format!("PREFIX app: <{}>\nASK {{ ?s a app:ChemSite }}", ns::APP_NS),
+        "DEFINITELY NOT SPARQL".to_string(),
+    ]
+}
+
+#[test]
+fn concurrent_mixed_workload_keeps_accounting_exact() {
+    let svc = Arc::new(build_service(32, ResilienceConfig::default()));
+    let qs = Arc::new(queries());
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let svc = Arc::clone(&svc);
+            let qs = Arc::clone(&qs);
+            scope.spawn(move || {
+                for i in 0..REQUESTS_PER_THREAD {
+                    // Deterministic per-thread mix of roles and queries.
+                    let role = ROLES[(t + i) % ROLES.len()];
+                    let query = qs[(t * 7 + i * 3) % qs.len()].clone();
+                    let req = ClientRequest {
+                        role: ns::sec(role),
+                        query,
+                    };
+                    // Errors (parse failures, shed) are fine; panics and
+                    // deadlocks are what this test exists to catch.
+                    let _ = svc.handle(&req);
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * REQUESTS_PER_THREAD) as u64;
+    let (hits, misses) = svc.cache_stats();
+    assert_eq!(
+        hits + misses,
+        svc.cache_lookups(),
+        "every lookup must be classified as hit or miss"
+    );
+    assert_eq!(svc.health().requests, total);
+
+    // Each role's view was built exactly once; concurrent first requests
+    // must not duplicate the (expensive) build.
+    for role in ROLES {
+        let builds = svc.view_builds_for(&ns::sec(role));
+        assert!(
+            builds <= 1,
+            "role {role} view built {builds} times; the build must be single-flight"
+        );
+    }
+
+    // Exactly one audit entry per request, nothing dropped at this volume.
+    let audited = svc
+        .audit_log()
+        .iter()
+        .filter(|e| e.action == "query")
+        .count() as u64
+        + svc.audit_dropped();
+    assert_eq!(
+        audited, total,
+        "every decision must be audited exactly once"
+    );
+}
+
+#[test]
+fn admission_limit_sheds_under_concurrency_and_audits_sheds() {
+    // A limit far below the thread count guarantees shedding pressure;
+    // correctness here is accounting, not a specific shed count.
+    let config = ResilienceConfig {
+        max_in_flight: 2,
+        ..ResilienceConfig::default()
+    };
+    let svc = Arc::new(build_service(16, config));
+    let qs = Arc::new(queries());
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let svc = Arc::clone(&svc);
+            let qs = Arc::clone(&qs);
+            scope.spawn(move || {
+                for i in 0..REQUESTS_PER_THREAD {
+                    let role = ROLES[(t + i) % ROLES.len()];
+                    let query = qs[i % (qs.len() - 1)].clone(); // valid queries only
+                    let _ = svc.handle(&ClientRequest {
+                        role: ns::sec(role),
+                        query,
+                    });
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * REQUESTS_PER_THREAD) as u64;
+    let h = svc.health();
+    assert_eq!(h.requests, total);
+    assert_eq!(h.in_flight, 0, "all permits must be released");
+    // Shed requests are audited denials; successful ones audited allows.
+    let log = svc.audit_log();
+    let denied = log
+        .iter()
+        .filter(|e| e.action == "query" && !e.allowed)
+        .count() as u64;
+    assert!(denied >= h.shed, "every shed request is an audited denial");
+    assert_eq!(log.len() as u64 + svc.audit_dropped(), total);
+}
