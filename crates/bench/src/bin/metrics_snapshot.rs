@@ -1,0 +1,73 @@
+//! Metrics snapshot for CI: runs the E6 request-stream workload against
+//! an instrumented G-SACS service and writes the registry *delta*
+//! (workload-attributable counters and histograms, excluding
+//! construction-time activity) as JSON.
+//!
+//! Usage: `cargo run --release -p grdf-bench --bin metrics-snapshot [PATH]`
+//! (default `BENCH_METRICS.json`). The human-readable rendering goes to
+//! stdout so CI logs show the numbers next to the uploaded artifact.
+
+use grdf_bench::{incident_graph, roles, scenario_policies};
+use grdf_core::ontology::grdf_ontology;
+use grdf_obs::Obs;
+use grdf_security::gsacs::{ClientRequest, GSacs, OntoRepository, OwlHorstEngine};
+use grdf_security::ResilienceConfig;
+use grdf_workload::requests::{generate_requests, RequestConfig};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_METRICS.json".to_string());
+    let obs = Obs::new();
+    let config = ResilienceConfig {
+        obs: obs.clone(),
+        ..ResilienceConfig::default()
+    };
+    let mut repo = OntoRepository::new();
+    repo.register("grdf", grdf_ontology());
+    repo.register("seconto", grdf_security::ontology::security_ontology());
+    let svc = GSacs::with_resilience(
+        repo,
+        scenario_policies(),
+        Box::<OwlHorstEngine>::default(),
+        incident_graph(100, 100, 17),
+        64,
+        config,
+    );
+    // Pre-build role views so the delta measures request handling, then
+    // baseline *after* construction: the snapshot attributes only the
+    // workload itself.
+    for role in [roles::main_repair(), roles::hazmat(), roles::emergency()] {
+        let _ = svc.view_for(&role);
+    }
+    let baseline = obs.registry().snapshot();
+    let requests: Vec<ClientRequest> = generate_requests(&RequestConfig {
+        count: 200,
+        distinct_queries: 100,
+        zipf_s: 1.2,
+        seed: 23,
+        ..Default::default()
+    })
+    .into_iter()
+    .map(|r| ClientRequest {
+        role: r.role,
+        query: r.query,
+    })
+    .collect();
+    let mut rows = 0usize;
+    for r in &requests {
+        rows += svc
+            .handle(r)
+            .map(|res| res.select_rows().len())
+            .unwrap_or(0);
+    }
+    let delta = obs.registry().snapshot().delta(&baseline);
+    std::fs::write(&path, delta.to_json()).expect("write metrics json");
+    println!(
+        "e6 request stream: {} requests, {} result rows",
+        requests.len(),
+        rows
+    );
+    println!("{}", delta.render());
+    eprintln!("wrote {path}");
+}

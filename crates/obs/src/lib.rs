@@ -1,0 +1,479 @@
+//! # grdf-obs — observability layer for the GRDF workspace
+//!
+//! Three pieces, all std-only and dependency-free:
+//!
+//! * [`MetricsRegistry`] — named counters / gauges / log₂ histograms with
+//!   lock-free recording (registration pre-resolves an `Arc` handle).
+//! * Spans — [`span`] opens a timed, taggable span inside the current
+//!   request scope; spans nest into a tree and share the scope's
+//!   [`TraceId`].
+//! * [`TraceSink`] — a bounded ring buffer of completed traces, exported
+//!   as JSON-lines or flamegraph collapsed stacks.
+//!
+//! ## Propagation model
+//!
+//! An [`Obs`] handle (registry + sink) is owned by the service (G-SACS, the
+//! CLI, a bench harness). Entering a request calls [`Obs::scope`], which
+//! installs a **thread-local context**; the instrumented crates below the
+//! service (`grdf-query`, `grdf-owl`, `grdf-security`) call the free
+//! functions [`span`], [`incr`], [`add`], [`observe`] — which resolve
+//! through that context and are no-ops when none is installed. This keeps
+//! the deep call graphs free of threading an observability parameter
+//! through every signature.
+//!
+//! Scopes nest: if a scope is already active on the thread (e.g. the CLI
+//! wraps service construction *and* a request in one trace), an inner
+//! [`Obs::scope`] joins the ambient trace instead of starting a new one,
+//! so every span shares one `TraceId`.
+//!
+//! ## Cost model
+//!
+//! With the sink disabled (capacity 0) a span is one thread-local borrow
+//! and a branch — no clock read, no allocation — so instrumentation can
+//! stay on permanently (the ≤ 5 % bench budget). Metrics always record;
+//! hot paths should cache [`Counter`] handles instead of calling
+//! [`MetricsRegistry::counter`] per event.
+
+pub mod metrics;
+pub mod sink;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSummary, LogHistogram, MetricsRegistry, MetricsSnapshot,
+};
+pub use sink::{SpanRecord, TraceRecord, TraceSink};
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Trace ids
+// ---------------------------------------------------------------------------
+
+/// A request-scoped correlation id shared by every span, the audit-log
+/// entry, and the decision trace of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The null id (no scope was active).
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Mint a fresh process-unique id.
+    pub fn fresh() -> TraceId {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(n);
+        TraceId(if id == 0 { n } else { id })
+    }
+
+    /// Whether this is [`TraceId::NONE`].
+    pub fn is_none(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for TraceId {
+    fn default() -> TraceId {
+        TraceId::NONE
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// The Obs handle
+// ---------------------------------------------------------------------------
+
+/// A cheaply cloneable bundle of one metrics registry and one trace sink.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    registry: Arc<MetricsRegistry>,
+    sink: Arc<TraceSink>,
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::new()
+    }
+}
+
+impl Obs {
+    /// Metrics only; the trace sink is disabled.
+    pub fn new() -> Obs {
+        Obs {
+            registry: Arc::new(MetricsRegistry::new()),
+            sink: Arc::new(TraceSink::disabled()),
+        }
+    }
+
+    /// Metrics plus a sink retaining the most recent `capacity` traces.
+    pub fn with_tracing(capacity: usize) -> Obs {
+        Obs {
+            registry: Arc::new(MetricsRegistry::new()),
+            sink: Arc::new(TraceSink::bounded(capacity)),
+        }
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The trace sink.
+    pub fn sink(&self) -> &Arc<TraceSink> {
+        &self.sink
+    }
+
+    /// Whether completed traces are being retained.
+    pub fn tracing_enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Enter a request scope named `root` on this thread.
+    ///
+    /// If no scope is active, installs this `Obs` as the thread's context,
+    /// mints a fresh [`TraceId`], and (when the sink is enabled) opens the
+    /// root span; the completed trace is flushed to the sink when the
+    /// returned guard drops. If a scope is already active, the guard joins
+    /// it: it opens `root` as a child span and reports the ambient id.
+    pub fn scope(&self, root: &'static str) -> Scope {
+        let installed = CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            if ctx.is_some() {
+                return false;
+            }
+            let id = TraceId::fresh();
+            *ctx = Some(ActiveCtx {
+                id,
+                registry: Arc::clone(&self.registry),
+                trace: self.sink.enabled().then(|| ActiveTrace {
+                    started: Instant::now(),
+                    done: Vec::new(),
+                    open: Vec::new(),
+                }),
+            });
+            true
+        });
+        let root_span = span(root);
+        let id = current_trace_id().unwrap_or(TraceId::NONE);
+        Scope {
+            installed,
+            id,
+            sink: Arc::clone(&self.sink),
+            root: Some(root_span),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context
+// ---------------------------------------------------------------------------
+
+struct OpenSpan {
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+    tags: Vec<(String, String)>,
+}
+
+struct ActiveTrace {
+    started: Instant,
+    done: Vec<SpanRecord>,
+    open: Vec<OpenSpan>,
+}
+
+struct ActiveCtx {
+    id: TraceId,
+    registry: Arc<MetricsRegistry>,
+    trace: Option<ActiveTrace>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ActiveCtx>> = const { RefCell::new(None) };
+}
+
+/// RAII guard for a request scope (see [`Obs::scope`]).
+pub struct Scope {
+    installed: bool,
+    id: TraceId,
+    sink: Arc<TraceSink>,
+    root: Option<Span>,
+}
+
+impl Scope {
+    /// The trace id every span and audit entry of this scope shares.
+    pub fn trace_id(&self) -> TraceId {
+        self.id
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        // Close the root span before tearing the context down.
+        self.root.take();
+        if !self.installed {
+            return;
+        }
+        let finished = CTX.with(|ctx| ctx.borrow_mut().take());
+        if let Some(ActiveCtx {
+            id,
+            trace: Some(trace),
+            ..
+        }) = finished
+        {
+            if !trace.done.is_empty() {
+                self.sink.push(TraceRecord {
+                    id,
+                    spans: trace.done,
+                });
+            }
+        }
+    }
+}
+
+/// The trace id of the active scope on this thread, if any.
+pub fn current_trace_id() -> Option<TraceId> {
+    CTX.with(|ctx| ctx.borrow().as_ref().map(|c| c.id))
+}
+
+/// Whether spans are being materialized on this thread right now.
+pub fn tracing_active() -> bool {
+    CTX.with(|ctx| ctx.borrow().as_ref().is_some_and(|c| c.trace.is_some()))
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// RAII guard for one timed span; records on drop.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    active: bool,
+}
+
+impl Span {
+    /// Annotate the span (builder form).
+    pub fn tag(self, key: &str, value: impl fmt::Display) -> Span {
+        if self.active {
+            tag_current(key, value);
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            let Some(c) = ctx.as_mut() else { return };
+            let Some(trace) = c.trace.as_mut() else {
+                return;
+            };
+            let Some(open) = trace.open.pop() else { return };
+            let path = trace
+                .open
+                .iter()
+                .map(|s| s.name)
+                .chain(std::iter::once(open.name))
+                .collect::<Vec<_>>()
+                .join(";");
+            trace.done.push(SpanRecord {
+                name: open.name,
+                path,
+                depth: trace.open.len(),
+                start_ns: open.start_ns,
+                dur_ns: open.start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                tags: open.tags,
+            });
+        });
+    }
+}
+
+/// Open a span named `name` in the active trace; a cheap no-op when no
+/// scope is active or the sink is disabled.
+pub fn span(name: &'static str) -> Span {
+    let active = CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        let Some(c) = ctx.as_mut() else { return false };
+        let Some(trace) = c.trace.as_mut() else {
+            return false;
+        };
+        let now = Instant::now();
+        trace.open.push(OpenSpan {
+            name,
+            start: now,
+            start_ns: now
+                .duration_since(trace.started)
+                .as_nanos()
+                .min(u64::MAX as u128) as u64,
+            tags: Vec::new(),
+        });
+        true
+    });
+    Span { active }
+}
+
+/// Annotate the innermost open span, if any.
+pub fn tag_current(key: &str, value: impl fmt::Display) {
+    CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        if let Some(open) = ctx
+            .as_mut()
+            .and_then(|c| c.trace.as_mut())
+            .and_then(|t| t.open.last_mut())
+        {
+            open.tags.push((key.to_string(), value.to_string()));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Context-routed metrics
+// ---------------------------------------------------------------------------
+
+fn with_registry(f: impl FnOnce(&MetricsRegistry)) {
+    CTX.with(|ctx| {
+        if let Some(c) = ctx.borrow().as_ref() {
+            f(&c.registry);
+        }
+    });
+}
+
+/// Add 1 to the scoped counter `name` (no-op outside a scope).
+pub fn incr(name: &str) {
+    add(name, 1);
+}
+
+/// Add `n` to the scoped counter `name` (no-op outside a scope).
+pub fn add(name: &str, n: u64) {
+    if n > 0 {
+        with_registry(|r| r.counter(name).add(n));
+    }
+}
+
+/// Record `v` into the scoped histogram `name` (no-op outside a scope).
+pub fn observe(name: &str, v: u64) {
+    with_registry(|r| r.histogram(name).record(v));
+}
+
+/// Set the scoped gauge `name` (no-op outside a scope).
+pub fn gauge_set(name: &str, v: i64) {
+    with_registry(|r| r.gauge(name).set(v));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = TraceId::fresh();
+        let b = TraceId::fresh();
+        assert_ne!(a, b);
+        assert!(!a.is_none());
+        assert_eq!(format!("{}", TraceId(0xab)).len(), 16);
+    }
+
+    #[test]
+    fn spans_nest_into_a_tree_with_one_trace_id() {
+        let obs = Obs::with_tracing(8);
+        let id;
+        {
+            let scope = obs.scope("root");
+            id = scope.trace_id();
+            {
+                let _a = span("alpha");
+                let _b = span("beta").tag("k", 1);
+            }
+            let _c = span("gamma");
+        }
+        let recs = obs.sink().records();
+        assert_eq!(recs.len(), 1);
+        let rec = &recs[0];
+        assert_eq!(rec.id, id);
+        assert_eq!(rec.spans.len(), 4);
+        let beta = &rec.spans_named("beta")[0];
+        assert_eq!(beta.path, "root;alpha;beta");
+        assert_eq!(beta.depth, 2);
+        assert_eq!(beta.tag("k"), Some("1"));
+        assert_eq!(rec.root().unwrap().name, "root");
+    }
+
+    #[test]
+    fn nested_scopes_join_the_ambient_trace() {
+        let obs = Obs::with_tracing(8);
+        let outer_id;
+        {
+            let outer = obs.scope("cli");
+            outer_id = outer.trace_id();
+            let inner = obs.scope("request");
+            assert_eq!(inner.trace_id(), outer_id);
+            drop(inner);
+        }
+        let recs = obs.sink().records();
+        assert_eq!(recs.len(), 1, "one merged trace, not two");
+        assert_eq!(recs[0].id, outer_id);
+        assert!(recs[0].spans_named("request")[0].path.starts_with("cli;"));
+    }
+
+    #[test]
+    fn disabled_sink_skips_spans_but_not_metrics() {
+        let obs = Obs::new();
+        {
+            let _scope = obs.scope("root");
+            assert!(!tracing_active());
+            let _s = span("x");
+            incr("hits");
+            add("rows", 41);
+            observe("lat", 7);
+            gauge_set("depth", -2);
+        }
+        assert!(obs.sink().is_empty());
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counters["hits"], 1);
+        assert_eq!(snap.counters["rows"], 41);
+        assert_eq!(snap.histograms["lat"].count, 1);
+        assert_eq!(snap.gauges["depth"], -2);
+    }
+
+    #[test]
+    fn metrics_are_noops_outside_a_scope() {
+        let obs = Obs::new();
+        incr("orphan");
+        assert!(obs.registry().snapshot().counters.is_empty());
+        assert_eq!(current_trace_id(), None);
+        let _s = span("orphan"); // must not panic
+    }
+
+    #[test]
+    fn scope_ids_differ_across_requests() {
+        let obs = Obs::with_tracing(4);
+        let a = {
+            let s = obs.scope("r");
+            s.trace_id()
+        };
+        let b = {
+            let s = obs.scope("r");
+            s.trace_id()
+        };
+        assert_ne!(a, b);
+        assert_eq!(obs.sink().len(), 2);
+    }
+}

@@ -1,0 +1,510 @@
+//! Lock-free metrics: named counters, gauges, and log₂ histograms.
+//!
+//! A [`MetricsRegistry`] maps names to metric cells. Registration (the
+//! first use of a name) takes a write lock; every *recording* operation is
+//! plain atomics on an `Arc`-shared cell, so hot paths pre-resolve their
+//! handles once and never touch the lock again.
+//!
+//! Naming convention (see DESIGN.md §Observability): dot-separated
+//! `component.noun[.verb]`, e.g. `gsacs.cache.hit`,
+//! `reasoner.rule.subclass_transitivity`, `breaker.opened`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Number of log₂ buckets; bucket `i` counts values in `[2^i, 2^(i+1))`
+/// (bucket 0 also absorbs 0), the last bucket absorbs everything larger.
+const BUCKETS: usize = 64;
+
+/// A monotonically increasing counter handle (cheap to clone).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed point-in-time gauge handle (cheap to clone).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed log₂-bucket histogram with lock-free recording, generalized out
+/// of the PR 1 `LatencyHistogram` (which now wraps it with `Duration`
+/// units).
+///
+/// Quantiles are *interpolated within the bucket* holding the target
+/// rank — assuming a uniform spread of samples across the bucket — and
+/// clamped to the largest recorded value, instead of reporting the bucket
+/// upper bound (which overstated p50/p99 by up to 2×).
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        let idx = (63 - (v | 1).leading_zeros()) as usize;
+        self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`0.0..=1.0`), linearly interpolated within
+    /// the bucket holding the target rank and clamped to [`Self::max`];
+    /// zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                let lower = if i == 0 { 0 } else { 1u64 << i };
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
+                // The target rank's position among this bucket's samples,
+                // assuming they spread uniformly across the bucket.
+                let frac = (target - seen) as f64 / n as f64;
+                let est = lower + ((upper - lower) as f64 * frac).round() as u64;
+                return est.min(self.max());
+            }
+            seen += n;
+        }
+        self.max()
+    }
+}
+
+/// A shared histogram handle (cheap to clone).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    core: Arc<LogHistogram>,
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.core.record(v);
+    }
+
+    /// Record a duration in microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.core.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.core.count()
+    }
+
+    /// Interpolated quantile (see [`LogHistogram::quantile`]).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.core.quantile(q)
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.core.max()
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Interpolated median.
+    pub p50: u64,
+    /// Interpolated 99th percentile.
+    pub p99: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+/// Name → metric cells. Recording never takes the registry locks; only
+/// first-time registration and snapshots do.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().expect("registry lock").get(name) {
+            return c.clone();
+        }
+        let mut map = self.counters.write().expect("registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().expect("registry lock").get(name) {
+            return g.clone();
+        }
+        let mut map = self.gauges.write().expect("registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.histograms.read().expect("registry lock").get(name) {
+            return h.clone();
+        }
+        let mut map = self.histograms.write().expect("registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// A point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    HistogramSummary {
+                        count: v.core.count(),
+                        sum: v.core.sum(),
+                        p50: v.core.quantile(0.5),
+                        p99: v.core.quantile(0.99),
+                        max: v.core.max(),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Multi-line human-readable rendering of the current state.
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+/// An immutable snapshot of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// The change from `baseline` to `self`: counters and histogram counts
+    /// subtract (saturating), gauges and quantiles report the later state.
+    pub fn delta(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    v.saturating_sub(baseline.counters.get(k).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, v)| {
+                let before = baseline.histograms.get(k).copied().unwrap_or_default();
+                (
+                    k.clone(),
+                    HistogramSummary {
+                        count: v.count.saturating_sub(before.count),
+                        sum: v.sum.saturating_sub(before.sum),
+                        ..*v
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Aligned text rendering (used by `grdf-cli health`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k:<44} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "{k:<44} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{k:<44} n={} p50={} p99={} max={}",
+                h.count, h.p50, h.p99, h.max
+            );
+        }
+        out
+    }
+
+    /// JSON object rendering (`BENCH_*.json`-style, stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {v}", escape_json(k));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {v}", escape_json(k));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}",
+                escape_json(k),
+                h.count,
+                h.sum,
+                h.p50,
+                h.p99,
+                h.max
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (control chars, quote, backslash).
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        let g = reg.gauge("g");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(reg.gauge("g").get(), 3);
+    }
+
+    /// The satellite-1 pin: quantiles interpolate within the bucket
+    /// instead of reporting its upper bound.
+    #[test]
+    fn quantiles_interpolate_within_bucket() {
+        let h = LogHistogram::default();
+        // Four identical samples land in bucket [512, 1024).
+        for _ in 0..4 {
+            h.record(1000);
+        }
+        // rank 2 of 4 → halfway through the bucket: 512 + 0.5·512.
+        assert_eq!(h.quantile(0.5), 768);
+        // rank 4 of 4 → bucket upper bound, clamped to the recorded max.
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile(0.0), 640); // rank 1 of 4 → 512 + 0.25·512
+    }
+
+    #[test]
+    fn quantiles_pin_known_distribution() {
+        let h = LogHistogram::default();
+        for v in 1..=8u64 {
+            h.record(v);
+        }
+        // Buckets: [1]=1, [2,3]=2, [4..8)=4, [8..16)=1. Median rank 4 is
+        // the first of four samples in [4, 8): 4 + (1/4)·4 = 5.
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 8);
+        assert!(h.quantile(0.99) <= h.max());
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 36);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded_by_max() {
+        let h = LogHistogram::default();
+        for v in [3u64, 17, 99, 1024, 40_000] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantiles must be monotone");
+            assert!(v <= h.max());
+            last = v;
+        }
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(5);
+        reg.histogram("h").record(10);
+        let before = reg.snapshot();
+        reg.counter("a").add(7);
+        reg.counter("b").inc();
+        reg.histogram("h").record(20);
+        let delta = reg.snapshot().delta(&before);
+        assert_eq!(delta.counters["a"], 7);
+        assert_eq!(delta.counters["b"], 1);
+        assert_eq!(delta.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed_enough() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b").inc();
+        reg.gauge("g").set(-4);
+        reg.histogram("h").record(2);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"a.b\": 1"));
+        assert!(json.contains("\"g\": -4"));
+        assert!(json.contains("\"count\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,269 @@
+//! Completed-trace storage and export.
+//!
+//! A [`TraceSink`] is a bounded ring buffer of [`TraceRecord`]s (one per
+//! root scope). A sink built with capacity 0 is *disabled*: scopes still
+//! mint `TraceId`s and metrics still record, but no span is materialized —
+//! the instrumented hot paths reduce to a thread-local flag check.
+//!
+//! Two export formats:
+//!
+//! * [`TraceSink::json_lines`] — one JSON object per span, for tooling;
+//! * [`TraceSink::collapsed`] — `path;to;span self_µs` lines, the
+//!   flamegraph collapsed-stack format (feed to `flamegraph.pl`).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics::escape_json;
+use crate::TraceId;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (`component.stage`).
+    pub name: &'static str,
+    /// Semicolon-joined ancestor names ending in `name` (collapsed-stack
+    /// path).
+    pub path: String,
+    /// Nesting depth (root = 0).
+    pub depth: usize,
+    /// Start offset from the trace root, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Free-form key/value annotations.
+    pub tags: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// The value of tag `key`, if set.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One completed trace: every span recorded under a root scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The request-scoped trace id all spans share.
+    pub id: TraceId,
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceRecord {
+    /// Spans named `name`.
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// The root span (depth 0), if the trace completed normally.
+    pub fn root(&self) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.depth == 0)
+    }
+}
+
+/// Bounded ring buffer of completed traces.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    capacity: usize,
+    records: Mutex<VecDeque<TraceRecord>>,
+    dropped: AtomicU64,
+}
+
+impl TraceSink {
+    /// A disabled sink: spans are not materialized at all.
+    pub fn disabled() -> TraceSink {
+        TraceSink::bounded(0)
+    }
+
+    /// A sink retaining the most recent `capacity` traces.
+    pub fn bounded(capacity: usize) -> TraceSink {
+        TraceSink {
+            capacity,
+            records: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether spans should be materialized.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Store a completed trace, evicting the oldest at capacity.
+    pub fn push(&self, record: TraceRecord) {
+        if !self.enabled() {
+            return;
+        }
+        let mut records = self.records.lock().expect("sink lock");
+        if records.len() >= self.capacity {
+            records.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        records.push_back(record);
+    }
+
+    /// Retained traces, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records
+            .lock()
+            .expect("sink lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained trace count.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("sink lock").len()
+    }
+
+    /// Whether no trace is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Traces evicted by the ring buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// One JSON object per span, one span per line.
+    pub fn json_lines(&self) -> String {
+        let mut out = String::new();
+        for rec in self.records.lock().expect("sink lock").iter() {
+            for s in &rec.spans {
+                let _ = write!(
+                    out,
+                    "{{\"trace\":\"{}\",\"span\":\"{}\",\"path\":\"{}\",\"depth\":{},\"start_ns\":{},\"dur_ns\":{}",
+                    rec.id,
+                    escape_json(s.name),
+                    escape_json(&s.path),
+                    s.depth,
+                    s.start_ns,
+                    s.dur_ns
+                );
+                if !s.tags.is_empty() {
+                    out.push_str(",\"tags\":{");
+                    for (i, (k, v)) in s.tags.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+                    }
+                    out.push('}');
+                }
+                out.push_str("}\n");
+            }
+        }
+        out
+    }
+
+    /// Collapsed-stack text: `root;child;leaf self_time_µs`, aggregated
+    /// over every retained trace (flamegraph-compatible).
+    pub fn collapsed(&self) -> String {
+        let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+        for rec in self.records.lock().expect("sink lock").iter() {
+            for s in &rec.spans {
+                // Self time: own duration minus direct children's.
+                let child_prefix = format!("{};", s.path);
+                let children_ns: u64 = rec
+                    .spans
+                    .iter()
+                    .filter(|c| c.depth == s.depth + 1 && c.path.starts_with(&child_prefix))
+                    .map(|c| c.dur_ns)
+                    .sum();
+                let self_us = s.dur_ns.saturating_sub(children_ns) / 1_000;
+                *weights.entry(s.path.clone()).or_insert(0) += self_us;
+            }
+        }
+        let mut out = String::new();
+        for (path, us) in weights {
+            let _ = writeln!(out, "{path} {us}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, path: &str, depth: usize, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            path: path.to_string(),
+            depth,
+            start_ns: start,
+            dur_ns: dur,
+            tags: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let sink = TraceSink::bounded(2);
+        for i in 0..3u64 {
+            sink.push(TraceRecord {
+                id: TraceId(i + 1),
+                spans: vec![],
+            });
+        }
+        let recs = sink.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, TraceId(2));
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn disabled_sink_stores_nothing() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.enabled());
+        sink.push(TraceRecord {
+            id: TraceId(1),
+            spans: vec![],
+        });
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn collapsed_stacks_use_self_time() {
+        let sink = TraceSink::bounded(4);
+        sink.push(TraceRecord {
+            id: TraceId(9),
+            spans: vec![
+                span("child", "root;child", 1, 0, 40_000),
+                span("root", "root", 0, 0, 100_000),
+            ],
+        });
+        let text = sink.collapsed();
+        assert!(text.contains("root;child 40"));
+        assert!(
+            text.contains("root 60"),
+            "root self-time excludes child: {text}"
+        );
+    }
+
+    #[test]
+    fn json_lines_one_object_per_span() {
+        let sink = TraceSink::bounded(4);
+        let mut s = span("a", "a", 0, 5, 10);
+        s.tags.push(("k".to_string(), "v\"q".to_string()));
+        sink.push(TraceRecord {
+            id: TraceId(0xabc),
+            spans: vec![s],
+        });
+        let lines = sink.json_lines();
+        assert_eq!(lines.lines().count(), 1);
+        assert!(lines.contains("\"span\":\"a\""));
+        assert!(lines.contains("\\\"q"));
+        assert!(lines.contains("0000000000000abc"));
+    }
+}

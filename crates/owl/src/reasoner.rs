@@ -86,6 +86,7 @@ impl Reasoner {
         loop {
             deadline.check()?;
             stats.passes += 1;
+            let span = grdf_obs::span("reasoner.pass").tag("pass", stats.passes);
             let additions = self.one_pass(graph);
             let mut added = 0;
             for t in additions {
@@ -93,8 +94,11 @@ impl Reasoner {
                     added += 1;
                 }
             }
+            drop(span.tag("inferred", added));
             stats.inferred += added;
             if added == 0 || stats.passes >= self.max_passes {
+                grdf_obs::add("reasoner.passes", stats.passes as u64);
+                grdf_obs::add("reasoner.inferred", stats.inferred as u64);
                 return Ok(stats);
             }
         }
@@ -104,26 +108,52 @@ impl Reasoner {
         let mut out: Vec<Triple> = Vec::new();
         let schema = Schema::collect(g);
 
+        // Count each rule's proposals (pre-dedup) under
+        // `reasoner.rule.<name>` so decision traces and `grdf-cli trace`
+        // can attribute fixpoint work to individual rules.
+        macro_rules! rule {
+            ($name:literal, $call:expr) => {{
+                let before = out.len();
+                $call;
+                grdf_obs::add(
+                    concat!("reasoner.rule.", $name),
+                    (out.len() - before) as u64,
+                );
+            }};
+        }
+
         if self.rdfs {
-            rule_subclass_transitivity(g, &mut out);
-            rule_type_inheritance(g, &schema, &mut out);
-            rule_subproperty_transitivity(g, &mut out);
-            rule_property_inheritance(g, &schema, &mut out);
-            rule_domain_range(g, &schema, &mut out);
+            rule!(
+                "subclass_transitivity",
+                rule_subclass_transitivity(g, &mut out)
+            );
+            rule!(
+                "type_inheritance",
+                rule_type_inheritance(g, &schema, &mut out)
+            );
+            rule!(
+                "subproperty_transitivity",
+                rule_subproperty_transitivity(g, &mut out)
+            );
+            rule!(
+                "property_inheritance",
+                rule_property_inheritance(g, &schema, &mut out)
+            );
+            rule!("domain_range", rule_domain_range(g, &schema, &mut out));
         }
         if self.owl {
-            rule_equivalences(g, &mut out);
-            rule_inverse(g, &schema, &mut out);
-            rule_symmetric(g, &schema, &mut out);
-            rule_transitive(g, &schema, &mut out);
-            rule_functional(g, &schema, &mut out);
-            rule_same_as(g, &mut out);
+            rule!("equivalences", rule_equivalences(g, &mut out));
+            rule!("inverse", rule_inverse(g, &schema, &mut out));
+            rule!("symmetric", rule_symmetric(g, &schema, &mut out));
+            rule!("transitive", rule_transitive(g, &schema, &mut out));
+            rule!("functional", rule_functional(g, &schema, &mut out));
+            rule!("same_as", rule_same_as(g, &mut out));
         }
         if self.restrictions {
-            rule_restrictions(g, &schema, &mut out);
+            rule!("restrictions", rule_restrictions(g, &schema, &mut out));
         }
         if self.owl {
-            rule_boolean_classes(g, &mut out);
+            rule!("boolean_classes", rule_boolean_classes(g, &mut out));
         }
         out
     }

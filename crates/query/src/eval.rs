@@ -104,7 +104,10 @@ pub fn execute_with_deadline(
     query_text: &str,
     deadline: &Deadline,
 ) -> Result<QueryResult, QueryError> {
-    let q = parse_query(query_text)?;
+    let q = {
+        let _span = grdf_obs::span("query.parse");
+        parse_query(query_text)?
+    };
     execute_query_with_deadline(graph, &q, deadline)
 }
 
@@ -386,23 +389,13 @@ fn eval_pattern(
     }
 }
 
-fn eval_bgp(
-    graph: &Graph,
-    triples: &[TriplePattern],
-    input: Vec<Bindings>,
-    deadline: &Deadline,
-) -> Result<Vec<Bindings>, DeadlineExceeded> {
-    // Greedy join order: repeatedly pick the pattern with the most bound
-    // positions given the variables bound so far.
+/// Greedy join order: repeatedly pick the pattern with the most bound
+/// positions given the variables bound so far. The choice depends only on
+/// the pattern set and the initially bound variables, so planning is a
+/// pure (and separately timed) phase ahead of the join loop.
+fn plan_bgp(triples: &[TriplePattern], mut bound_vars: HashSet<String>) -> Vec<&TriplePattern> {
     let mut remaining: Vec<&TriplePattern> = triples.iter().collect();
-    let mut solutions = input;
-    // Track variables bound by prior patterns (input bindings also count,
-    // conservatively using the first solution's keys).
-    let mut bound_vars: HashSet<String> = solutions
-        .first()
-        .map(|b| b.keys().cloned().collect())
-        .unwrap_or_default();
-
+    let mut order = Vec::with_capacity(remaining.len());
     while !remaining.is_empty() {
         let (idx, _) = remaining
             .iter()
@@ -421,7 +414,31 @@ fn eval_bgp(
         for v in pattern.variables() {
             bound_vars.insert(v.to_string());
         }
+        order.push(pattern);
+    }
+    order
+}
 
+fn eval_bgp(
+    graph: &Graph,
+    triples: &[TriplePattern],
+    input: Vec<Bindings>,
+    deadline: &Deadline,
+) -> Result<Vec<Bindings>, DeadlineExceeded> {
+    // Input bindings also count as bound, conservatively using the first
+    // solution's keys.
+    let mut solutions = input;
+    let bound_vars: HashSet<String> = solutions
+        .first()
+        .map(|b| b.keys().cloned().collect())
+        .unwrap_or_default();
+    let order = {
+        let _span = grdf_obs::span("query.plan");
+        plan_bgp(triples, bound_vars)
+    };
+
+    let _span = grdf_obs::span("query.join");
+    for pattern in order {
         let mut next = Vec::new();
         for binding in &solutions {
             deadline.check()?;
@@ -429,9 +446,10 @@ fn eval_bgp(
         }
         solutions = next;
         if solutions.is_empty() {
-            return Ok(solutions);
+            break;
         }
     }
+    grdf_obs::add("query.join.rows", solutions.len() as u64);
     Ok(solutions)
 }
 

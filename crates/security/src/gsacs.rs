@@ -23,17 +23,18 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use grdf_obs::{Counter, Obs, TraceId};
 use grdf_owl::reasoner::Reasoner;
 use grdf_query::eval::{execute_with_deadline, QueryResult};
 use grdf_rdf::graph::Graph;
 use grdf_runtime::Deadline;
 
-use crate::policy::PolicySet;
+use crate::policy::{DecisionTrace, PolicySet};
 use crate::resilience::{
     AdmissionGate, EngineError, GsacsError, HealthReport, LatencyHistogram, ResilienceConfig,
     ResilientEngine, Stage,
 };
-use crate::views::{conservative_view, secure_view, ViewStats};
+use crate::views::{conservative_view_explained, secure_view_explained, ViewStats};
 
 /// The pluggable reasoning component (Fig. 3 "Reasoning engine").
 ///
@@ -411,6 +412,10 @@ pub struct AuditEntry {
     pub target: String,
     /// Whether it was allowed.
     pub allowed: bool,
+    /// Trace that produced this entry ([`TraceId::NONE`] when the event
+    /// happened outside any observability scope). Lets an auditor join the
+    /// log against exported spans and decision traces.
+    pub trace_id: TraceId,
 }
 
 /// Per-role view caches, guarded by one lock so concurrent first requests
@@ -419,8 +424,32 @@ pub struct AuditEntry {
 struct ViewState {
     views: HashMap<String, Arc<Graph>>,
     stats: HashMap<String, ViewStats>,
+    /// Decision trace from each role's most recent view build.
+    traces: HashMap<String, DecisionTrace>,
     /// Cumulative builds per role (survives invalidation).
     builds: HashMap<String, u64>,
+}
+
+/// Pre-resolved counter handles for the request hot path, so `handle`
+/// pays one atomic add per event instead of a registry lookup
+/// (`RwLock` read + `BTreeMap` probe) per event.
+struct HotCounters {
+    requests: Counter,
+    errors: Counter,
+    cache_hit: Counter,
+    cache_miss: Counter,
+}
+
+impl HotCounters {
+    fn new(obs: &Obs) -> HotCounters {
+        let reg = obs.registry();
+        HotCounters {
+            requests: reg.counter("gsacs.requests"),
+            errors: reg.counter("gsacs.errors"),
+            cache_hit: reg.counter("gsacs.cache.hit"),
+            cache_miss: reg.counter("gsacs.cache.miss"),
+        }
+    }
 }
 
 /// The G-SACS service: front-end + decision engine + caches + reasoner +
@@ -449,6 +478,11 @@ pub struct GSacs {
     views: Mutex<ViewState>,
     /// Security decision log (bounded ring buffer).
     audit: Mutex<AuditLog>,
+    /// Observability context (from [`ResilienceConfig::obs`]): every
+    /// request runs inside a scope on it, so spans and metrics from the
+    /// query, reasoner, and view layers land in one registry/sink.
+    obs: Obs,
+    hot: HotCounters,
 }
 
 impl GSacs {
@@ -491,6 +525,8 @@ impl GSacs {
         ));
         let gate = AdmissionGate::new(config.max_in_flight);
         let audit = Mutex::new(AuditLog::new(config.audit_capacity));
+        let obs = config.obs.clone();
+        let hot = HotCounters::new(&obs);
         let mut svc = GSacs {
             repository,
             policies,
@@ -506,8 +542,18 @@ impl GSacs {
             query_cache: Mutex::new(QueryCache::new(cache_capacity)),
             views: Mutex::new(ViewState::default()),
             audit,
+            obs,
+            hot,
         };
-        svc.rematerialize();
+        {
+            // Construction-time materialization runs inside its own scope
+            // so the reasoner's spans/counters are captured even before
+            // the first request. A nested scope joins the ambient trace,
+            // so a CLI-level scope sees these spans under its TraceId.
+            let obs = svc.obs.clone();
+            let _scope = obs.scope("gsacs.init");
+            svc.rematerialize();
+        }
         svc
     }
 
@@ -518,7 +564,11 @@ impl GSacs {
     fn rematerialize(&mut self) {
         let deadline = Deadline::armed(self.config.clock.clone(), self.config.request_budget);
         let mut materialized = self.base.clone();
-        match self.engine.materialize(&mut materialized, &deadline) {
+        let span = grdf_obs::span("reasoner.materialize").tag("engine", self.engine.name());
+        let outcome = self.engine.materialize(&mut materialized, &deadline);
+        drop(span.tag("ok", outcome.is_ok()));
+        let trace_id = grdf_obs::current_trace_id().unwrap_or(TraceId::NONE);
+        match outcome {
             Ok(inferred) => {
                 let was_degraded = self.degraded.swap(false, Ordering::AcqRel);
                 self.data = materialized;
@@ -529,6 +579,7 @@ impl GSacs {
                         action: "recover".to_string(),
                         target: format!("reasoner {} recovered", self.engine.name()),
                         allowed: true,
+                        trace_id,
                     });
                 }
             }
@@ -541,6 +592,7 @@ impl GSacs {
                     action: "degrade".to_string(),
                     target: format!("reasoner unavailable ({e}); serving conservative views"),
                     allowed: false,
+                    trace_id,
                 });
             }
         }
@@ -570,15 +622,30 @@ impl GSacs {
             return Arc::clone(v);
         }
         *state.builds.entry(role.to_string()).or_insert(0) += 1;
-        let (view, stats) = if self.is_degraded() {
-            conservative_view(&self.data, &self.policies, role)
+        let (view, stats, mut trace) = if self.is_degraded() {
+            conservative_view_explained(&self.data, &self.policies, role)
         } else {
-            secure_view(&self.data, &self.policies, role)
+            secure_view_explained(&self.data, &self.policies, role)
         };
+        trace.trace_id = grdf_obs::current_trace_id().unwrap_or(TraceId::NONE);
         let view = Arc::new(view);
         state.views.insert(role.to_string(), Arc::clone(&view));
         state.stats.insert(role.to_string(), stats);
+        state.traces.insert(role.to_string(), trace);
         view
+    }
+
+    /// The decision trace from a role's most recent view build: which
+    /// policies were consulted, which permit/deny rules matched, and the
+    /// inference steps that connected resources to policy targets.
+    pub fn decision_trace_for(&self, role: &str) -> Option<DecisionTrace> {
+        self.views.lock().traces.get(role).cloned()
+    }
+
+    /// The service's observability context (metrics registry + trace
+    /// sink).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// View construction statistics for a role (if its view was built).
@@ -603,35 +670,65 @@ impl GSacs {
     /// failure, produces exactly one audit entry, and no error path
     /// returns data.
     pub fn handle(&self, request: &ClientRequest) -> Result<QueryResult, GsacsError> {
+        let scope = self.obs.scope("gsacs.request");
+        self.hot.requests.inc();
         self.requests.fetch_add(1, Ordering::Relaxed);
         let start = self.config.clock.now();
         let result = self.handle_inner(request);
         self.latency
             .record(self.config.clock.now().saturating_sub(start));
+        if result.is_err() {
+            self.hot.errors.inc();
+        }
+        if grdf_obs::tracing_active() {
+            grdf_obs::tag_current("role", &request.role);
+            grdf_obs::tag_current("ok", result.is_ok());
+            if self.is_degraded() {
+                grdf_obs::tag_current("degraded", true);
+            }
+        }
         self.audit.lock().push(AuditEntry {
             role: request.role.clone(),
             action: "query".to_string(),
             target: request.query.clone(),
             allowed: result.is_ok(),
+            trace_id: scope.trace_id(),
         });
         result
     }
 
     fn handle_inner(&self, request: &ClientRequest) -> Result<QueryResult, GsacsError> {
+        let admission = grdf_obs::span("gsacs.admission");
         let _permit = self.gate.try_acquire()?;
         let deadline = Deadline::armed(self.config.clock.clone(), self.config.request_budget);
         self.inject(Stage::Admission)?;
         deadline.check().map_err(|_| GsacsError::DeadlineExceeded {
             stage: Stage::Admission,
         })?;
+        drop(admission);
+        let cache_span = grdf_obs::span("gsacs.cache");
         if let Some(hit) = self.query_cache.lock().get(&request.role, &request.query) {
+            self.hot.cache_hit.inc();
+            drop(cache_span.tag("result", "hit"));
             return Ok(hit);
         }
+        self.hot.cache_miss.inc();
+        drop(cache_span.tag("result", "miss"));
         self.inject(Stage::View)?;
         deadline
             .check()
             .map_err(|_| GsacsError::DeadlineExceeded { stage: Stage::View })?;
         let view = self.view_for(&request.role);
+        if grdf_obs::tracing_active() {
+            let span = grdf_obs::span("gsacs.decision");
+            if let Some(t) = self.decision_trace_for(&request.role) {
+                drop(
+                    span.tag("permitting", t.permitting.len())
+                        .tag("denying", t.denying.len())
+                        .tag("granted", t.granted),
+                );
+            }
+        }
         self.inject(Stage::Query)?;
         let result = execute_with_deadline(&view, &request.query, &deadline)?;
         self.query_cache
@@ -647,6 +744,9 @@ impl GSacs {
     /// leave stale entailments behind), and invalidate the caches.
     pub fn handle_update(&mut self, request: &UpdateRequest) -> UpdateOutcome {
         use crate::policy::{Access, Action};
+        let obs = self.obs.clone();
+        let scope = obs.scope("gsacs.update");
+        let trace_id = scope.trace_id();
         // Phase 1: check all ops.
         for (i, op) in request.ops.iter().enumerate() {
             let (triple, action, action_name) = match op {
@@ -663,6 +763,7 @@ impl GSacs {
                 action: action_name.to_string(),
                 target: triple.subject.to_string(),
                 allowed,
+                trace_id,
             });
             if !allowed {
                 return UpdateOutcome::Denied {
@@ -739,6 +840,7 @@ impl GSacs {
         let mut views = self.views.lock();
         views.views.clear();
         views.stats.clear();
+        views.traces.clear();
     }
 
     /// A point-in-time health snapshot.

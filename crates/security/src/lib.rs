@@ -32,6 +32,12 @@
 //!   taxonomy, per-request deadlines, circuit-breaking reasoner with
 //!   degraded conservative views, admission control, health reporting, and
 //!   a deterministic fault-injection harness.
+//!
+//! The whole stack is instrumented through `grdf_obs`: G-SACS runs each
+//! request inside an observability scope, secure-view builds produce
+//! [`policy::DecisionTrace`]s explaining which policies matched and why,
+//! and audit entries carry the request's `TraceId` so the log joins
+//! against exported spans.
 
 pub mod conflicts;
 pub mod geoxacml;
@@ -46,10 +52,12 @@ pub use gsacs::{
     AuditEntry, AuditLog, ClientRequest, GSacs, OntoRepository, QueryCache, ReasoningEngine,
     UpdateOp, UpdateOutcome, UpdateRequest,
 };
-pub use policy::{Action, Condition, Decision, Policy, PolicySet};
+pub use policy::{Action, Condition, Decision, DecisionTrace, Policy, PolicyMatch, PolicySet};
 pub use resilience::{
     AdmissionGate, BreakerConfig, BreakerState, EngineError, FaultInjector, FaultKind, FaultPlan,
     FaultyEngine, GsacsError, HealthReport, LatencyHistogram, NoFaults, ResilienceConfig,
     ResilientEngine, RetryPolicy, Stage,
 };
-pub use views::{conservative_view, secure_view, ViewStats};
+pub use views::{
+    conservative_view, conservative_view_explained, secure_view, secure_view_explained, ViewStats,
+};

@@ -1,6 +1,7 @@
 //! Policies: native structures, the List 8 RDF encoding, and the
 //! semantics-aware evaluator.
 
+use grdf_obs::TraceId;
 use grdf_owl::hierarchy::Hierarchy;
 use grdf_rdf::graph::Graph;
 use grdf_rdf::term::Term;
@@ -314,6 +315,64 @@ impl PolicySet {
         }
     }
 
+    /// Like [`PolicySet::evaluate`], but also reports *which* policies
+    /// applied and how — the raw material of a [`DecisionTrace`]. The
+    /// decision logic is identical (deny-wins, permit-with-conditions,
+    /// deny-by-default); only the bookkeeping differs, so the plain
+    /// evaluator stays allocation-free on the view-build hot path.
+    pub fn evaluate_explained(
+        &self,
+        data: &Graph,
+        role: &str,
+        resource: &Term,
+        property: &str,
+        action: Action,
+    ) -> (Access, Vec<PolicyMatch>) {
+        let h = Hierarchy::new(data);
+        let types = data.objects(resource, &Term::iri(rdf::TYPE));
+        let mut matches = Vec::new();
+        let mut permitted = false;
+        let mut applicable = false;
+        for p in self.for_role(role) {
+            if p.action != action {
+                continue;
+            }
+            let Some(inference) = Self::resource_match_basis(&h, p, resource, &types) else {
+                continue;
+            };
+            applicable = true;
+            match p.decision {
+                Decision::Deny => {
+                    matches.push(PolicyMatch {
+                        policy: p.id.clone(),
+                        decision: Decision::Deny,
+                        allowed: false,
+                        inference,
+                    });
+                    return (Access::Denied, matches);
+                }
+                Decision::Permit => {
+                    let allowed = Self::conditions_allow(data, p, property);
+                    permitted |= allowed;
+                    matches.push(PolicyMatch {
+                        policy: p.id.clone(),
+                        decision: Decision::Permit,
+                        allowed,
+                        inference,
+                    });
+                }
+            }
+        }
+        let access = if permitted {
+            Access::Granted
+        } else if applicable {
+            Access::Denied
+        } else {
+            Access::NotApplicable
+        };
+        (access, matches)
+    }
+
     /// Does the policy's resource designate this individual? Either the
     /// instance itself, or a class the individual belongs to — directly or
     /// via the subclass hierarchy (semantics-aware matching).
@@ -325,6 +384,35 @@ impl PolicySet {
         types
             .iter()
             .any(|t| t == &target || h.is_subclass_of(t, &target))
+    }
+
+    /// [`PolicySet::resource_matches`], additionally reporting *why* the
+    /// policy applied: `Some(None)` for an instance or direct-type match,
+    /// `Some(Some(step))` when the subclass hierarchy supplied the link,
+    /// `None` when the policy does not apply.
+    fn resource_match_basis(
+        h: &Hierarchy<'_>,
+        p: &Policy,
+        resource: &Term,
+        types: &[Term],
+    ) -> Option<Option<String>> {
+        if resource.as_iri() == Some(p.resource.as_str()) {
+            return Some(None);
+        }
+        let target = Term::iri(&p.resource);
+        for t in types {
+            if t == &target {
+                return Some(None);
+            }
+            if h.is_subclass_of(t, &target) {
+                return Some(Some(format!(
+                    "{} rdfs:subClassOf* {}",
+                    t.as_iri().unwrap_or("_"),
+                    p.resource
+                )));
+            }
+        }
+        None
     }
 
     /// Property conditions, semantics-aware: a listed property grants
@@ -343,6 +431,91 @@ impl PolicySet {
                 .iter()
                 .any(|allowed| allowed == property || is_subproperty_of(data, property, allowed)),
         })
+    }
+}
+
+/// One applicable policy's contribution to an access decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyMatch {
+    /// Policy IRI.
+    pub policy: String,
+    /// The policy's effect.
+    pub decision: Decision,
+    /// For permits: whether its conditions passed for the property asked
+    /// about (a permit whose conditions failed suppresses nothing by
+    /// itself — deny-by-default does).
+    pub allowed: bool,
+    /// The inference step that made the policy applicable, when the
+    /// subclass hierarchy (not a direct type) supplied the link.
+    pub inference: Option<String>,
+}
+
+/// The structured explanation of one G-SACS access decision: which
+/// policies were consulted, which permitted or denied, and what inference
+/// steps connected data to policy — linked to the audit log by
+/// [`TraceId`]. Emitted when a role's secure view is built and stamped
+/// per request by the service.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecisionTrace {
+    /// The id of the request whose view build produced this decision.
+    pub trace_id: TraceId,
+    /// The requesting role.
+    pub role: String,
+    /// Every policy consulted for the role (id order preserved).
+    pub consulted: Vec<String>,
+    /// Permit policies that granted at least one triple.
+    pub permitting: Vec<String>,
+    /// Deny policies that fired at least once.
+    pub denying: Vec<String>,
+    /// Distinct inference steps used to make policies applicable.
+    pub inference: Vec<String>,
+    /// Triples granted into the view.
+    pub granted: usize,
+    /// Triples suppressed by policy (or deny-by-default).
+    pub suppressed: usize,
+    /// Whether the decision was taken in degraded (conservative) mode.
+    pub degraded: bool,
+}
+
+impl DecisionTrace {
+    /// Multi-line human-readable rendering (used by `grdf-cli trace`).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "decision trace {} role {}", self.trace_id, self.role);
+        let _ = writeln!(
+            out,
+            "  consulted:  {}",
+            if self.consulted.is_empty() {
+                "(no policy for role)".to_string()
+            } else {
+                self.consulted.join(", ")
+            }
+        );
+        if !self.permitting.is_empty() {
+            let _ = writeln!(out, "  permitting: {}", self.permitting.join(", "));
+        }
+        if !self.denying.is_empty() {
+            let _ = writeln!(out, "  denying:    {}", self.denying.join(", "));
+        }
+        if self.permitting.is_empty() && self.denying.is_empty() {
+            let _ = writeln!(out, "  outcome:    deny-by-default (no policy fired)");
+        }
+        for step in &self.inference {
+            let _ = writeln!(out, "  inference:  {step}");
+        }
+        let _ = writeln!(
+            out,
+            "  view:       {} granted, {} suppressed{}",
+            self.granted,
+            self.suppressed,
+            if self.degraded {
+                " [degraded: conservative view]"
+            } else {
+                ""
+            }
+        );
+        out
     }
 }
 

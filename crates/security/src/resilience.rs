@@ -289,6 +289,7 @@ impl ResilientEngine {
         {
             core.state = BreakerState::HalfOpen;
             core.half_open_successes = 0;
+            grdf_obs::incr("breaker.half_open");
         }
         core.state
     }
@@ -360,6 +361,7 @@ impl ResilientEngine {
                 if core.half_open_successes >= self.breaker.half_open_successes {
                     core.state = BreakerState::Closed;
                     core.consecutive_failures = 0;
+                    grdf_obs::incr("breaker.closed");
                 }
             }
             // A success can't be observed while open (no call went out).
@@ -376,6 +378,7 @@ impl ResilientEngine {
                     core.state = BreakerState::Open;
                     core.opened_at = self.clock.now();
                     self.trips.fetch_add(1, Ordering::Relaxed);
+                    grdf_obs::incr("breaker.opened");
                 }
             }
             BreakerState::HalfOpen => {
@@ -383,6 +386,7 @@ impl ResilientEngine {
                 core.state = BreakerState::Open;
                 core.opened_at = self.clock.now();
                 self.trips.fetch_add(1, Ordering::Relaxed);
+                grdf_obs::incr("breaker.opened");
             }
             BreakerState::Open => {}
         }
@@ -417,6 +421,7 @@ impl AdmissionGate {
         if self.limit > 0 && prev >= self.limit {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
             self.shed.fetch_add(1, Ordering::Relaxed);
+            grdf_obs::incr("admission.shed");
             return Err(GsacsError::Overloaded {
                 in_flight: prev,
                 limit: self.limit,
@@ -451,55 +456,34 @@ impl Drop for Permit<'_> {
 // Latency histogram
 // ---------------------------------------------------------------------------
 
-/// Bucket `i` counts latencies in `[2^i, 2^(i+1))` microseconds; the last
-/// bucket absorbs everything longer (~ 9 hours and up).
-const HISTOGRAM_BUCKETS: usize = 45;
-
-/// Fixed log₂-bucket latency histogram with lock-free recording.
+/// Fixed log₂-bucket latency histogram with lock-free recording, in
+/// microsecond units over [`grdf_obs::LogHistogram`].
+///
+/// Quantiles are interpolated within the bucket holding the target rank
+/// and clamped to the largest recorded sample. (The PR 1 version returned
+/// the bucket *upper* bound, overstating p50/p99 by up to 2×.)
+#[derive(Default)]
 pub struct LatencyHistogram {
-    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
-    count: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-        }
-    }
+    core: grdf_obs::LogHistogram,
 }
 
 impl LatencyHistogram {
     /// Record one request latency.
     pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let idx = (63 - (us | 1).leading_zeros()) as usize;
-        self.buckets[idx.min(HISTOGRAM_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.core
+            .record(latency.as_micros().min(u64::MAX as u128) as u64);
     }
 
     /// Recorded samples.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.core.count()
     }
 
-    /// Approximate quantile (`0.0..=1.0`) as the upper bound of the bucket
-    /// holding the target rank; zero when empty.
+    /// Approximate quantile (`0.0..=1.0`), interpolated within the log₂
+    /// bucket holding the target rank and clamped to the recorded
+    /// maximum; zero when empty.
     pub fn quantile(&self, q: f64) -> Duration {
-        let total = self.count();
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return Duration::from_micros(1u64 << (i + 1).min(62));
-            }
-        }
-        Duration::from_micros(1u64 << 62)
+        Duration::from_micros(self.core.quantile(q))
     }
 }
 
@@ -548,9 +532,10 @@ pub struct HealthReport {
     pub audit_entries: usize,
     /// Audit entries dropped by the ring buffer.
     pub audit_dropped: u64,
-    /// Median request latency (log-bucket upper bound).
+    /// Median request latency (interpolated within the log₂ bucket).
     pub p50: Duration,
-    /// 99th-percentile request latency (log-bucket upper bound).
+    /// 99th-percentile request latency (interpolated within the log₂
+    /// bucket).
     pub p99: Duration,
 }
 
@@ -706,12 +691,26 @@ impl FaultInjector for FaultPlan {
         match self.decide(stage) {
             None => Ok(()),
             Some(FaultKind::Latency(d)) => {
+                drop(
+                    grdf_obs::span("fault.injected")
+                        .tag("kind", "stall")
+                        .tag("stage", stage),
+                );
+                grdf_obs::incr("faults.injected");
                 clock.sleep(d);
                 Ok(())
             }
-            Some(FaultKind::Error) => Err(GsacsError::Internal(format!(
-                "injected fault at {stage} stage"
-            ))),
+            Some(FaultKind::Error) => {
+                drop(
+                    grdf_obs::span("fault.injected")
+                        .tag("kind", "error")
+                        .tag("stage", stage),
+                );
+                grdf_obs::incr("faults.injected");
+                Err(GsacsError::Internal(format!(
+                    "injected fault at {stage} stage"
+                )))
+            }
         }
     }
 }
@@ -739,9 +738,23 @@ impl ReasoningEngine for FaultyEngine {
     fn materialize(&self, graph: &mut Graph, deadline: &Deadline) -> Result<usize, EngineError> {
         match self.plan.decide(Stage::Reasoning) {
             Some(FaultKind::Error) => {
+                // Mark the injected fault in the trace so degraded-mode
+                // requests are visibly attributable to it.
+                drop(
+                    grdf_obs::span("fault.injected")
+                        .tag("kind", "error")
+                        .tag("stage", Stage::Reasoning),
+                );
+                grdf_obs::incr("faults.injected");
                 return Err(EngineError::Failed("injected reasoner fault".to_string()));
             }
             Some(FaultKind::Latency(d)) => {
+                drop(
+                    grdf_obs::span("fault.injected")
+                        .tag("kind", "stall")
+                        .tag("stage", Stage::Reasoning),
+                );
+                grdf_obs::incr("faults.injected");
                 self.clock.sleep(d);
                 if deadline.expired() {
                     return Err(EngineError::DeadlineExceeded);
@@ -778,6 +791,10 @@ pub struct ResilienceConfig {
     pub audit_capacity: usize,
     /// Optional fault-injection hook (tests only).
     pub fault_injector: Option<Arc<dyn FaultInjector>>,
+    /// Observability handle: the metrics registry every pipeline stage
+    /// records into, and the trace sink request spans flush to (disabled
+    /// by default — enable with [`grdf_obs::Obs::with_tracing`]).
+    pub obs: grdf_obs::Obs,
 }
 
 impl Default for ResilienceConfig {
@@ -790,6 +807,7 @@ impl Default for ResilienceConfig {
             max_in_flight: 1024,
             audit_capacity: 65_536,
             fault_injector: None,
+            obs: grdf_obs::Obs::new(),
         }
     }
 }
@@ -803,6 +821,7 @@ impl fmt::Debug for ResilienceConfig {
             .field("max_in_flight", &self.max_in_flight)
             .field("audit_capacity", &self.audit_capacity)
             .field("fault_injector", &self.fault_injector.is_some())
+            .field("tracing", &self.obs.tracing_enabled())
             .finish()
     }
 }
@@ -998,6 +1017,29 @@ mod tests {
         assert!(h.quantile(0.5) <= Duration::from_micros(256));
         assert!(h.quantile(0.99) >= Duration::from_micros(100));
         assert!(h.quantile(1.0) >= Duration::from_millis(500));
+    }
+
+    /// Pin exact interpolated quantiles on a known distribution: the old
+    /// upper-bound quantile would report 1024 µs / 4096 µs here.
+    #[test]
+    fn histogram_quantiles_interpolate_within_bucket() {
+        let h = LatencyHistogram::default();
+        for _ in 0..50 {
+            h.record(Duration::from_micros(1000)); // bucket [512, 1024)
+        }
+        for _ in 0..50 {
+            h.record(Duration::from_micros(4000)); // bucket [2048, 4096)
+        }
+        // Rank 50 is the last of the 50 samples in [512, 1024): the
+        // interpolated estimate is the bucket upper bound, well under the
+        // old report's next-power-of-two for the 4 ms tail.
+        assert_eq!(h.quantile(0.5), Duration::from_micros(1024));
+        // Rank 99 → 49/50 through [2048, 4096): 2048 + 0.98·2048 ≈ 4055,
+        // clamped to the recorded maximum of 4000.
+        assert_eq!(h.quantile(0.99), Duration::from_micros(4000));
+        assert_eq!(h.quantile(1.0), Duration::from_micros(4000));
+        // Empty histogram stays at zero.
+        assert_eq!(LatencyHistogram::default().quantile(0.5), Duration::ZERO);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use grdf_rdf::term::{Term, Triple};
 use grdf_rdf::vocab::grdf;
 use grdf_rdf::vocab::rdf;
 
-use crate::policy::{Access, Action, Decision, PolicySet};
+use crate::policy::{Access, Action, Decision, DecisionTrace, PolicySet};
 
 /// Statistics from building a view.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,9 +35,44 @@ pub struct ViewStats {
 /// no `rdf:type` linking them to application classes) are not copied; the
 /// view contains instance data only.
 pub fn secure_view(data: &Graph, policies: &PolicySet, role: &str) -> (Graph, ViewStats) {
+    secure_view_inner(data, policies, role, None)
+}
+
+/// [`secure_view`] that additionally returns the [`DecisionTrace`] for
+/// the build: which policies were consulted, which permitted or denied
+/// triples, and the inference steps that made them applicable. The
+/// caller (G-SACS) stamps the trace id.
+pub fn secure_view_explained(
+    data: &Graph,
+    policies: &PolicySet,
+    role: &str,
+) -> (Graph, ViewStats, DecisionTrace) {
+    let mut trace = DecisionTrace {
+        role: role.to_string(),
+        consulted: policies
+            .for_role(role)
+            .iter()
+            .map(|p| p.id.clone())
+            .collect(),
+        ..DecisionTrace::default()
+    };
+    let (view, stats) = secure_view_inner(data, policies, role, Some(&mut trace));
+    trace.granted = stats.granted;
+    trace.suppressed = stats.suppressed;
+    (view, stats, trace)
+}
+
+fn secure_view_inner(
+    data: &Graph,
+    policies: &PolicySet,
+    role: &str,
+    mut trace: Option<&mut DecisionTrace>,
+) -> (Graph, ViewStats) {
+    let _span = grdf_obs::span("view.build").tag("role", role);
     let mut view = Graph::new();
     let mut stats = ViewStats::default();
     let mut included_objects: HashSet<Term> = HashSet::new();
+    let mut inference_seen: HashSet<String> = HashSet::new();
 
     for subject in data.all_subjects() {
         // Only instance subjects: those with at least one type that is not
@@ -63,7 +98,35 @@ pub fn secure_view(data: &Graph, policies: &PolicySet, role: &str) -> (Graph, Vi
             let Some(pred) = t.predicate.as_iri() else {
                 continue;
             };
-            match policies.evaluate(data, role, &subject, pred, Action::View) {
+            let access = match trace.as_deref_mut() {
+                None => policies.evaluate(data, role, &subject, pred, Action::View),
+                Some(rec) => {
+                    let (access, matches) =
+                        policies.evaluate_explained(data, role, &subject, pred, Action::View);
+                    for m in matches {
+                        let fired = match m.decision {
+                            Decision::Permit => m.allowed,
+                            Decision::Deny => true,
+                        };
+                        if fired {
+                            let bucket = match m.decision {
+                                Decision::Permit => &mut rec.permitting,
+                                Decision::Deny => &mut rec.denying,
+                            };
+                            if !bucket.contains(&m.policy) {
+                                bucket.push(m.policy);
+                            }
+                            if let Some(step) = m.inference {
+                                if inference_seen.insert(step.clone()) {
+                                    rec.inference.push(step);
+                                }
+                            }
+                        }
+                    }
+                    access
+                }
+            };
+            match access {
                 Access::Granted => {
                     any_granted = true;
                     stats.granted += 1;
@@ -98,6 +161,9 @@ pub fn secure_view(data: &Graph, policies: &PolicySet, role: &str) -> (Graph, Vi
         }
     }
 
+    grdf_obs::incr("view.builds");
+    grdf_obs::add("view.granted", stats.granted as u64);
+    grdf_obs::add("view.suppressed", stats.suppressed as u64);
     (view, stats)
 }
 
@@ -112,19 +178,51 @@ pub fn secure_view(data: &Graph, policies: &PolicySet, role: &str) -> (Graph, Vi
 /// conservative — permits that need inference simply do not fire, and
 /// deny-by-default suppresses the rest.
 pub fn conservative_view(data: &Graph, policies: &PolicySet, role: &str) -> (Graph, ViewStats) {
-    let has_deny = policies
+    let (view, stats, _) = conservative_view_explained(data, policies, role);
+    (view, stats)
+}
+
+/// [`conservative_view`] with its [`DecisionTrace`]; the trace is marked
+/// degraded and, for deny-bearing roles, names the deny policies that
+/// forced the empty view.
+pub fn conservative_view_explained(
+    data: &Graph,
+    policies: &PolicySet,
+    role: &str,
+) -> (Graph, ViewStats, DecisionTrace) {
+    let denies: Vec<String> = policies
         .for_role(role)
         .iter()
-        .any(|p| p.decision == Decision::Deny);
-    if has_deny {
+        .filter(|p| p.decision == Decision::Deny)
+        .map(|p| p.id.clone())
+        .collect();
+    if !denies.is_empty() {
+        grdf_obs::incr("view.conservative_empty");
         let stats = ViewStats {
             granted: 0,
             suppressed: data.len(),
             unmatched_subjects: 0,
         };
-        return (Graph::new(), stats);
+        let trace = DecisionTrace {
+            role: role.to_string(),
+            consulted: policies
+                .for_role(role)
+                .iter()
+                .map(|p| p.id.clone())
+                .collect(),
+            denying: denies,
+            inference: vec![
+                "reasoner unavailable: deny policies may depend on missing entailments".to_string(),
+            ],
+            suppressed: stats.suppressed,
+            degraded: true,
+            ..DecisionTrace::default()
+        };
+        return (Graph::new(), stats, trace);
     }
-    secure_view(data, policies, role)
+    let (view, stats, mut trace) = secure_view_explained(data, policies, role);
+    trace.degraded = true;
+    (view, stats, trace)
 }
 
 /// Convenience: is the literal/IRI value of `(subject, property)` visible

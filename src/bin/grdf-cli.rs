@@ -7,6 +7,8 @@
 //! grdf-cli validate <file>                      materialize + OWL consistency check
 //! grdf-cli stats    <file>                      triple/feature/identity statistics
 //! grdf-cli health   <file>                      stand up G-SACS over the data and report service health
+//! grdf-cli trace    <file> <sparql>             run a query through G-SACS with tracing on; print the
+//!                                               per-stage timing tree and the access-decision trace
 //! ```
 //!
 //! Input format is detected from the extension: `.gml`, `.ttl`/`.turtle`,
@@ -40,7 +42,8 @@ const USAGE: &str = "usage:
   grdf-cli query    <file> <sparql | @queryfile>
   grdf-cli validate <file>
   grdf-cli stats    <file>
-  grdf-cli health   <file>";
+  grdf-cli health   <file>
+  grdf-cli trace    <file> <sparql | @queryfile>";
 
 /// Run a CLI invocation; returns the text to print.
 fn run(args: &[String]) -> Result<String, String> {
@@ -60,6 +63,11 @@ fn run(args: &[String]) -> Result<String, String> {
         "validate" => cmd_validate(args.get(1).ok_or("validate needs a data file")?),
         "stats" => cmd_stats(args.get(1).ok_or("stats needs a data file")?),
         "health" => cmd_health(args.get(1).ok_or("health needs a data file")?),
+        "trace" => {
+            let file = args.get(1).ok_or("trace needs a data file")?;
+            let query = args.get(2).ok_or("trace needs a query string")?;
+            cmd_trace(file, query)
+        }
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -200,15 +208,20 @@ fn cmd_stats(path: &str) -> Result<String, String> {
     ))
 }
 
-fn cmd_health(path: &str) -> Result<String, String> {
+/// The probe role IRI used by `health` and `trace`.
+const PROBE_ROLE: &str = "urn:grdf:health#probe";
+
+/// Stand up G-SACS over the store's data with a probe role permitted on
+/// every class present, so requests exercise the full admission → view →
+/// query pipeline.
+fn probe_service(
+    store: &GrdfStore,
+    config: grdf::security::ResilienceConfig,
+) -> grdf::security::GSacs {
     use grdf::rdf::term::Term;
-    use grdf::security::gsacs::{ClientRequest, GSacs, OntoRepository, OwlHorstEngine};
+    use grdf::security::gsacs::{GSacs, OntoRepository, OwlHorstEngine};
     use grdf::security::policy::{Policy, PolicySet};
 
-    let store = load_store(path)?;
-    // Permit a probe role on every class present so the smoke queries
-    // exercise the full admission → view → query pipeline.
-    let probe = "urn:grdf:health#probe";
     let mut types: Vec<String> = store
         .graph()
         .match_pattern(None, Some(&Term::iri(grdf::rdf::vocab::rdf::TYPE)), None)
@@ -221,25 +234,103 @@ fn cmd_health(path: &str) -> Result<String, String> {
         types
             .iter()
             .enumerate()
-            .map(|(i, ty)| Policy::permit(&format!("urn:grdf:health#p{i}"), probe, ty))
+            .map(|(i, ty)| Policy::permit(&format!("urn:grdf:health#p{i}"), PROBE_ROLE, ty))
             .collect(),
     );
-    let svc = GSacs::new(
+    GSacs::with_resilience(
         OntoRepository::new(),
         policies,
         Box::<OwlHorstEngine>::default(),
         store.graph().clone(),
         16,
-    );
+        config,
+    )
+}
+
+fn cmd_health(path: &str) -> Result<String, String> {
+    use grdf::security::gsacs::ClientRequest;
+
+    let store = load_store(path)?;
+    let svc = probe_service(&store, grdf::security::ResilienceConfig::default());
     // Smoke the pipeline twice so the report shows cache activity.
     let req = ClientRequest {
-        role: probe.to_string(),
+        role: PROBE_ROLE.to_string(),
         query: "ASK { ?s ?p ?o }".to_string(),
     };
     for _ in 0..2 {
         svc.handle(&req).map_err(|e| e.to_string())?;
     }
-    Ok(svc.health().render())
+    let mut out = svc.health().render();
+    out.push_str("\n\nmetrics:\n");
+    out.push_str(&svc.obs().registry().render());
+    Ok(out)
+}
+
+fn cmd_trace(path: &str, query: &str) -> Result<String, String> {
+    use grdf::obs::Obs;
+    use grdf::security::gsacs::ClientRequest;
+    use grdf::security::ResilienceConfig;
+
+    let store = load_store(path)?;
+    let text = if let Some(qfile) = query.strip_prefix('@') {
+        std::fs::read_to_string(qfile).map_err(|e| format!("{qfile}: {e}"))?
+    } else {
+        query.to_string()
+    };
+    let obs = Obs::with_tracing(4096);
+    let config = ResilienceConfig {
+        obs: obs.clone(),
+        ..ResilienceConfig::default()
+    };
+    // Build the service *inside* the CLI scope so construction-time spans
+    // (reasoner materialization) land in the same trace as the request.
+    let (outcome, decision) = {
+        let _scope = obs.scope("cli.trace");
+        let svc = probe_service(&store, config);
+        let outcome = svc.handle(&ClientRequest {
+            role: PROBE_ROLE.to_string(),
+            query: text,
+        });
+        (outcome, svc.decision_trace_for(PROBE_ROLE))
+    };
+    let records = obs.sink().records();
+    let trace = records.last().ok_or("no trace captured")?;
+    let mut out = format!("trace {}\n", trace.id);
+    out.push_str(&render_trace_tree(trace));
+    match &outcome {
+        Ok(result) => {
+            out.push_str(&format!("\nresult:\n{}\n", render_result(result)));
+        }
+        Err(e) => out.push_str(&format!("\nrequest failed: {e}\n")),
+    }
+    match decision {
+        Some(d) => out.push_str(&format!("\n{}", d.render())),
+        None => out.push_str("\n(no decision trace: view never built)"),
+    }
+    Ok(out)
+}
+
+/// Indented per-stage timing tree, spans ordered by start time.
+fn render_trace_tree(trace: &grdf::obs::TraceRecord) -> String {
+    let mut spans: Vec<&grdf::obs::SpanRecord> = trace.spans.iter().collect();
+    spans.sort_by_key(|s| (s.start_ns, s.depth));
+    let mut out = String::new();
+    for s in spans {
+        let tags = if s.tags.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = s.tags.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("  [{}]", pairs.join(" "))
+        };
+        out.push_str(&format!(
+            "{:>10.3}ms  {}{}{}\n",
+            s.dur_ns as f64 / 1e6,
+            "  ".repeat(s.depth),
+            s.name,
+            tags
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

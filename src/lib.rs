@@ -14,6 +14,7 @@
 //! * [`feature`] — GRDF feature model (§4) + temporal/coverage types (§3.3).
 //! * [`gml`] — GML 3.1 subset and GML↔GRDF conversion (§3.2).
 //! * [`query`] — SPARQL-subset engine with geospatial builtins.
+//! * [`obs`] — observability: metrics registry, spans, trace export.
 //! * [`runtime`] — clocks, budgets, and cooperative deadlines.
 //! * [`security`] — security ontology, policies, G-SACS (§7–§8, Fig. 3)
 //!   and its fail-closed resilience layer.
@@ -38,6 +39,7 @@ pub use grdf_core as core;
 pub use grdf_feature as feature;
 pub use grdf_geometry as geometry;
 pub use grdf_gml as gml;
+pub use grdf_obs as obs;
 pub use grdf_owl as owl;
 pub use grdf_query as query;
 pub use grdf_rdf as rdf;

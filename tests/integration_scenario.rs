@@ -332,3 +332,77 @@ fn silo_answers_nothing_merged_answers_everything() {
     merged.merge_graph(&incident_data(10, 10));
     assert!(!merged.query(cross).unwrap().select_rows().is_empty());
 }
+
+/// Observability guard for CI: every instrumented stage of the Fig. 3
+/// pipeline must emit at least one span in the end-to-end scenario, all
+/// sharing one `TraceId`. A stage whose instrumentation regresses to
+/// zero spans fails this test (and therefore the build).
+#[test]
+fn every_instrumented_stage_emits_spans() {
+    use grdf::security::ResilienceConfig;
+
+    let obs = grdf::obs::Obs::with_tracing(256);
+    let config = ResilienceConfig {
+        obs: obs.clone(),
+        ..ResilienceConfig::default()
+    };
+    let mut repo = OntoRepository::new();
+    repo.register("grdf", grdf_ontology());
+    repo.register("seconto", security_ontology());
+    // Build + request inside one scope so construction-time reasoner
+    // spans share the request's TraceId.
+    let scope_obs = obs.clone();
+    {
+        let _scope = scope_obs.scope("scenario");
+        let svc = GSacs::with_resilience(
+            repo,
+            scenario_policies(),
+            Box::<OwlHorstEngine>::default(),
+            incident_data(10, 10),
+            16,
+            config,
+        );
+        let req = ClientRequest {
+            role: ns::sec("Emergency"),
+            query: format!(
+                "PREFIX app: <{}>\nSELECT ?c WHERE {{ ?s app:hasChemCode ?c }}",
+                ns::APP_NS
+            ),
+        };
+        svc.handle(&req).unwrap();
+        svc.handle(&req).unwrap(); // second request exercises the cache-hit path
+    }
+    let records = obs.sink().records();
+    assert_eq!(records.len(), 1, "one scope → one trace");
+    let trace = &records[0];
+    for stage in [
+        "gsacs.init",
+        "reasoner.materialize",
+        "reasoner.pass",
+        "gsacs.request",
+        "gsacs.admission",
+        "gsacs.cache",
+        "view.build",
+        "gsacs.decision",
+        "query.parse",
+        "query.plan",
+        "query.join",
+    ] {
+        assert!(
+            !trace.spans_named(stage).is_empty(),
+            "instrumented stage {stage:?} emitted zero spans"
+        );
+    }
+    // Both cache outcomes observed.
+    let cache_results: Vec<_> = trace
+        .spans_named("gsacs.cache")
+        .iter()
+        .filter_map(|s| s.tag("result").map(str::to_string))
+        .collect();
+    assert!(cache_results.iter().any(|r| r == "miss"));
+    assert!(cache_results.iter().any(|r| r == "hit"));
+    // JSON-lines export carries the shared trace id on every line.
+    let json = obs.sink().json_lines();
+    assert!(json.lines().count() >= trace.spans.len());
+    assert!(json.contains(&trace.id.to_string()));
+}

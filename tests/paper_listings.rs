@@ -372,3 +372,125 @@ fn list8_main_repair_policy() {
         Access::Denied
     );
 }
+
+/// List 3's class, secured: a permit on the superclass must reach
+/// `EnvelopeWithTimePeriod` instances through subclass inference, and the
+/// decision trace must name both the permitting policy and the inference
+/// step that connected them.
+#[test]
+fn list3_decision_trace_explains_subclass_permit() {
+    use grdf::security::policy::PolicySet;
+    use grdf::security::secure_view_explained;
+
+    let xml = r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                          xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+                          xmlns:owl="http://www.w3.org/2002/07/owl#">
+      <owl:Class rdf:about="http://grdf.org/ontology#EnvelopeWithTimePeriod">
+        <rdfs:subClassOf>
+          <owl:Class rdf:about="http://grdf.org/ontology#Envelope"/>
+        </rdfs:subClassOf>
+      </owl:Class>
+    </rdf:RDF>"#;
+    let mut g = grdf::rdf::rdfxml::parse(xml).unwrap();
+    let env = iri("urn:test#env1");
+    g.add(
+        env.clone(),
+        iri(rdf::TYPE),
+        iri("http://grdf.org/ontology#EnvelopeWithTimePeriod"),
+    );
+    g.add(
+        env,
+        iri("http://grdf.org/temporal#hasTimePosition"),
+        iri("urn:test#t0"),
+    );
+    let policies = PolicySet::new(vec![Policy::permit(
+        "urn:test#EnvelopePolicy",
+        "urn:test#Analyst",
+        "http://grdf.org/ontology#Envelope",
+    )]);
+    let (view, stats, trace) = secure_view_explained(&g, &policies, "urn:test#Analyst");
+    assert!(stats.granted > 0, "subclass instances must be visible");
+    assert!(!view.is_empty());
+    assert!(
+        trace
+            .permitting
+            .contains(&"urn:test#EnvelopePolicy".to_string()),
+        "trace must name the permitting policy, got {:?}",
+        trace.permitting
+    );
+    assert!(
+        trace.inference.iter().any(|step| step
+            .contains("EnvelopeWithTimePeriod rdfs:subClassOf* http://grdf.org/ontology#Envelope")),
+        "trace must record the subclass inference step, got {:?}",
+        trace.inference
+    );
+    assert!(trace.denying.is_empty());
+    assert!(!trace.degraded);
+}
+
+/// List 4's curve family, secured: a deny on `Curve` must reach
+/// `CompositeCurve` instances through the same inference, deny-wins over
+/// an instance-level permit, and the trace must name the denying policy.
+#[test]
+fn list4_decision_trace_explains_deny_wins() {
+    use grdf::security::policy::PolicySet;
+    use grdf::security::secure_view_explained;
+
+    let xml = r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                          xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+                          xmlns:owl="http://www.w3.org/2002/07/owl#">
+      <owl:Class rdf:about="http://grdf.org/ontology#Curve"/>
+      <owl:Class rdf:about="http://grdf.org/ontology#CompositeCurve">
+        <rdfs:subClassOf>
+          <owl:Class rdf:about="http://grdf.org/ontology#Curve"/>
+        </rdfs:subClassOf>
+      </owl:Class>
+    </rdf:RDF>"#;
+    let mut g = grdf::rdf::rdfxml::parse(xml).unwrap();
+    let c1 = iri("urn:test#c1");
+    g.add(
+        c1.clone(),
+        iri(rdf::TYPE),
+        iri("http://grdf.org/ontology#CompositeCurve"),
+    );
+    g.add(
+        c1,
+        iri("http://grdf.org/ontology#curveMember"),
+        iri("urn:test#seg1"),
+    );
+    let policies = PolicySet::new(vec![
+        Policy::permit(
+            "urn:test#CompositePermit",
+            "urn:test#Surveyor",
+            "http://grdf.org/ontology#CompositeCurve",
+        ),
+        Policy::deny(
+            "urn:test#CurveDeny",
+            "urn:test#Surveyor",
+            "http://grdf.org/ontology#Curve",
+        ),
+    ]);
+    let (view, stats, trace) = secure_view_explained(&g, &policies, "urn:test#Surveyor");
+    assert!(
+        !view
+            .match_pattern(Some(&iri("urn:test#c1")), None, None)
+            .iter()
+            .any(|_| true),
+        "deny-wins: the composite curve must be suppressed"
+    );
+    assert!(stats.suppressed > 0);
+    assert!(
+        trace.denying.contains(&"urn:test#CurveDeny".to_string()),
+        "trace must name the denying policy, got {:?}",
+        trace.denying
+    );
+    assert!(
+        trace
+            .inference
+            .iter()
+            .any(|step| step
+                .contains("CompositeCurve rdfs:subClassOf* http://grdf.org/ontology#Curve")),
+        "the deny reached the instance via inference, got {:?}",
+        trace.inference
+    );
+}

@@ -287,3 +287,80 @@ fn reasoner_stall_trips_deadline_without_wall_sleep() {
         "stall must be simulated, not slept"
     );
 }
+
+/// Degraded-mode operation is *visible in traces*: the injected reasoner
+/// fault appears as a tagged `fault.injected` span, degraded requests
+/// carry a `degraded=true` tag on their root span, the decision trace is
+/// flagged, and the audit entry joins the trace by `TraceId`.
+#[test]
+fn injected_faults_are_visible_in_traces() {
+    let clock = Arc::new(ManualClock::new());
+    // Every reasoner call fails; the request pipeline itself is clean.
+    let plan = Arc::new(FaultPlan::new(11, 1.0, 0.0, Duration::ZERO));
+    let obs = grdf::obs::Obs::with_tracing(64);
+    let config = ResilienceConfig {
+        clock: clock.clone(),
+        obs: obs.clone(),
+        ..ResilienceConfig::default()
+    };
+    let engine = FaultyEngine::new(Box::<OwlHorstEngine>::default(), plan, clock.clone());
+    let svc = GSacs::with_resilience(
+        grdf::security::gsacs::OntoRepository::new(),
+        policies(),
+        Box::new(engine),
+        incident_data(),
+        16,
+        config,
+    );
+    assert!(svc.is_degraded());
+
+    // Construction-time trace: the engine failure is attributed to an
+    // injected fault, not silent.
+    let init_traces = obs.sink().records();
+    let fault_spans: Vec<_> = init_traces
+        .iter()
+        .flat_map(|t| t.spans_named("fault.injected"))
+        .collect();
+    assert!(
+        !fault_spans.is_empty(),
+        "injected reasoner fault must be marked in the trace"
+    );
+    assert!(fault_spans
+        .iter()
+        .all(|s| s.tag("kind") == Some("error") && s.tag("stage") == Some("reasoning")));
+
+    let req = ClientRequest {
+        role: ns::sec("Emergency"),
+        query: format!(
+            "PREFIX app: <{}>\nSELECT ?c WHERE {{ ?s app:hasChemCode ?c }}",
+            ns::APP_NS
+        ),
+    };
+    assert_eq!(svc.handle(&req).unwrap().select_rows().len(), 1);
+
+    // The request's trace marks the degraded mode on its root span…
+    let traces = obs.sink().records();
+    let request_trace = traces
+        .iter()
+        .find(|t| !t.spans_named("gsacs.request").is_empty())
+        .expect("request trace captured");
+    let root = &request_trace.spans_named("gsacs.request")[0];
+    assert_eq!(
+        root.tag("degraded"),
+        Some("true"),
+        "degraded-mode requests must be visibly marked"
+    );
+    // …the decision trace is flagged and joined by TraceId…
+    let decision = svc
+        .decision_trace_for(&ns::sec("Emergency"))
+        .expect("view was built");
+    assert!(decision.degraded, "conservative view must be flagged");
+    assert_eq!(decision.trace_id, request_trace.id);
+    // …and the audit entry carries the same TraceId.
+    let audited = svc
+        .audit_log()
+        .into_iter()
+        .find(|e| e.action == "query")
+        .expect("request audited");
+    assert_eq!(audited.trace_id, request_trace.id);
+}

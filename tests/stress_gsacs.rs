@@ -182,3 +182,95 @@ fn admission_limit_sheds_under_concurrency_and_audits_sheds() {
     assert!(denied >= h.shed, "every shed request is an audited denial");
     assert_eq!(log.len() as u64 + svc.audit_dropped(), total);
 }
+
+/// Exact accounting for the lock-free metrics registry itself: 8 threads
+/// hammer shared and per-thread handles; every recorded event must be
+/// visible in the final snapshot — no lost updates, no double counts.
+#[test]
+fn metrics_registry_accounting_is_exact_under_concurrency() {
+    let reg = Arc::new(grdf::obs::MetricsRegistry::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                // Mix pre-resolved handles (hot path) with by-name lookups
+                // (cold path) so both registration races are exercised.
+                let shared = reg.counter("stress.shared");
+                let hist = reg.histogram("stress.latency");
+                for i in 0..REQUESTS_PER_THREAD {
+                    shared.add(1);
+                    reg.counter(&format!("stress.thread.{t}")).add(1);
+                    hist.record((i as u64 % 16) + 1);
+                    reg.gauge("stress.last_thread").set(t as i64);
+                }
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    let total = (THREADS * REQUESTS_PER_THREAD) as u64;
+    assert_eq!(snap.counters["stress.shared"], total);
+    for t in 0..THREADS {
+        assert_eq!(
+            snap.counters[&format!("stress.thread.{t}")],
+            REQUESTS_PER_THREAD as u64,
+            "per-thread counter must see exactly its thread's increments"
+        );
+    }
+    let hist = &snap.histograms["stress.latency"];
+    assert_eq!(hist.count, total);
+    // Sum of (i % 16) + 1 over one thread's loop, times THREADS.
+    let per_thread: u64 = (0..REQUESTS_PER_THREAD as u64).map(|i| (i % 16) + 1).sum();
+    assert_eq!(hist.sum, per_thread * THREADS as u64);
+    let last = snap.gauges["stress.last_thread"];
+    assert!(
+        (0..THREADS as i64).contains(&last),
+        "gauge holds some thread's value"
+    );
+}
+
+/// The service-level registry stays coherent with G-SACS's own books
+/// under the concurrent mixed workload: request, error, and cache
+/// counters all reconcile exactly.
+#[test]
+fn concurrent_workload_keeps_service_registry_coherent() {
+    let obs = grdf::obs::Obs::new();
+    let config = ResilienceConfig {
+        obs: obs.clone(),
+        ..ResilienceConfig::default()
+    };
+    let svc = Arc::new(build_service(32, config));
+    let qs = Arc::new(queries());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let svc = Arc::clone(&svc);
+            let qs = Arc::clone(&qs);
+            scope.spawn(move || {
+                for i in 0..REQUESTS_PER_THREAD {
+                    let role = ROLES[(t + i) % ROLES.len()];
+                    let query = qs[(t * 7 + i * 3) % qs.len()].clone();
+                    let _ = svc.handle(&ClientRequest {
+                        role: ns::sec(role),
+                        query,
+                    });
+                }
+            });
+        }
+    });
+    let total = (THREADS * REQUESTS_PER_THREAD) as u64;
+    let snap = obs.registry().snapshot();
+    assert_eq!(snap.counters["gsacs.requests"], total);
+    assert_eq!(
+        snap.counters["gsacs.cache.hit"] + snap.counters["gsacs.cache.miss"],
+        svc.cache_lookups(),
+        "registry cache counters must reconcile with the cache's own books"
+    );
+    assert_eq!(snap.counters["gsacs.cache.hit"], svc.cache_stats().0);
+    // Every error is both counted and audited as a denial.
+    let denied = svc
+        .audit_log()
+        .iter()
+        .filter(|e| e.action == "query" && !e.allowed)
+        .count() as u64;
+    assert_eq!(snap.counters["gsacs.errors"], denied);
+    assert_eq!(snap.counters["view.builds"], ROLES.len() as u64);
+}
