@@ -12,7 +12,7 @@ use grdf_rdf::vocab::{grdf, rdf};
 
 fn bench_ontology_build(c: &mut Criterion) {
     c.bench_function("e1/ontology_build", |b| {
-        b.iter(|| black_box(grdf_ontology().len()))
+        b.iter(|| black_box(grdf_ontology().len()));
     });
 }
 
@@ -25,7 +25,7 @@ fn bench_materialize(c: &mut Criterion) {
                 || incident_store(f / 2, f / 6, 11),
                 |mut store| black_box(store.materialize().inferred),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();
@@ -45,10 +45,10 @@ fn bench_index_ablation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e1/index_ablation");
     group.bench_function("full_indexes", |b| {
-        b.iter(|| black_box(full.count_pattern(None, Some(&ty), Some(&probe))))
+        b.iter(|| black_box(full.count_pattern(None, Some(&ty), Some(&probe))));
     });
     group.bench_function("spo_only", |b| {
-        b.iter(|| black_box(lean.count_pattern(None, Some(&ty), Some(&probe))))
+        b.iter(|| black_box(lean.count_pattern(None, Some(&ty), Some(&probe))));
     });
     group.finish();
 }

@@ -18,10 +18,10 @@ fn bench_convert(c: &mut Criterion) {
         let graph = grdf_gml::convert::gml_to_grdf(&gml).expect("convert");
 
         group.bench_with_input(BenchmarkId::new("gml_to_grdf", features), &gml, |b, gml| {
-            b.iter(|| black_box(grdf_gml::convert::gml_to_grdf(gml).unwrap().len()))
+            b.iter(|| black_box(grdf_gml::convert::gml_to_grdf(gml).unwrap().len()));
         });
         group.bench_with_input(BenchmarkId::new("grdf_to_gml", features), &graph, |b, g| {
-            b.iter(|| black_box(grdf_gml::convert::grdf_to_gml(g).len()))
+            b.iter(|| black_box(grdf_gml::convert::grdf_to_gml(g).len()));
         });
         group.bench_with_input(
             BenchmarkId::new("gml_parse_only", features),

@@ -44,7 +44,7 @@ fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3/mesh_build");
     for n in [10usize, 40] {
         group.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, &n| {
-            b.iter(|| black_box(grid_mesh(n).0.face_count()))
+            b.iter(|| black_box(grid_mesh(n).0.face_count()));
         });
     }
     group.finish();
@@ -53,10 +53,10 @@ fn bench_build(c: &mut Criterion) {
 fn bench_connectivity(c: &mut Criterion) {
     let (m, nodes) = grid_mesh(40);
     c.bench_function("e3/connectivity_query", |b| {
-        b.iter(|| black_box(m.connected(nodes[0][0], nodes[40][40])))
+        b.iter(|| black_box(m.connected(nodes[0][0], nodes[40][40])));
     });
     c.bench_function("e3/shortest_path", |b| {
-        b.iter(|| black_box(m.shortest_path(nodes[0][0], nodes[40][40]).unwrap().len()))
+        b.iter(|| black_box(m.shortest_path(nodes[0][0], nodes[40][40]).unwrap().len()));
     });
 }
 
@@ -78,7 +78,7 @@ fn bench_realization(c: &mut Criterion) {
                     .unwrap()
                     .total_edge_length(),
             )
-        })
+        });
     });
 }
 

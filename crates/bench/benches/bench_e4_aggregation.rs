@@ -20,7 +20,7 @@ fn bench_merge(c: &mut Criterion) {
     group.sample_size(10);
     for size in [100usize, 400] {
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
-            b.iter(|| black_box(incident_store(s, s, 11).len()))
+            b.iter(|| black_box(incident_store(s, s, 11).len()));
         });
     }
     group.finish();
@@ -39,7 +39,7 @@ fn bench_reasoning_ablation(c: &mut Criterion) {
                 || incident_store(150, 150, 11),
                 |mut store| black_box(store.materialize_with(&reasoner).inferred),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();
@@ -50,7 +50,7 @@ fn bench_cross_domain_query(c: &mut Criterion) {
     store.materialize();
     let q = cross_query();
     c.bench_function("e4/cross_domain_query", |b| {
-        b.iter(|| black_box(store.query(&q).unwrap().select_rows().len()))
+        b.iter(|| black_box(store.query(&q).unwrap().select_rows().len()));
     });
 }
 
@@ -72,13 +72,13 @@ fn bench_spatial_index_ablation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e4/spatial_window");
     group.bench_function("rtree_query", |b| {
-        b.iter(|| black_box(index.count_in(&window)))
+        b.iter(|| black_box(index.count_in(&window)));
     });
     group.bench_function("linear_scan", |b| {
-        b.iter(|| black_box(store.features_in_window_scan(&window).len()))
+        b.iter(|| black_box(store.features_in_window_scan(&window).len()));
     });
     group.bench_function("rtree_build", |b| {
-        b.iter(|| black_box(store.spatial_index().len()))
+        b.iter(|| black_box(store.spatial_index().len()));
     });
     group.finish();
 }

@@ -20,10 +20,10 @@ fn bench_view_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5/view_build");
     group.sample_size(10);
     group.bench_function("grdf_fine_grained", |b| {
-        b.iter(|| black_box(secure_view(&data, &grdf_ps, &roles::main_repair()).0.len()))
+        b.iter(|| black_box(secure_view(&data, &grdf_ps, &roles::main_repair()).0.len()));
     });
     group.bench_function("geoxacml_object_level", |b| {
-        b.iter(|| black_box(xacml_ps.view(&data, &roles::main_repair()).0.len()))
+        b.iter(|| black_box(xacml_ps.view(&data, &roles::main_repair()).0.len()));
     });
     group.finish();
 }
@@ -49,10 +49,10 @@ fn bench_single_decision(c: &mut Criterion) {
     group.bench_function("grdf_property_probe", |b| {
         b.iter(|| {
             black_box(grdf_ps.evaluate(&data, &roles::main_repair(), &site, &prop, Action::View))
-        })
+        });
     });
     group.bench_function("geoxacml_object_probe", |b| {
-        b.iter(|| black_box(xacml_ps.decide(&data, &roles::main_repair(), &site)))
+        b.iter(|| black_box(xacml_ps.decide(&data, &roles::main_repair(), &site)));
     });
     group.finish();
 }

@@ -51,7 +51,7 @@ fn bench_request_stream(c: &mut Criterion) {
                     n += svc.handle(r).unwrap().select_rows().len();
                 }
                 black_box(n)
-            })
+            });
         });
     }
     group.finish();
@@ -66,12 +66,12 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     // Warm the cache once.
     svc.handle(&req).unwrap();
     c.bench_function("e6/warm_cache_hit", |b| {
-        b.iter(|| black_box(svc.handle(&req).unwrap().select_rows().len()))
+        b.iter(|| black_box(svc.handle(&req).unwrap().select_rows().len()));
     });
 
     let cold = service(0);
     c.bench_function("e6/uncached_request", |b| {
-        b.iter(|| black_box(cold.handle(&req).unwrap().select_rows().len()))
+        b.iter(|| black_box(cold.handle(&req).unwrap().select_rows().len()));
     });
 }
 
@@ -111,7 +111,7 @@ fn bench_concurrency(c: &mut Criterion) {
                         });
                     }
                 });
-            })
+            });
         });
     }
     group.finish();

@@ -1,0 +1,67 @@
+//! Lint throughput over the §7.1 incident workload (the E6 input): how
+//! expensive is the full static-analysis pass relative to graph size,
+//! and how much of it is the policy pass. The gate budget in DESIGN.md
+//! assumes a full `lint_all` over the E6 store stays in the tens of
+//! milliseconds; this bench is the number behind that claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use grdf_bench::{incident_graph, incident_store, scenario_policies};
+use grdf_lint::{lint_all, lint_graph, lint_policies};
+
+fn bench_lint_graph_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lint/graph_scaling");
+    group.sample_size(10);
+    for &n in &[10usize, 50, 100] {
+        let g = incident_graph(n, n, 17);
+        group.bench_with_input(BenchmarkId::from_parameter(g.len()), &g, |b, g| {
+            b.iter(|| black_box(lint_graph(g).diagnostics.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lint_passes(c: &mut Criterion) {
+    // Same input, pass by pass, so regressions are attributable.
+    let store = incident_store(100, 100, 17);
+    let policies = scenario_policies();
+    let g = store.graph();
+
+    let mut group = c.benchmark_group("lint/passes");
+    group.sample_size(10);
+    group.bench_function("graph_only", |b| {
+        b.iter(|| black_box(lint_graph(g).diagnostics.len()));
+    });
+    group.bench_function("policies_only", |b| {
+        b.iter(|| black_box(lint_policies(g, &policies).diagnostics.len()));
+    });
+    group.bench_function("all", |b| {
+        b.iter(|| black_box(lint_all(g, Some(&policies)).diagnostics.len()));
+    });
+    group.finish();
+}
+
+fn bench_report_rendering(c: &mut Criterion) {
+    // A deliberately dirty graph (no ontology context, so the workload's
+    // app: vocabulary is undeclared) exercising render/serialize paths.
+    let g = incident_graph(100, 100, 17);
+    let report = lint_all(&g, Some(&scenario_policies()));
+
+    let mut group = c.benchmark_group("lint/render");
+    group.bench_function("text", |b| {
+        b.iter(|| black_box(report.render_text().len()));
+    });
+    group.bench_function("json", |b| {
+        b.iter(|| black_box(report.to_json().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lint_graph_scaling,
+    bench_lint_passes,
+    bench_report_rendering
+);
+criterion_main!(benches);

@@ -23,7 +23,7 @@ fn bench_bgp_join(c: &mut Criterion) {
         grdf::APP_NS
     );
     c.bench_function("query/bgp_three_way_join", |b| {
-        b.iter(|| black_box(s.query(&q).unwrap().select_rows().len()))
+        b.iter(|| black_box(s.query(&q).unwrap().select_rows().len()));
     });
 }
 
@@ -37,7 +37,7 @@ fn bench_path_closure(c: &mut Criterion) {
     let mut group = c.benchmark_group("query/path");
     group.sample_size(10);
     group.bench_function("flows_into_plus_unbounded", |b| {
-        b.iter(|| black_box(s.query(&q).unwrap().select_rows().len()))
+        b.iter(|| black_box(s.query(&q).unwrap().select_rows().len()));
     });
     // Bound-subject variant (the common navigational probe).
     let one = s
@@ -54,7 +54,7 @@ fn bench_path_closure(c: &mut Criterion) {
         one
     );
     group.bench_function("flows_into_plus_bound_subject", |b| {
-        b.iter(|| black_box(s.query(&q2).unwrap().select_rows().len()))
+        b.iter(|| black_box(s.query(&q2).unwrap().select_rows().len()));
     });
     group.finish();
 }
@@ -66,7 +66,7 @@ fn bench_aggregates(c: &mut Criterion) {
         grdf::APP_NS
     );
     c.bench_function("query/group_by_count", |b| {
-        b.iter(|| black_box(s.query(&q).unwrap().select_rows().len()))
+        b.iter(|| black_box(s.query(&q).unwrap().select_rows().len()));
     });
 }
 
@@ -77,14 +77,14 @@ fn bench_filters(c: &mut Criterion) {
         grdf::APP_NS
     );
     c.bench_function("query/string_filters", |b| {
-        b.iter(|| black_box(s.query(&q).unwrap().select_rows().len()))
+        b.iter(|| black_box(s.query(&q).unwrap().select_rows().len()));
     });
     let q2 = format!(
         "PREFIX app: <{}>\nSELECT ?s WHERE {{\n  ?s a app:ChemSite .\n  FILTER(NOT EXISTS {{ ?s app:sourceState ?st }})\n}}",
         grdf::APP_NS
     );
     c.bench_function("query/not_exists", |b| {
-        b.iter(|| black_box(s.query(&q2).unwrap().select_rows().len()))
+        b.iter(|| black_box(s.query(&q2).unwrap().select_rows().len()));
     });
 }
 

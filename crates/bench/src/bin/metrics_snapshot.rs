@@ -56,10 +56,7 @@ fn main() {
     .collect();
     let mut rows = 0usize;
     for r in &requests {
-        rows += svc
-            .handle(r)
-            .map(|res| res.select_rows().len())
-            .unwrap_or(0);
+        rows += svc.handle(r).map_or(0, |res| res.select_rows().len());
     }
     let delta = obs.registry().snapshot().delta(&baseline);
     std::fs::write(&path, delta.to_json()).expect("write metrics json");

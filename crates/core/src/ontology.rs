@@ -67,6 +67,10 @@ pub fn grdf_ontology() -> Graph {
         "Envelope",
         "A pair of coordinates corresponding to the opposite corners of a feature (§4).",
     );
+    // GML 3.1 defines Envelope in the geometry schema, and the feature
+    // encoding gives envelopes `coordinates`/`srsName` (domain Geometry):
+    // an envelope is both an extent and a geometric object.
+    b.sub_class_of("Envelope", "Geometry");
     b.class("EnvelopeWithTimePeriod", Some("Envelope"));
     b.class("Null", Some("BoundingShape"));
     b.comment("Null", "Extent not applicable or not available (§4).");
@@ -181,6 +185,11 @@ pub fn grdf_ontology() -> Graph {
     b.object_property("realizedBy", Some("Topology"), Some("Geometry"));
     b.object_property("realizes", Some("Geometry"), Some("Topology"));
     b.inverse_of("realizedBy", "realizes");
+    // Ordered face boundaries: an RDF list of anonymous directed edge
+    // uses (see `grdf_topology::rdf_codec`).
+    b.object_property("hasBoundary", Some("Face"), None);
+    b.object_property("viaEdge", None, Some("Edge"));
+    b.datatype_property("isForward", None, Some(xsd::BOOLEAN));
     // Edge connectivity (coordinate-free structure).
     b.object_property("startNode", Some("Edge"), Some("Node"));
     b.object_property("endNode", Some("Edge"), Some("Node"));

@@ -413,12 +413,12 @@ mod tests {
         // A second source types the same plant differently and aligns the
         // vocabularies.
         s.load_turtle(
-            r#"@prefix app: <http://grdf.org/app#> .
+            r"@prefix app: <http://grdf.org/app#> .
                @prefix other: <urn:other#> .
                @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
                other:Facility rdfs:subClassOf app:ChemSite .
                app:NTEnergy a other:Facility .
-            "#,
+            ",
         )
         .unwrap();
         s.materialize();
@@ -439,12 +439,12 @@ mod tests {
     fn same_as_links_surface_after_reasoning() {
         let mut s = GrdfStore::new();
         s.load_turtle(
-            r#"@prefix app: <http://grdf.org/app#> .
+            r"@prefix app: <http://grdf.org/app#> .
                @prefix owl: <http://www.w3.org/2002/07/owl#> .
                app:hasSiteId a owl:InverseFunctionalProperty .
                app:siteA app:hasSiteId app:id1 .
                app:siteB app:hasSiteId app:id1 .
-            "#,
+            ",
         )
         .unwrap();
         assert!(s.same_as_links().is_empty());
@@ -470,9 +470,9 @@ mod tests {
         let mut s = GrdfStore::new();
         // An Observation is a Feature only by subclass inference.
         s.load_turtle(
-            r#"@prefix grdf: <http://grdf.org/ontology#> .
+            r"@prefix grdf: <http://grdf.org/ontology#> .
                <urn:obs1> a grdf:Observation .
-            "#,
+            ",
         )
         .unwrap();
         assert_eq!(s.feature_count(), 0, "not yet materialized");
@@ -484,9 +484,9 @@ mod tests {
     fn consistency_check_flags_violations() {
         let mut s = GrdfStore::new();
         s.load_turtle(
-            r#"@prefix grdf: <http://grdf.org/ontology#> .
+            r"@prefix grdf: <http://grdf.org/ontology#> .
                <urn:x> a grdf:Point , grdf:Node .
-            "#,
+            ",
         )
         .unwrap();
         s.materialize();
@@ -594,7 +594,7 @@ mod tests {
         let mut s = GrdfStore::new();
         for i in 0..30 {
             let mut f = Feature::new(&format!("urn:app#pt{i}"), "Site");
-            f.set_geometry(Point::new(i as f64 * 10.0, i as f64 * 5.0).into());
+            f.set_geometry(Point::new(f64::from(i) * 10.0, f64::from(i) * 5.0).into());
             s.insert_feature(&f).unwrap();
         }
         let index = s.spatial_index();
@@ -625,12 +625,12 @@ mod tests {
         // bootstrap them from a common semantic platform" (§2).
         let mut s = GrdfStore::new();
         s.load_turtle(
-            r#"@prefix app: <http://grdf.org/app#> .
+            r"@prefix app: <http://grdf.org/app#> .
                @prefix grdf: <http://grdf.org/ontology#> .
                @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
                app:ChemSite rdfs:subClassOf grdf:Feature .
                app:NTEnergy a app:ChemSite .
-            "#,
+            ",
         )
         .unwrap();
         s.materialize();

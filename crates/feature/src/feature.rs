@@ -40,6 +40,7 @@ impl Feature {
     }
 
     /// Add a property (builder style).
+    #[must_use]
     pub fn with_property(mut self, name: &str, value: impl Into<Value>) -> Feature {
         self.set_property(name, value);
         self

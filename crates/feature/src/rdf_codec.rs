@@ -42,8 +42,7 @@ fn resolve_app(name: &str) -> String {
 /// Compact an IRI back to a local name when it is in the `app:` namespace.
 fn compact_app(iri: &str) -> String {
     iri.strip_prefix(ns::APP_NS)
-        .map(str::to_string)
-        .unwrap_or_else(|| iri.to_string())
+        .map_or_else(|| iri.to_string(), str::to_string)
 }
 
 /// Encode one feature into `graph`; returns the subject term.

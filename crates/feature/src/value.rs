@@ -61,19 +61,15 @@ impl Value {
             Term::Literal(l) => match l.datatype() {
                 xsd::INTEGER | xsd::LONG | xsd::INT | xsd::NON_NEGATIVE_INTEGER => l
                     .as_integer()
-                    .map(Value::Integer)
-                    .unwrap_or_else(|| Value::String(l.lexical().to_string())),
+                    .map_or_else(|| Value::String(l.lexical().to_string()), Value::Integer),
                 xsd::DOUBLE | xsd::FLOAT | xsd::DECIMAL => l
                     .as_double()
-                    .map(Value::Double)
-                    .unwrap_or_else(|| Value::String(l.lexical().to_string())),
+                    .map_or_else(|| Value::String(l.lexical().to_string()), Value::Double),
                 xsd::BOOLEAN => l
                     .as_boolean()
-                    .map(Value::Boolean)
-                    .unwrap_or_else(|| Value::String(l.lexical().to_string())),
+                    .map_or_else(|| Value::String(l.lexical().to_string()), Value::Boolean),
                 xsd::DATE_TIME | xsd::DATE => TimeInstant::parse(l.lexical())
-                    .map(Value::Time)
-                    .unwrap_or_else(|| Value::String(l.lexical().to_string())),
+                    .map_or_else(|| Value::String(l.lexical().to_string()), Value::Time),
                 _ => Value::String(l.lexical().to_string()),
             },
         }

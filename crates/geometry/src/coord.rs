@@ -40,15 +40,17 @@ impl Coord {
     }
 
     /// Midpoint of the segment to `other`.
+    #[must_use]
     pub fn midpoint(&self, other: &Coord) -> Coord {
         Coord {
-            x: (self.x + other.x) / 2.0,
-            y: (self.y + other.y) / 2.0,
-            z: (self.z + other.z) / 2.0,
+            x: f64::midpoint(self.x, other.x),
+            y: f64::midpoint(self.y, other.y),
+            z: f64::midpoint(self.z, other.z),
         }
     }
 
     /// Component-wise translation.
+    #[must_use]
     pub fn translate(&self, dx: f64, dy: f64) -> Coord {
         Coord {
             x: self.x + dx,
@@ -102,7 +104,7 @@ pub fn parse_coord_list(text: &str, dim: usize) -> Option<Vec<Coord>> {
     let nums: Vec<f64> = text
         .split([' ', ',', '\n', '\t', '\r'])
         .filter(|s| !s.is_empty())
-        .map(|s| s.parse::<f64>())
+        .map(str::parse::<f64>)
         .collect::<Result<_, _>>()
         .ok()?;
     if nums.is_empty() || !nums.len().is_multiple_of(dim) {

@@ -48,6 +48,7 @@ impl Envelope {
     }
 
     /// Smallest envelope containing both.
+    #[must_use]
     pub fn union(&self, other: &Envelope) -> Envelope {
         let mut e = *self;
         e.expand_to(&other.min);
@@ -105,6 +106,7 @@ impl Envelope {
     }
 
     /// Envelope expanded by `margin` on every side.
+    #[must_use]
     pub fn buffered(&self, margin: f64) -> Envelope {
         Envelope {
             min: Coord::xyz(self.min.x - margin, self.min.y - margin, self.min.z),

@@ -333,6 +333,7 @@ impl Ring {
     }
 
     /// Reverse the winding.
+    #[must_use]
     pub fn reversed(&self) -> Ring {
         let mut coords = self.coords.clone();
         coords.reverse();
@@ -481,7 +482,7 @@ impl Solid {
 
     /// Footprint area × height for prisms.
     pub fn volume(&self) -> f64 {
-        self.shell.first().map(Polygon::area).unwrap_or(0.0) * self.height
+        self.shell.first().map_or(0.0, Polygon::area) * self.height
     }
 
     /// Planar bounding box of the footprint.

@@ -184,7 +184,7 @@ fn parse_coords(body: &str) -> Option<Vec<Coord>> {
     for pair in body.split(',') {
         let nums: Vec<f64> = pair
             .split_whitespace()
-            .map(|s| s.parse::<f64>())
+            .map(str::parse::<f64>)
             .collect::<Result<_, _>>()
             .ok()?;
         match nums.as_slice() {

@@ -79,8 +79,10 @@ pub fn parse_feature(elem: &Element) -> Result<Feature, GmlError> {
         .attribute_ns(GML_NS, "id")
         .or_else(|| elem.attribute("id"))
         .or_else(|| elem.attribute("fid"))
-        .map(str::to_string)
-        .unwrap_or_else(|| format!("feature-{}", elem.subtree_size()));
+        .map_or_else(
+            || format!("feature-{}", elem.subtree_size()),
+            str::to_string,
+        );
     let ns = elem.namespace().unwrap_or("http://grdf.org/app#");
     let iri = format!("{ns}{id}");
     let mut feature = Feature::new(&iri, elem.local_name());
@@ -116,11 +118,7 @@ pub fn parse_feature(elem: &Element) -> Result<Feature, GmlError> {
         let value = parse_value(&text);
         if let Some(uom) = prop.attribute("uom") {
             // §3.2 / List 1: extension-of-double with a uom attribute.
-            let num = text
-                .trim()
-                .parse::<f64>()
-                .map(Value::Double)
-                .unwrap_or(value);
+            let num = text.trim().parse::<f64>().map_or(value, Value::Double);
             feature.set_property(prop.local_name(), num);
             feature.set_property(&format!("{}Uom", prop.local_name()), uom);
         } else {
@@ -153,14 +151,14 @@ fn parse_value(text: &str) -> Value {
 /// Parse a `gml:Envelope` (lowerCorner/upperCorner or GML2 coordinates).
 pub fn parse_envelope(elem: &Element) -> Option<(Envelope, Option<String>)> {
     let srs = elem.attribute("srsName").map(str::to_string);
-    let lower = elem.child("lowerCorner").map(|e| e.text());
-    let upper = elem.child("upperCorner").map(|e| e.text());
+    let lower = elem.child("lowerCorner").map(grdf_xml::Element::text);
+    let upper = elem.child("upperCorner").map(grdf_xml::Element::text);
     if let (Some(lo), Some(hi)) = (lower, upper) {
         let lo = parse_coord_list(&lo, 2)?;
         let hi = parse_coord_list(&hi, 2)?;
         return Some((Envelope::new(*lo.first()?, *hi.first()?), srs));
     }
-    let coords = elem.child("coordinates").map(|e| e.text())?;
+    let coords = elem.child("coordinates").map(grdf_xml::Element::text)?;
     let cs = parse_coord_list(&coords, 2)?;
     if cs.len() < 2 {
         return None;

@@ -1,0 +1,187 @@
+//! `grdf-lint` — static analysis for GRDF ontologies, security policy
+//! sets, and instance graphs.
+//!
+//! The paper's artifacts are hand-authored RDF (Lists 1–8), and the
+//! failure modes it discusses are exactly the ones hand-authored RDF
+//! invites: the List 1 `MeasureType` value that is a string where a
+//! `xsd:double` is declared, realization links (`grdf:realizedBy`) left
+//! dangling after an edit, Fig. 2 topology whose face boundaries stop
+//! closing, and — on the security side — the GeoXACML-granularity
+//! regression where a class-level grant silently overrides a
+//! property-level restriction on a subclass. This crate finds those
+//! problems *before* the data is served.
+//!
+//! Four pass families, all reporting through the typed
+//! [`Diagnostic`]/[`LintReport`] framework in `grdf-rdf`:
+//!
+//! * [`referential`] — G001–G003: undeclared classes/properties,
+//!   dangling realization links.
+//! * [`schema`] — G004–G010: domain/range conformance, literal datatype
+//!   checks, unsatisfiable cardinality restrictions. OWL consistency
+//!   (G011–G015) is folded in from `grdf_owl::consistency`.
+//! * [`policy`] — S001–S006: structural policy defects and conflicts
+//!   (from `grdf_security::conflicts`) plus unknown targets and
+//!   over-broad grants, both resolved through the subclass hierarchy.
+//! * [`topology`] — T001–T004: Fig. 2 invariants (edge endpoints, face
+//!   boundary closure, realization coverage).
+//!
+//! Entry points: [`lint_graph`] for a graph alone, [`lint_policies`] for
+//! a policy set against a graph, [`lint_all`] for both, or a configured
+//! [`Linter`] when individual passes need to be switched off.
+
+pub mod policy;
+pub mod referential;
+pub mod schema;
+pub mod topology;
+
+pub use grdf_rdf::diagnostic::{Diagnostic, LintCode, LintReport, Severity};
+
+use grdf_rdf::graph::Graph;
+use grdf_security::policy::PolicySet;
+
+/// Whether an IRI belongs to a built-in vocabulary (RDF, RDFS, OWL, XSD)
+/// that the referential passes must not demand declarations for.
+pub(crate) fn is_builtin(iri: &str) -> bool {
+    use grdf_rdf::vocab::{owl, rdf, rdfs, xsd};
+    iri.starts_with(rdf::NS)
+        || iri.starts_with(rdfs::NS)
+        || iri.starts_with(owl::NS)
+        || iri.starts_with(xsd::NS)
+}
+
+/// A configured analyzer: each pass family can be toggled off (all are on
+/// by default). Every run is instrumented with a `lint.<pass>` span per
+/// pass and a `lint.findings` counter.
+#[derive(Debug, Clone, Copy)]
+pub struct Linter {
+    /// Referential integrity (G001–G003).
+    pub referential: bool,
+    /// Schema conformance (G004–G010).
+    pub schema: bool,
+    /// OWL consistency (G011–G015).
+    pub consistency: bool,
+    /// Policy analysis (S001–S006); needs a [`PolicySet`].
+    pub policy: bool,
+    /// Topology invariants (T001–T004).
+    pub topology: bool,
+}
+
+impl Default for Linter {
+    fn default() -> Linter {
+        Linter {
+            referential: true,
+            schema: true,
+            consistency: true,
+            policy: true,
+            topology: true,
+        }
+    }
+}
+
+impl Linter {
+    /// An analyzer with every pass enabled.
+    pub fn new() -> Linter {
+        Linter::default()
+    }
+
+    /// Run the enabled passes over `graph` (and `policies`, when given)
+    /// and return the normalized report.
+    pub fn run(&self, graph: &Graph, policies: Option<&PolicySet>) -> LintReport {
+        let mut diags: Vec<Diagnostic> = Vec::new();
+        if self.referential {
+            let span = grdf_obs::span("lint.referential");
+            let found = referential::check(graph);
+            drop(span.tag("findings", found.len()));
+            diags.extend(found);
+        }
+        if self.schema {
+            let span = grdf_obs::span("lint.schema");
+            let found = schema::check(graph);
+            drop(span.tag("findings", found.len()));
+            diags.extend(found);
+        }
+        if self.consistency {
+            let span = grdf_obs::span("lint.consistency");
+            let found = grdf_owl::consistency::lint(graph);
+            drop(span.tag("findings", found.len()));
+            diags.extend(found);
+        }
+        if self.topology {
+            let span = grdf_obs::span("lint.topology");
+            let found = topology::check(graph);
+            drop(span.tag("findings", found.len()));
+            diags.extend(found);
+        }
+        if self.policy {
+            if let Some(ps) = policies {
+                let span = grdf_obs::span("lint.policy");
+                let found = policy::check(graph, ps);
+                drop(span.tag("findings", found.len()));
+                diags.extend(found);
+            }
+        }
+        let report = LintReport::from_diagnostics(diags);
+        grdf_obs::add("lint.findings", report.diagnostics.len() as u64);
+        report
+    }
+}
+
+/// Lint a graph with every graph-level pass (referential, schema,
+/// consistency, topology).
+pub fn lint_graph(graph: &Graph) -> LintReport {
+    Linter::new().run(graph, None)
+}
+
+/// Lint a policy set against the graph that supplies its class hierarchy
+/// and targets.
+pub fn lint_policies(graph: &Graph, policies: &PolicySet) -> LintReport {
+    let linter = Linter {
+        referential: false,
+        schema: false,
+        consistency: false,
+        topology: false,
+        policy: true,
+    };
+    linter.run(graph, Some(policies))
+}
+
+/// Lint everything: the graph-level passes plus, when a policy set is
+/// given, the policy passes.
+pub fn lint_all(graph: &Graph, policies: Option<&PolicySet>) -> LintReport {
+    Linter::new().run(graph, policies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_rdf::term::Term;
+    use grdf_rdf::vocab::{owl, rdf};
+
+    #[test]
+    fn clean_empty_graph() {
+        assert!(lint_graph(&Graph::new()).is_clean());
+    }
+
+    #[test]
+    fn passes_can_be_disabled() {
+        let mut g = Graph::new();
+        g.add(
+            Term::iri("urn:x"),
+            Term::iri(rdf::TYPE),
+            Term::iri(owl::NOTHING),
+        );
+        assert!(lint_graph(&g).has_errors(), "G014 fires");
+        let off = Linter {
+            consistency: false,
+            ..Linter::new()
+        };
+        assert!(off.run(&g, None).is_clean(), "disabled pass stays silent");
+    }
+
+    #[test]
+    fn builtin_namespaces_are_exempt() {
+        assert!(is_builtin(rdf::TYPE));
+        assert!(is_builtin(owl::CLASS));
+        assert!(!is_builtin("http://grdf.org/ontology#Node"));
+    }
+}

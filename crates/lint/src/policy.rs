@@ -1,0 +1,235 @@
+//! Policy analysis (S001–S006): the security policy set against the
+//! graph that gives its designators meaning.
+//!
+//! S001/S003/S004/S005 come from `grdf_security::conflicts` (this pass
+//! re-exports them through the shared diagnostics shape). The two checks
+//! added here both need the data graph:
+//!
+//! * **S002 unknown-policy-target** — a policy whose resource or
+//!   condition property never occurs in the graph governs nothing; after
+//!   a merge or rename that usually means the policy silently stopped
+//!   protecting what it used to.
+//! * **S006 over-broad-grant** — the GeoXACML-granularity regression the
+//!   paper warns about (§7): a role holds an *unconditional* grant on a
+//!   class while another policy gives the same role a *property-limited*
+//!   grant on a strict subclass. Through subclass inference the broad
+//!   grant reaches every subclass member, so the property restriction is
+//!   void — a Building-level grant exposing the exit doors.
+
+use grdf_owl::hierarchy::Hierarchy;
+use grdf_rdf::diagnostic::{Diagnostic, LintCode};
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::Term;
+use grdf_security::policy::{Condition, Decision, PolicySet};
+
+/// Run the policy pass.
+pub fn check(data: &Graph, policies: &PolicySet) -> Vec<Diagnostic> {
+    let mut out = grdf_security::conflicts::diagnostics(data, policies);
+    out.extend(unknown_targets(data, policies));
+    out.extend(over_broad_grants(data, policies));
+    out
+}
+
+/// Whether a term occurs anywhere in the graph (as subject, predicate,
+/// or object).
+fn occurs(g: &Graph, t: &Term) -> bool {
+    !g.match_pattern(Some(t), None, None).is_empty()
+        || !g.match_pattern(None, Some(t), None).is_empty()
+        || !g.match_pattern(None, None, Some(t)).is_empty()
+}
+
+/// S002 — policies pointing at resources or condition properties that the
+/// graph never mentions. Quiet on an empty graph (nothing can occur).
+fn unknown_targets(data: &Graph, policies: &PolicySet) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if data.is_empty() {
+        return out;
+    }
+    for p in &policies.policies {
+        let subject = Term::iri(&p.id);
+        if !p.resource.is_empty() {
+            let resource = Term::iri(&p.resource);
+            if !occurs(data, &resource) {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::UnknownPolicyTarget,
+                        subject.clone(),
+                        format!("targets {}, which does not occur in the graph", p.resource),
+                    )
+                    .with_related(vec![resource])
+                    .with_suggestion("fix the resource IRI or retire the policy"),
+                );
+            }
+        }
+        for c in &p.conditions {
+            let Condition::PropertyAccess(props) = c;
+            for prop in props {
+                let prop_t = Term::iri(prop);
+                if !occurs(data, &prop_t) {
+                    out.push(
+                        Diagnostic::new(
+                            LintCode::UnknownPolicyTarget,
+                            subject.clone(),
+                            format!("condition property {prop} does not occur in the graph"),
+                        )
+                        .with_related(vec![prop_t])
+                        .with_suggestion("fix the property IRI in the condition"),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// S006 — an unconditional class-level permit that voids a
+/// property-conditioned permit on a strict subclass for the same role
+/// and action.
+fn over_broad_grants(data: &Graph, policies: &PolicySet) -> Vec<Diagnostic> {
+    let h = Hierarchy::new(data);
+    let mut out = Vec::new();
+    for broad in &policies.policies {
+        if broad.decision != Decision::Permit || !broad.conditions.is_empty() {
+            continue;
+        }
+        for narrow in &policies.policies {
+            if narrow.decision != Decision::Permit
+                || narrow.conditions.is_empty()
+                || narrow.role != broad.role
+                || narrow.action != broad.action
+                || narrow.resource == broad.resource
+            {
+                continue;
+            }
+            let sub = Term::iri(&narrow.resource);
+            let sup = Term::iri(&broad.resource);
+            if h.is_subclass_of(&sub, &sup) {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::OverBroadGrant,
+                        Term::iri(&broad.id),
+                        format!(
+                            "role {}: unconditional grant on {} voids the property \
+                             restriction of {} on subclass {}",
+                            broad.role, broad.resource, narrow.id, narrow.resource
+                        ),
+                    )
+                    .with_related(vec![Term::iri(&narrow.id), Term::iri(&broad.role)])
+                    .with_suggestion(format!(
+                        "scope {} with property conditions or exclude {}",
+                        broad.id, narrow.resource
+                    )),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_rdf::vocab::{rdf, rdfs};
+    use grdf_security::policy::Policy;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    /// Building ⊒ ExitDoor, with one instance of each.
+    fn building_graph() -> Graph {
+        let mut g = Graph::new();
+        g.add(
+            iri("urn:ex#ExitDoor"),
+            iri(rdfs::SUB_CLASS_OF),
+            iri("urn:ex#Building"),
+        );
+        g.add(iri("urn:ex#b1"), iri(rdf::TYPE), iri("urn:ex#Building"));
+        g.add(iri("urn:ex#d1"), iri(rdf::TYPE), iri("urn:ex#ExitDoor"));
+        g.add(
+            iri("urn:ex#d1"),
+            iri("urn:ex#hasLockCode"),
+            Term::string("1234"),
+        );
+        g
+    }
+
+    #[test]
+    fn over_broad_grant_across_subclass_is_s006() {
+        let g = building_graph();
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:p#broad", "urn:r#Surveyor", "urn:ex#Building"),
+            Policy::permit_properties(
+                "urn:p#narrow",
+                "urn:r#Surveyor",
+                "urn:ex#ExitDoor",
+                &["urn:ex#hasLockCode"],
+            ),
+        ]);
+        let diags = check(&g, &ps);
+        let s006: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::OverBroadGrant)
+            .collect();
+        assert_eq!(s006.len(), 1, "{diags:?}");
+        assert_eq!(s006[0].subject, iri("urn:p#broad"));
+        // Different roles do not collide.
+        let ps2 = PolicySet::new(vec![
+            Policy::permit("urn:p#broad", "urn:r#Chief", "urn:ex#Building"),
+            Policy::permit_properties(
+                "urn:p#narrow",
+                "urn:r#Surveyor",
+                "urn:ex#ExitDoor",
+                &["urn:ex#hasLockCode"],
+            ),
+        ]);
+        assert!(check(&g, &ps2)
+            .iter()
+            .all(|d| d.code != LintCode::OverBroadGrant));
+    }
+
+    #[test]
+    fn unknown_target_is_s002() {
+        let g = building_graph();
+        let ps = PolicySet::new(vec![Policy::permit(
+            "urn:p#stale",
+            "urn:r#Surveyor",
+            "urn:ex#Bridgee", // typo
+        )]);
+        let diags = check(&g, &ps);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::UnknownPolicyTarget);
+        assert_eq!(diags[0].subject, iri("urn:p#stale"));
+        // An empty graph cannot vouch for anything: stay quiet.
+        assert!(unknown_targets(&Graph::new(), &ps).is_empty());
+    }
+
+    #[test]
+    fn unknown_condition_property_is_s002() {
+        let g = building_graph();
+        let ps = PolicySet::new(vec![Policy::permit_properties(
+            "urn:p#c",
+            "urn:r#Surveyor",
+            "urn:ex#ExitDoor",
+            &["urn:ex#hasLockCodez"], // typo
+        )]);
+        let diags = check(&g, &ps);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::UnknownPolicyTarget);
+        assert!(diags[0].message.contains("condition property"));
+    }
+
+    #[test]
+    fn structural_and_conflict_findings_flow_through() {
+        let g = building_graph();
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:p#1", "urn:r#A", "urn:ex#Building"),
+            Policy::deny("urn:p#2", "urn:r#A", "urn:ex#ExitDoor"),
+        ]);
+        let diags = check(&g, &ps);
+        assert!(
+            diags.iter().any(|d| d.code == LintCode::ContradictoryRule),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Referential integrity (G001–G003): every IRI a graph leans on must
+//! actually be introduced somewhere.
+//!
+//! The declaration checks are *schema-aware, not schema-mandatory*: a
+//! plain instance graph that declares no classes (or no properties) is
+//! left alone — demanding `owl:Class` triples from List 1-style instance
+//! data would drown real findings in noise. They are also
+//! *namespace-scoped*: only names from a namespace that declares at
+//! least one class (or property) are held to the declaration standard.
+//! `app:` instance vocabulary merged next to the GRDF ontology stays
+//! legal, while a typo'd `grdf:Edgee` — a namespace the graph clearly
+//! owns — is exactly the kind of thing G001/G002 catch.
+
+use std::collections::BTreeSet;
+
+use grdf_rdf::diagnostic::{Diagnostic, LintCode};
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::Term;
+use grdf_rdf::vocab::{grdf as ns, owl, rdf, rdfs};
+
+use crate::is_builtin;
+
+/// The namespace part of an IRI: everything up to and including the last
+/// `#` or `/`.
+fn namespace(iri: &str) -> &str {
+    match iri.rfind(['#', '/']) {
+        Some(i) => &iri[..=i],
+        None => iri,
+    }
+}
+
+/// IRIs declared as classes: typed `owl:Class` or `rdfs:Class`.
+fn declared_classes(g: &Graph) -> BTreeSet<String> {
+    let ty = Term::iri(rdf::TYPE);
+    let mut out = BTreeSet::new();
+    for class_ty in [owl::CLASS, rdfs::CLASS] {
+        for t in g.match_pattern(None, Some(&ty), Some(&Term::iri(class_ty))) {
+            if let Some(iri) = t.subject.as_iri() {
+                out.insert(iri.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// IRIs declared as properties (object, datatype, plain, or any of the
+/// OWL property characteristics).
+fn declared_properties(g: &Graph) -> BTreeSet<String> {
+    let ty = Term::iri(rdf::TYPE);
+    let mut out = BTreeSet::new();
+    for prop_ty in [
+        owl::OBJECT_PROPERTY,
+        owl::DATATYPE_PROPERTY,
+        rdf::PROPERTY,
+        owl::FUNCTIONAL_PROPERTY,
+        owl::INVERSE_FUNCTIONAL_PROPERTY,
+        owl::TRANSITIVE_PROPERTY,
+        owl::SYMMETRIC_PROPERTY,
+    ] {
+        for t in g.match_pattern(None, Some(&ty), Some(&Term::iri(prop_ty))) {
+            if let Some(iri) = t.subject.as_iri() {
+                out.insert(iri.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// IRIs used in a class position: `rdf:type` objects, `rdfs:subClassOf`
+/// endpoints, `rdfs:domain`/`rdfs:range` targets, and the class-valued
+/// OWL constructors. Blank nodes (anonymous restrictions) are exempt.
+fn used_as_class(g: &Graph) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut note = |t: &Term| {
+        if let Some(iri) = t.as_iri() {
+            if !is_builtin(iri) {
+                out.insert(iri.to_string());
+            }
+        }
+    };
+    for t in g.match_pattern(None, Some(&Term::iri(rdf::TYPE)), None) {
+        note(&t.object);
+    }
+    for t in g.match_pattern(None, Some(&Term::iri(rdfs::SUB_CLASS_OF)), None) {
+        note(&t.subject);
+        note(&t.object);
+    }
+    for pred in [
+        rdfs::DOMAIN,
+        rdfs::RANGE,
+        owl::DISJOINT_WITH,
+        owl::EQUIVALENT_CLASS,
+        owl::SOME_VALUES_FROM,
+        owl::ALL_VALUES_FROM,
+    ] {
+        for t in g.match_pattern(None, Some(&Term::iri(pred)), None) {
+            note(&t.object);
+            if pred == owl::DISJOINT_WITH || pred == owl::EQUIVALENT_CLASS {
+                note(&t.subject);
+            }
+        }
+    }
+    out
+}
+
+/// Run the referential pass.
+pub fn check(g: &Graph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // G001 — used as a class, never declared. Only in graphs that declare
+    // classes, and only for names in a namespace that does the declaring.
+    let classes = declared_classes(g);
+    if !classes.is_empty() {
+        let owned: BTreeSet<&str> = classes.iter().map(|c| namespace(c)).collect();
+        for iri in used_as_class(g) {
+            if !classes.contains(&iri) && owned.contains(namespace(&iri)) {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::DanglingIri,
+                        Term::iri(&iri),
+                        "used as a class but never declared",
+                    )
+                    .with_suggestion("declare it with rdf:type owl:Class"),
+                );
+            }
+        }
+    }
+
+    // G002 — used as a predicate, never declared; same namespace scoping
+    // as G001.
+    let properties = declared_properties(g);
+    if !properties.is_empty() {
+        let owned: BTreeSet<&str> = properties.iter().map(|p| namespace(p)).collect();
+        let mut used = BTreeSet::new();
+        for t in g.iter() {
+            if let Some(iri) = t.predicate.as_iri() {
+                if !is_builtin(iri) {
+                    used.insert(iri.to_string());
+                }
+            }
+        }
+        for iri in used {
+            if !properties.contains(&iri) && owned.contains(namespace(&iri)) {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::UndeclaredProperty,
+                        Term::iri(&iri),
+                        "used as a predicate but never declared",
+                    )
+                    .with_suggestion(
+                        "declare it with rdf:type owl:ObjectProperty or owl:DatatypeProperty",
+                    ),
+                );
+            }
+        }
+    }
+
+    // G003 — realization links whose target has no description at all.
+    for pred in [ns::iri("realizedBy"), ns::iri("realizes")] {
+        let p = Term::iri(&pred);
+        for t in g.match_pattern(None, Some(&p), None) {
+            if g.match_pattern(Some(&t.object), None, None).is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::DanglingRealization,
+                        t.subject.clone(),
+                        format!("{pred} points at {}, which has no description", t.object),
+                    )
+                    .with_related(vec![t.object.clone()])
+                    .with_suggestion("add the realization target or drop the link"),
+                );
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    #[test]
+    fn undeclared_class_fires_only_when_classes_are_declared() {
+        let mut g = Graph::new();
+        g.add(iri("urn:ex#i"), iri(rdf::TYPE), iri("urn:ex#Undeclared"));
+        assert!(check(&g).is_empty(), "instance-only graph is exempt");
+        g.add(iri("urn:ex#Declared"), iri(rdf::TYPE), iri(owl::CLASS));
+        let diags = check(&g);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::DanglingIri);
+        assert_eq!(diags[0].subject, iri("urn:ex#Undeclared"));
+    }
+
+    #[test]
+    fn foreign_namespaces_are_not_held_to_declarations() {
+        let mut g = Graph::new();
+        g.add(iri("urn:ex#Declared"), iri(rdf::TYPE), iri(owl::CLASS));
+        // An instance typed with external vocabulary the graph never
+        // claims to define: legal.
+        g.add(iri("urn:other#i"), iri(rdf::TYPE), iri("urn:other#Thing"));
+        assert!(check(&g).is_empty());
+    }
+
+    #[test]
+    fn undeclared_property_fires_only_when_properties_are_declared() {
+        let mut g = Graph::new();
+        g.add(iri("urn:ex#a"), iri("urn:ex#p"), iri("urn:ex#b"));
+        assert!(check(&g).is_empty());
+        g.add(iri("urn:ex#q"), iri(rdf::TYPE), iri(owl::OBJECT_PROPERTY));
+        let diags = check(&g);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::UndeclaredProperty);
+        assert_eq!(diags[0].subject, iri("urn:ex#p"));
+    }
+
+    #[test]
+    fn dangling_realization_detected() {
+        let mut g = Graph::new();
+        let edge = iri("urn:ex#e1");
+        let curve = iri("urn:ex#c1");
+        g.add(edge.clone(), iri(&ns::iri("realizedBy")), curve.clone());
+        let diags = check(&g);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::DanglingRealization);
+        assert_eq!(diags[0].subject, edge);
+        // Describing the target silences it.
+        g.add(curve, iri(rdf::TYPE), iri(&ns::iri("Curve")));
+        assert!(check(&g).is_empty());
+    }
+
+    #[test]
+    fn anonymous_restrictions_are_not_dangling() {
+        let mut g = Graph::new();
+        g.add(iri("urn:ex#C"), iri(rdf::TYPE), iri(owl::CLASS));
+        g.add(iri("urn:ex#C"), iri(rdfs::SUB_CLASS_OF), Term::blank("r1"));
+        assert!(check(&g).is_empty(), "blank superclass nodes are exempt");
+    }
+}

@@ -1,0 +1,387 @@
+//! Schema conformance (G004–G006, G010): instance data against the
+//! `rdfs:domain`/`rdfs:range` declarations and cardinality restrictions
+//! the ontology carries.
+//!
+//! The flagship case is the paper's List 1: `measureValue` is declared
+//! with range `xsd:double`, and a hand-written value like `"10.5mp"`
+//! type-checks as RDF but is garbage as a measurement — G006 catches it.
+//! Domain checks stay quiet for untyped subjects and range checks for
+//! untyped objects: an open-world graph is allowed to under-describe, and
+//! only a *contradicting* description is a finding.
+
+use std::collections::{BTreeMap, HashMap};
+
+use grdf_owl::hierarchy::Hierarchy;
+use grdf_rdf::diagnostic::{Diagnostic, LintCode};
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::{Literal, Term};
+use grdf_rdf::vocab::{owl, rdf, rdfs, xsd};
+
+/// Whether `datatype` names an XSD datatype (or `rdfs:Literal`), i.e. a
+/// range that demands a literal object.
+fn is_datatype(iri: &str) -> bool {
+    iri.starts_with(xsd::NS) || iri == rdfs::LITERAL
+}
+
+/// Whether a literal's value conforms to the declared datatype. Lenient
+/// on lexical coercion (an untyped `"3.4"` passes for `xsd:double`) and
+/// strict on nonsense (`"10.5mp"` does not).
+fn literal_conforms(lit: &Literal, datatype: &str) -> bool {
+    // A plain literal (no tag, default string datatype) is hand-written
+    // shorthand; judge it by its lexical form rather than demanding `^^`.
+    let plain = lit.lang().is_none() && lit.datatype() == xsd::STRING;
+    let lexical = lit.lexical().trim();
+    match datatype {
+        xsd::DOUBLE | xsd::FLOAT | xsd::DECIMAL => {
+            lit.as_double().is_some() || (plain && lexical.parse::<f64>().is_ok())
+        }
+        xsd::INTEGER | xsd::INT | xsd::LONG => {
+            lit.as_integer().is_some() || (plain && lexical.parse::<i64>().is_ok())
+        }
+        xsd::NON_NEGATIVE_INTEGER => lit
+            .as_integer()
+            .or_else(|| if plain { lexical.parse().ok() } else { None })
+            .is_some_and(|v| v >= 0),
+        xsd::BOOLEAN => {
+            lit.as_boolean().is_some() || (plain && matches!(lexical, "true" | "false" | "0" | "1"))
+        }
+        xsd::STRING => lit.lang().is_none() && lit.datatype() == xsd::STRING,
+        // anyURI's lexical space admits any string; only a literal typed
+        // with some *other* datatype contradicts it.
+        xsd::ANY_URI => plain || lit.datatype() == xsd::ANY_URI,
+        rdfs::LITERAL => true,
+        other => lit.datatype() == other,
+    }
+}
+
+/// Whether any of `types` is (a subclass of) `class`.
+fn any_type_matches(h: &Hierarchy<'_>, types: &[Term], class: &Term) -> bool {
+    types.iter().any(|t| h.is_subclass_of(t, class))
+}
+
+/// Run the schema pass.
+pub fn check(g: &Graph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let h = Hierarchy::new(g);
+
+    // Declared domains and ranges, keyed by predicate IRI.
+    let mut domains: HashMap<String, Vec<Term>> = HashMap::new();
+    for t in g.match_pattern(None, Some(&Term::iri(rdfs::DOMAIN)), None) {
+        if let (Some(p), Some(d)) = (t.subject.as_iri(), t.object.as_iri()) {
+            if d != owl::THING {
+                domains.entry(p.to_string()).or_default().push(t.object);
+            }
+        }
+    }
+    let mut ranges: HashMap<String, Vec<Term>> = HashMap::new();
+    for t in g.match_pattern(None, Some(&Term::iri(rdfs::RANGE)), None) {
+        if let (Some(p), Some(r)) = (t.subject.as_iri(), t.object.as_iri()) {
+            if r != owl::THING {
+                ranges.entry(p.to_string()).or_default().push(t.object);
+            }
+        }
+    }
+
+    for triple in g.iter() {
+        let Some(pred) = triple.predicate.as_iri() else {
+            continue;
+        };
+        // G004 — a typed subject incompatible with the declared domain.
+        if let Some(ds) = domains.get(pred) {
+            let types = h.types_of(&triple.subject);
+            if !types.is_empty() {
+                for d in ds {
+                    if !any_type_matches(&h, &types, d) {
+                        out.push(
+                            Diagnostic::new(
+                                LintCode::DomainViolation,
+                                triple.subject.clone(),
+                                format!("subject of {pred} is not a {d}"),
+                            )
+                            .with_related(vec![triple.predicate.clone(), d.clone()]),
+                        );
+                    }
+                }
+            }
+        }
+        // G005/G006 — object against the declared range.
+        if let Some(rs) = ranges.get(pred) {
+            for r in rs {
+                let r_iri = r.as_iri().unwrap_or_default();
+                match triple.object.as_literal() {
+                    Some(lit) if is_datatype(r_iri) => {
+                        if !literal_conforms(lit, r_iri) {
+                            out.push(
+                                Diagnostic::new(
+                                    LintCode::DatatypeMismatch,
+                                    triple.subject.clone(),
+                                    format!(
+                                        "value {} of {pred} does not conform to {r_iri}",
+                                        triple.object
+                                    ),
+                                )
+                                .with_related(vec![triple.predicate.clone()])
+                                .with_suggestion(format!("supply a valid {r_iri} literal")),
+                            );
+                        }
+                    }
+                    Some(_) => {
+                        out.push(
+                            Diagnostic::new(
+                                LintCode::RangeViolation,
+                                triple.subject.clone(),
+                                format!("{pred} expects a {r} resource, found a literal"),
+                            )
+                            .with_related(vec![triple.predicate.clone(), r.clone()]),
+                        );
+                    }
+                    None if is_datatype(r_iri) => {
+                        out.push(
+                            Diagnostic::new(
+                                LintCode::RangeViolation,
+                                triple.subject.clone(),
+                                format!("{pred} expects a {r_iri} literal, found a resource"),
+                            )
+                            .with_related(vec![triple.predicate.clone(), r.clone()]),
+                        );
+                    }
+                    None => {
+                        let types = h.types_of(&triple.object);
+                        if !types.is_empty() && !any_type_matches(&h, &types, r) {
+                            out.push(
+                                Diagnostic::new(
+                                    LintCode::RangeViolation,
+                                    triple.subject.clone(),
+                                    format!("object {} of {pred} is not a {r}", triple.object),
+                                )
+                                .with_related(vec![triple.predicate.clone(), r.clone()]),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    out.extend(unsatisfiable_cardinalities(g));
+    out
+}
+
+/// Integer payload of a cardinality term.
+fn card_value(t: &Term) -> Option<i64> {
+    t.as_literal().and_then(Literal::as_integer)
+}
+
+/// G010 — cardinality restrictions no individual can satisfy: a class
+/// whose restrictions on one property demand a minimum above the maximum,
+/// or two different exact cardinalities.
+fn unsatisfiable_cardinalities(g: &Graph) -> Vec<Diagnostic> {
+    // (class, property) → (max of lower bounds, min of upper bounds,
+    // exact values seen).
+    #[derive(Default)]
+    struct Bounds {
+        min: Option<i64>,
+        max: Option<i64>,
+        exacts: Vec<i64>,
+    }
+    let ty = Term::iri(rdf::TYPE);
+    let mut bounds: BTreeMap<(Term, Term), Bounds> = BTreeMap::new();
+    for t in g.match_pattern(None, Some(&ty), Some(&Term::iri(owl::RESTRICTION))) {
+        let r = &t.subject;
+        let Some(prop) = g.object(r, &Term::iri(owl::ON_PROPERTY)) else {
+            continue;
+        };
+        // Every class that lists this restriction as a superclass.
+        for c in g.subjects(&Term::iri(rdfs::SUB_CLASS_OF), r) {
+            let b = bounds.entry((c, prop.clone())).or_default();
+            if let Some(n) = g
+                .object(r, &Term::iri(owl::MIN_CARDINALITY))
+                .as_ref()
+                .and_then(card_value)
+            {
+                b.min = Some(b.min.map_or(n, |m| m.max(n)));
+            }
+            if let Some(n) = g
+                .object(r, &Term::iri(owl::MAX_CARDINALITY))
+                .as_ref()
+                .and_then(card_value)
+            {
+                b.max = Some(b.max.map_or(n, |m| m.min(n)));
+            }
+            if let Some(n) = g
+                .object(r, &Term::iri(owl::CARDINALITY))
+                .as_ref()
+                .and_then(card_value)
+            {
+                b.exacts.push(n);
+                b.min = Some(b.min.map_or(n, |m| m.max(n)));
+                b.max = Some(b.max.map_or(n, |m| m.min(n)));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for ((class, prop), b) in bounds {
+        let mut exacts = b.exacts.clone();
+        exacts.sort_unstable();
+        exacts.dedup();
+        if exacts.len() > 1 {
+            out.push(
+                Diagnostic::new(
+                    LintCode::UnsatisfiableCardinality,
+                    class.clone(),
+                    format!(
+                        "conflicting exact cardinalities on {prop}: {} and {}",
+                        exacts[0],
+                        exacts[exacts.len() - 1]
+                    ),
+                )
+                .with_related(vec![prop.clone()])
+                .with_suggestion("keep one owl:cardinality per property"),
+            );
+            continue;
+        }
+        if let (Some(min), Some(max)) = (b.min, b.max) {
+            if min > max {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::UnsatisfiableCardinality,
+                        class,
+                        format!("restrictions on {prop}: minimum {min} exceeds maximum {max}"),
+                    )
+                    .with_related(vec![prop])
+                    .with_suggestion(format!("lower owl:minCardinality to at most {max}")),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_owl::model::{OntologyBuilder, RestrictionKind};
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    /// A small ontology: Site with a double-valued measure and a
+    /// Site-domained name property.
+    fn base() -> Graph {
+        let mut b = OntologyBuilder::new("urn:ex#");
+        b.class("Site", None);
+        b.class("ChemSite", Some("Site"));
+        b.class("Stream", None);
+        b.datatype_property("measureValue", Some("Site"), Some(xsd::DOUBLE));
+        b.object_property("feeds", Some("Stream"), Some("Site"));
+        b.into_graph()
+    }
+
+    #[test]
+    fn list1_measure_type_problem_is_g006() {
+        let mut g = base();
+        g.add(iri("urn:ex#s1"), iri(rdf::TYPE), iri("urn:ex#ChemSite"));
+        g.add(
+            iri("urn:ex#s1"),
+            iri("urn:ex#measureValue"),
+            Term::string("10.5mp"),
+        );
+        let diags = check(&g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::DatatypeMismatch);
+        // A parseable value is fine even when untyped.
+        let mut ok = base();
+        ok.add(
+            iri("urn:ex#s1"),
+            iri("urn:ex#measureValue"),
+            Term::double(10.5),
+        );
+        assert!(check(&ok).is_empty());
+    }
+
+    #[test]
+    fn domain_violation_respects_subclassing() {
+        let mut g = base();
+        // A ChemSite (⊑ Site) subject satisfies the Site domain.
+        g.add(iri("urn:ex#s1"), iri(rdf::TYPE), iri("urn:ex#ChemSite"));
+        g.add(
+            iri("urn:ex#s1"),
+            iri("urn:ex#measureValue"),
+            Term::double(1.0),
+        );
+        assert!(check(&g).is_empty());
+        // A Stream subject does not.
+        g.add(iri("urn:ex#w"), iri(rdf::TYPE), iri("urn:ex#Stream"));
+        g.add(
+            iri("urn:ex#w"),
+            iri("urn:ex#measureValue"),
+            Term::double(2.0),
+        );
+        let diags = check(&g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::DomainViolation);
+        assert_eq!(diags[0].subject, iri("urn:ex#w"));
+    }
+
+    #[test]
+    fn untyped_subjects_and_objects_are_exempt() {
+        let mut g = base();
+        g.add(
+            iri("urn:ex#mystery"),
+            iri("urn:ex#measureValue"),
+            Term::double(1.0),
+        );
+        g.add(
+            iri("urn:ex#w"),
+            iri("urn:ex#feeds"),
+            iri("urn:ex#somewhere"),
+        );
+        // w untyped, somewhere untyped: open world, no finding.
+        assert!(check(&g).is_empty());
+    }
+
+    #[test]
+    fn range_violations() {
+        let mut g = base();
+        // Resource where a literal is required.
+        g.add(
+            iri("urn:ex#s1"),
+            iri("urn:ex#measureValue"),
+            iri("urn:ex#notALiteral"),
+        );
+        // Literal where a resource is required.
+        g.add(iri("urn:ex#w"), iri("urn:ex#feeds"), Term::string("x"));
+        // Wrong class.
+        g.add(iri("urn:ex#w2"), iri(rdf::TYPE), iri("urn:ex#Stream"));
+        g.add(iri("urn:ex#t"), iri(rdf::TYPE), iri("urn:ex#Stream"));
+        g.add(iri("urn:ex#w2"), iri("urn:ex#feeds"), iri("urn:ex#t"));
+        let diags = check(&g);
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == LintCode::RangeViolation));
+    }
+
+    #[test]
+    fn unsatisfiable_cardinality_detected() {
+        let mut b = OntologyBuilder::new("urn:ex#");
+        b.class("Envelope", None);
+        b.object_property("hasCorner", Some("Envelope"), None);
+        b.restrict("Envelope", "hasCorner", RestrictionKind::AtLeast(3));
+        b.restrict("Envelope", "hasCorner", RestrictionKind::AtMost(2));
+        let g = b.into_graph();
+        let diags = check(&g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::UnsatisfiableCardinality);
+        assert_eq!(diags[0].subject, iri("urn:ex#Envelope"));
+        assert!(diags[0].message.contains("minimum 3 exceeds maximum 2"));
+    }
+
+    #[test]
+    fn satisfiable_cardinality_is_clean() {
+        let mut b = OntologyBuilder::new("urn:ex#");
+        b.class("Envelope", None);
+        b.object_property("hasCorner", Some("Envelope"), None);
+        b.restrict("Envelope", "hasCorner", RestrictionKind::Exactly(2));
+        assert!(check(&b.into_graph()).is_empty());
+    }
+}

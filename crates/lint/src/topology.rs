@@ -1,0 +1,255 @@
+//! Topology invariants (T001–T004): the Fig. 2 combinatorial model.
+//!
+//! Fig. 2's primitives only mean something when their incidence structure
+//! holds together: an `grdf:Edge` is *defined by* its start and end
+//! nodes, a `grdf:Face` by a closed ring of boundary edges. A decoder
+//! (see `grdf_topology::rdf_codec`) simply refuses broken input; this
+//! pass instead says *what* is broken and *where*, so the graph can be
+//! fixed rather than discarded.
+//!
+//! Boundary closure is checked by parity: in a closed boundary every
+//! node is entered as often as it is left, so each node incident to the
+//! face's edges must have even degree. An odd-degree node is an open end.
+
+use std::collections::BTreeMap;
+
+use grdf_rdf::diagnostic::{Diagnostic, LintCode};
+use grdf_rdf::graph::Graph;
+use grdf_rdf::term::Term;
+use grdf_rdf::vocab::{grdf as ns, rdf};
+
+/// Subjects typed as the given topology primitive.
+fn primitives(g: &Graph, kind: &str) -> Vec<Term> {
+    let mut out = g.subjects(&Term::iri(rdf::TYPE), &Term::iri(&ns::iri(kind)));
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Run the topology pass.
+pub fn check(g: &Graph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let ty = Term::iri(rdf::TYPE);
+    let node_class = Term::iri(&ns::iri("Node"));
+    let start_p = Term::iri(&ns::iri("startNode"));
+    let end_p = Term::iri(&ns::iri("endNode"));
+    let has_edge_p = Term::iri(&ns::iri("hasEdge"));
+    let realized_by = Term::iri(&ns::iri("realizedBy"));
+
+    // T002 — edge endpoints must exist and be typed grdf:Node.
+    let edges = primitives(g, "Edge");
+    for edge in &edges {
+        for (p, name) in [(&start_p, "grdf:startNode"), (&end_p, "grdf:endNode")] {
+            match g.object(edge, p) {
+                None => out.push(
+                    Diagnostic::new(
+                        LintCode::MissingEndpoint,
+                        edge.clone(),
+                        format!("edge has no {name}"),
+                    )
+                    .with_suggestion(format!("add a {name} link to a grdf:Node")),
+                ),
+                Some(n) => {
+                    if !g.has(&n, &ty, &node_class) {
+                        out.push(
+                            Diagnostic::new(
+                                LintCode::MissingEndpoint,
+                                edge.clone(),
+                                format!("{name} {n} is not typed grdf:Node"),
+                            )
+                            .with_related(vec![n]),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // T003/T004 — face boundaries: non-empty and closed.
+    for face in primitives(g, "Face") {
+        let boundary = g.objects(&face, &has_edge_p);
+        if boundary.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    LintCode::EmptyFaceBoundary,
+                    face.clone(),
+                    "face has no boundary edges (List 5 requires at least one)",
+                )
+                .with_suggestion("link the face to its boundary with grdf:hasEdge"),
+            );
+            continue;
+        }
+        // Parity check over the endpoints of the boundary edges. Edges
+        // with missing endpoints were already reported by T002 and are
+        // skipped here so one defect yields one finding.
+        let mut degree: BTreeMap<Term, usize> = BTreeMap::new();
+        let mut usable = 0usize;
+        for edge in &boundary {
+            let (Some(s), Some(e)) = (g.object(edge, &start_p), g.object(edge, &end_p)) else {
+                continue;
+            };
+            usable += 1;
+            *degree.entry(s).or_default() += 1;
+            *degree.entry(e).or_default() += 1;
+        }
+        let odd: Vec<Term> = degree
+            .into_iter()
+            .filter(|(_, d)| d % 2 == 1)
+            .map(|(n, _)| n)
+            .collect();
+        if usable > 0 && !odd.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    LintCode::OpenFaceBoundary,
+                    face.clone(),
+                    format!("boundary does not close: {} odd-degree node(s)", odd.len()),
+                )
+                .with_related(odd)
+                .with_suggestion("add the edges that close the boundary ring"),
+            );
+        }
+    }
+
+    // T001 — realization coverage: within one primitive kind, if anything
+    // is realized, everything should be.
+    for kind in ["Node", "Edge", "Face", "TopoSolid"] {
+        let prims = primitives(g, kind);
+        let (realized, unrealized): (Vec<&Term>, Vec<&Term>) = prims
+            .iter()
+            .partition(|p| g.object(p, &realized_by).is_some());
+        if realized.is_empty() {
+            continue;
+        }
+        for p in unrealized {
+            out.push(
+                Diagnostic::new(
+                    LintCode::UnrealizedTopology,
+                    p.clone(),
+                    format!(
+                        "grdf:{kind} has no grdf:realizedBy while {} other(s) are realized",
+                        realized.len()
+                    ),
+                )
+                .with_suggestion("link it to its geometric realization with grdf:realizedBy"),
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    fn node(g: &mut Graph, name: &str) -> Term {
+        let n = iri(name);
+        g.add(n.clone(), iri(rdf::TYPE), iri(&ns::iri("Node")));
+        n
+    }
+
+    fn edge(g: &mut Graph, name: &str, s: &Term, e: &Term) -> Term {
+        let t = iri(name);
+        g.add(t.clone(), iri(rdf::TYPE), iri(&ns::iri("Edge")));
+        g.add(t.clone(), iri(&ns::iri("startNode")), s.clone());
+        g.add(t.clone(), iri(&ns::iri("endNode")), e.clone());
+        t
+    }
+
+    /// A triangle face: closed, well-formed.
+    fn triangle() -> (Graph, Term) {
+        let mut g = Graph::new();
+        let a = node(&mut g, "urn:t#a");
+        let b = node(&mut g, "urn:t#b");
+        let c = node(&mut g, "urn:t#c");
+        let e1 = edge(&mut g, "urn:t#e1", &a, &b);
+        let e2 = edge(&mut g, "urn:t#e2", &b, &c);
+        let e3 = edge(&mut g, "urn:t#e3", &c, &a);
+        let f = iri("urn:t#f");
+        g.add(f.clone(), iri(rdf::TYPE), iri(&ns::iri("Face")));
+        for e in [e1, e2, e3] {
+            g.add(f.clone(), iri(&ns::iri("hasEdge")), e);
+        }
+        (g, f)
+    }
+
+    #[test]
+    fn closed_triangle_is_clean() {
+        let (g, _) = triangle();
+        assert!(check(&g).is_empty());
+    }
+
+    #[test]
+    fn missing_endpoint_detected() {
+        let mut g = Graph::new();
+        let a = node(&mut g, "urn:t#a");
+        let e = iri("urn:t#e1");
+        g.add(e.clone(), iri(rdf::TYPE), iri(&ns::iri("Edge")));
+        g.add(e.clone(), iri(&ns::iri("startNode")), a);
+        let diags = check(&g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::MissingEndpoint);
+        assert!(diags[0].message.contains("endNode"));
+    }
+
+    #[test]
+    fn untyped_endpoint_detected() {
+        let mut g = Graph::new();
+        let a = node(&mut g, "urn:t#a");
+        let ghost = iri("urn:t#ghost");
+        edge(&mut g, "urn:t#e1", &a, &ghost);
+        let diags = check(&g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::MissingEndpoint);
+        assert_eq!(diags[0].related, vec![ghost]);
+    }
+
+    #[test]
+    fn open_boundary_detected() {
+        let (mut g, f) = triangle();
+        // Drop one boundary edge: a and c become odd-degree.
+        let e3 = iri("urn:t#e3");
+        assert!(g.remove(&grdf_rdf::term::Triple::new(
+            f.clone(),
+            iri(&ns::iri("hasEdge")),
+            e3,
+        )));
+        let diags = check(&g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::OpenFaceBoundary);
+        assert_eq!(diags[0].subject, f);
+        assert_eq!(diags[0].related.len(), 2);
+    }
+
+    #[test]
+    fn empty_boundary_detected() {
+        let mut g = Graph::new();
+        let f = iri("urn:t#f");
+        g.add(f.clone(), iri(rdf::TYPE), iri(&ns::iri("Face")));
+        let diags = check(&g);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::EmptyFaceBoundary);
+    }
+
+    #[test]
+    fn partial_realization_is_flagged_per_kind() {
+        let mut g = Graph::new();
+        let a = node(&mut g, "urn:t#a");
+        let b = node(&mut g, "urn:t#b");
+        let e1 = edge(&mut g, "urn:t#e1", &a, &b);
+        let e2 = edge(&mut g, "urn:t#e2", &b, &a);
+        // Only e1 is realized; the target is described.
+        let curve = iri("urn:t#c1");
+        g.add(e1, iri(&ns::iri("realizedBy")), curve.clone());
+        g.add(curve, iri(rdf::TYPE), iri(&ns::iri("Curve")));
+        let diags = check(&g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::UnrealizedTopology);
+        assert_eq!(diags[0].subject, e2);
+        // Unrealized *nodes* are fine: no node is realized at all.
+    }
+}

@@ -299,7 +299,7 @@ impl Drop for Span {
                 path,
                 depth: trace.open.len(),
                 start_ns: open.start_ns,
-                dur_ns: open.start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                dur_ns: open.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
                 tags: open.tags,
             });
         });
@@ -322,7 +322,7 @@ pub fn span(name: &'static str) -> Span {
             start_ns: now
                 .duration_since(trace.started)
                 .as_nanos()
-                .min(u64::MAX as u128) as u64,
+                .min(u128::from(u64::MAX)) as u64,
             tags: Vec::new(),
         });
         true

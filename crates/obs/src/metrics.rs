@@ -95,7 +95,7 @@ impl Default for LogHistogram {
 impl LogHistogram {
     /// Record one value.
     pub fn record(&self, v: u64) {
-        let idx = (63 - (v | 1).leading_zeros()) as usize;
+        let idx = (v | 1).ilog2() as usize;
         self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -165,7 +165,8 @@ impl Histogram {
 
     /// Record a duration in microseconds.
     pub fn record_duration(&self, d: Duration) {
-        self.core.record(d.as_micros().min(u64::MAX as u128) as u64);
+        self.core
+            .record(d.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
     /// Recorded samples.
@@ -302,6 +303,7 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// The change from `baseline` to `self`: counters and histogram counts
     /// subtract (saturating), gauges and quantiles report the later state.
+    #[must_use]
     pub fn delta(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
         let counters = self
             .counters

@@ -10,6 +10,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use grdf_rdf::diagnostic::{Diagnostic, LintCode};
 use grdf_rdf::graph::Graph;
 use grdf_rdf::term::Term;
 use grdf_rdf::vocab::{owl, rdf, rdfs};
@@ -89,7 +90,89 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Check a (materialized) graph, reporting typed [`Diagnostic`]s — the
+/// canonical entry point for tooling (`grdf-lint`, the G-SACS gate). Each
+/// violation maps to a stable code in the `G011`–`G015` range.
+pub fn lint(g: &Graph) -> Vec<Diagnostic> {
+    check_consistency(g)
+        .iter()
+        .map(violation_to_diagnostic)
+        .collect()
+}
+
+/// Convert one [`Violation`] into its typed [`Diagnostic`]. Symmetric
+/// pairs (disjoint classes, clashing literal values) are ordered
+/// canonically so output is stable under triple reordering.
+pub fn violation_to_diagnostic(v: &Violation) -> Diagnostic {
+    match v {
+        Violation::Disjoint {
+            instance,
+            class_a,
+            class_b,
+        } => {
+            let (a, b) = if class_a <= class_b {
+                (class_a, class_b)
+            } else {
+                (class_b, class_a)
+            };
+            Diagnostic::new(
+                LintCode::DisjointViolation,
+                instance.clone(),
+                format!("member of disjoint classes {a} and {b}"),
+            )
+            .with_related(vec![a.clone(), b.clone()])
+            .with_suggestion("remove one of the two type assertions or the disjointness axiom")
+        }
+        Violation::Cardinality {
+            instance,
+            property,
+            expected,
+            actual,
+        } => Diagnostic::new(
+            LintCode::CardinalityViolation,
+            instance.clone(),
+            format!("cardinality on {property}: expected {expected}, found {actual}"),
+        )
+        .with_related(vec![property.clone()]),
+        Violation::SameAndDifferent { a, b } => {
+            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+            Diagnostic::new(
+                LintCode::SameAndDifferent,
+                x.clone(),
+                format!("{x} and {y} are asserted both sameAs and differentFrom"),
+            )
+            .with_related(vec![y.clone()])
+        }
+        Violation::NothingMember { instance } => Diagnostic::new(
+            LintCode::NothingMember,
+            instance.clone(),
+            "individual is a member of owl:Nothing".to_string(),
+        ),
+        Violation::FunctionalLiteralClash {
+            instance,
+            property,
+            value_a,
+            value_b,
+        } => {
+            let (a, b) = if value_a <= value_b {
+                (value_a, value_b)
+            } else {
+                (value_b, value_a)
+            };
+            Diagnostic::new(
+                LintCode::FunctionalClash,
+                instance.clone(),
+                format!("functional {property} has two distinct literal values {a} and {b}"),
+            )
+            .with_related(vec![property.clone(), a.clone(), b.clone()])
+        }
+    }
+}
+
 /// Check a (materialized) graph; returns all detected violations.
+///
+/// Compatibility surface: [`lint`] is the typed framework entry point;
+/// this keeps the original structured-enum shape for existing callers.
 pub fn check_consistency(g: &Graph) -> Vec<Violation> {
     let mut out = Vec::new();
     check_disjoint(g, &mut out);
@@ -214,7 +297,7 @@ fn check_cardinalities(g: &Graph, out: &mut Vec<Violation>) {
 
 fn card_value(g: &Graph, node: &Term, pred: &str) -> Option<u32> {
     g.object(node, &Term::iri(pred))
-        .and_then(|v| v.as_literal().and_then(|l| l.as_integer()))
+        .and_then(|v| v.as_literal().and_then(grdf_rdf::Literal::as_integer))
         .and_then(|n| u32::try_from(n).ok())
 }
 
@@ -251,7 +334,7 @@ fn check_nothing(g: &Graph, out: &mut Vec<Violation>) {
         |t| {
             out.push(Violation::NothingMember {
                 instance: t.subject,
-            })
+            });
         },
     );
 }
@@ -425,6 +508,30 @@ mod tests {
         g2.add(iri("urn:t#s"), iri("urn:t#p"), iri("urn:t#a"));
         g2.add(iri("urn:t#s"), iri("urn:t#p"), iri("urn:t#b"));
         assert!(check_consistency(&g2).is_empty());
+    }
+
+    #[test]
+    fn lint_maps_violations_to_stable_codes() {
+        use grdf_rdf::diagnostic::{LintCode, Severity};
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("A", None);
+        b.class("B", None);
+        b.disjoint_with("A", "B");
+        let mut g = b.into_graph();
+        g.add(iri("urn:t#x"), ty(), iri("urn:t#A"));
+        g.add(iri("urn:t#x"), ty(), iri("urn:t#B"));
+        g.add(iri("urn:t#y"), ty(), Term::iri(owl::NOTHING));
+        let ds = lint(&g);
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().any(|d| d.code == LintCode::DisjointViolation));
+        assert!(ds.iter().any(|d| d.code == LintCode::NothingMember));
+        assert!(ds.iter().all(|d| d.severity == Severity::Error));
+        // Symmetric pairs are ordered canonically.
+        let dj = ds
+            .iter()
+            .find(|d| d.code == LintCode::DisjointViolation)
+            .unwrap();
+        assert_eq!(dj.related, vec![iri("urn:t#A"), iri("urn:t#B")]);
     }
 
     #[test]

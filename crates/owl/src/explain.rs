@@ -276,7 +276,49 @@ fn try_rules(
 
     // --- owl: sameAs substitution --------------------------------------------
     let same = Term::iri(owl::SAME_AS);
-    if t.predicate != same {
+    if t.predicate == same {
+        // sameAs symmetry.
+        let rev = Triple::new(t.object.clone(), same.clone(), t.subject.clone());
+        if g.contains(&rev) {
+            if let Some(d) = attempt("owl-sameas-symmetry", vec![rev], on_path) {
+                return Some(d);
+            }
+        }
+        // sameAs transitivity.
+        for mid in g.objects(&t.subject, &same) {
+            if mid == t.object || mid == t.subject {
+                continue;
+            }
+            let p2 = Triple::new(mid.clone(), same.clone(), t.object.clone());
+            if g.contains(&p2) {
+                let p1 = Triple::new(t.subject.clone(), same.clone(), mid);
+                if let Some(d) = attempt("owl-sameas-transitivity", vec![p1, p2], on_path) {
+                    return Some(d);
+                }
+            }
+        }
+        // Functional property: x p a, x p b, p functional ⇒ a sameAs b.
+        for p in g.subjects(&ty, &Term::iri(owl::INVERSE_FUNCTIONAL_PROPERTY)) {
+            let subjects_a = g.match_pattern(Some(&t.subject), Some(&p), None);
+            for ta in &subjects_a {
+                let tb = Triple::new(t.object.clone(), p.clone(), ta.object.clone());
+                if g.contains(&tb) {
+                    let decl = Triple::new(
+                        p.clone(),
+                        ty.clone(),
+                        Term::iri(owl::INVERSE_FUNCTIONAL_PROPERTY),
+                    );
+                    if let Some(d) = attempt(
+                        "owl-inverse-functional",
+                        vec![ta.clone(), tb, decl],
+                        on_path,
+                    ) {
+                        return Some(d);
+                    }
+                }
+            }
+        }
+    } else {
         // Subject substitution: a sameAs b, a P o ⇒ b P o.
         for other in g.objects(&t.subject, &same) {
             if other == t.subject {
@@ -300,51 +342,6 @@ fn try_rules(
                 if g.contains(&p1) {
                     let link = Triple::new(t.object.clone(), same.clone(), other);
                     if let Some(d) = attempt("owl-sameas-object", vec![p1, link], on_path) {
-                        return Some(d);
-                    }
-                }
-            }
-        }
-    } else {
-        // sameAs symmetry.
-        let rev = Triple::new(t.object.clone(), same.clone(), t.subject.clone());
-        if g.contains(&rev) {
-            if let Some(d) = attempt("owl-sameas-symmetry", vec![rev], on_path) {
-                return Some(d);
-            }
-        }
-        // sameAs transitivity.
-        for mid in g.objects(&t.subject, &same) {
-            if mid == t.object || mid == t.subject {
-                continue;
-            }
-            let p2 = Triple::new(mid.clone(), same.clone(), t.object.clone());
-            if g.contains(&p2) {
-                let p1 = Triple::new(t.subject.clone(), same.clone(), mid);
-                if let Some(d) = attempt("owl-sameas-transitivity", vec![p1, p2], on_path) {
-                    return Some(d);
-                }
-            }
-        }
-        // Functional property: x p a, x p b, p functional ⇒ a sameAs b.
-        for p in g
-            .subjects(&ty, &Term::iri(owl::INVERSE_FUNCTIONAL_PROPERTY))
-            .into_iter()
-        {
-            let subjects_a = g.match_pattern(Some(&t.subject), Some(&p), None);
-            for ta in &subjects_a {
-                let tb = Triple::new(t.object.clone(), p.clone(), ta.object.clone());
-                if g.contains(&tb) {
-                    let decl = Triple::new(
-                        p.clone(),
-                        ty.clone(),
-                        Term::iri(owl::INVERSE_FUNCTIONAL_PROPERTY),
-                    );
-                    if let Some(d) = attempt(
-                        "owl-inverse-functional",
-                        vec![ta.clone(), tb, decl],
-                        on_path,
-                    ) {
                         return Some(d);
                     }
                 }

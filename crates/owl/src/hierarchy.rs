@@ -48,7 +48,7 @@ impl<'g> Hierarchy<'g> {
 
     /// All (transitive) superclasses of `class`, excluding itself.
     pub fn superclasses(&self, class: &Term) -> Vec<Term> {
-        self.closure(class, |h, c| h.direct_superclasses(c))
+        self.closure(class, Hierarchy::direct_superclasses)
     }
 
     /// Direct subclasses of `class`.
@@ -62,7 +62,7 @@ impl<'g> Hierarchy<'g> {
 
     /// All (transitive) subclasses of `class`, excluding itself.
     pub fn subclasses(&self, class: &Term) -> Vec<Term> {
-        self.closure(class, |h, c| h.direct_subclasses(c))
+        self.closure(class, Hierarchy::direct_subclasses)
     }
 
     /// Whether `sub` is a (transitive, reflexive) subclass of `sup`.
@@ -185,7 +185,11 @@ mod tests {
     fn classes_listed_sorted_without_blanks() {
         let g = sample();
         let h = Hierarchy::new(&g);
-        let names: Vec<String> = h.classes().iter().map(|c| c.to_string()).collect();
+        let names: Vec<String> = h
+            .classes()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(names.len(), 5);
         let mut sorted = names.clone();
         sorted.sort();

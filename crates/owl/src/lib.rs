@@ -47,7 +47,7 @@ pub mod hierarchy;
 pub mod model;
 pub mod reasoner;
 
-pub use consistency::{check_consistency, Violation};
+pub use consistency::{check_consistency, violation_to_diagnostic, Violation};
 pub use explain::{explain, Derivation};
 pub use hierarchy::Hierarchy;
 pub use model::OntologyBuilder;

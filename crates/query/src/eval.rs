@@ -277,7 +277,7 @@ fn aggregate_select(
             }
             let numeric: Vec<f64> = values
                 .iter()
-                .filter_map(|t| t.as_literal().and_then(|l| l.as_double()))
+                .filter_map(|t| t.as_literal().and_then(grdf_rdf::Literal::as_double))
                 .collect();
             let result = match agg.func {
                 AggFunc::Count => Some(Term::integer(values.len() as i64)),
@@ -594,13 +594,14 @@ fn closure_pairs(
 fn bind(b: &mut Bindings, slot: &TermOrVar, value: &Term) -> bool {
     match slot {
         TermOrVar::Term(_) => true,
-        TermOrVar::Var(v) => match b.get(v) {
-            Some(existing) => existing == value,
-            None => {
+        TermOrVar::Var(v) => {
+            if let Some(existing) = b.get(v) {
+                existing == value
+            } else {
                 b.insert(v.clone(), value.clone());
                 true
             }
-        },
+        }
     }
 }
 
@@ -616,7 +617,7 @@ impl EvalValue {
         match self {
             EvalValue::Bool(b) => Some(b),
             EvalValue::Num(n) => Some(n != 0.0),
-            EvalValue::Term(t) => t.as_literal().and_then(|l| l.as_boolean()),
+            EvalValue::Term(t) => t.as_literal().and_then(grdf_rdf::Literal::as_boolean),
         }
     }
 
@@ -757,8 +758,8 @@ fn compare_terms(a: Option<&Term>, b: Option<&Term>) -> Ordering {
         (None, Some(_)) => Ordering::Less,
         (Some(_), None) => Ordering::Greater,
         (Some(x), Some(y)) => {
-            let nx = x.as_literal().and_then(|l| l.as_double());
-            let ny = y.as_literal().and_then(|l| l.as_double());
+            let nx = x.as_literal().and_then(grdf_rdf::Literal::as_double);
+            let ny = y.as_literal().and_then(grdf_rdf::Literal::as_double);
             match (nx, ny) {
                 (Some(nx), Some(ny)) => nx.partial_cmp(&ny).unwrap_or(Ordering::Equal),
                 _ => x.cmp(y),
@@ -1087,11 +1088,11 @@ mod tests {
         // Regression: LIMIT must bound the aggregated rows, not truncate
         // the solution multiset before grouping.
         let g = turtle::parse(
-            r#"@prefix e: <urn:e#> .
+            r"@prefix e: <urn:e#> .
                e:o1 e:of e:g1 ; e:v 1 . e:o2 e:of e:g1 ; e:v 2 .
                e:o3 e:of e:g1 ; e:v 3 . e:o4 e:of e:g2 ; e:v 10 .
                e:o5 e:of e:g2 ; e:v 20 .
-            "#,
+            ",
         )
         .unwrap();
         let r = execute(

@@ -1,0 +1,555 @@
+//! Typed lint diagnostics: stable codes, severities, and reports.
+//!
+//! Every static-analysis pass in the workspace — referential integrity,
+//! schema conformance, OWL consistency, policy analysis, topology
+//! invariants — reports findings through one [`Diagnostic`] shape so that
+//! tooling (CLI, CI gate, G-SACS admission) can sort, filter, render, and
+//! gate on them uniformly. Codes are *stable identifiers*: once shipped, a
+//! code keeps its meaning forever so downstream suppressions and golden
+//! corpora do not rot.
+//!
+//! Code ranges:
+//!
+//! * `G0xx` — graph/ontology: referential integrity and schema conformance.
+//! * `S0xx` — security policy analysis.
+//! * `T0xx` — topology (Fig. 2) invariants.
+
+use std::fmt;
+
+use crate::term::Term;
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never fails a gate.
+    Info,
+    /// Suspicious but not certainly broken; fails gates run with
+    /// deny-warnings.
+    Warning,
+    /// A genuine defect; always fails a gate.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in text and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stable lint codes. The numeric part never changes meaning; new checks
+/// get new numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// G001: an IRI is used in a class position (`rdf:type` object,
+    /// `rdfs:subClassOf` endpoint, `rdfs:domain`/`rdfs:range` target) but
+    /// is never declared as a class.
+    DanglingIri,
+    /// G002: a predicate is used but never declared as a property, in a
+    /// graph that does declare properties.
+    UndeclaredProperty,
+    /// G003: a `grdf:realizedBy`/`grdf:realizes` link whose target is
+    /// never described (no triples about it).
+    DanglingRealization,
+    /// G004: a triple's subject is typed, but no type is compatible with
+    /// the predicate's declared `rdfs:domain`.
+    DomainViolation,
+    /// G005: a triple's object is incompatible with the predicate's
+    /// declared `rdfs:range` (wrong class, or a literal where a resource
+    /// is required / vice versa).
+    RangeViolation,
+    /// G006: a literal whose datatype or lexical form does not conform to
+    /// the predicate's declared range (the List 1 `MeasureType` problem).
+    DatatypeMismatch,
+    /// G010: a cardinality restriction that no individual can satisfy
+    /// (e.g. `minCardinality` > `maxCardinality`).
+    UnsatisfiableCardinality,
+    /// G011: instance data violating a cardinality restriction.
+    CardinalityViolation,
+    /// G012: an individual is a member of two `owl:disjointWith` classes.
+    DisjointViolation,
+    /// G013: two individuals are both `owl:sameAs` and
+    /// `owl:differentFrom`.
+    SameAndDifferent,
+    /// G014: an individual is typed `owl:Nothing`.
+    NothingMember,
+    /// G015: a functional property with two distinct literal values.
+    FunctionalClash,
+    /// S001: a role gets Permit from one policy and Deny from another
+    /// over overlapping resources (directly or via subclass inference).
+    ContradictoryRule,
+    /// S002: a policy targets a resource or condition property that does
+    /// not exist in the graph.
+    UnknownPolicyTarget,
+    /// S003: a rule whose conditions can never take effect because a
+    /// broader rule subsumes it on the same resource.
+    ShadowedRule,
+    /// S004: two distinct policies share one policy id.
+    DuplicatePolicyId,
+    /// S005: a policy with an empty role, resource, or property list.
+    EmptyDesignator,
+    /// S006: a class-level unconditional grant that overrides a
+    /// property-level restriction on a subclass underneath it — the
+    /// GeoXACML-granularity regression the paper warns about.
+    OverBroadGrant,
+    /// T001: a topology primitive left unrealized while the rest of its
+    /// complex is realized.
+    UnrealizedTopology,
+    /// T002: an edge whose endpoint nodes are missing or untyped.
+    MissingEndpoint,
+    /// T003: a face whose boundary edges do not close into a loop.
+    OpenFaceBoundary,
+    /// T004: a face with no boundary edges at all (List 5 requires ≥ 1).
+    EmptyFaceBoundary,
+}
+
+impl LintCode {
+    /// Every code, in code order. Golden corpora iterate this to prove
+    /// per-code coverage.
+    pub const ALL: &'static [LintCode] = &[
+        LintCode::DanglingIri,
+        LintCode::UndeclaredProperty,
+        LintCode::DanglingRealization,
+        LintCode::DomainViolation,
+        LintCode::RangeViolation,
+        LintCode::DatatypeMismatch,
+        LintCode::UnsatisfiableCardinality,
+        LintCode::CardinalityViolation,
+        LintCode::DisjointViolation,
+        LintCode::SameAndDifferent,
+        LintCode::NothingMember,
+        LintCode::FunctionalClash,
+        LintCode::ContradictoryRule,
+        LintCode::UnknownPolicyTarget,
+        LintCode::ShadowedRule,
+        LintCode::DuplicatePolicyId,
+        LintCode::EmptyDesignator,
+        LintCode::OverBroadGrant,
+        LintCode::UnrealizedTopology,
+        LintCode::MissingEndpoint,
+        LintCode::OpenFaceBoundary,
+        LintCode::EmptyFaceBoundary,
+    ];
+
+    /// The stable code string, e.g. `G010`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::DanglingIri => "G001",
+            LintCode::UndeclaredProperty => "G002",
+            LintCode::DanglingRealization => "G003",
+            LintCode::DomainViolation => "G004",
+            LintCode::RangeViolation => "G005",
+            LintCode::DatatypeMismatch => "G006",
+            LintCode::UnsatisfiableCardinality => "G010",
+            LintCode::CardinalityViolation => "G011",
+            LintCode::DisjointViolation => "G012",
+            LintCode::SameAndDifferent => "G013",
+            LintCode::NothingMember => "G014",
+            LintCode::FunctionalClash => "G015",
+            LintCode::ContradictoryRule => "S001",
+            LintCode::UnknownPolicyTarget => "S002",
+            LintCode::ShadowedRule => "S003",
+            LintCode::DuplicatePolicyId => "S004",
+            LintCode::EmptyDesignator => "S005",
+            LintCode::OverBroadGrant => "S006",
+            LintCode::UnrealizedTopology => "T001",
+            LintCode::MissingEndpoint => "T002",
+            LintCode::OpenFaceBoundary => "T003",
+            LintCode::EmptyFaceBoundary => "T004",
+        }
+    }
+
+    /// The human-facing kebab-case name, e.g. `unsatisfiable-cardinality`.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::DanglingIri => "dangling-iri",
+            LintCode::UndeclaredProperty => "undeclared-property",
+            LintCode::DanglingRealization => "dangling-realization",
+            LintCode::DomainViolation => "domain-violation",
+            LintCode::RangeViolation => "range-violation",
+            LintCode::DatatypeMismatch => "datatype-mismatch",
+            LintCode::UnsatisfiableCardinality => "unsatisfiable-cardinality",
+            LintCode::CardinalityViolation => "cardinality-violation",
+            LintCode::DisjointViolation => "disjoint-violation",
+            LintCode::SameAndDifferent => "same-and-different",
+            LintCode::NothingMember => "nothing-member",
+            LintCode::FunctionalClash => "functional-clash",
+            LintCode::ContradictoryRule => "contradictory-rule",
+            LintCode::UnknownPolicyTarget => "unknown-policy-target",
+            LintCode::ShadowedRule => "shadowed-rule",
+            LintCode::DuplicatePolicyId => "duplicate-policy-id",
+            LintCode::EmptyDesignator => "empty-designator",
+            LintCode::OverBroadGrant => "over-broad-grant",
+            LintCode::UnrealizedTopology => "unrealized-topology",
+            LintCode::MissingEndpoint => "missing-endpoint",
+            LintCode::OpenFaceBoundary => "open-face-boundary",
+            LintCode::EmptyFaceBoundary => "empty-face-boundary",
+        }
+    }
+
+    /// The severity a finding with this code carries unless a pass
+    /// overrides it.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            LintCode::DanglingIri
+            | LintCode::UndeclaredProperty
+            | LintCode::DomainViolation
+            | LintCode::RangeViolation
+            | LintCode::UnknownPolicyTarget
+            | LintCode::ShadowedRule
+            | LintCode::UnrealizedTopology => Severity::Warning,
+            LintCode::DanglingRealization
+            | LintCode::DatatypeMismatch
+            | LintCode::UnsatisfiableCardinality
+            | LintCode::CardinalityViolation
+            | LintCode::DisjointViolation
+            | LintCode::SameAndDifferent
+            | LintCode::NothingMember
+            | LintCode::FunctionalClash
+            | LintCode::ContradictoryRule
+            | LintCode::DuplicatePolicyId
+            | LintCode::EmptyDesignator
+            | LintCode::OverBroadGrant
+            | LintCode::MissingEndpoint
+            | LintCode::OpenFaceBoundary
+            | LintCode::EmptyFaceBoundary => Severity::Error,
+        }
+    }
+
+    /// Parse a stable code string back to the enum (`"G010"` →
+    /// `UnsatisfiableCardinality`).
+    pub fn parse(code: &str) -> Option<LintCode> {
+        LintCode::ALL.iter().copied().find(|c| c.code() == code)
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.code(), self.name())
+    }
+}
+
+/// One finding: a stable code, a severity, the subject term it anchors
+/// to, a message, and optional related terms and a suggested fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: LintCode,
+    /// Severity (defaults to [`LintCode::default_severity`]).
+    pub severity: Severity,
+    /// The term the finding is about (an IRI, blank node, or — for
+    /// policy findings — the policy id as an IRI term).
+    pub subject: Term,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// Other terms involved (the other class of a disjoint pair, the
+    /// conflicting policy, the missing endpoint, …), sorted.
+    pub related: Vec<Term>,
+    /// A suggested fix, when the pass can propose one.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity and no related
+    /// terms or suggestion.
+    pub fn new(code: LintCode, subject: Term, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            subject,
+            message: message.into(),
+            related: Vec::new(),
+            suggestion: None,
+        }
+    }
+
+    /// Attach related terms (kept sorted for deterministic output).
+    #[must_use]
+    pub fn with_related(mut self, related: Vec<Term>) -> Diagnostic {
+        self.related = related;
+        self.related.sort();
+        self
+    }
+
+    /// Attach a suggested fix.
+    #[must_use]
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// Override the severity.
+    #[must_use]
+    pub fn with_severity(mut self, severity: Severity) -> Diagnostic {
+        self.severity = severity;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// `severity[CODE] subject: message` (+ suggestion when present).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity,
+            self.code.code(),
+            self.subject,
+            self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (fix: {s})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A set of diagnostics with deterministic ordering and the renderings
+/// tooling gates on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// The findings, sorted by (code, subject, message) after
+    /// [`LintReport::finish`].
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> LintReport {
+        LintReport::default()
+    }
+
+    /// Build a normalized report from raw findings: sorted and deduplicated.
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> LintReport {
+        let mut r = LintReport { diagnostics };
+        r.finish();
+        r
+    }
+
+    /// Add one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Add many findings.
+    pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    /// Normalize: sort by (code, subject, message, related) and drop exact
+    /// duplicates, so output is stable under triple reordering.
+    pub fn finish(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            a.code
+                .code()
+                .cmp(b.code.code())
+                .then_with(|| a.subject.cmp(&b.subject))
+                .then_with(|| a.message.cmp(&b.message))
+                .then_with(|| a.related.cmp(&b.related))
+        });
+        self.diagnostics.dedup();
+    }
+
+    /// Count of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// The worst severity present, `None` when clean.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Whether any error-level finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.max_severity() == Some(Severity::Error)
+    }
+
+    /// True when nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether a gate with the given strictness should fail this report.
+    pub fn fails_gate(&self, deny_warnings: bool) -> bool {
+        match self.max_severity() {
+            Some(Severity::Error) => true,
+            Some(Severity::Warning) => deny_warnings,
+            _ => false,
+        }
+    }
+
+    /// Findings with the given code.
+    pub fn with_code(&self, code: LintCode) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// One line per finding plus a summary trailer.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = write!(
+            out,
+            "{} error(s), {} warning(s), {} info",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        );
+        out
+    }
+
+    /// The stable JSON rendering (schema version 1):
+    ///
+    /// ```json
+    /// {"version":1,
+    ///  "summary":{"error":0,"warning":0,"info":0},
+    ///  "diagnostics":[{"code":"G001","name":"dangling-iri",
+    ///    "severity":"warning","subject":"<iri>","message":"…",
+    ///    "related":["…"],"suggestion":"…"}]}
+    /// ```
+    ///
+    /// Keys are emitted in fixed order; `suggestion` is omitted when
+    /// absent. Snapshot-tested: changing this shape is a breaking change.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"summary\":{");
+        out.push_str(&format!(
+            "\"error\":{},\"warning\":{},\"info\":{}}},\"diagnostics\":[",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":{},\"name\":{},\"severity\":{},\"subject\":{},\"message\":{},\"related\":[",
+                json_string(d.code.code()),
+                json_string(d.code.name()),
+                json_string(d.severity.name()),
+                json_string(&d.subject.to_string()),
+                json_string(&d.message),
+            ));
+            for (j, r) in d.related.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(&r.to_string()));
+            }
+            out.push(']');
+            if let Some(s) = &d.suggestion {
+                out.push_str(&format!(",\"suggestion\":{}", json_string(s)));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_parse_back() {
+        let mut seen = std::collections::HashSet::new();
+        for c in LintCode::ALL {
+            assert!(seen.insert(c.code()), "duplicate code {}", c.code());
+            assert_eq!(LintCode::parse(c.code()), Some(*c));
+            assert!(!c.name().is_empty());
+        }
+        assert_eq!(LintCode::parse("Z999"), None);
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn report_sorts_and_dedups() {
+        let d1 = Diagnostic::new(LintCode::DanglingIri, Term::iri("urn:b"), "msg");
+        let d2 = Diagnostic::new(LintCode::DanglingIri, Term::iri("urn:a"), "msg");
+        let r = LintReport::from_diagnostics(vec![d1.clone(), d2.clone(), d1.clone()]);
+        assert_eq!(r.diagnostics.len(), 2);
+        assert_eq!(r.diagnostics[0].subject, Term::iri("urn:a"));
+        assert_eq!(r.count(Severity::Warning), 2);
+        assert!(!r.has_errors());
+        assert!(r.fails_gate(true));
+        assert!(!r.fails_gate(false));
+    }
+
+    #[test]
+    fn text_and_json_render() {
+        let d = Diagnostic::new(
+            LintCode::UnsatisfiableCardinality,
+            Term::iri("urn:c"),
+            "min 3 > max 1",
+        )
+        .with_related(vec![Term::iri("urn:p")])
+        .with_suggestion("lower minCardinality to 1");
+        let r = LintReport::from_diagnostics(vec![d]);
+        let text = r.render_text();
+        assert!(text.contains("error[G010]"), "{text}");
+        assert!(text.contains("1 error(s)"), "{text}");
+        let json = r.to_json();
+        assert!(json.starts_with("{\"version\":1"), "{json}");
+        assert!(json.contains("\"code\":\"G010\""), "{json}");
+        assert!(json.contains("\"suggestion\":"), "{json}");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = LintReport::new();
+        assert!(r.is_clean());
+        assert_eq!(r.max_severity(), None);
+        assert!(!r.fails_gate(true));
+        assert_eq!(
+            r.to_json(),
+            "{\"version\":1,\"summary\":{\"error\":0,\"warning\":0,\"info\":0},\"diagnostics\":[]}"
+        );
+    }
+}

@@ -248,7 +248,7 @@ impl Graph {
                 this.interner.resolve(s).clone(),
                 this.interner.resolve(p).clone(),
                 this.interner.resolve(o).clone(),
-            ))
+            ));
         };
 
         match (s, p, o, self.mode) {
@@ -296,13 +296,13 @@ impl Graph {
                 }
             }
             (None, None, None, _) => {
-                for &(s2, p2, o2) in self.spo.iter() {
+                for &(s2, p2, o2) in &self.spo {
                     emit(self, s2, p2, o2, &mut f);
                 }
             }
             // SpoOnly fallbacks: scan the primary index.
             (s, p, o, IndexMode::SpoOnly) => {
-                for &(s2, p2, o2) in self.spo.iter() {
+                for &(s2, p2, o2) in &self.spo {
                     if s.is_some_and(|x| x != s2)
                         || p.is_some_and(|x| x != p2)
                         || o.is_some_and(|x| x != o2)
@@ -339,7 +339,7 @@ impl Graph {
     pub fn all_subjects(&self) -> Vec<Term> {
         let mut last: Option<Id> = None;
         let mut out = Vec::new();
-        for &(s, _, _) in self.spo.iter() {
+        for &(s, _, _) in &self.spo {
             if last != Some(s) {
                 out.push(self.interner.resolve(s).clone());
                 last = Some(s);

@@ -13,6 +13,8 @@
 //! * [`rdfxml`] — the RDF/XML subset used by the paper's listings.
 //! * [`isomorphism`] — blank-node-insensitive graph equality.
 //! * [`dataset`] — named graphs with N-Quads/TriG (per-source provenance).
+//! * [`diagnostic`] — the typed lint-diagnostic framework (stable codes,
+//!   severities, reports) every static-analysis pass reports through.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@
 //! ```
 
 pub mod dataset;
+pub mod diagnostic;
 pub mod error;
 pub mod graph;
 pub mod isomorphism;
@@ -43,6 +46,7 @@ pub mod turtle;
 pub mod vocab;
 
 pub use dataset::Dataset;
+pub use diagnostic::{Diagnostic, LintCode, LintReport, Severity};
 pub use error::{RdfError, RdfResult};
 pub use graph::Graph;
 pub use namespace::PrefixMap;

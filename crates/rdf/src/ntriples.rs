@@ -60,7 +60,7 @@ struct LineParser<'a> {
     line_no: u32,
 }
 
-impl<'a> LineParser<'a> {
+impl LineParser<'_> {
     fn err(&self, message: &str) -> RdfError {
         RdfError::Syntax {
             line: self.line_no,

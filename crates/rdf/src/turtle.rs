@@ -317,7 +317,7 @@ impl<'a> Parser<'a> {
                 self.bump();
                 self.skip_ws();
                 // A dangling `;` before `.` or `]` is allowed.
-                if matches!(self.peek(), Some('.') | Some(']')) {
+                if matches!(self.peek(), Some('.' | ']')) {
                     return Ok(());
                 }
             } else {
@@ -342,7 +342,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         match self.peek() {
             Some('<') => Ok(Term::iri(&self.iri_ref()?)),
-            Some('"') | Some('\'') => self.string_literal(),
+            Some('"' | '\'') => self.string_literal(),
             Some('[') => self.blank_node_property_list(),
             Some('(') => self.collection(),
             Some('_') if self.peek2() == Some(':') => self.blank_label(),
@@ -388,7 +388,7 @@ impl<'a> Parser<'a> {
                     format!("{stem}#{frag}")
                 } else {
                     // Join relative reference onto the base directory.
-                    let dir_end = base.rfind('/').map(|i| i + 1).unwrap_or(base.len());
+                    let dir_end = base.rfind('/').map_or(base.len(), |i| i + 1);
                     format!("{}{}", &base[..dir_end], raw)
                 }
             }
@@ -486,7 +486,7 @@ impl<'a> Parser<'a> {
 
     fn numeric_literal(&mut self) -> RdfResult<Term> {
         let start = self.pos;
-        if matches!(self.peek(), Some('+') | Some('-')) {
+        if matches!(self.peek(), Some('+' | '-')) {
             self.bump();
         }
         let mut saw_dot = false;
@@ -508,7 +508,7 @@ impl<'a> Parser<'a> {
                 'e' | 'E' if !saw_exp => {
                     saw_exp = true;
                     self.bump();
-                    if matches!(self.peek(), Some('+') | Some('-')) {
+                    if matches!(self.peek(), Some('+' | '-')) {
                         self.bump();
                     }
                 }

@@ -11,6 +11,7 @@
 use std::fmt;
 
 use grdf_owl::hierarchy::Hierarchy;
+use grdf_rdf::diagnostic::{Diagnostic, LintCode};
 use grdf_rdf::graph::Graph;
 use grdf_rdf::term::Term;
 
@@ -253,25 +254,103 @@ pub fn resolved_policy_set(
     )
 }
 
-/// Quick structural sanity of a policy set independent of data: empty
-/// property lists, empty roles, and policies with no resource.
-pub fn lint(policies: &PolicySet) -> Vec<String> {
+/// Structural sanity of a policy set independent of data, as typed
+/// diagnostics (`S005 empty-designator`): empty roles, empty resources,
+/// and property conditions that grant nothing.
+pub fn structural_diagnostics(policies: &PolicySet) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for p in &policies.policies {
+        let subject = Term::iri(&p.id);
         if p.role.is_empty() {
-            out.push(format!("{}: empty role", p.id));
+            out.push(
+                Diagnostic::new(LintCode::EmptyDesignator, subject.clone(), "empty role")
+                    .with_suggestion("set the policy's role IRI"),
+            );
         }
         if p.resource.is_empty() {
-            out.push(format!("{}: empty resource", p.id));
+            out.push(
+                Diagnostic::new(LintCode::EmptyDesignator, subject.clone(), "empty resource")
+                    .with_suggestion("set the policy's resource IRI"),
+            );
         }
         for c in &p.conditions {
             let Condition::PropertyAccess(props) = c;
             if props.is_empty() {
-                out.push(format!("{}: property condition grants nothing", p.id));
+                out.push(
+                    Diagnostic::new(
+                        LintCode::EmptyDesignator,
+                        subject.clone(),
+                        "property condition grants nothing",
+                    )
+                    .with_suggestion("list at least one property IRI, or drop the condition"),
+                );
             }
         }
     }
     out
+}
+
+/// Convert one [`PolicyConflict`] into its typed [`Diagnostic`]:
+/// Permit/Deny overlaps are `S001 contradictory-rule`, shadowed
+/// restrictions `S003 shadowed-rule`, duplicate ids `S004
+/// duplicate-policy-id`.
+pub fn conflict_to_diagnostic(c: &PolicyConflict) -> Diagnostic {
+    match c {
+        PolicyConflict::PermitDenyOverlap {
+            permit,
+            deny,
+            role,
+            overlap,
+        } => Diagnostic::new(
+            LintCode::ContradictoryRule,
+            Term::iri(permit),
+            format!("role {role}: permit contradicts deny {deny} on {overlap}"),
+        )
+        .with_related(vec![Term::iri(deny), Term::iri(role)])
+        .with_suggestion("pick a combining algorithm or drop one of the two rules"),
+        PolicyConflict::ShadowedRestriction {
+            broad,
+            restricted,
+            role,
+        } => Diagnostic::new(
+            LintCode::ShadowedRule,
+            Term::iri(restricted),
+            format!("role {role}: property conditions are dead letter under unconditional {broad}"),
+        )
+        .with_related(vec![Term::iri(broad), Term::iri(role)])
+        .with_suggestion("drop the broad grant or merge its scope into the restricted rule"),
+        PolicyConflict::DuplicateId { id } => Diagnostic::new(
+            LintCode::DuplicatePolicyId,
+            Term::iri(id),
+            "two distinct policies share this id",
+        )
+        .with_suggestion("rename one policy so ids stay unique across merged sets"),
+    }
+}
+
+/// Full typed policy analysis: structural checks plus hierarchy-aware
+/// conflict detection over `data`. This is the policy pass G-SACS runs at
+/// `init`/`update` time and `grdf-lint` builds on.
+pub fn diagnostics(data: &Graph, policies: &PolicySet) -> Vec<Diagnostic> {
+    let mut out = structural_diagnostics(policies);
+    out.extend(
+        detect_conflicts(data, policies)
+            .iter()
+            .map(conflict_to_diagnostic),
+    );
+    out
+}
+
+/// Quick structural sanity of a policy set independent of data: empty
+/// property lists, empty roles, and policies with no resource.
+///
+/// Compatibility wrapper over [`structural_diagnostics`]; new code should
+/// use the typed API.
+pub fn lint(policies: &PolicySet) -> Vec<String> {
+    structural_diagnostics(policies)
+        .into_iter()
+        .map(|d| format!("{}: {}", d.subject.as_iri().unwrap_or_default(), d.message))
+        .collect()
 }
 
 #[cfg(test)]
@@ -478,6 +557,25 @@ mod tests {
         ]);
         let problems = lint(&ps);
         assert_eq!(problems.len(), 2);
+    }
+
+    #[test]
+    fn typed_diagnostics_cover_structural_and_conflicts() {
+        use grdf_rdf::diagnostic::LintCode;
+        let data = data_with_hierarchy();
+        let ps = PolicySet::new(vec![
+            Policy::permit("urn:permit", "urn:r", &grdf::app("ChemSite")),
+            Policy::deny("urn:deny", "urn:r", &grdf::app("Refinery")),
+            Policy {
+                role: String::new(),
+                ..Policy::permit("urn:bad", "x", "urn:res")
+            },
+        ]);
+        let ds = diagnostics(&data, &ps);
+        assert!(ds.iter().any(|d| d.code == LintCode::ContradictoryRule));
+        assert!(ds.iter().any(|d| d.code == LintCode::EmptyDesignator));
+        // The wrapper agrees with the structural subset.
+        assert_eq!(lint(&ps), vec!["urn:bad: empty role".to_string()]);
     }
 
     #[test]

@@ -26,13 +26,14 @@ use parking_lot::Mutex;
 use grdf_obs::{Counter, Obs, TraceId};
 use grdf_owl::reasoner::Reasoner;
 use grdf_query::eval::{execute_with_deadline, QueryResult};
+use grdf_rdf::diagnostic::{LintReport, Severity};
 use grdf_rdf::graph::Graph;
 use grdf_runtime::Deadline;
 
 use crate::policy::{DecisionTrace, PolicySet};
 use crate::resilience::{
-    AdmissionGate, EngineError, GsacsError, HealthReport, LatencyHistogram, ResilienceConfig,
-    ResilientEngine, Stage,
+    AdmissionGate, EngineError, GsacsError, HealthReport, LatencyHistogram, LintGate,
+    ResilienceConfig, ResilientEngine, Stage,
 };
 use crate::views::{conservative_view_explained, secure_view_explained, ViewStats};
 
@@ -116,7 +117,7 @@ impl OntoRepository {
     /// Names in the repository.
     pub fn names(&self) -> Vec<&str> {
         let mut names: Vec<&str> = self.ontologies.keys().map(String::as_str).collect();
-        names.sort();
+        names.sort_unstable();
         names
     }
 
@@ -213,23 +214,20 @@ impl QueryCache {
             return None;
         }
         let key = (role.to_string(), query.to_string());
-        match self.map.get(&key).copied() {
-            Some(idx) => {
-                self.hits += 1;
-                self.unlink(idx);
-                self.push_front(idx);
-                Some(
-                    self.nodes[idx]
-                        .as_ref()
-                        .expect("hit node present")
-                        .value
-                        .clone(),
-                )
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+        if let Some(idx) = self.map.get(&key).copied() {
+            self.hits += 1;
+            self.unlink(idx);
+            self.push_front(idx);
+            Some(
+                self.nodes[idx]
+                    .as_ref()
+                    .expect("hit node present")
+                    .value
+                    .clone(),
+            )
+        } else {
+            self.misses += 1;
+            None
         }
     }
 
@@ -252,12 +250,11 @@ impl QueryCache {
             self.map.remove(&node.key);
             self.free.push(lru);
         }
-        let idx = match self.free.pop() {
-            Some(i) => i,
-            None => {
-                self.nodes.push(None);
-                self.nodes.len() - 1
-            }
+        let idx = if let Some(i) = self.free.pop() {
+            i
+        } else {
+            self.nodes.push(None);
+            self.nodes.len() - 1
         };
         self.nodes[idx] = Some(CacheNode {
             key: key.clone(),
@@ -394,7 +391,9 @@ pub enum UpdateOutcome {
     Applied(usize),
     /// Denied; the 1-based index and reason of the first refused op.
     Denied {
-        /// Index of the eager refusal.
+        /// Index of the eager refusal; `0` when the whole request was
+        /// refused (the lint gate vets the post-update graph as a unit,
+        /// not op by op).
         op_index: usize,
         /// Human-readable reason.
         reason: String,
@@ -483,6 +482,10 @@ pub struct GSacs {
     /// query, reasoner, and view layers land in one registry/sink.
     obs: Obs,
     hot: HotCounters,
+    /// Set when [`LintGate::Enforce`] found error-level diagnostics at
+    /// `init` time; the service then fails closed — every request returns
+    /// [`GsacsError::LintRejected`] until it is rebuilt with fixed inputs.
+    lint_rejected: Option<String>,
 }
 
 impl GSacs {
@@ -544,6 +547,7 @@ impl GSacs {
             audit,
             obs,
             hot,
+            lint_rejected: None,
         };
         {
             // Construction-time materialization runs inside its own scope
@@ -553,8 +557,82 @@ impl GSacs {
             let obs = svc.obs.clone();
             let _scope = obs.scope("gsacs.init");
             svc.rematerialize();
+            svc.lint_at_init();
         }
         svc
+    }
+
+    /// Like [`GSacs::with_resilience`], but surfaces an init-time lint
+    /// rejection ([`LintGate::Enforce`] + error-level findings) as an
+    /// error instead of handing back a service that fails closed.
+    pub fn try_with_resilience(
+        repository: OntoRepository,
+        policies: PolicySet,
+        reasoner: Box<dyn ReasoningEngine>,
+        data: Graph,
+        cache_capacity: usize,
+        config: ResilienceConfig,
+    ) -> Result<GSacs, GsacsError> {
+        let svc =
+            GSacs::with_resilience(repository, policies, reasoner, data, cache_capacity, config);
+        match &svc.lint_rejected {
+            Some(m) => Err(GsacsError::LintRejected(m.clone())),
+            None => Ok(svc),
+        }
+    }
+
+    /// Run the static-analysis passes the service can check on its own
+    /// inputs — structural policy problems, policy conflicts through the
+    /// subclass hierarchy, and OWL consistency — over the served dataset.
+    /// Instrumented: a `gsacs.lint` span plus `gsacs.lint.*` counters.
+    pub fn lint(&self) -> LintReport {
+        self.lint_graph(&self.data)
+    }
+
+    fn lint_graph(&self, data: &Graph) -> LintReport {
+        let span = grdf_obs::span("gsacs.lint");
+        let mut diags = crate::conflicts::diagnostics(data, &self.policies);
+        diags.extend(grdf_owl::consistency::lint(data));
+        let report = LintReport::from_diagnostics(diags);
+        let errors = report.count(Severity::Error);
+        let warnings = report.count(Severity::Warning);
+        let reg = self.obs.registry();
+        reg.counter("gsacs.lint.runs").inc();
+        reg.counter("gsacs.lint.errors").add(errors as u64);
+        reg.counter("gsacs.lint.warnings").add(warnings as u64);
+        drop(span.tag("errors", errors).tag("warnings", warnings));
+        report
+    }
+
+    /// The construction-time lint gate: audit the findings and, under
+    /// [`LintGate::Enforce`], reject the service when any are errors.
+    fn lint_at_init(&mut self) {
+        if self.config.lint_gate == LintGate::Off {
+            return;
+        }
+        let report = self.lint();
+        let summary = format!(
+            "{} error(s), {} warning(s)",
+            report.count(Severity::Error),
+            report.count(Severity::Warning)
+        );
+        let rejected = self.config.lint_gate == LintGate::Enforce && report.has_errors();
+        self.audit.lock().push(AuditEntry {
+            role: "system".to_string(),
+            action: "lint".to_string(),
+            target: format!("init: {summary}"),
+            allowed: !rejected,
+            trace_id: grdf_obs::current_trace_id().unwrap_or(TraceId::NONE),
+        });
+        if rejected {
+            let first = report
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == Severity::Error)
+                .map(std::string::ToString::to_string)
+                .unwrap_or_default();
+            self.lint_rejected = Some(format!("{summary}; first: {first}"));
+        }
     }
 
     /// Rebuild the served dataset from the un-inferred base through the
@@ -698,6 +776,9 @@ impl GSacs {
     }
 
     fn handle_inner(&self, request: &ClientRequest) -> Result<QueryResult, GsacsError> {
+        if let Some(m) = &self.lint_rejected {
+            return Err(GsacsError::LintRejected(m.clone()));
+        }
         let admission = grdf_obs::span("gsacs.admission");
         let _permit = self.gate.try_acquire()?;
         let deadline = Deadline::armed(self.config.clock.clone(), self.config.request_budget);
@@ -747,6 +828,12 @@ impl GSacs {
         let obs = self.obs.clone();
         let scope = obs.scope("gsacs.update");
         let trace_id = scope.trace_id();
+        if let Some(m) = &self.lint_rejected {
+            return UpdateOutcome::Denied {
+                op_index: 0,
+                reason: format!("lint gate rejected service inputs: {m}"),
+            };
+        }
         // Phase 1: check all ops.
         for (i, op) in request.ops.iter().enumerate() {
             let (triple, action, action_name) = match op {
@@ -773,6 +860,48 @@ impl GSacs {
                         triple.subject, request.role
                     ),
                 };
+            }
+        }
+        // Phase 1.5: the lint gate vets the post-update graph as a whole
+        // before anything is applied. The ops land on a tentative copy of
+        // the un-inferred base; error-level findings deny the request
+        // under `Enforce` and are audited-but-allowed under `Flag`.
+        if self.config.lint_gate != LintGate::Off {
+            let mut tentative = self.base.clone();
+            for op in &request.ops {
+                match op {
+                    UpdateOp::Insert(t) => {
+                        tentative.insert(t.clone());
+                    }
+                    UpdateOp::Delete(t) => {
+                        tentative.remove(t);
+                    }
+                }
+            }
+            let report = self.lint_graph(&tentative);
+            if report.has_errors() {
+                let enforce = self.config.lint_gate == LintGate::Enforce;
+                let first = report
+                    .diagnostics
+                    .iter()
+                    .find(|d| d.severity == Severity::Error)
+                    .map(std::string::ToString::to_string)
+                    .unwrap_or_default();
+                self.audit.lock().push(AuditEntry {
+                    role: request.role.clone(),
+                    action: "lint".to_string(),
+                    target: first.clone(),
+                    allowed: !enforce,
+                    trace_id,
+                });
+                if enforce {
+                    return UpdateOutcome::Denied {
+                        op_index: 0,
+                        reason: format!(
+                            "update would introduce error-level lint findings: {first}"
+                        ),
+                    };
+                }
             }
         }
         // Phase 2: apply to the un-inferred base.
@@ -1532,5 +1661,155 @@ mod tests {
         assert_eq!(h.audit_entries, 3, "every request audited exactly once");
         assert_eq!(h.audit_dropped, 0);
         assert!(!h.render().is_empty());
+    }
+
+    /// A minimal service whose policy set carries an error-level lint
+    /// finding (S005: empty role designator).
+    fn broken_policy_service(gate: crate::resilience::LintGate) -> GSacs {
+        let config = ResilienceConfig {
+            lint_gate: gate,
+            ..ResilienceConfig::default()
+        };
+        let policies = PolicySet::new(vec![
+            crate::policy::Policy::permit("urn:ok", &grdf::sec("Emergency"), &grdf::app("Stream")),
+            crate::policy::Policy::permit("urn:bad", "", &grdf::app("Stream")),
+        ]);
+        GSacs::with_resilience(
+            OntoRepository::new(),
+            policies,
+            Box::new(NoReasoning),
+            Graph::new(),
+            4,
+            config,
+        )
+    }
+
+    #[test]
+    fn lint_reports_policy_defects() {
+        use grdf_rdf::diagnostic::LintCode;
+        let svc = broken_policy_service(crate::resilience::LintGate::Off);
+        let report = svc.lint();
+        assert!(report.has_errors());
+        assert_eq!(report.with_code(LintCode::EmptyDesignator).len(), 1);
+        assert!(
+            svc.obs().registry().counter("gsacs.lint.runs").get() >= 1,
+            "lint run is instrumented"
+        );
+    }
+
+    #[test]
+    fn lint_gate_flag_audits_but_serves() {
+        let svc = broken_policy_service(crate::resilience::LintGate::Flag);
+        let log = svc.audit_log();
+        let lint_entries: Vec<_> = log.iter().filter(|e| e.action == "lint").collect();
+        assert_eq!(lint_entries.len(), 1);
+        assert!(lint_entries[0].allowed, "Flag records but does not reject");
+        assert!(lint_entries[0].target.contains("error(s)"));
+        // The service still serves.
+        let req = ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: chem_query(),
+        };
+        assert!(svc.handle(&req).is_ok());
+    }
+
+    #[test]
+    fn lint_gate_enforce_fails_closed_at_init() {
+        let svc = broken_policy_service(crate::resilience::LintGate::Enforce);
+        let req = ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: chem_query(),
+        };
+        let err = svc.handle(&req).unwrap_err();
+        assert!(matches!(err, GsacsError::LintRejected(_)), "{err}");
+        assert!(err.to_string().contains("lint gate"), "{err}");
+        // The rejection itself is audited as denied.
+        assert!(svc
+            .audit_denials()
+            .iter()
+            .any(|e| e.action == "lint" && e.role == "system"));
+        // The Result constructor surfaces the rejection eagerly.
+        let config = ResilienceConfig {
+            lint_gate: crate::resilience::LintGate::Enforce,
+            ..ResilienceConfig::default()
+        };
+        let out = GSacs::try_with_resilience(
+            OntoRepository::new(),
+            PolicySet::new(vec![crate::policy::Policy::permit(
+                "urn:bad",
+                "",
+                &grdf::app("Stream"),
+            )]),
+            Box::new(NoReasoning),
+            Graph::new(),
+            4,
+            config,
+        );
+        assert!(matches!(out, Err(GsacsError::LintRejected(_))));
+    }
+
+    #[test]
+    fn lint_gate_enforce_denies_bad_updates() {
+        use crate::policy::Action;
+        use grdf_rdf::term::{Term, Triple};
+        use grdf_rdf::vocab::{owl, rdf};
+        let mut data = Graph::new();
+        let x = Term::iri(&grdf::app("x"));
+        data.add(
+            x.clone(),
+            Term::iri(rdf::TYPE),
+            Term::iri(&grdf::app("Open")),
+        );
+        let edit_open = crate::policy::Policy {
+            action: Action::Edit,
+            ..crate::policy::Policy::permit("urn:pe", "urn:r", &grdf::app("Open"))
+        };
+        let config = ResilienceConfig {
+            lint_gate: crate::resilience::LintGate::Enforce,
+            ..ResilienceConfig::default()
+        };
+        let mut svc = GSacs::with_resilience(
+            OntoRepository::new(),
+            PolicySet::new(vec![edit_open]),
+            Box::new(NoReasoning),
+            data,
+            4,
+            config,
+        );
+        assert!(svc.lint().is_clean(), "inputs start clean");
+        // Typing x as owl:Nothing is an error-level finding (G014); the
+        // gate must refuse the update before it lands.
+        let bad = UpdateOp::Insert(Triple::new(
+            x.clone(),
+            Term::iri(rdf::TYPE),
+            Term::iri(owl::NOTHING),
+        ));
+        let out = svc.handle_update(&UpdateRequest {
+            role: "urn:r".into(),
+            ops: vec![bad],
+        });
+        match out {
+            UpdateOutcome::Denied { op_index, reason } => {
+                assert_eq!(op_index, 0, "whole-request refusal");
+                assert!(reason.contains("G014"), "{reason}");
+            }
+            other => panic!("expected lint denial, got {other:?}"),
+        }
+        assert!(
+            !svc.dataset()
+                .has(&x, &Term::iri(rdf::TYPE), &Term::iri(owl::NOTHING)),
+            "denied op must not have been applied"
+        );
+        // A harmless update still goes through the gate.
+        let ok = UpdateOp::Insert(Triple::new(
+            x.clone(),
+            Term::iri(&grdf::app("hasSiteName")),
+            Term::string("n"),
+        ));
+        let out = svc.handle_update(&UpdateRequest {
+            role: "urn:r".into(),
+            ops: vec![ok],
+        });
+        assert_eq!(out, UpdateOutcome::Applied(1));
     }
 }

@@ -47,7 +47,10 @@ pub mod policy;
 pub mod resilience;
 pub mod views;
 
-pub use conflicts::{detect_conflicts, resolved_policy_set, CombiningAlgorithm, PolicyConflict};
+pub use conflicts::{
+    conflict_to_diagnostic, detect_conflicts, resolved_policy_set, structural_diagnostics,
+    CombiningAlgorithm, PolicyConflict,
+};
 pub use gsacs::{
     AuditEntry, AuditLog, ClientRequest, GSacs, OntoRepository, QueryCache, ReasoningEngine,
     UpdateOp, UpdateOutcome, UpdateRequest,
@@ -55,7 +58,7 @@ pub use gsacs::{
 pub use policy::{Action, Condition, Decision, DecisionTrace, Policy, PolicyMatch, PolicySet};
 pub use resilience::{
     AdmissionGate, BreakerConfig, BreakerState, EngineError, FaultInjector, FaultKind, FaultPlan,
-    FaultyEngine, GsacsError, HealthReport, LatencyHistogram, NoFaults, ResilienceConfig,
+    FaultyEngine, GsacsError, HealthReport, LatencyHistogram, LintGate, NoFaults, ResilienceConfig,
     ResilientEngine, RetryPolicy, Stage,
 };
 pub use views::{

@@ -112,7 +112,7 @@ impl Policy {
     pub fn permit_properties(id: &str, role: &str, resource: &str, props: &[&str]) -> Policy {
         Policy {
             conditions: vec![Condition::PropertyAccess(
-                props.iter().map(|p| p.to_string()).collect(),
+                props.iter().map(std::string::ToString::to_string).collect(),
             )],
             ..Policy::permit(id, role, resource)
         }

@@ -90,6 +90,10 @@ pub enum GsacsError {
     Engine(String),
     /// Any other internal failure — including injected faults.
     Internal(String),
+    /// The lint gate rejected the service's graph/policy set: error-level
+    /// diagnostics were found at `init` time with [`LintGate::Enforce`],
+    /// and the service fails closed until the inputs are fixed.
+    LintRejected(String),
 }
 
 impl fmt::Display for GsacsError {
@@ -107,6 +111,7 @@ impl fmt::Display for GsacsError {
             }
             GsacsError::Engine(m) => write!(f, "reasoning engine failure: {m}"),
             GsacsError::Internal(m) => write!(f, "internal error: {m}"),
+            GsacsError::LintRejected(m) => write!(f, "lint gate rejected service inputs: {m}"),
         }
     }
 }
@@ -471,7 +476,7 @@ impl LatencyHistogram {
     /// Record one request latency.
     pub fn record(&self, latency: Duration) {
         self.core
-            .record(latency.as_micros().min(u64::MAX as u128) as u64);
+            .record(latency.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
     /// Recorded samples.
@@ -774,6 +779,21 @@ impl ReasoningEngine for FaultyEngine {
 // Service-level resilience configuration
 // ---------------------------------------------------------------------------
 
+/// Whether (and how hard) G-SACS runs the static-analysis policy passes
+/// over its inputs at `init` and `update` time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintGate {
+    /// No linting (the historical behavior).
+    #[default]
+    Off,
+    /// Lint and record findings (audit entry + metrics), but serve anyway.
+    Flag,
+    /// Lint and fail closed on error-level findings: `init` rejects the
+    /// service (every request returns [`GsacsError::LintRejected`]) and
+    /// updates that would introduce error-level findings are denied.
+    Enforce,
+}
+
 /// Resilience knobs for a [`GSacs`](crate::gsacs::GSacs) instance.
 #[derive(Clone)]
 pub struct ResilienceConfig {
@@ -795,6 +815,8 @@ pub struct ResilienceConfig {
     /// records into, and the trace sink request spans flush to (disabled
     /// by default — enable with [`grdf_obs::Obs::with_tracing`]).
     pub obs: grdf_obs::Obs,
+    /// Static-analysis gate over policies + data at `init`/`update` time.
+    pub lint_gate: LintGate,
 }
 
 impl Default for ResilienceConfig {
@@ -808,6 +830,7 @@ impl Default for ResilienceConfig {
             audit_capacity: 65_536,
             fault_injector: None,
             obs: grdf_obs::Obs::new(),
+            lint_gate: LintGate::default(),
         }
     }
 }
@@ -1025,10 +1048,10 @@ mod tests {
     fn histogram_quantiles_interpolate_within_bucket() {
         let h = LatencyHistogram::default();
         for _ in 0..50 {
-            h.record(Duration::from_micros(1000)); // bucket [512, 1024)
+            h.record(Duration::from_millis(1)); // bucket [512, 1024)
         }
         for _ in 0..50 {
-            h.record(Duration::from_micros(4000)); // bucket [2048, 4096)
+            h.record(Duration::from_millis(4)); // bucket [2048, 4096)
         }
         // Rank 50 is the last of the 50 samples in [512, 1024): the
         // interpolated estimate is the bucket upper bound, well under the
@@ -1036,8 +1059,8 @@ mod tests {
         assert_eq!(h.quantile(0.5), Duration::from_micros(1024));
         // Rank 99 → 49/50 through [2048, 4096): 2048 + 0.98·2048 ≈ 4055,
         // clamped to the recorded maximum of 4000.
-        assert_eq!(h.quantile(0.99), Duration::from_micros(4000));
-        assert_eq!(h.quantile(1.0), Duration::from_micros(4000));
+        assert_eq!(h.quantile(0.99), Duration::from_millis(4));
+        assert_eq!(h.quantile(1.0), Duration::from_millis(4));
         // Empty histogram stays at zero.
         assert_eq!(LatencyHistogram::default().quantile(0.5), Duration::ZERO);
     }

@@ -129,18 +129,29 @@ fn build_site(iri: &str, name: &str, site_id: &str, cx: f64, cy: f64, half: f64)
     site
 }
 
-/// Turtle alignment axioms making `hasSiteId` inverse-functional — the
-/// schema knowledge that lets the reasoner identify duplicate records.
+/// Turtle alignment axioms: `hasSiteId` inverse-functional (the schema
+/// knowledge that lets the reasoner identify duplicate records) plus
+/// declarations for the `app:` vocabulary the generators emit, so the
+/// incident graphs hold up under `grdf-lint`'s referential pass.
 pub fn alignment_axioms() -> &'static str {
-    r#"@prefix app: <http://grdf.org/app#> .
+    r"@prefix app: <http://grdf.org/app#> .
 @prefix owl: <http://www.w3.org/2002/07/owl#> .
 @prefix grdf: <http://grdf.org/ontology#> .
 @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+app:ChemSite a owl:Class ; rdfs:subClassOf grdf:Feature .
+app:Stream a owl:Class ; rdfs:subClassOf grdf:Feature .
+app:ChemInfo a owl:Class .
 app:hasSiteId a owl:InverseFunctionalProperty .
-app:ChemSite rdfs:subClassOf grdf:Feature .
-app:Stream rdfs:subClassOf grdf:Feature .
 app:flowsInto a owl:TransitiveProperty .
-"#
+app:hasChemicalInfo a owl:ObjectProperty .
+app:hasChemCode a owl:DatatypeProperty .
+app:hasChemName a owl:DatatypeProperty .
+app:hasContactPhone a owl:DatatypeProperty .
+app:hasObjectID a owl:DatatypeProperty .
+app:hasSiteName a owl:DatatypeProperty .
+app:hasStreamName a owl:DatatypeProperty .
+app:sourceState a owl:DatatypeProperty .
+"
 }
 
 #[cfg(test)]

@@ -332,7 +332,7 @@ pub fn parse(input: &str) -> XmlResult<Document> {
                     match (&a.name.prefix, a.name.local.as_str()) {
                         (None, "xmlns") => ns_decls.push((None, a.value)),
                         (Some(p), local) if p == "xmlns" => {
-                            ns_decls.push((Some(local.to_string()), a.value))
+                            ns_decls.push((Some(local.to_string()), a.value));
                         }
                         _ => plain.push((a.name, a.value)),
                     }

@@ -34,11 +34,11 @@ fn main() {
     // … or from heterogeneous sources (here: Turtle; GML works the same).
     store
         .load_turtle(
-            r#"@prefix app: <http://grdf.org/app#> .
+            r"@prefix app: <http://grdf.org/app#> .
                @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
                @prefix grdf: <http://grdf.org/ontology#> .
                app:ChemSite rdfs:subClassOf grdf:Feature .
-               app:Stream rdfs:subClassOf grdf:Feature ."#,
+               app:Stream rdfs:subClassOf grdf:Feature .",
         )
         .expect("load turtle");
 

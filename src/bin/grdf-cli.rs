@@ -9,10 +9,17 @@
 //! grdf-cli health   <file>                      stand up G-SACS over the data and report service health
 //! grdf-cli trace    <file> <sparql>             run a query through G-SACS with tracing on; print the
 //!                                               per-stage timing tree and the access-decision trace
+//! grdf-cli lint     <file> [--policies <file>] [--format text|json] [--deny-warnings]
+//!                                               static analysis: referential, schema, consistency,
+//!                                               policy, and topology passes
 //! ```
 //!
 //! Input format is detected from the extension: `.gml`, `.ttl`/`.turtle`,
 //! `.rdf`/`.xml`/`.owl` (RDF/XML), `.nt` (N-Triples).
+//!
+//! Exit codes: `0` success (for `lint`: the gate passed), `1` usage or
+//! I/O error, `2` error-level lint findings, `3` warnings rejected by
+//! `--deny-warnings`.
 
 use std::process::ExitCode;
 
@@ -24,9 +31,9 @@ use grdf::rdf::PrefixMap;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(output) => {
+        Ok((output, code)) => {
             println!("{output}");
-            ExitCode::SUCCESS
+            ExitCode::from(code)
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -43,16 +50,22 @@ const USAGE: &str = "usage:
   grdf-cli validate <file>
   grdf-cli stats    <file>
   grdf-cli health   <file>
-  grdf-cli trace    <file> <sparql | @queryfile>";
+  grdf-cli trace    <file> <sparql | @queryfile>
+  grdf-cli lint     <file> [--policies <file>] [--format text|json] [--deny-warnings]";
 
-/// Run a CLI invocation; returns the text to print.
-fn run(args: &[String]) -> Result<String, String> {
+/// Run a CLI invocation; returns the text to print and the process exit
+/// code (nonzero only for `lint` gate failures — usage and I/O errors go
+/// through `Err`).
+fn run(args: &[String]) -> Result<(String, u8), String> {
     let cmd = args.first().ok_or("missing command")?;
-    match cmd.as_str() {
-        "ontology" => cmd_ontology(args.get(1).map(String::as_str).unwrap_or("turtle")),
+    if cmd == "lint" {
+        return cmd_lint(&args[1..]);
+    }
+    let output = match cmd.as_str() {
+        "ontology" => cmd_ontology(args.get(1).map_or("turtle", String::as_str)),
         "convert" => {
             let file = args.get(1).ok_or("convert needs an input file")?;
-            let format = args.get(2).map(String::as_str).unwrap_or("turtle");
+            let format = args.get(2).map_or("turtle", String::as_str);
             cmd_convert(file, format)
         }
         "query" => {
@@ -69,7 +82,69 @@ fn run(args: &[String]) -> Result<String, String> {
             cmd_trace(file, query)
         }
         other => Err(format!("unknown command {other:?}")),
+    }?;
+    Ok((output, 0))
+}
+
+/// `lint <file> [--policies <file>] [--format text|json] [--deny-warnings]`.
+///
+/// Policies are decoded (List 8 shape) from the data graph itself and,
+/// when `--policies` is given, from that file too. Exit code: `0` pass,
+/// `2` error-level findings, `3` warnings rejected by `--deny-warnings`.
+fn cmd_lint(args: &[String]) -> Result<(String, u8), String> {
+    use grdf::security::{Policy, PolicySet};
+
+    let mut file: Option<&str> = None;
+    let mut policies_path: Option<&str> = None;
+    let mut format = "text";
+    let mut deny_warnings = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--policies" => {
+                i += 1;
+                policies_path = Some(args.get(i).ok_or("--policies needs a file")?);
+            }
+            "--format" => {
+                i += 1;
+                format = args.get(i).ok_or("--format needs text or json")?;
+            }
+            "--deny-warnings" => deny_warnings = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown lint flag {flag:?}")),
+            f => {
+                if file.replace(f).is_some() {
+                    return Err("lint takes exactly one data file".to_string());
+                }
+            }
+        }
+        i += 1;
     }
+    let file = file.ok_or("lint needs a data file")?;
+    if format != "text" && format != "json" {
+        return Err(format!("unknown lint format {format:?} (use text or json)"));
+    }
+
+    let store = load_store(file)?;
+    let mut policies = Policy::decode_all(store.graph());
+    if let Some(p) = policies_path {
+        let pstore = load_store(p)?;
+        policies.extend(Policy::decode_all(pstore.graph()));
+    }
+    let set = (!policies.is_empty()).then(|| PolicySet::new(policies));
+    let report = grdf::lint::lint_all(store.graph(), set.as_ref());
+
+    let output = match format {
+        "json" => report.to_json(),
+        _ => report.render_text(),
+    };
+    let code = if report.has_errors() {
+        2
+    } else if deny_warnings && report.fails_gate(true) {
+        3
+    } else {
+        0
+    };
+    Ok((output, code))
 }
 
 fn load_store(path: &str) -> Result<GrdfStore, String> {
@@ -152,7 +227,11 @@ fn render_result(result: &QueryResult) -> String {
             for row in rows {
                 let cells: Vec<String> = vars
                     .iter()
-                    .map(|v| row.get(v).map(|t| t.to_string()).unwrap_or_default())
+                    .map(|v| {
+                        row.get(v)
+                            .map(std::string::ToString::to_string)
+                            .unwrap_or_default()
+                    })
                     .collect();
                 out.push_str(&cells.join("\t"));
                 out.push('\n');
@@ -337,6 +416,12 @@ fn render_trace_tree(trace: &grdf::obs::TraceRecord) -> String {
 mod tests {
     use super::*;
 
+    /// `run`, discarding the exit code (for commands where only the text
+    /// matters).
+    fn run_text(args: &[String]) -> Result<String, String> {
+        run(args).map(|(s, _)| s)
+    }
+
     fn write_temp(name: &str, content: &str) -> String {
         let dir = std::env::temp_dir().join("grdf-cli-tests");
         std::fs::create_dir_all(&dir).unwrap();
@@ -352,24 +437,24 @@ app:s1 a app:ChemSite ; app:hasSiteName "NT Energy" .
 
     #[test]
     fn ontology_emits_turtle_and_rdfxml() {
-        let ttl = run(&["ontology".into()]).unwrap();
+        let ttl = run_text(&["ontology".into()]).unwrap();
         assert!(ttl.contains("grdf:Feature"));
-        let xml = run(&["ontology".into(), "rdfxml".into()]).unwrap();
+        let xml = run_text(&["ontology".into(), "rdfxml".into()]).unwrap();
         assert!(xml.contains("<rdf:RDF"));
-        assert!(run(&["ontology".into(), "wat".into()]).is_err());
+        assert!(run_text(&["ontology".into(), "wat".into()]).is_err());
     }
 
     #[test]
     fn convert_turtle_to_ntriples() {
         let path = write_temp("data.ttl", TTL);
-        let nt = run(&["convert".into(), path, "nt".into()]).unwrap();
+        let nt = run_text(&["convert".into(), path, "nt".into()]).unwrap();
         assert!(nt.contains("<http://grdf.org/app#s1>"), "{nt}");
     }
 
     #[test]
     fn query_selects_rows() {
         let path = write_temp("q.ttl", TTL);
-        let out = run(&[
+        let out = run_text(&[
             "query".into(),
             path,
             "PREFIX app: <http://grdf.org/app#> SELECT ?n WHERE { ?s app:hasSiteName ?n }".into(),
@@ -383,28 +468,28 @@ app:s1 a app:ChemSite ; app:hasSiteName "NT Energy" .
     fn query_from_file() {
         let data = write_temp("qf.ttl", TTL);
         let qfile = write_temp("query.rq", "ASK { ?s ?p ?o }");
-        let out = run(&["query".into(), data, format!("@{qfile}")]).unwrap();
+        let out = run_text(&["query".into(), data, format!("@{qfile}")]).unwrap();
         assert_eq!(out, "true");
     }
 
     #[test]
     fn validate_reports_consistency() {
         let good = write_temp("good.ttl", TTL);
-        let out = run(&["validate".into(), good]).unwrap();
+        let out = run_text(&["validate".into(), good]).unwrap();
         assert!(out.starts_with("consistent"), "{out}");
 
         let bad = write_temp(
             "bad.ttl",
             "@prefix grdf: <http://grdf.org/ontology#> .\n<urn:x> a grdf:Point , grdf:Node .",
         );
-        let err = run(&["validate".into(), bad]).unwrap_err();
+        let err = run_text(&["validate".into(), bad]).unwrap_err();
         assert!(err.contains("INCONSISTENT"), "{err}");
     }
 
     #[test]
     fn stats_summarizes() {
         let path = write_temp("stats.ttl", TTL);
-        let out = run(&["stats".into(), path]).unwrap();
+        let out = run_text(&["stats".into(), path]).unwrap();
         assert!(out.contains("features:"), "{out}");
         assert!(out.contains("classes:"), "{out}");
     }
@@ -412,7 +497,7 @@ app:s1 a app:ChemSite ; app:hasSiteName "NT Energy" .
     #[test]
     fn health_reports_service_state() {
         let path = write_temp("health.ttl", TTL);
-        let out = run(&["health".into(), path]).unwrap();
+        let out = run_text(&["health".into(), path]).unwrap();
         assert!(out.contains("reasoner:"), "{out}");
         assert!(out.contains("breaker:"), "{out}");
         assert!(out.contains("closed"), "{out}");
@@ -424,10 +509,86 @@ app:s1 a app:ChemSite ; app:hasSiteName "NT Energy" .
 
     #[test]
     fn errors_for_bad_usage() {
-        assert!(run(&[]).is_err());
-        assert!(run(&["frobnicate".into()]).is_err());
-        assert!(run(&["convert".into()]).is_err());
-        assert!(run(&["query".into(), "nonexistent.ttl".into(), "ASK {}".into()]).is_err());
+        assert!(run_text(&[]).is_err());
+        assert!(run_text(&["frobnicate".into()]).is_err());
+        assert!(run_text(&["convert".into()]).is_err());
+        assert!(run_text(&["query".into(), "nonexistent.ttl".into(), "ASK {}".into()]).is_err());
+        assert!(run_text(&["lint".into()]).is_err());
+        assert!(run_text(&[
+            "lint".into(),
+            "a.ttl".into(),
+            "--format".into(),
+            "yaml".into()
+        ])
+        .is_err());
+        assert!(run_text(&["lint".into(), "a.ttl".into(), "--frob".into()]).is_err());
+    }
+
+    #[test]
+    fn lint_clean_data_passes() {
+        let path = write_temp("lint_clean.ttl", TTL);
+        let (out, code) = run(&["lint".into(), path]).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("0 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_reports_errors_with_exit_code_2() {
+        // measureValue is declared with range xsd:double in the GRDF
+        // ontology; a string value is the List 1 MeasureType problem.
+        let bad = write_temp(
+            "lint_bad.ttl",
+            "@prefix grdf: <http://grdf.org/ontology#> .\n\
+             @prefix app: <http://grdf.org/app#> .\n\
+             app:v1 a grdf:Value ; grdf:measureValue \"10.5mp\" .",
+        );
+        let (out, code) = run(&["lint".into(), bad.clone()]).unwrap();
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("G006"), "{out}");
+        let (json, code) = run(&["lint".into(), bad, "--format".into(), "json".into()]).unwrap();
+        assert_eq!(code, 2);
+        assert!(json.starts_with("{\"version\":1"), "{json}");
+        assert!(json.contains("\"code\":\"G006\""), "{json}");
+    }
+
+    #[test]
+    fn lint_deny_warnings_rejects_with_exit_code_3() {
+        // An edge realized next to one that is not: T001, a warning.
+        let warn = write_temp(
+            "lint_warn.ttl",
+            "@prefix grdf: <http://grdf.org/ontology#> .\n\
+             @prefix app: <http://grdf.org/app#> .\n\
+             app:n1 a grdf:Node . app:n2 a grdf:Node .\n\
+             app:e1 a grdf:Edge ; grdf:startNode app:n1 ; grdf:endNode app:n2 ;\n\
+                    grdf:realizedBy app:c1 .\n\
+             app:e2 a grdf:Edge ; grdf:startNode app:n2 ; grdf:endNode app:n1 .\n\
+             app:c1 a grdf:Curve .",
+        );
+        let (out, code) = run(&["lint".into(), warn.clone()]).unwrap();
+        assert_eq!(code, 0, "warnings pass by default: {out}");
+        assert!(out.contains("T001"), "{out}");
+        let (_, code) = run(&["lint".into(), warn, "--deny-warnings".into()]).unwrap();
+        assert_eq!(code, 3);
+    }
+
+    #[test]
+    fn lint_separate_policy_file() {
+        use grdf::rdf::graph::Graph;
+        use grdf::security::Policy;
+        // Encode a structurally-broken policy (empty role → S005) in the
+        // List 8 RDF shape and lint it against clean data.
+        let mut pg = Graph::new();
+        Policy::permit(
+            "http://grdf.org/security#bad",
+            "",
+            "http://grdf.org/app#ChemSite",
+        )
+        .encode(&mut pg);
+        let pttl = write_temp("lint_policies.nt", &grdf::rdf::ntriples::serialize(&pg));
+        let data = write_temp("lint_pdata.ttl", TTL);
+        let (out, code) = run(&["lint".into(), data, "--policies".into(), pttl]).unwrap();
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("S005"), "{out}");
     }
 
     #[test]
@@ -438,7 +599,7 @@ app:s1 a app:ChemSite ; app:hasSiteName "NT Energy" .
               <gml:featureMember><app:Well gml:id="w1"><app:depth>12.5</app:depth></app:Well></gml:featureMember>
             </gml:FeatureCollection>"#,
         );
-        let out = run(&["convert".into(), gml, "turtle".into()]).unwrap();
+        let out = run_text(&["convert".into(), gml, "turtle".into()]).unwrap();
         assert!(out.contains("app:w1"), "{out}");
     }
 }

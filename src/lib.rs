@@ -18,6 +18,8 @@
 //! * [`runtime`] — clocks, budgets, and cooperative deadlines.
 //! * [`security`] — security ontology, policies, G-SACS (§7–§8, Fig. 3)
 //!   and its fail-closed resilience layer.
+//! * [`lint`] — static analysis over ontologies, policy sets, and
+//!   instance graphs, with typed diagnostics and stable codes.
 //! * [`core`] — the GRDF ontology itself + the aggregation store.
 //! * [`workload`] — synthetic dataset generators (Lists 6–7 substitutes).
 //!
@@ -39,6 +41,7 @@ pub use grdf_core as core;
 pub use grdf_feature as feature;
 pub use grdf_geometry as geometry;
 pub use grdf_gml as gml;
+pub use grdf_lint as lint;
 pub use grdf_obs as obs;
 pub use grdf_owl as owl;
 pub use grdf_query as query;

@@ -177,12 +177,12 @@ fn merge_then_policy_still_works() {
     // Aggregate a new source with its own vocabulary.
     store
         .load_turtle(
-            r#"@prefix app: <http://grdf.org/app#> .
+            r"@prefix app: <http://grdf.org/app#> .
                @prefix wx: <urn:wx#> .
                @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
                wx:Depot rdfs:subClassOf app:ChemSite .
                wx:depot1 a wx:Depot ; app:hasChemicalInfo wx:depot1chem .
-            "#,
+            ",
         )
         .unwrap();
     store.materialize();

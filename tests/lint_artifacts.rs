@@ -1,0 +1,88 @@
+//! `grdf-lint` over everything the repo ships: the built ontologies, the
+//! §7.1 incident workload (List 6/7 substitutes) with its List 8 policy
+//! set, and the Fig. 2 topology encoding. These artifacts are the
+//! reference inputs for examples, benchmarks, and the paper-listing
+//! tests, so they must hold themselves to the standard the linter
+//! enforces on user data: zero findings, not merely zero errors.
+//!
+//! History this pins down: the linter originally caught the workload's
+//! `app:` vocabulary being used without declarations (fixed in
+//! `alignment_axioms`) and envelopes carrying `grdf:coordinates` without
+//! being `Geometry` (fixed with `Envelope ⊑ Geometry`). A regression
+//! here means a shipped artifact drifted from the schema again.
+
+use grdf::lint::{lint_all, lint_graph, LintReport};
+use grdf::rdf::graph::Graph;
+use grdf::topology::model::{DirectedEdge, TopologyModel};
+
+fn assert_clean(name: &str, report: &LintReport) {
+    assert!(
+        report.is_clean(),
+        "{name} should lint clean:\n{}",
+        report.render_text()
+    );
+}
+
+fn merged(a: &Graph, b: &Graph) -> Graph {
+    let mut g = a.clone();
+    for t in b.iter() {
+        g.add(t.subject, t.predicate, t.object);
+    }
+    g
+}
+
+#[test]
+fn grdf_ontology_lints_clean() {
+    let onto = grdf::core::ontology::grdf_ontology();
+    assert_clean("grdf_ontology", &lint_graph(&onto));
+}
+
+#[test]
+fn security_ontology_lints_clean() {
+    // The security ontology references GRDF classes, so it is linted in
+    // the context it is always deployed in: merged with the core ontology.
+    let g = merged(
+        &grdf::core::ontology::grdf_ontology(),
+        &grdf::security::ontology::security_ontology(),
+    );
+    assert_clean("security + grdf ontology", &lint_graph(&g));
+}
+
+#[test]
+fn incident_workload_lints_clean() {
+    // The raw generated graph (alignment axioms + features)...
+    let g = grdf_bench::incident_graph(12, 12, 7);
+    assert_clean("incident graph", &lint_graph(&g));
+    // ...and as a GrdfStore serves it, merged with the ontology, with the
+    // three-role §7.1 policy set in force.
+    let store = grdf_bench::incident_store(12, 12, 7);
+    let policies = grdf_bench::scenario_policies();
+    assert_clean(
+        "incident store + scenario policies",
+        &lint_all(store.graph(), Some(&policies)),
+    );
+}
+
+#[test]
+fn topology_encoding_lints_clean() {
+    let mut m = TopologyModel::new();
+    let a = m.add_node();
+    let b = m.add_node();
+    let c = m.add_node();
+    let e1 = m.add_edge(a, b).unwrap();
+    let e2 = m.add_edge(b, c).unwrap();
+    let e3 = m.add_edge(c, a).unwrap();
+    m.add_face(vec![
+        DirectedEdge::forward(e1),
+        DirectedEdge::forward(e2),
+        DirectedEdge::forward(e3),
+    ])
+    .unwrap();
+    let mut g = Graph::new();
+    grdf::topology::rdf_codec::encode_topology(&mut g, "urn:topo#", &m);
+    assert_clean("topology encoding", &lint_graph(&g));
+    // And in ontology context too: the codec's vocabulary must line up
+    // with the declared one.
+    let with_onto = merged(&grdf::core::ontology::grdf_ontology(), &g);
+    assert_clean("topology encoding + ontology", &lint_graph(&with_onto));
+}

@@ -1,0 +1,205 @@
+//! Golden lint corpus: every `LintCode` has at least one fixture that
+//! fires it (asserting the exact code *and* subject), `clean_*` fixtures
+//! prove the absence of false positives, the JSON rendering is pinned
+//! against a committed snapshot, and output is invariant under triple
+//! reordering.
+//!
+//! Fixture grammar: Turtle files in `tests/lint_corpus/`. Leading
+//! comment lines of the form `# expect: CODE <absolute-iri>` declare the
+//! complete set of (code, subject) pairs the linter must report — no
+//! more, no less. Files named `clean_*.ttl` carry no expectations and
+//! must lint clean. A `<stem>.policies.ttl` sidecar supplies policies
+//! that are deliberately *not* part of the data graph (S002 needs a
+//! policy whose target the graph cannot vouch for).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use grdf::lint::{lint_all, LintCode, LintReport};
+use grdf::rdf::graph::Graph;
+use grdf::rdf::turtle;
+use grdf::security::{Policy, PolicySet};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_corpus")
+}
+
+/// Every fixture (excluding policy sidecars), sorted for stable runs.
+fn fixtures() -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("corpus dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "ttl")
+                && !p
+                    .file_name()
+                    .is_some_and(|n| n.to_string_lossy().ends_with(".policies.ttl"))
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "corpus must not be empty");
+    out
+}
+
+/// Parse the `# expect: CODE <iri>` header lines.
+fn expectations(src: &str) -> BTreeSet<(String, String)> {
+    src.lines()
+        .filter_map(|l| l.strip_prefix("# expect: "))
+        .map(|rest| {
+            let (code, subject) = rest.split_once(' ').expect("expect line: `CODE IRI`");
+            let code = LintCode::parse(code).expect("expect line names a known code");
+            (code.code().to_string(), subject.trim().to_string())
+        })
+        .collect()
+}
+
+/// Policies for a fixture: decoded from the data graph itself plus the
+/// optional `<stem>.policies.ttl` sidecar.
+fn fixture_policies(path: &Path, graph: &Graph) -> Option<PolicySet> {
+    let mut policies = Policy::decode_all(graph);
+    let sidecar = path.with_extension("policies.ttl");
+    if sidecar.exists() {
+        let src = fs::read_to_string(&sidecar).expect("sidecar readable");
+        let pg = turtle::parse(&src).unwrap_or_else(|e| panic!("{}: {e:?}", sidecar.display()));
+        policies.extend(Policy::decode_all(&pg));
+    }
+    (!policies.is_empty()).then(|| PolicySet::new(policies))
+}
+
+fn lint_fixture(path: &Path) -> (BTreeSet<(String, String)>, LintReport) {
+    let src = fs::read_to_string(path).expect("fixture readable");
+    let graph = turtle::parse(&src).unwrap_or_else(|e| panic!("{}: {e:?}", path.display()));
+    let set = fixture_policies(path, &graph);
+    (expectations(&src), lint_all(&graph, set.as_ref()))
+}
+
+/// The (code, subject) pairs a report actually contains.
+fn reported(report: &LintReport) -> BTreeSet<(String, String)> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            (
+                d.code.code().to_string(),
+                d.subject.as_iri().unwrap_or("<non-iri>").to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fixtures_report_exactly_what_they_declare() {
+    for path in fixtures() {
+        let (expected, report) = lint_fixture(&path);
+        let actual = reported(&report);
+        assert_eq!(
+            actual,
+            expected,
+            "{}:\n{}",
+            path.display(),
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_are_clean() {
+    let mut seen = 0;
+    for path in fixtures() {
+        if !path
+            .file_name()
+            .is_some_and(|n| n.to_string_lossy().starts_with("clean_"))
+        {
+            continue;
+        }
+        seen += 1;
+        let (expected, report) = lint_fixture(&path);
+        assert!(
+            expected.is_empty(),
+            "{}: clean fixtures declare nothing",
+            path.display()
+        );
+        assert!(
+            report.is_clean(),
+            "{}:\n{}",
+            path.display(),
+            report.render_text()
+        );
+    }
+    assert!(seen >= 3, "corpus keeps at least three clean fixtures");
+}
+
+#[test]
+fn every_code_has_a_firing_fixture() {
+    let mut covered = BTreeSet::new();
+    for path in fixtures() {
+        let src = fs::read_to_string(&path).expect("fixture readable");
+        for (code, _) in expectations(&src) {
+            covered.insert(code);
+        }
+    }
+    let all: BTreeSet<String> = LintCode::ALL.iter().map(|c| c.code().to_string()).collect();
+    assert_eq!(covered, all, "every LintCode needs a firing fixture");
+}
+
+#[test]
+fn json_output_matches_committed_snapshot() {
+    let path = corpus_dir().join("G006_measure_type.ttl");
+    let (_, report) = lint_fixture(&path);
+    let snapshot_path = corpus_dir().join("snapshots/G006_measure_type.json");
+    let expected = fs::read_to_string(&snapshot_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", snapshot_path.display()));
+    assert_eq!(
+        report.to_json(),
+        expected.trim_end(),
+        "JSON rendering drifted from {} — the format is versioned; bump \
+         \"version\" and regenerate the snapshot if the change is deliberate",
+        snapshot_path.display()
+    );
+}
+
+/// A tiny deterministic generator for the shuffle test; no clock, no OS
+/// entropy, so the "property" runs identically everywhere.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+#[test]
+fn lint_output_is_deterministic_under_triple_reordering() {
+    for path in fixtures() {
+        let src = fs::read_to_string(&path).expect("fixture readable");
+        let graph = turtle::parse(&src).unwrap_or_else(|e| panic!("{}: {e:?}", path.display()));
+        let set = fixture_policies(&path, &graph);
+        let baseline = lint_all(&graph, set.as_ref()).to_json();
+
+        let triples: Vec<_> = graph.iter().collect();
+        for seed in 1..=4u64 {
+            let mut shuffled = triples.clone();
+            let mut rng = Lcg(seed);
+            for i in (1..shuffled.len()).rev() {
+                let j = (rng.next() as usize) % (i + 1);
+                shuffled.swap(i, j);
+            }
+            let mut g = Graph::new();
+            for t in shuffled {
+                g.add(t.subject, t.predicate, t.object);
+            }
+            let set = fixture_policies(&path, &g);
+            assert_eq!(
+                lint_all(&g, set.as_ref()).to_json(),
+                baseline,
+                "{} (seed {seed}): lint output depends on triple order",
+                path.display()
+            );
+        }
+    }
+}

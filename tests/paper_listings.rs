@@ -3,6 +3,7 @@
 //! the text ascribes to them. These tests pin the reproduction to the
 //! paper's actual artifacts.
 
+use grdf::lint::lint_graph;
 use grdf::owl::consistency::check_consistency;
 use grdf::owl::reasoner::Reasoner;
 use grdf::rdf::term::Term;
@@ -35,6 +36,11 @@ fn list1_measure_type() {
         site.property("temperatureUom").and_then(|v| v.as_str()),
         Some("http://grdf.org/uom/farenheit")
     );
+    // The GRDF encoding of the listing holds up under the linter.
+    let mut g = grdf::rdf::graph::Graph::new();
+    grdf::feature::rdf_codec::encode_feature(&mut g, site);
+    let report = lint_graph(&g);
+    assert!(report.is_clean(), "{}", report.render_text());
 }
 
 /// List 2 — the geometric property declarations.
@@ -50,6 +56,8 @@ fn list2_property_types() {
     </rdf:RDF>"#;
     let g = grdf::rdf::rdfxml::parse(xml).unwrap();
     assert_eq!(g.len(), 5);
+    let report = lint_graph(&g);
+    assert!(report.is_clean(), "{}", report.render_text());
     for p in [
         "hasCenterLineOf",
         "hasCenterOf",
@@ -119,6 +127,8 @@ fn list3_envelope_with_time_period() {
         iri("urn:test#t1"),
     );
     assert!(check_consistency(&g).is_empty());
+    let report = lint_graph(&g);
+    assert!(report.is_clean(), "{}", report.render_text());
 }
 
 /// List 4 — the curve multipart family, and the paper's rule that "there is
@@ -134,6 +144,8 @@ fn list4_curve_multiparts() {
     </rdf:RDF>"#;
     let g = grdf::rdf::rdfxml::parse(xml).unwrap();
     assert_eq!(g.len(), 4);
+    let report = lint_graph(&g);
+    assert!(report.is_clean(), "{}", report.render_text());
     let onto = grdf::core::ontology::grdf_ontology();
     for c in ["Curve", "MultiCurve", "CompositeCurve"] {
         assert!(onto.has(
@@ -186,6 +198,8 @@ fn list5_face_restrictions() {
     );
     Reasoner::default().materialize(&mut g);
     assert!(check_consistency(&g).is_empty());
+    let report = lint_graph(&g);
+    assert!(report.is_clean(), "{}", report.render_text());
     // Violate each facet in turn.
     for s in ["urn:t#s1", "urn:t#s2"] {
         g.add(

@@ -176,7 +176,8 @@ proptest! {
                     | GsacsError::DeadlineExceeded { .. }
                     | GsacsError::Overloaded { .. }
                     | GsacsError::Engine(_)
-                    | GsacsError::Internal(_),
+                    | GsacsError::Internal(_)
+                    | GsacsError::LintRejected(_),
                 ) => {
                     // Fail-closed: errors carry no data.
                 }

@@ -56,7 +56,7 @@ fn arb_graph(max: usize) -> impl Strategy<Value = Graph> {
 fn arb_coord() -> impl Strategy<Value = Coord> {
     // Values without float formatting surprises.
     (-1_000_000i32..1_000_000, -1_000_000i32..1_000_000)
-        .prop_map(|(x, y)| Coord::xy(x as f64 / 16.0, y as f64 / 16.0))
+        .prop_map(|(x, y)| Coord::xy(f64::from(x) / 16.0, f64::from(y) / 16.0))
 }
 
 // ---------------------------------------------------------------------------

@@ -10,7 +10,7 @@ use grdf::geometry::{Coord, Envelope, LineString};
 
 fn arb_coord() -> impl Strategy<Value = Coord> {
     (-10_000i32..10_000, -10_000i32..10_000)
-        .prop_map(|(x, y)| Coord::xy(x as f64 / 4.0, y as f64 / 4.0))
+        .prop_map(|(x, y)| Coord::xy(f64::from(x) / 4.0, f64::from(y) / 4.0))
 }
 
 fn arb_envelope() -> impl Strategy<Value = Envelope> {
@@ -28,7 +28,7 @@ proptest! {
         window in arb_envelope(),
     ) {
         let tagged: Vec<(Envelope, usize)> =
-            items.iter().cloned().zip(0..).collect();
+            items.iter().copied().zip(0..).collect();
         let tree = RTree::bulk_load(tagged.clone());
         prop_assert!(tree.validate());
         let mut got: Vec<usize> = tree.query(&window).into_iter().copied().collect();
@@ -48,7 +48,7 @@ proptest! {
         window in arb_envelope(),
     ) {
         let tagged: Vec<(Envelope, usize)> =
-            items.iter().cloned().zip(0..).collect();
+            items.iter().copied().zip(0..).collect();
         let bulk = RTree::bulk_load(tagged.clone());
         let mut inc = RTree::new();
         for (e, i) in &tagged {
@@ -68,7 +68,7 @@ proptest! {
         probe in arb_coord(),
     ) {
         let tagged: Vec<(Envelope, usize)> =
-            items.iter().cloned().zip(0..).collect();
+            items.iter().copied().zip(0..).collect();
         let tree = RTree::bulk_load(tagged.clone());
         let got = *tree.nearest(&probe).unwrap();
         let got_d = tagged[got].0.center().distance_2d(&probe);

@@ -29,7 +29,7 @@ fn build_service(cache_capacity: usize, config: ResilienceConfig) -> GSacs {
         site.set_property("hasChemCode", format!("C{i}").as_str());
         encode_feature(&mut data, &site);
         let mut stream = Feature::new(&ns::app(&format!("stream{i}")), "Stream");
-        stream.set_property("hasObjectID", i as i64);
+        stream.set_property("hasObjectID", i64::from(i));
         encode_feature(&mut data, &stream);
     }
     let policies = PolicySet::new(vec![
