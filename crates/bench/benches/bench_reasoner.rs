@@ -1,0 +1,207 @@
+//! Engine comparison for the materialization fixpoint: naive reference vs
+//! semi-naive vs parallel semi-naive, over the E1 GRDF ontology and the
+//! E6 incident store (ontology + incident data) at several scales.
+//!
+//! Unlike the criterion-style benches this is a hand-rolled harness so it
+//! can emit a machine-readable snapshot (`--json <path>`, the format of
+//! the checked-in `BENCH_reasoner.json`) and enforce engine invariants as
+//! hard assertions: the semi-naive engine must never take more passes
+//! than the naive engine and every arm must infer the same triple count.
+//! `--quick` trims the scaling series for CI smoke runs.
+
+use std::time::Instant;
+
+use grdf_bench::incident_store;
+use grdf_core::ontology::grdf_ontology;
+use grdf_owl::reasoner::{Reasoner, ReasonerStats, Strategy};
+use grdf_rdf::graph::Graph;
+
+struct ArmResult {
+    name: &'static str,
+    millis: f64,
+    stats: ReasonerStats,
+}
+
+struct ScenarioResult {
+    name: String,
+    input_triples: usize,
+    output_triples: usize,
+    arms: Vec<ArmResult>,
+}
+
+fn arms() -> Vec<(&'static str, Reasoner)> {
+    vec![
+        ("naive", Reasoner::naive()),
+        (
+            "semi_naive",
+            Reasoner {
+                strategy: Strategy::SemiNaive,
+                ..Reasoner::default()
+            },
+        ),
+        ("parallel4", Reasoner::parallel(4)),
+    ]
+}
+
+/// Best-of-`runs` wall time for a full materialization of `input`, plus
+/// the stats of the final run (identical across runs — the engine is
+/// deterministic).
+fn measure(input: &Graph, reasoner: Reasoner, runs: usize) -> (f64, ReasonerStats, Graph) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..runs {
+        let mut g = input.clone();
+        let start = Instant::now();
+        let stats = reasoner.materialize(&mut g);
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        best = best.min(millis);
+        last = Some((stats, g));
+    }
+    let (stats, g) = last.expect("runs >= 1");
+    (best, stats, g)
+}
+
+fn run_scenario(name: &str, input: &Graph, runs: usize) -> ScenarioResult {
+    let mut results = Vec::new();
+    let mut reference: Option<Graph> = None;
+    let mut output_triples = 0;
+    for (arm_name, reasoner) in arms() {
+        let (millis, stats, g) = measure(input, reasoner, runs);
+        match &reference {
+            None => {
+                output_triples = g.len();
+                reference = Some(g);
+            }
+            Some(r) => assert_eq!(
+                *r, g,
+                "{name}/{arm_name}: fixpoint differs from the naive reference"
+            ),
+        }
+        results.push(ArmResult {
+            name: arm_name,
+            millis,
+            stats,
+        });
+    }
+    let naive = &results[0];
+    for arm in &results[1..] {
+        assert_eq!(
+            arm.stats.inferred, naive.stats.inferred,
+            "{name}/{}: inferred-count mismatch vs naive",
+            arm.name
+        );
+        assert!(
+            arm.stats.passes <= naive.stats.passes,
+            "{name}/{}: {} passes exceeds naive's {}",
+            arm.name,
+            arm.stats.passes,
+            naive.stats.passes
+        );
+    }
+    ScenarioResult {
+        name: name.to_string(),
+        input_triples: input.len(),
+        output_triples,
+        arms: results,
+    }
+}
+
+fn speedup(scenario: &ScenarioResult, arm: &ArmResult) -> f64 {
+    scenario.arms[0].millis / arm.millis.max(1e-9)
+}
+
+fn to_json(mode: &str, scenarios: &[ScenarioResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"reasoner\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+        out.push_str(&format!("      \"input_triples\": {},\n", s.input_triples));
+        out.push_str(&format!(
+            "      \"output_triples\": {},\n",
+            s.output_triples
+        ));
+        out.push_str("      \"arms\": [\n");
+        for (j, arm) in s.arms.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"name\": \"{}\", \"millis\": {:.3}, \"passes\": {}, \
+                 \"inferred\": {}, \"speedup_vs_naive\": {:.2}}}{}\n",
+                arm.name,
+                arm.millis,
+                arm.stats.passes,
+                arm.stats.inferred,
+                speedup(s, arm),
+                if j + 1 < s.arms.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < scenarios.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args
+        .iter()
+        .any(|a| a.starts_with("--test") || a == "--list")
+    {
+        // `cargo test` probes bench binaries; nothing to run in test mode.
+        println!("bench_reasoner: bench-only binary, skipped under test");
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+
+    let (runs, scales): (usize, &[(usize, usize)]) = if quick {
+        (1, &[(25, 25), (50, 50)])
+    } else {
+        (3, &[(25, 25), (50, 50), (100, 100)])
+    };
+
+    let mut scenarios = Vec::new();
+    scenarios.push(run_scenario("e1_ontology", &grdf_ontology(), runs));
+    for &(streams, sites) in scales {
+        // The E6 incident *store*: ontology + incident data, so the
+        // fixpoint exercises the full GRDF schema, not just alignment
+        // axioms.
+        let store = incident_store(streams, sites, 11);
+        scenarios.push(run_scenario(
+            &format!("e6_incident_store_{streams}x{sites}"),
+            store.graph(),
+            runs,
+        ));
+    }
+
+    for s in &scenarios {
+        println!(
+            "{} ({} -> {} triples)",
+            s.name, s.input_triples, s.output_triples
+        );
+        for arm in &s.arms {
+            println!(
+                "  {:<10} {:>10.3} ms  {:>2} passes  {:>7} inferred  {:>6.2}x vs naive",
+                arm.name,
+                arm.millis,
+                arm.stats.passes,
+                arm.stats.inferred,
+                speedup(s, arm)
+            );
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = to_json(if quick { "quick" } else { "full" }, &scenarios);
+        std::fs::write(&path, json).expect("write json snapshot");
+        println!("wrote {path}");
+    }
+}

@@ -6,6 +6,25 @@
 //! "logical inference" capability the paper claims as GRDF's main advantage
 //! over GML (§1, §9).
 //!
+//! Two evaluation strategies compute the same fixpoint:
+//!
+//! * [`Strategy::Naive`] — every pass re-joins *full × full*: all rules
+//!   scan the entire graph, and [`Schema`] is re-collected from scratch.
+//!   Kept as the reference engine (and a benchmark baseline).
+//! * [`Strategy::SemiNaive`] (default) — pass 1 seeds a *delta* with the
+//!   whole graph; each later pass joins only *delta × full*, where the
+//!   delta is exactly the triples the previous pass derived. The schema
+//!   index is maintained incrementally by absorbing each delta instead of
+//!   being re-collected, and the delta can be sharded across a scoped
+//!   worker pool ([`Reasoner::shards`]) with a deterministic shard-order
+//!   merge, so the result is the same triple set as the sequential and
+//!   naive engines.
+//!
+//! The semi-naive engine also powers [`Reasoner::materialize_delta`]:
+//! given a generation marker from [`Graph::generation`], it derives the
+//! consequences of just the triples inserted since — the primitive behind
+//! incremental G-SACS updates.
+//!
 //! Rule coverage:
 //!
 //! | group | rules |
@@ -16,18 +35,35 @@
 
 use std::collections::{HashMap, HashSet};
 
-use grdf_rdf::graph::Graph;
+use grdf_rdf::graph::{Graph, TermId};
 use grdf_rdf::term::{Term, Triple};
 use grdf_rdf::vocab::{owl, rdf, rdfs};
-use grdf_runtime::{Deadline, DeadlineExceeded};
+use grdf_runtime::{Deadline, DeadlineExceeded, ShardPool};
 
 /// Statistics from one materialization run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReasonerStats {
     /// Number of fixpoint passes executed.
     pub passes: usize,
     /// Triples added by inference.
     pub inferred: usize,
+    /// Triples *consumed* as the delta of each pass. For the semi-naive
+    /// engine this is the seed size followed by each pass's fresh
+    /// derivations; for the naive engine it is the full graph size at the
+    /// start of every pass — the gap between the two is the work the
+    /// delta-driven engine avoids.
+    pub delta_sizes: Vec<usize>,
+}
+
+/// How the fixpoint is evaluated. Both strategies produce the same triple
+/// set; they differ only in how much work each pass re-does.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// Re-join full × full every pass (reference engine).
+    Naive,
+    /// Join delta × full; only newly derived triples are re-examined.
+    #[default]
+    SemiNaive,
 }
 
 /// Configurable forward-chaining reasoner.
@@ -42,6 +78,12 @@ pub struct Reasoner {
     pub restrictions: bool,
     /// Safety valve for the fixpoint loop.
     pub max_passes: usize,
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+    /// Worker width for the semi-naive delta pass (1 = sequential). The
+    /// delta is split into contiguous shards and merged in shard order, so
+    /// any width yields the same triple set.
+    pub shards: usize,
 }
 
 impl Default for Reasoner {
@@ -51,8 +93,27 @@ impl Default for Reasoner {
             owl: true,
             restrictions: true,
             max_passes: 64,
+            strategy: Strategy::SemiNaive,
+            shards: 1,
         }
     }
+}
+
+/// Below this many delta triples a pass runs inline even when
+/// [`Reasoner::shards`] asks for parallelism — thread setup would cost
+/// more than the pass itself.
+const PARALLEL_THRESHOLD: usize = 256;
+
+/// How often each shard polls the request deadline.
+const DEADLINE_POLL_STRIDE: usize = 256;
+
+/// How the semi-naive loop is seeded.
+enum Seed {
+    /// Pass 1 consumes the whole graph (full materialization).
+    Full,
+    /// Pass 1 consumes the triples inserted since this generation marker
+    /// (incremental update of an already-materialized graph).
+    Since(u64),
 }
 
 impl Reasoner {
@@ -66,6 +127,22 @@ impl Reasoner {
         }
     }
 
+    /// The reference full × full engine (benchmark baseline).
+    pub fn naive() -> Reasoner {
+        Reasoner {
+            strategy: Strategy::Naive,
+            ..Reasoner::default()
+        }
+    }
+
+    /// Semi-naive engine with `shards` parallel delta workers.
+    pub fn parallel(shards: usize) -> Reasoner {
+        Reasoner {
+            shards: shards.max(1),
+            ..Reasoner::default()
+        }
+    }
+
     /// Materialize all entailments into `graph`; returns statistics.
     pub fn materialize(&self, graph: &mut Graph) -> ReasonerStats {
         self.materialize_with_deadline(graph, &Deadline::never())
@@ -73,11 +150,42 @@ impl Reasoner {
     }
 
     /// Materialize under a cooperative deadline, polled once per fixpoint
-    /// pass. On expiry the graph is left with whatever entailments the
-    /// completed passes added (each pass only adds sound inferences, so
-    /// the graph stays consistent — merely under-materialized) and the
+    /// pass (and once per [`DEADLINE_POLL_STRIDE`] delta triples inside
+    /// each shard). On expiry the graph is left with whatever entailments
+    /// the completed passes added (each pass only adds sound inferences,
+    /// so the graph stays consistent — merely under-materialized) and the
     /// caller decides how to degrade.
     pub fn materialize_with_deadline(
+        &self,
+        graph: &mut Graph,
+        deadline: &Deadline,
+    ) -> Result<ReasonerStats, DeadlineExceeded> {
+        match self.strategy {
+            Strategy::Naive => self.materialize_naive(graph, deadline),
+            Strategy::SemiNaive => self.run_semi_naive(graph, &Seed::Full, deadline),
+        }
+    }
+
+    /// Derive the consequences of just the triples inserted since
+    /// `from_generation` (a marker from [`Graph::generation`] taken when
+    /// the graph was last fully materialized). Always uses the semi-naive
+    /// engine — incremental maintenance *is* delta evaluation with a
+    /// smaller seed. Sound and complete for additions only: retracting a
+    /// triple requires a full re-materialization.
+    pub fn materialize_delta(
+        &self,
+        graph: &mut Graph,
+        from_generation: u64,
+        deadline: &Deadline,
+    ) -> Result<ReasonerStats, DeadlineExceeded> {
+        self.run_semi_naive(graph, &Seed::Since(from_generation), deadline)
+    }
+
+    // ------------------------------------------------------------------
+    // Naive engine (reference)
+    // ------------------------------------------------------------------
+
+    fn materialize_naive(
         &self,
         graph: &mut Graph,
         deadline: &Deadline,
@@ -86,6 +194,7 @@ impl Reasoner {
         loop {
             deadline.check()?;
             stats.passes += 1;
+            stats.delta_sizes.push(graph.len());
             let span = grdf_obs::span("reasoner.pass").tag("pass", stats.passes);
             let additions = self.one_pass(graph);
             let mut added = 0;
@@ -157,6 +266,459 @@ impl Reasoner {
         }
         out
     }
+
+    // ------------------------------------------------------------------
+    // Semi-naive engine
+    // ------------------------------------------------------------------
+
+    fn run_semi_naive(
+        &self,
+        graph: &mut Graph,
+        seed: &Seed,
+        deadline: &Deadline,
+    ) -> Result<ReasonerStats, DeadlineExceeded> {
+        let mut stats = ReasonerStats::default();
+        // The whole fixpoint runs in interned-id space: the seed is a copy
+        // of the graph's id log, rule joins dispatch on pre-resolved
+        // vocabulary ids, and proposals are id tuples merged without
+        // re-interning. Terms are only touched by the clique-global rules.
+        let voc = Voc::resolve(graph);
+        let mut schema = IdSchema::default();
+        let (mut delta, mut triggers) = match seed {
+            Seed::Full => {
+                let delta = graph.delta_ids_since(0);
+                let triggers = schema.absorb(graph, &voc, &delta);
+                (delta, triggers)
+            }
+            Seed::Since(generation) => {
+                let delta = graph.delta_ids_since(*generation);
+                if delta.is_empty() {
+                    return Ok(stats);
+                }
+                // The schema must cover the *whole* graph (rules consult
+                // declarations made long before the delta), but only the
+                // delta decides which clique-global rules need to run.
+                let all = graph.delta_ids_since(0);
+                schema.absorb(graph, &voc, &all);
+                let triggers = schema.triggers_for(graph, &voc, &delta);
+                (delta, triggers)
+            }
+        };
+        let pool = ShardPool::new(self.shards);
+        grdf_obs::gauge_set("reasoner.shards", pool.workers() as i64);
+        loop {
+            deadline.check()?;
+            stats.passes += 1;
+            stats.delta_sizes.push(delta.len());
+            grdf_obs::observe("reasoner.delta.size", delta.len() as u64);
+            let span = grdf_obs::span("reasoner.pass")
+                .tag("pass", stats.passes)
+                .tag("delta", delta.len());
+            let maps = IdRestrictionMaps::build(&schema, graph.term_count());
+
+            // Delta × full joins, sharded; merged in shard order so the
+            // proposal sequence is identical at any worker width.
+            let g: &Graph = graph;
+            let sharded: Vec<(Vec<IdTriple>, RuleCounts)> =
+                if pool.workers() > 1 && delta.len() >= PARALLEL_THRESHOLD {
+                    pool.map_shards(&delta, |_, chunk| {
+                        self.delta_pass(g, &voc, &schema, &maps, chunk, deadline)
+                    })?
+                } else {
+                    vec![self.delta_pass(g, &voc, &schema, &maps, &delta, deadline)?]
+                };
+            let mut proposals: Vec<IdTriple> = Vec::new();
+            let mut counts = RuleCounts::default();
+            for (chunk_out, chunk_counts) in sharded {
+                proposals.extend(chunk_out);
+                counts.merge(&chunk_counts);
+            }
+
+            // Clique-global rules can't be expressed as a join against one
+            // delta triple; they run sequentially in term space, gated by
+            // triggers the schema absorption detected in this delta. Their
+            // output terms all occur in the graph already, so the extra
+            // extend below interns nothing new.
+            let mut global_proposals: Vec<Triple> = Vec::new();
+            if self.owl && triggers.same_as {
+                let before = proposals.len();
+                rule_same_as_ids(graph, &voc, &mut proposals);
+                counts.same_as += (proposals.len() - before) as u64;
+            }
+            if self.restrictions && !triggers.dirty_restrictions.is_empty() {
+                let before = global_proposals.len();
+                for &i in &triggers.dirty_restrictions {
+                    apply_restriction(graph, &schema.restrictions[i], &mut global_proposals);
+                }
+                counts.restrictions += (global_proposals.len() - before) as u64;
+            }
+            if self.owl && triggers.boolean {
+                let before = global_proposals.len();
+                rule_boolean_classes(graph, &mut global_proposals);
+                counts.boolean_classes += (global_proposals.len() - before) as u64;
+            }
+            counts.emit();
+
+            let mark = graph.generation();
+            let mut added = graph.extend_ids(proposals);
+            if !global_proposals.is_empty() {
+                added += graph.extend_triples(global_proposals);
+            }
+            drop(span.tag("inferred", added));
+            stats.inferred += added;
+            if added == 0 || stats.passes >= self.max_passes {
+                grdf_obs::add("reasoner.passes", stats.passes as u64);
+                grdf_obs::add("reasoner.inferred", stats.inferred as u64);
+                return Ok(stats);
+            }
+            delta = graph.delta_ids_since(mark);
+            triggers = schema.absorb(graph, &voc, &delta);
+        }
+    }
+
+    /// Apply every delta-aware rule variant to one shard of the delta.
+    /// Each delta triple is already *in* the graph, so joining it against
+    /// the full graph also covers delta × delta pairs. Runs entirely in
+    /// interned-id space: predicate dispatch compares pre-resolved
+    /// vocabulary ids, schema lookups are dense-table loads, and no term
+    /// is hashed or cloned per triple.
+    #[allow(clippy::cognitive_complexity)]
+    fn delta_pass(
+        &self,
+        g: &Graph,
+        voc: &Voc,
+        s: &IdSchema,
+        maps: &IdRestrictionMaps,
+        chunk: &[IdTriple],
+        deadline: &Deadline,
+    ) -> Result<(Vec<IdTriple>, RuleCounts), DeadlineExceeded> {
+        let mut out: Vec<IdTriple> = Vec::new();
+        let mut c = RuleCounts::default();
+
+        macro_rules! counted {
+            ($field:ident, $body:expr) => {{
+                let before = out.len();
+                $body;
+                c.$field += (out.len() - before) as u64;
+            }};
+        }
+
+        for (i, &(ts, tp, to)) in chunk.iter().enumerate() {
+            if i % DEADLINE_POLL_STRIDE == 0 {
+                deadline.check()?;
+            }
+            let pe = s.pred(tp);
+
+            if self.rdfs {
+                if tp == voc.sub_class {
+                    counted!(
+                        subclass_transitivity,
+                        delta_transitivity_ids(g, voc.sub_class, ts, to, &mut out)
+                    );
+                    // Declaration side of type inheritance: existing
+                    // members of the new subclass gain the superclass.
+                    counted!(type_inheritance, {
+                        g.for_each_match_ids(None, Some(voc.ty), Some(ts), |x, _, _| {
+                            out.push((x, voc.ty, to));
+                        });
+                    });
+                } else if tp == voc.sub_prop {
+                    counted!(
+                        subproperty_transitivity,
+                        delta_transitivity_ids(g, voc.sub_prop, ts, to, &mut out)
+                    );
+                    counted!(property_inheritance, {
+                        g.for_each_match_ids(None, Some(ts), None, |ms, _, mo| {
+                            out.push((ms, to, mo));
+                        });
+                    });
+                } else if tp == voc.domain {
+                    counted!(domain_range, {
+                        g.for_each_match_ids(None, Some(ts), None, |ms, _, _| {
+                            out.push((ms, voc.ty, to));
+                        });
+                    });
+                } else if tp == voc.range {
+                    counted!(domain_range, {
+                        if !is_xsd_class(g.term_of(to)) {
+                            g.for_each_match_ids(None, Some(ts), None, |_, _, mo| {
+                                if g.term_of(mo).is_resource() {
+                                    out.push((mo, voc.ty, to));
+                                }
+                            });
+                        }
+                    });
+                } else if tp == voc.ty {
+                    counted!(type_inheritance, {
+                        for &sup in s.class_supers(to) {
+                            out.push((ts, voc.ty, sup));
+                        }
+                    });
+                }
+                // Instance side: the predicate may carry RDFS declarations.
+                if let Some(pe) = pe {
+                    counted!(property_inheritance, {
+                        for &q in &pe.supers {
+                            out.push((ts, q, to));
+                        }
+                    });
+                    counted!(domain_range, {
+                        for &class in &pe.domains {
+                            out.push((ts, voc.ty, class));
+                        }
+                    });
+                    if !pe.ranges.is_empty() && g.term_of(to).is_resource() {
+                        counted!(domain_range, {
+                            for &class in &pe.ranges {
+                                // Datatype ranges aren't class memberships.
+                                if is_xsd_class(g.term_of(class)) {
+                                    continue;
+                                }
+                                out.push((to, voc.ty, class));
+                            }
+                        });
+                    }
+                }
+            }
+
+            if self.owl {
+                if tp == voc.equiv_class {
+                    counted!(equivalences, {
+                        for (a, b) in [(ts, to), (to, ts)] {
+                            if g.term_of(b).is_resource() {
+                                out.push((a, voc.sub_class, b));
+                            }
+                        }
+                    });
+                } else if tp == voc.equiv_prop {
+                    counted!(equivalences, {
+                        for (a, b) in [(ts, to), (to, ts)] {
+                            out.push((a, voc.sub_prop, b));
+                        }
+                    });
+                } else if tp == voc.inverse_of {
+                    counted!(inverse, {
+                        inverse_over_ids(g, ts, to, &mut out);
+                        inverse_over_ids(g, to, ts, &mut out);
+                    });
+                } else if tp == voc.ty {
+                    // A property characteristic arriving in the delta
+                    // re-evaluates that one property over the full graph.
+                    if to == voc.symmetric {
+                        counted!(symmetric, symmetric_over_ids(g, ts, &mut out));
+                    } else if to == voc.transitive {
+                        counted!(transitive, transitivity_over_ids(g, ts, &mut out));
+                    } else if to == voc.functional {
+                        counted!(functional, functional_over_ids(g, voc, ts, &mut out));
+                    } else if to == voc.inverse_functional {
+                        counted!(
+                            functional,
+                            inverse_functional_over_ids(g, voc, ts, &mut out)
+                        );
+                    }
+                }
+                // Instance side: the predicate may carry OWL semantics.
+                if let Some(pe) = pe {
+                    if !pe.inverses.is_empty() && g.term_of(to).is_resource() {
+                        counted!(inverse, {
+                            for &q in &pe.inverses {
+                                out.push((to, q, ts));
+                            }
+                        });
+                    }
+                    if pe.flags & SYMMETRIC != 0 && g.term_of(to).is_resource() {
+                        counted!(symmetric, {
+                            out.push((to, tp, ts));
+                        });
+                    }
+                    if pe.flags & TRANSITIVE != 0 {
+                        counted!(transitive, delta_transitivity_ids(g, tp, ts, to, &mut out));
+                    }
+                    if pe.flags & FUNCTIONAL != 0 && g.term_of(to).is_resource() {
+                        counted!(functional, {
+                            let mut objs: Vec<TermId> = Vec::new();
+                            g.for_each_match_ids(Some(ts), Some(tp), None, |_, _, y| {
+                                if g.term_of(y).is_resource() {
+                                    objs.push(y);
+                                }
+                            });
+                            for pair in objs.windows(2) {
+                                if pair[0] != pair[1] {
+                                    out.push((pair[0], voc.same, pair[1]));
+                                }
+                            }
+                        });
+                    }
+                    if pe.flags & INVERSE_FUNCTIONAL != 0 {
+                        counted!(functional, {
+                            let mut subs: Vec<TermId> = Vec::new();
+                            g.for_each_match_ids(None, Some(tp), Some(to), |x, _, _| {
+                                subs.push(x);
+                            });
+                            for pair in subs.windows(2) {
+                                if pair[0] != pair[1] {
+                                    out.push((pair[0], voc.same, pair[1]));
+                                }
+                            }
+                        });
+                    }
+                }
+            }
+
+            if self.restrictions {
+                if tp == voc.ty {
+                    let idxs = IdRestrictionMaps::get(&maps.by_class, to);
+                    if !idxs.is_empty() {
+                        counted!(restrictions, {
+                            for &ri in idxs {
+                                let r = &s.id_restrictions[ri];
+                                match r.kind {
+                                    IdRKind::HasValue(v) => {
+                                        out.push((ts, r.property, v));
+                                    }
+                                    IdRKind::AllValuesFrom(class) => {
+                                        g.for_each_match_ids(
+                                            Some(ts),
+                                            Some(r.property),
+                                            None,
+                                            |_, _, y| {
+                                                if g.term_of(y).is_resource() {
+                                                    out.push((y, voc.ty, class));
+                                                }
+                                            },
+                                        );
+                                    }
+                                    IdRKind::SomeValuesFrom(_) => {}
+                                }
+                            }
+                        });
+                    }
+                    let idxs = IdRestrictionMaps::get(&maps.by_svf_class, to);
+                    if !idxs.is_empty() {
+                        counted!(restrictions, {
+                            for &ri in idxs {
+                                let r = &s.id_restrictions[ri];
+                                g.for_each_match_ids(
+                                    None,
+                                    Some(r.property),
+                                    Some(ts),
+                                    |x, _, _| {
+                                        out.push((x, voc.ty, r.node));
+                                    },
+                                );
+                            }
+                        });
+                    }
+                }
+                let idxs = IdRestrictionMaps::get(&maps.by_prop, tp);
+                if !idxs.is_empty() {
+                    counted!(restrictions, {
+                        for &ri in idxs {
+                            let r = &s.id_restrictions[ri];
+                            match r.kind {
+                                IdRKind::HasValue(v) => {
+                                    if to == v {
+                                        out.push((ts, voc.ty, r.node));
+                                    }
+                                }
+                                IdRKind::SomeValuesFrom(class) => {
+                                    if g.term_of(to).is_resource() && g.has_ids(to, voc.ty, class) {
+                                        out.push((ts, voc.ty, r.node));
+                                    }
+                                }
+                                IdRKind::AllValuesFrom(class) => {
+                                    if g.term_of(to).is_resource() && g.has_ids(ts, voc.ty, r.node)
+                                    {
+                                        out.push((to, voc.ty, class));
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        Ok((out, c))
+    }
+}
+
+/// Per-rule proposal counts from one pass of the semi-naive engine,
+/// mirroring the naive engine's `reasoner.rule.<name>` counters.
+#[derive(Debug, Default, Clone, Copy)]
+struct RuleCounts {
+    subclass_transitivity: u64,
+    type_inheritance: u64,
+    subproperty_transitivity: u64,
+    property_inheritance: u64,
+    domain_range: u64,
+    equivalences: u64,
+    inverse: u64,
+    symmetric: u64,
+    transitive: u64,
+    functional: u64,
+    same_as: u64,
+    restrictions: u64,
+    boolean_classes: u64,
+}
+
+impl RuleCounts {
+    fn entries(&self) -> [(&'static str, u64); 13] {
+        [
+            (
+                "reasoner.rule.subclass_transitivity",
+                self.subclass_transitivity,
+            ),
+            ("reasoner.rule.type_inheritance", self.type_inheritance),
+            (
+                "reasoner.rule.subproperty_transitivity",
+                self.subproperty_transitivity,
+            ),
+            (
+                "reasoner.rule.property_inheritance",
+                self.property_inheritance,
+            ),
+            ("reasoner.rule.domain_range", self.domain_range),
+            ("reasoner.rule.equivalences", self.equivalences),
+            ("reasoner.rule.inverse", self.inverse),
+            ("reasoner.rule.symmetric", self.symmetric),
+            ("reasoner.rule.transitive", self.transitive),
+            ("reasoner.rule.functional", self.functional),
+            ("reasoner.rule.same_as", self.same_as),
+            ("reasoner.rule.restrictions", self.restrictions),
+            ("reasoner.rule.boolean_classes", self.boolean_classes),
+        ]
+    }
+
+    fn merge(&mut self, other: &RuleCounts) {
+        for (mine, theirs) in [
+            (&mut self.subclass_transitivity, other.subclass_transitivity),
+            (&mut self.type_inheritance, other.type_inheritance),
+            (
+                &mut self.subproperty_transitivity,
+                other.subproperty_transitivity,
+            ),
+            (&mut self.property_inheritance, other.property_inheritance),
+            (&mut self.domain_range, other.domain_range),
+            (&mut self.equivalences, other.equivalences),
+            (&mut self.inverse, other.inverse),
+            (&mut self.symmetric, other.symmetric),
+            (&mut self.transitive, other.transitive),
+            (&mut self.functional, other.functional),
+            (&mut self.same_as, other.same_as),
+            (&mut self.restrictions, other.restrictions),
+            (&mut self.boolean_classes, other.boolean_classes),
+        ] {
+            *mine += theirs;
+        }
+    }
+
+    fn emit(&self) {
+        for (name, v) in self.entries() {
+            if v > 0 {
+                grdf_obs::add(name, v);
+            }
+        }
+    }
 }
 
 /// `owl:intersectionOf` / `owl:unionOf` semantics:
@@ -207,7 +769,25 @@ fn rule_boolean_classes(g: &Graph, out: &mut Vec<Triple>) {
     });
 }
 
-/// Schema triples collected once per pass for fast rule application.
+/// Clique-global rules the delta pass cannot run per-triple; detected per
+/// delta during schema absorption.
+#[derive(Debug, Default)]
+struct Triggers {
+    /// The delta asserted a `sameAs` pair or touched a term already in a
+    /// `sameAs` clique: re-run the union-find + substitution rule.
+    same_as: bool,
+    /// The delta touched an `intersectionOf`/`unionOf` declaration, a
+    /// list cell, or a membership in a boolean class or one of its parts.
+    boolean: bool,
+    /// Restrictions whose declarations changed in this delta; each gets a
+    /// full (per-restriction) re-evaluation next pass.
+    dirty_restrictions: Vec<usize>,
+}
+
+/// Schema triples indexed for fast rule application by the naive engine,
+/// which re-collects this from scratch every pass. The semi-naive engine
+/// maintains the id-keyed [`IdSchema`] incrementally instead.
+#[derive(Default)]
 struct Schema {
     /// subclass → superclasses (direct).
     sub_class: HashMap<Term, Vec<Term>>,
@@ -241,86 +821,457 @@ enum RKind {
     AllValuesFrom(Term),
 }
 
+fn build_restriction(g: &Graph, node: &Term) -> Option<Restriction> {
+    if !g.has(node, &Term::iri(rdf::TYPE), &Term::iri(owl::RESTRICTION)) {
+        return None;
+    }
+    let property = g.object(node, &Term::iri(owl::ON_PROPERTY))?;
+    let kind = if let Some(v) = g.object(node, &Term::iri(owl::HAS_VALUE)) {
+        RKind::HasValue(v)
+    } else if let Some(c) = g.object(node, &Term::iri(owl::SOME_VALUES_FROM)) {
+        RKind::SomeValuesFrom(c)
+    } else {
+        RKind::AllValuesFrom(g.object(node, &Term::iri(owl::ALL_VALUES_FROM))?)
+    };
+    let subclasses = g.subjects(&Term::iri(rdfs::SUB_CLASS_OF), node);
+    Some(Restriction {
+        node: node.clone(),
+        property,
+        kind,
+        subclasses,
+    })
+}
+
 impl Schema {
     fn collect(g: &Graph) -> Schema {
-        let mut s = Schema {
-            sub_class: HashMap::new(),
-            sub_prop: HashMap::new(),
-            domain: HashMap::new(),
-            range: HashMap::new(),
-            inverse: HashMap::new(),
-            symmetric: HashSet::new(),
-            transitive: HashSet::new(),
-            functional: HashSet::new(),
-            inverse_functional: HashSet::new(),
-            restrictions: Vec::new(),
-        };
-        g.for_each_match(None, Some(&Term::iri(rdfs::SUB_CLASS_OF)), None, |t| {
-            s.sub_class.entry(t.subject).or_default().push(t.object);
-        });
-        g.for_each_match(None, Some(&Term::iri(rdfs::SUB_PROPERTY_OF)), None, |t| {
-            s.sub_prop.entry(t.subject).or_default().push(t.object);
-        });
-        g.for_each_match(None, Some(&Term::iri(rdfs::DOMAIN)), None, |t| {
-            s.domain.entry(t.subject).or_default().push(t.object);
-        });
-        g.for_each_match(None, Some(&Term::iri(rdfs::RANGE)), None, |t| {
-            s.range.entry(t.subject).or_default().push(t.object);
-        });
-        g.for_each_match(None, Some(&Term::iri(owl::INVERSE_OF)), None, |t| {
-            s.inverse
-                .entry(t.subject.clone())
-                .or_default()
-                .push(t.object.clone());
-            s.inverse.entry(t.object).or_default().push(t.subject);
-        });
-        for (class_iri, set) in [
-            (owl::SYMMETRIC_PROPERTY, &mut s.symmetric),
-            (owl::TRANSITIVE_PROPERTY, &mut s.transitive),
-            (owl::FUNCTIONAL_PROPERTY, &mut s.functional),
-            (owl::INVERSE_FUNCTIONAL_PROPERTY, &mut s.inverse_functional),
-        ] {
-            g.for_each_match(
-                None,
-                Some(&Term::iri(rdf::TYPE)),
-                Some(&Term::iri(class_iri)),
-                |t| {
-                    set.insert(t.subject);
-                },
-            );
-        }
-
-        // Restrictions: nodes typed owl:Restriction with owl:onProperty.
-        g.for_each_match(
-            None,
-            Some(&Term::iri(rdf::TYPE)),
-            Some(&Term::iri(owl::RESTRICTION)),
-            |t| {
-                let node = t.subject;
-                let Some(property) = g.object(&node, &Term::iri(owl::ON_PROPERTY)) else {
-                    return;
-                };
-                let kind = if let Some(v) = g.object(&node, &Term::iri(owl::HAS_VALUE)) {
-                    Some(RKind::HasValue(v))
-                } else if let Some(c) = g.object(&node, &Term::iri(owl::SOME_VALUES_FROM)) {
-                    Some(RKind::SomeValuesFrom(c))
-                } else {
-                    g.object(&node, &Term::iri(owl::ALL_VALUES_FROM))
-                        .map(RKind::AllValuesFrom)
-                };
-                if let Some(kind) = kind {
-                    let subclasses = g.subjects(&Term::iri(rdfs::SUB_CLASS_OF), &node);
-                    s.restrictions.push(Restriction {
-                        node,
-                        property,
-                        kind,
-                        subclasses,
-                    });
+        let mut s = Schema::default();
+        // Restriction nodes are recognized by their `rdf:type
+        // owl:Restriction` declaration ([`build_restriction`] requires it),
+        // so one candidate source covers every restriction in a full scan.
+        let mut candidates: Vec<Term> = Vec::new();
+        let mut candidate_set: HashSet<Term> = HashSet::new();
+        for t in g.iter() {
+            match t.predicate.as_iri() {
+                Some(rdfs::SUB_CLASS_OF) => {
+                    s.sub_class.entry(t.subject).or_default().push(t.object);
                 }
-            },
-        );
+                Some(rdfs::SUB_PROPERTY_OF) => {
+                    s.sub_prop.entry(t.subject).or_default().push(t.object);
+                }
+                Some(rdfs::DOMAIN) => {
+                    s.domain.entry(t.subject).or_default().push(t.object);
+                }
+                Some(rdfs::RANGE) => {
+                    s.range.entry(t.subject).or_default().push(t.object);
+                }
+                Some(owl::INVERSE_OF) => {
+                    s.inverse
+                        .entry(t.subject.clone())
+                        .or_default()
+                        .push(t.object.clone());
+                    s.inverse.entry(t.object).or_default().push(t.subject);
+                }
+                Some(rdf::TYPE) => match t.object.as_iri() {
+                    Some(owl::SYMMETRIC_PROPERTY) => {
+                        s.symmetric.insert(t.subject);
+                    }
+                    Some(owl::TRANSITIVE_PROPERTY) => {
+                        s.transitive.insert(t.subject);
+                    }
+                    Some(owl::FUNCTIONAL_PROPERTY) => {
+                        s.functional.insert(t.subject);
+                    }
+                    Some(owl::INVERSE_FUNCTIONAL_PROPERTY) => {
+                        s.inverse_functional.insert(t.subject);
+                    }
+                    Some(owl::RESTRICTION) if candidate_set.insert(t.subject.clone()) => {
+                        candidates.push(t.subject);
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        for node in candidates {
+            if let Some(r) = build_restriction(g, &node) {
+                s.restrictions.push(r);
+            }
+        }
         s
     }
+}
+
+// ---------------------------------------------------------------------
+// Id-space schema index (semi-naive engine)
+// ---------------------------------------------------------------------
+
+/// Sentinel for a vocabulary term the graph has never interned: ids are
+/// dense indexes, so `TermId::MAX` compares equal to no real id.
+const NO_TERM: TermId = TermId::MAX;
+
+/// An interned triple as the delta pass sees it: three dense ids, no
+/// heap-owned terms.
+type IdTriple = (TermId, TermId, TermId);
+
+/// Pre-resolved ids of every vocabulary term the delta pass dispatches
+/// on, resolved once per materialization so no term is hashed in the
+/// per-triple hot loop. The four terms the engine *emits* (`rdf:type`,
+/// `rdfs:subClassOf`, `rdfs:subPropertyOf`, `owl:sameAs`) are interned up
+/// front so their ids exist even when the input graph never mentions them
+/// (interning adds no triples); the rest resolve to [`NO_TERM`] when
+/// absent and then simply match no delta triple. Rules can only combine
+/// ids of terms already in the graph, so no new vocabulary term can
+/// appear mid-run and the ids stay complete for the whole fixpoint.
+struct Voc {
+    ty: TermId,
+    sub_class: TermId,
+    sub_prop: TermId,
+    same: TermId,
+    domain: TermId,
+    range: TermId,
+    inverse_of: TermId,
+    equiv_class: TermId,
+    equiv_prop: TermId,
+    symmetric: TermId,
+    transitive: TermId,
+    functional: TermId,
+    inverse_functional: TermId,
+    restriction: TermId,
+    on_property: TermId,
+    has_value: TermId,
+    some_values_from: TermId,
+    all_values_from: TermId,
+    intersection_of: TermId,
+    union_of: TermId,
+    first: TermId,
+    rest: TermId,
+}
+
+impl Voc {
+    fn resolve(g: &mut Graph) -> Voc {
+        let id = |g: &Graph, iri: &str| g.term_id(&Term::iri(iri)).unwrap_or(NO_TERM);
+        Voc {
+            ty: g.intern_term(&Term::iri(rdf::TYPE)),
+            sub_class: g.intern_term(&Term::iri(rdfs::SUB_CLASS_OF)),
+            sub_prop: g.intern_term(&Term::iri(rdfs::SUB_PROPERTY_OF)),
+            same: g.intern_term(&Term::iri(owl::SAME_AS)),
+            domain: id(g, rdfs::DOMAIN),
+            range: id(g, rdfs::RANGE),
+            inverse_of: id(g, owl::INVERSE_OF),
+            equiv_class: id(g, owl::EQUIVALENT_CLASS),
+            equiv_prop: id(g, owl::EQUIVALENT_PROPERTY),
+            symmetric: id(g, owl::SYMMETRIC_PROPERTY),
+            transitive: id(g, owl::TRANSITIVE_PROPERTY),
+            functional: id(g, owl::FUNCTIONAL_PROPERTY),
+            inverse_functional: id(g, owl::INVERSE_FUNCTIONAL_PROPERTY),
+            restriction: id(g, owl::RESTRICTION),
+            on_property: id(g, owl::ON_PROPERTY),
+            has_value: id(g, owl::HAS_VALUE),
+            some_values_from: id(g, owl::SOME_VALUES_FROM),
+            all_values_from: id(g, owl::ALL_VALUES_FROM),
+            intersection_of: id(g, owl::INTERSECTION_OF),
+            union_of: id(g, owl::UNION_OF),
+            first: id(g, rdf::FIRST),
+            rest: id(g, rdf::REST),
+        }
+    }
+}
+
+const SYMMETRIC: u8 = 1;
+const TRANSITIVE: u8 = 1 << 1;
+const FUNCTIONAL: u8 = 1 << 2;
+const INVERSE_FUNCTIONAL: u8 = 1 << 3;
+
+/// Everything the delta pass needs to know about one predicate, gathered
+/// so a single dense-table load answers all per-predicate questions.
+#[derive(Default, Clone)]
+struct PredEntry {
+    /// `rdfs:subPropertyOf` superproperties (direct).
+    supers: Vec<TermId>,
+    /// `rdfs:domain` classes.
+    domains: Vec<TermId>,
+    /// `rdfs:range` classes.
+    ranges: Vec<TermId>,
+    /// `owl:inverseOf` partners (both directions).
+    inverses: Vec<TermId>,
+    /// OWL property-characteristic bits.
+    flags: u8,
+}
+
+/// The semi-naive engine's schema index, keyed by interned term id. The
+/// per-predicate and per-class tables are dense vectors indexed by id, so
+/// the per-delta-triple lookups in [`Reasoner::delta_pass`] are array
+/// loads instead of term hashes. Maintained incrementally: each pass
+/// absorbs only that pass's delta. Restrictions are kept in term form too
+/// because the dirty-restriction re-runs share [`apply_restriction`] with
+/// the naive engine.
+#[derive(Default)]
+struct IdSchema {
+    preds: Vec<PredEntry>,
+    /// subclass id → superclass ids (direct).
+    class_supers: Vec<Vec<TermId>>,
+    restrictions: Vec<Restriction>,
+    id_restrictions: Vec<IdRestriction>,
+    /// Restriction node id → index into `restrictions`/`id_restrictions`.
+    restriction_index: HashMap<TermId, usize>,
+    /// Ids appearing in any `sameAs` assertion (clique members).
+    same_members: HashSet<TermId>,
+    /// Boolean (intersection/union) class ids and their parts.
+    boolean_relevant: HashSet<TermId>,
+}
+
+struct IdRestriction {
+    node: TermId,
+    property: TermId,
+    kind: IdRKind,
+    /// Named classes declared as subclasses of the restriction.
+    subclasses: Vec<TermId>,
+}
+
+enum IdRKind {
+    HasValue(TermId),
+    SomeValuesFrom(TermId),
+    AllValuesFrom(TermId),
+}
+
+impl IdRestriction {
+    /// Every component term of a restriction occurs in a graph triple, so
+    /// it is interned; a failed lookup degrades to [`NO_TERM`] (matching
+    /// nothing) rather than panicking.
+    fn of(g: &Graph, r: &Restriction) -> IdRestriction {
+        let id = |t: &Term| g.term_id(t).unwrap_or(NO_TERM);
+        IdRestriction {
+            node: id(&r.node),
+            property: id(&r.property),
+            kind: match &r.kind {
+                RKind::HasValue(v) => IdRKind::HasValue(id(v)),
+                RKind::SomeValuesFrom(c) => IdRKind::SomeValuesFrom(id(c)),
+                RKind::AllValuesFrom(c) => IdRKind::AllValuesFrom(id(c)),
+            },
+            subclasses: r.subclasses.iter().map(id).collect(),
+        }
+    }
+}
+
+impl IdSchema {
+    fn grow(&mut self, n: usize) {
+        if self.preds.len() < n {
+            self.preds.resize_with(n, PredEntry::default);
+            self.class_supers.resize_with(n, Vec::new);
+        }
+    }
+
+    fn pred(&self, p: TermId) -> Option<&PredEntry> {
+        self.preds.get(p as usize)
+    }
+
+    fn class_supers(&self, c: TermId) -> &[TermId] {
+        self.class_supers
+            .get(c as usize)
+            .map_or(&[][..], Vec::as_slice)
+    }
+
+    /// Fold a delta's schema-level triples into the index and report which
+    /// clique-global rules the delta makes necessary. Each triple must be
+    /// absorbed exactly once over the life of the schema (deltas are
+    /// disjoint, so this holds by construction).
+    fn absorb(&mut self, g: &Graph, voc: &Voc, delta: &[(TermId, TermId, TermId)]) -> Triggers {
+        self.grow(g.term_count());
+        let mut trig = Triggers::default();
+        let mut candidates: Vec<TermId> = Vec::new();
+        let mut candidate_set: HashSet<TermId> = HashSet::new();
+        for &(s, p, o) in delta {
+            if p == voc.sub_class {
+                self.class_supers[s as usize].push(o);
+                // A new subclass edge into a restriction widens the
+                // restriction's reach.
+                if (self.restriction_index.contains_key(&o)
+                    || g.has_ids(o, voc.ty, voc.restriction))
+                    && candidate_set.insert(o)
+                {
+                    candidates.push(o);
+                }
+            } else if p == voc.sub_prop {
+                self.preds[s as usize].supers.push(o);
+            } else if p == voc.domain {
+                self.preds[s as usize].domains.push(o);
+            } else if p == voc.range {
+                self.preds[s as usize].ranges.push(o);
+            } else if p == voc.inverse_of {
+                self.preds[s as usize].inverses.push(o);
+                self.preds[o as usize].inverses.push(s);
+            } else if p == voc.same {
+                if g.term_of(o).is_resource() {
+                    self.same_members.insert(s);
+                    self.same_members.insert(o);
+                    trig.same_as = true;
+                }
+            } else if p == voc.on_property
+                || p == voc.has_value
+                || p == voc.some_values_from
+                || p == voc.all_values_from
+            {
+                if candidate_set.insert(s) {
+                    candidates.push(s);
+                }
+            } else if p == voc.intersection_of || p == voc.union_of {
+                self.boolean_relevant.insert(s);
+                if let Some(parts) = g.read_list(g.term_of(o)) {
+                    for part in parts {
+                        if let Some(part_id) = g.term_id(&part) {
+                            self.boolean_relevant.insert(part_id);
+                        }
+                    }
+                }
+                trig.boolean = true;
+            } else if p == voc.first || p == voc.rest {
+                // A list cell may extend a boolean class's part list.
+                trig.boolean = true;
+            } else if p == voc.ty {
+                if o == voc.symmetric {
+                    self.preds[s as usize].flags |= SYMMETRIC;
+                } else if o == voc.transitive {
+                    self.preds[s as usize].flags |= TRANSITIVE;
+                } else if o == voc.functional {
+                    self.preds[s as usize].flags |= FUNCTIONAL;
+                } else if o == voc.inverse_functional {
+                    self.preds[s as usize].flags |= INVERSE_FUNCTIONAL;
+                } else if o == voc.restriction && candidate_set.insert(s) {
+                    candidates.push(s);
+                }
+                if self.boolean_relevant.contains(&o) {
+                    trig.boolean = true;
+                }
+            }
+            if !trig.same_as && (self.same_members.contains(&s) || self.same_members.contains(&o)) {
+                trig.same_as = true;
+            }
+        }
+        for node in candidates {
+            if let Some(r) = build_restriction(g, g.term_of(node)) {
+                let idr = IdRestriction::of(g, &r);
+                if let Some(&i) = self.restriction_index.get(&node) {
+                    self.restrictions[i] = r;
+                    self.id_restrictions[i] = idr;
+                    trig.dirty_restrictions.push(i);
+                } else {
+                    let i = self.restrictions.len();
+                    self.restrictions.push(r);
+                    self.id_restrictions.push(idr);
+                    self.restriction_index.insert(node, i);
+                    trig.dirty_restrictions.push(i);
+                }
+            }
+        }
+        trig
+    }
+
+    /// Trigger detection only — for a delta whose triples are *already*
+    /// absorbed (the incremental-update seed, where the schema was built
+    /// from the whole graph).
+    fn triggers_for(&self, g: &Graph, voc: &Voc, delta: &[(TermId, TermId, TermId)]) -> Triggers {
+        let mut trig = Triggers::default();
+        let mut dirty: HashSet<usize> = HashSet::new();
+        for &(s, p, o) in delta {
+            if p == voc.same {
+                if g.term_of(o).is_resource() {
+                    trig.same_as = true;
+                }
+            } else if p == voc.intersection_of
+                || p == voc.union_of
+                || p == voc.first
+                || p == voc.rest
+            {
+                trig.boolean = true;
+            } else if p == voc.on_property
+                || p == voc.has_value
+                || p == voc.some_values_from
+                || p == voc.all_values_from
+            {
+                if let Some(&i) = self.restriction_index.get(&s) {
+                    dirty.insert(i);
+                }
+            } else if p == voc.sub_class {
+                if let Some(&i) = self.restriction_index.get(&o) {
+                    dirty.insert(i);
+                }
+            } else if p == voc.ty {
+                if o == voc.restriction {
+                    if let Some(&i) = self.restriction_index.get(&s) {
+                        dirty.insert(i);
+                    }
+                }
+                if self.boolean_relevant.contains(&o) {
+                    trig.boolean = true;
+                }
+            }
+            if !trig.same_as && (self.same_members.contains(&s) || self.same_members.contains(&o)) {
+                trig.same_as = true;
+            }
+        }
+        trig.dirty_restrictions = dirty.into_iter().collect();
+        trig.dirty_restrictions.sort_unstable();
+        trig
+    }
+}
+
+/// Dispatch indexes over [`IdSchema::id_restrictions`], rebuilt per pass
+/// (the restriction count is tiny next to the delta). Dense id-indexed
+/// tables: the `by_prop` probe runs once per delta triple, so it must be
+/// an array load, not a hash.
+#[derive(Default)]
+#[allow(clippy::struct_field_names)]
+struct IdRestrictionMaps {
+    /// `hasValue`: restriction node + declared subclasses (dir 1);
+    /// `allValuesFrom`: restriction node.
+    by_class: Vec<Vec<usize>>,
+    /// `someValuesFrom` filler class → restriction.
+    by_svf_class: Vec<Vec<usize>>,
+    /// `onProperty` → restriction.
+    by_prop: Vec<Vec<usize>>,
+}
+
+impl IdRestrictionMaps {
+    fn build(s: &IdSchema, term_count: usize) -> IdRestrictionMaps {
+        let mut m = IdRestrictionMaps::default();
+        if s.id_restrictions.is_empty() {
+            return m;
+        }
+        m.by_class.resize_with(term_count, Vec::new);
+        m.by_svf_class.resize_with(term_count, Vec::new);
+        m.by_prop.resize_with(term_count, Vec::new);
+        let push = |table: &mut Vec<Vec<usize>>, id: TermId, i: usize| {
+            if let Some(slot) = table.get_mut(id as usize) {
+                slot.push(i);
+            }
+        };
+        for (i, r) in s.id_restrictions.iter().enumerate() {
+            push(&mut m.by_prop, r.property, i);
+            match r.kind {
+                IdRKind::HasValue(_) => {
+                    for &c in r.subclasses.iter().chain(std::iter::once(&r.node)) {
+                        push(&mut m.by_class, c, i);
+                    }
+                }
+                IdRKind::AllValuesFrom(_) => {
+                    push(&mut m.by_class, r.node, i);
+                }
+                IdRKind::SomeValuesFrom(class) => {
+                    push(&mut m.by_svf_class, class, i);
+                }
+            }
+        }
+        m
+    }
+
+    fn get(table: &[Vec<usize>], id: TermId) -> &[usize] {
+        table.get(id as usize).map_or(&[][..], Vec::as_slice)
+    }
+}
+
+fn is_xsd_class(c: &Term) -> bool {
+    c.as_iri()
+        .is_some_and(|i| i.starts_with(grdf_rdf::vocab::xsd::NS))
 }
 
 fn rule_subclass_transitivity(g: &Graph, out: &mut Vec<Triple>) {
@@ -347,6 +1298,104 @@ fn transitivity_over(g: &Graph, p: &Term, out: &mut Vec<Triple>) {
                         out.push(Triple::new(a.clone(), p.clone(), c.clone()));
                     }
                 }
+            }
+        }
+    }
+}
+
+/// Delta step of `(a p b), (b p c) → (a p c)` for one new edge `(s, o)`:
+/// forward join through the new edge's object and backward join into its
+/// subject cover every pair the new edge participates in. Id inequality
+/// is exact term inequality — the interner is injective.
+fn delta_transitivity_ids(
+    g: &Graph,
+    p: TermId,
+    s: TermId,
+    o: TermId,
+    out: &mut Vec<(TermId, TermId, TermId)>,
+) {
+    g.for_each_match_ids(Some(o), Some(p), None, |_, _, c| {
+        if c != s {
+            out.push((s, p, c));
+        }
+    });
+    g.for_each_match_ids(None, Some(p), Some(s), |a, _, _| {
+        if a != o {
+            out.push((a, p, o));
+        }
+    });
+}
+
+/// Id-space mirror of [`transitivity_over`], for dirty-property re-runs
+/// in the delta pass.
+fn transitivity_over_ids(g: &Graph, p: TermId, out: &mut Vec<(TermId, TermId, TermId)>) {
+    let mut edges: HashMap<TermId, Vec<TermId>> = HashMap::new();
+    g.for_each_match_ids(None, Some(p), None, |s, _, o| {
+        edges.entry(s).or_default().push(o);
+    });
+    for (&a, bs) in &edges {
+        for b in bs {
+            if let Some(cs) = edges.get(b) {
+                for &c in cs {
+                    if c != a {
+                        out.push((a, p, c));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Emit `(y q x)` for every `(x p y)` in the graph (one inverse pair).
+fn inverse_over_ids(g: &Graph, p: TermId, q: TermId, out: &mut Vec<(TermId, TermId, TermId)>) {
+    g.for_each_match_ids(None, Some(p), None, |s, _, o| {
+        if g.term_of(o).is_resource() {
+            out.push((o, q, s));
+        }
+    });
+}
+
+/// Id-space mirror of [`symmetric_over`].
+fn symmetric_over_ids(g: &Graph, p: TermId, out: &mut Vec<(TermId, TermId, TermId)>) {
+    g.for_each_match_ids(None, Some(p), None, |s, _, o| {
+        if g.term_of(o).is_resource() {
+            out.push((o, p, s));
+        }
+    });
+}
+
+/// Id-space mirror of [`functional_over`].
+fn functional_over_ids(g: &Graph, voc: &Voc, p: TermId, out: &mut Vec<(TermId, TermId, TermId)>) {
+    let mut by_subject: HashMap<TermId, Vec<TermId>> = HashMap::new();
+    g.for_each_match_ids(None, Some(p), None, |s, _, o| {
+        if g.term_of(o).is_resource() {
+            by_subject.entry(s).or_default().push(o);
+        }
+    });
+    for objs in by_subject.values() {
+        for pair in objs.windows(2) {
+            if pair[0] != pair[1] {
+                out.push((pair[0], voc.same, pair[1]));
+            }
+        }
+    }
+}
+
+/// Id-space mirror of [`inverse_functional_over`].
+fn inverse_functional_over_ids(
+    g: &Graph,
+    voc: &Voc,
+    p: TermId,
+    out: &mut Vec<(TermId, TermId, TermId)>,
+) {
+    let mut by_object: HashMap<TermId, Vec<TermId>> = HashMap::new();
+    g.for_each_match_ids(None, Some(p), None, |s, _, o| {
+        by_object.entry(o).or_default().push(s);
+    });
+    for subs in by_object.values() {
+        for pair in subs.windows(2) {
+            if pair[0] != pair[1] {
+                out.push((pair[0], voc.same, pair[1]));
             }
         }
     }
@@ -395,9 +1444,7 @@ fn rule_domain_range(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
             }
             for c in classes {
                 // Datatype ranges aren't class memberships.
-                if c.as_iri()
-                    .is_some_and(|i| i.starts_with(grdf_rdf::vocab::xsd::NS))
-                {
+                if is_xsd_class(c) {
                     continue;
                 }
                 if !g.has(&t.object, &ty, c) {
@@ -446,61 +1493,60 @@ fn rule_inverse(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
 
 fn rule_symmetric(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
     for p in &s.symmetric {
-        g.for_each_match(None, Some(p), None, |t| {
-            if t.object.is_resource() && !g.has(&t.object, p, &t.subject) {
-                out.push(Triple::new(t.object.clone(), p.clone(), t.subject.clone()));
-            }
-        });
+        symmetric_over(g, p, out);
     }
+}
+
+fn symmetric_over(g: &Graph, p: &Term, out: &mut Vec<Triple>) {
+    g.for_each_match(None, Some(p), None, |t| {
+        if t.object.is_resource() && !g.has(&t.object, p, &t.subject) {
+            out.push(Triple::new(t.object.clone(), p.clone(), t.subject.clone()));
+        }
+    });
 }
 
 fn rule_transitive(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
     for p in &s.transitive {
-        let mut edges: HashMap<Term, Vec<Term>> = HashMap::new();
-        g.for_each_match(None, Some(p), None, |t| {
-            edges.entry(t.subject).or_default().push(t.object);
-        });
-        for (a, bs) in &edges {
-            for b in bs {
-                if let Some(cs) = edges.get(b) {
-                    for c in cs {
-                        if c != a && !g.has(a, p, c) {
-                            out.push(Triple::new(a.clone(), p.clone(), c.clone()));
-                        }
-                    }
-                }
+        transitivity_over(g, p, out);
+    }
+}
+
+fn rule_functional(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
+    for p in &s.functional {
+        functional_over(g, p, out);
+    }
+    for p in &s.inverse_functional {
+        inverse_functional_over(g, p, out);
+    }
+}
+
+fn functional_over(g: &Graph, p: &Term, out: &mut Vec<Triple>) {
+    let same = Term::iri(owl::SAME_AS);
+    let mut by_subject: HashMap<Term, Vec<Term>> = HashMap::new();
+    g.for_each_match(None, Some(p), None, |t| {
+        if t.object.is_resource() {
+            by_subject.entry(t.subject).or_default().push(t.object);
+        }
+    });
+    for objs in by_subject.values() {
+        for pair in objs.windows(2) {
+            if pair[0] != pair[1] && !g.has(&pair[0], &same, &pair[1]) {
+                out.push(Triple::new(pair[0].clone(), same.clone(), pair[1].clone()));
             }
         }
     }
 }
 
-fn rule_functional(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
+fn inverse_functional_over(g: &Graph, p: &Term, out: &mut Vec<Triple>) {
     let same = Term::iri(owl::SAME_AS);
-    for p in &s.functional {
-        let mut by_subject: HashMap<Term, Vec<Term>> = HashMap::new();
-        g.for_each_match(None, Some(p), None, |t| {
-            if t.object.is_resource() {
-                by_subject.entry(t.subject).or_default().push(t.object);
-            }
-        });
-        for objs in by_subject.values() {
-            for pair in objs.windows(2) {
-                if pair[0] != pair[1] && !g.has(&pair[0], &same, &pair[1]) {
-                    out.push(Triple::new(pair[0].clone(), same.clone(), pair[1].clone()));
-                }
-            }
-        }
-    }
-    for p in &s.inverse_functional {
-        let mut by_object: HashMap<Term, Vec<Term>> = HashMap::new();
-        g.for_each_match(None, Some(p), None, |t| {
-            by_object.entry(t.object).or_default().push(t.subject);
-        });
-        for subs in by_object.values() {
-            for pair in subs.windows(2) {
-                if pair[0] != pair[1] && !g.has(&pair[0], &same, &pair[1]) {
-                    out.push(Triple::new(pair[0].clone(), same.clone(), pair[1].clone()));
-                }
+    let mut by_object: HashMap<Term, Vec<Term>> = HashMap::new();
+    g.for_each_match(None, Some(p), None, |t| {
+        by_object.entry(t.object).or_default().push(t.subject);
+    });
+    for subs in by_object.values() {
+        for pair in subs.windows(2) {
+            if pair[0] != pair[1] && !g.has(&pair[0], &same, &pair[1]) {
+                out.push(Triple::new(pair[0].clone(), same.clone(), pair[1].clone()));
             }
         }
     }
@@ -593,50 +1639,141 @@ fn rule_same_as(g: &Graph, out: &mut Vec<Triple>) {
     }
 }
 
-fn rule_restrictions(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
-    let ty = Term::iri(rdf::TYPE);
-    for r in &s.restrictions {
-        match &r.kind {
-            RKind::HasValue(v) => {
-                // x ∈ C (⊑ r) → x p v ; and x p v → x ∈ r.
-                for c in r.subclasses.iter().chain(std::iter::once(&r.node)) {
-                    g.for_each_match(None, Some(&ty), Some(c), |t| {
-                        if !g.has(&t.subject, &r.property, v) {
-                            out.push(Triple::new(
-                                t.subject.clone(),
-                                r.property.clone(),
-                                v.clone(),
-                            ));
-                        }
-                    });
+/// Id-space mirror of [`rule_same_as`] for the semi-naive engine:
+/// union-find over interned ids, clique emission and substitution through
+/// the id-pattern scans, no term hashing or cloning.
+fn rule_same_as_ids(g: &Graph, voc: &Voc, out: &mut Vec<(TermId, TermId, TermId)>) {
+    let mut pairs: Vec<(TermId, TermId)> = Vec::new();
+    g.for_each_match_ids(None, Some(voc.same), None, |s, _, o| {
+        if g.term_of(o).is_resource() {
+            pairs.push((s, o));
+        }
+    });
+    if pairs.is_empty() {
+        return;
+    }
+    let mut parent: HashMap<TermId, TermId> = HashMap::new();
+    fn find(parent: &mut HashMap<TermId, TermId>, x: TermId) -> TermId {
+        let mut root = x;
+        while let Some(&p) = parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        // Path compression.
+        let mut cur = x;
+        while let Some(&p) = parent.get(&cur) {
+            if p == root {
+                break;
+            }
+            parent.insert(cur, root);
+            cur = p;
+        }
+        root
+    }
+    for &(a, b) in &pairs {
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            parent.insert(ra, rb);
+        }
+        parent.entry(a).or_insert(a);
+        parent.entry(b).or_insert(b);
+    }
+    let keys: Vec<TermId> = parent.keys().copied().collect();
+    let mut members: HashMap<TermId, Vec<TermId>> = HashMap::new();
+    for k in keys {
+        let r = find(&mut parent, k);
+        members.entry(r).or_default().push(k);
+    }
+
+    let mut groups: Vec<Vec<TermId>> = members.into_values().filter(|v| v.len() >= 2).collect();
+    for group in &mut groups {
+        // Deterministic member order (HashMap iteration order is not).
+        group.sort_unstable();
+        // Emit the full sameAs clique (symmetry + transitivity).
+        for &a in group.iter() {
+            for &b in group.iter() {
+                if a != b {
+                    out.push((a, voc.same, b));
                 }
-                g.for_each_match(None, Some(&r.property), Some(v), |t| {
-                    if !g.has(&t.subject, &ty, &r.node) {
-                        out.push(Triple::new(t.subject.clone(), ty.clone(), r.node.clone()));
+            }
+        }
+        // Substitution: every triple mentioning a member holds for all.
+        for &a in group.iter() {
+            g.for_each_match_ids(Some(a), None, None, |_, p, o| {
+                if p == voc.same {
+                    return;
+                }
+                for &b in group.iter() {
+                    if b != a {
+                        out.push((b, p, o));
+                    }
+                }
+            });
+            g.for_each_match_ids(None, None, Some(a), |s, p, _| {
+                if p == voc.same {
+                    return;
+                }
+                for &b in group.iter() {
+                    if b != a {
+                        out.push((s, p, b));
+                    }
+                }
+            });
+        }
+    }
+}
+
+fn rule_restrictions(g: &Graph, s: &Schema, out: &mut Vec<Triple>) {
+    for r in &s.restrictions {
+        apply_restriction(g, r, out);
+    }
+}
+
+fn apply_restriction(g: &Graph, r: &Restriction, out: &mut Vec<Triple>) {
+    let ty = Term::iri(rdf::TYPE);
+    match &r.kind {
+        RKind::HasValue(v) => {
+            // x ∈ C (⊑ r) → x p v ; and x p v → x ∈ r.
+            for c in r.subclasses.iter().chain(std::iter::once(&r.node)) {
+                g.for_each_match(None, Some(&ty), Some(c), |t| {
+                    if !g.has(&t.subject, &r.property, v) {
+                        out.push(Triple::new(
+                            t.subject.clone(),
+                            r.property.clone(),
+                            v.clone(),
+                        ));
                     }
                 });
             }
-            RKind::SomeValuesFrom(class) => {
-                // x p y ∧ y ∈ D → x ∈ r.
-                g.for_each_match(None, Some(&r.property), None, |t| {
-                    if t.object.is_resource()
-                        && g.has(&t.object, &ty, class)
-                        && !g.has(&t.subject, &ty, &r.node)
-                    {
-                        out.push(Triple::new(t.subject.clone(), ty.clone(), r.node.clone()));
+            g.for_each_match(None, Some(&r.property), Some(v), |t| {
+                if !g.has(&t.subject, &ty, &r.node) {
+                    out.push(Triple::new(t.subject.clone(), ty.clone(), r.node.clone()));
+                }
+            });
+        }
+        RKind::SomeValuesFrom(class) => {
+            // x p y ∧ y ∈ D → x ∈ r.
+            g.for_each_match(None, Some(&r.property), None, |t| {
+                if t.object.is_resource()
+                    && g.has(&t.object, &ty, class)
+                    && !g.has(&t.subject, &ty, &r.node)
+                {
+                    out.push(Triple::new(t.subject.clone(), ty.clone(), r.node.clone()));
+                }
+            });
+        }
+        RKind::AllValuesFrom(class) => {
+            // x ∈ r ∧ x p y → y ∈ D.
+            g.for_each_match(None, Some(&ty), Some(&r.node), |t| {
+                for y in g.objects(&t.subject, &r.property) {
+                    if y.is_resource() && !g.has(&y, &ty, class) {
+                        out.push(Triple::new(y, ty.clone(), class.clone()));
                     }
-                });
-            }
-            RKind::AllValuesFrom(class) => {
-                // x ∈ r ∧ x p y → y ∈ D.
-                g.for_each_match(None, Some(&ty), Some(&r.node), |t| {
-                    for y in g.objects(&t.subject, &r.property) {
-                        if y.is_resource() && !g.has(&y, &ty, class) {
-                            out.push(Triple::new(y, ty.clone(), class.clone()));
-                        }
-                    }
-                });
-            }
+                }
+            });
         }
     }
 }
@@ -941,5 +2078,176 @@ mod tests {
         assert!(g.has(&iri("urn:c"), &same, &iri("urn:a")));
         assert!(g.has(&iri("urn:a"), &same, &iri("urn:c")));
         assert!(g.has(&iri("urn:b"), &same, &iri("urn:a")));
+    }
+
+    // ---- semi-naive / parallel / incremental engine tests ----
+
+    /// A graph exercising every rule group at once.
+    fn kitchen_sink() -> Graph {
+        let mut b = OntologyBuilder::new("urn:t#");
+        b.class("Feature", None);
+        b.class("WaterBody", Some("Feature"));
+        b.class("Stream", Some("WaterBody"));
+        b.class("Lake", Some("WaterBody"));
+        b.class("Creek", None);
+        b.equivalent_class("Stream", "Creek");
+        b.class("Chemical", None);
+        b.class("Hazardous", None);
+        b.object_property("contains", None, None);
+        b.object_property("within", None, None);
+        b.inverse_of("contains", "within");
+        b.object_property("touches", None, None);
+        b.characteristic("touches", Characteristic::Symmetric);
+        b.object_property("upstreamOf", None, None);
+        b.characteristic("upstreamOf", Characteristic::Transitive);
+        b.object_property("hasSiteId", None, None);
+        b.characteristic("hasSiteId", Characteristic::InverseFunctional);
+        b.object_property("stores", Some("Feature"), Some("Chemical"));
+        b.restrict(
+            "Hazardous",
+            "stores",
+            RestrictionKind::SomeValuesFrom("Chemical".into()),
+        );
+        b.union_class("Wet", &["Stream", "Lake"]);
+        let mut g = b.into_graph();
+        for i in 0..12 {
+            g.add(iri(&format!("urn:t#s{i}")), ty(), iri("urn:t#Stream"));
+            g.add(
+                iri(&format!("urn:t#s{i}")),
+                iri("urn:t#upstreamOf"),
+                iri(&format!("urn:t#s{}", i + 1)),
+            );
+            g.add(
+                iri(&format!("urn:t#s{i}")),
+                iri("urn:t#touches"),
+                iri(&format!("urn:t#s{}", i + 1)),
+            );
+        }
+        g.add(iri("urn:t#plant"), iri("urn:t#stores"), iri("urn:t#acid"));
+        g.add(iri("urn:t#siteA"), iri("urn:t#hasSiteId"), iri("urn:t#id1"));
+        g.add(iri("urn:t#siteB"), iri("urn:t#hasSiteId"), iri("urn:t#id1"));
+        g.add(iri("urn:t#siteA"), iri("urn:t#within"), iri("urn:t#park"));
+        g
+    }
+
+    #[test]
+    fn semi_naive_matches_naive_fixpoint() {
+        let mut naive = kitchen_sink();
+        let mut semi = kitchen_sink();
+        let naive_stats = Reasoner::naive().materialize(&mut naive);
+        let semi_stats = Reasoner::default().materialize(&mut semi);
+        assert_eq!(naive, semi, "both engines must reach the same fixpoint");
+        assert_eq!(naive_stats.inferred, semi_stats.inferred);
+        assert!(
+            semi_stats.passes <= naive_stats.passes,
+            "semi-naive needed {} passes vs naive {}",
+            semi_stats.passes,
+            naive_stats.passes
+        );
+        // After pass 1 the delta shrinks to the per-pass derivations.
+        assert_eq!(semi_stats.delta_sizes[0], kitchen_sink().len());
+        assert!(semi_stats.delta_sizes[1..]
+            .iter()
+            .all(|&d| d < semi_stats.delta_sizes[0]));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_fixpoint() {
+        // Big enough that the seed delta crosses PARALLEL_THRESHOLD and
+        // the sharded path actually runs.
+        fn big() -> Graph {
+            let mut g = kitchen_sink();
+            for i in 0..400 {
+                g.add(
+                    iri(&format!("urn:t#n{i}")),
+                    iri("urn:t#touches"),
+                    iri(&format!("urn:t#n{}", i + 1)),
+                );
+                g.add(iri(&format!("urn:t#n{i}")), ty(), iri("urn:t#Lake"));
+            }
+            g
+        }
+        let mut seq = big();
+        let mut par = big();
+        assert!(big().len() >= PARALLEL_THRESHOLD);
+        Reasoner::default().materialize(&mut seq);
+        Reasoner::parallel(4).materialize(&mut par);
+        assert_eq!(seq, par, "shard width must not change the fixpoint");
+        let par8 = {
+            let mut g = big();
+            Reasoner::parallel(8).materialize(&mut g);
+            g
+        };
+        assert_eq!(seq, par8);
+    }
+
+    #[test]
+    fn materialize_delta_equals_full_rematerialization() {
+        // Materialize, snapshot the generation, add facts, then update
+        // incrementally — and compare with materializing from scratch.
+        let mut g = kitchen_sink();
+        let reasoner = Reasoner::default();
+        reasoner.materialize(&mut g);
+        let mark = g.generation();
+        let additions = vec![
+            Triple::new(iri("urn:t#newSite"), ty(), iri("urn:t#Lake")),
+            Triple::new(iri("urn:t#newSite"), iri("urn:t#stores"), iri("urn:t#acid")),
+            Triple::new(iri("urn:t#s12"), iri("urn:t#upstreamOf"), iri("urn:t#s13")),
+            Triple::new(iri("urn:t#newSite"), iri("urn:t#touches"), iri("urn:t#s0")),
+            Triple::new(iri("urn:t#siteC"), iri("urn:t#hasSiteId"), iri("urn:t#id1")),
+        ];
+        let mut from_scratch = kitchen_sink();
+        for t in &additions {
+            g.insert(t.clone());
+            from_scratch.insert(t.clone());
+        }
+        let stats = reasoner
+            .materialize_delta(&mut g, mark, &Deadline::never())
+            .unwrap();
+        assert!(stats.inferred > 0, "the additions have consequences");
+        reasoner.materialize(&mut from_scratch);
+        assert_eq!(
+            g, from_scratch,
+            "incremental update must equal full re-materialization"
+        );
+        // The incremental seed is the 5 added triples, not the full graph.
+        assert_eq!(stats.delta_sizes[0], additions.len());
+    }
+
+    #[test]
+    fn materialize_delta_with_no_additions_is_free() {
+        let mut g = kitchen_sink();
+        Reasoner::default().materialize(&mut g);
+        let mark = g.generation();
+        let stats = Reasoner::default()
+            .materialize_delta(&mut g, mark, &Deadline::never())
+            .unwrap();
+        assert_eq!(stats.passes, 0);
+        assert_eq!(stats.inferred, 0);
+    }
+
+    #[test]
+    fn late_schema_arrival_is_handled_incrementally() {
+        // Declaring a restriction *after* materialization must reclassify
+        // existing instances via the delta path.
+        let mut g = Graph::new();
+        g.add(iri("urn:t#plant"), iri("urn:t#stores"), iri("urn:t#acid"));
+        g.add(iri("urn:t#acid"), ty(), iri("urn:t#Chemical"));
+        let reasoner = Reasoner::default();
+        reasoner.materialize(&mut g);
+        let mark = g.generation();
+        // Restriction declaration arrives as an update.
+        let r = Term::blank("r1");
+        g.add(r.clone(), ty(), iri(owl::RESTRICTION));
+        g.add(r.clone(), iri(owl::ON_PROPERTY), iri("urn:t#stores"));
+        g.add(r.clone(), iri(owl::SOME_VALUES_FROM), iri("urn:t#Chemical"));
+        g.add(iri("urn:t#Hazardous"), iri(rdfs::SUB_CLASS_OF), r.clone());
+        reasoner
+            .materialize_delta(&mut g, mark, &Deadline::never())
+            .unwrap();
+        assert!(
+            g.has(&iri("urn:t#plant"), &ty(), &r),
+            "pre-existing instance data must meet the late restriction"
+        );
     }
 }

@@ -389,11 +389,27 @@ fn eval_pattern(
     }
 }
 
-/// Greedy join order: repeatedly pick the pattern with the most bound
-/// positions given the variables bound so far. The choice depends only on
-/// the pattern set and the initially bound variables, so planning is a
-/// pure (and separately timed) phase ahead of the join loop.
-fn plan_bgp(triples: &[TriplePattern], mut bound_vars: HashSet<String>) -> Vec<&TriplePattern> {
+/// Cardinality-driven greedy join order. Each candidate pattern is scored
+/// with [`Graph::estimate`] over its constant positions (an exact count
+/// from the index, not a heuristic), and the planner repeatedly picks the
+/// cheapest pattern — preferring ones connected to an already-bound
+/// variable so the join stays a chain of index probes instead of a cross
+/// product. Variables bound by earlier patterns count as connections but
+/// not as constants: their values aren't known at plan time. The choice
+/// depends only on the pattern set, the initially bound variables, and
+/// index statistics, so planning is a pure (and separately timed) phase
+/// ahead of the join loop.
+fn plan_bgp<'a>(
+    graph: &Graph,
+    triples: &'a [TriplePattern],
+    mut bound_vars: HashSet<String>,
+) -> Vec<&'a TriplePattern> {
+    fn constant(t: &TermOrVar) -> Option<&Term> {
+        match t {
+            TermOrVar::Term(term) => Some(term),
+            TermOrVar::Var(_) => None,
+        }
+    }
     let mut remaining: Vec<&TriplePattern> = triples.iter().collect();
     let mut order = Vec::with_capacity(remaining.len());
     while !remaining.is_empty() {
@@ -401,16 +417,19 @@ fn plan_bgp(triples: &[TriplePattern], mut bound_vars: HashSet<String>) -> Vec<&
             .iter()
             .enumerate()
             .map(|(i, t)| {
-                let score = t.bound_count()
-                    + t.variables()
-                        .iter()
-                        .filter(|v| bound_vars.contains(**v))
-                        .count();
-                (i, score)
+                let cardinality = graph.estimate(
+                    constant(&t.subject),
+                    constant(&t.predicate),
+                    constant(&t.object),
+                );
+                let connected = t.variables().iter().any(|v| bound_vars.contains(*v));
+                // Disconnected patterns sort after connected ones; ties
+                // break on estimated cardinality, then input order.
+                (i, (!connected, cardinality))
             })
-            .max_by_key(|&(_, s)| s)
+            .min_by_key(|&(_, key)| key)
             .expect("non-empty");
-        let pattern = remaining.swap_remove(idx);
+        let pattern = remaining.remove(idx);
         for v in pattern.variables() {
             bound_vars.insert(v.to_string());
         }
@@ -434,7 +453,7 @@ fn eval_bgp(
         .unwrap_or_default();
     let order = {
         let _span = grdf_obs::span("query.plan");
-        plan_bgp(triples, bound_vars)
+        plan_bgp(graph, triples, bound_vars)
     };
 
     let _span = grdf_obs::span("query.join");
@@ -813,6 +832,90 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0]["sname"], Term::string("North Texas Energy"));
         assert_eq!(rows[0]["tname"], Term::string("White Rock Creek"));
+    }
+
+    #[test]
+    fn planner_orders_by_cardinality_not_text_order() {
+        // Adversarial ordering: the textually-first pattern matches 60
+        // triples, the textually-last matches one. Both have the same
+        // bound-position count, so the old static heuristic kept text
+        // order; the index-backed planner must put the rare one first.
+        let mut g = Graph::new();
+        let common = Term::iri("urn:p#common");
+        let rare = Term::iri("urn:p#rare");
+        for i in 0..60 {
+            g.add(
+                Term::iri(&format!("urn:s#{i}")),
+                common.clone(),
+                Term::iri(&format!("urn:o#{i}")),
+            );
+        }
+        g.add(Term::iri("urn:s#7"), rare.clone(), Term::iri("urn:o#x"));
+        let patterns = vec![
+            TriplePattern::new(
+                TermOrVar::var("s"),
+                TermOrVar::Term(common.clone()),
+                TermOrVar::var("o"),
+            ),
+            TriplePattern::new(
+                TermOrVar::var("s"),
+                TermOrVar::Term(rare.clone()),
+                TermOrVar::var("v"),
+            ),
+        ];
+        let order = plan_bgp(&g, &patterns, HashSet::new());
+        assert_eq!(
+            order[0].predicate,
+            TermOrVar::Term(rare),
+            "most selective pattern must be joined first"
+        );
+        assert_eq!(order[1].predicate, TermOrVar::Term(common));
+    }
+
+    #[test]
+    fn planner_prefers_connected_patterns_over_cheaper_cross_products() {
+        let mut g = Graph::new();
+        let rare = Term::iri("urn:p#rare");
+        let mid = Term::iri("urn:p#mid");
+        let tiny = Term::iri("urn:p#tiny-island");
+        g.add(Term::iri("urn:s#1"), rare.clone(), Term::iri("urn:o#1"));
+        for i in 0..10 {
+            g.add(
+                Term::iri(&format!("urn:s#{i}")),
+                mid.clone(),
+                Term::iri(&format!("urn:m#{i}")),
+            );
+        }
+        g.add(Term::iri("urn:z#1"), tiny.clone(), Term::iri("urn:z#2"));
+        g.add(Term::iri("urn:z#3"), tiny.clone(), Term::iri("urn:z#4"));
+        // ?s rare ?o (1 triple) seeds; ?s mid ?m (10) shares ?s; the tiny
+        // pattern (2 triples) is cheaper but shares no variable — picking
+        // it second would force a cross product.
+        let patterns = vec![
+            TriplePattern::new(
+                TermOrVar::var("s"),
+                TermOrVar::Term(mid.clone()),
+                TermOrVar::var("m"),
+            ),
+            TriplePattern::new(
+                TermOrVar::var("a"),
+                TermOrVar::Term(tiny.clone()),
+                TermOrVar::var("b"),
+            ),
+            TriplePattern::new(
+                TermOrVar::var("s"),
+                TermOrVar::Term(rare.clone()),
+                TermOrVar::var("o"),
+            ),
+        ];
+        let order = plan_bgp(&g, &patterns, HashSet::new());
+        assert_eq!(order[0].predicate, TermOrVar::Term(rare));
+        assert_eq!(
+            order[1].predicate,
+            TermOrVar::Term(mid),
+            "connected pattern beats a cheaper disconnected one"
+        );
+        assert_eq!(order[2].predicate, TermOrVar::Term(tiny));
     }
 
     #[test]

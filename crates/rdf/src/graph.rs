@@ -9,14 +9,17 @@
 //! the index ablation in the benchmark suite (experiment E1c) and falls back
 //! to scanning.
 
-use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 use std::ops::Bound;
 
 use crate::term::{Term, Triple};
 
-/// Dense id assigned to an interned term.
-type Id = u32;
+/// Dense id assigned to an interned term. Ids are stable for the life of
+/// the graph (the interner is append-only) and are private to one graph:
+/// an id from one graph is meaningless in another.
+pub type TermId = u32;
+
+type Id = TermId;
 
 /// Bidirectional term ↔ id table.
 #[derive(Debug, Default, Clone)]
@@ -27,15 +30,15 @@ struct Interner {
 
 impl Interner {
     fn intern(&mut self, term: &Term) -> Id {
-        match self.ids.entry(term.clone()) {
-            Entry::Occupied(e) => *e.get(),
-            Entry::Vacant(e) => {
-                let id = self.terms.len() as Id;
-                self.terms.push(term.clone());
-                e.insert(id);
-                id
-            }
+        // Get-then-insert: the hit path (the overwhelmingly common case on
+        // a materialized graph) must not clone the term just to probe.
+        if let Some(&id) = self.ids.get(term) {
+            return id;
         }
+        let id = self.terms.len() as Id;
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
     }
 
     fn get(&self, term: &Term) -> Option<Id> {
@@ -65,6 +68,14 @@ pub struct Graph {
     osp: BTreeSet<(Id, Id, Id)>,
     mode: IndexMode,
     blank_counter: u64,
+    /// Append-only insertion log (id triples, in insertion order). The
+    /// length of this log is the graph's *generation*; a slice of it is a
+    /// delta snapshot — see [`Graph::generation`] / [`Graph::delta_since`].
+    log: Vec<(Id, Id, Id)>,
+    /// Count of successful removals. While zero, every log entry is still
+    /// present and unique, so delta snapshots skip their per-entry
+    /// membership filter.
+    removals: u64,
 }
 
 impl Default for Graph {
@@ -88,6 +99,8 @@ impl Graph {
             osp: BTreeSet::new(),
             mode,
             blank_counter: 0,
+            log: Vec::new(),
+            removals: 0,
         }
     }
 
@@ -112,11 +125,323 @@ impl Graph {
         let p = self.interner.intern(&triple.predicate);
         let o = self.interner.intern(&triple.object);
         let added = self.spo.insert((s, p, o));
-        if added && self.mode == IndexMode::Full {
-            self.pos.insert((p, o, s));
-            self.osp.insert((o, s, p));
+        if added {
+            if self.mode == IndexMode::Full {
+                self.pos.insert((p, o, s));
+                self.osp.insert((o, s, p));
+            }
+            self.log.push((s, p, o));
         }
         added
+    }
+
+    /// Bulk insert: intern every triple first, then merge the sorted new
+    /// id-tuples into the three BTree indexes in one ordered pass each —
+    /// cheaper than per-triple `insert` for large batches (the reasoner's
+    /// per-pass merges, ontology loads). Returns the number of triples
+    /// actually added.
+    pub fn extend_triples<I: IntoIterator<Item = Triple>>(&mut self, iter: I) -> usize {
+        let ids: Vec<(Id, Id, Id)> = iter
+            .into_iter()
+            .map(|t| {
+                (
+                    self.interner.intern(&t.subject),
+                    self.interner.intern(&t.predicate),
+                    self.interner.intern(&t.object),
+                )
+            })
+            .collect();
+        self.extend_ids(ids)
+    }
+
+    /// Bulk insert of id triples whose components are already interned in
+    /// *this* graph (e.g. produced by [`Graph::for_each_match_ids`] or
+    /// [`Graph::delta_ids_since`]) — the id-space fast path of
+    /// [`Graph::extend_triples`], skipping term interning entirely.
+    pub fn extend_ids(&mut self, mut ids: Vec<(TermId, TermId, TermId)>) -> usize {
+        debug_assert!(ids
+            .iter()
+            .all(|&(s, p, o)| (s.max(p).max(o) as usize) < self.interner.terms.len()));
+        ids.sort_unstable();
+        ids.dedup();
+        // Per-element B-tree operations cost O(batch · log n); a sorted
+        // merge plus bulk rebuild is O(n) (std builds B-trees from sorted
+        // input bottom-up), and folds the membership filter into the merge
+        // for free. Rebuild once the batch is a meaningful fraction of the
+        // index — the reasoner's per-pass merges — and point-insert for
+        // small batches (incremental updates), where O(n) would lose.
+        if ids.len() * 8 >= self.spo.len() {
+            let mut merged: Vec<(Id, Id, Id)> = Vec::with_capacity(self.spo.len() + ids.len());
+            let mut fresh: Vec<(Id, Id, Id)> = Vec::with_capacity(ids.len());
+            let mut old = self.spo.iter().copied().peekable();
+            let mut new = ids.into_iter().peekable();
+            loop {
+                match (old.peek(), new.peek()) {
+                    (Some(&a), Some(&b)) => match a.cmp(&b) {
+                        std::cmp::Ordering::Less => {
+                            merged.push(a);
+                            old.next();
+                        }
+                        std::cmp::Ordering::Equal => {
+                            // Already present: keep one copy, not fresh.
+                            merged.push(a);
+                            old.next();
+                            new.next();
+                        }
+                        std::cmp::Ordering::Greater => {
+                            merged.push(b);
+                            fresh.push(b);
+                            new.next();
+                        }
+                    },
+                    (Some(_), None) => {
+                        merged.extend(old);
+                        break;
+                    }
+                    (None, _) => {
+                        for b in new {
+                            merged.push(b);
+                            fresh.push(b);
+                        }
+                        break;
+                    }
+                }
+            }
+            self.spo = merged.into_iter().collect();
+            if self.mode == IndexMode::Full {
+                let mut pos: Vec<(Id, Id, Id)> = fresh.iter().map(|&(s, p, o)| (p, o, s)).collect();
+                pos.sort_unstable();
+                Self::merge_rebuild(&mut self.pos, pos);
+                let mut osp: Vec<(Id, Id, Id)> = fresh.iter().map(|&(s, p, o)| (o, s, p)).collect();
+                osp.sort_unstable();
+                Self::merge_rebuild(&mut self.osp, osp);
+            }
+            let added = fresh.len();
+            self.log.append(&mut fresh);
+            added
+        } else {
+            ids.retain(|t| !self.spo.contains(t));
+            let added = ids.len();
+            self.spo.extend(ids.iter().copied());
+            if self.mode == IndexMode::Full {
+                self.pos.extend(ids.iter().map(|&(s, p, o)| (p, o, s)));
+                self.osp.extend(ids.iter().map(|&(s, p, o)| (o, s, p)));
+            }
+            self.log.extend(ids);
+            added
+        }
+    }
+
+    /// Replace a sorted index with its merge against a sorted batch of new
+    /// tuples known to be disjoint from it.
+    fn merge_rebuild(index: &mut BTreeSet<(Id, Id, Id)>, sorted_new: Vec<(Id, Id, Id)>) {
+        let mut merged: Vec<(Id, Id, Id)> = Vec::with_capacity(index.len() + sorted_new.len());
+        let mut old = index.iter().copied().peekable();
+        let mut new = sorted_new.into_iter().peekable();
+        loop {
+            match (old.peek(), new.peek()) {
+                (Some(&a), Some(&b)) => {
+                    if a <= b {
+                        merged.push(a);
+                        old.next();
+                    } else {
+                        merged.push(b);
+                        new.next();
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(old);
+                    break;
+                }
+                (None, _) => {
+                    merged.extend(new);
+                    break;
+                }
+            }
+        }
+        *index = merged.into_iter().collect();
+    }
+
+    /// The graph's generation: a monotonic marker that advances on every
+    /// successful insert. Pair with [`Graph::delta_since`] for a cheap
+    /// delta snapshot ("what was added since the marker").
+    pub fn generation(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Triples inserted since `generation` (a value previously returned by
+    /// [`Graph::generation`]) that are still present, in insertion order.
+    /// This is the delta-snapshot primitive the semi-naive reasoner and
+    /// G-SACS incremental updates build on.
+    pub fn delta_since(&self, generation: u64) -> Vec<Triple> {
+        let start = (generation as usize).min(self.log.len());
+        self.log[start..]
+            .iter()
+            .filter(|ids| self.removals == 0 || self.spo.contains(ids))
+            .map(|&(s, p, o)| {
+                Triple::new(
+                    self.interner.resolve(s).clone(),
+                    self.interner.resolve(p).clone(),
+                    self.interner.resolve(o).clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Triples inserted since `generation` that are still present, as raw
+    /// id tuples in insertion order — the zero-copy sibling of
+    /// [`Graph::delta_since`] for callers that work in id space (the
+    /// semi-naive reasoner). With `generation == 0` this is a snapshot of
+    /// the whole surviving graph.
+    pub fn delta_ids_since(&self, generation: u64) -> Vec<(TermId, TermId, TermId)> {
+        let start = (generation as usize).min(self.log.len());
+        if self.removals == 0 {
+            return self.log[start..].to_vec();
+        }
+        self.log[start..]
+            .iter()
+            .filter(|ids| self.spo.contains(ids))
+            .copied()
+            .collect()
+    }
+
+    /// Number of interned terms (ids are dense: every id < `term_count`).
+    pub fn term_count(&self) -> usize {
+        self.interner.terms.len()
+    }
+
+    /// The id of `term` if it is interned in this graph.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    /// Intern `term` (a no-op returning the existing id when already
+    /// interned). Interning alone does not add triples, so graph equality
+    /// is unaffected.
+    pub fn intern_term(&mut self, term: &Term) -> TermId {
+        self.interner.intern(term)
+    }
+
+    /// The term behind an id previously obtained from this graph.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this graph's interner.
+    pub fn term_of(&self, id: TermId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    /// Whether the id triple `(s, p, o)` is in the graph.
+    pub fn has_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.spo.contains(&(s, p, o))
+    }
+
+    /// Visit every triple matching the id pattern — [`Graph::for_each_match`]
+    /// without term resolution or cloning. `None` is a wildcard; ids must
+    /// come from this graph (an id the graph never minted matches nothing
+    /// only by virtue of appearing in no triple, which is always true).
+    pub fn for_each_match_ids<F: FnMut(TermId, TermId, TermId)>(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        mut f: F,
+    ) {
+        match (s, p, o, self.mode) {
+            (Some(s), Some(p), Some(o), _) => {
+                if self.spo.contains(&(s, p, o)) {
+                    f(s, p, o);
+                }
+            }
+            (Some(s), Some(p), None, _) => {
+                for &(s2, p2, o2) in range2(&self.spo, s, p) {
+                    f(s2, p2, o2);
+                }
+            }
+            (Some(s), None, None, _) => {
+                for &(s2, p2, o2) in range1(&self.spo, s) {
+                    f(s2, p2, o2);
+                }
+            }
+            (Some(s), None, Some(o), IndexMode::Full) => {
+                for &(o2, s2, p2) in range2(&self.osp, o, s) {
+                    f(s2, p2, o2);
+                }
+            }
+            (None, Some(p), Some(o), IndexMode::Full) => {
+                for &(p2, o2, s2) in range2(&self.pos, p, o) {
+                    f(s2, p2, o2);
+                }
+            }
+            (None, Some(p), None, IndexMode::Full) => {
+                for &(p2, o2, s2) in range1(&self.pos, p) {
+                    f(s2, p2, o2);
+                }
+            }
+            (None, None, Some(o), IndexMode::Full) => {
+                for &(o2, s2, p2) in range1(&self.osp, o) {
+                    f(s2, p2, o2);
+                }
+            }
+            (None, None, None, _) => {
+                for &(s2, p2, o2) in &self.spo {
+                    f(s2, p2, o2);
+                }
+            }
+            // SpoOnly fallbacks: scan the primary index.
+            (s, p, o, IndexMode::SpoOnly) => {
+                for &(s2, p2, o2) in &self.spo {
+                    if s.is_some_and(|x| x != s2)
+                        || p.is_some_and(|x| x != p2)
+                        || o.is_some_and(|x| x != o2)
+                    {
+                        continue;
+                    }
+                    f(s2, p2, o2);
+                }
+            }
+        }
+    }
+
+    /// Exact cardinality of a pattern, computed from the id indexes
+    /// without materializing any term: range length for indexed patterns,
+    /// membership for fully-bound ones, total size for the full wildcard.
+    /// Unknown bound terms estimate to zero. Used by the query planner to
+    /// order basic graph patterns most-selective-first.
+    pub fn estimate(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Term>,
+        object: Option<&Term>,
+    ) -> usize {
+        let resolve = |t: Option<&Term>| -> Result<Option<Id>, ()> {
+            match t {
+                Some(t) => self.interner.get(t).map(Some).ok_or(()),
+                None => Ok(None),
+            }
+        };
+        let (Ok(s), Ok(p), Ok(o)) = (resolve(subject), resolve(predicate), resolve(object)) else {
+            return 0; // a bound term the graph has never seen matches nothing
+        };
+        match (s, p, o, self.mode) {
+            (None, None, None, _) => self.spo.len(),
+            (Some(s), Some(p), Some(o), _) => usize::from(self.spo.contains(&(s, p, o))),
+            (Some(s), Some(p), None, _) => range2(&self.spo, s, p).count(),
+            (Some(s), None, None, _) => range1(&self.spo, s).count(),
+            (Some(s), None, Some(o), IndexMode::Full) => range2(&self.osp, o, s).count(),
+            (None, Some(p), Some(o), IndexMode::Full) => range2(&self.pos, p, o).count(),
+            (None, Some(p), None, IndexMode::Full) => range1(&self.pos, p).count(),
+            (None, None, Some(o), IndexMode::Full) => range1(&self.osp, o).count(),
+            // SpoOnly fallback: count by scanning the primary index.
+            (s, p, o, IndexMode::SpoOnly) => self
+                .spo
+                .iter()
+                .filter(|&&(s2, p2, o2)| {
+                    !(s.is_some_and(|x| x != s2)
+                        || p.is_some_and(|x| x != p2)
+                        || o.is_some_and(|x| x != o2))
+                })
+                .count(),
+        }
     }
 
     /// Convenience: insert from three terms.
@@ -134,9 +459,12 @@ impl Graph {
             return false;
         };
         let removed = self.spo.remove(&(s, p, o));
-        if removed && self.mode == IndexMode::Full {
-            self.pos.remove(&(p, o, s));
-            self.osp.remove(&(o, s, p));
+        if removed {
+            self.removals += 1;
+            if self.mode == IndexMode::Full {
+                self.pos.remove(&(p, o, s));
+                self.osp.remove(&(o, s, p));
+            }
         }
         removed
     }
@@ -351,9 +679,7 @@ impl Graph {
     /// Add every triple of `other` (blank labels kept as-is; callers that
     /// need hygienic merge use [`Graph::merge_renaming`]).
     pub fn extend_from(&mut self, other: &Graph) {
-        for t in other.iter() {
-            self.insert(t);
-        }
+        self.extend_triples(other.iter());
     }
 
     /// Merge `other` into `self`, renaming `other`'s blank nodes to fresh
@@ -449,9 +775,7 @@ impl FromIterator<Triple> for Graph {
 
 impl Extend<Triple> for Graph {
     fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
-        for t in iter {
-            self.insert(t);
-        }
+        self.extend_triples(iter);
     }
 }
 
@@ -678,6 +1002,165 @@ mod tests {
             Term::blank("c"),
         );
         assert_eq!(g2.read_list(&Term::blank("c")), None);
+    }
+
+    #[test]
+    fn generation_and_delta_snapshot() {
+        let mut g = Graph::new();
+        g.insert(t("urn:a", "urn:p", "urn:x"));
+        let mark = g.generation();
+        assert!(g.delta_since(mark).is_empty());
+        // Duplicate insert does not advance the generation.
+        g.insert(t("urn:a", "urn:p", "urn:x"));
+        assert_eq!(g.generation(), mark);
+        g.insert(t("urn:b", "urn:p", "urn:y"));
+        g.insert(t("urn:c", "urn:p", "urn:z"));
+        let delta = g.delta_since(mark);
+        assert_eq!(
+            delta,
+            vec![t("urn:b", "urn:p", "urn:y"), t("urn:c", "urn:p", "urn:z")],
+            "delta is the newly inserted triples, in insertion order"
+        );
+        // A triple removed after insertion drops out of the snapshot.
+        g.remove(&t("urn:b", "urn:p", "urn:y"));
+        assert_eq!(g.delta_since(mark), vec![t("urn:c", "urn:p", "urn:z")]);
+        // Deltas from generation 0 cover the whole surviving graph.
+        assert_eq!(g.delta_since(0).len(), g.len());
+    }
+
+    #[test]
+    fn extend_triples_bulk_matches_insert() {
+        let batch = vec![
+            t("urn:a", "urn:p", "urn:x"),
+            t("urn:b", "urn:p", "urn:x"),
+            t("urn:a", "urn:p", "urn:x"), // in-batch duplicate
+        ];
+        let mut bulk = Graph::new();
+        assert_eq!(bulk.extend_triples(batch.clone()), 2);
+        assert_eq!(bulk.extend_triples(batch.clone()), 0, "re-merge is a no-op");
+        let mut slow = Graph::new();
+        for tr in batch {
+            slow.insert(tr);
+        }
+        assert_eq!(bulk, slow);
+        // Secondary indexes answer patterns after a bulk merge.
+        assert_eq!(
+            bulk.match_pattern(None, None, Some(&Term::iri("urn:x")))
+                .len(),
+            2
+        );
+        assert_eq!(bulk.delta_since(0).len(), 2);
+    }
+
+    #[test]
+    fn estimate_matches_count_pattern() {
+        let g = sample();
+        let a = Term::iri("urn:a");
+        let p = Term::iri("urn:p");
+        let x = Term::iri("urn:x");
+        let zzz = Term::iri("urn:zzz");
+        for (s, pp, o) in [
+            (None, None, None),
+            (Some(&a), None, None),
+            (None, Some(&p), None),
+            (None, None, Some(&x)),
+            (Some(&a), Some(&p), None),
+            (Some(&a), None, Some(&x)),
+            (None, Some(&p), Some(&x)),
+            (Some(&a), Some(&p), Some(&x)),
+            (Some(&zzz), None, None),
+        ] {
+            assert_eq!(g.estimate(s, pp, o), g.count_pattern(s, pp, o));
+        }
+        // SpoOnly mode estimates identically via the scan fallback.
+        let mut lean = Graph::with_index_mode(IndexMode::SpoOnly);
+        lean.extend_from(&g);
+        assert_eq!(lean.estimate(None, Some(&p), None), 3);
+    }
+
+    #[test]
+    fn id_pattern_matching_mirrors_term_matching() {
+        for mode in [IndexMode::Full, IndexMode::SpoOnly] {
+            let mut g = Graph::with_index_mode(mode);
+            g.extend_from(&sample());
+            let a = g.term_id(&Term::iri("urn:a")).unwrap();
+            let p = g.term_id(&Term::iri("urn:p")).unwrap();
+            let x = g.term_id(&Term::iri("urn:x")).unwrap();
+            for (s, pp, o) in [
+                (None, None, None),
+                (Some(a), None, None),
+                (None, Some(p), None),
+                (None, None, Some(x)),
+                (Some(a), Some(p), None),
+                (Some(a), None, Some(x)),
+                (None, Some(p), Some(x)),
+                (Some(a), Some(p), Some(x)),
+            ] {
+                let mut by_id: Vec<Triple> = Vec::new();
+                g.for_each_match_ids(s, pp, o, |s2, p2, o2| {
+                    by_id.push(Triple::new(
+                        g.term_of(s2).clone(),
+                        g.term_of(p2).clone(),
+                        g.term_of(o2).clone(),
+                    ));
+                });
+                let mut by_term = g.match_pattern(
+                    s.map(|id| g.term_of(id)),
+                    pp.map(|id| g.term_of(id)),
+                    o.map(|id| g.term_of(id)),
+                );
+                by_id.sort();
+                by_term.sort();
+                assert_eq!(by_id, by_term, "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn term_id_roundtrip_and_interning() {
+        let mut g = sample();
+        let a = Term::iri("urn:a");
+        let id = g.term_id(&a).unwrap();
+        assert_eq!(g.term_of(id), &a);
+        assert!(g.term_id(&Term::iri("urn:zzz")).is_none());
+        // Interning a fresh term adds no triples and is idempotent.
+        let before = (g.len(), g.generation());
+        let fresh = g.intern_term(&Term::iri("urn:zzz"));
+        assert_eq!(g.intern_term(&Term::iri("urn:zzz")), fresh);
+        assert_eq!((g.len(), g.generation()), before);
+        assert_eq!(fresh as usize + 1, g.term_count());
+        // Equality ignores interner contents.
+        assert_eq!(g, sample());
+    }
+
+    #[test]
+    fn delta_ids_and_extend_ids_roundtrip() {
+        let mut g = sample();
+        let mark = g.generation();
+        g.insert(t("urn:c", "urn:p", "urn:y"));
+        let ids = g.delta_ids_since(mark);
+        assert_eq!(ids.len(), 1);
+        let (s, p, o) = ids[0];
+        assert_eq!(g.term_of(s), &Term::iri("urn:c"));
+        assert_eq!(g.term_of(p), &Term::iri("urn:p"));
+        assert_eq!(g.term_of(o), &Term::iri("urn:y"));
+        assert!(g.has_ids(s, p, o));
+        // Full-graph snapshot matches iter().
+        assert_eq!(g.delta_ids_since(0).len(), g.len());
+        // Re-adding the same id triples is a no-op; a new combination of
+        // existing ids lands in all indexes.
+        assert_eq!(g.extend_ids(ids), 0);
+        let b = g.term_id(&Term::iri("urn:b")).unwrap();
+        assert_eq!(g.extend_ids(vec![(b, p, o), (b, p, o)]), 1);
+        assert!(g.has(
+            &Term::iri("urn:b"),
+            &Term::iri("urn:p"),
+            &Term::iri("urn:y")
+        ));
+        assert_eq!(
+            g.match_pattern(None, None, Some(&Term::iri("urn:y"))).len(),
+            3
+        );
     }
 
     #[test]

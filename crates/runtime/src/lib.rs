@@ -9,6 +9,10 @@
 //! time manually ([`ManualClock`]) — breaker cooldowns and deadline
 //! expiries are exercised without wall-clock sleeps.
 
+pub mod pool;
+
+pub use pool::{split_shards, ShardPool};
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};

@@ -17,7 +17,7 @@
 //! sits behind a circuit breaker, and when it is unavailable the service
 //! degrades to serving un-inferred data through conservative views.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -28,6 +28,8 @@ use grdf_owl::reasoner::Reasoner;
 use grdf_query::eval::{execute_with_deadline, QueryResult};
 use grdf_rdf::diagnostic::{LintReport, Severity};
 use grdf_rdf::graph::Graph;
+use grdf_rdf::term::{Term, Triple};
+use grdf_rdf::vocab::{owl as vocab_owl, rdf, rdfs as vocab_rdfs};
 use grdf_runtime::Deadline;
 
 use crate::policy::{DecisionTrace, PolicySet};
@@ -46,6 +48,22 @@ pub trait ReasoningEngine: Send + Sync {
     /// Materialize entailments into the graph, polling `deadline`
     /// cooperatively; returns the number of inferred triples.
     fn materialize(&self, graph: &mut Graph, deadline: &Deadline) -> Result<usize, EngineError>;
+
+    /// Derive the consequences of just the triples inserted since
+    /// `from_generation` (a [`Graph::generation`] marker taken when the
+    /// graph was last fully materialized). Only sound for purely-additive
+    /// changes. The default falls back to a full materialization, which
+    /// is always correct on an already-materialized graph — engines with
+    /// a real delta mode override it.
+    fn materialize_delta(
+        &self,
+        graph: &mut Graph,
+        from_generation: u64,
+        deadline: &Deadline,
+    ) -> Result<usize, EngineError> {
+        let _ = from_generation;
+        self.materialize(graph, deadline)
+    }
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
@@ -72,6 +90,18 @@ impl ReasoningEngine for OwlHorstEngine {
             .map_err(|_| EngineError::DeadlineExceeded)
     }
 
+    fn materialize_delta(
+        &self,
+        graph: &mut Graph,
+        from_generation: u64,
+        deadline: &Deadline,
+    ) -> Result<usize, EngineError> {
+        self.reasoner
+            .materialize_delta(graph, from_generation, deadline)
+            .map(|stats| stats.inferred)
+            .map_err(|_| EngineError::DeadlineExceeded)
+    }
+
     fn name(&self) -> &'static str {
         "owl-horst"
     }
@@ -83,6 +113,15 @@ pub struct NoReasoning;
 
 impl ReasoningEngine for NoReasoning {
     fn materialize(&self, _graph: &mut Graph, _deadline: &Deadline) -> Result<usize, EngineError> {
+        Ok(0)
+    }
+
+    fn materialize_delta(
+        &self,
+        _graph: &mut Graph,
+        _from_generation: u64,
+        _deadline: &Deadline,
+    ) -> Result<usize, EngineError> {
         Ok(0)
     }
 
@@ -294,6 +333,23 @@ impl QueryCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Drop only one role's entries — the selective form used after an
+    /// incremental update that provably cannot change other roles' views.
+    pub fn invalidate_role(&mut self, role: &str) {
+        let idxs: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(key, _)| key.0 == role)
+            .map(|(_, &idx)| idx)
+            .collect();
+        for idx in idxs {
+            self.unlink(idx);
+            let node = self.nodes[idx].take().expect("mapped node present");
+            self.map.remove(&node.key);
+            self.free.push(idx);
+        }
     }
 
     /// Drop all entries (e.g. after data changes); hit/miss counters are
@@ -905,6 +961,10 @@ impl GSacs {
             }
         }
         // Phase 2: apply to the un-inferred base.
+        let additive = request
+            .ops
+            .iter()
+            .all(|op| matches!(op, UpdateOp::Insert(_)));
         let mut changed = 0;
         for op in &request.ops {
             match op {
@@ -921,10 +981,108 @@ impl GSacs {
             }
         }
         if changed > 0 {
-            self.rematerialize();
-            self.invalidate();
+            // Purely-additive batches extend the already-materialized
+            // dataset incrementally; deletions (or a degraded service,
+            // which serves un-materialized data) force the full rebuild —
+            // retraction requires recomputing the fixpoint from the base.
+            if additive && !self.is_degraded() {
+                self.apply_incremental(&request.ops);
+            } else {
+                grdf_obs::incr("gsacs.update.full");
+                self.rematerialize();
+                self.invalidate();
+            }
         }
         UpdateOutcome::Applied(changed)
+    }
+
+    /// Extend the served dataset with an additive batch: insert the new
+    /// triples, run the engine's delta materialization from a generation
+    /// marker, and invalidate only the roles whose secure views the delta
+    /// can affect. Any engine failure falls back to the full rebuild path
+    /// (which handles degradation and auditing).
+    fn apply_incremental(&mut self, ops: &[UpdateOp]) {
+        let span = grdf_obs::span("gsacs.update.incremental").tag("engine", self.engine.name());
+        let deadline = Deadline::armed(self.config.clock.clone(), self.config.request_budget);
+        let mark = self.data.generation();
+        for op in ops {
+            if let UpdateOp::Insert(t) = op {
+                self.data.insert(t.clone());
+            }
+        }
+        match self
+            .engine
+            .materialize_delta(&mut self.data, mark, &deadline)
+        {
+            Ok(inferred) => {
+                self.inferred += inferred;
+                let delta = self.data.delta_since(mark);
+                let span = span
+                    .tag("ok", true)
+                    .tag("delta", delta.len())
+                    .tag("inferred", inferred);
+                if let Some(roles) = self.affected_roles(&delta) {
+                    self.invalidate_roles(&roles);
+                    drop(span.tag("invalidated_roles", roles.len()));
+                } else {
+                    // Schema-level delta: every view may change.
+                    self.invalidate();
+                    drop(span.tag("invalidated_roles", "all"));
+                }
+                grdf_obs::incr("gsacs.update.incremental");
+            }
+            Err(e) => {
+                drop(span.tag("ok", false).tag("error", e));
+                grdf_obs::incr("gsacs.update.full");
+                self.rematerialize();
+                self.invalidate();
+            }
+        }
+    }
+
+    /// The roles whose secure views an additive delta can change, or
+    /// `None` when every view must be rebuilt. A role is affected when a
+    /// delta triple's subject is (or is typed as) a resource one of the
+    /// role's policies governs — permits can reveal the new triples, and
+    /// denies can newly suppress the subject's existing ones. Deltas that
+    /// touch RDFS/OWL vocabulary change the hierarchy the policy matcher
+    /// and view builder consult, so they invalidate everything.
+    fn affected_roles(&self, delta: &[Triple]) -> Option<HashSet<String>> {
+        let ty = Term::iri(rdf::TYPE);
+        let mut roles = HashSet::new();
+        for t in delta {
+            let pred = t.predicate.as_iri()?;
+            if pred.starts_with(vocab_rdfs::NS) || pred.starts_with(vocab_owl::NS) {
+                return None;
+            }
+            for policy in &self.policies.policies {
+                if roles.contains(&policy.role) {
+                    continue;
+                }
+                let resource = Term::iri(&policy.resource);
+                if t.subject == resource || self.data.has(&t.subject, &ty, &resource) {
+                    roles.insert(policy.role.clone());
+                }
+            }
+        }
+        Some(roles)
+    }
+
+    /// Selective cache invalidation: drop only the named roles' cached
+    /// queries and secure views.
+    fn invalidate_roles(&self, roles: &HashSet<String>) {
+        {
+            let mut cache = self.query_cache.lock();
+            for role in roles {
+                cache.invalidate_role(role);
+            }
+        }
+        let mut views = self.views.lock();
+        for role in roles {
+            views.views.remove(role);
+            views.stats.remove(role);
+            views.traces.remove(role);
+        }
     }
 
     /// The retained audit log, oldest first.
@@ -1512,6 +1670,181 @@ mod tests {
             after.select_rows().len(),
             1,
             "stale cache must have been dropped"
+        );
+    }
+
+    #[test]
+    fn additive_update_materializes_incrementally() {
+        use grdf_rdf::term::{Term, Triple};
+        use grdf_rdf::vocab::{rdf, rdfs};
+        let mut onto = Graph::new();
+        let creek = Term::iri(&grdf::app("Creek"));
+        let stream = Term::iri(&grdf::app("Stream"));
+        onto.add(creek.clone(), Term::iri(rdfs::SUB_CLASS_OF), stream.clone());
+        let mut repo = OntoRepository::new();
+        repo.register("hydro", onto);
+        let c2 = Term::iri(&grdf::app("c2"));
+        let edit_c2 = crate::policy::Policy {
+            action: crate::policy::Action::Edit,
+            ..Policy::permit("urn:pe", "urn:editor", &grdf::app("c2"))
+        };
+        let mut svc = GSacs::new(
+            repo,
+            PolicySet::new(vec![edit_c2]),
+            Box::<OwlHorstEngine>::default(),
+            Graph::new(),
+            4,
+        );
+        let incremental = svc.obs().registry().counter("gsacs.update.incremental");
+        let full = svc.obs().registry().counter("gsacs.update.full");
+        assert_eq!((incremental.get(), full.get()), (0, 0));
+        // Additive insert: the delta path runs and derives the entailment.
+        let out = svc.handle_update(&UpdateRequest {
+            role: "urn:editor".into(),
+            ops: vec![UpdateOp::Insert(Triple::new(
+                c2.clone(),
+                Term::iri(rdf::TYPE),
+                creek.clone(),
+            ))],
+        });
+        assert_eq!(out, UpdateOutcome::Applied(1));
+        assert_eq!((incremental.get(), full.get()), (1, 0));
+        assert!(
+            svc.dataset().has(&c2, &Term::iri(rdf::TYPE), &stream),
+            "incremental update must still materialize entailments"
+        );
+        // The incremental result equals a from-scratch rebuild.
+        let mut scratch = svc.base.clone();
+        Reasoner::default().materialize(&mut scratch);
+        assert_eq!(*svc.dataset(), scratch);
+        // A deletion forces the full rebuild path.
+        let delete_c2 = crate::policy::Policy {
+            action: crate::policy::Action::Delete,
+            ..Policy::permit("urn:pd", "urn:editor", &grdf::app("c2"))
+        };
+        svc.policies.push(delete_c2);
+        let out = svc.handle_update(&UpdateRequest {
+            role: "urn:editor".into(),
+            ops: vec![UpdateOp::Delete(Triple::new(
+                c2.clone(),
+                Term::iri(rdf::TYPE),
+                creek,
+            ))],
+        });
+        assert_eq!(out, UpdateOutcome::Applied(1));
+        assert_eq!((incremental.get(), full.get()), (1, 1));
+        assert!(
+            !svc.dataset().has(&c2, &Term::iri(rdf::TYPE), &stream),
+            "deletion retracts the entailment via the full rebuild"
+        );
+    }
+
+    #[test]
+    fn incremental_update_preserves_unaffected_role_caches() {
+        use grdf_rdf::term::{Term, Triple};
+        use grdf_rdf::vocab::rdf;
+        let mut data = Graph::new();
+        let site = Term::iri(&grdf::app("s1"));
+        let brook = Term::iri(&grdf::app("b1"));
+        data.add(
+            site.clone(),
+            Term::iri(rdf::TYPE),
+            Term::iri(&grdf::app("ChemSite")),
+        );
+        data.add(
+            brook.clone(),
+            Term::iri(rdf::TYPE),
+            Term::iri(&grdf::app("Stream")),
+        );
+        let policies = PolicySet::new(vec![
+            Policy::permit("urn:v1", "urn:chem-viewer", &grdf::app("ChemSite")),
+            Policy::permit("urn:v2", "urn:stream-viewer", &grdf::app("Stream")),
+            crate::policy::Policy {
+                action: crate::policy::Action::Edit,
+                ..Policy::permit("urn:e1", "urn:chem-viewer", &grdf::app("ChemSite"))
+            },
+        ]);
+        let mut svc = GSacs::new(
+            OntoRepository::new(),
+            policies,
+            Box::new(NoReasoning),
+            data,
+            8,
+        );
+        svc.view_for("urn:chem-viewer");
+        svc.view_for("urn:stream-viewer");
+        assert_eq!(svc.view_builds_for("urn:chem-viewer"), 1);
+        assert_eq!(svc.view_builds_for("urn:stream-viewer"), 1);
+        // Additive update touching only ChemSite resources.
+        let out = svc.handle_update(&UpdateRequest {
+            role: "urn:chem-viewer".into(),
+            ops: vec![UpdateOp::Insert(Triple::new(
+                site,
+                Term::iri(&grdf::app("hasSiteName")),
+                Term::string("NT Energy"),
+            ))],
+        });
+        assert_eq!(out, UpdateOutcome::Applied(1));
+        // Affected role: view dropped and rebuilt on next access.
+        svc.view_for("urn:chem-viewer");
+        assert_eq!(svc.view_builds_for("urn:chem-viewer"), 2);
+        // Unaffected role: cached view survives the update.
+        svc.view_for("urn:stream-viewer");
+        assert_eq!(
+            svc.view_builds_for("urn:stream-viewer"),
+            1,
+            "selective invalidation must not evict unaffected roles"
+        );
+    }
+
+    #[test]
+    fn incremental_update_emits_span() {
+        use grdf_rdf::term::{Term, Triple};
+        use grdf_rdf::vocab::rdf;
+        let mut data = Graph::new();
+        let site = Term::iri(&grdf::app("s1"));
+        data.add(
+            site.clone(),
+            Term::iri(rdf::TYPE),
+            Term::iri(&grdf::app("ChemSite")),
+        );
+        let config = ResilienceConfig {
+            obs: Obs::with_tracing(16),
+            ..ResilienceConfig::default()
+        };
+        let policies = PolicySet::new(vec![crate::policy::Policy {
+            action: crate::policy::Action::Edit,
+            ..Policy::permit("urn:e1", "urn:r", &grdf::app("ChemSite"))
+        }]);
+        let mut svc = GSacs::with_resilience(
+            OntoRepository::new(),
+            policies,
+            Box::<OwlHorstEngine>::default(),
+            data,
+            4,
+            config,
+        );
+        svc.handle_update(&UpdateRequest {
+            role: "urn:r".into(),
+            ops: vec![UpdateOp::Insert(Triple::new(
+                site,
+                Term::iri(&grdf::app("hasSiteName")),
+                Term::string("NT Energy"),
+            ))],
+        });
+        let records = svc.obs().sink().records();
+        let spans: Vec<_> = records
+            .iter()
+            .flat_map(|r| r.spans_named("gsacs.update.incremental"))
+            .collect();
+        assert_eq!(spans.len(), 1, "additive update emits the incremental span");
+        assert_eq!(spans[0].tag("ok"), Some("true"));
+        assert_eq!(spans[0].tag("invalidated_roles"), Some("1"));
+        assert!(
+            records
+                .iter()
+                .all(|r| r.spans_named("reasoner.materialize").len() <= 1),
+            "no full re-materialization inside the update trace"
         );
     }
 

@@ -318,6 +318,30 @@ impl ResilientEngine {
         graph: &mut Graph,
         deadline: &Deadline,
     ) -> Result<usize, EngineError> {
+        self.drive(graph, deadline, |engine, g, d| engine.materialize(g, d))
+    }
+
+    /// Incremental counterpart of [`ResilientEngine::materialize`]: derive
+    /// the consequences of triples inserted since `from_generation`, with
+    /// the same breaker and retry behavior. Retrying is safe — the delta
+    /// pass is idempotent over an additive graph.
+    pub fn materialize_delta(
+        &self,
+        graph: &mut Graph,
+        from_generation: u64,
+        deadline: &Deadline,
+    ) -> Result<usize, EngineError> {
+        self.drive(graph, deadline, |engine, g, d| {
+            engine.materialize_delta(g, from_generation, d)
+        })
+    }
+
+    fn drive(
+        &self,
+        graph: &mut Graph,
+        deadline: &Deadline,
+        call: impl Fn(&dyn ReasoningEngine, &mut Graph, &Deadline) -> Result<usize, EngineError>,
+    ) -> Result<usize, EngineError> {
         let state = self.state();
         if state == BreakerState::Open {
             return Err(EngineError::CircuitOpen);
@@ -338,7 +362,7 @@ impl ResilientEngine {
                     break;
                 }
             }
-            match self.inner.materialize(graph, deadline) {
+            match call(self.inner.as_ref(), graph, deadline) {
                 Ok(n) => {
                     self.record_success();
                     return Ok(n);

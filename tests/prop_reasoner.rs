@@ -7,10 +7,11 @@ use std::collections::HashSet;
 
 use grdf::owl::consistency::check_consistency;
 use grdf::owl::hierarchy::Hierarchy;
-use grdf::owl::reasoner::Reasoner;
+use grdf::owl::reasoner::{Reasoner, Strategy as EvalStrategy};
 use grdf::rdf::term::Term;
-use grdf::rdf::vocab::{rdf, rdfs};
+use grdf::rdf::vocab::{owl, rdf, rdfs};
 use grdf::rdf::Graph;
+use grdf::runtime::Deadline;
 
 /// Random subclass forest over `n` classes: each class i > 0 gets at most
 /// one parent among classes 0..i, plus random instance assignments.
@@ -57,6 +58,159 @@ fn to_graph(t: &Taxonomy) -> Graph {
         g.add(instance(*inst), Term::iri(rdf::TYPE), class(*cls));
     }
     g
+}
+
+fn property(i: usize) -> Term {
+    Term::iri(&format!("urn:tax#p{i}"))
+}
+
+/// A richer random graph than [`Taxonomy`]: a subclass forest plus random
+/// property axioms (sub-property chains, domain/range, characteristics,
+/// inverses), property assertions, and an optional OWL restriction. This
+/// exercises every rule family the engine implements, so the equivalence
+/// properties below compare the naive, semi-naive, and parallel engines
+/// over their full rule surface, not just subclass closure.
+#[derive(Debug, Clone)]
+struct RichGraph {
+    taxonomy: Taxonomy,
+    /// `sub_props[i] = Some(j)` with `j < i`.
+    sub_props: Vec<Option<usize>>,
+    /// `(property, class)` domain axioms.
+    domains: Vec<(usize, usize)>,
+    /// `(property, class)` range axioms.
+    ranges: Vec<(usize, usize)>,
+    /// Properties declared `owl:TransitiveProperty`.
+    transitive: Vec<usize>,
+    /// Properties declared `owl:SymmetricProperty`.
+    symmetric: Vec<usize>,
+    /// `(p, q)` pairs declared `owl:inverseOf`.
+    inverses: Vec<(usize, usize)>,
+    /// Property assertions `(subject instance, property, object instance)`.
+    assertions: Vec<(usize, usize, usize)>,
+    /// Optional restriction `(property, filler class, kind)`; kind selects
+    /// someValuesFrom / allValuesFrom / hasValue.
+    restriction: Option<(usize, usize, u8)>,
+}
+
+fn arb_rich_graph() -> impl Strategy<Value = RichGraph> {
+    let props = 4usize;
+    let classes = 8usize;
+    let instances = 6usize;
+    (
+        (
+            arb_taxonomy(classes, instances),
+            (1..props)
+                .map(|i| proptest::option::of(0..i))
+                .collect::<Vec<_>>(),
+            prop::collection::vec((0..props, 0..classes), 0..3),
+            prop::collection::vec((0..props, 0..classes), 0..3),
+        ),
+        (
+            prop::collection::vec(0..props, 0..2),
+            prop::collection::vec(0..props, 0..2),
+            prop::collection::vec((0..props, 0..props), 0..2),
+            prop::collection::vec((0..instances, 0..props, 0..instances), 0..12),
+            proptest::option::of((0..props, 0..classes, 0u8..3)),
+        ),
+    )
+        .prop_map(
+            |(
+                (taxonomy, mut sub_props, domains, ranges),
+                (transitive, symmetric, inverses, assertions, restriction),
+            )| {
+                sub_props.insert(0, None);
+                RichGraph {
+                    taxonomy,
+                    sub_props,
+                    domains,
+                    ranges,
+                    transitive,
+                    symmetric,
+                    inverses,
+                    assertions,
+                    restriction,
+                }
+            },
+        )
+}
+
+fn rich_to_graph(r: &RichGraph) -> Graph {
+    let mut g = to_graph(&r.taxonomy);
+    let n_classes = r.taxonomy.parents.len();
+    for (i, parent) in r.sub_props.iter().enumerate() {
+        if let Some(p) = parent {
+            g.add(property(i), Term::iri(rdfs::SUB_PROPERTY_OF), property(*p));
+        }
+    }
+    for (p, c) in &r.domains {
+        g.add(property(*p), Term::iri(rdfs::DOMAIN), class(c % n_classes));
+    }
+    for (p, c) in &r.ranges {
+        g.add(property(*p), Term::iri(rdfs::RANGE), class(c % n_classes));
+    }
+    for p in &r.transitive {
+        g.add(
+            property(*p),
+            Term::iri(rdf::TYPE),
+            Term::iri(owl::TRANSITIVE_PROPERTY),
+        );
+    }
+    for p in &r.symmetric {
+        g.add(
+            property(*p),
+            Term::iri(rdf::TYPE),
+            Term::iri(owl::SYMMETRIC_PROPERTY),
+        );
+    }
+    for (p, q) in &r.inverses {
+        g.add(property(*p), Term::iri(owl::INVERSE_OF), property(*q));
+    }
+    for (s, p, o) in &r.assertions {
+        g.add(instance(*s), property(*p), instance(*o));
+    }
+    if let Some((p, c, kind)) = &r.restriction {
+        let node = Term::blank("restr");
+        g.add(
+            node.clone(),
+            Term::iri(rdf::TYPE),
+            Term::iri(owl::RESTRICTION),
+        );
+        g.add(node.clone(), Term::iri(owl::ON_PROPERTY), property(*p));
+        match kind {
+            0 => g.add(
+                node.clone(),
+                Term::iri(owl::SOME_VALUES_FROM),
+                class(c % n_classes),
+            ),
+            1 => g.add(
+                node.clone(),
+                Term::iri(owl::ALL_VALUES_FROM),
+                class(c % n_classes),
+            ),
+            _ => g.add(node.clone(), Term::iri(owl::HAS_VALUE), instance(0)),
+        };
+        g.add(node, Term::iri(rdfs::SUB_CLASS_OF), class(0));
+    }
+    g
+}
+
+/// Materialize a copy of `g` under `reasoner` and return the fixpoint.
+fn fixpoint(g: &Graph, reasoner: Reasoner) -> Graph {
+    let mut out = g.clone();
+    reasoner.materialize(&mut out);
+    out
+}
+
+/// The three rule configurations the equivalence properties sweep.
+fn rule_configs() -> [Reasoner; 3] {
+    [
+        Reasoner::rdfs_only(),
+        Reasoner {
+            restrictions: false,
+            ..Reasoner::default()
+        },
+        Reasoner::default(),
+    ]
 }
 
 /// Ground-truth ancestors of class `i` by following parent links.
@@ -190,5 +344,65 @@ proptest! {
             .count();
         prop_assert_eq!(overlap > 0, violations > 0,
             "overlap {} vs violations {}", overlap, violations);
+    }
+
+    /// The semi-naive engine computes the exact same fixpoint as the naive
+    /// reference engine, across every rule configuration (rdfs-only, owl
+    /// without restrictions, full), and never needs more passes.
+    #[test]
+    fn semi_naive_equals_naive_on_random_graphs(r in arb_rich_graph()) {
+        let g = rich_to_graph(&r);
+        for config in rule_configs() {
+            let naive = Reasoner { strategy: EvalStrategy::Naive, ..config };
+            let semi = Reasoner { strategy: EvalStrategy::SemiNaive, ..config };
+            let mut g_naive = g.clone();
+            let mut g_semi = g.clone();
+            let stats_naive = naive.materialize(&mut g_naive);
+            let stats_semi = semi.materialize(&mut g_semi);
+            prop_assert_eq!(&g_naive, &g_semi,
+                "fixpoints differ (rdfs={} owl={} restrictions={})",
+                config.rdfs, config.owl, config.restrictions);
+            prop_assert_eq!(stats_naive.inferred, stats_semi.inferred);
+            prop_assert!(stats_semi.passes <= stats_naive.passes,
+                "semi-naive took {} passes vs naive {}",
+                stats_semi.passes, stats_naive.passes);
+        }
+    }
+
+    /// The parallel engine (any worker count) computes the same fixpoint
+    /// as the sequential semi-naive engine — the merge is deterministic.
+    #[test]
+    fn parallel_equals_sequential_on_random_graphs(r in arb_rich_graph(), shards in 2usize..6) {
+        let g = rich_to_graph(&r);
+        for config in rule_configs() {
+            let sequential = fixpoint(&g, config);
+            let parallel = fixpoint(&g, Reasoner { shards, ..config });
+            prop_assert_eq!(&sequential, &parallel,
+                "parallel({}) diverged (rdfs={} owl={} restrictions={})",
+                shards, config.rdfs, config.owl, config.restrictions);
+        }
+    }
+
+    /// Incrementally deriving the consequences of a batch of additions
+    /// yields exactly the same graph as re-materializing from scratch.
+    #[test]
+    fn incremental_update_equals_full_rematerialization(
+        r in arb_rich_graph(),
+        extra in prop::collection::vec((0..8usize, 0..4usize, 0..8usize), 1..6),
+    ) {
+        let reasoner = Reasoner::default();
+        let mut incremental = rich_to_graph(&r);
+        reasoner.materialize(&mut incremental);
+        let mark = incremental.generation();
+        let mut scratch = incremental.clone();
+        for (s, p, o) in &extra {
+            incremental.add(instance(*s + 50), property(*p), instance(*o + 50));
+            scratch.add(instance(*s + 50), property(*p), instance(*o + 50));
+        }
+        reasoner
+            .materialize_delta(&mut incremental, mark, &Deadline::never())
+            .expect("never-expiring deadline");
+        reasoner.materialize(&mut scratch);
+        prop_assert_eq!(&incremental, &scratch);
     }
 }

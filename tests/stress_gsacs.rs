@@ -12,10 +12,13 @@
 use std::sync::Arc;
 
 use grdf::feature::{encode_feature, Feature};
+use grdf::rdf::term::{Term, Triple};
 use grdf::rdf::vocab::grdf as ns;
 use grdf::rdf::Graph;
-use grdf::security::gsacs::{ClientRequest, GSacs, OntoRepository, OwlHorstEngine};
-use grdf::security::policy::{Policy, PolicySet};
+use grdf::security::gsacs::{
+    ClientRequest, GSacs, OntoRepository, OwlHorstEngine, UpdateOp, UpdateOutcome, UpdateRequest,
+};
+use grdf::security::policy::{Action, Policy, PolicySet};
 use grdf::security::resilience::ResilienceConfig;
 
 const THREADS: usize = 8;
@@ -47,6 +50,10 @@ fn build_service(cache_capacity: usize, config: ResilienceConfig) -> GSacs {
         Policy::permit(&ns::sec("E1"), &ns::sec("Emergency"), &ns::app("ChemSite")),
         Policy::permit(&ns::sec("E2"), &ns::sec("Emergency"), &ns::app("Stream")),
         Policy::permit(&ns::sec("H1"), &ns::sec("Hazmat"), &ns::app("ChemSite")),
+        Policy {
+            action: Action::Edit,
+            ..Policy::permit(&ns::sec("H2"), &ns::sec("Hazmat"), &ns::app("ChemSite"))
+        },
     ]);
     GSacs::with_resilience(
         OntoRepository::new(),
@@ -273,4 +280,90 @@ fn concurrent_workload_keeps_service_registry_coherent() {
         .count() as u64;
     assert_eq!(snap.counters["gsacs.errors"], denied);
     assert_eq!(snap.counters["view.builds"], ROLES.len() as u64);
+}
+
+/// Concurrent readers interleaved with sequential additive writes: every
+/// additive update must take the incremental materialization path (counter
+/// and span, never a full rebuild), and roles whose policies are untouched
+/// by the delta keep their cached views across every round.
+#[test]
+fn additive_updates_under_read_pressure_stay_incremental() {
+    const ROUNDS: usize = 5;
+    let obs = grdf::obs::Obs::with_tracing(1024);
+    let config = ResilienceConfig {
+        obs: obs.clone(),
+        ..ResilienceConfig::default()
+    };
+    let mut svc = build_service(32, config);
+    let qs = queries();
+
+    for round in 0..ROUNDS {
+        // Phase A: concurrent readers warm every role's view and query
+        // caches (valid queries only — errors aren't the subject here).
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let svc = &svc;
+                let qs = &qs;
+                scope.spawn(move || {
+                    for i in 0..8 {
+                        let role = ROLES[(t + i) % ROLES.len()];
+                        let query = qs[(t + i) % (qs.len() - 1)].clone();
+                        let _ = svc.handle(&ClientRequest {
+                            role: ns::sec(role),
+                            query,
+                        });
+                    }
+                });
+            }
+        });
+        // Phase B: one authorized additive write touching only a ChemSite
+        // instance; the delta path must handle it without a rebuild.
+        let out = svc.handle_update(&UpdateRequest {
+            role: ns::sec("Hazmat"),
+            ops: vec![UpdateOp::Insert(Triple::new(
+                Term::iri(&ns::app(&format!("site{round}"))),
+                Term::iri(&ns::app("hasInspectionNote")),
+                Term::string(&format!("round {round}")),
+            ))],
+        });
+        assert_eq!(out, UpdateOutcome::Applied(1));
+    }
+
+    // Every update took the incremental path; the full-rebuild path never
+    // fired after construction.
+    let registry = obs.registry();
+    assert_eq!(
+        registry.counter("gsacs.update.incremental").get(),
+        ROUNDS as u64
+    );
+    assert_eq!(registry.counter("gsacs.update.full").get(), 0);
+
+    // Span-level evidence: one successful incremental span per round, and
+    // at most the single construction-time full materialization anywhere.
+    let records = obs.sink().records();
+    let spans: Vec<_> = records
+        .iter()
+        .flat_map(|r| r.spans_named("gsacs.update.incremental"))
+        .collect();
+    assert_eq!(spans.len(), ROUNDS, "one incremental span per update");
+    for span in &spans {
+        assert_eq!(span.tag("ok"), Some("true"));
+    }
+    let full_materializations: usize = records
+        .iter()
+        .map(|r| r.spans_named("reasoner.materialize").len())
+        .sum();
+    assert!(
+        full_materializations <= 1,
+        "updates must never trigger a full re-materialization \
+         (saw {full_materializations} beyond construction)"
+    );
+
+    // Selective invalidation: a role with no policy over the updated
+    // resources keeps its cached view through all five rounds.
+    assert_eq!(
+        svc.view_builds_for(&ns::sec("Nobody")),
+        1,
+        "unaffected role's view must survive every additive update"
+    );
 }
