@@ -1,0 +1,269 @@
+//! Durability benchmarks for `grdf-store`: WAL append throughput per
+//! fsync policy, checkpoint write latency, and crash recovery against the
+//! E6 incident store — including the claim the store exists to back up:
+//! recovering from a checkpoint + WAL replay is faster than re-ingesting
+//! the sources and re-running the full materialization fixpoint.
+//!
+//! Hand-rolled harness (same shape as `bench_reasoner`): `--json <path>`
+//! writes the checked-in `BENCH_store.json` format, `--quick` trims
+//! scales and iteration counts for CI smoke runs. Everything runs on a
+//! real filesystem (a fresh temp directory per arm) so fsync costs are
+//! real, not simulated.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use grdf_bench::{incident_graph, scenario_policies};
+use grdf_owl::reasoner::{Reasoner, Strategy};
+use grdf_rdf::graph::Graph;
+use grdf_security::policy_set_graph;
+use grdf_store::{DurableStore, FsBackend, FsyncPolicy, LoggedOp, StorageBackend, StoreConfig};
+
+struct Scenario {
+    name: String,
+    metrics: Vec<(&'static str, f64)>,
+}
+
+/// A fresh temp directory that is removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path =
+            std::env::temp_dir().join(format!("grdf-bench-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+
+    fn backend(&self) -> Arc<dyn StorageBackend> {
+        Arc::new(FsBackend::open(&self.0).expect("open fs backend"))
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Insert-op batches drawn from the incident graph, `batch` triples each.
+fn batches(graph: &Graph, batch: usize) -> Vec<Vec<LoggedOp>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(batch);
+    for t in graph.iter() {
+        cur.push(LoggedOp::Insert(t));
+        if cur.len() == batch {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn policy_name(policy: FsyncPolicy) -> &'static str {
+    match policy {
+        FsyncPolicy::Always => "always",
+        FsyncPolicy::EveryN(_) => "every32",
+        FsyncPolicy::Never => "never",
+    }
+}
+
+/// WAL append throughput for one fsync policy: a fresh store, `ops` spread
+/// over insert batches, one WAL record per batch.
+fn bench_wal(graph: &Graph, policy: FsyncPolicy, max_batches: usize) -> Scenario {
+    let dir = TempDir::new(&format!("wal-{}", policy_name(policy)));
+    let config = StoreConfig {
+        fsync: policy,
+        // Appends only — rotation is measured separately.
+        checkpoint_threshold: u64::MAX,
+    };
+    let store = DurableStore::create(dir.backend(), config, &Graph::new(), &Graph::new())
+        .expect("create store");
+    let work: Vec<Vec<LoggedOp>> = batches(graph, 8).into_iter().take(max_batches).collect();
+    let ops: usize = work.iter().map(Vec::len).sum();
+    let start = Instant::now();
+    for b in &work {
+        store.append_batch(b).expect("append");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let bytes = store.wal_bytes();
+    Scenario {
+        name: format!("wal_append_fsync_{}", policy_name(policy)),
+        metrics: vec![
+            ("batches", work.len() as f64),
+            ("ops", ops as f64),
+            ("millis", secs * 1e3),
+            ("batches_per_sec", work.len() as f64 / secs.max(1e-9)),
+            ("wal_bytes", bytes as f64),
+        ],
+    }
+}
+
+/// Checkpoint write latency + size for the materialized-base scale, and
+/// recovery time from that checkpoint plus a replayed WAL suffix,
+/// compared against re-ingesting the sources and re-running the full
+/// materialization fixpoint.
+fn bench_checkpoint_and_recovery(
+    streams: usize,
+    sites: usize,
+    replay_batches: usize,
+) -> (Scenario, Scenario) {
+    let base = incident_graph(streams, sites, 17);
+    let policy_graph = policy_set_graph(&scenario_policies());
+    let dir = TempDir::new(&format!("ckpt-{streams}x{sites}"));
+    let config = StoreConfig {
+        fsync: FsyncPolicy::EveryN(32),
+        checkpoint_threshold: u64::MAX,
+    };
+    let store =
+        DurableStore::create(dir.backend(), config, &base, &policy_graph).expect("create store");
+    // Measured checkpoint write: same state again, a fresh segment.
+    let start = Instant::now();
+    store.checkpoint(&base, &policy_graph).expect("checkpoint");
+    let ckpt_millis = start.elapsed().as_secs_f64() * 1e3;
+    let ckpt = Scenario {
+        name: format!("checkpoint_e6_{streams}x{sites}"),
+        metrics: vec![("base_triples", base.len() as f64), ("millis", ckpt_millis)],
+    };
+
+    // A WAL suffix to replay on top of the checkpoint: fresh triples not
+    // in the base (a later seed), so replay does real insert work.
+    let extra = incident_graph(streams / 2, sites / 2, 99);
+    let mut replayed_ops = 0usize;
+    for b in batches(&extra, 8).into_iter().take(replay_batches) {
+        replayed_ops += b.len();
+        store.append_batch(&b).expect("append");
+    }
+    drop(store);
+
+    // Recovery arm: open the store on a fresh backend (as a restarted
+    // process would) and re-materialize the recovered base.
+    let reasoner = Reasoner {
+        strategy: Strategy::SemiNaive,
+        ..Reasoner::default()
+    };
+    let start = Instant::now();
+    let (_store, recovered) =
+        DurableStore::open(dir.backend(), StoreConfig::default()).expect("recover");
+    let open_millis = start.elapsed().as_secs_f64() * 1e3;
+    let mut recovered_graph = recovered.base.clone();
+    reasoner.materialize(&mut recovered_graph);
+    let recover_millis = start.elapsed().as_secs_f64() * 1e3;
+
+    // Re-ingest arm: regenerate the same state from sources and run the
+    // full fixpoint — what a store-less restart would have to do.
+    let start = Instant::now();
+    let mut reingested = incident_graph(streams, sites, 17);
+    for b in batches(&extra, 8).into_iter().take(replay_batches) {
+        for op in b {
+            match op {
+                LoggedOp::Insert(t) => {
+                    reingested.insert(t);
+                }
+                LoggedOp::Delete(t) => {
+                    reingested.remove(&t);
+                }
+            }
+        }
+    }
+    reasoner.materialize(&mut reingested);
+    let reingest_millis = start.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        recovered_graph, reingested,
+        "recovery must reconstruct exactly the re-ingested state"
+    );
+    assert!(
+        open_millis < reingest_millis,
+        "checkpoint+WAL recovery ({open_millis:.1} ms) should beat \
+         re-ingest + full re-materialization ({reingest_millis:.1} ms)"
+    );
+    let recovery = Scenario {
+        name: format!("recovery_e6_{streams}x{sites}"),
+        metrics: vec![
+            ("recovered_triples", recovered.base.len() as f64),
+            ("replayed_ops", replayed_ops as f64),
+            ("open_millis", open_millis),
+            ("recover_materialize_millis", recover_millis),
+            ("reingest_materialize_millis", reingest_millis),
+            (
+                "open_speedup_vs_reingest",
+                reingest_millis / open_millis.max(1e-9),
+            ),
+        ],
+    };
+    (ckpt, recovery)
+}
+
+fn to_json(mode: &str, scenarios: &[Scenario]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"store\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\"", s.name));
+        for (k, v) in &s.metrics {
+            out.push_str(&format!(",\n      \"{k}\": {v:.3}"));
+        }
+        out.push_str(&format!(
+            "\n    }}{}\n",
+            if i + 1 < scenarios.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args
+        .iter()
+        .any(|a| a.starts_with("--test") || a == "--list")
+    {
+        // `cargo test` probes bench binaries; nothing to run in test mode.
+        println!("bench_store: bench-only binary, skipped under test");
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+
+    let (wal_batches, scale, replay) = if quick {
+        (100, (50, 50), 20)
+    } else {
+        (1000, (100, 100), 100)
+    };
+
+    let wal_input = incident_graph(50, 50, 17);
+    let mut scenarios = Vec::new();
+    for policy in [
+        FsyncPolicy::Always,
+        FsyncPolicy::EveryN(32),
+        FsyncPolicy::Never,
+    ] {
+        scenarios.push(bench_wal(&wal_input, policy, wal_batches));
+    }
+    let (ckpt, recovery) = bench_checkpoint_and_recovery(scale.0, scale.1, replay);
+    scenarios.push(ckpt);
+    scenarios.push(recovery);
+
+    for s in &scenarios {
+        println!("{}", s.name);
+        for (k, v) in &s.metrics {
+            println!("  {k:<30} {v:>12.3}");
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = to_json(if quick { "quick" } else { "full" }, &scenarios);
+        std::fs::write(&path, json).expect("write json snapshot");
+        println!("wrote {path}");
+    }
+}

@@ -39,6 +39,7 @@ pub mod sink;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, LogHistogram, MetricsRegistry, MetricsSnapshot,
+    RunIdMismatch,
 };
 pub use sink::{SpanRecord, TraceRecord, TraceSink};
 

@@ -277,6 +277,7 @@ impl MetricsRegistry {
             })
             .collect();
         MetricsSnapshot {
+            run_id: None,
             counters,
             gauges,
             histograms,
@@ -292,6 +293,12 @@ impl MetricsRegistry {
 /// An immutable snapshot of a [`MetricsRegistry`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
+    /// The process-lifetime run id the snapshot was taken under (the
+    /// durable store's boot counter), when known. Counters reset to zero
+    /// on restart, so a delta between snapshots from different runs is
+    /// meaningless — [`MetricsSnapshot::try_delta`] refuses to compute
+    /// one.
+    pub run_id: Option<u64>,
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
@@ -300,7 +307,55 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSummary>,
 }
 
+/// Refusal from [`MetricsSnapshot::try_delta`]: the snapshots were taken
+/// under different run ids, so counter subtraction would mix unrelated
+/// process lifetimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunIdMismatch {
+    /// The baseline snapshot's run id.
+    pub baseline: Option<u64>,
+    /// The later snapshot's run id.
+    pub current: Option<u64>,
+}
+
+impl std::fmt::Display for RunIdMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn show(id: Option<u64>) -> String {
+            id.map_or_else(|| "unknown".to_string(), |v| v.to_string())
+        }
+        write!(
+            f,
+            "refusing to delta metrics across runs (baseline run id {}, current run id {}): \
+             counters reset on restart, the difference would be meaningless",
+            show(self.baseline),
+            show(self.current)
+        )
+    }
+}
+
+impl std::error::Error for RunIdMismatch {}
+
 impl MetricsSnapshot {
+    /// Stamp the snapshot with the run id it was taken under (the durable
+    /// store's boot counter).
+    #[must_use]
+    pub fn with_run_id(mut self, run_id: u64) -> MetricsSnapshot {
+        self.run_id = Some(run_id);
+        self
+    }
+
+    /// Like [`MetricsSnapshot::delta`], but refuses when the snapshots
+    /// carry different run ids (two unstamped snapshots are assumed to be
+    /// same-run for compatibility with pre-run-id files).
+    pub fn try_delta(&self, baseline: &MetricsSnapshot) -> Result<MetricsSnapshot, RunIdMismatch> {
+        if self.run_id != baseline.run_id {
+            return Err(RunIdMismatch {
+                baseline: baseline.run_id,
+                current: self.run_id,
+            });
+        }
+        Ok(self.delta(baseline))
+    }
     /// The change from `baseline` to `self`: counters and histogram counts
     /// subtract (saturating), gauges and quantiles report the later state.
     #[must_use]
@@ -331,6 +386,7 @@ impl MetricsSnapshot {
             })
             .collect();
         MetricsSnapshot {
+            run_id: self.run_id,
             counters,
             gauges: self.gauges.clone(),
             histograms,
@@ -356,9 +412,108 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Parse a snapshot previously written by [`MetricsSnapshot::to_json`].
+    ///
+    /// Not a general JSON parser: it understands exactly the line-oriented
+    /// shape `to_json` emits (one entry per line, stable key order), which
+    /// is what CI snapshot artifacts contain. Files without a `run_id`
+    /// key (pre-run-id artifacts) parse with `run_id: None`.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, String> {
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Counters,
+            Gauges,
+            Histograms,
+        }
+        fn unquote(s: &str) -> Result<&str, String> {
+            s.strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| format!("expected quoted key, got {s}"))
+        }
+        fn hist_field(body: &str, name: &str) -> Result<u64, String> {
+            let key = format!("\"{name}\": ");
+            let start = body
+                .find(&key)
+                .ok_or_else(|| format!("histogram entry missing {name}: {body}"))?
+                + key.len();
+            let rest = &body[start..];
+            let end = rest
+                .find([',', '}'])
+                .ok_or_else(|| format!("unterminated histogram field {name}: {body}"))?;
+            rest[..end]
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| format!("bad {name} in {body}: {e}"))
+        }
+        let mut snap = MetricsSnapshot::default();
+        let mut section = Section::None;
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            match line {
+                "" | "{" | "}" => {}
+                "\"counters\": {" => section = Section::Counters,
+                "\"gauges\": {" => section = Section::Gauges,
+                "\"histograms\": {" => section = Section::Histograms,
+                _ => {
+                    let Some((key, value)) = line.split_once(": ") else {
+                        return Err(format!("unrecognized line: {line}"));
+                    };
+                    let value = value.trim();
+                    if section == Section::None && key == "\"run_id\"" {
+                        snap.run_id = match value {
+                            "null" => None,
+                            v => Some(
+                                v.parse::<u64>()
+                                    .map_err(|e| format!("bad run_id {v}: {e}"))?,
+                            ),
+                        };
+                        continue;
+                    }
+                    let name = unquote(key)?.to_string();
+                    match section {
+                        Section::Counters => {
+                            let v = value
+                                .parse::<u64>()
+                                .map_err(|e| format!("bad counter {name}: {e}"))?;
+                            snap.counters.insert(name, v);
+                        }
+                        Section::Gauges => {
+                            let v = value
+                                .parse::<i64>()
+                                .map_err(|e| format!("bad gauge {name}: {e}"))?;
+                            snap.gauges.insert(name, v);
+                        }
+                        Section::Histograms => {
+                            let summary = HistogramSummary {
+                                count: hist_field(value, "count")?,
+                                sum: hist_field(value, "sum")?,
+                                p50: hist_field(value, "p50")?,
+                                p99: hist_field(value, "p99")?,
+                                max: hist_field(value, "max")?,
+                            };
+                            snap.histograms.insert(name, summary);
+                        }
+                        Section::None => {
+                            return Err(format!("entry outside any section: {line}"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(snap)
+    }
+
     /// JSON object rendering (`BENCH_*.json`-style, stable key order).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"counters\": {");
+        let mut out = String::from("{\n");
+        match self.run_id {
+            Some(id) => {
+                let _ = writeln!(out, "  \"run_id\": {id},");
+            }
+            None => out.push_str("  \"run_id\": null,\n"),
+        }
+        out.push_str("  \"counters\": {");
         let mut first = true;
         for (k, v) in &self.counters {
             if !first {
@@ -495,6 +650,60 @@ mod tests {
         assert_eq!(delta.counters["a"], 7);
         assert_eq!(delta.counters["b"], 1);
         assert_eq!(delta.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn try_delta_refuses_cross_run_snapshots() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(5);
+        let before = reg.snapshot().with_run_id(3);
+        reg.counter("a").add(2);
+        let after = reg.snapshot().with_run_id(4);
+        let err = after.try_delta(&before).unwrap_err();
+        assert_eq!(err.baseline, Some(3));
+        assert_eq!(err.current, Some(4));
+        assert!(err.to_string().contains("refusing to delta"));
+        // Same run id: works and carries the id forward.
+        let after = reg.snapshot().with_run_id(3);
+        let delta = after.try_delta(&before).unwrap();
+        assert_eq!(delta.counters["a"], 2);
+        assert_eq!(delta.run_id, Some(3));
+        // Stamped vs unstamped is also a mismatch.
+        assert!(reg.snapshot().try_delta(&before).is_err());
+        // Two legacy (unstamped) snapshots still delta.
+        assert!(reg.snapshot().try_delta(&reg.snapshot()).is_ok());
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("gsacs.requests").add(12);
+        reg.counter("store.wal.append").inc();
+        reg.gauge("pool.size").set(-3);
+        reg.histogram("latency").record(100);
+        reg.histogram("latency").record(5000);
+        let snap = reg.snapshot().with_run_id(9);
+        let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+        // Empty registry round-trips too, as does a missing run_id key.
+        let empty = MetricsRegistry::new().snapshot();
+        assert_eq!(MetricsSnapshot::from_json(&empty.to_json()).unwrap(), empty);
+        let legacy = "{\n  \"counters\": {\n    \"a\": 1\n  },\n  \"gauges\": {\n  },\n  \"histograms\": {\n  }\n}\n";
+        let parsed = MetricsSnapshot::from_json(legacy).unwrap();
+        assert_eq!(parsed.run_id, None);
+        assert_eq!(parsed.counters["a"], 1);
+        assert!(MetricsSnapshot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn run_id_lands_in_json() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.snapshot().to_json().contains("\"run_id\": null"));
+        assert!(reg
+            .snapshot()
+            .with_run_id(7)
+            .to_json()
+            .contains("\"run_id\": 7"));
     }
 
     #[test]

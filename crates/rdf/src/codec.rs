@@ -1,0 +1,517 @@
+//! Deterministic binary encoding of a [`Graph`] for durable storage.
+//!
+//! The encoding is **canonical**: two graphs containing the same triple set
+//! serialize to identical bytes regardless of insertion order, interner
+//! history, or index mode. This is what makes checkpoint files comparable
+//! byte-for-byte and lets the crash-recovery suite assert `encode(decode(x))
+//! == x` exactly.
+//!
+//! ## Layout
+//!
+//! ```text
+//! [magic "GRDG"] [version u8 = 1]
+//! [varint term_count] [term]*
+//! [varint triple_count] [varint s][varint p][varint o]*   (term-table ids)
+//! [crc32 LE over everything above]
+//! ```
+//!
+//! Canonical form: triples are sorted by `(s, p, o)` under [`Term`]'s `Ord`,
+//! and the term table is assigned ids by **first appearance in that sorted
+//! walk** — so the table order is itself a pure function of the triple set.
+//!
+//! Terms are tagged: `0x01` IRI, `0x02` blank node, `0x03` plain literal,
+//! `0x04` language-tagged literal (lexical + tag), `0x05` typed literal
+//! (lexical + datatype IRI). Strings are varint-length-prefixed UTF-8;
+//! varints are LEB128.
+//!
+//! Every decode failure is a typed [`CodecError`] — truncated or bit-flipped
+//! input must never panic, because the durable store classifies corruption
+//! from these errors (torn tail vs interior damage).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::graph::Graph;
+use crate::term::{Literal, Term, Triple};
+
+/// Leading magic of an encoded graph block.
+pub const MAGIC: [u8; 4] = *b"GRDG";
+/// Current encoding version.
+pub const VERSION: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A typed decode failure. Corrupt input yields one of these — never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the structure it promised was complete.
+    Truncated,
+    /// The trailing CRC32 does not match the decoded bytes.
+    Checksum {
+        /// CRC recorded in the input.
+        expected: u32,
+        /// CRC recomputed over the payload.
+        found: u32,
+    },
+    /// The input does not start with [`MAGIC`].
+    BadMagic,
+    /// The version byte is not one this build can decode.
+    BadVersion(u8),
+    /// An unknown term tag byte.
+    BadTag(u8),
+    /// A length-prefixed string is not valid UTF-8.
+    BadUtf8,
+    /// A triple references a term id beyond the term table.
+    IdOutOfRange(u64),
+    /// A varint ran past 10 bytes (or overflowed u64).
+    BadVarint,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated mid-structure"),
+            CodecError::Checksum { expected, found } => write!(
+                f,
+                "checksum mismatch: recorded {expected:#010x}, computed {found:#010x}"
+            ),
+            CodecError::BadMagic => write!(f, "bad magic (not an encoded graph)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported encoding version {v}"),
+            CodecError::BadTag(t) => write!(f, "unknown term tag {t:#04x}"),
+            CodecError::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+            CodecError::IdOutOfRange(id) => write!(f, "term id {id} beyond term table"),
+            CodecError::BadVarint => write!(f, "malformed varint"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected) — the classic zlib polynomial.
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC32 (IEEE) of `bytes` — the checksum used by every durable record.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feed `state` (start from `0xFFFF_FFFF`, finish by XOR
+/// with `0xFFFF_FFFF`).
+pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    let mut c = state;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+// ---------------------------------------------------------------------------
+// Varints (LEB128)
+// ---------------------------------------------------------------------------
+
+/// Append `v` as an LEB128 varint.
+pub fn write_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 varint at `*pos`, advancing it.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(CodecError::BadVarint);
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn write_str(s: &str, out: &mut Vec<u8>) {
+    write_varint(s.len() as u64, out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a str, CodecError> {
+    let len = read_varint(bytes, pos)?;
+    let len = usize::try_from(len).map_err(|_| CodecError::Truncated)?;
+    let end = pos.checked_add(len).ok_or(CodecError::Truncated)?;
+    let slice = bytes.get(*pos..end).ok_or(CodecError::Truncated)?;
+    *pos = end;
+    std::str::from_utf8(slice).map_err(|_| CodecError::BadUtf8)
+}
+
+// ---------------------------------------------------------------------------
+// Terms
+// ---------------------------------------------------------------------------
+
+const TAG_IRI: u8 = 0x01;
+const TAG_BLANK: u8 = 0x02;
+const TAG_LIT_PLAIN: u8 = 0x03;
+const TAG_LIT_LANG: u8 = 0x04;
+const TAG_LIT_TYPED: u8 = 0x05;
+
+/// Append the tagged encoding of one term.
+pub fn encode_term(term: &Term, out: &mut Vec<u8>) {
+    match term {
+        Term::Iri(iri) => {
+            out.push(TAG_IRI);
+            write_str(iri, out);
+        }
+        Term::Blank(label) => {
+            out.push(TAG_BLANK);
+            write_str(label, out);
+        }
+        Term::Literal(lit) => encode_literal(lit, out),
+    }
+}
+
+fn encode_literal(lit: &Literal, out: &mut Vec<u8>) {
+    if let Some(lang) = lit.lang() {
+        out.push(TAG_LIT_LANG);
+        write_str(lit.lexical(), out);
+        write_str(lang, out);
+    } else {
+        let dt = lit.datatype();
+        if dt == crate::vocab::xsd::STRING {
+            out.push(TAG_LIT_PLAIN);
+            write_str(lit.lexical(), out);
+        } else {
+            out.push(TAG_LIT_TYPED);
+            write_str(lit.lexical(), out);
+            write_str(dt, out);
+        }
+    }
+}
+
+/// Decode one tagged term at `*pos`, advancing it.
+pub fn decode_term(bytes: &[u8], pos: &mut usize) -> Result<Term, CodecError> {
+    let &tag = bytes.get(*pos).ok_or(CodecError::Truncated)?;
+    *pos += 1;
+    match tag {
+        TAG_IRI => Ok(Term::iri(read_str(bytes, pos)?)),
+        TAG_BLANK => Ok(Term::blank(read_str(bytes, pos)?)),
+        TAG_LIT_PLAIN => Ok(Term::Literal(Literal::string(read_str(bytes, pos)?))),
+        TAG_LIT_LANG => {
+            let lexical = read_str(bytes, pos)?.to_string();
+            let lang = read_str(bytes, pos)?;
+            Ok(Term::Literal(Literal::lang_string(&lexical, lang)))
+        }
+        TAG_LIT_TYPED => {
+            let lexical = read_str(bytes, pos)?.to_string();
+            let dt = read_str(bytes, pos)?;
+            Ok(Term::Literal(Literal::typed(&lexical, dt)))
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+/// Append the tagged encoding of one triple (three terms, S then P then O).
+pub fn encode_triple(triple: &Triple, out: &mut Vec<u8>) {
+    encode_term(&triple.subject, out);
+    encode_term(&triple.predicate, out);
+    encode_term(&triple.object, out);
+}
+
+/// Decode one triple at `*pos`, advancing it.
+pub fn decode_triple(bytes: &[u8], pos: &mut usize) -> Result<Triple, CodecError> {
+    let s = decode_term(bytes, pos)?;
+    let p = decode_term(bytes, pos)?;
+    let o = decode_term(bytes, pos)?;
+    Ok(Triple::new(s, p, o))
+}
+
+// ---------------------------------------------------------------------------
+// Whole-graph encode / decode
+// ---------------------------------------------------------------------------
+
+/// Encode `graph` into the canonical binary form.
+///
+/// Output depends only on the triple *set*: `encode_graph(&decode_graph(&b)?)
+/// == b` for any valid `b`.
+pub fn encode_graph(graph: &Graph) -> Vec<u8> {
+    let mut triples: Vec<Triple> = graph.iter().collect();
+    triples.sort_unstable();
+    triples.dedup();
+
+    // Term table in first-appearance order over the sorted walk.
+    fn id_of<'a>(
+        term: &'a Term,
+        table: &mut Vec<&'a Term>,
+        ids: &mut HashMap<&'a Term, u64>,
+    ) -> u64 {
+        if let Some(&id) = ids.get(term) {
+            return id;
+        }
+        let id = table.len() as u64;
+        table.push(term);
+        ids.insert(term, id);
+        id
+    }
+    let mut table: Vec<&Term> = Vec::new();
+    let mut ids: HashMap<&Term, u64> = HashMap::new();
+    let mut id_triples: Vec<(u64, u64, u64)> = Vec::with_capacity(triples.len());
+    for t in &triples {
+        let s = id_of(&t.subject, &mut table, &mut ids);
+        let p = id_of(&t.predicate, &mut table, &mut ids);
+        let o = id_of(&t.object, &mut table, &mut ids);
+        id_triples.push((s, p, o));
+    }
+
+    let mut out = Vec::with_capacity(triples.len() * 12 + 64);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    write_varint(table.len() as u64, &mut out);
+    for term in &table {
+        encode_term(term, &mut out);
+    }
+    write_varint(id_triples.len() as u64, &mut out);
+    for (s, p, o) in &id_triples {
+        write_varint(*s, &mut out);
+        write_varint(*p, &mut out);
+        write_varint(*o, &mut out);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode a canonical binary graph block, verifying the trailing CRC.
+pub fn decode_graph(bytes: &[u8]) -> Result<Graph, CodecError> {
+    if bytes.len() < MAGIC.len() + 1 + 4 {
+        return Err(CodecError::Truncated);
+    }
+    let (payload, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let expected = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte split"));
+    let found = crc32(payload);
+    if expected != found {
+        return Err(CodecError::Checksum { expected, found });
+    }
+    if payload[..MAGIC.len()] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = payload[MAGIC.len()];
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let mut pos = MAGIC.len() + 1;
+
+    let term_count = read_varint(payload, &mut pos)?;
+    let term_count = usize::try_from(term_count).map_err(|_| CodecError::Truncated)?;
+    // Guard against absurd counts in corrupt headers before allocating.
+    if term_count > payload.len() {
+        return Err(CodecError::Truncated);
+    }
+    let mut table: Vec<Term> = Vec::with_capacity(term_count);
+    for _ in 0..term_count {
+        table.push(decode_term(payload, &mut pos)?);
+    }
+
+    let triple_count = read_varint(payload, &mut pos)?;
+    let triple_count = usize::try_from(triple_count).map_err(|_| CodecError::Truncated)?;
+    if triple_count > payload.len() {
+        return Err(CodecError::Truncated);
+    }
+    let mut graph = Graph::new();
+    for _ in 0..triple_count {
+        let s = read_varint(payload, &mut pos)?;
+        let p = read_varint(payload, &mut pos)?;
+        let o = read_varint(payload, &mut pos)?;
+        let term = |id: u64| -> Result<&Term, CodecError> {
+            usize::try_from(id)
+                .ok()
+                .and_then(|i| table.get(i))
+                .ok_or(CodecError::IdOutOfRange(id))
+        };
+        graph.insert(Triple::new(
+            term(s)?.clone(),
+            term(p)?.clone(),
+            term(o)?.clone(),
+        ));
+    }
+    if pos != payload.len() {
+        // Trailing garbage inside a CRC-valid payload cannot normally
+        // happen, but reject it rather than silently ignoring bytes.
+        return Err(CodecError::Truncated);
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        g.add(
+            Term::iri("http://example.org/a"),
+            Term::iri("http://example.org/p"),
+            Term::iri("http://example.org/b"),
+        );
+        g.add(
+            Term::iri("http://example.org/a"),
+            Term::iri("http://example.org/name"),
+            Term::string("Alpha"),
+        );
+        g.add(
+            Term::blank("n1"),
+            Term::iri("http://example.org/label"),
+            Term::Literal(Literal::lang_string("ville", "FR")),
+        );
+        g.add(
+            Term::iri("http://example.org/a"),
+            Term::iri("http://example.org/count"),
+            Term::integer(42),
+        );
+        g
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        let mut out = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            out.clear();
+            write_varint(v, &mut out);
+            let mut pos = 0;
+            assert_eq!(read_varint(&out, &mut pos).unwrap(), v);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_truncation() {
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[0x80, 0x80], &mut pos),
+            Err(CodecError::Truncated)
+        );
+        let eleven = [0xFF; 11];
+        let mut pos = 0;
+        assert_eq!(read_varint(&eleven, &mut pos), Err(CodecError::BadVarint));
+    }
+
+    #[test]
+    fn graph_round_trip_is_byte_identical() {
+        let g = sample_graph();
+        let bytes = encode_graph(&g);
+        let decoded = decode_graph(&bytes).unwrap();
+        assert_eq!(decoded, g);
+        assert_eq!(encode_graph(&decoded), bytes, "re-encode must be identical");
+    }
+
+    #[test]
+    fn encoding_is_insertion_order_independent() {
+        let g = sample_graph();
+        let mut reversed = Graph::new();
+        let mut triples: Vec<Triple> = g.iter().collect();
+        triples.reverse();
+        reversed.extend_triples(triples);
+        assert_eq!(encode_graph(&g), encode_graph(&reversed));
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::new();
+        let bytes = encode_graph(&g);
+        let decoded = decode_graph(&bytes).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(encode_graph(&decoded), bytes);
+    }
+
+    #[test]
+    fn truncation_yields_typed_errors_never_panics() {
+        let bytes = encode_graph(&sample_graph());
+        for cut in 0..bytes.len() {
+            let err = decode_graph(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated | CodecError::Checksum { .. }),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_yield_checksum_errors() {
+        let bytes = encode_graph(&sample_graph());
+        // Flip one bit in each byte of the payload (CRC excluded: flipping
+        // the recorded CRC also yields a Checksum mismatch).
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x10;
+            let err = decode_graph(&corrupt).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Checksum { .. }),
+                "flip at {i}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn term_tags_cover_all_literal_shapes() {
+        let terms = [
+            Term::iri("http://example.org/x"),
+            Term::blank("b0"),
+            Term::string("plain"),
+            Term::Literal(Literal::lang_string("hi", "en-GB")),
+            Term::typed("3.25", crate::vocab::xsd::DOUBLE),
+        ];
+        let mut out = Vec::new();
+        for t in &terms {
+            out.clear();
+            encode_term(t, &mut out);
+            let mut pos = 0;
+            assert_eq!(&decode_term(&out, &mut pos).unwrap(), t);
+            assert_eq!(pos, out.len());
+        }
+        let mut pos = 0;
+        assert_eq!(
+            decode_term(&[0x7F], &mut pos),
+            Err(CodecError::BadTag(0x7F))
+        );
+    }
+}

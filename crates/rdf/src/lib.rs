@@ -15,6 +15,8 @@
 //! * [`dataset`] — named graphs with N-Quads/TriG (per-source provenance).
 //! * [`diagnostic`] — the typed lint-diagnostic framework (stable codes,
 //!   severities, reports) every static-analysis pass reports through.
+//! * [`codec`] — canonical (insertion-order-independent) binary graph
+//!   encoding with CRC32 framing, the substrate of `grdf-store` durability.
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@
 //! assert_eq!(hits.len(), 1);
 //! ```
 
+pub mod codec;
 pub mod dataset;
 pub mod diagnostic;
 pub mod error;
@@ -45,6 +48,7 @@ pub mod term;
 pub mod turtle;
 pub mod vocab;
 
+pub use codec::CodecError;
 pub use dataset::Dataset;
 pub use diagnostic::{Diagnostic, LintCode, LintReport, Severity};
 pub use error::{RdfError, RdfResult};

@@ -9,8 +9,10 @@
 //! time manually ([`ManualClock`]) — breaker cooldowns and deadline
 //! expiries are exercised without wall-clock sleeps.
 
+pub mod faults;
 pub mod pool;
 
+pub use faults::{splitmix64, SeededDecider};
 pub use pool::{split_shards, ShardPool};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -31,10 +31,11 @@ use grdf_rdf::graph::Graph;
 use grdf_rdf::term::{Term, Triple};
 use grdf_rdf::vocab::{owl as vocab_owl, rdf, rdfs as vocab_rdfs};
 use grdf_runtime::Deadline;
+use grdf_store::{DurableStore, LoggedOp, Recovered, StorageBackend, StoreConfig, StoreError};
 
-use crate::policy::{DecisionTrace, PolicySet};
+use crate::policy::{DecisionTrace, Policy, PolicySet};
 use crate::resilience::{
-    AdmissionGate, EngineError, GsacsError, HealthReport, LatencyHistogram, LintGate,
+    AdmissionGate, Durability, EngineError, GsacsError, HealthReport, LatencyHistogram, LintGate,
     ResilienceConfig, ResilientEngine, Stage,
 };
 use crate::views::{conservative_view_explained, secure_view_explained, ViewStats};
@@ -533,6 +534,11 @@ pub struct GSacs {
     views: Mutex<ViewState>,
     /// Security decision log (bounded ring buffer).
     audit: Mutex<AuditLog>,
+    /// Durable write-ahead store when [`Durability::Wal`] is configured.
+    store: Option<Arc<DurableStore>>,
+    /// Failed appends to the durable audit sink (observability loss only —
+    /// never a denial).
+    audit_sink_errors: AtomicU64,
     /// Observability context (from [`ResilienceConfig::obs`]): every
     /// request runs inside a scope on it, so spans and metrics from the
     /// query, reasoner, and view layers land in one registry/sink.
@@ -566,6 +572,13 @@ impl GSacs {
     }
 
     /// Assemble the service with explicit resilience settings.
+    ///
+    /// When `config.durability` is [`Durability::Wal`], the attached store
+    /// must already hold a checkpoint of this exact initial state — use
+    /// [`GSacs::create_durable`] (fresh store) or
+    /// [`GSacs::recover_with_resilience`] (existing store), which guarantee
+    /// that; attaching a store whose contents diverge from the assembled
+    /// base would recover a different graph than the one served.
     pub fn with_resilience(
         repository: OntoRepository,
         policies: PolicySet,
@@ -576,6 +589,20 @@ impl GSacs {
     ) -> GSacs {
         let mut base = repository.merged();
         base.extend_from(&data);
+        GSacs::assemble(repository, policies, reasoner, base, cache_capacity, config)
+    }
+
+    /// Shared assembly path: `base` is the already-merged un-inferred
+    /// graph (ontologies + instance data, or a recovered checkpoint +
+    /// WAL-replay state).
+    fn assemble(
+        repository: OntoRepository,
+        policies: PolicySet,
+        reasoner: Box<dyn ReasoningEngine>,
+        base: Graph,
+        cache_capacity: usize,
+        config: ResilienceConfig,
+    ) -> GSacs {
         let engine = Arc::new(ResilientEngine::new(
             reasoner,
             config.clock.clone(),
@@ -586,6 +613,10 @@ impl GSacs {
         let audit = Mutex::new(AuditLog::new(config.audit_capacity));
         let obs = config.obs.clone();
         let hot = HotCounters::new(&obs);
+        let store = match &config.durability {
+            Durability::Ephemeral => None,
+            Durability::Wal(s) => Some(Arc::clone(s)),
+        };
         let mut svc = GSacs {
             repository,
             policies,
@@ -601,6 +632,8 @@ impl GSacs {
             query_cache: Mutex::new(QueryCache::new(cache_capacity)),
             views: Mutex::new(ViewState::default()),
             audit,
+            store,
+            audit_sink_errors: AtomicU64::new(0),
             obs,
             hot,
             lint_rejected: None,
@@ -635,6 +668,71 @@ impl GSacs {
             Some(m) => Err(GsacsError::LintRejected(m.clone())),
             None => Ok(svc),
         }
+    }
+
+    /// Create a fresh durable service: initialize `backend` with a
+    /// checkpoint of the assembled initial state (ontologies + `data`,
+    /// plus the List-8 encoding of the policy set), then run with
+    /// [`Durability::Wal`] so every accepted update is write-ahead logged.
+    ///
+    /// Fails if the backend already holds a store (use
+    /// [`GSacs::recover_with_resilience`] to reattach) or the initial
+    /// checkpoint cannot be written.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_durable(
+        backend: Arc<dyn StorageBackend>,
+        store_config: StoreConfig,
+        repository: OntoRepository,
+        policies: PolicySet,
+        reasoner: Box<dyn ReasoningEngine>,
+        data: Graph,
+        cache_capacity: usize,
+        mut config: ResilienceConfig,
+    ) -> Result<GSacs, StoreError> {
+        let mut base = repository.merged();
+        base.extend_from(&data);
+        let policy_graph = policy_set_graph(&policies);
+        let store = DurableStore::create(backend, store_config, &base, &policy_graph)?;
+        config.durability = Durability::Wal(Arc::new(store));
+        Ok(GSacs::assemble(
+            repository,
+            policies,
+            reasoner,
+            base,
+            cache_capacity,
+            config,
+        ))
+    }
+
+    /// Reopen a durable service from `backend`: load the newest valid
+    /// checkpoint, replay the WAL suffix (torn tails truncated, interior
+    /// corruption fails closed), decode the policy set from its RDF
+    /// encoding, and re-materialize entailments with `reasoner`. The
+    /// returned [`Recovered`] reports what recovery reconstructed.
+    ///
+    /// Recovered ontology triples live in the service's base graph rather
+    /// than a reconstructed [`OntoRepository`] — checkpoints persist the
+    /// merged un-inferred base, which is the single source of truth
+    /// updates mutate.
+    pub fn recover_with_resilience(
+        backend: Arc<dyn StorageBackend>,
+        store_config: StoreConfig,
+        reasoner: Box<dyn ReasoningEngine>,
+        cache_capacity: usize,
+        mut config: ResilienceConfig,
+    ) -> Result<(GSacs, Recovered), StoreError> {
+        let (store, recovered) = DurableStore::open(backend, store_config)?;
+        let policies = PolicySet::new(Policy::decode_all(&recovered.policy_graph));
+        config.durability = Durability::Wal(Arc::new(store));
+        let svc = GSacs::assemble(
+            OntoRepository::new(),
+            policies,
+            reasoner,
+            recovered.base.clone(),
+            cache_capacity,
+            config,
+        );
+        Ok((svc, recovered))
     }
 
     /// Run the static-analysis passes the service can check on its own
@@ -673,7 +771,7 @@ impl GSacs {
             report.count(Severity::Warning)
         );
         let rejected = self.config.lint_gate == LintGate::Enforce && report.has_errors();
-        self.audit.lock().push(AuditEntry {
+        self.audit_push(AuditEntry {
             role: "system".to_string(),
             action: "lint".to_string(),
             target: format!("init: {summary}"),
@@ -708,7 +806,7 @@ impl GSacs {
                 self.data = materialized;
                 self.inferred = inferred;
                 if was_degraded {
-                    self.audit.lock().push(AuditEntry {
+                    self.audit_push(AuditEntry {
                         role: "system".to_string(),
                         action: "recover".to_string(),
                         target: format!("reasoner {} recovered", self.engine.name()),
@@ -721,7 +819,7 @@ impl GSacs {
                 self.degraded.store(true, Ordering::Release);
                 self.data = self.base.clone();
                 self.inferred = 0;
-                self.audit.lock().push(AuditEntry {
+                self.audit_push(AuditEntry {
                     role: "system".to_string(),
                     action: "degrade".to_string(),
                     target: format!("reasoner unavailable ({e}); serving conservative views"),
@@ -799,6 +897,73 @@ impl GSacs {
         }
     }
 
+    /// Record a security decision: tee it to the durable JSONL sink (when
+    /// configured) and push it onto the in-memory ring. A sink failure is
+    /// observability loss, never a denial — it is counted, not raised.
+    /// Ring overflow (the push evicting the oldest entry) is surfaced on
+    /// the `gsacs.audit.dropped` metric so silent loss is visible.
+    fn audit_push(&self, entry: AuditEntry) {
+        if let Some(store) = &self.store {
+            if store.append_audit_line(&audit_entry_json(&entry)).is_err() {
+                self.audit_sink_errors.fetch_add(1, Ordering::Relaxed);
+                grdf_obs::incr("gsacs.audit.sink_errors");
+            }
+        }
+        let mut log = self.audit.lock();
+        let before = log.dropped();
+        log.push(entry);
+        if log.dropped() > before {
+            grdf_obs::incr("gsacs.audit.dropped");
+        }
+    }
+
+    /// Rotate the durable store to a fresh checkpoint when the active WAL
+    /// segment has crossed the configured threshold. Called after applied
+    /// updates; failure keeps the (still-valid) old checkpoint + longer
+    /// WAL, so it is audited but does not fail the update.
+    fn checkpoint_if_due(&self, trace_id: TraceId) {
+        let Some(store) = &self.store else { return };
+        if !store.should_checkpoint() {
+            return;
+        }
+        let policy_graph = policy_set_graph(&self.policies);
+        match store.checkpoint(&self.base, &policy_graph) {
+            Ok(seq) => self.audit_push(AuditEntry {
+                role: "system".to_string(),
+                action: "checkpoint".to_string(),
+                target: format!("rotated to checkpoint {seq}"),
+                allowed: true,
+                trace_id,
+            }),
+            Err(e) => {
+                grdf_obs::incr("gsacs.ckpt.failed");
+                self.audit_push(AuditEntry {
+                    role: "system".to_string(),
+                    action: "checkpoint".to_string(),
+                    target: format!("checkpoint failed: {e}"),
+                    allowed: false,
+                    trace_id,
+                });
+            }
+        }
+    }
+
+    /// The durable store backing this service, when configured.
+    pub fn durable_store(&self) -> Option<&Arc<DurableStore>> {
+        self.store.as_ref()
+    }
+
+    /// This boot's run id (durable services only; monotonic across
+    /// restarts of the same store directory).
+    pub fn run_id(&self) -> Option<u64> {
+        self.store.as_ref().map(|s| s.run_id())
+    }
+
+    /// Failed appends to the durable audit sink since construction.
+    pub fn audit_sink_errors(&self) -> u64 {
+        self.audit_sink_errors.load(Ordering::Relaxed)
+    }
+
     /// Handle a client request: admission → cache lookup → secure view →
     /// deadline-bounded query. Fail-closed: every outcome, success or
     /// failure, produces exactly one audit entry, and no error path
@@ -821,7 +986,7 @@ impl GSacs {
                 grdf_obs::tag_current("degraded", true);
             }
         }
-        self.audit.lock().push(AuditEntry {
+        self.audit_push(AuditEntry {
             role: request.role.clone(),
             action: "query".to_string(),
             target: request.query.clone(),
@@ -901,7 +1066,7 @@ impl GSacs {
                 self.policies
                     .evaluate(&self.data, &request.role, &triple.subject, &pred, action);
             let allowed = access == Access::Granted;
-            self.audit.lock().push(AuditEntry {
+            self.audit_push(AuditEntry {
                 role: request.role.clone(),
                 action: action_name.to_string(),
                 target: triple.subject.to_string(),
@@ -943,7 +1108,7 @@ impl GSacs {
                     .find(|d| d.severity == Severity::Error)
                     .map(std::string::ToString::to_string)
                     .unwrap_or_default();
-                self.audit.lock().push(AuditEntry {
+                self.audit_push(AuditEntry {
                     role: request.role.clone(),
                     action: "lint".to_string(),
                     target: first.clone(),
@@ -958,6 +1123,29 @@ impl GSacs {
                         ),
                     };
                 }
+            }
+        }
+        // Phase 1.75: write-ahead. The accepted batch is appended to the
+        // WAL as one record *before* any in-memory state changes, so a
+        // crash at any later point replays exactly this batch on
+        // recovery. A failed append poisons the store and denies the
+        // update — durability is part of the admission contract, not
+        // best-effort.
+        if let Some(store) = &self.store {
+            let logged: Vec<LoggedOp> = request.ops.iter().map(to_logged).collect();
+            if let Err(e) = store.append_batch(&logged) {
+                grdf_obs::incr("gsacs.update.wal_failed");
+                self.audit_push(AuditEntry {
+                    role: request.role.clone(),
+                    action: "wal-append".to_string(),
+                    target: format!("batch of {} op(s)", request.ops.len()),
+                    allowed: false,
+                    trace_id,
+                });
+                return UpdateOutcome::Denied {
+                    op_index: 0,
+                    reason: format!("write-ahead log append failed ({e}); update refused"),
+                };
             }
         }
         // Phase 2: apply to the un-inferred base.
@@ -992,6 +1180,7 @@ impl GSacs {
                 self.rematerialize();
                 self.invalidate();
             }
+            self.checkpoint_if_due(trace_id);
         }
         UpdateOutcome::Applied(changed)
     }
@@ -1156,6 +1345,60 @@ impl GSacs {
             p99: self.latency.quantile(0.99),
         }
     }
+}
+
+/// Encode a policy set into its List-8 RDF graph form — the
+/// representation checkpoints persist and
+/// [`GSacs::recover_with_resilience`] decodes back with
+/// [`Policy::decode_all`].
+pub fn policy_set_graph(policies: &PolicySet) -> Graph {
+    let mut g = Graph::new();
+    for p in &policies.policies {
+        p.encode(&mut g);
+    }
+    g
+}
+
+fn to_logged(op: &UpdateOp) -> LoggedOp {
+    match op {
+        UpdateOp::Insert(t) => LoggedOp::Insert(t.clone()),
+        UpdateOp::Delete(t) => LoggedOp::Delete(t.clone()),
+    }
+}
+
+/// One audit entry as a single JSON line for the durable sink.
+fn audit_entry_json(entry: &AuditEntry) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"role\":");
+    push_json_string(&mut out, &entry.role);
+    out.push_str(",\"action\":");
+    push_json_string(&mut out, &entry.action);
+    out.push_str(",\"target\":");
+    push_json_string(&mut out, &entry.target);
+    out.push_str(",\"allowed\":");
+    out.push_str(if entry.allowed { "true" } else { "false" });
+    out.push_str(",\"trace_id\":");
+    push_json_string(&mut out, &entry.trace_id.to_string());
+    out.push('}');
+    out
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -2144,5 +2387,263 @@ mod tests {
             ops: vec![ok],
         });
         assert_eq!(out, UpdateOutcome::Applied(1));
+    }
+
+    // --- durability -----------------------------------------------------
+
+    use grdf_store::{CrashBackend, MemBackend};
+
+    /// A minimal editable world: one typed site plus an `Editor` role that
+    /// may both insert and delete on it.
+    fn editable_fixture() -> (Graph, PolicySet, Term) {
+        use crate::policy::Action;
+        let mut data = Graph::new();
+        let site = Term::iri(&grdf::app("NTEnergy"));
+        data.add(
+            site.clone(),
+            Term::iri(grdf_rdf::vocab::rdf::TYPE),
+            Term::iri(&grdf::app("ChemSite")),
+        );
+        let edit = crate::policy::Policy {
+            action: Action::Edit,
+            ..Policy::permit("urn:pe", &grdf::sec("Editor"), &grdf::app("ChemSite"))
+        };
+        let delete = crate::policy::Policy {
+            action: Action::Delete,
+            ..Policy::permit("urn:pd", &grdf::sec("Editor"), &grdf::app("ChemSite"))
+        };
+        (data, PolicySet::new(vec![edit, delete]), site)
+    }
+
+    fn reopen(mem: &Arc<MemBackend>) -> Arc<dyn StorageBackend> {
+        Arc::new(MemBackend::from_files(mem.clone_files()))
+    }
+
+    #[test]
+    fn durable_updates_survive_reopen() {
+        let mem = Arc::new(MemBackend::new());
+        let (data, policies, site) = editable_fixture();
+        let mut svc = GSacs::create_durable(
+            Arc::clone(&mem) as Arc<dyn StorageBackend>,
+            StoreConfig::default(),
+            OntoRepository::new(),
+            policies,
+            Box::new(NoReasoning),
+            data,
+            4,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert!(svc.run_id().is_some());
+        let name = Term::iri(&grdf::app("hasSiteName"));
+        let out = svc.handle_update(&UpdateRequest {
+            role: grdf::sec("Editor"),
+            ops: vec![
+                UpdateOp::Insert(Triple::new(site.clone(), name.clone(), Term::string("NT"))),
+                UpdateOp::Insert(Triple::new(site.clone(), name.clone(), Term::string("old"))),
+            ],
+        });
+        assert_eq!(out, UpdateOutcome::Applied(2));
+        let out = svc.handle_update(&UpdateRequest {
+            role: grdf::sec("Editor"),
+            ops: vec![UpdateOp::Delete(Triple::new(
+                site.clone(),
+                name.clone(),
+                Term::string("old"),
+            ))],
+        });
+        assert_eq!(out, UpdateOutcome::Applied(1));
+        let expected = svc.base.clone();
+        drop(svc);
+
+        // "Restart": a fresh backend over the same files.
+        let (svc2, recovered) = GSacs::recover_with_resilience(
+            reopen(&mem),
+            StoreConfig::default(),
+            Box::new(NoReasoning),
+            4,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(recovered.replayed_batches, 2);
+        assert_eq!(recovered.replayed_ops, 3);
+        assert_eq!(svc2.base, expected, "recovered base == pre-crash base");
+        assert!(svc2.dataset().has(&site, &name, &Term::string("NT")));
+        assert!(!svc2.dataset().has(&site, &name, &Term::string("old")));
+        assert_eq!(svc2.policies.policies.len(), 2, "policies round-trip");
+        // Restarts mint fresh, monotonically increasing run ids.
+        assert!(svc2.run_id().unwrap() > 1);
+    }
+
+    #[test]
+    fn denied_updates_are_not_logged() {
+        let mem = Arc::new(MemBackend::new());
+        let (data, policies, site) = editable_fixture();
+        let mut svc = GSacs::create_durable(
+            Arc::clone(&mem) as Arc<dyn StorageBackend>,
+            StoreConfig::default(),
+            OntoRepository::new(),
+            policies,
+            Box::new(NoReasoning),
+            data,
+            4,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        let wal_before = svc.durable_store().unwrap().wal_bytes();
+        let out = svc.handle_update(&UpdateRequest {
+            role: "urn:nobody".into(),
+            ops: vec![UpdateOp::Insert(Triple::new(
+                site.clone(),
+                Term::iri(&grdf::app("hasSiteName")),
+                Term::string("x"),
+            ))],
+        });
+        assert!(matches!(out, UpdateOutcome::Denied { .. }));
+        assert_eq!(
+            svc.durable_store().unwrap().wal_bytes(),
+            wal_before,
+            "denied batches never reach the WAL"
+        );
+    }
+
+    #[test]
+    fn wal_append_failure_denies_and_leaves_state_untouched() {
+        // Build a real store, then reopen it through a crash backend whose
+        // budget covers exactly the boot-counter bump (8 bytes): recovery
+        // succeeds, and the first WAL append fails mid-record.
+        let mem = Arc::new(MemBackend::new());
+        let (data, policies, site) = editable_fixture();
+        let svc = GSacs::create_durable(
+            Arc::clone(&mem) as Arc<dyn StorageBackend>,
+            StoreConfig::default(),
+            OntoRepository::new(),
+            policies,
+            Box::new(NoReasoning),
+            data,
+            4,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        drop(svc);
+        let crashy: Arc<dyn StorageBackend> = Arc::new(CrashBackend::new(
+            MemBackend::from_files(mem.clone_files()),
+            8,
+        ));
+        let (mut svc, _recovered) = GSacs::recover_with_resilience(
+            crashy,
+            StoreConfig::default(),
+            Box::new(NoReasoning),
+            4,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        let base_before = svc.base.clone();
+        let req = UpdateRequest {
+            role: grdf::sec("Editor"),
+            ops: vec![UpdateOp::Insert(Triple::new(
+                site.clone(),
+                Term::iri(&grdf::app("hasSiteName")),
+                Term::string("NT"),
+            ))],
+        };
+        let out = svc.handle_update(&req);
+        match out {
+            UpdateOutcome::Denied { op_index, reason } => {
+                assert_eq!(op_index, 0);
+                assert!(reason.contains("write-ahead log append failed"), "{reason}");
+            }
+            other => panic!("expected WAL-failure denial, got {other:?}"),
+        }
+        assert_eq!(svc.base, base_before, "failed append must not mutate state");
+        assert!(svc.durable_store().unwrap().is_poisoned());
+        // The store stays poisoned: later updates fail closed too.
+        let out = svc.handle_update(&req);
+        assert!(matches!(out, UpdateOutcome::Denied { op_index: 0, .. }));
+    }
+
+    #[test]
+    fn checkpoint_rotates_when_wal_crosses_threshold() {
+        let mem = Arc::new(MemBackend::new());
+        let (data, policies, site) = editable_fixture();
+        let cfg = StoreConfig {
+            checkpoint_threshold: 64,
+            ..StoreConfig::default()
+        };
+        let mut svc = GSacs::create_durable(
+            Arc::clone(&mem) as Arc<dyn StorageBackend>,
+            cfg,
+            OntoRepository::new(),
+            policies,
+            Box::new(NoReasoning),
+            data,
+            4,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        let name = Term::iri(&grdf::app("hasSiteName"));
+        for i in 0..8 {
+            let out = svc.handle_update(&UpdateRequest {
+                role: grdf::sec("Editor"),
+                ops: vec![UpdateOp::Insert(Triple::new(
+                    site.clone(),
+                    name.clone(),
+                    Term::string(&format!("v{i}")),
+                ))],
+            });
+            assert_eq!(out, UpdateOutcome::Applied(1));
+        }
+        let store = svc.durable_store().unwrap();
+        assert!(store.seq() > 0, "threshold crossings rotate the segment");
+        assert!(
+            store.wal_bytes() < 64 + 64,
+            "active WAL restarts small after rotation"
+        );
+        let rotations = store.seq();
+        let expected = svc.base.clone();
+        drop(svc);
+        let (svc2, recovered) = GSacs::recover_with_resilience(
+            reopen(&mem),
+            StoreConfig::default(),
+            Box::new(NoReasoning),
+            4,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(recovered.ckpt_seq, rotations);
+        assert_eq!(svc2.base, expected);
+    }
+
+    #[test]
+    fn audit_entries_tee_to_durable_sink() {
+        let mem = Arc::new(MemBackend::new());
+        let (data, policies, _site) = editable_fixture();
+        let svc = GSacs::create_durable(
+            Arc::clone(&mem) as Arc<dyn StorageBackend>,
+            StoreConfig::default(),
+            OntoRepository::new(),
+            policies,
+            Box::new(NoReasoning),
+            data,
+            4,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        let req = ClientRequest {
+            role: grdf::sec("Editor"),
+            query: chem_query(),
+        };
+        let _ = svc.handle(&req);
+        assert!(svc.durable_store().unwrap().audit_lines() > 0);
+        let raw = mem.clone_files();
+        let log = raw
+            .iter()
+            .find_map(|(k, v)| k.starts_with("audit").then_some(v))
+            .expect("audit log file exists");
+        let text = String::from_utf8(log.clone()).unwrap();
+        let line = text.lines().last().unwrap();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"action\":\"query\""), "{line}");
+        assert_eq!(svc.audit_sink_errors(), 0);
     }
 }

@@ -52,14 +52,14 @@ pub use conflicts::{
     CombiningAlgorithm, PolicyConflict,
 };
 pub use gsacs::{
-    AuditEntry, AuditLog, ClientRequest, GSacs, OntoRepository, QueryCache, ReasoningEngine,
-    UpdateOp, UpdateOutcome, UpdateRequest,
+    policy_set_graph, AuditEntry, AuditLog, ClientRequest, GSacs, OntoRepository, QueryCache,
+    ReasoningEngine, UpdateOp, UpdateOutcome, UpdateRequest,
 };
 pub use policy::{Action, Condition, Decision, DecisionTrace, Policy, PolicyMatch, PolicySet};
 pub use resilience::{
-    AdmissionGate, BreakerConfig, BreakerState, EngineError, FaultInjector, FaultKind, FaultPlan,
-    FaultyEngine, GsacsError, HealthReport, LatencyHistogram, LintGate, NoFaults, ResilienceConfig,
-    ResilientEngine, RetryPolicy, Stage,
+    AdmissionGate, BreakerConfig, BreakerState, Durability, EngineError, FaultInjector, FaultKind,
+    FaultPlan, FaultyEngine, GsacsError, HealthReport, LatencyHistogram, LintGate, NoFaults,
+    ResilienceConfig, ResilientEngine, RetryPolicy, Stage,
 };
 pub use views::{
     conservative_view, conservative_view_explained, secure_view, secure_view_explained, ViewStats,

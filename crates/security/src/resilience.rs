@@ -818,6 +818,32 @@ pub enum LintGate {
     Enforce,
 }
 
+/// Whether G-SACS state survives a process crash.
+///
+/// `Ephemeral` is the historical in-memory behavior. `Wal` mounts a
+/// [`DurableStore`]: every accepted update batch is appended to the
+/// write-ahead log *before* any in-memory mutation, checkpoints rotate by
+/// WAL-size threshold, and audit entries stream to the store's JSONL sink.
+/// Recover a crashed service with
+/// [`GSacs::recover_with_resilience`](crate::gsacs::GSacs::recover_with_resilience).
+#[derive(Clone, Default)]
+pub enum Durability {
+    /// In-memory only; a crash loses graph, policies, and audit trail.
+    #[default]
+    Ephemeral,
+    /// Write-ahead durability through the given store.
+    Wal(Arc<grdf_store::DurableStore>),
+}
+
+impl fmt::Debug for Durability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Durability::Ephemeral => write!(f, "Ephemeral"),
+            Durability::Wal(store) => write!(f, "Wal(run_id={})", store.run_id()),
+        }
+    }
+}
+
 /// Resilience knobs for a [`GSacs`](crate::gsacs::GSacs) instance.
 #[derive(Clone)]
 pub struct ResilienceConfig {
@@ -841,6 +867,9 @@ pub struct ResilienceConfig {
     pub obs: grdf_obs::Obs,
     /// Static-analysis gate over policies + data at `init`/`update` time.
     pub lint_gate: LintGate,
+    /// Crash durability: [`Durability::Ephemeral`] (default) or a mounted
+    /// write-ahead store.
+    pub durability: Durability,
 }
 
 impl Default for ResilienceConfig {
@@ -855,6 +884,7 @@ impl Default for ResilienceConfig {
             fault_injector: None,
             obs: grdf_obs::Obs::new(),
             lint_gate: LintGate::default(),
+            durability: Durability::default(),
         }
     }
 }
@@ -869,6 +899,7 @@ impl fmt::Debug for ResilienceConfig {
             .field("audit_capacity", &self.audit_capacity)
             .field("fault_injector", &self.fault_injector.is_some())
             .field("tracing", &self.obs.tracing_enabled())
+            .field("durability", &self.durability)
             .finish()
     }
 }

@@ -1,0 +1,584 @@
+//! The injectable storage layer under the WAL and checkpoint files.
+//!
+//! Everything the durable store does to "disk" goes through
+//! [`StorageBackend`], a flat namespace of named byte files. Three
+//! implementations:
+//!
+//! * [`FsBackend`] — real files under a root directory (production).
+//! * [`MemBackend`] — a `Mutex<HashMap>` (fast tests, plus direct
+//!   corruption handles: [`MemBackend::flip_bit`], [`MemBackend::truncate_raw`]).
+//! * [`CrashBackend`] — wraps another backend with a **crash-at-byte-N**
+//!   budget: once N bytes have been written, the in-flight write persists
+//!   only its surviving prefix and every later operation fails. This models
+//!   `kill -9` mid-write for the recovery property suite.
+//! * [`FaultyBackend`] — seeded probabilistic short writes and fsync
+//!   failures via [`grdf_runtime::SeededDecider`].
+//!
+//! Contract notes: paths are flat names relative to the store directory
+//! (no separators); `append` may persist a *prefix* of the data before
+//! failing (torn write) — callers must treat any append error as poisoning
+//! the log; `rename` is atomic (all-or-nothing) on every backend.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use grdf_runtime::SeededDecider;
+
+/// A flat, named-file storage abstraction. All methods are `&self`; every
+/// backend is internally synchronized.
+pub trait StorageBackend: Send + Sync + fmt::Debug {
+    /// Read the whole file.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+
+    /// Create-or-truncate `name` and write `data`.
+    fn write_all(&self, name: &str, data: &[u8]) -> io::Result<()>;
+
+    /// Append `data` to `name` (creating it if absent). On error a prefix
+    /// of `data` may have been persisted (torn write).
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()>;
+
+    /// Durably flush `name`.
+    fn sync(&self, name: &str) -> io::Result<()>;
+
+    /// Atomically rename `from` to `to`, replacing any existing `to`.
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
+
+    /// Delete `name` (ok if absent).
+    fn delete(&self, name: &str) -> io::Result<()>;
+
+    /// All file names present, unsorted.
+    fn list(&self) -> io::Result<Vec<String>>;
+
+    /// Current length of `name` in bytes.
+    fn len(&self, name: &str) -> io::Result<u64>;
+
+    /// Truncate `name` to `len` bytes.
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+
+    /// Whether `name` exists.
+    fn exists(&self, name: &str) -> bool {
+        self.len(name).is_ok()
+    }
+}
+
+fn not_found(name: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::NotFound, format!("no such file: {name}"))
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------------
+
+/// A heap-backed [`StorageBackend`] with direct corruption handles for
+/// tests.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    files: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl MemBackend {
+    /// An empty in-memory store.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+
+    /// XOR `mask` into byte `offset` of `name` (test corruption handle).
+    pub fn flip_bit(&self, name: &str, offset: usize, mask: u8) {
+        let mut files = self.files.lock().expect("mem backend lock");
+        if let Some(data) = files.get_mut(name) {
+            if let Some(byte) = data.get_mut(offset) {
+                *byte ^= mask;
+            }
+        }
+    }
+
+    /// Truncate `name` to `len` without going through the trait (test
+    /// handle; does not error when absent).
+    pub fn truncate_raw(&self, name: &str, len: usize) {
+        let mut files = self.files.lock().expect("mem backend lock");
+        if let Some(data) = files.get_mut(name) {
+            data.truncate(len);
+        }
+    }
+
+    /// A deep copy of the current file map — snapshot "the disk" at a
+    /// crash point.
+    pub fn clone_files(&self) -> HashMap<String, Vec<u8>> {
+        self.files.lock().expect("mem backend lock").clone()
+    }
+
+    /// A backend primed with `files` (restore a crash-point snapshot).
+    pub fn from_files(files: HashMap<String, Vec<u8>>) -> MemBackend {
+        MemBackend {
+            files: Mutex::new(files),
+        }
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .expect("mem backend lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| not_found(name))
+    }
+
+    fn write_all(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .expect("mem backend lock")
+            .insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .expect("mem backend lock")
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&self, _name: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut files = self.files.lock().expect("mem backend lock");
+        let data = files.remove(from).ok_or_else(|| not_found(from))?;
+        files.insert(to.to_string(), data);
+        Ok(())
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        self.files.lock().expect("mem backend lock").remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self
+            .files
+            .lock()
+            .expect("mem backend lock")
+            .keys()
+            .cloned()
+            .collect())
+    }
+
+    fn len(&self, name: &str) -> io::Result<u64> {
+        self.files
+            .lock()
+            .expect("mem backend lock")
+            .get(name)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| not_found(name))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let mut files = self.files.lock().expect("mem backend lock");
+        let data = files.get_mut(name).ok_or_else(|| not_found(name))?;
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        if len < data.len() {
+            data.truncate(len);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real-filesystem backend
+// ---------------------------------------------------------------------------
+
+/// A [`StorageBackend`] over real files in one directory.
+#[derive(Debug)]
+pub struct FsBackend {
+    root: PathBuf,
+}
+
+impl FsBackend {
+    /// A backend rooted at `root`, creating the directory if needed.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<FsBackend> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(FsBackend { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl StorageBackend for FsBackend {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.path(name))
+    }
+
+    fn write_all(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        std::fs::write(self.path(name), data)
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        f.write_all(data)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        std::fs::File::open(self.path(name))?.sync_all()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        std::fs::rename(self.path(from), self.path(to))
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        match std::fs::remove_file(self.path(name)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn len(&self, name: &str) -> io::Result<u64> {
+        Ok(std::fs::metadata(self.path(name))?.len())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))?;
+        f.set_len(len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-at-byte-N backend
+// ---------------------------------------------------------------------------
+
+fn crashed() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "simulated crash")
+}
+
+/// Wraps a backend with a write budget of `crash_after` bytes: the write
+/// that crosses the budget persists only the bytes that fit, then this and
+/// every later operation fail. Reads keep working so a test can inspect
+/// "the disk" — recovery must run against a *fresh* backend over the same
+/// files, exactly as a restarted process would.
+#[derive(Debug)]
+pub struct CrashBackend<B> {
+    inner: B,
+    remaining: AtomicU64,
+    dead: std::sync::atomic::AtomicBool,
+}
+
+impl<B: StorageBackend> CrashBackend<B> {
+    /// Crash after `crash_after` more bytes are written through this
+    /// wrapper.
+    pub fn new(inner: B, crash_after: u64) -> CrashBackend<B> {
+        CrashBackend {
+            inner,
+            remaining: AtomicU64::new(crash_after),
+            dead: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Whether the crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    fn check(&self) -> io::Result<()> {
+        if self.dead.load(Ordering::Relaxed) {
+            Err(crashed())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Take up to `want` bytes from the budget; `None` means the full
+    /// amount fits. `Some(k)` means only `k` bytes survive and the crash
+    /// fires now.
+    fn consume(&self, want: u64) -> Option<u64> {
+        let mut cur = self.remaining.load(Ordering::Relaxed);
+        loop {
+            let (grant, dies) = if want <= cur {
+                (want, false)
+            } else {
+                (cur, true)
+            };
+            match self.remaining.compare_exchange(
+                cur,
+                cur - grant,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    if dies {
+                        self.dead.store(true, Ordering::Relaxed);
+                        return Some(grant);
+                    }
+                    return None;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for CrashBackend<B> {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.inner.read(name)
+    }
+
+    fn write_all(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.check()?;
+        match self.consume(data.len() as u64) {
+            None => self.inner.write_all(name, data),
+            Some(k) => {
+                // Torn overwrite: the file ends up with only the prefix.
+                let k = usize::try_from(k).unwrap_or(usize::MAX).min(data.len());
+                let _ = self.inner.write_all(name, &data[..k]);
+                Err(crashed())
+            }
+        }
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.check()?;
+        match self.consume(data.len() as u64) {
+            None => self.inner.append(name, data),
+            Some(k) => {
+                let k = usize::try_from(k).unwrap_or(usize::MAX).min(data.len());
+                let _ = self.inner.append(name, &data[..k]);
+                Err(crashed())
+            }
+        }
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        self.check()?;
+        self.inner.sync(name)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        // Rename is atomic: it either happens before the crash or not at
+        // all. No partial state.
+        self.check()?;
+        self.inner.rename(from, to)
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        self.check()?;
+        self.inner.delete(name)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn len(&self, name: &str) -> io::Result<u64> {
+        self.inner.len(name)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        self.check()?;
+        self.inner.truncate(name, len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded probabilistic faults
+// ---------------------------------------------------------------------------
+
+/// Seeded short writes and fsync failures layered over any backend.
+///
+/// * A *short write* persists a seeded prefix of the data and errors —
+///   exactly the torn-write contract of [`StorageBackend::append`].
+/// * An *fsync failure* leaves the data written but reports the flush
+///   failed (the caller must fail closed: durability is unknown).
+#[derive(Debug)]
+pub struct FaultyBackend<B> {
+    inner: B,
+    decider: SeededDecider,
+    short_write_rate: f64,
+    fsync_fail_rate: f64,
+    injected_short: AtomicU64,
+    injected_fsync: AtomicU64,
+}
+
+impl<B: StorageBackend> FaultyBackend<B> {
+    /// Wrap `inner` with seeded fault rates.
+    pub fn new(
+        inner: B,
+        seed: u64,
+        short_write_rate: f64,
+        fsync_fail_rate: f64,
+    ) -> FaultyBackend<B> {
+        FaultyBackend {
+            inner,
+            decider: SeededDecider::new(seed),
+            short_write_rate,
+            fsync_fail_rate,
+            injected_short: AtomicU64::new(0),
+            injected_fsync: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// `(short_writes, fsync_failures)` injected so far.
+    pub fn injected(&self) -> (u64, u64) {
+        (
+            self.injected_short.load(Ordering::Relaxed),
+            self.injected_fsync.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.inner.read(name)
+    }
+
+    fn write_all(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.inner.write_all(name, data)
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let n = self.decider.next_event();
+        if !data.is_empty() && self.decider.fires("append.short", n, self.short_write_rate) {
+            self.injected_short.fetch_add(1, Ordering::Relaxed);
+            let keep = self.decider.pick("append.len", n, data.len() as u64);
+            let keep = usize::try_from(keep).unwrap_or(0);
+            let _ = self.inner.append(name, &data[..keep]);
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("injected short write ({keep}/{} bytes)", data.len()),
+            ));
+        }
+        self.inner.append(name, data)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        let n = self.decider.next_event();
+        if self.decider.fires("fsync", n, self.fsync_fail_rate) {
+            self.injected_fsync.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        self.inner.sync(name)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        self.inner.delete(name)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn len(&self, name: &str) -> io::Result<u64> {
+        self.inner.len(name)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        self.inner.truncate(name, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_basic_ops() {
+        let b = MemBackend::new();
+        assert!(!b.exists("x"));
+        b.append("x", b"hel").unwrap();
+        b.append("x", b"lo").unwrap();
+        assert_eq!(b.read("x").unwrap(), b"hello");
+        assert_eq!(b.len("x").unwrap(), 5);
+        b.truncate("x", 2).unwrap();
+        assert_eq!(b.read("x").unwrap(), b"he");
+        b.rename("x", "y").unwrap();
+        assert!(!b.exists("x") && b.exists("y"));
+        b.delete("y").unwrap();
+        assert!(b.list().unwrap().is_empty());
+        assert!(b.read("y").is_err());
+    }
+
+    #[test]
+    fn crash_backend_tears_the_crossing_write() {
+        let b = CrashBackend::new(MemBackend::new(), 5);
+        b.append("f", b"abc").unwrap();
+        // This write crosses the 5-byte budget: 2 bytes survive.
+        assert!(b.append("f", b"defg").is_err());
+        assert!(b.crashed());
+        assert_eq!(b.inner().read("f").unwrap(), b"abcde");
+        // Everything after the crash fails.
+        assert!(b.append("f", b"x").is_err());
+        assert!(b.sync("f").is_err());
+        assert!(b.rename("f", "g").is_err());
+        // ...but reads still reach the disk image.
+        assert_eq!(b.read("f").unwrap(), b"abcde");
+    }
+
+    #[test]
+    fn faulty_backend_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let b = FaultyBackend::new(MemBackend::new(), seed, 0.5, 0.5);
+            let mut outcomes = Vec::new();
+            for i in 0..20 {
+                outcomes.push(b.append("f", format!("rec{i}").as_bytes()).is_ok());
+                outcomes.push(b.sync("f").is_ok());
+            }
+            (outcomes, b.inner().read("f").unwrap_or_default())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0, "different seeds should differ");
+        let b = FaultyBackend::new(MemBackend::new(), 7, 1.0, 0.0);
+        assert!(b.append("f", b"abcdef").is_err());
+        let survived = b.inner().read("f").unwrap_or_default();
+        assert!(survived.len() < 6, "short write must persist a prefix");
+        assert_eq!(b.injected().0, 1);
+    }
+}

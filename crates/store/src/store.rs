@@ -1,0 +1,935 @@
+//! [`DurableStore`] — the composed durability engine: WAL + checkpoints +
+//! recovery + the boot counter and audit sink.
+//!
+//! ## On-disk layout (flat names under the store directory)
+//!
+//! ```text
+//! ckpt-<seq>.grdfck   checkpoint: state through wal segment seq-1
+//! wal-<seq>           ops applied after checkpoint seq
+//! boot                8-byte LE monotonic boot counter (the run id)
+//! audit.jsonl         append-only audit entry sink (JSON lines)
+//! ```
+//!
+//! ## Rotation protocol (crash-safe by ordering)
+//!
+//! 1. write `ckpt-(N+1).tmp`, fsync, rename to `ckpt-(N+1).grdfck`, fsync;
+//! 2. create empty `wal-(N+1)`;
+//! 3. GC `ckpt-N` and `wal-N` (and any older leftovers).
+//!
+//! A crash between any two steps is recoverable: after (1) recovery finds
+//! `ckpt-(N+1)` and replays nothing (no `wal-(N+1)` yet); before (1) it
+//! finds `ckpt-N` + `wal-N` as before. A bit-rotted `ckpt-(N+1)` falls
+//! back to `ckpt-N` *only if* `wal-N` still exists — otherwise recovery
+//! fails closed with [`StoreError::MissingWal`] rather than silently
+//! losing the ops `wal-N` held.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use grdf_rdf::graph::Graph;
+
+use crate::backend::StorageBackend;
+use crate::checkpoint;
+use crate::wal::{self, FsyncPolicy, RecordStatus, Wal};
+use crate::{decode_batch, encode_batch, LoggedOp, StoreError};
+
+/// File name of WAL segment `seq`.
+pub fn wal_name(seq: u64) -> String {
+    format!("wal-{seq:016}")
+}
+
+/// Parse `wal-<seq>` back to its sequence number.
+pub fn parse_wal_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.parse().ok()
+}
+
+const BOOT_FILE: &str = "boot";
+const BOOT_TMP: &str = "boot.tmp";
+const AUDIT_FILE: &str = "audit.jsonl";
+
+/// Read the persisted boot counter (0 when the store is fresh).
+pub fn read_boot(backend: &dyn StorageBackend) -> Result<u64, StoreError> {
+    if !backend.exists(BOOT_FILE) {
+        return Ok(0);
+    }
+    let bytes = backend.read(BOOT_FILE).map_err(StoreError::io(BOOT_FILE))?;
+    let mut buf = [0u8; 8];
+    let n = bytes.len().min(8);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Increment and persist the boot counter (write-tmp + atomic rename),
+/// returning the new value — the run id of this process lifetime.
+pub fn bump_boot(backend: &dyn StorageBackend) -> Result<u64, StoreError> {
+    let next = read_boot(backend)?.wrapping_add(1);
+    backend
+        .write_all(BOOT_TMP, &next.to_le_bytes())
+        .map_err(StoreError::io(BOOT_TMP))?;
+    backend.sync(BOOT_TMP).map_err(StoreError::io(BOOT_TMP))?;
+    backend
+        .rename(BOOT_TMP, BOOT_FILE)
+        .map_err(StoreError::io(BOOT_TMP))?;
+    backend.sync(BOOT_FILE).map_err(StoreError::io(BOOT_FILE))?;
+    Ok(next)
+}
+
+/// Tuning knobs for a [`DurableStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// When to fsync the WAL.
+    pub fsync: FsyncPolicy,
+    /// WAL byte length that triggers a checkpoint rotation.
+    pub checkpoint_threshold: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            fsync: FsyncPolicy::EveryN(32),
+            checkpoint_threshold: 1 << 20,
+        }
+    }
+}
+
+/// What recovery reconstructed.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The base graph (pre-entailment) at the crash point.
+    pub base: Graph,
+    /// The policy set in its RDF encoding.
+    pub policy_graph: Graph,
+    /// Sequence of the checkpoint recovery started from.
+    pub ckpt_seq: u64,
+    /// Update batches replayed from the WAL suffix.
+    pub replayed_batches: usize,
+    /// Individual ops inside those batches.
+    pub replayed_ops: usize,
+    /// Bytes of torn/corrupt tail dropped from the final segment.
+    pub truncated_bytes: u64,
+    /// Checkpoint files that were present but failed verification and
+    /// were skipped during fallback.
+    pub skipped_checkpoints: usize,
+}
+
+struct Inner {
+    /// Active segment sequence: `wal-<seq>` receives appends; `ckpt-<seq>`
+    /// holds state through `wal-<seq-1>`.
+    seq: u64,
+    wal: Wal,
+    poisoned: bool,
+}
+
+/// The durability engine G-SACS mounts when configured `Durability::Wal`.
+pub struct DurableStore {
+    backend: Arc<dyn StorageBackend>,
+    config: StoreConfig,
+    run_id: u64,
+    inner: Mutex<Inner>,
+    audit_lines: AtomicU64,
+}
+
+impl std::fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("run_id", &self.run_id)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurableStore {
+    /// Initialize a fresh store: checkpoint 0 of `base` + `policy_graph`,
+    /// an empty `wal-0`, boot counter 1. Fails if a checkpoint already
+    /// exists (use [`DurableStore::open`] to resume an existing store).
+    pub fn create(
+        backend: Arc<dyn StorageBackend>,
+        config: StoreConfig,
+        base: &Graph,
+        policy_graph: &Graph,
+    ) -> Result<DurableStore, StoreError> {
+        if !checkpoint::list_seqs(backend.as_ref())?.is_empty() {
+            return Err(StoreError::Io {
+                path: checkpoint::file_name(0),
+                message: "store already initialized (open it instead)".to_string(),
+            });
+        }
+        checkpoint::write(backend.as_ref(), 0, base, policy_graph)?;
+        let wal_path = wal_name(0);
+        backend
+            .write_all(&wal_path, &[])
+            .map_err(StoreError::io(&wal_path))?;
+        backend.sync(&wal_path).map_err(StoreError::io(&wal_path))?;
+        let run_id = bump_boot(backend.as_ref())?;
+        let wal = Wal::open(Arc::clone(&backend), wal_path, config.fsync)?;
+        Ok(DurableStore {
+            backend,
+            config,
+            run_id,
+            inner: Mutex::new(Inner {
+                seq: 0,
+                wal,
+                poisoned: false,
+            }),
+            audit_lines: AtomicU64::new(0),
+        })
+    }
+
+    /// Recover an existing store: newest valid checkpoint + WAL suffix
+    /// replay, torn-tail truncation, boot counter bump. Returns the handle
+    /// and what was reconstructed (the caller re-materializes entailments).
+    pub fn open(
+        backend: Arc<dyn StorageBackend>,
+        config: StoreConfig,
+    ) -> Result<(DurableStore, Recovered), StoreError> {
+        let recovered = recover(backend.as_ref())?;
+        let final_seq = final_wal_seq(backend.as_ref(), recovered.ckpt_seq)?;
+        let wal_path = wal_name(final_seq);
+        // Drop the torn/corrupt tail so new appends extend the valid
+        // prefix, and make sure the active segment exists.
+        if backend.exists(&wal_path) {
+            if recovered.truncated_bytes > 0 {
+                let replay = wal::replay(backend.as_ref(), &wal_path)?;
+                backend
+                    .truncate(&wal_path, replay.valid_len)
+                    .map_err(StoreError::io(&wal_path))?;
+                backend.sync(&wal_path).map_err(StoreError::io(&wal_path))?;
+            }
+        } else {
+            backend
+                .write_all(&wal_path, &[])
+                .map_err(StoreError::io(&wal_path))?;
+        }
+        // GC segments and checkpoints older than the recovery base; they
+        // are unreachable now.
+        gc_below(backend.as_ref(), recovered.ckpt_seq);
+        let run_id = bump_boot(backend.as_ref())?;
+        grdf_obs::incr("store.recover");
+        grdf_obs::add("store.recover.replayed_ops", recovered.replayed_ops as u64);
+        grdf_obs::add("store.recover.truncated_bytes", recovered.truncated_bytes);
+        let wal = Wal::open(Arc::clone(&backend), wal_path, config.fsync)?;
+        Ok((
+            DurableStore {
+                backend,
+                config,
+                run_id,
+                inner: Mutex::new(Inner {
+                    seq: final_seq,
+                    wal,
+                    poisoned: false,
+                }),
+                audit_lines: AtomicU64::new(0),
+            },
+            recovered,
+        ))
+    }
+
+    /// The run id minted for this process lifetime (monotonic across
+    /// restarts of the same store directory).
+    pub fn run_id(&self) -> u64 {
+        self.run_id
+    }
+
+    /// The active checkpoint/WAL sequence number.
+    pub fn seq(&self) -> u64 {
+        self.inner.lock().expect("store lock").seq
+    }
+
+    /// Current byte length of the active WAL segment.
+    pub fn wal_bytes(&self) -> u64 {
+        self.inner.lock().expect("store lock").wal.len()
+    }
+
+    /// Whether an earlier append failure has poisoned the log.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().expect("store lock").poisoned
+    }
+
+    /// Append one accepted update batch to the WAL. **Call before mutating
+    /// any in-memory state** — this is the write-ahead invariant. A failure
+    /// poisons the store: the on-disk tail is unknown, so every later
+    /// append is refused until the store is re-opened through recovery.
+    pub fn append_batch(&self, ops: &[LoggedOp]) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("store lock");
+        if inner.poisoned {
+            return Err(StoreError::Poisoned);
+        }
+        let payload = encode_batch(ops);
+        if let Err(e) = inner.wal.append(&payload) {
+            inner.poisoned = true;
+            grdf_obs::incr("store.wal.poisoned");
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Whether the active WAL has crossed the checkpoint threshold.
+    pub fn should_checkpoint(&self) -> bool {
+        self.wal_bytes() >= self.config.checkpoint_threshold
+    }
+
+    /// Rotate: snapshot `base` + `policy_graph` as checkpoint `seq+1`,
+    /// start `wal-(seq+1)`, GC the superseded segment pair. Returns the
+    /// new sequence.
+    pub fn checkpoint(&self, base: &Graph, policy_graph: &Graph) -> Result<u64, StoreError> {
+        let mut inner = self.inner.lock().expect("store lock");
+        if inner.poisoned {
+            return Err(StoreError::Poisoned);
+        }
+        let next = inner.seq + 1;
+        checkpoint::write(self.backend.as_ref(), next, base, policy_graph)?;
+        let wal_path = wal_name(next);
+        self.backend
+            .write_all(&wal_path, &[])
+            .map_err(StoreError::io(&wal_path))?;
+        self.backend
+            .sync(&wal_path)
+            .map_err(StoreError::io(&wal_path))?;
+        inner.wal = Wal::open(Arc::clone(&self.backend), wal_path, self.config.fsync)?;
+        inner.seq = next;
+        drop(inner);
+        gc_below(self.backend.as_ref(), next);
+        Ok(next)
+    }
+
+    /// [`DurableStore::checkpoint`] if the threshold is crossed; `None`
+    /// otherwise.
+    pub fn maybe_checkpoint(
+        &self,
+        base: &Graph,
+        policy_graph: &Graph,
+    ) -> Result<Option<u64>, StoreError> {
+        if self.should_checkpoint() {
+            self.checkpoint(base, policy_graph).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Append one JSON line to the durable audit sink. Audit streaming is
+    /// deliberately not fsynced per line (it rides the OS cache); a lost
+    /// suffix loses observability, never graph data.
+    pub fn append_audit_line(&self, line: &str) -> Result<(), StoreError> {
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+        self.backend
+            .append(AUDIT_FILE, &bytes)
+            .map_err(StoreError::io(AUDIT_FILE))?;
+        self.audit_lines.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Audit lines streamed through this handle.
+    pub fn audit_lines(&self) -> u64 {
+        self.audit_lines.load(Ordering::Relaxed)
+    }
+
+    /// The backend this store writes through.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+}
+
+/// The WAL segment appends should continue on after recovering from
+/// checkpoint `ckpt_seq`: the newest existing segment at or above it, or
+/// `ckpt_seq` itself when none exists yet (crash between rotation steps
+/// 1 and 2).
+fn final_wal_seq(backend: &dyn StorageBackend, ckpt_seq: u64) -> Result<u64, StoreError> {
+    let max = backend
+        .list()
+        .map_err(StoreError::io("<dir>"))?
+        .iter()
+        .filter_map(|n| parse_wal_name(n))
+        .filter(|&s| s >= ckpt_seq)
+        .max();
+    Ok(max.unwrap_or(ckpt_seq))
+}
+
+/// Delete checkpoints and WAL segments with sequence `< keep` plus any
+/// stale `.tmp` staging files. Best-effort: GC failures only leak bytes.
+fn gc_below(backend: &dyn StorageBackend, keep: u64) {
+    let Ok(names) = backend.list() else { return };
+    for name in names {
+        let stale = checkpoint::parse_file_name(&name).is_some_and(|s| s < keep)
+            || parse_wal_name(&name).is_some_and(|s| s < keep)
+            || (name.starts_with("ckpt-") && name.ends_with(".tmp"));
+        if stale && backend.delete(&name).is_ok() {
+            grdf_obs::incr("store.gc.removed");
+        }
+    }
+}
+
+/// Read-only recovery: reconstruct the state a [`DurableStore::open`]
+/// would resume from, without bumping the boot counter or truncating
+/// anything. This is what `grdf-cli store recover` prints.
+pub fn recover(backend: &dyn StorageBackend) -> Result<Recovered, StoreError> {
+    let seqs = checkpoint::list_seqs(backend)?;
+    if seqs.is_empty() {
+        return Err(StoreError::NoCheckpoint);
+    }
+    let mut skipped = 0usize;
+    let mut chosen = None;
+    for &seq in &seqs {
+        match checkpoint::load(backend, seq) {
+            Ok(ck) => {
+                chosen = Some(ck);
+                break;
+            }
+            Err(StoreError::CorruptCheckpoint { .. }) => {
+                skipped += 1;
+                grdf_obs::incr("store.recover.ckpt_skipped");
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    let Some(ck) = chosen else {
+        return Err(StoreError::NoCheckpoint);
+    };
+
+    // Fallback soundness: every WAL segment from the chosen checkpoint up
+    // to the newest one must exist, or ops are irrecoverably gone.
+    let wal_seqs: Vec<u64> = {
+        let mut v: Vec<u64> = backend
+            .list()
+            .map_err(StoreError::io("<dir>"))?
+            .iter()
+            .filter_map(|n| parse_wal_name(n))
+            .filter(|&s| s >= ck.seq)
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    if let (Some(&first), Some(&last)) = (wal_seqs.first(), wal_seqs.last()) {
+        if first != ck.seq {
+            return Err(StoreError::MissingWal { seq: ck.seq });
+        }
+        for (expect, &got) in (first..=last).zip(wal_seqs.iter()) {
+            if expect != got {
+                return Err(StoreError::MissingWal { seq: expect });
+            }
+        }
+    }
+
+    let mut base = ck.base;
+    let policy_graph = ck.policy_graph;
+    let mut replayed_batches = 0usize;
+    let mut replayed_ops = 0usize;
+    let mut truncated_bytes = 0u64;
+    for (i, &seq) in wal_seqs.iter().enumerate() {
+        let path = wal_name(seq);
+        let replay = wal::replay(backend, &path)?;
+        if replay.tail_bytes > 0 && i + 1 < wal_seqs.len() {
+            // A rotated-away segment is complete by construction; a torn
+            // tail here means interior damage of the overall log.
+            return Err(StoreError::CorruptInterior {
+                path,
+                offset: replay.valid_len,
+            });
+        }
+        truncated_bytes += replay.tail_bytes;
+        for payload in &replay.payloads {
+            let ops = decode_batch(payload)?;
+            replayed_batches += 1;
+            replayed_ops += ops.len();
+            for op in ops {
+                match op {
+                    LoggedOp::Insert(t) => {
+                        base.insert(t);
+                    }
+                    LoggedOp::Delete(t) => {
+                        base.remove(&t);
+                    }
+                }
+            }
+        }
+    }
+    Ok(Recovered {
+        base,
+        policy_graph,
+        ckpt_seq: ck.seq,
+        replayed_batches,
+        replayed_ops,
+        truncated_bytes,
+        skipped_checkpoints: skipped,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Verification (the CLI's `store verify`)
+// ---------------------------------------------------------------------------
+
+/// Status of one checkpoint file.
+#[derive(Debug)]
+pub struct CkptStatus {
+    /// File name.
+    pub name: String,
+    /// Sequence parsed from the name.
+    pub seq: u64,
+    /// `None` when valid; the failure text otherwise.
+    pub error: Option<String>,
+    /// Base-graph triple count (valid checkpoints only).
+    pub triples: usize,
+}
+
+/// Status of one WAL segment.
+#[derive(Debug)]
+pub struct WalStatus {
+    /// File name.
+    pub name: String,
+    /// Sequence parsed from the name.
+    pub seq: u64,
+    /// CRC-valid records.
+    pub valid_records: usize,
+    /// Records whose CRC failed.
+    pub bad_records: usize,
+    /// Whether the segment ends mid-record.
+    pub torn: bool,
+    /// `clean` / `torn_tail` / `corrupt_interior`.
+    pub classification: &'static str,
+}
+
+/// The full walk `grdf-cli store verify` reports.
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// Persisted boot counter.
+    pub boot: u64,
+    /// Every checkpoint file, newest first.
+    pub checkpoints: Vec<CkptStatus>,
+    /// Every WAL segment, ascending.
+    pub wals: Vec<WalStatus>,
+    /// Whether recovery would succeed from this directory.
+    pub recoverable: bool,
+    /// The recovery-blocking failure, when not recoverable.
+    pub failure: Option<String>,
+}
+
+impl VerifyReport {
+    /// Stable-key JSON for CI artifacts.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"boot\": {},\n", self.boot));
+        out.push_str(&format!("  \"recoverable\": {},\n", self.recoverable));
+        match &self.failure {
+            Some(f) => out.push_str(&format!("  \"failure\": \"{}\",\n", escape(f))),
+            None => out.push_str("  \"failure\": null,\n"),
+        }
+        out.push_str("  \"checkpoints\": [\n");
+        for (i, c) in self.checkpoints.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"seq\": {}, \"valid\": {}, \"triples\": {}, \"error\": {}}}{}\n",
+                escape(&c.name),
+                c.seq,
+                c.error.is_none(),
+                c.triples,
+                match &c.error {
+                    Some(e) => format!("\"{}\"", escape(e)),
+                    None => "null".to_string(),
+                },
+                if i + 1 < self.checkpoints.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"wal\": [\n");
+        for (i, w) in self.wals.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"seq\": {}, \"valid_records\": {}, \"bad_records\": {}, \"torn\": {}, \"classification\": \"{}\"}}{}\n",
+                escape(&w.name),
+                w.seq,
+                w.valid_records,
+                w.bad_records,
+                w.torn,
+                w.classification,
+                if i + 1 < self.wals.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable rendering for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("boot counter : {}\n", self.boot));
+        for c in &self.checkpoints {
+            match &c.error {
+                None => out.push_str(&format!(
+                    "checkpoint   : {} seq={} OK ({} triples)\n",
+                    c.name, c.seq, c.triples
+                )),
+                Some(e) => out.push_str(&format!(
+                    "checkpoint   : {} seq={} CORRUPT: {e}\n",
+                    c.name, c.seq
+                )),
+            }
+        }
+        for w in &self.wals {
+            out.push_str(&format!(
+                "wal          : {} seq={} {} valid / {} bad{} [{}]\n",
+                w.name,
+                w.seq,
+                w.valid_records,
+                w.bad_records,
+                if w.torn { " / torn tail" } else { "" },
+                w.classification
+            ));
+        }
+        match &self.failure {
+            None => out.push_str("verdict      : recoverable\n"),
+            Some(f) => out.push_str(&format!("verdict      : NOT RECOVERABLE — {f}\n")),
+        }
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Walk every durable artifact in the directory and classify its health.
+pub fn verify(backend: &dyn StorageBackend) -> Result<VerifyReport, StoreError> {
+    let boot = read_boot(backend)?;
+    let mut checkpoints = Vec::new();
+    for seq in checkpoint::list_seqs(backend)? {
+        match checkpoint::load(backend, seq) {
+            Ok(ck) => checkpoints.push(CkptStatus {
+                name: checkpoint::file_name(seq),
+                seq,
+                error: None,
+                triples: ck.base.len(),
+            }),
+            Err(e) => checkpoints.push(CkptStatus {
+                name: checkpoint::file_name(seq),
+                seq,
+                error: Some(e.to_string()),
+                triples: 0,
+            }),
+        }
+    }
+    let mut wal_names: Vec<(u64, String)> = backend
+        .list()
+        .map_err(StoreError::io("<dir>"))?
+        .into_iter()
+        .filter_map(|n| parse_wal_name(&n).map(|s| (s, n)))
+        .collect();
+    wal_names.sort_unstable();
+    let mut wals = Vec::new();
+    for (seq, name) in wal_names {
+        let bytes = backend.read(&name).map_err(StoreError::io(&name))?;
+        let statuses = wal::walk(&bytes);
+        let valid_records = statuses
+            .iter()
+            .filter(|s| matches!(s, RecordStatus::Valid { .. }))
+            .count();
+        let bad_records = statuses
+            .iter()
+            .filter(|s| matches!(s, RecordStatus::BadCrc { .. }))
+            .count();
+        let torn = matches!(statuses.last(), Some(RecordStatus::Torn { .. }));
+        let last_valid = statuses
+            .iter()
+            .rposition(|s| matches!(s, RecordStatus::Valid { .. }));
+        let first_damage = statuses
+            .iter()
+            .position(|s| !matches!(s, RecordStatus::Valid { .. }));
+        let classification = match (first_damage, last_valid) {
+            (None, _) => "clean",
+            (Some(d), Some(v)) if v > d => "corrupt_interior",
+            _ => "torn_tail",
+        };
+        wals.push(WalStatus {
+            name,
+            seq,
+            valid_records,
+            bad_records,
+            torn,
+            classification,
+        });
+    }
+    let failure = match recover(backend) {
+        Ok(_) => None,
+        Err(e) => Some(e.to_string()),
+    };
+    Ok(VerifyReport {
+        boot,
+        checkpoints,
+        recoverable: failure.is_none(),
+        failure,
+        wals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use grdf_rdf::term::{Term, Triple};
+
+    fn triple(n: u32) -> Triple {
+        Triple::new(
+            Term::iri(&format!("http://example.org/s{n}")),
+            Term::iri("http://example.org/p"),
+            Term::integer(i64::from(n)),
+        )
+    }
+
+    fn graph(upto: u32) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..upto {
+            g.insert(triple(i));
+        }
+        g
+    }
+
+    fn mk(backend: &Arc<MemBackend>, base: &Graph) -> DurableStore {
+        DurableStore::create(
+            Arc::clone(backend) as Arc<dyn StorageBackend>,
+            StoreConfig::default(),
+            base,
+            &Graph::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_open_round_trip_with_replay() {
+        let b = Arc::new(MemBackend::new());
+        let store = mk(&b, &graph(3));
+        assert_eq!(store.run_id(), 1);
+        store
+            .append_batch(&[LoggedOp::Insert(triple(10)), LoggedOp::Delete(triple(0))])
+            .unwrap();
+        store.append_batch(&[LoggedOp::Insert(triple(11))]).unwrap();
+        drop(store);
+
+        let (store2, rec) = DurableStore::open(
+            Arc::clone(&b) as Arc<dyn StorageBackend>,
+            StoreConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(store2.run_id(), 2, "boot counter is monotonic");
+        assert_eq!(rec.replayed_batches, 2);
+        assert_eq!(rec.replayed_ops, 3);
+        let mut expect = graph(3);
+        expect.insert(triple(10));
+        expect.remove(&triple(0));
+        expect.insert(triple(11));
+        assert_eq!(rec.base, expect);
+    }
+
+    #[test]
+    fn checkpoint_rotation_gcs_old_segments() {
+        let b = Arc::new(MemBackend::new());
+        let store = mk(&b, &graph(2));
+        store.append_batch(&[LoggedOp::Insert(triple(7))]).unwrap();
+        let mut base = graph(2);
+        base.insert(triple(7));
+        assert_eq!(store.checkpoint(&base, &Graph::new()).unwrap(), 1);
+        assert_eq!(store.seq(), 1);
+        // Old pair is gone; new pair exists.
+        assert!(!b.exists(&checkpoint::file_name(0)));
+        assert!(!b.exists(&wal_name(0)));
+        assert!(b.exists(&checkpoint::file_name(1)));
+        assert!(b.exists(&wal_name(1)));
+        // Ops after the rotation land in the new segment and replay.
+        store.append_batch(&[LoggedOp::Insert(triple(8))]).unwrap();
+        let rec = recover(&*b).unwrap();
+        assert_eq!(rec.ckpt_seq, 1);
+        assert_eq!(rec.replayed_ops, 1);
+        base.insert(triple(8));
+        assert_eq!(rec.base, base);
+    }
+
+    #[test]
+    fn threshold_triggers_maybe_checkpoint() {
+        let b = Arc::new(MemBackend::new());
+        let store = DurableStore::create(
+            Arc::clone(&b) as Arc<dyn StorageBackend>,
+            StoreConfig {
+                fsync: FsyncPolicy::Never,
+                checkpoint_threshold: 64,
+            },
+            &Graph::new(),
+            &Graph::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            store
+                .maybe_checkpoint(&Graph::new(), &Graph::new())
+                .unwrap(),
+            None
+        );
+        let mut g = Graph::new();
+        for i in 0..10 {
+            store.append_batch(&[LoggedOp::Insert(triple(i))]).unwrap();
+            g.insert(triple(i));
+        }
+        assert!(store.should_checkpoint());
+        assert_eq!(store.maybe_checkpoint(&g, &Graph::new()).unwrap(), Some(1));
+        assert!(!store.should_checkpoint());
+        let rec = recover(&*b).unwrap();
+        assert_eq!(rec.base, g);
+        assert_eq!(rec.replayed_ops, 0);
+    }
+
+    #[test]
+    fn append_failure_poisons_the_store() {
+        let b = Arc::new(MemBackend::new());
+        let crash = Arc::new(crate::backend::CrashBackend::new(MemBackend::new(), 10_000));
+        drop(b);
+        let store = DurableStore::create(
+            Arc::clone(&crash) as Arc<dyn StorageBackend>,
+            StoreConfig {
+                fsync: FsyncPolicy::Never,
+                checkpoint_threshold: u64::MAX,
+            },
+            &Graph::new(),
+            &Graph::new(),
+        )
+        .unwrap();
+        // Exhaust the budget so the next append tears.
+        let big: Vec<LoggedOp> = (0..200).map(|i| LoggedOp::Insert(triple(i))).collect();
+        let mut poisoned = false;
+        for _ in 0..100 {
+            if store.append_batch(&big).is_err() {
+                poisoned = true;
+                break;
+            }
+        }
+        assert!(poisoned, "crash budget should have fired");
+        assert!(store.is_poisoned());
+        assert!(matches!(
+            store.append_batch(&[LoggedOp::Insert(triple(1))]),
+            Err(StoreError::Poisoned)
+        ));
+        // The torn disk image still recovers to a valid prefix.
+        let rec = recover(crash.inner()).unwrap();
+        assert!(rec.replayed_batches < 100);
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_when_wal_survives() {
+        let b = Arc::new(MemBackend::new());
+        let store = mk(&b, &graph(2));
+        store.append_batch(&[LoggedOp::Insert(triple(5))]).unwrap();
+        let mut base = graph(2);
+        base.insert(triple(5));
+        store.checkpoint(&base, &Graph::new()).unwrap();
+        // Resurrect the GC'd predecessor pair to model "GC hadn't run yet",
+        // then rot the new checkpoint.
+        checkpoint::write(&*b, 0, &graph(2), &Graph::new()).unwrap();
+        b.write_all(&wal_name(0), &[]).unwrap();
+        {
+            let mut w = Wal::open(
+                Arc::clone(&b) as Arc<dyn StorageBackend>,
+                wal_name(0),
+                FsyncPolicy::Never,
+            )
+            .unwrap();
+            w.append(&encode_batch(&[LoggedOp::Insert(triple(5))]))
+                .unwrap();
+        }
+        b.flip_bit(&checkpoint::file_name(1), 20, 0x08);
+        let rec = recover(&*b).unwrap();
+        assert_eq!(rec.ckpt_seq, 0);
+        assert_eq!(rec.skipped_checkpoints, 1);
+        assert_eq!(rec.base, base, "fallback replays wal-0 to the same state");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_with_gcd_wal_fails_closed() {
+        let b = Arc::new(MemBackend::new());
+        let store = mk(&b, &graph(2));
+        store.append_batch(&[LoggedOp::Insert(triple(5))]).unwrap();
+        let mut base = graph(2);
+        base.insert(triple(5));
+        store.checkpoint(&base, &Graph::new()).unwrap();
+        // GC already removed wal-0; resurrect only the old checkpoint.
+        checkpoint::write(&*b, 0, &graph(2), &Graph::new()).unwrap();
+        b.flip_bit(&checkpoint::file_name(1), 20, 0x08);
+        match recover(&*b) {
+            Err(StoreError::MissingWal { seq: 0 }) => {}
+            other => panic!("expected MissingWal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_dir_has_no_checkpoint() {
+        let b = MemBackend::new();
+        assert!(matches!(recover(&b), Err(StoreError::NoCheckpoint)));
+    }
+
+    #[test]
+    fn create_refuses_an_initialized_dir() {
+        let b = Arc::new(MemBackend::new());
+        let _ = mk(&b, &Graph::new());
+        assert!(DurableStore::create(
+            Arc::clone(&b) as Arc<dyn StorageBackend>,
+            StoreConfig::default(),
+            &Graph::new(),
+            &Graph::new(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn audit_lines_append_and_survive() {
+        let b = Arc::new(MemBackend::new());
+        let store = mk(&b, &Graph::new());
+        store.append_audit_line("{\"a\":1}").unwrap();
+        store.append_audit_line("{\"a\":2}").unwrap();
+        assert_eq!(store.audit_lines(), 2);
+        let sink = b.read("audit.jsonl").unwrap();
+        assert_eq!(String::from_utf8(sink).unwrap(), "{\"a\":1}\n{\"a\":2}\n");
+    }
+
+    #[test]
+    fn verify_reports_and_classifies() {
+        let b = Arc::new(MemBackend::new());
+        let store = mk(&b, &graph(4));
+        store.append_batch(&[LoggedOp::Insert(triple(9))]).unwrap();
+        let report = verify(&*b).unwrap();
+        assert!(report.recoverable);
+        assert_eq!(report.boot, 1);
+        assert_eq!(report.checkpoints.len(), 1);
+        assert_eq!(report.wals.len(), 1);
+        assert_eq!(report.wals[0].valid_records, 1);
+        assert_eq!(report.wals[0].classification, "clean");
+        assert!(report.to_json().contains("\"recoverable\": true"));
+
+        // Torn tail: still recoverable, classified as such.
+        b.append(&wal_name(0), &[1, 2, 3]).unwrap();
+        let report = verify(&*b).unwrap();
+        assert!(report.recoverable);
+        assert_eq!(report.wals[0].classification, "torn_tail");
+
+        // Interior damage: not recoverable.
+        let store2 = {
+            let (s, _) = DurableStore::open(
+                Arc::clone(&b) as Arc<dyn StorageBackend>,
+                StoreConfig::default(),
+            )
+            .unwrap();
+            s
+        };
+        store2
+            .append_batch(&[LoggedOp::Insert(triple(10))])
+            .unwrap();
+        store2
+            .append_batch(&[LoggedOp::Insert(triple(11))])
+            .unwrap();
+        b.flip_bit(&wal_name(0), wal::RECORD_HEADER + 1, 0x01);
+        let report = verify(&*b).unwrap();
+        assert!(!report.recoverable);
+        assert_eq!(report.wals[0].classification, "corrupt_interior");
+        assert!(report.failure.unwrap().contains("interior"));
+    }
+
+    #[test]
+    fn boot_counter_survives_and_increments() {
+        let b = MemBackend::new();
+        assert_eq!(read_boot(&b).unwrap(), 0);
+        assert_eq!(bump_boot(&b).unwrap(), 1);
+        assert_eq!(bump_boot(&b).unwrap(), 2);
+        assert_eq!(read_boot(&b).unwrap(), 2);
+    }
+}

@@ -1,0 +1,426 @@
+//! The append-only, checksummed write-ahead log.
+//!
+//! ## Record framing
+//!
+//! ```text
+//! [u32 LE payload_len][u32 LE crc32(payload)][payload bytes]
+//! ```
+//!
+//! ## Corruption taxonomy (the load-bearing part)
+//!
+//! Replaying a segment classifies damage by *position*:
+//!
+//! * **Torn tail** — the file ends mid-record (fewer than 8 header bytes
+//!   left, or the promised payload runs past EOF), or the final record's
+//!   CRC fails and nothing after it parses. This is what a crash during an
+//!   append leaves behind; the tail is truncated and recovery proceeds
+//!   with the surviving prefix.
+//! * **Interior corruption** — a record's CRC fails but at least one
+//!   *later* offset parses as a valid record. Bytes were damaged at rest
+//!   (bit rot, bad sector); replaying past the hole would serve a
+//!   silently-holed graph, so replay fails closed with
+//!   [`StoreError::CorruptInterior`].
+//!
+//! The resynchronization scan that distinguishes the two walks forward
+//! byte-by-byte looking for any offset where `[len][crc][payload]` checks
+//! out. That is O(n·m) worst case, but it only runs after a CRC failure —
+//! the happy path is a single linear pass.
+
+use std::sync::Arc;
+
+use crate::backend::StorageBackend;
+use crate::StoreError;
+use grdf_rdf::codec::crc32;
+
+/// Record header size: `u32` length + `u32` CRC.
+pub const RECORD_HEADER: usize = 8;
+
+/// Cap on a single record's payload; a length field above this is treated
+/// as corruption, not an allocation request.
+pub const MAX_RECORD: u32 = 1 << 30;
+
+/// When to fsync the log after an append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Flush after every record — maximum durability, minimum throughput.
+    Always,
+    /// Flush after every `n` records (and rely on the OS in between).
+    EveryN(u32),
+    /// Never flush explicitly — the OS decides; a crash may lose the
+    /// recently-appended suffix but never corrupts what was flushed.
+    Never,
+}
+
+/// Frame `payload` into `[len][crc][payload]` bytes.
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// An append handle over one WAL segment file.
+#[derive(Debug)]
+pub struct Wal {
+    backend: Arc<dyn StorageBackend>,
+    path: String,
+    policy: FsyncPolicy,
+    since_sync: u32,
+    len: u64,
+    records: u64,
+}
+
+impl Wal {
+    /// Open `path` for appending (the segment need not exist yet).
+    pub fn open(
+        backend: Arc<dyn StorageBackend>,
+        path: impl Into<String>,
+        policy: FsyncPolicy,
+    ) -> Result<Wal, StoreError> {
+        let path = path.into();
+        let len = if backend.exists(&path) {
+            backend.len(&path).map_err(StoreError::io(&path))?
+        } else {
+            0
+        };
+        Ok(Wal {
+            backend,
+            path,
+            policy,
+            since_sync: 0,
+            len,
+            records: 0,
+        })
+    }
+
+    /// Current byte length of the segment.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the segment has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.records
+    }
+
+    /// The segment file name.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Append one framed record, honoring the fsync policy. Any failure
+    /// means the tail state of the file is unknown — the caller must stop
+    /// using the log (fail closed) until recovery re-opens it.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        assert!(
+            payload.len() as u64 <= u64::from(MAX_RECORD),
+            "WAL record exceeds MAX_RECORD"
+        );
+        let frame = frame_record(payload);
+        self.backend
+            .append(&self.path, &frame)
+            .map_err(StoreError::io(&self.path))?;
+        self.len += frame.len() as u64;
+        self.records += 1;
+        grdf_obs::incr("store.wal.append");
+        grdf_obs::add("store.wal.bytes", frame.len() as u64);
+        let flush = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => {
+                self.since_sync += 1;
+                self.since_sync >= n.max(1)
+            }
+            FsyncPolicy::Never => false,
+        };
+        if flush {
+            self.since_sync = 0;
+            self.backend
+                .sync(&self.path)
+                .map_err(StoreError::io(&self.path))?;
+            grdf_obs::incr("store.wal.fsync");
+        }
+        Ok(())
+    }
+}
+
+/// The status of one framed record slot found while walking a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordStatus {
+    /// CRC checks out.
+    Valid {
+        /// Byte offset of the record header.
+        offset: u64,
+        /// Payload length.
+        len: u32,
+    },
+    /// CRC mismatch.
+    BadCrc {
+        /// Byte offset of the record header.
+        offset: u64,
+    },
+    /// The file ends inside this record (header or payload).
+    Torn {
+        /// Byte offset where the incomplete record starts.
+        offset: u64,
+    },
+}
+
+/// The outcome of replaying one segment.
+#[derive(Debug)]
+pub struct Replay {
+    /// Payloads of the valid prefix, in order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Byte length of the valid prefix (the truncation point).
+    pub valid_len: u64,
+    /// Bytes past the valid prefix (torn/corrupt tail), zero when clean.
+    pub tail_bytes: u64,
+}
+
+/// Walk `bytes` and report every record slot. Never fails: corruption
+/// shows up as `BadCrc`/`Torn` entries.
+pub fn walk(bytes: &[u8]) -> Vec<RecordStatus> {
+    let mut out = Vec::new();
+    let mut pos: usize = 0;
+    while pos < bytes.len() {
+        match parse_at(bytes, pos) {
+            Parsed::Valid { len } => {
+                out.push(RecordStatus::Valid {
+                    offset: pos as u64,
+                    len,
+                });
+                pos += RECORD_HEADER + len as usize;
+            }
+            Parsed::BadCrc { len } => {
+                out.push(RecordStatus::BadCrc { offset: pos as u64 });
+                pos += RECORD_HEADER + len as usize;
+            }
+            Parsed::Torn => {
+                out.push(RecordStatus::Torn { offset: pos as u64 });
+                break;
+            }
+        }
+    }
+    out
+}
+
+enum Parsed {
+    Valid { len: u32 },
+    BadCrc { len: u32 },
+    Torn,
+}
+
+fn parse_at(bytes: &[u8], pos: usize) -> Parsed {
+    let Some(header) = bytes.get(pos..pos + RECORD_HEADER) else {
+        return Parsed::Torn;
+    };
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_RECORD {
+        // An absurd length is indistinguishable from garbage; treat the
+        // slot as torn so the resync scan decides tail-vs-interior.
+        return Parsed::Torn;
+    }
+    let start = pos + RECORD_HEADER;
+    let Some(payload) = bytes.get(start..start + len as usize) else {
+        return Parsed::Torn;
+    };
+    if crc32(payload) == crc {
+        Parsed::Valid { len }
+    } else {
+        Parsed::BadCrc { len }
+    }
+}
+
+/// True if any offset in `bytes[from..]` parses as a CRC-valid record —
+/// the resynchronization scan that upgrades a bad tail to interior
+/// corruption.
+fn any_valid_record_after(bytes: &[u8], from: usize) -> bool {
+    (from..bytes.len()).any(|pos| matches!(parse_at(bytes, pos), Parsed::Valid { .. }))
+}
+
+/// Replay the segment at `path`: collect the valid payload prefix,
+/// classify any damage (see the module docs), and report the truncation
+/// point. A missing segment replays as empty.
+pub fn replay(backend: &dyn StorageBackend, path: &str) -> Result<Replay, StoreError> {
+    if !backend.exists(path) {
+        return Ok(Replay {
+            payloads: Vec::new(),
+            valid_len: 0,
+            tail_bytes: 0,
+        });
+    }
+    let bytes = backend.read(path).map_err(StoreError::io(path))?;
+    let mut payloads = Vec::new();
+    let mut pos: usize = 0;
+    loop {
+        if pos >= bytes.len() {
+            // Clean end exactly at a record boundary.
+            return Ok(Replay {
+                payloads,
+                valid_len: pos as u64,
+                tail_bytes: 0,
+            });
+        }
+        match parse_at(&bytes, pos) {
+            Parsed::Valid { len } => {
+                let start = pos + RECORD_HEADER;
+                payloads.push(bytes[start..start + len as usize].to_vec());
+                pos += RECORD_HEADER + len as usize;
+            }
+            Parsed::BadCrc { len } => {
+                // Either damage at rest (interior) or a torn final write
+                // whose garbage happens to include the old header. If
+                // anything after this slot still parses, data beyond the
+                // hole exists — fail closed.
+                if any_valid_record_after(&bytes, pos + 1) {
+                    return Err(StoreError::CorruptInterior {
+                        path: path.to_string(),
+                        offset: pos as u64,
+                    });
+                }
+                let _ = len;
+                return Ok(Replay {
+                    payloads,
+                    valid_len: pos as u64,
+                    tail_bytes: (bytes.len() - pos) as u64,
+                });
+            }
+            Parsed::Torn => {
+                if any_valid_record_after(&bytes, pos + 1) {
+                    return Err(StoreError::CorruptInterior {
+                        path: path.to_string(),
+                        offset: pos as u64,
+                    });
+                }
+                return Ok(Replay {
+                    payloads,
+                    valid_len: pos as u64,
+                    tail_bytes: (bytes.len() - pos) as u64,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn seed_log(backend: &Arc<MemBackend>, path: &str, payloads: &[&[u8]]) {
+        let mut wal = Wal::open(
+            Arc::clone(backend) as Arc<dyn StorageBackend>,
+            path,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        for p in payloads {
+            wal.append(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let b = Arc::new(MemBackend::new());
+        seed_log(&b, "wal", &[b"one", b"two", b"three"]);
+        let r = replay(&*b, "wal").unwrap();
+        assert_eq!(
+            r.payloads,
+            vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+        );
+        assert_eq!(r.tail_bytes, 0);
+        assert_eq!(r.valid_len, b.len("wal").unwrap());
+    }
+
+    #[test]
+    fn missing_segment_replays_empty() {
+        let b = MemBackend::new();
+        let r = replay(&b, "absent").unwrap();
+        assert!(r.payloads.is_empty());
+        assert_eq!(r.valid_len, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_cut_point() {
+        let b = Arc::new(MemBackend::new());
+        seed_log(&b, "wal", &[b"alpha", b"beta"]);
+        let full = b.read("wal").unwrap();
+        let first_len = RECORD_HEADER as u64 + 5;
+        for cut in 0..full.len() {
+            let b2 = MemBackend::new();
+            b2.write_all("wal", &full[..cut]).unwrap();
+            let r = replay(&b2, "wal").unwrap();
+            let expect_records = if (cut as u64) < first_len {
+                0
+            } else if (cut as u64) < full.len() as u64 {
+                1
+            } else {
+                2
+            };
+            assert_eq!(r.payloads.len(), expect_records, "cut at {cut}");
+            assert_eq!(r.valid_len + r.tail_bytes, cut as u64, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn interior_bit_flip_fails_closed() {
+        let b = Arc::new(MemBackend::new());
+        seed_log(&b, "wal", &[b"alpha", b"beta", b"gamma"]);
+        // Flip a payload bit of the *first* record: records 2..3 still
+        // parse, so this must be interior corruption.
+        b.flip_bit("wal", RECORD_HEADER, 0x01);
+        match replay(&*b, "wal") {
+            Err(StoreError::CorruptInterior { offset, .. }) => assert_eq!(offset, 0),
+            other => panic!("expected CorruptInterior, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn final_record_bit_flip_is_a_truncatable_tail() {
+        let b = Arc::new(MemBackend::new());
+        seed_log(&b, "wal", &[b"alpha", b"beta"]);
+        let len = b.len("wal").unwrap();
+        // Flip a bit in the last payload byte: nothing valid follows, so
+        // the damaged record is dropped as a corrupt tail.
+        b.flip_bit("wal", usize::try_from(len).unwrap() - 1, 0x80);
+        let r = replay(&*b, "wal").unwrap();
+        assert_eq!(r.payloads, vec![b"alpha".to_vec()]);
+        assert!(r.tail_bytes > 0);
+    }
+
+    #[test]
+    fn walk_reports_statuses() {
+        let b = Arc::new(MemBackend::new());
+        seed_log(&b, "wal", &[b"alpha", b"beta"]);
+        b.flip_bit("wal", RECORD_HEADER, 0x01);
+        let bytes = b.read("wal").unwrap();
+        let statuses = walk(&bytes);
+        assert_eq!(statuses.len(), 2);
+        assert!(matches!(statuses[0], RecordStatus::BadCrc { offset: 0 }));
+        assert!(matches!(statuses[1], RecordStatus::Valid { .. }));
+    }
+
+    #[test]
+    fn every_n_policy_syncs_periodically() {
+        let b = Arc::new(MemBackend::new());
+        let mut wal = Wal::open(
+            Arc::clone(&b) as Arc<dyn StorageBackend>,
+            "wal",
+            FsyncPolicy::EveryN(3),
+        )
+        .unwrap();
+        for i in 0..7 {
+            wal.append(format!("r{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(wal.appended(), 7);
+        // Behavioral check is in the fault-injection suite; here we just
+        // confirm appends under EveryN replay cleanly.
+        assert_eq!(replay(&*b, "wal").unwrap().payloads.len(), 7);
+    }
+}

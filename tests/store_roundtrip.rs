@@ -1,0 +1,185 @@
+//! Deterministic-encoding round-trips for the checkpoint codec
+//! (`grdf_rdf::codec`): the byte stream is a *canonical* function of the
+//! graph, so encode→decode→encode must be byte-identical — that is what
+//! lets checkpoint checksums, and any future replication diffing, compare
+//! states by their bytes. Exercised over the E6 incident store and the
+//! paper's Listing 1–4 graphs, plus the corruption side: truncated and
+//! bit-flipped inputs must fail with typed errors, never panic, never
+//! return a partial graph.
+
+use grdf::rdf::codec::{decode_graph, encode_graph};
+use grdf::rdf::graph::Graph;
+
+/// The canonical-bytes property plus semantic fidelity for one graph.
+fn assert_roundtrip(name: &str, g: &Graph) {
+    let bytes = encode_graph(g);
+    let decoded = decode_graph(&bytes).unwrap_or_else(|e| panic!("{name}: decode failed: {e}"));
+    assert_eq!(
+        decoded.len(),
+        g.len(),
+        "{name}: triple count changed in the round trip"
+    );
+    for t in g.iter() {
+        assert!(
+            decoded.has(&t.subject, &t.predicate, &t.object),
+            "{name}: lost {t:?}"
+        );
+    }
+    let re_encoded = encode_graph(&decoded);
+    assert_eq!(
+        bytes, re_encoded,
+        "{name}: encode→decode→encode is not byte-identical"
+    );
+}
+
+/// Every truncation of `bytes` must produce a typed error — the decoder
+/// has length guards before every read, so no prefix can panic or slip
+/// through as a shorter valid graph.
+fn assert_rejects_truncations(name: &str, bytes: &[u8], step: usize) {
+    for cut in (0..bytes.len()).step_by(step.max(1)) {
+        assert!(
+            decode_graph(&bytes[..cut]).is_err(),
+            "{name}: truncation to {cut}/{} bytes decoded successfully",
+            bytes.len()
+        );
+    }
+}
+
+/// Every single-bit flip must be caught (CRC32 detects all single-bit
+/// errors), again with a typed error rather than a panic.
+fn assert_rejects_bit_flips(name: &str, bytes: &[u8], step: usize) {
+    for pos in (0..bytes.len()).step_by(step.max(1)) {
+        let mut corrupt = bytes.to_vec();
+        corrupt[pos] ^= 1 << (pos % 8);
+        assert!(
+            decode_graph(&corrupt).is_err(),
+            "{name}: bit flip at byte {pos} decoded successfully"
+        );
+    }
+}
+
+fn list1_graph() -> Graph {
+    let gml = r#"<app:Site xmlns:app="http://grdf.org/app#"
+                  xmlns:gml="http://www.opengis.net/gml" gml:id="s1">
+        <app:temperature uom="http://grdf.org/uom/farenheit">21.23</app:temperature>
+    </app:Site>"#;
+    let fc = grdf::gml::read::parse_gml(gml).unwrap();
+    let mut g = Graph::new();
+    grdf::feature::rdf_codec::encode_feature(&mut g, &fc.features[0]);
+    g
+}
+
+fn list2_graph() -> Graph {
+    grdf::rdf::rdfxml::parse(
+        r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                          xmlns:owl="http://www.w3.org/2002/07/owl#">
+      <owl:ObjectProperty rdf:about="http://grdf.org/ontology#hasCenterLineOf"/>
+      <owl:ObjectProperty rdf:about="http://grdf.org/ontology#hasCenterOf"/>
+      <owl:ObjectProperty rdf:about="http://grdf.org/ontology#hasEdgeOf"/>
+      <owl:ObjectProperty rdf:about="http://grdf.org/ontology#hasEnvelope"/>
+      <owl:ObjectProperty rdf:about="http://grdf.org/ontology#hasExtentOf"/>
+    </rdf:RDF>"#,
+    )
+    .unwrap()
+}
+
+fn list3_graph() -> Graph {
+    grdf::rdf::rdfxml::parse(
+        r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                          xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+                          xmlns:owl="http://www.w3.org/2002/07/owl#">
+      <owl:Class rdf:about="http://grdf.org/ontology#EnvelopeWithTimePeriod">
+        <rdfs:subClassOf>
+          <owl:Restriction>
+            <owl:cardinality rdf:datatype="http://www.w3.org/2001/XMLSchema#nonNegativeInteger">2</owl:cardinality>
+            <owl:onProperty>
+              <owl:ObjectProperty rdf:about="http://grdf.org/temporal#hasTimePosition"/>
+            </owl:onProperty>
+          </owl:Restriction>
+        </rdfs:subClassOf>
+      </owl:Class>
+    </rdf:RDF>"#,
+    )
+    .unwrap()
+}
+
+fn list4_graph() -> Graph {
+    grdf::rdf::rdfxml::parse(
+        r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                          xmlns:owl="http://www.w3.org/2002/07/owl#">
+      <owl:Class rdf:about="http://grdf.org/ontology#Curve"/>
+      <owl:Class rdf:about="http://grdf.org/ontology#MultiCurve"/>
+      <owl:Class rdf:about="http://grdf.org/ontology#CompositeCurve"/>
+      <owl:ObjectProperty rdf:about="http://grdf.org/ontology#curveMember"/>
+    </rdf:RDF>"#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn paper_listings_round_trip_byte_identically() {
+    for (name, g) in [
+        ("list1", list1_graph()),
+        ("list2", list2_graph()),
+        ("list3", list3_graph()),
+        ("list4", list4_graph()),
+    ] {
+        assert!(!g.is_empty(), "{name}: fixture is empty");
+        assert_roundtrip(name, &g);
+        let bytes = encode_graph(&g);
+        // Small graphs: exhaustive truncation and bit-flip sweeps.
+        assert_rejects_truncations(name, &bytes, 1);
+        assert_rejects_bit_flips(name, &bytes, 1);
+    }
+}
+
+#[test]
+fn e6_incident_store_round_trips_byte_identically() {
+    let store = grdf_bench::incident_store(25, 25, 7);
+    assert_roundtrip("e6_incident_store", store.graph());
+}
+
+#[test]
+fn e6_incident_store_rejects_corrupt_bytes() {
+    let store = grdf_bench::incident_store(12, 12, 7);
+    let bytes = encode_graph(store.graph());
+    // Larger input: sampled sweeps (primes, so positions drift across
+    // record boundaries instead of hitting the same field each time).
+    assert_rejects_truncations("e6", &bytes, 131);
+    assert_rejects_bit_flips("e6", &bytes, 127);
+}
+
+#[test]
+fn encoding_is_insertion_order_independent() {
+    let g = list2_graph();
+    let mut reversed = Graph::new();
+    let mut triples: Vec<_> = g.iter().collect();
+    triples.reverse();
+    for t in triples {
+        reversed.insert(t);
+    }
+    assert_eq!(
+        encode_graph(&g),
+        encode_graph(&reversed),
+        "canonical encoding must not depend on insertion order"
+    );
+}
+
+#[test]
+fn blank_nodes_and_typed_literals_round_trip() {
+    use grdf::rdf::term::{Literal, Term};
+    let mut g = Graph::new();
+    let b = Term::blank("b0");
+    g.add(b.clone(), Term::iri("urn:p"), Term::string("plain"));
+    g.add(
+        b.clone(),
+        Term::iri("urn:p"),
+        Term::Literal(Literal::lang_string("hello", "en")),
+    );
+    g.add(
+        b,
+        Term::iri("urn:q"),
+        Term::typed("2.5", "http://www.w3.org/2001/XMLSchema#double"),
+    );
+    assert_roundtrip("blank_and_literals", &g);
+}
