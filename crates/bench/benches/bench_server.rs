@@ -1,0 +1,299 @@
+//! Network-layer benchmarks for `grdf-server`: sustained mixed-tenant
+//! throughput over real sockets, and a flood phase proving quota shedding
+//! keeps the paced tenants' tail latency bounded.
+//!
+//! Hand-rolled harness (same shape as `bench_store`): `--json <path>`
+//! writes the checked-in `BENCH_server.json`, `--quick` trims request
+//! counts for CI smoke runs. Every request is a full TCP round trip
+//! (connect → request → response → close), so connect and teardown costs
+//! are in the numbers.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use grdf_feature::{encode_feature, Feature};
+use grdf_rdf::graph::Graph;
+use grdf_rdf::vocab::grdf as ns;
+use grdf_security::gsacs::{GSacs, OntoRepository, OwlHorstEngine};
+use grdf_security::policy::{Policy, PolicySet};
+use grdf_security::resilience::ResilienceConfig;
+use grdf_server::{build_request, GrdfServer, QuotaConfig, ServerConfig};
+
+const TENANTS: usize = 8;
+
+struct Scenario {
+    name: String,
+    metrics: Vec<(String, f64)>,
+}
+
+fn service(sites: usize) -> GSacs {
+    let mut data = Graph::new();
+    for i in 0..sites {
+        let mut site = Feature::new(&ns::app(&format!("site{i}")), "ChemSite");
+        site.set_property("hasSiteName", format!("Site {i}").as_str());
+        site.set_property("hasChemCode", format!("C{i}").as_str());
+        encode_feature(&mut data, &site);
+    }
+    let policies = PolicySet::new(vec![Policy::permit(
+        &ns::sec("E1"),
+        &ns::sec("Emergency"),
+        &ns::app("ChemSite"),
+    )]);
+    GSacs::with_resilience(
+        OntoRepository::new(),
+        policies,
+        Box::<OwlHorstEngine>::default(),
+        data,
+        32,
+        ResilienceConfig::default(),
+    )
+}
+
+fn requests() -> Vec<Vec<u8>> {
+    let select = format!(
+        "PREFIX app: <{}>\nSELECT ?n WHERE {{ ?s app:hasSiteName ?n }}",
+        ns::APP_NS
+    );
+    let ask = "ASK { ?s a ?t }".to_string();
+    [select, ask]
+        .iter()
+        .map(|q| build_request("/query", &[("x-role", &ns::sec("Emergency"))], q.as_bytes()))
+        .collect()
+}
+
+fn request_for_tenant(template: &[u8], tenant: &str) -> Vec<u8> {
+    // Rebuild with the tenant header by splicing it after the request line.
+    let pos = template
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .map_or(0, |p| p + 2);
+    let mut out = template[..pos].to_vec();
+    out.extend_from_slice(format!("x-tenant: {tenant}\r\n").as_bytes());
+    out.extend_from_slice(&template[pos..]);
+    out
+}
+
+/// One whole exchange; returns (status, latency).
+fn exchange(addr: SocketAddr, wire: &[u8]) -> (u16, Duration) {
+    let start = Instant::now();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.write_all(wire).expect("write");
+    let mut raw = Vec::new();
+    let _ = s.read_to_end(&mut raw);
+    let status = String::from_utf8_lossy(&raw)
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    (status, start.elapsed())
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (sorted.len() * p).div_ceil(100).min(sorted.len()) - 1;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+/// Sustained mixed workload: 8 tenants, closed loop, no quotas — the
+/// server's raw capacity with full per-request accounting on.
+fn bench_mixed(per_tenant: usize) -> Scenario {
+    let cfg = ServerConfig {
+        workers: 4,
+        max_connections: 128,
+        ..ServerConfig::default()
+    };
+    let server = GrdfServer::bind("127.0.0.1:0", service(50), cfg).expect("bind");
+    let addr = server.local_addr();
+    let templates = requests();
+
+    let start = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..TENANTS)
+            .map(|t| {
+                let templates = &templates;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_tenant);
+                    for i in 0..per_tenant {
+                        let wire = request_for_tenant(
+                            &templates[(t + i) % templates.len()],
+                            &format!("t{t}"),
+                        );
+                        let (status, d) = exchange(addr, &wire);
+                        assert_eq!(status, 200, "tenant t{t} request {i}");
+                        lat.push(d);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total = latencies.len();
+    let mut sorted = latencies;
+    sorted.sort();
+    let (accepted, finished) = server.shutdown();
+    assert_eq!(accepted, finished, "drain lost connections under load");
+
+    Scenario {
+        name: format!("mixed_{TENANTS}_tenants"),
+        metrics: vec![
+            ("tenants".to_string(), TENANTS as f64),
+            ("requests".to_string(), total as f64),
+            ("secs".to_string(), secs),
+            ("qps".to_string(), total as f64 / secs.max(1e-9)),
+            ("p50_ms".to_string(), percentile(&sorted, 50)),
+            ("p99_ms".to_string(), percentile(&sorted, 99)),
+            (
+                "max_ms".to_string(),
+                sorted.last().copied().unwrap_or_default().as_secs_f64() * 1e3,
+            ),
+        ],
+    }
+}
+
+/// Flood phase: one tenant hammers a quota-limited server while the other
+/// seven pace themselves inside the quota. The numbers to watch: the
+/// flooder's shed ratio, and the paced tenants' p99 staying flat.
+fn bench_flood(paced_per_tenant: usize, flood_requests: usize) -> Scenario {
+    let cfg = ServerConfig {
+        workers: 4,
+        max_connections: 128,
+        quota: QuotaConfig {
+            rate_per_sec: 100.0,
+            burst: 10.0,
+        },
+        ..ServerConfig::default()
+    };
+    let server = GrdfServer::bind("127.0.0.1:0", service(50), cfg).expect("bind");
+    let addr = server.local_addr();
+    let templates = requests();
+
+    let (shed, flood_ok, paced_latencies) = std::thread::scope(|scope| {
+        let flooder = {
+            let templates = &templates;
+            scope.spawn(move || {
+                let mut ok = 0u64;
+                let mut shed = 0u64;
+                for i in 0..flood_requests {
+                    let wire = request_for_tenant(&templates[i % templates.len()], "noisy");
+                    match exchange(addr, &wire) {
+                        (200, _) => ok += 1,
+                        (429, _) => shed += 1,
+                        (status, _) => panic!("unexpected status {status}"),
+                    }
+                }
+                (ok, shed)
+            })
+        };
+        let paced: Vec<_> = (0..TENANTS - 1)
+            .map(|t| {
+                let templates = &templates;
+                scope.spawn(move || {
+                    // Seven tenants at ~10 req/s each: 70/s against a
+                    // 100/s-per-tenant quota — never shed.
+                    let mut lat = Vec::with_capacity(paced_per_tenant);
+                    for i in 0..paced_per_tenant {
+                        let wire = request_for_tenant(
+                            &templates[(t + i) % templates.len()],
+                            &format!("calm{t}"),
+                        );
+                        let (status, d) = exchange(addr, &wire);
+                        assert_eq!(status, 200, "paced tenant calm{t} was shed");
+                        lat.push(d);
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let (ok, shed) = flooder.join().unwrap();
+        let latencies: Vec<Duration> = paced.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        (shed, ok, latencies)
+    });
+    assert!(shed > 0, "the flood must provoke shedding to mean anything");
+
+    let mut sorted = paced_latencies;
+    sorted.sort();
+    let snap = server.obs().registry().snapshot();
+    let quota_sheds = snap.counters.get("server.shed.quota").copied().unwrap_or(0);
+    server.shutdown();
+
+    Scenario {
+        name: "flood_one_tenant".to_string(),
+        metrics: vec![
+            ("flood_requests".to_string(), flood_requests as f64),
+            ("flood_admitted".to_string(), flood_ok as f64),
+            ("flood_shed".to_string(), shed as f64),
+            (
+                "flood_shed_ratio".to_string(),
+                shed as f64 / (flood_requests as f64).max(1.0),
+            ),
+            ("paced_requests".to_string(), sorted.len() as f64),
+            ("paced_p50_ms".to_string(), percentile(&sorted, 50)),
+            ("paced_p99_ms".to_string(), percentile(&sorted, 99)),
+            ("server_shed_quota".to_string(), quota_sheds as f64),
+        ],
+    }
+}
+
+fn to_json(mode: &str, scenarios: &[Scenario]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"server\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\"", s.name));
+        for (k, v) in &s.metrics {
+            out.push_str(&format!(",\n      \"{k}\": {v:.3}"));
+        }
+        out.push_str(&format!(
+            "\n    }}{}\n",
+            if i + 1 < scenarios.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args
+        .iter()
+        .any(|a| a.starts_with("--test") || a == "--list")
+    {
+        println!("bench_server: bench-only binary, skipped under test");
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+
+    let (per_tenant, paced, flood) = if quick { (30, 5, 100) } else { (200, 20, 400) };
+
+    let scenarios = vec![bench_mixed(per_tenant), bench_flood(paced, flood)];
+
+    for s in &scenarios {
+        println!("{}", s.name);
+        for (k, v) in &s.metrics {
+            println!("  {k:<30} {v:>12.3}");
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = to_json(if quick { "quick" } else { "full" }, &scenarios);
+        std::fs::write(&path, json).expect("write json snapshot");
+        println!("wrote {path}");
+    }
+}

@@ -74,6 +74,17 @@ impl TraceId {
     pub fn is_none(&self) -> bool {
         self.0 == 0
     }
+
+    /// Parse the 16-hex-digit wire form produced by [`Display`](fmt::Display)
+    /// (shorter strings are accepted; leading zeros implied). Returns `None`
+    /// for non-hex input, overlong input, or the null id.
+    pub fn parse_hex(s: &str) -> Option<TraceId> {
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        let v = u64::from_str_radix(s, 16).ok()?;
+        (v != 0).then_some(TraceId(v))
+    }
 }
 
 impl Default for TraceId {
@@ -152,12 +163,26 @@ impl Obs {
     /// returned guard drops. If a scope is already active, the guard joins
     /// it: it opens `root` as a child span and reports the ambient id.
     pub fn scope(&self, root: &'static str) -> Scope {
+        self.scope_inner(root, None)
+    }
+
+    /// Like [`Obs::scope`], but when this call installs a fresh context it
+    /// adopts `id` instead of minting one — the hook for propagating a
+    /// caller-supplied trace id (e.g. an `X-Trace-Id` request header)
+    /// through the whole request. A null `id` falls back to a fresh one,
+    /// and joining an already-active scope keeps the ambient id.
+    pub fn scope_with_id(&self, root: &'static str, id: TraceId) -> Scope {
+        let id = (!id.is_none()).then_some(id);
+        self.scope_inner(root, id)
+    }
+
+    fn scope_inner(&self, root: &'static str, wanted: Option<TraceId>) -> Scope {
         let installed = CTX.with(|ctx| {
             let mut ctx = ctx.borrow_mut();
             if ctx.is_some() {
                 return false;
             }
-            let id = TraceId::fresh();
+            let id = wanted.unwrap_or_else(TraceId::fresh);
             *ctx = Some(ActiveCtx {
                 id,
                 registry: Arc::clone(&self.registry),
@@ -390,6 +415,37 @@ mod tests {
         assert_ne!(a, b);
         assert!(!a.is_none());
         assert_eq!(format!("{}", TraceId(0xab)).len(), 16);
+    }
+
+    #[test]
+    fn parse_hex_round_trips_the_wire_form() {
+        let id = TraceId::fresh();
+        assert_eq!(TraceId::parse_hex(&id.to_string()), Some(id));
+        assert_eq!(TraceId::parse_hex("ab"), Some(TraceId(0xab)));
+        assert_eq!(TraceId::parse_hex(""), None);
+        assert_eq!(TraceId::parse_hex("0000000000000000"), None);
+        assert_eq!(TraceId::parse_hex("00000000000000001"), None);
+        assert_eq!(TraceId::parse_hex("not-hex"), None);
+    }
+
+    #[test]
+    fn scope_with_id_adopts_the_caller_id() {
+        let obs = Obs::with_tracing(8);
+        let wanted = TraceId(0xdead_beef);
+        {
+            let scope = obs.scope_with_id("server.request", wanted);
+            assert_eq!(scope.trace_id(), wanted);
+        }
+        let recs = obs.sink().records();
+        assert_eq!(recs[0].id, wanted);
+        // Null id falls back to a fresh one.
+        let scope = obs.scope_with_id("server.request", TraceId::NONE);
+        assert!(!scope.trace_id().is_none());
+        drop(scope);
+        // Joining an active scope keeps the ambient id, ignoring `wanted`.
+        let outer = obs.scope("outer");
+        let inner = obs.scope_with_id("inner", wanted);
+        assert_eq!(inner.trace_id(), outer.trace_id());
     }
 
     #[test]

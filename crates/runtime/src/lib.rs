@@ -11,9 +11,11 @@
 
 pub mod faults;
 pub mod pool;
+pub mod quota;
 
 pub use faults::{splitmix64, SeededDecider};
 pub use pool::{split_shards, ShardPool};
+pub use quota::TokenBucket;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -113,6 +115,18 @@ impl Budget {
     /// A wall-time budget.
     pub fn with_time(time: Duration) -> Budget {
         Budget { time: Some(time) }
+    }
+
+    /// The stricter of two budgets: a caller-supplied deadline can only
+    /// tighten a service-wide one, never loosen it.
+    #[must_use]
+    pub fn tighter(self, other: Budget) -> Budget {
+        Budget {
+            time: match (self.time, other.time) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (t, None) | (None, t) => t,
+            },
+        }
     }
 }
 
@@ -247,6 +261,20 @@ mod tests {
         let clock = ManualClock::new();
         clock.sleep(Duration::from_millis(250));
         assert_eq!(clock.now(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn tighter_takes_the_stricter_bound() {
+        let short = Budget::with_time(Duration::from_millis(10));
+        let long = Budget::with_time(Duration::from_secs(10));
+        assert_eq!(short.tighter(long), short);
+        assert_eq!(long.tighter(short), short);
+        assert_eq!(Budget::UNLIMITED.tighter(short), short);
+        assert_eq!(short.tighter(Budget::UNLIMITED), short);
+        assert_eq!(
+            Budget::UNLIMITED.tighter(Budget::UNLIMITED),
+            Budget::UNLIMITED
+        );
     }
 
     #[test]

@@ -30,8 +30,9 @@ use grdf_rdf::diagnostic::{LintReport, Severity};
 use grdf_rdf::graph::Graph;
 use grdf_rdf::term::{Term, Triple};
 use grdf_rdf::vocab::{owl as vocab_owl, rdf, rdfs as vocab_rdfs};
-use grdf_runtime::Deadline;
+use grdf_runtime::{Budget, Deadline};
 use grdf_store::{DurableStore, LoggedOp, Recovered, StorageBackend, StoreConfig, StoreError};
+use std::time::Duration;
 
 use crate::policy::{DecisionTrace, Policy, PolicySet};
 use crate::resilience::{
@@ -794,7 +795,13 @@ impl GSacs {
     /// the base graph with conservative views until a later
     /// re-materialization succeeds. Every transition is audited.
     fn rematerialize(&mut self) {
-        let deadline = Deadline::armed(self.config.clock.clone(), self.config.request_budget);
+        self.rematerialize_with_budget(self.config.request_budget);
+    }
+
+    /// [`GSacs::rematerialize`] under an explicit (already-tightened)
+    /// budget, for network callers whose deadline must bound the rebuild.
+    fn rematerialize_with_budget(&mut self, budget: Budget) {
+        let deadline = Deadline::armed(self.config.clock.clone(), budget);
         let mut materialized = self.base.clone();
         let span = grdf_obs::span("reasoner.materialize").tag("engine", self.engine.name());
         let outcome = self.engine.materialize(&mut materialized, &deadline);
@@ -898,13 +905,32 @@ impl GSacs {
     }
 
     /// Record a security decision: tee it to the durable JSONL sink (when
-    /// configured) and push it onto the in-memory ring. A sink failure is
-    /// observability loss, never a denial — it is counted, not raised.
-    /// Ring overflow (the push evicting the oldest entry) is surfaced on
-    /// the `gsacs.audit.dropped` metric so silent loss is visible.
+    /// configured) and push it onto the in-memory ring. A failed append is
+    /// retried a bounded number of times with doubling backoff (slept on
+    /// the injected clock) — transient sink hiccups lose no audit lines —
+    /// but a persistently failing sink is observability loss, never a
+    /// denial: the exhausted attempt is counted, not raised, and decision
+    /// handling proceeds. Ring overflow (the push evicting the oldest
+    /// entry) is surfaced on the `gsacs.audit.dropped` metric so silent
+    /// loss is visible.
     fn audit_push(&self, entry: AuditEntry) {
+        /// Retries after the first failed append (3 total attempts).
+        const SINK_RETRIES: u32 = 2;
+        /// First backoff; doubles per retry.
+        const SINK_BACKOFF_BASE: Duration = Duration::from_millis(1);
         if let Some(store) = &self.store {
-            if store.append_audit_line(&audit_entry_json(&entry)).is_err() {
+            let line = audit_entry_json(&entry);
+            let mut ok = store.append_audit_line(&line).is_ok();
+            let mut attempt = 0;
+            while !ok && attempt < SINK_RETRIES {
+                self.config
+                    .clock
+                    .sleep(SINK_BACKOFF_BASE * 2u32.saturating_pow(attempt));
+                grdf_obs::incr("gsacs.audit.sink_retries");
+                ok = store.append_audit_line(&line).is_ok();
+                attempt += 1;
+            }
+            if !ok {
                 self.audit_sink_errors.fetch_add(1, Ordering::Relaxed);
                 grdf_obs::incr("gsacs.audit.sink_errors");
             }
@@ -969,11 +995,25 @@ impl GSacs {
     /// failure, produces exactly one audit entry, and no error path
     /// returns data.
     pub fn handle(&self, request: &ClientRequest) -> Result<QueryResult, GsacsError> {
+        self.handle_with_budget(request, Budget::UNLIMITED)
+    }
+
+    /// [`GSacs::handle`] with a caller-supplied budget (e.g. a network
+    /// request's `Deadline-Ms` header). The effective deadline is the
+    /// *stricter* of `budget` and the service-wide request budget — a
+    /// remote caller can tighten its own deadline but never extend the
+    /// service's, and the deadline propagates into view construction,
+    /// query evaluation, and the reasoner fixpoint.
+    pub fn handle_with_budget(
+        &self,
+        request: &ClientRequest,
+        budget: Budget,
+    ) -> Result<QueryResult, GsacsError> {
         let scope = self.obs.scope("gsacs.request");
         self.hot.requests.inc();
         self.requests.fetch_add(1, Ordering::Relaxed);
         let start = self.config.clock.now();
-        let result = self.handle_inner(request);
+        let result = self.handle_inner(request, budget.tighter(self.config.request_budget));
         self.latency
             .record(self.config.clock.now().saturating_sub(start));
         if result.is_err() {
@@ -996,13 +1036,17 @@ impl GSacs {
         result
     }
 
-    fn handle_inner(&self, request: &ClientRequest) -> Result<QueryResult, GsacsError> {
+    fn handle_inner(
+        &self,
+        request: &ClientRequest,
+        budget: Budget,
+    ) -> Result<QueryResult, GsacsError> {
         if let Some(m) = &self.lint_rejected {
             return Err(GsacsError::LintRejected(m.clone()));
         }
         let admission = grdf_obs::span("gsacs.admission");
         let _permit = self.gate.try_acquire()?;
-        let deadline = Deadline::armed(self.config.clock.clone(), self.config.request_budget);
+        let deadline = Deadline::armed(self.config.clock.clone(), budget);
         self.inject(Stage::Admission)?;
         deadline.check().map_err(|_| GsacsError::DeadlineExceeded {
             stage: Stage::Admission,
@@ -1045,7 +1089,21 @@ impl GSacs {
     /// un-inferred base, re-materialize from it (so deleted triples cannot
     /// leave stale entailments behind), and invalidate the caches.
     pub fn handle_update(&mut self, request: &UpdateRequest) -> UpdateOutcome {
+        self.handle_update_with_budget(request, Budget::UNLIMITED)
+    }
+
+    /// [`GSacs::handle_update`] with a caller-supplied budget bounding the
+    /// post-apply materialization (incremental or full rebuild); as with
+    /// [`GSacs::handle_with_budget`], the stricter of the caller's and the
+    /// service's budget wins. Policy checks and the WAL append are not
+    /// deadline-bounded — an accepted batch is never half-applied.
+    pub fn handle_update_with_budget(
+        &mut self,
+        request: &UpdateRequest,
+        budget: Budget,
+    ) -> UpdateOutcome {
         use crate::policy::{Access, Action};
+        let budget = budget.tighter(self.config.request_budget);
         let obs = self.obs.clone();
         let scope = obs.scope("gsacs.update");
         let trace_id = scope.trace_id();
@@ -1174,10 +1232,10 @@ impl GSacs {
             // which serves un-materialized data) force the full rebuild —
             // retraction requires recomputing the fixpoint from the base.
             if additive && !self.is_degraded() {
-                self.apply_incremental(&request.ops);
+                self.apply_incremental(&request.ops, budget);
             } else {
                 grdf_obs::incr("gsacs.update.full");
-                self.rematerialize();
+                self.rematerialize_with_budget(budget);
                 self.invalidate();
             }
             self.checkpoint_if_due(trace_id);
@@ -1190,9 +1248,9 @@ impl GSacs {
     /// marker, and invalidate only the roles whose secure views the delta
     /// can affect. Any engine failure falls back to the full rebuild path
     /// (which handles degradation and auditing).
-    fn apply_incremental(&mut self, ops: &[UpdateOp]) {
+    fn apply_incremental(&mut self, ops: &[UpdateOp], budget: Budget) {
         let span = grdf_obs::span("gsacs.update.incremental").tag("engine", self.engine.name());
-        let deadline = Deadline::armed(self.config.clock.clone(), self.config.request_budget);
+        let deadline = Deadline::armed(self.config.clock.clone(), budget);
         let mark = self.data.generation();
         for op in ops {
             if let UpdateOp::Insert(t) = op {
@@ -1223,7 +1281,7 @@ impl GSacs {
             Err(e) => {
                 drop(span.tag("ok", false).tag("error", e));
                 grdf_obs::incr("gsacs.update.full");
-                self.rematerialize();
+                self.rematerialize_with_budget(budget);
                 self.invalidate();
             }
         }
@@ -1410,6 +1468,7 @@ mod tests {
     use grdf_feature::feature::Feature;
     use grdf_feature::rdf_codec::encode_feature;
     use grdf_rdf::vocab::grdf;
+    use grdf_runtime::Clock;
     use grdf_runtime::ManualClock;
     use std::time::Duration;
 
@@ -2110,6 +2169,7 @@ mod tests {
                 failure_threshold: 1,
                 cooldown: Duration::from_secs(30),
                 half_open_successes: 1,
+                half_open_jitter: 0.0,
             },
             ..ResilienceConfig::default()
         };
@@ -2560,6 +2620,142 @@ mod tests {
         // The store stays poisoned: later updates fail closed too.
         let out = svc.handle_update(&req);
         assert!(matches!(out, UpdateOutcome::Denied { op_index: 0, .. }));
+    }
+
+    /// A backend that fails appends to the audit sink (only) a
+    /// configurable number of times — `u64::MAX` means forever. Every
+    /// other operation passes through untouched.
+    #[derive(Debug)]
+    struct FlakyAuditBackend {
+        inner: MemBackend,
+        audit_failures_left: AtomicU64,
+        audit_attempts: AtomicU64,
+    }
+
+    impl FlakyAuditBackend {
+        fn new(failures: u64) -> FlakyAuditBackend {
+            FlakyAuditBackend {
+                inner: MemBackend::new(),
+                audit_failures_left: AtomicU64::new(failures),
+                audit_attempts: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl StorageBackend for FlakyAuditBackend {
+        fn read(&self, name: &str) -> std::io::Result<Vec<u8>> {
+            self.inner.read(name)
+        }
+        fn write_all(&self, name: &str, data: &[u8]) -> std::io::Result<()> {
+            self.inner.write_all(name, data)
+        }
+        fn append(&self, name: &str, data: &[u8]) -> std::io::Result<()> {
+            if name == "audit.jsonl" {
+                self.audit_attempts.fetch_add(1, Ordering::Relaxed);
+                let left = self.audit_failures_left.load(Ordering::Relaxed);
+                if left > 0 {
+                    if left != u64::MAX {
+                        self.audit_failures_left.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    return Err(std::io::Error::other("audit sink down"));
+                }
+            }
+            self.inner.append(name, data)
+        }
+        fn sync(&self, name: &str) -> std::io::Result<()> {
+            self.inner.sync(name)
+        }
+        fn rename(&self, from: &str, to: &str) -> std::io::Result<()> {
+            self.inner.rename(from, to)
+        }
+        fn delete(&self, name: &str) -> std::io::Result<()> {
+            self.inner.delete(name)
+        }
+        fn list(&self) -> std::io::Result<Vec<String>> {
+            self.inner.list()
+        }
+        fn len(&self, name: &str) -> std::io::Result<u64> {
+            self.inner.len(name)
+        }
+        fn truncate(&self, name: &str, len: u64) -> std::io::Result<()> {
+            self.inner.truncate(name, len)
+        }
+    }
+
+    fn durable_on_flaky_audit(
+        failures: u64,
+        clock: Arc<ManualClock>,
+    ) -> (GSacs, Arc<FlakyAuditBackend>) {
+        let backend = Arc::new(FlakyAuditBackend::new(failures));
+        let (data, policies, _site) = editable_fixture();
+        let svc = GSacs::create_durable(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>,
+            StoreConfig::default(),
+            OntoRepository::new(),
+            policies,
+            Box::new(NoReasoning),
+            data,
+            4,
+            ResilienceConfig {
+                clock,
+                ..ResilienceConfig::default()
+            },
+        )
+        .unwrap();
+        (svc, backend)
+    }
+
+    #[test]
+    fn transient_audit_sink_failures_are_retried_without_loss() {
+        let clock = Arc::new(ManualClock::new());
+        // Two transient failures: the first line lands on the 3rd (last)
+        // attempt — within the retry budget, so nothing is lost.
+        let (svc, backend) = durable_on_flaky_audit(2, clock.clone());
+        let before = clock.now();
+        let _ = svc.handle(&ClientRequest {
+            role: grdf::sec("Editor"),
+            query: "SELECT ?s WHERE { ?s ?p ?o }".to_string(),
+        });
+        assert_eq!(svc.audit_sink_errors(), 0, "transient failure recovered");
+        assert_eq!(backend.audit_attempts.load(Ordering::Relaxed), 3);
+        // Backoff slept on the injected clock: 1ms + 2ms.
+        assert_eq!(clock.now().saturating_sub(before), Duration::from_millis(3));
+        let audit = backend.inner.read("audit.jsonl").unwrap();
+        assert!(
+            std::str::from_utf8(&audit).unwrap().contains("\"query\""),
+            "the retried line reached the sink"
+        );
+    }
+
+    #[test]
+    fn permanently_failing_audit_sink_never_blocks_decisions() {
+        let clock = Arc::new(ManualClock::new());
+        let (mut svc, backend) = durable_on_flaky_audit(u64::MAX, clock);
+        let attempts_base = backend.audit_attempts.load(Ordering::Relaxed);
+        let errors_base = svc.audit_sink_errors();
+        // Queries still answer and updates still apply.
+        let out = svc.handle(&ClientRequest {
+            role: grdf::sec("Editor"),
+            query: "SELECT ?s WHERE { ?s ?p ?o }".to_string(),
+        });
+        assert!(out.is_ok(), "decision handling unaffected: {out:?}");
+        let site = Term::iri(&grdf::app("NTEnergy"));
+        let out = svc.handle_update(&UpdateRequest {
+            role: grdf::sec("Editor"),
+            ops: vec![UpdateOp::Insert(Triple::new(
+                site,
+                Term::iri(&grdf::app("hasSiteName")),
+                Term::string("NT"),
+            ))],
+        });
+        assert_eq!(out, UpdateOutcome::Applied(1));
+        let errors = svc.audit_sink_errors() - errors_base;
+        assert!(errors >= 2, "every exhausted line is counted: {errors}");
+        // Bounded attempts: exactly 3 per audited line, never unbounded.
+        let attempts = backend.audit_attempts.load(Ordering::Relaxed) - attempts_base;
+        assert_eq!(attempts, 3 * errors, "3 attempts per line");
+        // The in-memory ring still has the entries the sink lost.
+        assert!(svc.audit_log().iter().any(|e| e.action == "query"));
     }
 
     #[test]

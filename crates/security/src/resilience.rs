@@ -169,7 +169,7 @@ impl From<EngineError> for GsacsError {
 // ---------------------------------------------------------------------------
 
 /// Circuit-breaker tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BreakerConfig {
     /// Consecutive failures that open the breaker.
     pub failure_threshold: u32,
@@ -177,6 +177,13 @@ pub struct BreakerConfig {
     pub cooldown: Duration,
     /// Successful half-open trials required to close again.
     pub half_open_successes: u32,
+    /// Fraction of `cooldown` added as deterministic per-breaker jitter to
+    /// each open period, in `[0, 1]`. With many tenants each owning a
+    /// breaker, a shared-cause outage would otherwise trip them together
+    /// and have them all probe the recovering engine in lockstep; jitter
+    /// spreads the half-open trials across `cooldown * jitter`. `0.0`
+    /// (the default) keeps the exact classic schedule.
+    pub half_open_jitter: f64,
 }
 
 impl Default for BreakerConfig {
@@ -185,6 +192,7 @@ impl Default for BreakerConfig {
             failure_threshold: 3,
             cooldown: Duration::from_secs(30),
             half_open_successes: 1,
+            half_open_jitter: 0.0,
         }
     }
 }
@@ -235,6 +243,8 @@ struct BreakerCore {
     consecutive_failures: u32,
     /// Clock time the breaker opened (meaningful while `Open`).
     opened_at: Duration,
+    /// Jitter added to this open period's cooldown (recomputed per trip).
+    cooldown_extra: Duration,
     half_open_successes: u32,
 }
 
@@ -250,6 +260,9 @@ pub struct ResilientEngine {
     breaker: BreakerConfig,
     retry: RetryPolicy,
     core: Mutex<BreakerCore>,
+    /// Seed for deterministic per-trip cooldown jitter; distinct per
+    /// engine instance so co-tripping breakers desynchronize.
+    jitter_seed: u64,
     /// Times the breaker tripped open.
     trips: AtomicU64,
     /// Total failed attempts (including retries).
@@ -264,6 +277,7 @@ impl ResilientEngine {
         breaker: BreakerConfig,
         retry: RetryPolicy,
     ) -> ResilientEngine {
+        static NEXT_SEED: AtomicU64 = AtomicU64::new(1);
         ResilientEngine {
             inner,
             clock,
@@ -273,11 +287,21 @@ impl ResilientEngine {
                 state: BreakerState::Closed,
                 consecutive_failures: 0,
                 opened_at: Duration::ZERO,
+                cooldown_extra: Duration::ZERO,
                 half_open_successes: 0,
             }),
+            jitter_seed: splitmix64(NEXT_SEED.fetch_add(1, Ordering::Relaxed)),
             trips: AtomicU64::new(0),
             failed_attempts: AtomicU64::new(0),
         }
+    }
+
+    /// Pin the jitter seed (tests; production instances draw distinct
+    /// seeds automatically).
+    #[must_use]
+    pub fn with_jitter_seed(mut self, seed: u64) -> ResilientEngine {
+        self.jitter_seed = seed;
+        self
     }
 
     /// The wrapped engine's name.
@@ -290,7 +314,7 @@ impl ResilientEngine {
     pub fn state(&self) -> BreakerState {
         let mut core = self.core.lock();
         if core.state == BreakerState::Open
-            && self.clock.now() >= core.opened_at + self.breaker.cooldown
+            && self.clock.now() >= core.opened_at + self.breaker.cooldown + core.cooldown_extra
         {
             core.state = BreakerState::HalfOpen;
             core.half_open_successes = 0;
@@ -404,21 +428,32 @@ impl ResilientEngine {
             BreakerState::Closed => {
                 core.consecutive_failures += 1;
                 if core.consecutive_failures >= self.breaker.failure_threshold {
-                    core.state = BreakerState::Open;
-                    core.opened_at = self.clock.now();
-                    self.trips.fetch_add(1, Ordering::Relaxed);
-                    grdf_obs::incr("breaker.opened");
+                    self.open(&mut core);
                 }
             }
-            BreakerState::HalfOpen => {
-                // Failed trial: re-open for another cooldown.
-                core.state = BreakerState::Open;
-                core.opened_at = self.clock.now();
-                self.trips.fetch_add(1, Ordering::Relaxed);
-                grdf_obs::incr("breaker.opened");
-            }
+            // Failed trial: re-open for another cooldown.
+            BreakerState::HalfOpen => self.open(&mut core),
             BreakerState::Open => {}
         }
+    }
+
+    /// Trip to `Open`, scheduling this period's half-open probe with
+    /// deterministic jitter: a pure function of `(jitter_seed, trip #)`,
+    /// so replays are exact while distinct breakers (and successive trips
+    /// of one breaker) spread their probes apart.
+    fn open(&self, core: &mut BreakerCore) {
+        core.state = BreakerState::Open;
+        core.opened_at = self.clock.now();
+        let trip = self.trips.fetch_add(1, Ordering::Relaxed);
+        let jitter = self.breaker.half_open_jitter.clamp(0.0, 1.0);
+        core.cooldown_extra = if jitter > 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            let unit = splitmix64(self.jitter_seed ^ trip) as f64 / u64::MAX as f64;
+            self.breaker.cooldown.mul_f64(jitter * unit)
+        } else {
+            Duration::ZERO
+        };
+        grdf_obs::incr("breaker.opened");
     }
 }
 
@@ -599,6 +634,34 @@ impl HealthReport {
             self.audit_dropped,
             self.p50,
             self.p99,
+        )
+    }
+
+    /// Machine-readable JSON rendering, shared by `grdf-cli health --json`
+    /// and the server's `/health` endpoint. Latencies are integer
+    /// microseconds; field order is stable for external probes.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"reasoner\": \"{}\",\n  \"breaker\": \"{}\",\n  \"breaker_trips\": {},\n  \
+             \"degraded\": {},\n  \"requests\": {},\n  \"shed\": {},\n  \"in_flight\": {},\n  \
+             \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \
+             \"view_cache_entries\": {},\n  \"audit_entries\": {},\n  \"audit_dropped\": {},\n  \
+             \"p50_us\": {},\n  \"p99_us\": {}\n}}",
+            self.reasoner,
+            self.breaker,
+            self.breaker_trips,
+            self.degraded,
+            self.requests,
+            self.shed,
+            self.in_flight,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate,
+            self.view_cache_entries,
+            self.audit_entries,
+            self.audit_dropped,
+            self.p50.as_micros(),
+            self.p99.as_micros(),
         )
     }
 }
@@ -945,6 +1008,7 @@ mod tests {
                 failure_threshold: 2,
                 cooldown: Duration::from_secs(10),
                 half_open_successes: 1,
+                half_open_jitter: 0.0,
             },
             RetryPolicy {
                 max_attempts: 1,
@@ -998,6 +1062,83 @@ mod tests {
         clock.advance(Duration::from_secs(10));
         assert_eq!(engine.materialize(&mut g, &d), Ok(7));
         assert_eq!(engine.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn jitter_spreads_lockstep_half_open_probes() {
+        // Eight tenants' breakers trip on the same shared-cause failure at
+        // t=0; with 50% jitter their half-open probes must not land on one
+        // instant, or the recovering engine takes the whole herd at once.
+        let clock = Arc::new(ManualClock::new());
+        let cooldown = Duration::from_secs(10);
+        let engines: Vec<ResilientEngine> = (0..8u64)
+            .map(|i| {
+                ResilientEngine::new(
+                    Box::new(FlakyEngine {
+                        failures_left: Mutex::new(u32::MAX),
+                    }),
+                    clock.clone(),
+                    BreakerConfig {
+                        failure_threshold: 1,
+                        cooldown,
+                        half_open_successes: 1,
+                        half_open_jitter: 0.5,
+                    },
+                    RetryPolicy {
+                        max_attempts: 1,
+                        backoff_base: Duration::from_millis(10),
+                    },
+                )
+                .with_jitter_seed(i)
+            })
+            .collect();
+        let mut g = Graph::new();
+        let d = Deadline::never();
+        for e in &engines {
+            assert!(e.materialize(&mut g, &d).is_err());
+            assert_eq!(e.state(), BreakerState::Open);
+        }
+
+        // Walk time forward and record each breaker's probe instant.
+        let mut probe_at: Vec<Option<Duration>> = vec![None; engines.len()];
+        let step = Duration::from_millis(100);
+        while clock.now() < cooldown + cooldown / 2 + step {
+            clock.advance(step);
+            for (e, slot) in engines.iter().zip(probe_at.iter_mut()) {
+                if slot.is_none() && e.state() == BreakerState::HalfOpen {
+                    *slot = Some(clock.now());
+                }
+            }
+        }
+
+        let times: Vec<Duration> = probe_at.into_iter().map(Option::unwrap).collect();
+        for &t in &times {
+            assert!(t >= cooldown, "probe before base cooldown: {t:?}");
+            assert!(
+                t <= cooldown + cooldown / 2 + step,
+                "probe past max jitter: {t:?}"
+            );
+        }
+        let distinct: std::collections::BTreeSet<Duration> = times.iter().copied().collect();
+        assert!(
+            distinct.len() >= 4,
+            "probes still in lockstep: {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn zero_jitter_keeps_the_exact_cooldown_schedule() {
+        let clock = Arc::new(ManualClock::new());
+        let engine = resilient(u32::MAX, clock.clone()).with_jitter_seed(42);
+        let mut g = Graph::new();
+        let d = Deadline::never();
+        assert!(engine.materialize(&mut g, &d).is_err());
+        assert!(engine.materialize(&mut g, &d).is_err());
+        assert_eq!(engine.state(), BreakerState::Open);
+        clock.advance(Duration::from_secs(10) - Duration::from_nanos(1));
+        assert_eq!(engine.state(), BreakerState::Open);
+        clock.advance(Duration::from_nanos(1));
+        assert_eq!(engine.state(), BreakerState::HalfOpen);
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Seeded socket-level fault injection — the client side of the server's
+//! robustness proof.
+//!
+//! In the spirit of `grdf-store`'s crash-at-byte-N backend, each chaos
+//! case mangles a real TCP conversation at the byte level: the request is
+//! cut short, stalled mid-flight, prefixed with garbage, or abandoned
+//! entirely. The decision for case `n` is a pure function of `(seed, n)`
+//! via [`SeededDecider`], so any failing case replays from its seed.
+//!
+//! The invariant each case checks (and the property tests assert): the
+//! server answers with a **well-formed** HTTP response or cleanly closes
+//! the connection with **no bytes at all** — never a torn or half-written
+//! response, and never a panic observable as a dropped listener.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use grdf_runtime::SeededDecider;
+
+/// The socket-level fault a chaos case injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// The request is sent whole — the control case.
+    Clean,
+    /// Only a prefix of the request is written, then the socket stalls
+    /// (held open, nothing more sent) until the server times it out.
+    StalledPrefix,
+    /// Only a prefix is written, then the client disconnects.
+    DisconnectMidRequest,
+    /// Random garbage bytes are sent instead of a request.
+    Garbage,
+    /// The head declares a `Content-Length` but the body is cut short and
+    /// the socket closed.
+    TruncatedBody,
+}
+
+/// All faults in the rotation, in a stable order.
+pub const ALL_FAULTS: [ChaosFault; 5] = [
+    ChaosFault::Clean,
+    ChaosFault::StalledPrefix,
+    ChaosFault::DisconnectMidRequest,
+    ChaosFault::Garbage,
+    ChaosFault::TruncatedBody,
+];
+
+/// What one chaos case observed.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The fault injected.
+    pub fault: ChaosFault,
+    /// Every byte the server sent back before closing.
+    pub response: Vec<u8>,
+    /// Whether `response` is empty (clean teardown) or a complete,
+    /// well-formed HTTP response. This is the property under test.
+    pub ok: bool,
+}
+
+/// A well-formed wire request for `path` with the given headers/body —
+/// the template the faults mangle.
+pub fn build_request(path: &str, headers: &[(&str, &str)], body: &[u8]) -> Vec<u8> {
+    let method = if body.is_empty() { "GET" } else { "POST" };
+    let mut out = format!("{method} {path} HTTP/1.1\r\n").into_bytes();
+    for (name, value) in headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(
+        format!(
+            "content-length: {}\r\nconnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body);
+    out
+}
+
+/// Pick the fault for case `n` (round-robin so every kind is exercised,
+/// with the seed rotating the phase).
+pub fn fault_for_case(decider: &SeededDecider, n: u64) -> ChaosFault {
+    let phase = decider.pick("chaos.phase", 0, ALL_FAULTS.len() as u64);
+    ALL_FAULTS[((n + phase) % ALL_FAULTS.len() as u64) as usize]
+}
+
+/// Run one chaos case against `addr`: inject the fault, then collect
+/// whatever the server sends until it closes the connection (bounded by
+/// `client_timeout`).
+pub fn run_case(
+    addr: SocketAddr,
+    decider: &SeededDecider,
+    n: u64,
+    request: &[u8],
+    client_timeout: Duration,
+) -> io::Result<ChaosOutcome> {
+    let fault = fault_for_case(decider, n);
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(client_timeout))?;
+    stream.set_write_timeout(Some(client_timeout))?;
+    stream.set_nodelay(true)?;
+    match fault {
+        ChaosFault::Clean => {
+            stream.write_all(request)?;
+        }
+        ChaosFault::StalledPrefix | ChaosFault::DisconnectMidRequest => {
+            // Cut anywhere in the request, including byte 0.
+            let cut = decider.pick("chaos.cut", n, request.len() as u64) as usize;
+            stream.write_all(&request[..cut])?;
+            stream.flush()?;
+            if fault == ChaosFault::DisconnectMidRequest {
+                drop(stream);
+                return Ok(ChaosOutcome {
+                    fault,
+                    response: Vec::new(),
+                    ok: true,
+                });
+            }
+            // Stall: hold the socket open, sending nothing. Fall through
+            // to the read loop — the server must time us out.
+        }
+        ChaosFault::Garbage => {
+            let len = 1 + decider.pick("chaos.garbage_len", n, 256) as usize;
+            let garbage: Vec<u8> = (0..len)
+                .map(|i| (decider.draw("chaos.garbage", n ^ (i as u64) << 32) & 0xFF) as u8)
+                .collect();
+            stream.write_all(&garbage)?;
+        }
+        ChaosFault::TruncatedBody => {
+            // Send the full head plus only part of the declared body.
+            let head_end = find_head_end(request).unwrap_or(request.len());
+            let body_len = request.len() - head_end;
+            let keep = decider.pick("chaos.body_keep", n, body_len.max(1) as u64) as usize;
+            stream.write_all(&request[..head_end + keep])?;
+            stream.flush()?;
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+        }
+    }
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(read) => response.extend_from_slice(&chunk[..read]),
+            // Timeout or reset: the server tore the connection down (or
+            // is still waiting on our stall) — stop collecting.
+            Err(_) => break,
+        }
+    }
+    let ok = response.is_empty() || well_formed_response(&response);
+    Ok(ChaosOutcome {
+        fault,
+        response,
+        ok,
+    })
+}
+
+fn find_head_end(request: &[u8]) -> Option<usize> {
+    request
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+}
+
+/// Validate a raw response: status line `HTTP/1.1 NNN ...`, a complete
+/// header block, and a `content-length` consistent with the body bytes
+/// present. This is what "well-formed error response" means in the chaos
+/// property: a client can always parse what the server sends.
+pub fn well_formed_response(raw: &[u8]) -> bool {
+    let Some(head_end) = find_head_end(raw) else {
+        return false;
+    };
+    let Ok(head) = std::str::from_utf8(&raw[..head_end - 4]) else {
+        return false;
+    };
+    let mut lines = head.split("\r\n");
+    let Some(status_line) = lines.next() else {
+        return false;
+    };
+    let mut parts = status_line.splitn(3, ' ');
+    if parts.next() != Some("HTTP/1.1") {
+        return false;
+    }
+    let Some(code) = parts.next().and_then(|c| c.parse::<u16>().ok()) else {
+        return false;
+    };
+    if !(100..=599).contains(&code) {
+        return false;
+    }
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return false;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse::<usize>().ok();
+            if content_length.is_none() {
+                return false;
+            }
+        }
+    }
+    match content_length {
+        Some(len) => raw.len() - head_end == len,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_what_the_server_writes() {
+        let resp = crate::http::Response::error(429, "quota").header("retry-after", 1);
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        assert!(well_formed_response(&out));
+    }
+
+    #[test]
+    fn validator_rejects_torn_and_junk_responses() {
+        assert!(!well_formed_response(b""));
+        assert!(!well_formed_response(b"HTTP/1.1 200 OK\r\n"));
+        assert!(!well_formed_response(b"garbage\r\n\r\n"));
+        // Truncated body: declared 10, carried 3.
+        assert!(!well_formed_response(
+            b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nabc"
+        ));
+        // No content-length at all: not self-delimiting.
+        assert!(!well_formed_response(b"HTTP/1.1 200 OK\r\n\r\n"));
+    }
+
+    #[test]
+    fn fault_rotation_covers_every_kind() {
+        let d = SeededDecider::new(17);
+        let kinds: std::collections::BTreeSet<String> = (0..5)
+            .map(|n| format!("{:?}", fault_for_case(&d, n)))
+            .collect();
+        assert_eq!(kinds.len(), ALL_FAULTS.len());
+    }
+
+    #[test]
+    fn request_builder_emits_parseable_requests() {
+        let raw = build_request("/query", &[("x-role", "urn:r")], b"SELECT");
+        assert!(raw.starts_with(b"POST /query HTTP/1.1\r\n"));
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.contains("content-length: 6\r\n"));
+        assert!(text.ends_with("\r\n\r\nSELECT"));
+    }
+}

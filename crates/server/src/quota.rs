@@ -1,0 +1,177 @@
+//! Per-tenant admission quotas with jittered backpressure hints.
+//!
+//! Each tenant gets its own [`TokenBucket`]; exceeding it sheds the
+//! request with a `Retry-After` computed from the bucket's refill and a
+//! deterministic jitter, so a herd of rejected clients retrying on the
+//! hint does not reconverge on one instant.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use grdf_runtime::{splitmix64, Clock, TokenBucket};
+use parking_lot::Mutex;
+
+/// Quota applied to every tenant (buckets are per tenant, limits shared).
+/// The default (`0.0` rate) disables quotas entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QuotaConfig {
+    /// Sustained admissions per second per tenant; `<= 0` disables quotas.
+    pub rate_per_sec: f64,
+    /// Burst capacity per tenant.
+    pub burst: f64,
+}
+
+/// The admission verdict for a shed request: how long the client should
+/// back off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    /// Whole seconds for the `Retry-After` header (rounded up, min 1).
+    pub retry_after_secs: u64,
+    /// Millisecond-precision jittered hint for the `X-Backoff-Ms` header.
+    pub backoff_ms: u64,
+}
+
+/// One token bucket per tenant, created on first sight.
+pub struct TenantQuotas {
+    clock: Arc<dyn Clock>,
+    config: QuotaConfig,
+    buckets: Mutex<HashMap<String, Arc<TokenBucket>>>,
+    /// Seed for deterministic backoff jitter.
+    seed: u64,
+    /// Monotone shed counter (drives the jitter sequence).
+    sheds: AtomicU64,
+}
+
+impl TenantQuotas {
+    /// Quotas on `clock` with deterministic jitter from `seed`.
+    pub fn new(clock: Arc<dyn Clock>, config: QuotaConfig, seed: u64) -> TenantQuotas {
+        TenantQuotas {
+            clock,
+            config,
+            buckets: Mutex::new(HashMap::new()),
+            seed,
+            sheds: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit one request for `tenant`, or return the backoff hints.
+    pub fn admit(&self, tenant: &str) -> Result<(), Shed> {
+        if self.config.rate_per_sec <= 0.0 {
+            return Ok(());
+        }
+        let bucket = {
+            let mut buckets = self.buckets.lock();
+            Arc::clone(buckets.entry(tenant.to_string()).or_insert_with(|| {
+                Arc::new(TokenBucket::new(
+                    Arc::clone(&self.clock),
+                    self.config.rate_per_sec,
+                    self.config.burst,
+                ))
+            }))
+        };
+        match bucket.try_acquire() {
+            Ok(()) => Ok(()),
+            Err(wait) => {
+                let n = self.sheds.fetch_add(1, Ordering::Relaxed);
+                // Up to +50% deterministic jitter on the refill estimate,
+                // spreading the retry herd without starving anyone.
+                let unit = splitmix64(self.seed ^ n) as f64 / u64::MAX as f64;
+                let backoff = wait.mul_f64(1.0 + 0.5 * unit).max(Duration::from_millis(1));
+                Err(Shed {
+                    retry_after_secs: u64::from(backoff.subsec_nanos() > 0)
+                        .saturating_add(backoff.as_secs())
+                        .max(1),
+                    backoff_ms: (backoff.as_millis() as u64).max(1),
+                })
+            }
+        }
+    }
+
+    /// Requests shed so far across all tenants.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    /// Tenants seen so far.
+    pub fn tenants(&self) -> usize {
+        self.buckets.lock().len()
+    }
+}
+
+impl std::fmt::Debug for TenantQuotas {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantQuotas")
+            .field("config", &self.config)
+            .field("tenants", &self.tenants())
+            .field("sheds", &self.sheds())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_runtime::ManualClock;
+
+    fn quotas(rate: f64, burst: f64) -> (TenantQuotas, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let q = TenantQuotas::new(
+            clock.clone(),
+            QuotaConfig {
+                rate_per_sec: rate,
+                burst,
+            },
+            7,
+        );
+        (q, clock)
+    }
+
+    #[test]
+    fn tenants_have_independent_buckets() {
+        let (q, _clock) = quotas(10.0, 2.0);
+        assert!(q.admit("a").is_ok());
+        assert!(q.admit("a").is_ok());
+        let shed = q.admit("a").unwrap_err();
+        assert!(shed.retry_after_secs >= 1);
+        assert!(shed.backoff_ms >= 1);
+        // Tenant b is untouched by a's exhaustion.
+        assert!(q.admit("b").is_ok());
+        assert_eq!(q.sheds(), 1);
+        assert_eq!(q.tenants(), 2);
+    }
+
+    #[test]
+    fn refill_readmits_on_the_shared_clock() {
+        let (q, clock) = quotas(10.0, 1.0);
+        assert!(q.admit("a").is_ok());
+        assert!(q.admit("a").is_err());
+        clock.advance(Duration::from_millis(100));
+        assert!(q.admit("a").is_ok());
+    }
+
+    #[test]
+    fn backoff_hints_are_jittered_but_bounded() {
+        let (q, _clock) = quotas(1.0, 1.0);
+        assert!(q.admit("a").is_ok());
+        let mut hints = std::collections::BTreeSet::new();
+        for _ in 0..16 {
+            let shed = q.admit("a").unwrap_err();
+            // Base wait ≈1s, jitter adds ≤50%.
+            assert!(shed.backoff_ms >= 900, "hint too small: {shed:?}");
+            assert!(shed.backoff_ms <= 1600, "hint too large: {shed:?}");
+            hints.insert(shed.backoff_ms);
+        }
+        assert!(hints.len() > 4, "jitter must spread hints: {hints:?}");
+    }
+
+    #[test]
+    fn zero_rate_disables_quotas() {
+        let (q, _clock) = quotas(0.0, 0.0);
+        for _ in 0..100 {
+            assert!(q.admit("a").is_ok());
+        }
+        assert_eq!(q.sheds(), 0);
+    }
+}

@@ -6,12 +6,18 @@
 //! grdf-cli query    <file> <sparql>             run a query (use @file for the query text)
 //! grdf-cli validate <file>                      materialize + OWL consistency check
 //! grdf-cli stats    <file>                      triple/feature/identity statistics
-//! grdf-cli health   <file>                      stand up G-SACS over the data and report service health
+//! grdf-cli health   <file> [--json]             stand up G-SACS over the data and report service health
 //! grdf-cli trace    <file> <sparql>             run a query through G-SACS with tracing on; print the
 //!                                               per-stage timing tree and the access-decision trace
 //! grdf-cli lint     <file> [--policies <file>] [--format text|json] [--deny-warnings]
 //!                                               static analysis: referential, schema, consistency,
 //!                                               policy, and topology passes
+//! grdf-cli serve    <file> [--addr H:P] [--policies <file>] [--allow-probe] [...]
+//!                                               serve the data over the multi-tenant HTTP layer
+//! grdf-cli client   <url> [--role R] [--tenant T] [--deadline-ms N] [--body S|@f]
+//!                                               one HTTP request against a running server
+//! grdf-cli chaos    <addr> [--seed N] [--cases N]
+//!                                               seeded socket-fault campaign against a server
 //! ```
 //!
 //! Input format is detected from the extension: `.gml`, `.ttl`/`.turtle`,
@@ -49,12 +55,18 @@ const USAGE: &str = "usage:
   grdf-cli query    <file> <sparql | @queryfile>
   grdf-cli validate <file>
   grdf-cli stats    <file>
-  grdf-cli health   <file>
+  grdf-cli health   <file> [--json]
   grdf-cli trace    <file> <sparql | @queryfile>
   grdf-cli lint     <file> [--policies <file>] [--format text|json] [--deny-warnings]
   grdf-cli store    init <dir> <file>
   grdf-cli store    verify <dir> [--format text|json] [--json-out <path>]
-  grdf-cli store    recover <dir>";
+  grdf-cli store    recover <dir>
+  grdf-cli serve    <file> [--addr 127.0.0.1:0] [--policies <file>] [--allow-probe]
+                    [--workers N] [--max-conns N] [--quota-rps F] [--quota-burst F]
+                    [--deadline-ms N] [--max-requests N] [--trace-capacity N]
+  grdf-cli client   <url> [--method M] [--role R] [--tenant T] [--deadline-ms N]
+                    [--trace-id H] [--body S | --body @file]
+  grdf-cli chaos    <addr> [--seed N] [--cases N]";
 
 /// Run a CLI invocation; returns the text to print and the process exit
 /// code (nonzero only for `lint` gate failures — usage and I/O errors go
@@ -66,6 +78,18 @@ fn run(args: &[String]) -> Result<(String, u8), String> {
     }
     if cmd == "store" {
         return cmd_store(&args[1..]);
+    }
+    if cmd == "health" {
+        return cmd_health(&args[1..]).map(|s| (s, 0));
+    }
+    if cmd == "serve" {
+        return cmd_serve(&args[1..]);
+    }
+    if cmd == "client" {
+        return cmd_client(&args[1..]);
+    }
+    if cmd == "chaos" {
+        return cmd_chaos(&args[1..]);
     }
     let output = match cmd.as_str() {
         "ontology" => cmd_ontology(args.get(1).map_or("turtle", String::as_str)),
@@ -81,7 +105,6 @@ fn run(args: &[String]) -> Result<(String, u8), String> {
         }
         "validate" => cmd_validate(args.get(1).ok_or("validate needs a data file")?),
         "stats" => cmd_stats(args.get(1).ok_or("stats needs a data file")?),
-        "health" => cmd_health(args.get(1).ok_or("health needs a data file")?),
         "trace" => {
             let file = args.get(1).ok_or("trace needs a data file")?;
             let query = args.get(2).ok_or("trace needs a query string")?;
@@ -397,16 +420,11 @@ fn cmd_stats(path: &str) -> Result<String, String> {
 /// The probe role IRI used by `health` and `trace`.
 const PROBE_ROLE: &str = "urn:grdf:health#probe";
 
-/// Stand up G-SACS over the store's data with a probe role permitted on
-/// every class present, so requests exercise the full admission → view →
-/// query pipeline.
-fn probe_service(
-    store: &GrdfStore,
-    config: grdf::security::ResilienceConfig,
-) -> grdf::security::GSacs {
+/// Policies permitting the probe role on every class present in the data,
+/// so probe requests exercise the full admission → view → query pipeline.
+fn probe_policies(store: &GrdfStore) -> Vec<grdf::security::Policy> {
     use grdf::rdf::term::Term;
-    use grdf::security::gsacs::{GSacs, OntoRepository, OwlHorstEngine};
-    use grdf::security::policy::{Policy, PolicySet};
+    use grdf::security::Policy;
 
     let mut types: Vec<String> = store
         .graph()
@@ -416,16 +434,31 @@ fn probe_service(
         .collect();
     types.sort();
     types.dedup();
-    let policies = PolicySet::new(
-        types
-            .iter()
-            .enumerate()
-            .map(|(i, ty)| Policy::permit(&format!("urn:grdf:health#p{i}"), PROBE_ROLE, ty))
-            .collect(),
-    );
+    types
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| Policy::permit(&format!("urn:grdf:health#p{i}"), PROBE_ROLE, ty))
+        .collect()
+}
+
+/// Stand up G-SACS over the store's data with the given policies (or the
+/// probe-role defaults when empty).
+fn build_service(
+    store: &GrdfStore,
+    policies: Vec<grdf::security::Policy>,
+    config: grdf::security::ResilienceConfig,
+) -> grdf::security::GSacs {
+    use grdf::security::gsacs::{GSacs, OntoRepository, OwlHorstEngine};
+    use grdf::security::policy::PolicySet;
+
+    let policies = if policies.is_empty() {
+        probe_policies(store)
+    } else {
+        policies
+    };
     GSacs::with_resilience(
         OntoRepository::new(),
-        policies,
+        PolicySet::new(policies),
         Box::<OwlHorstEngine>::default(),
         store.graph().clone(),
         16,
@@ -433,10 +466,32 @@ fn probe_service(
     )
 }
 
-fn cmd_health(path: &str) -> Result<String, String> {
+fn probe_service(
+    store: &GrdfStore,
+    config: grdf::security::ResilienceConfig,
+) -> grdf::security::GSacs {
+    build_service(store, Vec::new(), config)
+}
+
+/// `health <file> [--json]` — the same `HealthReport` the server's
+/// `/health` endpoint serves, rendered for humans or machines.
+fn cmd_health(args: &[String]) -> Result<String, String> {
     use grdf::security::gsacs::ClientRequest;
 
-    let store = load_store(path)?;
+    let mut file: Option<&str> = None;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown health flag {flag:?}")),
+            f => {
+                if file.replace(f).is_some() {
+                    return Err("health takes exactly one data file".to_string());
+                }
+            }
+        }
+    }
+    let store = load_store(file.ok_or("health needs a data file")?)?;
     let svc = probe_service(&store, grdf::security::ResilienceConfig::default());
     // Smoke the pipeline twice so the report shows cache activity.
     let req = ClientRequest {
@@ -445,6 +500,9 @@ fn cmd_health(path: &str) -> Result<String, String> {
     };
     for _ in 0..2 {
         svc.handle(&req).map_err(|e| e.to_string())?;
+    }
+    if json {
+        return Ok(svc.health().to_json());
     }
     let mut out = svc.health().render();
     out.push_str("\n\nmetrics:\n");
@@ -517,6 +575,298 @@ fn render_trace_tree(trace: &grdf::obs::TraceRecord) -> String {
         ));
     }
     out
+}
+
+/// `serve <file> [flags]` — bind the multi-tenant HTTP layer over the
+/// file's data and serve until killed (or until `--max-requests` have
+/// been routed, for scripted runs). The listening address is printed and
+/// flushed immediately so callers can scrape it before the first request.
+fn cmd_serve(args: &[String]) -> Result<(String, u8), String> {
+    use grdf::obs::Obs;
+    use grdf::security::{Policy, ResilienceConfig};
+    use grdf::server::{GrdfServer, QuotaConfig, ServerConfig};
+    use std::io::Write;
+
+    let mut file: Option<&str> = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut policies_path: Option<&str> = None;
+    let mut allow_probe = false;
+    let mut cfg = ServerConfig::default();
+    let mut quota = QuotaConfig::default();
+    let mut max_requests: Option<u64> = None;
+    let mut trace_capacity: usize = 256;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i)
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--addr" => addr.clone_from(flag_value(&mut i)?),
+            "--policies" => policies_path = Some(flag_value(&mut i)?.as_str()),
+            "--allow-probe" => allow_probe = true,
+            "--workers" => {
+                cfg.workers = flag_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--max-conns" => {
+                cfg.max_connections = flag_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--quota-rps" => {
+                quota.rate_per_sec = flag_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--quota-rps: {e}"))?;
+            }
+            "--quota-burst" => {
+                quota.burst = flag_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--quota-burst: {e}"))?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = flag_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                cfg.default_deadline = std::time::Duration::from_millis(ms);
+            }
+            "--max-requests" => {
+                max_requests = Some(
+                    flag_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--max-requests: {e}"))?,
+                );
+            }
+            "--trace-capacity" => {
+                trace_capacity = flag_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--trace-capacity: {e}"))?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown serve flag {flag:?}")),
+            f => {
+                if file.replace(f).is_some() {
+                    return Err("serve takes exactly one data file".to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    cfg.quota = quota;
+    let store = load_store(file.ok_or("serve needs a data file")?)?;
+    let mut policies = Vec::new();
+    if let Some(p) = policies_path {
+        policies = Policy::decode_all(load_store(p)?.graph());
+        if policies.is_empty() {
+            return Err(format!("{p}: no policies found (List 8 shape expected)"));
+        }
+        if allow_probe {
+            policies.extend(probe_policies(&store));
+        }
+    }
+    let obs = if trace_capacity > 0 {
+        Obs::with_tracing(trace_capacity)
+    } else {
+        Obs::new()
+    };
+    let config = ResilienceConfig {
+        obs,
+        ..ResilienceConfig::default()
+    };
+    let svc = build_service(&store, policies, config);
+    let server = GrdfServer::bind(addr.as_str(), svc, cfg).map_err(|e| format!("{addr}: {e}"))?;
+    println!("listening on http://{}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    match max_requests {
+        Some(n) => {
+            while server.requests_total() < n {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            let requests = server.requests_total();
+            let (accepted, finished) = server.shutdown();
+            Ok((
+                format!(
+                    "served {requests} request(s); {finished}/{accepted} connection(s) drained"
+                ),
+                0,
+            ))
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(1));
+        },
+    }
+}
+
+/// `client <url> [flags]` — one zero-dependency HTTP/1.1 request against
+/// a running server. Prints the status line and body; exit code 0 for a
+/// 2xx response, 4 otherwise.
+fn cmd_client(args: &[String]) -> Result<(String, u8), String> {
+    use std::io::{Read, Write};
+
+    let mut url: Option<&str> = None;
+    let mut method: Option<String> = None;
+    let mut body = Vec::new();
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i)
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--method" => method = Some(flag_value(&mut i)?.to_ascii_uppercase()),
+            "--role" => headers.push(("x-role".into(), flag_value(&mut i)?.clone())),
+            "--tenant" => headers.push(("x-tenant".into(), flag_value(&mut i)?.clone())),
+            "--deadline-ms" => headers.push(("deadline-ms".into(), flag_value(&mut i)?.clone())),
+            "--trace-id" => headers.push(("x-trace-id".into(), flag_value(&mut i)?.clone())),
+            "--body" => {
+                let v = flag_value(&mut i)?;
+                body = if let Some(path) = v.strip_prefix('@') {
+                    std::fs::read(path).map_err(|e| format!("{path}: {e}"))?
+                } else {
+                    v.clone().into_bytes()
+                };
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown client flag {flag:?}")),
+            u => {
+                if url.replace(u).is_some() {
+                    return Err("client takes exactly one URL".to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    let url = url.ok_or("client needs a URL")?;
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("unsupported URL {url:?} (http:// only)"))?;
+    let (authority, path) = match rest.split_once('/') {
+        Some((a, p)) => (a, format!("/{p}")),
+        None => (rest, "/".to_string()),
+    };
+    let method = method.unwrap_or_else(|| if body.is_empty() { "GET" } else { "POST" }.to_string());
+    let mut wire = format!("{method} {path} HTTP/1.1\r\nhost: {authority}\r\n").into_bytes();
+    for (name, value) in &headers {
+        wire.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    wire.extend_from_slice(
+        format!(
+            "content-length: {}\r\nconnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    wire.extend_from_slice(&body);
+
+    let mut stream =
+        std::net::TcpStream::connect(authority).map_err(|e| format!("{authority}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(&wire)
+        .map_err(|e| format!("{authority}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("{authority}: {e}"))?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("malformed response: no header terminator")?;
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let status_line = head.lines().next().unwrap_or_default().to_string();
+    let code: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let resp_body = String::from_utf8_lossy(&raw[head_end + 4..]);
+    Ok((
+        format!("{status_line}\n{resp_body}"),
+        if (200..300).contains(&code) { 0 } else { 4 },
+    ))
+}
+
+/// `chaos <addr> [--seed N] [--cases N]` — run the seeded socket-fault
+/// campaign against a *running* server and report per-fault outcomes.
+/// Exit code 2 when any case violates the teardown invariant.
+fn cmd_chaos(args: &[String]) -> Result<(String, u8), String> {
+    use grdf::runtime::SeededDecider;
+    use grdf::server::{build_request, run_case};
+    use std::collections::BTreeMap;
+    use std::net::ToSocketAddrs;
+
+    let mut addr: Option<&str> = None;
+    let mut seed: u64 = 42;
+    let mut cases: u64 = 50;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i)
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--seed" => {
+                seed = flag_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--cases" => {
+                cases = flag_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown chaos flag {flag:?}")),
+            a => {
+                if addr.replace(a).is_some() {
+                    return Err("chaos takes exactly one address".to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or("chaos needs a server address (host:port)")?;
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("{addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr}: no usable address"))?;
+    let decider = SeededDecider::new(seed);
+    let request = build_request("/query", &[("x-role", PROBE_ROLE)], b"ASK { ?s ?p ?o }");
+    let mut by_fault: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut violations = 0u64;
+    for n in 0..cases {
+        let outcome = run_case(
+            addr,
+            &decider,
+            n,
+            &request,
+            std::time::Duration::from_secs(2),
+        )
+        .map_err(|e| format!("case {n}: {e}"))?;
+        let entry = by_fault.entry(format!("{:?}", outcome.fault)).or_default();
+        entry.0 += 1;
+        if !outcome.ok {
+            entry.1 += 1;
+            violations += 1;
+        }
+    }
+    let mut out = format!("chaos campaign: seed {seed}, {cases} case(s)\n");
+    for (fault, (total, bad)) in &by_fault {
+        out.push_str(&format!(
+            "  {fault:<22} {total:>4} case(s), {bad} violation(s)\n"
+        ));
+    }
+    out.push_str(&if violations == 0 {
+        "PASS: every fault ended in clean teardown or a well-formed response".to_string()
+    } else {
+        format!("FAIL: {violations} torn/ill-formed response(s)")
+    });
+    Ok((out, if violations == 0 { 0 } else { 2 }))
 }
 
 #[cfg(test)]
@@ -612,6 +962,34 @@ app:s1 a app:ChemSite ; app:hasSiteName "NT Energy" .
             out.contains("1 hits"),
             "cache hit from the repeated probe: {out}"
         );
+    }
+
+    #[test]
+    fn health_json_matches_the_server_renderer() {
+        let path = write_temp("health_json.ttl", TTL);
+        let (out, code) = run(&["health".into(), path, "--json".into()]).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
+        for field in [
+            "\"reasoner\":",
+            "\"breaker\":",
+            "\"requests\":",
+            "\"p99_us\":",
+        ] {
+            assert!(out.contains(field), "missing {field} in {out}");
+        }
+    }
+
+    #[test]
+    fn server_commands_reject_bad_usage() {
+        assert!(run_text(&["serve".into()]).is_err());
+        assert!(run_text(&["serve".into(), "a.ttl".into(), "--frob".into()]).is_err());
+        assert!(run_text(&["serve".into(), "a.ttl".into(), "--workers".into()]).is_err());
+        assert!(run_text(&["client".into()]).is_err());
+        assert!(run_text(&["client".into(), "ftp://x/".into()]).is_err());
+        assert!(run_text(&["chaos".into()]).is_err());
+        assert!(run_text(&["chaos".into(), "not-an-addr".into()]).is_err());
+        assert!(run_text(&["health".into(), "a.ttl".into(), "--frob".into()]).is_err());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`runtime`] — clocks, budgets, and cooperative deadlines.
 //! * [`security`] — security ontology, policies, G-SACS (§7–§8, Fig. 3)
 //!   and its fail-closed resilience layer.
+//! * [`server`] — multi-tenant HTTP/1.1 service layer over G-SACS with
+//!   admission quotas, deadlines, and backpressure.
 //! * [`store`] — crash-safe durability: write-ahead log + checkpoint
 //!   store with corruption-tolerant recovery.
 //! * [`lint`] — static analysis over ontologies, policy sets, and
@@ -50,6 +52,7 @@ pub use grdf_query as query;
 pub use grdf_rdf as rdf;
 pub use grdf_runtime as runtime;
 pub use grdf_security as security;
+pub use grdf_server as server;
 pub use grdf_store as store;
 pub use grdf_topology as topology;
 pub use grdf_workload as workload;

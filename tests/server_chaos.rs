@@ -1,0 +1,304 @@
+//! Socket-level chaos suite for `grdf-server`: seeded byte-level faults
+//! against a live listener, with three properties under test:
+//!
+//! 1. **No torn responses** — every fault ends in a clean teardown (zero
+//!    bytes) or a complete, well-formed HTTP response.
+//! 2. **Fail closed** — a restricted role's responses never carry the
+//!    secret literal, under faults or not; error envelopes carry no data.
+//! 3. **Survival** — after the whole campaign the server still answers
+//!    fresh requests correctly, and a graceful drain loses nothing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use grdf::feature::{encode_feature, Feature};
+use grdf::obs::Obs;
+use grdf::rdf::vocab::grdf as ns;
+use grdf::rdf::Graph;
+use grdf::runtime::SeededDecider;
+use grdf::security::gsacs::{GSacs, OntoRepository, OwlHorstEngine};
+use grdf::security::policy::{Policy, PolicySet};
+use grdf::security::resilience::ResilienceConfig;
+use grdf::server::{build_request, run_case, well_formed_response, GrdfServer, ServerConfig};
+
+/// The sensitive literal the restricted role must never see on the wire.
+const SECRET: &str = "XYZZY-CHEM-CODE";
+
+fn service(config: ResilienceConfig) -> GSacs {
+    let mut data = Graph::new();
+    for i in 0..8 {
+        let mut site = Feature::new(&ns::app(&format!("site{i}")), "ChemSite");
+        site.set_property("hasSiteName", format!("Site {i}").as_str());
+        site.set_property("hasChemCode", format!("{SECRET}-{i}").as_str());
+        encode_feature(&mut data, &site);
+    }
+    // MainRep sees ChemSites but only their boundary property — the chem
+    // codes are outside its view. Emergency sees everything.
+    let policies = PolicySet::new(vec![
+        Policy::permit_properties(
+            &ns::sec("MainRepPolicy1"),
+            &ns::sec("MainRep"),
+            &ns::app("ChemSite"),
+            &[&ns::iri("isBoundedBy")],
+        ),
+        Policy::permit(&ns::sec("E1"), &ns::sec("Emergency"), &ns::app("ChemSite")),
+    ]);
+    GSacs::with_resilience(
+        OntoRepository::new(),
+        policies,
+        Box::<OwlHorstEngine>::default(),
+        data,
+        16,
+        config,
+    )
+}
+
+fn chem_query() -> String {
+    format!(
+        "PREFIX app: <{}>\nSELECT ?c WHERE {{ ?s app:hasChemCode ?c }}",
+        ns::APP_NS
+    )
+}
+
+/// A server tuned for chaos: few workers, short slow-client timeouts.
+fn boot(config: ResilienceConfig) -> GrdfServer {
+    let cfg = ServerConfig {
+        workers: 2,
+        read_timeout: Duration::from_millis(150),
+        write_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    };
+    GrdfServer::bind("127.0.0.1:0", service(config), cfg).expect("bind")
+}
+
+/// One whole-request exchange: write `bytes`, collect the response until
+/// the server closes the connection.
+fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.write_all(bytes).expect("write");
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    out
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+fn status_of(raw: &[u8]) -> u16 {
+    let text = String::from_utf8_lossy(raw);
+    text.split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn seeded_socket_faults_never_tear_responses_or_leak_the_secret() {
+    let server = boot(ResilienceConfig::default());
+    let addr = server.local_addr();
+    let decider = SeededDecider::new(0xC4A05);
+    let restricted = build_request(
+        "/query",
+        &[("x-role", &ns::sec("MainRep"))],
+        chem_query().as_bytes(),
+    );
+
+    for n in 0..60 {
+        let outcome = run_case(addr, &decider, n, &restricted, Duration::from_secs(2))
+            .expect("chaos case I/O");
+        assert!(
+            outcome.ok,
+            "case {n} ({:?}): torn response:\n{}",
+            outcome.fault,
+            String::from_utf8_lossy(&outcome.response)
+        );
+        assert!(
+            !contains(&outcome.response, SECRET.as_bytes()),
+            "case {n} ({:?}): secret leaked to a restricted role",
+            outcome.fault
+        );
+    }
+
+    // The campaign over, the server still serves — and still enforces.
+    let authorized = send_raw(
+        addr,
+        &build_request(
+            "/query",
+            &[("x-role", &ns::sec("Emergency"))],
+            chem_query().as_bytes(),
+        ),
+    );
+    assert!(well_formed_response(&authorized));
+    assert_eq!(status_of(&authorized), 200);
+    assert!(
+        contains(&authorized, SECRET.as_bytes()),
+        "the authorized role must actually see the codes (else the denial below proves nothing)"
+    );
+
+    let denied = send_raw(addr, &restricted);
+    assert!(well_formed_response(&denied));
+    assert_eq!(
+        status_of(&denied),
+        200,
+        "a filtered view is a success, just an empty one"
+    );
+    assert!(
+        !contains(&denied, SECRET.as_bytes()),
+        "restricted view leaked the secret on the clean path"
+    );
+
+    let (accepted, finished) = server.shutdown();
+    assert_eq!(
+        accepted, finished,
+        "graceful drain must serve every accepted connection"
+    );
+}
+
+#[test]
+fn oversized_requests_are_rejected_with_bounded_errors() {
+    let server = boot(ResilienceConfig::default());
+    let addr = server.local_addr();
+
+    // Body larger than the 1 MiB cap: refused from the declared length
+    // alone, before any buffer grows to match it.
+    let big_body = format!(
+        "POST /query HTTP/1.1\r\nx-role: r\r\ncontent-length: {}\r\nconnection: close\r\n\r\npartial",
+        8 * 1024 * 1024
+    );
+    let raw = send_raw(addr, big_body.as_bytes());
+    assert!(
+        well_formed_response(&raw),
+        "{}",
+        String::from_utf8_lossy(&raw)
+    );
+    assert_eq!(status_of(&raw), 413);
+
+    // A head that never ends: bounded at 16 KiB, answered 431.
+    let mut huge_head = b"GET /health HTTP/1.1\r\n".to_vec();
+    for i in 0..2000 {
+        huge_head.extend_from_slice(format!("x-pad-{i}: {i:040}\r\n").as_bytes());
+    }
+    let raw = send_raw(addr, &huge_head);
+    assert!(
+        well_formed_response(&raw),
+        "{}",
+        String::from_utf8_lossy(&raw)
+    );
+    assert_eq!(status_of(&raw), 431);
+
+    let (accepted, finished) = server.shutdown();
+    assert_eq!(accepted, finished);
+}
+
+#[test]
+fn protocol_errors_map_to_well_formed_client_errors() {
+    let server = boot(ResilienceConfig::default());
+    let addr = server.local_addr();
+
+    let cases: &[(&[u8], u16)] = &[
+        (b"NOT HTTP AT ALL\r\n\r\n", 400),
+        (b"GET /nope HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n", 404),
+        (b"PUT /query HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n", 405),
+        (
+            b"POST /query HTTP/1.1\r\nx-role: r\r\ndeadline-ms: 0\r\ncontent-length: 3\r\nconnection: close\r\n\r\nASK",
+            400,
+        ),
+        (
+            b"POST /query HTTP/1.1\r\nx-role: r\r\ndeadline-ms: soon\r\ncontent-length: 3\r\nconnection: close\r\n\r\nASK",
+            400,
+        ),
+        (
+            b"POST /query HTTP/1.1\r\ncontent-length: 3\r\nconnection: close\r\n\r\nASK",
+            400, // missing x-role
+        ),
+    ];
+    for (wire, want) in cases {
+        let raw = send_raw(addr, wire);
+        assert!(
+            well_formed_response(&raw),
+            "{}",
+            String::from_utf8_lossy(&raw)
+        );
+        assert_eq!(
+            status_of(&raw),
+            *want,
+            "for request:\n{}",
+            String::from_utf8_lossy(wire)
+        );
+    }
+
+    let (accepted, finished) = server.shutdown();
+    assert_eq!(accepted, finished);
+}
+
+#[test]
+fn probe_endpoints_serve_health_and_metrics_json() {
+    let server = boot(ResilienceConfig::default());
+    let addr = server.local_addr();
+
+    let health = send_raw(addr, &build_request("/health", &[], b""));
+    assert_eq!(status_of(&health), 200);
+    let text = String::from_utf8_lossy(&health);
+    for field in ["\"reasoner\":", "\"requests\":", "\"p99_us\":"] {
+        assert!(text.contains(field), "missing {field} in {text}");
+    }
+
+    let metrics = send_raw(addr, &build_request("/metrics", &[], b""));
+    assert_eq!(status_of(&metrics), 200);
+    let text = String::from_utf8_lossy(&metrics);
+    assert!(text.contains("server.requests"), "{text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn trace_ids_propagate_from_header_to_span_tree() {
+    // Tracing on: /trace returns the request's own spans, keyed by the
+    // caller-supplied id.
+    let config = ResilienceConfig {
+        obs: Obs::with_tracing(256),
+        ..ResilienceConfig::default()
+    };
+    let server = boot(config);
+    let addr = server.local_addr();
+
+    let raw = send_raw(
+        addr,
+        &build_request(
+            "/trace",
+            &[
+                ("x-role", &ns::sec("Emergency")),
+                ("x-trace-id", "deadbeef"),
+            ],
+            b"ASK { ?s ?p ?o }",
+        ),
+    );
+    assert!(
+        well_formed_response(&raw),
+        "{}",
+        String::from_utf8_lossy(&raw)
+    );
+    assert_eq!(status_of(&raw), 200);
+    let text = String::from_utf8_lossy(&raw);
+    // The id is echoed both as a header and in the body, zero-padded to
+    // the 16-hex wire form.
+    assert!(text.contains("x-trace-id: 00000000deadbeef"), "{text}");
+    assert!(
+        text.contains("\"trace_id\": \"00000000deadbeef\""),
+        "{text}"
+    );
+    assert!(
+        text.contains("server.request"),
+        "span tree must include the root span: {text}"
+    );
+    assert!(
+        text.contains("\"result\": {\"type\": \"boolean\", \"value\": true}"),
+        "{text}"
+    );
+
+    server.shutdown();
+}
