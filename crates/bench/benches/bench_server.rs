@@ -13,8 +13,10 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use grdf_feature::{encode_feature, Feature};
+use grdf_obs::{Obs, WindowConfig};
 use grdf_rdf::graph::Graph;
 use grdf_rdf::vocab::grdf as ns;
+use grdf_runtime::system_clock;
 use grdf_security::gsacs::{GSacs, OntoRepository, OwlHorstEngine};
 use grdf_security::policy::{Policy, PolicySet};
 use grdf_security::resilience::ResilienceConfig;
@@ -28,6 +30,10 @@ struct Scenario {
 }
 
 fn service(sites: usize) -> GSacs {
+    service_with(sites, ResilienceConfig::default())
+}
+
+fn service_with(sites: usize, config: ResilienceConfig) -> GSacs {
     let mut data = Graph::new();
     for i in 0..sites {
         let mut site = Feature::new(&ns::app(&format!("site{i}")), "ChemSite");
@@ -46,7 +52,7 @@ fn service(sites: usize) -> GSacs {
         Box::<OwlHorstEngine>::default(),
         data,
         32,
-        ResilienceConfig::default(),
+        config,
     )
 }
 
@@ -99,23 +105,13 @@ fn percentile(sorted: &[Duration], p: usize) -> f64 {
     sorted[idx].as_secs_f64() * 1e3
 }
 
-/// Sustained mixed workload: 8 tenants, closed loop, no quotas — the
-/// server's raw capacity with full per-request accounting on.
-fn bench_mixed(per_tenant: usize) -> Scenario {
-    let cfg = ServerConfig {
-        workers: 4,
-        max_connections: 128,
-        ..ServerConfig::default()
-    };
-    let server = GrdfServer::bind("127.0.0.1:0", service(50), cfg).expect("bind");
-    let addr = server.local_addr();
-    let templates = requests();
-
+/// Closed-loop mixed-tenant drive against a running server; returns
+/// (elapsed seconds, sorted latencies).
+fn drive_mixed(addr: SocketAddr, templates: &[Vec<u8>], per_tenant: usize) -> (f64, Vec<Duration>) {
     let start = Instant::now();
     let latencies: Vec<Duration> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..TENANTS)
             .map(|t| {
-                let templates = &templates;
                 scope.spawn(move || {
                     let mut lat = Vec::with_capacity(per_tenant);
                     for i in 0..per_tenant {
@@ -137,9 +133,25 @@ fn bench_mixed(per_tenant: usize) -> Scenario {
             .collect()
     });
     let secs = start.elapsed().as_secs_f64();
-    let total = latencies.len();
     let mut sorted = latencies;
     sorted.sort();
+    (secs, sorted)
+}
+
+/// Sustained mixed workload: 8 tenants, closed loop, no quotas — the
+/// server's raw capacity with full per-request accounting on.
+fn bench_mixed(per_tenant: usize) -> Scenario {
+    let cfg = ServerConfig {
+        workers: 4,
+        max_connections: 128,
+        ..ServerConfig::default()
+    };
+    let server = GrdfServer::bind("127.0.0.1:0", service(50), cfg).expect("bind");
+    let addr = server.local_addr();
+    let templates = requests();
+
+    let (secs, sorted) = drive_mixed(addr, &templates, per_tenant);
+    let total = sorted.len();
     let (accepted, finished) = server.shutdown();
     assert_eq!(accepted, finished, "drain lost connections under load");
 
@@ -245,6 +257,83 @@ fn bench_flood(paced_per_tenant: usize, flood_requests: usize) -> Scenario {
     }
 }
 
+/// One GET exchange returning the response body (for `/metrics` scrapes).
+fn scrape(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(&build_request(path, &[], b"")).expect("write");
+    let mut raw = Vec::new();
+    let _ = s.read_to_end(&mut raw);
+    let text = String::from_utf8_lossy(&raw);
+    text.split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default()
+}
+
+/// Observability overhead: the same mixed closed loop against the seed
+/// configuration (plain registry) and against the full stack — windowed
+/// dual-ring store plus the 10 ms sampling profiler. Rounds alternate
+/// between the two servers and each side keeps its best round, so
+/// scheduler noise hits both equally. Optionally writes the obs-on
+/// server's scraped `/metrics` text to `metrics_sample` for the CI
+/// artifact + conformance gate.
+fn bench_obs_overhead(per_tenant: usize, metrics_sample: Option<&str>) -> Scenario {
+    let cfg = || ServerConfig {
+        workers: 4,
+        max_connections: 128,
+        ..ServerConfig::default()
+    };
+    let full_obs = Obs::new()
+        .with_windows(WindowConfig::default(), system_clock())
+        .with_profiler(Duration::from_millis(10), system_clock());
+    let server_off = GrdfServer::bind("127.0.0.1:0", service(50), cfg()).expect("bind");
+    let server_on = GrdfServer::bind(
+        "127.0.0.1:0",
+        service_with(
+            50,
+            ResilienceConfig {
+                obs: full_obs,
+                ..ResilienceConfig::default()
+            },
+        ),
+        cfg(),
+    )
+    .expect("bind");
+    let templates = requests();
+
+    let mut qps_off = 0.0f64;
+    let mut qps_on = 0.0f64;
+    for _round in 0..2 {
+        let (secs, lat) = drive_mixed(server_off.local_addr(), &templates, per_tenant);
+        qps_off = qps_off.max(lat.len() as f64 / secs.max(1e-9));
+        let (secs, lat) = drive_mixed(server_on.local_addr(), &templates, per_tenant);
+        qps_on = qps_on.max(lat.len() as f64 / secs.max(1e-9));
+    }
+    if let Some(path) = metrics_sample {
+        let body = scrape(server_on.local_addr(), "/metrics");
+        std::fs::write(path, &body).expect("write metrics sample");
+        println!("wrote {path} ({} bytes)", body.len());
+    }
+    server_off.shutdown();
+    server_on.shutdown();
+
+    Scenario {
+        name: "obs_overhead".to_string(),
+        metrics: vec![
+            (
+                "requests_per_side".to_string(),
+                (TENANTS * per_tenant * 2) as f64,
+            ),
+            ("qps_obs_off".to_string(), qps_off),
+            ("qps_obs_on".to_string(), qps_on),
+            (
+                "overhead_pct".to_string(),
+                (1.0 - qps_on / qps_off.max(1e-9)) * 100.0,
+            ),
+        ],
+    }
+}
+
 fn to_json(mode: &str, scenarios: &[Scenario]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"server\",\n");
@@ -279,10 +368,26 @@ fn main() {
         .iter()
         .position(|a| a == "--json")
         .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+    let metrics_sample = args.iter().position(|a| a == "--metrics-sample").map(|i| {
+        args.get(i + 1)
+            .expect("--metrics-sample needs a path")
+            .clone()
+    });
+    let assert_overhead: Option<f64> =
+        args.iter().position(|a| a == "--assert-overhead").map(|i| {
+            args.get(i + 1)
+                .expect("--assert-overhead needs a percentage")
+                .parse()
+                .expect("--assert-overhead takes a number")
+        });
 
     let (per_tenant, paced, flood) = if quick { (30, 5, 100) } else { (200, 20, 400) };
 
-    let scenarios = vec![bench_mixed(per_tenant), bench_flood(paced, flood)];
+    let scenarios = vec![
+        bench_mixed(per_tenant),
+        bench_flood(paced, flood),
+        bench_obs_overhead(per_tenant, metrics_sample.as_deref()),
+    ];
 
     for s in &scenarios {
         println!("{}", s.name);
@@ -295,5 +400,19 @@ fn main() {
         let json = to_json(if quick { "quick" } else { "full" }, &scenarios);
         std::fs::write(&path, json).expect("write json snapshot");
         println!("wrote {path}");
+    }
+
+    if let Some(limit) = assert_overhead {
+        let measured = scenarios
+            .iter()
+            .find(|s| s.name == "obs_overhead")
+            .and_then(|s| s.metrics.iter().find(|(k, _)| k == "overhead_pct"))
+            .map(|(_, v)| *v)
+            .expect("obs_overhead scenario ran");
+        if measured > limit {
+            eprintln!("obs overhead {measured:.2}% exceeds the {limit:.2}% budget");
+            std::process::exit(1);
+        }
+        println!("obs overhead {measured:.2}% within the {limit:.2}% budget");
     }
 }

@@ -1,0 +1,551 @@
+//! Prometheus text-format exposition (and a conformance parser).
+//!
+//! [`render`] turns the live registry + windowed store + SLO statuses
+//! into the Prometheus text format (version 0.0.4 with OpenMetrics-style
+//! exemplars):
+//!
+//! * counters → `grdf_<name>_total`
+//! * gauges → `grdf_<name>`
+//! * histograms → cumulative `grdf_<name>_bucket{le="2^k"}` series plus
+//!   `_sum`/`_count`; buckets carry `# {trace_id="…"} value` exemplars
+//!   linking them to spans retrievable from the [`TraceSink`]
+//!   (`/trace`) by that id.
+//! * per-tenant windowed series → `grdf_w1m_<name>{tenant="…"}` gauges:
+//!   the trailing-minute sum for counters, `_p99`/`_count` for
+//!   histograms. These are what `grdf-cli top` tabulates.
+//! * SLOs → `grdf_slo_current|burn_fast|burn_slow|burning{objective="…"}`.
+//!
+//! Metric names are sanitized (`.` → `_`); label values are escaped per
+//! the spec. [`parse`] is the inverse used by the CI format-conformance
+//! gate and `grdf-cli top`: it checks name/label lexical validity, that
+//! every sample belongs to a `# TYPE`-declared family, and that
+//! histogram bucket series are cumulative and capped by `+Inf == count`.
+//!
+//! [`TraceSink`]: crate::TraceSink
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::metrics::{MetricsRegistry, BUCKETS};
+use crate::slo::SloStatus;
+use crate::window::WindowStore;
+
+/// The window behind the `grdf_w1m_*` per-tenant gauges.
+pub const TENANT_WINDOW: Duration = Duration::from_mins(1);
+
+/// Sanitize a dotted metric name into `[a-zA-Z_:][a-zA-Z0-9_:]*` with the
+/// `grdf_` namespace prefix.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("grdf_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the full exposition (see module docs).
+pub fn render(
+    registry: &MetricsRegistry,
+    windows: Option<&WindowStore>,
+    slo: &[SloStatus],
+) -> String {
+    let mut out = String::new();
+    let snap = registry.snapshot();
+    for (name, v) in &snap.counters {
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n}_total counter");
+        let _ = writeln!(out, "{n}_total {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, hist) in registry.histogram_handles() {
+        let n = metric_name(&name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let buckets = hist.bucket_counts();
+        let count = hist.count();
+        let top = buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
+        let mut cum = 0u64;
+        for (i, &b) in buckets.iter().enumerate().take((top + 1).min(BUCKETS - 1)) {
+            cum += b;
+            let le = 1u128 << (i + 1);
+            let _ = write!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+            match hist.exemplar(i) {
+                Some((id, v)) => {
+                    let _ = writeln!(out, " # {{trace_id=\"{id}\"}} {v}");
+                }
+                None => out.push('\n'),
+            }
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(out, "{n}_sum {}", hist.sum());
+        let _ = writeln!(out, "{n}_count {count}");
+    }
+    if let Some(ws) = windows {
+        let mut lines: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for tenant in ws.tenant_labels() {
+            for name in ws.names_for_tenant(Some(&tenant)) {
+                let label = escape_label(&tenant);
+                if let Some(s) = ws.summary(&name, Some(&tenant), TENANT_WINDOW) {
+                    let base = metric_name(&format!("w1m.{name}"));
+                    lines
+                        .entry(format!("{base}_p99"))
+                        .or_default()
+                        .push(format!(
+                            "{base}_p99{{tenant=\"{label}\"}} {}",
+                            s.quantile(0.99)
+                        ));
+                    lines
+                        .entry(format!("{base}_count"))
+                        .or_default()
+                        .push(format!("{base}_count{{tenant=\"{label}\"}} {}", s.count));
+                } else {
+                    let sum = ws.window_sum(&name, Some(&tenant), TENANT_WINDOW);
+                    let base = metric_name(&format!("w1m.{name}"));
+                    lines
+                        .entry(base.clone())
+                        .or_default()
+                        .push(format!("{base}{{tenant=\"{label}\"}} {sum}"));
+                }
+            }
+        }
+        for (family, samples) in lines {
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            for s in samples {
+                let _ = writeln!(out, "{s}");
+            }
+        }
+    }
+    if !slo.is_empty() {
+        for (family, pick) in [
+            ("grdf_slo_current", 0usize),
+            ("grdf_slo_burn_fast", 1),
+            ("grdf_slo_burn_slow", 2),
+            ("grdf_slo_burning", 3),
+        ] {
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            for s in slo {
+                let v = match pick {
+                    0 => s.current,
+                    1 => s.burn_fast,
+                    2 => s.burn_slow,
+                    _ => f64::from(u8::from(s.state == crate::slo::SloState::Burning)),
+                };
+                let _ = writeln!(
+                    out,
+                    "{family}{{objective=\"{}\"}} {}",
+                    escape_label(&s.name),
+                    fmt_f64(v)
+                );
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Conformance parser
+// ---------------------------------------------------------------------------
+
+/// Declared family type from a `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyType {
+    /// Monotonic counter.
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+    /// Cumulative-bucket histogram.
+    Histogram,
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name (including `_bucket`/`_sum`/… suffixes).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+    /// OpenMetrics exemplar: `(trace id hex, exemplar value)`.
+    pub exemplar: Option<(String, f64)>,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed (and validated) exposition.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// `# TYPE` declarations by family name.
+    pub families: BTreeMap<String, FamilyType>,
+    /// Every sample, in source order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// Samples named exactly `name`.
+    pub fn named(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// The single value of `name` with `label == value`, if present.
+    pub fn value_with(&self, name: &str, label: &str, value: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.label(label) == Some(value))
+            .map(|s| s.value)
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn base_family(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count", "_total"] {
+        if let Some(b) = name.strip_suffix(suffix) {
+            return b;
+        }
+    }
+    name
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    loop {
+        rest = rest.trim_start_matches(',').trim_start();
+        if rest.is_empty() {
+            return Ok(labels);
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest}"))?;
+        let key = rest[..eq].trim();
+        if !valid_name(key) {
+            return Err(format!("invalid label name: {key}"));
+        }
+        let after = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("unquoted label value after {key}"))?;
+        let mut value = String::new();
+        let mut chars = after.char_indices();
+        let close = loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| format!("unterminated label value for {key}"))?;
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e @ ('\\' | '"'))) => value.push(e),
+                    other => return Err(format!("bad escape in label {key}: {other:?}")),
+                },
+                '"' => break i,
+                c => value.push(c),
+            }
+        };
+        labels.push((key.to_string(), value));
+        rest = &after[close + 1..];
+    }
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        s => s.parse().map_err(|e| format!("bad value {s}: {e}")),
+    }
+}
+
+/// Parse and validate a text exposition (see module docs for the rules).
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |m: String| format!("line {}: {m}", lineno + 1);
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err("TYPE without name".into()))?;
+                let kind = match parts.next() {
+                    Some("counter") => FamilyType::Counter,
+                    Some("gauge") => FamilyType::Gauge,
+                    Some("histogram") => FamilyType::Histogram,
+                    other => return Err(err(format!("unknown TYPE kind {other:?}"))),
+                };
+                if !valid_name(name) {
+                    return Err(err(format!("invalid family name: {name}")));
+                }
+                if out.families.insert(name.to_string(), kind).is_some() {
+                    return Err(err(format!("duplicate TYPE for {name}")));
+                }
+            }
+            // HELP and other comments pass through unvalidated.
+            continue;
+        }
+        // Sample line: name[{labels}] value [# {trace_id="…"} exemplar]
+        let (sample_part, exemplar) = match line.split_once(" # ") {
+            None => (line, None),
+            Some((s, ex)) => {
+                let ex = ex.trim();
+                let inner = ex
+                    .strip_prefix('{')
+                    .and_then(|e| e.split_once('}'))
+                    .ok_or_else(|| err(format!("malformed exemplar: {ex}")))?;
+                let labels = parse_labels(inner.0).map_err(&err)?;
+                let id = labels
+                    .iter()
+                    .find(|(k, _)| k == "trace_id")
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| err("exemplar without trace_id".into()))?;
+                let v = parse_value(inner.1.trim()).map_err(&err)?;
+                (s, Some((id, v)))
+            }
+        };
+        let (name_part, value_part) = if let Some(open) = sample_part.find('{') {
+            let close = sample_part
+                .rfind('}')
+                .ok_or_else(|| err("unterminated label block".into()))?;
+            let labels = &sample_part[open + 1..close];
+            let value = sample_part[close + 1..].trim();
+            ((&sample_part[..open], labels), value)
+        } else {
+            let (n, v) = sample_part
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| err(format!("sample without value: {sample_part}")))?;
+            ((n, ""), v.trim())
+        };
+        let (name, labels_raw) = name_part;
+        if !valid_name(name) {
+            return Err(err(format!("invalid metric name: {name}")));
+        }
+        let family = base_family(name);
+        if !out.families.contains_key(family) && !out.families.contains_key(name) {
+            return Err(err(format!("sample {name} has no # TYPE declaration")));
+        }
+        out.samples.push(Sample {
+            name: name.to_string(),
+            labels: parse_labels(labels_raw).map_err(&err)?,
+            value: parse_value(value_part).map_err(&err)?,
+            exemplar,
+        });
+    }
+    validate_histograms(&out)?;
+    Ok(out)
+}
+
+/// Histogram invariants: buckets cumulative (non-decreasing by `le`),
+/// `+Inf` bucket present and equal to `_count`.
+fn validate_histograms(expo: &Exposition) -> Result<(), String> {
+    for (family, kind) in &expo.families {
+        if *kind != FamilyType::Histogram {
+            continue;
+        }
+        // Group buckets by their full label set minus `le`.
+        let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        for s in expo.named(&format!("{family}_bucket")) {
+            let le = s
+                .label("le")
+                .ok_or_else(|| format!("{family}_bucket sample without le"))?;
+            let le = parse_value(le)?;
+            let key: String = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v};"))
+                .collect();
+            groups.entry(key).or_default().push((le, s.value));
+        }
+        for (key, mut buckets) in groups {
+            buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut prev = -1.0;
+            for &(_, v) in &buckets {
+                if v < prev {
+                    return Err(format!(
+                        "{family}_bucket{{{key}}} buckets are not cumulative"
+                    ));
+                }
+                prev = v;
+            }
+            let last = buckets
+                .last()
+                .filter(|(le, _)| le.is_infinite())
+                .ok_or_else(|| format!("{family}_bucket{{{key}}} missing le=\"+Inf\""))?;
+            let count = expo
+                .samples
+                .iter()
+                .find(|s| {
+                    s.name == format!("{family}_count")
+                        && s.labels.iter().filter(|(k, _)| k != "le").count() == s.labels.len()
+                })
+                .map(|s| s.value);
+            if let Some(count) = count {
+                if (last.1 - count).abs() > f64::EPSILON {
+                    return Err(format!("{family}: +Inf bucket {} != count {count}", last.1));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::{SloState, SloStatus};
+    use crate::window::WindowConfig;
+    use crate::Obs;
+    use grdf_runtime::{Clock, ManualClock};
+    use std::sync::Arc;
+
+    fn slo_status(state: SloState) -> SloStatus {
+        SloStatus {
+            name: "lat".to_string(),
+            objective: "p99(server.latency) < 10ms over 5m".to_string(),
+            window: Duration::from_mins(5),
+            current: 1234.0,
+            burn_fast: 0.5,
+            burn_slow: 0.25,
+            state,
+        }
+    }
+
+    #[test]
+    fn renders_and_round_trips_through_the_parser() {
+        let clock = Arc::new(ManualClock::new());
+        let obs = Obs::new();
+        let ws = WindowStore::new(WindowConfig::default(), clock as Arc<dyn Clock>);
+        {
+            let _scope = obs.scope("req");
+            crate::add("server.requests", 3);
+            crate::observe("server.latency", 900);
+            crate::observe("server.latency", 70_000);
+            crate::gauge_set("pool.depth", -2);
+        }
+        ws.add("server.requests", Some("acme"), 42);
+        ws.observe("server.latency", Some("acme"), 800);
+        let text = render(obs.registry(), Some(&ws), &[slo_status(SloState::Ok)]);
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("conformance: {e}\n{text}"));
+        assert_eq!(parsed.named("grdf_server_requests_total")[0].value, 3.0);
+        assert_eq!(parsed.named("grdf_pool_depth")[0].value, -2.0);
+        assert_eq!(
+            parsed.families["grdf_server_latency"],
+            FamilyType::Histogram
+        );
+        assert_eq!(
+            parsed.value_with("grdf_w1m_server_requests", "tenant", "acme"),
+            Some(42.0)
+        );
+        assert_eq!(
+            parsed.value_with("grdf_w1m_server_latency_count", "tenant", "acme"),
+            Some(1.0)
+        );
+        assert_eq!(
+            parsed.value_with("grdf_slo_burning", "objective", "lat"),
+            Some(0.0)
+        );
+        // The traced scope left exemplars on the latency buckets.
+        let with_exemplar: Vec<_> = parsed
+            .named("grdf_server_latency_bucket")
+            .into_iter()
+            .filter(|s| s.exemplar.is_some())
+            .collect();
+        assert_eq!(with_exemplar.len(), 2, "both recorded buckets carry one");
+    }
+
+    #[test]
+    fn parser_rejects_nonconformant_text() {
+        for (bad, why) in [
+            ("grdf_x 1\n", "sample without TYPE"),
+            ("# TYPE grdf_x gauge\n9bad_name 1\n", "invalid name"),
+            ("# TYPE grdf_x gauge\ngrdf_x{l=unquoted} 1\n", "unquoted label"),
+            ("# TYPE grdf_x gauge\ngrdf_x notanumber\n", "bad value"),
+            (
+                "# TYPE grdf_x gauge\n# TYPE grdf_x counter\n",
+                "duplicate TYPE",
+            ),
+            (
+                "# TYPE grdf_h histogram\ngrdf_h_bucket{le=\"1\"} 5\ngrdf_h_bucket{le=\"2\"} 3\ngrdf_h_bucket{le=\"+Inf\"} 5\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE grdf_h histogram\ngrdf_h_bucket{le=\"1\"} 5\n",
+                "missing +Inf",
+            ),
+        ] {
+            assert!(parse(bad).is_err(), "should reject ({why}): {bad}");
+        }
+    }
+
+    #[test]
+    fn burning_state_exposes_one() {
+        let obs = Obs::new();
+        let text = render(obs.registry(), None, &[slo_status(SloState::Burning)]);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(
+            parsed.value_with("grdf_slo_burning", "objective", "lat"),
+            Some(1.0)
+        );
+        assert_eq!(
+            parsed.value_with("grdf_slo_burn_fast", "objective", "lat"),
+            Some(0.5)
+        );
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let text = "# TYPE grdf_x gauge\ngrdf_x{t=\"a\\\"b\\\\c\\nd\"} 1\n";
+        let parsed = parse(text).unwrap();
+        assert_eq!(parsed.samples[0].label("t"), Some("a\"b\\c\nd"));
+    }
+}

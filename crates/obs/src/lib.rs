@@ -1,14 +1,22 @@
 //! # grdf-obs — observability layer for the GRDF workspace
 //!
-//! Three pieces, all std-only and dependency-free:
+//! Std-only (plus the injectable `grdf-runtime::Clock`):
 //!
 //! * [`MetricsRegistry`] — named counters / gauges / log₂ histograms with
 //!   lock-free recording (registration pre-resolves an `Arc` handle).
+//! * [`WindowStore`] — time-bucketed rings behind every counter and
+//!   histogram recorded through the free functions: `rate(name, window)`
+//!   and windowed quantiles, optionally attributed to a
+//!   bounded-cardinality tenant label ([`TenantDim`], [`set_tenant`]).
 //! * Spans — [`span`] opens a timed, taggable span inside the current
 //!   request scope; spans nest into a tree and share the scope's
 //!   [`TraceId`].
 //! * [`TraceSink`] — a bounded ring buffer of completed traces, exported
 //!   as JSON-lines or flamegraph collapsed stacks.
+//! * [`SloEngine`] — declarative objectives over the windowed store with
+//!   multi-window burn-rate alerting ([`slo`]).
+//! * [`Profiler`] — a signal-free sampling wall-clock profiler fed by
+//!   span events ([`profile`]); Prometheus exposition lives in [`expo`].
 //!
 //! ## Propagation model
 //!
@@ -34,14 +42,24 @@
 //! hot paths should cache [`Counter`] handles instead of calling
 //! [`MetricsRegistry::counter`] per event.
 
+pub mod expo;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
+pub mod slo;
+pub mod window;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, LogHistogram, MetricsRegistry, MetricsSnapshot,
     RunIdMismatch,
 };
+pub use profile::Profiler;
 pub use sink::{SpanRecord, TraceRecord, TraceSink};
+pub use slo::{statuses_json, Objective, SloEngine, SloState, SloStatus};
+pub use window::{TenantDim, TenantResolution, WindowConfig, WindowStore, WindowedSummary};
+
+use grdf_runtime::Clock;
+use std::time::Duration;
 
 use std::cell::RefCell;
 use std::fmt;
@@ -110,11 +128,14 @@ fn splitmix64(mut z: u64) -> u64 {
 // The Obs handle
 // ---------------------------------------------------------------------------
 
-/// A cheaply cloneable bundle of one metrics registry and one trace sink.
+/// A cheaply cloneable bundle of one metrics registry, one trace sink,
+/// and (optionally) a windowed-metric store and sampling profiler.
 #[derive(Debug, Clone)]
 pub struct Obs {
     registry: Arc<MetricsRegistry>,
     sink: Arc<TraceSink>,
+    windows: Option<Arc<WindowStore>>,
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl Default for Obs {
@@ -129,15 +150,34 @@ impl Obs {
         Obs {
             registry: Arc::new(MetricsRegistry::new()),
             sink: Arc::new(TraceSink::disabled()),
+            windows: None,
+            profiler: None,
         }
     }
 
     /// Metrics plus a sink retaining the most recent `capacity` traces.
     pub fn with_tracing(capacity: usize) -> Obs {
         Obs {
-            registry: Arc::new(MetricsRegistry::new()),
             sink: Arc::new(TraceSink::bounded(capacity)),
+            ..Obs::new()
         }
+    }
+
+    /// Attach a windowed-metric store reading `clock`: every counter and
+    /// histogram recorded through the free functions gains a time axis
+    /// (plus a per-tenant series while [`set_tenant`] is in effect).
+    #[must_use]
+    pub fn with_windows(mut self, cfg: WindowConfig, clock: Arc<dyn Clock>) -> Obs {
+        self.windows = Some(Arc::new(WindowStore::new(cfg, clock)));
+        self
+    }
+
+    /// Attach a continuously running sampling profiler (see
+    /// [`profile`]).
+    #[must_use]
+    pub fn with_profiler(mut self, interval: Duration, clock: Arc<dyn Clock>) -> Obs {
+        self.profiler = Some(Arc::new(Profiler::new(clock, interval)));
+        self
     }
 
     /// The metrics registry.
@@ -148,6 +188,16 @@ impl Obs {
     /// The trace sink.
     pub fn sink(&self) -> &Arc<TraceSink> {
         &self.sink
+    }
+
+    /// The windowed-metric store, when attached.
+    pub fn windows(&self) -> Option<&Arc<WindowStore>> {
+        self.windows.as_ref()
+    }
+
+    /// The sampling profiler, when attached.
+    pub fn profiler(&self) -> Option<&Arc<Profiler>> {
+        self.profiler.as_ref()
     }
 
     /// Whether completed traces are being retained.
@@ -183,11 +233,19 @@ impl Obs {
                 return false;
             }
             let id = wanted.unwrap_or_else(TraceId::fresh);
+            // The span stack is maintained for the sink *or* the
+            // profiler (which samples it); completed SpanRecords are
+            // only materialized when the sink will keep them.
+            let record_done = self.sink.enabled();
             *ctx = Some(ActiveCtx {
                 id,
                 registry: Arc::clone(&self.registry),
-                trace: self.sink.enabled().then(|| ActiveTrace {
+                windows: self.windows.clone(),
+                profiler: self.profiler.clone(),
+                tenant: None,
+                trace: (record_done || self.profiler.is_some()).then(|| ActiveTrace {
                     started: Instant::now(),
+                    record_done,
                     done: Vec::new(),
                     open: Vec::new(),
                 }),
@@ -218,6 +276,9 @@ struct OpenSpan {
 
 struct ActiveTrace {
     started: Instant,
+    /// Whether closed spans become [`SpanRecord`]s for the sink (false
+    /// when the stack is kept only for the profiler).
+    record_done: bool,
     done: Vec<SpanRecord>,
     open: Vec<OpenSpan>,
 }
@@ -225,6 +286,11 @@ struct ActiveTrace {
 struct ActiveCtx {
     id: TraceId,
     registry: Arc<MetricsRegistry>,
+    windows: Option<Arc<WindowStore>>,
+    profiler: Option<Arc<Profiler>>,
+    /// Bounded tenant label this request's metrics are attributed to
+    /// (installed by the server via [`set_tenant`]).
+    tenant: Option<Arc<str>>,
     trace: Option<ActiveTrace>,
 }
 
@@ -313,27 +379,44 @@ impl Drop for Span {
                 return;
             };
             let Some(open) = trace.open.pop() else { return };
-            let path = trace
-                .open
-                .iter()
-                .map(|s| s.name)
-                .chain(std::iter::once(open.name))
-                .collect::<Vec<_>>()
-                .join(";");
-            trace.done.push(SpanRecord {
-                name: open.name,
-                path,
-                depth: trace.open.len(),
-                start_ns: open.start_ns,
-                dur_ns: open.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
-                tags: open.tags,
-            });
+            if trace.record_done {
+                let path = trace
+                    .open
+                    .iter()
+                    .map(|s| s.name)
+                    .chain(std::iter::once(open.name))
+                    .collect::<Vec<_>>()
+                    .join(";");
+                trace.done.push(SpanRecord {
+                    name: open.name,
+                    path,
+                    depth: trace.open.len(),
+                    start_ns: open.start_ns,
+                    dur_ns: open.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                    tags: open.tags,
+                });
+            }
+            sample_profiler(c);
         });
     }
 }
 
+/// Give the profiler (if any) a chance to sample the thread's current
+/// open-span stack. Called on every span boundary; cheap no-op unless a
+/// new sampling tick began (see [`profile`]).
+fn sample_profiler(c: &ActiveCtx) {
+    let (Some(profiler), Some(trace)) = (&c.profiler, &c.trace) else {
+        return;
+    };
+    if trace.open.is_empty() {
+        return;
+    }
+    let stack: Vec<&'static str> = trace.open.iter().map(|s| s.name).collect();
+    profiler.on_span_event(&stack);
+}
+
 /// Open a span named `name` in the active trace; a cheap no-op when no
-/// scope is active or the sink is disabled.
+/// scope is active or both the sink and profiler are disabled.
 pub fn span(name: &'static str) -> Span {
     let active = CTX.with(|ctx| {
         let mut ctx = ctx.borrow_mut();
@@ -351,6 +434,7 @@ pub fn span(name: &'static str) -> Span {
                 .min(u128::from(u64::MAX)) as u64,
             tags: Vec::new(),
         });
+        sample_profiler(c);
         true
     });
     Span { active }
@@ -374,12 +458,28 @@ pub fn tag_current(key: &str, value: impl fmt::Display) {
 // Context-routed metrics
 // ---------------------------------------------------------------------------
 
-fn with_registry(f: impl FnOnce(&MetricsRegistry)) {
+fn with_ctx(f: impl FnOnce(&ActiveCtx)) {
     CTX.with(|ctx| {
         if let Some(c) = ctx.borrow().as_ref() {
-            f(&c.registry);
+            f(c);
         }
     });
+}
+
+/// Attribute the rest of this scope's metrics to a bounded tenant label
+/// (resolve raw ids through a [`TenantDim`] first — never pass raw
+/// client input). No-op outside a scope; cleared when the scope drops.
+pub fn set_tenant(label: Arc<str>) {
+    CTX.with(|ctx| {
+        if let Some(c) = ctx.borrow_mut().as_mut() {
+            c.tenant = Some(label);
+        }
+    });
+}
+
+/// The tenant label installed on the active scope, if any.
+pub fn current_tenant() -> Option<Arc<str>> {
+    CTX.with(|ctx| ctx.borrow().as_ref().and_then(|c| c.tenant.clone()))
 }
 
 /// Add 1 to the scoped counter `name` (no-op outside a scope).
@@ -387,21 +487,63 @@ pub fn incr(name: &str) {
     add(name, 1);
 }
 
-/// Add `n` to the scoped counter `name` (no-op outside a scope).
+/// Add `n` to the scoped counter `name` (no-op outside a scope). Also
+/// tees into the windowed store (global + tenant series) when one is
+/// attached.
 pub fn add(name: &str, n: u64) {
     if n > 0 {
-        with_registry(|r| r.counter(name).add(n));
+        with_ctx(|c| {
+            c.registry.counter(name).add(n);
+            win_add_in(c, name, n);
+        });
     }
 }
 
-/// Record `v` into the scoped histogram `name` (no-op outside a scope).
+/// Record `v` into the scoped histogram `name` (no-op outside a scope),
+/// teeing into the windowed store like [`add`].
 pub fn observe(name: &str, v: u64) {
-    with_registry(|r| r.histogram(name).record(v));
+    with_ctx(|c| {
+        c.registry.histogram(name).record(v);
+        win_observe_in(c, name, v);
+    });
 }
 
-/// Set the scoped gauge `name` (no-op outside a scope).
+/// Set the scoped gauge `name` (no-op outside a scope). Gauges are
+/// point-in-time readings and are not windowed.
 pub fn gauge_set(name: &str, v: i64) {
-    with_registry(|r| r.gauge(name).set(v));
+    with_ctx(|c| c.registry.gauge(name).set(v));
+}
+
+/// Windowed-store-only counter tee, for hot paths that already hold a
+/// pre-resolved registry [`Counter`] handle (e.g. G-SACS `HotCounters`)
+/// and would otherwise double-count through [`add`].
+pub fn win_add(name: &str, n: u64) {
+    if n > 0 {
+        with_ctx(|c| win_add_in(c, name, n));
+    }
+}
+
+/// Windowed-store-only histogram tee (see [`win_add`]).
+pub fn win_observe(name: &str, v: u64) {
+    with_ctx(|c| win_observe_in(c, name, v));
+}
+
+fn win_add_in(c: &ActiveCtx, name: &str, n: u64) {
+    if let Some(ws) = &c.windows {
+        ws.add(name, None, n);
+        if let Some(t) = &c.tenant {
+            ws.add(name, Some(t), n);
+        }
+    }
+}
+
+fn win_observe_in(c: &ActiveCtx, name: &str, v: u64) {
+    if let Some(ws) = &c.windows {
+        ws.observe(name, None, v);
+        if let Some(t) = &c.tenant {
+            ws.observe(name, Some(t), v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -517,6 +659,106 @@ mod tests {
         assert!(obs.registry().snapshot().counters.is_empty());
         assert_eq!(current_trace_id(), None);
         let _s = span("orphan"); // must not panic
+    }
+
+    #[test]
+    fn windows_tee_with_tenant_attribution() {
+        use grdf_runtime::ManualClock;
+        let clock = Arc::new(ManualClock::new());
+        let obs = Obs::new().with_windows(WindowConfig::default(), clock as Arc<dyn Clock>);
+        {
+            let _scope = obs.scope("req");
+            incr("hits"); // before attribution: global series only
+            set_tenant(Arc::from("acme"));
+            assert_eq!(current_tenant().as_deref(), Some("acme"));
+            incr("hits");
+            observe("lat", 500);
+        }
+        assert_eq!(current_tenant(), None, "tenant dies with the scope");
+        let ws = obs.windows().unwrap();
+        let w = Duration::from_mins(1);
+        assert_eq!(ws.window_sum("hits", None, w), 2);
+        assert_eq!(ws.window_sum("hits", Some("acme"), w), 1);
+        assert_eq!(ws.summary("lat", Some("acme"), w).unwrap().count, 1);
+        // The lifetime registry saw everything exactly once.
+        assert_eq!(obs.registry().snapshot().counters["hits"], 2);
+    }
+
+    #[test]
+    fn win_tee_skips_the_registry() {
+        use grdf_runtime::ManualClock;
+        let clock = Arc::new(ManualClock::new());
+        let obs = Obs::new().with_windows(WindowConfig::default(), clock as Arc<dyn Clock>);
+        {
+            let _scope = obs.scope("req");
+            win_add("hot.counter", 3);
+            win_observe("hot.lat", 42);
+        }
+        let ws = obs.windows().unwrap();
+        let w = Duration::from_mins(1);
+        assert_eq!(ws.window_sum("hot.counter", None, w), 3);
+        assert_eq!(ws.summary("hot.lat", None, w).unwrap().count, 1);
+        assert!(obs.registry().snapshot().counters.is_empty());
+    }
+
+    /// Satellite pin (PR 7): window state never leaks into
+    /// [`MetricsSnapshot`] — `metrics-snapshot --diff` diffs lifetime
+    /// aggregates only, so two same-run snapshots whose window rings
+    /// differ still delta cleanly (no spurious families, no cross-run
+    /// shape mismatch), and the JSON round-trip is unaffected.
+    #[test]
+    fn snapshot_diffing_ignores_window_state() {
+        use grdf_runtime::ManualClock;
+        let clock = Arc::new(ManualClock::new());
+        let obs = Obs::new().with_windows(WindowConfig::default(), Arc::clone(&clock) as _);
+        {
+            let _scope = obs.scope("req");
+            set_tenant(Arc::from("acme"));
+            incr("server.requests");
+            observe("server.latency", 777);
+        }
+        let before = obs.registry().snapshot().with_run_id(1);
+        // Mutate ONLY window state: time passes, per-tenant series roll
+        // over, one window-only tee fires.
+        clock.advance(Duration::from_hours(1));
+        {
+            let _scope = obs.scope("req");
+            set_tenant(Arc::from("umbra"));
+            win_add("server.requests", 50);
+            win_observe("server.latency", 9999);
+        }
+        let after = obs.registry().snapshot().with_run_id(1);
+        // No snapshot key mentions a tenant or a window series.
+        for key in after.counters.keys().chain(after.histograms.keys()) {
+            assert!(!key.contains('\u{1f}'), "window key leaked: {key}");
+            assert!(!key.contains("acme") && !key.contains("umbra"));
+        }
+        let delta = after.try_delta(&before).unwrap();
+        assert!(delta.counters.values().all(|&v| v == 0), "{delta:?}");
+        assert!(delta.histograms.values().all(|h| h.count == 0));
+        // And the line-oriented JSON round-trip still holds exactly.
+        assert_eq!(MetricsSnapshot::from_json(&after.to_json()).unwrap(), after);
+    }
+
+    #[test]
+    fn profiler_samples_without_a_sink() {
+        use grdf_runtime::ManualClock;
+        let clock = Arc::new(ManualClock::new());
+        let obs = Obs::new().with_profiler(
+            Duration::from_millis(10),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        {
+            let _scope = obs.scope("root"); // tick 0: never sampled
+            clock.advance(Duration::from_millis(10));
+            let _child = span("child"); // tick 1: samples root;child
+        }
+        let p = obs.profiler().unwrap();
+        assert_eq!(p.samples(), 1);
+        assert!(p.collapsed().contains("root;child 10000"));
+        // No sink: the span stack fed the profiler but no trace records
+        // were materialized.
+        assert!(obs.sink().is_empty());
     }
 
     #[test]

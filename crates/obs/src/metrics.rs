@@ -17,7 +17,39 @@ use std::time::Duration;
 
 /// Number of log₂ buckets; bucket `i` counts values in `[2^i, 2^(i+1))`
 /// (bucket 0 also absorbs 0), the last bucket absorbs everything larger.
-const BUCKETS: usize = 64;
+pub const BUCKETS: usize = 64;
+
+/// Interpolated quantile over a log₂ bucket array: linear within the
+/// bucket holding the target rank, clamped to `max`; zero when empty.
+/// Shared by [`LogHistogram`] and the windowed rings
+/// ([`crate::window::WindowedSummary`]).
+pub(crate) fn log_bucket_quantile(buckets: &[u64; BUCKETS], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if seen + n >= target {
+            let lower = if i == 0 { 0 } else { 1u64 << i };
+            let upper = if i + 1 >= 64 {
+                u64::MAX
+            } else {
+                1u64 << (i + 1)
+            };
+            // The target rank's position among this bucket's samples,
+            // assuming they spread uniformly across the bucket.
+            let frac = (target - seen) as f64 / n as f64;
+            let est = lower + ((upper - lower) as f64 * frac).round() as u64;
+            return est.min(max);
+        }
+        seen += n;
+    }
+    max
+}
 
 /// A monotonically increasing counter handle (cheap to clone).
 #[derive(Debug, Clone, Default)]
@@ -121,33 +153,35 @@ impl LogHistogram {
     /// the bucket holding the target rank and clamped to [`Self::max`];
     /// zero when empty.
     pub fn quantile(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
+        log_bucket_quantile(&self.bucket_counts(), self.count(), self.max(), q)
+    }
+
+    /// Raw per-bucket counts (bucket `i` covers `[2^i, 2^(i+1))`); the
+    /// Prometheus exposition reads these to render cumulative
+    /// `_bucket{le=…}` samples.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Last-seen exemplar per log₂ bucket: the most recent `(value,
+/// trace id)` recorded into the bucket while a traced scope was active.
+/// The two cells are not updated atomically as a pair — a racing pair of
+/// records can interleave them — but both halves always belong to the
+/// same bucket, so an exposed exemplar is always a valid witness for its
+/// bucket.
+#[derive(Debug)]
+struct Exemplars {
+    ids: [AtomicU64; BUCKETS],
+    values: [AtomicU64; BUCKETS],
+}
+
+impl Default for Exemplars {
+    fn default() -> Exemplars {
+        Exemplars {
+            ids: std::array::from_fn(|_| AtomicU64::new(0)),
+            values: std::array::from_fn(|_| AtomicU64::new(0)),
         }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            let n = b.load(Ordering::Relaxed);
-            if n == 0 {
-                continue;
-            }
-            if seen + n >= target {
-                let lower = if i == 0 { 0 } else { 1u64 << i };
-                let upper = if i + 1 >= 64 {
-                    u64::MAX
-                } else {
-                    1u64 << (i + 1)
-                };
-                // The target rank's position among this bucket's samples,
-                // assuming they spread uniformly across the bucket.
-                let frac = (target - seen) as f64 / n as f64;
-                let est = lower + ((upper - lower) as f64 * frac).round() as u64;
-                return est.min(self.max());
-            }
-            seen += n;
-        }
-        self.max()
     }
 }
 
@@ -155,12 +189,20 @@ impl LogHistogram {
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     core: Arc<LogHistogram>,
+    exemplars: Arc<Exemplars>,
 }
 
 impl Histogram {
-    /// Record one value.
+    /// Record one value. When a traced scope is active on this thread,
+    /// the value and its trace id are kept as the bucket's exemplar,
+    /// linking `/metrics` histogram buckets back to spans in the sink.
     pub fn record(&self, v: u64) {
         self.core.record(v);
+        if let Some(id) = crate::current_trace_id() {
+            let idx = ((v | 1).ilog2() as usize).min(BUCKETS - 1);
+            self.exemplars.values[idx].store(v, Ordering::Relaxed);
+            self.exemplars.ids[idx].store(id.0, Ordering::Relaxed);
+        }
     }
 
     /// Record a duration in microseconds.
@@ -182,6 +224,28 @@ impl Histogram {
     /// Largest recorded value.
     pub fn max(&self) -> u64 {
         self.core.max()
+    }
+
+    /// Raw per-bucket counts (see [`LogHistogram::bucket_counts`]).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        self.core.bucket_counts()
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.core.sum()
+    }
+
+    /// The exemplar witnessed for bucket `idx`, if any request ever
+    /// recorded into it under a traced scope.
+    pub fn exemplar(&self, idx: usize) -> Option<(crate::TraceId, u64)> {
+        let id = self.exemplars.ids.get(idx)?.load(Ordering::Relaxed);
+        (id != 0).then(|| {
+            (
+                crate::TraceId(id),
+                self.exemplars.values[idx].load(Ordering::Relaxed),
+            )
+        })
     }
 }
 
@@ -287,6 +351,18 @@ impl MetricsRegistry {
     /// Multi-line human-readable rendering of the current state.
     pub fn render(&self) -> String {
         self.snapshot().render()
+    }
+
+    /// Every registered histogram with its live handle — the Prometheus
+    /// exposition walks these for raw buckets and exemplars, which the
+    /// [`HistogramSummary`] snapshot deliberately omits.
+    pub fn histogram_handles(&self) -> Vec<(String, Histogram)> {
+        self.histograms
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 }
 

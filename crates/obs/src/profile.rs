@@ -1,0 +1,178 @@
+//! Signal-free sampling wall-clock profiler.
+//!
+//! Classic sampling profilers interrupt threads with `SIGPROF`; that is
+//! unavailable here (std-only, portable) and unsafe to mix with FFI.
+//! Instead, worker threads **self-report**: every span open/close already
+//! passes through [`crate::span`]'s thread-local bookkeeping, and on each
+//! such event the thread checks whether a new sampling tick (driven by
+//! the injected [`grdf_runtime::Clock`]) has begun. The first thread to
+//! observe a tick wins a CAS and records its *current open-span stack*
+//! into a collapsed-stack weight map, crediting one sampling interval.
+//!
+//! ## Sampling guarantees (documented in DESIGN.md §12)
+//!
+//! * At most one sample is recorded per tick, process-wide — the output
+//!   weight of a stack approximates the wall time the service spent with
+//!   that stack active.
+//! * Samples are taken at span *boundaries* only: a thread blocked
+//!   inside one long span contributes no additional samples while
+//!   blocked. The interval it eventually credits is attributed to the
+//!   stack active at the boundary, and ticks nobody observed (an idle
+//!   service) are dropped, never back-filled.
+//! * Overhead per span event is one atomic load and a compare on the hot
+//!   path; the weight-map mutex is touched only by tick winners (at most
+//!   once per interval).
+//!
+//! Output is the flamegraph "collapsed" format (`path;to;frame µs`),
+//! matching [`crate::TraceSink::collapsed`], exposed over the server's
+//! `/profile` endpoint and runnable continuously under `grdf-cli serve`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use grdf_runtime::Clock;
+
+/// A continuously running sampling profiler (see module docs).
+pub struct Profiler {
+    clock: Arc<dyn Clock>,
+    interval: Duration,
+    last_tick: AtomicU64,
+    samples: AtomicU64,
+    stacks: Mutex<BTreeMap<String, u64>>,
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("interval", &self.interval)
+            .field("samples", &self.samples())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Profiler {
+    /// A profiler sampling once per `interval` on `clock`.
+    pub fn new(clock: Arc<dyn Clock>, interval: Duration) -> Profiler {
+        Profiler {
+            clock,
+            interval: interval.max(Duration::from_micros(100)),
+            last_tick: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            stacks: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Samples recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Called by [`crate::span`] open/close with the thread's current
+    /// open-span name stack. Cheap no-op unless a new tick began.
+    pub(crate) fn on_span_event(&self, stack: &[&'static str]) {
+        if stack.is_empty() {
+            return;
+        }
+        let tick = {
+            let iv = self.interval.as_nanos().max(1);
+            u64::try_from(self.clock.now().as_nanos() / iv).unwrap_or(u64::MAX)
+        };
+        let last = self.last_tick.load(Ordering::Relaxed);
+        if tick <= last {
+            return;
+        }
+        if self
+            .last_tick
+            .compare_exchange(last, tick, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return; // another thread claimed this tick
+        }
+        let path = stack.join(";");
+        let weight = u64::try_from(self.interval.as_micros()).unwrap_or(u64::MAX);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+        let mut stacks = self
+            .stacks
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *stacks.entry(path).or_insert(0) += weight;
+    }
+
+    /// Flamegraph collapsed-stack rendering: one `path µs` line per
+    /// distinct sampled stack, sorted by path.
+    pub fn collapsed(&self) -> String {
+        let stacks = self
+            .stacks
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = String::new();
+        for (path, weight) in stacks.iter() {
+            let _ = writeln!(out, "{path} {weight}");
+        }
+        out
+    }
+
+    /// Drop all accumulated samples (used between bench phases).
+    pub fn reset(&self) {
+        self.stacks
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        self.samples.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_runtime::ManualClock;
+
+    #[test]
+    fn ticks_sample_the_reported_stack_once() {
+        let clock = Arc::new(ManualClock::new());
+        let p = Profiler::new(
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            Duration::from_millis(10),
+        );
+        // Tick 0 is never sampled (last_tick starts there); advance into
+        // tick 1.
+        clock.advance(Duration::from_millis(10));
+        p.on_span_event(&["server.request", "gsacs.request"]);
+        p.on_span_event(&["server.request", "gsacs.request"]); // same tick: dropped
+        assert_eq!(p.samples(), 1);
+        clock.advance(Duration::from_millis(10));
+        p.on_span_event(&["server.request"]);
+        assert_eq!(p.samples(), 2);
+        let collapsed = p.collapsed();
+        assert!(collapsed.contains("server.request;gsacs.request 10000"));
+        assert!(collapsed.contains("server.request 10000"));
+        p.reset();
+        assert_eq!(p.samples(), 0);
+        assert!(p.collapsed().is_empty());
+    }
+
+    #[test]
+    fn empty_stacks_and_unelapsed_ticks_record_nothing() {
+        let clock = Arc::new(ManualClock::new());
+        let p = Profiler::new(
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            Duration::from_millis(10),
+        );
+        clock.advance(Duration::from_millis(25));
+        p.on_span_event(&[]);
+        assert_eq!(p.samples(), 0);
+        p.on_span_event(&["a"]);
+        assert_eq!(p.samples(), 1);
+        // No clock movement: the tick is spent.
+        p.on_span_event(&["b"]);
+        assert_eq!(p.samples(), 1);
+    }
+}

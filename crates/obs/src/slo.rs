@@ -1,0 +1,535 @@
+//! Declarative service-level objectives evaluated on the windowed
+//! metric store, with multi-window burn-rate alerting.
+//!
+//! An [`Objective`] is parsed from a compact spec string:
+//!
+//! ```text
+//! p99(server.latency) < 10ms over 5m
+//! errors: rate(server.errors) / rate(server.requests) < 0.1% over 5m
+//! ```
+//!
+//! The window named in the spec is the **fast** window; each objective is
+//! also evaluated over a **slow** window `SLOW_FACTOR` (12×) longer —
+//! the Google SRE multi-window pattern: the alert fires only when *both*
+//! windows exceed the target (burn rate > 1), so a brief blip cannot
+//! page, and it clears as soon as the fast window recovers, so a
+//! long-resolved incident does not keep paging for the rest of the slow
+//! window. "Burn rate" is measured/target: 1.0 means exactly consuming
+//! the budget, 2.0 means twice as fast as allowed.
+//!
+//! Evaluation is read-only over [`WindowStore`] rings (a few hundred
+//! relaxed loads per objective), cheap enough to run on every `/health`
+//! hit and on the server's degraded-admission check.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::metrics::escape_json;
+use crate::window::WindowStore;
+
+/// Fast→slow window multiplier (5 m → 1 h with the default config).
+pub const SLOW_FACTOR: u32 = 12;
+
+/// What an objective measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloKind {
+    /// `pXX(metric) < threshold` — a windowed quantile of a histogram
+    /// series, thresholds in the histogram's units (µs for latencies).
+    Quantile {
+        /// Histogram series name.
+        metric: String,
+        /// Quantile in `(0, 1)`.
+        q: f64,
+        /// Threshold in the series' units.
+        threshold: u64,
+    },
+    /// `rate(num) / rate(den) < threshold` — a ratio of windowed counter
+    /// rates (e.g. error rate), threshold as a fraction.
+    Ratio {
+        /// Numerator counter series.
+        numerator: String,
+        /// Denominator counter series.
+        denominator: String,
+        /// Threshold fraction in `(0, 1]`.
+        threshold: f64,
+    },
+}
+
+/// One declared objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// Short name (from a `name:` prefix, or derived from the spec).
+    pub name: String,
+    /// What is measured and the target.
+    pub kind: SloKind,
+    /// The fast evaluation window.
+    pub window: Duration,
+    /// The original spec text (kept verbatim for display).
+    pub spec: String,
+}
+
+/// Alert state of one objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloState {
+    /// The fast window holds no samples; nothing to judge.
+    NoData,
+    /// Within budget on at least one window.
+    Ok,
+    /// Burn rate exceeds 1 on both the fast and slow windows.
+    Burning,
+}
+
+impl SloState {
+    /// Stable lowercase wire form (`/health` JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloState::NoData => "no_data",
+            SloState::Ok => "ok",
+            SloState::Burning => "burning",
+        }
+    }
+}
+
+impl std::fmt::Display for SloState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Point-in-time evaluation of one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Objective name.
+    pub name: String,
+    /// The spec text.
+    pub objective: String,
+    /// The fast window.
+    pub window: Duration,
+    /// Measured value on the fast window (µs for quantile objectives,
+    /// fraction for ratio objectives); 0 when no data.
+    pub current: f64,
+    /// measured/target on the fast window.
+    pub burn_fast: f64,
+    /// measured/target on the slow window.
+    pub burn_slow: f64,
+    /// Multi-window alert state.
+    pub state: SloState,
+}
+
+impl SloStatus {
+    /// One stable-order JSON object (embedded in `/health`'s `slo`
+    /// array).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"objective\": \"{}\", \"window_secs\": {}, \
+             \"current\": {:.6}, \"burn_fast\": {:.4}, \"burn_slow\": {:.4}, \
+             \"state\": \"{}\"}}",
+            escape_json(&self.name),
+            escape_json(&self.objective),
+            self.window.as_secs(),
+            self.current,
+            self.burn_fast,
+            self.burn_slow,
+            self.state
+        )
+    }
+
+    /// One aligned human-readable line (for `health` text output).
+    pub fn render_line(&self) -> String {
+        format!(
+            "{:<12} {:<44} burn {:.2}/{:.2} [{}]",
+            self.name, self.objective, self.burn_fast, self.burn_slow, self.state
+        )
+    }
+}
+
+/// Render a status list as a JSON array (the `/health` `slo` section).
+pub fn statuses_json(statuses: &[SloStatus]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in statuses.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&s.to_json());
+    }
+    out.push(']');
+    out
+}
+
+impl Objective {
+    /// Parse a spec: `[name:] p99(metric) < 10ms over 5m` or
+    /// `[name:] rate(a) / rate(b) < 0.1% over 5m`. Durations accept
+    /// `us`/`ms`/`s`; windows accept `s`/`m`/`h`.
+    pub fn parse(spec: &str) -> Result<Objective, String> {
+        let spec = spec.trim();
+        let (name, body) = match spec.split_once(':') {
+            Some((n, rest)) if !n.contains('(') && !n.trim().is_empty() => {
+                (Some(n.trim().to_string()), rest.trim())
+            }
+            _ => (None, spec),
+        };
+        let (cond, window) = body
+            .rsplit_once(" over ")
+            .ok_or_else(|| format!("missing ' over <window>' in SLO spec: {spec}"))?;
+        let window = parse_window(window.trim())?;
+        let (lhs, rhs) = cond
+            .split_once('<')
+            .ok_or_else(|| format!("missing '<' in SLO spec: {spec}"))?;
+        let lhs = lhs.trim();
+        let rhs = rhs.trim();
+        let kind = if let Some(rest) = lhs.strip_prefix("rate(") {
+            let (num, den_part) = rest
+                .split_once(')')
+                .ok_or_else(|| format!("unclosed rate() in SLO spec: {spec}"))?;
+            let den = den_part
+                .trim()
+                .strip_prefix('/')
+                .map(str::trim)
+                .and_then(|d| d.strip_prefix("rate("))
+                .and_then(|d| d.strip_suffix(')'))
+                .ok_or_else(|| format!("expected rate(a) / rate(b) in SLO spec: {spec}"))?;
+            SloKind::Ratio {
+                numerator: num.trim().to_string(),
+                denominator: den.trim().to_string(),
+                threshold: parse_fraction(rhs)?,
+            }
+        } else if let Some(rest) = lhs.strip_prefix('p') {
+            let (digits, metric) = rest
+                .split_once('(')
+                .ok_or_else(|| format!("expected pNN(metric) in SLO spec: {spec}"))?;
+            let metric = metric
+                .strip_suffix(')')
+                .ok_or_else(|| format!("unclosed pNN() in SLO spec: {spec}"))?;
+            let raw: u32 = digits
+                .parse()
+                .map_err(|_| format!("bad quantile p{digits} in SLO spec: {spec}"))?;
+            let q = f64::from(raw) / 10f64.powi(digits.len() as i32);
+            if !(0.0..1.0).contains(&q) || raw == 0 {
+                return Err(format!(
+                    "quantile p{digits} out of range in SLO spec: {spec}"
+                ));
+            }
+            SloKind::Quantile {
+                metric: metric.trim().to_string(),
+                q,
+                threshold: parse_value_us(rhs)?,
+            }
+        } else {
+            return Err(format!(
+                "expected pNN(metric) or rate(a)/rate(b) in SLO spec: {spec}"
+            ));
+        };
+        let name = name.unwrap_or_else(|| match &kind {
+            SloKind::Quantile { metric, .. } => metric.clone(),
+            SloKind::Ratio { numerator, .. } => numerator.clone(),
+        });
+        Ok(Objective {
+            name,
+            kind,
+            window,
+            spec: body.to_string(),
+        })
+    }
+}
+
+/// `5m`, `1h`, `30s` → a window duration.
+fn parse_window(s: &str) -> Result<Duration, String> {
+    let (num, unit) = split_unit(s);
+    let n: f64 = num
+        .parse()
+        .map_err(|_| format!("bad window duration: {s}"))?;
+    let secs = match unit {
+        "s" => n,
+        "m" => n * 60.0,
+        "h" => n * 3600.0,
+        _ => return Err(format!("bad window unit (want s/m/h): {s}")),
+    };
+    if secs <= 0.0 {
+        return Err(format!("window must be positive: {s}"));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+/// `10ms`, `250us`, `1s`, or a bare number (already in series units) →
+/// integer µs-scale threshold.
+fn parse_value_us(s: &str) -> Result<u64, String> {
+    let (num, unit) = split_unit(s);
+    let n: f64 = num.parse().map_err(|_| format!("bad threshold: {s}"))?;
+    let v = match unit {
+        "us" | "µs" | "" => n,
+        "ms" => n * 1_000.0,
+        "s" => n * 1_000_000.0,
+        _ => return Err(format!("bad threshold unit (want us/ms/s): {s}")),
+    };
+    if v <= 0.0 {
+        return Err(format!("threshold must be positive: {s}"));
+    }
+    Ok(v.round() as u64)
+}
+
+/// `0.1%` or `0.001` → a fraction.
+fn parse_fraction(s: &str) -> Result<f64, String> {
+    let (raw, pct) = match s.strip_suffix('%') {
+        Some(r) => (r, true),
+        None => (s, false),
+    };
+    let n: f64 = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad ratio threshold: {s}"))?;
+    let v = if pct { n / 100.0 } else { n };
+    if v <= 0.0 || v > 1.0 {
+        return Err(format!("ratio threshold out of (0, 1]: {s}"));
+    }
+    Ok(v)
+}
+
+fn split_unit(s: &str) -> (&str, &str) {
+    let cut = s
+        .find(|c: char| c.is_alphabetic() || c == 'µ')
+        .unwrap_or(s.len());
+    (s[..cut].trim(), s[cut..].trim())
+}
+
+/// Evaluates a set of objectives against a [`WindowStore`].
+#[derive(Debug, Clone, Default)]
+pub struct SloEngine {
+    objectives: Vec<Objective>,
+}
+
+impl SloEngine {
+    /// An engine over `objectives`.
+    pub fn new(objectives: Vec<Objective>) -> SloEngine {
+        SloEngine { objectives }
+    }
+
+    /// The declared objectives.
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// Measured value for `kind` over `window`; `None` when the window
+    /// holds no samples (quantile) or the denominator never ticked
+    /// (ratio).
+    fn measure(kind: &SloKind, windows: &WindowStore, window: Duration) -> Option<f64> {
+        match kind {
+            SloKind::Quantile { metric, q, .. } => {
+                let s = windows.summary(metric, None, window)?;
+                (s.count > 0).then(|| s.quantile(*q) as f64)
+            }
+            SloKind::Ratio {
+                numerator,
+                denominator,
+                ..
+            } => {
+                let den = windows.window_sum(denominator, None, window);
+                (den > 0).then(|| windows.window_sum(numerator, None, window) as f64 / den as f64)
+            }
+        }
+    }
+
+    fn target(kind: &SloKind) -> f64 {
+        match kind {
+            SloKind::Quantile { threshold, .. } => *threshold as f64,
+            SloKind::Ratio { threshold, .. } => *threshold,
+        }
+    }
+
+    /// Evaluate every objective now (reads the store's clock through the
+    /// windowed queries).
+    pub fn evaluate(&self, windows: &WindowStore) -> Vec<SloStatus> {
+        self.objectives
+            .iter()
+            .map(|o| {
+                let target = SloEngine::target(&o.kind);
+                let fast = SloEngine::measure(&o.kind, windows, o.window);
+                let slow = SloEngine::measure(&o.kind, windows, o.window * SLOW_FACTOR);
+                let burn_fast = fast.map_or(0.0, |v| v / target);
+                let burn_slow = slow.map_or(0.0, |v| v / target);
+                let state = match fast {
+                    None => SloState::NoData,
+                    Some(_) if burn_fast > 1.0 && burn_slow > 1.0 => SloState::Burning,
+                    Some(_) => SloState::Ok,
+                };
+                SloStatus {
+                    name: o.name.clone(),
+                    objective: o.spec.clone(),
+                    window: o.window,
+                    current: fast.unwrap_or(0.0),
+                    burn_fast,
+                    burn_slow,
+                    state,
+                }
+            })
+            .collect()
+    }
+
+    /// Whether any objective is currently burning.
+    pub fn any_burning(&self, windows: &WindowStore) -> bool {
+        self.evaluate(windows)
+            .iter()
+            .any(|s| s.state == SloState::Burning)
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self, windows: &WindowStore) -> String {
+        let mut out = String::new();
+        for s in self.evaluate(windows) {
+            let _ = writeln!(out, "{}", s.render_line());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowConfig;
+    use grdf_runtime::{Clock, ManualClock};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<ManualClock>, WindowStore) {
+        let clock = Arc::new(ManualClock::new());
+        let cfg = WindowConfig {
+            width: Duration::from_secs(10),
+            slots: 30,
+            slow_factor: 12,
+        };
+        (
+            Arc::clone(&clock),
+            WindowStore::new(cfg, clock as Arc<dyn Clock>),
+        )
+    }
+
+    #[test]
+    fn parses_quantile_objectives() {
+        let o = Objective::parse("p99(server.latency) < 10ms over 5m").unwrap();
+        assert_eq!(o.name, "server.latency");
+        assert_eq!(o.window, Duration::from_mins(5));
+        assert_eq!(
+            o.kind,
+            SloKind::Quantile {
+                metric: "server.latency".to_string(),
+                q: 0.99,
+                threshold: 10_000,
+            }
+        );
+        let o = Objective::parse("lat: p50(x) < 250us over 30s").unwrap();
+        assert_eq!(o.name, "lat");
+        assert_eq!(
+            o.kind,
+            SloKind::Quantile {
+                metric: "x".to_string(),
+                q: 0.5,
+                threshold: 250,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_ratio_objectives() {
+        let o =
+            Objective::parse("errors: rate(server.errors) / rate(server.requests) < 0.1% over 5m")
+                .unwrap();
+        assert_eq!(o.name, "errors");
+        assert_eq!(
+            o.kind,
+            SloKind::Ratio {
+                numerator: "server.errors".to_string(),
+                denominator: "server.requests".to_string(),
+                threshold: 0.001,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "p99(x) < 10ms",                  // no window
+            "p99(x < 10ms over 5m",           // unclosed
+            "p0(x) < 10ms over 5m",           // zero quantile
+            "rate(a) < 1% over 5m",           // missing denominator
+            "p99(x) < -3ms over 5m",          // negative threshold
+            "p99(x) < 10ms over 5d",          // bad window unit
+            "rate(a)/rate(b) < 150% over 5m", // ratio > 1
+            "latency over 5m",                // no comparison
+        ] {
+            assert!(Objective::parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn burn_fires_on_both_windows_and_clears_on_fast_recovery() {
+        let (clock, ws) = setup();
+        let eng = SloEngine::new(vec![Objective::parse(
+            "lat: p99(server.latency) < 10ms over 1m",
+        )
+        .unwrap()]);
+        // Healthy traffic: p99 ≈ 4 ms, no burn.
+        for _ in 0..100 {
+            ws.observe("server.latency", None, 4_000);
+        }
+        let s = &eng.evaluate(&ws)[0];
+        assert_eq!(s.state, SloState::Ok);
+        assert!(s.burn_fast < 1.0);
+        // Incident: sustained 80 ms requests dominate both windows.
+        clock.advance(Duration::from_secs(10));
+        for _ in 0..400 {
+            ws.observe("server.latency", None, 80_000);
+        }
+        let s = &eng.evaluate(&ws)[0];
+        assert_eq!(s.state, SloState::Burning, "status: {s:?}");
+        assert!(s.burn_fast > 1.0 && s.burn_slow > 1.0);
+        // Recovery: the fast window rolls past the incident and fills
+        // with healthy samples; the alert clears even though the slow
+        // window still remembers the incident.
+        clock.advance(Duration::from_secs(70));
+        for _ in 0..500 {
+            ws.observe("server.latency", None, 3_000);
+        }
+        let s = &eng.evaluate(&ws)[0];
+        assert_eq!(s.state, SloState::Ok, "status: {s:?}");
+        assert!(s.burn_fast < 1.0);
+        assert!(s.burn_slow > 1.0, "slow window still remembers: {s:?}");
+    }
+
+    #[test]
+    fn ratio_objective_tracks_error_budget() {
+        let (_clock, ws) = setup();
+        let eng = SloEngine::new(vec![Objective::parse(
+            "errors: rate(server.errors) / rate(server.requests) < 1% over 1m",
+        )
+        .unwrap()]);
+        // No traffic at all: nothing to judge.
+        assert_eq!(eng.evaluate(&ws)[0].state, SloState::NoData);
+        ws.add("server.requests", None, 1000);
+        ws.add("server.errors", None, 5);
+        let s = &eng.evaluate(&ws)[0];
+        assert_eq!(s.state, SloState::Ok);
+        assert!((s.current - 0.005).abs() < 1e-9);
+        ws.add("server.errors", None, 45); // 50/1000 = 5% > 1%
+        let s = &eng.evaluate(&ws)[0];
+        assert_eq!(s.state, SloState::Burning);
+        assert!((s.burn_fast - 5.0).abs() < 1e-9);
+        assert!(eng.any_burning(&ws));
+    }
+
+    #[test]
+    fn status_json_is_stable() {
+        let s = SloStatus {
+            name: "lat".to_string(),
+            objective: "p99(server.latency) < 10ms over 5m".to_string(),
+            window: Duration::from_mins(5),
+            current: 12_000.0,
+            burn_fast: 1.2,
+            burn_slow: 1.1,
+            state: SloState::Burning,
+        };
+        let json = s.to_json();
+        assert!(json.contains("\"name\": \"lat\""));
+        assert!(json.contains("\"window_secs\": 300"));
+        assert!(json.contains("\"burn_fast\": 1.2000"));
+        assert!(json.contains("\"state\": \"burning\""));
+        assert!(statuses_json(&[s.clone(), s]).starts_with('['));
+    }
+}

@@ -1,0 +1,795 @@
+//! Windowed (time-bucketed) metrics: a lock-free ring of fixed-interval
+//! buckets behind every counter/histogram, so the registry's lifetime
+//! totals gain a time axis — `rate(name, window)` and windowed quantiles
+//! over the recent past instead of since-boot aggregates.
+//!
+//! ## Ring model
+//!
+//! Each series owns **two** rings sharing one geometry knob
+//! ([`WindowConfig`]): a *fast* ring of `slots` buckets `width` wide
+//! (default 30 × 10 s = 5 min of fine-grained history) and a *slow* ring
+//! of `slots` buckets `width × slow_factor` wide (default 30 × 120 s =
+//! 1 h of coarse history). Queries pick the ring by the requested window:
+//! windows within the fast span read fine buckets, longer windows fall
+//! back to the coarse ring. The two-tier layout is what makes
+//! multi-window burn-rate alerting (fast 5 m + slow 1 h) affordable:
+//! retention spans an hour without an hour of 10-second histogram slots.
+//!
+//! Time comes from an injected [`grdf_runtime::Clock`], never
+//! `Instant::now()` directly, so tests drive the rings with a
+//! `ManualClock` and assert *exact* rates and quantiles.
+//!
+//! ## Concurrency
+//!
+//! A slot is `(stamp, cells…)` where `stamp = epoch + 1` (0 = never
+//! written). Recording computes the current epoch, claims the slot by
+//! swapping the stamp, and the claim winner zeroes the cells. A racing
+//! record between the claim and the reset can be lost — a bounded,
+//! boundary-only undercount under heavy contention that we accept in
+//! exchange for recording being a handful of relaxed atomics with no
+//! lock. Single-threaded (and clock-driven test) recording is exact.
+//!
+//! ## Cardinality
+//!
+//! Series are keyed by `(name, optional tenant label)`. Tenant labels
+//! must come from a [`TenantDim`] — a bounded, LRU-capped label space
+//! with an `other` overflow bucket — so adversarial tenant ids can never
+//! grow the store past `cap + 1` labels per name (see DESIGN.md §12).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use grdf_runtime::Clock;
+
+use crate::metrics::{log_bucket_quantile, BUCKETS};
+
+/// Separator between metric name and tenant label in a series key.
+/// Unit-separator is unreachable from metric names and sanitized tenant
+/// ids, so the split is unambiguous.
+const TENANT_SEP: char = '\u{1f}';
+
+/// Ring geometry for a [`WindowStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Fast-ring bucket width.
+    pub width: Duration,
+    /// Buckets per ring (fast and slow rings both hold this many).
+    pub slots: usize,
+    /// Slow-ring buckets are `width × slow_factor` wide.
+    pub slow_factor: u32,
+}
+
+impl Default for WindowConfig {
+    fn default() -> WindowConfig {
+        WindowConfig {
+            width: Duration::from_secs(10),
+            slots: 30,
+            slow_factor: 12,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// Span of the fast ring (`width × slots`).
+    pub fn fast_span(&self) -> Duration {
+        self.width * u32::try_from(self.slots).unwrap_or(u32::MAX)
+    }
+
+    /// Span of the slow ring (`width × slow_factor × slots`).
+    pub fn slow_span(&self) -> Duration {
+        self.fast_span() * self.slow_factor
+    }
+
+    fn slow_width(&self) -> Duration {
+        self.width * self.slow_factor
+    }
+}
+
+fn epoch_of(now: Duration, width: Duration) -> u64 {
+    let w = width.as_nanos().max(1);
+    u64::try_from(now.as_nanos() / w).unwrap_or(u64::MAX)
+}
+
+/// Epochs covered by `window` at bucket width `width`, including the
+/// current partial bucket, clamped to the ring length.
+fn window_epochs(window: Duration, width: Duration, slots: usize) -> u64 {
+    let w = width.as_nanos().max(1);
+    let n = window.as_nanos().div_ceil(w);
+    u64::try_from(n).unwrap_or(u64::MAX).clamp(1, slots as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Counter rings
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct CounterSlot {
+    stamp: AtomicU64,
+    value: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CounterRing {
+    slots: Box<[CounterSlot]>,
+}
+
+impl CounterRing {
+    fn new(slots: usize) -> CounterRing {
+        CounterRing {
+            slots: (0..slots.max(1))
+                .map(|_| CounterSlot {
+                    stamp: AtomicU64::new(0),
+                    value: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    fn add(&self, epoch: u64, n: u64) {
+        let slot = &self.slots[usize::try_from(epoch).unwrap_or(usize::MAX) % self.slots.len()];
+        let stamp = epoch + 1;
+        if slot.stamp.load(Ordering::Acquire) != stamp {
+            let prev = slot.stamp.swap(stamp, Ordering::AcqRel);
+            if prev != stamp {
+                // Claim winner resets the recycled slot (see module docs
+                // for the benign boundary race).
+                slot.value.store(0, Ordering::Release);
+            }
+        }
+        slot.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn sum(&self, now_epoch: u64, epochs: u64) -> u64 {
+        let lo = now_epoch.saturating_sub(epochs - 1) + 1;
+        let hi = now_epoch + 1;
+        self.slots
+            .iter()
+            .filter_map(|s| {
+                let stamp = s.stamp.load(Ordering::Acquire);
+                (stamp >= lo && stamp <= hi).then(|| s.value.load(Ordering::Relaxed))
+            })
+            .sum()
+    }
+}
+
+#[derive(Debug)]
+struct WindowedCounter {
+    fast: CounterRing,
+    slow: CounterRing,
+}
+
+// ---------------------------------------------------------------------------
+// Histogram rings
+// ---------------------------------------------------------------------------
+
+struct HistSlot {
+    stamp: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+struct HistRing {
+    slots: Box<[HistSlot]>,
+}
+
+impl HistRing {
+    fn new(slots: usize) -> HistRing {
+        HistRing {
+            slots: (0..slots.max(1))
+                .map(|_| HistSlot {
+                    stamp: AtomicU64::new(0),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                    max: AtomicU64::new(0),
+                    buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                })
+                .collect(),
+        }
+    }
+
+    fn record(&self, epoch: u64, v: u64) {
+        let slot = &self.slots[usize::try_from(epoch).unwrap_or(usize::MAX) % self.slots.len()];
+        let stamp = epoch + 1;
+        if slot.stamp.load(Ordering::Acquire) != stamp {
+            let prev = slot.stamp.swap(stamp, Ordering::AcqRel);
+            if prev != stamp {
+                slot.count.store(0, Ordering::Relaxed);
+                slot.sum.store(0, Ordering::Relaxed);
+                slot.max.store(0, Ordering::Relaxed);
+                for b in &slot.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+        let idx = ((v | 1).ilog2() as usize).min(BUCKETS - 1);
+        slot.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(v, Ordering::Relaxed);
+        slot.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn merge(&self, now_epoch: u64, epochs: u64) -> WindowedSummary {
+        let lo = now_epoch.saturating_sub(epochs - 1) + 1;
+        let hi = now_epoch + 1;
+        let mut out = WindowedSummary::default();
+        for s in &*self.slots {
+            let stamp = s.stamp.load(Ordering::Acquire);
+            if stamp < lo || stamp > hi {
+                continue;
+            }
+            out.count += s.count.load(Ordering::Relaxed);
+            out.sum += s.sum.load(Ordering::Relaxed);
+            out.max = out.max.max(s.max.load(Ordering::Relaxed));
+            for (acc, b) in out.buckets.iter_mut().zip(&s.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+}
+
+struct WindowedHistogram {
+    fast: HistRing,
+    slow: HistRing,
+}
+
+/// Merged view of one histogram series over a window.
+#[derive(Clone, Copy)]
+pub struct WindowedSummary {
+    /// Samples inside the window.
+    pub count: u64,
+    /// Sum of sample values inside the window.
+    pub sum: u64,
+    /// Largest sample inside the window.
+    pub max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for WindowedSummary {
+    fn default() -> WindowedSummary {
+        WindowedSummary {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl std::fmt::Debug for WindowedSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedSummary")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WindowedSummary {
+    /// Interpolated quantile over the window (see
+    /// [`LogHistogram::quantile`](crate::LogHistogram::quantile)); zero
+    /// when the window holds no samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        log_bucket_quantile(&self.buckets, self.count, self.max, q)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// Name → windowed series, with time injected through a
+/// [`grdf_runtime::Clock`]. Recording takes a read lock on first resolve
+/// plus relaxed atomics; registration (first use of a key) takes the
+/// write lock once.
+pub struct WindowStore {
+    clock: Arc<dyn Clock>,
+    cfg: WindowConfig,
+    counters: RwLock<BTreeMap<String, Arc<WindowedCounter>>>,
+    histograms: RwLock<BTreeMap<String, Arc<WindowedHistogram>>>,
+}
+
+impl std::fmt::Debug for WindowStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowStore")
+            .field("cfg", &self.cfg)
+            .field("series", &self.series_count())
+            .finish_non_exhaustive()
+    }
+}
+
+fn series_key(name: &str, tenant: Option<&str>) -> String {
+    match tenant {
+        None => name.to_string(),
+        Some(t) => format!("{name}{TENANT_SEP}{t}"),
+    }
+}
+
+/// Split a series key back into `(name, tenant)`.
+pub fn split_series(key: &str) -> (&str, Option<&str>) {
+    match key.split_once(TENANT_SEP) {
+        None => (key, None),
+        Some((name, tenant)) => (name, Some(tenant)),
+    }
+}
+
+impl WindowStore {
+    /// An empty store reading `clock`.
+    pub fn new(cfg: WindowConfig, clock: Arc<dyn Clock>) -> WindowStore {
+        WindowStore {
+            clock,
+            cfg,
+            counters: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The injected clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The ring geometry.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    fn counter_series(&self, key: &str) -> Arc<WindowedCounter> {
+        if let Some(c) = self.counters.read().expect("window lock").get(key) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("window lock");
+        Arc::clone(map.entry(key.to_string()).or_insert_with(|| {
+            Arc::new(WindowedCounter {
+                fast: CounterRing::new(self.cfg.slots),
+                slow: CounterRing::new(self.cfg.slots),
+            })
+        }))
+    }
+
+    fn hist_series(&self, key: &str) -> Arc<WindowedHistogram> {
+        if let Some(h) = self.histograms.read().expect("window lock").get(key) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("window lock");
+        Arc::clone(map.entry(key.to_string()).or_insert_with(|| {
+            Arc::new(WindowedHistogram {
+                fast: HistRing::new(self.cfg.slots),
+                slow: HistRing::new(self.cfg.slots),
+            })
+        }))
+    }
+
+    /// Add `n` to the windowed counter `name` (global series when
+    /// `tenant` is `None`, plus callers tee a tenant series separately).
+    pub fn add(&self, name: &str, tenant: Option<&str>, n: u64) {
+        let now = self.clock.now();
+        let series = self.counter_series(&series_key(name, tenant));
+        series.fast.add(epoch_of(now, self.cfg.width), n);
+        series.slow.add(epoch_of(now, self.cfg.slow_width()), n);
+    }
+
+    /// Record `v` into the windowed histogram `name`.
+    pub fn observe(&self, name: &str, tenant: Option<&str>, v: u64) {
+        let now = self.clock.now();
+        let series = self.hist_series(&series_key(name, tenant));
+        series.fast.record(epoch_of(now, self.cfg.width), v);
+        series.slow.record(epoch_of(now, self.cfg.slow_width()), v);
+    }
+
+    /// Sum of counter increments inside the trailing `window` (including
+    /// the current partial bucket). Zero for an unknown series.
+    pub fn window_sum(&self, name: &str, tenant: Option<&str>, window: Duration) -> u64 {
+        let key = series_key(name, tenant);
+        let Some(series) = self
+            .counters
+            .read()
+            .expect("window lock")
+            .get(&key)
+            .cloned()
+        else {
+            return 0;
+        };
+        let now = self.clock.now();
+        let (ring, width) = if window <= self.cfg.fast_span() {
+            (&series.fast, self.cfg.width)
+        } else {
+            (&series.slow, self.cfg.slow_width())
+        };
+        ring.sum(
+            epoch_of(now, width),
+            window_epochs(window, width, self.cfg.slots),
+        )
+    }
+
+    /// Events per second over the trailing `window`:
+    /// `window_sum / window.as_secs`.
+    pub fn rate(&self, name: &str, tenant: Option<&str>, window: Duration) -> f64 {
+        let secs = window.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.window_sum(name, tenant, window) as f64 / secs
+    }
+
+    /// Merged histogram view over the trailing `window`; `None` for an
+    /// unknown series.
+    pub fn summary(
+        &self,
+        name: &str,
+        tenant: Option<&str>,
+        window: Duration,
+    ) -> Option<WindowedSummary> {
+        let key = series_key(name, tenant);
+        let series = self
+            .histograms
+            .read()
+            .expect("window lock")
+            .get(&key)
+            .cloned()?;
+        let now = self.clock.now();
+        let (ring, width) = if window <= self.cfg.fast_span() {
+            (&series.fast, self.cfg.width)
+        } else {
+            (&series.slow, self.cfg.slow_width())
+        };
+        Some(ring.merge(
+            epoch_of(now, width),
+            window_epochs(window, width, self.cfg.slots),
+        ))
+    }
+
+    /// Interpolated quantile over the trailing `window`; `None` for an
+    /// unknown series.
+    pub fn quantile(
+        &self,
+        name: &str,
+        tenant: Option<&str>,
+        window: Duration,
+        q: f64,
+    ) -> Option<u64> {
+        self.summary(name, tenant, window).map(|s| s.quantile(q))
+    }
+
+    /// Distinct tenant labels across all series (sorted, deduplicated).
+    pub fn tenant_labels(&self) -> Vec<String> {
+        let mut out = std::collections::BTreeSet::new();
+        for key in self
+            .counters
+            .read()
+            .expect("window lock")
+            .keys()
+            .chain(self.histograms.read().expect("window lock").keys())
+        {
+            if let (_, Some(t)) = split_series(key) {
+                out.insert(t.to_string());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Metric names carrying a series for `tenant` (histograms and
+    /// counters merged, sorted).
+    pub fn names_for_tenant(&self, tenant: Option<&str>) -> Vec<String> {
+        let mut out = std::collections::BTreeSet::new();
+        for key in self
+            .counters
+            .read()
+            .expect("window lock")
+            .keys()
+            .chain(self.histograms.read().expect("window lock").keys())
+        {
+            let (name, t) = split_series(key);
+            if t == tenant {
+                out.insert(name.to_string());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Total registered series (counter + histogram, all tenants) — the
+    /// quantity the cardinality cap bounds.
+    pub fn series_count(&self) -> usize {
+        self.counters.read().expect("window lock").len()
+            + self.histograms.read().expect("window lock").len()
+    }
+
+    /// Drop every series attributed to `tenant` (called when a
+    /// [`TenantDim`] slot is evicted, so a recycled label starts clean).
+    pub fn drop_tenant(&self, tenant: &str) {
+        let matches = |key: &String| split_series(key).1 == Some(tenant);
+        self.counters
+            .write()
+            .expect("window lock")
+            .retain(|k, _| !matches(k));
+        self.histograms
+            .write()
+            .expect("window lock")
+            .retain(|k, _| !matches(k));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded tenant label dimension
+// ---------------------------------------------------------------------------
+
+/// Result of resolving a raw tenant id against the bounded label space.
+#[derive(Debug, Clone)]
+pub struct TenantResolution {
+    /// The label to attribute this request to (the id itself, or
+    /// [`TenantDim::OVERFLOW`]).
+    pub label: Arc<str>,
+    /// A label whose slot was recycled to admit this id; the caller must
+    /// drop its windowed series ([`WindowStore::drop_tenant`]).
+    pub evicted: Option<Arc<str>>,
+}
+
+/// A bounded-cardinality tenant label space: at most `cap` distinct ids
+/// hold slots; everyone else is attributed to the shared `other` bucket.
+///
+/// Slots are LRU-recycled, but only once idle for `min_idle` — so a
+/// burst of 10k fresh tenant ids cannot evict the tenants actually
+/// carrying traffic (they all collapse into `other`), while a tenant
+/// that genuinely went away eventually frees its slot.
+#[derive(Debug)]
+pub struct TenantDim {
+    cap: usize,
+    min_idle: Duration,
+    overflow: Arc<str>,
+    slots: Mutex<Vec<(Arc<str>, Duration)>>,
+}
+
+impl TenantDim {
+    /// The shared overflow label.
+    pub const OVERFLOW: &'static str = "other";
+
+    /// A dimension admitting at most `cap` distinct labels, recycling
+    /// slots idle for at least `min_idle`.
+    pub fn new(cap: usize, min_idle: Duration) -> TenantDim {
+        TenantDim {
+            cap: cap.max(1),
+            min_idle,
+            overflow: Arc::from(TenantDim::OVERFLOW),
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Maximum distinct labels (excluding `other`).
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Map a raw (sanitized) tenant id onto a bounded label.
+    pub fn resolve(&self, raw: &str, now: Duration) -> TenantResolution {
+        if raw == TenantDim::OVERFLOW {
+            return TenantResolution {
+                label: Arc::clone(&self.overflow),
+                evicted: None,
+            };
+        }
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(slot) = slots.iter_mut().find(|(label, _)| &**label == raw) {
+            slot.1 = now;
+            return TenantResolution {
+                label: Arc::clone(&slot.0),
+                evicted: None,
+            };
+        }
+        let label: Arc<str> = Arc::from(raw);
+        if slots.len() < self.cap {
+            slots.push((Arc::clone(&label), now));
+            return TenantResolution {
+                label,
+                evicted: None,
+            };
+        }
+        // Full: recycle the LRU slot only if it has gone genuinely idle;
+        // otherwise this id overflows into `other`.
+        let lru = slots
+            .iter_mut()
+            .min_by_key(|(_, last)| *last)
+            .expect("cap >= 1");
+        if now.saturating_sub(lru.1) >= self.min_idle {
+            let evicted = std::mem::replace(&mut lru.0, Arc::clone(&label));
+            lru.1 = now;
+            return TenantResolution {
+                label,
+                evicted: Some(evicted),
+            };
+        }
+        TenantResolution {
+            label: Arc::clone(&self.overflow),
+            evicted: None,
+        }
+    }
+
+    /// Currently bound labels (no particular order; excludes `other`).
+    pub fn labels(&self) -> Vec<Arc<str>> {
+        self.slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(l, _)| Arc::clone(l))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grdf_runtime::ManualClock;
+
+    fn store(width_secs: u64, slots: usize) -> (Arc<ManualClock>, WindowStore) {
+        let clock = Arc::new(ManualClock::new());
+        let cfg = WindowConfig {
+            width: Duration::from_secs(width_secs),
+            slots,
+            slow_factor: 12,
+        };
+        (
+            Arc::clone(&clock),
+            WindowStore::new(cfg, clock as Arc<dyn Clock>),
+        )
+    }
+
+    #[test]
+    fn rate_is_exact_under_a_manual_clock() {
+        let (clock, ws) = store(10, 30);
+        for _ in 0..50 {
+            ws.add("req", None, 1);
+        }
+        clock.advance(Duration::from_secs(10));
+        for _ in 0..10 {
+            ws.add("req", None, 1);
+        }
+        // 60 events across the trailing minute.
+        assert_eq!(ws.window_sum("req", None, Duration::from_mins(1)), 60);
+        assert!((ws.rate("req", None, Duration::from_mins(1)) - 1.0).abs() < 1e-9);
+        // Only the current 10 s bucket holds the last 10 events.
+        assert_eq!(ws.window_sum("req", None, Duration::from_secs(10)), 10);
+    }
+
+    #[test]
+    fn old_buckets_age_out_of_the_window() {
+        let (clock, ws) = store(1, 10);
+        ws.add("x", None, 7);
+        clock.advance(Duration::from_secs(5));
+        assert_eq!(ws.window_sum("x", None, Duration::from_secs(10)), 7);
+        clock.advance(Duration::from_secs(6));
+        assert_eq!(ws.window_sum("x", None, Duration::from_secs(10)), 0);
+        // Lifetime view is the registry's job; the window forgot it.
+    }
+
+    #[test]
+    fn ring_wraparound_recycles_slots() {
+        let (clock, ws) = store(1, 4);
+        for i in 0..10u64 {
+            ws.add("x", None, i + 1);
+            clock.advance(Duration::from_secs(1));
+        }
+        // Clock sits at epoch 10; a 4 s window covers epochs 7..=10, and
+        // the writes landing there carried values 8, 9, 10.
+        assert_eq!(ws.window_sum("x", None, Duration::from_secs(4)), 27);
+    }
+
+    #[test]
+    fn windowed_quantiles_are_windowed() {
+        let (clock, ws) = store(10, 30);
+        for _ in 0..100 {
+            ws.observe("lat", None, 1000);
+        }
+        clock.advance(Duration::from_secs(10));
+        for _ in 0..100 {
+            ws.observe("lat", None, 100_000);
+        }
+        // Whole minute: a mix; p50 in the low bucket, p99 in the high one.
+        let s = ws.summary("lat", None, Duration::from_mins(1)).unwrap();
+        assert_eq!(s.count, 200);
+        assert!(s.quantile(0.99) >= 65_536);
+        // Last 10 s only: everything is slow.
+        let s = ws.summary("lat", None, Duration::from_secs(10)).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100_000);
+        assert!(s.quantile(0.5) >= 65_536);
+        // After the fast span passes, the fast window is empty again.
+        clock.advance(Duration::from_mins(5));
+        let s = ws.summary("lat", None, Duration::from_mins(1)).unwrap();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn long_windows_read_the_slow_ring() {
+        let (clock, ws) = store(10, 30);
+        ws.observe("lat", None, 4000);
+        ws.add("req", None, 5);
+        // 20 minutes later: outside the 5 m fast span, inside the 1 h
+        // slow span.
+        clock.advance(Duration::from_mins(20));
+        assert_eq!(
+            ws.summary("lat", None, Duration::from_mins(1))
+                .unwrap()
+                .count,
+            0
+        );
+        let hour = Duration::from_hours(1);
+        assert_eq!(ws.summary("lat", None, hour).unwrap().count, 1);
+        assert_eq!(ws.window_sum("req", None, hour), 5);
+    }
+
+    #[test]
+    fn tenant_series_are_independent() {
+        let (_clock, ws) = store(10, 30);
+        ws.observe("lat", Some("acme"), 100);
+        ws.observe("lat", Some("umbra"), 10_000);
+        ws.observe("lat", None, 55);
+        let w = Duration::from_mins(1);
+        assert_eq!(ws.summary("lat", Some("acme"), w).unwrap().max, 100);
+        assert_eq!(ws.summary("lat", Some("umbra"), w).unwrap().max, 10_000);
+        assert_eq!(ws.summary("lat", None, w).unwrap().count, 1);
+        assert_eq!(ws.tenant_labels(), vec!["acme", "umbra"]);
+        ws.drop_tenant("acme");
+        assert!(ws.summary("lat", Some("acme"), w).is_none());
+        assert_eq!(ws.tenant_labels(), vec!["umbra"]);
+    }
+
+    #[test]
+    fn tenant_dim_caps_cardinality_under_adversarial_ids() {
+        let dim = TenantDim::new(4, Duration::from_mins(5));
+        let now = Duration::from_secs(1);
+        for known in ["a", "b", "c", "d"] {
+            assert_eq!(&*dim.resolve(known, now).label, known);
+        }
+        // 10k fresh ids in a hot burst: all collapse into `other`, no
+        // active tenant loses its slot.
+        for i in 0..10_000 {
+            let r = dim.resolve(&format!("attacker-{i}"), now);
+            assert_eq!(&*r.label, TenantDim::OVERFLOW);
+            assert!(r.evicted.is_none());
+        }
+        assert_eq!(dim.labels().len(), 4);
+    }
+
+    #[test]
+    fn tenant_dim_recycles_idle_slots() {
+        let dim = TenantDim::new(2, Duration::from_mins(1));
+        dim.resolve("a", Duration::from_secs(0));
+        dim.resolve("b", Duration::from_secs(50));
+        // "a" has been idle 60 s; a new tenant takes its slot.
+        let r = dim.resolve("c", Duration::from_mins(1));
+        assert_eq!(&*r.label, "c");
+        assert_eq!(r.evicted.as_deref(), Some("a"));
+        // "b" (idle 10 s) is protected.
+        let r = dim.resolve("d", Duration::from_mins(1));
+        assert_eq!(&*r.label, TenantDim::OVERFLOW);
+    }
+
+    #[test]
+    fn overflow_label_never_binds_a_slot() {
+        let dim = TenantDim::new(2, Duration::ZERO);
+        let r = dim.resolve("other", Duration::ZERO);
+        assert_eq!(&*r.label, TenantDim::OVERFLOW);
+        assert!(dim.labels().is_empty());
+    }
+
+    #[test]
+    fn store_cardinality_stays_bounded_with_a_dim() {
+        let (clock, ws) = store(10, 30);
+        let dim = TenantDim::new(8, Duration::from_mins(10));
+        for i in 0..10_000 {
+            let label = dim.resolve(&format!("t{i}"), clock.now()).label;
+            ws.observe("server.latency", Some(&label), 100);
+            ws.add("server.requests", Some(&label), 1);
+        }
+        // 8 slots + `other`, two families each.
+        assert_eq!(ws.series_count(), 2 * 9);
+    }
+}

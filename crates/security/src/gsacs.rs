@@ -887,6 +887,12 @@ impl GSacs {
         &self.obs
     }
 
+    /// Declared service-level objectives (from the resilience config);
+    /// the server layer evaluates these for its degraded-admission hook.
+    pub fn slos(&self) -> &[grdf_obs::Objective] {
+        &self.config.slos
+    }
+
     /// View construction statistics for a role (if its view was built).
     pub fn view_stats_for(&self, role: &str) -> Option<ViewStats> {
         self.views.lock().stats.get(role).copied()
@@ -953,7 +959,10 @@ impl GSacs {
             return;
         }
         let policy_graph = policy_set_graph(&self.policies);
-        match store.checkpoint(&self.base, &policy_graph) {
+        let ckpt_span = grdf_obs::span("store.ckpt.rotate").tag("triples", self.base.len());
+        let rotated = store.checkpoint(&self.base, &policy_graph);
+        drop(ckpt_span.tag("ok", rotated.is_ok()));
+        match rotated {
             Ok(seq) => self.audit_push(AuditEntry {
                 role: "system".to_string(),
                 action: "checkpoint".to_string(),
@@ -1011,13 +1020,22 @@ impl GSacs {
     ) -> Result<QueryResult, GsacsError> {
         let scope = self.obs.scope("gsacs.request");
         self.hot.requests.inc();
+        // The HotCounters handles bypass the registry lookup *and* the
+        // thread-local window tee, so per-tenant attribution needs the
+        // explicit window-only tee beside each of them.
+        grdf_obs::win_add("gsacs.requests", 1);
         self.requests.fetch_add(1, Ordering::Relaxed);
         let start = self.config.clock.now();
         let result = self.handle_inner(request, budget.tighter(self.config.request_budget));
-        self.latency
-            .record(self.config.clock.now().saturating_sub(start));
+        let wall = self.config.clock.now().saturating_sub(start);
+        self.latency.record(wall);
+        grdf_obs::win_observe(
+            "gsacs.wall_us",
+            u64::try_from(wall.as_micros()).unwrap_or(u64::MAX),
+        );
         if result.is_err() {
             self.hot.errors.inc();
+            grdf_obs::win_add("gsacs.errors", 1);
         }
         if grdf_obs::tracing_active() {
             grdf_obs::tag_current("role", &request.role);
@@ -1055,16 +1073,22 @@ impl GSacs {
         let cache_span = grdf_obs::span("gsacs.cache");
         if let Some(hit) = self.query_cache.lock().get(&request.role, &request.query) {
             self.hot.cache_hit.inc();
+            grdf_obs::win_add("gsacs.cache.hit", 1);
             drop(cache_span.tag("result", "hit"));
             return Ok(hit);
         }
         self.hot.cache_miss.inc();
+        grdf_obs::win_add("gsacs.cache.miss", 1);
         drop(cache_span.tag("result", "miss"));
         self.inject(Stage::View)?;
         deadline
             .check()
             .map_err(|_| GsacsError::DeadlineExceeded { stage: Stage::View })?;
         let view = self.view_for(&request.role);
+        // Per-tenant cost accounting: the view is the candidate set the
+        // query evaluator walks, so its size is the "triples scanned"
+        // charge for this request.
+        grdf_obs::win_add("gsacs.scanned", view.len() as u64);
         if grdf_obs::tracing_active() {
             let span = grdf_obs::span("gsacs.decision");
             if let Some(t) = self.decision_trace_for(&request.role) {
@@ -1191,7 +1215,10 @@ impl GSacs {
         // best-effort.
         if let Some(store) = &self.store {
             let logged: Vec<LoggedOp> = request.ops.iter().map(to_logged).collect();
-            if let Err(e) = store.append_batch(&logged) {
+            let wal_span = grdf_obs::span("store.wal.append").tag("ops", logged.len());
+            let appended = store.append_batch(&logged);
+            drop(wal_span.tag("ok", appended.is_ok()));
+            if let Err(e) = appended {
                 grdf_obs::incr("gsacs.update.wal_failed");
                 self.audit_push(AuditEntry {
                     role: request.role.clone(),
@@ -1377,8 +1404,18 @@ impl GSacs {
         views.traces.clear();
     }
 
-    /// A point-in-time health snapshot.
+    /// A point-in-time health snapshot. When objectives are declared in
+    /// [`ResilienceConfig::slos`] and the obs handle carries a window
+    /// store, each objective is evaluated here (multi-window burn rate,
+    /// see [`grdf_obs::SloEngine`]) and surfaced in the report's `slo`
+    /// section.
     pub fn health(&self) -> HealthReport {
+        let slo = match self.obs.windows() {
+            Some(ws) if !self.config.slos.is_empty() => {
+                grdf_obs::SloEngine::new(self.config.slos.clone()).evaluate(ws)
+            }
+            _ => Vec::new(),
+        };
         let (cache_hits, cache_misses) = self.cache_stats();
         let (view_cache_entries, audit_entries, audit_dropped) = {
             let views = self.views.lock();
@@ -1401,6 +1438,7 @@ impl GSacs {
             audit_dropped,
             p50: self.latency.quantile(0.5),
             p99: self.latency.quantile(0.99),
+            slo,
         }
     }
 }
@@ -2296,7 +2334,60 @@ mod tests {
         assert_eq!(h.cache_hits + h.cache_misses, svc.cache_lookups());
         assert_eq!(h.audit_entries, 3, "every request audited exactly once");
         assert_eq!(h.audit_dropped, 0);
+        assert!(h.slo.is_empty(), "no objectives declared, no slo section");
         assert!(!h.render().is_empty());
+    }
+
+    #[test]
+    fn health_evaluates_declared_slos_on_the_window_store() {
+        let clock = Arc::new(ManualClock::new());
+        let config = ResilienceConfig {
+            clock: Arc::clone(&clock) as Arc<dyn Clock>,
+            obs: grdf_obs::Obs::new().with_windows(
+                grdf_obs::WindowConfig::default(),
+                Arc::clone(&clock) as Arc<dyn Clock>,
+            ),
+            slos: vec![
+                grdf_obs::Objective::parse("wall: p99(gsacs.wall_us) < 60s over 1m").unwrap(),
+                grdf_obs::Objective::parse(
+                    "errors: rate(gsacs.errors) / rate(gsacs.requests) < 50% over 1m",
+                )
+                .unwrap(),
+            ],
+            ..ResilienceConfig::default()
+        };
+        let svc = service_with(16, config, Box::<OwlHorstEngine>::default());
+        let req = ClientRequest {
+            role: grdf::sec("Emergency"),
+            query: chem_query(),
+        };
+        svc.handle(&req).unwrap();
+        svc.handle(&req).unwrap();
+        let h = svc.health();
+        assert_eq!(h.slo.len(), 2);
+        assert_eq!(h.slo[0].name, "wall");
+        assert_eq!(h.slo[0].state, grdf_obs::SloState::Ok);
+        assert_eq!(h.slo[1].state, grdf_obs::SloState::Ok);
+        assert!(!h.slo_burning());
+        assert!(h.render().contains("slo:"));
+        assert!(h.to_json().contains("\"slo\": [{\"name\": \"wall\""));
+        // Every request now fails: the error-budget objective burns on
+        // both windows (the fast window *is* all history so far).
+        for _ in 0..50 {
+            let _ = svc.handle(&ClientRequest {
+                role: grdf::sec("Emergency"),
+                query: "NOT SPARQL".into(),
+            });
+        }
+        let h = svc.health();
+        assert_eq!(
+            h.slo[1].state,
+            grdf_obs::SloState::Burning,
+            "{:?}",
+            h.slo[1]
+        );
+        assert!(h.slo_burning());
+        assert!(h.to_json().contains("\"state\": \"burning\""));
     }
 
     /// A minimal service whose policy set carries an error-level lint

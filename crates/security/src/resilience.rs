@@ -601,12 +601,23 @@ pub struct HealthReport {
     /// 99th-percentile request latency (interpolated within the log₂
     /// bucket).
     pub p99: Duration,
+    /// Declared SLOs evaluated at snapshot time (empty when no
+    /// objectives are configured or the obs handle has no window store).
+    pub slo: Vec<grdf_obs::SloStatus>,
 }
 
 impl HealthReport {
+    /// Whether any declared objective is currently burning its error
+    /// budget on both alert windows.
+    pub fn slo_burning(&self) -> bool {
+        self.slo
+            .iter()
+            .any(|s| s.state == grdf_obs::SloState::Burning)
+    }
+
     /// Multi-line human-readable rendering (used by `grdf-cli health`).
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "reasoner:        {}\n\
              breaker:         {} (trips: {})\n\
              degraded:        {}\n\
@@ -634,7 +645,12 @@ impl HealthReport {
             self.audit_dropped,
             self.p50,
             self.p99,
-        )
+        );
+        for s in &self.slo {
+            out.push_str("\nslo:             ");
+            out.push_str(&s.render_line());
+        }
+        out
     }
 
     /// Machine-readable JSON rendering, shared by `grdf-cli health --json`
@@ -646,7 +662,7 @@ impl HealthReport {
              \"degraded\": {},\n  \"requests\": {},\n  \"shed\": {},\n  \"in_flight\": {},\n  \
              \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \
              \"view_cache_entries\": {},\n  \"audit_entries\": {},\n  \"audit_dropped\": {},\n  \
-             \"p50_us\": {},\n  \"p99_us\": {}\n}}",
+             \"p50_us\": {},\n  \"p99_us\": {},\n  \"slo\": {}\n}}",
             self.reasoner,
             self.breaker,
             self.breaker_trips,
@@ -662,6 +678,7 @@ impl HealthReport {
             self.audit_dropped,
             self.p50.as_micros(),
             self.p99.as_micros(),
+            grdf_obs::statuses_json(&self.slo),
         )
     }
 }
@@ -933,6 +950,10 @@ pub struct ResilienceConfig {
     /// Crash durability: [`Durability::Ephemeral`] (default) or a mounted
     /// write-ahead store.
     pub durability: Durability,
+    /// Declared service-level objectives, evaluated against the obs
+    /// handle's window store on every [`HealthReport`] snapshot (no-ops
+    /// when `obs` has no windows configured).
+    pub slos: Vec<grdf_obs::Objective>,
 }
 
 impl Default for ResilienceConfig {
@@ -948,6 +969,7 @@ impl Default for ResilienceConfig {
             obs: grdf_obs::Obs::new(),
             lint_gate: LintGate::default(),
             durability: Durability::default(),
+            slos: Vec::new(),
         }
     }
 }
@@ -963,6 +985,7 @@ impl fmt::Debug for ResilienceConfig {
             .field("fault_injector", &self.fault_injector.is_some())
             .field("tracing", &self.obs.tracing_enabled())
             .field("durability", &self.durability)
+            .field("slos", &self.slos.len())
             .finish()
     }
 }

@@ -274,6 +274,15 @@ impl Response {
         r
     }
 
+    /// A plain-text response with an explicit content type (the
+    /// Prometheus `/metrics` exposition and `/profile` collapsed stacks).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>, content_type: &'static str) -> Response {
+        let mut r = Response::new(status);
+        r.body = body.into();
+        r.content_type = content_type;
+        r
+    }
+
     /// A JSON error envelope: `{"error": "<message>"}` — never partial
     /// data alongside an error.
     pub fn error(status: u16, message: &str) -> Response {

@@ -23,7 +23,7 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use grdf_obs::{Obs, TraceId};
+use grdf_obs::{Obs, SloEngine, SloStatus, TenantDim, TraceId};
 use grdf_query::eval::QueryResult;
 use grdf_rdf::ntriples;
 use grdf_runtime::{system_clock, Budget, Clock};
@@ -56,6 +56,12 @@ pub struct ServerConfig {
     pub quota: QuotaConfig,
     /// Time source for quotas and latency accounting.
     pub clock: Arc<dyn Clock>,
+    /// Bound on distinct tenant labels attributed in the windowed
+    /// metrics; raw ids beyond the cap collapse into `"other"`.
+    pub tenant_cap: usize,
+    /// How long a tenant slot must sit idle before its label can be
+    /// recycled for a new tenant.
+    pub tenant_min_idle: Duration,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +76,8 @@ impl Default for ServerConfig {
             max_deadline: Duration::from_secs(10),
             quota: QuotaConfig::default(),
             clock: system_clock(),
+            tenant_cap: 32,
+            tenant_min_idle: Duration::from_mins(1),
         }
     }
 }
@@ -88,12 +96,35 @@ impl std::fmt::Debug for ServerConfig {
     }
 }
 
+/// Under degraded admission (an SLO burning on both alert windows),
+/// every Nth mutating/query request is shed pre-quota with `503`.
+const SLO_SHED_EVERY: u64 = 4;
+
+/// How stale the cached SLO evaluation may get before a request
+/// re-evaluates it against the window store.
+const SLO_REFRESH: Duration = Duration::from_secs(1);
+
+/// Cached result of the most recent SLO evaluation (refreshed at most
+/// once per [`SLO_REFRESH`], so the hot path never pays a ring scan).
+struct SloCache {
+    at: Option<Duration>,
+    statuses: Vec<SloStatus>,
+    burning: bool,
+}
+
 /// State shared by the accept loop and every worker.
 struct Shared {
     svc: RwLock<GSacs>,
     obs: Obs,
     cfg: ServerConfig,
     quotas: TenantQuotas,
+    /// Bounded-cardinality tenant label dimension for windowed metrics.
+    tenants: TenantDim,
+    /// Objectives evaluated for `/metrics` and degraded admission.
+    slo: SloEngine,
+    slo_cache: StdMutex<SloCache>,
+    /// Monotone tick choosing which requests a burning SLO sheds.
+    slo_shed_tick: AtomicU64,
     queue: StdMutex<VecDeque<TcpStream>>,
     queue_signal: Condvar,
     shutdown: AtomicBool,
@@ -111,6 +142,36 @@ struct Shared {
 impl Shared {
     fn counter(&self, name: &str) {
         self.obs.registry().counter(name).inc();
+    }
+
+    /// Current SLO statuses, re-evaluated at most once per
+    /// [`SLO_REFRESH`] on the window store. Empty (and never burning)
+    /// when no objectives or no window store are configured.
+    fn slo_statuses(&self) -> (Vec<SloStatus>, bool) {
+        let Some(windows) = self.obs.windows() else {
+            return (Vec::new(), false);
+        };
+        if self.slo.objectives().is_empty() {
+            return (Vec::new(), false);
+        }
+        let now = self.cfg.clock.now();
+        let mut cache = self
+            .slo_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let stale = match cache.at {
+            None => true,
+            Some(at) => now.saturating_sub(at) >= SLO_REFRESH,
+        };
+        if stale {
+            cache.statuses = self.slo.evaluate(windows);
+            cache.burning = cache
+                .statuses
+                .iter()
+                .any(|s| s.state == grdf_obs::SloState::Burning);
+            cache.at = Some(now);
+        }
+        (cache.statuses.clone(), cache.burning)
     }
 }
 
@@ -144,13 +205,23 @@ impl GrdfServer {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let obs = svc.obs().clone();
+        let slo = SloEngine::new(svc.slos().to_vec());
         let quotas = TenantQuotas::new(Arc::clone(&cfg.clock), cfg.quota, addr.port().into());
+        let tenants = TenantDim::new(cfg.tenant_cap, cfg.tenant_min_idle);
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             svc: RwLock::new(svc),
             obs,
             cfg,
             quotas,
+            tenants,
+            slo,
+            slo_cache: StdMutex::new(SloCache {
+                at: None,
+                statuses: Vec::new(),
+                burning: false,
+            }),
+            slo_shed_tick: AtomicU64::new(0),
             queue: StdMutex::new(VecDeque::new()),
             queue_signal: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -368,6 +439,14 @@ fn error_response(e: &HttpError) -> Option<Response> {
 /// bodies are `{"error": ...}` envelopes carrying no data.
 fn handle_request(shared: &Shared, req: &Request) -> Response {
     let tenant = sanitize_tenant(req.header("x-tenant").unwrap_or("public"));
+    // Bound the metric cardinality *before* the label reaches any store:
+    // a raw tenant id resolves to one of at most `tenant_cap` live labels
+    // (or `"other"`), so 10k distinct ids cannot grow the registry. A
+    // recycled slot drops the evicted tenant's windowed series.
+    let resolved = shared.tenants.resolve(&tenant, shared.cfg.clock.now());
+    if let (Some(evicted), Some(ws)) = (&resolved.evicted, shared.obs.windows()) {
+        ws.drop_tenant(evicted);
+    }
     let wanted_id = req
         .header("x-trace-id")
         .and_then(TraceId::parse_hex)
@@ -375,8 +454,23 @@ fn handle_request(shared: &Shared, req: &Request) -> Response {
     let start = shared.cfg.clock.now();
     let (resp, trace_id) = {
         let scope = shared.obs.scope_with_id("server.request", wanted_id);
+        grdf_obs::set_tenant(Arc::clone(&resolved.label));
         let id = scope.trace_id();
         let resp = route(shared, req, &tenant);
+        // Latency is recorded inside the scope so the windowed store
+        // sees the tenant series and the histogram can capture an
+        // exemplar trace id. One shared histogram + a capped tenant
+        // dimension replaces the unbounded per-tenant
+        // `server.latency.<tenant>` registry entries.
+        let elapsed = shared.cfg.clock.now().saturating_sub(start);
+        grdf_obs::observe(
+            "server.latency",
+            u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        );
+        grdf_obs::win_add("server.requests", 1);
+        if resp.status >= 500 {
+            grdf_obs::add("server.errors", 1);
+        }
         (resp, id)
     };
     // The scope has flushed: a /trace response can now see its own spans.
@@ -385,13 +479,6 @@ fn handle_request(shared: &Shared, req: &Request) -> Response {
     } else {
         resp
     };
-    let elapsed = shared.cfg.clock.now().saturating_sub(start);
-    let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-    let registry = shared.obs.registry();
-    registry.histogram("server.latency").record(micros);
-    registry
-        .histogram(&format!("server.latency.{tenant}"))
-        .record(micros);
     resp.header("x-trace-id", trace_id)
 }
 
@@ -399,11 +486,45 @@ fn route(shared: &Shared, req: &Request, tenant: &str) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         // Health and metrics are probe endpoints: quota-exempt, read-only.
         ("GET", "/health") => Response::json(200, shared.svc.read().health().to_json()),
-        ("GET", "/metrics") => Response::json(200, shared.obs.registry().snapshot().to_json()),
+        // Prometheus text exposition (lifetime aggregates + windowed
+        // per-tenant gauges + SLO burn rates, with exemplar trace ids).
+        ("GET", "/metrics") => {
+            let (slo, _) = shared.slo_statuses();
+            let text = grdf_obs::expo::render(
+                shared.obs.registry(),
+                shared.obs.windows().map(std::convert::AsRef::as_ref),
+                &slo,
+            );
+            Response::text(200, text, "text/plain; version=0.0.4")
+        }
+        // The pre-PR-7 JSON snapshot, kept for diff-based tooling.
+        ("GET", "/metrics.json") => Response::json(200, shared.obs.registry().snapshot().to_json()),
+        // Collapsed-stack wall-clock profile (404 when no profiler runs).
+        ("GET", "/profile") => match shared.obs.profiler() {
+            Some(p) => Response::text(200, p.collapsed(), "text/plain"),
+            None => Response::error(404, "profiler is not running"),
+        },
         ("POST", "/query" | "/update" | "/lint" | "/trace") => {
+            // Degraded admission: when any objective burns on both alert
+            // windows, shed a fixed fraction of work pre-quota so the
+            // error budget stops draining (probe endpoints stay exempt).
+            let (_, burning) = shared.slo_statuses();
+            if burning
+                && shared
+                    .slo_shed_tick
+                    .fetch_add(1, Ordering::Relaxed)
+                    .is_multiple_of(SLO_SHED_EVERY)
+            {
+                shared.counter("server.shed");
+                shared.counter("server.shed.slo");
+                grdf_obs::win_add("server.shed", 1);
+                return Response::error(503, "shedding load: SLO burn-rate alert active")
+                    .header("retry-after", 1);
+            }
             if let Err(shed) = shared.quotas.admit(tenant) {
                 shared.counter("server.shed");
                 shared.counter("server.shed.quota");
+                grdf_obs::win_add("server.shed", 1);
                 return Response::error(429, "tenant quota exceeded")
                     .header("retry-after", shed.retry_after_secs)
                     .header("x-backoff-ms", shed.backoff_ms);

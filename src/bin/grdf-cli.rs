@@ -18,6 +18,9 @@
 //!                                               one HTTP request against a running server
 //! grdf-cli chaos    <addr> [--seed N] [--cases N]
 //!                                               seeded socket-fault campaign against a server
+//! grdf-cli top      <addr> [--iterations N] [--interval-ms N]
+//!                                               poll /metrics: per-tenant QPS/p99/shed + SLO burn
+//! grdf-cli metrics-check <file>                 Prometheus format-conformance gate for CI
 //! ```
 //!
 //! Input format is detected from the extension: `.gml`, `.ttl`/`.turtle`,
@@ -28,6 +31,7 @@
 //! `--deny-warnings`.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use grdf::core::ontology::{grdf_ontology, stats as onto_stats};
 use grdf::core::store::GrdfStore;
@@ -55,7 +59,7 @@ const USAGE: &str = "usage:
   grdf-cli query    <file> <sparql | @queryfile>
   grdf-cli validate <file>
   grdf-cli stats    <file>
-  grdf-cli health   <file> [--json]
+  grdf-cli health   <file | --from-json <file>> [--json] [--check]
   grdf-cli trace    <file> <sparql | @queryfile>
   grdf-cli lint     <file> [--policies <file>] [--format text|json] [--deny-warnings]
   grdf-cli store    init <dir> <file>
@@ -64,6 +68,10 @@ const USAGE: &str = "usage:
   grdf-cli serve    <file> [--addr 127.0.0.1:0] [--policies <file>] [--allow-probe]
                     [--workers N] [--max-conns N] [--quota-rps F] [--quota-burst F]
                     [--deadline-ms N] [--max-requests N] [--trace-capacity N]
+                    [--slo SPEC]... [--no-slo] [--tenant-cap N]
+                    [--profile-interval-ms N] [--no-profile]
+  grdf-cli top      <addr> [--iterations N] [--interval-ms N]
+  grdf-cli metrics-check <file>
   grdf-cli client   <url> [--method M] [--role R] [--tenant T] [--deadline-ms N]
                     [--trace-id H] [--body S | --body @file]
   grdf-cli chaos    <addr> [--seed N] [--cases N]";
@@ -80,10 +88,16 @@ fn run(args: &[String]) -> Result<(String, u8), String> {
         return cmd_store(&args[1..]);
     }
     if cmd == "health" {
-        return cmd_health(&args[1..]).map(|s| (s, 0));
+        return cmd_health(&args[1..]);
     }
     if cmd == "serve" {
         return cmd_serve(&args[1..]);
+    }
+    if cmd == "top" {
+        return cmd_top(&args[1..]);
+    }
+    if cmd == "metrics-check" {
+        return cmd_metrics_check(&args[1..]);
     }
     if cmd == "client" {
         return cmd_client(&args[1..]);
@@ -473,16 +487,32 @@ fn probe_service(
     build_service(store, Vec::new(), config)
 }
 
-/// `health <file> [--json]` — the same `HealthReport` the server's
-/// `/health` endpoint serves, rendered for humans or machines.
-fn cmd_health(args: &[String]) -> Result<String, String> {
+/// Exit code for `health --check` / `metrics-check` gate failures.
+const GATE_FAILED: u8 = 5;
+
+/// `health <file | --from-json <file>> [--json] [--check]` — the same
+/// `HealthReport` the server's `/health` endpoint serves, rendered for
+/// humans or machines. `--from-json` gates on an already-scraped
+/// `/health` body instead of building a local service (the CI
+/// post-campaign health gate); `--check` exits nonzero when any declared
+/// SLO is burning its error budget.
+fn cmd_health(args: &[String]) -> Result<(String, u8), String> {
+    use grdf::obs::{Objective, Obs, WindowConfig};
     use grdf::security::gsacs::ClientRequest;
 
     let mut file: Option<&str> = None;
+    let mut from_json: Option<String> = None;
     let mut json = false;
-    for arg in args {
-        match arg.as_str() {
+    let mut check = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--json" => json = true,
+            "--check" => check = true,
+            "--from-json" => {
+                i += 1;
+                from_json = Some(args.get(i).ok_or("--from-json needs a file")?.clone());
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown health flag {flag:?}")),
             f => {
                 if file.replace(f).is_some() {
@@ -490,9 +520,32 @@ fn cmd_health(args: &[String]) -> Result<String, String> {
                 }
             }
         }
+        i += 1;
+    }
+    if let Some(path) = from_json {
+        let body = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        // The report's only "state" fields are the slo entries, so a
+        // burning objective is exactly this substring (stable JSON).
+        let burning = body.contains("\"state\": \"burning\"");
+        let code = if check && burning { GATE_FAILED } else { 0 };
+        let out = if json {
+            body
+        } else {
+            format!("slo gate: {}", if burning { "BURNING" } else { "ok" })
+        };
+        return Ok((out, code));
     }
     let store = load_store(file.ok_or("health needs a data file")?)?;
-    let svc = probe_service(&store, grdf::security::ResilienceConfig::default());
+    let clock = grdf::runtime::system_clock();
+    let config = grdf::security::ResilienceConfig {
+        obs: Obs::new().with_windows(WindowConfig::default(), Arc::clone(&clock)),
+        slos: vec![
+            Objective::parse("wall: p99(gsacs.wall_us) < 250ms over 5m")?,
+            Objective::parse("errors: rate(gsacs.errors) / rate(gsacs.requests) < 5% over 5m")?,
+        ],
+        ..grdf::security::ResilienceConfig::default()
+    };
+    let svc = probe_service(&store, config);
     // Smoke the pipeline twice so the report shows cache activity.
     let req = ClientRequest {
         role: PROBE_ROLE.to_string(),
@@ -501,13 +554,19 @@ fn cmd_health(args: &[String]) -> Result<String, String> {
     for _ in 0..2 {
         svc.handle(&req).map_err(|e| e.to_string())?;
     }
+    let health = svc.health();
+    let code = if check && health.slo_burning() {
+        GATE_FAILED
+    } else {
+        0
+    };
     if json {
-        return Ok(svc.health().to_json());
+        return Ok((health.to_json(), code));
     }
-    let mut out = svc.health().render();
+    let mut out = health.render();
     out.push_str("\n\nmetrics:\n");
     out.push_str(&svc.obs().registry().render());
-    Ok(out)
+    Ok((out, code))
 }
 
 fn cmd_trace(path: &str, query: &str) -> Result<String, String> {
@@ -595,6 +654,10 @@ fn cmd_serve(args: &[String]) -> Result<(String, u8), String> {
     let mut quota = QuotaConfig::default();
     let mut max_requests: Option<u64> = None;
     let mut trace_capacity: usize = 256;
+    let mut slo_specs: Vec<String> = Vec::new();
+    let mut no_slo = false;
+    let mut profile_interval = std::time::Duration::from_millis(10);
+    let mut no_profile = false;
     let mut i = 0;
     while i < args.len() {
         let flag_value = |i: &mut usize| -> Result<&String, String> {
@@ -644,6 +707,20 @@ fn cmd_serve(args: &[String]) -> Result<(String, u8), String> {
                     .parse()
                     .map_err(|e| format!("--trace-capacity: {e}"))?;
             }
+            "--slo" => slo_specs.push(flag_value(&mut i)?.clone()),
+            "--no-slo" => no_slo = true,
+            "--tenant-cap" => {
+                cfg.tenant_cap = flag_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--tenant-cap: {e}"))?;
+            }
+            "--profile-interval-ms" => {
+                let ms: u64 = flag_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--profile-interval-ms: {e}"))?;
+                profile_interval = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--no-profile" => no_profile = true,
             flag if flag.starts_with("--") => return Err(format!("unknown serve flag {flag:?}")),
             f => {
                 if file.replace(f).is_some() {
@@ -665,13 +742,37 @@ fn cmd_serve(args: &[String]) -> Result<(String, u8), String> {
             policies.extend(probe_policies(&store));
         }
     }
-    let obs = if trace_capacity > 0 {
+    // SLO objectives: the defaults guard server latency and 5xx ratio;
+    // `--slo` replaces them, `--no-slo` disables the engine entirely.
+    let slos = if no_slo {
+        Vec::new()
+    } else if slo_specs.is_empty() {
+        vec![
+            grdf::obs::Objective::parse("latency: p99(server.latency) < 250ms over 5m")?,
+            grdf::obs::Objective::parse(
+                "errors: rate(server.errors) / rate(server.requests) < 5% over 5m",
+            )?,
+        ]
+    } else {
+        slo_specs
+            .iter()
+            .map(|s| grdf::obs::Objective::parse(s))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    let mut obs = if trace_capacity > 0 {
         Obs::with_tracing(trace_capacity)
     } else {
         Obs::new()
     };
+    // Windowed metrics back both the SLO engine and the per-tenant
+    // `/metrics` gauges; the profiler runs continuously unless disabled.
+    obs = obs.with_windows(grdf::obs::WindowConfig::default(), Arc::clone(&cfg.clock));
+    if !no_profile {
+        obs = obs.with_profiler(profile_interval, Arc::clone(&cfg.clock));
+    }
     let config = ResilienceConfig {
         obs,
+        slos,
         ..ResilienceConfig::default()
     };
     let svc = build_service(&store, policies, config);
@@ -867,6 +968,174 @@ fn cmd_chaos(args: &[String]) -> Result<(String, u8), String> {
         format!("FAIL: {violations} torn/ill-formed response(s)")
     });
     Ok((out, if violations == 0 { 0 } else { 2 }))
+}
+
+/// One plain HTTP/1.1 GET; returns `(status, body)`.
+fn http_get(authority: &str, path: &str) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+
+    let mut stream =
+        std::net::TcpStream::connect(authority).map_err(|e| format!("{authority}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nhost: {authority}\r\nconnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("{authority}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("{authority}: {e}"))?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("malformed response: no header terminator")?;
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|c| c.parse().ok())
+        .ok_or("malformed status line")?;
+    Ok((
+        status,
+        String::from_utf8_lossy(&raw[head_end + 4..]).into_owned(),
+    ))
+}
+
+/// `top <addr> [--iterations N] [--interval-ms N]` — poll a running
+/// server's `/metrics` exposition and tabulate per-tenant QPS (trailing
+/// minute), windowed p99 latency, and sheds, with an SLO burn-rate
+/// footer. One frame per iteration.
+fn cmd_top(args: &[String]) -> Result<(String, u8), String> {
+    use grdf::obs::expo;
+
+    let mut addr: Option<&str> = None;
+    let mut iterations: u32 = 1;
+    let mut interval = std::time::Duration::from_secs(1);
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i)
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--iterations" => {
+                iterations = flag_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--iterations: {e}"))?;
+            }
+            "--interval-ms" => {
+                let ms: u64 = flag_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?;
+                interval = std::time::Duration::from_millis(ms);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown top flag {flag:?}")),
+            a => {
+                if addr.replace(a).is_some() {
+                    return Err("top takes exactly one address".to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or("top needs a server address (host:port)")?;
+    let authority = addr.strip_prefix("http://").unwrap_or(addr);
+    let mut out = String::new();
+    for frame in 0..iterations.max(1) {
+        if frame > 0 {
+            std::thread::sleep(interval);
+            out.push('\n');
+        }
+        let (status, body) = http_get(authority, "/metrics")?;
+        if status != 200 {
+            return Err(format!("{authority}/metrics returned {status}"));
+        }
+        let parsed = expo::parse(&body).map_err(|e| format!("/metrics is nonconformant: {e}"))?;
+        out.push_str(&render_top_frame(&parsed));
+    }
+    Ok((out, 0))
+}
+
+/// One `top` frame from a parsed exposition.
+fn render_top_frame(parsed: &grdf::obs::expo::Exposition) -> String {
+    let mut out = String::new();
+    let mut tenants: Vec<&str> = parsed
+        .named("grdf_w1m_server_requests")
+        .iter()
+        .filter_map(|s| s.label("tenant"))
+        .collect();
+    tenants.sort_unstable();
+    tenants.dedup();
+    out.push_str(&format!(
+        "{:<20} {:>8} {:>10} {:>8}\n",
+        "TENANT", "QPS", "P99(ms)", "SHED"
+    ));
+    for tenant in tenants {
+        let qps = parsed
+            .value_with("grdf_w1m_server_requests", "tenant", tenant)
+            .unwrap_or(0.0)
+            / 60.0;
+        let p99_ms = parsed
+            .value_with("grdf_w1m_server_latency_p99", "tenant", tenant)
+            .unwrap_or(0.0)
+            / 1000.0;
+        let shed = parsed
+            .value_with("grdf_w1m_server_shed", "tenant", tenant)
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "{tenant:<20} {qps:>8.2} {p99_ms:>10.2} {shed:>8.0}\n"
+        ));
+    }
+    let objectives = parsed.named("grdf_slo_burn_fast");
+    if !objectives.is_empty() {
+        out.push_str("slo:\n");
+        for s in objectives {
+            let Some(name) = s.label("objective") else {
+                continue;
+            };
+            let slow = parsed
+                .value_with("grdf_slo_burn_slow", "objective", name)
+                .unwrap_or(0.0);
+            let burning = parsed
+                .value_with("grdf_slo_burning", "objective", name)
+                .unwrap_or(0.0)
+                > 0.0;
+            out.push_str(&format!(
+                "  {:<16} burn {:.2}/{:.2} [{}]\n",
+                name,
+                s.value,
+                slow,
+                if burning { "BURNING" } else { "ok" }
+            ));
+        }
+    }
+    out
+}
+
+/// `metrics-check <file>` — the CI format-conformance gate: parse a
+/// scraped Prometheus exposition and fail (exit 2) on any violation.
+fn cmd_metrics_check(args: &[String]) -> Result<(String, u8), String> {
+    let [file] = args else {
+        return Err("metrics-check takes exactly one scraped /metrics file".to_string());
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    match grdf::obs::expo::parse(&text) {
+        Ok(parsed) => Ok((
+            format!(
+                "ok: {} sample(s) across {} declared famil(ies)",
+                parsed.samples.len(),
+                parsed.families.len()
+            ),
+            0,
+        )),
+        Err(e) => Ok((format!("nonconformant exposition: {e}"), 2)),
+    }
 }
 
 #[cfg(test)]

@@ -247,9 +247,17 @@ fn probe_endpoints_serve_health_and_metrics_json() {
         assert!(text.contains(field), "missing {field} in {text}");
     }
 
+    // /metrics is the Prometheus text exposition now; the JSON registry
+    // snapshot moved to /metrics.json.
     let metrics = send_raw(addr, &build_request("/metrics", &[], b""));
     assert_eq!(status_of(&metrics), 200);
     let text = String::from_utf8_lossy(&metrics);
+    assert!(text.contains("text/plain; version=0.0.4"), "{text}");
+    assert!(text.contains("grdf_server_requests_total"), "{text}");
+
+    let metrics_json = send_raw(addr, &build_request("/metrics.json", &[], b""));
+    assert_eq!(status_of(&metrics_json), 200);
+    let text = String::from_utf8_lossy(&metrics_json);
     assert!(text.contains("server.requests"), "{text}");
 
     server.shutdown();

@@ -1,8 +1,10 @@
 //! Multi-tenant stress for `grdf-server`: 8 client threads over real
 //! sockets. Three properties:
 //!
-//! * **exact accounting** — `server.requests` and the per-tenant latency
-//!   histograms reconcile exactly with what clients observed;
+//! * **exact accounting** — `server.requests` and the per-tenant
+//!   windowed latency series reconcile exactly with what clients
+//!   observed (the registry holds one shared histogram; tenants live in
+//!   the cardinality-bounded window store);
 //! * **quota isolation** — a flooding tenant is shed with 429s while a
 //!   paced tenant riding the same server sees zero shed and bounded p99;
 //! * **drain completeness** — connections in flight at shutdown are all
@@ -24,6 +26,10 @@ const THREADS: usize = 8;
 const REQUESTS_PER_THREAD: usize = 25;
 
 fn service() -> GSacs {
+    service_with(ResilienceConfig::default())
+}
+
+fn service_with(config: ResilienceConfig) -> GSacs {
     let mut data = Graph::new();
     for i in 0..10 {
         let mut site = Feature::new(&ns::app(&format!("site{i}")), "ChemSite");
@@ -41,7 +47,7 @@ fn service() -> GSacs {
         Box::<OwlHorstEngine>::default(),
         data,
         16,
-        ResilienceConfig::default(),
+        config,
     )
 }
 
@@ -79,7 +85,14 @@ fn eight_tenants_reconcile_exactly_with_server_accounting() {
         workers: 4,
         ..ServerConfig::default()
     };
-    let server = GrdfServer::bind("127.0.0.1:0", service(), cfg).expect("bind");
+    let config = ResilienceConfig {
+        obs: grdf::obs::Obs::new().with_windows(
+            grdf::obs::WindowConfig::default(),
+            grdf::runtime::system_clock(),
+        ),
+        ..ResilienceConfig::default()
+    };
+    let server = GrdfServer::bind("127.0.0.1:0", service_with(config), cfg).expect("bind");
     let addr = server.local_addr();
 
     let observed: Vec<u64> = std::thread::scope(|scope| {
@@ -109,15 +122,21 @@ fn eight_tenants_reconcile_exactly_with_server_accounting() {
     );
     let snap = server.obs().registry().snapshot();
     assert_eq!(snap.counters["server.requests"], total);
-    // Per-tenant latency histograms: exactly one sample per request, filed
-    // under the right tenant.
+    // Per-tenant latency lives in the windowed store now (bounded by the
+    // tenant dimension), not as per-tenant registry histograms: exactly
+    // one sample per request, filed under the right tenant label.
+    let ws = server.obs().windows().expect("windowed store");
+    let window = Duration::from_mins(5);
     for t in 0..THREADS {
-        let hist = &snap.histograms[&format!("server.latency.t{t}")];
+        let summary = ws
+            .summary("server.latency", Some(&format!("t{t}")), window)
+            .expect("tenant series");
         assert_eq!(
-            hist.count, REQUESTS_PER_THREAD as u64,
-            "tenant t{t} histogram must hold exactly its own requests"
+            summary.count, REQUESTS_PER_THREAD as u64,
+            "tenant t{t} windowed series must hold exactly its own requests"
         );
     }
+    assert!(!snap.histograms.contains_key("server.latency.t0"));
     assert_eq!(snap.histograms["server.latency"].count, total);
 
     let (accepted, finished) = server.shutdown();
