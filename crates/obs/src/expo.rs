@@ -391,19 +391,20 @@ fn validate_histograms(expo: &Exposition) -> Result<(), String> {
             continue;
         }
         // Group buckets by their full label set minus `le`.
+        let group_key = |s: &Sample| -> String {
+            s.labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v};"))
+                .collect()
+        };
         let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
         for s in expo.named(&format!("{family}_bucket")) {
             let le = s
                 .label("le")
                 .ok_or_else(|| format!("{family}_bucket sample without le"))?;
             let le = parse_value(le)?;
-            let key: String = s
-                .labels
-                .iter()
-                .filter(|(k, _)| k != "le")
-                .map(|(k, v)| format!("{k}={v};"))
-                .collect();
-            groups.entry(key).or_default().push((le, s.value));
+            groups.entry(group_key(s)).or_default().push((le, s.value));
         }
         for (key, mut buckets) in groups {
             buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -420,17 +421,20 @@ fn validate_histograms(expo: &Exposition) -> Result<(), String> {
                 .last()
                 .filter(|(le, _)| le.is_infinite())
                 .ok_or_else(|| format!("{family}_bucket{{{key}}} missing le=\"+Inf\""))?;
+            // The `_count` for this group is the one carrying the same
+            // label set (minus `le`) — with labeled histograms, each
+            // group must be capped by its own count, not the first one.
             let count = expo
                 .samples
                 .iter()
-                .find(|s| {
-                    s.name == format!("{family}_count")
-                        && s.labels.iter().filter(|(k, _)| k != "le").count() == s.labels.len()
-                })
+                .find(|s| s.name == format!("{family}_count") && group_key(s) == key)
                 .map(|s| s.value);
             if let Some(count) = count {
                 if (last.1 - count).abs() > f64::EPSILON {
-                    return Err(format!("{family}: +Inf bucket {} != count {count}", last.1));
+                    return Err(format!(
+                        "{family}{{{key}}}: +Inf bucket {} != count {count}",
+                        last.1
+                    ));
                 }
             }
         }
@@ -452,6 +456,7 @@ mod tests {
             name: "lat".to_string(),
             objective: "p99(server.latency) < 10ms over 5m".to_string(),
             window: Duration::from_mins(5),
+            window_slow: Duration::from_hours(1),
             current: 1234.0,
             burn_fast: 0.5,
             burn_slow: 0.25,
@@ -524,6 +529,29 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "should reject ({why}): {bad}");
         }
+    }
+
+    #[test]
+    fn labeled_histogram_groups_validate_against_their_own_count() {
+        // Two label groups with different counts: each +Inf must be
+        // checked against the count carrying the same labels, not
+        // whichever _count happens to come first.
+        let ok = "# TYPE grdf_h histogram\n\
+                  grdf_h_bucket{tenant=\"a\",le=\"1\"} 1\n\
+                  grdf_h_bucket{tenant=\"a\",le=\"+Inf\"} 2\n\
+                  grdf_h_count{tenant=\"a\"} 2\n\
+                  grdf_h_bucket{tenant=\"b\",le=\"1\"} 3\n\
+                  grdf_h_bucket{tenant=\"b\",le=\"+Inf\"} 5\n\
+                  grdf_h_count{tenant=\"b\"} 5\n";
+        parse(ok).unwrap_or_else(|e| panic!("valid labeled histogram rejected: {e}"));
+        // Group b's +Inf (5) matches group a's count but not its own
+        // (3): the gate must catch the mismatch.
+        let bad = "# TYPE grdf_h histogram\n\
+                   grdf_h_bucket{tenant=\"a\",le=\"+Inf\"} 5\n\
+                   grdf_h_count{tenant=\"a\"} 5\n\
+                   grdf_h_bucket{tenant=\"b\",le=\"+Inf\"} 5\n\
+                   grdf_h_count{tenant=\"b\"} 3\n";
+        assert!(parse(bad).is_err(), "mismatched labeled count accepted");
     }
 
     #[test]

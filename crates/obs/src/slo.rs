@@ -17,6 +17,13 @@
 //! window. "Burn rate" is measured/target: 1.0 means exactly consuming
 //! the budget, 2.0 means twice as fast as allowed.
 //!
+//! Both windows are clamped to the store's slow-ring retention
+//! ([`WindowConfig::slow_span`](crate::window::WindowConfig::slow_span)):
+//! an objective declared `over 1h` against a store retaining one hour
+//! gets a 1 h slow window, not a nominal 12 h one the rings could not
+//! answer. The effective slow window is reported in
+//! [`SloStatus::window_slow`].
+//!
 //! Evaluation is read-only over [`WindowStore`] rings (a few hundred
 //! relaxed loads per objective), cheap enough to run on every `/health`
 //! hit and on the server's degraded-admission check.
@@ -105,6 +112,13 @@ pub struct SloStatus {
     pub objective: String,
     /// The fast window.
     pub window: Duration,
+    /// The effective slow window: `window × SLOW_FACTOR`, clamped to the
+    /// store's slow-ring retention ([`WindowConfig::slow_span`]) — the
+    /// rings cannot answer for more history than they retain, so
+    /// `burn_slow` is honest about the span it was measured over.
+    ///
+    /// [`WindowConfig::slow_span`]: crate::window::WindowConfig::slow_span
+    pub window_slow: Duration,
     /// Measured value on the fast window (µs for quantile objectives,
     /// fraction for ratio objectives); 0 when no data.
     pub current: f64,
@@ -122,11 +136,13 @@ impl SloStatus {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"name\": \"{}\", \"objective\": \"{}\", \"window_secs\": {}, \
+             \"window_slow_secs\": {}, \
              \"current\": {:.6}, \"burn_fast\": {:.4}, \"burn_slow\": {:.4}, \
              \"state\": \"{}\"}}",
             escape_json(&self.name),
             escape_json(&self.objective),
             self.window.as_secs(),
+            self.window_slow.as_secs(),
             self.current,
             self.burn_fast,
             self.burn_slow,
@@ -203,6 +219,16 @@ impl Objective {
             let raw: u32 = digits
                 .parse()
                 .map_err(|_| format!("bad quantile p{digits} in SLO spec: {spec}"))?;
+            // The digits are read as a decimal fraction (p99 → 0.99,
+            // p999 → 0.999). A trailing zero silently shifts meaning —
+            // p100 would parse as 0.1 and p990 as 0.99 — so such specs
+            // are rejected rather than reinterpreted.
+            if digits.ends_with('0') {
+                return Err(format!(
+                    "ambiguous quantile p{digits} in SLO spec (trailing zero: \
+                     write p5 for the median, p99/p999 for tail quantiles): {spec}"
+                ));
+            }
             let q = f64::from(raw) / 10f64.powi(digits.len() as i32);
             if !(0.0..1.0).contains(&q) || raw == 0 {
                 return Err(format!(
@@ -338,12 +364,18 @@ impl SloEngine {
     /// Evaluate every objective now (reads the store's clock through the
     /// windowed queries).
     pub fn evaluate(&self, windows: &WindowStore) -> Vec<SloStatus> {
+        // The rings retain at most `slow_span` of history; a nominal
+        // window beyond that would silently evaluate over whatever the
+        // ring still holds, so clamp explicitly and surface the
+        // effective slow window in the status.
+        let retention = windows.config().slow_span();
         self.objectives
             .iter()
             .map(|o| {
                 let target = SloEngine::target(&o.kind);
-                let fast = SloEngine::measure(&o.kind, windows, o.window);
-                let slow = SloEngine::measure(&o.kind, windows, o.window * SLOW_FACTOR);
+                let slow_window = (o.window * SLOW_FACTOR).min(retention);
+                let fast = SloEngine::measure(&o.kind, windows, o.window.min(retention));
+                let slow = SloEngine::measure(&o.kind, windows, slow_window);
                 let burn_fast = fast.map_or(0.0, |v| v / target);
                 let burn_slow = slow.map_or(0.0, |v| v / target);
                 let state = match fast {
@@ -355,6 +387,7 @@ impl SloEngine {
                     name: o.name.clone(),
                     objective: o.spec.clone(),
                     window: o.window,
+                    window_slow: slow_window,
                     current: fast.unwrap_or(0.0),
                     burn_fast,
                     burn_slow,
@@ -414,13 +447,13 @@ mod tests {
                 threshold: 10_000,
             }
         );
-        let o = Objective::parse("lat: p50(x) < 250us over 30s").unwrap();
+        let o = Objective::parse("lat: p75(x) < 250us over 30s").unwrap();
         assert_eq!(o.name, "lat");
         assert_eq!(
             o.kind,
             SloKind::Quantile {
                 metric: "x".to_string(),
-                q: 0.5,
+                q: 0.75,
                 threshold: 250,
             }
         );
@@ -448,6 +481,9 @@ mod tests {
             "p99(x) < 10ms",                  // no window
             "p99(x < 10ms over 5m",           // unclosed
             "p0(x) < 10ms over 5m",           // zero quantile
+            "p100(x) < 10ms over 5m",         // would silently mean p1
+            "p990(x) < 10ms over 5m",         // trailing zero (write p99)
+            "p50(x) < 10ms over 5m",          // trailing zero (write p5)
             "rate(a) < 1% over 5m",           // missing denominator
             "p99(x) < -3ms over 5m",          // negative threshold
             "p99(x) < 10ms over 5d",          // bad window unit
@@ -515,11 +551,29 @@ mod tests {
     }
 
     #[test]
+    fn slow_window_clamps_to_ring_retention() {
+        let (_clock, ws) = setup(); // slow ring retains 10s × 30 × 12 = 1h
+        let eng = SloEngine::new(vec![
+            Objective::parse("lat: p99(server.latency) < 10ms over 1m").unwrap(),
+            Objective::parse("wide: p99(server.latency) < 10ms over 1h").unwrap(),
+        ]);
+        ws.observe("server.latency", None, 4_000);
+        let statuses = eng.evaluate(&ws);
+        // Within retention the slow window is the nominal 12×.
+        assert_eq!(statuses[0].window_slow, Duration::from_mins(12));
+        // A 1 h objective's nominal 12 h slow window exceeds what the
+        // rings retain; the status reports the honest, clamped span.
+        assert_eq!(statuses[1].window_slow, Duration::from_hours(1));
+        assert_eq!(statuses[1].state, SloState::Ok);
+    }
+
+    #[test]
     fn status_json_is_stable() {
         let s = SloStatus {
             name: "lat".to_string(),
             objective: "p99(server.latency) < 10ms over 5m".to_string(),
             window: Duration::from_mins(5),
+            window_slow: Duration::from_hours(1),
             current: 12_000.0,
             burn_fast: 1.2,
             burn_slow: 1.1,
@@ -528,6 +582,7 @@ mod tests {
         let json = s.to_json();
         assert!(json.contains("\"name\": \"lat\""));
         assert!(json.contains("\"window_secs\": 300"));
+        assert!(json.contains("\"window_slow_secs\": 3600"));
         assert!(json.contains("\"burn_fast\": 1.2000"));
         assert!(json.contains("\"state\": \"burning\""));
         assert!(statuses_json(&[s.clone(), s]).starts_with('['));

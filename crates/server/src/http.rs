@@ -252,6 +252,12 @@ pub struct Response {
     pub content_type: &'static str,
     /// Whether to advertise `Connection: close`.
     pub close: bool,
+    /// Whether this response is a self-inflicted shed rejection (SLO
+    /// degraded admission / tenant quota). Shed responses are excluded
+    /// from the `server.errors` SLO numerator: counting them would let
+    /// an error-ratio objective sustain its own burn through the very
+    /// 503s meant to stop it.
+    pub shed: bool,
 }
 
 impl Response {
@@ -263,6 +269,7 @@ impl Response {
             body: Vec::new(),
             content_type: "text/plain",
             close: false,
+            shed: false,
         }
     }
 
@@ -303,6 +310,13 @@ impl Response {
     #[must_use]
     pub fn closing(mut self) -> Response {
         self.close = true;
+        self
+    }
+
+    /// Mark as a self-inflicted shed rejection (see [`Response::shed`]).
+    #[must_use]
+    pub fn shedding(mut self) -> Response {
+        self.shed = true;
         self
     }
 

@@ -468,7 +468,12 @@ fn handle_request(shared: &Shared, req: &Request) -> Response {
             u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
         );
         grdf_obs::win_add("server.requests", 1);
-        if resp.status >= 500 {
+        // Self-inflicted shed 503s stay out of the error numerator
+        // (`server.shed` is their signal): counting them would hold the
+        // fast error-ratio window above target forever once shedding
+        // starts — degraded admission sheds 1-in-SLO_SHED_EVERY, an
+        // error rate far beyond any sane objective.
+        if resp.status >= 500 && !resp.shed {
             grdf_obs::add("server.errors", 1);
         }
         (resp, id)
@@ -519,7 +524,8 @@ fn route(shared: &Shared, req: &Request, tenant: &str) -> Response {
                 shared.counter("server.shed.slo");
                 grdf_obs::win_add("server.shed", 1);
                 return Response::error(503, "shedding load: SLO burn-rate alert active")
-                    .header("retry-after", 1);
+                    .header("retry-after", 1)
+                    .shedding();
             }
             if let Err(shed) = shared.quotas.admit(tenant) {
                 shared.counter("server.shed");
@@ -527,7 +533,8 @@ fn route(shared: &Shared, req: &Request, tenant: &str) -> Response {
                 grdf_obs::win_add("server.shed", 1);
                 return Response::error(429, "tenant quota exceeded")
                     .header("retry-after", shed.retry_after_secs)
-                    .header("x-backoff-ms", shed.backoff_ms);
+                    .header("x-backoff-ms", shed.backoff_ms)
+                    .shedding();
             }
             let budget = match request_budget(shared, req) {
                 Ok(b) => b,

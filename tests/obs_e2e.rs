@@ -385,6 +385,83 @@ fn burning_slo_sheds_a_fraction_of_mutating_traffic_but_not_probes() {
     server.shutdown();
 }
 
+/// Regression: SLO-shed 503s must not feed the error-ratio objective
+/// they were fired by. If they counted into `server.errors`, shedding
+/// 1-in-4 requests would hold the fast window at a 25% error ratio and
+/// the server would keep shedding forever after the incident resolved.
+#[test]
+fn shed_503s_do_not_sustain_an_error_ratio_burn() {
+    let clock = Arc::new(ManualClock::new());
+    let obs = Obs::new().with_windows(
+        WindowConfig::default(),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    );
+    let config = ResilienceConfig {
+        obs,
+        slos: vec![Objective::parse(
+            "err: rate(server.errors) / rate(server.requests) < 10% over 1m",
+        )
+        .unwrap()],
+        ..ResilienceConfig::default()
+    };
+    let cfg = ServerConfig {
+        clock: Arc::clone(&clock) as Arc<dyn Clock>,
+        keep_alive_requests: 20_000,
+        ..ServerConfig::default()
+    };
+    let server = GrdfServer::bind("127.0.0.1:0", service(config), cfg).expect("bind");
+    let ws = Arc::clone(server.obs().windows().expect("windows"));
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let query = |conn: &mut TcpStream| {
+        status_of(&exchange(
+            conn,
+            &keepalive_request(
+                "POST",
+                "/query",
+                &[("x-role", &ns::sec("Emergency"))],
+                select_query().as_bytes(),
+            ),
+        ))
+    };
+
+    // Healthy seed traffic, then an incident: a burst of real errors
+    // lands in the windowed store.
+    for _ in 0..4 {
+        assert_eq!(query(&mut conn), 200);
+    }
+    ws.add("server.errors", None, 100);
+    clock.advance(Duration::from_secs(2)); // outlast the 1 s SLO cache
+    let statuses: Vec<u16> = (0..8).map(|_| query(&mut conn)).collect();
+    let shed = statuses.iter().filter(|s| **s == 503).count();
+    assert!(
+        (1..8).contains(&shed),
+        "burning objective must shed a fraction: {statuses:?}"
+    );
+
+    // Recovery: the incident stops; traffic continues in SLO-cache-sized
+    // steps until the injected errors age out of the 1 m fast window.
+    // The shed 503s above (and along the way) must not re-enter
+    // `server.errors`, or the burn would sustain itself indefinitely.
+    for _ in 0..40 {
+        clock.advance(Duration::from_secs(2));
+        for _ in 0..4 {
+            query(&mut conn);
+        }
+    }
+    clock.advance(Duration::from_secs(2));
+    let tail: Vec<u16> = (0..8).map(|_| query(&mut conn)).collect();
+    assert!(
+        tail.iter().all(|s| *s == 200),
+        "shedding must clear once the incident ages out: {tail:?}"
+    );
+    // The only 5xx responses this test produced were self-inflicted
+    // sheds, and none of them reached the error counter.
+    assert_eq!(server.obs().registry().counter("server.errors").get(), 0);
+    assert!(server.obs().registry().counter("server.shed.slo").get() >= shed as u64);
+    server.shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // 4. Trace-id propagation across durability
 // ---------------------------------------------------------------------------
