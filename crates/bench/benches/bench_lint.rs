@@ -9,6 +9,7 @@ use std::hint::black_box;
 
 use grdf_bench::{incident_graph, incident_store, scenario_policies};
 use grdf_lint::{lint_all, lint_graph, lint_policies};
+use grdf_security::labels::LabelIr;
 
 fn bench_lint_graph_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("lint/graph_scaling");
@@ -58,10 +59,38 @@ fn bench_report_rendering(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_label_analysis(c: &mut Criterion) {
+    // The new whole-policy-set machinery over the same E6-scale input:
+    // label compilation (bitset assignment + role resolution), the
+    // entailment-leak pass in isolation (per-role OWL-Horst closure of
+    // the adversary graph), and the full S007–S010 analysis.
+    let store = incident_store(100, 100, 17);
+    let policies = scenario_policies();
+    let g = store.graph();
+
+    let mut group = c.benchmark_group("lint/labels");
+    group.sample_size(10);
+    group.bench_function("compile", |b| {
+        b.iter(|| black_box(LabelIr::compile(g, &policies).width()));
+    });
+    let ir = LabelIr::compile(g, &policies);
+    group.bench_function("entailment_leak_pass", |b| {
+        b.iter(|| black_box(ir.entailment_leaks(g).len()));
+    });
+    group.bench_function("static_diagnostics", |b| {
+        b.iter(|| black_box(ir.static_diagnostics(g, &policies).len()));
+    });
+    group.bench_function("verify_equivalence", |b| {
+        b.iter(|| black_box(ir.verify_label_equivalence(g, &policies).len()));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_lint_graph_scaling,
     bench_lint_passes,
-    bench_report_rendering
+    bench_report_rendering,
+    bench_label_analysis
 );
 criterion_main!(benches);

@@ -1,9 +1,11 @@
-//! Policy analysis (S001–S006): the security policy set against the
+//! Policy analysis (S001–S010): the security policy set against the
 //! graph that gives its designators meaning.
 //!
-//! S001/S003/S004/S005 come from `grdf_security::conflicts` (this pass
-//! re-exports them through the shared diagnostics shape). The two checks
-//! added here both need the data graph:
+//! S001/S003/S004/S005 come from `grdf_security::conflicts`,
+//! S007–S010 from the whole-policy-set label-compilation passes of
+//! `grdf_security::labels` (this pass re-exports both through the shared
+//! diagnostics shape). The two checks added here both need the data
+//! graph:
 //!
 //! * **S002 unknown-policy-target** — a policy whose resource or
 //!   condition property never occurs in the graph governs nothing; after
@@ -27,6 +29,7 @@ pub fn check(data: &Graph, policies: &PolicySet) -> Vec<Diagnostic> {
     let mut out = grdf_security::conflicts::diagnostics(data, policies);
     out.extend(unknown_targets(data, policies));
     out.extend(over_broad_grants(data, policies));
+    out.extend(grdf_security::labels::diagnostics(data, policies));
     out
 }
 

@@ -102,6 +102,24 @@ pub enum LintCode {
     /// property-level restriction on a subclass underneath it — the
     /// GeoXACML-granularity regression the paper warns about.
     OverBroadGrant,
+    /// S007: a policy that never changes any role's compiled visibility —
+    /// every triple it would grant or hide is already decided the same way
+    /// by the rest of the policy set (shadowing / unreachability at the
+    /// whole-set level, beyond the pairwise S003 check).
+    UnreachablePolicy,
+    /// S008: a role's *effective* policy set (own + inherited) holds both
+    /// a Permit and a Deny that match one concrete subject, where the pair
+    /// is invisible to the pairwise S001 check (different declared roles,
+    /// or designators that only overlap on a concrete individual).
+    ContradictoryOverlap,
+    /// S009: entailment leak — a role's permitted subgraph plus the public
+    /// schema OWL-Horst-entails a triple about a subject that role is
+    /// explicitly denied.
+    EntailmentLeak,
+    /// S010: authorization monotonicity violation — a sub-role's effective
+    /// view loses a triple its super-role can see (an explicit deny on the
+    /// sub-role cuts inherited visibility).
+    NonMonotonicAuthorization,
     /// T001: a topology primitive left unrealized while the rest of its
     /// complex is realized.
     UnrealizedTopology,
@@ -135,6 +153,10 @@ impl LintCode {
         LintCode::DuplicatePolicyId,
         LintCode::EmptyDesignator,
         LintCode::OverBroadGrant,
+        LintCode::UnreachablePolicy,
+        LintCode::ContradictoryOverlap,
+        LintCode::EntailmentLeak,
+        LintCode::NonMonotonicAuthorization,
         LintCode::UnrealizedTopology,
         LintCode::MissingEndpoint,
         LintCode::OpenFaceBoundary,
@@ -162,6 +184,10 @@ impl LintCode {
             LintCode::DuplicatePolicyId => "S004",
             LintCode::EmptyDesignator => "S005",
             LintCode::OverBroadGrant => "S006",
+            LintCode::UnreachablePolicy => "S007",
+            LintCode::ContradictoryOverlap => "S008",
+            LintCode::EntailmentLeak => "S009",
+            LintCode::NonMonotonicAuthorization => "S010",
             LintCode::UnrealizedTopology => "T001",
             LintCode::MissingEndpoint => "T002",
             LintCode::OpenFaceBoundary => "T003",
@@ -190,6 +216,10 @@ impl LintCode {
             LintCode::DuplicatePolicyId => "duplicate-policy-id",
             LintCode::EmptyDesignator => "empty-designator",
             LintCode::OverBroadGrant => "over-broad-grant",
+            LintCode::UnreachablePolicy => "unreachable-policy",
+            LintCode::ContradictoryOverlap => "contradictory-overlap",
+            LintCode::EntailmentLeak => "entailment-leak",
+            LintCode::NonMonotonicAuthorization => "non-monotonic-authorization",
             LintCode::UnrealizedTopology => "unrealized-topology",
             LintCode::MissingEndpoint => "missing-endpoint",
             LintCode::OpenFaceBoundary => "open-face-boundary",
@@ -207,6 +237,8 @@ impl LintCode {
             | LintCode::RangeViolation
             | LintCode::UnknownPolicyTarget
             | LintCode::ShadowedRule
+            | LintCode::UnreachablePolicy
+            | LintCode::NonMonotonicAuthorization
             | LintCode::UnrealizedTopology => Severity::Warning,
             LintCode::DanglingRealization
             | LintCode::DatatypeMismatch
@@ -220,6 +252,8 @@ impl LintCode {
             | LintCode::DuplicatePolicyId
             | LintCode::EmptyDesignator
             | LintCode::OverBroadGrant
+            | LintCode::ContradictoryOverlap
+            | LintCode::EntailmentLeak
             | LintCode::MissingEndpoint
             | LintCode::OpenFaceBoundary
             | LintCode::EmptyFaceBoundary => Severity::Error,
@@ -414,20 +448,37 @@ impl LintReport {
         out
     }
 
-    /// The stable JSON rendering (schema version 1):
+    /// The stable JSON rendering (schema version 2):
     ///
     /// ```json
-    /// {"version":1,
+    /// {"version":2,"tool_version":"0.1.0","codes":["G001"],
     ///  "summary":{"error":0,"warning":0,"info":0},
     ///  "diagnostics":[{"code":"G001","name":"dangling-iri",
     ///    "severity":"warning","subject":"<iri>","message":"…",
     ///    "related":["…"],"suggestion":"…"}]}
     /// ```
     ///
-    /// Keys are emitted in fixed order; `suggestion` is omitted when
-    /// absent. Snapshot-tested: changing this shape is a breaking change.
+    /// v2 adds `tool_version` (the emitting crate's version) and `codes`
+    /// (the sorted distinct codes present) ahead of `summary`; the
+    /// per-diagnostic shape is unchanged from v1 so v1 consumers that key
+    /// on `summary`/`diagnostics` keep working — see [`parse_summary`]
+    /// which accepts both. Keys are emitted in fixed order; `suggestion`
+    /// is omitted when absent. Snapshot-tested: changing this shape is a
+    /// breaking change.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"version\":1,\"summary\":{");
+        let mut codes: Vec<&str> = self.diagnostics.iter().map(|d| d.code.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        let mut out = String::from("{\"version\":2,\"tool_version\":");
+        out.push_str(&json_string(env!("CARGO_PKG_VERSION")));
+        out.push_str(",\"codes\":[");
+        for (i, c) in codes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(c));
+        }
+        out.push_str("],\"summary\":{");
         out.push_str(&format!(
             "\"error\":{},\"warning\":{},\"info\":{}}},\"diagnostics\":[",
             self.count(Severity::Error),
@@ -461,6 +512,73 @@ impl LintReport {
         out.push_str("]}");
         out
     }
+}
+
+/// The header of a serialized [`LintReport`], as parsed back from JSON by
+/// [`parse_summary`]. Covers both schema v1 (no `tool_version`/`codes`)
+/// and v2, so CI artifacts from older runs still diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportSummary {
+    /// The schema version (`1` or `2`).
+    pub version: u32,
+    /// The emitting crate's version; `None` for v1 reports.
+    pub tool_version: Option<String>,
+    /// Sorted distinct codes present; empty for v1 reports (field absent).
+    pub codes: Vec<String>,
+    /// Error-severity finding count.
+    pub error: usize,
+    /// Warning-severity finding count.
+    pub warning: usize,
+    /// Info-severity finding count.
+    pub info: usize,
+}
+
+/// Parse the header of a JSON lint report produced by
+/// [`LintReport::to_json`] — either schema v1 or v2. Returns `None` when
+/// the document is not a lint report. This is a targeted reader for our
+/// own fixed-key-order output, not a general JSON parser.
+pub fn parse_summary(json: &str) -> Option<ReportSummary> {
+    fn field_u32(json: &str, key: &str) -> Option<u32> {
+        let needle = format!("\"{key}\":");
+        let at = json.find(&needle)? + needle.len();
+        let digits: String = json[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        digits.parse().ok()
+    }
+    fn field_str(json: &str, key: &str) -> Option<String> {
+        let needle = format!("\"{key}\":\"");
+        let at = json.find(&needle)? + needle.len();
+        let end = json[at..].find('"')?;
+        Some(json[at..at + end].to_string())
+    }
+    let version = field_u32(json, "version")?;
+    if version == 0 || version > 2 {
+        return None;
+    }
+    let summary_at = json.find("\"summary\":")?;
+    let head = &json[..summary_at];
+    let summary = &json[summary_at..];
+    let mut codes = Vec::new();
+    if let Some(at) = head.find("\"codes\":[") {
+        let rest = &head[at + "\"codes\":[".len()..];
+        let end = rest.find(']')?;
+        for part in rest[..end].split(',') {
+            let part = part.trim().trim_matches('"');
+            if !part.is_empty() {
+                codes.push(part.to_string());
+            }
+        }
+    }
+    Some(ReportSummary {
+        version,
+        tool_version: field_str(head, "tool_version"),
+        codes,
+        error: field_u32(summary, "error")? as usize,
+        warning: field_u32(summary, "warning")? as usize,
+        info: field_u32(summary, "info")? as usize,
+    })
 }
 
 /// Escape a string as a JSON string literal (with quotes).
@@ -530,9 +648,37 @@ mod tests {
         assert!(text.contains("error[G010]"), "{text}");
         assert!(text.contains("1 error(s)"), "{text}");
         let json = r.to_json();
-        assert!(json.starts_with("{\"version\":1"), "{json}");
+        assert!(json.starts_with("{\"version\":2"), "{json}");
+        assert!(json.contains("\"tool_version\":"), "{json}");
+        assert!(json.contains("\"codes\":[\"G010\"]"), "{json}");
         assert!(json.contains("\"code\":\"G010\""), "{json}");
         assert!(json.contains("\"suggestion\":"), "{json}");
+    }
+
+    #[test]
+    fn summary_parses_v2_output() {
+        let d = Diagnostic::new(LintCode::EntailmentLeak, Term::iri("urn:p"), "leak");
+        let r = LintReport::from_diagnostics(vec![d]);
+        let s = parse_summary(&r.to_json()).expect("v2 parses");
+        assert_eq!(s.version, 2);
+        assert_eq!(s.tool_version.as_deref(), Some(env!("CARGO_PKG_VERSION")));
+        assert_eq!(s.codes, vec!["S009".to_string()]);
+        assert_eq!((s.error, s.warning, s.info), (1, 0, 0));
+    }
+
+    #[test]
+    fn summary_parses_legacy_v1_artifact() {
+        // A canned v1 report as emitted before the schema bump: no
+        // tool_version, no codes array. Older CI artifacts must still diff.
+        let v1 = "{\"version\":1,\"summary\":{\"error\":2,\"warning\":1,\"info\":0},\
+                  \"diagnostics\":[{\"code\":\"S001\",\"name\":\"contradictory-rule\",\
+                  \"severity\":\"error\",\"subject\":\"<urn:x>\",\"message\":\"m\",\"related\":[]}]}";
+        let s = parse_summary(v1).expect("v1 parses");
+        assert_eq!(s.version, 1);
+        assert_eq!(s.tool_version, None);
+        assert!(s.codes.is_empty());
+        assert_eq!((s.error, s.warning, s.info), (2, 1, 0));
+        assert!(parse_summary("{\"not\":\"a report\"}").is_none());
     }
 
     #[test]
@@ -547,9 +693,10 @@ mod tests {
         assert!(r.is_clean());
         assert_eq!(r.max_severity(), None);
         assert!(!r.fails_gate(true));
-        assert_eq!(
-            r.to_json(),
-            "{\"version\":1,\"summary\":{\"error\":0,\"warning\":0,\"info\":0},\"diagnostics\":[]}"
+        let expected = format!(
+            "{{\"version\":2,\"tool_version\":\"{}\",\"codes\":[],\"summary\":{{\"error\":0,\"warning\":0,\"info\":0}},\"diagnostics\":[]}}",
+            env!("CARGO_PKG_VERSION")
         );
+        assert_eq!(r.to_json(), expected);
     }
 }

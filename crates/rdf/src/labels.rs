@@ -1,0 +1,305 @@
+//! Per-triple visibility labels: the storage half of the label-compilation
+//! IR (ROADMAP item 1, Accumulo/GeoMesa cell-level visibility model).
+//!
+//! A [`VisBitset`] records which *roles* (by dense index) may see a triple;
+//! a [`TripleLabels`] table maps interned id-triples to deduplicated label
+//! classes. Policy compilation lives in `grdf-security::labels`; this module
+//! only knows about bits and ids so the graph crate stays policy-agnostic.
+//!
+//! Visibility check at scan time is a single bitset intersection: a session
+//! resolves its role(s) to an authorization [`VisBitset`] once, then each
+//! triple costs one `intersects` call — O(words) per triple, zero per-role
+//! state.
+
+use std::collections::HashMap;
+
+use crate::graph::TermId;
+
+/// A fixed-width bitset over role indices. Width is owned by the enclosing
+/// [`TripleLabels`] (all bitsets in one table share it); the bitset itself
+/// just stores words so it can be hashed and deduplicated cheaply.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VisBitset {
+    words: Vec<u64>,
+}
+
+impl VisBitset {
+    /// An empty bitset sized for `width` bits (all hidden).
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        VisBitset {
+            words: vec![0u64; width.div_ceil(64)],
+        }
+    }
+
+    /// Set bit `i`. Grows the word vector if needed so callers can build
+    /// bitsets incrementally without pre-sizing.
+    pub fn set(&mut self, i: usize) {
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (i % 64);
+    }
+
+    /// Whether bit `i` is set.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        let w = i / 64;
+        self.words
+            .get(w)
+            .is_some_and(|word| word & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Whether any bit is set in both `self` and `other`.
+    #[must_use]
+    pub fn intersects(&self, other: &VisBitset) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Union `other` into `self`; returns true if any bit changed.
+    pub fn union_with(&mut self, other: &VisBitset) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            let next = *a | *b;
+            if next != *a {
+                *a = next;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// True if every set bit of `self` is also set in `other`.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &VisBitset) -> bool {
+        self.words.iter().enumerate().all(|(i, w)| {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            w & !o == 0
+        })
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Indices of all set bits, ascending.
+    #[must_use]
+    pub fn iter_ones(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, w) in self.words.iter().enumerate() {
+            let mut word = *w;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                out.push(wi * 64 + bit);
+                word &= word - 1;
+            }
+        }
+        out
+    }
+}
+
+/// Index of a deduplicated label class within a [`TripleLabels`] table.
+pub type LabelId = u32;
+
+/// Per-triple visibility table over interned id-triples.
+///
+/// Label *classes* (distinct bitsets) are deduplicated: real policy sets
+/// produce a handful of classes over millions of triples, so the per-triple
+/// cost is one `u32` plus the map entry. A triple with no entry is hidden
+/// from every role (deny-by-default).
+///
+/// The table is stamped with the graph `generation` it was compiled against
+/// so gates can detect staleness after updates.
+#[derive(Debug, Clone, Default)]
+pub struct TripleLabels {
+    width: usize,
+    generation: u64,
+    classes: Vec<VisBitset>,
+    class_ids: HashMap<VisBitset, LabelId>,
+    map: HashMap<(TermId, TermId, TermId), LabelId>,
+}
+
+impl TripleLabels {
+    /// New empty table for `width` role bits, stamped with `generation`.
+    #[must_use]
+    pub fn new(width: usize, generation: u64) -> Self {
+        TripleLabels {
+            width,
+            generation,
+            classes: Vec::new(),
+            class_ids: HashMap::new(),
+            map: HashMap::new(),
+        }
+    }
+
+    /// Number of role bits this table was compiled for.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Graph generation the labels were compiled against.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of labeled triples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no triple is labeled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of distinct label classes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Intern `bits` as a label class and assign it to the id-triple.
+    /// Returns the (possibly pre-existing) class id. Empty bitsets are not
+    /// stored: absence already means hidden-from-all.
+    pub fn insert(&mut self, s: TermId, p: TermId, o: TermId, bits: &VisBitset) -> Option<LabelId> {
+        if bits.is_empty() {
+            self.map.remove(&(s, p, o));
+            return None;
+        }
+        let id = if let Some(id) = self.class_ids.get(bits) {
+            *id
+        } else {
+            let id = u32::try_from(self.classes.len()).unwrap_or(u32::MAX);
+            self.classes.push(bits.clone());
+            self.class_ids.insert(bits.clone(), id);
+            id
+        };
+        self.map.insert((s, p, o), id);
+        Some(id)
+    }
+
+    /// Label class id of an id-triple, if labeled.
+    #[must_use]
+    pub fn label_of(&self, s: TermId, p: TermId, o: TermId) -> Option<LabelId> {
+        self.map.get(&(s, p, o)).copied()
+    }
+
+    /// The bitset for a label class id.
+    #[must_use]
+    pub fn class(&self, id: LabelId) -> Option<&VisBitset> {
+        self.classes.get(id as usize)
+    }
+
+    /// Scan-time check: is the id-triple visible under `auths`?
+    /// Unlabeled triples are hidden (deny-by-default).
+    #[must_use]
+    pub fn visible(&self, s: TermId, p: TermId, o: TermId, auths: &VisBitset) -> bool {
+        self.label_of(s, p, o)
+            .and_then(|id| self.class(id))
+            .is_some_and(|bits| bits.intersects(auths))
+    }
+
+    /// Bitset of an id-triple, if labeled.
+    #[must_use]
+    pub fn bits_of(&self, s: TermId, p: TermId, o: TermId) -> Option<&VisBitset> {
+        self.label_of(s, p, o).and_then(|id| self.class(id))
+    }
+
+    /// Iterate all labeled id-triples with their class ids.
+    pub fn iter(&self) -> impl Iterator<Item = (&(TermId, TermId, TermId), LabelId)> {
+        self.map.iter().map(|(k, v)| (k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_set_get_intersect() {
+        let mut a = VisBitset::new(3);
+        let mut b = VisBitset::new(3);
+        a.set(0);
+        a.set(2);
+        b.set(1);
+        assert!(!a.intersects(&b));
+        b.set(2);
+        assert!(a.intersects(&b));
+        assert!(a.get(2) && !a.get(1));
+        assert_eq!(a.count_ones(), 2);
+        assert_eq!(a.iter_ones(), vec![0, 2]);
+    }
+
+    #[test]
+    fn bitset_grows_past_word_boundary() {
+        let mut a = VisBitset::new(1);
+        a.set(130);
+        assert!(a.get(130));
+        assert!(!a.get(129));
+        let mut b = VisBitset::new(200);
+        b.set(130);
+        assert!(a.intersects(&b));
+        assert!(a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = VisBitset::new(2);
+        let mut b = VisBitset::new(2);
+        b.set(1);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert!(a.get(1));
+    }
+
+    #[test]
+    fn labels_dedup_classes() {
+        let mut t = TripleLabels::new(2, 7);
+        let mut bits = VisBitset::new(2);
+        bits.set(0);
+        let a = t.insert(1, 2, 3, &bits);
+        let b = t.insert(4, 2, 3, &bits);
+        assert_eq!(a, b);
+        assert_eq!(t.class_count(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.generation(), 7);
+
+        let mut other = VisBitset::new(2);
+        other.set(1);
+        t.insert(5, 2, 3, &other);
+        assert_eq!(t.class_count(), 2);
+
+        let mut auth = VisBitset::new(2);
+        auth.set(0);
+        assert!(t.visible(1, 2, 3, &auth));
+        assert!(!t.visible(5, 2, 3, &auth));
+        assert!(!t.visible(9, 9, 9, &auth), "unlabeled means hidden");
+    }
+
+    #[test]
+    fn empty_bits_not_stored() {
+        let mut t = TripleLabels::new(2, 0);
+        let empty = VisBitset::new(2);
+        assert_eq!(t.insert(1, 2, 3, &empty), None);
+        assert!(t.is_empty());
+    }
+}

@@ -41,6 +41,7 @@ pub mod diagnostic;
 pub mod error;
 pub mod graph;
 pub mod isomorphism;
+pub mod labels;
 pub mod namespace;
 pub mod ntriples;
 pub mod rdfxml;

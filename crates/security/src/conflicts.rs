@@ -94,30 +94,17 @@ impl fmt::Display for PolicyConflict {
     }
 }
 
-/// Whether two resource designations overlap under the (materialized)
-/// class hierarchy of `data`: equal, one a subclass of the other, or an
-/// instance of the class.
-fn resources_overlap(data: &Graph, a: &str, b: &str) -> bool {
-    if a == b {
-        return true;
-    }
-    let h = Hierarchy::new(data);
-    let (ta, tb) = (Term::iri(a), Term::iri(b));
-    if h.is_subclass_of(&ta, &tb) || h.is_subclass_of(&tb, &ta) {
-        return true;
-    }
-    // Instance-of relations in either direction.
-    let types_a = h.types_of(&ta);
-    let types_b = h.types_of(&tb);
-    types_a.iter().any(|t| t == &tb || h.is_subclass_of(t, &tb))
-        || types_b.iter().any(|t| t == &ta || h.is_subclass_of(t, &ta))
-}
-
 /// Detect conflicts in a combined policy set, using `data` for the class
 /// hierarchy (materialize it first for full subclass coverage).
+///
+/// Designator overlap (equal, one a subclass of the other, or an instance
+/// of the other) is answered by [`crate::labels::DesignatorIndex`], which
+/// walks the hierarchy once per distinct designator instead of once per
+/// policy pair.
 pub fn detect_conflicts(data: &Graph, policies: &PolicySet) -> Vec<PolicyConflict> {
     let mut out = Vec::new();
     let ps = &policies.policies;
+    let idx = crate::labels::DesignatorIndex::new(data, policies);
 
     for (i, a) in ps.iter().enumerate() {
         for b in &ps[i + 1..] {
@@ -128,7 +115,7 @@ pub fn detect_conflicts(data: &Graph, policies: &PolicySet) -> Vec<PolicyConflic
             if a.role != b.role || a.action != b.action {
                 continue;
             }
-            if !resources_overlap(data, &a.resource, &b.resource) {
+            if !idx.overlap(&a.resource, &b.resource) {
                 continue;
             }
             match (a.decision, b.decision) {

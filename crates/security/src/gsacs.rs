@@ -738,7 +738,9 @@ impl GSacs {
 
     /// Run the static-analysis passes the service can check on its own
     /// inputs — structural policy problems, policy conflicts through the
-    /// subclass hierarchy, and OWL consistency — over the served dataset.
+    /// subclass hierarchy, whole-policy-set label analysis (shadowing,
+    /// contradictory overlap, entailment leaks, hierarchy monotonicity),
+    /// and OWL consistency — over the served dataset.
     /// Instrumented: a `gsacs.lint` span plus `gsacs.lint.*` counters.
     pub fn lint(&self) -> LintReport {
         self.lint_graph(&self.data)
@@ -747,6 +749,7 @@ impl GSacs {
     fn lint_graph(&self, data: &Graph) -> LintReport {
         let span = grdf_obs::span("gsacs.lint");
         let mut diags = crate::conflicts::diagnostics(data, &self.policies);
+        diags.extend(crate::labels::diagnostics(data, &self.policies));
         diags.extend(grdf_owl::consistency::lint(data));
         let report = LintReport::from_diagnostics(diags);
         let errors = report.count(Severity::Error);
@@ -761,6 +764,9 @@ impl GSacs {
 
     /// The construction-time lint gate: audit the findings and, under
     /// [`LintGate::Enforce`], reject the service when any are errors.
+    /// Also runs the differential label verifier — label-filtered scans
+    /// must equal materialized secure views for every role; a divergence
+    /// under Enforce fails the service closed, under Flag it is audited.
     fn lint_at_init(&mut self) {
         if self.config.lint_gate == LintGate::Off {
             return;
@@ -787,6 +793,29 @@ impl GSacs {
                 .map(std::string::ToString::to_string)
                 .unwrap_or_default();
             self.lint_rejected = Some(format!("{summary}; first: {first}"));
+            return;
+        }
+        if !self.policies.policies.is_empty() {
+            let ir = crate::labels::LabelIr::compile(&self.data, &self.policies);
+            let divergences = ir.verify_label_equivalence(&self.data, &self.policies);
+            if !divergences.is_empty() {
+                let detail = format!(
+                    "label/view divergence ({}): {}",
+                    divergences.len(),
+                    divergences[0]
+                );
+                let fail = self.config.lint_gate == LintGate::Enforce;
+                self.audit_push(AuditEntry {
+                    role: "system".to_string(),
+                    action: "label-verify".to_string(),
+                    target: format!("init: {detail}"),
+                    allowed: !fail,
+                    trace_id: grdf_obs::current_trace_id().unwrap_or(TraceId::NONE),
+                });
+                if fail {
+                    self.lint_rejected = Some(detail);
+                }
+            }
         }
     }
 

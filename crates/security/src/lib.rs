@@ -26,6 +26,11 @@
 //! * [`views`] — middleware "layered views": filtering a merged graph down
 //!   to what a role may see.
 //! * [`geoxacml`] — the object-level baseline comparator.
+//! * [`labels`] — the policy label compiler: List 8 policy sets + the
+//!   `sec:subRoleOf` hierarchy compiled to per-triple visibility bitsets,
+//!   with whole-set static analyses (S007–S010, including the OWL-Horst
+//!   entailment-leak pass) and a differential verifier proving the
+//!   label-filtered scan equals the materialized secure views.
 //! * [`gsacs`] — the Fig. 3 runtime: front-end, decision engine, LRU query
 //!   cache, pluggable [`gsacs::ReasoningEngine`], ontology repository.
 //! * [`resilience`] — the fail-closed service layer: unified error
@@ -42,6 +47,7 @@
 pub mod conflicts;
 pub mod geoxacml;
 pub mod gsacs;
+pub mod labels;
 pub mod ontology;
 pub mod policy;
 pub mod resilience;
@@ -55,6 +61,7 @@ pub use gsacs::{
     policy_set_graph, AuditEntry, AuditLog, ClientRequest, GSacs, OntoRepository, QueryCache,
     ReasoningEngine, UpdateOp, UpdateOutcome, UpdateRequest,
 };
+pub use labels::{CompiledPolicy, DesignatorIndex, Explanation, LabelIr, RoleHierarchy};
 pub use policy::{Action, Condition, Decision, DecisionTrace, Policy, PolicyMatch, PolicySet};
 pub use resilience::{
     AdmissionGate, BreakerConfig, BreakerState, Durability, EngineError, FaultInjector, FaultKind,

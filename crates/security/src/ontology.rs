@@ -37,6 +37,7 @@ pub fn security_ontology() -> Graph {
     b.object_property("condValDefinition", Some("ConditionValue"), None);
     b.object_property("hasPropertyAccess", Some("ConditionValue"), None);
     b.object_property("hasSpatialExtent", Some("ConditionValue"), None);
+    b.object_property("subRoleOf", Some("Role"), Some("Role"));
 
     // Individuals used by every policy document.
     use grdf_rdf::term::Term;

@@ -1,0 +1,150 @@
+//! The §7.1 water-contamination incident scenario: dataset, store, the
+//! three roles, and both policy encodings (GRDF List-8 fine-grained vs.
+//! the GeoXACML object-level approximation).
+//!
+//! These builders are shared by the Criterion benchmarks, the `figures`
+//! report binary, and `grdf-cli`'s policy-analysis commands so every
+//! consumer measures/analyzes the same workload.
+
+use grdf_core::store::GrdfStore;
+use grdf_feature::rdf_codec::encode_feature;
+use grdf_rdf::graph::Graph;
+use grdf_rdf::vocab::grdf;
+use grdf_security::geoxacml::{XacmlPolicySet, XacmlRule};
+use grdf_security::policy::{Policy, PolicySet};
+
+use crate::chemical::{alignment_axioms, generate_chemical_sites, ChemicalConfig};
+use crate::hydrology::{generate_hydrology, HydrologyConfig};
+
+/// Role IRIs of the §7.1 scenario.
+pub mod roles {
+    use grdf_rdf::vocab::grdf;
+
+    /// 'main repair': wastewater pipe crews — extent-only access.
+    pub fn main_repair() -> String {
+        grdf::sec("MainRep")
+    }
+
+    /// 'hazmat personnel': chemical clean-up — chemicals + extents.
+    pub fn hazmat() -> String {
+        grdf::sec("Hazmat")
+    }
+
+    /// 'emergency response': administrative — full access.
+    pub fn emergency() -> String {
+        grdf::sec("Emergency")
+    }
+}
+
+/// Build the merged incident dataset: `streams` hydrology features plus
+/// `sites` chemical sites (with linked ChemInfo records and ~10%
+/// duplicates), plus the alignment axioms. Deterministic per `seed`.
+pub fn incident_graph(streams: usize, sites: usize, seed: u64) -> Graph {
+    let hydro = generate_hydrology(&HydrologyConfig {
+        streams,
+        seed,
+        ..Default::default()
+    });
+    let chem = generate_chemical_sites(&ChemicalConfig {
+        sites,
+        seed: seed + 1,
+        ..Default::default()
+    });
+    let mut g = grdf_rdf::turtle::parse(alignment_axioms()).expect("axioms parse");
+    for f in hydro.features.iter().chain(chem.features.iter()) {
+        encode_feature(&mut g, f);
+    }
+    g
+}
+
+/// An incident store (GRDF ontology + incident data), not yet materialized.
+pub fn incident_store(streams: usize, sites: usize, seed: u64) -> GrdfStore {
+    let mut store = GrdfStore::new();
+    store.merge_graph(&incident_graph(streams, sites, seed));
+    store
+}
+
+/// The three-role GRDF policy set of §7.1 (fine-grained, List 8 style).
+pub fn scenario_policies() -> PolicySet {
+    PolicySet::new(vec![
+        // 'main repair': low-security role; extent only on chemical data,
+        // full hydrology.
+        Policy::permit_properties(
+            &grdf::sec("MainRepPolicy1"),
+            &roles::main_repair(),
+            &grdf::app("ChemSite"),
+            &[&grdf::iri("isBoundedBy"), &grdf::iri("hasGeometry")],
+        ),
+        Policy::permit(
+            &grdf::sec("MainRepPolicy2"),
+            &roles::main_repair(),
+            &grdf::app("Stream"),
+        ),
+        // 'hazmat personnel': chemicals and locations, but no contacts.
+        Policy::permit_properties(
+            &grdf::sec("HazmatPolicy1"),
+            &roles::hazmat(),
+            &grdf::app("ChemSite"),
+            &[
+                &grdf::iri("isBoundedBy"),
+                &grdf::iri("hasGeometry"),
+                &grdf::app("hasChemicalInfo"),
+                &grdf::app("hasSiteName"),
+            ],
+        ),
+        Policy::permit(
+            &grdf::sec("HazmatPolicy2"),
+            &roles::hazmat(),
+            &grdf::app("ChemInfo"),
+        ),
+        Policy::permit(
+            &grdf::sec("HazmatPolicy3"),
+            &roles::hazmat(),
+            &grdf::app("Stream"),
+        ),
+        // 'emergency response': administrative role, full access.
+        Policy::permit(
+            &grdf::sec("EmPolicy1"),
+            &roles::emergency(),
+            &grdf::app("ChemSite"),
+        ),
+        Policy::permit(
+            &grdf::sec("EmPolicy2"),
+            &roles::emergency(),
+            &grdf::app("ChemInfo"),
+        ),
+        Policy::permit(
+            &grdf::sec("EmPolicy3"),
+            &roles::emergency(),
+            &grdf::app("Stream"),
+        ),
+    ])
+}
+
+/// The closest object-level (GeoXACML-style) approximation of the same
+/// intent: 'main repair' must be granted whole ChemSites (it needs their
+/// extents) — which is exactly the over-grant the paper criticizes.
+pub fn xacml_policies() -> XacmlPolicySet {
+    XacmlPolicySet::new(vec![
+        XacmlRule::permit(&roles::main_repair(), &grdf::app("ChemSite")),
+        XacmlRule::permit(&roles::main_repair(), &grdf::app("Stream")),
+        XacmlRule::permit(&roles::hazmat(), &grdf::app("ChemSite")),
+        XacmlRule::permit(&roles::hazmat(), &grdf::app("ChemInfo")),
+        XacmlRule::permit(&roles::hazmat(), &grdf::app("Stream")),
+        XacmlRule::permit(&roles::emergency(), &grdf::app("ChemSite")),
+        XacmlRule::permit(&roles::emergency(), &grdf::app("ChemInfo")),
+        XacmlRule::permit(&roles::emergency(), &grdf::app("Stream")),
+    ])
+}
+
+/// Properties the 'main repair' role must never see — the leak probes of
+/// experiment E5.
+pub fn sensitive_properties() -> Vec<String> {
+    vec![
+        grdf::app("hasChemicalInfo"),
+        grdf::app("hasContactPhone"),
+        grdf::app("hasSiteId"),
+        grdf::app("hasChemCode"),
+        grdf::app("hasChemName"),
+    ]
+}

@@ -18,15 +18,22 @@
 //!   cache experiments (E6).
 //! * [`sensors`] — water-quality observation series and temperature
 //!   coverages (§3.3.5/§3.3.8 types as live data).
+//! * [`incident`] — the assembled §7.1 incident scenario: merged dataset,
+//!   store, the three roles, and both policy encodings (shared by the
+//!   benchmarks, `figures`, and `grdf-cli`'s policy analysis).
 //!
 //! All generators are deterministic under a caller-supplied seed.
 
 pub mod chemical;
 pub mod hydrology;
+pub mod incident;
 pub mod requests;
 pub mod sensors;
 
 pub use chemical::{generate_chemical_sites, ChemicalConfig};
 pub use hydrology::{generate_hydrology, HydrologyConfig};
+pub use incident::{
+    incident_graph, incident_store, scenario_policies, sensitive_properties, xacml_policies,
+};
 pub use requests::{generate_requests, RequestConfig};
 pub use sensors::{generate_sensors, SensorConfig, SensorData};

@@ -11,7 +11,16 @@
 //!                                               per-stage timing tree and the access-decision trace
 //! grdf-cli lint     <file> [--policies <file>] [--format text|json] [--deny-warnings]
 //!                                               static analysis: referential, schema, consistency,
-//!                                               policy, and topology passes
+//!                                               policy (incl. label passes S007-S010), and topology
+//!                                               passes; with policies, also the differential
+//!                                               label/view equivalence proof
+//! grdf-cli labels   explain <file> <role> <s> <p> <o> [--policies <file>]
+//!                                               why a triple is visible/hidden/leaked for a role
+//! grdf-cli labels   verify  <file | --scenario> [--policies <file>]
+//!                                               prove label-filtered scans == secure views (exit 2
+//!                                               on divergence)
+//! grdf-cli labels   stats   <file | --scenario> [--policies <file>]
+//!                                               label table statistics (roles, classes, coverage)
 //! grdf-cli serve    <file> [--addr H:P] [--policies <file>] [--allow-probe] [...]
 //!                                               serve the data over the multi-tenant HTTP layer
 //! grdf-cli client   <url> [--role R] [--tenant T] [--deadline-ms N] [--body S|@f]
@@ -62,6 +71,9 @@ const USAGE: &str = "usage:
   grdf-cli health   <file | --from-json <file>> [--json] [--check]
   grdf-cli trace    <file> <sparql | @queryfile>
   grdf-cli lint     <file> [--policies <file>] [--format text|json] [--deny-warnings]
+  grdf-cli labels   explain <file | --scenario> <role> <s> <p> <o> [--policies <file>]
+  grdf-cli labels   verify  <file | --scenario> [--policies <file>]
+  grdf-cli labels   stats   <file | --scenario> [--policies <file>]
   grdf-cli store    init <dir> <file>
   grdf-cli store    verify <dir> [--format text|json] [--json-out <path>]
   grdf-cli store    recover <dir>
@@ -83,6 +95,9 @@ fn run(args: &[String]) -> Result<(String, u8), String> {
     let cmd = args.first().ok_or("missing command")?;
     if cmd == "lint" {
         return cmd_lint(&args[1..]);
+    }
+    if cmd == "labels" {
+        return cmd_labels(&args[1..]);
     }
     if cmd == "store" {
         return cmd_store(&args[1..]);
@@ -176,11 +191,28 @@ fn cmd_lint(args: &[String]) -> Result<(String, u8), String> {
     let set = (!policies.is_empty()).then(|| PolicySet::new(policies));
     let report = grdf::lint::lint_all(store.graph(), set.as_ref());
 
-    let output = match format {
+    // With a policy set in hand, also prove the compiled label table
+    // equivalent to the materialized secure views (the differential
+    // verifier). A divergence is a gate failure, not a lint code: it
+    // means the analyzer itself is out of sync with view semantics.
+    let divergences = set.as_ref().map_or_else(Vec::new, |ps| {
+        grdf::security::labels::LabelIr::compile(store.graph(), ps)
+            .verify_label_equivalence(store.graph(), ps)
+    });
+
+    let mut output = match format {
         "json" => report.to_json(),
         _ => report.render_text(),
     };
-    let code = if report.has_errors() {
+    if !divergences.is_empty() && format == "text" {
+        output.push_str("\nlabel/view divergence:\n");
+        for d in &divergences {
+            output.push_str("  ");
+            output.push_str(d);
+            output.push('\n');
+        }
+    }
+    let code = if report.has_errors() || !divergences.is_empty() {
         2
     } else if deny_warnings && report.fails_gate(true) {
         3
@@ -188,6 +220,147 @@ fn cmd_lint(args: &[String]) -> Result<(String, u8), String> {
         0
     };
     Ok((output, code))
+}
+
+/// `labels explain|verify|stats` — inspect and prove the compiled label
+/// table. Input is a data file (List-8 policies embedded or supplied via
+/// `--policies`), or `--scenario` for the built-in §7.1 three-role
+/// incident workload.
+fn cmd_labels(args: &[String]) -> Result<(String, u8), String> {
+    use grdf::rdf::term::Triple;
+    use grdf::security::labels::LabelIr;
+    use grdf::security::{Policy, PolicySet};
+
+    let sub = args
+        .first()
+        .ok_or("labels needs a subcommand: explain, verify, or stats")?
+        .as_str();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut policies_path: Option<&str> = None;
+    let mut scenario = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--policies" => {
+                i += 1;
+                policies_path = Some(args.get(i).ok_or("--policies needs a file")?);
+            }
+            "--scenario" => scenario = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown labels flag {flag:?}")),
+            p => positional.push(p),
+        }
+        i += 1;
+    }
+
+    // Assemble the graph and policy set.
+    let mut rest = positional.as_slice();
+    let (graph, mut policies) = if scenario {
+        let mut store = grdf::workload::incident::incident_store(30, 30, 11);
+        store.materialize();
+        (
+            store.graph().clone(),
+            grdf::workload::incident::scenario_policies().policies,
+        )
+    } else {
+        let file = rest
+            .first()
+            .ok_or("labels needs a data file (or --scenario)")?;
+        rest = &rest[1..];
+        let mut store = load_store(file)?;
+        store.materialize();
+        let policies = Policy::decode_all(store.graph());
+        (store.graph().clone(), policies)
+    };
+    if let Some(p) = policies_path {
+        policies.extend(Policy::decode_all(load_store(p)?.graph()));
+    }
+    if policies.is_empty() {
+        return Err("no List-8 policies found (embed them or pass --policies)".to_string());
+    }
+    let set = PolicySet::new(policies);
+    let ir = LabelIr::compile(&graph, &set);
+
+    match sub {
+        "explain" => {
+            let [role, s, p, o] = rest else {
+                return Err(
+                    "labels explain needs <role> <subject> <predicate> <object>".to_string()
+                );
+            };
+            let triple = Triple::new(parse_cli_term(s), parse_cli_term(p), parse_cli_term(o));
+            let role = parse_cli_term(role)
+                .as_iri()
+                .map(str::to_string)
+                .ok_or_else(|| "role must be an IRI".to_string())?;
+            let ex = ir.explain(&graph, &role, &triple);
+            let code = u8::from(ex.leak.is_some()) * 2;
+            Ok((ex.render(), code))
+        }
+        "verify" => {
+            if !rest.is_empty() {
+                return Err("labels verify takes no extra arguments".to_string());
+            }
+            let divergences = ir.verify_label_equivalence(&graph, &set);
+            if divergences.is_empty() {
+                Ok((
+                    format!(
+                        "label/view equivalence holds: {} role(s), {} labeled triple(s), \
+                         {} label class(es)",
+                        ir.width(),
+                        ir.labels.len(),
+                        ir.labels.class_count()
+                    ),
+                    0,
+                ))
+            } else {
+                let mut out = format!("label/view divergence ({}):\n", divergences.len());
+                for d in &divergences {
+                    out.push_str("  ");
+                    out.push_str(d);
+                    out.push('\n');
+                }
+                Ok((out, 2))
+            }
+        }
+        "stats" => {
+            if !rest.is_empty() {
+                return Err("labels stats takes no extra arguments".to_string());
+            }
+            use std::fmt::Write as _;
+            let mut out = String::new();
+            let _ = writeln!(out, "graph triples:   {}", graph.len());
+            let _ = writeln!(out, "policies:        {}", set.policies.len());
+            let _ = writeln!(out, "roles (bits):    {}", ir.width());
+            let _ = writeln!(out, "labeled triples: {}", ir.labels.len());
+            let _ = writeln!(out, "label classes:   {}", ir.labels.class_count());
+            for role in &ir.roles {
+                let auth = ir.authorizations(role);
+                let visible = ir
+                    .labels
+                    .iter()
+                    .filter(|(_, id)| ir.labels.class(*id).is_some_and(|b| b.intersects(&auth)))
+                    .count();
+                let _ = writeln!(out, "  {role}: {visible} visible triple(s)");
+            }
+            Ok((out, 0))
+        }
+        other => Err(format!(
+            "unknown labels subcommand {other:?} (use explain, verify, or stats)"
+        )),
+    }
+}
+
+/// Parse a CLI term argument: `_:x` is a blank node, `"..."` a string
+/// literal, anything else an IRI.
+fn parse_cli_term(s: &str) -> grdf::rdf::term::Term {
+    use grdf::rdf::term::Term;
+    if let Some(label) = s.strip_prefix("_:") {
+        Term::blank(label)
+    } else if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        Term::string(&s[1..s.len() - 1])
+    } else {
+        Term::iri(s)
+    }
 }
 
 /// `store init|verify|recover` — inspect and exercise the crash-safe
@@ -1301,7 +1474,9 @@ app:s1 a app:ChemSite ; app:hasSiteName "NT Energy" .
         assert!(out.contains("G006"), "{out}");
         let (json, code) = run(&["lint".into(), bad, "--format".into(), "json".into()]).unwrap();
         assert_eq!(code, 2);
-        assert!(json.starts_with("{\"version\":1"), "{json}");
+        assert!(json.starts_with("{\"version\":2"), "{json}");
+        assert!(json.contains("\"tool_version\""), "{json}");
+        assert!(json.contains("\"codes\":[\"G006\"]"), "{json}");
         assert!(json.contains("\"code\":\"G006\""), "{json}");
     }
 
