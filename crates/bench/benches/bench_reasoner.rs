@@ -7,11 +7,14 @@
 //! the checked-in `BENCH_reasoner.json`) and enforce engine invariants as
 //! hard assertions: the semi-naive engine must never take more passes
 //! than the naive engine and every arm must infer the same triple count.
-//! `--quick` trims the scaling series for CI smoke runs.
+//! `--quick` trims the scaling series for CI smoke runs; `--scale
+//! streams,sites[,detail]` appends one extra fast-arm scenario at an
+//! arbitrary point (e.g. `--scale 1000,1000,7` for the ~400 K-triple E6
+//! point, which full mode also records by default).
 
 use std::time::Instant;
 
-use grdf_bench::incident_store;
+use grdf_bench::{incident_graph_scaled, incident_store, incident_store_scaled};
 use grdf_core::ontology::grdf_ontology;
 use grdf_owl::reasoner::{Reasoner, ReasonerStats, Strategy};
 use grdf_rdf::graph::Graph;
@@ -29,44 +32,71 @@ struct ScenarioResult {
     arms: Vec<ArmResult>,
 }
 
+fn semi_naive() -> Reasoner {
+    Reasoner {
+        strategy: Strategy::SemiNaive,
+        ..Reasoner::default()
+    }
+}
+
 fn arms() -> Vec<(&'static str, Reasoner)> {
     vec![
         ("naive", Reasoner::naive()),
-        (
-            "semi_naive",
-            Reasoner {
-                strategy: Strategy::SemiNaive,
-                ..Reasoner::default()
-            },
-        ),
+        ("semi_naive", semi_naive()),
         ("parallel4", Reasoner::parallel(4)),
     ]
 }
 
-/// Best-of-`runs` wall time for a full materialization of `input`, plus
-/// the stats of the final run (identical across runs — the engine is
-/// deterministic).
-fn measure(input: &Graph, reasoner: Reasoner, runs: usize) -> (f64, ReasonerStats, Graph) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..runs {
-        let mut g = input.clone();
-        let start = Instant::now();
-        let stats = reasoner.materialize(&mut g);
-        let millis = start.elapsed().as_secs_f64() * 1e3;
-        best = best.min(millis);
-        last = Some((stats, g));
-    }
-    let (stats, g) = last.expect("runs >= 1");
-    (best, stats, g)
+/// Arms for the large scaling points, where the O(n²)-ish naive
+/// reference would dominate the run by minutes without adding signal:
+/// semi-naive becomes the reference arm.
+fn fast_arms() -> Vec<(&'static str, Reasoner)> {
+    vec![
+        ("semi_naive", semi_naive()),
+        ("parallel4", Reasoner::parallel(4)),
+    ]
 }
 
-fn run_scenario(name: &str, input: &Graph, runs: usize) -> ScenarioResult {
+/// Run every arm over `input`; the first arm is the reference: every
+/// other arm must reach the identical fixpoint with the same inferred
+/// count in no more passes. Timed rounds interleave the arms (warmup
+/// round first, best-of-`runs` minima after) so ambient load on a shared
+/// machine biases all arms alike instead of whichever ran last.
+fn run_scenario(
+    name: &str,
+    input: &Graph,
+    runs: usize,
+    arms: Vec<(&'static str, Reasoner)>,
+) -> ScenarioResult {
+    // Warmup round, untimed: capture each arm's stats and fixpoint (the
+    // engine is deterministic, so any run's stats are the stats).
+    let mut measured: Vec<(&'static str, Reasoner, ReasonerStats, Graph, f64)> = arms
+        .into_iter()
+        .map(|(arm_name, reasoner)| {
+            let mut g = input.clone();
+            let stats = reasoner.materialize(&mut g);
+            (arm_name, reasoner, stats, g, f64::INFINITY)
+        })
+        .collect();
+    // Rotate the arm order each round: a fixed order hands the later
+    // arms a systematically hotter (boost-decayed) core, which shows up
+    // as a phantom 1-2% loss on otherwise identical code paths.
+    let n_arms = measured.len();
+    for round in 0..runs {
+        for i in 0..n_arms {
+            let (_, reasoner, _, _, best) = &mut measured[(round + i) % n_arms];
+            let mut g = input.clone();
+            let start = Instant::now();
+            reasoner.materialize(&mut g);
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            *best = best.min(millis);
+        }
+    }
+
     let mut results = Vec::new();
     let mut reference: Option<Graph> = None;
     let mut output_triples = 0;
-    for (arm_name, reasoner) in arms() {
-        let (millis, stats, g) = measure(input, reasoner, runs);
+    for (arm_name, _, stats, g, millis) in measured {
         match &reference {
             None => {
                 output_triples = g.len();
@@ -74,7 +104,7 @@ fn run_scenario(name: &str, input: &Graph, runs: usize) -> ScenarioResult {
             }
             Some(r) => assert_eq!(
                 *r, g,
-                "{name}/{arm_name}: fixpoint differs from the naive reference"
+                "{name}/{arm_name}: fixpoint differs from the reference arm"
             ),
         }
         results.push(ArmResult {
@@ -83,19 +113,20 @@ fn run_scenario(name: &str, input: &Graph, runs: usize) -> ScenarioResult {
             stats,
         });
     }
-    let naive = &results[0];
+    let reference = &results[0];
     for arm in &results[1..] {
         assert_eq!(
-            arm.stats.inferred, naive.stats.inferred,
-            "{name}/{}: inferred-count mismatch vs naive",
-            arm.name
+            arm.stats.inferred, reference.stats.inferred,
+            "{name}/{}: inferred-count mismatch vs {}",
+            arm.name, reference.name
         );
         assert!(
-            arm.stats.passes <= naive.stats.passes,
-            "{name}/{}: {} passes exceeds naive's {}",
+            arm.stats.passes <= reference.stats.passes,
+            "{name}/{}: {} passes exceeds {}'s {}",
             arm.name,
             arm.stats.passes,
-            naive.stats.passes
+            reference.name,
+            reference.stats.passes
         );
     }
     ScenarioResult {
@@ -123,11 +154,15 @@ fn to_json(mode: &str, scenarios: &[ScenarioResult]) -> String {
             "      \"output_triples\": {},\n",
             s.output_triples
         ));
+        out.push_str(&format!(
+            "      \"reference_arm\": \"{}\",\n",
+            s.arms[0].name
+        ));
         out.push_str("      \"arms\": [\n");
         for (j, arm) in s.arms.iter().enumerate() {
             out.push_str(&format!(
                 "        {{\"name\": \"{}\", \"millis\": {:.3}, \"passes\": {}, \
-                 \"inferred\": {}, \"speedup_vs_naive\": {:.2}}}{}\n",
+                 \"inferred\": {}, \"speedup_vs_ref\": {:.2}}}{}\n",
                 arm.name,
                 arm.millis,
                 arm.stats.passes,
@@ -161,15 +196,44 @@ fn main() {
         .iter()
         .position(|a| a == "--json")
         .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+    // `--scale S,S[,D]`: append one extra fast-arm scenario at an
+    // arbitrary (streams, sites, detail) point without editing the
+    // built-in series.
+    let extra_scale: Option<(usize, usize, usize)> = args
+        .iter()
+        .position(|a| a == "--scale")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--scale needs streams,sites[,detail]")
+        })
+        .map(|spec| {
+            let parts: Vec<usize> = spec
+                .split(',')
+                .map(|p| p.trim().parse().expect("--scale takes integers"))
+                .collect();
+            match parts[..] {
+                [streams, sites] => (streams, sites, 1),
+                [streams, sites, detail] => (streams, sites, detail),
+                _ => panic!("--scale takes streams,sites[,detail]"),
+            }
+        });
 
     let (runs, scales): (usize, &[(usize, usize)]) = if quick {
-        (1, &[(25, 25), (50, 50)])
+        (3, &[(25, 25), (50, 50)])
     } else {
-        (3, &[(25, 25), (50, 50), (100, 100)])
+        (25, &[(25, 25), (50, 50), (100, 100)])
+    };
+    // The large scaling points only run the fast arms (semi-naive as
+    // the reference): columnar runs + id-batch joins are what's under
+    // test there, and naive would take minutes at 400 K triples.
+    let big_scales: &[(usize, usize, usize)] = if quick {
+        &[]
+    } else {
+        &[(250, 250, 3), (1000, 1000, 7)]
     };
 
     let mut scenarios = Vec::new();
-    scenarios.push(run_scenario("e1_ontology", &grdf_ontology(), runs));
+    scenarios.push(run_scenario("e1_ontology", &grdf_ontology(), runs, arms()));
     for &(streams, sites) in scales {
         // The E6 incident *store*: ontology + incident data, so the
         // fixpoint exercises the full GRDF schema, not just alignment
@@ -179,6 +243,38 @@ fn main() {
             &format!("e6_incident_store_{streams}x{sites}"),
             store.graph(),
             runs,
+            arms(),
+        ));
+    }
+    for &(streams, sites, detail) in big_scales {
+        let store = incident_store_scaled(streams, sites, detail, 11);
+        scenarios.push(run_scenario(
+            &format!("e6_incident_store_{streams}x{sites}_d{detail}"),
+            store.graph(),
+            15,
+            fast_arms(),
+        ));
+    }
+    if !quick {
+        // The headline columnar-vs-BTree point: the raw incident *graph*
+        // (alignment axioms only, no full ontology) at 1000×1000 detail
+        // 7 — the exact workload and seed of the pre-PR BTree baseline
+        // (246.6 ms semi-naive materialization at 429,738 triples).
+        let graph = incident_graph_scaled(1000, 1000, 7, 42);
+        scenarios.push(run_scenario(
+            "e6_incident_graph_1000x1000_d7",
+            &graph,
+            15,
+            fast_arms(),
+        ));
+    }
+    if let Some((streams, sites, detail)) = extra_scale {
+        let store = incident_store_scaled(streams, sites, detail, 11);
+        scenarios.push(run_scenario(
+            &format!("e6_incident_store_{streams}x{sites}_d{detail}_extra"),
+            store.graph(),
+            runs.min(3),
+            fast_arms(),
         ));
     }
 
@@ -189,13 +285,28 @@ fn main() {
         );
         for arm in &s.arms {
             println!(
-                "  {:<10} {:>10.3} ms  {:>2} passes  {:>7} inferred  {:>6.2}x vs naive",
+                "  {:<10} {:>10.3} ms  {:>2} passes  {:>7} inferred  {:>6.2}x vs {}",
                 arm.name,
                 arm.millis,
                 arm.stats.passes,
                 arm.stats.inferred,
-                speedup(s, arm)
+                speedup(s, arm),
+                s.arms[0].name,
             );
+        }
+        // Satellite invariant (advisory here, hard in the recorded JSON):
+        // adaptive sharding should keep parallel4 from losing to
+        // semi_naive at any scale. Shared CI runners are too noisy for a
+        // hard timing gate, so surface it loudly instead of asserting.
+        let semi = s.arms.iter().find(|a| a.name == "semi_naive");
+        let par = s.arms.iter().find(|a| a.name == "parallel4");
+        if let (Some(semi), Some(par)) = (semi, par) {
+            if par.millis > semi.millis {
+                println!(
+                    "  WARNING: parallel4 ({:.3} ms) slower than semi_naive ({:.3} ms)",
+                    par.millis, semi.millis
+                );
+            }
         }
     }
 

@@ -6,16 +6,22 @@
 //!
 //! Hand-rolled harness (same shape as `bench_reasoner`): `--json <path>`
 //! writes the checked-in `BENCH_store.json` format, `--quick` trims
-//! scales and iteration counts for CI smoke runs. Everything runs on a
+//! scales and iteration counts for CI smoke runs, and `--scale
+//! streams,sites[,detail]` appends an extra checkpoint-codec scaling
+//! point (e.g. `--scale 1000,1000,7`). Everything runs on a
 //! real filesystem (a fresh temp directory per arm) so fsync costs are
-//! real, not simulated.
+//! real, not simulated. Like `bench_reasoner`, the whole suite repeats
+//! for several rounds and the snapshot keeps per-metric minima (maxima
+//! for rates): fsync latency on a shared box jitters far more than the
+//! code under test, and minima are the stable point of the distribution.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use grdf_bench::{incident_graph, scenario_policies};
+use grdf_bench::{incident_graph, incident_graph_scaled, scenario_policies};
 use grdf_owl::reasoner::{Reasoner, Strategy};
+use grdf_rdf::codec::{decode_graph, encode_graph};
 use grdf_rdf::graph::Graph;
 use grdf_security::policy_set_graph;
 use grdf_store::{DurableStore, FsBackend, FsyncPolicy, LoggedOp, StorageBackend, StoreConfig};
@@ -199,6 +205,63 @@ fn bench_checkpoint_and_recovery(
     (ckpt, recovery)
 }
 
+/// Codec scaling point: encode the scaled E6 graph into the v2 columnar
+/// checkpoint form and load it back. The v2 decode path is decode-free —
+/// the triple section *is* a sorted SPO run, installed wholesale via
+/// `Graph::from_parts` — so the load must come back as a pure run
+/// (nothing in the novelty delta) and match the source exactly.
+fn bench_checkpoint_codec(streams: usize, sites: usize, detail: usize) -> Scenario {
+    let graph = incident_graph_scaled(streams, sites, detail, 17);
+
+    let start = Instant::now();
+    let bytes = encode_graph(&graph);
+    let encode_millis = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let decoded = decode_graph(&bytes).expect("v2 decode");
+    let decode_millis = start.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(decoded, graph, "codec round-trip must preserve the graph");
+    assert_eq!(
+        decoded.run_len(),
+        decoded.len(),
+        "v2 load must land entirely in the columnar run"
+    );
+    assert_eq!(decoded.novelty_len(), 0, "v2 load must leave no novelty");
+
+    Scenario {
+        name: format!("checkpoint_codec_e6_{streams}x{sites}_d{detail}"),
+        metrics: vec![
+            ("triples", graph.len() as f64),
+            ("bytes", bytes.len() as f64),
+            ("encode_millis", encode_millis),
+            ("decode_millis", decode_millis),
+            (
+                "decode_mtriples_per_sec",
+                graph.len() as f64 / 1e3 / decode_millis.max(1e-9),
+            ),
+        ],
+    }
+}
+
+/// Fold a repeat round into the best-so-far snapshot: timing metrics
+/// keep their minimum, rate/speedup metrics their maximum. Counts and
+/// sizes are deterministic (same workload every round) and pass through.
+fn merge_round(best: &mut Scenario, next: Scenario) {
+    assert_eq!(
+        best.name, next.name,
+        "round produced scenarios out of order"
+    );
+    for ((k, v), (nk, nv)) in best.metrics.iter_mut().zip(next.metrics) {
+        assert_eq!(*k, nk, "round produced metrics out of order");
+        if k.ends_with("millis") {
+            *v = v.min(nv);
+        } else if k.contains("per_sec") || k.contains("speedup") {
+            *v = v.max(nv);
+        }
+    }
+}
+
 fn to_json(mode: &str, scenarios: &[Scenario]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"store\",\n");
@@ -234,25 +297,66 @@ fn main() {
         .iter()
         .position(|a| a == "--json")
         .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+    // `--scale S,S[,D]`: append an extra codec scaling point.
+    let extra_scale: Option<(usize, usize, usize)> = args
+        .iter()
+        .position(|a| a == "--scale")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--scale needs streams,sites[,detail]")
+        })
+        .map(|spec| {
+            let parts: Vec<usize> = spec
+                .split(',')
+                .map(|p| p.trim().parse().expect("--scale takes integers"))
+                .collect();
+            match parts[..] {
+                [streams, sites] => (streams, sites, 1),
+                [streams, sites, detail] => (streams, sites, detail),
+                _ => panic!("--scale takes streams,sites[,detail]"),
+            }
+        });
 
     let (wal_batches, scale, replay) = if quick {
         (100, (50, 50), 20)
     } else {
         (1000, (100, 100), 100)
     };
+    let codec_scales: &[(usize, usize, usize)] = if quick {
+        &[(100, 100, 1)]
+    } else {
+        &[(100, 100, 1), (250, 250, 3), (1000, 1000, 7)]
+    };
 
+    let rounds = if quick { 2 } else { 5 };
     let wal_input = incident_graph(50, 50, 17);
-    let mut scenarios = Vec::new();
-    for policy in [
-        FsyncPolicy::Always,
-        FsyncPolicy::EveryN(32),
-        FsyncPolicy::Never,
-    ] {
-        scenarios.push(bench_wal(&wal_input, policy, wal_batches));
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for round in 0..rounds {
+        let mut pass = Vec::new();
+        for policy in [
+            FsyncPolicy::Always,
+            FsyncPolicy::EveryN(32),
+            FsyncPolicy::Never,
+        ] {
+            pass.push(bench_wal(&wal_input, policy, wal_batches));
+        }
+        let (ckpt, recovery) = bench_checkpoint_and_recovery(scale.0, scale.1, replay);
+        pass.push(ckpt);
+        pass.push(recovery);
+        for &(streams, sites, detail) in codec_scales {
+            pass.push(bench_checkpoint_codec(streams, sites, detail));
+        }
+        if let Some((streams, sites, detail)) = extra_scale {
+            pass.push(bench_checkpoint_codec(streams, sites, detail));
+        }
+        if round == 0 {
+            scenarios = pass;
+        } else {
+            for (best, next) in scenarios.iter_mut().zip(pass) {
+                merge_round(best, next);
+            }
+        }
     }
-    let (ckpt, recovery) = bench_checkpoint_and_recovery(scale.0, scale.1, replay);
-    scenarios.push(ckpt);
-    scenarios.push(recovery);
 
     for s in &scenarios {
         println!("{}", s.name);

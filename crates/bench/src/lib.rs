@@ -10,7 +10,8 @@
 // consumers (`grdf-cli`'s policy analysis, CI gates) can share them; this
 // crate re-exports them under the original paths.
 pub use grdf_workload::incident::{
-    incident_graph, incident_store, roles, scenario_policies, sensitive_properties, xacml_policies,
+    incident_graph, incident_graph_scaled, incident_store, incident_store_scaled, roles,
+    scenario_policies, sensitive_properties, xacml_policies,
 };
 
 #[cfg(test)]

@@ -84,6 +84,10 @@ pub struct Reasoner {
     /// delta is split into contiguous shards and merged in shard order, so
     /// any width yields the same triple set.
     pub shards: usize,
+    /// Adaptive-sharding fallback: passes whose delta is smaller than
+    /// this run inline even when `shards > 1` (see
+    /// [`PARALLEL_THRESHOLD`], the default).
+    pub parallel_threshold: usize,
 }
 
 impl Default for Reasoner {
@@ -95,14 +99,26 @@ impl Default for Reasoner {
             max_passes: 64,
             strategy: Strategy::SemiNaive,
             shards: 1,
+            parallel_threshold: PARALLEL_THRESHOLD,
         }
     }
 }
 
 /// Below this many delta triples a pass runs inline even when
-/// [`Reasoner::shards`] asks for parallelism — thread setup would cost
-/// more than the pass itself.
-const PARALLEL_THRESHOLD: usize = 256;
+/// [`Reasoner::shards`] asks for parallelism — thread setup plus the
+/// per-shard predicate sort would cost more than the pass itself. The
+/// predicate-grouped columnar pass pushed the break-even point far past
+/// the old per-triple dispatch's: on the BTree core, sharding the
+/// 1000×1000 E6 seed pass won 3× (78 ms vs 247 ms); on columnar runs the
+/// same pass is already ~20 ms serial and a 4-way shard measures 0.94–
+/// 1.02× of it — pure noise around a tie, with the setup/merge overhead
+/// no longer amortized. The break-even now sits above every recorded
+/// scenario (largest seed delta ~430 K), so the default threshold parks
+/// just past that: a parallel reasoner runs the identical inline pass on
+/// all of them instead of gambling a few percent on thread overhead.
+/// [`Reasoner::parallel_threshold`] overrides it (tests force tiny
+/// thresholds to exercise the sharded path).
+const PARALLEL_THRESHOLD: usize = 512 * 1024;
 
 /// How often each shard polls the request deadline.
 const DEADLINE_POLL_STRIDE: usize = 256;
@@ -197,12 +213,11 @@ impl Reasoner {
             stats.delta_sizes.push(graph.len());
             let span = grdf_obs::span("reasoner.pass").tag("pass", stats.passes);
             let additions = self.one_pass(graph);
-            let mut added = 0;
-            for t in additions {
-                if graph.insert(t) {
-                    added += 1;
-                }
-            }
+            // Absorb as one batch and leave the graph compacted: the
+            // naive engine rescans everything next pass, so one sorted
+            // merge now beats per-triple inserts plus merge-on-read for
+            // the rest of the fixpoint.
+            let added = graph.extend_triples_compacting(additions);
             drop(span.tag("inferred", added));
             stats.inferred += added;
             if added == 0 || stats.passes >= self.max_passes {
@@ -286,7 +301,12 @@ impl Reasoner {
         let mut schema = IdSchema::default();
         let (mut delta, mut triggers) = match seed {
             Seed::Full => {
-                let delta = graph.delta_ids_since(0);
+                // Seed straight off the POS columns: the bulk first pass
+                // arrives predicate-grouped, so the sharded rule pass
+                // dispatches per group without re-sorting ~the whole
+                // graph. (Insertion order is irrelevant here — only
+                // incremental seeds are log slices.)
+                let delta = graph.ids_by_predicate();
                 let triggers = schema.absorb(graph, &voc, &delta);
                 (delta, triggers)
             }
@@ -306,6 +326,12 @@ impl Reasoner {
         };
         let pool = ShardPool::new(self.shards);
         grdf_obs::gauge_set("reasoner.shards", pool.workers() as i64);
+        // Restriction lookup tables depend only on the schema's
+        // restriction list, which changes exactly when an absorb reports
+        // dirty restrictions — rebuild them on that signal instead of
+        // every pass (the build is a fixed per-pass cost that dominates
+        // at small fixpoints).
+        let mut maps = IdRestrictionMaps::build(&schema);
         loop {
             deadline.check()?;
             stats.passes += 1;
@@ -314,13 +340,11 @@ impl Reasoner {
             let span = grdf_obs::span("reasoner.pass")
                 .tag("pass", stats.passes)
                 .tag("delta", delta.len());
-            let maps = IdRestrictionMaps::build(&schema, graph.term_count());
-
             // Delta × full joins, sharded; merged in shard order so the
             // proposal sequence is identical at any worker width.
             let g: &Graph = graph;
             let sharded: Vec<(Vec<IdTriple>, RuleCounts)> =
-                if pool.workers() > 1 && delta.len() >= PARALLEL_THRESHOLD {
+                if pool.workers() > 1 && delta.len() >= self.parallel_threshold {
                     pool.map_shards(&delta, |_, chunk| {
                         self.delta_pass(g, &voc, &schema, &maps, chunk, deadline)
                     })?
@@ -373,16 +397,23 @@ impl Reasoner {
             }
             delta = graph.delta_ids_since(mark);
             triggers = schema.absorb(graph, &voc, &delta);
+            if !triggers.dirty_restrictions.is_empty() {
+                maps = IdRestrictionMaps::build(&schema);
+            }
         }
     }
 
     /// Apply every delta-aware rule variant to one shard of the delta.
     /// Each delta triple is already *in* the graph, so joining it against
     /// the full graph also covers delta × delta pairs. Runs entirely in
-    /// interned-id space: predicate dispatch compares pre-resolved
-    /// vocabulary ids, schema lookups are dense-table loads, and no term
-    /// is hashed or cloned per triple.
-    #[allow(clippy::cognitive_complexity)]
+    /// interned-id space.
+    ///
+    /// The shard is processed as predicate-grouped column batches: the
+    /// chunk is sorted by predicate once, then each group pays for
+    /// vocabulary comparisons and the schema lookup exactly once, and a
+    /// group whose predicate carries no rule at all — the common case on
+    /// the bulk first pass, where most triples are plain data — is
+    /// skipped in O(1) without touching its members.
     fn delta_pass(
         &self,
         g: &Graph,
@@ -394,6 +425,84 @@ impl Reasoner {
     ) -> Result<(Vec<IdTriple>, RuleCounts), DeadlineExceeded> {
         let mut out: Vec<IdTriple> = Vec::new();
         let mut c = RuleCounts::default();
+        // Bulk seeds come off the POS index already grouped (and each
+        // shard of a grouped delta is itself grouped) — detect that with
+        // one linear scan and skip the copy + sort entirely.
+        let owned: Vec<IdTriple>;
+        let sorted: &[IdTriple] = if chunk.windows(2).all(|w| w[0].1 <= w[1].1) {
+            chunk
+        } else {
+            let mut v = chunk.to_vec();
+            v.sort_unstable_by_key(|&(_, p, _)| p);
+            owned = v;
+            &owned
+        };
+        let mut i = 0;
+        while i < sorted.len() {
+            let tp = sorted[i].1;
+            let mut j = i + 1;
+            while j < sorted.len() && sorted[j].1 == tp {
+                j += 1;
+            }
+            self.delta_group(
+                g,
+                voc,
+                s,
+                maps,
+                tp,
+                &sorted[i..j],
+                &mut out,
+                &mut c,
+                deadline,
+            )?;
+            i = j;
+        }
+        Ok((out, c))
+    }
+
+    /// One predicate group of a delta shard. `tp` is the group's shared
+    /// predicate; `group` are its `(s, tp, o)` triples.
+    #[allow(clippy::cognitive_complexity, clippy::too_many_arguments)]
+    fn delta_group(
+        &self,
+        g: &Graph,
+        voc: &Voc,
+        s: &IdSchema,
+        maps: &IdRestrictionMaps,
+        tp: TermId,
+        group: &[IdTriple],
+        out: &mut Vec<IdTriple>,
+        c: &mut RuleCounts,
+        deadline: &Deadline,
+    ) -> Result<(), DeadlineExceeded> {
+        let pe = s.pred(tp);
+        // Applicability gate, evaluated once per group.
+        let vocab_rdfs = self.rdfs
+            && (tp == voc.sub_class
+                || tp == voc.sub_prop
+                || tp == voc.domain
+                || tp == voc.range
+                || tp == voc.ty);
+        let vocab_owl = self.owl
+            && (tp == voc.equiv_class
+                || tp == voc.equiv_prop
+                || tp == voc.inverse_of
+                || tp == voc.ty);
+        let pe_rdfs = self.rdfs
+            && pe.is_some_and(|pe| {
+                !pe.supers.is_empty() || !pe.domains.is_empty() || !pe.ranges.is_empty()
+            });
+        let pe_owl = self.owl
+            && pe.is_some_and(|pe| {
+                !pe.inverses.is_empty()
+                    || pe.flags & (SYMMETRIC | TRANSITIVE | FUNCTIONAL | INVERSE_FUNCTIONAL) != 0
+            });
+        let restr = self.restrictions
+            && (tp == voc.ty || !IdRestrictionMaps::get(&maps.by_prop, tp).is_empty());
+        if !vocab_rdfs && !vocab_owl && !pe_rdfs && !pe_owl && !restr {
+            deadline.check()?;
+            return Ok(());
+        }
 
         macro_rules! counted {
             ($field:ident, $body:expr) => {{
@@ -403,17 +512,16 @@ impl Reasoner {
             }};
         }
 
-        for (i, &(ts, tp, to)) in chunk.iter().enumerate() {
+        for (i, &(ts, _, to)) in group.iter().enumerate() {
             if i % DEADLINE_POLL_STRIDE == 0 {
                 deadline.check()?;
             }
-            let pe = s.pred(tp);
 
             if self.rdfs {
                 if tp == voc.sub_class {
                     counted!(
                         subclass_transitivity,
-                        delta_transitivity_ids(g, voc.sub_class, ts, to, &mut out)
+                        delta_transitivity_ids(g, voc.sub_class, ts, to, out)
                     );
                     // Declaration side of type inheritance: existing
                     // members of the new subclass gain the superclass.
@@ -425,7 +533,7 @@ impl Reasoner {
                 } else if tp == voc.sub_prop {
                     counted!(
                         subproperty_transitivity,
-                        delta_transitivity_ids(g, voc.sub_prop, ts, to, &mut out)
+                        delta_transitivity_ids(g, voc.sub_prop, ts, to, out)
                     );
                     counted!(property_inheritance, {
                         g.for_each_match_ids(None, Some(ts), None, |ms, _, mo| {
@@ -498,23 +606,20 @@ impl Reasoner {
                     });
                 } else if tp == voc.inverse_of {
                     counted!(inverse, {
-                        inverse_over_ids(g, ts, to, &mut out);
-                        inverse_over_ids(g, to, ts, &mut out);
+                        inverse_over_ids(g, ts, to, out);
+                        inverse_over_ids(g, to, ts, out);
                     });
                 } else if tp == voc.ty {
                     // A property characteristic arriving in the delta
                     // re-evaluates that one property over the full graph.
                     if to == voc.symmetric {
-                        counted!(symmetric, symmetric_over_ids(g, ts, &mut out));
+                        counted!(symmetric, symmetric_over_ids(g, ts, out));
                     } else if to == voc.transitive {
-                        counted!(transitive, transitivity_over_ids(g, ts, &mut out));
+                        counted!(transitive, transitivity_over_ids(g, ts, out));
                     } else if to == voc.functional {
-                        counted!(functional, functional_over_ids(g, voc, ts, &mut out));
+                        counted!(functional, functional_over_ids(g, voc, ts, out));
                     } else if to == voc.inverse_functional {
-                        counted!(
-                            functional,
-                            inverse_functional_over_ids(g, voc, ts, &mut out)
-                        );
+                        counted!(functional, inverse_functional_over_ids(g, voc, ts, out));
                     }
                 }
                 // Instance side: the predicate may carry OWL semantics.
@@ -532,7 +637,7 @@ impl Reasoner {
                         });
                     }
                     if pe.flags & TRANSITIVE != 0 {
-                        counted!(transitive, delta_transitivity_ids(g, tp, ts, to, &mut out));
+                        counted!(transitive, delta_transitivity_ids(g, tp, ts, to, out));
                     }
                     if pe.flags & FUNCTIONAL != 0 && g.term_of(to).is_resource() {
                         counted!(functional, {
@@ -638,7 +743,7 @@ impl Reasoner {
                 }
             }
         }
-        Ok((out, c))
+        Ok(())
     }
 }
 
@@ -948,6 +1053,27 @@ struct Voc {
 }
 
 impl Voc {
+    /// Whether triples with this predicate can carry schema information
+    /// [`IdSchema::absorb`] cares about — the group-skip gate for bulk
+    /// absorption.
+    fn schema_relevant(&self, p: TermId) -> bool {
+        p == self.ty
+            || p == self.sub_class
+            || p == self.sub_prop
+            || p == self.same
+            || p == self.domain
+            || p == self.range
+            || p == self.inverse_of
+            || p == self.on_property
+            || p == self.has_value
+            || p == self.some_values_from
+            || p == self.all_values_from
+            || p == self.intersection_of
+            || p == self.union_of
+            || p == self.first
+            || p == self.rest
+    }
+
     fn resolve(g: &mut Graph) -> Voc {
         let id = |g: &Graph, iri: &str| g.term_id(&Term::iri(iri)).unwrap_or(NO_TERM);
         Voc {
@@ -999,17 +1125,19 @@ struct PredEntry {
 }
 
 /// The semi-naive engine's schema index, keyed by interned term id. The
-/// per-predicate and per-class tables are dense vectors indexed by id, so
-/// the per-delta-triple lookups in [`Reasoner::delta_pass`] are array
-/// loads instead of term hashes. Maintained incrementally: each pass
-/// absorbs only that pass's delta. Restrictions are kept in term form too
-/// because the dirty-restriction re-runs share [`apply_restriction`] with
-/// the naive engine.
+/// per-predicate and per-class tables are sparse hash maps: schema-bearing
+/// ids are a tiny fraction of a large graph's term space, and the
+/// predicate-grouped rule pass probes them once per *group*, so dense
+/// id-indexed vectors would spend more time zeroing `term_count` slots
+/// than the probes ever save. Maintained incrementally: each pass absorbs
+/// only that pass's delta. Restrictions are kept in term form too because
+/// the dirty-restriction re-runs share [`apply_restriction`] with the
+/// naive engine.
 #[derive(Default)]
 struct IdSchema {
-    preds: Vec<PredEntry>,
+    preds: HashMap<TermId, PredEntry>,
     /// subclass id → superclass ids (direct).
-    class_supers: Vec<Vec<TermId>>,
+    class_supers: HashMap<TermId, Vec<TermId>>,
     restrictions: Vec<Restriction>,
     id_restrictions: Vec<IdRestriction>,
     /// Restriction node id → index into `restrictions`/`id_restrictions`.
@@ -1054,21 +1182,12 @@ impl IdRestriction {
 }
 
 impl IdSchema {
-    fn grow(&mut self, n: usize) {
-        if self.preds.len() < n {
-            self.preds.resize_with(n, PredEntry::default);
-            self.class_supers.resize_with(n, Vec::new);
-        }
-    }
-
     fn pred(&self, p: TermId) -> Option<&PredEntry> {
-        self.preds.get(p as usize)
+        self.preds.get(&p)
     }
 
     fn class_supers(&self, c: TermId) -> &[TermId] {
-        self.class_supers
-            .get(c as usize)
-            .map_or(&[][..], Vec::as_slice)
+        self.class_supers.get(&c).map_or(&[][..], Vec::as_slice)
     }
 
     /// Fold a delta's schema-level triples into the index and report which
@@ -1076,13 +1195,66 @@ impl IdSchema {
     /// absorbed exactly once over the life of the schema (deltas are
     /// disjoint, so this holds by construction).
     fn absorb(&mut self, g: &Graph, voc: &Voc, delta: &[(TermId, TermId, TermId)]) -> Triggers {
-        self.grow(g.term_count());
         let mut trig = Triggers::default();
         let mut candidates: Vec<TermId> = Vec::new();
         let mut candidate_set: HashSet<TermId> = HashSet::new();
-        for &(s, p, o) in delta {
+        // Predicate-grouped deltas (the bulk seed) skip whole rule-free
+        // groups: a group whose predicate is schema-irrelevant can only
+        // matter through the sameAs-member catch at the bottom of
+        // `absorb_one`, which is itself a no-op while no clique members
+        // are known.
+        if delta.windows(2).all(|w| w[0].1 <= w[1].1) {
+            let mut i = 0;
+            while i < delta.len() {
+                let p = delta[i].1;
+                let mut j = i + 1;
+                while j < delta.len() && delta[j].1 == p {
+                    j += 1;
+                }
+                if voc.schema_relevant(p) || !self.same_members.is_empty() {
+                    for &(s, _, o) in &delta[i..j] {
+                        self.absorb_one(
+                            g,
+                            voc,
+                            (s, p, o),
+                            &mut trig,
+                            &mut candidates,
+                            &mut candidate_set,
+                        );
+                    }
+                }
+                i = j;
+            }
+        } else {
+            for &(s, p, o) in delta {
+                self.absorb_one(
+                    g,
+                    voc,
+                    (s, p, o),
+                    &mut trig,
+                    &mut candidates,
+                    &mut candidate_set,
+                );
+            }
+        }
+        self.finish_candidates(g, candidates, &mut trig);
+        trig
+    }
+
+    /// Fold one delta triple into the schema index (the per-triple body of
+    /// [`IdSchema::absorb`]).
+    fn absorb_one(
+        &mut self,
+        g: &Graph,
+        voc: &Voc,
+        (s, p, o): (TermId, TermId, TermId),
+        trig: &mut Triggers,
+        candidates: &mut Vec<TermId>,
+        candidate_set: &mut HashSet<TermId>,
+    ) {
+        {
             if p == voc.sub_class {
-                self.class_supers[s as usize].push(o);
+                self.class_supers.entry(s).or_default().push(o);
                 // A new subclass edge into a restriction widens the
                 // restriction's reach.
                 if (self.restriction_index.contains_key(&o)
@@ -1092,14 +1264,14 @@ impl IdSchema {
                     candidates.push(o);
                 }
             } else if p == voc.sub_prop {
-                self.preds[s as usize].supers.push(o);
+                self.preds.entry(s).or_default().supers.push(o);
             } else if p == voc.domain {
-                self.preds[s as usize].domains.push(o);
+                self.preds.entry(s).or_default().domains.push(o);
             } else if p == voc.range {
-                self.preds[s as usize].ranges.push(o);
+                self.preds.entry(s).or_default().ranges.push(o);
             } else if p == voc.inverse_of {
-                self.preds[s as usize].inverses.push(o);
-                self.preds[o as usize].inverses.push(s);
+                self.preds.entry(s).or_default().inverses.push(o);
+                self.preds.entry(o).or_default().inverses.push(s);
             } else if p == voc.same {
                 if g.term_of(o).is_resource() {
                     self.same_members.insert(s);
@@ -1129,13 +1301,13 @@ impl IdSchema {
                 trig.boolean = true;
             } else if p == voc.ty {
                 if o == voc.symmetric {
-                    self.preds[s as usize].flags |= SYMMETRIC;
+                    self.preds.entry(s).or_default().flags |= SYMMETRIC;
                 } else if o == voc.transitive {
-                    self.preds[s as usize].flags |= TRANSITIVE;
+                    self.preds.entry(s).or_default().flags |= TRANSITIVE;
                 } else if o == voc.functional {
-                    self.preds[s as usize].flags |= FUNCTIONAL;
+                    self.preds.entry(s).or_default().flags |= FUNCTIONAL;
                 } else if o == voc.inverse_functional {
-                    self.preds[s as usize].flags |= INVERSE_FUNCTIONAL;
+                    self.preds.entry(s).or_default().flags |= INVERSE_FUNCTIONAL;
                 } else if o == voc.restriction && candidate_set.insert(s) {
                     candidates.push(s);
                 }
@@ -1147,6 +1319,10 @@ impl IdSchema {
                 trig.same_as = true;
             }
         }
+    }
+
+    /// Materialize restriction candidates collected during absorption.
+    fn finish_candidates(&mut self, g: &Graph, candidates: Vec<TermId>, trig: &mut Triggers) {
         for node in candidates {
             if let Some(r) = build_restriction(g, g.term_of(node)) {
                 let idr = IdRestriction::of(g, &r);
@@ -1163,7 +1339,6 @@ impl IdSchema {
                 }
             }
         }
-        trig
     }
 
     /// Trigger detection only — for a delta whose triples are *already*
@@ -1216,56 +1391,46 @@ impl IdSchema {
 }
 
 /// Dispatch indexes over [`IdSchema::id_restrictions`], rebuilt per pass
-/// (the restriction count is tiny next to the delta). Dense id-indexed
-/// tables: the `by_prop` probe runs once per delta triple, so it must be
-/// an array load, not a hash.
+/// (the restriction count is tiny next to the delta). Sparse maps keyed
+/// by term id: the `by_prop` probe runs once per predicate *group*, and
+/// the class probes only inside `rdf:type` groups, so hashing is off the
+/// per-triple fast path while the tables stay O(restrictions) to build.
 #[derive(Default)]
 #[allow(clippy::struct_field_names)]
 struct IdRestrictionMaps {
     /// `hasValue`: restriction node + declared subclasses (dir 1);
     /// `allValuesFrom`: restriction node.
-    by_class: Vec<Vec<usize>>,
+    by_class: HashMap<TermId, Vec<usize>>,
     /// `someValuesFrom` filler class → restriction.
-    by_svf_class: Vec<Vec<usize>>,
+    by_svf_class: HashMap<TermId, Vec<usize>>,
     /// `onProperty` → restriction.
-    by_prop: Vec<Vec<usize>>,
+    by_prop: HashMap<TermId, Vec<usize>>,
 }
 
 impl IdRestrictionMaps {
-    fn build(s: &IdSchema, term_count: usize) -> IdRestrictionMaps {
+    fn build(s: &IdSchema) -> IdRestrictionMaps {
         let mut m = IdRestrictionMaps::default();
-        if s.id_restrictions.is_empty() {
-            return m;
-        }
-        m.by_class.resize_with(term_count, Vec::new);
-        m.by_svf_class.resize_with(term_count, Vec::new);
-        m.by_prop.resize_with(term_count, Vec::new);
-        let push = |table: &mut Vec<Vec<usize>>, id: TermId, i: usize| {
-            if let Some(slot) = table.get_mut(id as usize) {
-                slot.push(i);
-            }
-        };
         for (i, r) in s.id_restrictions.iter().enumerate() {
-            push(&mut m.by_prop, r.property, i);
+            m.by_prop.entry(r.property).or_default().push(i);
             match r.kind {
                 IdRKind::HasValue(_) => {
                     for &c in r.subclasses.iter().chain(std::iter::once(&r.node)) {
-                        push(&mut m.by_class, c, i);
+                        m.by_class.entry(c).or_default().push(i);
                     }
                 }
                 IdRKind::AllValuesFrom(_) => {
-                    push(&mut m.by_class, r.node, i);
+                    m.by_class.entry(r.node).or_default().push(i);
                 }
                 IdRKind::SomeValuesFrom(class) => {
-                    push(&mut m.by_svf_class, class, i);
+                    m.by_svf_class.entry(class).or_default().push(i);
                 }
             }
         }
         m
     }
 
-    fn get(table: &[Vec<usize>], id: TermId) -> &[usize] {
-        table.get(id as usize).map_or(&[][..], Vec::as_slice)
+    fn get(table: &HashMap<TermId, Vec<usize>>, id: TermId) -> &[usize] {
+        table.get(&id).map_or(&[][..], Vec::as_slice)
     }
 }
 
@@ -2153,11 +2318,11 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_fixpoint() {
-        // Big enough that the seed delta crosses PARALLEL_THRESHOLD and
-        // the sharded path actually runs.
+        // A lowered threshold forces the sharded path to actually run;
+        // the default would fall back to the inline pass at this size.
         fn big() -> Graph {
             let mut g = kitchen_sink();
-            for i in 0..400 {
+            for i in 0..9000 {
                 g.add(
                     iri(&format!("urn:t#n{i}")),
                     iri("urn:t#touches"),
@@ -2167,15 +2332,21 @@ mod tests {
             }
             g
         }
+        fn sharded(shards: usize) -> Reasoner {
+            Reasoner {
+                parallel_threshold: 1,
+                ..Reasoner::parallel(shards)
+            }
+        }
         let mut seq = big();
         let mut par = big();
-        assert!(big().len() >= PARALLEL_THRESHOLD);
+        assert!(big().len() >= sharded(4).parallel_threshold);
         Reasoner::default().materialize(&mut seq);
-        Reasoner::parallel(4).materialize(&mut par);
+        sharded(4).materialize(&mut par);
         assert_eq!(seq, par, "shard width must not change the fixpoint");
         let par8 = {
             let mut g = big();
-            Reasoner::parallel(8).materialize(&mut g);
+            sharded(8).materialize(&mut g);
             g
         };
         assert_eq!(seq, par8);

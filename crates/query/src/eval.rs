@@ -50,6 +50,11 @@ impl From<DeadlineExceeded> for QueryError {
 }
 
 /// Result of executing a query.
+// One `QueryResult` exists per executed query and lives on the stack
+// until consumed — the size skew vs `Boolean` (the columnar `Graph`
+// header is ~272 bytes) never multiplies across a collection, so
+// boxing the CONSTRUCT graph would tax every caller for nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryResult {
     /// SELECT: projected variable names and solution rows.
@@ -444,6 +449,12 @@ fn eval_bgp(
     input: Vec<Bindings>,
     deadline: &Deadline,
 ) -> Result<Vec<Bindings>, DeadlineExceeded> {
+    // Top-level BGPs (the hot path) run on the id-columnar engine: terms
+    // are interned once, the join works on `TermId` rows, and terms are
+    // cloned only when the surviving rows materialize back to bindings.
+    if input.len() == 1 && input[0].is_empty() && !triples.is_empty() {
+        return eval_bgp_ids(graph, triples, deadline);
+    }
     // Input bindings also count as bound, conservatively using the first
     // solution's keys.
     let mut solutions = input;
@@ -470,6 +481,311 @@ fn eval_bgp(
     }
     grdf_obs::add("query.join.rows", solutions.len() as u64);
     Ok(solutions)
+}
+
+/// One position of a lowered triple pattern: an interned constant or a
+/// variable index into the BGP's variable table.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Const(TermId),
+    Var(usize),
+}
+
+/// A triple pattern lowered to id space.
+#[derive(Clone, Copy)]
+struct IdPattern {
+    s: Slot,
+    p: Slot,
+    o: Slot,
+}
+
+impl IdPattern {
+    fn slots(&self) -> [Slot; 3] {
+        [self.s, self.p, self.o]
+    }
+}
+
+use grdf_rdf::graph::TermId;
+
+/// Lower a BGP to id patterns plus the variable name table. `None` means
+/// some constant term was never interned by this graph, so the
+/// conjunction can match nothing at all.
+fn lower_bgp(graph: &Graph, triples: &[TriplePattern]) -> Option<(Vec<IdPattern>, Vec<String>)> {
+    let mut vars: Vec<String> = Vec::new();
+    let mut lower = |t: &TermOrVar| -> Option<Slot> {
+        match t {
+            TermOrVar::Term(term) => graph.term_id(term).map(Slot::Const),
+            TermOrVar::Var(v) => Some(Slot::Var(vars.iter().position(|x| x == v).unwrap_or_else(
+                || {
+                    vars.push(v.clone());
+                    vars.len() - 1
+                },
+            ))),
+        }
+    };
+    let mut pats = Vec::with_capacity(triples.len());
+    for t in triples {
+        pats.push(IdPattern {
+            s: lower(&t.subject)?,
+            p: lower(&t.predicate)?,
+            o: lower(&t.object)?,
+        });
+    }
+    Some((pats, vars))
+}
+
+/// Greedy plan over lowered patterns. Cardinality comes from the exact
+/// index ranges ([`Graph::estimate`] semantics) and, for patterns joined
+/// through an already-bound variable on a constant predicate, is refined
+/// by the per-predicate run statistics to the expected per-probe fan-out
+/// (`triples / distinct key values`) — a chain probe over a functional
+/// property scores far below its raw triple count.
+fn plan_ids(graph: &Graph, pats: &[IdPattern], nvars: usize) -> Vec<usize> {
+    let term = |slot: Slot| match slot {
+        Slot::Const(id) => Some(graph.term_of(id)),
+        Slot::Var(_) => None,
+    };
+    let mut bound = vec![false; nvars];
+    let mut remaining: Vec<usize> = (0..pats.len()).collect();
+    let mut order = Vec::with_capacity(pats.len());
+    while !remaining.is_empty() {
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &pi)| {
+                let pat = &pats[pi];
+                let connected = pat
+                    .slots()
+                    .iter()
+                    .any(|s| matches!(s, Slot::Var(v) if bound[*v]));
+                let mut card = graph.estimate(term(pat.s), term(pat.p), term(pat.o));
+                if connected {
+                    if let Slot::Const(p) = pat.p {
+                        let st = graph.pred_stats(p);
+                        let fan_out = |keys: usize| (st.triples / keys.max(1)).max(1);
+                        if matches!(pat.s, Slot::Var(v) if bound[v]) {
+                            card = card.min(fan_out(st.distinct_subjects));
+                        } else if matches!(pat.o, Slot::Var(v) if bound[v]) {
+                            card = card.min(fan_out(st.distinct_objects));
+                        }
+                    }
+                }
+                (i, (!connected, card))
+            })
+            .min_by_key(|&(_, key)| key)
+            .expect("non-empty");
+        let pi = remaining.remove(idx);
+        for s in pats[pi].slots() {
+            if let Slot::Var(v) = s {
+                bound[v] = true;
+            }
+        }
+        order.push(pi);
+    }
+    order
+}
+
+/// First index in `col[lo..]` holding a value `>= key` (strict=false) or
+/// `> key` (strict=true): exponential probe from `lo`, then binary search
+/// in the bracketed window. Sub-linear when successive keys land close
+/// together — the merge-join inner step.
+fn gallop(col: &[TermId], lo: usize, key: TermId, strict: bool) -> usize {
+    let past = |v: TermId| if strict { v > key } else { v >= key };
+    if lo >= col.len() || past(col[lo]) {
+        return lo;
+    }
+    let mut step = 1;
+    let mut base = lo;
+    while base + step < col.len() && !past(col[base + step]) {
+        base += step;
+        step <<= 1;
+    }
+    let hi = (base + step + 1).min(col.len());
+    base + 1 + col[base + 1..hi].partition_point(|&v| !past(v))
+}
+
+/// Id-columnar BGP evaluation: rows of `TermId` joined pattern-by-pattern
+/// in plan order. Patterns joined through a bound object on a clean
+/// predicate run use a galloping sorted merge over the zero-copy POS
+/// slices; disconnected patterns scan once and cross; everything else
+/// falls back to per-row sorted index probes. Terms materialize once at
+/// the end.
+fn eval_bgp_ids(
+    graph: &Graph,
+    triples: &[TriplePattern],
+    deadline: &Deadline,
+) -> Result<Vec<Bindings>, DeadlineExceeded> {
+    let Some((pats, vars)) = lower_bgp(graph, triples) else {
+        return Ok(Vec::new()); // an unknown constant matches nothing
+    };
+    let order = {
+        let _span = grdf_obs::span("query.plan");
+        plan_ids(graph, &pats, vars.len())
+    };
+
+    let _span = grdf_obs::span("query.join");
+    // Column layout grows as patterns bind variables.
+    let mut col_of: Vec<Option<usize>> = vec![None; vars.len()];
+    let mut col_var: Vec<usize> = Vec::new();
+    let mut rows: Vec<Vec<TermId>> = vec![Vec::new()];
+
+    for pi in order {
+        let pat = &pats[pi];
+        // Resolve each position against the current column layout.
+        #[derive(Clone, Copy)]
+        enum P {
+            Const(TermId),
+            Bound(usize),
+            New,
+        }
+        let mut emits: Vec<(usize, Option<usize>)> = Vec::new(); // (component, check col)
+        let mut resolved = [P::New; 3];
+        for (ci, slot) in pat.slots().into_iter().enumerate() {
+            resolved[ci] = match slot {
+                Slot::Const(id) => P::Const(id),
+                Slot::Var(v) => {
+                    if let Some(c) = col_of[v] {
+                        P::Bound(c)
+                    } else {
+                        // First occurrence binds a fresh column; a repeat
+                        // inside the same pattern checks against it.
+                        let repeat = emits
+                            .iter()
+                            .find(|&&(c0, _)| matches!(pat.slots()[c0], Slot::Var(v0) if v0 == v));
+                        if let Some(&(c0, _)) = repeat {
+                            let col = col_var.len() + emits.iter().position(|e| e.0 == c0).unwrap();
+                            emits.push((ci, Some(col)));
+                        } else {
+                            col_of[v] = Some(
+                                col_var.len() + emits.iter().filter(|e| e.1.is_none()).count(),
+                            );
+                            emits.push((ci, None));
+                        }
+                        P::New
+                    }
+                }
+            };
+        }
+        let probe = |row: &[TermId], ci: usize| -> Option<TermId> {
+            match resolved[ci] {
+                P::Const(id) => Some(id),
+                P::Bound(c) => Some(row[c]),
+                P::New => None,
+            }
+        };
+        let emit_row =
+            |row: &[TermId], s: TermId, p: TermId, o: TermId, next: &mut Vec<Vec<TermId>>| {
+                let comp = [s, p, o];
+                let mut r = Vec::with_capacity(row.len() + emits.len());
+                r.extend_from_slice(row);
+                for &(ci, check) in &emits {
+                    match check {
+                        None => r.push(comp[ci]),
+                        Some(col) => {
+                            if r[col] != comp[ci] {
+                                return;
+                            }
+                        }
+                    }
+                }
+                next.push(r);
+            };
+
+        let bound_cols = resolved.iter().any(|p| matches!(p, P::Bound(_)));
+        let mut next: Vec<Vec<TermId>> = Vec::new();
+
+        // Merge-join fast path: constant predicate with a clean run
+        // slice, joined through the bound object column. Rows sort by
+        // the key and the POS slice gallops forward in lockstep.
+        let merge = match (resolved[1], resolved[2]) {
+            (P::Const(pid), P::Bound(oc)) if !matches!(resolved[0], P::Bound(_)) => graph
+                .pred_slices(pid)
+                .map(|(objs, subs)| (pid, oc, objs, subs)),
+            _ => None,
+        };
+        if let Some((pid, oc, objs, subs)) = merge {
+            let mut idx: Vec<usize> = (0..rows.len()).collect();
+            idx.sort_unstable_by_key(|&i| rows[i][oc]);
+            let mut lo = 0;
+            for (n, &i) in idx.iter().enumerate() {
+                if n % 1024 == 0 {
+                    deadline.check()?;
+                }
+                let key = rows[i][oc];
+                lo = gallop(objs, lo, key, false);
+                let hi = gallop(objs, lo, key, true);
+                match resolved[0] {
+                    P::New => {
+                        for &s in &subs[lo..hi] {
+                            emit_row(&rows[i], s, pid, key, &mut next);
+                        }
+                    }
+                    P::Const(sid) => {
+                        if subs[lo..hi].binary_search(&sid).is_ok() {
+                            emit_row(&rows[i], sid, pid, key, &mut next);
+                        }
+                    }
+                    P::Bound(_) => unreachable!("excluded above"),
+                }
+            }
+        } else if bound_cols {
+            // Generic probe: sort rows by the first bound column so
+            // successive index probes touch adjacent ranges.
+            let sort_key = (0..3).find_map(|ci| match resolved[ci] {
+                P::Bound(c) => Some(c),
+                _ => None,
+            });
+            let mut idx: Vec<usize> = (0..rows.len()).collect();
+            if let Some(c) = sort_key {
+                idx.sort_unstable_by_key(|&i| rows[i][c]);
+            }
+            for &i in &idx {
+                deadline.check()?;
+                let row = &rows[i];
+                graph.for_each_match_ids(probe(row, 0), probe(row, 1), probe(row, 2), |s, p, o| {
+                    emit_row(row, s, p, o, &mut next);
+                });
+            }
+        } else {
+            // No join column: the match set is row-independent. Scan
+            // once, then cross with the current rows.
+            deadline.check()?;
+            let mut matches: Vec<(TermId, TermId, TermId)> = Vec::new();
+            graph.for_each_match_ids(probe(&[], 0), probe(&[], 1), probe(&[], 2), |s, p, o| {
+                matches.push((s, p, o));
+            });
+            for row in &rows {
+                deadline.check()?;
+                for &(s, p, o) in &matches {
+                    emit_row(row, s, p, o, &mut next);
+                }
+            }
+        }
+
+        for &(ci, check) in &emits {
+            if check.is_none() {
+                if let Slot::Var(v) = pat.slots()[ci] {
+                    col_var.push(v);
+                }
+            }
+        }
+        rows = next;
+        if rows.is_empty() {
+            break;
+        }
+    }
+
+    grdf_obs::add("query.join.rows", rows.len() as u64);
+    Ok(rows
+        .into_iter()
+        .map(|r| {
+            col_var
+                .iter()
+                .zip(r)
+                .map(|(&v, id)| (vars[v].clone(), graph.term_of(id).clone()))
+                .collect()
+        })
+        .collect())
 }
 
 fn match_one(graph: &Graph, t: &TriplePattern, binding: &Bindings, out: &mut Vec<Bindings>) {

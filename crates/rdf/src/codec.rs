@@ -6,18 +6,23 @@
 //! byte-for-byte and lets the crash-recovery suite assert `encode(decode(x))
 //! == x` exactly.
 //!
-//! ## Layout
+//! ## Layout (version 2)
 //!
 //! ```text
-//! [magic "GRDG"] [version u8 = 1]
-//! [varint term_count] [term]*
+//! [magic "GRDG"] [version u8 = 2]
+//! [varint term_count] [term]*                             (sorted by Term order)
 //! [varint triple_count] [varint s][varint p][varint o]*   (term-table ids)
 //! [crc32 LE over everything above]
 //! ```
 //!
-//! Canonical form: triples are sorted by `(s, p, o)` under [`Term`]'s `Ord`,
-//! and the term table is assigned ids by **first appearance in that sorted
-//! walk** — so the table order is itself a pure function of the triple set.
+//! Canonical form: the term table is the **sorted set** of terms the
+//! triples use, so id assignment is order-preserving — triples sorted by
+//! `(s, p, o)` in term order are *also* sorted in id order. That makes the
+//! triple section a serialized SPO run: decode hands the table and the id
+//! columns straight to the graph's columnar constructor without re-sorting
+//! or per-triple set insertion (the decode-free load path). Version 1
+//! (term table in first-appearance order, triples replayed through
+//! insertion) decodes but is no longer produced.
 //!
 //! Terms are tagged: `0x01` IRI, `0x02` blank node, `0x03` plain literal,
 //! `0x04` language-tagged literal (lexical + tag), `0x05` typed literal
@@ -28,16 +33,17 @@
 //! input must never panic, because the durable store classifies corruption
 //! from these errors (torn tail vs interior damage).
 
-use std::collections::HashMap;
 use std::fmt;
 
-use crate::graph::Graph;
+use crate::graph::{Graph, IndexMode, TermId};
 use crate::term::{Literal, Term, Triple};
 
 /// Leading magic of an encoded graph block.
 pub const MAGIC: [u8; 4] = *b"GRDG";
 /// Current encoding version.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
+/// The replay-decoded legacy version.
+pub const VERSION_V1: u8 = 1;
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -268,46 +274,47 @@ pub fn decode_triple(bytes: &[u8], pos: &mut usize) -> Result<Triple, CodecError
 /// Output depends only on the triple *set*: `encode_graph(&decode_graph(&b)?)
 /// == b` for any valid `b`.
 pub fn encode_graph(graph: &Graph) -> Vec<u8> {
-    let mut triples: Vec<Triple> = graph.iter().collect();
-    triples.sort_unstable();
-    triples.dedup();
+    // Collect the live triple set in the graph's own id space — no term
+    // materialization — then remap into canonical ids: the used terms
+    // sorted by `Term` order, positions becoming the file ids. The remap
+    // is order-preserving on terms, so sorting the remapped id tuples
+    // yields exactly the canonical (s, p, o) term order.
+    let mut raw: Vec<(TermId, TermId, TermId)> = Vec::with_capacity(graph.len());
+    graph.for_each_match_ids(None, None, None, |s, p, o| raw.push((s, p, o)));
 
-    // Term table in first-appearance order over the sorted walk.
-    fn id_of<'a>(
-        term: &'a Term,
-        table: &mut Vec<&'a Term>,
-        ids: &mut HashMap<&'a Term, u64>,
-    ) -> u64 {
-        if let Some(&id) = ids.get(term) {
-            return id;
-        }
-        let id = table.len() as u64;
-        table.push(term);
-        ids.insert(term, id);
-        id
+    let mut used: Vec<TermId> = Vec::with_capacity(raw.len() * 3);
+    for &(s, p, o) in &raw {
+        used.extend_from_slice(&[s, p, o]);
     }
-    let mut table: Vec<&Term> = Vec::new();
-    let mut ids: HashMap<&Term, u64> = HashMap::new();
-    let mut id_triples: Vec<(u64, u64, u64)> = Vec::with_capacity(triples.len());
-    for t in &triples {
-        let s = id_of(&t.subject, &mut table, &mut ids);
-        let p = id_of(&t.predicate, &mut table, &mut ids);
-        let o = id_of(&t.object, &mut table, &mut ids);
-        id_triples.push((s, p, o));
+    used.sort_unstable();
+    used.dedup();
+    let max_id = used.last().copied().unwrap_or(0);
+    let mut order = used;
+    order.sort_by(|&a, &b| graph.term_of(a).cmp(graph.term_of(b)));
+    let mut remap = vec![0 as TermId; max_id as usize + 1];
+    for (new, &old) in order.iter().enumerate() {
+        remap[old as usize] = new as TermId;
     }
 
-    let mut out = Vec::with_capacity(triples.len() * 12 + 64);
+    let mut id_triples: Vec<(TermId, TermId, TermId)> = raw
+        .into_iter()
+        .map(|(s, p, o)| (remap[s as usize], remap[p as usize], remap[o as usize]))
+        .collect();
+    id_triples.sort_unstable();
+    id_triples.dedup();
+
+    let mut out = Vec::with_capacity(id_triples.len() * 12 + 64);
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
-    write_varint(table.len() as u64, &mut out);
-    for term in &table {
-        encode_term(term, &mut out);
+    write_varint(order.len() as u64, &mut out);
+    for &old in &order {
+        encode_term(graph.term_of(old), &mut out);
     }
     write_varint(id_triples.len() as u64, &mut out);
     for (s, p, o) in &id_triples {
-        write_varint(*s, &mut out);
-        write_varint(*p, &mut out);
-        write_varint(*o, &mut out);
+        write_varint(u64::from(*s), &mut out);
+        write_varint(u64::from(*p), &mut out);
+        write_varint(u64::from(*o), &mut out);
     }
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
@@ -329,7 +336,7 @@ pub fn decode_graph(bytes: &[u8]) -> Result<Graph, CodecError> {
         return Err(CodecError::BadMagic);
     }
     let version = payload[MAGIC.len()];
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return Err(CodecError::BadVersion(version));
     }
     let mut pos = MAGIC.len() + 1;
@@ -350,23 +357,56 @@ pub fn decode_graph(bytes: &[u8]) -> Result<Graph, CodecError> {
     if triple_count > payload.len() {
         return Err(CodecError::Truncated);
     }
-    let mut graph = Graph::new();
-    for _ in 0..triple_count {
-        let s = read_varint(payload, &mut pos)?;
-        let p = read_varint(payload, &mut pos)?;
-        let o = read_varint(payload, &mut pos)?;
-        let term = |id: u64| -> Result<&Term, CodecError> {
-            usize::try_from(id)
-                .ok()
-                .and_then(|i| table.get(i))
-                .ok_or(CodecError::IdOutOfRange(id))
+
+    let graph = if version == VERSION {
+        // v2 decode-free load: the table *is* the interner and the triple
+        // section *is* the sorted SPO run. One bounds check per id, then
+        // the columnar constructor builds the indexes without any
+        // per-triple set insertion.
+        let mut id_triples: Vec<(TermId, TermId, TermId)> = Vec::with_capacity(triple_count);
+        let id = |pos: &mut usize| -> Result<TermId, CodecError> {
+            let v = read_varint(payload, pos)?;
+            if usize::try_from(v).map_or(true, |i| i >= table.len()) {
+                return Err(CodecError::IdOutOfRange(v));
+            }
+            Ok(v as TermId)
         };
-        graph.insert(Triple::new(
-            term(s)?.clone(),
-            term(p)?.clone(),
-            term(o)?.clone(),
-        ));
-    }
+        for _ in 0..triple_count {
+            let s = id(&mut pos)?;
+            let p = id(&mut pos)?;
+            let o = id(&mut pos)?;
+            id_triples.push((s, p, o));
+        }
+        if !id_triples.windows(2).all(|w| w[0] < w[1]) {
+            // Encoders always emit sorted, unique triples; a CRC-valid
+            // file that doesn't is hand-crafted. Normalize rather than
+            // trust it.
+            id_triples.sort_unstable();
+            id_triples.dedup();
+        }
+        Graph::from_parts(table, id_triples, IndexMode::Full)
+    } else {
+        // v1 replay: ids are in first-appearance order, so triples are
+        // re-inserted one at a time through the interner.
+        let mut graph = Graph::new();
+        for _ in 0..triple_count {
+            let s = read_varint(payload, &mut pos)?;
+            let p = read_varint(payload, &mut pos)?;
+            let o = read_varint(payload, &mut pos)?;
+            let term = |id: u64| -> Result<&Term, CodecError> {
+                usize::try_from(id)
+                    .ok()
+                    .and_then(|i| table.get(i))
+                    .ok_or(CodecError::IdOutOfRange(id))
+            };
+            graph.insert(Triple::new(
+                term(s)?.clone(),
+                term(p)?.clone(),
+                term(o)?.clone(),
+            ));
+        }
+        graph
+    };
     if pos != payload.len() {
         // Trailing garbage inside a CRC-valid payload cannot normally
         // happen, but reject it rather than silently ignoring bytes.
@@ -489,6 +529,66 @@ mod tests {
                 "flip at {i}: unexpected error {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn legacy_v1_blocks_still_decode() {
+        // Re-create the v1 layout by hand: term table in first-appearance
+        // order over the sorted triple walk, triples replay-decoded.
+        let g = sample_graph();
+        let mut triples: Vec<Triple> = g.iter().collect();
+        triples.sort_unstable();
+        let mut table: Vec<Term> = Vec::new();
+        let id_of = |t: &Term, table: &mut Vec<Term>| -> u64 {
+            if let Some(i) = table.iter().position(|x| x == t) {
+                return i as u64;
+            }
+            table.push(t.clone());
+            table.len() as u64 - 1
+        };
+        let ids: Vec<(u64, u64, u64)> = triples
+            .iter()
+            .map(|t| {
+                (
+                    id_of(&t.subject, &mut table),
+                    id_of(&t.predicate, &mut table),
+                    id_of(&t.object, &mut table),
+                )
+            })
+            .collect();
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION_V1);
+        write_varint(table.len() as u64, &mut out);
+        for t in &table {
+            encode_term(t, &mut out);
+        }
+        write_varint(ids.len() as u64, &mut out);
+        for (s, p, o) in &ids {
+            write_varint(*s, &mut out);
+            write_varint(*p, &mut out);
+            write_varint(*o, &mut out);
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+
+        let decoded = decode_graph(&out).unwrap();
+        assert_eq!(decoded, g, "v1 replay decode must reconstruct the set");
+        // Re-encoding a v1-decoded graph upgrades it to the v2 canonical
+        // form, identical to encoding the original.
+        assert_eq!(encode_graph(&decoded), encode_graph(&g));
+    }
+
+    #[test]
+    fn v2_decode_is_columnar_and_canonical() {
+        let g = sample_graph();
+        let bytes = encode_graph(&g);
+        assert_eq!(bytes[MAGIC.len()], VERSION);
+        let decoded = decode_graph(&bytes).unwrap();
+        // The decode-free load lands everything in the run (no novelty).
+        assert_eq!(decoded.run_len(), g.len());
+        assert_eq!(decoded.novelty_len(), 0);
+        assert_eq!(decoded, g);
     }
 
     #[test]

@@ -1,16 +1,35 @@
-//! In-memory triple store with term interning and three access-path indexes.
+//! In-memory triple store: term interning over an LSM-style columnar core.
 //!
-//! Terms are interned into dense `u32` ids; triples are id-tuples kept in
-//! ordered sets for the three access paths a basic graph pattern can need:
-//! `SPO`, `POS` and `OSP`. Range scans over those sets answer any
-//! subject/predicate/object pattern without a full scan.
+//! Terms are interned into dense `u32` ids. Triples live in two places:
 //!
-//! [`IndexMode::SpoOnly`] disables the two secondary indexes; it exists for
-//! the index ablation in the benchmark suite (experiment E1c) and falls back
-//! to scanning.
+//! * an immutable, sorted, id-columnar **run** (struct-of-arrays columns in
+//!   `SPO`, `POS` and `OSP` order) answering any pattern with a binary
+//!   search plus a contiguous column scan, and
+//! * a small mutable **novelty** delta (ordered sets in the same three
+//!   orders) absorbing point inserts, with a tombstone set for removals
+//!   against the run.
+//!
+//! Reads merge run slices with the novelty range (two sorted sources) so
+//! every scan still emits in index order — downstream code (the reasoner's
+//! adjacency-based duplicate detection, `all_subjects`) relies on that.
+//! When novelty outgrows a fraction of the run the graph **compacts**:
+//! run ∪ delta − tombstones is rewritten into a fresh run in one ordered
+//! pass per index. Bulk loads ([`Graph::extend_ids`]) skip the delta and
+//! merge straight into a new run. The run is behind an `Arc`, so cloning a
+//! graph shares the columns (copy-on-compact), which makes the secure-view
+//! and reasoner clone-then-materialize pattern cheap.
+//!
+//! This is the binary-index/novelty split of LSM ledgers (Fluree's
+//! `fluree-db-binary-index`), sized down to a single-run store: compaction
+//! here is a merge, not a leveled hierarchy.
+//!
+//! [`IndexMode::SpoOnly`] disables the two secondary orders; it exists for
+//! the index ablation in the benchmark suite (experiment E1c) and falls
+//! back to scanning.
 
 use std::collections::{BTreeSet, HashMap};
-use std::ops::Bound;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
 
 use crate::term::{Term, Triple};
 
@@ -20,6 +39,7 @@ use crate::term::{Term, Triple};
 pub type TermId = u32;
 
 type Id = TermId;
+type IdTriple = (Id, Id, Id);
 
 /// Bidirectional term ↔ id table.
 #[derive(Debug, Default, Clone)]
@@ -59,19 +79,292 @@ pub enum IndexMode {
     SpoOnly,
 }
 
+/// One sorted id-columnar index: three parallel columns (struct of
+/// arrays), lexicographically sorted by `(a, b, c)`. Prefix ranges are
+/// binary searches over the columns; the result of a search is a
+/// contiguous slice of each column (zero-copy scans).
+#[derive(Debug, Default)]
+struct Cols {
+    a: Vec<Id>,
+    b: Vec<Id>,
+    c: Vec<Id>,
+    /// Lazy CSR-style offset directory over the first column: entry `v`
+    /// is the index of the first tuple whose first column is `>= v`, so
+    /// `dir[v]..dir[v + 1]` is the prefix range for `v` in O(1). Ids are
+    /// dense interner indices, making the directory a flat vector rather
+    /// than a hash map. Built on first probe after each rebuild; sized by
+    /// the column's max value (the column is sorted, so that's `last()`).
+    dir: OnceLock<Vec<u32>>,
+}
+
+impl Cols {
+    fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> IdTriple {
+        (self.a[i], self.b[i], self.c[i])
+    }
+
+    fn from_sorted(tuples: &[IdTriple]) -> Cols {
+        let mut cols = Cols {
+            a: Vec::with_capacity(tuples.len()),
+            b: Vec::with_capacity(tuples.len()),
+            c: Vec::with_capacity(tuples.len()),
+            dir: OnceLock::new(),
+        };
+        for &(a, b, c) in tuples {
+            cols.a.push(a);
+            cols.b.push(b);
+            cols.c.push(c);
+        }
+        cols
+    }
+
+    fn dir(&self) -> &[u32] {
+        self.dir.get_or_init(|| {
+            let max = self.a.last().copied().unwrap_or(0) as usize;
+            let mut dir = vec![0u32; max + 2];
+            for &v in &self.a {
+                dir[v as usize + 1] += 1;
+            }
+            for i in 1..dir.len() {
+                dir[i] += dir[i - 1];
+            }
+            dir
+        })
+    }
+
+    /// Index range of entries whose first column equals `x` — one O(1)
+    /// directory lookup, no binary search. Point probes (reasoner joins,
+    /// membership tests) hit this thousands of times per pass.
+    fn range1(&self, x: Id) -> Range<usize> {
+        let dir = self.dir();
+        let xi = x as usize;
+        if xi + 1 >= dir.len() {
+            return self.len()..self.len();
+        }
+        dir[xi] as usize..dir[xi + 1] as usize
+    }
+
+    /// Index range of entries whose first two columns equal `(x, y)`.
+    fn range2(&self, x: Id, y: Id) -> Range<usize> {
+        let r = self.range1(x);
+        let lo = r.start + self.b[r.clone()].partition_point(|&v| v < y);
+        let hi = r.start + self.b[r].partition_point(|&v| v <= y);
+        lo..hi
+    }
+
+    /// Whether the exact tuple is present (binary search).
+    fn contains(&self, t: IdTriple) -> bool {
+        let r = self.range2(t.0, t.1);
+        self.c[r].binary_search(&t.2).is_ok()
+    }
+
+    /// First index `>= from` whose tuple is `>= t` — gallop forward then
+    /// binary-search the overshoot. Callers sweeping *sorted* probes left
+    /// to right get O(batch · log(run/batch)) membership filtering
+    /// instead of a cold full-range binary search per probe.
+    fn lower_bound_from(&self, from: usize, t: IdTriple) -> usize {
+        let n = self.len();
+        let mut lo = from;
+        let mut hi = from;
+        let mut step = 1usize;
+        while hi < n && self.get(hi) < t {
+            lo = hi + 1;
+            hi += step;
+            step <<= 1;
+        }
+        let hi = hi.min(n);
+        let mut size = hi - lo;
+        while size > 0 {
+            let half = size / 2;
+            let mid = lo + half;
+            if self.get(mid) < t {
+                lo = mid + 1;
+                size -= half + 1;
+            } else {
+                size = half;
+            }
+        }
+        lo
+    }
+}
+
+/// Per-predicate statistics computed at compaction time — the query
+/// planner's cost-model input. Counts describe the *run* (novelty is
+/// folded in approximately by [`Graph::pred_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredStats {
+    /// Triples with this predicate.
+    pub triples: usize,
+    /// Distinct subjects among them.
+    pub distinct_subjects: usize,
+    /// Distinct objects among them.
+    pub distinct_objects: usize,
+}
+
+/// The immutable compacted base: the same triple set in up to three
+/// column orders, plus per-predicate statistics. Shared across clones via
+/// `Arc` (copy-on-compact).
+#[derive(Debug, Default)]
+struct Run {
+    spo: Cols,
+    pos: Cols,
+    osp: Cols,
+    /// Lazily computed on first planner query: materialization absorbs
+    /// rebuild the run every pass and never consult statistics, so
+    /// computing them eagerly would tax the hottest write path for the
+    /// benefit of a reader that may never arrive.
+    stats: OnceLock<HashMap<Id, PredStats>>,
+}
+
+impl Run {
+    fn stats(&self) -> &HashMap<Id, PredStats> {
+        self.stats.get_or_init(|| {
+            // Full-mode runs keep every order (pos mirrors spo); SpoOnly
+            // runs have an empty pos and fall back to the SPO scan.
+            if self.pos.len() == self.spo.len() {
+                stats_from_pos(&self.pos)
+            } else {
+                stats_from_spo(&self.spo)
+            }
+        })
+    }
+}
+
+/// Per-predicate counts from the POS order (predicate-grouped: one pass,
+/// adjacency gives distinct objects, a per-group sort gives subjects).
+fn stats_from_pos(pos: &Cols) -> HashMap<Id, PredStats> {
+    let mut stats: HashMap<Id, PredStats> = HashMap::new();
+    let mut i = 0;
+    let n = pos.len();
+    let mut subjects: Vec<Id> = Vec::new();
+    while i < n {
+        let p = pos.a[i];
+        let mut j = i;
+        let mut distinct_objects = 0;
+        let mut last_o: Option<Id> = None;
+        subjects.clear();
+        while j < n && pos.a[j] == p {
+            if last_o != Some(pos.b[j]) {
+                distinct_objects += 1;
+                last_o = Some(pos.b[j]);
+            }
+            subjects.push(pos.c[j]);
+            j += 1;
+        }
+        subjects.sort_unstable();
+        subjects.dedup();
+        stats.insert(
+            p,
+            PredStats {
+                triples: j - i,
+                distinct_subjects: subjects.len(),
+                distinct_objects,
+            },
+        );
+        i = j;
+    }
+    stats
+}
+
+/// Per-predicate counts from the SPO order (SpoOnly mode: predicates are
+/// scattered in column `b`, so bucket then dedup).
+fn stats_from_spo(spo: &Cols) -> HashMap<Id, PredStats> {
+    let mut buckets: HashMap<Id, (Vec<Id>, Vec<Id>, usize)> = HashMap::new();
+    for i in 0..spo.len() {
+        let e = buckets.entry(spo.b[i]).or_default();
+        e.0.push(spo.a[i]);
+        e.1.push(spo.c[i]);
+        e.2 += 1;
+    }
+    buckets
+        .into_iter()
+        .map(|(p, (mut ss, mut os, n))| {
+            ss.sort_unstable();
+            ss.dedup();
+            os.sort_unstable();
+            os.dedup();
+            (
+                p,
+                PredStats {
+                    triples: n,
+                    distinct_subjects: ss.len(),
+                    distinct_objects: os.len(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// The mutable novelty overlay: the same small triple set in up to three
+/// orders (ordered sets so range scans stay sorted).
+#[derive(Debug, Default, Clone)]
+struct Novelty {
+    spo: BTreeSet<IdTriple>,
+    pos: BTreeSet<IdTriple>,
+    osp: BTreeSet<IdTriple>,
+}
+
+impl Novelty {
+    fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    fn insert(&mut self, (s, p, o): IdTriple, mode: IndexMode) -> bool {
+        let added = self.spo.insert((s, p, o));
+        if added && mode == IndexMode::Full {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    fn remove(&mut self, (s, p, o): IdTriple, mode: IndexMode) -> bool {
+        let removed = self.spo.remove(&(s, p, o));
+        if removed && mode == IndexMode::Full {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    fn clear(&mut self) {
+        self.spo.clear();
+        self.pos.clear();
+        self.osp.clear();
+    }
+}
+
+/// Compaction threshold: rewrite the run once novelty (delta inserts +
+/// tombstones) exceeds `max(NOVELTY_MIN, run/8)` entries. Below the
+/// floor, merging at read time over a tiny delta is cheaper than churning
+/// the run on every small update.
+const NOVELTY_MIN: usize = 1024;
+
 /// An in-memory RDF graph.
 #[derive(Debug, Clone)]
 pub struct Graph {
     interner: Interner,
-    spo: BTreeSet<(Id, Id, Id)>,
-    pos: BTreeSet<(Id, Id, Id)>,
-    osp: BTreeSet<(Id, Id, Id)>,
+    /// Immutable compacted base run (shared across clones).
+    run: Arc<Run>,
+    /// Inserts not yet compacted into the run. Disjoint from the run.
+    delta: Novelty,
+    /// Tombstones: run entries removed since the last compaction.
+    /// A subset of the run, disjoint from `delta`.
+    dead: Novelty,
     mode: IndexMode,
     blank_counter: u64,
     /// Append-only insertion log (id triples, in insertion order). The
     /// length of this log is the graph's *generation*; a slice of it is a
     /// delta snapshot — see [`Graph::generation`] / [`Graph::delta_since`].
-    log: Vec<(Id, Id, Id)>,
+    log: Vec<IdTriple>,
     /// Count of successful removals. While zero, every log entry is still
     /// present and unique, so delta snapshots skip their per-entry
     /// membership filter.
@@ -94,9 +387,9 @@ impl Graph {
     pub fn with_index_mode(mode: IndexMode) -> Graph {
         Graph {
             interner: Interner::default(),
-            spo: BTreeSet::new(),
-            pos: BTreeSet::new(),
-            osp: BTreeSet::new(),
+            run: Arc::new(Run::default()),
+            delta: Novelty::default(),
+            dead: Novelty::default(),
             mode,
             blank_counter: 0,
             log: Vec::new(),
@@ -111,12 +404,128 @@ impl Graph {
 
     /// Number of triples.
     pub fn len(&self) -> usize {
-        self.spo.len()
+        self.run.spo.len() - self.dead.len() + self.delta.len()
     }
 
     /// True when the graph holds no triples.
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of triples in the compacted run (diagnostics/tests).
+    pub fn run_len(&self) -> usize {
+        self.run.spo.len()
+    }
+
+    /// Size of the mutable novelty overlay: uncompacted inserts plus
+    /// tombstones (diagnostics/tests).
+    pub fn novelty_len(&self) -> usize {
+        self.delta.len() + self.dead.len()
+    }
+
+    /// Whether the id triple is live (in the delta, or in the run and not
+    /// tombstoned).
+    #[inline]
+    fn live(&self, t: IdTriple) -> bool {
+        if self.delta.spo.contains(&t) {
+            return true;
+        }
+        if !self.run.spo.contains(t) {
+            return false;
+        }
+        !self.dead.spo.contains(&t)
+    }
+
+    /// Point-insert one id triple (already interned). Appends to the log
+    /// on success. Does NOT trigger compaction — callers decide.
+    fn insert_ids_one(&mut self, t: IdTriple) -> bool {
+        if self.delta.spo.contains(&t) {
+            return false;
+        }
+        if self.run.spo.contains(t) {
+            // Present in the run: live unless tombstoned; a tombstoned
+            // entry is resurrected by clearing the tombstone.
+            if self.dead.remove(t, self.mode) {
+                self.log.push(t);
+                return true;
+            }
+            return false;
+        }
+        self.delta.insert(t, self.mode);
+        self.log.push(t);
+        true
+    }
+
+    /// Compact if novelty has outgrown its threshold.
+    fn maybe_compact(&mut self) {
+        if self.novelty_len() >= NOVELTY_MIN.max(self.run.spo.len() / 8) {
+            self.compact();
+        }
+    }
+
+    /// Merge run ∪ delta − tombstones into a fresh run and clear the
+    /// novelty overlay. A no-op when there is no novelty. Sorted merges
+    /// only — each order merges with its own overlay, so the run is never
+    /// re-sorted.
+    pub fn compact(&mut self) {
+        if self.delta.is_empty() && self.dead.is_empty() {
+            return;
+        }
+        self.rebuild(&[]);
+    }
+
+    /// Rebuild the run as `(run − dead) ∪ delta ∪ extra` (`extra` sorted
+    /// in SPO order, disjoint from all live triples) and clear the
+    /// overlay. One linear merge per order — only `extra`'s permutations
+    /// are sorted, never the run itself.
+    fn rebuild(&mut self, extra_spo: &[IdTriple]) {
+        let spo_t = merge_live(&self.run.spo, &self.dead.spo, &self.delta.spo, extra_spo);
+        let spo = Cols::from_sorted(&spo_t);
+        let (pos, osp) = if self.mode == IndexMode::Full {
+            let mut extra_pos: Vec<IdTriple> =
+                extra_spo.iter().map(|&(s, p, o)| (p, o, s)).collect();
+            extra_pos.sort_unstable();
+            let pos_t = merge_live(&self.run.pos, &self.dead.pos, &self.delta.pos, &extra_pos);
+            let mut extra_osp: Vec<IdTriple> =
+                extra_spo.iter().map(|&(s, p, o)| (o, s, p)).collect();
+            extra_osp.sort_unstable();
+            let osp_t = merge_live(&self.run.osp, &self.dead.osp, &self.delta.osp, &extra_osp);
+            (Cols::from_sorted(&pos_t), Cols::from_sorted(&osp_t))
+        } else {
+            (Cols::default(), Cols::default())
+        };
+        self.run = Arc::new(Run {
+            spo,
+            pos,
+            osp,
+            stats: OnceLock::new(),
+        });
+        self.delta.clear();
+        self.dead.clear();
+    }
+
+    /// Replace the run with one built from `sorted_spo` alone (sorted,
+    /// unique; the overlay must already be empty) — the checkpoint-decode
+    /// path, where only the SPO order exists and the secondary orders are
+    /// derived by one permutation sort.
+    fn set_run(&mut self, sorted_spo: &[IdTriple]) {
+        debug_assert!(self.delta.is_empty() && self.dead.is_empty());
+        let spo = Cols::from_sorted(sorted_spo);
+        let (pos, osp) = if self.mode == IndexMode::Full {
+            let mut pos_t: Vec<IdTriple> = sorted_spo.iter().map(|&(s, p, o)| (p, o, s)).collect();
+            pos_t.sort_unstable();
+            let mut osp_t: Vec<IdTriple> = sorted_spo.iter().map(|&(s, p, o)| (o, s, p)).collect();
+            osp_t.sort_unstable();
+            (Cols::from_sorted(&pos_t), Cols::from_sorted(&osp_t))
+        } else {
+            (Cols::default(), Cols::default())
+        };
+        self.run = Arc::new(Run {
+            spo,
+            pos,
+            osp,
+            stats: OnceLock::new(),
+        });
     }
 
     /// Insert a triple; returns true if it was not already present.
@@ -124,25 +533,46 @@ impl Graph {
         let s = self.interner.intern(&triple.subject);
         let p = self.interner.intern(&triple.predicate);
         let o = self.interner.intern(&triple.object);
-        let added = self.spo.insert((s, p, o));
+        let added = self.insert_ids_one((s, p, o));
         if added {
-            if self.mode == IndexMode::Full {
-                self.pos.insert((p, o, s));
-                self.osp.insert((o, s, p));
-            }
-            self.log.push((s, p, o));
+            self.maybe_compact();
         }
         added
     }
 
     /// Bulk insert: intern every triple first, then merge the sorted new
-    /// id-tuples into the three BTree indexes in one ordered pass each —
+    /// id-tuples straight into a fresh run (one ordered pass per index) —
     /// cheaper than per-triple `insert` for large batches (the reasoner's
     /// per-pass merges, ontology loads). Returns the number of triples
     /// actually added.
     pub fn extend_triples<I: IntoIterator<Item = Triple>>(&mut self, iter: I) -> usize {
-        let ids: Vec<(Id, Id, Id)> = iter
-            .into_iter()
+        let ids = self.intern_batch(iter);
+        self.extend_ids(ids)
+    }
+
+    /// [`Graph::extend_triples`] that always leaves the graph fully
+    /// compacted (empty novelty overlay), folding the batch and any
+    /// resident novelty into a fresh run in a single rebuild. For callers
+    /// that rescan the whole graph right after absorbing — the naive
+    /// reasoner's per-pass absorb, checkpoint staging — where paying one
+    /// O(n) merge now is cheaper than merge-on-read later.
+    pub fn extend_triples_compacting<I: IntoIterator<Item = Triple>>(&mut self, iter: I) -> usize {
+        let mut ids = self.intern_batch(iter);
+        ids.sort_unstable();
+        ids.dedup();
+        let fresh = self.filter_fresh(&ids);
+        if fresh.is_empty() {
+            self.compact();
+            return 0;
+        }
+        self.rebuild(&fresh);
+        let added = fresh.len();
+        self.log.extend(fresh);
+        added
+    }
+
+    fn intern_batch<I: IntoIterator<Item = Triple>>(&mut self, iter: I) -> Vec<IdTriple> {
+        iter.into_iter()
             .map(|t| {
                 (
                     self.interner.intern(&t.subject),
@@ -150,8 +580,7 @@ impl Graph {
                     self.interner.intern(&t.object),
                 )
             })
-            .collect();
-        self.extend_ids(ids)
+            .collect()
     }
 
     /// Bulk insert of id triples whose components are already interned in
@@ -164,102 +593,53 @@ impl Graph {
             .all(|&(s, p, o)| (s.max(p).max(o) as usize) < self.interner.terms.len()));
         ids.sort_unstable();
         ids.dedup();
-        // Per-element B-tree operations cost O(batch · log n); a sorted
-        // merge plus bulk rebuild is O(n) (std builds B-trees from sorted
-        // input bottom-up), and folds the membership filter into the merge
-        // for free. Rebuild once the batch is a meaningful fraction of the
-        // index — the reasoner's per-pass merges — and point-insert for
-        // small batches (incremental updates), where O(n) would lose.
-        if ids.len() * 8 >= self.spo.len() {
-            let mut merged: Vec<(Id, Id, Id)> = Vec::with_capacity(self.spo.len() + ids.len());
-            let mut fresh: Vec<(Id, Id, Id)> = Vec::with_capacity(ids.len());
-            let mut old = self.spo.iter().copied().peekable();
-            let mut new = ids.into_iter().peekable();
-            loop {
-                match (old.peek(), new.peek()) {
-                    (Some(&a), Some(&b)) => match a.cmp(&b) {
-                        std::cmp::Ordering::Less => {
-                            merged.push(a);
-                            old.next();
-                        }
-                        std::cmp::Ordering::Equal => {
-                            // Already present: keep one copy, not fresh.
-                            merged.push(a);
-                            old.next();
-                            new.next();
-                        }
-                        std::cmp::Ordering::Greater => {
-                            merged.push(b);
-                            fresh.push(b);
-                            new.next();
-                        }
-                    },
-                    (Some(_), None) => {
-                        merged.extend(old);
-                        break;
-                    }
-                    (None, _) => {
-                        for b in new {
-                            merged.push(b);
-                            fresh.push(b);
-                        }
-                        break;
-                    }
-                }
+        // Large batches (the reasoner's per-pass merges) go straight into
+        // a new run: one membership filter plus one sorted merge per
+        // index, O(n + batch). Small batches land in the novelty delta.
+        if ids.len() * 8 >= self.len() {
+            let fresh = self.filter_fresh(&ids);
+            if fresh.is_empty() {
+                return 0;
             }
-            self.spo = merged.into_iter().collect();
-            if self.mode == IndexMode::Full {
-                let mut pos: Vec<(Id, Id, Id)> = fresh.iter().map(|&(s, p, o)| (p, o, s)).collect();
-                pos.sort_unstable();
-                Self::merge_rebuild(&mut self.pos, pos);
-                let mut osp: Vec<(Id, Id, Id)> = fresh.iter().map(|&(s, p, o)| (o, s, p)).collect();
-                osp.sort_unstable();
-                Self::merge_rebuild(&mut self.osp, osp);
-            }
+            self.rebuild(&fresh);
             let added = fresh.len();
-            self.log.append(&mut fresh);
+            self.log.extend(fresh);
             added
         } else {
-            ids.retain(|t| !self.spo.contains(t));
-            let added = ids.len();
-            self.spo.extend(ids.iter().copied());
-            if self.mode == IndexMode::Full {
-                self.pos.extend(ids.iter().map(|&(s, p, o)| (p, o, s)));
-                self.osp.extend(ids.iter().map(|&(s, p, o)| (o, s, p)));
+            let mut added = 0;
+            for t in ids {
+                if self.insert_ids_one(t) {
+                    added += 1;
+                }
             }
-            self.log.extend(ids);
+            self.maybe_compact();
             added
         }
     }
 
-    /// Replace a sorted index with its merge against a sorted batch of new
-    /// tuples known to be disjoint from it.
-    fn merge_rebuild(index: &mut BTreeSet<(Id, Id, Id)>, sorted_new: Vec<(Id, Id, Id)>) {
-        let mut merged: Vec<(Id, Id, Id)> = Vec::with_capacity(index.len() + sorted_new.len());
-        let mut old = index.iter().copied().peekable();
-        let mut new = sorted_new.into_iter().peekable();
-        loop {
-            match (old.peek(), new.peek()) {
-                (Some(&a), Some(&b)) => {
-                    if a <= b {
-                        merged.push(a);
-                        old.next();
-                    } else {
-                        merged.push(b);
-                        new.next();
-                    }
-                }
-                (Some(_), None) => {
-                    merged.extend(old);
-                    break;
-                }
-                (None, _) => {
-                    merged.extend(new);
-                    break;
-                }
+    /// Sorted-merge membership filter: which of the sorted, deduped `ids`
+    /// are not currently live. One galloping sweep over the run and one
+    /// merge walk of the novelty replace a cold per-proposal `live()`
+    /// binary search (the dominant cost of a reasoner absorb pass).
+    fn filter_fresh(&self, ids: &[IdTriple]) -> Vec<IdTriple> {
+        let mut fresh: Vec<IdTriple> = Vec::with_capacity(ids.len());
+        let run = &self.run.spo;
+        let mut delta_it = self.delta.spo.iter().peekable();
+        let have_dead = !self.dead.spo.is_empty();
+        let mut lo = 0usize;
+        for &t in ids {
+            while delta_it.next_if(|&&d| d < t).is_some() {}
+            if delta_it.peek().is_some_and(|&&d| d == t) {
+                continue;
             }
+            lo = run.lower_bound_from(lo, t);
+            let in_run = lo < run.len() && run.get(lo) == t;
+            if in_run && !(have_dead && self.dead.spo.contains(&t)) {
+                continue;
+            }
+            fresh.push(t);
         }
-        *index = merged.into_iter().collect();
+        fresh
     }
 
     /// The graph's generation: a monotonic marker that advances on every
@@ -277,7 +657,7 @@ impl Graph {
         let start = (generation as usize).min(self.log.len());
         self.log[start..]
             .iter()
-            .filter(|ids| self.removals == 0 || self.spo.contains(ids))
+            .filter(|&&ids| self.removals == 0 || self.live(ids))
             .map(|&(s, p, o)| {
                 Triple::new(
                     self.interner.resolve(s).clone(),
@@ -300,7 +680,7 @@ impl Graph {
         }
         self.log[start..]
             .iter()
-            .filter(|ids| self.spo.contains(ids))
+            .filter(|&&ids| self.live(ids))
             .copied()
             .collect()
     }
@@ -332,13 +712,14 @@ impl Graph {
 
     /// Whether the id triple `(s, p, o)` is in the graph.
     pub fn has_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
-        self.spo.contains(&(s, p, o))
+        self.live((s, p, o))
     }
 
     /// Visit every triple matching the id pattern — [`Graph::for_each_match`]
     /// without term resolution or cloning. `None` is a wildcard; ids must
     /// come from this graph (an id the graph never minted matches nothing
     /// only by virtue of appearing in no triple, which is always true).
+    /// Emission is always in the serving index's sorted order.
     pub fn for_each_match_ids<F: FnMut(TermId, TermId, TermId)>(
         &self,
         s: Option<TermId>,
@@ -348,65 +729,52 @@ impl Graph {
     ) {
         match (s, p, o, self.mode) {
             (Some(s), Some(p), Some(o), _) => {
-                if self.spo.contains(&(s, p, o)) {
+                if self.live((s, p, o)) {
                     f(s, p, o);
                 }
             }
             (Some(s), Some(p), None, _) => {
-                for &(s2, p2, o2) in range2(&self.spo, s, p) {
-                    f(s2, p2, o2);
-                }
+                self.scan(Order::Spo, Prefix::Two(s, p), |(s2, p2, o2)| f(s2, p2, o2));
             }
             (Some(s), None, None, _) => {
-                for &(s2, p2, o2) in range1(&self.spo, s) {
-                    f(s2, p2, o2);
-                }
+                self.scan(Order::Spo, Prefix::One(s), |(s2, p2, o2)| f(s2, p2, o2));
             }
             (Some(s), None, Some(o), IndexMode::Full) => {
-                for &(o2, s2, p2) in range2(&self.osp, o, s) {
-                    f(s2, p2, o2);
-                }
+                self.scan(Order::Osp, Prefix::Two(o, s), |(o2, s2, p2)| f(s2, p2, o2));
             }
             (None, Some(p), Some(o), IndexMode::Full) => {
-                for &(p2, o2, s2) in range2(&self.pos, p, o) {
-                    f(s2, p2, o2);
-                }
+                self.scan(Order::Pos, Prefix::Two(p, o), |(p2, o2, s2)| f(s2, p2, o2));
             }
             (None, Some(p), None, IndexMode::Full) => {
-                for &(p2, o2, s2) in range1(&self.pos, p) {
-                    f(s2, p2, o2);
-                }
+                self.scan(Order::Pos, Prefix::One(p), |(p2, o2, s2)| f(s2, p2, o2));
             }
             (None, None, Some(o), IndexMode::Full) => {
-                for &(o2, s2, p2) in range1(&self.osp, o) {
-                    f(s2, p2, o2);
-                }
+                self.scan(Order::Osp, Prefix::One(o), |(o2, s2, p2)| f(s2, p2, o2));
             }
             (None, None, None, _) => {
-                for &(s2, p2, o2) in &self.spo {
-                    f(s2, p2, o2);
-                }
+                self.scan(Order::Spo, Prefix::All, |(s2, p2, o2)| f(s2, p2, o2));
             }
             // SpoOnly fallbacks: scan the primary index.
             (s, p, o, IndexMode::SpoOnly) => {
-                for &(s2, p2, o2) in &self.spo {
+                self.scan(Order::Spo, Prefix::All, |(s2, p2, o2)| {
                     if s.is_some_and(|x| x != s2)
                         || p.is_some_and(|x| x != p2)
                         || o.is_some_and(|x| x != o2)
                     {
-                        continue;
+                        return;
                     }
                     f(s2, p2, o2);
-                }
+                });
             }
         }
     }
 
     /// Exact cardinality of a pattern, computed from the id indexes
-    /// without materializing any term: range length for indexed patterns,
-    /// membership for fully-bound ones, total size for the full wildcard.
-    /// Unknown bound terms estimate to zero. Used by the query planner to
-    /// order basic graph patterns most-selective-first.
+    /// without materializing any term: binary-searched range length for
+    /// indexed patterns, membership for fully-bound ones, total size for
+    /// the full wildcard. Unknown bound terms estimate to zero. Used by
+    /// the query planner to order basic graph patterns
+    /// most-selective-first.
     pub fn estimate(
         &self,
         subject: Option<&Term>,
@@ -423,25 +791,94 @@ impl Graph {
             return 0; // a bound term the graph has never seen matches nothing
         };
         match (s, p, o, self.mode) {
-            (None, None, None, _) => self.spo.len(),
-            (Some(s), Some(p), Some(o), _) => usize::from(self.spo.contains(&(s, p, o))),
-            (Some(s), Some(p), None, _) => range2(&self.spo, s, p).count(),
-            (Some(s), None, None, _) => range1(&self.spo, s).count(),
-            (Some(s), None, Some(o), IndexMode::Full) => range2(&self.osp, o, s).count(),
-            (None, Some(p), Some(o), IndexMode::Full) => range2(&self.pos, p, o).count(),
-            (None, Some(p), None, IndexMode::Full) => range1(&self.pos, p).count(),
-            (None, None, Some(o), IndexMode::Full) => range1(&self.osp, o).count(),
+            (None, None, None, _) => self.len(),
+            (Some(s), Some(p), Some(o), _) => usize::from(self.live((s, p, o))),
+            (Some(s), Some(p), None, _) => self.range_count(Order::Spo, Prefix::Two(s, p)),
+            (Some(s), None, None, _) => self.range_count(Order::Spo, Prefix::One(s)),
+            (Some(s), None, Some(o), IndexMode::Full) => {
+                self.range_count(Order::Osp, Prefix::Two(o, s))
+            }
+            (None, Some(p), Some(o), IndexMode::Full) => {
+                self.range_count(Order::Pos, Prefix::Two(p, o))
+            }
+            (None, Some(p), None, IndexMode::Full) => self.range_count(Order::Pos, Prefix::One(p)),
+            (None, None, Some(o), IndexMode::Full) => self.range_count(Order::Osp, Prefix::One(o)),
             // SpoOnly fallback: count by scanning the primary index.
-            (s, p, o, IndexMode::SpoOnly) => self
-                .spo
-                .iter()
-                .filter(|&&(s2, p2, o2)| {
-                    !(s.is_some_and(|x| x != s2)
-                        || p.is_some_and(|x| x != p2)
-                        || o.is_some_and(|x| x != o2))
-                })
-                .count(),
+            (s, p, o, IndexMode::SpoOnly) => {
+                let mut n = 0;
+                self.for_each_match_ids(s, p, o, |_, _, _| n += 1);
+                n
+            }
         }
+    }
+
+    /// All live triples as id tuples in predicate-grouped (POS) order —
+    /// the reasoner's bulk-seed fast path: already grouped for
+    /// per-predicate batch dispatch, read straight off the POS columns
+    /// with no sort. In SpoOnly mode (no POS index) the SPO order is
+    /// collected and sorted by predicate instead.
+    pub fn ids_by_predicate(&self) -> Vec<(TermId, TermId, TermId)> {
+        let mut out = Vec::with_capacity(self.len());
+        if self.mode == IndexMode::Full {
+            if self.delta.is_empty() && self.dead.is_empty() {
+                // Fully compacted: read the three POS columns straight
+                // through, no merge machinery.
+                let pos = &self.run.pos;
+                out.extend(
+                    pos.a
+                        .iter()
+                        .zip(&pos.b)
+                        .zip(&pos.c)
+                        .map(|((&p, &o), &s)| (s, p, o)),
+                );
+                return out;
+            }
+            self.scan(Order::Pos, Prefix::All, |(p, o, s)| out.push((s, p, o)));
+        } else {
+            self.scan(Order::Spo, Prefix::All, |(s, p, o)| out.push((s, p, o)));
+            out.sort_unstable_by_key(|&(_, p, _)| p);
+        }
+        out
+    }
+
+    /// Planner statistics for a predicate: run-time exact triple counts
+    /// folded with the novelty delta, distinct subject/object counts from
+    /// the last compaction. Cheap (one hash lookup + one range count);
+    /// distinct counts can lag the delta until the next compaction.
+    pub fn pred_stats(&self, p: TermId) -> PredStats {
+        let mut st = self.run.stats().get(&p).copied().unwrap_or_default();
+        if !self.delta.is_empty() || !self.dead.is_empty() {
+            let lo = (p, 0, 0);
+            let hi = (p, Id::MAX, Id::MAX);
+            if self.mode == IndexMode::Full {
+                st.triples += self.delta.pos.range(lo..=hi).count();
+                st.triples -= self.dead.pos.range(lo..=hi).count();
+            } else {
+                st.triples += self.delta.spo.iter().filter(|t| t.1 == p).count();
+                st.triples -= self.dead.spo.iter().filter(|t| t.1 == p).count();
+            }
+        }
+        st
+    }
+
+    /// Zero-copy columnar view of all `(?, p, ?)` triples: the POS run
+    /// slice for `p` as parallel `(objects, subjects)` columns, sorted by
+    /// object then subject. Available only when the predicate's range has
+    /// no novelty overlay (the common state right after bulk loads and
+    /// compactions) — callers fall back to a collected scan otherwise.
+    pub fn pred_slices(&self, p: TermId) -> Option<(&[TermId], &[TermId])> {
+        if self.mode != IndexMode::Full {
+            return None;
+        }
+        let lo = (p, 0, 0);
+        let hi = (p, Id::MAX, Id::MAX);
+        if self.delta.pos.range(lo..=hi).next().is_some()
+            || self.dead.pos.range(lo..=hi).next().is_some()
+        {
+            return None;
+        }
+        let r = self.run.pos.range1(p);
+        Some((&self.run.pos.b[r.clone()], &self.run.pos.c[r]))
     }
 
     /// Convenience: insert from three terms.
@@ -458,13 +895,18 @@ impl Graph {
         ) else {
             return false;
         };
-        let removed = self.spo.remove(&(s, p, o));
+        let t = (s, p, o);
+        let removed = if self.delta.spo.contains(&t) {
+            self.delta.remove(t, self.mode)
+        } else if self.run.spo.contains(t) && !self.dead.spo.contains(&t) {
+            self.dead.insert(t, self.mode);
+            true
+        } else {
+            false
+        };
         if removed {
             self.removals += 1;
-            if self.mode == IndexMode::Full {
-                self.pos.remove(&(p, o, s));
-                self.osp.remove(&(o, s, p));
-            }
+            self.maybe_compact();
         }
         removed
     }
@@ -476,7 +918,7 @@ impl Graph {
             self.interner.get(&triple.predicate),
             self.interner.get(&triple.object),
         ) {
-            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            (Some(s), Some(p), Some(o)) => self.live((s, p, o)),
             _ => false,
         }
     }
@@ -488,7 +930,7 @@ impl Graph {
             self.interner.get(predicate),
             self.interner.get(object),
         ) {
-            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            (Some(s), Some(p), Some(o)) => self.live((s, p, o)),
             _ => false,
         }
     }
@@ -507,7 +949,14 @@ impl Graph {
     /// Iterate all triples (in SPO id order — deterministic for a given
     /// insertion history).
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo.iter().map(move |&(s, p, o)| {
+        ScanIter::new(
+            &self.run.spo,
+            0..self.run.spo.len(),
+            &self.delta.spo,
+            &self.dead.spo,
+            ((0, 0, 0), (Id::MAX, Id::MAX, Id::MAX)),
+        )
+        .map(move |(s, p, o)| {
             Triple::new(
                 self.interner.resolve(s).clone(),
                 self.interner.resolve(p).clone(),
@@ -570,77 +1019,13 @@ impl Graph {
             },
             None => None,
         };
-
-        let emit = |this: &Graph, s: Id, p: Id, o: Id, f: &mut F| {
+        self.for_each_match_ids(s, p, o, |s2, p2, o2| {
             f(Triple::new(
-                this.interner.resolve(s).clone(),
-                this.interner.resolve(p).clone(),
-                this.interner.resolve(o).clone(),
+                self.interner.resolve(s2).clone(),
+                self.interner.resolve(p2).clone(),
+                self.interner.resolve(o2).clone(),
             ));
-        };
-
-        match (s, p, o, self.mode) {
-            (Some(s), Some(p), Some(o), _) => {
-                if self.spo.contains(&(s, p, o)) {
-                    emit(self, s, p, o, &mut f);
-                }
-            }
-            (Some(s), Some(p), None, _) => {
-                for &(s2, p2, o2) in range2(&self.spo, s, p) {
-                    f(Triple::new(
-                        self.interner.resolve(s2).clone(),
-                        self.interner.resolve(p2).clone(),
-                        self.interner.resolve(o2).clone(),
-                    ));
-                }
-            }
-            (Some(s), None, None, _) => {
-                for &(s2, p2, o2) in range1(&self.spo, s) {
-                    f(Triple::new(
-                        self.interner.resolve(s2).clone(),
-                        self.interner.resolve(p2).clone(),
-                        self.interner.resolve(o2).clone(),
-                    ));
-                }
-            }
-            (Some(s), None, Some(o), IndexMode::Full) => {
-                for &(o2, s2, p2) in range2(&self.osp, o, s) {
-                    emit(self, s2, p2, o2, &mut f);
-                }
-            }
-            (None, Some(p), Some(o), IndexMode::Full) => {
-                for &(p2, o2, s2) in range2(&self.pos, p, o) {
-                    emit(self, s2, p2, o2, &mut f);
-                }
-            }
-            (None, Some(p), None, IndexMode::Full) => {
-                for &(p2, o2, s2) in range1(&self.pos, p) {
-                    emit(self, s2, p2, o2, &mut f);
-                }
-            }
-            (None, None, Some(o), IndexMode::Full) => {
-                for &(o2, s2, p2) in range1(&self.osp, o) {
-                    emit(self, s2, p2, o2, &mut f);
-                }
-            }
-            (None, None, None, _) => {
-                for &(s2, p2, o2) in &self.spo {
-                    emit(self, s2, p2, o2, &mut f);
-                }
-            }
-            // SpoOnly fallbacks: scan the primary index.
-            (s, p, o, IndexMode::SpoOnly) => {
-                for &(s2, p2, o2) in &self.spo {
-                    if s.is_some_and(|x| x != s2)
-                        || p.is_some_and(|x| x != p2)
-                        || o.is_some_and(|x| x != o2)
-                    {
-                        continue;
-                    }
-                    emit(self, s2, p2, o2, &mut f);
-                }
-            }
-        }
+        });
     }
 
     /// Objects of all `(subject, predicate, ?)` triples.
@@ -667,12 +1052,12 @@ impl Graph {
     pub fn all_subjects(&self) -> Vec<Term> {
         let mut last: Option<Id> = None;
         let mut out = Vec::new();
-        for &(s, _, _) in &self.spo {
+        self.scan(Order::Spo, Prefix::All, |(s, _, _)| {
             if last != Some(s) {
                 out.push(self.interner.resolve(s).clone());
                 last = Some(s);
             }
-        }
+        });
         out
     }
 
@@ -751,6 +1136,239 @@ impl Graph {
         }
         n
     }
+
+    /// Build a graph directly from decoded parts: an interner table
+    /// (term id = position) and sorted, unique SPO id triples. The run is
+    /// constructed without any per-triple set insertion — this is the
+    /// checkpoint-load fast path of `crate::codec`.
+    pub(crate) fn from_parts(
+        terms: Vec<Term>,
+        sorted_spo: Vec<IdTriple>,
+        mode: IndexMode,
+    ) -> Graph {
+        debug_assert!(sorted_spo.windows(2).all(|w| w[0] < w[1]));
+        let ids = terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as Id))
+            .collect();
+        let mut g = Graph {
+            interner: Interner { terms, ids },
+            run: Arc::new(Run::default()),
+            delta: Novelty::default(),
+            dead: Novelty::default(),
+            mode,
+            blank_counter: 0,
+            log: sorted_spo.clone(),
+            removals: 0,
+        };
+        g.set_run(&sorted_spo);
+        g
+    }
+
+    /// Exact size of a prefix range: run slice length, minus tombstones,
+    /// plus delta entries, each found by binary search / range count.
+    fn range_count(&self, order: Order, prefix: Prefix) -> usize {
+        let (cols, delta, dead) = self.order_sets(order);
+        let (range, bounds) = prefix.locate(cols);
+        range.len() + delta.range(bounds.0..=bounds.1).count()
+            - dead.range(bounds.0..=bounds.1).count()
+    }
+
+    fn order_sets(&self, order: Order) -> (&Cols, &BTreeSet<IdTriple>, &BTreeSet<IdTriple>) {
+        match order {
+            Order::Spo => (&self.run.spo, &self.delta.spo, &self.dead.spo),
+            Order::Pos => (&self.run.pos, &self.delta.pos, &self.dead.pos),
+            Order::Osp => (&self.run.osp, &self.delta.osp, &self.dead.osp),
+        }
+    }
+
+    /// Merged scan over one order: run slice ∪ delta range − tombstones,
+    /// emitted in that order's sorted tuple order.
+    fn scan<F: FnMut(IdTriple)>(&self, order: Order, prefix: Prefix, mut f: F) {
+        let (cols, delta, dead) = self.order_sets(order);
+        let (range, bounds) = prefix.locate(cols);
+        if delta.range(bounds.0..=bounds.1).next().is_none()
+            && dead.range(bounds.0..=bounds.1).next().is_none()
+        {
+            // No overlay entries touch this prefix (the common case on a
+            // compacted graph): walk the columns directly, skipping the
+            // merge machinery and its per-item peeks.
+            for ((&a, &b), &c) in cols.a[range.clone()]
+                .iter()
+                .zip(&cols.b[range.clone()])
+                .zip(&cols.c[range])
+            {
+                f((a, b, c));
+            }
+            return;
+        }
+        for t in ScanIter::new(cols, range, delta, dead, bounds) {
+            f(t);
+        }
+    }
+}
+
+/// Which column order a scan runs over.
+#[derive(Clone, Copy)]
+enum Order {
+    Spo,
+    Pos,
+    Osp,
+}
+
+/// A prefix constraint in an order's own tuple space.
+#[derive(Clone, Copy)]
+enum Prefix {
+    All,
+    One(Id),
+    Two(Id, Id),
+}
+
+impl Prefix {
+    /// The run index range and the inclusive tuple bounds for delta /
+    /// tombstone range scans.
+    fn locate(self, cols: &Cols) -> (Range<usize>, (IdTriple, IdTriple)) {
+        match self {
+            Prefix::All => (0..cols.len(), ((0, 0, 0), (Id::MAX, Id::MAX, Id::MAX))),
+            Prefix::One(a) => (cols.range1(a), ((a, 0, 0), (a, Id::MAX, Id::MAX))),
+            Prefix::Two(a, b) => (cols.range2(a, b), ((a, b, 0), (a, b, Id::MAX))),
+        }
+    }
+}
+
+/// Sorted-merge iterator over a run slice and the novelty delta, skipping
+/// tombstoned run entries. Tombstones are a subset of the run and
+/// disjoint from the delta, so a three-pointer walk suffices.
+struct ScanIter<'a> {
+    cols: &'a Cols,
+    idx: usize,
+    end: usize,
+    delta: std::iter::Peekable<std::collections::btree_set::Range<'a, IdTriple>>,
+    dead: std::iter::Peekable<std::collections::btree_set::Range<'a, IdTriple>>,
+}
+
+impl<'a> ScanIter<'a> {
+    fn new(
+        cols: &'a Cols,
+        range: Range<usize>,
+        delta: &'a BTreeSet<IdTriple>,
+        dead: &'a BTreeSet<IdTriple>,
+        bounds: (IdTriple, IdTriple),
+    ) -> ScanIter<'a> {
+        ScanIter {
+            cols,
+            idx: range.start,
+            end: range.end,
+            delta: delta.range(bounds.0..=bounds.1).peekable(),
+            dead: dead.range(bounds.0..=bounds.1).peekable(),
+        }
+    }
+}
+
+impl Iterator for ScanIter<'_> {
+    type Item = IdTriple;
+
+    fn next(&mut self) -> Option<IdTriple> {
+        loop {
+            if self.idx >= self.end {
+                return self.delta.next().copied();
+            }
+            let base = self.cols.get(self.idx);
+            // Tombstoned run entries are skipped; the tombstone iterator
+            // advances in lockstep (both sorted, dead ⊆ run).
+            if let Some(&&d) = self.dead.peek() {
+                if d == base {
+                    self.dead.next();
+                    self.idx += 1;
+                    continue;
+                }
+            }
+            match self.delta.peek() {
+                Some(&&n) if n < base => {
+                    self.delta.next();
+                    return Some(n);
+                }
+                _ => {
+                    self.idx += 1;
+                    return Some(base);
+                }
+            }
+        }
+    }
+}
+
+/// Merge `(run − dead) ∪ delta ∪ extra` into one sorted vector. All four
+/// inputs are sorted; `dead ⊆ run`; `delta` and `extra` are disjoint from
+/// the run and from each other.
+fn merge_live(
+    run: &Cols,
+    dead: &BTreeSet<IdTriple>,
+    delta: &BTreeSet<IdTriple>,
+    extra: &[IdTriple],
+) -> Vec<IdTriple> {
+    let mut out: Vec<IdTriple> =
+        Vec::with_capacity(run.len() + delta.len() + extra.len() - dead.len());
+    let mut dead_it = dead.iter().peekable();
+    let mut delta_it = delta.iter().peekable();
+    let mut extra_it = extra.iter().peekable();
+    // Walk the run; before each run entry emit any overlay entries smaller
+    // than it; skip tombstoned run entries. A final drain empties the
+    // overlays past the end of the run.
+    for i in 0..run.len() {
+        let base = run.get(i);
+        loop {
+            let next_from_delta = match (delta_it.peek(), extra_it.peek()) {
+                (Some(&&d), Some(&&e)) => {
+                    if d.min(e) >= base {
+                        break;
+                    }
+                    d <= e
+                }
+                (Some(&&d), None) => {
+                    if d >= base {
+                        break;
+                    }
+                    true
+                }
+                (None, Some(&&e)) => {
+                    if e >= base {
+                        break;
+                    }
+                    false
+                }
+                (None, None) => break,
+            };
+            let v = if next_from_delta {
+                *delta_it.next().unwrap()
+            } else {
+                *extra_it.next().unwrap()
+            };
+            out.push(v);
+        }
+        if let Some(&&dd) = dead_it.peek() {
+            if dd == base {
+                dead_it.next();
+                continue;
+            }
+        }
+        out.push(base);
+    }
+    loop {
+        let next_from_delta = match (delta_it.peek(), extra_it.peek()) {
+            (Some(&&d), Some(&&e)) => d <= e,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let v = if next_from_delta {
+            *delta_it.next().unwrap()
+        } else {
+            *extra_it.next().unwrap()
+        };
+        out.push(v);
+    }
+    out
 }
 
 /// Equality is triple-set equality (interner ids and index mode are
@@ -777,19 +1395,6 @@ impl Extend<Triple> for Graph {
     fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
         self.extend_triples(iter);
     }
-}
-
-/// Range over entries whose first component equals `a`.
-fn range1(set: &BTreeSet<(Id, Id, Id)>, a: Id) -> impl Iterator<Item = &(Id, Id, Id)> {
-    set.range((
-        Bound::Included((a, 0, 0)),
-        Bound::Included((a, Id::MAX, Id::MAX)),
-    ))
-}
-
-/// Range over entries whose first two components equal `(a, b)`.
-fn range2(set: &BTreeSet<(Id, Id, Id)>, a: Id, b: Id) -> impl Iterator<Item = &(Id, Id, Id)> {
-    set.range((Bound::Included((a, b, 0)), Bound::Included((a, b, Id::MAX))))
 }
 
 #[cfg(test)]
@@ -831,6 +1436,105 @@ mod tests {
         assert_eq!(g.match_pattern(Some(&a), None, Some(&x)).len(), 2);
         assert_eq!(g.match_pattern(None, Some(&p), Some(&x)).len(), 2);
         assert_eq!(g.match_pattern(Some(&a), Some(&p), Some(&x)).len(), 1);
+    }
+
+    #[test]
+    fn patterns_survive_compaction_and_novelty_mix() {
+        // Same answers whether triples live in the run, the delta, or
+        // both (compact between inserts to spread them out).
+        let mut g = Graph::new();
+        g.insert(t("urn:a", "urn:p", "urn:x"));
+        g.insert(t("urn:a", "urn:p", "urn:y"));
+        g.compact();
+        g.insert(t("urn:a", "urn:q", "urn:x"));
+        g.insert(t("urn:b", "urn:p", "urn:x"));
+        assert_eq!(g.run_len(), 2);
+        assert_eq!(g.novelty_len(), 2);
+        let reference = sample();
+        for (s, p, o) in [
+            (None, None, None),
+            (Some(Term::iri("urn:a")), None, None),
+            (None, Some(Term::iri("urn:p")), None),
+            (None, None, Some(Term::iri("urn:x"))),
+            (Some(Term::iri("urn:a")), Some(Term::iri("urn:p")), None),
+        ] {
+            let mut got = g.match_pattern(s.as_ref(), p.as_ref(), o.as_ref());
+            let mut want = reference.match_pattern(s.as_ref(), p.as_ref(), o.as_ref());
+            got.sort();
+            want.sort();
+            assert_eq!(got, want);
+        }
+        g.compact();
+        assert_eq!(g.novelty_len(), 0);
+        assert_eq!(g, reference);
+    }
+
+    #[test]
+    fn scans_emit_in_index_order() {
+        // The reasoner's duplicate detection relies on sorted emission
+        // even when results come from both the run and the delta.
+        let mut g = Graph::new();
+        g.insert(t("urn:b", "urn:p", "urn:x"));
+        g.insert(t("urn:d", "urn:p", "urn:x"));
+        g.compact();
+        g.insert(t("urn:a", "urn:p", "urn:x"));
+        g.insert(t("urn:c", "urn:p", "urn:x"));
+        let p = g.term_id(&Term::iri("urn:p")).unwrap();
+        let mut subjects = Vec::new();
+        g.for_each_match_ids(None, Some(p), None, |s, _, _| subjects.push(s));
+        let mut sorted = subjects.clone();
+        sorted.sort_unstable();
+        assert_eq!(subjects, sorted, "POS scan must emit in index order");
+        let mut all = Vec::new();
+        g.for_each_match_ids(None, None, None, |s, p2, o| all.push((s, p2, o)));
+        let mut all_sorted = all.clone();
+        all_sorted.sort_unstable();
+        assert_eq!(all, all_sorted, "SPO scan must emit in index order");
+    }
+
+    #[test]
+    fn tombstone_then_reinsert_resurrects() {
+        let mut g = sample();
+        g.compact();
+        let tr = t("urn:a", "urn:p", "urn:x");
+        assert!(g.remove(&tr));
+        assert!(!g.contains(&tr));
+        assert_eq!(g.len(), 3);
+        assert!(g.insert(tr.clone()));
+        assert!(g.contains(&tr));
+        assert_eq!(g.len(), 4);
+        assert_eq!(g, sample());
+    }
+
+    #[test]
+    fn pred_stats_counts() {
+        let mut g = sample();
+        g.compact();
+        let p = g.term_id(&Term::iri("urn:p")).unwrap();
+        let st = g.pred_stats(p);
+        assert_eq!(st.triples, 3);
+        assert_eq!(st.distinct_subjects, 2); // urn:a, urn:b
+        assert_eq!(st.distinct_objects, 2); // urn:x, urn:y
+                                            // Novelty folds into the triple count immediately.
+        g.insert(t("urn:c", "urn:p", "urn:z"));
+        assert_eq!(g.pred_stats(p).triples, 4);
+    }
+
+    #[test]
+    fn pred_slices_zero_copy_when_compacted() {
+        let mut g = sample();
+        g.compact();
+        let p = g.term_id(&Term::iri("urn:p")).unwrap();
+        let (objects, subjects) = g.pred_slices(p).expect("compacted: slices available");
+        assert_eq!(objects.len(), 3);
+        assert_eq!(subjects.len(), 3);
+        assert!(objects.windows(2).all(|w| w[0] <= w[1]));
+        // A delta insert under this predicate disables the fast path...
+        g.insert(t("urn:c", "urn:p", "urn:z"));
+        assert!(g.pred_slices(p).is_none());
+        // ...until compaction folds it in.
+        g.compact();
+        assert_eq!(g.pred_slices(p).unwrap().0.len(), 4);
     }
 
     #[test]
@@ -881,6 +1585,24 @@ mod tests {
             g.match_pattern(None, Some(&Term::iri("urn:p")), None).len(),
             2
         );
+    }
+
+    #[test]
+    fn remove_from_run_updates_all_indexes() {
+        let mut g = sample();
+        g.compact();
+        assert!(g.remove(&t("urn:a", "urn:p", "urn:x")));
+        assert!(!g.remove(&t("urn:a", "urn:p", "urn:x")));
+        assert_eq!(g.len(), 3);
+        assert_eq!(
+            g.match_pattern(None, None, Some(&Term::iri("urn:x"))).len(),
+            2
+        );
+        assert_eq!(
+            g.match_pattern(None, Some(&Term::iri("urn:p")), None).len(),
+            2
+        );
+        assert_eq!(g.estimate(None, Some(&Term::iri("urn:p")), None), 2);
     }
 
     #[test]
@@ -1029,6 +1751,24 @@ mod tests {
     }
 
     #[test]
+    fn delta_snapshot_survives_compaction() {
+        let mut g = Graph::new();
+        g.insert(t("urn:a", "urn:p", "urn:x"));
+        let mark = g.generation();
+        g.insert(t("urn:b", "urn:p", "urn:y"));
+        g.compact();
+        g.insert(t("urn:c", "urn:p", "urn:z"));
+        assert_eq!(
+            g.delta_since(mark),
+            vec![t("urn:b", "urn:p", "urn:y"), t("urn:c", "urn:p", "urn:z")],
+            "generation markers span compactions"
+        );
+        g.remove(&t("urn:b", "urn:p", "urn:y"));
+        g.compact();
+        assert_eq!(g.delta_since(mark), vec![t("urn:c", "urn:p", "urn:z")]);
+    }
+
+    #[test]
     fn extend_triples_bulk_matches_insert() {
         let batch = vec![
             t("urn:a", "urn:p", "urn:x"),
@@ -1076,6 +1816,31 @@ mod tests {
         let mut lean = Graph::with_index_mode(IndexMode::SpoOnly);
         lean.extend_from(&g);
         assert_eq!(lean.estimate(None, Some(&p), None), 3);
+    }
+
+    #[test]
+    fn estimate_exact_across_run_delta_and_tombstones() {
+        let mut g = sample();
+        g.compact();
+        g.insert(t("urn:a", "urn:p", "urn:z"));
+        g.remove(&t("urn:a", "urn:p", "urn:x"));
+        let a = Term::iri("urn:a");
+        let p = Term::iri("urn:p");
+        let x = Term::iri("urn:x");
+        let z = Term::iri("urn:z");
+        for (s, pp, o) in [
+            (None, None, None),
+            (Some(&a), None, None),
+            (None, Some(&p), None),
+            (None, None, Some(&x)),
+            (None, None, Some(&z)),
+            (Some(&a), Some(&p), None),
+            (Some(&a), None, Some(&x)),
+            (None, Some(&p), Some(&x)),
+            (Some(&a), Some(&p), Some(&x)),
+        ] {
+            assert_eq!(g.estimate(s, pp, o), g.count_pattern(s, pp, o));
+        }
     }
 
     #[test]

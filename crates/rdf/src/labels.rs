@@ -228,6 +228,81 @@ impl TripleLabels {
     pub fn iter(&self) -> impl Iterator<Item = (&(TermId, TermId, TermId), LabelId)> {
         self.map.iter().map(|(k, v)| (k, *v))
     }
+
+    /// Seal this table into a [`LabelColumn`] aligned with `graph`'s
+    /// primary scan order — the columnar companion the filtered scan zips
+    /// against without any per-triple hash lookup.
+    #[must_use]
+    pub fn to_column(&self, graph: &crate::graph::Graph) -> LabelColumn {
+        let mut col = Vec::with_capacity(graph.len());
+        graph.for_each_match_ids(None, None, None, |s, p, o| {
+            col.push(self.label_of(s, p, o).unwrap_or(NO_LABEL));
+        });
+        LabelColumn {
+            generation: graph.generation(),
+            classes: self.classes.clone(),
+            col,
+        }
+    }
+}
+
+/// Sentinel class id marking an unlabeled (hidden-from-all) triple in a
+/// [`LabelColumn`].
+pub const NO_LABEL: LabelId = LabelId::MAX;
+
+/// Label-class ids stored as a column parallel to a graph's primary scan
+/// order. A filtered scan resolves the authorization bitset against the
+/// (few) label classes once, then reads one `u32` per scanned triple —
+/// the Accumulo-style cell visibility check without per-triple hashing.
+///
+/// The column is positional: it is only valid against the exact graph
+/// state it was sealed from, checked via [`LabelColumn::matches`]
+/// (generation + length). Mutating the graph invalidates it.
+#[derive(Debug, Clone, Default)]
+pub struct LabelColumn {
+    generation: u64,
+    classes: Vec<VisBitset>,
+    col: Vec<LabelId>,
+}
+
+impl LabelColumn {
+    /// Whether this column is still aligned with `graph`.
+    #[must_use]
+    pub fn matches(&self, graph: &crate::graph::Graph) -> bool {
+        self.generation == graph.generation() && self.col.len() == graph.len()
+    }
+
+    /// Number of labeled positions (non-sentinel entries).
+    #[must_use]
+    pub fn labeled(&self) -> usize {
+        self.col.iter().filter(|&&id| id != NO_LABEL).count()
+    }
+
+    /// The id-triples visible under `auths`, in scan order: the class
+    /// table intersects `auths` once per *class*, the scan then does one
+    /// column load and one bool test per triple.
+    #[must_use]
+    pub fn visible_ids(
+        &self,
+        graph: &crate::graph::Graph,
+        auths: &VisBitset,
+    ) -> Vec<(TermId, TermId, TermId)> {
+        debug_assert!(self.matches(graph), "stale label column");
+        let vis: Vec<bool> = self.classes.iter().map(|c| c.intersects(auths)).collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        graph.for_each_match_ids(None, None, None, |s, p, o| {
+            if self
+                .col
+                .get(i)
+                .is_some_and(|&id| id != NO_LABEL && vis.get(id as usize).copied() == Some(true))
+            {
+                out.push((s, p, o));
+            }
+            i += 1;
+        });
+        out
+    }
 }
 
 #[cfg(test)]

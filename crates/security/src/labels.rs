@@ -37,7 +37,7 @@ use grdf_owl::hierarchy::Hierarchy;
 use grdf_owl::reasoner::Reasoner;
 use grdf_rdf::diagnostic::{Diagnostic, LintCode};
 use grdf_rdf::graph::{Graph, TermId};
-use grdf_rdf::labels::{TripleLabels, VisBitset};
+use grdf_rdf::labels::{LabelColumn, TripleLabels, VisBitset};
 use grdf_rdf::term::{Term, Triple};
 use grdf_rdf::vocab::{grdf, owl, rdf, rdfs};
 
@@ -275,6 +275,9 @@ pub struct LabelIr {
     pub effective: Vec<Vec<usize>>,
     /// The per-triple visibility table.
     pub labels: TripleLabels,
+    /// The table sealed as a scan-order parallel column over the compile
+    /// graph — the filtered scan's zero-hash fast path.
+    pub column: LabelColumn,
     /// Subjects that pass the instance test (typed with at least one
     /// non-OWL/RDFS class) and are not blank — the subjects secure views
     /// evaluate policies over.
@@ -451,11 +454,13 @@ impl LabelIr {
             policies: compiled,
             effective,
             labels: TripleLabels::new(0, data.generation()),
+            column: LabelColumn::default(),
             instance_subjects,
             cones,
             type_id,
         };
         ir.labels = ir.compile_labels(data, None);
+        ir.column = ir.labels.to_column(data);
         ir
     }
 
@@ -610,6 +615,22 @@ impl LabelIr {
     /// set by [`LabelIr::verify_label_equivalence`].
     #[must_use]
     pub fn filtered_view(&self, data: &Graph, auths: &VisBitset) -> Graph {
+        // Columnar fast path: when `data` is still the graph the labels
+        // were compiled against, the parallel column yields the visible
+        // id-triples with one class intersection per label class and one
+        // column load per scanned triple.
+        if self.column.matches(data) {
+            let mut view = Graph::new();
+            let visible = self.column.visible_ids(data, auths);
+            view.extend_triples(visible.into_iter().map(|(s, p, o)| {
+                Triple::new(
+                    data.term_of(s).clone(),
+                    data.term_of(p).clone(),
+                    data.term_of(o).clone(),
+                )
+            }));
+            return view;
+        }
         let mut view = Graph::new();
         for (&(s, p, o), id) in self.labels.iter() {
             if self.labels.class(id).is_some_and(|b| b.intersects(auths)) {

@@ -20,6 +20,10 @@ pub struct ChemicalConfig {
     /// Fraction of sites duplicated under a second IRI (same `hasSiteId`) —
     /// cross-source records that `owl:sameAs` reasoning should identify.
     pub duplicate_fraction: f64,
+    /// Inventory readings (`hasReading` literals) per ChemInfo record —
+    /// the density knob for large-scale benchmarks. Zero (the default)
+    /// keeps the original List-7 shape.
+    pub readings_per_chemical: usize,
     /// RNG seed.
     pub seed: u64,
     /// Southwest corner of the area sites are placed in.
@@ -34,6 +38,7 @@ impl Default for ChemicalConfig {
             sites: 50,
             chemicals_per_site: 2,
             duplicate_fraction: 0.1,
+            readings_per_chemical: 0,
             seed: 42,
             origin: Coord::xy(2_500_000.0, 7_050_000.0),
             extent: 100_000.0,
@@ -97,6 +102,15 @@ pub fn generate_chemical_sites(config: &ChemicalConfig) -> FeatureCollection {
             let mut info = Feature::new(&info_iri, "ChemInfo");
             info.set_property("hasChemName", chem_name);
             info.set_property("hasChemCode", chem_code);
+            for r in 0..config.readings_per_chemical {
+                // Monthly inventory level in gallons: deterministic noise
+                // around a per-chemical base quantity.
+                let qty = 500.0 + rng.gen::<f64>() * 9_500.0;
+                info.set_property(
+                    "hasReading",
+                    format!("{}:{qty:.1}", 202_401 + r as u64).as_str(),
+                );
+            }
             fc.push(info);
         }
         fc.push(site);
@@ -148,6 +162,7 @@ app:hasChemCode a owl:DatatypeProperty .
 app:hasChemName a owl:DatatypeProperty .
 app:hasContactPhone a owl:DatatypeProperty .
 app:hasObjectID a owl:DatatypeProperty .
+app:hasReading a owl:DatatypeProperty .
 app:hasSiteName a owl:DatatypeProperty .
 app:hasStreamName a owl:DatatypeProperty .
 app:sourceState a owl:DatatypeProperty .

@@ -40,6 +40,17 @@ pub mod roles {
 /// `sites` chemical sites (with linked ChemInfo records and ~10%
 /// duplicates), plus the alignment axioms. Deterministic per `seed`.
 pub fn incident_graph(streams: usize, sites: usize, seed: u64) -> Graph {
+    incident_graph_scaled(streams, sites, 1, seed)
+}
+
+/// [`incident_graph`] with a density knob: `detail` multiplies the
+/// chemicals stored per site and attaches `3 * detail` inventory readings
+/// to each ChemInfo record, so triple counts scale past what feature
+/// counts alone reach (1000×1000 at `detail` 7 ≈ 400 K triples — the E6
+/// large-scale benchmark point). `detail == 1` keeps the per-site shape
+/// close to the original §7.1 scenario.
+pub fn incident_graph_scaled(streams: usize, sites: usize, detail: usize, seed: u64) -> Graph {
+    let detail = detail.max(1);
     let hydro = generate_hydrology(&HydrologyConfig {
         streams,
         seed,
@@ -48,6 +59,8 @@ pub fn incident_graph(streams: usize, sites: usize, seed: u64) -> Graph {
     let chem = generate_chemical_sites(&ChemicalConfig {
         sites,
         seed: seed + 1,
+        chemicals_per_site: 2 * detail,
+        readings_per_chemical: if detail == 1 { 0 } else { 3 * detail },
         ..Default::default()
     });
     let mut g = grdf_rdf::turtle::parse(alignment_axioms()).expect("axioms parse");
@@ -59,8 +72,14 @@ pub fn incident_graph(streams: usize, sites: usize, seed: u64) -> Graph {
 
 /// An incident store (GRDF ontology + incident data), not yet materialized.
 pub fn incident_store(streams: usize, sites: usize, seed: u64) -> GrdfStore {
+    incident_store_scaled(streams, sites, 1, seed)
+}
+
+/// [`incident_store`] over [`incident_graph_scaled`]: the detail knob
+/// lets benchmarks reach the 1000×1000 / ~400 K-triple E6 point.
+pub fn incident_store_scaled(streams: usize, sites: usize, detail: usize, seed: u64) -> GrdfStore {
     let mut store = GrdfStore::new();
-    store.merge_graph(&incident_graph(streams, sites, seed));
+    store.merge_graph(&incident_graph_scaled(streams, sites, detail, seed));
     store
 }
 

@@ -33,7 +33,8 @@ pub mod sensors;
 pub use chemical::{generate_chemical_sites, ChemicalConfig};
 pub use hydrology::{generate_hydrology, HydrologyConfig};
 pub use incident::{
-    incident_graph, incident_store, scenario_policies, sensitive_properties, xacml_policies,
+    incident_graph, incident_graph_scaled, incident_store, incident_store_scaled,
+    scenario_policies, sensitive_properties, xacml_policies,
 };
 pub use requests::{generate_requests, RequestConfig};
 pub use sensors::{generate_sensors, SensorConfig, SensorData};
