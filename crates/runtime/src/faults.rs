@@ -19,13 +19,94 @@ pub fn splitmix64(mut z: u64) -> u64 {
 }
 
 /// FNV-1a over a stage name; folds a string stage id into the seed lane.
-fn stage_hash(stage: &str) -> u64 {
+pub(crate) fn stage_hash(stage: &str) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in stage.as_bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+/// Hierarchical seed derivation: one master `u64` fans out into a named
+/// tree of independent seed lanes, so every randomized surface in the
+/// workspace — engine fault plans, storage fault injection, quota jitter,
+/// breaker half-open jitter, chaos clients, the simulation's own schedule
+/// — derives from the *same* master seed and a whole-system run replays
+/// bit-identically from a single number.
+///
+/// Derivation is pure: `child(label)` mixes the parent seed with the
+/// FNV-1a hash of `label` through SplitMix64, so sibling lanes are
+/// statistically independent and reordering unrelated `child` calls
+/// cannot perturb each other. A `SeedTree` is `Copy` — hand lanes out
+/// freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedTree {
+    master: u64,
+    seed: u64,
+}
+
+impl SeedTree {
+    /// The root of a derivation tree for `master`.
+    pub fn new(master: u64) -> SeedTree {
+        SeedTree {
+            master,
+            seed: splitmix64(master ^ 0x5EED_12EE_C0FF_EE01),
+        }
+    }
+
+    /// The master seed this tree (and every lane under it) derives from.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// This lane's derived seed — what a leaf consumer plugs into its
+    /// own RNG.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The named child lane.
+    #[must_use]
+    pub fn child(&self, label: &str) -> SeedTree {
+        SeedTree {
+            master: self.master,
+            seed: splitmix64(self.seed ^ stage_hash(label)),
+        }
+    }
+
+    /// The `n`-th child of the named lane (per-step / per-instance fans).
+    #[must_use]
+    pub fn child_n(&self, label: &str, n: u64) -> SeedTree {
+        SeedTree {
+            master: self.master,
+            seed: splitmix64(self.seed ^ stage_hash(label) ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// A [`SeededDecider`] over this lane's seed.
+    pub fn decider(&self) -> SeededDecider {
+        SeededDecider::new(self.seed)
+    }
+
+    /// A tree rooted at the master seed named in env var `var` (decimal,
+    /// or hex with an `0x` prefix), falling back to `default` when the
+    /// variable is unset or unparseable. This is how the chaos/property
+    /// suites accept a `--master-seed`-style override:
+    /// `GRDF_MASTER_SEED=12345 cargo test`.
+    pub fn from_env(var: &str, default: u64) -> SeedTree {
+        let master = std::env::var(var)
+            .ok()
+            .and_then(|v| {
+                let v = v.trim();
+                match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => v.parse().ok(),
+                }
+            })
+            .unwrap_or(default);
+        SeedTree::new(master)
+    }
 }
 
 /// A seeded decider: stateless draws plus an optional per-instance event
@@ -115,6 +196,52 @@ mod tests {
         for n in 0..50 {
             assert!(d.pick("s", n, 7) < 7);
         }
+    }
+
+    #[test]
+    fn seed_tree_is_pure_and_lane_separated() {
+        let a = SeedTree::new(42);
+        let b = SeedTree::new(42);
+        assert_eq!(a, b);
+        assert_eq!(a.child("engine"), b.child("engine"));
+        assert_ne!(a.child("engine"), a.child("storage"));
+        assert_ne!(a.child("engine").seed(), a.seed());
+        assert_ne!(a.child_n("step", 0), a.child_n("step", 1));
+        assert_eq!(a.child("engine").master(), 42);
+        assert_ne!(SeedTree::new(1).child("x"), SeedTree::new(2).child("x"));
+        // Nested lanes are order-stable: deriving "a" then "b" equals
+        // deriving them independently.
+        assert_eq!(a.child("a").child("b"), a.child("a").child("b"));
+        assert_ne!(a.child("a").child("b"), a.child("b").child("a"));
+    }
+
+    #[test]
+    fn seed_tree_decider_matches_raw_seed() {
+        let lane = SeedTree::new(7).child("wal");
+        assert_eq!(
+            lane.decider().draw("s", 3),
+            SeededDecider::new(lane.seed()).draw("s", 3)
+        );
+    }
+
+    #[test]
+    fn seed_tree_env_parses_decimal_and_hex() {
+        // Unset → default.
+        std::env::remove_var("GRDF_SEEDTREE_TEST_VAR");
+        assert_eq!(SeedTree::from_env("GRDF_SEEDTREE_TEST_VAR", 9).master(), 9);
+        std::env::set_var("GRDF_SEEDTREE_TEST_VAR", "123");
+        assert_eq!(
+            SeedTree::from_env("GRDF_SEEDTREE_TEST_VAR", 9).master(),
+            123
+        );
+        std::env::set_var("GRDF_SEEDTREE_TEST_VAR", "0xff");
+        assert_eq!(
+            SeedTree::from_env("GRDF_SEEDTREE_TEST_VAR", 9).master(),
+            255
+        );
+        std::env::set_var("GRDF_SEEDTREE_TEST_VAR", "nope");
+        assert_eq!(SeedTree::from_env("GRDF_SEEDTREE_TEST_VAR", 9).master(), 9);
+        std::env::remove_var("GRDF_SEEDTREE_TEST_VAR");
     }
 
     #[test]

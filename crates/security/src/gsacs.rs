@@ -604,12 +604,15 @@ impl GSacs {
         cache_capacity: usize,
         config: ResilienceConfig,
     ) -> GSacs {
-        let engine = Arc::new(ResilientEngine::new(
-            reasoner,
-            config.clock.clone(),
-            config.breaker,
-            config.retry,
-        ));
+        let engine =
+            ResilientEngine::new(reasoner, config.clock.clone(), config.breaker, config.retry);
+        // With a seed lane configured, breaker half-open jitter derives
+        // from the master seed instead of the process-global counter, so
+        // a simulated run replays bit-identically.
+        let engine = Arc::new(match &config.seeds {
+            Some(tree) => engine.with_jitter_seed(tree.child("breaker.jitter").seed()),
+            None => engine,
+        });
         let gate = AdmissionGate::new(config.max_in_flight);
         let audit = Mutex::new(AuditLog::new(config.audit_capacity));
         let obs = config.obs.clone();
@@ -877,6 +880,13 @@ impl GSacs {
         &self.data
     }
 
+    /// The un-inferred base graph the service serves from — the durable
+    /// contract: a checkpoint plus WAL replay must reconstruct exactly
+    /// this (the simulation's durability oracle compares against it).
+    pub fn base_graph(&self) -> &Graph {
+        &self.base
+    }
+
     /// Whether the service is degraded (reasoner unavailable).
     pub fn is_degraded(&self) -> bool {
         self.degraded.load(Ordering::Acquire)
@@ -962,6 +972,10 @@ impl GSacs {
                     .clock
                     .sleep(SINK_BACKOFF_BASE * 2u32.saturating_pow(attempt));
                 grdf_obs::incr("gsacs.audit.sink_retries");
+                // Windowed tee: lets the sim's bounded-retry-storm oracle
+                // (and burn-rate alerting) see retry bursts in-window
+                // instead of only as a lifetime total.
+                grdf_obs::win_add("gsacs.audit.sink_retries", 1);
                 ok = store.append_audit_line(&line).is_ok();
                 attempt += 1;
             }

@@ -35,7 +35,7 @@ use parking_lot::Mutex;
 
 use grdf_query::eval::QueryError;
 use grdf_rdf::graph::Graph;
-use grdf_runtime::{Budget, Clock, Deadline};
+use grdf_runtime::{splitmix64, Budget, Clock, Deadline, SeedTree, SeededDecider};
 
 use crate::gsacs::ReasoningEngine;
 
@@ -380,6 +380,14 @@ impl ResilientEngine {
         for attempt in 0..attempts.max(1) {
             if attempt > 0 {
                 let backoff = self.retry.backoff_base * 2u32.saturating_pow(attempt - 1);
+                // Observable retry storms: lifetime counters plus the
+                // windowed series the sim's bounded-backoff oracle (and
+                // burn-rate alerting) read.
+                grdf_obs::incr("resilience.retries");
+                grdf_obs::win_add(
+                    "resilience.backoff_ms",
+                    u64::try_from(backoff.as_millis()).unwrap_or(u64::MAX),
+                );
                 self.clock.sleep(backoff);
                 if deadline.expired() {
                     last = EngineError::DeadlineExceeded;
@@ -714,19 +722,13 @@ impl FaultInjector for NoFaults {
     }
 }
 
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
-
 /// Deterministic, seeded fault plan. The decision for call `n` at a stage
-/// is a pure function of `(seed, stage, n)`, so a failing property-test
-/// case replays identically from its seed.
+/// is a pure function of `(seed, stage, n)` via the workspace-shared
+/// [`SeededDecider`] — the same primitive behind storage fault injection
+/// and the socket chaos client, so one [`SeedTree`] lane drives them all.
 #[derive(Debug)]
 pub struct FaultPlan {
-    seed: u64,
+    decider: SeededDecider,
     /// Probability a call errors.
     error_rate: f64,
     /// Probability a call stalls (checked after the error draw).
@@ -744,7 +746,7 @@ impl FaultPlan {
     /// A plan injecting errors and stalls at the given rates.
     pub fn new(seed: u64, error_rate: f64, latency_rate: f64, latency: Duration) -> FaultPlan {
         FaultPlan {
-            seed,
+            decider: SeededDecider::new(seed),
             error_rate: error_rate.clamp(0.0, 1.0),
             latency_rate: latency_rate.clamp(0.0, 1.0),
             latency,
@@ -754,12 +756,37 @@ impl FaultPlan {
         }
     }
 
+    /// A plan drawing from a [`SeedTree`] lane (hierarchical master-seed
+    /// derivation — see `grdf_runtime::SeedTree`).
+    pub fn from_tree(
+        tree: &SeedTree,
+        error_rate: f64,
+        latency_rate: f64,
+        latency: Duration,
+    ) -> FaultPlan {
+        FaultPlan::new(tree.seed(), error_rate, latency_rate, latency)
+    }
+
+    /// The seed this plan replays from.
+    pub fn seed(&self) -> u64 {
+        self.decider.seed()
+    }
+
     fn stage_index(stage: Stage) -> usize {
         match stage {
             Stage::Admission => 0,
             Stage::View => 1,
             Stage::Query => 2,
             Stage::Reasoning => 3,
+        }
+    }
+
+    fn stage_lane(stage: Stage) -> &'static str {
+        match stage {
+            Stage::Admission => "fault.admission",
+            Stage::View => "fault.view",
+            Stage::Query => "fault.query",
+            Stage::Reasoning => "fault.reasoning",
         }
     }
 
@@ -773,7 +800,7 @@ impl FaultPlan {
             seq[idx] += 1;
             n
         };
-        let word = splitmix64(self.seed ^ ((idx as u64) << 56) ^ n);
+        let word = self.decider.draw(Self::stage_lane(stage), n);
         let draw = (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         if draw < self.error_rate {
             self.injected_errors.fetch_add(1, Ordering::Relaxed);
@@ -954,6 +981,12 @@ pub struct ResilienceConfig {
     /// handle's window store on every [`HealthReport`] snapshot (no-ops
     /// when `obs` has no windows configured).
     pub slos: Vec<grdf_obs::Objective>,
+    /// Hierarchical seed lane for every randomized decision this service
+    /// makes (breaker half-open jitter today). `None` (the default) keeps
+    /// the historical behavior — a process-global counter desynchronizes
+    /// co-created instances — while a simulated world pins a lane so the
+    /// whole run replays bit-identically from one master seed.
+    pub seeds: Option<SeedTree>,
 }
 
 impl Default for ResilienceConfig {
@@ -970,6 +1003,7 @@ impl Default for ResilienceConfig {
             lint_gate: LintGate::default(),
             durability: Durability::default(),
             slos: Vec::new(),
+            seeds: None,
         }
     }
 }
@@ -986,6 +1020,7 @@ impl fmt::Debug for ResilienceConfig {
             .field("tracing", &self.obs.tracing_enabled())
             .field("durability", &self.durability)
             .field("slos", &self.slos.len())
+            .field("seeds", &self.seeds)
             .finish()
     }
 }

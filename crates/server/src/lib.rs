@@ -8,6 +8,10 @@
 //!   backpressure hints.
 //! * [`server`] — the bounded worker pool: connection limits, socket
 //!   timeouts, deadline propagation into the engine, graceful drain.
+//! * [`transport`] — the [`Conn`]/[`Listener`] abstraction under the
+//!   codec and worker pool: real `TcpStream`s in production, in-memory
+//!   [`SimConn`]s (partitions, stalls, torn writes) under deterministic
+//!   simulation.
 //! * [`chaos`] — the seeded socket-fault client that *proves* the above:
 //!   every injected fault must end in a clean teardown or a well-formed
 //!   error response.
@@ -32,8 +36,10 @@ pub mod chaos;
 pub mod http;
 pub mod quota;
 pub mod server;
+pub mod transport;
 
 pub use chaos::{build_request, run_case, well_formed_response, ChaosFault, ChaosOutcome};
 pub use http::{Request, Response};
 pub use quota::{QuotaConfig, TenantQuotas};
-pub use server::{GrdfServer, ServerConfig};
+pub use server::{GrdfServer, ServerConfig, ServerCore};
+pub use transport::{sim_conn, Conn, Listener, SimConn, SimLink};

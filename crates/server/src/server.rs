@@ -16,7 +16,7 @@
 //!   completion; workers exit only once the queue is empty.
 
 use std::collections::VecDeque;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
@@ -26,13 +26,14 @@ use std::time::Duration;
 use grdf_obs::{Obs, SloEngine, SloStatus, TenantDim, TraceId};
 use grdf_query::eval::QueryResult;
 use grdf_rdf::ntriples;
-use grdf_runtime::{system_clock, Budget, Clock};
+use grdf_runtime::{system_clock, Budget, Clock, SeedTree};
 use grdf_security::gsacs::{ClientRequest, GSacs, UpdateOp, UpdateOutcome, UpdateRequest};
 use grdf_security::resilience::GsacsError;
 use parking_lot::RwLock;
 
 use crate::http::{escape_json, HttpConn, HttpError, Request, Response};
 use crate::quota::{QuotaConfig, TenantQuotas};
+use crate::transport::{Conn, Listener};
 
 /// Server tuning. The defaults suit tests and small deployments; the CLI
 /// exposes the interesting ones as flags.
@@ -62,6 +63,11 @@ pub struct ServerConfig {
     /// How long a tenant slot must sit idle before its label can be
     /// recycled for a new tenant.
     pub tenant_min_idle: Duration,
+    /// Hierarchical seed lane for the server's randomized hints (tenant
+    /// quota backoff jitter). `None` (the default) derives the jitter
+    /// seed from the bound port as before; a simulated world pins a lane
+    /// so the whole run replays bit-identically from one master seed.
+    pub seeds: Option<SeedTree>,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +84,7 @@ impl Default for ServerConfig {
             clock: system_clock(),
             tenant_cap: 32,
             tenant_min_idle: Duration::from_mins(1),
+            seeds: None,
         }
     }
 }
@@ -125,7 +132,7 @@ struct Shared {
     slo_cache: StdMutex<SloCache>,
     /// Monotone tick choosing which requests a burning SLO sheds.
     slo_shed_tick: AtomicU64,
-    queue: StdMutex<VecDeque<TcpStream>>,
+    queue: StdMutex<VecDeque<Box<dyn Conn>>>,
     queue_signal: Condvar,
     shutdown: AtomicBool,
     /// Connections accepted into the queue (not shed).
@@ -175,10 +182,92 @@ impl Shared {
     }
 }
 
+/// The transport-independent heart of the server: the shared service
+/// state plus the connection-serving loop, with no threads and no
+/// sockets of its own. [`GrdfServer`] wraps it in an accept thread and a
+/// worker pool over real TCP; the deterministic simulation drives the
+/// very same core inline over in-memory [`SimConn`](crate::transport::SimConn)s.
+#[derive(Debug, Clone)]
+pub struct ServerCore {
+    shared: Arc<Shared>,
+}
+
+impl ServerCore {
+    /// Assemble the core around `svc`. The quota jitter seed derives from
+    /// `cfg.seeds` when set, else from `fallback_seed`.
+    fn assemble(svc: GSacs, cfg: ServerConfig, fallback_seed: u64) -> ServerCore {
+        let obs = svc.obs().clone();
+        let slo = SloEngine::new(svc.slos().to_vec());
+        let quota_seed = cfg
+            .seeds
+            .map_or(fallback_seed, |t| t.child("quota.jitter").seed());
+        let quotas = TenantQuotas::new(Arc::clone(&cfg.clock), cfg.quota, quota_seed);
+        let tenants = TenantDim::new(cfg.tenant_cap, cfg.tenant_min_idle);
+        ServerCore {
+            shared: Arc::new(Shared {
+                svc: RwLock::new(svc),
+                obs,
+                cfg,
+                quotas,
+                tenants,
+                slo,
+                slo_cache: StdMutex::new(SloCache {
+                    at: None,
+                    statuses: Vec::new(),
+                    burning: false,
+                }),
+                slo_shed_tick: AtomicU64::new(0),
+                queue: StdMutex::new(VecDeque::new()),
+                queue_signal: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                conns_accepted: AtomicU64::new(0),
+                conns_finished: AtomicU64::new(0),
+                active: AtomicUsize::new(0),
+                requests: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A core with no listener attached (the simulation entry point).
+    pub fn new(svc: GSacs, cfg: ServerConfig) -> ServerCore {
+        ServerCore::assemble(svc, cfg, 0x6EDF_5EED)
+    }
+
+    /// Serve one connection to completion on the calling thread — the
+    /// exact keep-alive/timeout/overload path the worker pool runs, over
+    /// any [`Conn`]. Admission accounting matches the threaded path:
+    /// the connection counts accepted, active while served, finished
+    /// after.
+    pub fn serve(&self, conn: Box<dyn Conn>) {
+        let shared = &self.shared;
+        shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        shared.active.fetch_add(1, Ordering::Relaxed);
+        serve_conn(shared, conn);
+        shared.active.fetch_sub(1, Ordering::Relaxed);
+        shared.conns_finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The wrapped service (simulation oracles read views, audit state,
+    /// and the durable store through this).
+    pub fn service(&self) -> &RwLock<GSacs> {
+        &self.shared.svc
+    }
+
+    /// Requests parsed and routed so far.
+    pub fn requests_total(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// The observability bundle (shared with the wrapped GSacs).
+    pub fn obs(&self) -> &Obs {
+        &self.shared.obs
+    }
+}
+
 /// A running server: an accept thread plus a bounded worker pool.
 #[derive(Debug)]
 pub struct GrdfServer {
-    shared: Arc<Shared>,
+    core: ServerCore,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -204,48 +293,25 @@ impl GrdfServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let obs = svc.obs().clone();
-        let slo = SloEngine::new(svc.slos().to_vec());
-        let quotas = TenantQuotas::new(Arc::clone(&cfg.clock), cfg.quota, addr.port().into());
-        let tenants = TenantDim::new(cfg.tenant_cap, cfg.tenant_min_idle);
         let workers = cfg.workers.max(1);
-        let shared = Arc::new(Shared {
-            svc: RwLock::new(svc),
-            obs,
-            cfg,
-            quotas,
-            tenants,
-            slo,
-            slo_cache: StdMutex::new(SloCache {
-                at: None,
-                statuses: Vec::new(),
-                burning: false,
-            }),
-            slo_shed_tick: AtomicU64::new(0),
-            queue: StdMutex::new(VecDeque::new()),
-            queue_signal: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            conns_accepted: AtomicU64::new(0),
-            conns_finished: AtomicU64::new(0),
-            active: AtomicUsize::new(0),
-            requests: AtomicU64::new(0),
-        });
+        let core = ServerCore::assemble(svc, cfg, addr.port().into());
+        let shared = &core.shared;
         let accept = {
-            let shared = Arc::clone(&shared);
+            let shared = Arc::clone(shared);
             std::thread::Builder::new()
                 .name("grdf-accept".to_string())
                 .spawn(move || accept_loop(&listener, &shared))?
         };
         let workers = (0..workers)
             .map(|i| {
-                let shared = Arc::clone(&shared);
+                let shared = Arc::clone(shared);
                 std::thread::Builder::new()
                     .name(format!("grdf-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
         Ok(GrdfServer {
-            shared,
+            core,
             addr,
             accept: Some(accept),
             workers,
@@ -259,56 +325,63 @@ impl GrdfServer {
 
     /// Requests parsed and routed so far.
     pub fn requests_total(&self) -> u64 {
-        self.shared.requests.load(Ordering::Relaxed)
+        self.core.shared.requests.load(Ordering::Relaxed)
     }
 
     /// Connections accepted into the service queue.
     pub fn conns_accepted(&self) -> u64 {
-        self.shared.conns_accepted.load(Ordering::Relaxed)
+        self.core.shared.conns_accepted.load(Ordering::Relaxed)
     }
 
     /// Connections fully served.
     pub fn conns_finished(&self) -> u64 {
-        self.shared.conns_finished.load(Ordering::Relaxed)
+        self.core.shared.conns_finished.load(Ordering::Relaxed)
     }
 
     /// The service's observability bundle (shared with the wrapped GSacs).
     pub fn obs(&self) -> &Obs {
-        &self.shared.obs
+        &self.core.shared.obs
     }
 
     /// The service's current health, as the `/health` endpoint reports it.
     pub fn health_json(&self) -> String {
-        self.shared.svc.read().health().to_json()
+        self.core.shared.svc.read().health().to_json()
     }
 
     /// Graceful drain: stop accepting, serve everything already accepted,
     /// then join all threads. Returns (connections accepted, connections
     /// finished) — equal when the drain lost nothing.
     pub fn shutdown(mut self) -> (u64, u64) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let shared = &self.core.shared;
+        shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
+            // Wake the accept loop out of its poll park immediately.
+            h.thread().unpark();
             let _ = h.join();
         }
-        self.shared.queue_signal.notify_all();
+        shared.queue_signal.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
         (
-            self.shared.conns_accepted.load(Ordering::Relaxed),
-            self.shared.conns_finished.load(Ordering::Relaxed),
+            shared.conns_accepted.load(Ordering::Relaxed),
+            shared.conns_finished.load(Ordering::Relaxed),
         )
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
+/// Poll interval between accept attempts when the listener is idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+fn accept_loop(listener: &dyn Listener, shared: &Shared) {
     while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => admit_conn(shared, stream),
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        match listener.poll_accept() {
+            Ok(Some(conn)) => admit_conn(shared, conn),
+            // Idle (or transiently erroring) listener: park on the
+            // injected clock — a simulated run fast-forwards instead of
+            // burning wall time, and shutdown unparks us immediately
+            // instead of waiting out the interval.
+            Ok(None) | Err(_) => shared.cfg.clock.park(ACCEPT_POLL),
         }
     }
 }
@@ -316,7 +389,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 /// Queue the connection, or shed it fail-closed with `503 + Retry-After`
 /// when the connection bound is reached. Shedding writes one bounded
 /// response and closes — overload never grows a buffer.
-fn admit_conn(shared: &Shared, stream: TcpStream) {
+fn admit_conn(shared: &Shared, mut conn: Box<dyn Conn>) {
     let queued = shared
         .queue
         .lock()
@@ -326,12 +399,11 @@ fn admit_conn(shared: &Shared, stream: TcpStream) {
     if in_system >= shared.cfg.max_connections {
         shared.counter("server.shed");
         shared.counter("server.shed.conns");
-        let mut stream = stream;
-        let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+        conn.configure(shared.cfg.read_timeout, shared.cfg.write_timeout);
         let resp = Response::error(503, "connection limit reached")
             .header("retry-after", 1)
             .closing();
-        let _ = resp.write_to(&mut stream);
+        let _ = resp.write_to(&mut conn);
         return;
     }
     shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
@@ -339,13 +411,13 @@ fn admit_conn(shared: &Shared, stream: TcpStream) {
         .queue
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .push_back(stream);
+        .push_back(conn);
     shared.queue_signal.notify_one();
 }
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let stream = {
+        let stream: Option<Box<dyn Conn>> = {
             let mut queue = shared
                 .queue
                 .lock()
@@ -376,11 +448,9 @@ fn worker_loop(shared: &Shared) {
 
 /// Serve one connection's keep-alive request loop. Every exit path is a
 /// clean teardown: either a well-formed (error) response was written, or
-/// the socket is dropped without one (idle timeout, peer disconnect).
-fn serve_conn(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
-    let _ = stream.set_nodelay(true);
+/// the stream is dropped without one (idle timeout, peer disconnect).
+fn serve_conn(shared: &Shared, mut stream: Box<dyn Conn>) {
+    stream.configure(shared.cfg.read_timeout, shared.cfg.write_timeout);
     let mut conn = HttpConn::new(stream);
     for served in 0.. {
         match conn.read_request() {

@@ -1,0 +1,93 @@
+//! Greedy counterexample shrinking.
+//!
+//! A failing schedule usually fails because of a small core of fault
+//! events buried in noise. The shrinker suppresses scheduled fault
+//! events one at a time — a suppression is *kept* when the run still
+//! fails without that event — and repeats until a full pass removes
+//! nothing more. What survives is a locally-minimal counterexample:
+//! remove any one remaining event and every oracle holds.
+//!
+//! Because a run is a pure function of `(master_seed, steps, bug,
+//! disabled)`, the shrinker needs no captured state: it just re-runs the
+//! world. The result replays from `{master_seed, step_count}` plus the
+//! suppression set alone.
+
+use std::collections::BTreeSet;
+
+use crate::schedule::Schedule;
+use crate::world::{run_schedule, SimConfig, SimReport};
+
+/// The outcome of a shrink campaign over one failing seed.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// Event indices suppressed from the generated schedule.
+    pub disabled: BTreeSet<usize>,
+    /// Human-readable descriptions of the surviving (essential) events.
+    pub kept: Vec<String>,
+    /// The failing report under the minimal schedule.
+    pub report: SimReport,
+    /// World re-runs the campaign consumed.
+    pub runs: usize,
+}
+
+impl ShrinkResult {
+    /// Render the minimal counterexample for artifacts / PR logs.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "minimal counterexample for seed {} ({} steps, {} runs):\n",
+            self.report.master_seed, self.report.steps, self.runs
+        );
+        for k in &self.kept {
+            out.push_str("  keep ");
+            out.push_str(k);
+            out.push('\n');
+        }
+        for v in &self.report.violations {
+            out.push_str("  violates ");
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Greedily shrink the failing run of `config` to a locally-minimal
+/// fault schedule. Returns `None` when the full-fidelity run passes
+/// (nothing to shrink).
+pub fn shrink(config: &SimConfig) -> Option<ShrinkResult> {
+    let mut disabled = BTreeSet::new();
+    let mut report = run_schedule(config, &disabled);
+    let mut runs = 1;
+    if report.passed() {
+        return None;
+    }
+    let schedule = Schedule::generate(config.master_seed, config.steps);
+    let total = schedule.events.len();
+    loop {
+        let mut progressed = false;
+        for i in 0..total {
+            if disabled.contains(&i) {
+                continue;
+            }
+            let mut attempt = disabled.clone();
+            attempt.insert(i);
+            let r = run_schedule(config, &attempt);
+            runs += 1;
+            if !r.passed() {
+                // Still fails without this event — it was noise.
+                disabled = attempt;
+                report = r;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Some(ShrinkResult {
+        kept: schedule.enabled_events(&disabled),
+        disabled,
+        report,
+        runs,
+    })
+}

@@ -27,6 +27,13 @@
 //!                                               one HTTP request against a running server
 //! grdf-cli chaos    <addr> [--seed N] [--cases N]
 //!                                               seeded socket-fault campaign against a server
+//! grdf-cli sim      [--seed N] [--steps N] [--quick] [--replay] [--shrink]
+//!                   [--bug NAME] [--swarm N] [--out DIR] [--json]
+//!                                               deterministic whole-system simulation: one master
+//!                                               seed drives engine, storage, connection, and clock
+//!                                               faults against the full in-memory stack; failing
+//!                                               schedules persist as {master_seed, step_count} and
+//!                                               shrink to a minimal counterexample
 //! grdf-cli top      <addr> [--iterations N] [--interval-ms N]
 //!                                               poll /metrics: per-tenant QPS/p99/shed + SLO burn
 //! grdf-cli metrics-check <file>                 Prometheus format-conformance gate for CI
@@ -86,7 +93,9 @@ const USAGE: &str = "usage:
   grdf-cli metrics-check <file>
   grdf-cli client   <url> [--method M] [--role R] [--tenant T] [--deadline-ms N]
                     [--trace-id H] [--body S | --body @file]
-  grdf-cli chaos    <addr> [--seed N] [--cases N]";
+  grdf-cli chaos    <addr> [--seed N] [--cases N]
+  grdf-cli sim      [--seed N] [--steps N] [--quick] [--replay] [--shrink]
+                    [--bug ack-without-wal] [--swarm N] [--out DIR] [--json]";
 
 /// Run a CLI invocation; returns the text to print and the process exit
 /// code (nonzero only for `lint` gate failures — usage and I/O errors go
@@ -119,6 +128,9 @@ fn run(args: &[String]) -> Result<(String, u8), String> {
     }
     if cmd == "chaos" {
         return cmd_chaos(&args[1..]);
+    }
+    if cmd == "sim" {
+        return cmd_sim(&args[1..]);
     }
     let output = match cmd.as_str() {
         "ontology" => cmd_ontology(args.get(1).map_or("turtle", String::as_str)),
@@ -1141,6 +1153,188 @@ fn cmd_chaos(args: &[String]) -> Result<(String, u8), String> {
         format!("FAIL: {violations} torn/ill-formed response(s)")
     });
     Ok((out, if violations == 0 { 0 } else { 2 }))
+}
+
+/// `sim [--seed N] [--steps N] [--quick] [--replay] [--shrink] [--bug B]
+/// [--swarm N] [--out DIR] [--json]` — the deterministic whole-system
+/// simulation (DESIGN.md §16).
+///
+/// Single-seed mode runs one schedule and reports the verdict; `--replay`
+/// runs it twice and proves the fingerprint (verdict, graph hash, audit
+/// length) is bit-identical; `--shrink` greedily minimizes a failing
+/// schedule. `--swarm N` sweeps N consecutive seeds (the CI `sim-swarm`
+/// job), persisting every failure as `{master_seed, step_count}` JSON
+/// plus a shrunk counterexample under `--out`. Exit code 2 when any
+/// oracle was violated.
+fn cmd_sim(args: &[String]) -> Result<(String, u8), String> {
+    use grdf::runtime::SeedTree;
+    use grdf::sim::{run, shrink_seed, SimConfig};
+
+    let mut seed = SeedTree::from_env("GRDF_MASTER_SEED", 0x51D_BA5E).master();
+    let mut steps: Option<usize> = None;
+    let mut quick = false;
+    let mut replay = false;
+    let mut do_shrink = false;
+    let mut bug: Option<grdf::sim::Bug> = None;
+    let mut swarm: Option<u64> = None;
+    let mut out_dir: Option<String> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i)
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--seed" => {
+                let v = flag_value(&mut i)?;
+                seed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => {
+                        u64::from_str_radix(hex, 16).map_err(|e| format!("--seed: {e}"))?
+                    }
+                    None => v.parse().map_err(|e| format!("--seed: {e}"))?,
+                };
+            }
+            "--steps" => {
+                steps = Some(
+                    flag_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--steps: {e}"))?,
+                );
+            }
+            "--quick" => quick = true,
+            "--replay" => replay = true,
+            "--shrink" => do_shrink = true,
+            "--bug" => bug = Some(flag_value(&mut i)?.parse()?),
+            "--swarm" => {
+                swarm = Some(
+                    flag_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--swarm: {e}"))?,
+                );
+            }
+            "--out" => out_dir = Some(flag_value(&mut i)?.clone()),
+            "--json" => json = true,
+            other => return Err(format!("unknown sim flag {other:?}")),
+        }
+        i += 1;
+    }
+    let steps = steps.unwrap_or(if quick { 60 } else { 120 });
+    let config_for = |master: u64| {
+        let mut c = SimConfig::new(master, steps);
+        c.bug = bug;
+        c
+    };
+    let persist_failure = |dir: &str, config: &SimConfig| -> Result<String, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+        let report = run(config);
+        let case = format!(
+            "{}/seed-{:016x}.json",
+            dir.trim_end_matches('/'),
+            config.master_seed
+        );
+        std::fs::write(&case, report.to_json()).map_err(|e| format!("{case}: {e}"))?;
+        let mut wrote = format!("wrote {case}");
+        if let Some(shrunk) = shrink_seed(config) {
+            let min = format!(
+                "{}/seed-{:016x}.shrunk.txt",
+                dir.trim_end_matches('/'),
+                config.master_seed
+            );
+            std::fs::write(&min, shrunk.render()).map_err(|e| format!("{min}: {e}"))?;
+            wrote.push_str(&format!(", {min}"));
+        }
+        Ok(wrote)
+    };
+
+    if let Some(count) = swarm {
+        let mut out = format!(
+            "sim swarm: seeds {seed}..{} ({steps} step(s) each)\n",
+            seed + count
+        );
+        let mut failures = 0u64;
+        for k in 0..count {
+            let config = config_for(seed.wrapping_add(k));
+            let report = run(&config);
+            if report.passed() {
+                continue;
+            }
+            failures += 1;
+            out.push_str(&format!(
+                "FAIL seed {:#x}: {} violation(s); replay: grdf-cli sim --seed {:#x} --steps {}\n",
+                config.master_seed,
+                report.violations.len(),
+                config.master_seed,
+                steps
+            ));
+            for v in &report.violations {
+                out.push_str(&format!("  {v}\n"));
+            }
+            if let Some(dir) = &out_dir {
+                out.push_str(&format!("  {}\n", persist_failure(dir, &config)?));
+            }
+        }
+        out.push_str(&if failures == 0 {
+            format!("PASS: {count} seed(s), every oracle held")
+        } else {
+            format!("FAIL: {failures}/{count} seed(s) violated oracles")
+        });
+        return Ok((out, u8::from(failures > 0) * 2));
+    }
+
+    let config = config_for(seed);
+    let report = run(&config);
+    let mut out = if json {
+        report.to_json()
+    } else {
+        let mut s = format!(
+            "sim: seed {:#x}, {} step(s), {} fault event(s)\n\
+             acked {} update(s), denied {}, {} recover(ies), {} audit line(s), graph {:016x}\n",
+            report.master_seed,
+            report.steps,
+            report.faults_enabled,
+            report.acked,
+            report.denied,
+            report.recoveries,
+            report.audit_total,
+            report.graph_hash
+        );
+        if report.passed() {
+            s.push_str("PASS: every oracle held");
+        } else {
+            s.push_str(&format!("FAIL: {} violation(s)", report.violations.len()));
+            for v in &report.violations {
+                s.push_str(&format!("\n  {v}"));
+            }
+        }
+        s
+    };
+    if replay {
+        let again = run(&config);
+        if again.fingerprint() == report.fingerprint() {
+            out.push_str("\nreplay: bit-identical (verdict, graph hash, audit length)");
+        } else {
+            out.push_str(&format!(
+                "\nreplay: DIVERGED — {:?} vs {:?}",
+                report.fingerprint(),
+                again.fingerprint()
+            ));
+            return Ok((out, 2));
+        }
+    }
+    if !report.passed() {
+        if let Some(shrunk) = do_shrink.then(|| shrink_seed(&config)).flatten() {
+            out.push('\n');
+            out.push_str(&shrunk.render());
+        }
+        if let Some(dir) = &out_dir {
+            out.push('\n');
+            out.push_str(&persist_failure(dir, &config)?);
+        }
+        return Ok((out, 2));
+    }
+    Ok((out, 0))
 }
 
 /// One plain HTTP/1.1 GET; returns `(status, body)`.

@@ -22,6 +22,9 @@
 //!   admission quotas, deadlines, and backpressure.
 //! * [`store`] — crash-safe durability: write-ahead log + checkpoint
 //!   store with corruption-tolerant recovery.
+//! * [`sim`] — deterministic whole-system simulation: one master seed
+//!   drives every fault surface, with invariant oracles and a
+//!   replay/shrink loop.
 //! * [`lint`] — static analysis over ontologies, policy sets, and
 //!   instance graphs, with typed diagnostics and stable codes.
 //! * [`core`] — the GRDF ontology itself + the aggregation store.
@@ -53,6 +56,7 @@ pub use grdf_rdf as rdf;
 pub use grdf_runtime as runtime;
 pub use grdf_security as security;
 pub use grdf_server as server;
+pub use grdf_sim as sim;
 pub use grdf_store as store;
 pub use grdf_topology as topology;
 pub use grdf_workload as workload;

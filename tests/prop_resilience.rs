@@ -13,6 +13,9 @@
 //!
 //! Everything is deterministic: time is manual, fault decisions are pure
 //! functions of `(seed, stage, sequence)`, and no wall sleeps occur.
+//! Each case's plan draws from a per-case [`SeedTree`] lane under
+//! `GRDF_MASTER_SEED` (decimal or `0x`-hex), so one env var resweeps the
+//! whole suite and a failing CI master replays locally verbatim.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -22,7 +25,7 @@ use proptest::prelude::*;
 use grdf::feature::{encode_feature, Feature};
 use grdf::rdf::vocab::grdf as ns;
 use grdf::rdf::Graph;
-use grdf::runtime::{Budget, Clock, ManualClock};
+use grdf::runtime::{Budget, Clock, ManualClock, SeedTree};
 use grdf::security::gsacs::{ClientRequest, GSacs, OwlHorstEngine, ReasoningEngine};
 use grdf::security::policy::{Policy, PolicySet};
 use grdf::security::resilience::{
@@ -105,8 +108,11 @@ fn faulty_service(
     let clock = Arc::new(ManualClock::new());
     // Stalls (40ms) are shorter than the budget (100ms), so a single
     // stall is survivable but stacked stalls blow the deadline.
-    let plan = Arc::new(FaultPlan::new(
-        seed,
+    // `seed` names a lane under the master, so the suite sweeps with
+    // `GRDF_MASTER_SEED` while each case stays a pure replayable
+    // function of `(master, seed)`.
+    let plan = Arc::new(FaultPlan::from_tree(
+        &SeedTree::from_env("GRDF_MASTER_SEED", 0xFA0175EED).child_n("resilience.case", seed),
         error_rate,
         latency_rate,
         Duration::from_millis(40),

@@ -18,7 +18,10 @@
 //! Everything is deterministic: crashes are byte budgets on an injectable
 //! [`CrashBackend`], corruption is explicit bit surgery on a
 //! [`MemBackend`]. `GRDF_CRASH_QUICK=1` trims the case count for CI smoke
-//! runs.
+//! runs, and `GRDF_MASTER_SEED` (decimal or `0x`-hex) reseeds the whole
+//! generated-case sweep — budgets, batches, flip positions — through the
+//! property harness, so CI can run many masters and any failure replays
+//! locally with the same env var.
 
 use std::sync::Arc;
 

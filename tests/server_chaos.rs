@@ -7,6 +7,10 @@
 //!    secret literal, under faults or not; error envelopes carry no data.
 //! 3. **Survival** — after the whole campaign the server still answers
 //!    fresh requests correctly, and a graceful drain loses nothing.
+//!
+//! The campaign's fault schedule derives from a [`SeedTree`] lane;
+//! `GRDF_MASTER_SEED` (decimal or `0x`-hex) reseeds it so CI can sweep
+//! masters and a failing campaign replays locally verbatim.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -16,7 +20,7 @@ use grdf::feature::{encode_feature, Feature};
 use grdf::obs::Obs;
 use grdf::rdf::vocab::grdf as ns;
 use grdf::rdf::Graph;
-use grdf::runtime::SeededDecider;
+use grdf::runtime::SeedTree;
 use grdf::security::gsacs::{GSacs, OntoRepository, OwlHorstEngine};
 use grdf::security::policy::{Policy, PolicySet};
 use grdf::security::resilience::ResilienceConfig;
@@ -100,7 +104,9 @@ fn status_of(raw: &[u8]) -> u16 {
 fn seeded_socket_faults_never_tear_responses_or_leak_the_secret() {
     let server = boot(ResilienceConfig::default());
     let addr = server.local_addr();
-    let decider = SeededDecider::new(0xC4A05);
+    let decider = SeedTree::from_env("GRDF_MASTER_SEED", 0xC4A05)
+        .child("server.chaos")
+        .decider();
     let restricted = build_request(
         "/query",
         &[("x-role", &ns::sec("MainRep"))],

@@ -1,0 +1,203 @@
+//! Real-filesystem crash-during-serve integration test (DESIGN.md §16.6).
+//!
+//! The simulation suite (`tests/sim_world.rs`) proves the durability
+//! oracle over in-memory backends and a virtual clock. This test closes
+//! the remaining gap to production: a live `GrdfServer` with real worker
+//! threads, real `TcpStream`s, and a real directory of files, whose
+//! storage dies mid-serve via a byte-budgeted [`CrashBackend`] over
+//! [`FsBackend`].
+//!
+//! Protocol:
+//!
+//! 1. Seed a durable G-SACS on a temp dir (clean `FsBackend`).
+//! 2. "Restart" it through `CrashBackend<FsBackend>` — exactly the files
+//!    a rebooted process would see — and serve it over TCP.
+//! 3. Flood `/update` with unique inspection notes until the first
+//!    non-200: the moment the crash fires inside a WAL append, audit
+//!    append, or checkpoint rotation, the store poisons itself and the
+//!    service fails closed.
+//! 4. Recover from a *fresh* `FsBackend` over the same directory and
+//!    assert the recovered base is exactly the seeded graph plus every
+//!    2xx-acknowledged update — nothing acked lost, nothing unacked
+//!    leaked.
+//!
+//! `GRDF_MASTER_SEED` (decimal or `0x`-hex) reseeds the crash budget so
+//! CI failures replay locally verbatim.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use grdf::feature::{encode_feature, Feature};
+use grdf::rdf::term::{Term, Triple};
+use grdf::rdf::vocab::grdf as ns;
+use grdf::rdf::Graph;
+use grdf::runtime::SeedTree;
+use grdf::security::gsacs::{GSacs, OntoRepository, OwlHorstEngine};
+use grdf::security::policy::{Action, Policy, PolicySet};
+use grdf::security::resilience::ResilienceConfig;
+use grdf::server::{GrdfServer, QuotaConfig, ServerConfig};
+use grdf::store::{recover, CrashBackend, FsBackend, FsyncPolicy, StorageBackend, StoreConfig};
+
+fn site_data() -> Graph {
+    let mut data = Graph::new();
+    for i in 0..8 {
+        let mut site = Feature::new(&ns::app(&format!("site{i}")), "ChemSite");
+        site.set_property("hasSiteName", format!("Site {i}").as_str());
+        encode_feature(&mut data, &site);
+    }
+    data
+}
+
+fn policies() -> PolicySet {
+    PolicySet::new(vec![
+        Policy::permit(&ns::sec("E1"), &ns::sec("Emergency"), &ns::app("ChemSite")),
+        Policy {
+            action: Action::Edit,
+            ..Policy::permit(&ns::sec("E2"), &ns::sec("Emergency"), &ns::app("ChemSite"))
+        },
+    ])
+}
+
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        fsync: FsyncPolicy::Always,
+        // Small enough that the flood crosses several checkpoint
+        // rotations before the byte budget runs out, so the crash can
+        // land inside the rotation protocol, not just WAL appends.
+        checkpoint_threshold: 4096,
+    }
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        // One worker keeps request handling serial, so "the acked
+        // prefix" is well defined without cross-request interleaving.
+        workers: 1,
+        // The flood is as fast as loopback allows; admission quotas
+        // would shed it with 429s long before the crash fires.
+        quota: QuotaConfig {
+            rate_per_sec: 0.0,
+            burst: 0.0,
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// One request on a fresh connection (`connection: close`); `None` when
+/// the transport itself failed — treated as unacknowledged.
+fn roundtrip(addr: std::net::SocketAddr, request: &[u8]) -> Option<Vec<u8>> {
+    let mut conn = TcpStream::connect(addr).ok()?;
+    conn.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    conn.write_all(request).ok()?;
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).ok()?;
+    Some(raw)
+}
+
+fn http_status(raw: &[u8]) -> Option<u16> {
+    let head = raw.split(|&b| b == b'\r').next()?;
+    let text = std::str::from_utf8(head).ok()?;
+    text.split(' ').nth(1)?.parse().ok()
+}
+
+fn note_triple(i: usize) -> Triple {
+    Triple::new(
+        Term::iri(&ns::app(&format!("site{}", i % 8))),
+        Term::iri(&ns::app("hasInspectionNote")),
+        Term::string(&format!("flood-{i}")),
+    )
+}
+
+#[test]
+fn crash_during_serve_recovers_exactly_the_acked_prefix() {
+    let seeds = SeedTree::from_env("GRDF_MASTER_SEED", 0xC4A54F5);
+    // 12k–28k bytes: enough for the boot bump plus a handful of acked
+    // updates and at least one checkpoint rotation, never enough for the
+    // whole 400-request flood.
+    let budget = 12_000 + seeds.decider().draw("crash.budget", 0) % 16_000;
+
+    let dir = std::env::temp_dir().join(format!("grdf-crash-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    // 1. Seed the durable service on a clean real filesystem.
+    let svc = GSacs::create_durable(
+        Arc::new(FsBackend::open(&dir).expect("open fs backend")) as Arc<dyn StorageBackend>,
+        store_config(),
+        OntoRepository::new(),
+        policies(),
+        Box::<OwlHorstEngine>::default(),
+        site_data(),
+        16,
+        ResilienceConfig::default(),
+    )
+    .expect("seed durable service");
+    let mut model = svc.base_graph().clone();
+    drop(svc);
+
+    // 2. Restart through the byte-budgeted crash backend and serve it.
+    let crashy = Arc::new(CrashBackend::new(
+        FsBackend::open(&dir).expect("reopen fs backend"),
+        budget,
+    ));
+    let (svc, recovered) = GSacs::recover_with_resilience(
+        Arc::clone(&crashy) as Arc<dyn StorageBackend>,
+        store_config(),
+        Box::<OwlHorstEngine>::default(),
+        16,
+        ResilienceConfig::default(),
+    )
+    .expect("recover under budget");
+    assert_eq!(recovered.base, model, "clean restart must be lossless");
+    let server = GrdfServer::bind("127.0.0.1:0", svc, server_config()).expect("bind");
+    let addr = server.local_addr();
+
+    // 3. Flood with unique updates until the store dies under us.
+    let mut acked = 0usize;
+    let mut stopped_by_error = false;
+    for i in 0..400 {
+        let t = note_triple(i);
+        let body = format!("+ {t}\n");
+        let request = format!(
+            "POST /update HTTP/1.1\r\nx-role: {}\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+            ns::sec("Emergency"),
+            body.len()
+        );
+        let status = roundtrip(addr, request.as_bytes())
+            .as_deref()
+            .and_then(http_status);
+        if status == Some(200) {
+            model.insert(t);
+            acked += 1;
+        } else {
+            // Fail-closed refusal (403/503) or a dead transport; either
+            // way nothing past this point is acknowledged.
+            stopped_by_error = true;
+            break;
+        }
+    }
+    server.shutdown();
+
+    assert!(
+        crashy.crashed(),
+        "budget {budget} never fired the crash — the flood was too small to test anything"
+    );
+    assert!(
+        stopped_by_error,
+        "service kept acking after its storage died"
+    );
+    assert!(acked > 0, "budget {budget} crashed before a single ack");
+
+    // 4. A fresh process over the same directory: recovery must yield
+    //    the seeded base plus exactly the acked updates.
+    let fresh = FsBackend::open(&dir).expect("fresh fs backend");
+    let after = recover(&fresh).expect("crash tears only the tail; recovery must succeed");
+    assert_eq!(
+        after.base, model,
+        "recovered base != seeded graph + {acked} acked update(s) (budget {budget})"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
